@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Section 2 workload characterization: verifies the reconstructed search
+ * workload reproduces the paper's service-demand profile (Section 2.3 —
+ * mean 13.47 ms, >=85% under 15 ms, P99 = 200 ms = 15x mean, ~56x
+ * median) and reports the demand spread by keyword count.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "stats/latency_recorder.h"
+#include "stats/online_stats.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace tpc;
+    std::printf("=== Section 2.3: service-demand characterization ===\n");
+    std::printf("building the search workload (index + query log + "
+                "predictor)...\n");
+    const search::SearchWorkload& workload = harness::sharedSearchWorkload();
+
+    stats::LatencyRecorder demand(workload.trace().size());
+    int under15 = 0;
+    for (const auto& entry : workload.trace()) {
+        demand.add(entry.trueMs);
+        if (entry.trueMs < 15.0)
+            under15 += 1;
+    }
+    const double mean = demand.mean();
+    const double median = demand.percentile(0.50);
+    const double p99 = demand.percentile(0.99);
+
+    util::TablePrinter table(
+        "Service demand: paper (Bing production) vs reconstruction");
+    table.setHeader({"statistic", "paper", "measured"});
+    table.addRow({"mean (ms)", "13.47", util::TablePrinter::fmt(mean, 2)});
+    table.addRow({"median (ms)", "~3.6", util::TablePrinter::fmt(median, 2)});
+    table.addRow({"P99 (ms)", "200", util::TablePrinter::fmt(p99, 1)});
+    table.addRow({"max (ms)", ">200", util::TablePrinter::fmt(demand.max(),
+                                                               1)});
+    table.addRow({"P99 / mean", "15x",
+                  util::TablePrinter::fmt(p99 / mean, 1) + "x"});
+    table.addRow({"P99 / median", "56x",
+                  util::TablePrinter::fmt(p99 / median, 1) + "x"});
+    table.addRow({"fraction < 15 ms", ">=85%",
+                  util::TablePrinter::pct(
+                      static_cast<double>(under15) /
+                      static_cast<double>(workload.trace().size()))});
+    table.addRow({"fraction > 80 ms (long)", "~4%",
+                  util::TablePrinter::pct(demand.fractionAbove(80.0))});
+    table.print();
+
+    // Demand by keyword count (Section 2.3 cites ~10x between 2-keyword
+    // and 10-keyword queries).
+    util::TablePrinter byK("Mean demand by keyword count");
+    byK.setHeader({"keywords", "queries", "mean demand (ms)"});
+    std::vector<stats::OnlineStats> perK(11);
+    for (const auto& entry : workload.trace()) {
+        if (entry.numKeywords >= 1 && entry.numKeywords <= 10)
+            perK[static_cast<std::size_t>(entry.numKeywords)].add(
+                entry.trueMs);
+    }
+    for (int k = 1; k <= 10; ++k) {
+        const auto& s = perK[static_cast<std::size_t>(k)];
+        if (s.count() == 0)
+            continue;
+        byK.addRow({std::to_string(k), std::to_string(s.count()),
+                    util::TablePrinter::fmt(s.mean(), 2)});
+    }
+    byK.print();
+
+    // Index shape.
+    const auto& index = workload.index();
+    std::printf("index: %u documents, %u terms, %llu postings, "
+                "avg doc length %.1f\n\n",
+                index.documentCount(), index.vocabularySize(),
+                static_cast<unsigned long long>(index.postingCount()),
+                index.averageDocumentLength());
+
+    // Section 2.2: computationally bound workload. Replay the trace at a
+    // relatively high load and report the CPU utilization and the mean
+    // queueing delay the paper cites (73% and 0.35 ms).
+    {
+        auto policy = harness::makeWebSearchPolicy("TPC");
+        harness::ExperimentConfig config;
+        config.qps = 800.0;
+        config.keepOutcomes = true;
+        const harness::ExperimentResult result = harness::runTrace(
+            harness::traceFrom(workload), *policy,
+            harness::webSearchExecutionModel(), config);
+        double lastCompletionMs = 0.0;
+        stats::OnlineStats queueing;
+        for (const auto& outcome : result.outcomes) {
+            lastCompletionMs =
+                std::max(lastCompletionMs, outcome.completionMs);
+            queueing.add(outcome.queueMs());
+        }
+        const double utilization =
+            result.counters.busyCoreMs /
+            (config.server.coreCapacity * lastCompletionMs);
+        util::TablePrinter bound(
+            "Section 2.2: computationally bound (TPC at 800 QPS)");
+        bound.setHeader({"metric", "paper", "measured"});
+        bound.addRow({"CPU utilization at high load", "73%",
+                      util::TablePrinter::pct(utilization)});
+        bound.addRow({"mean queueing delay (ms)", "0.35",
+                      util::TablePrinter::fmt(queueing.mean(), 2)});
+        bound.print();
+    }
+
+    util::CsvWriter csv(util::resultsDir() + "/characterization_demand.csv");
+    csv.writeRow(std::vector<std::string>{"percentile", "demand_ms"});
+    for (double q :
+         {0.1, 0.25, 0.5, 0.75, 0.85, 0.9, 0.95, 0.99, 0.995, 0.999, 1.0})
+        csv.writeRow(std::vector<double>{q, demand.percentile(q)});
+    std::printf("(raw CDF: %s/characterization_demand.csv)\n",
+                util::resultsDir().c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace tpc::bench {
+
+const std::vector<double>&
+webSearchLoadsQps()
+{
+    static const std::vector<double> loads = {50.0,  150.0, 300.0, 450.0,
+                                              600.0, 750.0, 900.0};
+    return loads;
+}
+
+server::ServerConfig
+webSearchServerConfig()
+{
+    return server::ServerConfig{};
+}
+
+void
+runSweep(const std::string& title, const std::string& csvName,
+         const std::vector<std::string>& policyNames,
+         const std::vector<double>& loadsQps, double percentile,
+         const CellRunner& runCell)
+{
+    util::TablePrinter table(title);
+    std::vector<std::string> header = {"policy"};
+    for (double qps : loadsQps)
+        header.push_back(util::TablePrinter::fmt(qps, 0) + " QPS");
+    table.setHeader(header);
+
+    util::CsvWriter csv(util::resultsDir() + "/" + csvName + ".csv");
+    csv.writeRow(std::vector<std::string>{"policy", "qps", "mean", "p50",
+                                          "p95", "p99", "p999", "max"});
+
+    for (const auto& name : policyNames) {
+        std::vector<std::string> row = {name};
+        for (double qps : loadsQps) {
+            const stats::LatencyRecorder latency = runCell(name, qps);
+            row.push_back(
+                util::TablePrinter::fmt(latency.percentile(percentile), 1));
+            csv.writeRow(std::vector<std::string>{
+                name, util::TablePrinter::fmt(qps, 0),
+                util::TablePrinter::fmt(latency.mean(), 3),
+                util::TablePrinter::fmt(latency.percentile(0.50), 3),
+                util::TablePrinter::fmt(latency.percentile(0.95), 3),
+                util::TablePrinter::fmt(latency.percentile(0.99), 3),
+                util::TablePrinter::fmt(latency.percentile(0.999), 3),
+                util::TablePrinter::fmt(latency.max(), 3)});
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    table.print();
+    std::printf("(raw series: %s/%s.csv)\n\n", util::resultsDir().c_str(),
+                csvName.c_str());
+}
+
+CellRunner
+webSearchCellRunner()
+{
+    return [](const std::string& policyName, double qps) {
+        const harness::Trace trace =
+            harness::traceFrom(harness::sharedSearchWorkload());
+        auto policy = harness::makeWebSearchPolicy(policyName);
+        harness::ExperimentConfig config;
+        config.server = webSearchServerConfig();
+        config.qps = qps;
+        harness::ExperimentResult result = harness::runTrace(
+            trace, *policy, harness::webSearchExecutionModel(), config);
+        return std::move(result.latency);
+    };
+}
+
+} // namespace tpc::bench

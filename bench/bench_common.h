@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries: load sweeps over
+ * the shared search trace, result tables, and CSV dumps under results/.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace tpc::bench {
+
+/** Load points of the single-ISN sweeps (Figures 4-7, 9). */
+const std::vector<double>& webSearchLoadsQps();
+
+/** Runs one (policy, qps) cell and returns the response-time recorder. */
+using CellRunner =
+    std::function<stats::LatencyRecorder(const std::string& policyName,
+                                         double qps)>;
+
+/**
+ * Runs a full policies x loads sweep, prints the table for the given
+ * percentile, and writes `<csvName>.csv` under the results directory
+ * (columns: policy, qps, mean, p50, p95, p99, p999, max).
+ */
+void runSweep(const std::string& title, const std::string& csvName,
+              const std::vector<std::string>& policyNames,
+              const std::vector<double>& loadsQps, double percentile,
+              const CellRunner& runCell);
+
+/** Default cell runner: replays the shared search trace on the DES ISN. */
+CellRunner webSearchCellRunner();
+
+/** Paper-setup server shape (28 workers, 24 contexts). */
+server::ServerConfig webSearchServerConfig();
+
+} // namespace tpc::bench

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10: finance-server P99 latency vs load (requests per second) for
+ * Sequential, AP, Pred and TPC.
+ *
+ * Paper shape: TPC lowest across loads — up to 40% below Pred at
+ * light/moderate load (Pred's fixed degree 2 under-parallelizes) and up
+ * to 50% below AP at high load (AP parallelizes short requests too);
+ * at 200 RPS the paper reports TPC 37 ms, Pred 46 ms, AP 77 ms.
+ */
+#include "bench_common.h"
+#include "finance/workload.h"
+#include "harness/policies.h"
+
+namespace {
+
+using namespace tpc;
+
+bench::CellRunner
+financeCellRunner()
+{
+    return [](const std::string& policyName, double rps) {
+        static const harness::Trace trace =
+            finance::makeFinanceTrace(60000, finance::FinanceWorkloadParams{},
+                                      20160402);
+        auto policy = harness::makeFinancePolicy(policyName);
+        harness::ExperimentConfig config;
+        config.server = finance::financeServerConfig();
+        config.qps = rps;
+        return harness::runTrace(trace, *policy,
+                                 harness::financeExecutionModel(), config)
+            .latency;
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<double> loads = {50.0, 100.0, 150.0, 200.0, 250.0};
+    bench::runSweep("Figure 10: finance server P99 latency (ms) vs load",
+                    "fig10_finance_p99",
+                    harness::standardFinancePolicies(), loads, 0.99,
+                    financeCellRunner());
+    return 0;
+}

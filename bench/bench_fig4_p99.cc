@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 4: single-ISN 99th-percentile latency vs load (50-900 QPS) for
+ * TPC and the prior-work policies (Sequential, WQ-Linear, AP, Pred).
+ *
+ * Paper shape: TPC and Pred sit far below AP/WQ-Linear/Sequential at
+ * moderate and heavy load (~100 ms vs 200+ ms around 500-700 QPS); TPC
+ * additionally beats Pred at low-to-moderate load (~60 ms vs ~100 ms)
+ * because it adapts the degree to the instantaneous load.
+ */
+#include "bench_common.h"
+#include "harness/policies.h"
+
+int
+main()
+{
+    using namespace tpc;
+    bench::runSweep("Figure 4: P99 latency (ms) vs load",
+                    "fig4_p99",
+                    harness::standardWebSearchPolicies(),
+                    bench::webSearchLoadsQps(), 0.99,
+                    bench::webSearchCellRunner());
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 6: TPC vs TP (TPC without dynamic correction) at P99 and P99.9.
+ *
+ * Paper shape: identical P99 (prediction is accurate enough there), but
+ * TPC's P99.9 is 40-65 ms lower than TP's — the entire gap is dynamic
+ * correction recovering mispredicted-long queries.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/policies.h"
+
+int
+main()
+{
+    using namespace tpc;
+    const std::vector<std::string> policies = {"TP", "TPC"};
+    bench::runSweep("Figure 6(a): P99 latency (ms), TP vs TPC",
+                    "fig6a_p99", policies, bench::webSearchLoadsQps(), 0.99,
+                    bench::webSearchCellRunner());
+    bench::runSweep("Figure 6(b): P99.9 latency (ms), TP vs TPC",
+                    "fig6b_p999", policies, bench::webSearchLoadsQps(),
+                    0.999, bench::webSearchCellRunner());
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 7: TPC vs RampUp with 5/10/20 ms thread-addition intervals, P99.
+ *
+ * Paper shape: TPC beats the best RampUp interval at every load — RampUp
+ * inherently delays parallelizing long queries; a small interval helps at
+ * light load but over-parallelizes at heavy load, and vice versa.
+ */
+#include "bench_common.h"
+#include "harness/policies.h"
+
+int
+main()
+{
+    using namespace tpc;
+    const std::vector<std::string> policies = {"RampUp-5ms", "RampUp-10ms",
+                                               "RampUp-20ms", "TPC"};
+    bench::runSweep("Figure 7: P99 latency (ms), TPC vs RampUp",
+                    "fig7_rampup", policies, bench::webSearchLoadsQps(),
+                    0.99, bench::webSearchCellRunner());
+    return 0;
+}

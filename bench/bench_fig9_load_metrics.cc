@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 9: sensitivity of TPC's P99 to the system-load metric keying the
+ * target table — active threads of long queries (LongT, the default),
+ * all active threads (AllT), and sampled CPU utilization (CpuUtil).
+ *
+ * Paper shape: LongT <= AllT < CpuUtil; CpuUtil degrades with load
+ * because the 25 ms sampled moving average lags the instantaneous state.
+ */
+#include "bench_common.h"
+#include "harness/policies.h"
+
+int
+main()
+{
+    using namespace tpc;
+    const std::vector<std::string> policies = {"TPC-LongT", "TPC-AllT",
+                                               "TPC-CpuUtil"};
+    bench::runSweep("Figure 9: P99 latency (ms) by load metric",
+                    "fig9_load_metrics", policies,
+                    bench::webSearchLoadsQps(), 0.99,
+                    bench::webSearchCellRunner());
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot paths: policy decisions,
+ * predictor inference, event-queue throughput, posting-list intersection
+ * and the Monte Carlo pricer kernel. These quantify the scheduling
+ * overhead the paper's online component must keep negligible.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/tpc_policy.h"
+#include "finance/mc_pricer.h"
+#include "harness/policies.h"
+#include "ml/gbrt.h"
+#include "policy/baselines.h"
+#include "search/executor.h"
+#include "search/features.h"
+#include "search/query_generator.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tpc;
+
+policy::SystemState
+typicalState()
+{
+    policy::SystemState state;
+    state.totalWorkers = 28;
+    state.idleWorkers = 10;
+    state.queueLength = 3;
+    state.activeThreadsAll = 18;
+    state.activeThreadsLong = 6;
+    state.cpuUtilization = 0.6;
+    state.hwContexts = 24;
+    state.avgPredictedMs = 13.5;
+    return state;
+}
+
+void
+BM_TpcDispatchDecision(benchmark::State& state)
+{
+    core::TpcPolicy policy(harness::webSearchExecutionModel(),
+                           core::TargetTable::webSearchDefault());
+    const policy::SystemState sys = typicalState();
+    policy::RequestView view;
+    view.predictedMs = 95.0;
+    for (auto _ : state) {
+        auto decision = policy.onDispatch(view, sys);
+        benchmark::DoNotOptimize(decision);
+    }
+}
+BENCHMARK(BM_TpcDispatchDecision);
+
+void
+BM_ApDispatchDecision(benchmark::State& state)
+{
+    policy::ApPolicy policy(policy::SpeedupModel::webSearchAverageProfile(),
+                            6);
+    const policy::SystemState sys = typicalState();
+    policy::RequestView view;
+    view.predictedMs = 95.0;
+    for (auto _ : state) {
+        auto decision = policy.onDispatch(view, sys);
+        benchmark::DoNotOptimize(decision);
+    }
+}
+BENCHMARK(BM_ApDispatchDecision);
+
+void
+BM_EventQueueScheduleFire(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulator sim;
+        for (int i = 0; i < 1000; ++i)
+            sim.schedule(static_cast<double>(i % 97), [] {});
+        sim.runUntilEmpty();
+        benchmark::DoNotOptimize(sim.firedEvents());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_PredictorInference(benchmark::State& state)
+{
+    // Small synthetic model with realistic shape (80 trees, depth 5).
+    util::Rng rng(1);
+    ml::Dataset train({"a", "b", "c", "d", "e"});
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<double> row(5);
+        for (auto& v : row)
+            v = rng.uniform(0.0, 100.0);
+        train.addRow(row, row[0] * 2.0 + row[3]);
+    }
+    ml::Gbrt model;
+    ml::GbrtParams params;
+    model.train(train, params);
+    const std::vector<double> features{10.0, 20.0, 30.0, 40.0, 50.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.predict(features));
+    }
+}
+BENCHMARK(BM_PredictorInference);
+
+void
+BM_PostingIntersection(benchmark::State& state)
+{
+    search::CorpusParams corpus;
+    corpus.numDocuments = 8000;
+    corpus.vocabularySize = 8000;
+    const auto index = search::InvertedIndex::buildSynthetic(corpus, 3);
+    search::QueryLogParams logParams;
+    search::QueryGenerator generator(index, logParams, 4);
+    const search::Query query = generator.next();
+    search::ExecutorParams execParams;
+    execParams.scoringRounds = 0;
+    execParams.parseRounds = 0;
+    execParams.parseRoundsPerTerm = 0;
+    execParams.rescoreRounds = 0;
+    const search::QueryExecutor executor(index, execParams);
+    for (auto _ : state) {
+        auto result = executor.executeSequential(query);
+        benchmark::DoNotOptimize(result.matchCount);
+    }
+}
+BENCHMARK(BM_PostingIntersection);
+
+void
+BM_MonteCarloChunk(benchmark::State& state)
+{
+    finance::MonteCarloPricer pricer;
+    finance::AsianOptionParams params;
+    for (auto _ : state) {
+        double sum = 0.0;
+        double sumSq = 0.0;
+        pricer.priceChunk(params, 256, 7, sum, sumSq);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MonteCarloChunk);
+
+} // namespace
+
+BENCHMARK_MAIN();

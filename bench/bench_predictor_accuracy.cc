@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 2.5 predictor accuracy: L1 error of the boosted-tree regressor
+ * and its precision/recall as a long-query classifier at the 80 ms
+ * threshold. The paper reports L1 = 14 ms, recall 0.86, precision 0.91,
+ * 0.56% mispredicted-long queries, and a resulting prediction-only
+ * ceiling at the 99.44th percentile.
+ */
+#include <cstdio>
+
+#include "harness/search_trace.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace tpc;
+    std::printf("=== Section 2.5: execution-time predictor accuracy ===\n");
+    const search::SearchWorkload& workload = harness::sharedSearchWorkload();
+    const search::PredictorReport& report = workload.predictorReport();
+    const auto& cls = report.longAt80Ms;
+
+    util::TablePrinter table("Predictor: paper vs trained GBRT");
+    table.setHeader({"metric", "paper", "measured"});
+    table.addRow({"L1 error (ms)", "14",
+                  util::TablePrinter::fmt(report.l1ErrorMs, 2)});
+    table.addRow({"RMSE (ms)", "-",
+                  util::TablePrinter::fmt(report.rmseMs, 2)});
+    table.addRow({"recall @ 80 ms", "0.86",
+                  util::TablePrinter::fmt(cls.recall(), 3)});
+    table.addRow({"precision @ 80 ms", "0.91",
+                  util::TablePrinter::fmt(cls.precision(), 3)});
+    table.addRow(
+        {"mispredicted-long (% of all)", "0.56%",
+         util::TablePrinter::pct(cls.missedLongFraction())});
+    const double ceiling = 100.0 * (1.0 - cls.missedLongFraction());
+    table.addRow({"prediction-only tail ceiling", "P99.44",
+                  "P" + util::TablePrinter::fmt(ceiling, 2)});
+    table.print();
+
+    std::printf("trees: %zu; trained on %zu queries, evaluated on %zu\n",
+                workload.predictor().treeCount(),
+                workload.params().trainingQueries,
+                workload.trace().size());
+
+    util::CsvWriter csv(util::resultsDir() + "/predictor_accuracy.csv");
+    csv.writeRow(std::vector<std::string>{"metric", "value"});
+    csv.writeRow(std::vector<std::string>{
+        "l1_ms", util::TablePrinter::fmt(report.l1ErrorMs, 3)});
+    csv.writeRow(std::vector<std::string>{
+        "recall", util::TablePrinter::fmt(cls.recall(), 4)});
+    csv.writeRow(std::vector<std::string>{
+        "precision", util::TablePrinter::fmt(cls.precision(), 4)});
+    csv.writeRow(std::vector<std::string>{
+        "missed_long_pct",
+        util::TablePrinter::fmt(100.0 * cls.missedLongFraction(), 4)});
+    return 0;
+}

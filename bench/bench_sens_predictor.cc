@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Section 4.6 prediction-accuracy sensitivity: TPC with its trained
+ * predictor vs TPC with a perfect predictor (true times fed as
+ * predictions), plus TP (no correction) vs the perfect predictor.
+ *
+ * Paper: the gap between TPC and perfect prediction is ~4.0% at P99 and
+ * ~7.8% at P99.9 averaged across loads, while TP (no correction) is
+ * 44.1% above perfect — dynamic correction compensates predictor error.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace tpc;
+
+stats::LatencyRecorder
+run(const std::string& policyName, const harness::Trace& trace, double qps)
+{
+    auto policy = harness::makeWebSearchPolicy(policyName);
+    harness::ExperimentConfig config;
+    config.server = bench::webSearchServerConfig();
+    config.qps = qps;
+    return harness::runTrace(trace, *policy,
+                             harness::webSearchExecutionModel(), config)
+        .latency;
+}
+
+} // namespace
+
+int
+main()
+{
+    const harness::Trace real =
+        harness::traceFrom(harness::sharedSearchWorkload());
+    const harness::Trace perfect = harness::withPerfectPredictions(real);
+    const auto& loads = bench::webSearchLoadsQps();
+
+    util::TablePrinter table(
+        "Section 4.6: TPC/TP vs a perfect predictor (averaged over loads)");
+    table.setHeader({"percentile", "configuration", "avg latency (ms)",
+                     "vs perfect", "paper"});
+    util::CsvWriter csv(util::resultsDir() + "/sens_predictor.csv");
+    csv.writeRow(std::vector<std::string>{"config", "qps", "p99", "p999"});
+
+    double tpcRealP99 = 0.0;
+    double tpcPerfP99 = 0.0;
+    double tpcRealP999 = 0.0;
+    double tpcPerfP999 = 0.0;
+    double tpRealP999 = 0.0;
+    for (double qps : loads) {
+        const auto tpcReal = run("TPC", real, qps);
+        const auto tpcPerf = run("TPC", perfect, qps);
+        const auto tpReal = run("TP", real, qps);
+        tpcRealP99 += tpcReal.percentile(0.99);
+        tpcPerfP99 += tpcPerf.percentile(0.99);
+        tpcRealP999 += tpcReal.percentile(0.999);
+        tpcPerfP999 += tpcPerf.percentile(0.999);
+        tpRealP999 += tpReal.percentile(0.999);
+        csv.writeRow(std::vector<std::string>{
+            "TPC-real", util::TablePrinter::fmt(qps, 0),
+            util::TablePrinter::fmt(tpcReal.percentile(0.99), 3),
+            util::TablePrinter::fmt(tpcReal.percentile(0.999), 3)});
+        csv.writeRow(std::vector<std::string>{
+            "TPC-perfect", util::TablePrinter::fmt(qps, 0),
+            util::TablePrinter::fmt(tpcPerf.percentile(0.99), 3),
+            util::TablePrinter::fmt(tpcPerf.percentile(0.999), 3)});
+        csv.writeRow(std::vector<std::string>{
+            "TP-real", util::TablePrinter::fmt(qps, 0),
+            util::TablePrinter::fmt(tpReal.percentile(0.99), 3),
+            util::TablePrinter::fmt(tpReal.percentile(0.999), 3)});
+    }
+    const auto n = static_cast<double>(loads.size());
+    tpcRealP99 /= n;
+    tpcPerfP99 /= n;
+    tpcRealP999 /= n;
+    tpcPerfP999 /= n;
+    tpRealP999 /= n;
+
+    auto pctAbove = [](double value, double base) {
+        return util::TablePrinter::fmt(100.0 * (value / base - 1.0), 1) + "%";
+    };
+    table.addRow({"P99", "TPC (perfect predictor)",
+                  util::TablePrinter::fmt(tpcPerfP99, 1), "-", "-"});
+    table.addRow({"P99", "TPC (trained predictor)",
+                  util::TablePrinter::fmt(tpcRealP99, 1),
+                  pctAbove(tpcRealP99, tpcPerfP99), "+4.0%"});
+    table.addRow({"P99.9", "TPC (perfect predictor)",
+                  util::TablePrinter::fmt(tpcPerfP999, 1), "-", "-"});
+    table.addRow({"P99.9", "TPC (trained predictor)",
+                  util::TablePrinter::fmt(tpcRealP999, 1),
+                  pctAbove(tpcRealP999, tpcPerfP999), "+7.8%"});
+    table.addRow({"P99.9", "TP (trained, no correction)",
+                  util::TablePrinter::fmt(tpRealP999, 1),
+                  pctAbove(tpRealP999, tpcPerfP999), "+44.1%"});
+    table.print();
+    std::printf("(raw: %s/sens_predictor.csv)\n", util::resultsDir().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 2: parallelism-degree distribution (percent of requests per
+ * degree) for TPC, AP and Pred at 150 and 600 QPS, split by short/long
+ * (true demand </> 80 ms).
+ *
+ * Paper shape: TPC runs short queries almost entirely sequentially while
+ * giving long queries high degrees (98% at 6T at 150 QPS, 73% at 600);
+ * AP gives short and long the same degrees and collapses to 1-2T at
+ * 600 QPS; Pred is load-oblivious (fixed 3T for predicted-long).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/degree_stats.h"
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace tpc;
+    const harness::Trace trace =
+        harness::traceFrom(harness::sharedSearchWorkload());
+    constexpr int kMaxDegree = 6;
+
+    util::TablePrinter table(
+        "Table 2: parallelism-degree distribution (%), by true demand");
+    table.setHeader({"QPS", "policy", "group", "1T", "2T", "3T", "4T", "5T",
+                     "6T", ">3T"});
+    util::CsvWriter csv(util::resultsDir() + "/table2_degrees.csv");
+    csv.writeRow(std::vector<std::string>{"qps", "policy", "group", "d1",
+                                          "d2", "d3", "d4", "d5", "d6"});
+
+    for (double qps : {150.0, 600.0}) {
+        for (const char* name : {"TPC", "AP", "Pred"}) {
+            auto policy = harness::makeWebSearchPolicy(name);
+            harness::ExperimentConfig config;
+            config.server = bench::webSearchServerConfig();
+            config.qps = qps;
+            config.keepOutcomes = true;
+            const harness::ExperimentResult result = harness::runTrace(
+                trace, *policy, harness::webSearchExecutionModel(), config);
+            const auto rows = harness::computeDegreeDistribution(
+                result.outcomes, 80.0, kMaxDegree);
+            for (const auto& row : rows) {
+                std::vector<std::string> cells = {
+                    util::TablePrinter::fmt(qps, 0), name, row.group};
+                std::vector<std::string> csvCells = {
+                    util::TablePrinter::fmt(qps, 0), name, row.group};
+                for (double pct : row.percent) {
+                    cells.push_back(util::TablePrinter::fmt(pct, 1));
+                    csvCells.push_back(util::TablePrinter::fmt(pct, 2));
+                }
+                cells.push_back(util::TablePrinter::fmt(
+                    harness::fractionAboveDegree(row, 3), 1));
+                table.addRow(cells);
+                csv.writeRow(csvCells);
+            }
+        }
+    }
+    table.print();
+    std::printf("(raw: %s/table2_degrees.csv)\n", util::resultsDir().c_str());
+    return 0;
+}

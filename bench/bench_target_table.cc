@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Algorithm 1 (BuildTargetTable) at reduced scale: gradient-descent
+ * search of the target table from an aggressive initial table, with
+ * MEASURETAIL = discrete-event runs over a load set.
+ *
+ * Reports the search cost (MEASURETAIL invocations — the paper bounds it
+ * by m * E_max / delta, vs (E_max/delta)^m for exhaustive search) and
+ * compares the searched table against the initial table and the shipped
+ * default.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/table_builder.h"
+#include "harness/measure_tail.h"
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace tpc;
+    const harness::Trace trace =
+        harness::traceFrom(harness::sharedSearchWorkload());
+
+    // Reduced scale so the bench finishes in tens of seconds: a coarser
+    // step than the paper's 1 ms and a trace prefix per MEASURETAIL run.
+    harness::MeasureTailOptions options;
+    options.traceLimit = 8000;
+    options.loadsQps = {150.0, 450.0, 750.0};
+    const core::MeasureTailFn measureTail = harness::makeMeasureTail(
+        trace, harness::webSearchExecutionModel(), options);
+
+    const std::vector<double> loads = {0.0, 4.0, 8.0, 16.0,
+                                       std::numeric_limits<double>::infinity()};
+    const core::TargetTable initial =
+        core::TargetTable::initialForBuilder(loads, 49.0);
+
+    core::TableBuilderParams params;
+    params.stepMs = 8.0;
+    params.maxTargetMs = 260.0;
+
+    std::printf("searching (step %.0f ms, %zu entries)...\n", params.stepMs,
+                loads.size());
+    core::TableBuilderReport report;
+    const core::TargetTable searched =
+        core::buildTargetTable(initial, measureTail, params, &report);
+
+    util::TablePrinter table("Algorithm 1: target-table construction");
+    table.setHeader({"table", "entries", "weighted tail score (ms)"});
+    table.addRow({"initial (unloaded minimum)", std::to_string(initial.size()),
+                  util::TablePrinter::fmt(report.initialScore, 2)});
+    table.addRow({"searched (Algorithm 1)", std::to_string(searched.size()),
+                  util::TablePrinter::fmt(report.finalScore, 2)});
+    table.addRow({"shipped default",
+                  std::to_string(core::TargetTable::webSearchDefault().size()),
+                  util::TablePrinter::fmt(
+                      measureTail(core::TargetTable::webSearchDefault()),
+                      2)});
+    table.print();
+
+    std::printf("searched table: %s\n", searched.toString().c_str());
+    std::printf("iterations: %d, MEASURETAIL calls: %d "
+                "(exhaustive search would need (Emax/delta)^m = %.0f)\n",
+                report.iterations, report.measureTailCalls,
+                std::pow(params.maxTargetMs / params.stepMs,
+                         static_cast<double>(loads.size())));
+
+    util::CsvWriter csv(util::resultsDir() + "/target_table.csv");
+    csv.writeRow(std::vector<std::string>{"load_upper", "target_ms"});
+    for (const auto& entry : searched.entries())
+        csv.writeRow(std::vector<double>{entry.load, entry.targetMs});
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Methodological check: are the headline gaps signal or noise?
+ *
+ * Two views: (1) bootstrap 95% confidence intervals on the P99/P99.9 of
+ * each policy at 600 QPS from a single run's samples; (2) variation of
+ * the same statistics across five independent arrival-process seeds.
+ * The TPC-vs-baseline separations reported in EXPERIMENTS.md must (and
+ * do) exceed both error estimates.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "stats/bootstrap.h"
+#include "stats/online_stats.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+int
+main()
+{
+    using namespace tpc;
+    const harness::Trace trace =
+        harness::traceFrom(harness::sharedSearchWorkload());
+    constexpr double kQps = 600.0;
+
+    util::TablePrinter table(
+        "Variability at 600 QPS: bootstrap 95% CI and across-seed spread");
+    table.setHeader({"policy", "P99 [CI]", "P99.9 [CI]",
+                     "P99 across seeds (min-max)",
+                     "P99.9 across seeds (min-max)"});
+    util::CsvWriter csv(util::resultsDir() + "/variability.csv");
+    csv.writeRow(std::vector<std::string>{"policy", "seed", "p99", "p999"});
+
+    util::Rng bootstrapRng(17);
+    for (const char* name : {"Sequential", "AP", "Pred", "TPC"}) {
+        // (1) Bootstrap CI from the default-seed run.
+        auto policy = harness::makeWebSearchPolicy(name);
+        harness::ExperimentConfig config;
+        config.server = bench::webSearchServerConfig();
+        config.qps = kQps;
+        const harness::ExperimentResult base = harness::runTrace(
+            trace, *policy, harness::webSearchExecutionModel(), config);
+        const stats::ConfidenceInterval p99 = stats::bootstrapPercentile(
+            base.latency.samples(), 0.99, 300, bootstrapRng);
+        const stats::ConfidenceInterval p999 = stats::bootstrapPercentile(
+            base.latency.samples(), 0.999, 300, bootstrapRng);
+
+        // (2) Across-seed spread.
+        stats::OnlineStats seedP99;
+        stats::OnlineStats seedP999;
+        for (std::uint64_t seed : {7u, 101u, 202u, 303u, 404u}) {
+            auto seedPolicy = harness::makeWebSearchPolicy(name);
+            harness::ExperimentConfig seedConfig = config;
+            seedConfig.arrivalSeed = seed;
+            const harness::ExperimentResult result =
+                harness::runTrace(trace, *seedPolicy,
+                                  harness::webSearchExecutionModel(),
+                                  seedConfig);
+            seedP99.add(result.latency.percentile(0.99));
+            seedP999.add(result.latency.percentile(0.999));
+            csv.writeRow(std::vector<std::string>{
+                name, std::to_string(seed),
+                util::TablePrinter::fmt(result.latency.percentile(0.99), 3),
+                util::TablePrinter::fmt(result.latency.percentile(0.999),
+                                        3)});
+        }
+
+        auto ciText = [](const stats::ConfidenceInterval& ci) {
+            return util::TablePrinter::fmt(ci.point, 1) + " [" +
+                   util::TablePrinter::fmt(ci.lower, 1) + ", " +
+                   util::TablePrinter::fmt(ci.upper, 1) + "]";
+        };
+        auto rangeText = [](const stats::OnlineStats& s) {
+            return util::TablePrinter::fmt(s.mean(), 1) + " (" +
+                   util::TablePrinter::fmt(s.min(), 1) + "-" +
+                   util::TablePrinter::fmt(s.max(), 1) + ")";
+        };
+        table.addRow({name, ciText(p99), ciText(p999), rangeText(seedP99),
+                      rangeText(seedP999)});
+        std::fflush(stdout);
+    }
+    table.print();
+    std::printf("(raw per-seed results: %s/variability.csv)\n",
+                util::resultsDir().c_str());
+    return 0;
+}

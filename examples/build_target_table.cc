@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Offline target-table construction (Algorithm 1) end to end: start from
+ * the aggressive initial table (every load mapped to the unloaded
+ * minimum latency), search with gradient descent against MEASURETAIL
+ * runs of the discrete-event ISN, and print the resulting table — the
+ * artifact a production deployment would periodically recompute and
+ * distribute to all ISNs (Section 3.3).
+ *
+ *   ./build/examples/build_target_table [--step=MS] [--trace=N]
+ */
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "core/table_builder.h"
+#include "harness/measure_tail.h"
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+#include "util/args.h"
+#include "util/table_printer.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tpc;
+    const util::ArgParser args(argc, argv, {"step", "trace"});
+    const double stepMs = args.getDouble("step", 4.0);
+    const auto traceLimit =
+        static_cast<std::size_t>(args.getInt("trace", 12000));
+
+    std::printf("building the search workload...\n");
+    const harness::Trace trace =
+        harness::traceFrom(harness::sharedSearchWorkload());
+
+    harness::MeasureTailOptions options;
+    options.traceLimit = traceLimit;
+    options.loadsQps = {150.0, 300.0, 450.0, 600.0, 750.0};
+    const core::MeasureTailFn measureTail = harness::makeMeasureTail(
+        trace, harness::webSearchExecutionModel(), options);
+
+    // Load buckets over the LongT metric; the unloaded minimum is the
+    // longest query at full parallelism.
+    const std::vector<double> loads = {
+        0.0, 2.0, 4.0, 8.0, 12.0, 16.0,
+        std::numeric_limits<double>::infinity()};
+    const core::TargetTable initial =
+        core::TargetTable::initialForBuilder(loads, 40.0);
+
+    core::TableBuilderParams params;
+    params.stepMs = stepMs;
+    params.maxTargetMs = 240.0;
+
+    std::printf("running Algorithm 1 (step %.0f ms, %zu load entries, "
+                "%zu-query MEASURETAIL prefix)...\n",
+                stepMs, loads.size(), traceLimit);
+    core::TableBuilderReport report;
+    const core::TargetTable table =
+        core::buildTargetTable(initial, measureTail, params, &report);
+
+    util::TablePrinter out("Constructed target table (LongT -> E)");
+    out.setHeader({"load (long threads)", "target E (ms)"});
+    for (const auto& entry : table.entries()) {
+        out.addRow({std::isinf(entry.load)
+                        ? "inf"
+                        : util::TablePrinter::fmt(entry.load, 0),
+                    util::TablePrinter::fmt(entry.targetMs, 0)});
+    }
+    out.print();
+    std::printf("search: %d iterations, %d MEASURETAIL calls, score %.2f -> "
+                "%.2f ms\n",
+                report.iterations, report.measureTailCalls,
+                report.initialScore, report.finalScore);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A runnable index-serving node with real threads: builds the synthetic
+ * web index, trains the execution-time predictor, then serves a live
+ * Poisson query stream through the ThreadedServer under TPC —
+ * parse/intersect/merge on real worker threads, with dynamic correction
+ * adding threads to requests that overrun their target.
+ *
+ *   ./build/examples/search_server [--queries=N] [--qps=R]
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "search/executor.h"
+#include "search/workload.h"
+#include "server/threaded_server.h"
+#include "stats/latency_recorder.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/args.h"
+#include "util/table_printer.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tpc;
+    const util::ArgParser args(argc, argv, {"queries", "qps"});
+    const auto numQueries =
+        static_cast<std::size_t>(args.getInt("queries", 800));
+    const double qps = args.getDouble("qps", 120.0);
+
+    std::printf("building index and training predictor...\n");
+    search::WorkloadParams params;
+    params.corpus.numDocuments = 20000;
+    params.corpus.vocabularySize = 20000;
+    params.trainingQueries = 6000;
+    params.traceQueries = numQueries;
+    const search::SearchWorkload workload(params);
+    const search::QueryExecutor executor(workload.index(),
+                                         search::ExecutorParams{});
+    std::printf("index: %u docs; predictor: %zu trees, recall@80ms %.2f\n",
+                workload.index().documentCount(),
+                workload.predictor().treeCount(),
+                workload.predictorReport().longAt80Ms.recall());
+
+    // TPC drives a real threaded server. The predicted time per query is
+    // scaled from the workload's latent milliseconds to this machine's
+    // real executor speed using a quick calibration run.
+    double scale = 0.0;
+    {
+        using Clock = std::chrono::steady_clock;
+        double latentSum = 0.0;
+        double realSum = 0.0;
+        for (std::size_t i = 0; i < std::min<std::size_t>(60, numQueries);
+             ++i) {
+            const search::Query& q = workload.traceQueries()[i];
+            const auto start = Clock::now();
+            executor.executeSequential(q);
+            realSum += std::chrono::duration<double, std::milli>(
+                           Clock::now() - start)
+                           .count();
+            latentSum += q.trueSequentialMs;
+        }
+        scale = realSum / latentSum;
+    }
+    std::printf("calibration: real ms = %.3f x latent ms\n", scale);
+
+    core::TpcOptions options;
+    options.maxDegree = 6;
+    core::TpcPolicy tpc(harness::webSearchExecutionModel(),
+                        core::TargetTable::webSearchDefault(), options);
+
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers =
+        std::max(4u, std::thread::hardware_concurrency() * 2);
+    serverConfig.longThresholdMs = 80.0 * scale;
+
+    stats::LatencyRecorder latency;
+    {
+        server::ThreadedServer server(serverConfig, tpc);
+        util::PoissonProcess arrivals(qps, util::Rng(7));
+        const auto epoch = std::chrono::steady_clock::now();
+        const auto chunks = executor.makeChunks();
+        for (std::size_t i = 0; i < numQueries; ++i) {
+            const search::Query& q = workload.traceQueries()[i];
+            // Open loop: sleep until this query's arrival time.
+            const double at = arrivals.nextArrivalMs();
+            std::this_thread::sleep_until(
+                epoch + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double, std::milli>(at)));
+
+            server::ThreadedJob job;
+            job.predictedMs = workload.trace()[i].predictedMs * scale;
+            auto results =
+                std::make_shared<std::vector<search::ChunkResult>>();
+            results->reserve(chunks.size());
+            for (std::size_t c = 0; c < chunks.size(); ++c)
+                results->emplace_back(10);
+            job.preamble = [&executor, &q] { executor.parsePhase(q); };
+            job.numTasks = static_cast<int>(chunks.size());
+            job.task = [&executor, &q, &chunks, results](int c) {
+                executor.executeRange(
+                    q, chunks[static_cast<std::size_t>(c)],
+                    (*results)[static_cast<std::size_t>(c)]);
+            };
+            job.postamble = [&executor, &q, results] {
+                executor.mergeAndRescore(q, *results);
+            };
+            server.submit(std::move(job));
+        }
+        server.drain();
+        for (const auto& outcome : server.outcomes())
+            latency.add(outcome.responseMs);
+    }
+
+    util::TablePrinter table("search_server: real-threads TPC run");
+    table.setHeader({"queries", "QPS", "mean", "p95", "p99", "max"});
+    table.addRow({std::to_string(numQueries),
+                  util::TablePrinter::fmt(qps, 0),
+                  util::TablePrinter::fmt(latency.mean(), 2),
+                  util::TablePrinter::fmt(latency.percentile(0.95), 2),
+                  util::TablePrinter::fmt(latency.percentile(0.99), 2),
+                  util::TablePrinter::fmt(latency.max(), 2)});
+    table.print();
+    std::printf("dynamic corrections fired: %llu\n",
+                static_cast<unsigned long long>(tpc.counters().corrections));
+    return 0;
+}

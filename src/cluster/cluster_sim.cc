@@ -1,0 +1,259 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/simulator.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpc::cluster {
+
+ClusterResult
+runCluster(const harness::Trace& trace, const PolicyFactory& makePolicy,
+           const policy::SpeedupModel& executionModel,
+           const ClusterConfig& config)
+{
+    TPC_CHECK(!trace.empty());
+    TPC_CHECK(config.numIsns >= 1);
+    TPC_CHECK(makePolicy != nullptr);
+
+    sim::Simulator sim;
+    const auto n = static_cast<std::size_t>(config.numIsns);
+
+    // Per-ISN policies and servers. Outcome storage is disabled: with 40
+    // ISNs x 100K queries the callback path alone is retained.
+    std::vector<std::unique_ptr<policy::ParallelismPolicy>> policies;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    policies.reserve(n);
+    servers.reserve(n);
+
+    // Aggregation state: per query, the number of outstanding ISN
+    // sub-requests and the latest sub-completion time.
+    std::vector<int> outstanding(trace.size(), 0);
+    std::vector<double> slowestCompletionMs(trace.size(), 0.0);
+    std::vector<double> arrivalMs(trace.size(), 0.0);
+
+    ClusterResult result;
+    result.aggregatorLatency = stats::LatencyRecorder(trace.size());
+    result.isnLatency = stats::LatencyRecorder(trace.size());
+
+    for (std::size_t i = 0; i < n; ++i) {
+        policies.push_back(makePolicy());
+        auto server = std::make_unique<server::SimServer>(
+            sim, config.isn, *policies.back(), executionModel);
+        server->setStoreOutcomes(false);
+        const bool isRepresentative = (i == 0);
+        server->setCompletionCallback(
+            [&, isRepresentative](const server::RequestOutcome& outcome) {
+                // Local ids equal global query indices: every ISN receives
+                // every query in the same order.
+                const std::size_t q =
+                    static_cast<std::size_t>(outcome.id);
+                TPC_DCHECK(q < trace.size());
+                slowestCompletionMs[q] =
+                    std::max(slowestCompletionMs[q], outcome.completionMs);
+                if (isRepresentative)
+                    result.isnLatency.add(outcome.responseMs());
+                if (--outstanding[q] == 0) {
+                    const double response = slowestCompletionMs[q] +
+                                            config.networkDelayMs +
+                                            config.mergeDelayMs -
+                                            arrivalMs[q];
+                    result.aggregatorLatency.add(response);
+                }
+            });
+        servers.push_back(std::move(server));
+    }
+
+    // Arrival chain: one aggregator arrival fans out to every ISN after
+    // the one-way network delay; per-(query, ISN) jitter scales both the
+    // true demand and the prediction.
+    util::PoissonProcess arrivals(config.qps, util::Rng(config.seed));
+    util::Rng jitterRng(config.seed + 1);
+    std::size_t next = 0;
+    std::function<void()> arrive = [&] {
+        const std::size_t q = next;
+        const harness::TraceItem& item = trace[q];
+        arrivalMs[q] = sim.now();
+        outstanding[q] = config.numIsns;
+        std::vector<double> jitter(n);
+        for (std::size_t i = 0; i < n; ++i)
+            jitter[i] = std::exp(
+                jitterRng.normal(0.0, config.demandJitterSigma));
+        std::vector<double> machine(n, 1.0);
+        if (config.machineJitterSigma > 0.0) {
+            for (std::size_t i = 0; i < n; ++i)
+                machine[i] = std::exp(
+                    jitterRng.normal(0.0, config.machineJitterSigma));
+        }
+        sim.scheduleAfter(config.networkDelayMs, [&, q, jitter, machine] {
+            for (std::size_t i = 0; i < n; ++i) {
+                // Machine jitter affects the true cost but not the
+                // prediction: the predictor sees shard content, not the
+                // machine's transient state.
+                servers[i]->submit(trace[q].trueMs * jitter[i] * machine[i],
+                                   trace[q].predictedMs * jitter[i]);
+            }
+        });
+        (void)item;
+        ++next;
+        if (next < trace.size())
+            sim.schedule(arrivals.nextArrivalMs(), arrive);
+    };
+    sim.schedule(arrivals.nextArrivalMs(), arrive);
+    sim.runUntilEmpty();
+
+    TPC_CHECK_MSG(result.aggregatorLatency.count() == trace.size(),
+                  "cluster run did not complete every query");
+    return result;
+}
+
+ClusterResult
+runHedgedCluster(const harness::Trace& trace,
+                 const PolicyFactory& makePolicy,
+                 const policy::SpeedupModel& executionModel,
+                 const ClusterConfig& config, const HedgeConfig& hedge)
+{
+    TPC_CHECK(!trace.empty());
+    TPC_CHECK(config.numIsns >= 1);
+    TPC_CHECK(hedge.hedgeDelayMs > 0.0);
+
+    sim::Simulator sim;
+    const auto n = static_cast<std::size_t>(config.numIsns);
+    const std::size_t serverCount = 2 * n; // primaries then replicas
+
+    std::vector<std::unique_ptr<policy::ParallelismPolicy>> policies;
+    std::vector<std::unique_ptr<server::SimServer>> servers;
+    // Per server: local request id -> global query index (submission
+    // order assigns local ids sequentially).
+    std::vector<std::vector<std::uint32_t>> toQuery(serverCount);
+
+    // Per (query, shard): completion state and the live copies' ids.
+    struct ShardState
+    {
+        bool done = false;
+        bool hedged = false;
+        std::uint64_t primaryId = 0;
+        std::uint64_t replicaId = 0;
+    };
+    std::vector<ShardState> shards(trace.size() * n);
+    auto shardAt = [&](std::size_t q, std::size_t i) -> ShardState& {
+        return shards[q * n + i];
+    };
+
+    std::vector<int> outstanding(trace.size(), 0);
+    std::vector<double> slowestCompletionMs(trace.size(), 0.0);
+    std::vector<double> arrivalMs(trace.size(), 0.0);
+    // Per-(query, shard) jittered demands, reused for the replica copy
+    // (the same shard data costs the same on the replica).
+    std::vector<double> shardTrueMs(trace.size() * n, 0.0);
+    std::vector<double> shardPredictedMs(trace.size() * n, 0.0);
+
+    ClusterResult result;
+    result.aggregatorLatency = stats::LatencyRecorder(trace.size());
+    result.isnLatency = stats::LatencyRecorder(trace.size());
+
+    policies.reserve(serverCount);
+    servers.reserve(serverCount);
+    for (std::size_t s = 0; s < serverCount; ++s) {
+        policies.push_back(makePolicy());
+        auto server = std::make_unique<server::SimServer>(
+            sim, config.isn, *policies.back(), executionModel);
+        server->setStoreOutcomes(false);
+        const std::size_t shard = s % n;
+        const bool isReplicaCopy = s >= n;
+        server->setCompletionCallback([&, s, shard, isReplicaCopy](
+                                          const server::RequestOutcome&
+                                              outcome) {
+            const std::size_t q = toQuery[s][static_cast<std::size_t>(
+                outcome.id)];
+            ShardState& state = shardAt(q, shard);
+            if (state.done)
+                return; // The other copy already won.
+            state.done = true;
+            if (hedge.cancelLoser) {
+                // Cancel the losing copy, if one is in flight.
+                if (isReplicaCopy) {
+                    servers[shard]->cancel(state.primaryId);
+                } else if (state.hedged) {
+                    servers[shard + n]->cancel(state.replicaId);
+                }
+            }
+            if (shard == 0 && !isReplicaCopy)
+                result.isnLatency.add(outcome.responseMs());
+            slowestCompletionMs[q] =
+                std::max(slowestCompletionMs[q], outcome.completionMs);
+            if (--outstanding[q] == 0) {
+                result.aggregatorLatency.add(slowestCompletionMs[q] +
+                                             config.networkDelayMs +
+                                             config.mergeDelayMs -
+                                             arrivalMs[q]);
+            }
+        });
+        servers.push_back(std::move(server));
+    }
+
+    util::PoissonProcess arrivals(config.qps, util::Rng(config.seed));
+    util::Rng jitterRng(config.seed + 1);
+    std::size_t next = 0;
+    std::function<void()> arrive = [&] {
+        const std::size_t q = next;
+        arrivalMs[q] = sim.now();
+        outstanding[q] = config.numIsns;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double jitter = std::exp(
+                jitterRng.normal(0.0, config.demandJitterSigma));
+            shardTrueMs[q * n + i] = trace[q].trueMs * jitter;
+            shardPredictedMs[q * n + i] = trace[q].predictedMs * jitter;
+        }
+        std::vector<double> primaryMachine(n, 1.0);
+        std::vector<double> replicaMachine(n, 1.0);
+        if (config.machineJitterSigma > 0.0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                primaryMachine[i] = std::exp(
+                    jitterRng.normal(0.0, config.machineJitterSigma));
+                replicaMachine[i] = std::exp(
+                    jitterRng.normal(0.0, config.machineJitterSigma));
+            }
+        }
+        sim.scheduleAfter(config.networkDelayMs, [&, q, primaryMachine] {
+            for (std::size_t i = 0; i < n; ++i) {
+                toQuery[i].push_back(static_cast<std::uint32_t>(q));
+                shardAt(q, i).primaryId = servers[i]->submit(
+                    shardTrueMs[q * n + i] * primaryMachine[i],
+                    shardPredictedMs[q * n + i]);
+            }
+        });
+        // One hedge check per query: reissue every still-incomplete shard
+        // to its replica.
+        sim.scheduleAfter(
+            config.networkDelayMs + hedge.hedgeDelayMs,
+            [&, q, replicaMachine] {
+                for (std::size_t i = 0; i < n; ++i) {
+                    ShardState& state = shardAt(q, i);
+                    if (state.done)
+                        continue;
+                    state.hedged = true;
+                    toQuery[i + n].push_back(static_cast<std::uint32_t>(q));
+                    // The replica is a different machine: independent
+                    // machine jitter on the same shard content.
+                    state.replicaId = servers[i + n]->submit(
+                        shardTrueMs[q * n + i] * replicaMachine[i],
+                        shardPredictedMs[q * n + i]);
+                }
+            });
+        ++next;
+        if (next < trace.size())
+            sim.schedule(arrivals.nextArrivalMs(), arrive);
+    };
+    sim.schedule(arrivals.nextArrivalMs(), arrive);
+    sim.runUntilEmpty();
+
+    TPC_CHECK_MSG(result.aggregatorLatency.count() == trace.size(),
+                  "hedged cluster run did not complete every query");
+    return result;
+}
+
+} // namespace tpc::cluster

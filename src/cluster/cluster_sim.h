@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Partition-aggregate cluster simulation (Figure 1 / Section 4.5).
+ *
+ * An aggregator fans every query out to N index-serving nodes; the web
+ * index is document-sharded, so each ISN executes the query against its
+ * own fragment and the aggregator waits for the slowest ISN before
+ * merging. Per-(query, ISN) demand jitter models the shard-to-shard
+ * variation of the same query; network and merge delays are small
+ * constants, matching the paper's observation that non-computation parts
+ * are a minor fraction of latency (Section 2.2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+#include "server/sim_server.h"
+#include "stats/latency_recorder.h"
+
+namespace tpc::cluster {
+
+/** Cluster shape and timing constants. */
+struct ClusterConfig
+{
+    /** Number of index-serving nodes (40 in Section 4.5). */
+    int numIsns = 40;
+    /** Per-ISN machine shape. */
+    server::ServerConfig isn;
+    /** One-way aggregator-to-ISN network delay (ms). */
+    double networkDelayMs = 1.0;
+    /** Aggregator merge + response time after the slowest ISN (ms). */
+    double mergeDelayMs = 1.1;
+    /** Lognormal sigma of per-(query, ISN) demand jitter driven by shard
+     *  content (which documents the shard holds); shared by replicas of
+     *  the same shard and visible to the shard-local predictor. */
+    double demandJitterSigma = 0.22;
+    /** Lognormal sigma of per-copy machine jitter (cache state,
+     *  interference): independent across replicas and invisible to the
+     *  predictor. This is the component hedged requests can remove. */
+    double machineJitterSigma = 0.0;
+    /** Mean query arrival rate at the aggregator (QPS). */
+    double qps = 300.0;
+    std::uint64_t seed = 99;
+};
+
+/** Latency distributions observed at cluster level. */
+struct ClusterResult
+{
+    /** End-to-end latency at the aggregator (slowest-ISN + overheads). */
+    stats::LatencyRecorder aggregatorLatency;
+    /** Response latency of a single representative ISN (ISN 0). */
+    stats::LatencyRecorder isnLatency;
+};
+
+/** Creates one per-ISN policy instance; called once per ISN. */
+using PolicyFactory =
+    std::function<std::unique_ptr<policy::ParallelismPolicy>()>;
+
+/**
+ * Replays the trace through the cluster: each query is broadcast to all
+ * ISNs with per-ISN jittered demand (the same jitter scales the
+ * prediction, since the shard-local predictor sees shard-local features).
+ *
+ * @param trace          Global query trace.
+ * @param makePolicy     Factory producing each ISN's policy.
+ * @param executionModel Ground-truth speedup profiles.
+ * @param config         Cluster shape and load.
+ */
+ClusterResult runCluster(const harness::Trace& trace,
+                         const PolicyFactory& makePolicy,
+                         const policy::SpeedupModel& executionModel,
+                         const ClusterConfig& config);
+
+/** Hedged-request settings (Dean and Barroso, "The Tail at Scale"). */
+struct HedgeConfig
+{
+    /** Reissue a shard sub-request to its replica after this delay. */
+    double hedgeDelayMs = 30.0;
+    /** Cancel the slower copy once one copy completes. */
+    bool cancelLoser = true;
+};
+
+/**
+ * Cluster with one replica per shard and hedged sub-requests: each shard
+ * sub-request goes to the primary; if it has not completed after
+ * hedgeDelayMs the aggregator reissues it to the replica and takes
+ * whichever copy finishes first. The paper cites this as a technique
+ * complementary to TPC for tail sources outside the scheduler's control;
+ * this extension quantifies the combination (TPC + hedging vs either
+ * alone — see bench_ext_hedging).
+ */
+ClusterResult runHedgedCluster(const harness::Trace& trace,
+                               const PolicyFactory& makePolicy,
+                               const policy::SpeedupModel& executionModel,
+                               const ClusterConfig& config,
+                               const HedgeConfig& hedge);
+
+} // namespace tpc::cluster

@@ -1,0 +1,59 @@
+#include "core/table_builder.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tpc::core {
+
+TargetTable
+buildTargetTable(const TargetTable& initialTable,
+                 const MeasureTailFn& measureTail,
+                 const TableBuilderParams& params, TableBuilderReport* report)
+{
+    TPC_CHECK(measureTail != nullptr);
+    TPC_CHECK(params.stepMs > 0.0);
+
+    TargetTable table = initialTable;
+    const std::size_t m = table.size();
+    double curLatency = measureTail(table);
+    int calls = 1;
+    int iterations = 0;
+    const double initialScore = curLatency;
+
+    while (iterations < params.maxIterations) {
+        ++iterations;
+        // Try raising each entry's target by one step; keep the best bump.
+        double bestLatency = std::numeric_limits<double>::max();
+        std::size_t bestIndex = m;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (table.entries()[i].targetMs + params.stepMs >
+                params.maxTargetMs)
+                continue;
+            const TargetTable candidate =
+                table.withBumpedTarget(i, params.stepMs);
+            const double latency = measureTail(candidate);
+            ++calls;
+            if (latency < bestLatency) {
+                bestLatency = latency;
+                bestIndex = i;
+            }
+        }
+        if (bestIndex < m && bestLatency < curLatency) {
+            table = table.withBumpedTarget(bestIndex, params.stepMs);
+            curLatency = bestLatency;
+        } else {
+            break; // No bump improves: the current table is final.
+        }
+    }
+
+    if (report) {
+        report->iterations = iterations;
+        report->measureTailCalls = calls;
+        report->initialScore = initialScore;
+        report->finalScore = curLatency;
+    }
+    return table;
+}
+
+} // namespace tpc::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Offline target-table construction: Algorithm 1 (BuildTargetTable).
+ *
+ * A greedy gradient-descent search over target values: starting from an
+ * aggressive initial table, repeatedly try raising each load entry's
+ * target by one step, keep the single bump that lowers the measured tail
+ * latency most, and stop when no bump helps. MEASURETAIL is pluggable —
+ * production would run a live experiment; the library runs the
+ * discrete-event server across a set of load points and returns a
+ * weighted sum of tail latencies (see harness::makeMeasureTail).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/target_table.h"
+
+namespace tpc::core {
+
+/**
+ * Experimental procedure that runs a predefined experiment covering the
+ * production load range under the candidate table and returns a weighted
+ * tail-latency score (lower is better).
+ */
+using MeasureTailFn = std::function<double(const TargetTable&)>;
+
+/** Controls for the builder. */
+struct TableBuilderParams
+{
+    /** Search step size delta in ms (1 ms in the paper). */
+    double stepMs = 1.0;
+    /** Safety bound on iterations of the outer while loop. */
+    int maxIterations = 1000;
+    /** Upper bound on any target (E_max, a few hundred ms for search). */
+    double maxTargetMs = 400.0;
+};
+
+/** Progress/diagnostic record of one builder run. */
+struct TableBuilderReport
+{
+    int iterations = 0;
+    int measureTailCalls = 0;
+    double initialScore = 0.0;
+    double finalScore = 0.0;
+};
+
+/**
+ * Runs Algorithm 1: greedy gradient descent from @p initialTable.
+ *
+ * @param initialTable Starting table (typically the unloaded-minimum).
+ * @param measureTail  The MEASURETAIL experimental procedure.
+ * @param params       Step size and bounds.
+ * @param report       Optional out-param with search statistics.
+ * @return The final target table.
+ */
+TargetTable buildTargetTable(const TargetTable& initialTable,
+                             const MeasureTailFn& measureTail,
+                             const TableBuilderParams& params = {},
+                             TableBuilderReport* report = nullptr);
+
+} // namespace tpc::core

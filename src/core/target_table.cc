@@ -1,0 +1,186 @@
+#include "core/target_table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include "util/logging.h"
+
+namespace tpc::core {
+
+TargetTable::TargetTable(std::vector<TargetEntry> entries)
+    : entries_(std::move(entries))
+{
+    TPC_CHECK(!entries_.empty());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        TPC_CHECK(entries_[i].targetMs > 0.0);
+        if (i > 0)
+            TPC_CHECK_MSG(entries_[i].load > entries_[i - 1].load,
+                          "loads must be strictly ascending");
+    }
+}
+
+double
+TargetTable::targetFor(double load) const
+{
+    for (const auto& entry : entries_) {
+        if (load <= entry.load)
+            return entry.targetMs;
+    }
+    return entries_.back().targetMs;
+}
+
+TargetTable
+TargetTable::withBumpedTarget(std::size_t index, double deltaMs) const
+{
+    TPC_CHECK(index < entries_.size());
+    std::vector<TargetEntry> entries = entries_;
+    entries[index].targetMs += deltaMs;
+    return TargetTable(std::move(entries));
+}
+
+std::string
+TargetTable::toString() const
+{
+    std::string out;
+    char buf[64];
+    for (const auto& entry : entries_) {
+        if (!out.empty())
+            out += ", ";
+        if (std::isinf(entry.load))
+            std::snprintf(buf, sizeof(buf), "load<=inf:%.0fms",
+                          entry.targetMs);
+        else
+            std::snprintf(buf, sizeof(buf), "load<=%.0f:%.0fms", entry.load,
+                          entry.targetMs);
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+TargetTable::saveText() const
+{
+    std::string out = "# tpc target table v1\n";
+    char buf[64];
+    for (const auto& entry : entries_) {
+        if (std::isinf(entry.load))
+            std::snprintf(buf, sizeof(buf), "inf %.17g\n", entry.targetMs);
+        else
+            std::snprintf(buf, sizeof(buf), "%.17g %.17g\n", entry.load,
+                          entry.targetMs);
+        out += buf;
+    }
+    return out;
+}
+
+TargetTable
+TargetTable::parseText(const std::string& text)
+{
+    std::vector<TargetEntry> entries;
+    std::size_t cursor = 0;
+    while (cursor < text.size()) {
+        std::size_t end = text.find('\n', cursor);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(cursor, end - cursor);
+        cursor = end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        TargetEntry entry{};
+        char loadToken[64];
+        if (std::sscanf(line.c_str(), "%63s %lg", loadToken,
+                        &entry.targetMs) != 2)
+            util::fatal("bad target-table line: " + line);
+        entry.load = (std::string(loadToken) == "inf")
+                         ? std::numeric_limits<double>::infinity()
+                         : std::strtod(loadToken, nullptr);
+        entries.push_back(entry);
+    }
+    if (entries.empty())
+        util::fatal("target-table text has no entries");
+    return TargetTable(std::move(entries));
+}
+
+void
+TargetTable::saveToFile(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open target-table file for writing: " + path);
+    out << saveText();
+    if (!out)
+        util::fatal("failed writing target-table file: " + path);
+}
+
+TargetTable
+TargetTable::loadFromFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open target-table file: " + path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return parseText(text);
+}
+
+TargetTable
+TargetTable::webSearchDefault()
+{
+    // Load metric: active threads of long queries (LongT). The unloaded
+    // floor is the longest query at full parallelism (~300 ms / 4.1 ~ 73 ms
+    // for the demand cap, ~50 ms for the P99 demand); targets grow with
+    // load as spare capacity disappears.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return TargetTable({
+        {0.0, 40.0},
+        {2.0, 44.0},
+        {4.0, 50.0},
+        {6.0, 58.0},
+        {8.0, 70.0},
+        {12.0, 90.0},
+        {16.0, 115.0},
+        {20.0, 145.0},
+        {kInf, 190.0},
+    });
+}
+
+TargetTable
+TargetTable::financeDefault()
+{
+    // Finance demands are bimodal (~15 ms / ~135 ms); the unloaded floor
+    // sits just above a long request at degree 4 (135 / 3.7 ~ 36.5 ms),
+    // so accurately-estimated requests always finish inside the target
+    // and dynamic correction never fires (Section 5.1).
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // The table stays below the degree-3 completion time (135 / 2.85 ~
+    // 47 ms) until the box is nearly saturated, so long requests keep
+    // degree 4 across the evaluated load range — matching the paper's
+    // observation that at 200 RPS TPC runs long requests with degree 4.
+    return TargetTable({
+        {0.0, 38.0},
+        {4.0, 40.0},
+        {8.0, 44.0},
+        {12.0, 60.0},
+        {kInf, 95.0},
+    });
+}
+
+TargetTable
+TargetTable::initialForBuilder(const std::vector<double>& loads,
+                               double unloadedTargetMs)
+{
+    TPC_CHECK(!loads.empty());
+    TPC_CHECK(unloadedTargetMs > 0.0);
+    std::vector<TargetEntry> entries;
+    entries.reserve(loads.size());
+    for (double load : loads)
+        entries.push_back({load, unloadedTargetMs});
+    return TargetTable(std::move(entries));
+}
+
+} // namespace tpc::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The target table: mapping from instantaneous system load to the target
+ * completion time E (Section 3.3).
+ *
+ * TPC allocates the fewest resources that complete each request within E,
+ * and treats requests still running at E as tail threats eligible for
+ * dynamic correction. Higher load maps to a larger E because fewer spare
+ * resources are available for parallelization.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tpc::core {
+
+/** One (load, target) pair. */
+struct TargetEntry
+{
+    /** Upper bound of the load bucket (inclusive); the last entry should
+     *  be infinity to cover all loads. */
+    double load;
+    /** Target completion time E in milliseconds. */
+    double targetMs;
+};
+
+/**
+ * Sorted list of (load, target) entries; lookup returns the target of the
+ * first bucket whose load bound is >= the observed load.
+ */
+class TargetTable
+{
+  public:
+    /** @param entries Ascending by load; at least one entry. */
+    explicit TargetTable(std::vector<TargetEntry> entries);
+
+    /** Target completion time E for the observed load. */
+    double targetFor(double load) const;
+
+    std::size_t size() const { return entries_.size(); }
+    const std::vector<TargetEntry>& entries() const { return entries_; }
+
+    /** Returns a copy with entry @p index's target raised by @p deltaMs. */
+    TargetTable withBumpedTarget(std::size_t index, double deltaMs) const;
+
+    /** Compact rendering "load<=X:Ems, ..." for logs and docs. */
+    std::string toString() const;
+
+    /**
+     * Serializes to a line-oriented text format ("load target" per line,
+     * "inf" for the open-ended bucket). Round-trips through parseText.
+     * This is the artifact a deployment distributes to its ISNs after the
+     * periodic offline recomputation (Section 3.3).
+     */
+    std::string saveText() const;
+
+    /** Parses a table produced by saveText. Fatal on malformed input. */
+    static TargetTable parseText(const std::string& text);
+
+    /** Writes saveText() to a file (fatal on I/O error). */
+    void saveToFile(const std::string& path) const;
+
+    /** Reads a table saved with saveToFile (fatal on I/O error). */
+    static TargetTable loadFromFile(const std::string& path);
+
+    /**
+     * Default table for the web-search server, keyed on the LongT metric
+     * (active threads of long queries). Computed offline with the
+     * Algorithm 1 builder at reduced scale (examples/build_target_table)
+     * and checked in, exactly as production would periodically recompute
+     * and distribute it.
+     */
+    static TargetTable webSearchDefault();
+
+    /** Default table for the finance server (Section 5). */
+    static TargetTable financeDefault();
+
+    /**
+     * An intentionally aggressive initial table for the builder: every
+     * load maps to the latency of an unloaded, fully parallelized system
+     * (the smallest target ever achievable), as Section 3.3 prescribes.
+     */
+    static TargetTable initialForBuilder(const std::vector<double>& loads,
+                                         double unloadedTargetMs);
+
+  private:
+    std::vector<TargetEntry> entries_;
+};
+
+} // namespace tpc::core

@@ -1,0 +1,82 @@
+#include "core/tpc_policy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpc::core {
+
+TpcPolicy::TpcPolicy(const policy::SpeedupModel& speedupModel,
+                     TargetTable targetTable, const TpcOptions& options)
+    : speedupModel_(speedupModel),
+      targetTable_(std::move(targetTable)),
+      options_(options)
+{
+    TPC_CHECK(options.maxDegree >= 1);
+}
+
+policy::Decision
+TpcPolicy::onDispatch(const policy::RequestView& request,
+                      const policy::SystemState& state)
+{
+    ++counters_.dispatches;
+
+    // 1. Target completion time for the current load.
+    const double load = policy::loadMetricValue(options_.loadMetric, state);
+    const double target = targetTable_.targetFor(load);
+
+    // 2. Predictive parallelism: smallest degree meeting the target under
+    //    the predicted time's class profile. Extra threads beyond that
+    //    would finish the request earlier than E without helping the tail,
+    //    while taking resources other requests need to meet E.
+    const policy::SpeedupProfile& profile =
+        speedupModel_.profileFor(request.predictedMs);
+    int degree = profile.smallestDegreeToMeet(request.predictedMs, target);
+    if (degree == 0) {
+        // Even full parallelism cannot meet E: this request will define
+        // the tail, so give it the maximum useful degree.
+        degree = std::min(options_.maxDegree, profile.maxDegree());
+    }
+    degree = std::min(degree, options_.maxDegree);
+
+    // 3. Arm dynamic correction at the target: if the request is still
+    //    running at E it was under-estimated and threatens the tail.
+    const double recheck =
+        options_.enableCorrection
+            ? target * options_.correctionTriggerFactor
+            : 0.0;
+    return {degree, recheck};
+}
+
+policy::Decision
+TpcPolicy::onRecheck(const policy::RequestView& request,
+                     const policy::SystemState& state)
+{
+    TPC_DCHECK(options_.enableCorrection);
+
+    // Dynamic correction: the request outlived its target. Ramp its degree
+    // up using the available spare resources (idle worker threads), capped
+    // at the maximum degree.
+    const int current = std::max(1, request.currentDegree);
+    const int desired =
+        std::min(options_.maxDegree, current + state.idleWorkers);
+
+    if (desired > current) {
+        ++counters_.corrections;
+        counters_.correctionThreadsAdded +=
+            static_cast<std::uint64_t>(desired - current);
+    }
+
+    // Keep watching until the request reaches the maximum degree: more
+    // workers may free up later even if none are idle right now.
+    double recheck = 0.0;
+    if (desired < options_.maxDegree) {
+        recheck = options_.correctionRecheckMs > 0.0
+                      ? options_.correctionRecheckMs
+                      : targetTable_.targetFor(policy::loadMetricValue(
+                            options_.loadMetric, state));
+    }
+    return {desired, recheck};
+}
+
+} // namespace tpc::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Finance-server workload (Section 5.1): 10% long requests whose service
+ * demand is 9x that of a short request, Poisson arrivals, and accurately
+ * estimable execution time (the demand is a deterministic function of the
+ * request's path/step counts, so the "predictor" is a near-exact analytic
+ * estimate).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "harness/experiment.h"
+#include "server/sim_server.h"
+
+namespace tpc::finance {
+
+/** Tunables of the finance request mix. */
+struct FinanceWorkloadParams
+{
+    /** Sequential demand of a short request (ms). Solved from the paper's
+     *  "3.5 concurrent requests at 200 RPS under TPC" remark. */
+    double shortMs = 15.0;
+    /** Long demand = shortMs * longFactor (9x in the paper). */
+    double longFactor = 9.0;
+    /** Fraction of long requests (10% in the paper). */
+    double longFraction = 0.10;
+    /** Lognormal jitter of true demand around the class mean. */
+    double demandJitterSigma = 0.03;
+    /** Lognormal error of the analytic estimate (near-exact). */
+    double predictionErrorSigma = 0.01;
+};
+
+/** Generates the bimodal finance trace. */
+harness::Trace makeFinanceTrace(std::size_t count,
+                                const FinanceWorkloadParams& params,
+                                std::uint64_t seed);
+
+/**
+ * Machine shape of the simulated finance server: a smaller box than the
+ * ISN (the paper's TBB server), sized so ~3.5 concurrent requests at
+ * 200 RPS contend visibly when short requests are over-parallelized.
+ */
+server::ServerConfig financeServerConfig();
+
+} // namespace tpc::finance

@@ -1,0 +1,47 @@
+#include "harness/degree_stats.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpc::harness {
+
+std::vector<DegreeRow>
+computeDegreeDistribution(const std::vector<server::RequestOutcome>& outcomes,
+                          double longThresholdMs, int maxDegree)
+{
+    TPC_CHECK(maxDegree >= 1);
+    DegreeRow shortRow;
+    shortRow.group = "Short";
+    shortRow.percent.assign(static_cast<std::size_t>(maxDegree), 0.0);
+    DegreeRow longRow;
+    longRow.group = "Long";
+    longRow.percent.assign(static_cast<std::size_t>(maxDegree), 0.0);
+
+    for (const auto& outcome : outcomes) {
+        DegreeRow& row =
+            (outcome.trueMs > longThresholdMs) ? longRow : shortRow;
+        const int degree = std::clamp(outcome.maxDegree, 1, maxDegree);
+        row.percent[static_cast<std::size_t>(degree - 1)] += 1.0;
+        ++row.requestCount;
+    }
+    for (DegreeRow* row : {&shortRow, &longRow}) {
+        if (row->requestCount == 0)
+            continue;
+        for (double& value : row->percent)
+            value = 100.0 * value / static_cast<double>(row->requestCount);
+    }
+    return {shortRow, longRow};
+}
+
+double
+fractionAboveDegree(const DegreeRow& row, int degreeThreshold)
+{
+    double sum = 0.0;
+    for (std::size_t d = static_cast<std::size_t>(degreeThreshold);
+         d < row.percent.size(); ++d)
+        sum += row.percent[d];
+    return sum;
+}
+
+} // namespace tpc::harness

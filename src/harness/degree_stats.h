@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Parallelism-degree distribution statistics (Table 2): for each request
+ * class (short/long by true demand), the percentage of requests that ran
+ * at each degree 1..maxDegree.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "server/sim_server.h"
+
+namespace tpc::harness {
+
+/** Degree histogram of one request class, as percentages. */
+struct DegreeRow
+{
+    std::string group;
+    /** percent[d-1] = percentage of the class that ran at degree d. */
+    std::vector<double> percent;
+    std::size_t requestCount = 0;
+};
+
+/**
+ * Computes the Table 2 distribution from per-request outcomes. The degree
+ * attributed to a request is the highest degree it ever ran at (dynamic
+ * correction counts).
+ *
+ * @param outcomes        Completed-request records.
+ * @param longThresholdMs Short/long boundary on *true* demand (80 ms).
+ * @param maxDegree       Number of degree columns.
+ */
+std::vector<DegreeRow>
+computeDegreeDistribution(const std::vector<server::RequestOutcome>& outcomes,
+                          double longThresholdMs, int maxDegree);
+
+/** Percentage of a class at degrees strictly above the threshold. */
+double fractionAboveDegree(const DegreeRow& row, int degreeThreshold);
+
+} // namespace tpc::harness

@@ -1,0 +1,129 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "util/csv.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpc::harness {
+
+ExperimentResult
+runTrace(const Trace& trace, policy::ParallelismPolicy& policy,
+         const policy::SpeedupModel& executionModel,
+         const ExperimentConfig& config)
+{
+    TPC_CHECK(!trace.empty());
+    TPC_CHECK(config.qps > 0.0);
+
+    sim::Simulator sim;
+    server::SimServer server(sim, config.server, policy, executionModel);
+    server.reserveOutcomes(trace.size());
+
+    // Chain arrivals one event at a time so the event heap stays small:
+    // each arrival submits its request and schedules the next arrival.
+    util::PoissonProcess arrivals(config.qps, util::Rng(config.arrivalSeed));
+    std::size_t next = 0;
+    std::function<void()> arrive = [&] {
+        const TraceItem& item = trace[next];
+        server.submit(item.trueMs, item.predictedMs);
+        ++next;
+        if (next < trace.size())
+            sim.schedule(arrivals.nextArrivalMs(), arrive);
+    };
+    sim.schedule(arrivals.nextArrivalMs(), arrive);
+    sim.runUntilEmpty();
+
+    TPC_CHECK_MSG(server.counters().completions == trace.size(),
+                  "simulation drained without completing the trace");
+
+    ExperimentResult result;
+    result.counters = server.counters();
+    stats::LatencyRecorder latency(trace.size());
+    for (const auto& outcome : server.outcomes())
+        latency.add(outcome.responseMs());
+    result.latency = std::move(latency);
+    if (config.keepOutcomes)
+        result.outcomes = server.outcomes();
+    return result;
+}
+
+Trace
+withPerfectPredictions(const Trace& trace)
+{
+    Trace perfect = trace;
+    for (auto& item : perfect)
+        item.predictedMs = item.trueMs;
+    return perfect;
+}
+
+Trace
+syntheticBimodalTrace(std::size_t count, double shortMs, double longMs,
+                      double longFraction, std::uint64_t seed,
+                      double predictionNoiseSigma)
+{
+    TPC_CHECK(count > 0);
+    TPC_CHECK(shortMs > 0.0 && longMs > 0.0);
+    TPC_CHECK(longFraction >= 0.0 && longFraction <= 1.0);
+    util::Rng rng(seed);
+    Trace trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        TraceItem item;
+        item.trueMs = rng.bernoulli(longFraction) ? longMs : shortMs;
+        item.predictedMs =
+            predictionNoiseSigma > 0.0
+                ? item.trueMs * std::exp(rng.normal(0.0, predictionNoiseSigma))
+                : item.trueMs;
+        trace.push_back(item);
+    }
+    return trace;
+}
+
+void
+saveTraceCsv(const Trace& trace, const std::string& path)
+{
+    util::CsvWriter csv(path);
+    csv.writeRow(std::vector<std::string>{"true_ms", "predicted_ms"});
+    char buf[64];
+    for (const auto& item : trace) {
+        std::snprintf(buf, sizeof(buf), "%.17g", item.trueMs);
+        std::string trueMs = buf;
+        std::snprintf(buf, sizeof(buf), "%.17g", item.predictedMs);
+        csv.writeRow(std::vector<std::string>{trueMs, buf});
+    }
+}
+
+Trace
+loadTraceCsv(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open trace file: " + path);
+    Trace trace;
+    std::string line;
+    bool header = true;
+    while (std::getline(in, line)) {
+        if (header) {
+            header = false;
+            continue;
+        }
+        if (line.empty())
+            continue;
+        TraceItem item;
+        if (std::sscanf(line.c_str(), "%lg,%lg", &item.trueMs,
+                        &item.predictedMs) != 2)
+            util::fatal("bad trace line: " + line);
+        trace.push_back(item);
+    }
+    if (trace.empty())
+        util::fatal("trace file has no rows: " + path);
+    return trace;
+}
+
+} // namespace tpc::harness

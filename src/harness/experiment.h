@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared experiment driver: replay a (trueMs, predictedMs) trace against
+ * the discrete-event ISN with Poisson open-loop arrivals at a given QPS,
+ * exactly as Section 4.1 describes the client.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+#include "server/sim_server.h"
+#include "stats/latency_recorder.h"
+
+namespace tpc::harness {
+
+/** One request of a replayable trace. */
+struct TraceItem
+{
+    double trueMs = 0.0;
+    double predictedMs = 0.0;
+};
+
+/** A replayable request trace. */
+using Trace = std::vector<TraceItem>;
+
+/** Settings for one experiment run. */
+struct ExperimentConfig
+{
+    server::ServerConfig server;
+    /** Mean arrival rate (queries per second). */
+    double qps = 300.0;
+    /** Seed of the Poisson arrival process. */
+    std::uint64_t arrivalSeed = 7;
+    /** Retain per-request outcomes (needed for Table 2 / CDFs). */
+    bool keepOutcomes = false;
+};
+
+/** Result of one experiment run. */
+struct ExperimentResult
+{
+    /** Response-time samples (ms), one per request. */
+    stats::LatencyRecorder latency;
+    server::ServerCounters counters;
+    /** Per-request records; empty unless keepOutcomes was set. */
+    std::vector<server::RequestOutcome> outcomes;
+};
+
+/**
+ * Replays the trace through a simulated ISN under @p policy.
+ *
+ * @param trace          Requests in replay order.
+ * @param policy         Policy under test (its counters accumulate).
+ * @param executionModel Ground-truth speedup profiles for execution.
+ * @param config         Load point and machine shape.
+ */
+ExperimentResult runTrace(const Trace& trace,
+                          policy::ParallelismPolicy& policy,
+                          const policy::SpeedupModel& executionModel,
+                          const ExperimentConfig& config);
+
+/** Returns a copy of the trace with predictions replaced by the truth
+ *  (the Section 4.6 perfect-predictor oracle). */
+Trace withPerfectPredictions(const Trace& trace);
+
+/** Builds a two-point synthetic trace for unit tests and quick demos:
+ *  @p count items, @p longFraction of them long. */
+Trace syntheticBimodalTrace(std::size_t count, double shortMs, double longMs,
+                            double longFraction, std::uint64_t seed,
+                            double predictionNoiseSigma = 0.0);
+
+/**
+ * Writes a trace to CSV ("true_ms,predicted_ms" with header) so expensive
+ * workload builds can be recorded once and replayed across sessions.
+ */
+void saveTraceCsv(const Trace& trace, const std::string& path);
+
+/** Reads a trace written by saveTraceCsv. Fatal on malformed input. */
+Trace loadTraceCsv(const std::string& path);
+
+} // namespace tpc::harness

@@ -1,0 +1,35 @@
+#include "harness/measure_tail.h"
+
+#include "harness/search_trace.h"
+#include "util/logging.h"
+
+namespace tpc::harness {
+
+core::MeasureTailFn
+makeMeasureTail(const Trace& trace,
+                const policy::SpeedupModel& executionModel,
+                const MeasureTailOptions& options)
+{
+    TPC_CHECK(!trace.empty());
+    TPC_CHECK(!options.loadsQps.empty());
+    const Trace prefix = truncated(trace, options.traceLimit);
+
+    return [prefix, &executionModel,
+            options](const core::TargetTable& table) {
+        double score = 0.0;
+        for (double qps : options.loadsQps) {
+            core::TpcPolicy policy(executionModel, table, options.tpc);
+            ExperimentConfig config;
+            config.server = options.server;
+            config.qps = qps;
+            config.arrivalSeed = options.arrivalSeed;
+            const ExperimentResult result =
+                runTrace(prefix, policy, executionModel, config);
+            score += options.weightP99 * result.latency.percentile(0.99) +
+                     options.weightP999 * result.latency.percentile(0.999);
+        }
+        return score / static_cast<double>(options.loadsQps.size());
+    };
+}
+
+} // namespace tpc::harness

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MEASURETAIL for the target-table builder (Algorithm 1): run a
+ * predefined experiment covering the production load range under a
+ * candidate table and return a weighted sum of tail latencies.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/table_builder.h"
+#include "core/tpc_policy.h"
+#include "harness/experiment.h"
+
+namespace tpc::harness {
+
+/** Settings of the MEASURETAIL experiment. */
+struct MeasureTailOptions
+{
+    /** Load points covering the production range. */
+    std::vector<double> loadsQps = {150.0, 300.0, 450.0, 600.0};
+    /** Weight of P99 in the score. */
+    double weightP99 = 0.5;
+    /** Weight of P99.9 in the score. */
+    double weightP999 = 0.5;
+    /** Requests replayed per load point (prefix of the trace). */
+    std::size_t traceLimit = 20000;
+    server::ServerConfig server;
+    core::TpcOptions tpc;
+    std::uint64_t arrivalSeed = 11;
+};
+
+/**
+ * Builds a MeasureTailFn closure over the given trace and execution
+ * model. Each invocation constructs a TPC policy with the candidate
+ * table, replays the trace prefix at every load point, and returns the
+ * load-averaged weighted tail score.
+ */
+core::MeasureTailFn makeMeasureTail(const Trace& trace,
+                                    const policy::SpeedupModel& executionModel,
+                                    const MeasureTailOptions& options);
+
+} // namespace tpc::harness

@@ -1,0 +1,135 @@
+#include "harness/policies.h"
+
+#include "policy/baselines.h"
+#include "util/logging.h"
+
+namespace tpc::harness {
+
+const policy::SpeedupModel&
+webSearchExecutionModel()
+{
+    static const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    return model;
+}
+
+const policy::SpeedupModel&
+webSearchSixGroupModel()
+{
+    static const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchSixGroups();
+    return model;
+}
+
+const policy::SpeedupModel&
+financeExecutionModel()
+{
+    static const policy::SpeedupModel model =
+        policy::SpeedupModel::financeDefault();
+    return model;
+}
+
+std::unique_ptr<policy::ParallelismPolicy>
+makeWebSearchPolicy(const std::string& name)
+{
+    return makeWebSearchPolicy(name, core::TargetTable::webSearchDefault());
+}
+
+std::unique_ptr<policy::ParallelismPolicy>
+makeWebSearchPolicy(const std::string& name, const core::TargetTable& table)
+{
+    // Section 4.1 settings.
+    constexpr int kMaxDegree = 6;
+    constexpr double kLongThresholdMs = 80.0;
+    constexpr int kPredDegree = 3;
+
+    if (name == "Sequential")
+        return std::make_unique<policy::SequentialPolicy>();
+    if (name == "Pred")
+        return std::make_unique<policy::PredPolicy>(kLongThresholdMs,
+                                                    kPredDegree);
+    if (name == "AP")
+        return std::make_unique<policy::ApPolicy>(
+            policy::SpeedupModel::webSearchAverageProfile(), kMaxDegree);
+    if (name == "WQ-Linear")
+        return std::make_unique<policy::WqLinearPolicy>(kMaxDegree);
+    if (name == "RampUp-5ms")
+        return std::make_unique<policy::RampUpPolicy>(5.0, kMaxDegree);
+    if (name == "RampUp-10ms")
+        return std::make_unique<policy::RampUpPolicy>(10.0, kMaxDegree);
+    if (name == "RampUp-20ms")
+        return std::make_unique<policy::RampUpPolicy>(20.0, kMaxDegree);
+    if (name == "FewToMany")
+        return std::make_unique<policy::FewToManyPolicy>(
+            policy::FewToManyPolicy::withDefaultSchedule(kMaxDegree));
+
+    core::TpcOptions options;
+    options.maxDegree = kMaxDegree;
+    if (name == "TPC" || name == "TPC-LongT") {
+        return std::make_unique<core::TpcPolicy>(webSearchExecutionModel(),
+                                                 table, options);
+    }
+    if (name == "TP") {
+        options.enableCorrection = false;
+        return std::make_unique<core::TpcPolicy>(webSearchExecutionModel(),
+                                                 table, options);
+    }
+    if (name == "TPC-AllT") {
+        options.loadMetric = policy::LoadMetric::AllThreads;
+        return std::make_unique<core::TpcPolicy>(webSearchExecutionModel(),
+                                                 table, options);
+    }
+    if (name == "TPC-CpuUtil") {
+        options.loadMetric = policy::LoadMetric::CpuUtilization;
+        return std::make_unique<core::TpcPolicy>(webSearchExecutionModel(),
+                                                 table, options);
+    }
+    if (name == "TPC-6groups") {
+        return std::make_unique<core::TpcPolicy>(webSearchSixGroupModel(),
+                                                 table, options);
+    }
+    util::fatal("unknown web-search policy: " + name);
+}
+
+std::unique_ptr<policy::ParallelismPolicy>
+makeFinancePolicy(const std::string& name)
+{
+    // Section 5.1 settings: max degree 4, Pred at degree 2.
+    constexpr int kMaxDegree = 4;
+    constexpr double kLongThresholdMs = 30.0;
+    constexpr int kPredDegree = 2;
+
+    if (name == "Sequential")
+        return std::make_unique<policy::SequentialPolicy>();
+    if (name == "Pred")
+        return std::make_unique<policy::PredPolicy>(kLongThresholdMs,
+                                                    kPredDegree);
+    if (name == "AP") {
+        // Finance requests all parallelize well; AP's aggregate profile is
+        // close to the long-class profile.
+        return std::make_unique<policy::ApPolicy>(
+            policy::SpeedupProfile({1.0, 1.9, 2.8, 3.6}), kMaxDegree);
+    }
+    if (name == "TPC") {
+        core::TpcOptions options;
+        options.maxDegree = kMaxDegree;
+        return std::make_unique<core::TpcPolicy>(
+            financeExecutionModel(), core::TargetTable::financeDefault(),
+            options);
+    }
+    util::fatal("unknown finance policy: " + name);
+}
+
+std::vector<std::string>
+standardWebSearchPolicies()
+{
+    return {"Sequential", "WQ-Linear", "AP", "Pred", "TPC"};
+}
+
+std::vector<std::string>
+standardFinancePolicies()
+{
+    return {"Sequential", "AP", "Pred", "TPC"};
+}
+
+} // namespace tpc::harness

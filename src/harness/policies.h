@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Policy factory for the experiments: builds TPC and every baseline with
+ * the paper's Section 4.1 settings (max degree 6, Pred at 80 ms / degree
+ * 3, RampUp intervals 5/10/20 ms), plus finance-server variants
+ * (Section 5.1: max degree 4, Pred at degree 2).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+
+namespace tpc::harness {
+
+/** Ground-truth web-search speedup model (Figure 2); process-lifetime. */
+const policy::SpeedupModel& webSearchExecutionModel();
+
+/** Six-group refinement for the Section 4.6 sensitivity study. */
+const policy::SpeedupModel& webSearchSixGroupModel();
+
+/** Ground-truth finance speedup model (Section 5); process-lifetime. */
+const policy::SpeedupModel& financeExecutionModel();
+
+/**
+ * Builds a web-search policy by name:
+ * "Sequential", "WQ-Linear", "AP", "Pred", "TPC", "TP",
+ * "RampUp-5ms", "RampUp-10ms", "RampUp-20ms", "FewToMany",
+ * "TPC-LongT", "TPC-AllT", "TPC-CpuUtil" (load-metric variants).
+ * Unknown names are fatal.
+ */
+std::unique_ptr<policy::ParallelismPolicy>
+makeWebSearchPolicy(const std::string& name);
+
+/** Same, with an explicit target table for TPC/TP variants. */
+std::unique_ptr<policy::ParallelismPolicy>
+makeWebSearchPolicy(const std::string& name,
+                    const core::TargetTable& table);
+
+/** Builds a finance policy: "Sequential", "AP", "Pred", "TPC". */
+std::unique_ptr<policy::ParallelismPolicy>
+makeFinancePolicy(const std::string& name);
+
+/** The policy set of Figures 4-5: Sequential, WQ-Linear, AP, Pred, TPC. */
+std::vector<std::string> standardWebSearchPolicies();
+
+/** The policy set of Figures 10-11: Sequential, AP, Pred, TPC. */
+std::vector<std::string> standardFinancePolicies();
+
+} // namespace tpc::harness

@@ -1,0 +1,49 @@
+#include "harness/search_trace.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tpc::harness {
+
+search::WorkloadParams
+defaultSearchWorkloadParams()
+{
+    search::WorkloadParams params;
+    if (std::getenv("TPC_FAST") != nullptr) {
+        params.corpus.numDocuments = 20000;
+        params.corpus.vocabularySize = 20000;
+        params.trainingQueries = 8000;
+        params.traceQueries = 20000;
+    }
+    return params;
+}
+
+const search::SearchWorkload&
+sharedSearchWorkload()
+{
+    static const search::SearchWorkload workload(
+        defaultSearchWorkloadParams());
+    return workload;
+}
+
+Trace
+traceFrom(const search::SearchWorkload& workload)
+{
+    Trace trace;
+    trace.reserve(workload.trace().size());
+    for (const auto& entry : workload.trace())
+        trace.push_back({entry.trueMs, entry.predictedMs});
+    return trace;
+}
+
+Trace
+truncated(const Trace& trace, std::size_t limit)
+{
+    if (limit == 0 || limit >= trace.size())
+        return trace;
+    return Trace(trace.begin(),
+                 trace.begin() + static_cast<std::ptrdiff_t>(limit));
+}
+
+} // namespace tpc::harness

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Process-wide cached search workload and its scheduling trace.
+ *
+ * Building the search workload (index + query log + predictor training)
+ * takes a few seconds; every bench binary that replays the search trace
+ * shares one instance built on first use. The scale can be reduced via
+ * the TPC_FAST environment variable (any non-empty value) for smoke runs.
+ */
+#pragma once
+
+#include "harness/experiment.h"
+#include "search/workload.h"
+
+namespace tpc::harness {
+
+/** Default workload parameters (paper scale: 100K-query trace). */
+search::WorkloadParams defaultSearchWorkloadParams();
+
+/** The shared workload, built once per process on first call. */
+const search::SearchWorkload& sharedSearchWorkload();
+
+/** Converts workload trace entries into the replayable harness trace. */
+Trace traceFrom(const search::SearchWorkload& workload);
+
+/** First @p limit items of a trace (whole trace if limit is 0 or larger). */
+Trace truncated(const Trace& trace, std::size_t limit);
+
+} // namespace tpc::harness

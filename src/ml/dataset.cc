@@ -1,0 +1,40 @@
+#include "ml/dataset.h"
+
+#include "util/logging.h"
+
+namespace tpc::ml {
+
+Dataset::Dataset(std::vector<std::string> featureNames)
+    : featureNames_(std::move(featureNames))
+{
+    TPC_CHECK(!featureNames_.empty());
+}
+
+void
+Dataset::addRow(const std::vector<double>& features, double target)
+{
+    TPC_CHECK_MSG(features.size() == featureCount(),
+                  "feature vector width mismatch");
+    features_.insert(features_.end(), features.begin(), features.end());
+    targets_.push_back(target);
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double testFraction, util::Rng& rng) const
+{
+    TPC_CHECK(testFraction >= 0.0 && testFraction <= 1.0);
+    Dataset train(featureNames_);
+    Dataset test(featureNames_);
+    std::vector<double> buf(featureCount());
+    for (std::size_t r = 0; r < rowCount(); ++r) {
+        for (std::size_t f = 0; f < featureCount(); ++f)
+            buf[f] = feature(r, f);
+        if (rng.bernoulli(testFraction))
+            test.addRow(buf, target(r));
+        else
+            train.addRow(buf, target(r));
+    }
+    return {std::move(train), std::move(test)};
+}
+
+} // namespace tpc::ml

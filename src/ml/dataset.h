@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense feature matrix + regression targets for the predictor substrate.
+ *
+ * The paper predicts per-query sequential execution time with a
+ * boosted-tree regressor (Jeon et al., SIGIR 2014). This module provides
+ * the training-data container used by tpc::ml::Gbrt.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpc::ml {
+
+/** Row-major dense dataset with one double target per row. */
+class Dataset
+{
+  public:
+    /** @param featureNames Column names; fixes the feature count. */
+    explicit Dataset(std::vector<std::string> featureNames);
+
+    /** Appends one example; features.size() must equal featureCount(). */
+    void addRow(const std::vector<double>& features, double target);
+
+    std::size_t rowCount() const { return targets_.size(); }
+    std::size_t featureCount() const { return featureNames_.size(); }
+    bool empty() const { return targets_.empty(); }
+
+    /** Value of feature f for row r. */
+    double feature(std::size_t row, std::size_t f) const
+    {
+        return features_[row * featureCount() + f];
+    }
+
+    /** Target of row r. */
+    double target(std::size_t row) const { return targets_[row]; }
+
+    const std::vector<std::string>& featureNames() const
+    {
+        return featureNames_;
+    }
+
+    /** Pointer to the start of row r's features (featureCount() values). */
+    const double* row(std::size_t r) const
+    {
+        return features_.data() + r * featureCount();
+    }
+
+    const std::vector<double>& targets() const { return targets_; }
+
+    /**
+     * Splits rows into train/test by Bernoulli(testFraction) draws.
+     * Deterministic for a given rng seed.
+     */
+    std::pair<Dataset, Dataset> split(double testFraction,
+                                      util::Rng& rng) const;
+
+  private:
+    std::vector<std::string> featureNames_;
+    std::vector<double> features_;
+    std::vector<double> targets_;
+};
+
+} // namespace tpc::ml

@@ -1,0 +1,213 @@
+#include "ml/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpc::ml {
+
+void
+Gbrt::train(const Dataset& data, const GbrtParams& params)
+{
+    trainImpl(data, nullptr, params);
+}
+
+void
+Gbrt::train(const Dataset& data, const Dataset& validation,
+            const GbrtParams& params)
+{
+    trainImpl(data, &validation, params);
+}
+
+void
+Gbrt::trainImpl(const Dataset& data, const Dataset* validation,
+                const GbrtParams& params)
+{
+    TPC_CHECK(!data.empty());
+    TPC_CHECK(params.numTrees >= 0);
+    TPC_CHECK(params.learningRate > 0.0);
+    TPC_CHECK(params.subsample > 0.0 && params.subsample <= 1.0);
+
+    trees_.clear();
+    learningRate_ = params.learningRate;
+
+    const std::size_t n = data.rowCount();
+    const bool lad = (params.loss == GbrtLoss::AbsoluteError) ||
+                     (params.loss == GbrtLoss::Quantile);
+    const double tau = (params.loss == GbrtLoss::Quantile)
+                           ? params.quantile
+                           : 0.5;
+    TPC_CHECK(tau > 0.0 && tau < 1.0);
+    if (lad) {
+        // Base score: the target tau-quantile (median for LAD),
+        // interpolated between straddling order statistics.
+        std::vector<double> sorted(data.targets());
+        const double pos = tau * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::ptrdiff_t>(pos);
+        const double frac = pos - static_cast<double>(lo);
+        std::nth_element(sorted.begin(), sorted.begin() + lo, sorted.end());
+        baseScore_ = sorted[static_cast<std::size_t>(lo)];
+        if (frac > 0.0) {
+            const double upper =
+                *std::min_element(sorted.begin() + lo + 1, sorted.end());
+            baseScore_ += frac * (upper - baseScore_);
+        }
+    } else {
+        baseScore_ = std::accumulate(data.targets().begin(),
+                                     data.targets().end(), 0.0) /
+                     static_cast<double>(n);
+    }
+
+    // Current ensemble prediction per row. For L2, trees fit the raw
+    // residuals (the negative gradients); for LAD, trees split on the sign
+    // gradients and take per-leaf medians of the raw residuals.
+    std::vector<double> prediction(n, baseScore_);
+    std::vector<double> residual(n);
+    std::vector<double> gradient(n);
+
+    const FeatureBinner binner(data, 255);
+    const std::vector<std::uint16_t> binned = binner.binDataset(data);
+
+    TreeParams treeParams = params.tree;
+    if (lad) {
+        treeParams.leafEstimator = LeafEstimator::Quantile;
+        treeParams.leafQuantile = tau;
+    }
+
+    // Early-stopping bookkeeping against the validation set.
+    std::vector<double> validationPrediction;
+    if (validation)
+        validationPrediction.assign(validation->rowCount(), baseScore_);
+    double bestValidationL1 = std::numeric_limits<double>::max();
+    std::size_t bestTreeCount = 0;
+    int roundsSinceImprovement = 0;
+
+    util::Rng rng(params.seed);
+    for (int t = 0; t < params.numTrees; ++t) {
+        for (std::size_t r = 0; r < n; ++r) {
+            residual[r] = data.target(r) - prediction[r];
+            // Pinball-loss negative gradient: tau above the prediction,
+            // tau-1 below (LAD is tau = 0.5 up to scale).
+            gradient[r] = lad ? (residual[r] > 0.0   ? tau
+                                 : residual[r] < 0.0 ? tau - 1.0
+                                                     : 0.0)
+                              : residual[r];
+        }
+
+        // Row subsampling: zero the gradient of dropped rows — fitting on
+        // the full index set with masked responses keeps the
+        // binned-histogram path simple while still decorrelating trees.
+        if (params.subsample < 1.0) {
+            for (std::size_t r = 0; r < n; ++r) {
+                if (!rng.bernoulli(params.subsample))
+                    gradient[r] = 0.0;
+            }
+        }
+
+        RegressionTree tree;
+        tree.fit(data, binned, binner, gradient, treeParams,
+                 lad ? &residual : nullptr);
+        for (std::size_t r = 0; r < n; ++r)
+            prediction[r] += learningRate_ * tree.predict(data.row(r));
+
+        if (validation && params.earlyStoppingRounds > 0) {
+            double l1 = 0.0;
+            for (std::size_t r = 0; r < validation->rowCount(); ++r) {
+                validationPrediction[r] +=
+                    learningRate_ * tree.predict(validation->row(r));
+                l1 += std::abs(validationPrediction[r] -
+                               validation->target(r));
+            }
+            l1 /= static_cast<double>(validation->rowCount());
+            if (l1 < bestValidationL1 - 1e-12) {
+                bestValidationL1 = l1;
+                bestTreeCount = trees_.size() + 1;
+                roundsSinceImprovement = 0;
+            } else if (++roundsSinceImprovement >=
+                       params.earlyStoppingRounds) {
+                trees_.push_back(std::move(tree));
+                break;
+            }
+        }
+        trees_.push_back(std::move(tree));
+    }
+
+    if (validation && params.earlyStoppingRounds > 0 &&
+        bestTreeCount < trees_.size()) {
+        // Truncate to the best validation round.
+        trees_.resize(bestTreeCount);
+    }
+}
+
+std::vector<double>
+Gbrt::featureImportance(std::size_t featureCount) const
+{
+    std::vector<double> gains(featureCount, 0.0);
+    for (const auto& tree : trees_)
+        tree.accumulateGain(gains);
+    double total = 0.0;
+    for (double g : gains)
+        total += g;
+    if (total > 0.0) {
+        for (double& g : gains)
+            g /= total;
+    }
+    return gains;
+}
+
+std::string
+Gbrt::saveText() const
+{
+    std::string out;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "gbrt v1 %.17g %.17g %zu\n", baseScore_,
+                  learningRate_, trees_.size());
+    out += buf;
+    for (const auto& tree : trees_)
+        tree.appendText(out);
+    return out;
+}
+
+Gbrt
+Gbrt::loadText(const std::string& text)
+{
+    Gbrt model;
+    std::size_t cursor = text.find('\n');
+    TPC_CHECK_MSG(cursor != std::string::npos, "empty gbrt text");
+    std::size_t treeCount = 0;
+    TPC_CHECK_MSG(std::sscanf(text.c_str(), "gbrt v1 %lg %lg %zu",
+                              &model.baseScore_, &model.learningRate_,
+                              &treeCount) == 3,
+                  "bad gbrt header");
+    ++cursor;
+    model.trees_.reserve(treeCount);
+    for (std::size_t t = 0; t < treeCount; ++t)
+        model.trees_.push_back(RegressionTree::parseText(text, cursor));
+    return model;
+}
+
+double
+Gbrt::predict(const double* features) const
+{
+    double score = baseScore_;
+    for (const auto& tree : trees_)
+        score += learningRate_ * tree.predict(features);
+    return score;
+}
+
+std::vector<double>
+Gbrt::predictAll(const Dataset& data) const
+{
+    std::vector<double> out(data.rowCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        out[r] = predict(data.row(r));
+    return out;
+}
+
+} // namespace tpc::ml

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Gradient-boosted regression trees (L2 loss), the execution-time
+ * predictor used by TPC and the Pred baseline.
+ *
+ * Matches the predictor architecture of Jeon et al. (SIGIR 2014) that the
+ * paper adopts: a boosted-tree regressor over query features producing the
+ * predicted sequential execution time.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/regression_tree.h"
+
+namespace tpc::ml {
+
+/** Loss function minimized by the ensemble. */
+enum class GbrtLoss {
+    /** Squared error: trees fit raw residuals, leaves are means. */
+    SquaredError,
+    /**
+     * Absolute error (LAD): trees split on sign gradients and leaves take
+     * the median residual. Robust to contaminated targets — e.g. queries
+     * whose features carry no demand signal — which makes it the right
+     * loss for the execution-time predictor.
+     */
+    AbsoluteError,
+    /**
+     * Pinball loss at GbrtParams::quantile: the model estimates the
+     * conditional tau-quantile instead of the center. A conservative
+     * execution-time predictor (tau > 0.5) trades extra parallelism on
+     * over-estimated requests for fewer mispredicted-long requests — see
+     * bench_ext_quantile.
+     */
+    Quantile,
+};
+
+/** Training hyper-parameters for the boosted ensemble. */
+struct GbrtParams
+{
+    int numTrees = 120;
+    double learningRate = 0.1;
+    GbrtLoss loss = GbrtLoss::SquaredError;
+    /** Target quantile for GbrtLoss::Quantile. */
+    double quantile = 0.5;
+    TreeParams tree;
+    /** Row subsampling fraction per tree (stochastic gradient boosting). */
+    double subsample = 1.0;
+    /** Seed for subsampling. */
+    std::uint64_t seed = 42;
+    /**
+     * Early stopping: when a validation set is supplied to train(), stop
+     * after this many consecutive trees without improving validation L1.
+     * 0 disables early stopping.
+     */
+    int earlyStoppingRounds = 0;
+};
+
+/** A fitted boosted-tree regressor. */
+class Gbrt
+{
+  public:
+    /** Trains on the dataset with the configured loss. */
+    void train(const Dataset& data, const GbrtParams& params);
+
+    /**
+     * Trains with early stopping against a validation set: after each
+     * tree, validation L1 is evaluated; training stops when it has not
+     * improved for params.earlyStoppingRounds consecutive trees, and the
+     * ensemble is truncated to the best round.
+     */
+    void train(const Dataset& data, const Dataset& validation,
+               const GbrtParams& params);
+
+    /** Predicts the target for one raw feature vector. */
+    double predict(const double* features) const;
+
+    /** Predicts the target for one raw feature vector. */
+    double predict(const std::vector<double>& features) const
+    {
+        return predict(features.data());
+    }
+
+    /** Predicts every row of a dataset. */
+    std::vector<double> predictAll(const Dataset& data) const;
+
+    std::size_t treeCount() const { return trees_.size(); }
+    bool trained() const { return !trees_.empty() || baseScore_ != 0.0; }
+    double baseScore() const { return baseScore_; }
+
+    /**
+     * Split-gain feature importance: total variance-reduction gain
+     * attributed to each feature across the ensemble, normalized to sum
+     * to 1 (all zeros if the ensemble never split).
+     */
+    std::vector<double> featureImportance(std::size_t featureCount) const;
+
+    /**
+     * Serializes the fitted model to a portable text format (one line per
+     * node). Round-trips exactly through loadText.
+     */
+    std::string saveText() const;
+
+    /** Restores a model produced by saveText. Fatal on malformed input. */
+    static Gbrt loadText(const std::string& text);
+
+  private:
+    void trainImpl(const Dataset& data, const Dataset* validation,
+                   const GbrtParams& params);
+
+    double baseScore_ = 0.0;
+    double learningRate_ = 0.1;
+    std::vector<RegressionTree> trees_;
+};
+
+} // namespace tpc::ml

@@ -1,0 +1,113 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpc::ml {
+
+double
+meanAbsoluteError(const std::vector<double>& predicted,
+                  const std::vector<double>& actual)
+{
+    TPC_CHECK(predicted.size() == actual.size());
+    TPC_CHECK(!predicted.empty());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        sum += std::abs(predicted[i] - actual[i]);
+    return sum / static_cast<double>(predicted.size());
+}
+
+double
+rootMeanSquaredError(const std::vector<double>& predicted,
+                     const std::vector<double>& actual)
+{
+    TPC_CHECK(predicted.size() == actual.size());
+    TPC_CHECK(!predicted.empty());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(predicted.size()));
+}
+
+double
+ThresholdClassification::precision() const
+{
+    const std::size_t detections = truePositives + falsePositives;
+    if (detections == 0)
+        return 0.0;
+    return static_cast<double>(truePositives) /
+           static_cast<double>(detections);
+}
+
+double
+ThresholdClassification::recall() const
+{
+    const std::size_t actualLong = truePositives + falseNegatives;
+    if (actualLong == 0)
+        return 0.0;
+    return static_cast<double>(truePositives) /
+           static_cast<double>(actualLong);
+}
+
+double
+ThresholdClassification::f1() const
+{
+    const double p = precision();
+    const double r = recall();
+    if (p + r == 0.0)
+        return 0.0;
+    return 2.0 * p * r / (p + r);
+}
+
+double
+ThresholdClassification::missedLongFraction() const
+{
+    const std::size_t n = total();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(falseNegatives) / static_cast<double>(n);
+}
+
+std::size_t
+ThresholdClassification::total() const
+{
+    return truePositives + falsePositives + trueNegatives + falseNegatives;
+}
+
+std::string
+ThresholdClassification::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "precision=%.3f recall=%.3f f1=%.3f missedLong=%.3f%%",
+                  precision(), recall(), f1(),
+                  100.0 * missedLongFraction());
+    return buf;
+}
+
+ThresholdClassification
+classifyAtThreshold(const std::vector<double>& predicted,
+                    const std::vector<double>& actual, double threshold)
+{
+    TPC_CHECK(predicted.size() == actual.size());
+    ThresholdClassification c;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const bool predLong = predicted[i] > threshold;
+        const bool isLong = actual[i] > threshold;
+        if (predLong && isLong)
+            ++c.truePositives;
+        else if (predLong && !isLong)
+            ++c.falsePositives;
+        else if (!predLong && isLong)
+            ++c.falseNegatives;
+        else
+            ++c.trueNegatives;
+    }
+    return c;
+}
+
+} // namespace tpc::ml

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regression and threshold-classification metrics for predictor evaluation.
+ *
+ * Section 2.5 of the paper evaluates the predictor both as a regressor
+ * (L1 error, ~14 ms) and as a long-query classifier at an 80 ms threshold
+ * (recall 0.86 / precision 0.91). These helpers compute the same numbers.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tpc::ml {
+
+/** Mean absolute error between predictions and truths. */
+double meanAbsoluteError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual);
+
+/** Root-mean-squared error between predictions and truths. */
+double rootMeanSquaredError(const std::vector<double>& predicted,
+                            const std::vector<double>& actual);
+
+/** Confusion counts for "is long" classification at a latency threshold. */
+struct ThresholdClassification
+{
+    std::size_t truePositives = 0;
+    std::size_t falsePositives = 0;
+    std::size_t trueNegatives = 0;
+    std::size_t falseNegatives = 0;
+
+    /** Fraction of detections that are truly long. */
+    double precision() const;
+
+    /** Fraction of truly long items that were detected. */
+    double recall() const;
+
+    /** Harmonic mean of precision and recall. */
+    double f1() const;
+
+    /** Fraction of all items that are long but predicted short. */
+    double missedLongFraction() const;
+
+    std::size_t total() const;
+
+    std::string toString() const;
+};
+
+/**
+ * Classifies each item as long when its value exceeds @p threshold and
+ * tallies predicted-vs-actual agreement.
+ */
+ThresholdClassification classifyAtThreshold(
+    const std::vector<double>& predicted, const std::vector<double>& actual,
+    double threshold);
+
+} // namespace tpc::ml

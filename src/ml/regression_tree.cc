@@ -1,0 +1,314 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "util/logging.h"
+
+namespace tpc::ml {
+
+// --- FeatureBinner ----------------------------------------------------------
+
+FeatureBinner::FeatureBinner(const Dataset& data, int maxBins)
+{
+    TPC_CHECK(maxBins >= 2);
+    TPC_CHECK(!data.empty());
+    const std::size_t n = data.rowCount();
+    edges_.resize(data.featureCount());
+    std::vector<double> column(n);
+    for (std::size_t f = 0; f < data.featureCount(); ++f) {
+        for (std::size_t r = 0; r < n; ++r)
+            column[r] = data.feature(r, f);
+        std::sort(column.begin(), column.end());
+        // Candidate edges at evenly spaced quantiles; dedupe so constant
+        // or few-valued features get fewer bins.
+        std::vector<double>& edges = edges_[f];
+        for (int b = 1; b < maxBins; ++b) {
+            const std::size_t idx = std::min<std::size_t>(
+                n - 1, (n * static_cast<std::size_t>(b)) /
+                           static_cast<std::size_t>(maxBins));
+            const double candidate = column[idx];
+            if (edges.empty() || candidate > edges.back())
+                edges.push_back(candidate);
+        }
+        // Drop a trailing edge equal to the max so the last bin is nonempty.
+        while (!edges.empty() && edges.back() >= column.back())
+            edges.pop_back();
+    }
+}
+
+int
+FeatureBinner::bin(std::size_t f, double value) const
+{
+    // Bin i holds values v with edges[i-1] < v <= edges[i]; the first edge
+    // not less than the value identifies the bin, and values above every
+    // edge land in the last bin (index == edges.size()).
+    const auto& edges = edges_[f];
+    const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+    return static_cast<int>(it - edges.begin());
+}
+
+std::vector<std::uint16_t>
+FeatureBinner::binDataset(const Dataset& data) const
+{
+    TPC_CHECK(data.featureCount() == featureCount());
+    std::vector<std::uint16_t> binned(data.rowCount() * data.featureCount());
+    for (std::size_t r = 0; r < data.rowCount(); ++r)
+        for (std::size_t f = 0; f < data.featureCount(); ++f)
+            binned[r * data.featureCount() + f] =
+                static_cast<std::uint16_t>(bin(f, data.feature(r, f)));
+    return binned;
+}
+
+// --- RegressionTree ---------------------------------------------------------
+
+void
+RegressionTree::fit(const Dataset& data,
+                    const std::vector<std::uint16_t>& binned,
+                    const FeatureBinner& binner,
+                    const std::vector<double>& targets,
+                    const TreeParams& params,
+                    const std::vector<double>* leafTargets)
+{
+    TPC_CHECK(targets.size() == data.rowCount());
+    TPC_CHECK(binned.size() == data.rowCount() * data.featureCount());
+    const std::vector<double>& leaves = leafTargets ? *leafTargets : targets;
+    TPC_CHECK(leaves.size() == data.rowCount());
+    nodes_.clear();
+    std::vector<std::uint32_t> indices(data.rowCount());
+    std::iota(indices.begin(), indices.end(), 0);
+    buildNode(data, binned, binner, targets, leaves, indices, 0,
+              indices.size(), params.maxDepth, params);
+}
+
+int
+RegressionTree::buildNode(const Dataset& data,
+                          const std::vector<std::uint16_t>& binned,
+                          const FeatureBinner& binner,
+                          const std::vector<double>& targets,
+                          const std::vector<double>& leafTargets,
+                          std::vector<std::uint32_t>& indices,
+                          std::size_t begin, std::size_t end, int depthLeft,
+                          const TreeParams& params)
+{
+    const std::size_t n = end - begin;
+    TPC_DCHECK(n > 0);
+    const std::size_t featureCount = data.featureCount();
+
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i)
+        sum += targets[indices[i]];
+
+    const int nodeId = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    if (params.leafEstimator == LeafEstimator::Quantile) {
+        // Interpolated order statistic of the leaf targets: the median is
+        // robust to contaminated responses; other quantiles implement
+        // pinball-loss quantile regression. Interpolating between the two
+        // straddling order statistics matters: rounding to one side is a
+        // per-tree bias that boosting accumulates across the ensemble.
+        std::vector<double> values;
+        values.reserve(n);
+        for (std::size_t i = begin; i < end; ++i)
+            values.push_back(leafTargets[indices[i]]);
+        const double pos =
+            params.leafQuantile * static_cast<double>(values.size() - 1);
+        const auto lo = static_cast<std::ptrdiff_t>(pos);
+        const double frac = pos - static_cast<double>(lo);
+        std::nth_element(values.begin(), values.begin() + lo, values.end());
+        double value = values[static_cast<std::size_t>(lo)];
+        if (frac > 0.0) {
+            const double upper =
+                *std::min_element(values.begin() + lo + 1, values.end());
+            value += frac * (upper - value);
+        }
+        nodes_[nodeId].value = value;
+    } else {
+        double leafSum = 0.0;
+        for (std::size_t i = begin; i < end; ++i)
+            leafSum += leafTargets[indices[i]];
+        nodes_[nodeId].value =
+            leafSum / (static_cast<double>(n) + params.lambda);
+    }
+
+    if (depthLeft <= 0 ||
+        n < 2 * static_cast<std::size_t>(params.minSamplesLeaf)) {
+        return nodeId;
+    }
+
+    // Find the best (feature, bin) split by variance reduction:
+    // gain = sumL^2/(nL+lambda) + sumR^2/(nR+lambda) - sum^2/(n+lambda).
+    const double parentScore =
+        sum * sum / (static_cast<double>(n) + params.lambda);
+    double bestGain = params.minGain;
+    int bestFeature = -1;
+    int bestBin = -1;
+
+    std::vector<double> binSum;
+    std::vector<std::uint32_t> binCount;
+    for (std::size_t f = 0; f < featureCount; ++f) {
+        const int bins = binner.binCount(f);
+        if (bins < 2)
+            continue;
+        binSum.assign(bins, 0.0);
+        binCount.assign(bins, 0);
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t row = indices[i];
+            const std::uint16_t b = binned[row * featureCount + f];
+            binSum[b] += targets[row];
+            binCount[b] += 1;
+        }
+        double leftSum = 0.0;
+        std::uint32_t leftCount = 0;
+        // Split after bin b: bins [0..b] go left (value <= edge(f, b)).
+        for (int b = 0; b < bins - 1; ++b) {
+            leftSum += binSum[b];
+            leftCount += binCount[b];
+            const std::uint32_t rightCount =
+                static_cast<std::uint32_t>(n) - leftCount;
+            if (leftCount < static_cast<std::uint32_t>(params.minSamplesLeaf) ||
+                rightCount < static_cast<std::uint32_t>(params.minSamplesLeaf))
+                continue;
+            const double rightSum = sum - leftSum;
+            const double score =
+                leftSum * leftSum /
+                    (static_cast<double>(leftCount) + params.lambda) +
+                rightSum * rightSum /
+                    (static_cast<double>(rightCount) + params.lambda);
+            const double gain = score - parentScore;
+            if (gain > bestGain) {
+                bestGain = gain;
+                bestFeature = static_cast<int>(f);
+                bestBin = b;
+            }
+        }
+    }
+
+    if (bestFeature < 0)
+        return nodeId;
+
+    // Partition indices in place around the chosen split.
+    const double threshold = binner.edge(bestFeature, bestBin);
+    const auto mid = std::partition(
+        indices.begin() + static_cast<std::ptrdiff_t>(begin),
+        indices.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::uint32_t row) {
+            return binned[row * featureCount +
+                          static_cast<std::size_t>(bestFeature)] <=
+                   static_cast<std::uint16_t>(bestBin);
+        });
+    const auto midIdx =
+        static_cast<std::size_t>(mid - indices.begin());
+    if (midIdx == begin || midIdx == end)
+        return nodeId; // Degenerate partition; keep as leaf.
+
+    nodes_[nodeId].feature = bestFeature;
+    nodes_[nodeId].threshold = threshold;
+    nodes_[nodeId].gain = bestGain;
+    const int left = buildNode(data, binned, binner, targets, leafTargets,
+                               indices, begin, midIdx, depthLeft - 1, params);
+    const int right = buildNode(data, binned, binner, targets, leafTargets,
+                                indices, midIdx, end, depthLeft - 1, params);
+    nodes_[nodeId].left = left;
+    nodes_[nodeId].right = right;
+    return nodeId;
+}
+
+double
+RegressionTree::predict(const double* features) const
+{
+    TPC_DCHECK(!nodes_.empty());
+    int node = 0;
+    while (nodes_[node].feature >= 0) {
+        const auto& n = nodes_[node];
+        node = (features[n.feature] <= n.threshold) ? n.left : n.right;
+    }
+    return nodes_[node].value;
+}
+
+std::size_t
+RegressionTree::leafCount() const
+{
+    std::size_t leaves = 0;
+    for (const auto& n : nodes_)
+        if (n.feature < 0)
+            ++leaves;
+    return leaves;
+}
+
+int
+RegressionTree::depthOf(int node) const
+{
+    const auto& n = nodes_[node];
+    if (n.feature < 0)
+        return 1;
+    return 1 + std::max(depthOf(n.left), depthOf(n.right));
+}
+
+int
+RegressionTree::depth() const
+{
+    if (nodes_.empty())
+        return 0;
+    return depthOf(0);
+}
+
+void
+RegressionTree::accumulateGain(std::vector<double>& gains) const
+{
+    for (const auto& node : nodes_) {
+        if (node.feature >= 0) {
+            TPC_CHECK(static_cast<std::size_t>(node.feature) < gains.size());
+            gains[static_cast<std::size_t>(node.feature)] += node.gain;
+        }
+    }
+}
+
+void
+RegressionTree::appendText(std::string& out) const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "tree %zu\n", nodes_.size());
+    out += buf;
+    for (const auto& node : nodes_) {
+        std::snprintf(buf, sizeof(buf), "%d %.17g %.17g %d %d %.17g\n",
+                      node.feature, node.threshold, node.value, node.left,
+                      node.right, node.gain);
+        out += buf;
+    }
+}
+
+RegressionTree
+RegressionTree::parseText(const std::string& text, std::size_t& cursor)
+{
+    auto nextLine = [&]() -> std::string {
+        const std::size_t end = text.find('\n', cursor);
+        TPC_CHECK_MSG(end != std::string::npos, "truncated tree text");
+        std::string line = text.substr(cursor, end - cursor);
+        cursor = end + 1;
+        return line;
+    };
+
+    const std::string header = nextLine();
+    std::size_t count = 0;
+    TPC_CHECK_MSG(std::sscanf(header.c_str(), "tree %zu", &count) == 1,
+                  "bad tree header: " + header);
+    RegressionTree tree;
+    tree.nodes_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::string line = nextLine();
+        Node node;
+        TPC_CHECK_MSG(std::sscanf(line.c_str(), "%d %lg %lg %d %d %lg",
+                                  &node.feature, &node.threshold,
+                                  &node.value, &node.left, &node.right,
+                                  &node.gain) == 6,
+                      "bad tree node: " + line);
+        tree.nodes_.push_back(node);
+    }
+    return tree;
+}
+
+} // namespace tpc::ml

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Histogram-based CART regression tree, the weak learner inside Gbrt.
+ *
+ * Features are quantile-binned once per training run (FeatureBinner);
+ * each node then scans per-bin (count, sum) histograms to find the best
+ * variance-reducing split. This is the standard construction used by
+ * LightGBM-style learners and keeps training fast enough to run inside
+ * the benchmark binaries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace tpc::ml {
+
+/** Per-feature quantile binning shared by all trees of an ensemble. */
+class FeatureBinner
+{
+  public:
+    /**
+     * Computes at most @p maxBins quantile bin edges per feature from the
+     * dataset.
+     */
+    FeatureBinner(const Dataset& data, int maxBins = 64);
+
+    /** Number of bins for feature f (>= 1). */
+    int binCount(std::size_t f) const
+    {
+        return static_cast<int>(edges_[f].size()) + 1;
+    }
+
+    /** Maps a raw feature value to its bin index in [0, binCount(f)). */
+    int bin(std::size_t f, double value) const;
+
+    /**
+     * Upper edge separating bin b from bin b+1 for feature f; splits are
+     * expressed as "value <= edge goes left".
+     */
+    double edge(std::size_t f, int b) const { return edges_[f][b]; }
+
+    std::size_t featureCount() const { return edges_.size(); }
+
+    /** Bins every row of the dataset; result is row-major uint16. */
+    std::vector<std::uint16_t> binDataset(const Dataset& data) const;
+
+  private:
+    std::vector<std::vector<double>> edges_;
+};
+
+/** How a leaf's response is estimated from the samples it holds. */
+enum class LeafEstimator {
+    /** Regularized mean (classic L2 boosting). */
+    Mean,
+    /**
+     * Order statistic of the leaf targets at TreeParams::leafQuantile
+     * (0.5 = median, giving robust L1/LAD boosting; other quantiles give
+     * pinball-loss quantile regression).
+     */
+    Quantile,
+};
+
+/** Hyper-parameters for a single tree fit. */
+struct TreeParams
+{
+    int maxDepth = 6;
+    int minSamplesLeaf = 20;
+    /** L2 regularization added to leaf denominators. */
+    double lambda = 1.0;
+    /** Minimum gain required to split. */
+    double minGain = 1e-9;
+    LeafEstimator leafEstimator = LeafEstimator::Mean;
+    /** Order statistic used by LeafEstimator::Quantile. */
+    double leafQuantile = 0.5;
+};
+
+/**
+ * A fitted regression tree. Internal nodes compare a raw feature value
+ * against a threshold; leaves carry the fitted response.
+ */
+class RegressionTree
+{
+  public:
+    /**
+     * Fits the tree to @p targets (residuals, when used inside boosting).
+     *
+     * @param data        Raw dataset (for thresholds only).
+     * @param binned      Row-major binned features from FeatureBinner.
+     * @param binner      The binner that produced @p binned.
+     * @param targets     Split-finding response per row (for L1 boosting,
+     *                    the sign gradients).
+     * @param params      Depth/regularization controls.
+     * @param leafTargets Optional response used only for leaf values (for
+     *                    L1 boosting, the raw residuals whose per-leaf
+     *                    median becomes the step). Defaults to @p targets.
+     */
+    void fit(const Dataset& data, const std::vector<std::uint16_t>& binned,
+             const FeatureBinner& binner, const std::vector<double>& targets,
+             const TreeParams& params,
+             const std::vector<double>* leafTargets = nullptr);
+
+    /** Predicts the response for one raw feature vector. */
+    double predict(const double* features) const;
+
+    /** Number of nodes (internal + leaves); 0 before fit. */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Number of leaf nodes. */
+    std::size_t leafCount() const;
+
+    /** Maximum root-to-leaf depth of the fitted tree. */
+    int depth() const;
+
+    /** Adds each internal node's split gain to gains[feature]. */
+    void accumulateGain(std::vector<double>& gains) const;
+
+    /** Appends a text serialization of the tree to @p out. */
+    void appendText(std::string& out) const;
+
+    /**
+     * Parses one tree from lines starting at @p cursor within @p text;
+     * advances the cursor past the tree. Fatal on malformed input.
+     */
+    static RegressionTree parseText(const std::string& text,
+                                    std::size_t& cursor);
+
+  private:
+    struct Node
+    {
+        // Leaf when feature < 0.
+        int feature = -1;
+        double threshold = 0.0;
+        double value = 0.0;
+        int left = -1;
+        int right = -1;
+        /** Variance-reduction gain of this split (0 for leaves). */
+        double gain = 0.0;
+    };
+
+    int buildNode(const Dataset& data,
+                  const std::vector<std::uint16_t>& binned,
+                  const FeatureBinner& binner,
+                  const std::vector<double>& targets,
+                  const std::vector<double>& leafTargets,
+                  std::vector<std::uint32_t>& indices, std::size_t begin,
+                  std::size_t end, int depthLeft, const TreeParams& params);
+
+    int depthOf(int node) const;
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace tpc::ml

@@ -1,0 +1,165 @@
+#include "policy/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpc::policy {
+
+// --- PredPolicy -------------------------------------------------------------
+
+PredPolicy::PredPolicy(double longThresholdMs, int parallelDegree)
+    : longThresholdMs_(longThresholdMs), parallelDegree_(parallelDegree)
+{
+    TPC_CHECK(longThresholdMs > 0.0);
+    TPC_CHECK(parallelDegree >= 1);
+}
+
+Decision
+PredPolicy::onDispatch(const RequestView& request, const SystemState&)
+{
+    if (request.predictedMs > longThresholdMs_)
+        return {parallelDegree_, 0.0};
+    return {1, 0.0};
+}
+
+// --- ApPolicy ---------------------------------------------------------------
+
+ApPolicy::ApPolicy(SpeedupProfile averageProfile, int maxDegree)
+    : averageProfile_(std::move(averageProfile)), maxDegree_(maxDegree)
+{
+    TPC_CHECK(maxDegree >= 1);
+}
+
+Decision
+ApPolicy::onDispatch(const RequestView&, const SystemState& state)
+{
+    // EuroSys'13-style objective: with N requests in the system all given
+    // degree d on a K-worker server, a request's estimated completion time
+    // is (L/S_d) x max(1, N*d/K) — the second factor is the slowdown once
+    // the symmetric allocation oversubscribes the workers. L cancels out
+    // of the argmin. AP does not differentiate requests, so every request
+    // gets the same degree for a given load.
+    const double n = 1.0 + state.runningRequests + state.queueLength;
+    const double k = std::max(1, state.totalWorkers);
+    int bestDegree = 1;
+    double bestCost = std::numeric_limits<double>::max();
+    const int limit = std::min(maxDegree_, averageProfile_.maxDegree());
+    for (int d = 1; d <= limit; ++d) {
+        const double crowding = std::max(1.0, n * d / k);
+        const double cost = crowding / averageProfile_.speedup(d);
+        if (cost < bestCost) {
+            bestCost = cost;
+            bestDegree = d;
+        }
+    }
+    return {bestDegree, 0.0};
+}
+
+// --- WqLinearPolicy ----------------------------------------------------------
+
+WqLinearPolicy::WqLinearPolicy(int maxDegree, double slope)
+    : maxDegree_(maxDegree), slope_(slope)
+{
+    TPC_CHECK(maxDegree >= 1);
+    TPC_CHECK(slope > 0.0);
+}
+
+Decision
+WqLinearPolicy::onDispatch(const RequestView&, const SystemState& state)
+{
+    const double raw =
+        static_cast<double>(maxDegree_) - slope_ * state.queueLength;
+    const int degree =
+        std::clamp(static_cast<int>(std::floor(raw)), 1, maxDegree_);
+    return {degree, 0.0};
+}
+
+// --- RampUpPolicy -------------------------------------------------------------
+
+RampUpPolicy::RampUpPolicy(double intervalMs, int maxDegree)
+    : intervalMs_(intervalMs), maxDegree_(maxDegree)
+{
+    TPC_CHECK(intervalMs > 0.0);
+    TPC_CHECK(maxDegree >= 1);
+}
+
+std::string
+RampUpPolicy::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "RampUp-%gms", intervalMs_);
+    return buf;
+}
+
+Decision
+RampUpPolicy::onDispatch(const RequestView&, const SystemState&)
+{
+    return {1, intervalMs_};
+}
+
+Decision
+RampUpPolicy::onRecheck(const RequestView& request, const SystemState&)
+{
+    const int next = std::min(request.currentDegree + 1, maxDegree_);
+    const double recheck = (next < maxDegree_) ? intervalMs_ : 0.0;
+    return {next, recheck};
+}
+
+// --- FewToManyPolicy ----------------------------------------------------------
+
+FewToManyPolicy::FewToManyPolicy(std::vector<IntervalEntry> schedule,
+                                 int maxDegree)
+    : schedule_(std::move(schedule)), maxDegree_(maxDegree)
+{
+    TPC_CHECK(!schedule_.empty());
+    TPC_CHECK(maxDegree >= 1);
+    for (std::size_t i = 1; i < schedule_.size(); ++i)
+        TPC_CHECK_MSG(schedule_[i].maxLoad > schedule_[i - 1].maxLoad,
+                      "schedule loads must ascend");
+}
+
+FewToManyPolicy
+FewToManyPolicy::withDefaultSchedule(int maxDegree)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // Idle system: ramp fast; busy system: ramp slowly or not at all.
+    return FewToManyPolicy({{2.0, 4.0},
+                            {6.0, 8.0},
+                            {12.0, 16.0},
+                            {20.0, 32.0},
+                            {kInf, 0.0}},
+                           maxDegree);
+}
+
+double
+FewToManyPolicy::intervalFor(const SystemState& state) const
+{
+    const double load = state.runningRequests + state.queueLength;
+    for (const auto& entry : schedule_) {
+        if (load <= entry.maxLoad)
+            return entry.intervalMs;
+    }
+    return schedule_.back().intervalMs;
+}
+
+Decision
+FewToManyPolicy::onDispatch(const RequestView&, const SystemState& state)
+{
+    return {1, intervalFor(state)};
+}
+
+Decision
+FewToManyPolicy::onRecheck(const RequestView& request,
+                           const SystemState& state)
+{
+    const int next = std::min(request.currentDegree + 1, maxDegree_);
+    const double interval = intervalFor(state);
+    const double recheck =
+        (next < maxDegree_ && interval > 0.0) ? interval : 0.0;
+    return {next, recheck};
+}
+
+} // namespace tpc::policy

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The prior-work parallelization policies TPC is compared against
+ * (Table 1 / Section 4.1 of the paper):
+ *
+ *  - Sequential: every request runs on one thread.
+ *  - Pred (Jeon et al., SIGIR 2014): predicted-long requests run at a
+ *    fixed degree; everything else is sequential. Uses prediction only.
+ *  - AP, Adaptive Parallelism (Jeon et al., EuroSys 2013): degree chosen
+ *    from system load and the average speedup of all requests; does not
+ *    differentiate short and long requests.
+ *  - WQ-Linear (Raman et al., PLDI 2011): degree inversely related to the
+ *    waiting-queue length; uses load only.
+ *  - RampUp (Section 4.4; Haque et al., ASPLOS 2015-style): start
+ *    sequential, add one thread per fixed interval while running.
+ */
+#pragma once
+
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+
+namespace tpc::policy {
+
+/** Baseline: sequential execution for every request. */
+class SequentialPolicy final : public ParallelismPolicy
+{
+  public:
+    std::string name() const override { return "Sequential"; }
+
+    Decision onDispatch(const RequestView&, const SystemState&) override
+    {
+        return {1, 0.0};
+    }
+};
+
+/**
+ * Pred: fixed-degree parallelization of predicted-long requests.
+ *
+ * The paper runs Pred with a 80 ms threshold and 3-way parallelism for web
+ * search (Section 4.2) and degree 2 for finance (Section 5.1).
+ */
+class PredPolicy final : public ParallelismPolicy
+{
+  public:
+    /**
+     * @param longThresholdMs Requests predicted above this run in parallel.
+     * @param parallelDegree  Fixed degree for predicted-long requests.
+     */
+    PredPolicy(double longThresholdMs, int parallelDegree);
+
+    std::string name() const override { return "Pred"; }
+
+    Decision onDispatch(const RequestView& request,
+                        const SystemState& state) override;
+
+  private:
+    double longThresholdMs_;
+    int parallelDegree_;
+};
+
+/**
+ * AP: adaptive parallelism from system load and average speedup.
+ *
+ * Chooses the degree d minimizing the estimated total response time of the
+ * requests in the system: the new request's own completion time L/S_d plus
+ * the delay its d-thread occupancy imposes on the q queued requests,
+ * (L/S_d) * q * d / K for a K-worker server. All requests get the same
+ * degree because AP uses only the average demand and average speedup.
+ */
+class ApPolicy final : public ParallelismPolicy
+{
+  public:
+    /**
+     * @param averageProfile Average speedup of all requests.
+     * @param maxDegree      Upper bound on the chosen degree.
+     */
+    ApPolicy(SpeedupProfile averageProfile, int maxDegree);
+
+    std::string name() const override { return "AP"; }
+
+    Decision onDispatch(const RequestView& request,
+                        const SystemState& state) override;
+
+  private:
+    SpeedupProfile averageProfile_;
+    int maxDegree_;
+};
+
+/**
+ * WQ-Linear: degree decreases linearly with the waiting-queue length,
+ * ignoring per-request information.
+ */
+class WqLinearPolicy final : public ParallelismPolicy
+{
+  public:
+    /**
+     * @param maxDegree Degree used on an empty queue.
+     * @param slope     Degree lost per queued request.
+     */
+    WqLinearPolicy(int maxDegree, double slope = 1.0);
+
+    std::string name() const override { return "WQ-Linear"; }
+
+    Decision onDispatch(const RequestView& request,
+                        const SystemState& state) override;
+
+  private:
+    int maxDegree_;
+    double slope_;
+};
+
+/**
+ * RampUp: start sequential and add one thread every fixed interval until
+ * completion or the maximum degree (dynamic parallelism without
+ * prediction; Section 4.4).
+ */
+class RampUpPolicy final : public ParallelismPolicy
+{
+  public:
+    /**
+     * @param intervalMs Interval between degree increments (5/10/20 ms in
+     *                   the paper's sweep).
+     * @param maxDegree  Degree cap (6 in the paper).
+     */
+    RampUpPolicy(double intervalMs, int maxDegree);
+
+    std::string name() const override;
+
+    Decision onDispatch(const RequestView& request,
+                        const SystemState& state) override;
+
+    Decision onRecheck(const RequestView& request,
+                       const SystemState& state) override;
+
+  private:
+    double intervalMs_;
+    int maxDegree_;
+};
+
+/**
+ * Few-to-Many incremental parallelism (Haque et al., ASPLOS 2015): like
+ * RampUp, requests start sequential and gain threads over time, but the
+ * ramp-up interval adapts to system load through an offline-computed
+ * interval schedule — fast ramp-up when the system is idle, slow (or
+ * none) when it is busy. Still no per-request prediction: the paper's
+ * Section 6 notes this is "load-aware RampUp without prediction", and
+ * Figure 7's conclusion applies — long requests still start sequential
+ * and lose time relative to TPC.
+ */
+class FewToManyPolicy final : public ParallelismPolicy
+{
+  public:
+    /** One (load upper bound, ramp interval) schedule entry. */
+    struct IntervalEntry
+    {
+        /** Applies while (queued + running) requests <= this bound. */
+        double maxLoad;
+        /** Thread-addition interval at this load; <= 0 disables ramping. */
+        double intervalMs;
+    };
+
+    /**
+     * @param schedule  Entries ascending by maxLoad; the last entry should
+     *                  have an infinite bound.
+     * @param maxDegree Degree cap.
+     */
+    FewToManyPolicy(std::vector<IntervalEntry> schedule, int maxDegree);
+
+    /** The default schedule used in the experiments. */
+    static FewToManyPolicy withDefaultSchedule(int maxDegree);
+
+    std::string name() const override { return "FewToMany"; }
+
+    Decision onDispatch(const RequestView& request,
+                        const SystemState& state) override;
+
+    Decision onRecheck(const RequestView& request,
+                       const SystemState& state) override;
+
+  private:
+    double intervalFor(const SystemState& state) const;
+
+    std::vector<IntervalEntry> schedule_;
+    int maxDegree_;
+};
+
+} // namespace tpc::policy

@@ -1,0 +1,37 @@
+#include "policy/load_metric.h"
+
+#include "util/logging.h"
+
+namespace tpc::policy {
+
+std::string
+loadMetricName(LoadMetric metric)
+{
+    switch (metric) {
+      case LoadMetric::LongThreads:
+        return "LongT";
+      case LoadMetric::AllThreads:
+        return "AllT";
+      case LoadMetric::CpuUtilization:
+        return "CpuUtil";
+    }
+    TPC_CHECK(false);
+    return "?";
+}
+
+double
+loadMetricValue(LoadMetric metric, const SystemState& state)
+{
+    switch (metric) {
+      case LoadMetric::LongThreads:
+        return state.activeThreadsLong;
+      case LoadMetric::AllThreads:
+        return state.activeThreadsAll;
+      case LoadMetric::CpuUtilization:
+        return state.cpuUtilization * state.hwContexts;
+    }
+    TPC_CHECK(false);
+    return 0.0;
+}
+
+} // namespace tpc::policy

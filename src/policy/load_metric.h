@@ -1,0 +1,38 @@
+/**
+ * @file
+ * System-load metrics for the target-table lookup (Section 4.6).
+ *
+ * The paper compares three ways of measuring instantaneous load: the
+ * number of active threads of long queries (LongT, the default and best),
+ * the total number of active threads (AllT), and sampled CPU utilization
+ * (CpuUtil, a lagging moving average that performs worst).
+ */
+#pragma once
+
+#include <string>
+
+#include "policy/policy.h"
+
+namespace tpc::policy {
+
+/** Which SystemState field the target-table lookup keys on. */
+enum class LoadMetric {
+    /** Active threads running long requests (paper default). */
+    LongThreads,
+    /** All active threads. */
+    AllThreads,
+    /** Smoothed CPU utilization scaled to thread units. */
+    CpuUtilization,
+};
+
+/** Human-readable metric name (LongT / AllT / CpuUtil). */
+std::string loadMetricName(LoadMetric metric);
+
+/**
+ * Extracts the metric's current value from a state snapshot. CpuUtil is
+ * scaled by the hardware-context count so all metrics share thread units
+ * and one target table can express any of them.
+ */
+double loadMetricValue(LoadMetric metric, const SystemState& state);
+
+} // namespace tpc::policy

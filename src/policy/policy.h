@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The parallelism-policy interface shared by TPC and every baseline.
+ *
+ * A policy decides the parallelism degree of a request twice: once at
+ * dispatch (before execution starts) and, if it asked to be called back,
+ * again while the request runs (dynamic correction / ramp-up). The server
+ * — simulated or threaded — owns queueing and resource accounting; the
+ * policy sees a read-only view of the request and the system.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tpc::policy {
+
+/** Read-only view of one request as the policy sees it. */
+struct RequestView
+{
+    /** Stable request id. */
+    std::uint64_t id = 0;
+    /** Predictor's estimate of the sequential execution time (ms). */
+    double predictedMs = 0.0;
+    /** Time since dispatch (0 at dispatch time). */
+    double elapsedMs = 0.0;
+    /** Current parallelism degree (0 at dispatch time). */
+    int currentDegree = 0;
+};
+
+/** Read-only snapshot of server state at decision time. */
+struct SystemState
+{
+    /** Total worker threads in the pool. */
+    int totalWorkers = 0;
+    /** Workers not assigned to any request. */
+    int idleWorkers = 0;
+    /** Requests waiting in the queue. */
+    int queueLength = 0;
+    /** Requests currently executing. */
+    int runningRequests = 0;
+    /** Sum of degrees of all running requests. */
+    int activeThreadsAll = 0;
+    /** Sum of degrees of running requests classified long. */
+    int activeThreadsLong = 0;
+    /** Sampled, smoothed CPU utilization in [0, 1]. */
+    double cpuUtilization = 0.0;
+    /** Number of hardware contexts. */
+    int hwContexts = 0;
+    /** Current time (ms). */
+    double nowMs = 0.0;
+    /** Running average of predicted request demand (ms); AP's input. */
+    double avgPredictedMs = 0.0;
+};
+
+/** A policy's answer: the degree to run at, and when to ask again. */
+struct Decision
+{
+    /** Desired parallelism degree (the server may cap by idle workers). */
+    int degree = 1;
+    /**
+     * If > 0, the server calls onRecheck after this many ms unless the
+     * request completed first.
+     */
+    double recheckAfterMs = 0.0;
+};
+
+/** Interface implemented by TPC and all competing techniques. */
+class ParallelismPolicy
+{
+  public:
+    virtual ~ParallelismPolicy() = default;
+
+    /** Human-readable policy name used in result tables. */
+    virtual std::string name() const = 0;
+
+    /** Decides the initial degree when the request leaves the queue. */
+    virtual Decision onDispatch(const RequestView& request,
+                                const SystemState& state) = 0;
+
+    /**
+     * Called while the request runs, at the time requested by the previous
+     * decision. Default: keep the current degree and stop rechecking.
+     */
+    virtual Decision onRecheck(const RequestView& request,
+                               const SystemState& state)
+    {
+        (void)state;
+        return {request.currentDegree, 0.0};
+    }
+};
+
+} // namespace tpc::policy

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Parallelism-efficiency model: per-class speedup profiles.
+ *
+ * Section 2.4 of the paper measures the average speedup of queries grouped
+ * by sequential execution time (Figure 2): long queries (> 80 ms) reach
+ * ~4.1x on 6 threads, medium queries (30-80 ms) ~2x, and short queries
+ * (< 30 ms) only ~1.16x because of non-parallelized phases and load
+ * imbalance. TPC consumes these profiles to pick the smallest degree that
+ * meets the target completion time.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tpc::policy {
+
+/** Maps parallelism degree to speedup for one request class. */
+class SpeedupProfile
+{
+  public:
+    /**
+     * @param speedups speedups[i] is the speedup at degree i+1; the first
+     *                 entry must be 1 and the sequence must be
+     *                 non-decreasing.
+     */
+    explicit SpeedupProfile(std::vector<double> speedups);
+
+    /** Speedup at the given degree (clamped to the profile's max). */
+    double speedup(int degree) const;
+
+    /** Largest degree the profile covers. */
+    int maxDegree() const { return static_cast<int>(speedups_.size()); }
+
+    /** Estimated wall time of a request at the given degree. */
+    double parallelTimeMs(double sequentialMs, int degree) const
+    {
+        return sequentialMs / speedup(degree);
+    }
+
+    /**
+     * Smallest degree d with sequentialMs / speedup(d) <= targetMs, or 0
+     * when even the maximum degree cannot meet the target.
+     */
+    int smallestDegreeToMeet(double sequentialMs, double targetMs) const;
+
+    const std::vector<double>& values() const { return speedups_; }
+
+  private:
+    std::vector<double> speedups_;
+};
+
+/**
+ * A set of speedup profiles keyed by sequential-execution-time class.
+ *
+ * Classes partition [0, inf) by upper bounds; the last class is open-ended.
+ */
+class SpeedupModel
+{
+  public:
+    /** One class: requests with sequential time <= upperBoundMs. */
+    struct Group
+    {
+        /** Class upper bound; infinity for the last class. */
+        double upperBoundMs;
+        std::string name;
+        SpeedupProfile profile;
+    };
+
+    /** @param groups Classes in ascending upper-bound order (>= 1). */
+    explicit SpeedupModel(std::vector<Group> groups);
+
+    /** Profile for a request with the given (predicted or true) time. */
+    const SpeedupProfile& profileFor(double sequentialMs) const;
+
+    /** Index of the class containing the given time. */
+    std::size_t groupIndexFor(double sequentialMs) const;
+
+    const std::vector<Group>& groups() const { return groups_; }
+    std::size_t groupCount() const { return groups_.size(); }
+
+    /** Largest degree across all profiles. */
+    int maxDegree() const;
+
+    /**
+     * The web-search model from Figure 2: short (< 30 ms), mid (30-80 ms)
+     * and long (> 80 ms) classes with 6-thread speedups of about 1.16, 2.05
+     * and 4.1.
+     */
+    static SpeedupModel webSearchDefault();
+
+    /**
+     * Six-group refinement of the web-search model (each Figure 2 class
+     * split in two), used by the Section 4.6 group-count sensitivity study.
+     */
+    static SpeedupModel webSearchSixGroups();
+
+    /**
+     * Finance model (Section 5): regular Monte Carlo iterations
+     * parallelize well; maximum degree 4.
+     */
+    static SpeedupModel financeDefault();
+
+    /**
+     * A demand-weighted average profile across the web-search classes,
+     * used by the AP baseline, which does not differentiate classes.
+     */
+    static SpeedupProfile webSearchAverageProfile();
+
+  private:
+    std::vector<Group> groups_;
+};
+
+} // namespace tpc::policy

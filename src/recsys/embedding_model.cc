@@ -1,0 +1,62 @@
+#include "recsys/embedding_model.h"
+
+#include "util/logging.h"
+
+namespace tpc::recsys {
+
+EmbeddingModel::EmbeddingModel(std::uint32_t numItems, int dim,
+                               std::uint64_t seed)
+    : numItems_(numItems), dim_(dim)
+{
+    TPC_CHECK(numItems >= 1);
+    TPC_CHECK(dim >= 1);
+    util::Rng rng(seed);
+    table_.resize(static_cast<std::size_t>(numItems) *
+                  static_cast<std::size_t>(dim));
+    for (float& value : table_)
+        value = static_cast<float>(rng.normal(0.0, 1.0));
+}
+
+std::vector<float>
+EmbeddingModel::userVector(std::uint64_t userId) const
+{
+    // Hash-seeded so the same user always gets the same taste vector
+    // without storing a user table.
+    util::Rng rng(userId ^ 0xa5a5a5a5a5a5a5a5ull);
+    std::vector<float> user(static_cast<std::size_t>(dim_));
+    for (float& value : user)
+        value = static_cast<float>(rng.normal(0.0, 1.0));
+    return user;
+}
+
+void
+EmbeddingModel::scoreRange(const std::vector<float>& user,
+                           const std::vector<std::uint32_t>& candidates,
+                           std::size_t begin, std::size_t end,
+                           search::TopKCollector& out) const
+{
+    TPC_DCHECK(user.size() == static_cast<std::size_t>(dim_));
+    TPC_DCHECK(end <= candidates.size());
+    for (std::size_t c = begin; c < end; ++c) {
+        const std::uint32_t item = candidates[c];
+        TPC_DCHECK(item < numItems_);
+        const float* vec = itemVector(item);
+        double score = 0.0;
+        for (int d = 0; d < dim_; ++d)
+            score += static_cast<double>(user[static_cast<std::size_t>(d)]) *
+                     static_cast<double>(vec[d]);
+        out.offer(item, score);
+    }
+}
+
+std::vector<search::ScoredDoc>
+EmbeddingModel::rank(const std::vector<float>& user,
+                     const std::vector<std::uint32_t>& candidates,
+                     std::size_t k) const
+{
+    search::TopKCollector collector(k);
+    scoreRange(user, candidates, 0, candidates.size(), collector);
+    return collector.sortedResults();
+}
+
+} // namespace tpc::recsys

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Embedding-based candidate ranking: the compute kernel of a
+ * recommendation server.
+ *
+ * Section 5 generalizes TPC to interactive services with (1) CPU-bound
+ * processing, (2) highly variable demand, (3) runtime-variable
+ * parallelism and (4) estimable per-request cost. Candidate ranking has
+ * all four: scoring is dense dot products (CPU-bound), the candidate-set
+ * size varies by orders of magnitude between casual and power users
+ * (variable demand), candidates partition into chunks (parallelizable),
+ * and cost is a deterministic function of |candidates| x dim
+ * (estimable). This module provides the real computation; the workload
+ * and benches drive it through the same policy machinery as search and
+ * finance.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "search/executor.h" // ScoredDoc/TopKCollector are reused
+#include "util/rng.h"
+
+namespace tpc::recsys {
+
+/** Deterministic synthetic embedding table. */
+class EmbeddingModel
+{
+  public:
+    /**
+     * @param numItems Item-catalog size.
+     * @param dim      Embedding dimensionality.
+     * @param seed     Initializer seed (deterministic table).
+     */
+    EmbeddingModel(std::uint32_t numItems, int dim, std::uint64_t seed);
+
+    std::uint32_t itemCount() const { return numItems_; }
+    int dimension() const { return dim_; }
+
+    /** Pointer to an item's embedding (dimension() floats). */
+    const float* itemVector(std::uint32_t item) const
+    {
+        return table_.data() + static_cast<std::size_t>(item) * dim_;
+    }
+
+    /** Deterministic per-user embedding derived from the user id. */
+    std::vector<float> userVector(std::uint64_t userId) const;
+
+    /**
+     * Scores candidates [begin, end) of the candidate list against the
+     * user vector and offers them to the collector. The parallelizable
+     * task body: disjoint ranges are independent.
+     */
+    void scoreRange(const std::vector<float>& user,
+                    const std::vector<std::uint32_t>& candidates,
+                    std::size_t begin, std::size_t end,
+                    search::TopKCollector& out) const;
+
+    /** Convenience: scores all candidates and returns the top k. */
+    std::vector<search::ScoredDoc> rank(
+        const std::vector<float>& user,
+        const std::vector<std::uint32_t>& candidates, std::size_t k) const;
+
+  private:
+    std::uint32_t numItems_;
+    int dim_;
+    std::vector<float> table_;
+};
+
+} // namespace tpc::recsys

@@ -1,0 +1,92 @@
+#include "recsys/workload.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpc::recsys {
+
+double
+sampleCandidateCount(const RecsysWorkloadParams& params, util::Rng& rng)
+{
+    // Bounded Pareto inverse CDF.
+    const double alpha = params.paretoAlpha;
+    const double lo = params.minCandidates;
+    const double hi = params.maxCandidates;
+    TPC_DCHECK(lo > 0.0 && hi > lo && alpha > 0.0);
+    const double ratio = std::pow(lo / hi, alpha);
+    const double u = rng.uniform();
+    return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
+harness::Trace
+makeRecsysTrace(std::size_t count, const RecsysWorkloadParams& params,
+                std::uint64_t seed)
+{
+    TPC_CHECK(count > 0);
+    util::Rng rng(seed);
+    harness::Trace trace;
+    trace.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double candidates = sampleCandidateCount(params, rng);
+        harness::TraceItem item;
+        item.trueMs = params.fixedSequentialMs +
+                      candidates * params.msPerKiloCandidate / 1000.0;
+        item.predictedMs =
+            item.trueMs *
+            std::exp(rng.normal(0.0, params.predictionErrorSigma));
+        trace.push_back(item);
+    }
+    return trace;
+}
+
+const policy::SpeedupModel&
+recsysExecutionModel()
+{
+    // Dense scoring is embarrassingly parallel; the fixed pre/post phases
+    // (feature fetch, diversity re-rank) bound small requests. Max degree
+    // 8 on the beefier ranking tier.
+    static const policy::SpeedupModel model([] {
+        constexpr double kInf = std::numeric_limits<double>::infinity();
+        std::vector<policy::SpeedupModel::Group> groups;
+        groups.push_back(
+            {10.0, "small",
+             policy::SpeedupProfile(
+                 {1.0, 1.50, 1.80, 2.00, 2.10, 2.15, 2.18, 2.20})});
+        groups.push_back(
+            {kInf, "large",
+             policy::SpeedupProfile(
+                 {1.0, 1.95, 2.90, 3.80, 4.65, 5.40, 6.10, 6.70})});
+        return groups;
+    }());
+    return model;
+}
+
+server::ServerConfig
+recsysServerConfig()
+{
+    server::ServerConfig config;
+    config.numWorkers = 24;
+    config.hwContexts = 16;
+    config.coreCapacity = 10.0;
+    config.longThresholdMs = 10.0;
+    return config;
+}
+
+core::TargetTable
+recsysTargetTable()
+{
+    // Unloaded floor: the largest request at degree 8 (~120 / 6.7 ~ 18 ms).
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return core::TargetTable({
+        {0.0, 20.0},
+        {4.0, 24.0},
+        {8.0, 32.0},
+        {12.0, 48.0},
+        {kInf, 80.0},
+    });
+}
+
+} // namespace tpc::recsys

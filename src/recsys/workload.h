@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Recommendation-server workload: a third demand profile for TPC.
+ *
+ * Candidate-set sizes follow a bounded Pareto law — most users trigger a
+ * few hundred candidates, power users tens of thousands — giving a
+ * heavier mid-tail than web search's bimodal mixture while the cost
+ * stays analytically estimable (|candidates| x dim x per-flop cost), so
+ * like the finance server the predictor is near-exact.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/target_table.h"
+#include "util/rng.h"
+#include "harness/experiment.h"
+#include "policy/speedup_profile.h"
+#include "server/sim_server.h"
+
+namespace tpc::recsys {
+
+/** Tunables of the recommendation request mix. */
+struct RecsysWorkloadParams
+{
+    /** Bounded-Pareto candidate count: minimum. */
+    double minCandidates = 400.0;
+    /** Bounded-Pareto candidate count: maximum. */
+    double maxCandidates = 60000.0;
+    /** Pareto tail index (smaller = heavier tail). */
+    double paretoAlpha = 1.15;
+    /** Scoring cost in ms per 1000 candidates (embedding dim folded in). */
+    double msPerKiloCandidate = 2.0;
+    /** Sequential pre/post phase cost (feature fetch, diversity re-rank). */
+    double fixedSequentialMs = 0.6;
+    /** Lognormal error of the analytic estimate (near-exact). */
+    double predictionErrorSigma = 0.015;
+};
+
+/** Draws one candidate count from the bounded Pareto. */
+double sampleCandidateCount(const RecsysWorkloadParams& params,
+                            util::Rng& rng);
+
+/** Generates the DES trace (true demand + analytic estimate). */
+harness::Trace makeRecsysTrace(std::size_t count,
+                               const RecsysWorkloadParams& params,
+                               std::uint64_t seed);
+
+/**
+ * Parallelism-efficiency model: dense scoring parallelizes nearly
+ * linearly; the fixed pre/post phases bound small requests. Two classes
+ * split at 10 ms, maximum degree 8 (a beefier ranking tier).
+ */
+const policy::SpeedupModel& recsysExecutionModel();
+
+/** Machine shape of the simulated ranking server. */
+server::ServerConfig recsysServerConfig();
+
+/** Target table for TPC on this server (load metric: LongT). */
+core::TargetTable recsysTargetTable();
+
+} // namespace tpc::recsys

@@ -1,0 +1,48 @@
+#include "runtime/malleable_job.h"
+
+#include "util/logging.h"
+
+namespace tpc::runtime {
+
+MalleableJob::MalleableJob(int numTasks, TaskFn fn)
+    : numTasks_(numTasks), fn_(std::move(fn))
+{
+    TPC_CHECK(numTasks >= 1);
+    TPC_CHECK(fn_ != nullptr);
+}
+
+void
+MalleableJob::runWorker()
+{
+    joinedWorkers_.fetch_add(1, std::memory_order_relaxed);
+    activeWorkers_.fetch_add(1, std::memory_order_relaxed);
+    while (true) {
+        const int task = nextTask_.fetch_add(1, std::memory_order_relaxed);
+        if (task >= numTasks_)
+            break;
+        fn_(task);
+        const int completed =
+            completedTasks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (completed == numTasks_) {
+            std::lock_guard<std::mutex> lock(doneMutex_);
+            done_ = true;
+            doneCv_.notify_all();
+        }
+    }
+    activeWorkers_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+MalleableJob::wait()
+{
+    std::unique_lock<std::mutex> lock(doneMutex_);
+    doneCv_.wait(lock, [this] { return done_; });
+}
+
+bool
+MalleableJob::finished() const
+{
+    return completedTasks_.load(std::memory_order_acquire) == numTasks_;
+}
+
+} // namespace tpc::runtime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A malleable parallel job: a pool of tasks executed by a varying number
+ * of workers.
+ *
+ * This is the intra-request parallelism mechanism the paper builds on
+ * (Jeon et al., EuroSys 2013; Haque et al., ASPLOS 2015): request work is
+ * partitioned into small tasks forming a task pool, worker threads grab
+ * tasks until the pool drains, and the scheduler may add workers *while
+ * the job runs* — which is exactly what TPC's dynamic correction does.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace tpc::runtime {
+
+/**
+ * A job made of @c numTasks independent tasks, identified by index.
+ *
+ * Thread-safe: any number of workers may call runWorker concurrently, and
+ * more workers may join at any time. Each task executes exactly once.
+ */
+class MalleableJob
+{
+  public:
+    /** Task body; receives the task index. */
+    using TaskFn = std::function<void(int taskIndex)>;
+
+    /**
+     * @param numTasks Number of tasks (>= 1).
+     * @param fn       Task body; must be safe to call concurrently for
+     *                 distinct indices.
+     */
+    MalleableJob(int numTasks, TaskFn fn);
+
+    MalleableJob(const MalleableJob&) = delete;
+    MalleableJob& operator=(const MalleableJob&) = delete;
+
+    /**
+     * Participates in the job: grabs and runs tasks until the pool is
+     * empty, then returns. Increments the active-worker count while
+     * running. Safe to call after the job finished (returns immediately).
+     */
+    void runWorker();
+
+    /** Blocks until every task has completed. */
+    void wait();
+
+    /** True once every task has completed. */
+    bool finished() const;
+
+    /** Number of workers currently inside runWorker(). */
+    int activeWorkers() const
+    {
+        return activeWorkers_.load(std::memory_order_relaxed);
+    }
+
+    /** Total workers that ever participated (for tests/telemetry). */
+    int totalWorkersJoined() const
+    {
+        return joinedWorkers_.load(std::memory_order_relaxed);
+    }
+
+    int taskCount() const { return numTasks_; }
+
+  private:
+    const int numTasks_;
+    TaskFn fn_;
+    std::atomic<int> nextTask_{0};
+    std::atomic<int> completedTasks_{0};
+    std::atomic<int> activeWorkers_{0};
+    std::atomic<int> joinedWorkers_{0};
+
+    std::mutex doneMutex_;
+    std::condition_variable doneCv_;
+    bool done_ = false;
+};
+
+} // namespace tpc::runtime

@@ -1,0 +1,32 @@
+#include "runtime/parallel_for.h"
+
+#include <memory>
+
+#include "runtime/malleable_job.h"
+#include "runtime/worker_pool.h"
+#include "util/logging.h"
+
+namespace tpc::runtime {
+
+void
+parallelFor(WorkerPool& pool, int degree, int numTasks,
+            const std::function<void(int)>& body)
+{
+    TPC_CHECK(degree >= 1);
+    TPC_CHECK(numTasks >= 1);
+    if (degree == 1 || numTasks == 1) {
+        for (int i = 0; i < numTasks; ++i)
+            body(i);
+        return;
+    }
+    // Shared ownership so helpers posted to the pool stay valid even if
+    // they start after the caller finished waiting.
+    auto job = std::make_shared<MalleableJob>(
+        numTasks, [&body](int task) { body(task); });
+    for (int i = 0; i < degree - 1; ++i)
+        pool.post([job] { job->runWorker(); });
+    job->runWorker();
+    job->wait();
+}
+
+} // namespace tpc::runtime

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fixed-degree fork/join helper built on MalleableJob.
+ *
+ * Used by the Figure 2 speedup measurement and the finance server: run a
+ * chunked loop body with exactly @c degree participating threads (the
+ * calling thread is one of them) and return when all chunks complete.
+ */
+#pragma once
+
+#include <functional>
+
+namespace tpc::runtime {
+
+class WorkerPool;
+
+/**
+ * Executes @p numTasks chunk bodies with @p degree threads.
+ *
+ * @param pool     Pool supplying the extra degree-1 workers.
+ * @param degree   Total participating threads, including the caller (>= 1).
+ * @param numTasks Number of chunks (>= 1).
+ * @param body     Chunk body; called once per index in [0, numTasks).
+ */
+void parallelFor(WorkerPool& pool, int degree, int numTasks,
+                 const std::function<void(int)>& body);
+
+} // namespace tpc::runtime

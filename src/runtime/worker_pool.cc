@@ -1,0 +1,66 @@
+#include "runtime/worker_pool.h"
+
+#include "util/logging.h"
+
+namespace tpc::runtime {
+
+WorkerPool::WorkerPool(int numThreads) : size_(numThreads)
+{
+    TPC_CHECK(numThreads >= 1);
+    threads_.reserve(static_cast<std::size_t>(numThreads));
+    for (int i = 0; i < numThreads; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::post(std::function<void()> fn)
+{
+    TPC_CHECK(fn != nullptr);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TPC_CHECK_MSG(!stopping_, "post after shutdown");
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+int
+WorkerPool::pendingTasks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(queue_.size());
+}
+
+void
+WorkerPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> fn;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                // stopping_ must be set; drain-then-exit semantics.
+                return;
+            }
+            fn = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        busyWorkers_.fetch_add(1, std::memory_order_relaxed);
+        fn();
+        busyWorkers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace tpc::runtime

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool.
+ *
+ * Models the ISN's pool of worker threads (28 in the paper's setup): a
+ * request occupies one worker for sequential execution, or several for
+ * parallel execution; the number of idle workers is the "available
+ * resources" signal TPC's dynamic correction consumes.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpc::runtime {
+
+/** A pool of worker threads executing posted closures FIFO. */
+class WorkerPool
+{
+  public:
+    /** Spawns @p numThreads workers immediately. */
+    explicit WorkerPool(int numThreads);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /** Enqueues a closure for execution by any worker. */
+    void post(std::function<void()> fn);
+
+    /** Number of workers not currently running a closure. */
+    int idleWorkers() const
+    {
+        return size_ - busyWorkers_.load(std::memory_order_relaxed);
+    }
+
+    /** Number of workers currently running a closure. */
+    int busyWorkers() const
+    {
+        return busyWorkers_.load(std::memory_order_relaxed);
+    }
+
+    /** Total worker threads. */
+    int size() const { return size_; }
+
+    /** Closures queued but not yet started. */
+    int pendingTasks() const;
+
+  private:
+    void workerLoop();
+
+    const int size_;
+    std::vector<std::thread> threads_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::atomic<int> busyWorkers_{0};
+    bool stopping_ = false;
+};
+
+} // namespace tpc::runtime

@@ -1,0 +1,69 @@
+#include "search/codec.h"
+
+#include "util/logging.h"
+
+namespace tpc::search {
+
+void
+varbyteEncode(std::uint64_t value, std::vector<std::uint8_t>& out)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+varbyteDecode(const std::vector<std::uint8_t>& buf, std::size_t& offset)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        TPC_DCHECK(offset < buf.size());
+        const std::uint8_t byte = buf[offset++];
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+        TPC_DCHECK(shift < 64);
+    }
+}
+
+std::vector<std::uint8_t>
+encodeDocIds(const std::vector<std::uint32_t>& ids)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(ids.size() + 8);
+    varbyteEncode(ids.size(), out);
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i == 0) {
+            varbyteEncode(ids[0], out);
+        } else {
+            TPC_DCHECK(ids[i] > prev);
+            varbyteEncode(ids[i] - prev, out);
+        }
+        prev = ids[i];
+    }
+    return out;
+}
+
+std::vector<std::uint32_t>
+decodeDocIds(const std::vector<std::uint8_t>& buf)
+{
+    std::size_t offset = 0;
+    const std::uint64_t count = varbyteDecode(buf, offset);
+    std::vector<std::uint32_t> ids;
+    ids.reserve(count);
+    std::uint32_t prev = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto delta =
+            static_cast<std::uint32_t>(varbyteDecode(buf, offset));
+        prev = (i == 0) ? delta : prev + delta;
+        ids.push_back(prev);
+    }
+    return ids;
+}
+
+} // namespace tpc::search

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Variable-byte integer codec for compressed posting storage.
+ *
+ * Production index-serving nodes keep postings compressed in memory; this
+ * codec provides the same capability for the synthetic index (delta +
+ * varbyte), and is exercised by InvertedIndex::serialize/deserialize.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tpc::search {
+
+/** Appends one varbyte-encoded integer to the buffer. */
+void varbyteEncode(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+/**
+ * Decodes one varbyte integer starting at @p offset; advances the offset
+ * past the encoded bytes. Behaviour is undefined on truncated input in
+ * release builds; debug builds abort.
+ */
+std::uint64_t varbyteDecode(const std::vector<std::uint8_t>& buf,
+                            std::size_t& offset);
+
+/**
+ * Delta + varbyte encodes a strictly increasing document-id sequence.
+ * The count is encoded first, then the first id, then gaps.
+ */
+std::vector<std::uint8_t> encodeDocIds(const std::vector<std::uint32_t>& ids);
+
+/** Inverse of encodeDocIds. */
+std::vector<std::uint32_t> decodeDocIds(const std::vector<std::uint8_t>& buf);
+
+} // namespace tpc::search

@@ -1,0 +1,75 @@
+#include "search/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpc::search {
+
+FeatureExtractor::FeatureExtractor(const InvertedIndex& index) : index_(index)
+{
+}
+
+std::vector<std::string>
+FeatureExtractor::featureNames()
+{
+    return {
+        "num_keywords",       // query length in terms
+        "total_postings",     // sum of posting-list lengths
+        "max_postings",       // longest posting list
+        "min_postings",       // shortest posting list (intersection bound)
+        "log_total_postings", // log scale of the dominant cost driver
+        "sum_idf",            // aggregate rarity
+        "min_idf",            // rarity of the most common term
+        "max_idf",            // rarity of the rarest term
+        "est_intersection",   // independence-model match-count estimate
+        "rare_terms",         // terms with df below 0.1% of corpus
+    };
+}
+
+std::vector<double>
+FeatureExtractor::extract(const Query& query) const
+{
+    TPC_CHECK(!query.terms.empty());
+    double totalPostings = 0.0;
+    double maxPostings = 0.0;
+    double minPostings = std::numeric_limits<double>::max();
+    double sumIdf = 0.0;
+    double minIdf = std::numeric_limits<double>::max();
+    double maxIdf = 0.0;
+    double rareTerms = 0.0;
+    const double n = index_.documentCount();
+    double logSelectivity = 0.0;
+
+    for (std::uint32_t term : query.terms) {
+        const double df = index_.documentFrequency(term);
+        const double idf = index_.idf(term);
+        totalPostings += df;
+        maxPostings = std::max(maxPostings, df);
+        minPostings = std::min(minPostings, df);
+        sumIdf += idf;
+        minIdf = std::min(minIdf, idf);
+        maxIdf = std::max(maxIdf, idf);
+        if (df < 0.001 * n)
+            rareTerms += 1.0;
+        // Independence model: P(term in doc) ~ df / N.
+        logSelectivity += std::log(std::max(df, 0.5) / n);
+    }
+
+    const double estIntersection = n * std::exp(logSelectivity);
+    return {
+        static_cast<double>(query.terms.size()),
+        totalPostings,
+        maxPostings,
+        minPostings,
+        std::log1p(totalPostings),
+        sumIdf,
+        minIdf,
+        maxIdf,
+        estIntersection,
+        rareTerms,
+    };
+}
+
+} // namespace tpc::search

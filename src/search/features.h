@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Per-query feature extraction for the execution-time predictor.
+ *
+ * Mirrors the feature families of the predictor the paper adopts (Jeon et
+ * al., SIGIR 2014): term features (document frequency, IDF) and query
+ * features (keyword count, aggregate posting statistics, an estimate of
+ * the conjunctive intersection cardinality).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "search/inverted_index.h"
+#include "search/query.h"
+
+namespace tpc::search {
+
+/** Extracts a fixed-width numeric feature vector per query. */
+class FeatureExtractor
+{
+  public:
+    /** @param index Index providing term statistics (borrowed). */
+    explicit FeatureExtractor(const InvertedIndex& index);
+
+    /** Names of the extracted features, in order. */
+    static std::vector<std::string> featureNames();
+
+    /** Number of features produced. */
+    static std::size_t featureCount() { return featureNames().size(); }
+
+    /** Extracts the feature vector for one query. */
+    std::vector<double> extract(const Query& query) const;
+
+  private:
+    const InvertedIndex& index_;
+};
+
+} // namespace tpc::search

@@ -1,0 +1,289 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+
+#include "search/codec.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+
+namespace tpc::search {
+
+// --- PostingList ------------------------------------------------------------
+
+void
+PostingList::add(std::uint32_t docId, std::uint8_t termFrequency)
+{
+    TPC_DCHECK(docIds_.empty() || docId > docIds_.back());
+    docIds_.push_back(docId);
+    tfs_.push_back(termFrequency);
+}
+
+std::size_t
+PostingList::firstAtOrAfter(std::uint32_t docId) const
+{
+    const auto it =
+        std::lower_bound(docIds_.begin(), docIds_.end(), docId);
+    return static_cast<std::size_t>(it - docIds_.begin());
+}
+
+bool
+PostingList::contains(std::uint32_t docId) const
+{
+    return std::binary_search(docIds_.begin(), docIds_.end(), docId);
+}
+
+// --- IndexBuilder -----------------------------------------------------------
+
+IndexBuilder::IndexBuilder(std::uint32_t vocabularySize)
+{
+    index_.postings_.resize(vocabularySize);
+    scratchCounts_.assign(vocabularySize, 0);
+}
+
+void
+IndexBuilder::addDocument(const std::vector<std::uint32_t>& terms)
+{
+    const std::uint32_t docId = index_.documentCount_;
+    // Count term frequencies via a scratch array reset per document.
+    scratchTerms_.clear();
+    for (std::uint32_t term : terms) {
+        TPC_DCHECK(term < index_.postings_.size());
+        if (scratchCounts_[term] == 0)
+            scratchTerms_.push_back(term);
+        ++scratchCounts_[term];
+    }
+    std::sort(scratchTerms_.begin(), scratchTerms_.end());
+    for (std::uint32_t term : scratchTerms_) {
+        const std::uint32_t tf = scratchCounts_[term];
+        index_.postings_[term].add(
+            docId,
+            static_cast<std::uint8_t>(std::min<std::uint32_t>(tf, 255)));
+        index_.postingCount_ += 1;
+        scratchCounts_[term] = 0;
+    }
+    index_.docLengths_.push_back(
+        static_cast<std::uint16_t>(std::min<std::size_t>(terms.size(),
+                                                         65535)));
+    ++index_.documentCount_;
+}
+
+InvertedIndex
+IndexBuilder::finish()
+{
+    auto& idx = index_;
+    if (idx.documentCount_ > 0) {
+        std::uint64_t totalLength = 0;
+        for (auto len : idx.docLengths_)
+            totalLength += len;
+        idx.avgDocLength_ = static_cast<double>(totalLength) /
+                            static_cast<double>(idx.documentCount_);
+    }
+    return std::move(index_);
+}
+
+// --- InvertedIndex ----------------------------------------------------------
+
+InvertedIndex
+InvertedIndex::buildSynthetic(const CorpusParams& params, std::uint64_t seed)
+{
+    TPC_CHECK(params.numDocuments > 0);
+    TPC_CHECK(params.vocabularySize > 0);
+    util::Rng rng(seed);
+    const util::ZipfDistribution termDist(params.vocabularySize,
+                                          params.termSkew);
+    const double lengthMu = std::log(params.medianDocLength);
+
+    IndexBuilder builder(params.vocabularySize);
+    std::vector<std::uint32_t> terms;
+    for (std::uint32_t doc = 0; doc < params.numDocuments; ++doc) {
+        const auto length = static_cast<std::size_t>(std::clamp(
+            rng.lognormal(lengthMu, params.docLengthSigma), 4.0, 4000.0));
+        terms.clear();
+        terms.reserve(length);
+        for (std::size_t i = 0; i < length; ++i)
+            terms.push_back(
+                static_cast<std::uint32_t>(termDist.sample(rng)));
+        builder.addDocument(terms);
+    }
+    return builder.finish();
+}
+
+const PostingList&
+InvertedIndex::postings(std::uint32_t term) const
+{
+    static const PostingList kEmpty;
+    if (term >= postings_.size())
+        return kEmpty;
+    return postings_[term];
+}
+
+std::uint32_t
+InvertedIndex::documentFrequency(std::uint32_t term) const
+{
+    return static_cast<std::uint32_t>(postings(term).size());
+}
+
+double
+InvertedIndex::idf(std::uint32_t term) const
+{
+    const double df = documentFrequency(term);
+    const double n = documentCount_;
+    return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+std::vector<std::uint32_t>
+InvertedIndex::termsByDescendingFrequency() const
+{
+    std::vector<std::uint32_t> order(postings_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                         return postings_[a].size() > postings_[b].size();
+                     });
+    return order;
+}
+
+namespace {
+
+/** Magic prefix guarding the full-index format. */
+constexpr std::uint64_t kIndexMagic = 0x5450434944583101ull; // "TPCIDX1."
+
+} // namespace
+
+std::vector<std::uint8_t>
+InvertedIndex::serialize() const
+{
+    std::vector<std::uint8_t> blob;
+    varbyteEncode(kIndexMagic, blob);
+    varbyteEncode(documentCount_, blob);
+    varbyteEncode(postings_.size(), blob);
+    for (std::uint32_t doc = 0; doc < documentCount_; ++doc)
+        varbyteEncode(docLengths_[doc], blob);
+    for (const auto& list : postings_) {
+        varbyteEncode(list.size(), blob);
+        std::uint32_t prev = 0;
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            const std::uint32_t id = list.docIds()[i];
+            varbyteEncode(i == 0 ? id : id - prev, blob);
+            prev = id;
+        }
+        for (std::size_t i = 0; i < list.size(); ++i)
+            blob.push_back(list.termFrequency(i));
+    }
+    return blob;
+}
+
+InvertedIndex
+InvertedIndex::deserialize(const std::vector<std::uint8_t>& blob)
+{
+    std::size_t offset = 0;
+    const std::uint64_t magic = varbyteDecode(blob, offset);
+    TPC_CHECK_MSG(magic == kIndexMagic, "not a TPC index blob");
+
+    InvertedIndex index;
+    index.documentCount_ =
+        static_cast<std::uint32_t>(varbyteDecode(blob, offset));
+    const std::uint64_t vocab = varbyteDecode(blob, offset);
+    index.docLengths_.reserve(index.documentCount_);
+    std::uint64_t totalLength = 0;
+    for (std::uint32_t doc = 0; doc < index.documentCount_; ++doc) {
+        const auto length =
+            static_cast<std::uint16_t>(varbyteDecode(blob, offset));
+        index.docLengths_.push_back(length);
+        totalLength += length;
+    }
+    index.postings_.resize(vocab);
+    for (std::uint64_t term = 0; term < vocab; ++term) {
+        const std::uint64_t count = varbyteDecode(blob, offset);
+        std::vector<std::uint32_t> ids;
+        ids.reserve(count);
+        std::uint32_t prev = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const auto delta =
+                static_cast<std::uint32_t>(varbyteDecode(blob, offset));
+            prev = (i == 0) ? delta : prev + delta;
+            ids.push_back(prev);
+        }
+        PostingList& list = index.postings_[term];
+        for (std::uint64_t i = 0; i < count; ++i) {
+            TPC_CHECK_MSG(offset < blob.size(), "truncated index blob");
+            list.add(ids[i], blob[offset++]);
+        }
+        index.postingCount_ += count;
+    }
+    if (index.documentCount_ > 0)
+        index.avgDocLength_ = static_cast<double>(totalLength) /
+                              static_cast<double>(index.documentCount_);
+    TPC_CHECK_MSG(offset == blob.size(), "trailing bytes in index blob");
+    return index;
+}
+
+void
+InvertedIndex::saveToFile(const std::string& path) const
+{
+    const auto blob = serialize();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        util::fatal("cannot open index file for writing: " + path);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out)
+        util::fatal("failed writing index file: " + path);
+}
+
+InvertedIndex
+InvertedIndex::loadFromFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        util::fatal("cannot open index file: " + path);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<std::uint8_t> blob(size);
+    in.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(size));
+    if (!in)
+        util::fatal("failed reading index file: " + path);
+    return deserialize(blob);
+}
+
+std::vector<std::uint8_t>
+InvertedIndex::serializeDocIds() const
+{
+    std::vector<std::uint8_t> blob;
+    varbyteEncode(postings_.size(), blob);
+    for (const auto& list : postings_) {
+        const auto encoded = encodeDocIds(list.docIds());
+        blob.insert(blob.end(), encoded.begin(), encoded.end());
+    }
+    return blob;
+}
+
+bool
+InvertedIndex::verifySerializedDocIds(
+    const std::vector<std::uint8_t>& blob) const
+{
+    std::size_t offset = 0;
+    const std::uint64_t termCount = varbyteDecode(blob, offset);
+    if (termCount != postings_.size())
+        return false;
+    for (const auto& list : postings_) {
+        const std::uint64_t count = varbyteDecode(blob, offset);
+        if (count != list.size())
+            return false;
+        std::uint32_t prev = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const auto delta =
+                static_cast<std::uint32_t>(varbyteDecode(blob, offset));
+            prev = (i == 0) ? delta : prev + delta;
+            if (prev != list.docIds()[i])
+                return false;
+        }
+    }
+    return offset == blob.size();
+}
+
+} // namespace tpc::search

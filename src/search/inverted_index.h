@@ -1,0 +1,174 @@
+/**
+ * @file
+ * In-memory inverted index over a synthetic Zipfian corpus.
+ *
+ * Substitutes for the Bing web-index shard: each index-serving node in the
+ * paper searches its fragment of the web index; here the fragment is a
+ * synthetic document collection whose term popularity follows a Zipf law,
+ * giving posting lists with the realistic heavy-tailed length distribution
+ * that drives query service-demand variability (Section 2.3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpc::search {
+
+/** One (document, term-frequency) posting. */
+struct Posting
+{
+    std::uint32_t docId;
+    std::uint8_t termFrequency;
+};
+
+/** A term's posting list: parallel docId / termFrequency arrays. */
+class PostingList
+{
+  public:
+    /** Appends a posting; doc ids must arrive in increasing order. */
+    void add(std::uint32_t docId, std::uint8_t termFrequency);
+
+    std::size_t size() const { return docIds_.size(); }
+    bool empty() const { return docIds_.empty(); }
+
+    const std::vector<std::uint32_t>& docIds() const { return docIds_; }
+    std::uint8_t termFrequency(std::size_t i) const { return tfs_[i]; }
+
+    /**
+     * Index of the first posting with docId >= @p docId (binary search);
+     * size() when none.
+     */
+    std::size_t firstAtOrAfter(std::uint32_t docId) const;
+
+    /** True when some posting has exactly this doc id. */
+    bool contains(std::uint32_t docId) const;
+
+  private:
+    std::vector<std::uint32_t> docIds_;
+    std::vector<std::uint8_t> tfs_;
+};
+
+/** Parameters of the synthetic corpus behind the index. */
+struct CorpusParams
+{
+    std::uint32_t numDocuments = 60000;
+    std::uint32_t vocabularySize = 60000;
+    /** Zipf skew of term popularity. */
+    double termSkew = 1.1;
+    /** Lognormal document length: median terms per document. */
+    double medianDocLength = 80.0;
+    /** Lognormal sigma of document length. */
+    double docLengthSigma = 0.4;
+};
+
+/**
+ * Document-sharded inverted index fragment.
+ *
+ * Built either synthetically (buildSynthetic) or from explicit documents
+ * (IndexBuilder below). Provides the statistics the feature extractor and
+ * BM25 scorer need.
+ */
+class InvertedIndex
+{
+  public:
+    InvertedIndex() = default;
+
+    /** Generates a synthetic corpus and indexes it; deterministic per seed. */
+    static InvertedIndex buildSynthetic(const CorpusParams& params,
+                                        std::uint64_t seed);
+
+    std::uint32_t documentCount() const { return documentCount_; }
+    std::uint32_t vocabularySize() const
+    {
+        return static_cast<std::uint32_t>(postings_.size());
+    }
+
+    /** Posting list of a term (empty list for unseen terms). */
+    const PostingList& postings(std::uint32_t term) const;
+
+    /** Document frequency: number of documents containing the term. */
+    std::uint32_t documentFrequency(std::uint32_t term) const;
+
+    /** BM25-style inverse document frequency of the term. */
+    double idf(std::uint32_t term) const;
+
+    /** Length (in terms) of a document. */
+    std::uint32_t documentLength(std::uint32_t doc) const
+    {
+        return docLengths_[doc];
+    }
+
+    double averageDocumentLength() const { return avgDocLength_; }
+
+    /** Total number of postings across all terms. */
+    std::uint64_t postingCount() const { return postingCount_; }
+
+    /**
+     * Terms sorted by descending document frequency; used by the query
+     * generator to pick terms from document-frequency strata.
+     */
+    std::vector<std::uint32_t> termsByDescendingFrequency() const;
+
+    /**
+     * Serializes the complete index (postings with term frequencies,
+     * document lengths, statistics) with delta+varbyte compression.
+     * Round-trips exactly through deserialize().
+     */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Restores an index produced by serialize(). Fatal on bad input. */
+    static InvertedIndex deserialize(const std::vector<std::uint8_t>& blob);
+
+    /** Writes serialize() output to a file (fatal on I/O error). */
+    void saveToFile(const std::string& path) const;
+
+    /** Reads an index saved with saveToFile (fatal on I/O error). */
+    static InvertedIndex loadFromFile(const std::string& path);
+
+    /** Serializes doc-id lists with delta+varbyte (codec round-trip). */
+    std::vector<std::uint8_t> serializeDocIds() const;
+
+    /**
+     * Checks that the serialized form decodes back to this index's doc-id
+     * lists; returns false on any mismatch.
+     */
+    bool verifySerializedDocIds(const std::vector<std::uint8_t>& blob) const;
+
+  private:
+    friend class IndexBuilder;
+
+    std::vector<PostingList> postings_;
+    std::vector<std::uint16_t> docLengths_;
+    std::uint32_t documentCount_ = 0;
+    std::uint64_t postingCount_ = 0;
+    double avgDocLength_ = 0.0;
+};
+
+/** Streaming builder: feed documents one at a time, then finish(). */
+class IndexBuilder
+{
+  public:
+    /** @param vocabularySize Upper bound on term ids. */
+    explicit IndexBuilder(std::uint32_t vocabularySize);
+
+    /**
+     * Adds the next document. Term ids may repeat (repetitions become term
+     * frequency); documents must be added in increasing doc-id order
+     * starting at 0.
+     */
+    void addDocument(const std::vector<std::uint32_t>& terms);
+
+    /** Finalizes and returns the index; the builder is consumed. */
+    InvertedIndex finish();
+
+  private:
+    InvertedIndex index_;
+    std::vector<std::uint32_t> scratchCounts_;
+    std::vector<std::uint32_t> scratchTerms_;
+};
+
+} // namespace tpc::search

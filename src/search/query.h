@@ -1,0 +1,30 @@
+/**
+ * @file
+ * A search query over the synthetic index.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tpc::search {
+
+/** A conjunctive keyword query. */
+struct Query
+{
+    /** Stable id within a generated query log. */
+    std::uint64_t id = 0;
+
+    /** Distinct term ids; all must match a document (AND semantics). */
+    std::vector<std::uint32_t> terms;
+
+    /**
+     * True sequential service demand in milliseconds under the calibrated
+     * cost model. This is the quantity the predictor estimates and the
+     * discrete-event server consumes; it is hidden from scheduling policies
+     * except through the predictor (or the perfect-predictor oracle).
+     */
+    double trueSequentialMs = 0.0;
+};
+
+} // namespace tpc::search

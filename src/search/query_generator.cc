@@ -1,0 +1,132 @@
+#include "search/query_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpc::search {
+
+QueryGenerator::QueryGenerator(const InvertedIndex& index,
+                               const QueryLogParams& params,
+                               std::uint64_t seed)
+    : index_(index),
+      params_(params),
+      rng_(seed),
+      demand_(params.bulkMedianMs, params.bulkSigma, params.tailMedianMs,
+              params.tailSigma, params.tailWeight, params.minDemandMs,
+              params.maxDemandMs)
+{
+    TPC_CHECK(params.maxKeywords >= 1);
+    TPC_CHECK(params.msPerKiloPosting > 0.0);
+    termsByFreq_ = index_.termsByDescendingFrequency();
+    // Drop terms with empty posting lists from the candidate pool.
+    while (!termsByFreq_.empty() &&
+           index_.documentFrequency(termsByFreq_.back()) == 0)
+        termsByFreq_.pop_back();
+    TPC_CHECK_MSG(!termsByFreq_.empty(), "index has no non-empty terms");
+}
+
+void
+QueryGenerator::pickTerms(int k, double mass, std::vector<std::uint32_t>& out)
+{
+    out.clear();
+    double remaining = std::max(mass, 1.0);
+    for (int i = 0; i < k; ++i) {
+        const int left = k - i;
+        // Per-term posting budget with mild jitter so queries are not all
+        // built from identical-frequency terms.
+        const double target =
+            (remaining / left) * std::exp(rng_.normal(0.0, 0.25));
+        // termsByFreq_ is sorted by descending df: find the first rank at
+        // or below the target frequency.
+        const auto it = std::lower_bound(
+            termsByFreq_.begin(), termsByFreq_.end(), target,
+            [this](std::uint32_t term, double value) {
+                return static_cast<double>(index_.documentFrequency(term)) >
+                       value;
+            });
+        auto center = static_cast<std::size_t>(it - termsByFreq_.begin());
+        if (center >= termsByFreq_.size())
+            center = termsByFreq_.size() - 1;
+        // Sample within a +-12% rank window (at least +-8 ranks) around the
+        // target so repeated queries differ.
+        const auto halfWindow = std::max<std::size_t>(8, center / 8);
+        const std::size_t lo = center > halfWindow ? center - halfWindow : 0;
+        const std::size_t hi =
+            std::min(termsByFreq_.size() - 1, center + halfWindow);
+        std::uint32_t term = 0;
+        bool found = false;
+        for (int attempt = 0; attempt < 16; ++attempt) {
+            const auto rank = static_cast<std::size_t>(rng_.uniformInt(
+                static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+            term = termsByFreq_[rank];
+            if (std::find(out.begin(), out.end(), term) == out.end()) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            continue; // Window exhausted (tiny index); accept fewer terms.
+        out.push_back(term);
+        remaining = std::max(
+            1.0, remaining - static_cast<double>(
+                                 index_.documentFrequency(term)));
+    }
+    if (out.empty())
+        out.push_back(termsByFreq_[0]);
+}
+
+Query
+QueryGenerator::next()
+{
+    Query q;
+    q.id = nextId_++;
+
+    // 1. Latent true demand from the calibrated distribution.
+    const double demandMs = demand_.sample(rng_);
+    q.trueSequentialMs = demandMs;
+
+    // 2. Everything observable about the query (keyword count, term
+    //    choice) derives from `observableMs`. For most queries that is the
+    //    true demand; feature-blind queries instead use an independent
+    //    demand sample, so their cost is fundamentally unexplainable from
+    //    features — which is what caps any predictor at the paper's
+    //    Section 2.5 accuracy.
+    const double observableMs = rng_.bernoulli(params_.featureBlindProbability)
+                                    ? demand_.sample(rng_)
+                                    : demandMs;
+
+    // 3. Keyword count grows with the observable demand (plus jitter),
+    //    clamped to [1, maxKeywords]. Short ~3.6 ms queries get 1-3
+    //    keywords; 200 ms queries get ~7-10, matching the
+    //    order-of-magnitude latency gap between 2- and 10-keyword queries
+    //    cited in Section 2.3.
+    const double kMean = 1.0 + 1.45 * std::log1p(observableMs / 2.0);
+    const int k = static_cast<int>(std::clamp(
+        std::round(kMean + rng_.normal(0.0, 0.7)), 1.0,
+        static_cast<double>(params_.maxKeywords)));
+
+    // 4. Posting mass implied by the observable demand, with feature
+    //    noise. The noise multiplies the observable side only, so the
+    //    true-demand marginal stays exactly the calibrated distribution.
+    const double noise =
+        std::exp(rng_.normal(0.0, params_.featureNoiseSigma));
+    const double mass =
+        (observableMs / params_.msPerKiloPosting) * 1000.0 * noise;
+
+    pickTerms(k, mass, q.terms);
+    return q;
+}
+
+std::vector<Query>
+QueryGenerator::generateLog(std::size_t count)
+{
+    std::vector<Query> log;
+    log.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        log.push_back(next());
+    return log;
+}
+
+} // namespace tpc::search

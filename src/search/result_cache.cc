@@ -1,0 +1,73 @@
+#include "search/result_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpc::search {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity)
+{
+    TPC_CHECK(capacity >= 1);
+}
+
+std::string
+ResultCache::keyFor(const Query& query)
+{
+    std::vector<std::uint32_t> terms = query.terms;
+    std::sort(terms.begin(), terms.end());
+    std::string key;
+    key.reserve(terms.size() * 8);
+    char buf[16];
+    for (std::uint32_t term : terms) {
+        std::snprintf(buf, sizeof(buf), "%x,", term);
+        key += buf;
+    }
+    return key;
+}
+
+const SearchResult*
+ResultCache::lookup(const Query& query)
+{
+    const std::string key = keyFor(query);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    // Refresh recency: move the entry to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->result;
+}
+
+void
+ResultCache::insert(const Query& query, SearchResult result)
+{
+    const std::string key = keyFor(query);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second->result = std::move(result);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        // Evict the least recently used entry (back of the list).
+        const Entry& victim = lru_.back();
+        entries_.erase(victim.key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(Entry{key, std::move(result)});
+    entries_.emplace(key, lru_.begin());
+}
+
+void
+ResultCache::clear()
+{
+    lru_.clear();
+    entries_.clear();
+}
+
+} // namespace tpc::search

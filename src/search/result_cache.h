@@ -1,0 +1,86 @@
+/**
+ * @file
+ * LRU query-result cache.
+ *
+ * Figure 1's query path begins "when a user sends a query and the query
+ * response is not cached" — production serving stacks answer repeated
+ * queries from a result cache in front of the aggregator, and only cache
+ * misses reach the ISNs that TPC schedules. This module provides that
+ * front-end: an LRU cache keyed by the query's term multiset.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "search/executor.h"
+#include "search/query.h"
+
+namespace tpc::search {
+
+/** Hit/miss statistics of a cache instance. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * Fixed-capacity LRU cache mapping queries to search results.
+ *
+ * Not thread-safe: the front-end is a single dispatcher in this design
+ * (callers needing concurrency shard by query hash).
+ */
+class ResultCache
+{
+  public:
+    /** @param capacity Maximum cached entries (>= 1). */
+    explicit ResultCache(std::size_t capacity);
+
+    /**
+     * Looks up a query; returns the cached result and refreshes its
+     * recency, or nullptr on miss. The pointer is invalidated by the next
+     * insert().
+     */
+    const SearchResult* lookup(const Query& query);
+
+    /** Inserts (or refreshes) the result for a query, evicting the least
+     *  recently used entry when at capacity. */
+    void insert(const Query& query, SearchResult result);
+
+    /** Canonical cache key: sorted term ids, order-insensitive. */
+    static std::string keyFor(const Query& query);
+
+    const CacheStats& stats() const { return stats_; }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drops every entry (stats are retained). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        SearchResult result;
+    };
+
+    std::size_t capacity_;
+    /** Most recently used at the front. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+    CacheStats stats_;
+};
+
+} // namespace tpc::search

@@ -1,0 +1,65 @@
+#include "search/workload.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpc::search {
+
+ml::GbrtParams
+defaultPredictorParams()
+{
+    ml::GbrtParams params;
+    params.loss = ml::GbrtLoss::AbsoluteError;
+    params.numTrees = 200;
+    params.learningRate = 0.15;
+    return params;
+}
+
+SearchWorkload::SearchWorkload(const WorkloadParams& params) : params_(params)
+{
+    TPC_CHECK(params.trainingQueries > 0);
+    TPC_CHECK(params.traceQueries > 0);
+
+    index_ = std::make_unique<InvertedIndex>(
+        InvertedIndex::buildSynthetic(params.corpus, params.seed));
+
+    QueryGenerator generator(*index_, params.queryLog, params.seed + 1);
+    const FeatureExtractor extractor(*index_);
+
+    // Training set: queries drawn from the same generator but disjoint from
+    // the replayed trace, mirroring the paper's train-on-one-ISN setup.
+    ml::Dataset trainSet(FeatureExtractor::featureNames());
+    for (std::size_t i = 0; i < params.trainingQueries; ++i) {
+        const Query q = generator.next();
+        trainSet.addRow(extractor.extract(q), q.trueSequentialMs);
+    }
+    ml::GbrtParams gbrtParams = params.predictor;
+    gbrtParams.seed = params.seed + 2;
+    predictor_.train(trainSet, gbrtParams);
+
+    // The trace itself.
+    queries_ = generator.generateLog(params.traceQueries);
+    trace_.reserve(queries_.size());
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(queries_.size());
+    actual.reserve(queries_.size());
+    for (const Query& q : queries_) {
+        TraceEntry entry;
+        entry.trueMs = q.trueSequentialMs;
+        entry.predictedMs = std::max(
+            params.queryLog.minDemandMs,
+            predictor_.predict(extractor.extract(q)));
+        entry.numKeywords = static_cast<int>(q.terms.size());
+        trace_.push_back(entry);
+        predicted.push_back(entry.predictedMs);
+        actual.push_back(entry.trueMs);
+    }
+
+    report_.l1ErrorMs = ml::meanAbsoluteError(predicted, actual);
+    report_.rmseMs = ml::rootMeanSquaredError(predicted, actual);
+    report_.longAt80Ms = ml::classifyAtThreshold(predicted, actual, 80.0);
+}
+
+} // namespace tpc::search

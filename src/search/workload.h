@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end search workload builder: corpus -> index -> query log ->
+ * features -> trained execution-time predictor -> scheduling trace.
+ *
+ * This is the reconstruction of the paper's experimental input: a trace of
+ * 100K queries, each with its true sequential service demand and the
+ * demand predicted by the boosted-tree regressor, replayed by the server
+ * experiments with Poisson arrivals.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/gbrt.h"
+#include "ml/metrics.h"
+#include "search/features.h"
+#include "search/inverted_index.h"
+#include "search/query_generator.h"
+
+namespace tpc::search {
+
+/** One trace entry consumed by the server experiments. */
+struct TraceEntry
+{
+    /** True sequential service demand in ms (hidden from policies). */
+    double trueMs = 0.0;
+    /** Demand predicted by the trained regressor, in ms. */
+    double predictedMs = 0.0;
+    /** Number of keywords (kept for characterization output). */
+    int numKeywords = 0;
+};
+
+/** Default predictor hyper-parameters: LAD boosting, which is robust to
+ *  the feature-blind contamination in the workload (see QueryLogParams). */
+ml::GbrtParams defaultPredictorParams();
+
+/** Configuration for building a search workload. */
+struct WorkloadParams
+{
+    CorpusParams corpus;
+    QueryLogParams queryLog;
+    ml::GbrtParams predictor = defaultPredictorParams();
+    /** Queries used to train the predictor (disjoint from the trace). */
+    std::size_t trainingQueries = 30000;
+    /** Queries in the replayed trace. */
+    std::size_t traceQueries = 100000;
+    std::uint64_t seed = 20160402; // ASPLOS'16 dates, for flavor.
+};
+
+/** Predictor quality measured on the trace (Section 2.5 numbers). */
+struct PredictorReport
+{
+    double l1ErrorMs = 0.0;
+    double rmseMs = 0.0;
+    ml::ThresholdClassification longAt80Ms;
+};
+
+/**
+ * A built search workload: the index, the trace, and the predictor.
+ *
+ * Building is deterministic for a given WorkloadParams. The object is
+ * immutable after construction and safe to share across threads.
+ */
+class SearchWorkload
+{
+  public:
+    /** Builds everything; takes a few seconds at default scale. */
+    explicit SearchWorkload(const WorkloadParams& params);
+
+    const InvertedIndex& index() const { return *index_; }
+    const std::vector<TraceEntry>& trace() const { return trace_; }
+    const ml::Gbrt& predictor() const { return predictor_; }
+    const WorkloadParams& params() const { return params_; }
+
+    /** Predictor accuracy on the trace, as the paper reports it. */
+    const PredictorReport& predictorReport() const { return report_; }
+
+    /** The raw generated queries backing the trace (for real execution). */
+    const std::vector<Query>& traceQueries() const { return queries_; }
+
+  private:
+    WorkloadParams params_;
+    std::unique_ptr<InvertedIndex> index_;
+    std::vector<Query> queries_;
+    std::vector<TraceEntry> trace_;
+    ml::Gbrt predictor_;
+    PredictorReport report_;
+};
+
+} // namespace tpc::search

@@ -1,0 +1,338 @@
+#include "server/sim_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpc::server {
+
+SimServer::SimServer(sim::Simulator& sim, const ServerConfig& config,
+                     policy::ParallelismPolicy& policy,
+                     const policy::SpeedupModel& executionModel)
+    : sim_(sim),
+      config_(config),
+      policy_(policy),
+      executionModel_(executionModel),
+      idleWorkers_(config.numWorkers)
+{
+    TPC_CHECK(config.numWorkers >= 1);
+    TPC_CHECK(config.hwContexts >= 1);
+    TPC_CHECK(config.longThresholdMs > 0.0);
+    TPC_CHECK(config.cpuEwmaAlpha > 0.0 && config.cpuEwmaAlpha <= 1.0);
+}
+
+SimServer::~SimServer() = default;
+
+double
+SimServer::contentionFactor() const
+{
+    if (!config_.contentionSlowdown ||
+        static_cast<double>(activeThreads_) <= config_.coreCapacity)
+        return 1.0;
+    return config_.coreCapacity / static_cast<double>(activeThreads_);
+}
+
+double
+SimServer::rateOf(const Running& r) const
+{
+    const double speedup =
+        executionModel_.profileFor(r.trueMs).speedup(r.degree);
+    return speedup * contentionFactor();
+}
+
+void
+SimServer::advanceWork()
+{
+    const double now = sim_.now();
+    // CPU-time accounting: threads beyond the core capacity do not add
+    // useful work (they time-share), so the consumed rate saturates.
+    counters_.busyCoreMs +=
+        (now - lastAccountedMs_) *
+        std::min<double>(activeThreads_, config_.coreCapacity);
+    lastAccountedMs_ = now;
+    for (auto& [id, r] : running_) {
+        const double elapsed = now - r.lastUpdateMs;
+        if (elapsed > 0.0) {
+            r.remainingWork =
+                std::max(0.0, r.remainingWork - elapsed * rateOf(r));
+            r.lastUpdateMs = now;
+        }
+    }
+}
+
+void
+SimServer::scheduleCompletion(Running& r)
+{
+    sim_.cancel(r.completionEvent);
+    const double remainingWall = r.remainingWork / rateOf(r);
+    const std::uint64_t id = r.id;
+    r.completionEvent =
+        sim_.scheduleAfter(remainingWall, [this, id] { onComplete(id); });
+}
+
+void
+SimServer::rescheduleAllCompletions()
+{
+    for (auto& [id, r] : running_)
+        scheduleCompletion(r);
+}
+
+bool
+SimServer::countsAsLong(const Running& r) const
+{
+    // A request counts as long when the predictor says so, or once it has
+    // demonstrably run longer than the threshold (elapsed time reveals
+    // mispredicted-long requests to the metric too).
+    if (r.predictedMs > config_.longThresholdMs)
+        return true;
+    return (sim_.now() - r.dispatchMs) > config_.longThresholdMs;
+}
+
+policy::SystemState
+SimServer::snapshotState() const
+{
+    policy::SystemState state;
+    state.totalWorkers = config_.numWorkers;
+    state.idleWorkers = idleWorkers_;
+    state.queueLength = static_cast<int>(queue_.size());
+    state.runningRequests = static_cast<int>(running_.size());
+    state.activeThreadsAll = activeThreads_;
+    int longThreads = 0;
+    for (const auto& [id, r] : running_) {
+        if (countsAsLong(r))
+            longThreads += r.degree;
+    }
+    state.activeThreadsLong = longThreads;
+    state.cpuUtilization = cpuUtilEwma_;
+    state.hwContexts = config_.hwContexts;
+    state.nowMs = sim_.now();
+    state.avgPredictedMs = avgPredictedMs_;
+    return state;
+}
+
+std::uint64_t
+SimServer::submit(double trueMs, double predictedMs)
+{
+    TPC_CHECK(trueMs > 0.0);
+    TPC_CHECK(predictedMs >= 0.0);
+    ++counters_.arrivals;
+    ++predictedCount_;
+    avgPredictedMs_ +=
+        (predictedMs - avgPredictedMs_) / static_cast<double>(predictedCount_);
+
+    const std::uint64_t id = nextId_++;
+    queue_.push_back(Pending{id, sim_.now(), trueMs, predictedMs});
+    dispatchFromQueue();
+    ensureCpuSampler();
+    return id;
+}
+
+bool
+SimServer::cancel(std::uint64_t id)
+{
+    // Still waiting: drop it from the queue.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == id) {
+            queue_.erase(it);
+            return true;
+        }
+    }
+    const auto it = running_.find(id);
+    if (it == running_.end())
+        return false;
+
+    advanceWork();
+    Running& r = it->second;
+    sim_.cancel(r.completionEvent);
+    sim_.cancel(r.recheckEvent);
+    idleWorkers_ += r.degree;
+    activeThreads_ -= r.degree;
+    running_.erase(it);
+
+    const bool oversubscribed =
+        static_cast<double>(activeThreads_) > config_.coreCapacity;
+    if (oversubscribed || wasOversubscribed_)
+        rescheduleAllCompletions();
+    wasOversubscribed_ = oversubscribed;
+
+    dispatchFromQueue();
+    return true;
+}
+
+void
+SimServer::dispatchFromQueue()
+{
+    while (!queue_.empty() && idleWorkers_ > 0) {
+        const Pending p = queue_.front();
+        queue_.pop_front();
+        dispatch(p);
+    }
+}
+
+void
+SimServer::dispatch(const Pending& p)
+{
+    TPC_DCHECK(idleWorkers_ > 0);
+    advanceWork();
+
+    policy::RequestView view;
+    view.id = p.id;
+    view.predictedMs = p.predictedMs;
+    view.elapsedMs = 0.0;
+    view.currentDegree = 0;
+    const policy::Decision decision = policy_.onDispatch(view,
+                                                         snapshotState());
+
+    const int degree = std::clamp(decision.degree, 1, idleWorkers_);
+
+    Running r;
+    r.id = p.id;
+    r.arrivalMs = p.arrivalMs;
+    r.dispatchMs = sim_.now();
+    r.trueMs = p.trueMs;
+    r.predictedMs = p.predictedMs;
+    r.remainingWork = p.trueMs;
+    r.lastUpdateMs = sim_.now();
+    r.degree = degree;
+    r.initialDegree = degree;
+    r.maxDegree = degree;
+
+    idleWorkers_ -= degree;
+    activeThreads_ += degree;
+
+    auto [it, inserted] = running_.emplace(r.id, std::move(r));
+    TPC_DCHECK(inserted);
+
+    // Rates of other requests only change across the oversubscription
+    // boundary; otherwise just schedule the newcomer.
+    const bool oversubscribed =
+        static_cast<double>(activeThreads_) > config_.coreCapacity;
+    if (oversubscribed || wasOversubscribed_)
+        rescheduleAllCompletions();
+    else
+        scheduleCompletion(it->second);
+    wasOversubscribed_ = oversubscribed;
+
+    if (decision.recheckAfterMs > 0.0)
+        armRecheck(it->second, decision.recheckAfterMs);
+}
+
+void
+SimServer::armRecheck(Running& r, double delayMs)
+{
+    sim_.cancel(r.recheckEvent);
+    const std::uint64_t id = r.id;
+    r.recheckEvent =
+        sim_.scheduleAfter(delayMs, [this, id] { onRecheck(id); });
+}
+
+void
+SimServer::onRecheck(std::uint64_t id)
+{
+    const auto it = running_.find(id);
+    if (it == running_.end())
+        return; // Completed concurrently with the callback.
+    Running& r = it->second;
+    r.recheckEvent = sim::kInvalidEventId;
+    ++counters_.recheckCallbacks;
+
+    advanceWork();
+
+    policy::RequestView view;
+    view.id = r.id;
+    view.predictedMs = r.predictedMs;
+    view.elapsedMs = sim_.now() - r.dispatchMs;
+    view.currentDegree = r.degree;
+    const policy::Decision decision =
+        policy_.onRecheck(view, snapshotState());
+
+    // Policies may only raise the degree; the server additionally caps the
+    // raise by the currently idle workers.
+    const int desired = std::max(decision.degree, r.degree);
+    const int added = std::min(desired - r.degree, idleWorkers_);
+    if (added > 0) {
+        r.degree += added;
+        r.maxDegree = std::max(r.maxDegree, r.degree);
+        r.corrected = true;
+        idleWorkers_ -= added;
+        activeThreads_ += added;
+        counters_.degreeIncreases += static_cast<std::uint64_t>(added);
+
+        const bool oversubscribed =
+            static_cast<double>(activeThreads_) > config_.coreCapacity;
+        if (oversubscribed || wasOversubscribed_)
+            rescheduleAllCompletions();
+        else
+            scheduleCompletion(r);
+        wasOversubscribed_ = oversubscribed;
+    }
+
+    if (decision.recheckAfterMs > 0.0)
+        armRecheck(r, decision.recheckAfterMs);
+}
+
+void
+SimServer::onComplete(std::uint64_t id)
+{
+    const auto it = running_.find(id);
+    TPC_CHECK_MSG(it != running_.end(), "completion for unknown request");
+    advanceWork();
+    Running& r = it->second;
+    TPC_DCHECK(r.remainingWork < 1e-6);
+    sim_.cancel(r.recheckEvent);
+
+    RequestOutcome outcome;
+    outcome.id = r.id;
+    outcome.arrivalMs = r.arrivalMs;
+    outcome.dispatchMs = r.dispatchMs;
+    outcome.completionMs = sim_.now();
+    outcome.trueMs = r.trueMs;
+    outcome.predictedMs = r.predictedMs;
+    outcome.initialDegree = r.initialDegree;
+    outcome.maxDegree = r.maxDegree;
+    outcome.corrected = r.corrected;
+    if (storeOutcomes_)
+        outcomes_.push_back(outcome);
+    if (completionCallback_)
+        completionCallback_(outcome);
+    ++counters_.completions;
+
+    idleWorkers_ += r.degree;
+    activeThreads_ -= r.degree;
+    running_.erase(it);
+
+    const bool oversubscribed =
+        static_cast<double>(activeThreads_) > config_.coreCapacity;
+    if (oversubscribed || wasOversubscribed_)
+        rescheduleAllCompletions();
+    wasOversubscribed_ = oversubscribed;
+
+    dispatchFromQueue();
+}
+
+void
+SimServer::ensureCpuSampler()
+{
+    if (samplerActive_)
+        return;
+    samplerActive_ = true;
+    sim_.scheduleAfter(config_.cpuSampleIntervalMs, [this] { onCpuSample(); });
+}
+
+void
+SimServer::onCpuSample()
+{
+    const double sample =
+        std::min(1.0, static_cast<double>(activeThreads_) /
+                          static_cast<double>(config_.hwContexts));
+    cpuUtilEwma_ = config_.cpuEwmaAlpha * sample +
+                   (1.0 - config_.cpuEwmaAlpha) * cpuUtilEwma_;
+    if (running_.empty() && queue_.empty()) {
+        // Idle server: let the sampler lapse so the simulation can drain.
+        samplerActive_ = false;
+        return;
+    }
+    sim_.scheduleAfter(config_.cpuSampleIntervalMs, [this] { onCpuSample(); });
+}
+
+} // namespace tpc::server

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Discrete-event model of an index-serving node (ISN).
+ *
+ * Reproduces the server of Section 4.1: a pool of worker threads (28) on
+ * a machine with 24 hardware contexts, a FIFO waiting queue, and
+ * malleable intra-request parallelism. A request with true sequential
+ * demand W running at degree d consumes its remaining work at rate
+ * S_d(class(W)) sequential-ms per wall-ms; when the total active threads
+ * exceed the hardware contexts, all rates scale by contexts/threads
+ * (processor sharing), which produces the saturation behaviour at high
+ * load. Parallelism policies decide degrees at dispatch and through
+ * recheck callbacks (TPC's dynamic correction, RampUp's increments).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+#include "sim/simulator.h"
+
+namespace tpc::server {
+
+/** Static configuration of the simulated ISN. */
+struct ServerConfig
+{
+    /** Worker threads (the paper uses 28). */
+    int numWorkers = 28;
+    /** Hardware contexts (2 sockets x 6 cores x 2 SMT = 24). */
+    int hwContexts = 24;
+    /**
+     * Sustained processing capacity in core-equivalents. SMT contexts do
+     * not double throughput: 12 physical cores with hyperthreading deliver
+     * roughly 14 cores' worth of work, which also reconciles the paper's
+     * "73% CPU utilization" at high load with its mean service demand.
+     * Execution rates scale by coreCapacity/activeThreads beyond this.
+     */
+    double coreCapacity = 14.0;
+    /** Threshold classifying a request as long for the LongT metric. */
+    double longThresholdMs = 80.0;
+    /** CPU-utilization sampling interval (PDH counters, Section 4.6). */
+    double cpuSampleIntervalMs = 25.0;
+    /** EWMA weight of a new utilization sample. */
+    double cpuEwmaAlpha = 0.30;
+    /** Scale execution rates by contexts/threads when oversubscribed. */
+    bool contentionSlowdown = true;
+};
+
+/** Per-request record emitted at completion. */
+struct RequestOutcome
+{
+    std::uint64_t id = 0;
+    double arrivalMs = 0.0;
+    double dispatchMs = 0.0;
+    double completionMs = 0.0;
+    double trueMs = 0.0;
+    double predictedMs = 0.0;
+    /** Degree assigned at dispatch. */
+    int initialDegree = 1;
+    /** Highest degree the request ever ran at. */
+    int maxDegree = 1;
+    /** True when dynamic correction / ramp-up raised the degree. */
+    bool corrected = false;
+
+    double responseMs() const { return completionMs - arrivalMs; }
+    double queueMs() const { return dispatchMs - arrivalMs; }
+};
+
+/** Aggregate server telemetry. */
+struct ServerCounters
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t recheckCallbacks = 0;
+    std::uint64_t degreeIncreases = 0;
+    /**
+     * Core-milliseconds of CPU consumed: the integral over time of
+     * min(active threads, core capacity). Dividing by (coreCapacity x
+     * busy-period span) gives the CPU utilization the paper reports
+     * (Section 2.2: ~73% at relatively high load).
+     */
+    double busyCoreMs = 0.0;
+};
+
+/**
+ * The simulated ISN. Drive it by scheduling submit() calls on the shared
+ * Simulator (see harness::runTrace) and run the simulator to completion.
+ */
+class SimServer
+{
+  public:
+    /**
+     * @param sim            Shared event engine.
+     * @param config         Machine shape.
+     * @param policy         Parallelism policy under test (borrowed).
+     * @param executionModel Ground-truth speedup profiles used to execute
+     *                       requests (indexed by *true* demand; policies
+     *                       only ever see predictions).
+     */
+    SimServer(sim::Simulator& sim, const ServerConfig& config,
+              policy::ParallelismPolicy& policy,
+              const policy::SpeedupModel& executionModel);
+
+    ~SimServer();
+
+    SimServer(const SimServer&) = delete;
+    SimServer& operator=(const SimServer&) = delete;
+
+    /**
+     * Submits a request arriving now (simulator time). The request is
+     * dispatched immediately if a worker is idle, otherwise queued FIFO.
+     * @return The request's id (usable with cancel()).
+     */
+    std::uint64_t submit(double trueMs, double predictedMs);
+
+    /**
+     * Cancels a queued or running request: it is removed without
+     * completing (no outcome, no callback) and its workers are freed.
+     * Supports hedged-request schemes that abandon the slower replica
+     * (Dean and Barroso, "The Tail at Scale").
+     * @return false when the id is unknown or already completed.
+     */
+    bool cancel(std::uint64_t id);
+
+    /** Completed-request records, in completion order. */
+    const std::vector<RequestOutcome>& outcomes() const { return outcomes_; }
+
+    /**
+     * Registers a callback fired at every completion. The cluster
+     * simulation uses this to aggregate per-ISN completions per query.
+     */
+    void setCompletionCallback(std::function<void(const RequestOutcome&)> cb)
+    {
+        completionCallback_ = std::move(cb);
+    }
+
+    /**
+     * Disables in-memory outcome storage (a 40-ISN x 100K-query cluster
+     * run would otherwise retain millions of records); completions are
+     * still delivered to the callback.
+     */
+    void setStoreOutcomes(bool store) { storeOutcomes_ = store; }
+
+    /** Reserves outcome storage for an expected trace size. */
+    void reserveOutcomes(std::size_t n) { outcomes_.reserve(n); }
+
+    const ServerCounters& counters() const { return counters_; }
+
+    /** Live snapshot of the policy-visible state. */
+    policy::SystemState snapshotState() const;
+
+    int idleWorkers() const { return idleWorkers_; }
+    int queueLength() const { return static_cast<int>(queue_.size()); }
+    int runningRequests() const { return static_cast<int>(running_.size()); }
+
+    const ServerConfig& config() const { return config_; }
+
+  private:
+    struct Pending
+    {
+        std::uint64_t id;
+        double arrivalMs;
+        double trueMs;
+        double predictedMs;
+    };
+
+    struct Running
+    {
+        std::uint64_t id = 0;
+        double arrivalMs = 0.0;
+        double dispatchMs = 0.0;
+        double trueMs = 0.0;
+        double predictedMs = 0.0;
+        /** Remaining work in sequential-ms. */
+        double remainingWork = 0.0;
+        /** Simulation time of the last work-accounting update. */
+        double lastUpdateMs = 0.0;
+        int degree = 1;
+        int initialDegree = 1;
+        int maxDegree = 1;
+        bool corrected = false;
+        sim::EventId completionEvent = sim::kInvalidEventId;
+        sim::EventId recheckEvent = sim::kInvalidEventId;
+    };
+
+    /** Execution rate (sequential-ms of work per wall-ms) of a request. */
+    double rateOf(const Running& r) const;
+
+    /** Processor-sharing factor from current thread oversubscription. */
+    double contentionFactor() const;
+
+    /** Folds elapsed time into every running request's remaining work. */
+    void advanceWork();
+
+    /** Recomputes and reschedules the completion event of one request. */
+    void scheduleCompletion(Running& r);
+
+    /** Reschedules all completions (used after a rate-affecting change). */
+    void rescheduleAllCompletions();
+
+    /** Applies a rate-affecting change around fn: advance, fn, resched. */
+    template <typename Fn> void withWorkAccounting(Fn&& fn);
+
+    void dispatchFromQueue();
+    void dispatch(const Pending& p);
+    void onComplete(std::uint64_t id);
+    void onRecheck(std::uint64_t id);
+    void armRecheck(Running& r, double delayMs);
+    void ensureCpuSampler();
+    void onCpuSample();
+
+    /** True when the request counts as long for the LongT metric. */
+    bool countsAsLong(const Running& r) const;
+
+    sim::Simulator& sim_;
+    ServerConfig config_;
+    policy::ParallelismPolicy& policy_;
+    const policy::SpeedupModel& executionModel_;
+
+    std::deque<Pending> queue_;
+    std::unordered_map<std::uint64_t, Running> running_;
+    std::vector<RequestOutcome> outcomes_;
+    std::function<void(const RequestOutcome&)> completionCallback_;
+    bool storeOutcomes_ = true;
+    ServerCounters counters_;
+
+    int idleWorkers_ = 0;
+    int activeThreads_ = 0;
+    double cpuUtilEwma_ = 0.0;
+    /** Simulation time through which busyCoreMs has been accounted. */
+    double lastAccountedMs_ = 0.0;
+    bool samplerActive_ = false;
+    std::uint64_t nextId_ = 0;
+    double avgPredictedMs_ = 0.0;
+    std::uint64_t predictedCount_ = 0;
+    /** Oversubscription state at the last reschedule, to skip global
+     *  rescheduling when rates were and remain contention-free. */
+    bool wasOversubscribed_ = false;
+};
+
+} // namespace tpc::server

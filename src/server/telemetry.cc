@@ -1,0 +1,89 @@
+#include "server/telemetry.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace tpc::server {
+
+TelemetryProbe::TelemetryProbe(sim::Simulator& sim, const SimServer& server,
+                               double intervalMs)
+    : sim_(sim), server_(server), intervalMs_(intervalMs)
+{
+    TPC_CHECK(intervalMs > 0.0);
+}
+
+void
+TelemetryProbe::start()
+{
+    if (active_)
+        return;
+    active_ = true;
+    consecutiveIdleSamples_ = 0;
+    sim_.scheduleAfter(intervalMs_, [this] { onSample(); });
+}
+
+void
+TelemetryProbe::onSample()
+{
+    const policy::SystemState state = server_.snapshotState();
+    TelemetrySample sample;
+    sample.timeMs = sim_.now();
+    sample.queueLength = state.queueLength;
+    sample.activeThreads = state.activeThreadsAll;
+    sample.activeThreadsLong = state.activeThreadsLong;
+    sample.runningRequests = state.runningRequests;
+    sample.cpuUtilization = state.cpuUtilization;
+    samples_.push_back(sample);
+
+    const bool idle =
+        state.queueLength == 0 && state.runningRequests == 0;
+    consecutiveIdleSamples_ = idle ? consecutiveIdleSamples_ + 1 : 0;
+    if (consecutiveIdleSamples_ >= 2) {
+        // Let the simulation drain; start() resumes if load returns.
+        active_ = false;
+        return;
+    }
+    sim_.scheduleAfter(intervalMs_, [this] { onSample(); });
+}
+
+int
+TelemetryProbe::maxQueueLength() const
+{
+    int max = 0;
+    for (const auto& sample : samples_)
+        max = std::max(max, sample.queueLength);
+    return max;
+}
+
+double
+TelemetryProbe::meanActiveThreads() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto& sample : samples_)
+        sum += sample.activeThreads;
+    return sum / static_cast<double>(samples_.size());
+}
+
+void
+TelemetryProbe::writeCsv(const std::string& path) const
+{
+    util::CsvWriter csv(path);
+    csv.writeRow(std::vector<std::string>{
+        "time_ms", "queue_length", "active_threads", "active_threads_long",
+        "running_requests", "cpu_utilization"});
+    for (const auto& sample : samples_) {
+        csv.writeRow(std::vector<double>{
+            sample.timeMs, static_cast<double>(sample.queueLength),
+            static_cast<double>(sample.activeThreads),
+            static_cast<double>(sample.activeThreadsLong),
+            static_cast<double>(sample.runningRequests),
+            sample.cpuUtilization});
+    }
+}
+
+} // namespace tpc::server

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Periodic telemetry probe for the simulated ISN: samples queue length,
+ * active threads and the smoothed CPU utilization into a time series —
+ * the "extensive telemetry data" Section 1 notes data centers collect,
+ * and the raw material for debugging scheduling experiments.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "server/sim_server.h"
+#include "sim/simulator.h"
+
+namespace tpc::server {
+
+/** One telemetry sample. */
+struct TelemetrySample
+{
+    double timeMs = 0.0;
+    int queueLength = 0;
+    int activeThreads = 0;
+    int activeThreadsLong = 0;
+    int runningRequests = 0;
+    double cpuUtilization = 0.0;
+};
+
+/**
+ * Samples a SimServer on a fixed virtual-time interval.
+ *
+ * The probe stops itself after observing the server idle on two
+ * consecutive samples (so the simulation can drain); restart() resumes
+ * sampling after new load arrives.
+ */
+class TelemetryProbe
+{
+  public:
+    /**
+     * @param sim        Shared event engine (must be the server's).
+     * @param server     Server to observe (borrowed).
+     * @param intervalMs Sampling interval (> 0).
+     */
+    TelemetryProbe(sim::Simulator& sim, const SimServer& server,
+                   double intervalMs);
+
+    /** Begins (or resumes) sampling at the next interval boundary. */
+    void start();
+
+    const std::vector<TelemetrySample>& samples() const { return samples_; }
+
+    /** Largest observed queue length. */
+    int maxQueueLength() const;
+
+    /** Mean active threads across samples (0 when no samples). */
+    double meanActiveThreads() const;
+
+    /** Writes the series to CSV. */
+    void writeCsv(const std::string& path) const;
+
+  private:
+    void onSample();
+
+    sim::Simulator& sim_;
+    const SimServer& server_;
+    double intervalMs_;
+    bool active_ = false;
+    int consecutiveIdleSamples_ = 0;
+    std::vector<TelemetrySample> samples_;
+};
+
+} // namespace tpc::server

@@ -1,0 +1,269 @@
+#include "server/threaded_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tpc::server {
+
+ThreadedServer::ThreadedServer(const ThreadedServerConfig& config,
+                               policy::ParallelismPolicy& policy)
+    : config_(config), policy_(policy)
+{
+    TPC_CHECK(config.numWorkers >= 1);
+    TPC_CHECK(config.recheckTickMs > 0.0);
+    pool_ = std::make_unique<runtime::WorkerPool>(config.numWorkers);
+    scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+ThreadedServer::~ThreadedServer()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    scheduler_.join();
+    pool_.reset();
+}
+
+double
+ThreadedServer::msBetween(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::uint64_t
+ThreadedServer::submit(ThreadedJob job)
+{
+    TPC_CHECK(job.numTasks >= 1);
+    TPC_CHECK(job.task != nullptr);
+    std::uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        TPC_CHECK_MSG(!stopping_, "submit after shutdown");
+        id = nextId_++;
+        queue_.push_back(QueuedJob{id, Clock::now(), std::move(job)});
+    }
+    cv_.notify_all();
+    return id;
+}
+
+void
+ThreadedServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drainCv_.wait(lock, [this] { return queue_.empty() && active_.empty(); });
+}
+
+std::vector<ThreadedOutcome>
+ThreadedServer::outcomes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return outcomes_;
+}
+
+policy::SystemState
+ThreadedServer::snapshotStateLocked() const
+{
+    policy::SystemState state;
+    state.totalWorkers = config_.numWorkers;
+    state.idleWorkers = config_.numWorkers - allocatedWorkers_;
+    state.queueLength = static_cast<int>(queue_.size());
+    state.runningRequests = static_cast<int>(active_.size());
+    state.activeThreadsAll = allocatedWorkers_;
+    const auto now = Clock::now();
+    int longThreads = 0;
+    for (const auto& [id, req] : active_) {
+        if (req.predictedMs > config_.longThresholdMs ||
+            msBetween(req.dispatchTime, now) > config_.longThresholdMs)
+            longThreads += req.degree;
+    }
+    state.activeThreadsLong = longThreads;
+    state.cpuUtilization =
+        std::min(1.0, static_cast<double>(allocatedWorkers_) /
+                          std::max(1, config_.hwContexts));
+    state.hwContexts = config_.hwContexts;
+    state.nowMs = 0.0; // Wall-clock based server; policies use deltas only.
+    return state;
+}
+
+void
+ThreadedServer::addParticipants(ActiveRequest& request, int count,
+                                bool primary)
+{
+    TPC_DCHECK(count >= 1 || !primary);
+    request.participantsOutstanding += count;
+    const std::uint64_t id = request.id;
+    auto tasks = request.tasks;
+    for (int i = 0; i < count; ++i) {
+        const bool isPrimary = primary && i == 0;
+        pool_->post([this, id, tasks, isPrimary] {
+            tasks->runWorker();
+            if (isPrimary)
+                tasks->wait();
+            onParticipantDone(id, isPrimary);
+        });
+    }
+}
+
+void
+ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
+{
+    std::function<void()> postamble;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = active_.find(id);
+        TPC_CHECK(it != active_.end());
+        ActiveRequest& req = it->second;
+        if (primary) {
+            req.primaryDone = true;
+            postamble = std::move(req.postamble);
+        }
+    }
+
+    // The postamble (merge/rescore) runs on the primary participant's
+    // worker, outside the lock: it is real request work.
+    if (postamble)
+        postamble();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = active_.find(id);
+        TPC_CHECK(it != active_.end());
+        ActiveRequest& req = it->second;
+        --req.participantsOutstanding;
+        --allocatedWorkers_;
+        if (req.participantsOutstanding == 0 && req.primaryDone) {
+            const auto now = Clock::now();
+            ThreadedOutcome outcome;
+            outcome.id = req.id;
+            outcome.responseMs = msBetween(req.submitTime, now);
+            outcome.queueMs = msBetween(req.submitTime, req.dispatchTime);
+            outcome.initialDegree = req.initialDegree;
+            outcome.maxDegree = req.maxDegree;
+            outcome.corrected = req.corrected;
+            outcomes_.push_back(outcome);
+            active_.erase(it);
+        }
+    }
+    cv_.notify_all();
+    drainCv_.notify_all();
+}
+
+void
+ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
+{
+    while (!queue_.empty() && allocatedWorkers_ < config_.numWorkers) {
+        QueuedJob queued = std::move(queue_.front());
+        queue_.pop_front();
+
+        policy::RequestView view;
+        view.id = queued.id;
+        view.predictedMs = queued.job.predictedMs;
+        view.elapsedMs = 0.0;
+        view.currentDegree = 0;
+        const policy::Decision decision =
+            policy_.onDispatch(view, snapshotStateLocked());
+
+        const int idle = config_.numWorkers - allocatedWorkers_;
+        const int degree = std::clamp(decision.degree, 1, idle);
+
+        ActiveRequest req;
+        req.id = queued.id;
+        req.predictedMs = queued.job.predictedMs;
+        req.submitTime = queued.submitTime;
+        req.dispatchTime = Clock::now();
+        req.degree = degree;
+        req.initialDegree = degree;
+        req.maxDegree = degree;
+        // Wrap the user's preamble and tasks into one malleable job whose
+        // task 0 is the sequential preamble followed by the first chunk;
+        // the preamble runs exactly once on whichever worker grabs task 0
+        // first (always the primary in practice, since tasks are grabbed
+        // in order).
+        auto preamble = std::move(queued.job.preamble);
+        auto taskFn = std::move(queued.job.task);
+        req.tasks = std::make_shared<runtime::MalleableJob>(
+            queued.job.numTasks,
+            [preamble = std::move(preamble),
+             taskFn = std::move(taskFn)](int task) {
+                if (task == 0 && preamble)
+                    preamble();
+                taskFn(task);
+            });
+        req.postamble = std::move(queued.job.postamble);
+        if (decision.recheckAfterMs > 0.0) {
+            req.recheckAt =
+                req.dispatchTime +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        decision.recheckAfterMs));
+        }
+
+        allocatedWorkers_ += degree;
+        auto [it, inserted] = active_.emplace(req.id, std::move(req));
+        TPC_DCHECK(inserted);
+
+        // Participants are posted under the lock; the pool never calls
+        // back synchronously, so this cannot deadlock.
+        (void)lock;
+        addParticipants(it->second, degree, /*primary=*/true);
+    }
+}
+
+void
+ThreadedServer::runRechecksLocked(std::unique_lock<std::mutex>& lock)
+{
+    const auto now = Clock::now();
+    for (auto& [id, req] : active_) {
+        if (now < req.recheckAt)
+            continue;
+        req.recheckAt = Clock::time_point::max();
+        if (req.tasks->finished())
+            continue;
+
+        policy::RequestView view;
+        view.id = req.id;
+        view.predictedMs = req.predictedMs;
+        view.elapsedMs = msBetween(req.dispatchTime, now);
+        view.currentDegree = req.degree;
+        const policy::Decision decision =
+            policy_.onRecheck(view, snapshotStateLocked());
+
+        const int idle = config_.numWorkers - allocatedWorkers_;
+        const int added =
+            std::clamp(decision.degree - req.degree, 0, idle);
+        if (added > 0) {
+            req.degree += added;
+            req.maxDegree = std::max(req.maxDegree, req.degree);
+            req.corrected = true;
+            allocatedWorkers_ += added;
+            (void)lock;
+            addParticipants(req, added, /*primary=*/false);
+        }
+        if (decision.recheckAfterMs > 0.0) {
+            req.recheckAt =
+                now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              decision.recheckAfterMs));
+        }
+    }
+}
+
+void
+ThreadedServer::schedulerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        dispatchLocked(lock);
+        runRechecksLocked(lock);
+        if (stopping_ && queue_.empty() && active_.empty())
+            return;
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                               config_.recheckTickMs));
+    }
+}
+
+} // namespace tpc::server

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A real multithreaded interactive server driven by a parallelism policy.
+ *
+ * This is the execution-engine counterpart of SimServer: requests carry
+ * actual work (a sequential preamble, a pool of parallelizable tasks, and
+ * a sequential postamble — the structure of both the search executor and
+ * the Monte Carlo pricer), worker threads from a fixed pool execute them,
+ * and the same ParallelismPolicy interface decides degrees at dispatch
+ * and through periodic rechecks (TPC's dynamic correction adds worker
+ * threads to a request while it runs, via MalleableJob).
+ *
+ * Used by the runnable examples and the integration tests; the paper's
+ * figures are regenerated with the discrete-event twin for speed.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "policy/policy.h"
+#include "runtime/malleable_job.h"
+#include "runtime/worker_pool.h"
+
+namespace tpc::server {
+
+/** Static configuration of the threaded server. */
+struct ThreadedServerConfig
+{
+    /** Worker threads in the pool. */
+    int numWorkers = 8;
+    /** Hardware contexts reported to policies. */
+    int hwContexts = 8;
+    /** Scheduler tick driving dispatch and correction checks. */
+    double recheckTickMs = 1.0;
+    /** Threshold classifying requests as long for the LongT metric. */
+    double longThresholdMs = 80.0;
+};
+
+/** A request with real work. */
+struct ThreadedJob
+{
+    /** Predictor's estimate of the sequential execution time (ms). */
+    double predictedMs = 0.0;
+    /** Sequential pre-phase (parsing); may be empty. */
+    std::function<void()> preamble;
+    /** Number of parallelizable tasks (>= 1). */
+    int numTasks = 1;
+    /** Task body, called once per index in [0, numTasks). */
+    std::function<void(int)> task;
+    /** Sequential post-phase (merge/rescore); may be empty. */
+    std::function<void()> postamble;
+};
+
+/** Completion record of one threaded request. */
+struct ThreadedOutcome
+{
+    std::uint64_t id = 0;
+    double responseMs = 0.0;
+    double queueMs = 0.0;
+    int initialDegree = 1;
+    int maxDegree = 1;
+    bool corrected = false;
+};
+
+/**
+ * The server: a scheduler thread owns the waiting queue and all policy
+ * interactions; a WorkerPool executes request tasks.
+ */
+class ThreadedServer
+{
+  public:
+    /** @param policy Borrowed; must outlive the server. */
+    ThreadedServer(const ThreadedServerConfig& config,
+                   policy::ParallelismPolicy& policy);
+
+    /** Drains all submitted requests, then stops. */
+    ~ThreadedServer();
+
+    ThreadedServer(const ThreadedServer&) = delete;
+    ThreadedServer& operator=(const ThreadedServer&) = delete;
+
+    /** Enqueues a request; returns its id immediately (open loop). */
+    std::uint64_t submit(ThreadedJob job);
+
+    /** Blocks until every submitted request has completed. */
+    void drain();
+
+    /** Completion records so far (snapshot). */
+    std::vector<ThreadedOutcome> outcomes() const;
+
+    const ThreadedServerConfig& config() const { return config_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct QueuedJob
+    {
+        std::uint64_t id;
+        Clock::time_point submitTime;
+        ThreadedJob job;
+    };
+
+    struct ActiveRequest
+    {
+        std::uint64_t id = 0;
+        double predictedMs = 0.0;
+        Clock::time_point submitTime;
+        Clock::time_point dispatchTime;
+        std::shared_ptr<runtime::MalleableJob> tasks;
+        std::function<void()> postamble;
+        int degree = 0;
+        int initialDegree = 0;
+        int maxDegree = 0;
+        bool corrected = false;
+        /** Participants that have not yet returned. */
+        int participantsOutstanding = 0;
+        bool primaryDone = false;
+        /** Next correction check, or time_point::max() when none. */
+        Clock::time_point recheckAt = Clock::time_point::max();
+    };
+
+    void schedulerLoop();
+    /** Dispatches queued requests while workers are available. */
+    void dispatchLocked(std::unique_lock<std::mutex>& lock);
+    /** Runs due correction checks. */
+    void runRechecksLocked(std::unique_lock<std::mutex>& lock);
+    policy::SystemState snapshotStateLocked() const;
+    void addParticipants(ActiveRequest& request, int count, bool primary);
+    void onParticipantDone(std::uint64_t id, bool primary);
+
+    static double msBetween(Clock::time_point a, Clock::time_point b);
+
+    ThreadedServerConfig config_;
+    policy::ParallelismPolicy& policy_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable drainCv_;
+    std::deque<QueuedJob> queue_;
+    std::map<std::uint64_t, ActiveRequest> active_;
+    std::vector<ThreadedOutcome> outcomes_;
+    std::uint64_t nextId_ = 0;
+    int allocatedWorkers_ = 0;
+    bool stopping_ = false;
+
+    // Declared after the state it uses so construction order is safe; the
+    // pool must be destroyed before the scheduler observes stopping_.
+    std::unique_ptr<runtime::WorkerPool> pool_;
+    std::thread scheduler_;
+};
+
+} // namespace tpc::server

@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace tpc::sim {
+
+EventId
+Simulator::schedule(double timeMs, std::function<void()> fn)
+{
+    TPC_CHECK(fn != nullptr);
+    TPC_CHECK_MSG(timeMs >= now_, "cannot schedule into the past");
+    const EventId id = nextId_++;
+    heap_.push(Node{timeMs, nextSeq_++, id, std::move(fn)});
+    return id;
+}
+
+EventId
+Simulator::scheduleAfter(double delayMs, std::function<void()> fn)
+{
+    TPC_CHECK(delayMs >= 0.0);
+    return schedule(now_ + delayMs, std::move(fn));
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    if (id == kInvalidEventId)
+        return;
+    cancelled_.insert(id);
+}
+
+bool
+Simulator::runNext()
+{
+    while (!heap_.empty()) {
+        // priority_queue::top is const; the function is moved out after a
+        // copy of the metadata, then popped.
+        const Node& top = heap_.top();
+        if (cancelled_.erase(top.id) > 0) {
+            heap_.pop();
+            continue;
+        }
+        TPC_DCHECK(top.time >= now_);
+        now_ = top.time;
+        auto fn = std::move(const_cast<Node&>(top).fn);
+        heap_.pop();
+        ++firedEvents_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void
+Simulator::runUntilEmpty()
+{
+    while (runNext()) {
+    }
+}
+
+void
+Simulator::runUntil(double timeMs)
+{
+    TPC_CHECK(timeMs >= now_);
+    while (!heap_.empty()) {
+        const Node& top = heap_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            heap_.pop();
+            continue;
+        }
+        if (top.time > timeMs)
+            break;
+        runNext();
+    }
+    now_ = timeMs;
+}
+
+} // namespace tpc::sim

@@ -1,0 +1,73 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpc::stats {
+
+namespace {
+
+/** Nearest-rank quantile of a sorted vector. */
+double
+sortedQuantile(const std::vector<double>& sorted, double q)
+{
+    const auto n = sorted.size();
+    auto rank =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+ConfidenceInterval
+bootstrapPercentile(const std::vector<double>& samples, double quantile,
+                    int resamples, util::Rng& rng, double alpha)
+{
+    TPC_CHECK(!samples.empty());
+    TPC_CHECK(quantile >= 0.0 && quantile <= 1.0);
+    TPC_CHECK(resamples >= 2);
+    TPC_CHECK(alpha > 0.0 && alpha < 1.0);
+
+    const std::size_t n = samples.size();
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+
+    ConfidenceInterval ci;
+    ci.point = sortedQuantile(sorted, quantile);
+
+    // Resample ranks rather than values: drawing n uniform indices and
+    // taking the k-th order statistic of the resample is equivalent to
+    // indexing the sorted original at the k-th order statistic of the
+    // index sample, so each bootstrap iteration is O(n) without a sort.
+    std::vector<double> statistics;
+    statistics.reserve(static_cast<std::size_t>(resamples));
+    std::vector<std::uint32_t> indexSample(n);
+    for (int b = 0; b < resamples; ++b) {
+        for (std::size_t i = 0; i < n; ++i)
+            indexSample[i] = static_cast<std::uint32_t>(rng.uniformInt(n));
+        const auto rank = std::clamp<std::size_t>(
+            static_cast<std::size_t>(
+                std::ceil(quantile * static_cast<double>(n))),
+            1, n);
+        std::nth_element(indexSample.begin(),
+                         indexSample.begin() +
+                             static_cast<std::ptrdiff_t>(rank - 1),
+                         indexSample.end());
+        statistics.push_back(
+            sorted[indexSample[rank - 1]]);
+    }
+    std::sort(statistics.begin(), statistics.end());
+
+    const auto loIdx = static_cast<std::size_t>(
+        (alpha / 2.0) * static_cast<double>(resamples - 1));
+    const auto hiIdx = static_cast<std::size_t>(
+        (1.0 - alpha / 2.0) * static_cast<double>(resamples - 1));
+    ci.lower = statistics[loIdx];
+    ci.upper = statistics[hiIdx];
+    return ci;
+}
+
+} // namespace tpc::stats

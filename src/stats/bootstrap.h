@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bootstrap confidence intervals for percentile estimates.
+ *
+ * Tail-latency claims compare single numbers (P99, P99.9) between
+ * policies; a 95% bootstrap interval says how much of a measured gap is
+ * signal. Used by bench_variability to put error bars on the headline
+ * results.
+ */
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpc::stats {
+
+/** A two-sided confidence interval around a point estimate. */
+struct ConfidenceInterval
+{
+    double point = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+
+    /** Half-width of the interval. */
+    double halfWidth() const { return (upper - lower) / 2.0; }
+
+    /** True when the other interval does not overlap this one. */
+    bool separatedFrom(const ConfidenceInterval& other) const
+    {
+        return upper < other.lower || other.upper < lower;
+    }
+};
+
+/**
+ * Percentile bootstrap: resamples the data with replacement, recomputes
+ * the q-quantile per resample, and returns the [alpha/2, 1-alpha/2]
+ * interval of the resampled statistics.
+ *
+ * @param samples    Observations (need not be sorted).
+ * @param quantile   Quantile of interest in [0, 1].
+ * @param resamples  Bootstrap iterations (>= 100 recommended).
+ * @param rng        Random source (deterministic per seed).
+ * @param alpha      1 - confidence level (0.05 -> 95% interval).
+ */
+ConfidenceInterval bootstrapPercentile(const std::vector<double>& samples,
+                                       double quantile, int resamples,
+                                       util::Rng& rng, double alpha = 0.05);
+
+} // namespace tpc::stats

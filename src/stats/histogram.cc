@@ -1,0 +1,106 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpc::stats {
+
+LogHistogram::LogHistogram(double minValue, double maxValue,
+                           double growthFactor)
+    : minValue_(minValue),
+      logMin_(std::log(minValue)),
+      logGrowth_(std::log(growthFactor))
+{
+    TPC_CHECK(minValue > 0.0);
+    TPC_CHECK(maxValue > minValue);
+    TPC_CHECK(growthFactor > 1.0);
+    const auto buckets = static_cast<std::size_t>(
+        std::ceil((std::log(maxValue) - logMin_) / logGrowth_)) + 2;
+    counts_.assign(buckets, 0);
+}
+
+std::size_t
+LogHistogram::bucketIndex(double value) const
+{
+    if (value <= minValue_)
+        return 0;
+    const auto idx = static_cast<std::size_t>(
+        (std::log(value) - logMin_) / logGrowth_) + 1;
+    return std::min(idx, counts_.size() - 1);
+}
+
+void
+LogHistogram::add(double value)
+{
+    add(value, 1);
+}
+
+void
+LogHistogram::add(double value, std::uint64_t count)
+{
+    counts_[bucketIndex(value)] += count;
+    total_ += count;
+    sum_ += value * static_cast<double>(count);
+}
+
+void
+LogHistogram::merge(const LogHistogram& other)
+{
+    TPC_CHECK_MSG(other.counts_.size() == counts_.size() &&
+                      other.minValue_ == minValue_ &&
+                      other.logGrowth_ == logGrowth_,
+                  "histograms must share bucketing parameters");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+double
+LogHistogram::bucketUpperBound(std::size_t i) const
+{
+    if (i == 0)
+        return minValue_;
+    return std::exp(logMin_ + static_cast<double>(i) * logGrowth_);
+}
+
+double
+LogHistogram::percentile(double q) const
+{
+    TPC_CHECK(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (running >= std::max<std::uint64_t>(target, 1))
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(counts_.size() - 1);
+}
+
+double
+LogHistogram::fractionAtOrBelow(double value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const std::size_t limit = bucketIndex(value);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i <= limit; ++i)
+        running += counts_[i];
+    return static_cast<double>(running) / static_cast<double>(total_);
+}
+
+double
+LogHistogram::mean() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(total_);
+}
+
+} // namespace tpc::stats

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Log-spaced latency histogram with bounded relative error.
+ *
+ * Complements LatencyRecorder: where the recorder stores every sample for
+ * exact percentiles, the histogram gives O(1)-memory aggregation (e.g. the
+ * per-ISN recorders in the 40-node cluster simulation) at a configurable
+ * relative error per bucket.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tpc::stats {
+
+/** Fixed-growth-factor logarithmic histogram over positive values. */
+class LogHistogram
+{
+  public:
+    /**
+     * @param minValue     Lower bound of the first bucket (> 0).
+     * @param maxValue     Upper bound of the last regular bucket.
+     * @param growthFactor Per-bucket growth; 1.02 gives ~1% quantile error.
+     */
+    LogHistogram(double minValue = 0.01, double maxValue = 100000.0,
+                 double growthFactor = 1.02);
+
+    /** Adds one observation (values outside range clamp to edge buckets). */
+    void add(double value);
+
+    /** Adds @p count observations of the same value. */
+    void add(double value, std::uint64_t count);
+
+    /** Merges a histogram with identical bucketing parameters. */
+    void merge(const LogHistogram& other);
+
+    /** Approximate q-quantile (0 <= q <= 1); 0 when empty. */
+    double percentile(double q) const;
+
+    /** Fraction of observations at or below the value. */
+    double fractionAtOrBelow(double value) const;
+
+    std::uint64_t count() const { return total_; }
+    double mean() const;
+    std::size_t bucketCount() const { return counts_.size(); }
+
+    /** Upper bound of bucket i (its representative value). */
+    double bucketUpperBound(std::size_t i) const;
+
+    /** Count in bucket i. */
+    std::uint64_t bucketValue(std::size_t i) const { return counts_[i]; }
+
+  private:
+    std::size_t bucketIndex(double value) const;
+
+    double minValue_;
+    double logMin_;
+    double logGrowth_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace tpc::stats

@@ -1,0 +1,118 @@
+#include "stats/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpc::stats {
+
+std::string
+LatencySummary::toString() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f p99.9=%.2f "
+                  "max=%.2f",
+                  static_cast<unsigned long long>(count), mean, p50, p95, p99,
+                  p999, max);
+    return buf;
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t expectedSamples)
+{
+    samples_.reserve(expectedSamples);
+}
+
+void
+LatencyRecorder::add(double value)
+{
+    TPC_DCHECK(value >= 0.0);
+    samples_.push_back(value);
+    moments_.add(value);
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder& other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    moments_.merge(other.moments_);
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+double
+LatencyRecorder::percentile(double q) const
+{
+    TPC_CHECK(q >= 0.0 && q <= 1.0);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    // Nearest-rank: the smallest value with at least ceil(q*n) samples <= it.
+    const auto n = sorted_.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return sorted_[rank - 1];
+}
+
+double
+LatencyRecorder::fractionAbove(double threshold) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    const auto above = static_cast<double>(sorted_.end() - it);
+    return above / static_cast<double>(sorted_.size());
+}
+
+LatencySummary
+LatencyRecorder::summary() const
+{
+    LatencySummary s;
+    s.count = count();
+    s.mean = mean();
+    s.p50 = percentile(0.50);
+    s.p95 = percentile(0.95);
+    s.p99 = percentile(0.99);
+    s.p999 = percentile(0.999);
+    s.max = max();
+    return s;
+}
+
+std::vector<std::pair<double, double>>
+LatencyRecorder::cdf(std::size_t maxPoints) const
+{
+    std::vector<std::pair<double, double>> points;
+    if (samples_.empty())
+        return points;
+    ensureSorted();
+    const std::size_t n = sorted_.size();
+    const std::size_t stride = std::max<std::size_t>(1, n / maxPoints);
+    points.reserve(n / stride + 2);
+    for (std::size_t i = stride - 1; i < n; i += stride) {
+        points.emplace_back(sorted_[i],
+                            static_cast<double>(i + 1) /
+                                static_cast<double>(n));
+    }
+    if (points.empty() || points.back().second < 1.0)
+        points.emplace_back(sorted_.back(), 1.0);
+    return points;
+}
+
+} // namespace tpc::stats

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Exact-percentile latency recorder.
+ *
+ * Tail-latency experiments need exact order statistics (the paper reports
+ * P99 and P99.9 over 100K-request traces), so this recorder keeps every
+ * sample and sorts lazily. Memory is 8 bytes per sample, which is cheap at
+ * the trace sizes used here.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/online_stats.h"
+
+namespace tpc::stats {
+
+/** Percentile summary of one experiment run. */
+struct LatencySummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double max = 0.0;
+
+    /** One-line human-readable rendering (values in ms). */
+    std::string toString() const;
+};
+
+/** Records latency samples and answers exact percentile queries. */
+class LatencyRecorder
+{
+  public:
+    LatencyRecorder() = default;
+
+    /** Pre-allocates space for the expected sample count. */
+    explicit LatencyRecorder(std::size_t expectedSamples);
+
+    /** Records one latency sample (any non-negative unit; ms by convention). */
+    void add(double value);
+
+    /** Merges another recorder's samples into this one. */
+    void merge(const LatencyRecorder& other);
+
+    /**
+     * Returns the exact q-quantile (0 <= q <= 1) using the nearest-rank
+     * method on the sorted samples. Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+    /** Fraction of samples strictly greater than the threshold. */
+    double fractionAbove(double threshold) const;
+
+    /** Mean of all samples. */
+    double mean() const { return moments_.mean(); }
+
+    /** Largest sample. */
+    double max() const { return moments_.max(); }
+
+    std::uint64_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Standard percentile bundle used by the bench harness. */
+    LatencySummary summary() const;
+
+    /**
+     * Returns the empirical CDF as (value, cumulativeFraction) pairs at
+     * every k-th sorted sample (k chosen so at most maxPoints are emitted).
+     */
+    std::vector<std::pair<double, double>> cdf(std::size_t maxPoints =
+                                                   2000) const;
+
+    /** Read-only access to the raw samples (unsorted). */
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+    OnlineStats moments_;
+};
+
+} // namespace tpc::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Streaming first/second-moment accumulator (Welford's algorithm).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace tpc::stats {
+
+/**
+ * Accumulates count, mean, variance, min and max in O(1) space with
+ * numerically stable updates. Suitable for very long runs.
+ */
+class OnlineStats
+{
+  public:
+    /** Adds one observation. */
+    void add(double value);
+
+    /** Merges another accumulator into this one (parallel reduction). */
+    void merge(const OnlineStats& other);
+
+    /** Resets to the empty state. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace tpc::stats

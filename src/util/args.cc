@@ -1,0 +1,75 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tpc::util {
+
+ArgParser::ArgParser(int argc, char** argv, std::set<std::string> knownFlags)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0)
+            fatal("unexpected argument (flags start with --): " + token);
+        token = token.substr(2);
+        std::string name = token;
+        std::string value;
+        const std::size_t eq = token.find('=');
+        if (eq != std::string::npos) {
+            name = token.substr(0, eq);
+            value = token.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            value = argv[++i];
+        }
+        if (knownFlags.find(name) == knownFlags.end()) {
+            std::string usage = "unknown flag --" + name + "; known:";
+            for (const auto& flag : knownFlags)
+                usage += " --" + flag;
+            fatal(usage);
+        }
+        values_[name] = value;
+    }
+}
+
+bool
+ArgParser::has(const std::string& name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+ArgParser::getString(const std::string& name,
+                     const std::string& fallback) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+long
+ArgParser::getInt(const std::string& name, long fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects an integer, got: " + it->second);
+    return value;
+}
+
+double
+ArgParser::getDouble(const std::string& name, double fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("flag --" + name + " expects a number, got: " + it->second);
+    return value;
+}
+
+} // namespace tpc::util

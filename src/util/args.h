@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the examples and tools.
+ *
+ * Supports `--name=value` and `--name value` forms plus boolean
+ * `--name`. Unknown flags are fatal so typos fail loudly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace tpc::util {
+
+/** Parses --key=value style flags. */
+class ArgParser
+{
+  public:
+    /**
+     * @param argc/argv  Program arguments.
+     * @param knownFlags Accepted flag names (without "--"); any other
+     *                   flag aborts with a usage hint.
+     */
+    ArgParser(int argc, char** argv, std::set<std::string> knownFlags);
+
+    /** True when the flag was present (with or without a value). */
+    bool has(const std::string& name) const;
+
+    /** String value, or fallback when absent. */
+    std::string getString(const std::string& name,
+                          const std::string& fallback) const;
+
+    /** Integer value, or fallback when absent. Fatal on non-numeric. */
+    long getInt(const std::string& name, long fallback) const;
+
+    /** Double value, or fallback when absent. Fatal on non-numeric. */
+    double getDouble(const std::string& name, double fallback) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace tpc::util

@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace tpc::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec)
+            fatal("cannot create directory " + p.parent_path().string() +
+                  ": " + ec.message());
+    }
+    out_.open(path, std::ios::trunc);
+    if (!out_)
+        fatal("cannot open CSV file for writing: " + path);
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ",";
+        out_ << escape(cells[i]);
+    }
+    out_ << "\n";
+}
+
+void
+CsvWriter::writeRow(const std::vector<double>& cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells)
+        text.push_back(TablePrinter::fmt(v, 4));
+    writeRow(text);
+}
+
+std::string
+resultsDir()
+{
+    if (const char* env = std::getenv("TPC_RESULTS_DIR"))
+        return env;
+    return "results";
+}
+
+} // namespace tpc::util

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV writer used by the benchmark harnesses to dump raw series
+ * (one file per figure) under a results directory.
+ */
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tpc::util {
+
+/** Writes rows of cells to a CSV file, creating parent directories. */
+class CsvWriter
+{
+  public:
+    /**
+     * Opens (and truncates) the file at @p path, creating directories as
+     * needed. Failure to open is a user error and calls fatal().
+     */
+    explicit CsvWriter(const std::string& path);
+
+    /** Writes one row; cells containing commas or quotes are quoted. */
+    void writeRow(const std::vector<std::string>& cells);
+
+    /** Convenience overload taking doubles. */
+    void writeRow(const std::vector<double>& cells);
+
+    const std::string& path() const { return path_; }
+
+  private:
+    static std::string escape(const std::string& cell);
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+/** Returns the directory benches write CSVs into ("results" by default,
+ *  overridable with the TPC_RESULTS_DIR environment variable). */
+std::string resultsDir();
+
+} // namespace tpc::util

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Reusable random distributions for workload generation.
+ *
+ * These wrap tpc::util::Rng with the parameterized distributions the
+ * workload generators need: Zipf-distributed term/document popularity, a
+ * truncated lognormal for service demands, and an open-loop Poisson arrival
+ * process.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpc::util {
+
+/**
+ * Zipf(s) distribution over {0, 1, ..., n-1} where rank r has probability
+ * proportional to 1 / (r+1)^s.
+ *
+ * Uses rejection-inversion sampling (Hormann and Derflinger), which is O(1)
+ * per sample and exact, so very large vocabularies are cheap.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of items; must be >= 1.
+     * @param s Skew parameter; s >= 0 (s == 0 degenerates to uniform-ish
+     *          handled by the same sampler).
+     */
+    ZipfDistribution(std::uint64_t n, double s);
+
+    /** Draws a rank in [0, n). Rank 0 is the most popular item. */
+    std::uint64_t sample(Rng& rng) const;
+
+    std::uint64_t size() const { return n_; }
+    double skew() const { return s_; }
+
+  private:
+    double h(double x) const;
+    double hInverse(double x) const;
+
+    std::uint64_t n_;
+    double s_;
+    double hx0_;
+    double hxn_;
+    double cutoff_;
+};
+
+/**
+ * Lognormal distribution truncated to [minValue, maxValue] by resampling.
+ *
+ * Used to model web-search service demand (Section 2.3 of the paper): a
+ * heavy right tail capped at the longest observed query.
+ */
+class TruncatedLognormal
+{
+  public:
+    /**
+     * @param mu        Mean of the underlying normal; median = exp(mu).
+     * @param sigma     Standard deviation of the underlying normal.
+     * @param minValue  Smallest value ever returned (> 0).
+     * @param maxValue  Largest value ever returned (> minValue).
+     */
+    TruncatedLognormal(double mu, double sigma, double minValue,
+                       double maxValue);
+
+    /** Draws one value in [minValue, maxValue]. */
+    double sample(Rng& rng) const;
+
+    /** Median of the untruncated distribution, exp(mu). */
+    double median() const;
+
+  private:
+    double mu_;
+    double sigma_;
+    double minValue_;
+    double maxValue_;
+};
+
+/**
+ * Two-component lognormal mixture truncated to [minValue, maxValue].
+ *
+ * Fits heavy-tailed interactive service demands better than a single
+ * lognormal: the bulk component models the short-request mass and the
+ * tail component the long requests. The web-search demand profile of the
+ * paper (median 3.6 ms, mean 13.5 ms, P99 = 200 ms, ~88% < 15 ms) is a
+ * (0.9, median 3.2, sigma 0.8) + (0.1, median 55, sigma 1.0) mixture.
+ */
+class BimodalLognormal
+{
+  public:
+    /**
+     * @param bulkMedian  Median of the bulk component (> 0).
+     * @param bulkSigma   Sigma of the bulk component.
+     * @param tailMedian  Median of the tail component (> 0).
+     * @param tailSigma   Sigma of the tail component.
+     * @param tailWeight  Probability of drawing from the tail component.
+     * @param minValue    Smallest value ever returned.
+     * @param maxValue    Largest value ever returned.
+     */
+    BimodalLognormal(double bulkMedian, double bulkSigma, double tailMedian,
+                     double tailSigma, double tailWeight, double minValue,
+                     double maxValue);
+
+    /** Draws one value in [minValue, maxValue]. */
+    double sample(Rng& rng) const;
+
+    double tailWeight() const { return tailWeight_; }
+
+    /** The paper's web-search service-demand profile (values in ms). */
+    static BimodalLognormal webSearchDemand();
+
+  private:
+    TruncatedLognormal bulk_;
+    TruncatedLognormal tail_;
+    double tailWeight_;
+};
+
+/**
+ * Open-loop Poisson arrival process: successive arrival timestamps with
+ * exponential inter-arrival times at a fixed rate.
+ */
+class PoissonProcess
+{
+  public:
+    /**
+     * @param ratePerSecond Mean arrival rate (e.g. queries per second).
+     * @param rng           Generator dedicated to this process.
+     */
+    PoissonProcess(double ratePerSecond, Rng rng);
+
+    /** Returns the next arrival timestamp in milliseconds. */
+    double nextArrivalMs();
+
+    /** Timestamp of the most recently generated arrival, in ms. */
+    double nowMs() const { return nowMs_; }
+
+    double ratePerSecond() const { return ratePerSecond_; }
+
+  private:
+    double ratePerSecond_;
+    double nowMs_;
+    Rng rng_;
+};
+
+/**
+ * Empirical discrete distribution over {0, ..., n-1} with user-supplied
+ * weights, sampled by binary search on the cumulative table.
+ */
+class DiscreteDistribution
+{
+  public:
+    /** @param weights Non-negative weights; at least one must be positive. */
+    explicit DiscreteDistribution(std::vector<double> weights);
+
+    /** Draws an index with probability proportional to its weight. */
+    std::size_t sample(Rng& rng) const;
+
+    /** Probability of index i. */
+    double probability(std::size_t i) const;
+
+    std::size_t size() const { return cumulative_.size(); }
+
+  private:
+    std::vector<double> cumulative_;
+    double total_;
+};
+
+} // namespace tpc::util

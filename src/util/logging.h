@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lightweight check/fatal helpers used across the TPC library.
+ *
+ * Following the gem5 convention, fatal() is for user/configuration errors
+ * that make continuing impossible, while TPC_CHECK/panic-style failures
+ * indicate internal library bugs and abort.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tpc::util {
+
+/** Prints the message to stderr and aborts; used for internal bugs. */
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+
+/** Prints the message to stderr and exits(1); used for user errors. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Prints an informational message to stderr. */
+void inform(const std::string& msg);
+
+/** Prints a warning message to stderr. */
+void warn(const std::string& msg);
+
+} // namespace tpc::util
+
+/** Aborts with a message when an internal invariant is violated. */
+#define TPC_CHECK(cond)                                                       \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::tpc::util::panicImpl(__FILE__, __LINE__,                        \
+                                   "check failed: " #cond);                   \
+        }                                                                     \
+    } while (0)
+
+/** Aborts with a custom message when an internal invariant is violated. */
+#define TPC_CHECK_MSG(cond, msg)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::tpc::util::panicImpl(__FILE__, __LINE__,                        \
+                                   std::string("check failed: " #cond ": ") + \
+                                       (msg));                                \
+        }                                                                     \
+    } while (0)
+
+#ifdef NDEBUG
+#define TPC_DCHECK(cond) ((void)0)
+#else
+/** Debug-only invariant check; compiled out in NDEBUG builds. */
+#define TPC_DCHECK(cond) TPC_CHECK(cond)
+#endif

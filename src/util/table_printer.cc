@@ -1,0 +1,82 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tpc::util {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    TPC_CHECK_MSG(row.size() == header_.size(),
+                  "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+
+    auto emitRow = [&](const std::vector<std::string>& cells) {
+        out << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << " " << cells[c];
+            out << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+
+    emitRow(header_);
+    out << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out << std::string(widths[c] + 2, '-') << "|";
+    out << "\n";
+    for (const auto& row : rows_)
+        emitRow(row);
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace tpc::util

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table formatting for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series of the corresponding paper
+ * table or figure through this printer so the output is uniform and easy
+ * to diff against EXPERIMENTS.md.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tpc::util {
+
+/** Right-pads or aligns cell text into fixed-width columns. */
+class TablePrinter
+{
+  public:
+    /** @param title Optional table caption printed above the header. */
+    explicit TablePrinter(std::string title = "");
+
+    /** Sets the column headers; must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Appends one row; the cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: formats doubles to the given precision. */
+    static std::string fmt(double value, int precision = 1);
+
+    /** Convenience: formats a percentage with one decimal. */
+    static std::string pct(double fraction);
+
+    /** Renders the table to a string (header, separator, rows). */
+    std::string render() const;
+
+    /** Renders and writes the table to stdout. */
+    void print() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tpc::util

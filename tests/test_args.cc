@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/args.h"
+
+namespace tpc::util {
+namespace {
+
+ArgParser
+parse(std::vector<const char*> args, std::set<std::string> known)
+{
+    args.insert(args.begin(), "prog");
+    return ArgParser(static_cast<int>(args.size()),
+                     const_cast<char**>(args.data()), std::move(known));
+}
+
+TEST(ArgParser, EqualsForm)
+{
+    const ArgParser args = parse({"--qps=300", "--name=tpc"},
+                                 {"qps", "name"});
+    EXPECT_EQ(args.getInt("qps", 0), 300);
+    EXPECT_EQ(args.getString("name", ""), "tpc");
+}
+
+TEST(ArgParser, SpaceSeparatedForm)
+{
+    const ArgParser args = parse({"--qps", "450"}, {"qps"});
+    EXPECT_EQ(args.getInt("qps", 0), 450);
+}
+
+TEST(ArgParser, BooleanFlagAndDefaults)
+{
+    const ArgParser args = parse({"--verbose"}, {"verbose", "qps"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.has("qps"));
+    EXPECT_EQ(args.getInt("qps", 42), 42);
+    EXPECT_EQ(args.getString("qps", "x"), "x");
+    EXPECT_DOUBLE_EQ(args.getDouble("qps", 1.5), 1.5);
+}
+
+TEST(ArgParser, DoubleValues)
+{
+    const ArgParser args = parse({"--rate=2.5"}, {"rate"});
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 2.5);
+}
+
+TEST(ArgParser, UnknownFlagDies)
+{
+    EXPECT_DEATH(parse({"--oops=1"}, {"qps"}), "unknown flag");
+}
+
+TEST(ArgParser, NonNumericDies)
+{
+    const ArgParser args = parse({"--qps=abc"}, {"qps"});
+    EXPECT_DEATH(args.getInt("qps", 0), "expects an integer");
+}
+
+TEST(ArgParser, NonFlagArgumentDies)
+{
+    EXPECT_DEATH(parse({"positional"}, {"qps"}), "flags start with --");
+}
+
+} // namespace
+} // namespace tpc::util

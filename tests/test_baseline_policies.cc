@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the prior-work policies (Table 1): each must use exactly the
+ * information the paper attributes to it and produce the documented
+ * degree behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "policy/baselines.h"
+#include "policy/load_metric.h"
+
+namespace tpc::policy {
+namespace {
+
+SystemState
+stateWith(int queueLength, int runningRequests, int idle = 20)
+{
+    SystemState state;
+    state.totalWorkers = 28;
+    state.idleWorkers = idle;
+    state.queueLength = queueLength;
+    state.runningRequests = runningRequests;
+    state.activeThreadsAll = 28 - idle;
+    state.activeThreadsLong = 4;
+    state.cpuUtilization = 0.5;
+    state.hwContexts = 24;
+    return state;
+}
+
+RequestView
+requestWith(double predictedMs, int currentDegree = 0)
+{
+    RequestView view;
+    view.id = 1;
+    view.predictedMs = predictedMs;
+    view.currentDegree = currentDegree;
+    return view;
+}
+
+TEST(SequentialPolicy, AlwaysDegreeOne)
+{
+    SequentialPolicy policy;
+    for (double ms : {1.0, 50.0, 500.0}) {
+        const Decision d = policy.onDispatch(requestWith(ms),
+                                             stateWith(0, 0));
+        EXPECT_EQ(d.degree, 1);
+        EXPECT_EQ(d.recheckAfterMs, 0.0);
+    }
+}
+
+TEST(PredPolicy, ThresholdGovernsDegree)
+{
+    PredPolicy policy(80.0, 3);
+    EXPECT_EQ(policy.onDispatch(requestWith(79.0), stateWith(0, 0)).degree,
+              1);
+    EXPECT_EQ(policy.onDispatch(requestWith(81.0), stateWith(0, 0)).degree,
+              3);
+    // Load-oblivious: same answer under a huge queue.
+    EXPECT_EQ(policy.onDispatch(requestWith(81.0), stateWith(50, 20)).degree,
+              3);
+    // Never rechecks.
+    EXPECT_EQ(policy.onDispatch(requestWith(81.0), stateWith(0, 0))
+                  .recheckAfterMs,
+              0.0);
+}
+
+TEST(ApPolicy, DegreeDecreasesWithSystemPopulation)
+{
+    ApPolicy policy(SpeedupModel::webSearchAverageProfile(), 6);
+    const int idle = policy.onDispatch(requestWith(10.0),
+                                       stateWith(0, 0)).degree;
+    const int busy = policy.onDispatch(requestWith(10.0),
+                                       stateWith(10, 12)).degree;
+    const int jammed = policy.onDispatch(requestWith(10.0),
+                                         stateWith(40, 24)).degree;
+    EXPECT_EQ(idle, 6);
+    EXPECT_LT(busy, idle);
+    EXPECT_LE(jammed, 2);
+    EXPECT_GE(jammed, 1);
+}
+
+TEST(ApPolicy, IgnoresPredictedTime)
+{
+    ApPolicy policy(SpeedupModel::webSearchAverageProfile(), 6);
+    const SystemState state = stateWith(5, 8);
+    EXPECT_EQ(policy.onDispatch(requestWith(1.0), state).degree,
+              policy.onDispatch(requestWith(300.0), state).degree);
+}
+
+TEST(WqLinearPolicy, LinearInQueueLength)
+{
+    WqLinearPolicy policy(6, 1.0);
+    EXPECT_EQ(policy.onDispatch(requestWith(10.0), stateWith(0, 0)).degree,
+              6);
+    EXPECT_EQ(policy.onDispatch(requestWith(10.0), stateWith(2, 0)).degree,
+              4);
+    EXPECT_EQ(policy.onDispatch(requestWith(10.0), stateWith(5, 0)).degree,
+              1);
+    EXPECT_EQ(policy.onDispatch(requestWith(10.0), stateWith(99, 0)).degree,
+              1);
+}
+
+TEST(WqLinearPolicy, SlopeScalesDecay)
+{
+    WqLinearPolicy policy(6, 2.0);
+    EXPECT_EQ(policy.onDispatch(requestWith(10.0), stateWith(1, 0)).degree,
+              4);
+    EXPECT_EQ(policy.onDispatch(requestWith(10.0), stateWith(2, 0)).degree,
+              2);
+}
+
+TEST(RampUpPolicy, StartsSequentialAndIncrements)
+{
+    RampUpPolicy policy(5.0, 6);
+    const Decision initial = policy.onDispatch(requestWith(200.0),
+                                               stateWith(0, 0));
+    EXPECT_EQ(initial.degree, 1);
+    EXPECT_EQ(initial.recheckAfterMs, 5.0);
+
+    Decision d = policy.onRecheck(requestWith(200.0, 1), stateWith(0, 0));
+    EXPECT_EQ(d.degree, 2);
+    EXPECT_EQ(d.recheckAfterMs, 5.0);
+
+    d = policy.onRecheck(requestWith(200.0, 5), stateWith(0, 0));
+    EXPECT_EQ(d.degree, 6);
+    EXPECT_EQ(d.recheckAfterMs, 0.0); // reached max: stop rechecking
+
+    d = policy.onRecheck(requestWith(200.0, 6), stateWith(0, 0));
+    EXPECT_EQ(d.degree, 6);
+}
+
+TEST(RampUpPolicy, NameIncludesInterval)
+{
+    EXPECT_EQ(RampUpPolicy(5.0, 6).name(), "RampUp-5ms");
+    EXPECT_EQ(RampUpPolicy(20.0, 6).name(), "RampUp-20ms");
+}
+
+TEST(LoadMetric, NamesAndValues)
+{
+    EXPECT_EQ(loadMetricName(LoadMetric::LongThreads), "LongT");
+    EXPECT_EQ(loadMetricName(LoadMetric::AllThreads), "AllT");
+    EXPECT_EQ(loadMetricName(LoadMetric::CpuUtilization), "CpuUtil");
+
+    SystemState state = stateWith(0, 3, 18);
+    state.activeThreadsLong = 7;
+    state.cpuUtilization = 0.5;
+    EXPECT_DOUBLE_EQ(loadMetricValue(LoadMetric::LongThreads, state), 7.0);
+    EXPECT_DOUBLE_EQ(loadMetricValue(LoadMetric::AllThreads, state), 10.0);
+    EXPECT_DOUBLE_EQ(loadMetricValue(LoadMetric::CpuUtilization, state),
+                     12.0); // 0.5 x 24 contexts, in thread units
+}
+
+
+TEST(FewToManyPolicy, RampIntervalAdaptsToLoad)
+{
+    FewToManyPolicy policy =
+        FewToManyPolicy::withDefaultSchedule(6);
+    // Idle system: fast ramp.
+    const Decision idle = policy.onDispatch(requestWith(100.0),
+                                            stateWith(0, 0));
+    EXPECT_EQ(idle.degree, 1);
+    EXPECT_GT(idle.recheckAfterMs, 0.0);
+    // Busy system: slower ramp than idle.
+    const Decision busy = policy.onDispatch(requestWith(100.0),
+                                            stateWith(8, 8));
+    EXPECT_GT(busy.recheckAfterMs, idle.recheckAfterMs);
+    // Jammed system: ramping disabled entirely.
+    const Decision jammed = policy.onDispatch(requestWith(100.0),
+                                              stateWith(40, 24));
+    EXPECT_EQ(jammed.recheckAfterMs, 0.0);
+}
+
+TEST(FewToManyPolicy, RecheckAddsOneThread)
+{
+    FewToManyPolicy policy =
+        FewToManyPolicy::withDefaultSchedule(4);
+    Decision d = policy.onRecheck(requestWith(100.0, 1), stateWith(0, 0));
+    EXPECT_EQ(d.degree, 2);
+    EXPECT_GT(d.recheckAfterMs, 0.0);
+    d = policy.onRecheck(requestWith(100.0, 3), stateWith(0, 0));
+    EXPECT_EQ(d.degree, 4);
+    EXPECT_EQ(d.recheckAfterMs, 0.0); // max reached
+}
+
+TEST(FewToManyPolicy, IgnoresPredictedTime)
+{
+    FewToManyPolicy policy =
+        FewToManyPolicy::withDefaultSchedule(6);
+    const SystemState state = stateWith(3, 4);
+    EXPECT_EQ(policy.onDispatch(requestWith(1.0), state).degree,
+              policy.onDispatch(requestWith(300.0), state).degree);
+}
+
+} // namespace
+} // namespace tpc::policy

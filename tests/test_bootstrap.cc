@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for bootstrap percentile confidence intervals.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.h"
+#include "util/rng.h"
+
+namespace tpc::stats {
+namespace {
+
+TEST(Bootstrap, IntervalBracketsPointEstimate)
+{
+    util::Rng dataRng(1);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(dataRng.exponential(10.0));
+    util::Rng rng(2);
+    const ConfidenceInterval ci =
+        bootstrapPercentile(samples, 0.99, 200, rng);
+    EXPECT_LE(ci.lower, ci.point);
+    EXPECT_GE(ci.upper, ci.point);
+    EXPECT_GT(ci.halfWidth(), 0.0);
+}
+
+TEST(Bootstrap, CoversTrueQuantileMostOfTheTime)
+{
+    // Exponential(10): true P90 = 10 ln 10 ~ 23.026. At least 80% of the
+    // nominal-95% intervals over independent datasets must cover it.
+    const double truth = 10.0 * std::log(10.0);
+    util::Rng rng(3);
+    int covered = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> samples;
+        for (int i = 0; i < 2000; ++i)
+            samples.push_back(rng.exponential(10.0));
+        const ConfidenceInterval ci =
+            bootstrapPercentile(samples, 0.90, 200, rng);
+        if (ci.lower <= truth && truth <= ci.upper)
+            ++covered;
+    }
+    EXPECT_GE(covered, trials * 8 / 10);
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize)
+{
+    util::Rng rng(4);
+    std::vector<double> small;
+    std::vector<double> large;
+    for (int i = 0; i < 500; ++i)
+        small.push_back(rng.exponential(10.0));
+    for (int i = 0; i < 50000; ++i)
+        large.push_back(rng.exponential(10.0));
+    const ConfidenceInterval smallCi =
+        bootstrapPercentile(small, 0.9, 300, rng);
+    const ConfidenceInterval largeCi =
+        bootstrapPercentile(large, 0.9, 300, rng);
+    EXPECT_LT(largeCi.halfWidth(), smallCi.halfWidth());
+}
+
+TEST(Bootstrap, SeparatedFrom)
+{
+    ConfidenceInterval a{10.0, 9.0, 11.0};
+    ConfidenceInterval b{20.0, 18.0, 22.0};
+    ConfidenceInterval c{11.5, 10.5, 12.5};
+    EXPECT_TRUE(a.separatedFrom(b));
+    EXPECT_TRUE(b.separatedFrom(a));
+    EXPECT_FALSE(a.separatedFrom(c));
+}
+
+TEST(Bootstrap, DeterministicForSeed)
+{
+    util::Rng dataRng(5);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(dataRng.uniform(0.0, 100.0));
+    util::Rng a(7);
+    util::Rng b(7);
+    const ConfidenceInterval ca = bootstrapPercentile(samples, 0.99, 100, a);
+    const ConfidenceInterval cb = bootstrapPercentile(samples, 0.99, 100, b);
+    EXPECT_DOUBLE_EQ(ca.lower, cb.lower);
+    EXPECT_DOUBLE_EQ(ca.upper, cb.upper);
+}
+
+} // namespace
+} // namespace tpc::stats

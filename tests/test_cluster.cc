@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the partition-aggregate cluster simulation: aggregation
+ * semantics (slowest ISN + overheads), jitter effects, and the
+ * tail-amplification property from the paper's introduction.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "harness/experiment.h"
+#include "harness/policies.h"
+#include "policy/baselines.h"
+
+namespace tpc::cluster {
+namespace {
+
+ClusterConfig
+lightConfig(int isns, double jitter = 0.0)
+{
+    ClusterConfig config;
+    config.numIsns = isns;
+    config.qps = 50.0;
+    config.networkDelayMs = 1.0;
+    config.mergeDelayMs = 1.0;
+    config.demandJitterSigma = jitter;
+    return config;
+}
+
+PolicyFactory
+sequentialFactory()
+{
+    return [] { return std::make_unique<policy::SequentialPolicy>(); };
+}
+
+TEST(ClusterSim, SingleIsnNoJitterEqualsDemandPlusOverheads)
+{
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(500, 10.0, 10.0, 0.0, 1);
+    const ClusterResult result =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(), lightConfig(1));
+    ASSERT_EQ(result.aggregatorLatency.count(), 500u);
+    // Response = network (1) + demand (10) + merge (1) = 12 when idle.
+    EXPECT_NEAR(result.aggregatorLatency.percentile(0.5), 12.0, 1.0);
+    // The ISN recorder excludes network/merge.
+    EXPECT_NEAR(result.isnLatency.percentile(0.5), 10.0, 1.0);
+}
+
+TEST(ClusterSim, AggregatorWaitsForSlowestIsn)
+{
+    // With jitter, the aggregator latency is the max over ISNs; it must
+    // dominate the single-ISN latency at every percentile.
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(2000, 10.0, 90.0, 0.1, 2);
+    const ClusterResult result =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(),
+                   lightConfig(20, 0.25));
+    for (double q : {0.5, 0.9, 0.99}) {
+        EXPECT_GT(result.aggregatorLatency.percentile(q),
+                  result.isnLatency.percentile(q));
+    }
+}
+
+TEST(ClusterSim, MoreIsnsAmplifyTheTail)
+{
+    // The introduction's point: the same per-ISN behaviour yields a worse
+    // cluster median/P99 as the fan-out grows (max of n draws).
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(1500, 10.0, 90.0, 0.1, 3);
+    const ClusterResult small =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(),
+                   lightConfig(4, 0.3));
+    const ClusterResult large =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(),
+                   lightConfig(32, 0.3));
+    EXPECT_GT(large.aggregatorLatency.percentile(0.5),
+              small.aggregatorLatency.percentile(0.5));
+}
+
+TEST(ClusterSim, TpcBeatsSequentialAtClusterLevel)
+{
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(3000, 8.0, 120.0, 0.08, 4);
+    const ClusterConfig config = lightConfig(8, 0.2);
+    const ClusterResult seq =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(), config);
+    const ClusterResult tpc = runCluster(
+        trace, [] { return harness::makeWebSearchPolicy("TPC"); },
+        harness::webSearchExecutionModel(), config);
+    EXPECT_LT(tpc.aggregatorLatency.percentile(0.99),
+              0.7 * seq.aggregatorLatency.percentile(0.99));
+}
+
+TEST(ClusterSim, DeterministicForSeed)
+{
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(800, 10.0, 90.0, 0.1, 5);
+    const ClusterConfig config = lightConfig(6, 0.2);
+    const ClusterResult a =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(), config);
+    const ClusterResult b =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(), config);
+    EXPECT_DOUBLE_EQ(a.aggregatorLatency.percentile(0.99),
+                     b.aggregatorLatency.percentile(0.99));
+}
+
+
+TEST(HedgedCluster, CompletesEveryQuery)
+{
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(1500, 10.0, 90.0, 0.1, 6);
+    ClusterConfig config = lightConfig(6, 0.1);
+    config.machineJitterSigma = 0.3;
+    HedgeConfig hedge;
+    hedge.hedgeDelayMs = 20.0;
+    const ClusterResult result = runHedgedCluster(
+        trace, sequentialFactory(), harness::webSearchExecutionModel(),
+        config, hedge);
+    EXPECT_EQ(result.aggregatorLatency.count(), 1500u);
+}
+
+TEST(HedgedCluster, HedgingReducesMachineJitterTail)
+{
+    // With strong machine jitter, hedged requests must beat the
+    // unhedged cluster at the tail.
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(4000, 10.0, 90.0, 0.1, 7);
+    ClusterConfig config = lightConfig(8, 0.1);
+    config.machineJitterSigma = 0.6;
+    config.qps = 100.0;
+    const ClusterResult plain =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(), config);
+    HedgeConfig hedge;
+    hedge.hedgeDelayMs = 25.0;
+    const ClusterResult hedged = runHedgedCluster(
+        trace, sequentialFactory(), harness::webSearchExecutionModel(),
+        config, hedge);
+    EXPECT_LT(hedged.aggregatorLatency.percentile(0.99),
+              0.9 * plain.aggregatorLatency.percentile(0.99));
+}
+
+TEST(HedgedCluster, NoJitterMeansHedgingIsHarmless)
+{
+    // With no machine jitter the primary always wins; hedging must not
+    // make latency worse (cancellation keeps replicas from clogging).
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(2000, 10.0, 90.0, 0.1, 8);
+    const ClusterConfig config = lightConfig(4, 0.0);
+    const ClusterResult plain =
+        runCluster(trace, sequentialFactory(),
+                   harness::webSearchExecutionModel(), config);
+    HedgeConfig hedge;
+    hedge.hedgeDelayMs = 25.0;
+    const ClusterResult hedged = runHedgedCluster(
+        trace, sequentialFactory(), harness::webSearchExecutionModel(),
+        config, hedge);
+    EXPECT_NEAR(hedged.aggregatorLatency.percentile(0.99),
+                plain.aggregatorLatency.percentile(0.99),
+                0.05 * plain.aggregatorLatency.percentile(0.99));
+}
+
+} // namespace
+} // namespace tpc::cluster

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the varbyte posting codec: round-trips, boundary values, and
+ * compression-size properties.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "search/codec.h"
+#include "util/rng.h"
+
+namespace tpc::search {
+namespace {
+
+TEST(Varbyte, RoundTripsBoundaryValues)
+{
+    const std::vector<std::uint64_t> values = {
+        0,    1,    127,        128,        16383, 16384,
+        1u << 21, (1u << 28) - 1, 1ull << 35, 1ull << 62, ~0ull};
+    std::vector<std::uint8_t> buf;
+    for (auto v : values)
+        varbyteEncode(v, buf);
+    std::size_t offset = 0;
+    for (auto v : values)
+        EXPECT_EQ(varbyteDecode(buf, offset), v);
+    EXPECT_EQ(offset, buf.size());
+}
+
+TEST(Varbyte, SmallValuesUseOneByte)
+{
+    std::vector<std::uint8_t> buf;
+    varbyteEncode(127, buf);
+    EXPECT_EQ(buf.size(), 1u);
+    varbyteEncode(128, buf);
+    EXPECT_EQ(buf.size(), 3u); // 128 takes two bytes
+}
+
+TEST(DocIdCodec, RoundTripsEmpty)
+{
+    const std::vector<std::uint32_t> ids;
+    EXPECT_EQ(decodeDocIds(encodeDocIds(ids)), ids);
+}
+
+TEST(DocIdCodec, RoundTripsSingleton)
+{
+    const std::vector<std::uint32_t> ids = {42};
+    EXPECT_EQ(decodeDocIds(encodeDocIds(ids)), ids);
+}
+
+TEST(DocIdCodec, RoundTripsRandomIncreasingSequences)
+{
+    util::Rng rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<std::uint32_t> ids;
+        std::uint32_t current = 0;
+        const int n = static_cast<int>(rng.uniformInt(1, 500));
+        for (int i = 0; i < n; ++i) {
+            current += static_cast<std::uint32_t>(rng.uniformInt(1, 1000));
+            ids.push_back(current);
+        }
+        EXPECT_EQ(decodeDocIds(encodeDocIds(ids)), ids);
+    }
+}
+
+TEST(DocIdCodec, DeltaEncodingCompressesDenseLists)
+{
+    // Consecutive doc ids have gap 1 -> one byte each after the header.
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 1000000; i < 1001000; ++i)
+        ids.push_back(i);
+    const auto blob = encodeDocIds(ids);
+    // count (2B) + first id (4B) + 999 gaps x 1B.
+    EXPECT_LE(blob.size(), 1010u);
+    EXPECT_EQ(decodeDocIds(blob), ids);
+}
+
+TEST(DocIdCodec, FirstIdEncodedAbsolute)
+{
+    const std::vector<std::uint32_t> ids = {4000000000u, 4000000001u};
+    EXPECT_EQ(decodeDocIds(encodeDocIds(ids)), ids);
+}
+
+} // namespace
+} // namespace tpc::search

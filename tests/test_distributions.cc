@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit and property tests for the workload distributions.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace tpc::util {
+namespace {
+
+// --- ZipfDistribution --------------------------------------------------------
+
+TEST(Zipf, SingleItemAlwaysZero)
+{
+    Rng rng(1);
+    ZipfDistribution zipf(1, 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, SamplesWithinRange)
+{
+    Rng rng(1);
+    ZipfDistribution zipf(100, 1.1);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(zipf.sample(rng), 100u);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(1);
+    ZipfDistribution zipf(1000, 1.2);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(Zipf, FrequencyRatioMatchesSkew)
+{
+    // P(rank 0) / P(rank 1) should be 2^s for Zipf with skew s.
+    Rng rng(7);
+    const double s = 1.0;
+    ZipfDistribution zipf(10000, s);
+    int count0 = 0;
+    int count1 = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const auto r = zipf.sample(rng);
+        if (r == 0)
+            ++count0;
+        else if (r == 1)
+            ++count1;
+    }
+    const double ratio = static_cast<double>(count0) / count1;
+    EXPECT_NEAR(ratio, std::pow(2.0, s), 0.25);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewSweep, HeadMassGrowsWithSkew)
+{
+    // Property: the top-10 ranks capture more probability mass as the
+    // skew grows; each skew's head mass must be a valid fraction.
+    Rng rng(3);
+    ZipfDistribution zipf(5000, GetParam());
+    int head = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (zipf.sample(rng) < 10)
+            ++head;
+    const double frac = static_cast<double>(head) / n;
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+    if (GetParam() >= 1.2) {
+        EXPECT_GT(frac, 0.3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5));
+
+// --- TruncatedLognormal -------------------------------------------------------
+
+TEST(TruncatedLognormal, RespectsBounds)
+{
+    Rng rng(1);
+    TruncatedLognormal dist(1.28, 1.72, 0.35, 300.0);
+    for (int i = 0; i < 50000; ++i) {
+        const double v = dist.sample(rng);
+        ASSERT_GE(v, 0.35);
+        ASSERT_LE(v, 400.0);
+    }
+}
+
+TEST(TruncatedLognormal, MedianNearExpMuWhenBoundsAreWide)
+{
+    // With bounds far in the tails the truncation barely moves the median.
+    Rng rng(1);
+    TruncatedLognormal dist(1.28, 0.4, 0.01, 1e6);
+    std::vector<double> samples;
+    const int n = 100001;
+    samples.reserve(n);
+    for (int i = 0; i < n; ++i)
+        samples.push_back(dist.sample(rng));
+    std::nth_element(samples.begin(), samples.begin() + n / 2,
+                     samples.end());
+    EXPECT_NEAR(samples[n / 2], std::exp(1.28), 0.1);
+}
+
+TEST(TruncatedLognormal, LeftTruncationRaisesMedian)
+{
+    // Resampling below the floor pushes the median above exp(mu); for the
+    // search-demand parameters the shift is ~0.7 ms (3.6 -> ~4.3).
+    Rng rng(1);
+    TruncatedLognormal dist(1.28, 1.72, 0.35, 300.0);
+    std::vector<double> samples;
+    const int n = 100001;
+    samples.reserve(n);
+    for (int i = 0; i < n; ++i)
+        samples.push_back(dist.sample(rng));
+    std::nth_element(samples.begin(), samples.begin() + n / 2,
+                     samples.end());
+    EXPECT_GT(samples[n / 2], std::exp(1.28));
+    EXPECT_NEAR(samples[n / 2], 4.3, 0.4);
+}
+
+TEST(BimodalLognormal, MatchesPaperDemandProfile)
+{
+    // Section 2.3: median ~3.6 ms, mean ~13.5 ms, P99 ~200 ms, >=85%
+    // under 15 ms, ~4% above 80 ms, maximum ~300 ms.
+    Rng rng(20160402);
+    const BimodalLognormal dist = BimodalLognormal::webSearchDemand();
+    std::vector<double> samples;
+    const int n = 200000;
+    samples.reserve(n);
+    double sum = 0.0;
+    int under15 = 0;
+    int over80 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double v = dist.sample(rng);
+        ASSERT_GE(v, 0.3);
+        ASSERT_LE(v, 400.0);
+        samples.push_back(v);
+        sum += v;
+        if (v < 15.0)
+            ++under15;
+        if (v > 80.0)
+            ++over80;
+    }
+    std::sort(samples.begin(), samples.end());
+    const double mean = sum / n;
+    const double median = samples[n / 2];
+    const double p99 = samples[static_cast<std::size_t>(0.99 * n)];
+    EXPECT_NEAR(median, 3.6, 0.5);
+    EXPECT_NEAR(mean, 13.5, 2.0);
+    EXPECT_NEAR(p99, 200.0, 25.0);
+    EXPECT_GT(static_cast<double>(under15) / n, 0.84);
+    EXPECT_NEAR(static_cast<double>(over80) / n, 0.04, 0.015);
+    // Latency-variability headline: P99 is ~15x the mean, ~56x the median.
+    EXPECT_NEAR(p99 / mean, 15.0, 4.0);
+    EXPECT_NEAR(p99 / median, 56.0, 15.0);
+}
+
+TEST(BimodalLognormal, TailWeightZeroIsPureBulk)
+{
+    Rng rng(2);
+    BimodalLognormal dist(3.0, 0.5, 100.0, 0.5, 0.0, 0.1, 1000.0);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(dist.sample(rng), 40.0);
+}
+
+// --- PoissonProcess -----------------------------------------------------------
+
+TEST(PoissonProcess, ArrivalsIncrease)
+{
+    PoissonProcess process(100.0, Rng(5));
+    double prev = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double t = process.nextArrivalMs();
+        ASSERT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(PoissonProcess, RateMatches)
+{
+    PoissonProcess process(250.0, Rng(5));
+    const int n = 100000;
+    double last = 0.0;
+    for (int i = 0; i < n; ++i)
+        last = process.nextArrivalMs();
+    // n arrivals should span ~ n/rate seconds.
+    const double expectedMs = n / 250.0 * 1000.0;
+    EXPECT_NEAR(last, expectedMs, expectedMs * 0.02);
+}
+
+// --- DiscreteDistribution -------------------------------------------------------
+
+TEST(DiscreteDistribution, ProbabilitiesNormalized)
+{
+    DiscreteDistribution dist({1.0, 2.0, 3.0, 4.0});
+    double total = 0.0;
+    for (std::size_t i = 0; i < dist.size(); ++i)
+        total += dist.probability(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_NEAR(dist.probability(3), 0.4, 1e-12);
+}
+
+TEST(DiscreteDistribution, SamplingMatchesWeights)
+{
+    Rng rng(11);
+    DiscreteDistribution dist({1.0, 0.0, 3.0});
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[dist.sample(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled)
+{
+    Rng rng(11);
+    DiscreteDistribution dist({0.0, 1.0});
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(dist.sample(rng), 1u);
+}
+
+} // namespace
+} // namespace tpc::util

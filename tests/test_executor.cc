@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the query executor: the chunked conjunctive intersection must
+ * agree with a brute-force evaluation, chunk results must compose to the
+ * sequential result, and the top-k collector must be exact.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "search/executor.h"
+#include "search/inverted_index.h"
+#include "search/query_generator.h"
+#include "util/rng.h"
+
+namespace tpc::search {
+namespace {
+
+class ExecutorTest : public ::testing::Test
+{
+  protected:
+    static ExecutorParams lightParams()
+    {
+        // No synthetic ranking work: tests check correctness, not cost.
+        ExecutorParams params;
+        params.scoringRounds = 0;
+        params.traversalRounds = 0;
+        params.parseRounds = 0;
+        params.parseRoundsPerTerm = 0;
+        params.rescoreRounds = 0;
+        return params;
+    }
+
+    static InvertedIndex makeIndex()
+    {
+        CorpusParams params;
+        params.numDocuments = 1500;
+        params.vocabularySize = 800;
+        params.termSkew = 1.0;
+        params.medianDocLength = 40.0;
+        return InvertedIndex::buildSynthetic(params, 77);
+    }
+
+    /** Brute-force conjunctive match set. */
+    static std::set<std::uint32_t> bruteForceMatches(
+        const InvertedIndex& index, const Query& query)
+    {
+        std::set<std::uint32_t> matches;
+        const PostingList& first = index.postings(query.terms[0]);
+        for (std::uint32_t doc : first.docIds()) {
+            bool all = true;
+            for (std::size_t t = 1; t < query.terms.size(); ++t) {
+                if (!index.postings(query.terms[t]).contains(doc)) {
+                    all = false;
+                    break;
+                }
+            }
+            if (all)
+                matches.insert(doc);
+        }
+        return matches;
+    }
+};
+
+TEST_F(ExecutorTest, SequentialMatchesBruteForce)
+{
+    const InvertedIndex index = makeIndex();
+    const QueryExecutor executor(index, lightParams());
+    QueryLogParams logParams;
+    QueryGenerator generator(index, logParams, 3);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Query query = generator.next();
+        const SearchResult result = executor.executeSequential(query);
+        const auto expected = bruteForceMatches(index, query);
+        EXPECT_EQ(result.matchCount, expected.size());
+        for (const auto& doc : result.topDocs)
+            EXPECT_TRUE(expected.count(doc.docId)) << doc.docId;
+    }
+}
+
+TEST_F(ExecutorTest, ChunksComposeToSequential)
+{
+    const InvertedIndex index = makeIndex();
+    const QueryExecutor executor(index, lightParams());
+    QueryLogParams logParams;
+    QueryGenerator generator(index, logParams, 4);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Query query = generator.next();
+        const SearchResult sequential = executor.executeSequential(query);
+
+        std::vector<ChunkResult> chunks;
+        for (const DocRange& range : executor.makeChunks()) {
+            chunks.emplace_back(10);
+            executor.executeRange(query, range, chunks.back());
+        }
+        const SearchResult merged = executor.mergeAndRescore(query, chunks);
+
+        EXPECT_EQ(merged.matchCount, sequential.matchCount);
+        ASSERT_EQ(merged.topDocs.size(), sequential.topDocs.size());
+        for (std::size_t i = 0; i < merged.topDocs.size(); ++i) {
+            EXPECT_EQ(merged.topDocs[i].docId, sequential.topDocs[i].docId);
+            EXPECT_DOUBLE_EQ(merged.topDocs[i].score,
+                             sequential.topDocs[i].score);
+        }
+    }
+}
+
+TEST_F(ExecutorTest, ChunksCoverDocSpaceWithoutOverlap)
+{
+    const InvertedIndex index = makeIndex();
+    const QueryExecutor executor(index, lightParams());
+    const auto chunks = executor.makeChunks();
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_EQ(chunks.front().begin, 0u);
+    EXPECT_EQ(chunks.back().end, index.documentCount());
+    for (std::size_t i = 1; i < chunks.size(); ++i)
+        EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
+}
+
+TEST_F(ExecutorTest, ScoresAreDescending)
+{
+    const InvertedIndex index = makeIndex();
+    const QueryExecutor executor(index, lightParams());
+    QueryLogParams logParams;
+    QueryGenerator generator(index, logParams, 5);
+    const Query query = generator.next();
+    const SearchResult result = executor.executeSequential(query);
+    for (std::size_t i = 1; i < result.topDocs.size(); ++i)
+        EXPECT_GE(result.topDocs[i - 1].score, result.topDocs[i].score);
+}
+
+TEST(TopKCollector, KeepsExactlyBestK)
+{
+    util::Rng rng(5);
+    TopKCollector collector(10);
+    std::vector<ScoredDoc> all;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+        const double score = rng.uniform();
+        collector.offer(i, score);
+        all.push_back({i, score});
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        return a.score > b.score;
+    });
+    const auto kept = collector.sortedResults();
+    ASSERT_EQ(kept.size(), 10u);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        EXPECT_EQ(kept[i].docId, all[i].docId);
+        EXPECT_DOUBLE_EQ(kept[i].score, all[i].score);
+    }
+}
+
+TEST(TopKCollector, MergeEqualsCombinedStream)
+{
+    util::Rng rng(6);
+    TopKCollector left(8);
+    TopKCollector right(8);
+    TopKCollector whole(8);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        const double score = rng.uniform();
+        (i % 2 ? left : right).offer(i, score);
+        whole.offer(i, score);
+    }
+    left.merge(right);
+    const auto merged = left.sortedResults();
+    const auto expected = whole.sortedResults();
+    ASSERT_EQ(merged.size(), expected.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        EXPECT_EQ(merged[i].docId, expected[i].docId);
+}
+
+TEST(TopKCollector, FewerCandidatesThanK)
+{
+    TopKCollector collector(10);
+    collector.offer(1, 0.5);
+    collector.offer(2, 0.9);
+    const auto results = collector.sortedResults();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].docId, 2u);
+}
+
+TEST(SpinWork, DependsOnRounds)
+{
+    // The busy-work function must not be constant-foldable to the same
+    // value for different round counts.
+    EXPECT_NE(spinWork(10, 1.0), spinWork(1000, 1.0));
+    EXPECT_EQ(spinWork(100, 2.0), spinWork(100, 2.0));
+}
+
+} // namespace
+} // namespace tpc::search

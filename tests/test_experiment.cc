@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the experiment harness: trace replay semantics, policy
+ * factory coverage, degree statistics, and trace helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/degree_stats.h"
+#include "harness/experiment.h"
+#include "harness/policies.h"
+#include "harness/search_trace.h"
+
+namespace tpc::harness {
+namespace {
+
+TEST(SyntheticTrace, BimodalMixAndPerfectPredictions)
+{
+    const Trace trace = syntheticBimodalTrace(10000, 10.0, 90.0, 0.1, 42);
+    std::size_t longs = 0;
+    for (const auto& item : trace) {
+        EXPECT_TRUE(item.trueMs == 10.0 || item.trueMs == 90.0);
+        EXPECT_DOUBLE_EQ(item.predictedMs, item.trueMs);
+        if (item.trueMs == 90.0)
+            ++longs;
+    }
+    EXPECT_NEAR(static_cast<double>(longs) / 10000.0, 0.1, 0.02);
+}
+
+TEST(SyntheticTrace, NoiseChangesPredictionsOnly)
+{
+    const Trace trace =
+        syntheticBimodalTrace(1000, 10.0, 90.0, 0.1, 42, 0.3);
+    bool anyDiffer = false;
+    for (const auto& item : trace) {
+        EXPECT_TRUE(item.trueMs == 10.0 || item.trueMs == 90.0);
+        if (item.predictedMs != item.trueMs)
+            anyDiffer = true;
+    }
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(PerfectPredictions, CopiesTruthIntoPredictions)
+{
+    Trace trace = syntheticBimodalTrace(100, 10.0, 90.0, 0.1, 42, 0.5);
+    const Trace perfect = withPerfectPredictions(trace);
+    ASSERT_EQ(perfect.size(), trace.size());
+    for (std::size_t i = 0; i < perfect.size(); ++i) {
+        EXPECT_DOUBLE_EQ(perfect[i].predictedMs, trace[i].trueMs);
+        EXPECT_DOUBLE_EQ(perfect[i].trueMs, trace[i].trueMs);
+    }
+}
+
+TEST(RunTrace, CompletesEveryRequestAndIsDeterministic)
+{
+    const Trace trace = syntheticBimodalTrace(5000, 8.0, 70.0, 0.1, 3);
+    ExperimentConfig config;
+    config.qps = 200.0;
+    config.server.numWorkers = 12;
+    config.server.hwContexts = 8;
+
+    auto a = makeWebSearchPolicy("TPC");
+    const ExperimentResult first =
+        runTrace(trace, *a, webSearchExecutionModel(), config);
+    auto b = makeWebSearchPolicy("TPC");
+    const ExperimentResult second =
+        runTrace(trace, *b, webSearchExecutionModel(), config);
+
+    EXPECT_EQ(first.latency.count(), 5000u);
+    EXPECT_DOUBLE_EQ(first.latency.percentile(0.99),
+                     second.latency.percentile(0.99));
+    EXPECT_DOUBLE_EQ(first.latency.mean(), second.latency.mean());
+}
+
+TEST(RunTrace, KeepOutcomesToggle)
+{
+    const Trace trace = syntheticBimodalTrace(500, 8.0, 70.0, 0.1, 3);
+    ExperimentConfig config;
+    config.qps = 100.0;
+    auto policy = makeWebSearchPolicy("Sequential");
+    const ExperimentResult without =
+        runTrace(trace, *policy, webSearchExecutionModel(), config);
+    EXPECT_TRUE(without.outcomes.empty());
+    config.keepOutcomes = true;
+    const ExperimentResult with =
+        runTrace(trace, *policy, webSearchExecutionModel(), config);
+    EXPECT_EQ(with.outcomes.size(), 500u);
+}
+
+TEST(PolicyFactory, BuildsEveryDocumentedName)
+{
+    for (const char* name :
+         {"Sequential", "Pred", "AP", "WQ-Linear", "TPC", "TP",
+          "RampUp-5ms", "RampUp-10ms", "RampUp-20ms", "TPC-LongT",
+          "TPC-AllT", "TPC-CpuUtil", "TPC-6groups"}) {
+        auto policy = makeWebSearchPolicy(name);
+        ASSERT_NE(policy, nullptr) << name;
+        EXPECT_FALSE(policy->name().empty());
+    }
+    for (const std::string& name : standardWebSearchPolicies())
+        EXPECT_NE(makeWebSearchPolicy(name), nullptr);
+    for (const std::string& name : standardFinancePolicies())
+        EXPECT_NE(makeFinancePolicy(name), nullptr);
+}
+
+TEST(DegreeStats, PercentagesPerGroupSumToHundred)
+{
+    std::vector<server::RequestOutcome> outcomes;
+    for (int i = 0; i < 60; ++i) {
+        server::RequestOutcome o;
+        o.trueMs = (i % 3 == 0) ? 120.0 : 10.0;
+        o.maxDegree = 1 + i % 6;
+        outcomes.push_back(o);
+    }
+    const auto rows = computeDegreeDistribution(outcomes, 80.0, 6);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto& row : rows) {
+        double sum = 0.0;
+        for (double pct : row.percent)
+            sum += pct;
+        EXPECT_NEAR(sum, 100.0, 1e-9);
+    }
+    EXPECT_EQ(rows[0].group, "Short");
+    EXPECT_EQ(rows[0].requestCount, 40u);
+    EXPECT_EQ(rows[1].requestCount, 20u);
+}
+
+TEST(DegreeStats, FractionAboveDegree)
+{
+    DegreeRow row;
+    row.percent = {10.0, 20.0, 30.0, 25.0, 10.0, 5.0};
+    EXPECT_DOUBLE_EQ(fractionAboveDegree(row, 3), 40.0);
+    EXPECT_DOUBLE_EQ(fractionAboveDegree(row, 6), 0.0);
+}
+
+TEST(Truncated, PrefixSemantics)
+{
+    const Trace trace = syntheticBimodalTrace(100, 8.0, 70.0, 0.1, 3);
+    EXPECT_EQ(truncated(trace, 10).size(), 10u);
+    EXPECT_EQ(truncated(trace, 0).size(), 100u);
+    EXPECT_EQ(truncated(trace, 1000).size(), 100u);
+    EXPECT_DOUBLE_EQ(truncated(trace, 10)[9].trueMs, trace[9].trueMs);
+}
+
+
+TEST(TraceCsv, RoundTrip)
+{
+    const Trace trace = syntheticBimodalTrace(200, 8.0, 70.0, 0.1, 9, 0.2);
+    const std::string path = ::testing::TempDir() + "/tpc_trace.csv";
+    saveTraceCsv(trace, path);
+    const Trace restored = loadTraceCsv(path);
+    ASSERT_EQ(restored.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_DOUBLE_EQ(restored[i].trueMs, trace[i].trueMs);
+        EXPECT_DOUBLE_EQ(restored[i].predictedMs, trace[i].predictedMs);
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tpc::harness

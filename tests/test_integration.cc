@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline claims must hold
+ * end-to-end on reduced-scale runs — TPC beats the baselines at the tail,
+ * dynamic correction closes the P99.9 gap, and the cluster amplifies
+ * whatever the ISN leaves on the table.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "finance/workload.h"
+#include "harness/experiment.h"
+#include "harness/measure_tail.h"
+#include "harness/policies.h"
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace tpc {
+namespace {
+
+/** Reduced-scale web-search-like trace: bimodal with imperfect
+ *  predictions including occasional feature-blind requests. */
+harness::Trace
+searchLikeTrace(std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    harness::Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        harness::TraceItem item;
+        const bool isLong = rng.bernoulli(0.04);
+        item.trueMs = isLong ? rng.uniform(90.0, 250.0)
+                             : rng.uniform(1.0, 14.0);
+        const bool blind = rng.bernoulli(0.10);
+        item.predictedMs =
+            blind ? rng.uniform(1.0, 14.0)
+                  : item.trueMs * std::exp(rng.normal(0.0, 0.15));
+        trace.push_back(item);
+    }
+    return trace;
+}
+
+harness::ExperimentConfig
+webConfig(double qps)
+{
+    harness::ExperimentConfig config;
+    config.qps = qps;
+    return config;
+}
+
+double
+p(const harness::Trace& trace, const std::string& policyName, double qps,
+  double quantile)
+{
+    auto policy = harness::makeWebSearchPolicy(policyName);
+    const harness::ExperimentResult result = harness::runTrace(
+        trace, *policy, harness::webSearchExecutionModel(), webConfig(qps));
+    return result.latency.percentile(quantile);
+}
+
+TEST(Integration, TpcBeatsSequentialAndLoadOnlyPoliciesAtP99)
+{
+    const harness::Trace trace = searchLikeTrace(30000, 1);
+    const double tpc = p(trace, "TPC", 500.0, 0.99);
+    EXPECT_LT(tpc, 0.75 * p(trace, "Sequential", 500.0, 0.99));
+    EXPECT_LT(tpc, 0.90 * p(trace, "AP", 500.0, 0.99));
+    EXPECT_LT(tpc, 0.90 * p(trace, "WQ-Linear", 500.0, 0.99));
+}
+
+TEST(Integration, DynamicCorrectionClosesTheVeryHighTail)
+{
+    // TPC vs TP: nearly identical P99, but TPC must be clearly better at
+    // P99.9 where mispredicted-long requests live (Figure 6).
+    const harness::Trace trace = searchLikeTrace(40000, 2);
+    auto tp = harness::makeWebSearchPolicy("TP");
+    auto tpc = harness::makeWebSearchPolicy("TPC");
+    const auto tpResult = harness::runTrace(
+        trace, *tp, harness::webSearchExecutionModel(), webConfig(300.0));
+    const auto tpcResult = harness::runTrace(
+        trace, *tpc, harness::webSearchExecutionModel(), webConfig(300.0));
+    EXPECT_NEAR(tpcResult.latency.percentile(0.99),
+                tpResult.latency.percentile(0.99),
+                0.15 * tpResult.latency.percentile(0.99));
+    EXPECT_LT(tpcResult.latency.percentile(0.999),
+              0.80 * tpResult.latency.percentile(0.999));
+}
+
+TEST(Integration, PredictionOnlyCeilingAppearsAtVeryHighTail)
+{
+    // Pred is fine at P99 but collapses at P99.9 relative to TPC.
+    const harness::Trace trace = searchLikeTrace(40000, 3);
+    const double predP999 = p(trace, "Pred", 300.0, 0.999);
+    const double tpcP999 = p(trace, "TPC", 300.0, 0.999);
+    EXPECT_LT(tpcP999, 0.75 * predP999);
+}
+
+TEST(Integration, TargetTableBuiltOnSimulatorImprovesInitial)
+{
+    const harness::Trace trace = searchLikeTrace(6000, 4);
+    harness::MeasureTailOptions options;
+    options.traceLimit = 3000;
+    options.loadsQps = {300.0, 600.0};
+    const core::MeasureTailFn measure = harness::makeMeasureTail(
+        trace, harness::webSearchExecutionModel(), options);
+
+    const core::TargetTable initial = core::TargetTable::initialForBuilder(
+        {0.0, 4.0, std::numeric_limits<double>::infinity()}, 30.0);
+    core::TableBuilderParams params;
+    params.stepMs = 10.0;
+    params.maxTargetMs = 150.0;
+    core::TableBuilderReport report;
+    core::buildTargetTable(initial, measure, params, &report);
+    EXPECT_LE(report.finalScore, report.initialScore);
+    EXPECT_GT(report.measureTailCalls, 0);
+}
+
+TEST(Integration, ClusterRequiresHigherIsnPercentile)
+{
+    // Figure 8(b)'s lesson: the aggregator P99 maps to a higher ISN
+    // percentile than P99.
+    const harness::Trace trace = searchLikeTrace(15000, 5);
+    cluster::ClusterConfig config;
+    config.numIsns = 20;
+    config.qps = 200.0;
+    const cluster::ClusterResult result = cluster::runCluster(
+        trace, [] { return harness::makeWebSearchPolicy("TPC"); },
+        harness::webSearchExecutionModel(), config);
+    const double aggP99 = result.aggregatorLatency.percentile(0.99);
+    const double isnFractionAbove = result.isnLatency.fractionAbove(aggP99);
+    EXPECT_LT(isnFractionAbove, 0.01); // i.e. a percentile above P99
+}
+
+TEST(Integration, FinanceOrderingMatchesSectionFive)
+{
+    const harness::Trace trace =
+        finance::makeFinanceTrace(25000, finance::FinanceWorkloadParams{},
+                                  6);
+    harness::ExperimentConfig config;
+    config.server = finance::financeServerConfig();
+    config.qps = 150.0;
+
+    auto run = [&](const std::string& name) {
+        auto policy = harness::makeFinancePolicy(name);
+        return harness::runTrace(trace, *policy,
+                                 harness::financeExecutionModel(), config)
+            .latency.percentile(0.99);
+    };
+    const double tpc = run("TPC");
+    EXPECT_LT(tpc, run("Sequential"));
+    EXPECT_LT(tpc, run("Pred"));
+    EXPECT_LT(tpc, run("AP"));
+}
+
+} // namespace
+} // namespace tpc

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the inverted index: builder correctness against a brute-force
+ * reference, synthetic-corpus statistics, and serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "search/inverted_index.h"
+#include "util/rng.h"
+
+namespace tpc::search {
+namespace {
+
+TEST(PostingList, BinarySearchHelpers)
+{
+    PostingList list;
+    for (std::uint32_t id : {5u, 10u, 20u, 21u, 100u})
+        list.add(id, 1);
+    EXPECT_EQ(list.size(), 5u);
+    EXPECT_EQ(list.firstAtOrAfter(0), 0u);
+    EXPECT_EQ(list.firstAtOrAfter(10), 1u);
+    EXPECT_EQ(list.firstAtOrAfter(11), 2u);
+    EXPECT_EQ(list.firstAtOrAfter(101), 5u);
+    EXPECT_TRUE(list.contains(21));
+    EXPECT_FALSE(list.contains(22));
+}
+
+TEST(IndexBuilder, MatchesBruteForceReference)
+{
+    util::Rng rng(3);
+    constexpr std::uint32_t kVocab = 50;
+    constexpr std::uint32_t kDocs = 200;
+
+    IndexBuilder builder(kVocab);
+    std::map<std::uint32_t, std::map<std::uint32_t, int>> reference;
+    std::vector<std::uint32_t> lengths;
+    for (std::uint32_t doc = 0; doc < kDocs; ++doc) {
+        std::vector<std::uint32_t> terms;
+        const int len = static_cast<int>(rng.uniformInt(1, 30));
+        for (int i = 0; i < len; ++i) {
+            const auto term =
+                static_cast<std::uint32_t>(rng.uniformInt(kVocab));
+            terms.push_back(term);
+            ++reference[term][doc];
+        }
+        lengths.push_back(static_cast<std::uint32_t>(terms.size()));
+        builder.addDocument(terms);
+    }
+    const InvertedIndex index = builder.finish();
+
+    EXPECT_EQ(index.documentCount(), kDocs);
+    std::uint64_t postings = 0;
+    for (std::uint32_t term = 0; term < kVocab; ++term) {
+        const auto it = reference.find(term);
+        const std::size_t expectedDf =
+            (it == reference.end()) ? 0 : it->second.size();
+        ASSERT_EQ(index.documentFrequency(term), expectedDf) << term;
+        postings += expectedDf;
+        if (it == reference.end())
+            continue;
+        const PostingList& list = index.postings(term);
+        std::size_t i = 0;
+        for (const auto& [doc, tf] : it->second) {
+            ASSERT_EQ(list.docIds()[i], doc);
+            ASSERT_EQ(list.termFrequency(i), tf);
+            ++i;
+        }
+    }
+    EXPECT_EQ(index.postingCount(), postings);
+    for (std::uint32_t doc = 0; doc < kDocs; ++doc)
+        EXPECT_EQ(index.documentLength(doc), lengths[doc]);
+}
+
+TEST(InvertedIndex, SyntheticCorpusShape)
+{
+    CorpusParams params;
+    params.numDocuments = 2000;
+    params.vocabularySize = 3000;
+    params.termSkew = 1.1;
+    params.medianDocLength = 60.0;
+    const InvertedIndex index = InvertedIndex::buildSynthetic(params, 11);
+
+    EXPECT_EQ(index.documentCount(), 2000u);
+    EXPECT_NEAR(index.averageDocumentLength(), 65.0, 15.0);
+
+    // Zipfian popularity: the most frequent term should dwarf the median
+    // term's document frequency.
+    const auto order = index.termsByDescendingFrequency();
+    const auto topDf = index.documentFrequency(order[0]);
+    const auto midDf = index.documentFrequency(order[order.size() / 2]);
+    EXPECT_GT(topDf, 50u * std::max(1u, midDf));
+    // Order is actually descending.
+    for (std::size_t i = 1; i < order.size(); i += 97)
+        EXPECT_GE(index.documentFrequency(order[i - 1]),
+                  index.documentFrequency(order[i]));
+}
+
+TEST(InvertedIndex, IdfDecreasesWithFrequency)
+{
+    CorpusParams params;
+    params.numDocuments = 1000;
+    params.vocabularySize = 1000;
+    const InvertedIndex index = InvertedIndex::buildSynthetic(params, 5);
+    const auto order = index.termsByDescendingFrequency();
+    const double idfCommon = index.idf(order[0]);
+    const double idfRare = index.idf(order[order.size() - 1]);
+    EXPECT_LT(idfCommon, idfRare);
+    EXPECT_GT(idfCommon, 0.0);
+}
+
+TEST(InvertedIndex, DeterministicForSeed)
+{
+    CorpusParams params;
+    params.numDocuments = 500;
+    params.vocabularySize = 500;
+    const InvertedIndex a = InvertedIndex::buildSynthetic(params, 42);
+    const InvertedIndex b = InvertedIndex::buildSynthetic(params, 42);
+    EXPECT_EQ(a.postingCount(), b.postingCount());
+    for (std::uint32_t t = 0; t < 500; t += 13)
+        EXPECT_EQ(a.documentFrequency(t), b.documentFrequency(t));
+}
+
+TEST(InvertedIndex, SerializeRoundTrip)
+{
+    CorpusParams params;
+    params.numDocuments = 300;
+    params.vocabularySize = 400;
+    const InvertedIndex index = InvertedIndex::buildSynthetic(params, 8);
+    const auto blob = index.serializeDocIds();
+    EXPECT_TRUE(index.verifySerializedDocIds(blob));
+    // Compression: delta varbyte should be well under 4 bytes per posting.
+    EXPECT_LT(static_cast<double>(blob.size()),
+              3.0 * static_cast<double>(index.postingCount()) + 1000.0);
+
+    // A corrupted blob must fail verification.
+    auto corrupted = blob;
+    corrupted[corrupted.size() / 2] ^= 0x01;
+    EXPECT_FALSE(index.verifySerializedDocIds(corrupted));
+}
+
+TEST(InvertedIndex, UnseenTermHasEmptyPostings)
+{
+    CorpusParams params;
+    params.numDocuments = 100;
+    params.vocabularySize = 100;
+    const InvertedIndex index = InvertedIndex::buildSynthetic(params, 8);
+    EXPECT_TRUE(index.postings(1000000).empty());
+    EXPECT_EQ(index.documentFrequency(1000000), 0u);
+}
+
+
+TEST(InvertedIndex, FullSerializeRoundTrip)
+{
+    CorpusParams params;
+    params.numDocuments = 400;
+    params.vocabularySize = 500;
+    const InvertedIndex index = InvertedIndex::buildSynthetic(params, 21);
+    const InvertedIndex restored =
+        InvertedIndex::deserialize(index.serialize());
+
+    EXPECT_EQ(restored.documentCount(), index.documentCount());
+    EXPECT_EQ(restored.vocabularySize(), index.vocabularySize());
+    EXPECT_EQ(restored.postingCount(), index.postingCount());
+    EXPECT_DOUBLE_EQ(restored.averageDocumentLength(),
+                     index.averageDocumentLength());
+    for (std::uint32_t doc = 0; doc < index.documentCount(); ++doc)
+        ASSERT_EQ(restored.documentLength(doc), index.documentLength(doc));
+    for (std::uint32_t term = 0; term < index.vocabularySize(); ++term) {
+        const PostingList& a = index.postings(term);
+        const PostingList& b = restored.postings(term);
+        ASSERT_EQ(a.size(), b.size()) << term;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a.docIds()[i], b.docIds()[i]);
+            ASSERT_EQ(a.termFrequency(i), b.termFrequency(i));
+        }
+    }
+}
+
+TEST(InvertedIndex, SaveToFileLoadFromFile)
+{
+    CorpusParams params;
+    params.numDocuments = 200;
+    params.vocabularySize = 300;
+    const InvertedIndex index = InvertedIndex::buildSynthetic(params, 22);
+    const std::string path = ::testing::TempDir() + "/tpc_index.bin";
+    index.saveToFile(path);
+    const InvertedIndex restored = InvertedIndex::loadFromFile(path);
+    EXPECT_EQ(restored.postingCount(), index.postingCount());
+    EXPECT_EQ(restored.documentFrequency(5), index.documentFrequency(5));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tpc::search

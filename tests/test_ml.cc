@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Tests for the gradient-boosted regression tree library: learning
+ * properties on synthetic functions, metric correctness, and binning.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/gbrt.h"
+#include "ml/metrics.h"
+#include "ml/regression_tree.h"
+#include "util/rng.h"
+
+namespace tpc::ml {
+namespace {
+
+Dataset
+makeLinearDataset(int n, double noiseSigma, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Dataset data({"x1", "x2", "x3"});
+    for (int i = 0; i < n; ++i) {
+        const double x1 = rng.uniform(0.0, 10.0);
+        const double x2 = rng.uniform(0.0, 10.0);
+        const double x3 = rng.uniform(0.0, 10.0);
+        const double y =
+            3.0 * x1 - 2.0 * x2 + 0.5 * x3 + rng.normal(0.0, noiseSigma);
+        data.addRow({x1, x2, x3}, y);
+    }
+    return data;
+}
+
+// --- Dataset ------------------------------------------------------------------
+
+TEST(Dataset, StoresRowsAndTargets)
+{
+    Dataset data({"a", "b"});
+    data.addRow({1.0, 2.0}, 10.0);
+    data.addRow({3.0, 4.0}, 20.0);
+    EXPECT_EQ(data.rowCount(), 2u);
+    EXPECT_EQ(data.featureCount(), 2u);
+    EXPECT_EQ(data.feature(1, 0), 3.0);
+    EXPECT_EQ(data.target(1), 20.0);
+    EXPECT_EQ(data.row(1)[1], 4.0);
+}
+
+TEST(Dataset, SplitPartitionsRows)
+{
+    util::Rng rng(1);
+    Dataset data = makeLinearDataset(1000, 0.0, 2);
+    const auto [train, test] = data.split(0.3, rng);
+    EXPECT_EQ(train.rowCount() + test.rowCount(), 1000u);
+    EXPECT_NEAR(static_cast<double>(test.rowCount()), 300.0, 60.0);
+    EXPECT_EQ(train.featureCount(), 3u);
+}
+
+// --- FeatureBinner --------------------------------------------------------------
+
+TEST(FeatureBinner, BinsAreMonotone)
+{
+    Dataset data = makeLinearDataset(2000, 0.0, 3);
+    FeatureBinner binner(data, 32);
+    for (std::size_t f = 0; f < data.featureCount(); ++f) {
+        EXPECT_GE(binner.binCount(f), 2);
+        EXPECT_LE(binner.binCount(f), 32);
+        int prev = binner.bin(f, -100.0);
+        for (double v = 0.0; v <= 10.0; v += 0.5) {
+            const int b = binner.bin(f, v);
+            EXPECT_GE(b, prev);
+            prev = b;
+        }
+        EXPECT_EQ(binner.bin(f, 1e9), binner.binCount(f) - 1);
+    }
+}
+
+TEST(FeatureBinner, ConstantFeatureGetsOneBin)
+{
+    Dataset data({"c", "x"});
+    util::Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        data.addRow({5.0, rng.uniform()}, 0.0);
+    FeatureBinner binner(data, 16);
+    EXPECT_EQ(binner.binCount(0), 1);
+    EXPECT_GT(binner.binCount(1), 4);
+}
+
+TEST(FeatureBinner, SplitEdgeSemantics)
+{
+    // bin(value) <= b  iff  value <= edge(f, b).
+    Dataset data = makeLinearDataset(500, 0.0, 5);
+    FeatureBinner binner(data, 16);
+    const std::size_t f = 0;
+    for (int b = 0; b + 1 < binner.binCount(f); ++b) {
+        const double edge = binner.edge(f, b);
+        EXPECT_LE(binner.bin(f, edge), b);
+        EXPECT_GT(binner.bin(f, edge + 1e-9), b);
+    }
+}
+
+// --- RegressionTree --------------------------------------------------------------
+
+TEST(RegressionTree, FitsStepFunction)
+{
+    Dataset data({"x"});
+    for (int i = 0; i < 400; ++i) {
+        const double x = i / 400.0;
+        data.addRow({x}, x < 0.5 ? -1.0 : 1.0);
+    }
+    FeatureBinner binner(data, 64);
+    RegressionTree tree;
+    TreeParams params;
+    params.maxDepth = 2;
+    params.minSamplesLeaf = 5;
+    params.lambda = 0.0;
+    tree.fit(data, binner.binDataset(data), binner, data.targets(), params);
+    const double lo = 0.25;
+    const double hi = 0.75;
+    EXPECT_NEAR(tree.predict(&lo), -1.0, 0.05);
+    EXPECT_NEAR(tree.predict(&hi), 1.0, 0.05);
+    EXPECT_GE(tree.leafCount(), 2u);
+    EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(RegressionTree, RespectsMaxDepth)
+{
+    Dataset data = makeLinearDataset(2000, 0.1, 6);
+    FeatureBinner binner(data, 64);
+    RegressionTree tree;
+    TreeParams params;
+    params.maxDepth = 3;
+    tree.fit(data, binner.binDataset(data), binner, data.targets(), params);
+    EXPECT_LE(tree.depth(), 4); // depth counts nodes; maxDepth counts splits
+}
+
+TEST(RegressionTree, PureLeafWhenNoGain)
+{
+    Dataset data({"x"});
+    for (int i = 0; i < 100; ++i)
+        data.addRow({static_cast<double>(i)}, 7.0);
+    FeatureBinner binner(data, 16);
+    RegressionTree tree;
+    TreeParams params;
+    params.lambda = 0.0;
+    tree.fit(data, binner.binDataset(data), binner, data.targets(), params);
+    EXPECT_EQ(tree.leafCount(), 1u);
+    const double x = 50.0;
+    EXPECT_NEAR(tree.predict(&x), 7.0, 1e-9);
+}
+
+// --- Gbrt -------------------------------------------------------------------------
+
+TEST(Gbrt, LearnsLinearFunction)
+{
+    Dataset train = makeLinearDataset(4000, 0.1, 7);
+    Dataset test = makeLinearDataset(1000, 0.1, 8);
+    Gbrt model;
+    GbrtParams params;
+    params.numTrees = 60;
+    params.learningRate = 0.15;
+    params.tree.maxDepth = 4;
+    model.train(train, params);
+    EXPECT_EQ(model.treeCount(), 60u);
+
+    const auto predictions = model.predictAll(test);
+    std::vector<double> actual(test.targets());
+    const double mae = meanAbsoluteError(predictions, actual);
+    // Targets span roughly [-20, 35]; MAE under 1.5 shows real learning.
+    EXPECT_LT(mae, 1.5);
+}
+
+TEST(Gbrt, MoreTreesReduceTrainingError)
+{
+    Dataset train = makeLinearDataset(2000, 0.5, 9);
+    GbrtParams small;
+    small.numTrees = 5;
+    GbrtParams large;
+    large.numTrees = 50;
+    Gbrt a;
+    a.train(train, small);
+    Gbrt b;
+    b.train(train, large);
+    const double maeA =
+        meanAbsoluteError(a.predictAll(train), train.targets());
+    const double maeB =
+        meanAbsoluteError(b.predictAll(train), train.targets());
+    EXPECT_LT(maeB, maeA);
+}
+
+TEST(Gbrt, ZeroTreesPredictBaseScore)
+{
+    Dataset train = makeLinearDataset(100, 0.0, 10);
+    Gbrt model;
+    GbrtParams params;
+    params.numTrees = 0;
+    model.train(train, params);
+    double meanTarget = 0.0;
+    for (std::size_t r = 0; r < train.rowCount(); ++r)
+        meanTarget += train.target(r);
+    meanTarget /= static_cast<double>(train.rowCount());
+    EXPECT_NEAR(model.predict(train.row(0)), meanTarget, 1e-9);
+}
+
+TEST(Gbrt, DeterministicForSameSeed)
+{
+    Dataset train = makeLinearDataset(1000, 0.3, 11);
+    GbrtParams params;
+    params.numTrees = 20;
+    params.subsample = 0.7;
+    Gbrt a;
+    a.train(train, params);
+    Gbrt b;
+    b.train(train, params);
+    for (std::size_t r = 0; r < 50; ++r)
+        EXPECT_DOUBLE_EQ(a.predict(train.row(r)), b.predict(train.row(r)));
+}
+
+// --- Metrics -----------------------------------------------------------------------
+
+TEST(Metrics, MaeAndRmse)
+{
+    const std::vector<double> pred{1.0, 2.0, 3.0};
+    const std::vector<double> actual{2.0, 2.0, 5.0};
+    EXPECT_DOUBLE_EQ(meanAbsoluteError(pred, actual), 1.0);
+    EXPECT_NEAR(rootMeanSquaredError(pred, actual), std::sqrt(5.0 / 3.0),
+                1e-12);
+}
+
+TEST(Metrics, ThresholdClassificationCounts)
+{
+    const std::vector<double> pred{100.0, 10.0, 90.0, 10.0};
+    const std::vector<double> actual{120.0, 90.0, 10.0, 5.0};
+    const auto c = classifyAtThreshold(pred, actual, 80.0);
+    EXPECT_EQ(c.truePositives, 1u);
+    EXPECT_EQ(c.falseNegatives, 1u);
+    EXPECT_EQ(c.falsePositives, 1u);
+    EXPECT_EQ(c.trueNegatives, 1u);
+    EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+    EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+    EXPECT_DOUBLE_EQ(c.missedLongFraction(), 0.25);
+    EXPECT_FALSE(c.toString().empty());
+}
+
+TEST(Metrics, DegenerateClassification)
+{
+    const std::vector<double> pred{1.0, 2.0};
+    const std::vector<double> actual{1.0, 2.0};
+    const auto c = classifyAtThreshold(pred, actual, 100.0);
+    EXPECT_EQ(c.truePositives, 0u);
+    EXPECT_EQ(c.precision(), 0.0);
+    EXPECT_EQ(c.recall(), 0.0);
+    EXPECT_EQ(c.f1(), 0.0);
+}
+
+
+TEST(Gbrt, FeatureImportanceIdentifiesInformativeFeatures)
+{
+    // y depends on x1 and x3 only; x2 is pure noise.
+    util::Rng rng(12);
+    Dataset train({"x1", "x2", "x3"});
+    for (int i = 0; i < 3000; ++i) {
+        const double x1 = rng.uniform(0.0, 10.0);
+        const double x2 = rng.uniform(0.0, 10.0);
+        const double x3 = rng.uniform(0.0, 10.0);
+        train.addRow({x1, x2, x3}, 5.0 * x1 + 2.0 * x3);
+    }
+    Gbrt model;
+    GbrtParams params;
+    params.numTrees = 40;
+    model.train(train, params);
+    const auto importance = model.featureImportance(3);
+    ASSERT_EQ(importance.size(), 3u);
+    EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+    EXPECT_GT(importance[0], importance[2]); // x1 dominates
+    EXPECT_GT(importance[2], importance[1]); // x3 beats noise
+    EXPECT_LT(importance[1], 0.05);
+}
+
+TEST(Gbrt, SaveLoadRoundTripsPredictions)
+{
+    Dataset train = makeLinearDataset(1500, 0.2, 13);
+    Gbrt model;
+    GbrtParams params;
+    params.numTrees = 25;
+    model.train(train, params);
+
+    const Gbrt restored = Gbrt::loadText(model.saveText());
+    EXPECT_EQ(restored.treeCount(), model.treeCount());
+    EXPECT_DOUBLE_EQ(restored.baseScore(), model.baseScore());
+    for (std::size_t r = 0; r < 100; ++r)
+        EXPECT_DOUBLE_EQ(restored.predict(train.row(r)),
+                         model.predict(train.row(r)));
+}
+
+TEST(Gbrt, SaveLoadPreservesLadModels)
+{
+    Dataset train = makeLinearDataset(1000, 0.3, 14);
+    Gbrt model;
+    GbrtParams params;
+    params.loss = GbrtLoss::AbsoluteError;
+    params.numTrees = 15;
+    model.train(train, params);
+    const Gbrt restored = Gbrt::loadText(model.saveText());
+    for (std::size_t r = 0; r < 50; ++r)
+        EXPECT_DOUBLE_EQ(restored.predict(train.row(r)),
+                         model.predict(train.row(r)));
+}
+
+TEST(Gbrt, EarlyStoppingTruncatesEnsemble)
+{
+    // Pure-noise targets: validation L1 cannot improve for long, so the
+    // ensemble must stop well short of numTrees.
+    util::Rng rng(15);
+    Dataset train({"x"});
+    Dataset validation({"x"});
+    for (int i = 0; i < 800; ++i) {
+        train.addRow({rng.uniform()}, rng.normal());
+        validation.addRow({rng.uniform()}, rng.normal());
+    }
+    Gbrt model;
+    GbrtParams params;
+    params.numTrees = 200;
+    params.earlyStoppingRounds = 5;
+    model.train(train, validation, params);
+    EXPECT_LT(model.treeCount(), 200u);
+}
+
+TEST(Gbrt, EarlyStoppingKeepsLearnableSignal)
+{
+    // Learnable target: early stopping must not truncate to nothing and
+    // the model must still beat the mean baseline on validation.
+    Dataset train = makeLinearDataset(3000, 0.5, 16);
+    Dataset validation = makeLinearDataset(800, 0.5, 17);
+    Gbrt model;
+    GbrtParams params;
+    params.numTrees = 120;
+    params.earlyStoppingRounds = 10;
+    model.train(train, validation, params);
+    EXPECT_GT(model.treeCount(), 10u);
+    const double mae = meanAbsoluteError(model.predictAll(validation),
+                                         validation.targets());
+    EXPECT_LT(mae, 3.0);
+}
+
+TEST(Gbrt, LadIsRobustToContamination)
+{
+    // 10% of targets are wild outliers: LAD predictions for clean inputs
+    // must stay near the true function while L2 gets dragged.
+    util::Rng rng(18);
+    Dataset train({"x"});
+    for (int i = 0; i < 4000; ++i) {
+        const double x = rng.uniform(0.0, 10.0);
+        double y = 3.0 * x;
+        if (rng.bernoulli(0.10))
+            y += 400.0; // contamination
+        train.addRow({x}, y);
+    }
+    GbrtParams params;
+    params.numTrees = 60;
+    params.learningRate = 0.2;
+    Gbrt l2;
+    l2.train(train, params);
+    params.loss = GbrtLoss::AbsoluteError;
+    Gbrt lad;
+    lad.train(train, params);
+
+    double l2Bias = 0.0;
+    double ladBias = 0.0;
+    for (double x = 0.5; x < 10.0; x += 0.5) {
+        l2Bias += std::abs(l2.predict(&x) - 3.0 * x);
+        ladBias += std::abs(lad.predict(&x) - 3.0 * x);
+    }
+    EXPECT_LT(ladBias, 0.2 * l2Bias);
+}
+
+
+TEST(Gbrt, QuantileLossEstimatesConditionalQuantile)
+{
+    // y | x ~ Uniform(0, x): the conditional tau-quantile is tau * x.
+    util::Rng rng(19);
+    Dataset train({"x"});
+    for (int i = 0; i < 8000; ++i) {
+        const double x = rng.uniform(1.0, 10.0);
+        train.addRow({x}, rng.uniform(0.0, x));
+    }
+    for (double tau : {0.3, 0.8}) {
+        GbrtParams params;
+        params.loss = GbrtLoss::Quantile;
+        params.quantile = tau;
+        params.numTrees = 200;
+        params.learningRate = 0.1;
+        // Small leaves make sign-gradient boosting locally noisy; a
+        // realistic leaf size keeps the conditional quantile smooth.
+        params.tree.minSamplesLeaf = 100;
+        Gbrt model;
+        model.train(train, params);
+        // The fitted function must track the conditional quantile...
+        for (double x = 2.0; x <= 9.0; x += 1.0) {
+            EXPECT_NEAR(model.predict(&x), tau * x, 0.15 * x + 0.25)
+                << "tau=" << tau << " x=" << x;
+        }
+        // ...and the effective global quantile must equal tau.
+        int below = 0;
+        for (std::size_t r = 0; r < train.rowCount(); ++r) {
+            if (train.target(r) < model.predict(train.row(r)))
+                ++below;
+        }
+        EXPECT_NEAR(static_cast<double>(below) /
+                        static_cast<double>(train.rowCount()),
+                    tau, 0.03);
+    }
+}
+
+TEST(Gbrt, HigherQuantilePredictsHigher)
+{
+    Dataset train = makeLinearDataset(3000, 3.0, 20);
+    GbrtParams low;
+    low.loss = GbrtLoss::Quantile;
+    low.quantile = 0.2;
+    GbrtParams high = low;
+    high.quantile = 0.8;
+    Gbrt a;
+    a.train(train, low);
+    Gbrt b;
+    b.train(train, high);
+    int higher = 0;
+    for (std::size_t r = 0; r < 200; ++r)
+        if (b.predict(train.row(r)) > a.predict(train.row(r)))
+            ++higher;
+    EXPECT_GT(higher, 180);
+}
+
+} // namespace
+} // namespace tpc::ml

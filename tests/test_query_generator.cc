@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the query-log generator: demand-profile calibration, the
+ * demand <-> keyword-count correlation, term validity, and determinism.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "search/inverted_index.h"
+#include "search/query_generator.h"
+#include "stats/latency_recorder.h"
+#include "stats/online_stats.h"
+
+namespace tpc::search {
+namespace {
+
+class QueryGeneratorTest : public ::testing::Test
+{
+  protected:
+    static const InvertedIndex& index()
+    {
+        static const InvertedIndex instance = [] {
+            CorpusParams params;
+            params.numDocuments = 8000;
+            params.vocabularySize = 8000;
+            return InvertedIndex::buildSynthetic(params, 123);
+        }();
+        return instance;
+    }
+};
+
+TEST_F(QueryGeneratorTest, QueriesHaveValidDistinctTerms)
+{
+    QueryGenerator generator(index(), QueryLogParams{}, 1);
+    for (int i = 0; i < 500; ++i) {
+        const Query q = generator.next();
+        ASSERT_FALSE(q.terms.empty());
+        ASSERT_LE(q.terms.size(), 10u);
+        std::set<std::uint32_t> distinct(q.terms.begin(), q.terms.end());
+        EXPECT_EQ(distinct.size(), q.terms.size());
+        for (std::uint32_t term : q.terms) {
+            ASSERT_LT(term, index().vocabularySize());
+            EXPECT_GT(index().documentFrequency(term), 0u);
+        }
+    }
+}
+
+TEST_F(QueryGeneratorTest, IdsIncreaseFromZero)
+{
+    QueryGenerator generator(index(), QueryLogParams{}, 1);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(generator.next().id, i);
+}
+
+TEST_F(QueryGeneratorTest, DemandProfileMatchesCalibration)
+{
+    QueryGenerator generator(index(), QueryLogParams{}, 2);
+    stats::LatencyRecorder demand;
+    for (int i = 0; i < 40000; ++i)
+        demand.add(generator.next().trueSequentialMs);
+    EXPECT_NEAR(demand.percentile(0.5), 3.6, 0.6);
+    EXPECT_NEAR(demand.mean(), 13.0, 2.5);
+    EXPECT_NEAR(demand.percentile(0.99), 185.0, 40.0);
+    EXPECT_NEAR(demand.fractionAbove(80.0), 0.038, 0.012);
+}
+
+TEST_F(QueryGeneratorTest, KeywordCountGrowsWithDemand)
+{
+    QueryGenerator generator(index(), QueryLogParams{}, 3);
+    stats::OnlineStats keywordsShort;
+    stats::OnlineStats keywordsLong;
+    for (int i = 0; i < 30000; ++i) {
+        const Query q = generator.next();
+        if (q.trueSequentialMs < 10.0)
+            keywordsShort.add(static_cast<double>(q.terms.size()));
+        else if (q.trueSequentialMs > 80.0)
+            keywordsLong.add(static_cast<double>(q.terms.size()));
+    }
+    ASSERT_GT(keywordsShort.count(), 100u);
+    ASSERT_GT(keywordsLong.count(), 100u);
+    EXPECT_GT(keywordsLong.mean(), keywordsShort.mean() + 2.0);
+}
+
+TEST_F(QueryGeneratorTest, PostingMassTracksDemand)
+{
+    // The observable posting mass must correlate with true demand for
+    // non-blind queries — this is the predictor's signal.
+    QueryLogParams params;
+    params.featureBlindProbability = 0.0;
+    params.featureNoiseSigma = 0.05;
+    QueryGenerator generator(index(), params, 4);
+    stats::OnlineStats massShort;
+    stats::OnlineStats massLong;
+    for (int i = 0; i < 20000; ++i) {
+        const Query q = generator.next();
+        double mass = 0.0;
+        for (std::uint32_t term : q.terms)
+            mass += index().documentFrequency(term);
+        if (q.trueSequentialMs < 5.0)
+            massShort.add(mass);
+        else if (q.trueSequentialMs > 60.0)
+            massLong.add(mass);
+    }
+    ASSERT_GT(massShort.count(), 100u);
+    ASSERT_GT(massLong.count(), 100u);
+    EXPECT_GT(massLong.mean(), 5.0 * massShort.mean());
+}
+
+TEST_F(QueryGeneratorTest, DeterministicForSeed)
+{
+    QueryGenerator a(index(), QueryLogParams{}, 99);
+    QueryGenerator b(index(), QueryLogParams{}, 99);
+    for (int i = 0; i < 200; ++i) {
+        const Query qa = a.next();
+        const Query qb = b.next();
+        EXPECT_EQ(qa.terms, qb.terms);
+        EXPECT_DOUBLE_EQ(qa.trueSequentialMs, qb.trueSequentialMs);
+    }
+}
+
+TEST_F(QueryGeneratorTest, GenerateLogReturnsRequestedCount)
+{
+    QueryGenerator generator(index(), QueryLogParams{}, 5);
+    EXPECT_EQ(generator.generateLog(1234).size(), 1234u);
+}
+
+} // namespace
+} // namespace tpc::search

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the recommendation-server substrate: embedding scoring
+ * correctness (chunk composition, brute-force agreement), bounded-Pareto
+ * demand, and the workload generator.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "recsys/embedding_model.h"
+#include "recsys/workload.h"
+
+namespace tpc::recsys {
+namespace {
+
+TEST(EmbeddingModel, DeterministicTableAndUsers)
+{
+    const EmbeddingModel a(100, 16, 3);
+    const EmbeddingModel b(100, 16, 3);
+    for (std::uint32_t item = 0; item < 100; item += 7)
+        for (int d = 0; d < 16; ++d)
+            ASSERT_EQ(a.itemVector(item)[d], b.itemVector(item)[d]);
+    EXPECT_EQ(a.userVector(42), b.userVector(42));
+    EXPECT_NE(a.userVector(42), a.userVector(43));
+}
+
+TEST(EmbeddingModel, RankMatchesBruteForce)
+{
+    const EmbeddingModel model(500, 24, 5);
+    const std::vector<float> user = model.userVector(7);
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t i = 0; i < 500; i += 3)
+        candidates.push_back(i);
+
+    const auto top = model.rank(user, candidates, 10);
+    ASSERT_EQ(top.size(), 10u);
+
+    // Brute force: compute every score, sort, compare.
+    std::vector<search::ScoredDoc> all;
+    for (std::uint32_t item : candidates) {
+        double score = 0.0;
+        for (int d = 0; d < 24; ++d)
+            score += static_cast<double>(user[static_cast<std::size_t>(d)]) *
+                     static_cast<double>(model.itemVector(item)[d]);
+        all.push_back({item, score});
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        return a.score > b.score;
+    });
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(top[i].docId, all[i].docId);
+        EXPECT_NEAR(top[i].score, all[i].score, 1e-9);
+    }
+}
+
+TEST(EmbeddingModel, ChunkedScoringComposes)
+{
+    const EmbeddingModel model(300, 8, 9);
+    const std::vector<float> user = model.userVector(1);
+    std::vector<std::uint32_t> candidates(300);
+    for (std::uint32_t i = 0; i < 300; ++i)
+        candidates[i] = i;
+
+    search::TopKCollector whole(5);
+    model.scoreRange(user, candidates, 0, candidates.size(), whole);
+
+    search::TopKCollector merged(5);
+    for (std::size_t begin = 0; begin < candidates.size(); begin += 64) {
+        search::TopKCollector chunk(5);
+        model.scoreRange(user, candidates, begin,
+                         std::min(begin + 64, candidates.size()), chunk);
+        merged.merge(chunk);
+    }
+    const auto a = whole.sortedResults();
+    const auto b = merged.sortedResults();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].docId, b[i].docId);
+}
+
+TEST(RecsysWorkload, CandidateCountsAreBoundedPareto)
+{
+    RecsysWorkloadParams params;
+    util::Rng rng(4);
+    double maxSeen = 0.0;
+    double minSeen = 1e18;
+    int above10k = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double c = sampleCandidateCount(params, rng);
+        ASSERT_GE(c, params.minCandidates);
+        ASSERT_LE(c, params.maxCandidates);
+        maxSeen = std::max(maxSeen, c);
+        minSeen = std::min(minSeen, c);
+        if (c > 10000.0)
+            ++above10k;
+    }
+    EXPECT_LT(minSeen, 450.0);
+    EXPECT_GT(maxSeen, 40000.0);
+    // Heavy but bounded tail: a few percent of power users.
+    EXPECT_GT(above10k, n / 200);
+    EXPECT_LT(above10k, n / 10);
+}
+
+TEST(RecsysWorkload, TraceDemandShape)
+{
+    const harness::Trace trace =
+        makeRecsysTrace(30000, RecsysWorkloadParams{}, 11);
+    double mean = 0.0;
+    double maxError = 0.0;
+    for (const auto& item : trace) {
+        ASSERT_GT(item.trueMs, 0.5);
+        ASSERT_LT(item.trueMs, 125.0);
+        mean += item.trueMs;
+        maxError = std::max(
+            maxError, std::abs(item.predictedMs / item.trueMs - 1.0));
+    }
+    mean /= static_cast<double>(trace.size());
+    EXPECT_NEAR(mean, 3.8, 1.0);
+    EXPECT_LT(maxError, 0.08); // near-exact analytic estimate
+}
+
+TEST(RecsysWorkload, ModelsAndTableAreConsistent)
+{
+    const auto& model = recsysExecutionModel();
+    EXPECT_EQ(model.maxDegree(), 8);
+    // The target floor is achievable by the largest request at max degree.
+    const double floor = recsysTargetTable().targetFor(0.0);
+    const double largest = 120.6;
+    EXPECT_LE(largest / model.profileFor(largest).speedup(8), floor);
+    const auto config = recsysServerConfig();
+    EXPECT_GE(config.numWorkers, model.maxDegree());
+}
+
+} // namespace
+} // namespace tpc::recsys

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the LRU query-result cache (the Figure 1 "response not
+ * cached" front-end path).
+ */
+#include <gtest/gtest.h>
+
+#include "search/result_cache.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace tpc::search {
+namespace {
+
+Query
+queryOf(std::vector<std::uint32_t> terms)
+{
+    Query q;
+    q.terms = std::move(terms);
+    return q;
+}
+
+SearchResult
+resultWithCount(std::uint64_t matches)
+{
+    SearchResult r;
+    r.matchCount = matches;
+    return r;
+}
+
+TEST(ResultCache, MissThenHit)
+{
+    ResultCache cache(4);
+    const Query q = queryOf({1, 2, 3});
+    EXPECT_EQ(cache.lookup(q), nullptr);
+    cache.insert(q, resultWithCount(7));
+    const SearchResult* hit = cache.lookup(q);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->matchCount, 7u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
+}
+
+TEST(ResultCache, KeyIsTermOrderInsensitive)
+{
+    ResultCache cache(4);
+    cache.insert(queryOf({3, 1, 2}), resultWithCount(9));
+    const SearchResult* hit = cache.lookup(queryOf({1, 2, 3}));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->matchCount, 9u);
+    EXPECT_EQ(ResultCache::keyFor(queryOf({3, 1, 2})),
+              ResultCache::keyFor(queryOf({2, 3, 1})));
+    EXPECT_NE(ResultCache::keyFor(queryOf({1, 2})),
+              ResultCache::keyFor(queryOf({1, 2, 3})));
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed)
+{
+    ResultCache cache(2);
+    cache.insert(queryOf({1}), resultWithCount(1));
+    cache.insert(queryOf({2}), resultWithCount(2));
+    // Touch {1} so {2} becomes the LRU victim.
+    EXPECT_NE(cache.lookup(queryOf({1})), nullptr);
+    cache.insert(queryOf({3}), resultWithCount(3));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_NE(cache.lookup(queryOf({1})), nullptr);
+    EXPECT_EQ(cache.lookup(queryOf({2})), nullptr); // evicted
+    EXPECT_NE(cache.lookup(queryOf({3})), nullptr);
+}
+
+TEST(ResultCache, InsertRefreshesExistingEntry)
+{
+    ResultCache cache(2);
+    cache.insert(queryOf({1}), resultWithCount(1));
+    cache.insert(queryOf({2}), resultWithCount(2));
+    cache.insert(queryOf({1}), resultWithCount(100)); // refresh, no evict
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.lookup(queryOf({1}))->matchCount, 100u);
+    // {2} is now LRU.
+    cache.insert(queryOf({3}), resultWithCount(3));
+    EXPECT_EQ(cache.lookup(queryOf({2})), nullptr);
+}
+
+TEST(ResultCache, ClearKeepsStats)
+{
+    ResultCache cache(4);
+    cache.insert(queryOf({1}), resultWithCount(1));
+    cache.lookup(queryOf({1}));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.lookup(queryOf({1})), nullptr);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, CapacityOneChurns)
+{
+    ResultCache cache(1);
+    for (std::uint32_t t = 0; t < 50; ++t)
+        cache.insert(queryOf({t}), resultWithCount(t));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 49u);
+    EXPECT_NE(cache.lookup(queryOf({49})), nullptr);
+}
+
+TEST(ResultCache, ZipfStreamAchievesHighHitRate)
+{
+    // Repeated queries follow a Zipf popularity law; a modest cache
+    // should absorb most of the stream.
+    util::Rng rng(5);
+    util::ZipfDistribution popularity(5000, 1.1);
+    ResultCache cache(500);
+    for (int i = 0; i < 50000; ++i) {
+        const auto id = static_cast<std::uint32_t>(popularity.sample(rng));
+        const Query q = queryOf({id, id + 10000});
+        if (cache.lookup(q) == nullptr)
+            cache.insert(q, resultWithCount(id));
+    }
+    EXPECT_GT(cache.stats().hitRate(), 0.5);
+    EXPECT_LE(cache.size(), 500u);
+}
+
+} // namespace
+} // namespace tpc::search

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the threading runtime: worker pool, malleable jobs (including
+ * workers joining mid-run — the mechanism behind dynamic correction), and
+ * parallelFor.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/malleable_job.h"
+#include "runtime/parallel_for.h"
+#include "runtime/worker_pool.h"
+
+namespace tpc::runtime {
+namespace {
+
+TEST(WorkerPool, ExecutesAllPostedTasks)
+{
+    WorkerPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.post([&counter] { counter.fetch_add(1); });
+    // Destructor drains the queue.
+    while (counter.load() < 100)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(pool.size(), 4);
+}
+
+TEST(WorkerPool, DrainsQueueOnDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        WorkerPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.post([&counter] {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                counter.fetch_add(1);
+            });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(WorkerPool, TracksBusyWorkers)
+{
+    WorkerPool pool(3);
+    EXPECT_EQ(pool.idleWorkers(), 3);
+    std::atomic<bool> release{false};
+    std::atomic<int> started{0};
+    for (int i = 0; i < 2; ++i)
+        pool.post([&] {
+            started.fetch_add(1);
+            while (!release.load())
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+        });
+    while (started.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(pool.busyWorkers(), 2);
+    EXPECT_EQ(pool.idleWorkers(), 1);
+    release.store(true);
+}
+
+TEST(MalleableJob, EveryTaskRunsExactlyOnce)
+{
+    constexpr int kTasks = 200;
+    std::vector<std::atomic<int>> runs(kTasks);
+    MalleableJob job(kTasks, [&runs](int task) {
+        runs[static_cast<std::size_t>(task)].fetch_add(1);
+    });
+    WorkerPool pool(4);
+    for (int i = 0; i < 3; ++i)
+        pool.post([&job] { job.runWorker(); });
+    job.runWorker();
+    job.wait();
+    EXPECT_TRUE(job.finished());
+    for (const auto& count : runs)
+        EXPECT_EQ(count.load(), 1);
+    EXPECT_GE(job.totalWorkersJoined(), 1);
+}
+
+TEST(MalleableJob, LateJoinersReturnImmediately)
+{
+    MalleableJob job(1, [](int) {});
+    job.runWorker();
+    EXPECT_TRUE(job.finished());
+    // A worker joining after completion must not rerun anything.
+    job.runWorker();
+    EXPECT_TRUE(job.finished());
+    job.wait(); // Must not block.
+}
+
+TEST(MalleableJob, WorkersCanJoinMidRun)
+{
+    // The dynamic-correction scenario: one worker starts, more join while
+    // the job runs, and the join is observed.
+    constexpr int kTasks = 64;
+    std::atomic<int> completed{0};
+    MalleableJob job(kTasks, [&completed](int) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        completed.fetch_add(1);
+    });
+    WorkerPool pool(3);
+    pool.post([&job] { job.runWorker(); });
+    while (completed.load() < 4)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    pool.post([&job] { job.runWorker(); });
+    pool.post([&job] { job.runWorker(); });
+    job.wait();
+    EXPECT_EQ(completed.load(), kTasks);
+    EXPECT_GE(job.totalWorkersJoined(), 2);
+}
+
+TEST(ParallelFor, RunsEveryIndexOnce)
+{
+    WorkerPool pool(4);
+    for (int degree : {1, 2, 4, 8}) {
+        std::vector<std::atomic<int>> runs(37);
+        parallelFor(pool, degree, 37, [&runs](int i) {
+            runs[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (const auto& count : runs)
+            ASSERT_EQ(count.load(), 1) << "degree " << degree;
+    }
+}
+
+TEST(ParallelFor, SingleTaskDegenerate)
+{
+    WorkerPool pool(2);
+    int runs = 0;
+    parallelFor(pool, 4, 1, [&runs](int) { ++runs; });
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ParallelFor, ResultsComposeAcrossChunks)
+{
+    // Sum 1..1000 by chunked accumulation.
+    WorkerPool pool(4);
+    constexpr int kChunks = 25;
+    std::vector<long> partial(kChunks, 0);
+    parallelFor(pool, 4, kChunks, [&partial](int c) {
+        const long lo = c * 40 + 1;
+        const long hi = (c + 1) * 40;
+        for (long v = lo; v <= hi; ++v)
+            partial[static_cast<std::size_t>(c)] += v;
+    });
+    long total = 0;
+    for (long p : partial)
+        total += p;
+    EXPECT_EQ(total, 1000L * 1001L / 2L);
+}
+
+} // namespace
+} // namespace tpc::runtime

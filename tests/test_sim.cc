@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the discrete-event simulation engine: ordering, cancellation,
+ * determinism, and clock semantics.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tpc::sim {
+namespace {
+
+TEST(Simulator, FiresInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30.0, [&] { order.push_back(3); });
+    sim.schedule(10.0, [&] { order.push_back(1); });
+    sim.schedule(20.0, [&] { order.push_back(2); });
+    sim.runUntilEmpty();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30.0);
+    EXPECT_EQ(sim.firedEvents(), 3u);
+}
+
+TEST(Simulator, TiesFireInScheduleOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sim.schedule(5.0, [&order, i] { order.push_back(i); });
+    sim.runUntilEmpty();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator sim;
+    double seen = -1.0;
+    sim.schedule(42.5, [&] { seen = sim.now(); });
+    sim.runUntilEmpty();
+    EXPECT_EQ(seen, 42.5);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative)
+{
+    Simulator sim;
+    double seen = -1.0;
+    sim.schedule(10.0, [&] {
+        sim.scheduleAfter(5.0, [&] { seen = sim.now(); });
+    });
+    sim.runUntilEmpty();
+    EXPECT_EQ(seen, 15.0);
+}
+
+TEST(Simulator, CancelPreventsFiring)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(10.0, [&] { fired = true; });
+    sim.cancel(id);
+    sim.runUntilEmpty();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(sim.firedEvents(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoop)
+{
+    Simulator sim;
+    sim.cancel(kInvalidEventId);
+    sim.cancel(9999);
+    bool fired = false;
+    sim.schedule(1.0, [&] { fired = true; });
+    sim.runUntilEmpty();
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelFromInsideEvent)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(20.0, [&] { fired = true; });
+    sim.schedule(10.0, [&] { sim.cancel(id); });
+    sim.runUntilEmpty();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, PendingEventsExcludesCancelled)
+{
+    Simulator sim;
+    sim.schedule(1.0, [] {});
+    const EventId id = sim.schedule(2.0, [] {});
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+    sim.cancel(id);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    std::vector<double> fired;
+    sim.schedule(5.0, [&] { fired.push_back(5.0); });
+    sim.schedule(10.0, [&] { fired.push_back(10.0); });
+    sim.schedule(15.0, [&] { fired.push_back(15.0); });
+    sim.runUntil(10.0);
+    EXPECT_EQ(fired, (std::vector<double>{5.0, 10.0}));
+    EXPECT_EQ(sim.now(), 10.0);
+    sim.runUntilEmpty();
+    EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunFire)
+{
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            sim.scheduleAfter(1.0, chain);
+    };
+    sim.schedule(0.0, chain);
+    sim.runUntilEmpty();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulator, RunNextReturnsFalseWhenEmpty)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.runNext());
+    sim.schedule(1.0, [] {});
+    EXPECT_TRUE(sim.runNext());
+    EXPECT_FALSE(sim.runNext());
+}
+
+} // namespace
+} // namespace tpc::sim

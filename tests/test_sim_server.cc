@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the discrete-event ISN: exact completion times under the
+ * malleable-job model, FIFO queueing, degree capping, dynamic-correction
+ * timing, processor-sharing contention, and accounting invariants.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+#include "server/sim_server.h"
+#include "sim/simulator.h"
+
+namespace tpc::server {
+namespace {
+
+/** Test double: fixed dispatch degree with an optional recheck plan. */
+class ScriptedPolicy final : public policy::ParallelismPolicy
+{
+  public:
+    explicit ScriptedPolicy(int degree, double recheckAfterMs = 0.0,
+                            int recheckDegree = 0)
+        : degree_(degree),
+          recheckAfterMs_(recheckAfterMs),
+          recheckDegree_(recheckDegree)
+    {
+    }
+
+    std::string name() const override { return "Scripted"; }
+
+    policy::Decision onDispatch(const policy::RequestView&,
+                                const policy::SystemState& state) override
+    {
+        lastDispatchState = state;
+        ++dispatches;
+        return {degree_, recheckAfterMs_};
+    }
+
+    policy::Decision onRecheck(const policy::RequestView& request,
+                               const policy::SystemState& state) override
+    {
+        lastRecheckState = state;
+        ++rechecks;
+        return {std::max(recheckDegree_, request.currentDegree), 0.0};
+    }
+
+    policy::SystemState lastDispatchState;
+    policy::SystemState lastRecheckState;
+    int dispatches = 0;
+    int rechecks = 0;
+
+  private:
+    int degree_;
+    double recheckAfterMs_;
+    int recheckDegree_;
+};
+
+/** Simple linear-speedup execution model for exact-arithmetic tests:
+ *  speedup(d) = d up to 6. */
+const policy::SpeedupModel&
+linearModel()
+{
+    static const policy::SpeedupModel instance([] {
+        std::vector<policy::SpeedupModel::Group> groups;
+        groups.push_back({std::numeric_limits<double>::infinity(), "all",
+                          policy::SpeedupProfile(
+                              {1.0, 2.0, 3.0, 4.0, 5.0, 6.0})});
+        return groups;
+    }());
+    return instance;
+}
+
+ServerConfig
+testConfig(int workers = 8, double capacity = 100.0)
+{
+    ServerConfig config;
+    config.numWorkers = workers;
+    config.hwContexts = 8;
+    config.coreCapacity = capacity; // effectively disables contention
+    return config;
+}
+
+TEST(SimServer, SequentialRequestTakesItsDemand)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(1);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    server.submit(40.0, 40.0);
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 1u);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].responseMs(), 40.0);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].queueMs(), 0.0);
+    EXPECT_EQ(server.outcomes()[0].initialDegree, 1);
+}
+
+TEST(SimServer, ParallelRequestDividesBySpeedup)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(4);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    server.submit(40.0, 40.0);
+    sim.runUntilEmpty();
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].responseMs(), 10.0);
+    EXPECT_EQ(server.outcomes()[0].maxDegree, 4);
+}
+
+TEST(SimServer, DegreeCappedByIdleWorkers)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(6);
+    SimServer server(sim, testConfig(/*workers=*/8), policy, linearModel());
+    server.submit(60.0, 60.0); // takes 6 workers, 2 idle left
+    server.submit(60.0, 60.0); // wants 6, capped to 2
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 2u);
+    EXPECT_EQ(server.outcomes()[0].initialDegree, 6);
+    EXPECT_EQ(server.outcomes()[1].initialDegree, 2);
+}
+
+TEST(SimServer, FifoQueueWhenWorkersExhausted)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(8);
+    SimServer server(sim, testConfig(/*workers=*/8), policy, linearModel());
+    // First request takes all 8 workers for 80/6... speedup capped at 6.
+    server.submit(60.0, 60.0); // degree 8 -> speedup clamps to 6 -> 10 ms
+    server.submit(30.0, 30.0); // queued until t=10
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 2u);
+    const auto& first = server.outcomes()[0];
+    const auto& second = server.outcomes()[1];
+    EXPECT_DOUBLE_EQ(first.completionMs, 10.0);
+    EXPECT_DOUBLE_EQ(second.dispatchMs, 10.0);
+    EXPECT_DOUBLE_EQ(second.queueMs(), 10.0);
+    EXPECT_DOUBLE_EQ(second.completionMs, 15.0); // 30 ms at degree 8->6
+}
+
+TEST(SimServer, DynamicCorrectionChangesRateMidFlight)
+{
+    // Degree 1 for the first 20 ms, then recheck raises to 4:
+    // remaining 40 work units at rate 4 -> 10 more ms -> completes at 30.
+    sim::Simulator sim;
+    ScriptedPolicy policy(1, /*recheckAfterMs=*/20.0, /*recheckDegree=*/4);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    server.submit(60.0, 60.0);
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 1u);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].responseMs(), 30.0);
+    EXPECT_TRUE(server.outcomes()[0].corrected);
+    EXPECT_EQ(server.outcomes()[0].maxDegree, 4);
+    EXPECT_EQ(policy.rechecks, 1);
+    EXPECT_EQ(server.counters().degreeIncreases, 3u);
+}
+
+TEST(SimServer, RecheckAfterCompletionIsIgnored)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(4, /*recheckAfterMs=*/50.0, /*recheckDegree=*/6);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    server.submit(40.0, 40.0); // completes at 10 ms, recheck armed at 50
+    sim.runUntilEmpty();
+    EXPECT_EQ(policy.rechecks, 0);
+    EXPECT_FALSE(server.outcomes()[0].corrected);
+}
+
+TEST(SimServer, ContentionSlowsAllRequests)
+{
+    // Capacity 4 core-equivalents, two degree-4 requests: 8 threads ->
+    // factor 0.5 -> each runs at effective rate 2 instead of 4.
+    sim::Simulator sim;
+    ScriptedPolicy policy(4);
+    SimServer server(sim, testConfig(/*workers=*/8, /*capacity=*/4.0),
+                     policy, linearModel());
+    server.submit(40.0, 40.0);
+    server.submit(40.0, 40.0);
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 2u);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].responseMs(), 20.0);
+    EXPECT_DOUBLE_EQ(server.outcomes()[1].responseMs(), 20.0);
+}
+
+TEST(SimServer, ContentionReleasesWhenRequestsFinish)
+{
+    // One degree-4 short and one degree-4 long on capacity 4: both halve
+    // until the short completes, then the long runs at full rate.
+    // Short (20 work): at rate 2 completes at t=10.
+    // Long (60 work): 10 ms at rate 2 (20 done), 40 left at rate 4 -> +10.
+    sim::Simulator sim;
+    ScriptedPolicy policy(4);
+    SimServer server(sim, testConfig(8, 4.0), policy, linearModel());
+    server.submit(20.0, 20.0);
+    server.submit(60.0, 60.0);
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 2u);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].completionMs, 10.0);
+    EXPECT_DOUBLE_EQ(server.outcomes()[1].completionMs, 20.0);
+}
+
+TEST(SimServer, PolicySeesQueueAndThreadState)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(4);
+    SimServer server(sim, testConfig(/*workers=*/8), policy, linearModel());
+    server.submit(40.0, 100.0); // long by prediction (threshold 80)
+    server.submit(40.0, 10.0);
+    sim.runUntil(1.0);
+    // Second dispatch saw the first request running at degree 4.
+    EXPECT_EQ(policy.lastDispatchState.activeThreadsAll, 4);
+    EXPECT_EQ(policy.lastDispatchState.activeThreadsLong, 4);
+    EXPECT_EQ(policy.lastDispatchState.runningRequests, 1);
+    EXPECT_EQ(policy.lastDispatchState.idleWorkers, 4);
+    sim.runUntilEmpty();
+}
+
+TEST(SimServer, AccountingInvariants)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(3);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    for (int i = 0; i < 50; ++i)
+        server.submit(5.0 + i, 5.0 + i);
+    sim.runUntilEmpty();
+    EXPECT_EQ(server.counters().arrivals, 50u);
+    EXPECT_EQ(server.counters().completions, 50u);
+    EXPECT_EQ(server.idleWorkers(), server.config().numWorkers);
+    EXPECT_EQ(server.queueLength(), 0);
+    EXPECT_EQ(server.runningRequests(), 0);
+    for (const auto& outcome : server.outcomes()) {
+        EXPECT_GE(outcome.dispatchMs, outcome.arrivalMs);
+        EXPECT_GT(outcome.completionMs, outcome.dispatchMs);
+        EXPECT_GE(outcome.maxDegree, outcome.initialDegree);
+    }
+}
+
+TEST(SimServer, CompletionCallbackAndStorageToggle)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(1);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    server.setStoreOutcomes(false);
+    int callbacks = 0;
+    double lastResponse = 0.0;
+    server.setCompletionCallback([&](const RequestOutcome& outcome) {
+        ++callbacks;
+        lastResponse = outcome.responseMs();
+    });
+    server.submit(25.0, 25.0);
+    sim.runUntilEmpty();
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_DOUBLE_EQ(lastResponse, 25.0);
+    EXPECT_TRUE(server.outcomes().empty());
+}
+
+TEST(SimServer, CpuUtilizationEwmaRisesUnderLoad)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(6);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    EXPECT_DOUBLE_EQ(server.snapshotState().cpuUtilization, 0.0);
+    for (int i = 0; i < 20; ++i)
+        server.submit(200.0, 200.0);
+    sim.runUntil(150.0);
+    EXPECT_GT(server.snapshotState().cpuUtilization, 0.3);
+    sim.runUntilEmpty();
+}
+
+TEST(SimServer, ElapsedLongRequestCountsInLongThreads)
+{
+    // A request predicted short becomes "long" for the metric once it has
+    // run past the threshold.
+    sim::Simulator sim;
+    ScriptedPolicy policy(1);
+    ServerConfig config = testConfig();
+    config.longThresholdMs = 80.0;
+    SimServer server(sim, config, policy, linearModel());
+    server.submit(200.0, 10.0); // predicted short, truly long
+    sim.runUntil(10.0);
+    EXPECT_EQ(server.snapshotState().activeThreadsLong, 0);
+    sim.runUntil(100.0);
+    EXPECT_EQ(server.snapshotState().activeThreadsLong, 1);
+    sim.runUntilEmpty();
+}
+
+TEST(SimServer, GroupedSpeedupUsesTrueDemandClass)
+{
+    // Execution truth keys on the true class even when the prediction
+    // lies: a truly long request at degree 6 gets the long-class speedup.
+    sim::Simulator sim;
+    ScriptedPolicy policy(6);
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    SimServer server(sim, testConfig(), policy, model);
+    server.submit(164.0, 5.0); // long class: S6 = 4.1
+    sim.runUntilEmpty();
+    EXPECT_NEAR(server.outcomes()[0].responseMs(), 164.0 / 4.1, 1e-9);
+}
+
+
+TEST(SimServer, CancelQueuedRequest)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(8);
+    SimServer server(sim, testConfig(/*workers=*/8), policy, linearModel());
+    server.submit(60.0, 60.0);                       // occupies all workers
+    const std::uint64_t queued = server.submit(30.0, 30.0);
+    EXPECT_EQ(server.queueLength(), 1);
+    EXPECT_TRUE(server.cancel(queued));
+    EXPECT_EQ(server.queueLength(), 0);
+    sim.runUntilEmpty();
+    // Only the first request completes.
+    EXPECT_EQ(server.outcomes().size(), 1u);
+    EXPECT_EQ(server.counters().completions, 1u);
+}
+
+TEST(SimServer, CancelRunningRequestFreesWorkersAndDispatches)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(8);
+    SimServer server(sim, testConfig(/*workers=*/8), policy, linearModel());
+    const std::uint64_t running = server.submit(600.0, 600.0);
+    server.submit(30.0, 30.0); // queued behind it
+    sim.runUntil(5.0);
+    EXPECT_TRUE(server.cancel(running));
+    // The queued request dispatches immediately at t=5 and takes
+    // 30/6 = 5 ms.
+    sim.runUntilEmpty();
+    ASSERT_EQ(server.outcomes().size(), 1u);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].dispatchMs, 5.0);
+    EXPECT_DOUBLE_EQ(server.outcomes()[0].completionMs, 10.0);
+    EXPECT_EQ(server.idleWorkers(), 8);
+}
+
+TEST(SimServer, CancelUnknownOrCompletedReturnsFalse)
+{
+    sim::Simulator sim;
+    ScriptedPolicy policy(1);
+    SimServer server(sim, testConfig(), policy, linearModel());
+    const std::uint64_t id = server.submit(10.0, 10.0);
+    EXPECT_FALSE(server.cancel(9999));
+    sim.runUntilEmpty();
+    EXPECT_FALSE(server.cancel(id));
+}
+
+} // namespace
+} // namespace tpc::server

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Randomized property tests for the discrete-event ISN: under arbitrary
+ * (adversarial) policy decisions and arrival patterns, the server must
+ * preserve its accounting invariants — every request completes exactly
+ * once, workers balance to zero, timing is causal, and consumed
+ * core-time is at least the sequential work (parallelism never creates
+ * work out of thin air).
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "policy/policy.h"
+#include "policy/speedup_profile.h"
+#include "server/sim_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace tpc::server {
+namespace {
+
+/** Adversarial policy: random degrees and random recheck schedules. */
+class ChaosPolicy final : public policy::ParallelismPolicy
+{
+  public:
+    explicit ChaosPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "Chaos"; }
+
+    policy::Decision onDispatch(const policy::RequestView&,
+                                const policy::SystemState&) override
+    {
+        policy::Decision d;
+        d.degree = static_cast<int>(rng_.uniformInt(1, 9));
+        d.recheckAfterMs =
+            rng_.bernoulli(0.5) ? rng_.uniform(0.5, 30.0) : 0.0;
+        return d;
+    }
+
+    policy::Decision onRecheck(const policy::RequestView& request,
+                               const policy::SystemState&) override
+    {
+        policy::Decision d;
+        d.degree = request.currentDegree +
+                   static_cast<int>(rng_.uniformInt(0, 3));
+        d.recheckAfterMs =
+            rng_.bernoulli(0.3) ? rng_.uniform(0.5, 20.0) : 0.0;
+        return d;
+    }
+
+  private:
+    util::Rng rng_;
+};
+
+const policy::SpeedupModel&
+fuzzModel()
+{
+    static const policy::SpeedupModel instance =
+        policy::SpeedupModel::webSearchDefault();
+    return instance;
+}
+
+class SimServerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimServerFuzz, InvariantsHoldUnderChaos)
+{
+    const std::uint64_t seed = GetParam();
+    util::Rng rng(seed);
+
+    sim::Simulator sim;
+    ChaosPolicy policy(seed * 31 + 1);
+    ServerConfig config;
+    config.numWorkers = static_cast<int>(rng.uniformInt(2, 16));
+    config.coreCapacity = rng.uniform(2.0, 12.0);
+    SimServer server(sim, config, policy, fuzzModel());
+
+    constexpr int kRequests = 2000;
+    double totalTrueMs = 0.0;
+    double arrivalMs = 0.0;
+    std::vector<double> trueTimes;
+    for (int i = 0; i < kRequests; ++i) {
+        arrivalMs += rng.exponential(rng.uniform(0.5, 8.0));
+        const double trueMs = rng.uniform(0.5, 250.0);
+        const double predictedMs =
+            trueMs * std::exp(rng.normal(0.0, 0.8));
+        trueTimes.push_back(trueMs);
+        totalTrueMs += trueMs;
+        sim.schedule(arrivalMs, [&server, trueMs, predictedMs] {
+            server.submit(trueMs, predictedMs);
+        });
+    }
+    sim.runUntilEmpty();
+
+    // Every request completed exactly once.
+    ASSERT_EQ(server.counters().completions,
+              static_cast<std::uint64_t>(kRequests));
+    ASSERT_EQ(server.outcomes().size(),
+              static_cast<std::size_t>(kRequests));
+
+    // Workers balance: everything returned to the pool.
+    EXPECT_EQ(server.idleWorkers(), config.numWorkers);
+    EXPECT_EQ(server.queueLength(), 0);
+    EXPECT_EQ(server.runningRequests(), 0);
+
+    // Causality and degree sanity per request; response is at least the
+    // fully-parallel lower bound for its class.
+    double lastCompletion = 0.0;
+    for (const auto& outcome : server.outcomes()) {
+        EXPECT_GE(outcome.dispatchMs, outcome.arrivalMs);
+        EXPECT_GT(outcome.completionMs, outcome.dispatchMs);
+        EXPECT_GE(outcome.initialDegree, 1);
+        EXPECT_LE(outcome.maxDegree, config.numWorkers);
+        EXPECT_GE(outcome.maxDegree, outcome.initialDegree);
+        const double bound =
+            outcome.trueMs /
+            fuzzModel().profileFor(outcome.trueMs).speedup(
+                config.numWorkers);
+        EXPECT_GE(outcome.completionMs - outcome.dispatchMs,
+                  bound - 1e-6);
+        lastCompletion = std::max(lastCompletion, outcome.completionMs);
+    }
+
+    // Work conservation: consumed core-time covers the sequential work
+    // (threads never do more work per core-ms than sequential execution)
+    // and never exceeds capacity x span.
+    EXPECT_GE(server.counters().busyCoreMs, totalTrueMs - 1e-6);
+    EXPECT_LE(server.counters().busyCoreMs,
+              config.coreCapacity * lastCompletion + 1e-6);
+}
+
+TEST_P(SimServerFuzz, DeterministicReplay)
+{
+    const std::uint64_t seed = GetParam();
+    auto run = [&] {
+        util::Rng rng(seed);
+        sim::Simulator sim;
+        ChaosPolicy policy(seed + 5);
+        ServerConfig config;
+        config.numWorkers = 8;
+        SimServer server(sim, config, policy, fuzzModel());
+        double arrivalMs = 0.0;
+        for (int i = 0; i < 500; ++i) {
+            arrivalMs += rng.exponential(3.0);
+            const double trueMs = rng.uniform(0.5, 150.0);
+            sim.schedule(arrivalMs, [&server, trueMs] {
+                server.submit(trueMs, trueMs);
+            });
+        }
+        sim.runUntilEmpty();
+        std::vector<double> responses;
+        for (const auto& outcome : server.outcomes())
+            responses.push_back(outcome.responseMs());
+        return responses;
+    };
+    const auto first = run();
+    const auto second = run();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        ASSERT_DOUBLE_EQ(first[i], second[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimServerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+} // namespace
+} // namespace tpc::server

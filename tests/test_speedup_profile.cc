@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the parallelism-efficiency model (speedup profiles and the
+ * class-keyed SpeedupModel), including the degree-selection rule TPC's
+ * predictive parallelism relies on.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "policy/speedup_profile.h"
+
+namespace tpc::policy {
+namespace {
+
+TEST(SpeedupProfile, SpeedupClampsAboveMaxDegree)
+{
+    const SpeedupProfile profile({1.0, 1.8, 2.5});
+    EXPECT_EQ(profile.maxDegree(), 3);
+    EXPECT_DOUBLE_EQ(profile.speedup(1), 1.0);
+    EXPECT_DOUBLE_EQ(profile.speedup(2), 1.8);
+    EXPECT_DOUBLE_EQ(profile.speedup(3), 2.5);
+    EXPECT_DOUBLE_EQ(profile.speedup(10), 2.5);
+}
+
+TEST(SpeedupProfile, ParallelTime)
+{
+    const SpeedupProfile profile({1.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(profile.parallelTimeMs(100.0, 1), 100.0);
+    EXPECT_DOUBLE_EQ(profile.parallelTimeMs(100.0, 3), 25.0);
+}
+
+TEST(SpeedupProfile, SmallestDegreeToMeetPicksMinimum)
+{
+    const SpeedupProfile profile({1.0, 1.9, 2.7, 3.4, 3.85, 4.1});
+    // 100 ms request, 40 ms target: needs speedup >= 2.5 -> degree 3.
+    EXPECT_EQ(profile.smallestDegreeToMeet(100.0, 40.0), 3);
+    // Already meets the target sequentially.
+    EXPECT_EQ(profile.smallestDegreeToMeet(30.0, 40.0), 1);
+    // Unachievable even at max degree -> 0.
+    EXPECT_EQ(profile.smallestDegreeToMeet(400.0, 40.0), 0);
+    // Exactly achievable at max degree.
+    EXPECT_EQ(profile.smallestDegreeToMeet(164.0, 40.0), 6);
+}
+
+class SmallestDegreeProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(SmallestDegreeProperty, ChosenDegreeIsMinimalAndMeetsTarget)
+{
+    const auto [sequentialMs, targetMs] = GetParam();
+    const SpeedupProfile profile({1.0, 1.9, 2.7, 3.4, 3.85, 4.1});
+    const int d = profile.smallestDegreeToMeet(sequentialMs, targetMs);
+    if (d == 0) {
+        EXPECT_GT(profile.parallelTimeMs(sequentialMs, profile.maxDegree()),
+                  targetMs);
+        return;
+    }
+    EXPECT_LE(profile.parallelTimeMs(sequentialMs, d), targetMs);
+    if (d > 1) {
+        EXPECT_GT(profile.parallelTimeMs(sequentialMs, d - 1), targetMs);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SmallestDegreeProperty,
+    ::testing::Combine(::testing::Values(1.0, 10.0, 50.0, 90.0, 150.0,
+                                         250.0, 400.0),
+                       ::testing::Values(20.0, 40.0, 60.0, 100.0, 200.0)));
+
+TEST(SpeedupModel, GroupLookupByTime)
+{
+    const SpeedupModel model = SpeedupModel::webSearchDefault();
+    EXPECT_EQ(model.groupCount(), 3u);
+    EXPECT_EQ(model.groupIndexFor(5.0), 0u);
+    EXPECT_EQ(model.groupIndexFor(30.0), 0u); // boundary inclusive
+    EXPECT_EQ(model.groupIndexFor(30.1), 1u);
+    EXPECT_EQ(model.groupIndexFor(80.0), 1u);
+    EXPECT_EQ(model.groupIndexFor(5000.0), 2u);
+}
+
+TEST(SpeedupModel, WebSearchMatchesFigure2)
+{
+    const SpeedupModel model = SpeedupModel::webSearchDefault();
+    EXPECT_NEAR(model.profileFor(10.0).speedup(6), 1.16, 0.01);
+    EXPECT_NEAR(model.profileFor(50.0).speedup(6), 2.05, 0.01);
+    EXPECT_NEAR(model.profileFor(150.0).speedup(6), 4.10, 0.01);
+    EXPECT_EQ(model.maxDegree(), 6);
+}
+
+TEST(SpeedupModel, SixGroupsRefineThreeGroups)
+{
+    const SpeedupModel three = SpeedupModel::webSearchDefault();
+    const SpeedupModel six = SpeedupModel::webSearchSixGroups();
+    EXPECT_EQ(six.groupCount(), 6u);
+    // Refined profiles must stay close to the parent class profile
+    // (Section 4.6: neighbouring groups are similar).
+    for (double ms : {10.0, 25.0, 40.0, 70.0, 100.0, 200.0}) {
+        EXPECT_NEAR(six.profileFor(ms).speedup(6),
+                    three.profileFor(ms).speedup(6), 0.35)
+            << ms;
+    }
+}
+
+TEST(SpeedupModel, FinanceModelShape)
+{
+    const SpeedupModel model = SpeedupModel::financeDefault();
+    EXPECT_EQ(model.maxDegree(), 4);
+    EXPECT_GT(model.profileFor(135.0).speedup(4), 3.5);
+}
+
+TEST(SpeedupModel, AverageProfileBetweenMidAndLong)
+{
+    const SpeedupModel model = SpeedupModel::webSearchDefault();
+    const SpeedupProfile avg = SpeedupModel::webSearchAverageProfile();
+    for (int d = 2; d <= 6; ++d) {
+        EXPECT_GT(avg.speedup(d), model.profileFor(50.0).speedup(d));
+        EXPECT_LT(avg.speedup(d), model.profileFor(150.0).speedup(d));
+    }
+}
+
+} // namespace
+} // namespace tpc::policy

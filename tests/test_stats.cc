@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit and property tests for the statistics module.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "stats/online_stats.h"
+#include "util/rng.h"
+
+namespace tpc::stats {
+namespace {
+
+// --- OnlineStats --------------------------------------------------------------
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential)
+{
+    util::Rng rng(3);
+    OnlineStats whole;
+    OnlineStats left;
+    OnlineStats right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a;
+    a.add(1.0);
+    OnlineStats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+// --- LatencyRecorder ------------------------------------------------------------
+
+TEST(LatencyRecorder, ExactPercentiles)
+{
+    LatencyRecorder rec;
+    for (int i = 1; i <= 100; ++i)
+        rec.add(static_cast<double>(i));
+    EXPECT_EQ(rec.percentile(0.50), 50.0);
+    EXPECT_EQ(rec.percentile(0.99), 99.0);
+    EXPECT_EQ(rec.percentile(1.0), 100.0);
+    EXPECT_EQ(rec.percentile(0.0), 1.0);
+    EXPECT_EQ(rec.max(), 100.0);
+    EXPECT_NEAR(rec.mean(), 50.5, 1e-12);
+}
+
+TEST(LatencyRecorder, PercentileOrderInvariant)
+{
+    // Property: percentile is monotone in q regardless of insert order.
+    util::Rng rng(9);
+    LatencyRecorder rec;
+    for (int i = 0; i < 5000; ++i)
+        rec.add(rng.uniform(0.0, 500.0));
+    double prev = 0.0;
+    for (double q : {0.1, 0.3, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+        const double v = rec.percentile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(LatencyRecorder, FractionAbove)
+{
+    LatencyRecorder rec;
+    for (int i = 1; i <= 10; ++i)
+        rec.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(rec.fractionAbove(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(rec.fractionAbove(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(rec.fractionAbove(0.0), 1.0);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples)
+{
+    LatencyRecorder a;
+    LatencyRecorder b;
+    a.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.percentile(1.0), 3.0);
+    EXPECT_EQ(a.mean(), 2.0);
+}
+
+TEST(LatencyRecorder, AddAfterPercentileQuery)
+{
+    LatencyRecorder rec;
+    rec.add(1.0);
+    EXPECT_EQ(rec.percentile(0.5), 1.0);
+    rec.add(100.0);
+    EXPECT_EQ(rec.percentile(1.0), 100.0);
+}
+
+TEST(LatencyRecorder, SummaryBundlesPercentiles)
+{
+    LatencyRecorder rec;
+    for (int i = 1; i <= 1000; ++i)
+        rec.add(static_cast<double>(i));
+    const LatencySummary s = rec.summary();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_EQ(s.p50, 500.0);
+    EXPECT_EQ(s.p99, 990.0);
+    EXPECT_EQ(s.p999, 999.0);
+    EXPECT_EQ(s.max, 1000.0);
+    EXPECT_FALSE(s.toString().empty());
+}
+
+TEST(LatencyRecorder, CdfIsMonotoneAndEndsAtOne)
+{
+    util::Rng rng(4);
+    LatencyRecorder rec;
+    for (int i = 0; i < 10000; ++i)
+        rec.add(rng.exponential(10.0));
+    const auto cdf = rec.cdf(100);
+    ASSERT_FALSE(cdf.empty());
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+    EXPECT_LE(cdf.size(), 102u);
+}
+
+TEST(LatencyRecorder, EmptyRecorderSafe)
+{
+    LatencyRecorder rec;
+    EXPECT_EQ(rec.percentile(0.99), 0.0);
+    EXPECT_EQ(rec.fractionAbove(1.0), 0.0);
+    EXPECT_TRUE(rec.cdf().empty());
+}
+
+// --- LogHistogram ----------------------------------------------------------------
+
+TEST(LogHistogram, PercentileWithinRelativeError)
+{
+    util::Rng rng(8);
+    LogHistogram hist(0.01, 10000.0, 1.02);
+    LatencyRecorder exact;
+    for (int i = 0; i < 50000; ++i) {
+        const double v = rng.lognormal(2.0, 1.0);
+        hist.add(v);
+        exact.add(v);
+    }
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double approx = hist.percentile(q);
+        const double truth = exact.percentile(q);
+        EXPECT_NEAR(approx, truth, truth * 0.05) << "q=" << q;
+    }
+}
+
+TEST(LogHistogram, MeanIsExact)
+{
+    LogHistogram hist;
+    hist.add(1.0);
+    hist.add(3.0);
+    hist.add(5.0, 2);
+    EXPECT_DOUBLE_EQ(hist.mean(), 14.0 / 4.0);
+    EXPECT_EQ(hist.count(), 4u);
+}
+
+TEST(LogHistogram, MergeMatchesCombined)
+{
+    util::Rng rng(8);
+    LogHistogram a;
+    LogHistogram b;
+    LogHistogram whole;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.exponential(20.0);
+        whole.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_DOUBLE_EQ(a.percentile(0.99), whole.percentile(0.99));
+}
+
+TEST(LogHistogram, FractionAtOrBelow)
+{
+    LogHistogram hist;
+    for (int i = 0; i < 100; ++i)
+        hist.add(1.0);
+    for (int i = 0; i < 100; ++i)
+        hist.add(1000.0);
+    EXPECT_NEAR(hist.fractionAtOrBelow(10.0), 0.5, 0.01);
+    EXPECT_NEAR(hist.fractionAtOrBelow(2000.0), 1.0, 1e-12);
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampToEdges)
+{
+    LogHistogram hist(1.0, 100.0, 1.5);
+    hist.add(0.0001);
+    hist.add(1e9);
+    EXPECT_EQ(hist.count(), 2u);
+    EXPECT_LE(hist.percentile(0.25), 1.0);
+}
+
+} // namespace
+} // namespace tpc::stats

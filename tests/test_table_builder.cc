@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for Algorithm 1 (BuildTargetTable): greedy gradient descent on an
+ * analytic MEASURETAIL with a known optimum, plus cost-bound and
+ * termination properties.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/table_builder.h"
+
+namespace tpc::core {
+namespace {
+
+/** Convex analytic stand-in for MEASURETAIL: each entry has an optimal
+ *  target; the score is the sum of squared deviations. */
+MeasureTailFn
+quadraticObjective(std::vector<double> optima)
+{
+    return [optima](const TargetTable& table) {
+        double score = 0.0;
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            const double d = table.entries()[i].targetMs - optima[i];
+            score += d * d;
+        }
+        return score;
+    };
+}
+
+TEST(TableBuilder, ConvergesToKnownOptimum)
+{
+    const std::vector<double> loads = {0.0, 4.0, 8.0};
+    const std::vector<double> optima = {42.0, 57.0, 83.0};
+    const TargetTable initial = TargetTable::initialForBuilder(loads, 30.0);
+
+    TableBuilderParams params;
+    params.stepMs = 1.0;
+    TableBuilderReport report;
+    const TargetTable result = buildTargetTable(
+        initial, quadraticObjective(optima), params, &report);
+
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        // Gradient descent with 1 ms steps lands within half a step.
+        EXPECT_NEAR(result.entries()[i].targetMs, optima[i], 0.51) << i;
+    }
+    EXPECT_LT(report.finalScore, report.initialScore);
+}
+
+TEST(TableBuilder, OnlyRaisesTargets)
+{
+    // The search starts from the aggressive minimum and only bumps
+    // targets upward (Algorithm 1 line 7).
+    const std::vector<double> loads = {0.0, 4.0};
+    const TargetTable initial = TargetTable::initialForBuilder(loads, 50.0);
+    const TargetTable result = buildTargetTable(
+        initial, quadraticObjective({40.0, 45.0}), TableBuilderParams{});
+    for (const auto& entry : result.entries())
+        EXPECT_DOUBLE_EQ(entry.targetMs, 50.0);
+}
+
+TEST(TableBuilder, StopsWhenNoImprovement)
+{
+    const TargetTable initial =
+        TargetTable::initialForBuilder({0.0, 4.0}, 60.0);
+    TableBuilderReport report;
+    buildTargetTable(initial, quadraticObjective({60.0, 60.0}),
+                     TableBuilderParams{}, &report);
+    EXPECT_EQ(report.iterations, 1);
+    // First iteration measures the base table + m candidates.
+    EXPECT_EQ(report.measureTailCalls, 3);
+}
+
+TEST(TableBuilder, CallCountWithinPaperBound)
+{
+    // Complexity bound from Section 3.3: at most m * Emax / delta rounds,
+    // each with m MEASURETAIL calls (+1 initial).
+    const std::vector<double> loads = {0.0, 2.0, 4.0, 8.0};
+    const std::vector<double> optima = {45.0, 50.0, 70.0, 95.0};
+    const TargetTable initial = TargetTable::initialForBuilder(loads, 40.0);
+
+    TableBuilderParams params;
+    params.stepMs = 5.0;
+    params.maxTargetMs = 120.0;
+    TableBuilderReport report;
+    buildTargetTable(initial, quadraticObjective(optima), params, &report);
+
+    const auto m = static_cast<double>(loads.size());
+    const double bound =
+        m * (params.maxTargetMs / params.stepMs) * m + 1.0;
+    EXPECT_LE(report.measureTailCalls, bound);
+}
+
+TEST(TableBuilder, RespectsMaxTarget)
+{
+    const TargetTable initial = TargetTable::initialForBuilder({0.0}, 90.0);
+    TableBuilderParams params;
+    params.stepMs = 10.0;
+    params.maxTargetMs = 100.0;
+    // Objective keeps rewarding increases; the cap must stop the search.
+    const TargetTable result = buildTargetTable(
+        initial,
+        [](const TargetTable& t) {
+            return 1e6 - t.entries()[0].targetMs;
+        },
+        params);
+    EXPECT_LE(result.entries()[0].targetMs, 100.0);
+}
+
+TEST(TableBuilder, MaxIterationsIsHonored)
+{
+    const TargetTable initial = TargetTable::initialForBuilder({0.0}, 1.0);
+    TableBuilderParams params;
+    params.stepMs = 1.0;
+    params.maxIterations = 5;
+    params.maxTargetMs = 1e9;
+    TableBuilderReport report;
+    buildTargetTable(
+        initial,
+        [](const TargetTable& t) {
+            return 1e9 - t.entries()[0].targetMs; // always improving
+        },
+        params, &report);
+    EXPECT_EQ(report.iterations, 5);
+}
+
+} // namespace
+} // namespace tpc::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the target table (load -> target completion time E).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "core/target_table.h"
+
+namespace tpc::core {
+namespace {
+
+TEST(TargetTable, LookupUsesFirstBucketAtOrAbove)
+{
+    const TargetTable table({{0.0, 40.0}, {4.0, 55.0}, {8.0, 80.0}});
+    EXPECT_DOUBLE_EQ(table.targetFor(-1.0), 40.0);
+    EXPECT_DOUBLE_EQ(table.targetFor(0.0), 40.0);
+    EXPECT_DOUBLE_EQ(table.targetFor(0.5), 55.0);
+    EXPECT_DOUBLE_EQ(table.targetFor(4.0), 55.0);
+    EXPECT_DOUBLE_EQ(table.targetFor(7.9), 80.0);
+    // Beyond the last bucket: clamp to the last target.
+    EXPECT_DOUBLE_EQ(table.targetFor(100.0), 80.0);
+}
+
+TEST(TargetTable, InfinityBucketCoversEverything)
+{
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const TargetTable table({{0.0, 40.0}, {kInf, 200.0}});
+    EXPECT_DOUBLE_EQ(table.targetFor(1e9), 200.0);
+}
+
+TEST(TargetTable, WithBumpedTargetCopies)
+{
+    const TargetTable table({{0.0, 40.0}, {4.0, 55.0}});
+    const TargetTable bumped = table.withBumpedTarget(1, 5.0);
+    EXPECT_DOUBLE_EQ(table.targetFor(2.0), 55.0);
+    EXPECT_DOUBLE_EQ(bumped.targetFor(2.0), 60.0);
+    EXPECT_DOUBLE_EQ(bumped.targetFor(0.0), 40.0);
+}
+
+TEST(TargetTable, DefaultsAreMonotone)
+{
+    for (const TargetTable& table : {TargetTable::webSearchDefault(),
+                                     TargetTable::financeDefault()}) {
+        double prevLoad = -1.0;
+        double prevTarget = 0.0;
+        for (const auto& entry : table.entries()) {
+            EXPECT_GT(entry.load, prevLoad);
+            EXPECT_GE(entry.targetMs, prevTarget);
+            prevLoad = entry.load;
+            prevTarget = entry.targetMs;
+        }
+    }
+}
+
+TEST(TargetTable, WebSearchDefaultAnchors)
+{
+    const TargetTable table = TargetTable::webSearchDefault();
+    // The unloaded target must be achievable by the longest query at full
+    // parallelism plus headroom, i.e. well under the sequential P99.
+    EXPECT_LE(table.targetFor(0.0), 50.0);
+    EXPECT_GE(table.targetFor(1e9), 150.0);
+}
+
+TEST(TargetTable, InitialForBuilderIsFlat)
+{
+    const TargetTable table =
+        TargetTable::initialForBuilder({0.0, 2.0, 4.0}, 37.0);
+    EXPECT_EQ(table.size(), 3u);
+    for (const auto& entry : table.entries())
+        EXPECT_DOUBLE_EQ(entry.targetMs, 37.0);
+}
+
+TEST(TargetTable, ToStringListsEntries)
+{
+    const TargetTable table({{0.0, 40.0}, {4.0, 55.0}});
+    const std::string text = table.toString();
+    EXPECT_NE(text.find("40ms"), std::string::npos);
+    EXPECT_NE(text.find("55ms"), std::string::npos);
+}
+
+
+TEST(TargetTable, SaveTextParseTextRoundTrip)
+{
+    const TargetTable table = TargetTable::webSearchDefault();
+    const TargetTable restored = TargetTable::parseText(table.saveText());
+    ASSERT_EQ(restored.size(), table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(restored.entries()[i].load, table.entries()[i].load);
+        EXPECT_DOUBLE_EQ(restored.entries()[i].targetMs,
+                         table.entries()[i].targetMs);
+    }
+    // Lookup behaviour identical, including the infinity bucket.
+    for (double load : {0.0, 3.5, 11.0, 1e9})
+        EXPECT_DOUBLE_EQ(restored.targetFor(load), table.targetFor(load));
+}
+
+TEST(TargetTable, ParseTextSkipsCommentsAndBlankLines)
+{
+    const TargetTable table =
+        TargetTable::parseText("# comment\n\n0 40\n# mid\n4 55\ninf 90\n");
+    EXPECT_EQ(table.size(), 3u);
+    EXPECT_DOUBLE_EQ(table.targetFor(2.0), 55.0);
+    EXPECT_DOUBLE_EQ(table.targetFor(1e12), 90.0);
+}
+
+TEST(TargetTable, FileRoundTrip)
+{
+    const TargetTable table = TargetTable::financeDefault();
+    const std::string path = ::testing::TempDir() + "/tpc_table.txt";
+    table.saveToFile(path);
+    const TargetTable restored = TargetTable::loadFromFile(path);
+    EXPECT_EQ(restored.size(), table.size());
+    EXPECT_DOUBLE_EQ(restored.targetFor(5.0), table.targetFor(5.0));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tpc::core

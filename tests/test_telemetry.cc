@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the telemetry probe: sampling cadence, captured state, CSV
+ * export, and self-stop on idle.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "policy/baselines.h"
+#include "server/telemetry.h"
+
+namespace tpc::server {
+namespace {
+
+const policy::SpeedupModel&
+model()
+{
+    static const policy::SpeedupModel instance =
+        policy::SpeedupModel::webSearchDefault();
+    return instance;
+}
+
+TEST(TelemetryProbe, CapturesLoadWhileServerBusy)
+{
+    sim::Simulator sim;
+    policy::SequentialPolicy policy;
+    ServerConfig config;
+    config.numWorkers = 4;
+    SimServer server(sim, config, policy, model());
+    TelemetryProbe probe(sim, server, 5.0);
+    probe.start();
+    // Six 50 ms sequential requests on 4 workers: 2 queue initially.
+    for (int i = 0; i < 6; ++i)
+        server.submit(50.0, 50.0);
+    sim.runUntilEmpty();
+
+    ASSERT_GE(probe.samples().size(), 10u);
+    EXPECT_EQ(probe.maxQueueLength(), 2);
+    EXPECT_GT(probe.meanActiveThreads(), 1.0);
+    // Samples are on the 5 ms grid.
+    EXPECT_DOUBLE_EQ(probe.samples()[0].timeMs, 5.0);
+    EXPECT_DOUBLE_EQ(probe.samples()[1].timeMs, 10.0);
+}
+
+TEST(TelemetryProbe, StopsWhenIdleSoSimulationDrains)
+{
+    sim::Simulator sim;
+    policy::SequentialPolicy policy;
+    ServerConfig config;
+    SimServer server(sim, config, policy, model());
+    TelemetryProbe probe(sim, server, 10.0);
+    probe.start();
+    server.submit(25.0, 25.0);
+    // Must terminate: the probe stops after two idle samples.
+    sim.runUntilEmpty();
+    EXPECT_LE(probe.samples().size(), 6u);
+    EXPECT_GE(probe.samples().size(), 3u);
+}
+
+TEST(TelemetryProbe, RestartResumesSampling)
+{
+    sim::Simulator sim;
+    policy::SequentialPolicy policy;
+    ServerConfig config;
+    SimServer server(sim, config, policy, model());
+    TelemetryProbe probe(sim, server, 10.0);
+    probe.start();
+    server.submit(15.0, 15.0);
+    sim.runUntilEmpty();
+    const std::size_t firstPhase = probe.samples().size();
+
+    server.submit(15.0, 15.0);
+    probe.start();
+    sim.runUntilEmpty();
+    EXPECT_GT(probe.samples().size(), firstPhase);
+}
+
+TEST(TelemetryProbe, WritesCsv)
+{
+    sim::Simulator sim;
+    policy::SequentialPolicy policy;
+    ServerConfig config;
+    SimServer server(sim, config, policy, model());
+    TelemetryProbe probe(sim, server, 5.0);
+    probe.start();
+    server.submit(30.0, 30.0);
+    sim.runUntilEmpty();
+
+    const std::string path = ::testing::TempDir() + "/tpc_telemetry.csv";
+    probe.writeCsv(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_NE(header.find("queue_length"), std::string::npos);
+    std::size_t rows = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, probe.samples().size());
+    std::remove(path.c_str());
+}
+
+TEST(ServerCounters, BusyCoreTimeMatchesWorkDone)
+{
+    // One sequential 40 ms request on an idle box consumes exactly 40
+    // core-ms.
+    sim::Simulator sim;
+    policy::SequentialPolicy policy;
+    ServerConfig config;
+    SimServer server(sim, config, policy, model());
+    server.submit(40.0, 40.0);
+    sim.runUntilEmpty();
+    EXPECT_NEAR(server.counters().busyCoreMs, 40.0, 1e-9);
+}
+
+TEST(ServerCounters, ParallelismCostsMoreCoreTime)
+{
+    // A long request at degree 6 with speedup 4.1 burns 6 x 164/4.1 =
+    // 240 core-ms for 164 ms of sequential work: the parallelism
+    // overhead TPC economizes by using minimum degrees.
+    sim::Simulator sim;
+    class Degree6 final : public policy::ParallelismPolicy
+    {
+      public:
+        std::string name() const override { return "D6"; }
+        policy::Decision onDispatch(const policy::RequestView&,
+                                    const policy::SystemState&) override
+        {
+            return {6, 0.0};
+        }
+    } policy;
+    ServerConfig config;
+    SimServer server(sim, config, policy, model());
+    server.submit(164.0, 164.0);
+    sim.runUntilEmpty();
+    EXPECT_NEAR(server.counters().busyCoreMs, 6.0 * 164.0 / 4.1, 1e-6);
+}
+
+} // namespace
+} // namespace tpc::server

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the real-threads server: completion accounting, policy-driven
+ * degrees, queueing under a saturated pool, and dynamic correction adding
+ * participants to a running request.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "policy/baselines.h"
+#include "server/threaded_server.h"
+
+namespace tpc::server {
+namespace {
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+ThreadedServerConfig
+testConfig(int workers = 4)
+{
+    ThreadedServerConfig config;
+    config.numWorkers = workers;
+    config.recheckTickMs = 0.5;
+    return config;
+}
+
+TEST(ThreadedServer, CompletesAllJobsWithCorrectTaskCounts)
+{
+    policy::SequentialPolicy policy;
+    ThreadedServer server(testConfig(), policy);
+    constexpr int kJobs = 20;
+    constexpr int kTasks = 7;
+    std::atomic<int> taskRuns{0};
+    std::atomic<int> postambles{0};
+    for (int j = 0; j < kJobs; ++j) {
+        ThreadedJob job;
+        job.predictedMs = 1.0;
+        job.numTasks = kTasks;
+        job.task = [&taskRuns](int) { taskRuns.fetch_add(1); };
+        job.postamble = [&postambles] { postambles.fetch_add(1); };
+        server.submit(std::move(job));
+    }
+    server.drain();
+    EXPECT_EQ(taskRuns.load(), kJobs * kTasks);
+    EXPECT_EQ(postambles.load(), kJobs);
+    EXPECT_EQ(server.outcomes().size(), static_cast<std::size_t>(kJobs));
+}
+
+TEST(ThreadedServer, PreambleRunsOncePerJob)
+{
+    policy::SequentialPolicy policy;
+    ThreadedServer server(testConfig(), policy);
+    std::atomic<int> preambles{0};
+    for (int j = 0; j < 10; ++j) {
+        ThreadedJob job;
+        job.numTasks = 5;
+        job.preamble = [&preambles] { preambles.fetch_add(1); };
+        job.task = [](int) {};
+        server.submit(std::move(job));
+    }
+    server.drain();
+    EXPECT_EQ(preambles.load(), 10);
+}
+
+TEST(ThreadedServer, PolicyDegreeControlsInitialAllocation)
+{
+    policy::PredPolicy policy(80.0, 3);
+    ThreadedServer server(testConfig(/*workers=*/6), policy);
+
+    ThreadedJob longJob;
+    longJob.predictedMs = 200.0;
+    longJob.numTasks = 12;
+    longJob.task = [](int) { busyWaitMs(1.0); };
+    server.submit(std::move(longJob));
+
+    ThreadedJob shortJob;
+    shortJob.predictedMs = 5.0;
+    shortJob.numTasks = 4;
+    shortJob.task = [](int) { busyWaitMs(0.5); };
+    server.submit(std::move(shortJob));
+
+    server.drain();
+    const auto outcomes = server.outcomes();
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto& outcome : outcomes) {
+        if (outcome.id == 0) {
+            EXPECT_EQ(outcome.initialDegree, 3);
+        } else {
+            EXPECT_EQ(outcome.initialDegree, 1);
+        }
+    }
+}
+
+TEST(ThreadedServer, QueuesWhenPoolSaturated)
+{
+    policy::SequentialPolicy policy;
+    ThreadedServer server(testConfig(/*workers=*/1), policy);
+    // Two jobs on one worker: the second must wait for the first.
+    ThreadedJob first;
+    first.numTasks = 1;
+    first.task = [](int) { busyWaitMs(20.0); };
+    server.submit(std::move(first));
+    ThreadedJob second;
+    second.numTasks = 1;
+    second.task = [](int) { busyWaitMs(1.0); };
+    server.submit(std::move(second));
+    server.drain();
+    const auto outcomes = server.outcomes();
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto& outcome : outcomes) {
+        if (outcome.id == 1) {
+            EXPECT_GT(outcome.queueMs, 10.0);
+        }
+    }
+}
+
+TEST(ThreadedServer, RampUpCorrectionAddsParticipants)
+{
+    // RampUp adds a thread every 2 ms; a job with many slow tasks must
+    // end up with more than its initial single participant.
+    policy::RampUpPolicy policy(2.0, 4);
+    ThreadedServer server(testConfig(/*workers=*/4), policy);
+    ThreadedJob job;
+    job.predictedMs = 1.0;
+    job.numTasks = 64;
+    job.task = [](int) { busyWaitMs(0.8); };
+    server.submit(std::move(job));
+    server.drain();
+    const auto outcomes = server.outcomes();
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].corrected);
+    EXPECT_GT(outcomes[0].maxDegree, 1);
+    EXPECT_LE(outcomes[0].maxDegree, 4);
+}
+
+TEST(ThreadedServer, OutcomesCarryTiming)
+{
+    policy::SequentialPolicy policy;
+    ThreadedServer server(testConfig(), policy);
+    ThreadedJob job;
+    job.numTasks = 1;
+    job.task = [](int) { busyWaitMs(5.0); };
+    server.submit(std::move(job));
+    server.drain();
+    ASSERT_EQ(server.outcomes().size(), 1u);
+    EXPECT_GE(server.outcomes()[0].responseMs, 4.0);
+    EXPECT_GE(server.outcomes()[0].responseMs,
+              server.outcomes()[0].queueMs);
+}
+
+TEST(ThreadedServer, DestructorDrainsOutstandingWork)
+{
+    std::atomic<int> runs{0};
+    {
+        policy::SequentialPolicy policy;
+        ThreadedServer server(testConfig(), policy);
+        for (int i = 0; i < 8; ++i) {
+            ThreadedJob job;
+            job.numTasks = 3;
+            job.task = [&runs](int) {
+                busyWaitMs(0.5);
+                runs.fetch_add(1);
+            };
+            server.submit(std::move(job));
+        }
+    }
+    EXPECT_EQ(runs.load(), 24);
+}
+
+} // namespace
+} // namespace tpc::server

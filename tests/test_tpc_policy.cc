@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the TPC policy itself: predictive parallelism (smallest
+ * degree meeting the load-dependent target), dynamic correction (raising
+ * the degree of overrunning requests by the idle-worker budget), and the
+ * TP ablation.
+ */
+#include <gtest/gtest.h>
+
+#include "core/tpc_policy.h"
+#include "policy/speedup_profile.h"
+
+namespace tpc::core {
+namespace {
+
+const policy::SpeedupModel&
+model()
+{
+    static const policy::SpeedupModel instance =
+        policy::SpeedupModel::webSearchDefault();
+    return instance;
+}
+
+TargetTable
+flatTable(double targetMs)
+{
+    return TargetTable({{std::numeric_limits<double>::infinity(),
+                         targetMs}});
+}
+
+policy::SystemState
+stateWith(int longThreads, int idle)
+{
+    policy::SystemState state;
+    state.totalWorkers = 28;
+    state.idleWorkers = idle;
+    state.activeThreadsAll = 28 - idle;
+    state.activeThreadsLong = longThreads;
+    state.hwContexts = 24;
+    state.cpuUtilization = 0.4;
+    return state;
+}
+
+policy::RequestView
+requestWith(double predictedMs, int currentDegree = 0)
+{
+    policy::RequestView view;
+    view.id = 7;
+    view.predictedMs = predictedMs;
+    view.currentDegree = currentDegree;
+    return view;
+}
+
+TEST(TpcPolicy, ShortRequestsRunSequentially)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    const auto d = tpc.onDispatch(requestWith(10.0), stateWith(0, 20));
+    EXPECT_EQ(d.degree, 1);
+    // Correction is still armed: a mispredicted-short must be caught.
+    EXPECT_DOUBLE_EQ(d.recheckAfterMs, 40.0);
+}
+
+TEST(TpcPolicy, LongRequestsGetSmallestSufficientDegree)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    // 100 ms long-class request: needs speedup >= 2.5 -> degree 3.
+    EXPECT_EQ(tpc.onDispatch(requestWith(100.0), stateWith(0, 20)).degree,
+              3);
+    // 150 ms: needs >= 3.75 -> degree 5.
+    EXPECT_EQ(tpc.onDispatch(requestWith(150.0), stateWith(0, 20)).degree,
+              5);
+}
+
+TEST(TpcPolicy, UnachievableTargetUsesMaxDegree)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    EXPECT_EQ(tpc.onDispatch(requestWith(300.0), stateWith(0, 20)).degree,
+              6);
+}
+
+TEST(TpcPolicy, TargetAdaptsToLoad)
+{
+    const TargetTable table({{0.0, 40.0},
+                             {4.0, 60.0},
+                             {std::numeric_limits<double>::infinity(),
+                              120.0}});
+    TpcPolicy tpc(model(), table);
+    // Same 110 ms request, three load levels: degree shrinks with load.
+    const int idleLoad =
+        tpc.onDispatch(requestWith(110.0), stateWith(0, 20)).degree;
+    const int midLoad =
+        tpc.onDispatch(requestWith(110.0), stateWith(3, 12)).degree;
+    const int highLoad =
+        tpc.onDispatch(requestWith(110.0), stateWith(12, 2)).degree;
+    EXPECT_EQ(idleLoad, 4); // 110/2.7 = 40.7 > 40, 110/3.4 = 32.3 <= 40
+    EXPECT_EQ(midLoad, 2);  // 110/1.9 = 57.9 <= 60
+    EXPECT_EQ(highLoad, 1); // 110 <= 120 sequentially
+}
+
+TEST(TpcPolicy, DegreeRespectsMaxDegreeOption)
+{
+    TpcOptions options;
+    options.maxDegree = 4;
+    TpcPolicy tpc(model(), flatTable(40.0), options);
+    EXPECT_LE(tpc.onDispatch(requestWith(300.0), stateWith(0, 20)).degree,
+              4);
+}
+
+TEST(TpcPolicy, CorrectionRampsUpToIdleBudget)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    // Running at degree 1 with 3 idle workers: go to 4.
+    const auto d = tpc.onRecheck(requestWith(10.0, 1), stateWith(0, 3));
+    EXPECT_EQ(d.degree, 4);
+    EXPECT_EQ(tpc.counters().corrections, 1u);
+    EXPECT_EQ(tpc.counters().correctionThreadsAdded, 3u);
+    // Below max degree: keeps watching.
+    EXPECT_GT(d.recheckAfterMs, 0.0);
+}
+
+TEST(TpcPolicy, CorrectionCapsAtMaxDegree)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    const auto d = tpc.onRecheck(requestWith(10.0, 2), stateWith(0, 20));
+    EXPECT_EQ(d.degree, 6);
+    // At max degree: no further rechecks.
+    EXPECT_DOUBLE_EQ(d.recheckAfterMs, 0.0);
+}
+
+TEST(TpcPolicy, CorrectionWithNoIdleWorkersKeepsWatching)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    const auto d = tpc.onRecheck(requestWith(10.0, 2), stateWith(0, 0));
+    EXPECT_EQ(d.degree, 2);
+    EXPECT_EQ(tpc.counters().corrections, 0u);
+    EXPECT_GT(d.recheckAfterMs, 0.0); // workers may free up later
+}
+
+TEST(TpcPolicy, TpAblationDisablesCorrection)
+{
+    TpcOptions options;
+    options.enableCorrection = false;
+    TpcPolicy tp(model(), flatTable(40.0), options);
+    EXPECT_EQ(tp.name(), "TP");
+    const auto d = tp.onDispatch(requestWith(10.0), stateWith(0, 20));
+    EXPECT_DOUBLE_EQ(d.recheckAfterMs, 0.0);
+}
+
+TEST(TpcPolicy, NameReflectsCorrection)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    EXPECT_EQ(tpc.name(), "TPC");
+}
+
+TEST(TpcPolicy, LoadMetricOptionSwitchesInput)
+{
+    const TargetTable table({{5.0, 40.0},
+                             {std::numeric_limits<double>::infinity(),
+                              120.0}});
+    TpcOptions longT;
+    TpcOptions allT;
+    allT.loadMetric = policy::LoadMetric::AllThreads;
+    TpcPolicy tpcLong(model(), table, longT);
+    TpcPolicy tpcAll(model(), table, allT);
+
+    // 2 long threads but 20 total: LongT sees load 2 (target 40), AllT
+    // sees 20 (target 120) -> different degrees for a 110 ms request.
+    policy::SystemState state = stateWith(2, 8);
+    state.activeThreadsAll = 20;
+    EXPECT_EQ(tpcLong.onDispatch(requestWith(110.0), state).degree, 4);
+    EXPECT_EQ(tpcAll.onDispatch(requestWith(110.0), state).degree, 1);
+}
+
+TEST(TpcPolicy, SetTargetTableSwapsBehaviour)
+{
+    TpcPolicy tpc(model(), flatTable(40.0));
+    EXPECT_EQ(tpc.onDispatch(requestWith(100.0), stateWith(0, 20)).degree,
+              3);
+    tpc.setTargetTable(flatTable(120.0));
+    EXPECT_EQ(tpc.onDispatch(requestWith(100.0), stateWith(0, 20)).degree,
+              1);
+}
+
+} // namespace
+} // namespace tpc::core

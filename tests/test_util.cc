@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the table printer and CSV writer.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace tpc::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter table("Demo");
+    table.setHeader({"policy", "p99"});
+    table.addRow({"TPC", "77.7"});
+    table.addRow({"Pred", "108.9"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("policy"), std::string::npos);
+    EXPECT_NE(out.find("TPC"), std::string::npos);
+    EXPECT_NE(out.find("108.9"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAligned)
+{
+    TablePrinter table;
+    table.setHeader({"a", "b"});
+    table.addRow({"looooong", "1"});
+    const std::string out = table.render();
+    std::istringstream stream(out);
+    std::string first;
+    std::string second;
+    std::getline(stream, first);
+    std::getline(stream, second); // separator
+    std::string third;
+    std::getline(stream, third);
+    EXPECT_EQ(first.size(), third.size());
+}
+
+TEST(TablePrinter, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmt(10.0, 0), "10");
+    EXPECT_EQ(TablePrinter::pct(0.5), "50.0%");
+}
+
+TEST(CsvWriter, WritesRowsAndCreatesDirectories)
+{
+    const std::string dir = ::testing::TempDir() + "/tpc_csv_test";
+    const std::string path = dir + "/nested/out.csv";
+    std::filesystem::remove_all(dir);
+    {
+        CsvWriter csv(path);
+        csv.writeRow(std::vector<std::string>{"a", "b,c", "d\"e"});
+        csv.writeRow(std::vector<double>{1.5, 2.0});
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line1;
+    std::string line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+    EXPECT_EQ(line2, "1.5000,2.0000");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultsDir, DefaultsAndEnvOverride)
+{
+    unsetenv("TPC_RESULTS_DIR");
+    EXPECT_EQ(resultsDir(), "results");
+    setenv("TPC_RESULTS_DIR", "/tmp/xyz", 1);
+    EXPECT_EQ(resultsDir(), "/tmp/xyz");
+    unsetenv("TPC_RESULTS_DIR");
+}
+
+} // namespace
+} // namespace tpc::util

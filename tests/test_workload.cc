@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Integration tests for the end-to-end search workload builder: trace
+ * shape, predictor quality on the reconstructed workload, and the
+ * feature extractor.
+ */
+#include <gtest/gtest.h>
+
+#include "search/features.h"
+#include "search/workload.h"
+
+namespace tpc::search {
+namespace {
+
+/** Reduced-scale workload shared by the tests in this file. */
+const SearchWorkload&
+smallWorkload()
+{
+    static const SearchWorkload instance = [] {
+        WorkloadParams params;
+        params.corpus.numDocuments = 8000;
+        params.corpus.vocabularySize = 8000;
+        params.trainingQueries = 5000;
+        params.traceQueries = 10000;
+        return SearchWorkload(params);
+    }();
+    return instance;
+}
+
+TEST(FeatureExtractor, ProducesDocumentedWidth)
+{
+    const auto names = FeatureExtractor::featureNames();
+    EXPECT_EQ(names.size(), FeatureExtractor::featureCount());
+    EXPECT_EQ(names.size(), 10u);
+
+    const FeatureExtractor extractor(smallWorkload().index());
+    const Query& q = smallWorkload().traceQueries().front();
+    const auto features = extractor.extract(q);
+    ASSERT_EQ(features.size(), names.size());
+    EXPECT_EQ(features[0], static_cast<double>(q.terms.size()));
+    // total >= max >= min posting counts.
+    EXPECT_GE(features[1], features[2]);
+    EXPECT_GE(features[2], features[3]);
+}
+
+TEST(SearchWorkload, TraceHasRequestedSize)
+{
+    EXPECT_EQ(smallWorkload().trace().size(), 10000u);
+    EXPECT_EQ(smallWorkload().traceQueries().size(), 10000u);
+}
+
+TEST(SearchWorkload, PredictionsArePositiveAndBounded)
+{
+    for (const auto& entry : smallWorkload().trace()) {
+        ASSERT_GT(entry.predictedMs, 0.0);
+        ASSERT_LT(entry.predictedMs, 2000.0);
+        ASSERT_GT(entry.trueMs, 0.0);
+    }
+}
+
+TEST(SearchWorkload, PredictorBeatsGlobalMeanBaseline)
+{
+    // The trained regressor must explain demand far better than always
+    // predicting the mean.
+    double mean = 0.0;
+    for (const auto& entry : smallWorkload().trace())
+        mean += entry.trueMs;
+    mean /= static_cast<double>(smallWorkload().trace().size());
+    double baselineL1 = 0.0;
+    for (const auto& entry : smallWorkload().trace())
+        baselineL1 += std::abs(entry.trueMs - mean);
+    baselineL1 /= static_cast<double>(smallWorkload().trace().size());
+
+    EXPECT_LT(smallWorkload().predictorReport().l1ErrorMs,
+              0.5 * baselineL1);
+}
+
+TEST(SearchWorkload, PredictorClassifierNearPaperNumbers)
+{
+    const auto& cls = smallWorkload().predictorReport().longAt80Ms;
+    // Wide bands — this is the reduced-scale workload (a small index has
+    // coarse term strata, so its predictor is weaker); the predictor
+    // bench checks the full-scale numbers (paper: recall 0.86,
+    // precision 0.91).
+    EXPECT_GT(cls.recall(), 0.55);
+    EXPECT_GT(cls.precision(), 0.65);
+    EXPECT_LT(cls.missedLongFraction(), 0.02);
+}
+
+TEST(SearchWorkload, EstIntersectionFeatureIsFinite)
+{
+    const FeatureExtractor extractor(smallWorkload().index());
+    for (std::size_t i = 0; i < 200; ++i) {
+        const auto features =
+            extractor.extract(smallWorkload().traceQueries()[i]);
+        for (double f : features)
+            ASSERT_TRUE(std::isfinite(f));
+    }
+}
+
+} // namespace
+} // namespace tpc::search
