@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "harness/policies.h"
 #include "harness/search_trace.h"
@@ -62,6 +63,33 @@ runSweep(const std::string& title, const std::string& csvName,
                 csvName.c_str());
 }
 
+namespace {
+
+/** Per-cell observability path from an env var template: TPC_TRACE_OUT
+ *  and TPC_METRICS_OUT name a base file; the (policy, qps) cell is
+ *  appended before the extension so sweep cells do not overwrite each
+ *  other ("out.json" -> "out.TPC.300.json"). */
+std::string
+cellOutputPath(const char* envVar, const std::string& policyName, double qps)
+{
+    const char* base = std::getenv(envVar);
+    if (base == nullptr || base[0] == '\0')
+        return {};
+    std::string path = base;
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), ".%s.%.0f", policyName.c_str(), qps);
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.find_last_of('/');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        path.insert(dot, cell);
+    else
+        path += cell;
+    return path;
+}
+
+} // namespace
+
 CellRunner
 webSearchCellRunner()
 {
@@ -72,6 +100,10 @@ webSearchCellRunner()
         harness::ExperimentConfig config;
         config.server = webSearchServerConfig();
         config.qps = qps;
+        config.traceOutPath =
+            cellOutputPath("TPC_TRACE_OUT", policyName, qps);
+        config.metricsOutPath =
+            cellOutputPath("TPC_METRICS_OUT", policyName, qps);
         harness::ExperimentResult result = harness::runTrace(
             trace, *policy, harness::webSearchExecutionModel(), config);
         return std::move(result.latency);

@@ -11,6 +11,7 @@
 #include "finance/mc_pricer.h"
 #include "harness/policies.h"
 #include "ml/gbrt.h"
+#include "obs/trace_recorder.h"
 #include "policy/baselines.h"
 #include "search/executor.h"
 #include "search/features.h"
@@ -51,6 +52,42 @@ BM_TpcDispatchDecision(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TpcDispatchDecision);
+
+void
+BM_TpcDispatchDecisionTraced(benchmark::State& state)
+{
+    // The same decision with observability on: rationale assembly plus
+    // recording a DISPATCH event, i.e. the per-request cost a server pays
+    // on the dispatch path while a trace is attached.
+    core::TpcPolicy policy(harness::webSearchExecutionModel(),
+                           core::TargetTable::webSearchDefault());
+    policy.setRationaleEnabled(true);
+    obs::TraceRecorder recorder;
+    recorder.reserve(1 << 20);
+    const policy::SystemState sys = typicalState();
+    policy::RequestView view;
+    view.predictedMs = 95.0;
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        auto decision = policy.onDispatch(view, sys);
+        benchmark::DoNotOptimize(decision);
+        obs::TraceEvent ev;
+        ev.type = obs::TraceEventType::kDispatch;
+        ev.requestId = ++id;
+        ev.timeMs = static_cast<double>(id);
+        ev.predictedMs = view.predictedMs;
+        ev.degree = decision.degree;
+        if (const policy::DecisionRationale* why = policy.lastRationale()) {
+            ev.targetMs = why->targetMs;
+            ev.loadValue = why->loadValue;
+            ev.speedup = why->speedupAtDegree;
+            ev.estimatedMs = why->estimatedMs;
+            ev.setProfileClass(why->profileClass);
+        }
+        recorder.recordShard(0, ev);
+    }
+}
+BENCHMARK(BM_TpcDispatchDecisionTraced);
 
 void
 BM_ApDispatchDecision(benchmark::State& state)

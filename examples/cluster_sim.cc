@@ -6,14 +6,20 @@
  * cluster-level target (the 40th-root rule from the introduction).
  *
  *   ./build/examples/cluster_sim [--isns=N] [--qps=R]
+ *       [--trace-out=trace.json] [--metrics-out=metrics.csv]
+ *   (observability outputs cover the TPC row; the trace pid is the ISN)
  */
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "cluster/cluster_sim.h"
 #include "harness/policies.h"
 #include "harness/search_trace.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "util/args.h"
 #include "util/table_printer.h"
 
@@ -21,9 +27,12 @@ int
 main(int argc, char** argv)
 {
     using namespace tpc;
-    const util::ArgParser args(argc, argv, {"isns", "qps"});
+    const util::ArgParser args(
+        argc, argv, {"isns", "qps", "trace-out", "metrics-out"});
     const int numIsns = static_cast<int>(args.getInt("isns", 40));
     const double qps = args.getDouble("qps", 300.0);
+    const std::string traceOut = args.getString("trace-out", "");
+    const std::string metricsOut = args.getString("metrics-out", "");
 
     // The introduction's arithmetic: for a cluster of n ISNs to achieve a
     // 99th-percentile SLA, each ISN must hit roughly the
@@ -44,9 +53,30 @@ main(int argc, char** argv)
     util::TablePrinter table("Cluster latency at the aggregator (ms)");
     table.setHeader({"policy", "p50", "p95", "p99", "p99.9"});
     for (const char* name : {"Sequential", "TPC"}) {
+        // Observability is attached for the TPC row only, so the outputs
+        // audit the policy of interest rather than the baseline.
+        const bool observed = std::string(name) == "TPC";
+        std::unique_ptr<obs::TraceRecorder> recorder;
+        std::unique_ptr<obs::MetricsRegistry> metrics;
+        if (observed && !traceOut.empty())
+            recorder = std::make_unique<obs::TraceRecorder>();
+        if (observed && !metricsOut.empty())
+            metrics = std::make_unique<obs::MetricsRegistry>();
+        config.trace = recorder.get();
+        config.metrics = metrics.get();
         const cluster::ClusterResult result = cluster::runCluster(
             trace, [&] { return harness::makeWebSearchPolicy(name); },
             harness::webSearchExecutionModel(), config);
+        if (recorder != nullptr) {
+            obs::writeChromeTrace(recorder->merged(), traceOut);
+            std::printf("wrote %zu trace events to %s\n",
+                        recorder->eventCount(), traceOut.c_str());
+        }
+        if (metrics != nullptr) {
+            obs::MetricsCsvExporter exporter(*metrics, metricsOut);
+            exporter.writeWindow(0.0, result.simEndMs);
+            std::printf("wrote metrics snapshot to %s\n", metricsOut.c_str());
+        }
         table.addRow(
             {name,
              util::TablePrinter::fmt(result.aggregatorLatency.percentile(0.5),

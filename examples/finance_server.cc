@@ -7,17 +7,23 @@
  * so the "predictor" is near-exact — the property that lets TPC meet its
  * targets without ever invoking dynamic correction.
  *
- *   ./build/examples/finance_server [--requests=N] [--rps=R] (defaults sized for a small host)
+ *   ./build/examples/finance_server [--requests=N] [--rps=R]
+ *       [--trace-out=trace.json] [--metrics-out=metrics.csv]
+ *   (defaults sized for a small host)
  */
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/tpc_policy.h"
 #include "finance/mc_pricer.h"
 #include "harness/policies.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "server/threaded_server.h"
 #include "stats/latency_recorder.h"
 #include "util/distributions.h"
@@ -29,10 +35,13 @@ int
 main(int argc, char** argv)
 {
     using namespace tpc;
-    const util::ArgParser args(argc, argv, {"requests", "rps"});
+    const util::ArgParser args(
+        argc, argv, {"requests", "rps", "trace-out", "metrics-out"});
     const auto numRequests =
         static_cast<std::size_t>(args.getInt("requests", 400));
     const double rps = args.getDouble("rps", 25.0);
+    const std::string traceOut = args.getString("trace-out", "");
+    const std::string metricsOut = args.getString("metrics-out", "");
 
     const finance::MonteCarloPricer pricer;
     finance::AsianOptionParams option;
@@ -68,8 +77,21 @@ main(int argc, char** argv)
     // One slot per request: postambles run concurrently on worker threads,
     // so each writes only its own entry.
     std::vector<double> prices(numRequests, 0.0);
+    // One trace shard per recording thread: workers + scheduler + client.
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!traceOut.empty())
+        recorder = std::make_unique<obs::TraceRecorder>(
+            static_cast<std::size_t>(serverConfig.numWorkers) + 2);
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    if (!metricsOut.empty())
+        metrics = std::make_unique<obs::MetricsRegistry>();
+    const auto runStart = std::chrono::steady_clock::now();
     {
         server::ThreadedServer server(serverConfig, tpc);
+        if (recorder != nullptr)
+            server.attachTrace(recorder.get());
+        if (metrics != nullptr)
+            server.attachMetrics(metrics.get());
         util::Rng mixRng(3);
         util::PoissonProcess arrivals(rps, util::Rng(7));
         const auto epoch = std::chrono::steady_clock::now();
@@ -114,6 +136,19 @@ main(int argc, char** argv)
         server.drain();
         for (const auto& outcome : server.outcomes())
             latency.add(outcome.responseMs);
+    }
+    if (recorder != nullptr) {
+        obs::writeChromeTrace(recorder->merged(), traceOut);
+        std::printf("wrote %zu trace events to %s\n", recorder->eventCount(),
+                    traceOut.c_str());
+    }
+    if (metrics != nullptr) {
+        obs::MetricsCsvExporter exporter(*metrics, metricsOut);
+        exporter.writeWindow(
+            0.0, std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - runStart)
+                     .count());
+        std::printf("wrote metrics snapshot to %s\n", metricsOut.c_str());
     }
 
     util::TablePrinter table("finance_server: real-threads TPC run");

@@ -7,14 +7,19 @@
  * adding threads to requests that overrun their target.
  *
  *   ./build/examples/search_server [--queries=N] [--qps=R]
+ *       [--trace-out=trace.json] [--metrics-out=metrics.csv]
  */
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "core/tpc_policy.h"
 #include "harness/policies.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "search/executor.h"
 #include "search/workload.h"
 #include "server/threaded_server.h"
@@ -28,10 +33,13 @@ int
 main(int argc, char** argv)
 {
     using namespace tpc;
-    const util::ArgParser args(argc, argv, {"queries", "qps"});
+    const util::ArgParser args(
+        argc, argv, {"queries", "qps", "trace-out", "metrics-out"});
     const auto numQueries =
         static_cast<std::size_t>(args.getInt("queries", 800));
     const double qps = args.getDouble("qps", 120.0);
+    const std::string traceOut = args.getString("trace-out", "");
+    const std::string metricsOut = args.getString("metrics-out", "");
 
     std::printf("building index and training predictor...\n");
     search::WorkloadParams params;
@@ -80,8 +88,21 @@ main(int argc, char** argv)
     serverConfig.longThresholdMs = 80.0 * scale;
 
     stats::LatencyRecorder latency;
+    // One trace shard per recording thread: workers + scheduler + client.
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!traceOut.empty())
+        recorder = std::make_unique<obs::TraceRecorder>(
+            static_cast<std::size_t>(serverConfig.numWorkers) + 2);
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    if (!metricsOut.empty())
+        metrics = std::make_unique<obs::MetricsRegistry>();
+    const auto runStart = std::chrono::steady_clock::now();
     {
         server::ThreadedServer server(serverConfig, tpc);
+        if (recorder != nullptr)
+            server.attachTrace(recorder.get());
+        if (metrics != nullptr)
+            server.attachMetrics(metrics.get());
         util::PoissonProcess arrivals(qps, util::Rng(7));
         const auto epoch = std::chrono::steady_clock::now();
         const auto chunks = executor.makeChunks();
@@ -116,6 +137,19 @@ main(int argc, char** argv)
         server.drain();
         for (const auto& outcome : server.outcomes())
             latency.add(outcome.responseMs);
+    }
+    if (recorder != nullptr) {
+        obs::writeChromeTrace(recorder->merged(), traceOut);
+        std::printf("wrote %zu trace events to %s\n", recorder->eventCount(),
+                    traceOut.c_str());
+    }
+    if (metrics != nullptr) {
+        obs::MetricsCsvExporter exporter(*metrics, metricsOut);
+        exporter.writeWindow(
+            0.0, std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - runStart)
+                     .count());
+        std::printf("wrote metrics snapshot to %s\n", metricsOut.c_str());
     }
 
     util::TablePrinter table("search_server: real-threads TPC run");

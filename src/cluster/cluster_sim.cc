@@ -44,6 +44,10 @@ runCluster(const harness::Trace& trace, const PolicyFactory& makePolicy,
         auto server = std::make_unique<server::SimServer>(
             sim, config.isn, *policies.back(), executionModel);
         server->setStoreOutcomes(false);
+        if (config.trace != nullptr)
+            server->attachTrace(config.trace, static_cast<int>(i));
+        if (config.metrics != nullptr)
+            server->attachMetrics(config.metrics);
         const bool isRepresentative = (i == 0);
         server->setCompletionCallback(
             [&, isRepresentative](const server::RequestOutcome& outcome) {
@@ -104,6 +108,7 @@ runCluster(const harness::Trace& trace, const PolicyFactory& makePolicy,
     };
     sim.schedule(arrivals.nextArrivalMs(), arrive);
     sim.runUntilEmpty();
+    result.simEndMs = sim.now();
 
     TPC_CHECK_MSG(result.aggregatorLatency.count() == trace.size(),
                   "cluster run did not complete every query");
@@ -162,6 +167,10 @@ runHedgedCluster(const harness::Trace& trace,
         auto server = std::make_unique<server::SimServer>(
             sim, config.isn, *policies.back(), executionModel);
         server->setStoreOutcomes(false);
+        if (config.trace != nullptr)
+            server->attachTrace(config.trace, static_cast<int>(s));
+        if (config.metrics != nullptr)
+            server->attachMetrics(config.metrics);
         const std::size_t shard = s % n;
         const bool isReplicaCopy = s >= n;
         server->setCompletionCallback([&, s, shard, isReplicaCopy](
@@ -250,6 +259,7 @@ runHedgedCluster(const harness::Trace& trace,
     };
     sim.schedule(arrivals.nextArrivalMs(), arrive);
     sim.runUntilEmpty();
+    result.simEndMs = sim.now();
 
     TPC_CHECK_MSG(result.aggregatorLatency.count() == trace.size(),
                   "hedged cluster run did not complete every query");

@@ -47,6 +47,12 @@ struct ClusterConfig
     /** Mean query arrival rate at the aggregator (QPS). */
     double qps = 300.0;
     std::uint64_t seed = 99;
+    /** Optional lifecycle-trace recorder attached to every ISN (borrowed;
+     *  the trace pid is the ISN index — hedged runs use the server index,
+     *  replicas being numIsns..2*numIsns-1). */
+    obs::TraceRecorder* trace = nullptr;
+    /** Optional metrics registry shared by every ISN (borrowed). */
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /** Latency distributions observed at cluster level. */
@@ -56,6 +62,9 @@ struct ClusterResult
     stats::LatencyRecorder aggregatorLatency;
     /** Response latency of a single representative ISN (ISN 0). */
     stats::LatencyRecorder isnLatency;
+    /** Simulated time when the last event drained (ms); the end bound for
+     *  metrics snapshots covering the whole run. */
+    double simEndMs = 0.0;
 };
 
 /** Creates one per-ISN policy instance; called once per ISN. */

@@ -45,6 +45,19 @@ TpcPolicy::onDispatch(const policy::RequestView& request,
         options_.enableCorrection
             ? target * options_.correctionTriggerFactor
             : 0.0;
+
+    if (rationaleEnabled_) {
+        rationale_.hasTarget = true;
+        rationale_.targetMs = target;
+        rationale_.loadValue = load;
+        rationale_.speedupAtDegree = profile.speedup(degree);
+        rationale_.estimatedMs =
+            profile.parallelTimeMs(request.predictedMs, degree);
+        rationale_.profileClass =
+            speedupModel_
+                .groups()[speedupModel_.groupIndexFor(request.predictedMs)]
+                .name.c_str();
+    }
     return {degree, recheck};
 }
 

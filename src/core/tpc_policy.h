@@ -83,6 +83,16 @@ class TpcPolicy final : public policy::ParallelismPolicy
     policy::Decision onRecheck(const policy::RequestView& request,
                                const policy::SystemState& state) override;
 
+    void setRationaleEnabled(bool enabled) override
+    {
+        rationaleEnabled_ = enabled;
+    }
+
+    const policy::DecisionRationale* lastRationale() const override
+    {
+        return rationaleEnabled_ ? &rationale_ : nullptr;
+    }
+
     const TpcCounters& counters() const { return counters_; }
     const TargetTable& targetTable() const { return targetTable_; }
     const TpcOptions& options() const { return options_; }
@@ -98,6 +108,8 @@ class TpcPolicy final : public policy::ParallelismPolicy
     TargetTable targetTable_;
     TpcOptions options_;
     TpcCounters counters_;
+    bool rationaleEnabled_ = false;
+    policy::DecisionRationale rationale_;
 };
 
 } // namespace tpc::core

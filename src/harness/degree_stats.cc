@@ -34,6 +34,23 @@ computeDegreeDistribution(const std::vector<server::RequestOutcome>& outcomes,
     return {shortRow, longRow};
 }
 
+CorrectionTiming
+computeCorrectionTiming(const std::vector<server::RequestOutcome>& outcomes)
+{
+    CorrectionTiming timing;
+    timing.totalCount = outcomes.size();
+    stats::LatencyRecorder delays(outcomes.size());
+    for (const auto& outcome : outcomes) {
+        if (outcome.firstCorrectionDelayMs < 0.0)
+            continue;
+        ++timing.correctedCount;
+        delays.add(outcome.firstCorrectionDelayMs);
+    }
+    if (timing.correctedCount > 0)
+        timing.delay = delays.summary();
+    return timing;
+}
+
 double
 fractionAboveDegree(const DegreeRow& row, int degreeThreshold)
 {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "server/sim_server.h"
+#include "stats/latency_recorder.h"
 
 namespace tpc::harness {
 
@@ -37,5 +38,34 @@ computeDegreeDistribution(const std::vector<server::RequestOutcome>& outcomes,
 
 /** Percentage of a class at degrees strictly above the threshold. */
 double fractionAboveDegree(const DegreeRow& row, int degreeThreshold);
+
+/** When, relative to dispatch, dynamic correction first fires. */
+struct CorrectionTiming
+{
+    /** Requests whose degree was raised at least once. */
+    std::size_t correctedCount = 0;
+    /** All completed requests considered. */
+    std::size_t totalCount = 0;
+    /** Distribution of dispatch-to-first-raise delays (ms), over the
+     *  corrected requests only. */
+    stats::LatencySummary delay;
+
+    double correctedFraction() const
+    {
+        return totalCount == 0
+                   ? 0.0
+                   : static_cast<double>(correctedCount) /
+                         static_cast<double>(totalCount);
+    }
+};
+
+/**
+ * Aggregates correction timing from per-request outcomes: how many
+ * requests were corrected and how long after dispatch the first raise
+ * came (Figure-7-style ramp-up audits). Outcomes with a negative
+ * firstCorrectionDelayMs (never corrected) count only toward totalCount.
+ */
+CorrectionTiming
+computeCorrectionTiming(const std::vector<server::RequestOutcome>& outcomes);
 
 } // namespace tpc::harness

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <memory>
 
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "sim/simulator.h"
 #include "util/csv.h"
 #include "util/distributions.h"
@@ -25,6 +28,23 @@ runTrace(const Trace& trace, policy::ParallelismPolicy& policy,
     server::SimServer server(sim, config.server, policy, executionModel);
     server.reserveOutcomes(trace.size());
 
+    // Optional observability: lifecycle tracing and windowed metrics.
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!config.traceOutPath.empty()) {
+        recorder = std::make_unique<obs::TraceRecorder>();
+        recorder->reserve(trace.size() * 4);
+        server.attachTrace(recorder.get());
+    }
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<obs::MetricsCsvExporter> metricsCsv;
+    if (!config.metricsOutPath.empty()) {
+        TPC_CHECK(config.metricsWindowMs > 0.0);
+        metrics = std::make_unique<obs::MetricsRegistry>();
+        metricsCsv = std::make_unique<obs::MetricsCsvExporter>(
+            *metrics, config.metricsOutPath);
+        server.attachMetrics(metrics.get());
+    }
+
     // Chain arrivals one event at a time so the event heap stays small:
     // each arrival submits its request and schedules the next arrival.
     util::PoissonProcess arrivals(config.qps, util::Rng(config.arrivalSeed));
@@ -37,10 +57,29 @@ runTrace(const Trace& trace, policy::ParallelismPolicy& policy,
             sim.schedule(arrivals.nextArrivalMs(), arrive);
     };
     sim.schedule(arrivals.nextArrivalMs(), arrive);
+
+    // Metrics-window roll: a self-chaining event that snapshots every
+    // window until the trace has drained (the last, possibly partial,
+    // window is flushed after the run).
+    double windowStartMs = 0.0;
+    std::function<void()> rollWindow = [&] {
+        metricsCsv->writeWindow(windowStartMs, sim.now());
+        windowStartMs = sim.now();
+        if (server.counters().completions < trace.size())
+            sim.scheduleAfter(config.metricsWindowMs, rollWindow);
+    };
+    if (metricsCsv != nullptr)
+        sim.scheduleAfter(config.metricsWindowMs, rollWindow);
+
     sim.runUntilEmpty();
 
     TPC_CHECK_MSG(server.counters().completions == trace.size(),
                   "simulation drained without completing the trace");
+
+    if (metricsCsv != nullptr && sim.now() > windowStartMs)
+        metricsCsv->writeWindow(windowStartMs, sim.now());
+    if (recorder != nullptr)
+        obs::writeChromeTrace(recorder->merged(), config.traceOutPath);
 
     ExperimentResult result;
     result.counters = server.counters();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "policy/policy.h"
@@ -36,6 +37,13 @@ struct ExperimentConfig
     std::uint64_t arrivalSeed = 7;
     /** Retain per-request outcomes (needed for Table 2 / CDFs). */
     bool keepOutcomes = false;
+    /** When non-empty, write a Chrome trace-event JSON of every request
+     *  lifecycle here (open in Perfetto / chrome://tracing). */
+    std::string traceOutPath;
+    /** When non-empty, write windowed metrics snapshots (CSV) here. */
+    std::string metricsOutPath;
+    /** Metrics snapshot window length (simulated ms). */
+    double metricsWindowMs = 100.0;
 };
 
 /** Result of one experiment run. */

@@ -1,0 +1,336 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace tpc::obs {
+namespace {
+
+/** Reassembled lifecycle of one request on one server. */
+struct RequestTrack
+{
+    double arriveMs = -1.0;
+    double dispatchMs = -1.0;
+    double completeMs = -1.0;
+    const TraceEvent* dispatch = nullptr;
+    const TraceEvent* complete = nullptr;
+    std::vector<const TraceEvent*> marks; // RECHECK + CORRECT, in order
+    int lane = 1;
+};
+
+void
+appendEscaped(std::string& out, const char* s)
+{
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out.push_back(c);
+        }
+    }
+}
+
+void
+appendf(std::string& out, const char* fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+// snprintf dominates export time at ~30 formatted fields per request;
+// the per-event loops below use these to_chars-based appenders instead
+// (appendf stays for the once-per-server metadata lines).
+
+void
+appendInt(std::string& out, long long v)
+{
+    char buf[24];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, r.ptr);
+}
+
+void
+appendUint(std::string& out, unsigned long long v)
+{
+    char buf[24];
+    const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, r.ptr);
+}
+
+/** %.6g equivalent (metric values). */
+void
+appendG6(std::string& out, double v)
+{
+    char buf[40];
+    const auto r =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 6);
+    out.append(buf, r.ptr);
+}
+
+/** %.3f equivalent (microsecond timestamps). */
+void
+appendF3(std::string& out, double v)
+{
+    char buf[48];
+    const auto r =
+        std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 3);
+    out.append(buf, r.ptr);
+}
+
+/** Microsecond timestamp of an event time in ms. */
+double
+us(double timeMs)
+{
+    return timeMs * 1000.0;
+}
+
+/**
+ * Packs completed requests onto lanes so overlapping [dispatch, complete)
+ * intervals never share one: greedy interval partitioning over dispatch
+ * order (lanes start at 1; lane 0 is the arrivals track).
+ */
+void
+assignLanes(std::vector<RequestTrack*>& tracks)
+{
+    std::sort(tracks.begin(), tracks.end(),
+              [](const RequestTrack* a, const RequestTrack* b) {
+                  return a->dispatchMs < b->dispatchMs;
+              });
+    // (freeAtMs, lane), smallest free-time first.
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>,
+                        std::greater<>>
+        lanes;
+    int nextLane = 1;
+    for (RequestTrack* track : tracks) {
+        if (!lanes.empty() && lanes.top().first <= track->dispatchMs) {
+            track->lane = lanes.top().second;
+            lanes.pop();
+        } else {
+            track->lane = nextLane++;
+        }
+        lanes.emplace(track->completeMs, track->lane);
+    }
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent>& events)
+{
+    // Reassemble per-request tracks, keyed by (server, request) — cluster
+    // traces reuse request ids across ISNs.
+    std::map<std::pair<std::int32_t, std::uint64_t>, RequestTrack> tracks;
+    for (const TraceEvent& ev : events) {
+        RequestTrack& track = tracks[{ev.serverId, ev.requestId}];
+        switch (ev.type) {
+        case TraceEventType::kArrive:
+            track.arriveMs = ev.timeMs;
+            break;
+        case TraceEventType::kDispatch:
+            track.dispatchMs = ev.timeMs;
+            track.dispatch = &ev;
+            break;
+        case TraceEventType::kRecheck:
+        case TraceEventType::kCorrect:
+            track.marks.push_back(&ev);
+            break;
+        case TraceEventType::kComplete:
+            track.completeMs = ev.timeMs;
+            track.complete = &ev;
+            break;
+        }
+    }
+
+    // Lane assignment runs per server process.
+    std::map<std::int32_t, std::vector<RequestTrack*>> perServer;
+    for (auto& [key, track] : tracks) {
+        if (track.dispatch != nullptr && track.complete != nullptr)
+            perServer[key.first].push_back(&track);
+    }
+    std::map<std::int32_t, int> laneCount;
+    for (auto& [serverId, serverTracks] : perServer) {
+        assignLanes(serverTracks);
+        int maxLane = 0;
+        for (const RequestTrack* track : serverTracks)
+            maxLane = std::max(maxLane, track->lane);
+        laneCount[serverId] = maxLane;
+    }
+
+    std::string out;
+    out.reserve(256 + tracks.size() * 400);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ",\n";
+        first = false;
+    };
+
+    // Process / thread naming metadata.
+    for (const auto& [serverId, count] : laneCount) {
+        comma();
+        appendf(out,
+                "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":"
+                "\"process_name\",\"args\":{\"name\":\"server %d\"}}",
+                serverId, serverId);
+        comma();
+        appendf(out,
+                "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":"
+                "\"thread_name\",\"args\":{\"name\":\"queue (arrivals)\"}}",
+                serverId);
+        for (int lane = 1; lane <= count; ++lane) {
+            comma();
+            appendf(out,
+                    "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                    "\"thread_name\",\"args\":{\"name\":\"requests %d\"}}",
+                    serverId, lane, lane);
+        }
+    }
+
+    for (const auto& [key, track] : tracks) {
+        const std::int32_t serverId = key.first;
+        const unsigned long long id =
+            static_cast<unsigned long long>(key.second);
+
+        if (track.arriveMs >= 0.0) {
+            comma();
+            out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":";
+            appendInt(out, serverId);
+            out += ",\"tid\":0,\"ts\":";
+            appendF3(out, us(track.arriveMs));
+            out += ",\"name\":\"ARRIVE ";
+            appendUint(out, id);
+            out += "\",\"cat\":\"arrive\",\"args\":{\"request_id\":";
+            appendUint(out, id);
+            out += "}}";
+        }
+        if (track.dispatch == nullptr || track.complete == nullptr)
+            continue; // Cancelled or still in flight: no slice to draw.
+
+        const TraceEvent& d = *track.dispatch;
+        const TraceEvent& c = *track.complete;
+        int corrections = 0;
+        for (const TraceEvent* mark : track.marks) {
+            if (mark->type == TraceEventType::kCorrect)
+                ++corrections;
+        }
+        comma();
+        out += "{\"ph\":\"X\",\"pid\":";
+        appendInt(out, serverId);
+        out += ",\"tid\":";
+        appendInt(out, track.lane);
+        out += ",\"ts\":";
+        appendF3(out, us(track.dispatchMs));
+        out += ",\"dur\":";
+        appendF3(out, us(track.completeMs - track.dispatchMs));
+        out += ",\"cat\":\"request\",\"name\":\"";
+        if (d.profileClass[0] != '\0')
+            appendEscaped(out, d.profileClass);
+        else
+            out += "request";
+        out += ' ';
+        appendUint(out, id);
+        out += "\",\"args\":{\"request_id\":";
+        appendUint(out, id);
+        out += ",\"predicted_ms\":";
+        appendG6(out, d.predictedMs);
+        out += ",\"target_ms\":";
+        appendG6(out, d.targetMs);
+        out += ",\"load_value\":";
+        appendG6(out, d.loadValue);
+        out += ",\"degree\":";
+        appendInt(out, d.degree);
+        out += ",\"requested_degree\":";
+        appendInt(out, d.requestedDegree);
+        out += ",\"speedup\":";
+        appendG6(out, d.speedup);
+        out += ",\"estimated_ms\":";
+        appendG6(out, d.estimatedMs);
+        out += ",\"profile_class\":\"";
+        appendEscaped(out, d.profileClass);
+        out += "\"";
+        out += ",\"idle_workers_at_dispatch\":";
+        appendInt(out, d.idleWorkers);
+        if (track.arriveMs >= 0.0) {
+            out += ",\"queue_ms\":";
+            appendG6(out, track.dispatchMs - track.arriveMs);
+        }
+        out += ",\"response_ms\":";
+        appendG6(out, track.completeMs - (track.arriveMs >= 0.0
+                                              ? track.arriveMs
+                                              : track.dispatchMs));
+        out += ",\"max_degree\":";
+        appendInt(out, c.degree);
+        out += ",\"initial_degree\":";
+        appendInt(out, c.oldDegree);
+        out += ",\"corrections\":";
+        appendInt(out, corrections);
+        out += ",\"corrected\":";
+        out += corrections > 0 ? "true" : "false";
+        out += "}}";
+
+        for (const TraceEvent* mark : track.marks) {
+            comma();
+            out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":";
+            appendInt(out, serverId);
+            out += ",\"tid\":";
+            appendInt(out, track.lane);
+            out += ",\"ts\":";
+            appendF3(out, us(mark->timeMs));
+            if (mark->type == TraceEventType::kCorrect) {
+                out += ",\"name\":\"CORRECT ";
+                appendInt(out, mark->oldDegree);
+                out += "->";
+                appendInt(out, mark->degree);
+                out += "\",\"cat\":\"correct\",\"args\":{\"request_id\":";
+                appendUint(out, id);
+                out += ",\"old_degree\":";
+                appendInt(out, mark->oldDegree);
+                out += ",\"new_degree\":";
+                appendInt(out, mark->degree);
+            } else {
+                out += ",\"name\":\"RECHECK\",\"cat\":\"recheck\","
+                       "\"args\":{\"request_id\":";
+                appendUint(out, id);
+                out += ",\"degree\":";
+                appendInt(out, mark->degree);
+            }
+            out += ",\"idle_workers\":";
+            appendInt(out, mark->idleWorkers);
+            out += "}}";
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+writeChromeTrace(const std::vector<TraceEvent>& events,
+                 const std::string& path)
+{
+    // CsvWriter owns directory creation; reuse its convention by writing
+    // through ofstream after ensuring the parent exists the same way.
+    const std::string json = chromeTraceJson(events);
+    std::ofstream out = util::openForWrite(path);
+    out << json;
+    if (!out)
+        util::fatal("cannot write trace file: " + path);
+}
+
+} // namespace tpc::obs

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter: turns a merged TraceEvent stream into
+ * a file that opens directly in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Layout: each server becomes a process (pid = serverId); inside it, lane
+ * 0 carries ARRIVE instants (the queue) and lanes 1..k carry requests as
+ * complete ("X") slices from DISPATCH to COMPLETE, packed greedily so
+ * concurrent requests land on different lanes — the visual occupancy of
+ * the worker pool. RECHECK and CORRECT render as instants on the owning
+ * request's lane. DISPATCH metadata (predicted L, target E, chosen degree,
+ * speedup row) travels in each slice's args.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace tpc::obs {
+
+/** Renders the events as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const std::vector<TraceEvent>& events);
+
+/** Writes chromeTraceJson(events) to @p path (fatal on I/O failure). */
+void writeChromeTrace(const std::vector<TraceEvent>& events,
+                      const std::string& path);
+
+} // namespace tpc::obs

@@ -1,0 +1,200 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpc::obs {
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(double minValue, double maxValue, double growthFactor)
+    : window_(minValue, maxValue, growthFactor),
+      cumulative_(minValue, maxValue, growthFactor)
+{
+}
+
+void
+Histogram::add(double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_.add(value);
+    cumulative_.add(value);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cumulative_.count();
+}
+
+stats::LatencySummary
+Histogram::summarize(const stats::LogHistogram& h)
+{
+    stats::LatencySummary s;
+    s.count = h.count();
+    if (s.count == 0)
+        return s;
+    s.mean = h.mean();
+    s.p50 = h.percentile(0.50);
+    s.p90 = h.percentile(0.90);
+    s.p95 = h.percentile(0.95);
+    s.p99 = h.percentile(0.99);
+    s.p999 = h.percentile(0.999);
+    s.max = h.percentile(1.0);
+    return s;
+}
+
+stats::LatencySummary
+Histogram::cumulativeSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return summarize(cumulative_);
+}
+
+stats::LatencySummary
+Histogram::takeWindowSummary()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const stats::LatencySummary s = summarize(window_);
+    window_.clear();
+    return s;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+template <typename T, typename... Args>
+T&
+MetricsRegistry::getOrCreate(NamedList<T>& list, const std::string& name,
+                             Args&&... args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [existing, metric] : list) {
+        if (existing == name)
+            return *metric;
+    }
+    list.emplace_back(name, std::make_unique<T>(std::forward<Args>(args)...));
+    return *list.back().second;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    return getOrCreate(counters_, name);
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    return getOrCreate(gauges_, name);
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name, double minValue,
+                           double maxValue, double growthFactor)
+{
+    return getOrCreate(histograms_, name, minValue, maxValue, growthFactor);
+}
+
+namespace {
+
+template <typename List>
+std::vector<std::string>
+namesOf(const List& list)
+{
+    std::vector<std::string> names;
+    names.reserve(list.size());
+    for (const auto& [name, metric] : list)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return namesOf(counters_);
+}
+
+std::vector<std::string>
+MetricsRegistry::gaugeNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return namesOf(gauges_);
+}
+
+std::vector<std::string>
+MetricsRegistry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return namesOf(histograms_);
+}
+
+// --- MetricsCsvExporter -----------------------------------------------------
+
+MetricsCsvExporter::MetricsCsvExporter(MetricsRegistry& registry,
+                                       const std::string& path)
+    : registry_(registry), csv_(path)
+{
+}
+
+void
+MetricsCsvExporter::writeHeader()
+{
+    counterNames_ = registry_.counterNames();
+    gaugeNames_ = registry_.gaugeNames();
+    histogramNames_ = registry_.histogramNames();
+
+    std::vector<std::string> header = {"window_start_ms", "window_end_ms"};
+    for (const auto& name : counterNames_)
+        header.push_back(name);
+    for (const auto& name : gaugeNames_)
+        header.push_back(name);
+    for (const auto& name : histogramNames_) {
+        const auto cells = stats::LatencySummary::csvHeader(name + "_");
+        header.insert(header.end(), cells.begin(), cells.end());
+    }
+    csv_.writeRow(header);
+    headerWritten_ = true;
+}
+
+void
+MetricsCsvExporter::writeWindow(double windowStartMs, double windowEndMs)
+{
+    if (!headerWritten_)
+        writeHeader();
+
+    char buf[64];
+    std::vector<std::string> row;
+    std::snprintf(buf, sizeof(buf), "%.6g", windowStartMs);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.6g", windowEndMs);
+    row.emplace_back(buf);
+
+    for (const auto& name : counterNames_) {
+        const std::uint64_t value = registry_.counter(name).value();
+        std::uint64_t& last = lastCounterValues_[name];
+        row.push_back(std::to_string(value - last));
+        last = value;
+    }
+    for (const auto& name : gaugeNames_) {
+        std::snprintf(buf, sizeof(buf), "%.6g",
+                      registry_.gauge(name).value());
+        row.emplace_back(buf);
+    }
+    for (const auto& name : histogramNames_) {
+        const auto cells =
+            registry_.histogram(name).takeWindowSummary().toCsvRow();
+        row.insert(row.end(), cells.begin(), cells.end());
+    }
+    csv_.writeRow(row);
+    // Snapshots should be on disk as soon as they are taken: the file is
+    // a live progress feed for long runs and must survive a crash.
+    csv_.flush();
+}
+
+} // namespace tpc::obs

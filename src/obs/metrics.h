@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Named-metrics registry: counters, gauges and log-bucketed histograms,
+ * plus periodic windowed snapshots exported to CSV.
+ *
+ * Counters and gauges are lock-free atomics; histograms wrap the O(1)-
+ * memory stats::LogHistogram behind a mutex, and keep both a cumulative
+ * and a current-window histogram so a snapshot can report per-window tail
+ * percentiles (P50/P90/P99/P99.9) without rescanning samples. Metric
+ * objects are owned by the registry and their references stay valid for
+ * its lifetime, so hot paths resolve a metric once and then update it
+ * without any map lookup.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+
+namespace tpc::obs {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-value-wins instantaneous measurement (queue depth, idle workers). */
+class Gauge
+{
+  public:
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Log-bucketed latency histogram with a resettable snapshot window. */
+class Histogram
+{
+  public:
+    Histogram(double minValue, double maxValue, double growthFactor);
+
+    /** Records one observation into the window and the cumulative view. */
+    void add(double value);
+
+    /** Observations recorded since construction. */
+    std::uint64_t count() const;
+
+    /** Percentile summary over the full run so far. */
+    stats::LatencySummary cumulativeSummary() const;
+
+    /** Percentile summary of the current window, then resets the window. */
+    stats::LatencySummary takeWindowSummary();
+
+  private:
+    static stats::LatencySummary summarize(const stats::LogHistogram& h);
+
+    mutable std::mutex mutex_;
+    stats::LogHistogram window_;
+    stats::LogHistogram cumulative_;
+};
+
+/**
+ * Get-or-create registry of named metrics. Thread-safe; registration
+ * order is preserved and defines CSV column order.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+
+    /** Bucketing parameters only apply on first registration. */
+    Histogram& histogram(const std::string& name, double minValue = 0.01,
+                         double maxValue = 100000.0,
+                         double growthFactor = 1.02);
+
+    std::vector<std::string> counterNames() const;
+    std::vector<std::string> gaugeNames() const;
+    std::vector<std::string> histogramNames() const;
+
+  private:
+    template <typename T>
+    using NamedList = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+    template <typename T, typename... Args>
+    T& getOrCreate(NamedList<T>& list, const std::string& name,
+                   Args&&... args);
+
+    mutable std::mutex mutex_;
+    NamedList<Counter> counters_;
+    NamedList<Gauge> gauges_;
+    NamedList<Histogram> histograms_;
+};
+
+/**
+ * Writes one CSV row per metrics window: counter deltas, last gauge
+ * values, and per-histogram window percentile summaries (formatted with
+ * LatencySummary::toCsvRow). The column set is frozen at the first
+ * writeWindow() call; metrics registered later are ignored.
+ */
+class MetricsCsvExporter
+{
+  public:
+    MetricsCsvExporter(MetricsRegistry& registry, const std::string& path);
+
+    /** Emits the window [windowStartMs, windowEndMs). */
+    void writeWindow(double windowStartMs, double windowEndMs);
+
+  private:
+    void writeHeader();
+
+    MetricsRegistry& registry_;
+    util::CsvWriter csv_;
+    bool headerWritten_ = false;
+    std::vector<std::string> counterNames_;
+    std::vector<std::string> gaugeNames_;
+    std::vector<std::string> histogramNames_;
+    std::map<std::string, std::uint64_t> lastCounterValues_;
+};
+
+} // namespace tpc::obs

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Typed per-request lifecycle events for TPC decision auditing.
+ *
+ * Every scheduling decision the paper reasons about (Sections 3.3-3.4)
+ * becomes one fixed-size event: ARRIVE when the request enters the queue,
+ * DISPATCH when the policy picks the initial degree (carrying the target E,
+ * the predicted demand L and the speedup-table row that justified the
+ * degree), RECHECK when a correction callback fires, CORRECT when the
+ * degree is actually raised, and COMPLETE at the end. A run's event stream
+ * answers "why did request X miss P99?" from telemetry alone.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace tpc::obs {
+
+/** Lifecycle event kinds, in the order they can occur for one request. */
+enum class TraceEventType : std::uint8_t {
+    kArrive = 0,
+    kDispatch,
+    kRecheck,
+    kCorrect,
+    kComplete,
+};
+
+/** Upper-case event name ("ARRIVE", "DISPATCH", ...). */
+const char* traceEventTypeName(TraceEventType type);
+
+/**
+ * One lifecycle event. Fixed-size and allocation-free so recording is a
+ * buffer append; fields beyond (type, requestId, timeMs) are meaningful
+ * only for the event types noted.
+ */
+struct TraceEvent
+{
+    TraceEventType type = TraceEventType::kArrive;
+    /** Distinguishes ISNs in cluster traces (exporter pid). */
+    std::int32_t serverId = 0;
+    std::uint64_t requestId = 0;
+    /** Recorder-assigned global sequence, for stable merge ordering. */
+    std::uint64_t seq = 0;
+    /** Event time: simulated ms (SimServer) or wall ms since the server
+     *  epoch (ThreadedServer). */
+    double timeMs = 0.0;
+
+    /** DISPATCH, COMPLETE: predicted sequential demand L (ms). */
+    double predictedMs = 0.0;
+    /** DISPATCH: load-dependent target completion time E (ms). */
+    double targetMs = 0.0;
+    /** DISPATCH: load-metric value used for the target-table lookup. */
+    double loadValue = 0.0;
+    /** DISPATCH: speedup the table promised at the requested degree. */
+    double speedup = 0.0;
+    /** DISPATCH: estimated wall time predictedMs / speedup (ms). */
+    double estimatedMs = 0.0;
+
+    /** DISPATCH: granted degree; CORRECT: new degree; COMPLETE: max
+     *  degree the request ever ran at; RECHECK: current degree. */
+    std::int32_t degree = 0;
+    /** CORRECT: degree before the raise; COMPLETE: initial degree. */
+    std::int32_t oldDegree = 0;
+    /** DISPATCH: policy's requested degree before the idle-worker cap. */
+    std::int32_t requestedDegree = 0;
+    /** DISPATCH/RECHECK/CORRECT: idle workers at that instant (before the
+     *  decision consumed any). */
+    std::int32_t idleWorkers = 0;
+
+    /** DISPATCH: name of the speedup-table row (request class). */
+    char profileClass[16] = {};
+
+    /** Copies (and truncates) the class name into profileClass. */
+    void setProfileClass(const char* name)
+    {
+        if (name == nullptr) {
+            profileClass[0] = '\0';
+            return;
+        }
+        std::strncpy(profileClass, name, sizeof(profileClass) - 1);
+        profileClass[sizeof(profileClass) - 1] = '\0';
+    }
+};
+
+} // namespace tpc::obs

@@ -1,0 +1,105 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace tpc::obs {
+
+const char*
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+    case TraceEventType::kArrive:
+        return "ARRIVE";
+    case TraceEventType::kDispatch:
+        return "DISPATCH";
+    case TraceEventType::kRecheck:
+        return "RECHECK";
+    case TraceEventType::kCorrect:
+        return "CORRECT";
+    case TraceEventType::kComplete:
+        return "COMPLETE";
+    }
+    return "UNKNOWN";
+}
+
+TraceRecorder::TraceRecorder(std::size_t shardCount)
+{
+    TPC_CHECK(shardCount >= 1);
+    shards_.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+void
+TraceRecorder::record(const TraceEvent& event)
+{
+    const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        shards_.size();
+    recordShard(shard, event);
+}
+
+void
+TraceRecorder::recordShard(std::size_t shard, const TraceEvent& event)
+{
+    if (!enabled())
+        return;
+    TPC_DCHECK(shard < shards_.size());
+    TraceEvent stamped = event;
+    stamped.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.push_back(stamped);
+}
+
+std::uint64_t
+TraceRecorder::eventCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->events.size();
+    }
+    return total;
+}
+
+std::vector<TraceEvent>
+TraceRecorder::merged() const
+{
+    std::vector<TraceEvent> all;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        all.insert(all.end(), shard->events.begin(), shard->events.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.timeMs != b.timeMs)
+                      return a.timeMs < b.timeMs;
+                  return a.seq < b.seq;
+              });
+    return all;
+}
+
+void
+TraceRecorder::clear()
+{
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->events.clear();
+    }
+}
+
+void
+TraceRecorder::reserve(std::size_t eventsPerShard)
+{
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->events.reserve(eventsPerShard);
+    }
+}
+
+} // namespace tpc::obs

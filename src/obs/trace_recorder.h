@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Low-overhead recorder of request-lifecycle TraceEvents.
+ *
+ * The recorder owns a fixed set of shards, each an independently locked
+ * append buffer: the single-threaded SimServer records into shard 0, the
+ * ThreadedServer spreads recording threads across shards (per-worker
+ * buffers) so the hot path never contends on one lock. merged() combines
+ * all shards into one time-ordered stream for export.
+ *
+ * Recording when disabled is a single relaxed atomic load, so a recorder
+ * can stay attached to a server at negligible cost.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace tpc::obs {
+
+/** Sharded, thread-safe event recorder. */
+class TraceRecorder
+{
+  public:
+    /** @param shardCount Independent buffers (>= 1); size it to the number
+     *                    of recording threads to avoid contention. */
+    explicit TraceRecorder(std::size_t shardCount = 1);
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+    /** Toggles recording; record() calls while disabled are dropped. */
+    void setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Records into the shard chosen by the calling thread's id. */
+    void record(const TraceEvent& event);
+
+    /** Records into an explicit shard (callers with a natural index). */
+    void recordShard(std::size_t shard, const TraceEvent& event);
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** Total events recorded so far (locks every shard). */
+    std::uint64_t eventCount() const;
+
+    /** All events from all shards, ordered by (timeMs, seq). */
+    std::vector<TraceEvent> merged() const;
+
+    /** Drops every recorded event (sequence numbers keep advancing). */
+    void clear();
+
+    /** Pre-allocates per-shard buffer capacity. */
+    void reserve(std::size_t eventsPerShard);
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<TraceEvent> events;
+    };
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> enabled_{true};
+    std::atomic<std::uint64_t> seq_{0};
+};
+
+} // namespace tpc::obs

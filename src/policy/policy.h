@@ -53,6 +53,34 @@ struct SystemState
     double avgPredictedMs = 0.0;
 };
 
+/**
+ * Why a dispatch decision chose its degree. Policies fill what applies to
+ * them (TPC fills everything; a fixed-degree baseline fills nothing);
+ * servers copy it into DISPATCH trace events so a trace alone explains
+ * every degree choice. Kept out of Decision so the untraced dispatch path
+ * returns the same 16-byte aggregate it always did — servers fetch the
+ * rationale via lastRationale() only while tracing.
+ */
+struct DecisionRationale
+{
+    /** True when targetMs/loadValue are meaningful. */
+    bool hasTarget = false;
+    /** Load-dependent target completion time E (ms). */
+    double targetMs = 0.0;
+    /** Load-metric value used for the target-table lookup. */
+    double loadValue = 0.0;
+    /** Speedup the table promises at the chosen degree. */
+    double speedupAtDegree = 0.0;
+    /** Estimated wall time at the chosen degree: predicted / speedup. */
+    double estimatedMs = 0.0;
+    /**
+     * Name of the speedup-table row (request class) consulted. Points into
+     * the policy's speedup model (valid while the policy lives); servers
+     * copy it into the trace event at dispatch, never store the pointer.
+     */
+    const char* profileClass = nullptr;
+};
+
 /** A policy's answer: the degree to run at, and when to ask again. */
 struct Decision
 {
@@ -87,6 +115,27 @@ class ParallelismPolicy
     {
         (void)state;
         return {request.currentDegree, 0.0};
+    }
+
+    /**
+     * Servers call this with true when a trace recorder is attached.
+     * Policies whose rationale costs anything to assemble (extra table
+     * lookups, class-name resolution) may skip it entirely while
+     * disabled, keeping the untraced dispatch path at its baseline cost.
+     * Default: ignore the hint.
+     */
+    virtual void setRationaleEnabled(bool enabled) { (void)enabled; }
+
+    /**
+     * Audit trail of the most recent onDispatch on this policy, or
+     * nullptr if the policy records none (the default, and always the
+     * case before rationale recording is enabled). Valid until the next
+     * onDispatch; servers read it immediately while building the DISPATCH
+     * trace event.
+     */
+    virtual const DecisionRationale* lastRationale() const
+    {
+        return nullptr;
     }
 };
 

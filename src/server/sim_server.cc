@@ -23,6 +23,53 @@ SimServer::SimServer(sim::Simulator& sim, const ServerConfig& config,
 
 SimServer::~SimServer() = default;
 
+void
+SimServer::attachTrace(obs::TraceRecorder* trace, int serverId)
+{
+    trace_ = trace;
+    traceServerId_ = serverId;
+    policy_.setRationaleEnabled(trace != nullptr);
+}
+
+void
+SimServer::attachMetrics(obs::MetricsRegistry* metrics)
+{
+    metrics_ = metrics;
+    if (metrics == nullptr) {
+        metric_ = MetricHandles{};
+        return;
+    }
+    metric_.arrivals = &metrics->counter("arrivals");
+    metric_.completions = &metrics->counter("completions");
+    metric_.corrections = &metrics->counter("corrections");
+    metric_.correctionThreadsAdded =
+        &metrics->counter("correction_threads_added");
+    metric_.queueDepth = &metrics->gauge("queue_depth");
+    metric_.idleWorkers = &metrics->gauge("idle_workers");
+    metric_.responseMs = &metrics->histogram("response_ms");
+    metric_.queueMs = &metrics->histogram("queue_ms");
+}
+
+obs::TraceEvent
+SimServer::makeEvent(obs::TraceEventType type, std::uint64_t id) const
+{
+    obs::TraceEvent ev;
+    ev.type = type;
+    ev.serverId = traceServerId_;
+    ev.requestId = id;
+    ev.timeMs = sim_.now();
+    return ev;
+}
+
+void
+SimServer::updateGauges()
+{
+    if (metrics_ == nullptr)
+        return;
+    metric_.queueDepth->set(static_cast<double>(queue_.size()));
+    metric_.idleWorkers->set(static_cast<double>(idleWorkers_));
+}
+
 double
 SimServer::contentionFactor() const
 {
@@ -121,9 +168,14 @@ SimServer::submit(double trueMs, double predictedMs)
         (predictedMs - avgPredictedMs_) / static_cast<double>(predictedCount_);
 
     const std::uint64_t id = nextId_++;
+    if (trace_ != nullptr)
+        trace_->recordShard(0, makeEvent(obs::TraceEventType::kArrive, id));
+    if (metrics_ != nullptr)
+        metric_.arrivals->inc();
     queue_.push_back(Pending{id, sim_.now(), trueMs, predictedMs});
     dispatchFromQueue();
     ensureCpuSampler();
+    updateGauges();
     return id;
 }
 
@@ -185,6 +237,24 @@ SimServer::dispatch(const Pending& p)
 
     const int degree = std::clamp(decision.degree, 1, idleWorkers_);
 
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = makeEvent(obs::TraceEventType::kDispatch, p.id);
+        ev.predictedMs = p.predictedMs;
+        ev.degree = degree;
+        ev.requestedDegree = decision.degree;
+        ev.idleWorkers = idleWorkers_;
+        if (const policy::DecisionRationale* why = policy_.lastRationale()) {
+            if (why->hasTarget) {
+                ev.targetMs = why->targetMs;
+                ev.loadValue = why->loadValue;
+            }
+            ev.speedup = why->speedupAtDegree;
+            ev.estimatedMs = why->estimatedMs;
+            ev.setProfileClass(why->profileClass);
+        }
+        trace_->recordShard(0, ev);
+    }
+
     Running r;
     r.id = p.id;
     r.arrivalMs = p.arrivalMs;
@@ -238,6 +308,13 @@ SimServer::onRecheck(std::uint64_t id)
 
     advanceWork();
 
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = makeEvent(obs::TraceEventType::kRecheck, r.id);
+        ev.degree = r.degree;
+        ev.idleWorkers = idleWorkers_;
+        trace_->recordShard(0, ev);
+    }
+
     policy::RequestView view;
     view.id = r.id;
     view.predictedMs = r.predictedMs;
@@ -251,6 +328,21 @@ SimServer::onRecheck(std::uint64_t id)
     const int desired = std::max(decision.degree, r.degree);
     const int added = std::min(desired - r.degree, idleWorkers_);
     if (added > 0) {
+        if (trace_ != nullptr) {
+            obs::TraceEvent ev =
+                makeEvent(obs::TraceEventType::kCorrect, r.id);
+            ev.oldDegree = r.degree;
+            ev.degree = r.degree + added;
+            ev.idleWorkers = idleWorkers_;
+            trace_->recordShard(0, ev);
+        }
+        if (metrics_ != nullptr) {
+            metric_.corrections->inc();
+            metric_.correctionThreadsAdded->inc(
+                static_cast<std::uint64_t>(added));
+        }
+        if (r.firstCorrectionDelayMs < 0.0)
+            r.firstCorrectionDelayMs = sim_.now() - r.dispatchMs;
         r.degree += added;
         r.maxDegree = std::max(r.maxDegree, r.degree);
         r.corrected = true;
@@ -269,6 +361,7 @@ SimServer::onRecheck(std::uint64_t id)
 
     if (decision.recheckAfterMs > 0.0)
         armRecheck(r, decision.recheckAfterMs);
+    updateGauges();
 }
 
 void
@@ -291,11 +384,25 @@ SimServer::onComplete(std::uint64_t id)
     outcome.initialDegree = r.initialDegree;
     outcome.maxDegree = r.maxDegree;
     outcome.corrected = r.corrected;
+    outcome.firstCorrectionDelayMs = r.firstCorrectionDelayMs;
     if (storeOutcomes_)
         outcomes_.push_back(outcome);
     if (completionCallback_)
         completionCallback_(outcome);
     ++counters_.completions;
+
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = makeEvent(obs::TraceEventType::kComplete, r.id);
+        ev.predictedMs = r.predictedMs;
+        ev.degree = r.maxDegree;
+        ev.oldDegree = r.initialDegree;
+        trace_->recordShard(0, ev);
+    }
+    if (metrics_ != nullptr) {
+        metric_.completions->inc();
+        metric_.responseMs->add(outcome.responseMs());
+        metric_.queueMs->add(outcome.queueMs());
+    }
 
     idleWorkers_ += r.degree;
     activeThreads_ -= r.degree;
@@ -308,6 +415,7 @@ SimServer::onComplete(std::uint64_t id)
     wasOversubscribed_ = oversubscribed;
 
     dispatchFromQueue();
+    updateGauges();
 }
 
 void

@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "policy/policy.h"
 #include "policy/speedup_profile.h"
 #include "sim/simulator.h"
@@ -66,6 +68,10 @@ struct RequestOutcome
     int maxDegree = 1;
     /** True when dynamic correction / ramp-up raised the degree. */
     bool corrected = false;
+    /** Time from dispatch to the first degree raise (ms); negative when
+     *  the degree was never raised. Feeds Figure-7-style correction-timing
+     *  analyses (harness::computeCorrectionTiming). */
+    double firstCorrectionDelayMs = -1.0;
 
     double responseMs() const { return completionMs - arrivalMs; }
     double queueMs() const { return dispatchMs - arrivalMs; }
@@ -149,6 +155,21 @@ class SimServer
     /** Reserves outcome storage for an expected trace size. */
     void reserveOutcomes(std::size_t n) { outcomes_.reserve(n); }
 
+    /**
+     * Attaches a lifecycle-trace recorder (borrowed; nullptr detaches).
+     * Every ARRIVE/DISPATCH/RECHECK/CORRECT/COMPLETE is recorded with
+     * @p serverId as the trace process id (ISN index in cluster runs).
+     */
+    void attachTrace(obs::TraceRecorder* trace, int serverId = 0);
+
+    /**
+     * Attaches a metrics registry (borrowed; nullptr detaches). The server
+     * registers counters (arrivals, completions, corrections,
+     * correction_threads_added), gauges (queue_depth, idle_workers) and
+     * histograms (response_ms, queue_ms) and updates them as it runs.
+     */
+    void attachMetrics(obs::MetricsRegistry* metrics);
+
     const ServerCounters& counters() const { return counters_; }
 
     /** Live snapshot of the policy-visible state. */
@@ -184,6 +205,7 @@ class SimServer
         int initialDegree = 1;
         int maxDegree = 1;
         bool corrected = false;
+        double firstCorrectionDelayMs = -1.0;
         sim::EventId completionEvent = sim::kInvalidEventId;
         sim::EventId recheckEvent = sim::kInvalidEventId;
     };
@@ -206,6 +228,13 @@ class SimServer
     /** Applies a rate-affecting change around fn: advance, fn, resched. */
     template <typename Fn> void withWorkAccounting(Fn&& fn);
 
+    /** Base TraceEvent for a request at the current simulation time. */
+    obs::TraceEvent makeEvent(obs::TraceEventType type,
+                              std::uint64_t id) const;
+
+    /** Refreshes the queue-depth / idle-worker gauges (when attached). */
+    void updateGauges();
+
     void dispatchFromQueue();
     void dispatch(const Pending& p);
     void onComplete(std::uint64_t id);
@@ -221,6 +250,23 @@ class SimServer
     ServerConfig config_;
     policy::ParallelismPolicy& policy_;
     const policy::SpeedupModel& executionModel_;
+
+    obs::TraceRecorder* trace_ = nullptr;
+    int traceServerId_ = 0;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    /** Metric handles resolved once at attachMetrics (hot-path updates
+     *  must not pay a name lookup). */
+    struct MetricHandles
+    {
+        obs::Counter* arrivals = nullptr;
+        obs::Counter* completions = nullptr;
+        obs::Counter* corrections = nullptr;
+        obs::Counter* correctionThreadsAdded = nullptr;
+        obs::Gauge* queueDepth = nullptr;
+        obs::Gauge* idleWorkers = nullptr;
+        obs::Histogram* responseMs = nullptr;
+        obs::Histogram* queueMs = nullptr;
+    } metric_;
 
     std::deque<Pending> queue_;
     std::unordered_map<std::uint64_t, Running> running_;

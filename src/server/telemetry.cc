@@ -36,6 +36,8 @@ TelemetryProbe::onSample()
     sample.activeThreadsLong = state.activeThreadsLong;
     sample.runningRequests = state.runningRequests;
     sample.cpuUtilization = state.cpuUtilization;
+    sample.idleWorkers = state.idleWorkers;
+    sample.avgPredictedMs = state.avgPredictedMs;
     samples_.push_back(sample);
 
     const bool idle =
@@ -75,14 +77,16 @@ TelemetryProbe::writeCsv(const std::string& path) const
     util::CsvWriter csv(path);
     csv.writeRow(std::vector<std::string>{
         "time_ms", "queue_length", "active_threads", "active_threads_long",
-        "running_requests", "cpu_utilization"});
+        "running_requests", "cpu_utilization", "idle_workers",
+        "avg_predicted_ms"});
     for (const auto& sample : samples_) {
         csv.writeRow(std::vector<double>{
             sample.timeMs, static_cast<double>(sample.queueLength),
             static_cast<double>(sample.activeThreads),
             static_cast<double>(sample.activeThreadsLong),
             static_cast<double>(sample.runningRequests),
-            sample.cpuUtilization});
+            sample.cpuUtilization, static_cast<double>(sample.idleWorkers),
+            sample.avgPredictedMs});
     }
 }
 

@@ -24,6 +24,10 @@ struct TelemetrySample
     int activeThreadsLong = 0;
     int runningRequests = 0;
     double cpuUtilization = 0.0;
+    /** Workers not assigned to any request (correction headroom). */
+    int idleWorkers = 0;
+    /** Running average of predicted demand (ms) — the AP policy's input. */
+    double avgPredictedMs = 0.0;
 };
 
 /**

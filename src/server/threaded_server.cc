@@ -34,6 +34,57 @@ ThreadedServer::msBetween(Clock::time_point a, Clock::time_point b)
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+void
+ThreadedServer::attachTrace(obs::TraceRecorder* trace, int serverId)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_ = trace;
+    traceServerId_ = serverId;
+    policy_.setRationaleEnabled(trace != nullptr);
+}
+
+void
+ThreadedServer::attachMetrics(obs::MetricsRegistry* metrics)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = metrics;
+    if (metrics == nullptr) {
+        metric_ = MetricHandles{};
+        return;
+    }
+    metric_.arrivals = &metrics->counter("arrivals");
+    metric_.completions = &metrics->counter("completions");
+    metric_.corrections = &metrics->counter("corrections");
+    metric_.correctionThreadsAdded =
+        &metrics->counter("correction_threads_added");
+    metric_.queueDepth = &metrics->gauge("queue_depth");
+    metric_.idleWorkers = &metrics->gauge("idle_workers");
+    metric_.responseMs = &metrics->histogram("response_ms");
+    metric_.queueMs = &metrics->histogram("queue_ms");
+}
+
+obs::TraceEvent
+ThreadedServer::makeEventLocked(obs::TraceEventType type,
+                                std::uint64_t id) const
+{
+    obs::TraceEvent ev;
+    ev.type = type;
+    ev.serverId = traceServerId_;
+    ev.requestId = id;
+    ev.timeMs = nowMs();
+    return ev;
+}
+
+void
+ThreadedServer::updateGaugesLocked()
+{
+    if (metrics_ == nullptr)
+        return;
+    metric_.queueDepth->set(static_cast<double>(queue_.size()));
+    metric_.idleWorkers->set(
+        static_cast<double>(config_.numWorkers - allocatedWorkers_));
+}
+
 std::uint64_t
 ThreadedServer::submit(ThreadedJob job)
 {
@@ -45,6 +96,12 @@ ThreadedServer::submit(ThreadedJob job)
         TPC_CHECK_MSG(!stopping_, "submit after shutdown");
         id = nextId_++;
         queue_.push_back(QueuedJob{id, Clock::now(), std::move(job)});
+        if (trace_ != nullptr)
+            trace_->record(makeEventLocked(obs::TraceEventType::kArrive, id));
+        if (metrics_ != nullptr) {
+            metric_.arrivals->inc();
+            updateGaugesLocked();
+        }
     }
     cv_.notify_all();
     return id;
@@ -144,6 +201,21 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
             outcome.initialDegree = req.initialDegree;
             outcome.maxDegree = req.maxDegree;
             outcome.corrected = req.corrected;
+            outcome.firstCorrectionDelayMs = req.firstCorrectionDelayMs;
+            if (trace_ != nullptr) {
+                obs::TraceEvent ev =
+                    makeEventLocked(obs::TraceEventType::kComplete, req.id);
+                ev.predictedMs = req.predictedMs;
+                ev.degree = req.maxDegree;
+                ev.oldDegree = req.initialDegree;
+                trace_->record(ev);
+            }
+            if (metrics_ != nullptr) {
+                metric_.completions->inc();
+                metric_.responseMs->add(outcome.responseMs);
+                metric_.queueMs->add(outcome.queueMs);
+                updateGaugesLocked();
+            }
             outcomes_.push_back(outcome);
             active_.erase(it);
         }
@@ -169,6 +241,26 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
 
         const int idle = config_.numWorkers - allocatedWorkers_;
         const int degree = std::clamp(decision.degree, 1, idle);
+
+        if (trace_ != nullptr) {
+            obs::TraceEvent ev =
+                makeEventLocked(obs::TraceEventType::kDispatch, queued.id);
+            ev.predictedMs = queued.job.predictedMs;
+            ev.degree = degree;
+            ev.requestedDegree = decision.degree;
+            ev.idleWorkers = idle;
+            if (const policy::DecisionRationale* why =
+                    policy_.lastRationale()) {
+                if (why->hasTarget) {
+                    ev.targetMs = why->targetMs;
+                    ev.loadValue = why->loadValue;
+                }
+                ev.speedup = why->speedupAtDegree;
+                ev.estimatedMs = why->estimatedMs;
+                ev.setProfileClass(why->profileClass);
+            }
+            trace_->record(ev);
+        }
 
         ActiveRequest req;
         req.id = queued.id;
@@ -205,6 +297,7 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         allocatedWorkers_ += degree;
         auto [it, inserted] = active_.emplace(req.id, std::move(req));
         TPC_DCHECK(inserted);
+        updateGaugesLocked();
 
         // Participants are posted under the lock; the pool never calls
         // back synchronously, so this cannot deadlock.
@@ -224,6 +317,14 @@ ThreadedServer::runRechecksLocked(std::unique_lock<std::mutex>& lock)
         if (req.tasks->finished())
             continue;
 
+        if (trace_ != nullptr) {
+            obs::TraceEvent ev =
+                makeEventLocked(obs::TraceEventType::kRecheck, req.id);
+            ev.degree = req.degree;
+            ev.idleWorkers = config_.numWorkers - allocatedWorkers_;
+            trace_->record(ev);
+        }
+
         policy::RequestView view;
         view.id = req.id;
         view.predictedMs = req.predictedMs;
@@ -236,10 +337,26 @@ ThreadedServer::runRechecksLocked(std::unique_lock<std::mutex>& lock)
         const int added =
             std::clamp(decision.degree - req.degree, 0, idle);
         if (added > 0) {
+            if (trace_ != nullptr) {
+                obs::TraceEvent ev =
+                    makeEventLocked(obs::TraceEventType::kCorrect, req.id);
+                ev.oldDegree = req.degree;
+                ev.degree = req.degree + added;
+                ev.idleWorkers = idle;
+                trace_->record(ev);
+            }
+            if (metrics_ != nullptr) {
+                metric_.corrections->inc();
+                metric_.correctionThreadsAdded->inc(
+                    static_cast<std::uint64_t>(added));
+            }
+            if (req.firstCorrectionDelayMs < 0.0)
+                req.firstCorrectionDelayMs = msBetween(req.dispatchTime, now);
             req.degree += added;
             req.maxDegree = std::max(req.maxDegree, req.degree);
             req.corrected = true;
             allocatedWorkers_ += added;
+            updateGaugesLocked();
             (void)lock;
             addParticipants(req, added, /*primary=*/false);
         }

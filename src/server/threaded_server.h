@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "policy/policy.h"
 #include "runtime/malleable_job.h"
 #include "runtime/worker_pool.h"
@@ -69,6 +71,9 @@ struct ThreadedOutcome
     int initialDegree = 1;
     int maxDegree = 1;
     bool corrected = false;
+    /** Time from dispatch to the first degree raise (ms); negative when
+     *  the degree was never raised. */
+    double firstCorrectionDelayMs = -1.0;
 };
 
 /**
@@ -97,6 +102,20 @@ class ThreadedServer
     /** Completion records so far (snapshot). */
     std::vector<ThreadedOutcome> outcomes() const;
 
+    /**
+     * Attaches a lifecycle-trace recorder (borrowed; nullptr detaches).
+     * Call before the first submit. Events are recorded from the
+     * submitting thread (ARRIVE), the scheduler (DISPATCH/RECHECK/
+     * CORRECT) and worker threads (COMPLETE); give the recorder one shard
+     * per recording thread so the buffers stay per-worker and are only
+     * merged at export. Event times are wall ms since server start.
+     */
+    void attachTrace(obs::TraceRecorder* trace, int serverId = 0);
+
+    /** Attaches a metrics registry (borrowed; nullptr detaches). Call
+     *  before the first submit. Same metric names as SimServer. */
+    void attachMetrics(obs::MetricsRegistry* metrics);
+
     const ThreadedServerConfig& config() const { return config_; }
 
   private:
@@ -121,6 +140,7 @@ class ThreadedServer
         int initialDegree = 0;
         int maxDegree = 0;
         bool corrected = false;
+        double firstCorrectionDelayMs = -1.0;
         /** Participants that have not yet returned. */
         int participantsOutstanding = 0;
         bool primaryDone = false;
@@ -134,6 +154,13 @@ class ThreadedServer
     /** Runs due correction checks. */
     void runRechecksLocked(std::unique_lock<std::mutex>& lock);
     policy::SystemState snapshotStateLocked() const;
+    /** Wall ms since server start, the trace-event time base. */
+    double nowMs() const { return msBetween(epoch_, Clock::now()); }
+    /** Base TraceEvent for a request (mutex_ must be held). */
+    obs::TraceEvent makeEventLocked(obs::TraceEventType type,
+                                    std::uint64_t id) const;
+    /** Refreshes the queue-depth / idle-worker gauges (mutex_ held). */
+    void updateGaugesLocked();
     void addParticipants(ActiveRequest& request, int count, bool primary);
     void onParticipantDone(std::uint64_t id, bool primary);
 
@@ -141,6 +168,22 @@ class ThreadedServer
 
     ThreadedServerConfig config_;
     policy::ParallelismPolicy& policy_;
+    const Clock::time_point epoch_ = Clock::now();
+
+    obs::TraceRecorder* trace_ = nullptr;
+    int traceServerId_ = 0;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    struct MetricHandles
+    {
+        obs::Counter* arrivals = nullptr;
+        obs::Counter* completions = nullptr;
+        obs::Counter* corrections = nullptr;
+        obs::Counter* correctionThreadsAdded = nullptr;
+        obs::Gauge* queueDepth = nullptr;
+        obs::Gauge* idleWorkers = nullptr;
+        obs::Histogram* responseMs = nullptr;
+        obs::Histogram* queueMs = nullptr;
+    } metric_;
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;

@@ -58,6 +58,14 @@ LogHistogram::merge(const LogHistogram& other)
     sum_ += other.sum_;
 }
 
+void
+LogHistogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
 double
 LogHistogram::bucketUpperBound(std::size_t i) const
 {

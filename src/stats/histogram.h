@@ -35,6 +35,9 @@ class LogHistogram
     /** Merges a histogram with identical bucketing parameters. */
     void merge(const LogHistogram& other);
 
+    /** Zeroes every bucket, keeping the bucketing parameters. */
+    void clear();
+
     /** Approximate q-quantile (0 <= q <= 1); 0 when empty. */
     double percentile(double q) const;
 

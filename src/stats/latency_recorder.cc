@@ -13,11 +13,33 @@ LatencySummary::toString() const
 {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f p99.9=%.2f "
-                  "max=%.2f",
-                  static_cast<unsigned long long>(count), mean, p50, p95, p99,
-                  p999, max);
+                  "n=%llu mean=%.2f p50=%.2f p90=%.2f p95=%.2f p99=%.2f "
+                  "p99.9=%.2f max=%.2f",
+                  static_cast<unsigned long long>(count), mean, p50, p90, p95,
+                  p99, p999, max);
     return buf;
+}
+
+std::vector<std::string>
+LatencySummary::csvHeader(const std::string& prefix)
+{
+    return {prefix + "count", prefix + "mean", prefix + "p50",
+            prefix + "p90",   prefix + "p95",  prefix + "p99",
+            prefix + "p999",  prefix + "max"};
+}
+
+std::vector<std::string>
+LatencySummary::toCsvRow() const
+{
+    std::vector<std::string> cells;
+    cells.reserve(8);
+    cells.push_back(std::to_string(count));
+    char buf[64];
+    for (double value : {mean, p50, p90, p95, p99, p999, max}) {
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+        cells.emplace_back(buf);
+    }
+    return cells;
 }
 
 LatencyRecorder::LatencyRecorder(std::size_t expectedSamples)
@@ -88,6 +110,7 @@ LatencyRecorder::summary() const
     s.count = count();
     s.mean = mean();
     s.p50 = percentile(0.50);
+    s.p90 = percentile(0.90);
     s.p95 = percentile(0.95);
     s.p99 = percentile(0.99);
     s.p999 = percentile(0.999);

@@ -23,6 +23,7 @@ struct LatencySummary
     std::uint64_t count = 0;
     double mean = 0.0;
     double p50 = 0.0;
+    double p90 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
     double p999 = 0.0;
@@ -30,6 +31,13 @@ struct LatencySummary
 
     /** One-line human-readable rendering (values in ms). */
     std::string toString() const;
+
+    /** CSV header cells matching toCsvRow(), each prefixed by @p prefix
+     *  (e.g. prefix "response_ms_" gives "response_ms_p50"). */
+    static std::vector<std::string> csvHeader(const std::string& prefix = "");
+
+    /** CSV cells: count, mean, p50, p90, p95, p99, p999, max. */
+    std::vector<std::string> toCsvRow() const;
 };
 
 /** Records latency samples and answers exact percentile queries. */

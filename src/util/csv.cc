@@ -11,6 +11,12 @@ namespace tpc::util {
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path)
 {
+    out_ = openForWrite(path);
+}
+
+std::ofstream
+openForWrite(const std::string& path)
+{
     const std::filesystem::path p(path);
     if (p.has_parent_path()) {
         std::error_code ec;
@@ -19,9 +25,10 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path)
             fatal("cannot create directory " + p.parent_path().string() +
                   ": " + ec.message());
     }
-    out_.open(path, std::ios::trunc);
-    if (!out_)
-        fatal("cannot open CSV file for writing: " + path);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open file for writing: " + path);
+    return out;
 }
 
 std::string

@@ -27,6 +27,9 @@ class CsvWriter
     /** Convenience overload taking doubles. */
     void writeRow(const std::vector<double>& cells);
 
+    /** Pushes buffered rows to disk (long-running periodic writers). */
+    void flush() { out_.flush(); }
+
     const std::string& path() const { return path_; }
 
   private:
@@ -39,5 +42,9 @@ class CsvWriter
 /** Returns the directory benches write CSVs into ("results" by default,
  *  overridable with the TPC_RESULTS_DIR environment variable). */
 std::string resultsDir();
+
+/** Opens @p path for (truncating) writing, creating parent directories
+ *  like CsvWriter does. Fatal when the file cannot be opened. */
+std::ofstream openForWrite(const std::string& path);
 
 } // namespace tpc::util

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the metrics registry: counter/gauge semantics, histogram
+ * window-vs-cumulative views and log-bucket accuracy, registration-order
+ * stability, CSV export with counter deltas, and a concurrency smoke.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tpc::obs {
+namespace {
+
+std::vector<std::string>
+splitCsvLine(const std::string& line)
+{
+    std::vector<std::string> fields;
+    std::stringstream in(line);
+    std::string field;
+    while (std::getline(in, field, ','))
+        fields.push_back(field);
+    return fields;
+}
+
+TEST(Counter, AccumulatesIncrements)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.inc();
+    counter.inc(41);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, LastValueWins)
+{
+    Gauge gauge;
+    gauge.set(3.5);
+    gauge.set(-1.0);
+    EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+TEST(Histogram, PercentilesLandInLogBuckets)
+{
+    Histogram histogram(0.01, 100000.0, 1.02);
+    for (int i = 1; i <= 1000; ++i)
+        histogram.add(static_cast<double>(i));
+    EXPECT_EQ(histogram.count(), 1000u);
+    const stats::LatencySummary summary = histogram.cumulativeSummary();
+    // Log buckets with 2% growth: percentiles within a few percent.
+    EXPECT_NEAR(summary.p50, 500.0, 500.0 * 0.05);
+    EXPECT_NEAR(summary.p90, 900.0, 900.0 * 0.05);
+    EXPECT_NEAR(summary.p99, 990.0, 990.0 * 0.05);
+    EXPECT_GE(summary.max, summary.p999);
+}
+
+TEST(Histogram, WindowResetsButCumulativeDoesNot)
+{
+    Histogram histogram(0.01, 100000.0, 1.02);
+    histogram.add(10.0);
+    histogram.add(20.0);
+    const stats::LatencySummary window1 = histogram.takeWindowSummary();
+    EXPECT_EQ(window1.count, 2u);
+
+    // Fresh window: earlier samples are gone from the windowed view.
+    histogram.add(100.0);
+    const stats::LatencySummary window2 = histogram.takeWindowSummary();
+    EXPECT_EQ(window2.count, 1u);
+    EXPECT_NEAR(window2.p50, 100.0, 100.0 * 0.05);
+
+    const stats::LatencySummary total = histogram.cumulativeSummary();
+    EXPECT_EQ(total.count, 3u);
+
+    // An empty window summarizes to zeros rather than stale data.
+    const stats::LatencySummary empty = histogram.takeWindowSummary();
+    EXPECT_EQ(empty.count, 0u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance)
+{
+    MetricsRegistry registry;
+    Counter& a = registry.counter("arrivals");
+    Counter& b = registry.counter("arrivals");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    EXPECT_EQ(b.value(), 1u);
+
+    Histogram& h1 = registry.histogram("response_ms");
+    Histogram& h2 = registry.histogram("response_ms", 1.0, 10.0, 1.5);
+    EXPECT_EQ(&h1, &h2); // Parameters only apply on first registration.
+}
+
+TEST(MetricsRegistry, NamesKeepRegistrationOrder)
+{
+    MetricsRegistry registry;
+    registry.counter("zulu");
+    registry.counter("alpha");
+    registry.gauge("queue_depth");
+    const std::vector<std::string> counters = registry.counterNames();
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0], "zulu");
+    EXPECT_EQ(counters[1], "alpha");
+    ASSERT_EQ(registry.gaugeNames().size(), 1u);
+    EXPECT_TRUE(registry.histogramNames().empty());
+}
+
+TEST(MetricsCsvExporter, WritesWindowRowsWithCounterDeltas)
+{
+    MetricsRegistry registry;
+    Counter& arrivals = registry.counter("arrivals");
+    Gauge& depth = registry.gauge("queue_depth");
+    Histogram& response = registry.histogram("response_ms");
+
+    const std::string path = ::testing::TempDir() + "/tpc_metrics.csv";
+    MetricsCsvExporter exporter(registry, path);
+
+    arrivals.inc(10);
+    depth.set(3.0);
+    response.add(25.0);
+    exporter.writeWindow(0.0, 100.0);
+
+    arrivals.inc(5);
+    depth.set(1.0);
+    exporter.writeWindow(100.0, 200.0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    const std::vector<std::string> columns = splitCsvLine(header);
+    ASSERT_GE(columns.size(), 4u);
+    EXPECT_EQ(columns[0], "window_start_ms");
+    EXPECT_EQ(columns[1], "window_end_ms");
+    EXPECT_NE(header.find("arrivals"), std::string::npos);
+    EXPECT_NE(header.find("queue_depth"), std::string::npos);
+    EXPECT_NE(header.find("response_ms_p99"), std::string::npos);
+
+    std::string row1;
+    std::string row2;
+    ASSERT_TRUE(std::getline(in, row1));
+    ASSERT_TRUE(std::getline(in, row2));
+    const std::vector<std::string> fields1 = splitCsvLine(row1);
+    const std::vector<std::string> fields2 = splitCsvLine(row2);
+    ASSERT_EQ(fields1.size(), columns.size());
+    ASSERT_EQ(fields2.size(), columns.size());
+
+    // Counters export per-window deltas, not cumulative totals.
+    std::size_t arrivalsCol = 0;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == "arrivals")
+            arrivalsCol = i;
+    }
+    EXPECT_EQ(fields1[arrivalsCol], "10");
+    EXPECT_EQ(fields2[arrivalsCol], "5");
+    std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesSmoke)
+{
+    MetricsRegistry registry;
+    constexpr int kThreads = 8;
+    constexpr int kIncrements = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry] {
+            Counter& counter = registry.counter("shared");
+            Histogram& histogram = registry.histogram("latency");
+            for (int i = 0; i < kIncrements; ++i) {
+                counter.inc();
+                histogram.add(1.0 + (i % 100));
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    EXPECT_EQ(registry.counter("shared").value(),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+    EXPECT_EQ(registry.histogram("latency").count(),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+} // namespace
+} // namespace tpc::obs

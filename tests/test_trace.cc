@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for lifecycle tracing: recorder sharding and merge order, event
+ * invariants over a simulated run (every request gets ARRIVE -> DISPATCH
+ * -> COMPLETE, corrections emit CORRECT), DISPATCH decision metadata,
+ * Chrome-trace JSON well-formedness, and a ThreadedServer thread-safety
+ * smoke run.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/experiment.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace_recorder.h"
+#include "policy/baselines.h"
+#include "server/sim_server.h"
+#include "server/threaded_server.h"
+
+namespace tpc::obs {
+namespace {
+
+/** TpcPolicy and SimServer borrow the model: keep one alive for the test
+ *  binary's lifetime. */
+const policy::SpeedupModel&
+model()
+{
+    static const policy::SpeedupModel instance =
+        policy::SpeedupModel::webSearchDefault();
+    return instance;
+}
+
+/**
+ * Minimal JSON well-formedness check: balanced braces/brackets outside
+ * strings, properly terminated strings, and no trailing garbage. Enough
+ * to catch the classic exporter bugs (unescaped quotes, dangling commas
+ * are legal JSON-wise only inside our control, missing brackets).
+ */
+bool
+isBalancedJson(const std::string& text)
+{
+    int depth = 0;
+    bool inString = false;
+    bool escaped = false;
+    for (char c : text) {
+        if (inString) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+        case '"': inString = true; break;
+        case '{':
+        case '[': ++depth; break;
+        case '}':
+        case ']':
+            if (--depth < 0)
+                return false;
+            break;
+        default: break;
+        }
+    }
+    return depth == 0 && !inString;
+}
+
+TEST(TraceEventType, NamesAreStable)
+{
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kArrive), "ARRIVE");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kDispatch), "DISPATCH");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kRecheck), "RECHECK");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kCorrect), "CORRECT");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::kComplete), "COMPLETE");
+}
+
+TEST(TraceRecorder, MergesShardsInTimeOrder)
+{
+    TraceRecorder recorder(3);
+    for (int i = 9; i >= 0; --i) {
+        TraceEvent ev;
+        ev.requestId = static_cast<std::uint64_t>(i);
+        ev.timeMs = static_cast<double>(i);
+        recorder.recordShard(static_cast<std::size_t>(i) % 3, ev);
+    }
+    const std::vector<TraceEvent> merged = recorder.merged();
+    ASSERT_EQ(merged.size(), 10u);
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        EXPECT_DOUBLE_EQ(merged[i].timeMs, static_cast<double>(i));
+}
+
+TEST(TraceRecorder, SeqBreaksTimeTies)
+{
+    TraceRecorder recorder(2);
+    TraceEvent a;
+    a.requestId = 1;
+    a.timeMs = 5.0;
+    TraceEvent b;
+    b.requestId = 2;
+    b.timeMs = 5.0;
+    recorder.recordShard(0, a);
+    recorder.recordShard(1, b);
+    const std::vector<TraceEvent> merged = recorder.merged();
+    ASSERT_EQ(merged.size(), 2u);
+    // Same timestamp: recording order (global seq) decides.
+    EXPECT_EQ(merged[0].requestId, 1u);
+    EXPECT_EQ(merged[1].requestId, 2u);
+    EXPECT_LT(merged[0].seq, merged[1].seq);
+}
+
+TEST(TraceRecorder, DisabledDropsEvents)
+{
+    TraceRecorder recorder;
+    recorder.setEnabled(false);
+    recorder.record(TraceEvent{});
+    EXPECT_EQ(recorder.eventCount(), 0u);
+    recorder.setEnabled(true);
+    recorder.record(TraceEvent{});
+    EXPECT_EQ(recorder.eventCount(), 1u);
+}
+
+TEST(TraceEvent, ProfileClassTruncatesSafely)
+{
+    TraceEvent ev;
+    ev.setProfileClass("a-very-long-speedup-class-name");
+    EXPECT_EQ(std::string(ev.profileClass).size(), sizeof(ev.profileClass) - 1);
+    ev.setProfileClass(nullptr);
+    EXPECT_STREQ(ev.profileClass, "");
+}
+
+/** Recheck-once policy that always raises to a fixed degree: guarantees a
+ *  CORRECT event when workers are idle. */
+class RaiseTo final : public policy::ParallelismPolicy
+{
+  public:
+    RaiseTo(int degree, double recheckMs)
+        : degree_(degree), recheckMs_(recheckMs)
+    {
+    }
+
+    std::string name() const override { return "RaiseTo"; }
+
+    policy::Decision onDispatch(const policy::RequestView&,
+                                const policy::SystemState&) override
+    {
+        return {1, recheckMs_};
+    }
+
+    policy::Decision onRecheck(const policy::RequestView&,
+                               const policy::SystemState&) override
+    {
+        return {degree_, 0.0};
+    }
+
+  private:
+    int degree_;
+    double recheckMs_;
+};
+
+TEST(SimServerTrace, LifecycleEventsObeyOrderingInvariants)
+{
+    sim::Simulator sim;
+    RaiseTo policy(4, 5.0);
+    server::ServerConfig config;
+    // Enough workers that every request finds 3 idle ones at its recheck.
+    config.numWorkers = 24;
+    server::SimServer server(
+        sim, config, policy, model());
+    TraceRecorder recorder;
+    server.attachTrace(&recorder);
+    for (int i = 0; i < 5; ++i)
+        server.submit(60.0, 60.0);
+    sim.runUntilEmpty();
+
+    // Group events per request and check the lifecycle order.
+    std::map<std::uint64_t, std::vector<TraceEvent>> byRequest;
+    for (const TraceEvent& ev : recorder.merged())
+        byRequest[ev.requestId].push_back(ev);
+    ASSERT_EQ(byRequest.size(), 5u);
+    for (const auto& [id, events] : byRequest) {
+        ASSERT_GE(events.size(), 3u);
+        EXPECT_EQ(events.front().type, TraceEventType::kArrive);
+        EXPECT_EQ(events[1].type, TraceEventType::kDispatch);
+        EXPECT_EQ(events.back().type, TraceEventType::kComplete);
+        double lastMs = -1.0;
+        for (const TraceEvent& ev : events) {
+            EXPECT_GE(ev.timeMs, lastMs);
+            lastMs = ev.timeMs;
+        }
+        // The recheck-once policy corrected every request to degree 4.
+        bool corrected = false;
+        for (const TraceEvent& ev : events) {
+            if (ev.type == TraceEventType::kCorrect) {
+                corrected = true;
+                EXPECT_EQ(ev.oldDegree, 1);
+                EXPECT_EQ(ev.degree, 4);
+            }
+        }
+        EXPECT_TRUE(corrected);
+        EXPECT_EQ(events.back().degree, 4);    // max degree
+        EXPECT_EQ(events.back().oldDegree, 1); // initial degree
+    }
+
+    // firstCorrectionDelayMs lands near the 5 ms recheck.
+    for (const auto& outcome : server.outcomes()) {
+        EXPECT_GE(outcome.firstCorrectionDelayMs, 5.0 - 1e-9);
+        EXPECT_LT(outcome.firstCorrectionDelayMs, 20.0);
+    }
+}
+
+TEST(SimServerTrace, DispatchCarriesTpcRationale)
+{
+    sim::Simulator sim;
+    core::TpcOptions options;
+    core::TpcPolicy policy(model(),
+                           core::TargetTable::webSearchDefault(), options);
+    server::ServerConfig config;
+    server::SimServer server(
+        sim, config, policy, model());
+    TraceRecorder recorder;
+    server.attachTrace(&recorder);
+    server.submit(150.0, 150.0);
+    sim.runUntilEmpty();
+
+    bool sawDispatch = false;
+    for (const TraceEvent& ev : recorder.merged()) {
+        if (ev.type != TraceEventType::kDispatch)
+            continue;
+        sawDispatch = true;
+        EXPECT_GT(ev.targetMs, 0.0);
+        EXPECT_GT(ev.speedup, 0.0);
+        EXPECT_GT(ev.estimatedMs, 0.0);
+        EXPECT_GT(ev.degree, 1); // 150 ms demand needs parallelism
+        EXPECT_GT(std::string(ev.profileClass).size(), 0u);
+        // Estimate is the predicted demand shrunk by the speedup.
+        EXPECT_NEAR(ev.estimatedMs, ev.predictedMs / ev.speedup, 1e-6);
+    }
+    EXPECT_TRUE(sawDispatch);
+}
+
+TEST(ChromeTrace, ExportsWellFormedJsonWithDispatchArgs)
+{
+    sim::Simulator sim;
+    RaiseTo policy(3, 4.0);
+    server::ServerConfig config;
+    server::SimServer server(
+        sim, config, policy, model());
+    TraceRecorder recorder;
+    server.attachTrace(&recorder, /*serverId=*/7);
+    for (int i = 0; i < 20; ++i)
+        server.submit(30.0, 30.0);
+    sim.runUntilEmpty();
+
+    const std::string json = chromeTraceJson(recorder.merged());
+    EXPECT_TRUE(isBalancedJson(json));
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"predicted_ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"corrections\""), std::string::npos);
+    EXPECT_NE(json.find("CORRECT"), std::string::npos);
+
+    // Round-trip through a file.
+    const std::string path = ::testing::TempDir() + "/tpc_trace.json";
+    writeChromeTrace(recorder.merged(), path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), json);
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, EmptyStreamIsStillValid)
+{
+    const std::string json = chromeTraceJson({});
+    EXPECT_TRUE(isBalancedJson(json));
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(HarnessTrace, RunTraceWritesTraceFile)
+{
+    const harness::Trace trace =
+        harness::syntheticBimodalTrace(200, 8.0, 120.0, 0.1, 11);
+    core::TpcOptions options;
+    core::TpcPolicy policy(model(),
+                           core::TargetTable::webSearchDefault(), options);
+    harness::ExperimentConfig config;
+    config.qps = 400.0;
+    config.traceOutPath = ::testing::TempDir() + "/tpc_harness_trace.json";
+    const harness::ExperimentResult result = harness::runTrace(
+        trace, policy, model(), config);
+    EXPECT_EQ(result.counters.completions, trace.size());
+
+    std::ifstream in(config.traceOutPath);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_TRUE(isBalancedJson(buffer.str()));
+    std::remove(config.traceOutPath.c_str());
+}
+
+TEST(ThreadedServerTrace, ConcurrentSubmittersSmoke)
+{
+    policy::PredPolicy policy(80.0, 2);
+    server::ThreadedServerConfig config;
+    config.numWorkers = 4;
+    config.recheckTickMs = 0.5;
+    TraceRecorder recorder(static_cast<std::size_t>(config.numWorkers) + 2);
+    constexpr int kThreads = 4;
+    constexpr int kJobsPerThread = 25;
+    {
+        server::ThreadedServer server(config, policy);
+        server.attachTrace(&recorder);
+        std::vector<std::thread> submitters;
+        for (int t = 0; t < kThreads; ++t) {
+            submitters.emplace_back([&server] {
+                for (int i = 0; i < kJobsPerThread; ++i) {
+                    server::ThreadedJob job;
+                    job.predictedMs = 1.0;
+                    job.numTasks = 3;
+                    job.task = [](int) {};
+                    server.submit(std::move(job));
+                }
+            });
+        }
+        for (auto& thread : submitters)
+            thread.join();
+        server.drain();
+    }
+
+    constexpr std::uint64_t kJobs = kThreads * kJobsPerThread;
+    std::uint64_t arrives = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t completes = 0;
+    for (const TraceEvent& ev : recorder.merged()) {
+        switch (ev.type) {
+        case TraceEventType::kArrive: ++arrives; break;
+        case TraceEventType::kDispatch: ++dispatches; break;
+        case TraceEventType::kComplete: ++completes; break;
+        default: break;
+        }
+    }
+    EXPECT_EQ(arrives, kJobs);
+    EXPECT_EQ(dispatches, kJobs);
+    EXPECT_EQ(completes, kJobs);
+    EXPECT_TRUE(isBalancedJson(chromeTraceJson(recorder.merged())));
+}
+
+} // namespace
+} // namespace tpc::obs
