@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Measures what the networked serving layer adds on top of in-process
+ * dispatch: the same ThreadedServer + TPC policy + request shape is
+ * driven once directly (submit / wait per request) and once through
+ * RpcServer + the open-loop client over loopback TCP at a rate low
+ * enough that no queueing occurs. The difference of the medians is the
+ * framing + event-loop + kernel-loopback overhead per request — the
+ * number that says whether latency experiments may be run through the
+ * socket path without distorting the paper's millisecond-scale tails.
+ *
+ * Writes results/net_overhead.csv.
+ */
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "server/threaded_server.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace {
+
+constexpr double kTaskMs = 0.2;
+constexpr int kNumTasks = 4;
+constexpr std::uint64_t kRequests = 300;
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+tpc::server::ThreadedJob
+makeWork()
+{
+    tpc::server::ThreadedJob job;
+    job.predictedMs = kTaskMs * kNumTasks;
+    job.numTasks = kNumTasks;
+    job.task = [](int) { busyWaitMs(kTaskMs); };
+    return job;
+}
+
+tpc::core::TpcPolicy
+makePolicy()
+{
+    tpc::core::TpcOptions options;
+    options.maxDegree = 4;
+    return tpc::core::TpcPolicy(tpc::harness::webSearchExecutionModel(),
+                                tpc::core::TargetTable::webSearchDefault(),
+                                options);
+}
+
+tpc::server::ThreadedServerConfig
+makeServerConfig()
+{
+    tpc::server::ThreadedServerConfig config;
+    config.numWorkers = 4;
+    config.hwContexts = 4;
+    return config;
+}
+
+/** Closed-loop in-process baseline: one request at a time, submit to
+ *  postamble-done wall time. */
+tpc::stats::LatencyRecorder
+runInProcess()
+{
+    using Clock = std::chrono::steady_clock;
+    auto policy = makePolicy();
+    tpc::server::ThreadedServer server(makeServerConfig(), policy);
+    tpc::stats::LatencyRecorder latency;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    for (std::uint64_t i = 0; i < kRequests; ++i) {
+        tpc::server::ThreadedJob job = makeWork();
+        job.postamble = [&] {
+            std::lock_guard<std::mutex> lock(mutex);
+            done = true;
+            cv.notify_one();
+        };
+        const auto start = Clock::now();
+        done = false;
+        server.submit(std::move(job));
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return done; });
+        latency.add(std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              start)
+                        .count());
+    }
+    return latency;
+}
+
+/** The same work through loopback TCP, offered slowly enough that the
+ *  open-loop latencies are queue-free. */
+tpc::stats::LatencyRecorder
+runNetworked()
+{
+    auto policy = makePolicy();
+    tpc::server::ThreadedServer server(makeServerConfig(), policy);
+    tpc::net::RpcServerConfig rpcConfig;
+    tpc::net::RpcServer rpc(
+        rpcConfig, server,
+        [](const tpc::net::Frame&,
+           std::vector<std::uint8_t>& responsePayload) {
+            tpc::server::ThreadedJob job = makeWork();
+            job.postamble = [&responsePayload] {
+                tpc::net::appendU64(responsePayload, 1);
+            };
+            return job;
+        });
+    std::thread loop([&rpc] { rpc.run(); });
+
+    tpc::net::LoadGenConfig loadConfig;
+    loadConfig.port = rpc.port();
+    // ~5 ms between arrivals vs ~1 ms of work: effectively closed loop.
+    loadConfig.qps = 200.0;
+    loadConfig.numRequests = kRequests;
+    loadConfig.connections = 1;
+    const tpc::net::LoadGenResult result = tpc::net::runLoadGen(loadConfig);
+
+    rpc.requestStop();
+    loop.join();
+    return result.latency;
+}
+
+} // namespace
+
+int
+main()
+{
+    using tpc::util::TablePrinter;
+
+    std::printf("bench_net_overhead: %llu requests of %d x %.1f ms tasks\n",
+                static_cast<unsigned long long>(kRequests), kNumTasks,
+                kTaskMs);
+    const tpc::stats::LatencyRecorder inProcess = runInProcess();
+    const tpc::stats::LatencyRecorder networked = runNetworked();
+
+    const tpc::stats::LatencySummary inSummary = inProcess.summary();
+    const tpc::stats::LatencySummary netSummary = networked.summary();
+    const double overheadP50 = netSummary.p50 - inSummary.p50;
+
+    TablePrinter table("net_overhead: in-process vs loopback RPC (ms)");
+    table.setHeader({"mode", "n", "mean", "p50", "p99", "max"});
+    table.addRow({"in_process", std::to_string(inSummary.count),
+                  TablePrinter::fmt(inSummary.mean, 3),
+                  TablePrinter::fmt(inSummary.p50, 3),
+                  TablePrinter::fmt(inSummary.p99, 3),
+                  TablePrinter::fmt(inSummary.max, 3)});
+    table.addRow({"loopback_rpc", std::to_string(netSummary.count),
+                  TablePrinter::fmt(netSummary.mean, 3),
+                  TablePrinter::fmt(netSummary.p50, 3),
+                  TablePrinter::fmt(netSummary.p99, 3),
+                  TablePrinter::fmt(netSummary.max, 3)});
+    table.print();
+    std::printf("median network overhead: %.3f ms\n", overheadP50);
+
+    tpc::util::CsvWriter csv(tpc::util::resultsDir() + "/net_overhead.csv");
+    csv.writeRow(std::vector<std::string>{"mode", "count", "mean_ms",
+                                          "p50_ms", "p99_ms", "max_ms"});
+    auto row = [&csv](const std::string& mode,
+                      const tpc::stats::LatencySummary& s) {
+        csv.writeRow(std::vector<std::string>{
+            mode, std::to_string(s.count), TablePrinter::fmt(s.mean, 4),
+            TablePrinter::fmt(s.p50, 4), TablePrinter::fmt(s.p99, 4),
+            TablePrinter::fmt(s.max, 4)});
+    };
+    row("in_process", inSummary);
+    row("loopback_rpc", netSummary);
+    csv.writeRow(std::vector<std::string>{
+        "overhead_p50", "", TablePrinter::fmt(overheadP50, 4), "", "", ""});
+    std::printf("wrote %s/net_overhead.csv\n",
+                tpc::util::resultsDir().c_str());
+    return 0;
+}

@@ -7,11 +7,21 @@
  * so the "predictor" is near-exact — the property that lets TPC meet its
  * targets without ever invoking dynamic correction.
  *
- *   ./build/examples/finance_server [--requests=N] [--rps=R]
- *       [--trace-out=trace.json] [--metrics-out=metrics.csv]
- *   (defaults sized for a small host)
+ *   In-process run (generates its own Poisson request stream):
+ *     ./build/examples/finance_server [--requests=N] [--rps=R]
+ *         [--trace-out=trace.json] [--metrics-out=metrics.csv]
+ *     (defaults sized for a small host)
+ *
+ *   Network serving (frames from examples/loadgen over TCP; a
+ *   deterministic hash of the first 8 payload bytes picks short vs long
+ *   pricing jobs at the usual 90/10 mix; Ctrl-C drains gracefully):
+ *     ./build/examples/finance_server --listen <port>
+ *         [--max-pending=N] [--max-in-flight=N]
  */
+#include <atomic>
+#include <bit>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -21,6 +31,8 @@
 #include "core/tpc_policy.h"
 #include "finance/mc_pricer.h"
 #include "harness/policies.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
@@ -31,12 +43,28 @@
 #include "util/args.h"
 #include "util/table_printer.h"
 
+namespace {
+
+/** The serving RpcServer, published for the SIGINT handler. */
+std::atomic<tpc::net::RpcServer*> gServer{nullptr};
+
+void
+onSignal(int)
+{
+    if (tpc::net::RpcServer* server = gServer.load())
+        server->requestStop();
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     using namespace tpc;
-    const util::ArgParser args(
-        argc, argv, {"requests", "rps", "trace-out", "metrics-out"});
+    const util::ArgParser args(argc, argv,
+                               {"requests", "rps", "trace-out",
+                                "metrics-out", "listen", "max-pending",
+                                "max-in-flight"});
     const auto numRequests =
         static_cast<std::size_t>(args.getInt("requests", 400));
     const double rps = args.getDouble("rps", 25.0);
@@ -72,6 +100,97 @@ main(int argc, char** argv)
     serverConfig.numWorkers =
         std::max(4u, std::thread::hardware_concurrency() * 2);
     serverConfig.longThresholdMs = 30.0;
+
+    if (args.has("listen")) {
+        net::RpcServerConfig rpcConfig;
+        rpcConfig.port = static_cast<std::uint16_t>(args.getInt("listen", 0));
+        rpcConfig.admission.maxPending =
+            static_cast<int>(args.getInt("max-pending", 256));
+        rpcConfig.admission.maxInFlight =
+            static_cast<int>(args.getInt("max-in-flight", 512));
+
+        net::RpcServerStats netStats;
+        std::uint64_t acceptedTotal = 0;
+        std::uint64_t shedTotal = 0;
+        stats::LatencyRecorder latency;
+        {
+            server::ThreadedServer server(serverConfig, tpc);
+            static constexpr int kChunks = 16;
+            net::RpcServer rpc(
+                rpcConfig, server,
+                [&](const net::Frame& request,
+                    std::vector<std::uint8_t>& responsePayload) {
+                    std::uint64_t seq = 0;
+                    net::readU64(request.payload, 0, &seq);
+                    // Deterministic 90/10 short/long mix keyed off the
+                    // client sequence number (Knuth multiplicative hash).
+                    const bool isLong =
+                        (seq * 2654435761u) % 10 == 0;
+                    const std::uint64_t paths =
+                        isLong ? longPaths : shortPaths;
+                    auto sums = std::make_shared<
+                        std::vector<std::pair<double, double>>>(kChunks);
+                    server::ThreadedJob job;
+                    job.predictedMs =
+                        estimator.estimateMs(paths, option.steps);
+                    job.numTasks = kChunks;
+                    job.task = [&pricer, &option, paths, sums, seq](int c) {
+                        const std::uint64_t chunkPaths = paths / kChunks;
+                        pricer.priceChunk(
+                            option, chunkPaths,
+                            seq * 1000 + static_cast<std::uint64_t>(c),
+                            (*sums)[static_cast<std::size_t>(c)].first,
+                            (*sums)[static_cast<std::size_t>(c)].second);
+                    };
+                    job.postamble = [&option, paths, sums,
+                                     &responsePayload] {
+                        double payoff = 0.0;
+                        double payoffSq = 0.0;
+                        for (const auto& [s, sq] : *sums) {
+                            payoff += s;
+                            payoffSq += sq;
+                        }
+                        const auto result =
+                            finance::MonteCarloPricer::combine(
+                                option, paths / kChunks * kChunks, payoff,
+                                payoffSq);
+                        // The price rides back as its IEEE-754 bit
+                        // pattern; the client reinterprets.
+                        net::appendU64(responsePayload,
+                                       std::bit_cast<std::uint64_t>(
+                                           result.price));
+                    };
+                    return job;
+                });
+            gServer.store(&rpc);
+            std::signal(SIGINT, onSignal);
+            std::signal(SIGTERM, onSignal);
+            std::printf("listening on 127.0.0.1:%u (Ctrl-C stops)\n",
+                        rpc.port());
+            std::fflush(stdout);
+            rpc.run();
+            gServer.store(nullptr);
+            netStats = rpc.stats();
+            acceptedTotal = rpc.admission().accepted();
+            shedTotal = rpc.admission().shed();
+            for (const auto& outcome : server.outcomes())
+                latency.add(outcome.responseMs);
+        }
+        util::TablePrinter table("finance_server: network serving run");
+        table.setHeader({"accepted", "shed", "responses", "proto_err",
+                         "server_mean", "server_p99"});
+        table.addRow({std::to_string(acceptedTotal),
+                      std::to_string(shedTotal),
+                      std::to_string(netStats.responsesSent),
+                      std::to_string(netStats.protocolErrors),
+                      util::TablePrinter::fmt(latency.mean(), 2),
+                      util::TablePrinter::fmt(latency.percentile(0.99), 2)});
+        table.print();
+        std::printf("dynamic corrections fired: %llu\n",
+                    static_cast<unsigned long long>(
+                        tpc.counters().corrections));
+        return 0;
+    }
 
     stats::LatencyRecorder latency;
     // One slot per request: postambles run concurrently on worker threads,

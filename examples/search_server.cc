@@ -6,10 +6,19 @@
  * parse/intersect/merge on real worker threads, with dynamic correction
  * adding threads to requests that overrun their target.
  *
- *   ./build/examples/search_server [--queries=N] [--qps=R]
- *       [--trace-out=trace.json] [--metrics-out=metrics.csv]
+ *   In-process run (generates its own Poisson query stream):
+ *     ./build/examples/search_server [--queries=N] [--qps=R]
+ *         [--trace-out=trace.json] [--metrics-out=metrics.csv]
+ *
+ *   Network serving (frames from examples/loadgen over TCP; the first 8
+ *   payload bytes select the query; Ctrl-C drains gracefully):
+ *     ./build/examples/search_server --listen <port> [--docs=N]
+ *         [--max-pending=N] [--max-in-flight=N] [--trace-out=...]
+ *         [--metrics-out=...]
  */
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -17,6 +26,8 @@
 
 #include "core/tpc_policy.h"
 #include "harness/policies.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
@@ -29,22 +40,42 @@
 #include "util/args.h"
 #include "util/table_printer.h"
 
+namespace {
+
+/** The serving RpcServer, published for the SIGINT handler. */
+std::atomic<tpc::net::RpcServer*> gServer{nullptr};
+
+void
+onSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + pipe write).
+    if (tpc::net::RpcServer* server = gServer.load())
+        server->requestStop();
+}
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     using namespace tpc;
-    const util::ArgParser args(
-        argc, argv, {"queries", "qps", "trace-out", "metrics-out"});
+    const util::ArgParser args(argc, argv,
+                               {"queries", "qps", "trace-out", "metrics-out",
+                                "listen", "docs", "max-pending",
+                                "max-in-flight"});
     const auto numQueries =
         static_cast<std::size_t>(args.getInt("queries", 800));
     const double qps = args.getDouble("qps", 120.0);
     const std::string traceOut = args.getString("trace-out", "");
     const std::string metricsOut = args.getString("metrics-out", "");
+    const bool listenMode = args.has("listen");
+    const auto numDocs = static_cast<std::uint32_t>(
+        args.getInt("docs", 20000));
 
     std::printf("building index and training predictor...\n");
     search::WorkloadParams params;
-    params.corpus.numDocuments = 20000;
-    params.corpus.vocabularySize = 20000;
+    params.corpus.numDocuments = numDocs;
+    params.corpus.vocabularySize = numDocs;
     params.trainingQueries = 6000;
     params.traceQueries = numQueries;
     const search::SearchWorkload workload(params);
@@ -86,6 +117,123 @@ main(int argc, char** argv)
     serverConfig.numWorkers =
         std::max(4u, std::thread::hardware_concurrency() * 2);
     serverConfig.longThresholdMs = 80.0 * scale;
+
+    if (listenMode) {
+        net::RpcServerConfig rpcConfig;
+        rpcConfig.port = static_cast<std::uint16_t>(args.getInt("listen", 0));
+        rpcConfig.admission.maxPending =
+            static_cast<int>(args.getInt("max-pending", 256));
+        rpcConfig.admission.maxInFlight =
+            static_cast<int>(args.getInt("max-in-flight", 512));
+
+        // Shards: workers + scheduler + event loop (+ slack for main).
+        std::unique_ptr<obs::TraceRecorder> recorder;
+        if (!traceOut.empty())
+            recorder = std::make_unique<obs::TraceRecorder>(
+                static_cast<std::size_t>(serverConfig.numWorkers) + 3);
+        std::unique_ptr<obs::MetricsRegistry> metrics;
+        if (!metricsOut.empty())
+            metrics = std::make_unique<obs::MetricsRegistry>();
+
+        const auto runStart = std::chrono::steady_clock::now();
+        net::RpcServerStats netStats;
+        std::uint64_t acceptedTotal = 0;
+        std::uint64_t shedTotal = 0;
+        stats::LatencyRecorder latency;
+        {
+            // Destruction order matters: the RpcServer's postambles call
+            // back into it, so it must be destroyed before the engine.
+            server::ThreadedServer server(serverConfig, tpc);
+            const auto chunks = executor.makeChunks();
+            net::RpcServer rpc(
+                rpcConfig, server,
+                [&](const net::Frame& request,
+                    std::vector<std::uint8_t>& responsePayload) {
+                    // The first 8 payload bytes select the query.
+                    std::uint64_t seq = 0;
+                    net::readU64(request.payload, 0, &seq);
+                    const std::size_t idx =
+                        static_cast<std::size_t>(seq) %
+                        workload.traceQueries().size();
+                    const search::Query& q = workload.traceQueries()[idx];
+                    server::ThreadedJob job;
+                    job.predictedMs =
+                        workload.trace()[idx].predictedMs * scale;
+                    auto results = std::make_shared<
+                        std::vector<search::ChunkResult>>();
+                    results->reserve(chunks.size());
+                    for (std::size_t c = 0; c < chunks.size(); ++c)
+                        results->emplace_back(10);
+                    job.preamble = [&executor, &q] {
+                        executor.parsePhase(q);
+                    };
+                    job.numTasks = static_cast<int>(chunks.size());
+                    job.task = [&executor, &q, &chunks, results](int c) {
+                        executor.executeRange(
+                            q, chunks[static_cast<std::size_t>(c)],
+                            (*results)[static_cast<std::size_t>(c)]);
+                    };
+                    job.postamble = [&executor, &q, results,
+                                     &responsePayload] {
+                        const search::SearchResult merged =
+                            executor.mergeAndRescore(q, *results);
+                        net::appendU64(responsePayload, merged.matchCount);
+                    };
+                    return job;
+                });
+            if (recorder != nullptr) {
+                server.attachTrace(recorder.get());
+                rpc.attachTrace(recorder.get());
+            }
+            if (metrics != nullptr) {
+                server.attachMetrics(metrics.get());
+                rpc.attachMetrics(metrics.get());
+            }
+            gServer.store(&rpc);
+            std::signal(SIGINT, onSignal);
+            std::signal(SIGTERM, onSignal);
+            std::printf("listening on 127.0.0.1:%u (Ctrl-C stops)\n",
+                        rpc.port());
+            std::fflush(stdout);
+            rpc.run();
+            gServer.store(nullptr);
+            netStats = rpc.stats();
+            acceptedTotal = rpc.admission().accepted();
+            shedTotal = rpc.admission().shed();
+            for (const auto& outcome : server.outcomes())
+                latency.add(outcome.responseMs);
+        }
+        if (recorder != nullptr) {
+            obs::writeChromeTrace(recorder->merged(), traceOut);
+            std::printf("wrote %zu trace events to %s\n",
+                        recorder->eventCount(), traceOut.c_str());
+        }
+        if (metrics != nullptr) {
+            // Shed/accepted/in-flight land in the CSV via the net_*
+            // counters RpcServer registered.
+            obs::MetricsCsvExporter exporter(*metrics, metricsOut);
+            exporter.writeWindow(
+                0.0, std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - runStart)
+                         .count());
+            std::printf("wrote metrics snapshot to %s\n",
+                        metricsOut.c_str());
+        }
+        util::TablePrinter table("search_server: network serving run");
+        table.setHeader({"accepted", "shed", "responses", "proto_err",
+                         "server_mean", "server_p99"});
+        table.addRow({std::to_string(acceptedTotal),
+                      std::to_string(shedTotal),
+                      std::to_string(netStats.responsesSent),
+                      std::to_string(netStats.protocolErrors),
+                      util::TablePrinter::fmt(latency.mean(), 2),
+                      util::TablePrinter::fmt(latency.percentile(0.99), 2)});
+        table.print();
+        std::printf("dynamic corrections fired: %llu\n",
+                    static_cast<unsigned long long>(
+                        tpc.counters().corrections));
+        return 0;
+    }
 
     stats::LatencyRecorder latency;
     // One trace shard per recording thread: workers + scheduler + client.

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the networked serving path: start search_server
+# --listen on a loopback port, drive it with the open-loop load generator
+# for ~2 seconds at low QPS, and assert a non-empty latency summary
+# (loadgen exits nonzero when no request completed). Used by CI on the
+# Release build; sanitizer jobs skip it (timing-sensitive).
+#
+# Usage: scripts/net_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+PORT=$((20000 + RANDOM % 10000))
+LOG="$(mktemp)"
+CSV="$(mktemp -u).csv"
+
+"${BUILD_DIR}/examples/search_server" --listen "${PORT}" --docs 4000 \
+    --queries 200 > "${LOG}" 2>&1 &
+SERVER_PID=$!
+trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
+
+# Index build + predictor training take a while; wait until it listens.
+for _ in $(seq 1 240); do
+    grep -q "listening on" "${LOG}" && break
+    if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+        echo "net_smoke: server exited before listening" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+grep -q "listening on" "${LOG}" || {
+    echo "net_smoke: server never started listening" >&2
+    cat "${LOG}" >&2
+    exit 1
+}
+
+"${BUILD_DIR}/examples/loadgen" --port "${PORT}" --qps 50 --duration-s 2 \
+    --csv-out "${CSV}"
+
+# Graceful drain via SIGINT; the server must exit cleanly.
+kill -INT "${SERVER_PID}"
+wait "${SERVER_PID}"
+trap - EXIT
+
+# The CSV must exist and hold a header plus exactly one summary row.
+[ "$(wc -l < "${CSV}")" -eq 2 ] || {
+    echo "net_smoke: unexpected loadgen CSV:" >&2
+    cat "${CSV}" >&2
+    exit 1
+}
+echo "net_smoke: OK"

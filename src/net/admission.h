@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Admission control for the RPC serving layer.
+ *
+ * An open-loop client keeps sending at its configured rate no matter how
+ * far behind the server falls, so an overloaded ISN must shed load or its
+ * queue — and the latency of every queued request — grows without bound.
+ * The controller bounds two quantities: requests submitted-but-incomplete
+ * (in-flight) and requests sitting in the dispatch queue (pending). A
+ * request that would exceed either limit is rejected immediately with a
+ * BUSY response, which keeps the tail of *accepted* requests flat under
+ * overload (the property the ISSUE's overload test asserts).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tpc::net {
+
+/** Limits enforced by the AdmissionController. */
+struct AdmissionLimits
+{
+    /** Max requests submitted but not yet completed (<= 0: unlimited). */
+    int maxInFlight = 128;
+    /** Max requests waiting in the dispatch queue (<= 0: unlimited). */
+    int maxPending = 64;
+};
+
+/**
+ * Thread-safe accept/shed decision with counters. tryAdmit() is called
+ * with the server's current dispatch-queue depth; onComplete() must be
+ * called exactly once per admitted request.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionLimits limits = {})
+        : limits_(limits)
+    {
+    }
+
+    /**
+     * Admits the request unless a limit is exceeded. On admission the
+     * in-flight count is already incremented when this returns.
+     */
+    bool tryAdmit(int queueDepth)
+    {
+        if (limits_.maxPending > 0 && queueDepth >= limits_.maxPending) {
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        int current = inFlight_.load(std::memory_order_relaxed);
+        for (;;) {
+            if (limits_.maxInFlight > 0 && current >= limits_.maxInFlight) {
+                shed_.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+            if (inFlight_.compare_exchange_weak(current, current + 1,
+                                                std::memory_order_relaxed))
+                break;
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Releases one admitted request's in-flight slot. */
+    void onComplete() { inFlight_.fetch_sub(1, std::memory_order_relaxed); }
+
+    int inFlight() const
+    {
+        return inFlight_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t accepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t shed() const
+    {
+        return shed_.load(std::memory_order_relaxed);
+    }
+
+    const AdmissionLimits& limits() const { return limits_; }
+
+  private:
+    AdmissionLimits limits_;
+    std::atomic<int> inFlight_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> shed_{0};
+};
+
+} // namespace tpc::net

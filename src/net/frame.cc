@@ -1,0 +1,171 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tpc::net {
+namespace {
+
+void
+putU32(std::uint8_t* out, std::uint32_t value)
+{
+    out[0] = static_cast<std::uint8_t>(value);
+    out[1] = static_cast<std::uint8_t>(value >> 8);
+    out[2] = static_cast<std::uint8_t>(value >> 16);
+    out[3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+void
+putU64(std::uint8_t* out, std::uint64_t value)
+{
+    putU32(out, static_cast<std::uint32_t>(value));
+    putU32(out + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint32_t
+getU32(const std::uint8_t* in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           static_cast<std::uint32_t>(in[1]) << 8 |
+           static_cast<std::uint32_t>(in[2]) << 16 |
+           static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t
+getU64(const std::uint8_t* in)
+{
+    return static_cast<std::uint64_t>(getU32(in)) |
+           static_cast<std::uint64_t>(getU32(in + 4)) << 32;
+}
+
+} // namespace
+
+void
+encodeFrame(const Frame& frame, std::vector<std::uint8_t>& out)
+{
+    TPC_CHECK(frame.payload.size() <= kDefaultMaxPayload);
+    const std::size_t base = out.size();
+    out.resize(base + kHeaderSize + frame.payload.size());
+    std::uint8_t* h = out.data() + base;
+    putU32(h, kMagic);
+    h[4] = kProtocolVersion;
+    h[5] = static_cast<std::uint8_t>(frame.type);
+    h[6] = frame.cls;
+    h[7] = static_cast<std::uint8_t>(frame.status);
+    putU64(h + 8, frame.requestId);
+    putU32(h + 16, static_cast<std::uint32_t>(frame.payload.size()));
+    putU32(h + 20, 0);
+    if (!frame.payload.empty())
+        std::memcpy(h + kHeaderSize, frame.payload.data(),
+                    frame.payload.size());
+}
+
+DecodeResult
+decodeFrame(const std::uint8_t* data, std::size_t size,
+            std::size_t maxPayload)
+{
+    DecodeResult result;
+    if (size < kHeaderSize)
+        return result; // kNeedMore
+
+    auto fail = [&result](std::string why) {
+        result.status = DecodeStatus::kError;
+        result.error = std::move(why);
+        return result;
+    };
+
+    if (getU32(data) != kMagic)
+        return fail("bad magic");
+    if (data[4] != kProtocolVersion)
+        return fail("unsupported protocol version " +
+                    std::to_string(static_cast<int>(data[4])));
+    const std::uint8_t type = data[5];
+    if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+        type != static_cast<std::uint8_t>(FrameType::kResponse))
+        return fail("unknown frame type " +
+                    std::to_string(static_cast<int>(type)));
+    const std::uint8_t status = data[7];
+    if (status > static_cast<std::uint8_t>(FrameStatus::kError))
+        return fail("unknown frame status " +
+                    std::to_string(static_cast<int>(status)));
+    const std::uint32_t payloadLength = getU32(data + 16);
+    if (payloadLength > maxPayload)
+        return fail("payload length " + std::to_string(payloadLength) +
+                    " exceeds cap " + std::to_string(maxPayload));
+    if (getU32(data + 20) != 0)
+        return fail("reserved header bytes must be zero");
+    if (size < kHeaderSize + payloadLength)
+        return result; // kNeedMore: header is sane, payload still arriving.
+
+    result.status = DecodeStatus::kFrame;
+    result.consumed = kHeaderSize + payloadLength;
+    result.frame.type = static_cast<FrameType>(type);
+    result.frame.cls = data[6];
+    result.frame.status = static_cast<FrameStatus>(status);
+    result.frame.requestId = getU64(data + 8);
+    result.frame.payload.assign(data + kHeaderSize,
+                                data + kHeaderSize + payloadLength);
+    return result;
+}
+
+void
+FrameReader::append(const std::uint8_t* data, std::size_t size)
+{
+    if (broken_ || size == 0)
+        return;
+    // Compact once the consumed prefix dominates the buffer so memory
+    // stays proportional to the unread suffix.
+    if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(offset_));
+        offset_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool
+FrameReader::next(Frame* out)
+{
+    if (broken_)
+        return false;
+    DecodeResult result = decodeFrame(buffer_.data() + offset_,
+                                      buffer_.size() - offset_, maxPayload_);
+    switch (result.status) {
+    case DecodeStatus::kNeedMore:
+        return false;
+    case DecodeStatus::kError:
+        broken_ = true;
+        error_ = std::move(result.error);
+        return false;
+    case DecodeStatus::kFrame:
+        offset_ += result.consumed;
+        if (offset_ == buffer_.size()) {
+            buffer_.clear();
+            offset_ = 0;
+        }
+        *out = std::move(result.frame);
+        return true;
+    }
+    return false;
+}
+
+void
+appendU64(std::vector<std::uint8_t>& out, std::uint64_t value)
+{
+    const std::size_t base = out.size();
+    out.resize(base + 8);
+    putU64(out.data() + base, value);
+}
+
+bool
+readU64(const std::vector<std::uint8_t>& payload, std::size_t offset,
+        std::uint64_t* value)
+{
+    if (payload.size() < offset + 8 || offset + 8 < offset)
+        return false;
+    *value = getU64(payload.data() + offset);
+    return true;
+}
+
+} // namespace tpc::net

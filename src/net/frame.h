@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Length-prefixed binary framing for the RPC serving layer.
+ *
+ * One frame carries one request or one response. The header is fixed-size
+ * (no varints) so a reader knows after kHeaderSize bytes exactly how much
+ * more to expect, and every field is little-endian regardless of host
+ * order. Decoding is defensive: bad magic, unknown version/type, and
+ * payload lengths beyond the negotiated cap are hard errors that the
+ * server answers by closing the connection, never by trusting the length.
+ *
+ * Wire layout (kHeaderSize = 24 bytes, then `payloadLength` payload bytes):
+ *
+ *   offset  size  field
+ *        0     4  magic 0x54504352 ("TPCR")
+ *        4     1  version (kProtocolVersion)
+ *        5     1  type (FrameType)
+ *        6     1  cls (request class, application-defined)
+ *        7     1  status (FrameStatus; responses only, 0 on requests)
+ *        8     8  requestId (client-assigned, echoed in the response)
+ *       16     4  payloadLength
+ *       20     4  reserved (must be 0)
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpc::net {
+
+/** Bytes before the payload. */
+inline constexpr std::size_t kHeaderSize = 24;
+
+/** "TPCR" little-endian. */
+inline constexpr std::uint32_t kMagic = 0x52435054u;
+
+/** Current wire version. */
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Default cap on payload bytes; decoders reject longer frames. */
+inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
+
+/** What a frame carries. */
+enum class FrameType : std::uint8_t {
+    kRequest = 1,
+    kResponse = 2,
+};
+
+/** Response disposition. */
+enum class FrameStatus : std::uint8_t {
+    kOk = 0,
+    /** Load-shed by the admission controller; retry later. */
+    kBusy = 1,
+    /** The server failed to execute the request. */
+    kError = 2,
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::kRequest;
+    /** Application-defined request class (e.g. short/long). */
+    std::uint8_t cls = 0;
+    FrameStatus status = FrameStatus::kOk;
+    /** Client-assigned id, echoed verbatim in the response. */
+    std::uint64_t requestId = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Appends the wire encoding of @p frame to @p out. */
+void encodeFrame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+/** Encoded size of a frame with @p payloadBytes of payload. */
+inline std::size_t
+frameSize(std::size_t payloadBytes)
+{
+    return kHeaderSize + payloadBytes;
+}
+
+/** Outcome of one decode attempt. */
+enum class DecodeStatus : std::uint8_t {
+    /** Not enough bytes yet; consumed == 0. */
+    kNeedMore,
+    /** One frame decoded; consumed == its encoded size. */
+    kFrame,
+    /** Malformed input; the connection must be dropped. */
+    kError,
+};
+
+/** Result of decodeFrame(). */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::kNeedMore;
+    /** Bytes consumed from the input (0 unless status == kFrame). */
+    std::size_t consumed = 0;
+    Frame frame;
+    /** Human-readable reason when status == kError. */
+    std::string error;
+};
+
+/**
+ * Attempts to decode one frame from the first @p size bytes of @p data.
+ * Never reads past @p size; a header announcing more payload than
+ * @p maxPayload is an error, not a wait-for-more.
+ */
+DecodeResult decodeFrame(const std::uint8_t* data, std::size_t size,
+                         std::size_t maxPayload = kDefaultMaxPayload);
+
+/**
+ * Incremental frame reader for a byte stream: append() whatever the
+ * socket produced, then call next() until it returns false. Once any
+ * input was malformed the reader latches into the error state and
+ * next() always returns false.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(std::size_t maxPayload = kDefaultMaxPayload)
+        : maxPayload_(maxPayload)
+    {
+    }
+
+    /** Feeds @p size raw stream bytes into the reader. */
+    void append(const std::uint8_t* data, std::size_t size);
+
+    /**
+     * Pops the next complete frame into @p out. Returns false when the
+     * buffered bytes hold no complete frame (or the stream is broken).
+     */
+    bool next(Frame* out);
+
+    /** True once malformed input was seen. */
+    bool broken() const { return broken_; }
+
+    /** Reason the stream is broken (empty while healthy). */
+    const std::string& error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buffer_.size() - offset_; }
+
+  private:
+    std::size_t maxPayload_;
+    std::vector<std::uint8_t> buffer_;
+    /** Consumed prefix of buffer_; compacted lazily. */
+    std::size_t offset_ = 0;
+    bool broken_ = false;
+    std::string error_;
+};
+
+/** Appends a little-endian u64 to a payload buffer. */
+void appendU64(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/**
+ * Reads a little-endian u64 from @p payload at @p offset; returns false
+ * when the payload is too short.
+ */
+bool readU64(const std::vector<std::uint8_t>& payload, std::size_t offset,
+             std::uint64_t* value);
+
+} // namespace tpc::net

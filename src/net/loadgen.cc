@@ -1,0 +1,321 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "util/csv.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One persistent client connection. */
+struct ClientConn
+{
+    FdGuard fd;
+    FrameReader reader;
+    std::vector<std::uint8_t> writeBuffer;
+    std::size_t writeOffset = 0;
+    bool wantWrite = false;
+    bool alive = false;
+};
+
+double
+msSince(Clock::time_point epoch)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - epoch)
+        .count();
+}
+
+/** Connects all sockets, retrying until the timeout (the server may still
+ *  be binding its port, e.g. in the CI smoke test). */
+void
+connectAll(const LoadGenConfig& config, std::vector<ClientConn>& conns)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config.connectTimeoutMs));
+    for (ClientConn& conn : conns) {
+        for (;;) {
+            std::string error;
+            const int fd = connectTcp(config.host, config.port, &error);
+            if (fd >= 0) {
+                // Wait for the non-blocking connect to resolve.
+                Poller poller;
+                poller.add(fd, kPollOut);
+                std::vector<PollEvent> events;
+                poller.wait(events, 250);
+                if (!events.empty() && connectSucceeded(fd)) {
+                    conn.fd.reset(fd);
+                    conn.reader = FrameReader();
+                    conn.alive = true;
+                    break;
+                }
+                ::close(fd);
+            }
+            if (Clock::now() >= deadline)
+                util::fatal("loadgen: cannot connect to " + config.host +
+                            ":" + std::to_string(config.port) +
+                            (error.empty() ? "" : (": " + error)));
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+    }
+}
+
+void
+flushConn(ClientConn& conn, Poller& poller, LoadGenResult& result)
+{
+    while (conn.writeOffset < conn.writeBuffer.size()) {
+        std::size_t n = 0;
+        const IoStatus status = writeSome(
+            conn.fd.fd(), conn.writeBuffer.data() + conn.writeOffset,
+            conn.writeBuffer.size() - conn.writeOffset, &n);
+        if (status == IoStatus::kOk && n > 0) {
+            conn.writeOffset += n;
+            continue;
+        }
+        if (status == IoStatus::kWouldBlock || n == 0) {
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                poller.modify(conn.fd.fd(), kPollIn | kPollOut);
+            }
+            return;
+        }
+        conn.alive = false;
+        ++result.connectionsLost;
+        poller.remove(conn.fd.fd());
+        conn.fd.reset();
+        return;
+    }
+    conn.writeBuffer.clear();
+    conn.writeOffset = 0;
+    if (conn.wantWrite) {
+        conn.wantWrite = false;
+        poller.modify(conn.fd.fd(), kPollIn);
+    }
+}
+
+} // namespace
+
+LoadGenResult
+runLoadGen(const LoadGenConfig& config)
+{
+    TPC_CHECK(config.qps > 0.0);
+    TPC_CHECK(config.connections >= 1);
+    TPC_CHECK(config.payloadBytes >= 8);
+
+    LoadGenResult result;
+    std::vector<ClientConn> conns(
+        static_cast<std::size_t>(config.connections));
+    connectAll(config, conns);
+
+    Poller poller;
+    for (const ClientConn& conn : conns)
+        poller.add(conn.fd.fd(), kPollIn);
+
+    util::PoissonProcess arrivals(config.qps, util::Rng(config.seed));
+    /** Scheduled arrival time (ms) of each unanswered request. */
+    std::map<std::uint64_t, double> outstanding;
+
+    const auto epoch = Clock::now();
+    double nextArrivalMs = arrivals.nextArrivalMs();
+    std::uint64_t seq = 0;
+    bool sendingDone = false;
+    double sendingDoneAtMs = 0.0;
+    std::size_t nextConn = 0;
+    std::vector<PollEvent> events;
+    std::uint8_t readBuffer[16384];
+
+    auto doneSending = [&](double nowMs) {
+        if (config.numRequests > 0)
+            return seq >= config.numRequests;
+        return nowMs >= config.durationMs;
+    };
+
+    for (;;) {
+        double nowMs = msSince(epoch);
+
+        // Open-loop send: emit every arrival whose time has come, without
+        // ever waiting on a response. A backed-up connection buffers the
+        // frame; the request is still timestamped at its scheduled
+        // arrival, so server-side delay is measured, not masked.
+        while (!sendingDone && nextArrivalMs <= nowMs) {
+            std::size_t attempts = 0;
+            while (!conns[nextConn].alive && attempts < conns.size()) {
+                nextConn = (nextConn + 1) % conns.size();
+                ++attempts;
+            }
+            if (attempts == conns.size() && !conns[nextConn].alive) {
+                util::warn("loadgen: all connections lost; stopping early");
+                sendingDone = true;
+                sendingDoneAtMs = nowMs;
+                break;
+            }
+            ClientConn& conn = conns[nextConn];
+            nextConn = (nextConn + 1) % conns.size();
+
+            Frame frame;
+            frame.type = FrameType::kRequest;
+            frame.cls = config.cls;
+            frame.requestId = seq;
+            appendU64(frame.payload, seq);
+            if (frame.payload.size() < config.payloadBytes)
+                frame.payload.resize(config.payloadBytes, 0);
+            if (config.payloadFn)
+                config.payloadFn(seq, frame.payload);
+            encodeFrame(frame, conn.writeBuffer);
+            flushConn(conn, poller, result);
+
+            outstanding[seq] = nextArrivalMs;
+            ++result.sent;
+            ++seq;
+            nextArrivalMs = arrivals.nextArrivalMs();
+            if (doneSending(nowMs)) {
+                sendingDone = true;
+                sendingDoneAtMs = nowMs;
+            }
+        }
+        if (!sendingDone && doneSending(nowMs)) {
+            sendingDone = true;
+            sendingDoneAtMs = nowMs;
+        }
+
+        if (sendingDone) {
+            const bool anyAlive =
+                std::any_of(conns.begin(), conns.end(),
+                            [](const ClientConn& c) { return c.alive; });
+            if (outstanding.empty() || !anyAlive ||
+                nowMs - sendingDoneAtMs >= config.drainTimeoutMs)
+                break;
+        }
+
+        // Sleep until the next arrival is due (capped so response reads
+        // and the drain check stay responsive).
+        int timeoutMs = 10;
+        if (!sendingDone) {
+            const double untilNext = nextArrivalMs - nowMs;
+            timeoutMs = std::clamp(
+                static_cast<int>(std::ceil(untilNext)), 0, 10);
+        }
+        poller.wait(events, timeoutMs);
+
+        for (const PollEvent& ev : events) {
+            auto connIt = std::find_if(conns.begin(), conns.end(),
+                                       [&ev](const ClientConn& c) {
+                                           return c.alive &&
+                                                  c.fd.fd() == ev.fd;
+                                       });
+            if (connIt == conns.end())
+                continue;
+            ClientConn& conn = *connIt;
+            if (ev.events & kPollErr) {
+                conn.alive = false;
+                ++result.connectionsLost;
+                poller.remove(conn.fd.fd());
+                conn.fd.reset();
+                continue;
+            }
+            if (ev.events & kPollOut)
+                flushConn(conn, poller, result);
+            if (!conn.alive || !(ev.events & kPollIn))
+                continue;
+
+            for (;;) {
+                std::size_t n = 0;
+                const IoStatus status = readSome(conn.fd.fd(), readBuffer,
+                                                 sizeof(readBuffer), &n);
+                if (status == IoStatus::kOk) {
+                    conn.reader.append(readBuffer, n);
+                    continue;
+                }
+                if (status == IoStatus::kWouldBlock)
+                    break;
+                conn.alive = false;
+                ++result.connectionsLost;
+                poller.remove(conn.fd.fd());
+                conn.fd.reset();
+                break;
+            }
+
+            Frame response;
+            while (conn.alive && conn.reader.next(&response)) {
+                const auto it = outstanding.find(response.requestId);
+                if (it == outstanding.end())
+                    continue; // Duplicate or unknown id; ignore.
+                const double responseMs = msSince(epoch) - it->second;
+                outstanding.erase(it);
+                switch (response.status) {
+                case FrameStatus::kOk:
+                    ++result.completed;
+                    result.latency.add(responseMs);
+                    break;
+                case FrameStatus::kBusy:
+                    ++result.shed;
+                    break;
+                case FrameStatus::kError:
+                    ++result.errors;
+                    break;
+                }
+            }
+            if (conn.alive && conn.reader.broken()) {
+                util::warn("loadgen: protocol error from server: " +
+                           conn.reader.error());
+                conn.alive = false;
+                ++result.connectionsLost;
+                poller.remove(conn.fd.fd());
+                conn.fd.reset();
+            }
+        }
+    }
+
+    result.unanswered = outstanding.size();
+    result.elapsedMs = msSince(epoch);
+    result.achievedQps = result.elapsedMs > 0.0
+                             ? result.sent / result.elapsedMs * 1000.0
+                             : 0.0;
+    return result;
+}
+
+void
+writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
+                const std::string& path)
+{
+    util::CsvWriter csv(path);
+    std::vector<std::string> header = {
+        "target_qps", "achieved_qps", "connections", "sent",
+        "completed",  "shed",         "errors",      "unanswered",
+        "elapsed_ms"};
+    const auto latencyHeader =
+        stats::LatencySummary::csvHeader("response_ms_");
+    header.insert(header.end(), latencyHeader.begin(), latencyHeader.end());
+    csv.writeRow(header);
+
+    std::vector<std::string> row = {
+        std::to_string(config.qps),
+        std::to_string(result.achievedQps),
+        std::to_string(config.connections),
+        std::to_string(result.sent),
+        std::to_string(result.completed),
+        std::to_string(result.shed),
+        std::to_string(result.errors),
+        std::to_string(result.unanswered),
+        std::to_string(result.elapsedMs)};
+    const auto latencyRow = result.summary().toCsvRow();
+    row.insert(row.end(), latencyRow.begin(), latencyRow.end());
+    csv.writeRow(row);
+}
+
+} // namespace tpc::net

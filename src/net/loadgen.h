@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Open-loop load-generator client for the RPC serving layer.
+ *
+ * The paper's Section 4.1 client discipline: arrivals follow a Poisson
+ * process at a configured rate, and the arrival process NEVER blocks on
+ * slow responses — a request whose connection is backed up is buffered
+ * and timestamped at its scheduled arrival, so server-side queueing shows
+ * up as client-observed latency instead of silently throttling offered
+ * load (the closed-loop fallacy that hides overload). One thread drives
+ * N persistent connections through non-blocking sockets; responses are
+ * matched to requests by the echoed frame id.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/latency_recorder.h"
+
+namespace tpc::net {
+
+/** Settings of one load-generation run. */
+struct LoadGenConfig
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Offered load (requests per second). */
+    double qps = 100.0;
+    /** Stop after this many requests (0: use durationMs instead). */
+    std::uint64_t numRequests = 0;
+    /** Stop sending after this much wall time (ms); used when
+     *  numRequests == 0. */
+    double durationMs = 2000.0;
+    /** Persistent connections to spread requests over (round-robin). */
+    int connections = 4;
+    /** Seed of the Poisson arrival process. */
+    std::uint64_t seed = 1;
+    /** Request payload size; the first 8 bytes always carry the sequence
+     *  number little-endian (applications key work off it). */
+    std::size_t payloadBytes = 8;
+    /** Request class byte copied into every frame. */
+    std::uint8_t cls = 0;
+    /** How long to retry the initial connects (the server may still be
+     *  starting, e.g. in CI). */
+    double connectTimeoutMs = 10000.0;
+    /** How long to wait for outstanding responses after the last send. */
+    double drainTimeoutMs = 10000.0;
+    /** Optional payload customization, called after the sequence number
+     *  is written; may append or rewrite bytes beyond the first 8. */
+    std::function<void(std::uint64_t seq, std::vector<std::uint8_t>&)>
+        payloadFn;
+};
+
+/** Outcome of one load-generation run. */
+struct LoadGenResult
+{
+    /** Response time of each OK response (ms), measured from the
+     *  *scheduled* arrival — open-loop convention. */
+    stats::LatencyRecorder latency;
+    /** Requests handed to the arrival process. */
+    std::uint64_t sent = 0;
+    /** OK responses received. */
+    std::uint64_t completed = 0;
+    /** BUSY responses (shed by admission control). */
+    std::uint64_t shed = 0;
+    /** Error-status responses. */
+    std::uint64_t errors = 0;
+    /** Requests never answered (lost connection or drain timeout). */
+    std::uint64_t unanswered = 0;
+    /** Connections that dropped mid-run. */
+    std::uint64_t connectionsLost = 0;
+    /** Wall time from first scheduled arrival to loop exit (ms). */
+    double elapsedMs = 0.0;
+    /** sent / elapsed — sanity check against the configured QPS. */
+    double achievedQps = 0.0;
+
+    /** Percentile bundle over the OK responses. */
+    stats::LatencySummary summary() const { return latency.summary(); }
+};
+
+/**
+ * Runs the open-loop client to completion. Fatal when no connection can
+ * be established within connectTimeoutMs.
+ */
+LoadGenResult runLoadGen(const LoadGenConfig& config);
+
+/** Writes a one-row summary CSV (sent/completed/shed/... + the
+ *  LatencySummary columns) for plotting without parsing logs. */
+void writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
+                     const std::string& path);
+
+} // namespace tpc::net

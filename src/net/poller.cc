@@ -1,0 +1,171 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <unistd.h>
+#else
+#include <algorithm>
+#include <poll.h>
+#endif
+
+namespace tpc::net {
+
+#if defined(__linux__)
+
+namespace {
+
+std::uint32_t
+toEpoll(std::uint32_t events)
+{
+    std::uint32_t out = 0;
+    if (events & kPollIn)
+        out |= EPOLLIN;
+    if (events & kPollOut)
+        out |= EPOLLOUT;
+    return out;
+}
+
+std::uint32_t
+fromEpoll(std::uint32_t events)
+{
+    std::uint32_t out = 0;
+    if (events & (EPOLLIN | EPOLLRDHUP))
+        out |= kPollIn;
+    if (events & EPOLLOUT)
+        out |= kPollOut;
+    if (events & (EPOLLERR | EPOLLHUP))
+        out |= kPollErr;
+    return out;
+}
+
+} // namespace
+
+Poller::Poller()
+{
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epollFd_ < 0)
+        util::fatal(std::string("epoll_create1(): ") + std::strerror(errno));
+}
+
+Poller::~Poller()
+{
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+}
+
+void
+Poller::add(int fd, std::uint32_t events)
+{
+    epoll_event ev{};
+    ev.events = toEpoll(events);
+    ev.data.fd = fd;
+    TPC_CHECK(::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+}
+
+void
+Poller::modify(int fd, std::uint32_t events)
+{
+    epoll_event ev{};
+    ev.events = toEpoll(events);
+    ev.data.fd = fd;
+    TPC_CHECK(::epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev) == 0);
+}
+
+void
+Poller::remove(int fd)
+{
+    epoll_event ev{};
+    TPC_CHECK(::epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, &ev) == 0);
+}
+
+int
+Poller::wait(std::vector<PollEvent>& out, int timeoutMs)
+{
+    epoll_event events[64];
+    int n;
+    do {
+        n = ::epoll_wait(epollFd_, events, 64, timeoutMs);
+    } while (n < 0 && errno == EINTR);
+    TPC_CHECK(n >= 0);
+    out.clear();
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(
+            PollEvent{events[i].data.fd, fromEpoll(events[i].events)});
+    return n;
+}
+
+#else // poll(2) fallback
+
+Poller::Poller() = default;
+Poller::~Poller() = default;
+
+void
+Poller::add(int fd, std::uint32_t events)
+{
+    registrations_.push_back(Registration{fd, events});
+}
+
+void
+Poller::modify(int fd, std::uint32_t events)
+{
+    for (Registration& reg : registrations_) {
+        if (reg.fd == fd) {
+            reg.events = events;
+            return;
+        }
+    }
+    TPC_CHECK(false);
+}
+
+void
+Poller::remove(int fd)
+{
+    registrations_.erase(
+        std::remove_if(registrations_.begin(), registrations_.end(),
+                       [fd](const Registration& r) { return r.fd == fd; }),
+        registrations_.end());
+}
+
+int
+Poller::wait(std::vector<PollEvent>& out, int timeoutMs)
+{
+    std::vector<pollfd> fds;
+    fds.reserve(registrations_.size());
+    for (const Registration& reg : registrations_) {
+        short interest = 0;
+        if (reg.events & kPollIn)
+            interest |= POLLIN;
+        if (reg.events & kPollOut)
+            interest |= POLLOUT;
+        fds.push_back(pollfd{reg.fd, interest, 0});
+    }
+    int n;
+    do {
+        n = ::poll(fds.data(), fds.size(), timeoutMs);
+    } while (n < 0 && errno == EINTR);
+    TPC_CHECK(n >= 0);
+    out.clear();
+    for (const pollfd& p : fds) {
+        if (p.revents == 0)
+            continue;
+        std::uint32_t events = 0;
+        if (p.revents & POLLIN)
+            events |= kPollIn;
+        if (p.revents & POLLOUT)
+            events |= kPollOut;
+        if (p.revents & (POLLERR | POLLHUP | POLLNVAL))
+            events |= kPollErr;
+        out.push_back(PollEvent{p.fd, events});
+    }
+    return static_cast<int>(out.size());
+}
+
+#endif
+
+} // namespace tpc::net

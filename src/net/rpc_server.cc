@@ -1,0 +1,440 @@
+#include "net/rpc_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace tpc::net {
+
+using Clock = std::chrono::steady_clock;
+
+RpcServer::RpcServer(const RpcServerConfig& config,
+                     server::ThreadedServer& server, RequestHandler handler)
+    : config_(config), server_(server), handler_(std::move(handler)),
+      admission_(config.admission)
+{
+    TPC_CHECK(handler_ != nullptr);
+    listenFd_.reset(listenTcp(config_.port, &port_, config_.bindAddress,
+                              config_.backlog));
+    TPC_CHECK(::pipe(wakePipe_) == 0);
+    for (const int fd : wakePipe_) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        TPC_CHECK(flags >= 0 &&
+                  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+    }
+    poller_.add(listenFd_.fd(), kPollIn);
+    poller_.add(wakePipe_[0], kPollIn);
+}
+
+RpcServer::~RpcServer()
+{
+    // Every admitted job's postamble calls back into this object; wait for
+    // them all before the member state goes away.
+    server_.drain();
+    if (wakePipe_[0] >= 0)
+        ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0)
+        ::close(wakePipe_[1]);
+}
+
+double
+RpcServer::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+        .count();
+}
+
+void
+RpcServer::attachTrace(obs::TraceRecorder* trace, int serverId)
+{
+    trace_ = trace;
+    traceServerId_ = serverId;
+}
+
+void
+RpcServer::attachMetrics(obs::MetricsRegistry* metrics)
+{
+    metrics_ = metrics;
+    if (metrics == nullptr) {
+        metric_ = MetricHandles{};
+        return;
+    }
+    metric_.accepted = &metrics->counter("net_accepted");
+    metric_.shed = &metrics->counter("net_shed");
+    metric_.connections = &metrics->counter("net_connections");
+    metric_.protocolErrors = &metrics->counter("net_protocol_errors");
+    metric_.inFlight = &metrics->gauge("net_in_flight");
+}
+
+RpcServerStats
+RpcServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+void
+RpcServer::recordNetEvent(obs::TraceEventType type, std::uint64_t requestId)
+{
+    if (trace_ == nullptr)
+        return;
+    obs::TraceEvent ev;
+    ev.type = type;
+    ev.serverId = traceServerId_;
+    ev.requestId = requestId;
+    ev.timeMs = nowMs();
+    trace_->record(ev);
+}
+
+void
+RpcServer::requestStop()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    wake();
+}
+
+void
+RpcServer::wake()
+{
+    const std::uint8_t byte = 1;
+    // Async-signal-safe; EAGAIN just means the loop is already pending.
+    [[maybe_unused]] const ssize_t n = ::write(wakePipe_[1], &byte, 1);
+}
+
+void
+RpcServer::drainWakePipe()
+{
+    std::uint8_t buffer[256];
+    while (::read(wakePipe_[0], buffer, sizeof(buffer)) > 0) {
+    }
+}
+
+void
+RpcServer::acceptReady()
+{
+    for (;;) {
+        const int fd = acceptTcp(listenFd_.fd());
+        if (fd < 0)
+            return;
+        auto conn = std::make_unique<Connection>();
+        conn->fd.reset(fd);
+        conn->connId = nextConnId_++;
+        conn->reader = FrameReader(config_.maxPayloadBytes);
+        poller_.add(fd, kPollIn);
+        recordNetEvent(obs::TraceEventType::kNetAccept, conn->connId);
+        if (metric_.connections != nullptr)
+            metric_.connections->inc();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.connectionsAccepted;
+        }
+        connectionsById_[conn->connId] = conn.get();
+        connectionsByFd_[fd] = std::move(conn);
+    }
+}
+
+void
+RpcServer::closeConnection(std::uint64_t connId)
+{
+    const auto byId = connectionsById_.find(connId);
+    if (byId == connectionsById_.end())
+        return;
+    Connection* conn = byId->second;
+    poller_.remove(conn->fd.fd());
+    connectionsById_.erase(byId);
+    connectionsByFd_.erase(conn->fd.fd()); // Frees conn, closes the fd.
+}
+
+void
+RpcServer::onReadable(Connection& conn)
+{
+    std::uint8_t buffer[16384];
+    for (;;) {
+        std::size_t n = 0;
+        const IoStatus status =
+            readSome(conn.fd.fd(), buffer, sizeof(buffer), &n);
+        if (status == IoStatus::kOk) {
+            conn.reader.append(buffer, n);
+            continue;
+        }
+        if (status == IoStatus::kWouldBlock)
+            break;
+        // Peer closed or hard error: drop the connection. In-flight
+        // requests keep running; their responses are discarded.
+        closeConnection(conn.connId);
+        return;
+    }
+
+    Frame frame;
+    const std::uint64_t connId = conn.connId;
+    while (conn.reader.next(&frame)) {
+        handleFrame(conn, std::move(frame));
+        // handleFrame may have closed the connection on a protocol error.
+        if (connectionsById_.find(connId) == connectionsById_.end())
+            return;
+    }
+    if (conn.reader.broken()) {
+        util::warn("rpc: dropping connection " + std::to_string(connId) +
+                   ": " + conn.reader.error());
+        if (metric_.protocolErrors != nullptr)
+            metric_.protocolErrors->inc();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.protocolErrors;
+        }
+        closeConnection(connId);
+    }
+}
+
+void
+RpcServer::handleFrame(Connection& conn, Frame frame)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.requestsReceived;
+    }
+    recordNetEvent(obs::TraceEventType::kNetReceive, frame.requestId);
+    if (frame.type != FrameType::kRequest) {
+        if (metric_.protocolErrors != nullptr)
+            metric_.protocolErrors->inc();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.protocolErrors;
+        }
+        closeConnection(conn.connId);
+        return;
+    }
+
+    auto busy = [&] {
+        recordNetEvent(obs::TraceEventType::kNetShed, frame.requestId);
+        Frame response;
+        response.type = FrameType::kResponse;
+        response.status = FrameStatus::kBusy;
+        response.cls = frame.cls;
+        response.requestId = frame.requestId;
+        sendFrame(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.busySent;
+        }
+    };
+
+    if (!admission_.tryAdmit(server_.queueDepth())) {
+        if (metric_.shed != nullptr)
+            metric_.shed->inc();
+        busy();
+        return;
+    }
+    if (metric_.accepted != nullptr)
+        metric_.accepted->inc();
+    if (metric_.inFlight != nullptr)
+        metric_.inFlight->set(admission_.inFlight());
+
+    auto pending = std::make_unique<PendingRequest>();
+    pending->pendingId = nextPendingId_++;
+    pending->connId = conn.connId;
+    pending->clientRequestId = frame.requestId;
+    pending->cls = frame.cls;
+
+    server::ThreadedJob job = handler_(frame, pending->responsePayload);
+    // The completion hook rides on the postamble: ThreadedServer runs it
+    // on the primary participant after every task finished, so the
+    // response payload is fully written before the event loop reads it.
+    const std::uint64_t pendingId = pending->pendingId;
+    auto inner = std::move(job.postamble);
+    job.postamble = [this, pendingId, inner = std::move(inner)] {
+        if (inner)
+            inner();
+        onJobComplete(pendingId);
+    };
+
+    pendings_[pendingId] = std::move(pending);
+    if (!server_.trySubmit(std::move(job))) {
+        // Lost the race against shutdown: undo the admission and answer
+        // BUSY so the client can retry elsewhere.
+        pendings_.erase(pendingId);
+        admission_.onComplete();
+        if (metric_.inFlight != nullptr)
+            metric_.inFlight->set(admission_.inFlight());
+        busy();
+    }
+}
+
+void
+RpcServer::onJobComplete(std::uint64_t pendingId)
+{
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        completions_.push_back(pendingId);
+    }
+    wake();
+}
+
+void
+RpcServer::processCompletions()
+{
+    std::vector<std::uint64_t> done;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        done.swap(completions_);
+    }
+    for (const std::uint64_t pendingId : done) {
+        const auto it = pendings_.find(pendingId);
+        TPC_CHECK(it != pendings_.end());
+        PendingRequest& pending = *it->second;
+        admission_.onComplete();
+        if (metric_.inFlight != nullptr)
+            metric_.inFlight->set(admission_.inFlight());
+
+        const auto connIt = connectionsById_.find(pending.connId);
+        if (connIt != connectionsById_.end()) {
+            Frame response;
+            response.type = FrameType::kResponse;
+            response.status = FrameStatus::kOk;
+            response.cls = pending.cls;
+            response.requestId = pending.clientRequestId;
+            response.payload = std::move(pending.responsePayload);
+            recordNetEvent(obs::TraceEventType::kNetRespond,
+                           pending.clientRequestId);
+            sendFrame(*connIt->second, response);
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++stats_.responsesSent;
+            }
+        }
+        pendings_.erase(it);
+    }
+}
+
+void
+RpcServer::sendFrame(Connection& conn, const Frame& frame)
+{
+    encodeFrame(frame, conn.writeBuffer);
+    flushWrites(conn);
+}
+
+void
+RpcServer::flushWrites(Connection& conn)
+{
+    while (conn.writeOffset < conn.writeBuffer.size()) {
+        std::size_t n = 0;
+        const IoStatus status = writeSome(
+            conn.fd.fd(), conn.writeBuffer.data() + conn.writeOffset,
+            conn.writeBuffer.size() - conn.writeOffset, &n);
+        if (status == IoStatus::kOk && n > 0) {
+            conn.writeOffset += n;
+            continue;
+        }
+        if (status == IoStatus::kWouldBlock || n == 0) {
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                poller_.modify(conn.fd.fd(), kPollIn | kPollOut);
+            }
+            return;
+        }
+        closeConnection(conn.connId);
+        return;
+    }
+    conn.writeBuffer.clear();
+    conn.writeOffset = 0;
+    if (conn.wantWrite) {
+        conn.wantWrite = false;
+        poller_.modify(conn.fd.fd(), kPollIn);
+    }
+}
+
+void
+RpcServer::run()
+{
+    std::vector<PollEvent> events;
+    const int timeoutMs =
+        std::max(1, static_cast<int>(config_.pollTimeoutMs));
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        poller_.wait(events, timeoutMs);
+        for (const PollEvent& ev : events) {
+            if (ev.fd == listenFd_.fd()) {
+                acceptReady();
+                continue;
+            }
+            if (ev.fd == wakePipe_[0]) {
+                drainWakePipe();
+                continue;
+            }
+            const auto it = connectionsByFd_.find(ev.fd);
+            if (it == connectionsByFd_.end())
+                continue; // Closed earlier in this batch.
+            Connection& conn = *it->second;
+            if (ev.events & kPollErr) {
+                closeConnection(conn.connId);
+                continue;
+            }
+            if (ev.events & kPollOut)
+                flushWrites(conn);
+            // flushWrites may close on a hard error; re-check.
+            if ((ev.events & kPollIn) &&
+                connectionsByFd_.find(ev.fd) != connectionsByFd_.end())
+                onReadable(conn);
+        }
+        processCompletions();
+    }
+
+    // Graceful stop: refuse new connections and submissions, finish every
+    // admitted request, and flush its response (bounded by the drain
+    // timeout). Requests arriving during the drain are answered BUSY.
+    poller_.remove(listenFd_.fd());
+    listenFd_.reset();
+    server_.beginDrain();
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config_.drainTimeoutMs));
+    for (;;) {
+        processCompletions();
+        bool writesPending = false;
+        for (const auto& [fd, conn] : connectionsByFd_) {
+            if (conn->writeOffset < conn->writeBuffer.size())
+                writesPending = true;
+        }
+        if (pendings_.empty() && !writesPending)
+            break;
+        if (Clock::now() >= deadline) {
+            util::warn("rpc: drain timeout with " +
+                       std::to_string(pendings_.size()) +
+                       " requests outstanding");
+            break;
+        }
+        poller_.wait(events, timeoutMs);
+        for (const PollEvent& ev : events) {
+            if (ev.fd == wakePipe_[0]) {
+                drainWakePipe();
+                continue;
+            }
+            const auto it = connectionsByFd_.find(ev.fd);
+            if (it == connectionsByFd_.end())
+                continue;
+            Connection& conn = *it->second;
+            if (ev.events & kPollErr) {
+                closeConnection(conn.connId);
+                continue;
+            }
+            if (ev.events & kPollOut)
+                flushWrites(conn);
+            if ((ev.events & kPollIn) &&
+                connectionsByFd_.find(ev.fd) != connectionsByFd_.end())
+                onReadable(conn);
+        }
+    }
+    // Wait for any stragglers the timeout abandoned, then drop the
+    // connections (their responses, if any, are discarded).
+    server_.drain();
+    processCompletions();
+    while (!connectionsById_.empty())
+        closeConnection(connectionsById_.begin()->first);
+}
+
+} // namespace tpc::net

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Networked RPC serving layer: a non-blocking event loop in front of the
+ * ThreadedServer.
+ *
+ * One thread runs the event loop (epoll on Linux, poll elsewhere): it
+ * accepts connections, decodes length-prefixed frames (net/frame.h),
+ * passes each request through the admission controller, and submits
+ * admitted requests to the ThreadedServer via its policy-driven dispatch
+ * path. Workers never touch sockets: when a request's postamble finishes,
+ * the completion is queued and the event loop is woken through a self-pipe
+ * to encode and write the response. Requests rejected by admission control
+ * are answered immediately with a BUSY frame, so an overloaded server
+ * keeps its accepted-tail flat instead of queueing without bound.
+ *
+ * Lifecycle: construct (binds and listens immediately, so the port is
+ * known before run()), call run() on a dedicated thread, requestStop()
+ * from anywhere — including a signal handler — and join. run() drains the
+ * ThreadedServer gracefully before returning, so every admitted request
+ * is answered even across shutdown.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "server/threaded_server.h"
+
+namespace tpc::net {
+
+/** Static configuration of the RPC server. */
+struct RpcServerConfig
+{
+    /** TCP port to listen on; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+    /** Address to bind; loopback by default. */
+    std::string bindAddress = "127.0.0.1";
+    /** listen(2) backlog. */
+    int backlog = 128;
+    /** Load-shedding limits. */
+    AdmissionLimits admission;
+    /** Per-frame payload cap; longer frames are protocol errors. */
+    std::size_t maxPayloadBytes = kDefaultMaxPayload;
+    /** Event-loop poll timeout (bounds stop-request latency). */
+    double pollTimeoutMs = 10.0;
+    /** How long run() keeps flushing responses after stop (ms). */
+    double drainTimeoutMs = 5000.0;
+};
+
+/**
+ * Builds the server-side work for one admitted request. The handler runs
+ * on the event-loop thread and must not block; the returned job's
+ * closures run on worker threads and may write the response bytes into
+ * @p responsePayload, which stays valid until the response is sent.
+ */
+using RequestHandler = std::function<server::ThreadedJob(
+    const Frame& request, std::vector<std::uint8_t>& responsePayload)>;
+
+/** Event counters of one RpcServer (monotonic, read anytime). */
+struct RpcServerStats
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t requestsReceived = 0;
+    std::uint64_t responsesSent = 0;
+    std::uint64_t busySent = 0;
+    std::uint64_t protocolErrors = 0;
+};
+
+/** The serving layer. One event-loop thread; never blocks workers. */
+class RpcServer
+{
+  public:
+    /**
+     * Binds and listens immediately (fatal on failure).
+     *
+     * @param server  Execution engine (borrowed; must outlive this).
+     * @param handler Request-to-job translation (copied).
+     */
+    RpcServer(const RpcServerConfig& config, server::ThreadedServer& server,
+              RequestHandler handler);
+
+    /** Waits for outstanding work, then closes every socket. */
+    ~RpcServer();
+
+    RpcServer(const RpcServer&) = delete;
+    RpcServer& operator=(const RpcServer&) = delete;
+
+    /** The actually bound port (differs from config when it was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Runs the event loop until requestStop(). Before returning it stops
+     * accepting, finishes every in-flight request via
+     * ThreadedServer::shutdown(), and flushes buffered responses (bounded
+     * by drainTimeoutMs).
+     */
+    void run();
+
+    /** Asks run() to return; safe from any thread or a signal handler. */
+    void requestStop();
+
+    /**
+     * Attaches a lifecycle-trace recorder (borrowed; nullptr detaches).
+     * Call before run(). Net events (NET_ACCEPT/RECEIVE/RESPOND/SHED)
+     * carry the client-assigned request id; pair with
+     * ThreadedServer::attachTrace on the same recorder for traces that
+     * span the network boundary.
+     */
+    void attachTrace(obs::TraceRecorder* trace, int serverId = 0);
+
+    /** Attaches a metrics registry (borrowed; nullptr detaches). Call
+     *  before run(). Registers net_accepted / net_shed / net_in_flight /
+     *  net_connections / net_protocol_errors. */
+    void attachMetrics(obs::MetricsRegistry* metrics);
+
+    /** Admission counters (accepted / shed / in-flight). */
+    const AdmissionController& admission() const { return admission_; }
+
+    RpcServerStats stats() const;
+
+  private:
+    /** One client connection owned by the event loop. */
+    struct Connection
+    {
+        FdGuard fd;
+        std::uint64_t connId = 0;
+        FrameReader reader;
+        /** Encoded-but-unwritten response bytes. */
+        std::vector<std::uint8_t> writeBuffer;
+        std::size_t writeOffset = 0;
+        bool wantWrite = false;
+    };
+
+    /** Server-side state of one admitted request. */
+    struct PendingRequest
+    {
+        std::uint64_t pendingId = 0;
+        std::uint64_t connId = 0;
+        std::uint64_t clientRequestId = 0;
+        std::uint8_t cls = 0;
+        /** Filled by the job's closures on worker threads; read by the
+         *  event loop only after the completion notification. */
+        std::vector<std::uint8_t> responsePayload;
+    };
+
+    void acceptReady();
+    void onReadable(Connection& conn);
+    void handleFrame(Connection& conn, Frame frame);
+    void sendFrame(Connection& conn, const Frame& frame);
+    void flushWrites(Connection& conn);
+    void closeConnection(std::uint64_t connId);
+    void processCompletions();
+    /** Worker-side completion hook; wakes the event loop. */
+    void onJobComplete(std::uint64_t pendingId);
+    void wake();
+    void drainWakePipe();
+    void recordNetEvent(obs::TraceEventType type, std::uint64_t requestId);
+    double nowMs() const;
+
+    RpcServerConfig config_;
+    server::ThreadedServer& server_;
+    RequestHandler handler_;
+    AdmissionController admission_;
+
+    FdGuard listenFd_;
+    std::uint16_t port_ = 0;
+    /** Self-pipe: [0] read end polled by the loop, [1] written by
+     *  requestStop() and completion hooks. */
+    int wakePipe_[2] = {-1, -1};
+    Poller poller_;
+
+    std::atomic<bool> stopRequested_{false};
+
+    /** Event-loop-only state. */
+    std::map<int, std::unique_ptr<Connection>> connectionsByFd_;
+    std::map<std::uint64_t, Connection*> connectionsById_;
+    std::map<std::uint64_t, std::unique_ptr<PendingRequest>> pendings_;
+    std::uint64_t nextConnId_ = 1;
+    std::uint64_t nextPendingId_ = 1;
+
+    /** Completions queued by workers for the event loop. */
+    std::mutex completionMutex_;
+    std::vector<std::uint64_t> completions_;
+
+    obs::TraceRecorder* trace_ = nullptr;
+    int traceServerId_ = 0;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    struct MetricHandles
+    {
+        obs::Counter* accepted = nullptr;
+        obs::Counter* shed = nullptr;
+        obs::Counter* connections = nullptr;
+        obs::Counter* protocolErrors = nullptr;
+        obs::Gauge* inFlight = nullptr;
+    } metric_;
+
+    mutable std::mutex statsMutex_;
+    RpcServerStats stats_;
+
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+} // namespace tpc::net

@@ -1,0 +1,183 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace tpc::net {
+namespace {
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+FdGuard&
+FdGuard::operator=(FdGuard&& other) noexcept
+{
+    if (this != &other)
+        reset(other.release());
+    return *this;
+}
+
+void
+FdGuard::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+int
+listenTcp(std::uint16_t port, std::uint16_t* boundPort,
+          const std::string& bindAddress, int backlog)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        util::fatal(std::string("socket(): ") + std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bindAddress.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        util::fatal("invalid bind address: " + bindAddress);
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        util::fatal("bind(" + bindAddress + ":" + std::to_string(port) +
+                    "): " + why);
+    }
+    if (::listen(fd, backlog) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        util::fatal("listen(): " + why);
+    }
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        util::fatal("fcntl(O_NONBLOCK) on listen socket failed");
+    }
+    if (boundPort != nullptr) {
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        TPC_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0);
+        *boundPort = ntohs(bound.sin_port);
+    }
+    return fd;
+}
+
+int
+acceptTcp(int listenFd)
+{
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0)
+        return -1;
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        return -1;
+    }
+    setNoDelay(fd);
+    return fd;
+}
+
+int
+connectTcp(const std::string& host, std::uint16_t port, std::string* error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error != nullptr)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return -1;
+    }
+    if (!setNonBlocking(fd)) {
+        ::close(fd);
+        if (error != nullptr)
+            *error = "fcntl(O_NONBLOCK) failed";
+        return -1;
+    }
+    setNoDelay(fd);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        if (error != nullptr)
+            *error = "invalid host address: " + host;
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 &&
+        errno != EINPROGRESS) {
+        if (error != nullptr)
+            *error = std::string("connect(): ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+connectSucceeded(int fd)
+{
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0)
+        return false;
+    return soError == 0;
+}
+
+IoStatus
+readSome(int fd, std::uint8_t* buffer, std::size_t capacity, std::size_t* n)
+{
+    *n = 0;
+    const ssize_t got = ::read(fd, buffer, capacity);
+    if (got > 0) {
+        *n = static_cast<std::size_t>(got);
+        return IoStatus::kOk;
+    }
+    if (got == 0)
+        return IoStatus::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+}
+
+IoStatus
+writeSome(int fd, const std::uint8_t* buffer, std::size_t size,
+          std::size_t* n)
+{
+    *n = 0;
+    const ssize_t wrote = ::send(fd, buffer, size, MSG_NOSIGNAL);
+    if (wrote >= 0) {
+        *n = static_cast<std::size_t>(wrote);
+        return IoStatus::kOk;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+}
+
+} // namespace tpc::net

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Thin RAII wrappers over POSIX TCP sockets for the RPC layer.
+ *
+ * Everything here is non-blocking: the event loops (server and load
+ * generator) own readiness, these helpers own errno handling. IPv4
+ * loopback/LAN only — the reproduction serves a single ISN, not the
+ * open internet.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tpc::net {
+
+/** Owns one file descriptor; closes it on destruction. */
+class FdGuard
+{
+  public:
+    FdGuard() = default;
+    explicit FdGuard(int fd) : fd_(fd) {}
+    ~FdGuard() { reset(); }
+
+    FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+    FdGuard& operator=(FdGuard&& other) noexcept;
+
+    FdGuard(const FdGuard&) = delete;
+    FdGuard& operator=(const FdGuard&) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Closes the held descriptor (if any). */
+    void reset(int fd = -1);
+
+    /** Relinquishes ownership without closing. */
+    int release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Opens a non-blocking IPv4 listening socket on @p port (0 picks an
+ * ephemeral port) bound to @p bindAddress. Returns the fd and stores
+ * the actually bound port in @p boundPort. Fatal on any failure —
+ * a server that cannot listen has nothing else to do.
+ */
+int listenTcp(std::uint16_t port, std::uint16_t* boundPort,
+              const std::string& bindAddress = "127.0.0.1",
+              int backlog = 128);
+
+/**
+ * Accepts one pending connection from @p listenFd, made non-blocking
+ * with TCP_NODELAY set. Returns -1 when no connection is pending or on
+ * a transient accept error.
+ */
+int acceptTcp(int listenFd);
+
+/**
+ * Starts a non-blocking IPv4 connect to host:port. Returns the fd
+ * (connect may still be in progress — poll for writability), or -1 with
+ * @p error filled on immediate failure.
+ */
+int connectTcp(const std::string& host, std::uint16_t port,
+               std::string* error);
+
+/** True when the in-progress connect on @p fd finished successfully. */
+bool connectSucceeded(int fd);
+
+/** I/O outcome for the non-blocking read/write helpers. */
+enum class IoStatus : std::uint8_t {
+    kOk,       ///< Some bytes transferred (count reported).
+    kWouldBlock, ///< No progress possible right now.
+    kClosed,   ///< Peer closed the connection (read only).
+    kError,    ///< Hard socket error; drop the connection.
+};
+
+/** Non-blocking read into @p buffer; @p n receives the byte count. */
+IoStatus readSome(int fd, std::uint8_t* buffer, std::size_t capacity,
+                  std::size_t* n);
+
+/** Non-blocking write from @p buffer; @p n receives the byte count. */
+IoStatus writeSome(int fd, const std::uint8_t* buffer, std::size_t size,
+                   std::size_t* n);
+
+} // namespace tpc::net

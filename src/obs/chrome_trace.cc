@@ -134,25 +134,37 @@ std::string
 chromeTraceJson(const std::vector<TraceEvent>& events)
 {
     // Reassemble per-request tracks, keyed by (server, request) — cluster
-    // traces reuse request ids across ISNs.
+    // traces reuse request ids across ISNs. Net-boundary events carry the
+    // client-assigned id, so they stay on their own instant-event lane
+    // instead of joining a request track.
     std::map<std::pair<std::int32_t, std::uint64_t>, RequestTrack> tracks;
+    std::map<std::int32_t, std::vector<const TraceEvent*>> netEvents;
     for (const TraceEvent& ev : events) {
-        RequestTrack& track = tracks[{ev.serverId, ev.requestId}];
         switch (ev.type) {
         case TraceEventType::kArrive:
-            track.arriveMs = ev.timeMs;
+            tracks[{ev.serverId, ev.requestId}].arriveMs = ev.timeMs;
             break;
-        case TraceEventType::kDispatch:
+        case TraceEventType::kDispatch: {
+            RequestTrack& track = tracks[{ev.serverId, ev.requestId}];
             track.dispatchMs = ev.timeMs;
             track.dispatch = &ev;
             break;
+        }
         case TraceEventType::kRecheck:
         case TraceEventType::kCorrect:
-            track.marks.push_back(&ev);
+            tracks[{ev.serverId, ev.requestId}].marks.push_back(&ev);
             break;
-        case TraceEventType::kComplete:
+        case TraceEventType::kComplete: {
+            RequestTrack& track = tracks[{ev.serverId, ev.requestId}];
             track.completeMs = ev.timeMs;
             track.complete = &ev;
+            break;
+        }
+        case TraceEventType::kNetAccept:
+        case TraceEventType::kNetReceive:
+        case TraceEventType::kNetRespond:
+        case TraceEventType::kNetShed:
+            netEvents[ev.serverId].push_back(&ev);
             break;
         }
     }
@@ -200,6 +212,44 @@ chromeTraceJson(const std::vector<TraceEvent>& events)
                     "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
                     "\"thread_name\",\"args\":{\"name\":\"requests %d\"}}",
                     serverId, lane, lane);
+        }
+    }
+
+    // The RPC boundary gets one dedicated lane per server, far above the
+    // request lanes so it always sorts last.
+    constexpr int kNetLane = 9999;
+    for (const auto& [serverId, evs] : netEvents) {
+        (void)evs;
+        comma();
+        appendf(out,
+                "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":"
+                "\"thread_name\",\"args\":{\"name\":\"net (rpc)\"}}",
+                serverId, kNetLane);
+        // A server that only has net events still needs a process name.
+        if (laneCount.find(serverId) == laneCount.end()) {
+            comma();
+            appendf(out,
+                    "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":"
+                    "\"process_name\",\"args\":{\"name\":\"server %d\"}}",
+                    serverId, serverId);
+        }
+    }
+    for (const auto& [serverId, evs] : netEvents) {
+        for (const TraceEvent* ev : evs) {
+            comma();
+            out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":";
+            appendInt(out, serverId);
+            out += ",\"tid\":";
+            appendInt(out, kNetLane);
+            out += ",\"ts\":";
+            appendF3(out, us(ev->timeMs));
+            out += ",\"name\":\"";
+            out += traceEventTypeName(ev->type);
+            out += ' ';
+            appendUint(out, static_cast<unsigned long long>(ev->requestId));
+            out += "\",\"cat\":\"net\",\"args\":{\"client_request_id\":";
+            appendUint(out, static_cast<unsigned long long>(ev->requestId));
+            out += "}}";
         }
     }
 

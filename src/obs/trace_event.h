@@ -17,13 +17,24 @@
 
 namespace tpc::obs {
 
-/** Lifecycle event kinds, in the order they can occur for one request. */
+/** Lifecycle event kinds, in the order they can occur for one request.
+ *  The kNet* kinds are emitted by the RPC layer (src/net) and carry the
+ *  *client-assigned* request id, so a trace spans the network boundary:
+ *  NET_RECEIVE -> ARRIVE/DISPATCH/... -> NET_RESPOND. */
 enum class TraceEventType : std::uint8_t {
     kArrive = 0,
     kDispatch,
     kRecheck,
     kCorrect,
     kComplete,
+    /** New client connection accepted; requestId is the connection id. */
+    kNetAccept,
+    /** Request frame decoded off the socket. */
+    kNetReceive,
+    /** Response frame queued for writing to the socket. */
+    kNetRespond,
+    /** Request rejected by admission control (BUSY response). */
+    kNetShed,
 };
 
 /** Upper-case event name ("ARRIVE", "DISPATCH", ...). */

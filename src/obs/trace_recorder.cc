@@ -22,6 +22,14 @@ traceEventTypeName(TraceEventType type)
         return "CORRECT";
     case TraceEventType::kComplete:
         return "COMPLETE";
+    case TraceEventType::kNetAccept:
+        return "NET_ACCEPT";
+    case TraceEventType::kNetReceive:
+        return "NET_RECEIVE";
+    case TraceEventType::kNetRespond:
+        return "NET_RESPOND";
+    case TraceEventType::kNetShed:
+        return "NET_SHED";
     }
     return "UNKNOWN";
 }

@@ -88,13 +88,21 @@ ThreadedServer::updateGaugesLocked()
 std::uint64_t
 ThreadedServer::submit(ThreadedJob job)
 {
+    std::uint64_t id = 0;
+    TPC_CHECK_MSG(trySubmit(std::move(job), &id), "submit after shutdown");
+    return id;
+}
+
+bool
+ThreadedServer::trySubmit(ThreadedJob job, std::uint64_t* idOut)
+{
     TPC_CHECK(job.numTasks >= 1);
     TPC_CHECK(job.task != nullptr);
-    std::uint64_t id;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        TPC_CHECK_MSG(!stopping_, "submit after shutdown");
-        id = nextId_++;
+        if (draining_ || stopping_)
+            return false;
+        const std::uint64_t id = nextId_++;
         queue_.push_back(QueuedJob{id, Clock::now(), std::move(job)});
         if (trace_ != nullptr)
             trace_->record(makeEventLocked(obs::TraceEventType::kArrive, id));
@@ -102,9 +110,25 @@ ThreadedServer::submit(ThreadedJob job)
             metric_.arrivals->inc();
             updateGaugesLocked();
         }
+        if (idOut != nullptr)
+            *idOut = id;
     }
     cv_.notify_all();
-    return id;
+    return true;
+}
+
+void
+ThreadedServer::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+}
+
+bool
+ThreadedServer::accepting() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !draining_ && !stopping_;
 }
 
 void
@@ -112,6 +136,27 @@ ThreadedServer::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     drainCv_.wait(lock, [this] { return queue_.empty() && active_.empty(); });
+}
+
+void
+ThreadedServer::shutdown()
+{
+    beginDrain();
+    drain();
+}
+
+int
+ThreadedServer::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(queue_.size());
+}
+
+int
+ThreadedServer::inFlightCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(queue_.size() + active_.size());
 }
 
 std::vector<ThreadedOutcome>

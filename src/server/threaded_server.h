@@ -93,11 +93,40 @@ class ThreadedServer
     ThreadedServer(const ThreadedServer&) = delete;
     ThreadedServer& operator=(const ThreadedServer&) = delete;
 
-    /** Enqueues a request; returns its id immediately (open loop). */
+    /** Enqueues a request; returns its id immediately (open loop).
+     *  Fatal when called after beginDrain()/shutdown(). */
     std::uint64_t submit(ThreadedJob job);
+
+    /**
+     * Enqueues a request unless the server is draining or stopping.
+     * Returns false (and drops the job) in that case; otherwise stores
+     * the assigned id in @p idOut when non-null. This is the submission
+     * path for callers that race against shutdown (the RPC layer).
+     */
+    bool trySubmit(ThreadedJob job, std::uint64_t* idOut = nullptr);
+
+    /** Stops accepting new work; in-flight requests keep running. After
+     *  this, trySubmit() returns false and submit() is fatal. */
+    void beginDrain();
+
+    /** True until beginDrain()/shutdown() (or destruction) was called. */
+    bool accepting() const;
 
     /** Blocks until every submitted request has completed. */
     void drain();
+
+    /**
+     * Graceful stop: stop accepting, finish every in-flight request,
+     * then return. Idempotent; the destructor still joins the scheduler
+     * and worker threads afterwards.
+     */
+    void shutdown();
+
+    /** Requests waiting in the dispatch queue (snapshot). */
+    int queueDepth() const;
+
+    /** Requests submitted but not yet completed (queued + active). */
+    int inFlightCount() const;
 
     /** Completion records so far (snapshot). */
     std::vector<ThreadedOutcome> outcomes() const;
@@ -193,6 +222,8 @@ class ThreadedServer
     std::vector<ThreadedOutcome> outcomes_;
     std::uint64_t nextId_ = 0;
     int allocatedWorkers_ = 0;
+    /** No longer accepting submissions (graceful drain). */
+    bool draining_ = false;
     bool stopping_ = false;
 
     // Declared after the state it uses so construction order is safe; the

@@ -1,6 +1,7 @@
 #include "util/args.h"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -19,7 +20,10 @@ ArgParser::ArgParser(int argc, char** argv, std::set<std::string> knownFlags)
         if (eq != std::string::npos) {
             name = token.substr(0, eq);
             value = token.substr(eq + 1);
-        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+            // Space-separated value: anything that is not itself a flag,
+            // so negative numbers ("--offset -5") parse as values. A
+            // value that starts with "--" needs the = form.
             value = argv[++i];
         }
         if (knownFlags.find(name) == knownFlags.end()) {

@@ -3,7 +3,10 @@
  * Minimal command-line flag parser for the examples and tools.
  *
  * Supports `--name=value` and `--name value` forms plus boolean
- * `--name`. Unknown flags are fatal so typos fail loudly.
+ * `--name`. In the space-separated form any next token that does not
+ * start with `--` is the value (so negative numbers work); a value that
+ * itself starts with `--` requires the `=` form. Unknown flags are fatal
+ * so typos fail loudly.
  */
 #pragma once
 

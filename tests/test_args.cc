@@ -33,6 +33,47 @@ TEST(ArgParser, SpaceSeparatedForm)
     EXPECT_EQ(args.getInt("qps", 0), 450);
 }
 
+TEST(ArgParser, MixedFormsInOneCommandLine)
+{
+    const ArgParser args =
+        parse({"--qps=300", "--name", "tpc", "--verbose", "--rate=2.5"},
+              {"qps", "name", "verbose", "rate"});
+    EXPECT_EQ(args.getInt("qps", 0), 300);
+    EXPECT_EQ(args.getString("name", ""), "tpc");
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 2.5);
+}
+
+TEST(ArgParser, SpaceSeparatedNegativeValues)
+{
+    const ArgParser args =
+        parse({"--offset", "-5", "--rate", "-2.5"}, {"offset", "rate"});
+    EXPECT_EQ(args.getInt("offset", 0), -5);
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), -2.5);
+}
+
+TEST(ArgParser, EqualsFormNegativeValues)
+{
+    const ArgParser args = parse({"--offset=-7"}, {"offset"});
+    EXPECT_EQ(args.getInt("offset", 0), -7);
+}
+
+TEST(ArgParser, EqualsFormEmptyValueIsPresentButEmpty)
+{
+    const ArgParser args = parse({"--name="}, {"name"});
+    EXPECT_TRUE(args.has("name"));
+    EXPECT_EQ(args.getString("name", "fallback"), "");
+}
+
+TEST(ArgParser, BooleanFlagFollowedByFlagTakesNoValue)
+{
+    const ArgParser args = parse({"--verbose", "--qps", "10"},
+                                 {"verbose", "qps"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.getString("verbose", "x"), "");
+    EXPECT_EQ(args.getInt("qps", 0), 10);
+}
+
 TEST(ArgParser, BooleanFlagAndDefaults)
 {
     const ArgParser args = parse({"--verbose"}, {"verbose", "qps"});
