@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Measures what live introspection costs the serving path: the same
+ * ThreadedServer + TPC policy + request shape is driven closed-loop once
+ * bare, and once with the full observability stack a production /statsz
+ * deployment carries — stage-stats collection on every completion, the
+ * background StatsSampler aggregating shards, and a scraper thread
+ * rendering the Prometheus dump every 50 ms. The relative change of the
+ * medians is the attribution overhead per request; the budget is <= 2%,
+ * i.e. introspection must be cheap enough to leave on.
+ *
+ * Writes results/statsz_overhead.csv.
+ */
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "obs/stage_stats.h"
+#include "obs/statsz.h"
+#include "server/threaded_server.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace {
+
+constexpr double kTaskMs = 0.2;
+constexpr int kNumTasks = 4;
+constexpr std::uint64_t kRequests = 400;
+constexpr std::uint64_t kWarmup = 50;
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+tpc::core::TpcPolicy
+makePolicy()
+{
+    tpc::core::TpcOptions options;
+    options.maxDegree = 4;
+    return tpc::core::TpcPolicy(tpc::harness::webSearchExecutionModel(),
+                                tpc::core::TargetTable::webSearchDefault(),
+                                options);
+}
+
+/** Closed-loop run: one request at a time, submit-to-postamble wall
+ *  time. @p withStats wires the collector + sampler + scraper. */
+tpc::stats::LatencyRecorder
+runClosedLoop(bool withStats)
+{
+    using Clock = std::chrono::steady_clock;
+    auto policy = makePolicy();
+    tpc::server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 4;
+    serverConfig.hwContexts = 4;
+    tpc::server::ThreadedServer server(serverConfig, policy);
+
+    std::unique_ptr<tpc::obs::StageStatsCollector> collector;
+    std::unique_ptr<tpc::obs::StatsSampler> sampler;
+    std::atomic<bool> stopScraper{false};
+    std::thread scraper;
+    if (withStats) {
+        collector = std::make_unique<tpc::obs::StageStatsCollector>(
+            std::vector<std::string>{}, 6);
+        server.attachStageStats(collector.get());
+        sampler = std::make_unique<tpc::obs::StatsSampler>(*collector, 50.0);
+        // A scraper pulling the rendered dump every 50 ms, like a
+        // Prometheus instance (or scripts/net_smoke.sh) would.
+        scraper = std::thread([&collector, &sampler, &stopScraper] {
+            std::size_t sink = 0;
+            while (!stopScraper.load(std::memory_order_relaxed)) {
+                tpc::obs::StatszInfo info;
+                info.policyName = "tpc";
+                sink += tpc::obs::renderStatsz(info,
+                                               sampler->latest().get())
+                            .size();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+            if (sink == 0)
+                std::printf("scraper rendered nothing\n");
+        });
+    }
+
+    tpc::stats::LatencyRecorder latency;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    for (std::uint64_t i = 0; i < kWarmup + kRequests; ++i) {
+        tpc::server::ThreadedJob job;
+        job.predictedMs = kTaskMs * kNumTasks;
+        job.numTasks = kNumTasks;
+        job.task = [](int) { busyWaitMs(kTaskMs); };
+        job.postamble = [&] {
+            std::lock_guard<std::mutex> lock(mutex);
+            done = true;
+            cv.notify_one();
+        };
+        const auto start = Clock::now();
+        done = false;
+        server.submit(std::move(job));
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return done; });
+        if (i >= kWarmup)
+            latency.add(std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count());
+    }
+
+    if (withStats) {
+        stopScraper.store(true, std::memory_order_relaxed);
+        scraper.join();
+    }
+    return latency;
+}
+
+} // namespace
+
+int
+main()
+{
+    using tpc::util::TablePrinter;
+
+    std::printf("bench_statsz_overhead: %llu requests of %d x %.1f ms "
+                "tasks, closed loop\n",
+                static_cast<unsigned long long>(kRequests), kNumTasks,
+                kTaskMs);
+    // Interleave modes to cancel slow machine drift: off, on, on, off.
+    tpc::stats::LatencyRecorder off = runClosedLoop(false);
+    tpc::stats::LatencyRecorder on = runClosedLoop(true);
+    on.merge(runClosedLoop(true));
+    off.merge(runClosedLoop(false));
+
+    const tpc::stats::LatencySummary offSummary = off.summary();
+    const tpc::stats::LatencySummary onSummary = on.summary();
+    const double regressionPct =
+        (onSummary.p50 - offSummary.p50) / offSummary.p50 * 100.0;
+
+    TablePrinter table("statsz_overhead: attribution off vs on (ms)");
+    table.setHeader({"mode", "n", "mean", "p50", "p99", "max"});
+    table.addRow({"stats_off", std::to_string(offSummary.count),
+                  TablePrinter::fmt(offSummary.mean, 3),
+                  TablePrinter::fmt(offSummary.p50, 3),
+                  TablePrinter::fmt(offSummary.p99, 3),
+                  TablePrinter::fmt(offSummary.max, 3)});
+    table.addRow({"stats_on", std::to_string(onSummary.count),
+                  TablePrinter::fmt(onSummary.mean, 3),
+                  TablePrinter::fmt(onSummary.p50, 3),
+                  TablePrinter::fmt(onSummary.p99, 3),
+                  TablePrinter::fmt(onSummary.max, 3)});
+    table.print();
+    std::printf("median regression: %+.2f%% (budget: <= 2%%)\n",
+                regressionPct);
+
+    tpc::util::CsvWriter csv(tpc::util::resultsDir() +
+                             "/statsz_overhead.csv");
+    csv.writeRow(std::vector<std::string>{"mode", "count", "mean_ms",
+                                          "p50_ms", "p99_ms", "max_ms"});
+    auto row = [&csv](const std::string& mode,
+                      const tpc::stats::LatencySummary& s) {
+        csv.writeRow(std::vector<std::string>{
+            mode, std::to_string(s.count), TablePrinter::fmt(s.mean, 4),
+            TablePrinter::fmt(s.p50, 4), TablePrinter::fmt(s.p99, 4),
+            TablePrinter::fmt(s.max, 4)});
+    };
+    row("stats_off", offSummary);
+    row("stats_on", onSummary);
+    csv.writeRow(std::vector<std::string>{
+        "regression_p50_pct", "", TablePrinter::fmt(regressionPct, 3), "",
+        "", ""});
+    std::printf("wrote %s/statsz_overhead.csv\n",
+                tpc::util::resultsDir().c_str());
+    return 0;
+}

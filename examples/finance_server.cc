@@ -35,6 +35,8 @@
 #include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/stage_stats.h"
+#include "obs/statsz.h"
 #include "obs/trace_recorder.h"
 #include "server/threaded_server.h"
 #include "stats/latency_recorder.h"
@@ -109,6 +111,14 @@ main(int argc, char** argv)
         rpcConfig.admission.maxInFlight =
             static_cast<int>(args.getInt("max-in-flight", 512));
 
+        // Stage decomposition + tail attribution behind /statsz: one
+        // shard per recording thread, classes matching the 90/10 mix.
+        obs::StageStatsCollector stageStats(
+            {"short", "long"},
+            static_cast<std::size_t>(serverConfig.numWorkers) + 3);
+        obs::StatsSampler sampler(stageStats);
+
+        const auto runStart = std::chrono::steady_clock::now();
         net::RpcServerStats netStats;
         std::uint64_t acceptedTotal = 0;
         std::uint64_t shedTotal = 0;
@@ -133,6 +143,7 @@ main(int argc, char** argv)
                     server::ThreadedJob job;
                     job.predictedMs =
                         estimator.estimateMs(paths, option.steps);
+                    job.cls = isLong ? 1u : 0u;
                     job.numTasks = kChunks;
                     job.task = [&pricer, &option, paths, sums, seq](int c) {
                         const std::uint64_t chunkPaths = paths / kChunks;
@@ -162,6 +173,32 @@ main(int argc, char** argv)
                     };
                     return job;
                 });
+            server.attachStageStats(&stageStats);
+            rpc.attachStageStats(&stageStats);
+            rpc.setStatszProvider([&] {
+                obs::StatszInfo info;
+                const policy::PolicySnapshot policySnap =
+                    server.policySnapshot();
+                info.policyName = policySnap.name;
+                for (const auto& [load, targetMs] : policySnap.targetTable)
+                    info.targetTable.push_back({load, targetMs});
+                info.dispatches = policySnap.dispatches;
+                info.corrections = policySnap.corrections;
+                info.correctionThreadsAdded =
+                    policySnap.correctionThreadsAdded;
+                info.totalWorkers = serverConfig.numWorkers;
+                info.busyWorkers = server.busyWorkers();
+                info.queueDepth = server.queueDepth();
+                info.admitted = rpc.admission().accepted();
+                info.shed = rpc.admission().shed();
+                info.inFlight =
+                    static_cast<std::uint64_t>(rpc.admission().inFlight());
+                info.uptimeMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - runStart)
+                        .count();
+                return obs::renderStatsz(info, sampler.latest().get());
+            });
             gServer.store(&rpc);
             std::signal(SIGINT, onSignal);
             std::signal(SIGTERM, onSignal);
@@ -189,6 +226,23 @@ main(int argc, char** argv)
         std::printf("dynamic corrections fired: %llu\n",
                     static_cast<unsigned long long>(
                         tpc.counters().corrections));
+        const obs::StageSnapshot stages = stageStats.snapshot();
+        for (const auto& cls : stages.classes) {
+            if (cls.completions == 0)
+                continue;
+            std::printf("class %s: %llu completions, %llu over target",
+                        cls.name.c_str(),
+                        static_cast<unsigned long long>(cls.completions),
+                        static_cast<unsigned long long>(cls.tail));
+            for (std::size_t c = 1; c < obs::kTailCauseCount; ++c)
+                if (cls.causes[c] != 0)
+                    std::printf(" %s=%llu",
+                                obs::tailCauseName(
+                                    static_cast<obs::TailCause>(c)),
+                                static_cast<unsigned long long>(
+                                    cls.causes[c]));
+            std::printf("\n");
+        }
         return 0;
     }
 

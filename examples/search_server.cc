@@ -30,6 +30,8 @@
 #include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/stage_stats.h"
+#include "obs/statsz.h"
 #include "obs/trace_recorder.h"
 #include "search/executor.h"
 #include "search/workload.h"
@@ -135,6 +137,14 @@ main(int argc, char** argv)
         if (!metricsOut.empty())
             metrics = std::make_unique<obs::MetricsRegistry>();
 
+        // Stage decomposition + tail attribution behind /statsz: one
+        // shard per recording thread, classes split at the long-query
+        // threshold the predictor was trained against.
+        obs::StageStatsCollector stageStats(
+            {"short", "long"},
+            static_cast<std::size_t>(serverConfig.numWorkers) + 3);
+        obs::StatsSampler sampler(stageStats);
+
         const auto runStart = std::chrono::steady_clock::now();
         net::RpcServerStats netStats;
         std::uint64_t acceptedTotal = 0;
@@ -159,6 +169,9 @@ main(int argc, char** argv)
                     server::ThreadedJob job;
                     job.predictedMs =
                         workload.trace()[idx].predictedMs * scale;
+                    job.cls = job.predictedMs >= serverConfig.longThresholdMs
+                                  ? 1u
+                                  : 0u;
                     auto results = std::make_shared<
                         std::vector<search::ChunkResult>>();
                     results->reserve(chunks.size());
@@ -189,6 +202,34 @@ main(int argc, char** argv)
                 server.attachMetrics(metrics.get());
                 rpc.attachMetrics(metrics.get());
             }
+            server.attachStageStats(&stageStats);
+            rpc.attachStageStats(&stageStats);
+            rpc.setStatszProvider([&] {
+                obs::StatszInfo info;
+                const policy::PolicySnapshot policySnap =
+                    server.policySnapshot();
+                info.policyName = policySnap.name;
+                for (const auto& [load, targetMs] : policySnap.targetTable)
+                    info.targetTable.push_back({load, targetMs});
+                info.dispatches = policySnap.dispatches;
+                info.corrections = policySnap.corrections;
+                info.correctionThreadsAdded =
+                    policySnap.correctionThreadsAdded;
+                info.totalWorkers = serverConfig.numWorkers;
+                info.busyWorkers = server.busyWorkers();
+                info.queueDepth = server.queueDepth();
+                info.admitted = rpc.admission().accepted();
+                info.shed = rpc.admission().shed();
+                info.inFlight =
+                    static_cast<std::uint64_t>(rpc.admission().inFlight());
+                if (recorder != nullptr)
+                    info.droppedTraceEvents = recorder->droppedEvents();
+                info.uptimeMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - runStart)
+                        .count();
+                return obs::renderStatsz(info, sampler.latest().get());
+            });
             gServer.store(&rpc);
             std::signal(SIGINT, onSignal);
             std::signal(SIGTERM, onSignal);
@@ -232,6 +273,23 @@ main(int argc, char** argv)
         std::printf("dynamic corrections fired: %llu\n",
                     static_cast<unsigned long long>(
                         tpc.counters().corrections));
+        const obs::StageSnapshot stages = stageStats.snapshot();
+        for (const auto& cls : stages.classes) {
+            if (cls.completions == 0)
+                continue;
+            std::printf("class %s: %llu completions, %llu over target",
+                        cls.name.c_str(),
+                        static_cast<unsigned long long>(cls.completions),
+                        static_cast<unsigned long long>(cls.tail));
+            for (std::size_t c = 1; c < obs::kTailCauseCount; ++c)
+                if (cls.causes[c] != 0)
+                    std::printf(" %s=%llu",
+                                obs::tailCauseName(
+                                    static_cast<obs::TailCause>(c)),
+                                static_cast<unsigned long long>(
+                                    cls.causes[c]));
+            std::printf("\n");
+        }
         return 0;
     }
 

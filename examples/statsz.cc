@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Pulls the /statsz introspection endpoint of a running server and
+ * prints the Prometheus exposition text to stdout.
+ *
+ *   ./build/examples/statsz --port=9000 [--host=127.0.0.1]
+ *       [--timeout-ms=1000]
+ *
+ * Exit status: 0 on success, 1 on connect failure, timeout, or an
+ * error response — so shell scripts (scripts/net_smoke.sh) can use it
+ * both as a liveness probe and as a latency assertion on the endpoint.
+ */
+#include <cstdio>
+
+#include "net/statsz_client.h"
+#include "util/args.h"
+#include "util/logging.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace tpc;
+    const util::ArgParser args(argc, argv, {"host", "port", "timeout-ms"});
+    const std::string host = args.getString("host", "127.0.0.1");
+    const int port = static_cast<int>(args.getInt("port", 0));
+    const double timeoutMs = args.getDouble("timeout-ms", 1000.0);
+    if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "usage: statsz --port=PORT [--host=HOST] "
+                             "[--timeout-ms=MS]\n");
+        return 1;
+    }
+
+    const net::StatszResult result = net::fetchStatsz(
+        host, static_cast<std::uint16_t>(port), timeoutMs);
+    if (!result.ok) {
+        std::fprintf(stderr, "statsz: %s (after %.1f ms)\n",
+                     result.error.c_str(), result.elapsedMs);
+        return 1;
+    }
+    std::fwrite(result.text.data(), 1, result.text.size(), stdout);
+    std::fprintf(stderr, "# fetched %zu bytes in %.2f ms\n",
+                 result.text.size(), result.elapsedMs);
+    return 0;
+}

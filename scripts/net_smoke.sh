@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the networked serving path: start search_server
 # --listen on a loopback port, drive it with the open-loop load generator
-# for ~2 seconds at low QPS, and assert a non-empty latency summary
-# (loadgen exits nonzero when no request completed). Used by CI on the
-# Release build; sanitizer jobs skip it (timing-sensitive).
+# for ~2 seconds at low QPS, poll the /statsz introspection endpoint
+# mid-run (it must answer within its 100 ms deadline and produce
+# well-formed Prometheus exposition text), and assert a non-empty latency
+# summary (loadgen exits nonzero when no request completed). Used by CI
+# on the Release build; sanitizer jobs skip it (timing-sensitive).
 #
 # Usage: scripts/net_smoke.sh [build-dir]
 set -euo pipefail
@@ -34,8 +36,47 @@ grep -q "listening on" "${LOG}" || {
     exit 1
 }
 
+# Drive load in the background so /statsz can be polled mid-run.
 "${BUILD_DIR}/examples/loadgen" --port "${PORT}" --qps 50 --duration-s 2 \
-    --csv-out "${CSV}"
+    --csv-out "${CSV}" &
+LOADGEN_PID=$!
+
+# Poll the introspection endpoint while the server is busy. The 100 ms
+# timeout doubles as the latency assertion: a stalled event loop fails
+# the fetch, and with it the smoke test.
+sleep 0.5
+STATSZ="$(mktemp)"
+"${BUILD_DIR}/examples/statsz" --port "${PORT}" --timeout-ms 100 \
+    > "${STATSZ}" || {
+    echo "net_smoke: /statsz fetch failed or exceeded 100 ms" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+
+# The dump must be well-formed exposition text: liveness sample, # TYPE
+# headers, and every non-comment line shaped "name{labels} value".
+grep -Eq '^tpc_up\{[^}]*\} 1$' "${STATSZ}" || {
+    echo "net_smoke: /statsz missing tpc_up sample:" >&2
+    cat "${STATSZ}" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+grep -q '^# TYPE ' "${STATSZ}" || {
+    echo "net_smoke: /statsz missing # TYPE headers" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+BAD_LINES="$(grep -v '^#' "${STATSZ}" | grep -Evc \
+    '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' || true)"
+if [ "${BAD_LINES}" -ne 0 ]; then
+    echo "net_smoke: ${BAD_LINES} malformed /statsz line(s):" >&2
+    grep -v '^#' "${STATSZ}" | grep -Ev \
+        '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$' >&2 || true
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+fi
+
+wait "${LOADGEN_PID}"
 
 # Graceful drain via SIGINT; the server must exit cleanly.
 kill -INT "${SERVER_PID}"

@@ -93,6 +93,20 @@ class TpcPolicy final : public policy::ParallelismPolicy
         return rationaleEnabled_ ? &rationale_ : nullptr;
     }
 
+    policy::PolicySnapshot introspect() const override
+    {
+        policy::PolicySnapshot snapshot;
+        snapshot.name = name();
+        snapshot.hasTargetTable = true;
+        snapshot.targetTable.reserve(targetTable_.size());
+        for (const TargetEntry& entry : targetTable_.entries())
+            snapshot.targetTable.emplace_back(entry.load, entry.targetMs);
+        snapshot.dispatches = counters_.dispatches;
+        snapshot.corrections = counters_.corrections;
+        snapshot.correctionThreadsAdded = counters_.correctionThreadsAdded;
+        return snapshot;
+    }
+
     const TpcCounters& counters() const { return counters_; }
     const TargetTable& targetTable() const { return targetTable_; }
     const TpcOptions& options() const { return options_; }

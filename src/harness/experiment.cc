@@ -44,6 +44,11 @@ runTrace(const Trace& trace, policy::ParallelismPolicy& policy,
             *metrics, config.metricsOutPath);
         server.attachMetrics(metrics.get());
     }
+    std::unique_ptr<obs::StageStatsCollector> stageStats;
+    if (config.collectStageStats) {
+        stageStats = std::make_unique<obs::StageStatsCollector>();
+        server.attachStageStats(stageStats.get());
+    }
 
     // Chain arrivals one event at a time so the event heap stays small:
     // each arrival submits its request and schedules the next arrival.
@@ -89,6 +94,9 @@ runTrace(const Trace& trace, policy::ParallelismPolicy& policy,
     result.latency = std::move(latency);
     if (config.keepOutcomes)
         result.outcomes = server.outcomes();
+    if (stageStats != nullptr)
+        result.stageStats = std::make_shared<const obs::StageSnapshot>(
+            stageStats->snapshot());
     return result;
 }
 

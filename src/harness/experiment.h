@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/stage_stats.h"
 #include "policy/policy.h"
 #include "policy/speedup_profile.h"
 #include "server/sim_server.h"
@@ -44,6 +46,9 @@ struct ExperimentConfig
     std::string metricsOutPath;
     /** Metrics snapshot window length (simulated ms). */
     double metricsWindowMs = 100.0;
+    /** Collect per-stage latency decomposition + tail attribution; the
+     *  merged snapshot lands in ExperimentResult::stageStats. */
+    bool collectStageStats = false;
 };
 
 /** Result of one experiment run. */
@@ -54,6 +59,9 @@ struct ExperimentResult
     server::ServerCounters counters;
     /** Per-request records; empty unless keepOutcomes was set. */
     std::vector<server::RequestOutcome> outcomes;
+    /** Stage decomposition + tail attribution; null unless
+     *  collectStageStats was set. */
+    std::shared_ptr<const obs::StageSnapshot> stageStats;
 };
 
 /**

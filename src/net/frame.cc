@@ -81,8 +81,8 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         return fail("unsupported protocol version " +
                     std::to_string(static_cast<int>(data[4])));
     const std::uint8_t type = data[5];
-    if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-        type != static_cast<std::uint8_t>(FrameType::kResponse))
+    if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+        type > static_cast<std::uint8_t>(FrameType::kStatsResponse))
         return fail("unknown frame type " +
                     std::to_string(static_cast<int>(type)));
     const std::uint8_t status = data[7];

@@ -46,6 +46,11 @@ inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
 enum class FrameType : std::uint8_t {
     kRequest = 1,
     kResponse = 2,
+    /** Admin introspection request (/statsz); empty payload. */
+    kStatsRequest = 3,
+    /** Response to kStatsRequest; payload is Prometheus exposition
+     *  text (UTF-8, no NUL terminator). */
+    kStatsResponse = 4,
 };
 
 /** Response disposition. */

@@ -57,6 +57,18 @@ RpcServer::attachTrace(obs::TraceRecorder* trace, int serverId)
 }
 
 void
+RpcServer::setStatszProvider(StatszProvider provider)
+{
+    statszProvider_ = std::move(provider);
+}
+
+void
+RpcServer::attachStageStats(obs::StageStatsCollector* stageStats)
+{
+    stageStats_ = stageStats;
+}
+
+void
 RpcServer::attachMetrics(obs::MetricsRegistry* metrics)
 {
     metrics_ = metrics;
@@ -194,6 +206,28 @@ RpcServer::onReadable(Connection& conn)
 void
 RpcServer::handleFrame(Connection& conn, Frame frame)
 {
+    // Introspection frames are answered inline, before admission and
+    // outside the request counters and NET_RECEIVE tracing: /statsz
+    // observes the server, it never perturbs the serving pipeline.
+    if (frame.type == FrameType::kStatsRequest) {
+        Frame response;
+        response.type = FrameType::kStatsResponse;
+        response.requestId = frame.requestId;
+        if (statszProvider_) {
+            const std::string text = statszProvider_();
+            response.status = FrameStatus::kOk;
+            response.payload.assign(text.begin(), text.end());
+        } else {
+            response.status = FrameStatus::kError;
+        }
+        sendFrame(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.statszServed;
+        }
+        return;
+    }
+
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.requestsReceived;
@@ -212,6 +246,8 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
 
     auto busy = [&] {
         recordNetEvent(obs::TraceEventType::kNetShed, frame.requestId);
+        if (stageStats_ != nullptr)
+            stageStats_->recordShed(frame.cls);
         Frame response;
         response.type = FrameType::kResponse;
         response.status = FrameStatus::kBusy;

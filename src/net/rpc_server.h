@@ -36,6 +36,7 @@
 #include "net/poller.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "obs/stage_stats.h"
 #include "obs/trace_recorder.h"
 #include "server/threaded_server.h"
 
@@ -77,7 +78,13 @@ struct RpcServerStats
     std::uint64_t responsesSent = 0;
     std::uint64_t busySent = 0;
     std::uint64_t protocolErrors = 0;
+    /** kStatsRequest frames answered (not counted as requests). */
+    std::uint64_t statszServed = 0;
 };
+
+/** Produces the /statsz exposition text; runs on the event-loop thread
+ *  and must not block (render from a cached StatsSampler snapshot). */
+using StatszProvider = std::function<std::string()>;
 
 /** The serving layer. One event-loop thread; never blocks workers. */
 class RpcServer
@@ -125,6 +132,21 @@ class RpcServer
      *  before run(). Registers net_accepted / net_shed / net_in_flight /
      *  net_connections / net_protocol_errors. */
     void attachMetrics(obs::MetricsRegistry* metrics);
+
+    /**
+     * Installs the /statsz provider (call before run()). kStatsRequest
+     * frames are answered inline on the event loop with the provider's
+     * text — they bypass admission control so introspection still works
+     * while the server sheds load. Without a provider, stats requests
+     * are answered with an empty kError response.
+     */
+    void setStatszProvider(StatszProvider provider);
+
+    /** Attaches a stage-stats collector (borrowed; nullptr detaches).
+     *  Call before run(). The RPC layer only records admission sheds
+     *  (cause "shed"); pair with ThreadedServer::attachStageStats on
+     *  the same collector for completion decomposition. */
+    void attachStageStats(obs::StageStatsCollector* stageStats);
 
     /** Admission counters (accepted / shed / in-flight). */
     const AdmissionController& admission() const { return admission_; }
@@ -197,6 +219,8 @@ class RpcServer
 
     obs::TraceRecorder* trace_ = nullptr;
     int traceServerId_ = 0;
+    obs::StageStatsCollector* stageStats_ = nullptr;
+    StatszProvider statszProvider_;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles
     {

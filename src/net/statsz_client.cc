@@ -1,0 +1,124 @@
+#include "net/statsz_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace tpc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+StatszResult
+fetchStatsz(const std::string& host, std::uint16_t port, double timeoutMs)
+{
+    StatszResult result;
+    const auto start = Clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(timeoutMs));
+    auto fail = [&result, start](std::string why) {
+        result.error = std::move(why);
+        result.elapsedMs = msSince(start);
+        return result;
+    };
+    // Remaining budget as a poll timeout; >= 1 so a wait near the
+    // deadline still polls once instead of spinning.
+    auto remainingMs = [&deadline] {
+        const auto left = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline -
+                                                         Clock::now())
+                              .count();
+        return std::max(1, static_cast<int>(left));
+    };
+
+    std::string connectError;
+    FdGuard fd(connectTcp(host, port, &connectError));
+    if (!fd.valid())
+        return fail("connect: " + connectError);
+    Poller poller;
+    poller.add(fd.fd(), kPollOut);
+    std::vector<PollEvent> events;
+    poller.wait(events, remainingMs());
+    if (events.empty() || !connectSucceeded(fd.fd()))
+        return fail("connect to " + host + ":" + std::to_string(port) +
+                    " failed or timed out");
+
+    Frame request;
+    request.type = FrameType::kStatsRequest;
+    request.requestId = 1;
+    std::vector<std::uint8_t> writeBuffer;
+    encodeFrame(request, writeBuffer);
+    std::size_t writeOffset = 0;
+    while (writeOffset < writeBuffer.size()) {
+        std::size_t n = 0;
+        const IoStatus status =
+            writeSome(fd.fd(), writeBuffer.data() + writeOffset,
+                      writeBuffer.size() - writeOffset, &n);
+        if (status == IoStatus::kOk && n > 0) {
+            writeOffset += n;
+            continue;
+        }
+        if (status != IoStatus::kWouldBlock && n == 0)
+            return fail("send failed");
+        if (Clock::now() >= deadline)
+            return fail("deadline exceeded while sending");
+        poller.wait(events, remainingMs());
+    }
+
+    poller.modify(fd.fd(), kPollIn);
+    FrameReader reader;
+    Frame frame;
+    for (;;) {
+        while (reader.next(&frame)) {
+            if (frame.type != FrameType::kStatsResponse ||
+                frame.requestId != request.requestId)
+                continue;
+            if (frame.status != FrameStatus::kOk)
+                return fail("server answered status " +
+                            std::to_string(
+                                static_cast<int>(frame.status)) +
+                            " (no statsz provider installed?)");
+            result.ok = true;
+            result.text.assign(frame.payload.begin(),
+                               frame.payload.end());
+            result.elapsedMs = msSince(start);
+            return result;
+        }
+        if (reader.broken())
+            return fail("protocol error: " + reader.error());
+        if (Clock::now() >= deadline)
+            return fail("deadline of " + std::to_string(timeoutMs) +
+                        " ms exceeded waiting for the response");
+        poller.wait(events, remainingMs());
+        std::uint8_t buffer[16384];
+        for (;;) {
+            std::size_t n = 0;
+            const IoStatus status =
+                readSome(fd.fd(), buffer, sizeof(buffer), &n);
+            if (status == IoStatus::kOk) {
+                reader.append(buffer, n);
+                continue;
+            }
+            if (status == IoStatus::kWouldBlock)
+                break;
+            return fail("connection closed before the response");
+        }
+    }
+}
+
+} // namespace tpc::net

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Client for the /statsz introspection endpoint.
+ *
+ * fetchStatsz() opens one connection, sends a kStatsRequest frame, and
+ * waits — under a hard wall-clock deadline — for the kStatsResponse
+ * carrying the Prometheus exposition text. The deadline covers connect,
+ * send, and receive together, so a stalled event loop (the failure mode
+ * the CI smoke test guards against) surfaces as a timeout, never a hang.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tpc::net {
+
+/** Outcome of one /statsz pull. */
+struct StatszResult
+{
+    /** True when a well-formed kStatsResponse with status OK arrived
+     *  within the deadline. */
+    bool ok = false;
+    /** Exposition text (empty unless ok). */
+    std::string text;
+    /** Failure description (empty when ok). */
+    std::string error;
+    /** Wall time the whole pull took (ms). */
+    double elapsedMs = 0.0;
+};
+
+/**
+ * Pulls /statsz from host:port. @p timeoutMs bounds the entire
+ * operation; on expiry the result carries ok=false and a "deadline"
+ * error. Never fatal — callers (CLI, smoke test) decide how to fail.
+ */
+StatszResult fetchStatsz(const std::string& host, std::uint16_t port,
+                         double timeoutMs = 1000.0);
+
+} // namespace tpc::net

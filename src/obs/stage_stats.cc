@@ -1,0 +1,235 @@
+#include "obs/stage_stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace tpc::obs {
+
+const char*
+tailCauseName(TailCause cause)
+{
+    switch (cause) {
+    case TailCause::kNone:
+        return "none";
+    case TailCause::kQueueDelay:
+        return "queue_delay";
+    case TailCause::kMispredictLong:
+        return "mispredict_long";
+    case TailCause::kCorrectionLate:
+        return "correction_late";
+    case TailCause::kNoIdleWorkers:
+        return "no_idle_workers";
+    case TailCause::kShed:
+        return "shed";
+    }
+    return "unknown";
+}
+
+TailCause
+classifyTail(const StageRecord& record)
+{
+    if (record.targetMs <= 0.0 || record.responseMs <= record.targetMs)
+        return TailCause::kNone;
+    // The request's own execution met the target: only queueing before
+    // dispatch pushed the response over E. No degree choice could have
+    // saved it, so it is attributed to the queue, not the policy.
+    if (record.responseMs - record.queueMs <= record.targetMs)
+        return TailCause::kQueueDelay;
+    if (record.starvedCorrection && !record.corrected)
+        return TailCause::kNoIdleWorkers;
+    if (record.corrected)
+        return TailCause::kCorrectionLate;
+    return TailCause::kMispredictLong;
+}
+
+StageStatsCollector::StageStatsCollector(std::vector<std::string> classNames,
+                                         std::size_t shardCount,
+                                         std::size_t exemplarCapacity)
+    : classNames_(std::move(classNames)), exemplarCapacity_(exemplarCapacity)
+{
+    if (classNames_.empty())
+        classNames_.push_back("all");
+    TPC_CHECK(shardCount >= 1);
+    shards_.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->classes.resize(classNames_.size());
+        shard->exemplars.reserve(exemplarCapacity_);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+void
+StageStatsCollector::record(const StageRecord& record)
+{
+    const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        shards_.size();
+    recordShard(shard, record);
+}
+
+void
+StageStatsCollector::recordShard(std::size_t shard,
+                                 const StageRecord& record)
+{
+    TPC_DCHECK(shard < shards_.size());
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    StageClassSnapshot& c = s.classes[clampClass(record.cls)];
+
+    ++c.completions;
+    const double serviceMs =
+        std::max(0.0, record.responseMs - record.queueMs);
+    c.predictedSumMs += record.predictedMs;
+    c.serviceSumMs += serviceMs;
+    c.responseMs.add(record.responseMs);
+    c.queueMs.add(record.queueMs);
+    c.serviceMs.add(serviceMs);
+    if (record.corrected && record.firstCorrectionDelayMs >= 0.0) {
+        c.correctionDelayMs.add(record.firstCorrectionDelayMs);
+        c.postCorrectionMs.add(
+            std::max(0.0, serviceMs - record.firstCorrectionDelayMs));
+    }
+    if (record.estimatedMs > 0.0)
+        c.overrunMs.add(std::max(0.0, serviceMs - record.estimatedMs));
+
+    const TailCause cause = classifyTail(record);
+    if (cause == TailCause::kNone)
+        return;
+    ++c.tail;
+    ++c.causes[static_cast<std::size_t>(cause)];
+
+    // Exemplars: keep the worst overshoots. Replace the mildest entry
+    // once full, so the buffer converges on the true worst offenders.
+    if (exemplarCapacity_ == 0)
+        return;
+    const double overshoot = record.responseMs - record.targetMs;
+    if (s.exemplars.size() < exemplarCapacity_) {
+        s.exemplars.push_back(record);
+        return;
+    }
+    std::size_t mildest = 0;
+    double mildestOvershoot =
+        s.exemplars[0].responseMs - s.exemplars[0].targetMs;
+    for (std::size_t i = 1; i < s.exemplars.size(); ++i) {
+        const double o =
+            s.exemplars[i].responseMs - s.exemplars[i].targetMs;
+        if (o < mildestOvershoot) {
+            mildest = i;
+            mildestOvershoot = o;
+        }
+    }
+    if (overshoot > mildestOvershoot)
+        s.exemplars[mildest] = record;
+}
+
+void
+StageStatsCollector::recordShed(std::uint32_t cls)
+{
+    const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        shards_.size();
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.classes[clampClass(cls)]
+          .causes[static_cast<std::size_t>(TailCause::kShed)];
+}
+
+StageSnapshot
+StageStatsCollector::snapshot() const
+{
+    StageSnapshot out;
+    out.classes.resize(classNames_.size());
+    for (std::size_t c = 0; c < classNames_.size(); ++c)
+        out.classes[c].name = classNames_[c];
+
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (std::size_t c = 0; c < classNames_.size(); ++c) {
+            const StageClassSnapshot& src = shard->classes[c];
+            StageClassSnapshot& dst = out.classes[c];
+            dst.completions += src.completions;
+            dst.tail += src.tail;
+            for (std::size_t i = 0; i < kTailCauseCount; ++i)
+                dst.causes[i] += src.causes[i];
+            dst.predictedSumMs += src.predictedSumMs;
+            dst.serviceSumMs += src.serviceSumMs;
+            dst.responseMs.merge(src.responseMs);
+            dst.queueMs.merge(src.queueMs);
+            dst.serviceMs.merge(src.serviceMs);
+            dst.correctionDelayMs.merge(src.correctionDelayMs);
+            dst.postCorrectionMs.merge(src.postCorrectionMs);
+            dst.overrunMs.merge(src.overrunMs);
+        }
+        out.exemplars.insert(out.exemplars.end(), shard->exemplars.begin(),
+                             shard->exemplars.end());
+    }
+    for (const StageClassSnapshot& c : out.classes)
+        out.records += c.completions;
+    std::sort(out.exemplars.begin(), out.exemplars.end(),
+              [](const StageRecord& a, const StageRecord& b) {
+                  return a.responseMs - a.targetMs >
+                         b.responseMs - b.targetMs;
+              });
+    if (out.exemplars.size() > exemplarCapacity_)
+        out.exemplars.resize(exemplarCapacity_);
+    return out;
+}
+
+StatsSampler::StatsSampler(const StageStatsCollector& collector,
+                           double intervalMs)
+    : collector_(collector), intervalMs_(intervalMs)
+{
+    TPC_CHECK(intervalMs > 0.0);
+    sampleNow();
+    thread_ = std::thread([this] { loop(); });
+}
+
+StatsSampler::~StatsSampler()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+}
+
+std::shared_ptr<const StageSnapshot>
+StatsSampler::latest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return latest_;
+}
+
+void
+StatsSampler::sampleNow()
+{
+    auto snapshot =
+        std::make_shared<const StageSnapshot>(collector_.snapshot());
+    std::lock_guard<std::mutex> lock(mutex_);
+    latest_ = std::move(snapshot);
+}
+
+void
+StatsSampler::loop()
+{
+    // Sleep in short slices so destruction never waits a full interval.
+    const auto slice = std::chrono::milliseconds(10);
+    auto nextSample = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              intervalMs_));
+    while (!stop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(slice);
+        if (std::chrono::steady_clock::now() < nextSample)
+            continue;
+        sampleNow();
+        nextSample += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(intervalMs_));
+    }
+}
+
+} // namespace tpc::obs

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Per-stage latency decomposition and tail-latency attribution.
+ *
+ * Every completed request is folded into a StageRecord — queue wait,
+ * execution time against the predictor's estimate, time to the first
+ * dynamic correction, post-correction tail — and accumulated into
+ * mergeable log-linear histograms sharded per recording thread, so the
+ * completion path takes one short per-shard lock and never contends
+ * across workers. Requests finishing over the target E are additionally
+ * tagged with a cause by classifyTail() (the component-level attribution
+ * the paper's tail story needs: was it the predictor, the queue, or a
+ * correction that fired too late or found no idle workers?) and the worst
+ * offenders are kept in a bounded exemplar buffer so a violation can be
+ * traced back to the policy decision that produced it.
+ *
+ * A StatsSampler aggregates the shards on a background thread into an
+ * immutable StageSnapshot; the /statsz endpoint renders the cached
+ * snapshot, so serving introspection never walks the shards on the event
+ * loop.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace tpc::obs {
+
+/** Why a request finished over the target completion time E. */
+enum class TailCause : std::uint8_t {
+    /** Finished within target (or no target applied) — not a tail case. */
+    kNone = 0,
+    /** Execution met the target; queueing before dispatch pushed the
+     *  response over it. */
+    kQueueDelay = 1,
+    /** The predictor underestimated and no correction ever raised the
+     *  degree — the mispredicted-long request the paper's correction
+     *  mechanism exists to catch. */
+    kMispredictLong = 2,
+    /** Correction raised the degree but the request still missed E. */
+    kCorrectionLate = 3,
+    /** Correction wanted more threads but found zero idle workers. */
+    kNoIdleWorkers = 4,
+    /** Rejected by admission control (never executed). */
+    kShed = 5,
+};
+
+inline constexpr std::size_t kTailCauseCount = 6;
+
+/** Stable lower-case name used in /statsz labels and tables. */
+const char* tailCauseName(TailCause cause);
+
+/** The per-request facts the decomposition and classifier consume. */
+struct StageRecord
+{
+    std::uint64_t requestId = 0;
+    /** Request class index (collector clamps to its class list). */
+    std::uint32_t cls = 0;
+    /** Submit -> completion (ms). */
+    double responseMs = 0.0;
+    /** Submit -> dispatch (ms). */
+    double queueMs = 0.0;
+    /** Predictor's sequential-time estimate (ms). */
+    double predictedMs = 0.0;
+    /** Policy's estimated parallel time at the chosen degree (ms);
+     *  0 when the policy exposes none. */
+    double estimatedMs = 0.0;
+    /** Target completion time E applied at dispatch (ms); <= 0 when the
+     *  policy has no target (baselines). */
+    double targetMs = 0.0;
+    /** Dispatch -> first degree raise (ms); negative when never raised. */
+    double firstCorrectionDelayMs = -1.0;
+    bool corrected = false;
+    /** A correction check wanted more threads but found none idle. */
+    bool starvedCorrection = false;
+    int initialDegree = 1;
+    int maxDegree = 1;
+};
+
+/**
+ * Attributes one completion to a cause. Pure and deterministic; for any
+ * record with targetMs > 0 and responseMs > targetMs it returns exactly
+ * one of the four completion causes, so summing per-cause counts always
+ * reproduces the number of over-target completions. Priority order:
+ * queue delay (the request itself met E), correction starvation,
+ * late correction, misprediction.
+ */
+TailCause classifyTail(const StageRecord& record);
+
+/** Aggregated view of one request class. */
+struct StageClassSnapshot
+{
+    std::string name;
+    std::uint64_t completions = 0;
+    /** Completions with responseMs > targetMs (targeted requests only). */
+    std::uint64_t tail = 0;
+    /** Per-cause counts; the four completion causes sum to `tail`,
+     *  kShed counts admission rejections (never completions). */
+    std::array<std::uint64_t, kTailCauseCount> causes{};
+    double predictedSumMs = 0.0;
+    double serviceSumMs = 0.0;
+    stats::LogHistogram responseMs;
+    stats::LogHistogram queueMs;
+    /** Dispatch -> completion. */
+    stats::LogHistogram serviceMs;
+    /** Dispatch -> first correction (corrected requests only). */
+    stats::LogHistogram correctionDelayMs;
+    /** First correction -> completion (corrected requests only). */
+    stats::LogHistogram postCorrectionMs;
+    /** max(0, service - estimated): how far reality overran the
+     *  predictor (requests with an estimate only). */
+    stats::LogHistogram overrunMs;
+};
+
+/** Immutable merged view of every shard at one point in time. */
+struct StageSnapshot
+{
+    std::vector<StageClassSnapshot> classes;
+    /** Worst over-target offenders, sorted by overshoot descending. */
+    std::vector<StageRecord> exemplars;
+    /** Total completions folded in across classes. */
+    std::uint64_t records = 0;
+};
+
+/**
+ * Sharded, thread-safe accumulator. record() hashes the calling thread to
+ * a shard (same discipline as TraceRecorder); snapshot() locks shard by
+ * shard and merges, so recording threads are never blocked for the whole
+ * aggregation.
+ */
+class StageStatsCollector
+{
+  public:
+    /**
+     * @param classNames Request-class labels; cls indices at or past the
+     *                   end clamp to the last class. Defaults to one
+     *                   class "all".
+     * @param shardCount Independent buckets (>= 1); size to the number of
+     *                   recording threads.
+     * @param exemplarCapacity Worst offenders kept per shard and in the
+     *                   merged snapshot.
+     */
+    explicit StageStatsCollector(std::vector<std::string> classNames = {},
+                                 std::size_t shardCount = 1,
+                                 std::size_t exemplarCapacity = 16);
+
+    StageStatsCollector(const StageStatsCollector&) = delete;
+    StageStatsCollector& operator=(const StageStatsCollector&) = delete;
+
+    /** Folds one completion into the calling thread's shard. */
+    void record(const StageRecord& record);
+
+    /** Folds into an explicit shard (callers with a natural index). */
+    void recordShard(std::size_t shard, const StageRecord& record);
+
+    /** Counts an admission rejection under cause `shed`. */
+    void recordShed(std::uint32_t cls);
+
+    /** Merged view of all shards (allocates; call off the hot path or
+     *  through a StatsSampler). */
+    StageSnapshot snapshot() const;
+
+    std::size_t shardCount() const { return shards_.size(); }
+    std::size_t classCount() const { return classNames_.size(); }
+    const std::vector<std::string>& classNames() const
+    {
+        return classNames_;
+    }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::vector<StageClassSnapshot> classes;
+        /** Over-target records, worst kept when capacity is hit. */
+        std::vector<StageRecord> exemplars;
+    };
+
+    std::uint32_t clampClass(std::uint32_t cls) const
+    {
+        const auto last =
+            static_cast<std::uint32_t>(classNames_.size() - 1);
+        return cls < last ? cls : last;
+    }
+
+    std::vector<std::string> classNames_;
+    std::size_t exemplarCapacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/**
+ * Background aggregation thread: periodically snapshots a collector and
+ * publishes the result as an immutable shared_ptr, so readers (the
+ * /statsz renderer on the RPC event loop) pay one mutex-protected
+ * pointer copy instead of a shard walk.
+ */
+class StatsSampler
+{
+  public:
+    /** Starts sampling immediately (one synchronous sample, then every
+     *  @p intervalMs on the background thread). Collector is borrowed
+     *  and must outlive the sampler. */
+    StatsSampler(const StageStatsCollector& collector,
+                 double intervalMs = 250.0);
+
+    /** Stops and joins the sampler thread. */
+    ~StatsSampler();
+
+    StatsSampler(const StatsSampler&) = delete;
+    StatsSampler& operator=(const StatsSampler&) = delete;
+
+    /** The most recent snapshot; never null after construction. */
+    std::shared_ptr<const StageSnapshot> latest() const;
+
+    /** Takes a fresh snapshot synchronously and publishes it. */
+    void sampleNow();
+
+  private:
+    void loop();
+
+    const StageStatsCollector& collector_;
+    const double intervalMs_;
+    mutable std::mutex mutex_;
+    std::shared_ptr<const StageSnapshot> latest_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+} // namespace tpc::obs

@@ -1,0 +1,243 @@
+#include "obs/statsz.h"
+
+#include <cstdio>
+
+namespace tpc::obs {
+
+namespace {
+
+std::string
+formatValue(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+}
+
+/** The quantiles every class/stage series reports. */
+const std::vector<double>&
+statszQuantiles()
+{
+    static const std::vector<double> kQuantiles = {0.5, 0.9, 0.99, 0.999};
+    return kQuantiles;
+}
+
+const char*
+quantileLabel(std::size_t i)
+{
+    static const char* kLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+    return kLabels[i];
+}
+
+} // namespace
+
+void
+PrometheusWriter::header(const std::string& name, const std::string& help,
+                         const std::string& type)
+{
+    out_ += "# HELP " + name + " " + help + "\n";
+    out_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void
+PrometheusWriter::sample(const std::string& name,
+                         const std::vector<std::string>& labels,
+                         double value)
+{
+    out_ += name;
+    if (!labels.empty()) {
+        out_ += '{';
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            if (i != 0)
+                out_ += ',';
+            out_ += labels[i];
+        }
+        out_ += '}';
+    }
+    out_ += ' ';
+    out_ += formatValue(value);
+    out_ += '\n';
+}
+
+void
+PrometheusWriter::sample(const std::string& name,
+                         const std::vector<std::string>& labels,
+                         std::uint64_t value)
+{
+    sample(name, labels, static_cast<double>(value));
+}
+
+std::string
+PrometheusWriter::label(const std::string& key, const std::string& value)
+{
+    std::string escaped;
+    escaped.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\' || c == '"')
+            escaped += '\\';
+        if (c == '\n') {
+            escaped += "\\n";
+            continue;
+        }
+        escaped += c;
+    }
+    return key + "=\"" + escaped + "\"";
+}
+
+std::string
+renderStatsz(const StatszInfo& info, const StageSnapshot* stages)
+{
+    PrometheusWriter w;
+
+    w.header("tpc_up", "Server liveness (always 1 when answering).",
+             "gauge");
+    w.sample("tpc_up", {PrometheusWriter::label("policy", info.policyName)},
+             std::uint64_t{1});
+    w.header("tpc_uptime_ms", "Wall time since the server started.",
+             "gauge");
+    w.sample("tpc_uptime_ms", {}, info.uptimeMs);
+
+    w.header("tpc_workers", "Worker-pool occupancy.", "gauge");
+    w.sample("tpc_workers", {PrometheusWriter::label("state", "total")},
+             static_cast<double>(info.totalWorkers));
+    w.sample("tpc_workers", {PrometheusWriter::label("state", "busy")},
+             static_cast<double>(info.busyWorkers));
+    w.sample("tpc_workers", {PrometheusWriter::label("state", "idle")},
+             static_cast<double>(info.totalWorkers - info.busyWorkers));
+    w.header("tpc_queue_depth", "Requests waiting for dispatch.", "gauge");
+    w.sample("tpc_queue_depth", {}, static_cast<double>(info.queueDepth));
+
+    w.header("tpc_dispatches_total", "Policy dispatch decisions.",
+             "counter");
+    w.sample("tpc_dispatches_total", {}, info.dispatches);
+    w.header("tpc_corrections_total", "Dynamic corrections fired.",
+             "counter");
+    w.sample("tpc_corrections_total", {}, info.corrections);
+    w.header("tpc_correction_threads_added_total",
+             "Worker threads added by corrections.", "counter");
+    w.sample("tpc_correction_threads_added_total", {},
+             info.correctionThreadsAdded);
+
+    w.header("tpc_admitted_total", "Requests admitted by load shedding.",
+             "counter");
+    w.sample("tpc_admitted_total", {}, info.admitted);
+    w.header("tpc_shed_total", "Requests rejected with BUSY.", "counter");
+    w.sample("tpc_shed_total", {}, info.shed);
+    w.header("tpc_in_flight", "Admitted requests not yet answered.",
+             "gauge");
+    w.sample("tpc_in_flight", {}, info.inFlight);
+    w.header("tpc_trace_dropped_events_total",
+             "Trace events dropped by capacity-bounded shards.", "counter");
+    w.sample("tpc_trace_dropped_events_total", {},
+             info.droppedTraceEvents);
+
+    if (!info.targetTable.empty()) {
+        w.header("tpc_target_table_ms",
+                 "Target completion time E per load bucket (upper bound "
+                 "in the load label).",
+                 "gauge");
+        for (const StatszTargetEntry& entry : info.targetTable)
+            w.sample("tpc_target_table_ms",
+                     {PrometheusWriter::label("load",
+                                              formatValue(entry.load))},
+                     entry.targetMs);
+    }
+
+    if (stages == nullptr)
+        return w.take();
+
+    w.header("tpc_completions_total", "Completed requests per class.",
+             "counter");
+    for (const StageClassSnapshot& c : stages->classes)
+        w.sample("tpc_completions_total",
+                 {PrometheusWriter::label("class", c.name)},
+                 c.completions);
+
+    w.header("tpc_tail_total",
+             "Completions finishing over the target E per class.",
+             "counter");
+    for (const StageClassSnapshot& c : stages->classes)
+        w.sample("tpc_tail_total",
+                 {PrometheusWriter::label("class", c.name)}, c.tail);
+
+    w.header("tpc_tail_cause_total",
+             "Over-target completions by attributed cause (plus "
+             "admission sheds under cause=\"shed\").",
+             "counter");
+    for (const StageClassSnapshot& c : stages->classes) {
+        for (std::size_t i = 1; i < kTailCauseCount; ++i) {
+            w.sample("tpc_tail_cause_total",
+                     {PrometheusWriter::label("class", c.name),
+                      PrometheusWriter::label(
+                          "cause",
+                          tailCauseName(static_cast<TailCause>(i)))},
+                     c.causes[i]);
+        }
+    }
+
+    w.header("tpc_stage_latency_ms",
+             "Per-stage latency quantiles: response (submit->done), "
+             "queue (submit->dispatch), service (dispatch->done), "
+             "correction_delay (dispatch->first raise), post_correction "
+             "(first raise->done), overrun (service minus policy "
+             "estimate).",
+             "summary");
+    const auto emitStage = [&w](const std::string& cls, const char* stage,
+                                const stats::LogHistogram& histogram) {
+        const std::vector<double> qs =
+            histogram.percentiles(statszQuantiles());
+        for (std::size_t i = 0; i < qs.size(); ++i)
+            w.sample("tpc_stage_latency_ms",
+                     {PrometheusWriter::label("class", cls),
+                      PrometheusWriter::label("stage", stage),
+                      PrometheusWriter::label("quantile",
+                                              quantileLabel(i))},
+                     qs[i]);
+        w.sample("tpc_stage_latency_ms_count",
+                 {PrometheusWriter::label("class", cls),
+                  PrometheusWriter::label("stage", stage)},
+                 histogram.count());
+    };
+    for (const StageClassSnapshot& c : stages->classes) {
+        emitStage(c.name, "response", c.responseMs);
+        emitStage(c.name, "queue", c.queueMs);
+        emitStage(c.name, "service", c.serviceMs);
+        emitStage(c.name, "correction_delay", c.correctionDelayMs);
+        emitStage(c.name, "post_correction", c.postCorrectionMs);
+        emitStage(c.name, "overrun", c.overrunMs);
+    }
+
+    w.header("tpc_predicted_ms_sum",
+             "Sum of predicted sequential times (with "
+             "tpc_service_ms_sum: predicted-vs-actual ratio).",
+             "counter");
+    for (const StageClassSnapshot& c : stages->classes)
+        w.sample("tpc_predicted_ms_sum",
+                 {PrometheusWriter::label("class", c.name)},
+                 c.predictedSumMs);
+    w.header("tpc_service_ms_sum", "Sum of actual execution times.",
+             "counter");
+    for (const StageClassSnapshot& c : stages->classes)
+        w.sample("tpc_service_ms_sum",
+                 {PrometheusWriter::label("class", c.name)},
+                 c.serviceSumMs);
+
+    // Worst offenders ride along as comments: ignored by scrapers, read
+    // by humans pulling the endpoint during an incident.
+    for (const StageRecord& e : stages->exemplars) {
+        char line[256];
+        std::snprintf(
+            line, sizeof(line),
+            "# exemplar id=%llu cls=%u response_ms=%.3f target_ms=%.3f "
+            "queue_ms=%.3f predicted_ms=%.3f degree=%d->%d corrected=%d "
+            "cause=%s\n",
+            static_cast<unsigned long long>(e.requestId), e.cls,
+            e.responseMs, e.targetMs, e.queueMs, e.predictedMs,
+            e.initialDegree, e.maxDegree, e.corrected ? 1 : 0,
+            tailCauseName(classifyTail(e)));
+        w.raw(line);
+    }
+    return w.take();
+}
+
+} // namespace tpc::obs

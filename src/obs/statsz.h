@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Plain-text Prometheus-exposition rendering of a server's live state.
+ *
+ * renderStatsz() turns a StageSnapshot plus a caller-filled StatszInfo
+ * (policy identity, target table, scheduler counters, worker occupancy,
+ * admission counters) into the text format every metrics scraper parses:
+ * `# HELP` / `# TYPE` comments followed by `name{labels} value` samples.
+ * The renderer is pure string building over an immutable snapshot — no
+ * locks, no allocation proportional to traffic — so the RPC event loop
+ * can serve /statsz while saturated.
+ *
+ * StatszInfo mirrors the bits of policy / net state the dump needs as
+ * plain values, keeping this module free of dependencies on those layers
+ * (obs sits below both).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/stage_stats.h"
+
+namespace tpc::obs {
+
+/** One (load, target E) row of the policy's target table. */
+struct StatszTargetEntry
+{
+    double load = 0.0;
+    double targetMs = 0.0;
+};
+
+/** Caller-supplied server state rendered alongside the stage snapshot. */
+struct StatszInfo
+{
+    /** Policy name() — becomes the `policy` label on tpc_up. */
+    std::string policyName;
+    /** Target table rows; empty for policies without one. */
+    std::vector<StatszTargetEntry> targetTable;
+    std::uint64_t dispatches = 0;
+    std::uint64_t corrections = 0;
+    std::uint64_t correctionThreadsAdded = 0;
+    int totalWorkers = 0;
+    int busyWorkers = 0;
+    int queueDepth = 0;
+    /** Admission counters; all zero when serving without admission. */
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t inFlight = 0;
+    /** TraceRecorder::droppedEvents() when tracing, else 0. */
+    std::uint64_t droppedTraceEvents = 0;
+    double uptimeMs = 0.0;
+};
+
+/**
+ * Incremental builder for the exposition text. Metric names should be
+ * `[a-zA-Z_:][a-zA-Z0-9_:]*`; label values are escaped per the format
+ * spec (backslash, double quote, newline).
+ */
+class PrometheusWriter
+{
+  public:
+    /** Emits the `# HELP` and `# TYPE` header for a metric. */
+    void header(const std::string& name, const std::string& help,
+                const std::string& type);
+
+    /** Emits one sample; @p labels are preformatted `k="v"` pairs. */
+    void sample(const std::string& name,
+                const std::vector<std::string>& labels, double value);
+
+    void sample(const std::string& name,
+                const std::vector<std::string>& labels,
+                std::uint64_t value);
+
+    /** Appends preformatted text (e.g. comment lines) verbatim. */
+    void raw(const std::string& text) { out_ += text; }
+
+    /** Formats one `key="escaped(value)"` label pair. */
+    static std::string label(const std::string& key,
+                             const std::string& value);
+
+    const std::string& text() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Renders the full /statsz dump. @p stages may be null (no stage stats
+ * attached) — the policy/admission/occupancy sections still render, so
+ * the endpoint always answers with valid exposition text.
+ */
+std::string renderStatsz(const StatszInfo& info,
+                         const StageSnapshot* stages);
+
+} // namespace tpc::obs

@@ -34,7 +34,9 @@ traceEventTypeName(TraceEventType type)
     return "UNKNOWN";
 }
 
-TraceRecorder::TraceRecorder(std::size_t shardCount)
+TraceRecorder::TraceRecorder(std::size_t shardCount,
+                             std::size_t shardCapacity)
+    : shardCapacity_(shardCapacity)
 {
     TPC_CHECK(shardCount >= 1);
     shards_.reserve(shardCount);
@@ -61,6 +63,10 @@ TraceRecorder::recordShard(std::size_t shard, const TraceEvent& event)
     stamped.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     Shard& s = *shards_[shard];
     std::lock_guard<std::mutex> lock(s.mutex);
+    if (shardCapacity_ != 0 && s.events.size() >= shardCapacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     s.events.push_back(stamped);
 }
 

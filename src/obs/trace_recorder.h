@@ -28,8 +28,13 @@ class TraceRecorder
 {
   public:
     /** @param shardCount Independent buffers (>= 1); size it to the number
-     *                    of recording threads to avoid contention. */
-    explicit TraceRecorder(std::size_t shardCount = 1);
+     *                    of recording threads to avoid contention.
+     *  @param shardCapacity Per-shard event limit; 0 means unbounded.
+     *                    When a shard is full, further events are dropped
+     *                    (never silently overwritten) and counted in
+     *                    droppedEvents(). */
+    explicit TraceRecorder(std::size_t shardCount = 1,
+                           std::size_t shardCapacity = 0);
 
     TraceRecorder(const TraceRecorder&) = delete;
     TraceRecorder& operator=(const TraceRecorder&) = delete;
@@ -53,6 +58,14 @@ class TraceRecorder
     /** Total events recorded so far (locks every shard). */
     std::uint64_t eventCount() const;
 
+    /** Events rejected because their shard hit its capacity bound.
+     *  Always 0 for unbounded recorders; a non-zero value means the
+     *  trace is incomplete and the capacity should be raised. */
+    std::uint64_t droppedEvents() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
     /** All events from all shards, ordered by (timeMs, seq). */
     std::vector<TraceEvent> merged() const;
 
@@ -70,8 +83,10 @@ class TraceRecorder
     };
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t shardCapacity_ = 0;
     std::atomic<bool> enabled_{true};
     std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint64_t> dropped_{0};
 };
 
 } // namespace tpc::obs

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tpc::policy {
 
@@ -81,6 +83,25 @@ struct DecisionRationale
     const char* profileClass = nullptr;
 };
 
+/**
+ * Point-in-time description of a policy's internal state for live
+ * introspection (/statsz). Unlike DecisionRationale, which explains one
+ * decision, this summarizes the policy itself: its identity, its target
+ * table (when it has one), and its lifetime counters. Policies fill what
+ * applies; the default carries only the name.
+ */
+struct PolicySnapshot
+{
+    std::string name;
+    /** True when targetTable below is meaningful. */
+    bool hasTargetTable = false;
+    /** (load bucket upper bound, target E ms) rows, ascending by load. */
+    std::vector<std::pair<double, double>> targetTable;
+    std::uint64_t dispatches = 0;
+    std::uint64_t corrections = 0;
+    std::uint64_t correctionThreadsAdded = 0;
+};
+
 /** A policy's answer: the degree to run at, and when to ask again. */
 struct Decision
 {
@@ -136,6 +157,18 @@ class ParallelismPolicy
     virtual const DecisionRationale* lastRationale() const
     {
         return nullptr;
+    }
+
+    /**
+     * Introspection snapshot for the /statsz endpoint. Must be called
+     * from the thread that owns policy interactions (servers call it
+     * under their scheduler lock); the default reports only the name.
+     */
+    virtual PolicySnapshot introspect() const
+    {
+        PolicySnapshot snapshot;
+        snapshot.name = name();
+        return snapshot;
     }
 };
 

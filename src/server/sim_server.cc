@@ -28,7 +28,14 @@ SimServer::attachTrace(obs::TraceRecorder* trace, int serverId)
 {
     trace_ = trace;
     traceServerId_ = serverId;
-    policy_.setRationaleEnabled(trace != nullptr);
+    policy_.setRationaleEnabled(trace_ != nullptr || stageStats_ != nullptr);
+}
+
+void
+SimServer::attachStageStats(obs::StageStatsCollector* stageStats)
+{
+    stageStats_ = stageStats;
+    policy_.setRationaleEnabled(trace_ != nullptr || stageStats_ != nullptr);
 }
 
 void
@@ -237,13 +244,18 @@ SimServer::dispatch(const Pending& p)
 
     const int degree = std::clamp(decision.degree, 1, idleWorkers_);
 
+    const policy::DecisionRationale* why =
+        (trace_ != nullptr || stageStats_ != nullptr)
+            ? policy_.lastRationale()
+            : nullptr;
+
     if (trace_ != nullptr) {
         obs::TraceEvent ev = makeEvent(obs::TraceEventType::kDispatch, p.id);
         ev.predictedMs = p.predictedMs;
         ev.degree = degree;
         ev.requestedDegree = decision.degree;
         ev.idleWorkers = idleWorkers_;
-        if (const policy::DecisionRationale* why = policy_.lastRationale()) {
+        if (why != nullptr) {
             if (why->hasTarget) {
                 ev.targetMs = why->targetMs;
                 ev.loadValue = why->loadValue;
@@ -257,6 +269,11 @@ SimServer::dispatch(const Pending& p)
 
     Running r;
     r.id = p.id;
+    if (why != nullptr) {
+        if (why->hasTarget)
+            r.targetMs = why->targetMs;
+        r.estimatedMs = why->estimatedMs;
+    }
     r.arrivalMs = p.arrivalMs;
     r.dispatchMs = sim_.now();
     r.trueMs = p.trueMs;
@@ -327,6 +344,10 @@ SimServer::onRecheck(std::uint64_t id)
     // raise by the currently idle workers.
     const int desired = std::max(decision.degree, r.degree);
     const int added = std::min(desired - r.degree, idleWorkers_);
+    // Wanted threads but every worker was busy: starved correction, a
+    // distinct tail cause in the stage-stats classifier.
+    if (decision.degree > r.degree && added == 0)
+        r.starvedCorrection = true;
     if (added > 0) {
         if (trace_ != nullptr) {
             obs::TraceEvent ev =
@@ -384,12 +405,30 @@ SimServer::onComplete(std::uint64_t id)
     outcome.initialDegree = r.initialDegree;
     outcome.maxDegree = r.maxDegree;
     outcome.corrected = r.corrected;
+    outcome.starvedCorrection = r.starvedCorrection;
+    outcome.targetMs = r.targetMs;
+    outcome.estimatedMs = r.estimatedMs;
     outcome.firstCorrectionDelayMs = r.firstCorrectionDelayMs;
     if (storeOutcomes_)
         outcomes_.push_back(outcome);
     if (completionCallback_)
         completionCallback_(outcome);
     ++counters_.completions;
+    if (stageStats_ != nullptr) {
+        obs::StageRecord record;
+        record.requestId = outcome.id;
+        record.responseMs = outcome.responseMs();
+        record.queueMs = outcome.queueMs();
+        record.predictedMs = outcome.predictedMs;
+        record.estimatedMs = outcome.estimatedMs;
+        record.targetMs = outcome.targetMs;
+        record.firstCorrectionDelayMs = outcome.firstCorrectionDelayMs;
+        record.corrected = outcome.corrected;
+        record.starvedCorrection = outcome.starvedCorrection;
+        record.initialDegree = outcome.initialDegree;
+        record.maxDegree = outcome.maxDegree;
+        stageStats_->recordShard(0, record);
+    }
 
     if (trace_ != nullptr) {
         obs::TraceEvent ev = makeEvent(obs::TraceEventType::kComplete, r.id);

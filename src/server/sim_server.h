@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/stage_stats.h"
 #include "obs/trace_recorder.h"
 #include "policy/policy.h"
 #include "policy/speedup_profile.h"
@@ -68,6 +69,12 @@ struct RequestOutcome
     int maxDegree = 1;
     /** True when dynamic correction / ramp-up raised the degree. */
     bool corrected = false;
+    /** A recheck wanted more threads but found none idle. */
+    bool starvedCorrection = false;
+    /** Target E and policy time estimate captured from the dispatch
+     *  rationale; 0 when unavailable (baselines, rationale off). */
+    double targetMs = 0.0;
+    double estimatedMs = 0.0;
     /** Time from dispatch to the first degree raise (ms); negative when
      *  the degree was never raised. Feeds Figure-7-style correction-timing
      *  analyses (harness::computeCorrectionTiming). */
@@ -170,6 +177,14 @@ class SimServer
      */
     void attachMetrics(obs::MetricsRegistry* metrics);
 
+    /**
+     * Attaches a stage-stats collector (borrowed; nullptr detaches).
+     * Completions are folded into shard 0 (the simulation is
+     * single-threaded); rationale recording is enabled while attached so
+     * records carry the target E and estimate.
+     */
+    void attachStageStats(obs::StageStatsCollector* stageStats);
+
     const ServerCounters& counters() const { return counters_; }
 
     /** Live snapshot of the policy-visible state. */
@@ -205,6 +220,9 @@ class SimServer
         int initialDegree = 1;
         int maxDegree = 1;
         bool corrected = false;
+        bool starvedCorrection = false;
+        double targetMs = 0.0;
+        double estimatedMs = 0.0;
         double firstCorrectionDelayMs = -1.0;
         sim::EventId completionEvent = sim::kInvalidEventId;
         sim::EventId recheckEvent = sim::kInvalidEventId;
@@ -253,6 +271,7 @@ class SimServer
 
     obs::TraceRecorder* trace_ = nullptr;
     int traceServerId_ = 0;
+    obs::StageStatsCollector* stageStats_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     /** Metric handles resolved once at attachMetrics (hot-path updates
      *  must not pay a name lookup). */

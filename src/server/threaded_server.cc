@@ -40,7 +40,31 @@ ThreadedServer::attachTrace(obs::TraceRecorder* trace, int serverId)
     std::lock_guard<std::mutex> lock(mutex_);
     trace_ = trace;
     traceServerId_ = serverId;
-    policy_.setRationaleEnabled(trace != nullptr);
+    policy_.setRationaleEnabled(trace_ != nullptr || stageStats_ != nullptr);
+}
+
+void
+ThreadedServer::attachStageStats(obs::StageStatsCollector* stageStats)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stageStats_ = stageStats;
+    policy_.setRationaleEnabled(trace_ != nullptr || stageStats_ != nullptr);
+}
+
+policy::PolicySnapshot
+ThreadedServer::policySnapshot() const
+{
+    // The scheduler owns all policy interactions under mutex_, so holding
+    // it makes reading the policy's tables and counters safe mid-serve.
+    std::lock_guard<std::mutex> lock(mutex_);
+    return policy_.introspect();
+}
+
+int
+ThreadedServer::busyWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return allocatedWorkers_;
 }
 
 void
@@ -241,12 +265,34 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
             const auto now = Clock::now();
             ThreadedOutcome outcome;
             outcome.id = req.id;
+            outcome.cls = req.cls;
             outcome.responseMs = msBetween(req.submitTime, now);
             outcome.queueMs = msBetween(req.submitTime, req.dispatchTime);
+            outcome.predictedMs = req.predictedMs;
+            outcome.targetMs = req.targetMs;
+            outcome.estimatedMs = req.estimatedMs;
             outcome.initialDegree = req.initialDegree;
             outcome.maxDegree = req.maxDegree;
             outcome.corrected = req.corrected;
+            outcome.starvedCorrection = req.starvedCorrection;
             outcome.firstCorrectionDelayMs = req.firstCorrectionDelayMs;
+            if (stageStats_ != nullptr) {
+                obs::StageRecord record;
+                record.requestId = outcome.id;
+                record.cls = outcome.cls;
+                record.responseMs = outcome.responseMs;
+                record.queueMs = outcome.queueMs;
+                record.predictedMs = outcome.predictedMs;
+                record.estimatedMs = outcome.estimatedMs;
+                record.targetMs = outcome.targetMs;
+                record.firstCorrectionDelayMs =
+                    outcome.firstCorrectionDelayMs;
+                record.corrected = outcome.corrected;
+                record.starvedCorrection = outcome.starvedCorrection;
+                record.initialDegree = outcome.initialDegree;
+                record.maxDegree = outcome.maxDegree;
+                stageStats_->record(record);
+            }
             if (trace_ != nullptr) {
                 obs::TraceEvent ev =
                     makeEventLocked(obs::TraceEventType::kComplete, req.id);
@@ -287,6 +333,13 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         const int idle = config_.numWorkers - allocatedWorkers_;
         const int degree = std::clamp(decision.degree, 1, idle);
 
+        // The rationale is assembled only while tracing or stage stats
+        // are attached (setRationaleEnabled); read it once for both.
+        const policy::DecisionRationale* why =
+            (trace_ != nullptr || stageStats_ != nullptr)
+                ? policy_.lastRationale()
+                : nullptr;
+
         if (trace_ != nullptr) {
             obs::TraceEvent ev =
                 makeEventLocked(obs::TraceEventType::kDispatch, queued.id);
@@ -294,8 +347,7 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
             ev.degree = degree;
             ev.requestedDegree = decision.degree;
             ev.idleWorkers = idle;
-            if (const policy::DecisionRationale* why =
-                    policy_.lastRationale()) {
+            if (why != nullptr) {
                 if (why->hasTarget) {
                     ev.targetMs = why->targetMs;
                     ev.loadValue = why->loadValue;
@@ -309,7 +361,13 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
 
         ActiveRequest req;
         req.id = queued.id;
+        req.cls = queued.job.cls;
         req.predictedMs = queued.job.predictedMs;
+        if (why != nullptr) {
+            if (why->hasTarget)
+                req.targetMs = why->targetMs;
+            req.estimatedMs = why->estimatedMs;
+        }
         req.submitTime = queued.submitTime;
         req.dispatchTime = Clock::now();
         req.degree = degree;
@@ -381,6 +439,11 @@ ThreadedServer::runRechecksLocked(std::unique_lock<std::mutex>& lock)
         const int idle = config_.numWorkers - allocatedWorkers_;
         const int added =
             std::clamp(decision.degree - req.degree, 0, idle);
+        // The policy wanted to raise the degree but every worker was
+        // busy: the correction mechanism was starved, which the tail
+        // classifier distinguishes from a correction that fired late.
+        if (decision.degree > req.degree && added == 0)
+            req.starvedCorrection = true;
         if (added > 0) {
             if (trace_ != nullptr) {
                 obs::TraceEvent ev =

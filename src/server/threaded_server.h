@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/stage_stats.h"
 #include "obs/trace_recorder.h"
 #include "policy/policy.h"
 #include "runtime/malleable_job.h"
@@ -52,6 +53,8 @@ struct ThreadedJob
 {
     /** Predictor's estimate of the sequential execution time (ms). */
     double predictedMs = 0.0;
+    /** Request class for per-class stage stats (application-defined). */
+    std::uint32_t cls = 0;
     /** Sequential pre-phase (parsing); may be empty. */
     std::function<void()> preamble;
     /** Number of parallelizable tasks (>= 1). */
@@ -66,11 +69,21 @@ struct ThreadedJob
 struct ThreadedOutcome
 {
     std::uint64_t id = 0;
+    std::uint32_t cls = 0;
     double responseMs = 0.0;
     double queueMs = 0.0;
+    double predictedMs = 0.0;
+    /** Target E applied at dispatch; 0 when the policy exposed none (or
+     *  rationale recording was off). */
+    double targetMs = 0.0;
+    /** Policy's estimated parallel time at the chosen degree; 0 when
+     *  unavailable. */
+    double estimatedMs = 0.0;
     int initialDegree = 1;
     int maxDegree = 1;
     bool corrected = false;
+    /** A correction check wanted more threads but found none idle. */
+    bool starvedCorrection = false;
     /** Time from dispatch to the first degree raise (ms); negative when
      *  the degree was never raised. */
     double firstCorrectionDelayMs = -1.0;
@@ -145,6 +158,22 @@ class ThreadedServer
      *  before the first submit. Same metric names as SimServer. */
     void attachMetrics(obs::MetricsRegistry* metrics);
 
+    /**
+     * Attaches a stage-stats collector (borrowed; nullptr detaches).
+     * Call before the first submit. Every completion is folded into the
+     * collector from the finishing worker's thread; while attached,
+     * rationale recording is enabled on the policy so records carry the
+     * target E and the policy's time estimate.
+     */
+    void attachStageStats(obs::StageStatsCollector* stageStats);
+
+    /** Policy introspection taken under the scheduler lock (safe while
+     *  serving). */
+    policy::PolicySnapshot policySnapshot() const;
+
+    /** Workers currently assigned to requests (snapshot). */
+    int busyWorkers() const;
+
     const ThreadedServerConfig& config() const { return config_; }
 
   private:
@@ -160,7 +189,12 @@ class ThreadedServer
     struct ActiveRequest
     {
         std::uint64_t id = 0;
+        std::uint32_t cls = 0;
         double predictedMs = 0.0;
+        /** Target E and time estimate from the dispatch rationale; 0
+         *  when the policy exposed none. */
+        double targetMs = 0.0;
+        double estimatedMs = 0.0;
         Clock::time_point submitTime;
         Clock::time_point dispatchTime;
         std::shared_ptr<runtime::MalleableJob> tasks;
@@ -169,6 +203,7 @@ class ThreadedServer
         int initialDegree = 0;
         int maxDegree = 0;
         bool corrected = false;
+        bool starvedCorrection = false;
         double firstCorrectionDelayMs = -1.0;
         /** Participants that have not yet returned. */
         int participantsOutstanding = 0;
@@ -201,6 +236,7 @@ class ThreadedServer
 
     obs::TraceRecorder* trace_ = nullptr;
     int traceServerId_ = 0;
+    obs::StageStatsCollector* stageStats_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles
     {

@@ -91,6 +91,34 @@ LogHistogram::percentile(double q) const
     return bucketUpperBound(counts_.size() - 1);
 }
 
+std::vector<double>
+LogHistogram::percentiles(const std::vector<double>& qs) const
+{
+    std::vector<double> out(qs.size(), 0.0);
+    if (total_ == 0)
+        return out;
+    for (std::size_t i = 1; i < qs.size(); ++i)
+        TPC_CHECK_MSG(qs[i] >= qs[i - 1], "quantiles must be sorted");
+    std::size_t next = 0;
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size() && next < qs.size(); ++i) {
+        running += counts_[i];
+        while (next < qs.size()) {
+            TPC_CHECK(qs[next] >= 0.0 && qs[next] <= 1.0);
+            const auto target = std::max<std::uint64_t>(
+                static_cast<std::uint64_t>(
+                    std::ceil(qs[next] * static_cast<double>(total_))),
+                1);
+            if (running < target)
+                break;
+            out[next++] = bucketUpperBound(i);
+        }
+    }
+    for (; next < qs.size(); ++next)
+        out[next] = bucketUpperBound(counts_.size() - 1);
+    return out;
+}
+
 double
 LogHistogram::fractionAtOrBelow(double value) const
 {

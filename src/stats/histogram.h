@@ -41,6 +41,15 @@ class LogHistogram
     /** Approximate q-quantile (0 <= q <= 1); 0 when empty. */
     double percentile(double q) const;
 
+    /**
+     * Approximate quantiles for several q values in one bucket walk.
+     * @p qs must be sorted ascending; returns one value per entry.
+     * Equivalent to calling percentile() per entry, but O(buckets)
+     * total instead of O(buckets * |qs|) — the shape a live /statsz
+     * snapshot wants when it reports p50/p90/p99/p99.9 per class.
+     */
+    std::vector<double> percentiles(const std::vector<double>& qs) const;
+
     /** Fraction of observations at or below the value. */
     double fractionAtOrBelow(double value) const;
 

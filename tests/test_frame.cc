@@ -68,6 +68,37 @@ TEST(Frame, EmptyPayloadRoundTrips)
     EXPECT_TRUE(decoded.frame.payload.empty());
 }
 
+TEST(Frame, StatsFramesRoundTrip)
+{
+    // The admin introspection frames (kStatsRequest / kStatsResponse)
+    // share the framing with regular requests; the response carries the
+    // exposition text as its payload.
+    Frame probe;
+    probe.type = FrameType::kStatsRequest;
+    probe.requestId = 5;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(probe, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.type, FrameType::kStatsRequest);
+    EXPECT_EQ(decoded.frame.requestId, 5u);
+    EXPECT_TRUE(decoded.frame.payload.empty());
+
+    Frame dump;
+    dump.type = FrameType::kStatsResponse;
+    dump.requestId = 5;
+    const std::string text = "# HELP tpc_up 1\ntpc_up 1\n";
+    dump.payload.assign(text.begin(), text.end());
+    std::vector<std::uint8_t> wire2;
+    encodeFrame(dump, wire2);
+    const DecodeResult decoded2 = decodeFrame(wire2.data(), wire2.size());
+    ASSERT_EQ(decoded2.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded2.frame.type, FrameType::kStatsResponse);
+    const std::string back(decoded2.frame.payload.begin(),
+                           decoded2.frame.payload.end());
+    EXPECT_EQ(back, text);
+}
+
 TEST(Frame, TruncatedInputNeedsMore)
 {
     const Frame frame = makeRequest(42, 16);

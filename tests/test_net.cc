@@ -16,7 +16,10 @@
 #include "net/admission.h"
 #include "net/loadgen.h"
 #include "net/rpc_server.h"
+#include "net/statsz_client.h"
 #include "obs/metrics.h"
+#include "obs/stage_stats.h"
+#include "obs/statsz.h"
 #include "obs/trace_recorder.h"
 #include "policy/baselines.h"
 #include "server/threaded_server.h"
@@ -207,6 +210,8 @@ TEST(RpcServer, LoopbackEndToEndCompletesEveryRequest)
     EXPECT_EQ(netReceive, 600u);
     EXPECT_EQ(netRespond, 600u);
     EXPECT_EQ(dispatch, 600u);
+    // Unbounded shards: nothing may have been dropped on the floor.
+    EXPECT_EQ(trace.droppedEvents(), 0u);
 
     // Shed/accepted/in-flight surface through the metrics registry (and
     // from there into the telemetry CSV).
@@ -280,6 +285,177 @@ TEST(RpcServer, RequestsDuringDrainAreAnsweredBusy)
     EXPECT_EQ(drained.completed, 0u);
     EXPECT_EQ(drained.shed, 20u);
     EXPECT_EQ(drained.unanswered, 0u);
+}
+
+/** Wires stage stats + a /statsz provider into a LoopbackServer (before
+ *  any client connects, matching the attach-before-run discipline). */
+void
+installStatsz(LoopbackServer& server, obs::StageStatsCollector& stageStats,
+              obs::StatsSampler& sampler)
+{
+    server.threaded().attachStageStats(&stageStats);
+    server.rpc().attachStageStats(&stageStats);
+    server.rpc().setStatszProvider([&server, &sampler] {
+        obs::StatszInfo info;
+        const policy::PolicySnapshot snap =
+            server.threaded().policySnapshot();
+        info.policyName = snap.name;
+        for (const auto& [load, targetMs] : snap.targetTable)
+            info.targetTable.push_back({load, targetMs});
+        info.dispatches = snap.dispatches;
+        info.corrections = snap.corrections;
+        info.correctionThreadsAdded = snap.correctionThreadsAdded;
+        info.totalWorkers = server.threaded().config().numWorkers;
+        info.busyWorkers = server.threaded().busyWorkers();
+        info.queueDepth = server.threaded().queueDepth();
+        info.admitted = server.rpc().admission().accepted();
+        info.shed = server.rpc().admission().shed();
+        info.inFlight = static_cast<std::uint64_t>(
+            server.rpc().admission().inFlight());
+        return obs::renderStatsz(info, sampler.latest().get());
+    });
+}
+
+TEST(Statsz, LiveFetchDuringSaturationAttributesEveryMiss)
+{
+    // Undersized pool with generous admission: the queue grows without
+    // bound, so accepted responses blow far past any target E — the
+    // acceptance scenario for /statsz. The endpoint must keep answering
+    // in bounded time mid-overload, and afterwards the four completion
+    // causes must exactly partition the over-target completions.
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 2;
+    serverConfig.hwContexts = 2;
+
+    obs::TraceRecorder trace(8);
+    LoopbackServer server(serverConfig, AdmissionLimits{100000, 100000},
+                          /*taskMs=*/5.0, /*numTasks=*/1);
+    obs::StageStatsCollector stageStats({}, 8);
+    obs::StatsSampler sampler(stageStats, /*intervalMs=*/20.0);
+    installStatsz(server, stageStats, sampler);
+    server.threaded().attachTrace(&trace);
+    server.rpc().attachTrace(&trace);
+
+    LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 1500.0;
+    loadConfig.numRequests = 400;
+    loadConfig.connections = 4;
+    loadConfig.seed = 17;
+    LoadGenResult result;
+    std::thread client([&] { result = runLoadGen(loadConfig); });
+
+    // Poll the endpoint while the server is saturated.
+    bool sawClassSeries = false;
+    int fetched = 0;
+    for (int i = 0; i < 30 && client.joinable(); ++i) {
+        const StatszResult probe =
+            fetchStatsz("127.0.0.1", server.port(), 2000.0);
+        ASSERT_TRUE(probe.ok) << probe.error;
+        EXPECT_LT(probe.elapsedMs, 100.0);
+        EXPECT_NE(probe.text.find("tpc_up"), std::string::npos);
+        if (probe.text.find("tpc_completions_total") != std::string::npos &&
+            probe.text.find("quantile=\"0.999\"") != std::string::npos)
+            sawClassSeries = true;
+        ++fetched;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    client.join();
+    server.stop();
+    EXPECT_TRUE(sawClassSeries);
+
+    EXPECT_EQ(result.completed, 400u);
+    EXPECT_EQ(result.shed, 0u);
+    EXPECT_EQ(trace.droppedEvents(), 0u);
+    EXPECT_GE(server.rpc().stats().statszServed,
+              static_cast<std::uint64_t>(fetched));
+    // Stats probes must not perturb the request accounting.
+    EXPECT_EQ(server.rpc().stats().requestsReceived, 400u);
+
+    const obs::StageSnapshot snap = stageStats.snapshot();
+    std::uint64_t completions = 0;
+    std::uint64_t tail = 0;
+    std::uint64_t causeSum = 0;
+    for (const obs::StageClassSnapshot& cls : snap.classes) {
+        completions += cls.completions;
+        tail += cls.tail;
+        for (std::size_t c = 1; c < obs::kTailCauseCount; ++c)
+            if (static_cast<obs::TailCause>(c) != obs::TailCause::kShed)
+                causeSum += cls.causes[c];
+        EXPECT_EQ(
+            cls.causes[static_cast<std::size_t>(obs::TailCause::kShed)],
+            0u);
+    }
+    EXPECT_EQ(completions, 400u);
+    EXPECT_EQ(causeSum, tail);
+
+    std::uint64_t expectedTail = 0;
+    for (const server::ThreadedOutcome& outcome :
+         server.threaded().outcomes())
+        if (outcome.targetMs > 0.0 && outcome.responseMs > outcome.targetMs)
+            ++expectedTail;
+    EXPECT_EQ(tail, expectedTail);
+    EXPECT_GT(tail, 0u) << "saturation should push responses over target";
+}
+
+TEST(Statsz, ShedRequestsLandUnderShedCause)
+{
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 2;
+    serverConfig.hwContexts = 2;
+
+    LoopbackServer server(serverConfig, AdmissionLimits{16, 8},
+                          /*taskMs=*/5.0, /*numTasks=*/1);
+    obs::StageStatsCollector stageStats({}, 8);
+    obs::StatsSampler sampler(stageStats, /*intervalMs=*/20.0);
+    installStatsz(server, stageStats, sampler);
+
+    LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 2000.0;
+    loadConfig.numRequests = 600;
+    loadConfig.connections = 4;
+    loadConfig.seed = 19;
+    LoadGenResult result;
+    std::thread client([&] { result = runLoadGen(loadConfig); });
+    for (int i = 0; i < 10 && client.joinable(); ++i) {
+        const StatszResult probe =
+            fetchStatsz("127.0.0.1", server.port(), 2000.0);
+        ASSERT_TRUE(probe.ok) << probe.error;
+        EXPECT_LT(probe.elapsedMs, 100.0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    client.join();
+    server.stop();
+
+    ASSERT_GT(result.shed, 0u);
+    const obs::StageSnapshot snap = stageStats.snapshot();
+    std::uint64_t shedCause = 0;
+    for (const obs::StageClassSnapshot& cls : snap.classes)
+        shedCause +=
+            cls.causes[static_cast<std::size_t>(obs::TailCause::kShed)];
+    EXPECT_EQ(shedCause, server.rpc().admission().shed());
+    EXPECT_EQ(shedCause, result.shed);
+}
+
+TEST(Statsz, NoProviderAnswersWithError)
+{
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 2;
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+                          /*taskMs=*/0.1, /*numTasks=*/1);
+    const StatszResult probe =
+        fetchStatsz("127.0.0.1", server.port(), 2000.0);
+    EXPECT_FALSE(probe.ok);
+    EXPECT_FALSE(probe.error.empty());
+}
+
+TEST(Statsz, FetchFailsFastWhenNothingListens)
+{
+    // Port 1 on loopback: nothing listens; the deadline must hold.
+    const StatszResult probe = fetchStatsz("127.0.0.1", 1, 200.0);
+    EXPECT_FALSE(probe.ok);
+    EXPECT_LT(probe.elapsedMs, 1000.0);
 }
 
 TEST(ThreadedServerDrain, ShutdownFinishesInFlightAndRejectsNewWork)

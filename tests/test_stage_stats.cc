@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for per-stage latency decomposition and tail attribution: the
+ * classifier's cause priority and its sum invariant (the four completion
+ * causes always add up to the over-target count), sharded collection and
+ * merge, exemplar retention, the background sampler, the Prometheus
+ * renderer, and an end-to-end simulated run through the harness.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/experiment.h"
+#include "harness/policies.h"
+#include "obs/stage_stats.h"
+#include "obs/statsz.h"
+#include "util/rng.h"
+
+namespace tpc::obs {
+namespace {
+
+StageRecord
+makeRecord(double responseMs, double queueMs, double targetMs)
+{
+    StageRecord r;
+    r.responseMs = responseMs;
+    r.queueMs = queueMs;
+    r.targetMs = targetMs;
+    r.predictedMs = responseMs;
+    return r;
+}
+
+// --- classifyTail -------------------------------------------------------------
+
+TEST(ClassifyTail, WithinTargetOrNoTargetIsNone)
+{
+    EXPECT_EQ(classifyTail(makeRecord(50.0, 0.0, 80.0)), TailCause::kNone);
+    EXPECT_EQ(classifyTail(makeRecord(80.0, 0.0, 80.0)), TailCause::kNone);
+    // Baselines expose no target: nothing to attribute against.
+    EXPECT_EQ(classifyTail(makeRecord(500.0, 400.0, 0.0)),
+              TailCause::kNone);
+    EXPECT_EQ(classifyTail(makeRecord(500.0, 0.0, -1.0)), TailCause::kNone);
+}
+
+TEST(ClassifyTail, QueueDelayWhenExecutionMetTarget)
+{
+    // 100 ms response, 60 of it queueing: the request itself ran in 40,
+    // under the 80 ms target. The queue is the culprit.
+    EXPECT_EQ(classifyTail(makeRecord(100.0, 60.0, 80.0)),
+              TailCause::kQueueDelay);
+}
+
+TEST(ClassifyTail, StarvationBeatsMisprediction)
+{
+    StageRecord r = makeRecord(200.0, 0.0, 80.0);
+    r.starvedCorrection = true;
+    EXPECT_EQ(classifyTail(r), TailCause::kNoIdleWorkers);
+    // ...but only when the correction never landed; once the degree was
+    // raised, the correction owns the outcome.
+    r.corrected = true;
+    r.firstCorrectionDelayMs = 30.0;
+    EXPECT_EQ(classifyTail(r), TailCause::kCorrectionLate);
+}
+
+TEST(ClassifyTail, CorrectedButLateVsNeverCorrected)
+{
+    StageRecord r = makeRecord(200.0, 0.0, 80.0);
+    EXPECT_EQ(classifyTail(r), TailCause::kMispredictLong);
+    r.corrected = true;
+    r.firstCorrectionDelayMs = 50.0;
+    EXPECT_EQ(classifyTail(r), TailCause::kCorrectionLate);
+}
+
+TEST(ClassifyTail, FuzzCompletionCausesPartitionOverTarget)
+{
+    // Property: for every over-target completion the classifier returns
+    // exactly one of the four completion causes (never kNone, never
+    // kShed); within-target completions always map to kNone.
+    util::Rng rng(21);
+    for (int i = 0; i < 20000; ++i) {
+        StageRecord r;
+        r.responseMs = rng.uniform(0.0, 300.0);
+        r.queueMs = rng.uniform(0.0, r.responseMs);
+        r.targetMs = rng.bernoulli(0.2) ? 0.0 : rng.uniform(1.0, 150.0);
+        r.corrected = rng.bernoulli(0.3);
+        r.starvedCorrection = rng.bernoulli(0.2);
+        r.firstCorrectionDelayMs = r.corrected ? rng.uniform(0.0, 50.0)
+                                               : -1.0;
+        const TailCause cause = classifyTail(r);
+        EXPECT_NE(cause, TailCause::kShed);
+        if (r.targetMs > 0.0 && r.responseMs > r.targetMs)
+            EXPECT_NE(cause, TailCause::kNone);
+        else
+            EXPECT_EQ(cause, TailCause::kNone);
+    }
+}
+
+TEST(TailCauseNames, AreStable)
+{
+    EXPECT_STREQ(tailCauseName(TailCause::kNone), "none");
+    EXPECT_STREQ(tailCauseName(TailCause::kQueueDelay), "queue_delay");
+    EXPECT_STREQ(tailCauseName(TailCause::kMispredictLong),
+                 "mispredict_long");
+    EXPECT_STREQ(tailCauseName(TailCause::kCorrectionLate),
+                 "correction_late");
+    EXPECT_STREQ(tailCauseName(TailCause::kNoIdleWorkers),
+                 "no_idle_workers");
+    EXPECT_STREQ(tailCauseName(TailCause::kShed), "shed");
+}
+
+// --- StageStatsCollector ------------------------------------------------------
+
+TEST(StageStatsCollector, AccumulatesDecomposition)
+{
+    StageStatsCollector collector;
+    StageRecord r = makeRecord(100.0, 20.0, 80.0);
+    r.estimatedMs = 60.0;
+    r.corrected = true;
+    r.firstCorrectionDelayMs = 10.0;
+    collector.record(r);
+    collector.record(makeRecord(40.0, 5.0, 80.0));
+
+    const StageSnapshot snap = collector.snapshot();
+    ASSERT_EQ(snap.classes.size(), 1u);
+    const StageClassSnapshot& cls = snap.classes[0];
+    EXPECT_EQ(cls.name, "all");
+    EXPECT_EQ(cls.completions, 2u);
+    EXPECT_EQ(cls.tail, 1u);
+    EXPECT_EQ(cls.responseMs.count(), 2u);
+    EXPECT_EQ(cls.queueMs.count(), 2u);
+    EXPECT_EQ(cls.serviceMs.count(), 2u);
+    // Correction histograms only see the corrected request.
+    EXPECT_EQ(cls.correctionDelayMs.count(), 1u);
+    EXPECT_EQ(cls.postCorrectionMs.count(), 1u);
+    // Overrun only where an estimate existed: service 80 vs estimate 60.
+    EXPECT_EQ(cls.overrunMs.count(), 1u);
+    EXPECT_EQ(snap.records, 2u);
+}
+
+TEST(StageStatsCollector, ClampsUnknownClassesToLast)
+{
+    StageStatsCollector collector({"short", "long"});
+    StageRecord r = makeRecord(10.0, 0.0, 80.0);
+    r.cls = 42;
+    collector.record(r);
+    const StageSnapshot snap = collector.snapshot();
+    ASSERT_EQ(snap.classes.size(), 2u);
+    EXPECT_EQ(snap.classes[0].completions, 0u);
+    EXPECT_EQ(snap.classes[1].completions, 1u);
+}
+
+TEST(StageStatsCollector, ShedCountsSeparatelyFromTail)
+{
+    StageStatsCollector collector;
+    collector.recordShed(0);
+    collector.recordShed(0);
+    collector.record(makeRecord(100.0, 90.0, 80.0));
+    const StageSnapshot snap = collector.snapshot();
+    const StageClassSnapshot& cls = snap.classes[0];
+    EXPECT_EQ(cls.causes[static_cast<std::size_t>(TailCause::kShed)], 2u);
+    EXPECT_EQ(cls.tail, 1u);
+    EXPECT_EQ(cls.completions, 1u);
+    // Sheds never enter the latency histograms.
+    EXPECT_EQ(cls.responseMs.count(), 1u);
+}
+
+TEST(StageStatsCollector, ConcurrentRecordingMergesLosslessly)
+{
+    // N threads hammer the collector; the merged snapshot must account
+    // for every record and keep the cause-sum invariant.
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4000;
+    StageStatsCollector collector({"a", "b"}, kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&collector, t] {
+            util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+            for (int i = 0; i < kPerThread; ++i) {
+                StageRecord r;
+                r.requestId = static_cast<std::uint64_t>(t * kPerThread + i);
+                r.cls = static_cast<std::uint32_t>(i % 2);
+                r.responseMs = rng.uniform(1.0, 200.0);
+                r.queueMs = rng.uniform(0.0, r.responseMs);
+                r.targetMs = 80.0;
+                r.corrected = rng.bernoulli(0.25);
+                collector.record(r);
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+
+    const StageSnapshot snap = collector.snapshot();
+    std::uint64_t completions = 0;
+    for (const StageClassSnapshot& cls : snap.classes) {
+        completions += cls.completions;
+        std::uint64_t causeSum = 0;
+        for (std::size_t c = 1; c < kTailCauseCount; ++c)
+            if (static_cast<TailCause>(c) != TailCause::kShed)
+                causeSum += cls.causes[c];
+        EXPECT_EQ(causeSum, cls.tail);
+        EXPECT_EQ(cls.responseMs.count(), cls.completions);
+    }
+    EXPECT_EQ(completions,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(snap.records, completions);
+}
+
+TEST(StageStatsCollector, ExemplarsKeepWorstOffendersSorted)
+{
+    StageStatsCollector collector({}, 1, /*exemplarCapacity=*/4);
+    // 20 over-target requests with distinct overshoots 1..20.
+    for (int i = 1; i <= 20; ++i) {
+        StageRecord r = makeRecord(80.0 + i, 0.0, 80.0);
+        r.requestId = static_cast<std::uint64_t>(i);
+        collector.record(r);
+    }
+    const StageSnapshot snap = collector.snapshot();
+    ASSERT_EQ(snap.exemplars.size(), 4u);
+    // Worst first: overshoots 20, 19, 18, 17.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(snap.exemplars[i].requestId, 20u - i);
+}
+
+TEST(StageStatsCollector, WithinTargetRequestsNeverBecomeExemplars)
+{
+    StageStatsCollector collector;
+    collector.record(makeRecord(50.0, 0.0, 80.0));
+    collector.record(makeRecord(500.0, 0.0, 0.0)); // no target: not a miss
+    EXPECT_TRUE(collector.snapshot().exemplars.empty());
+}
+
+// --- StatsSampler -------------------------------------------------------------
+
+TEST(StatsSampler, PublishesImmediatelyAndOnDemand)
+{
+    StageStatsCollector collector;
+    StatsSampler sampler(collector, /*intervalMs=*/60000.0);
+    // The constructor takes one synchronous sample: never null.
+    auto snap = sampler.latest();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->records, 0u);
+
+    collector.record(makeRecord(10.0, 1.0, 80.0));
+    // Interval is a minute out; sampleNow() must still pick it up.
+    sampler.sampleNow();
+    snap = sampler.latest();
+    EXPECT_EQ(snap->records, 1u);
+}
+
+// --- renderStatsz -------------------------------------------------------------
+
+TEST(RenderStatsz, EmitsWellFormedExposition)
+{
+    StageStatsCollector collector({"short", "long"});
+    StageRecord r = makeRecord(120.0, 100.0, 80.0);
+    collector.record(r);
+    StageRecord big = makeRecord(300.0, 10.0, 80.0);
+    big.cls = 1;
+    big.requestId = 77;
+    collector.record(big);
+    collector.recordShed(1);
+    const StageSnapshot snap = collector.snapshot();
+
+    StatszInfo info;
+    info.policyName = "tpc";
+    info.targetTable = {{100.0, 120.0}, {300.0, 80.0}};
+    info.dispatches = 2;
+    info.corrections = 1;
+    info.totalWorkers = 8;
+    info.busyWorkers = 3;
+    info.queueDepth = 5;
+    info.admitted = 2;
+    info.shed = 1;
+    info.uptimeMs = 1234.5;
+
+    const std::string text = renderStatsz(info, &snap);
+    EXPECT_NE(text.find("tpc_up{policy=\"tpc\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("tpc_workers{state=\"busy\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_target_table_ms{load=\"300\"} 80"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_completions_total{class=\"short\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cause=\"queue_delay\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("cause=\"mispredict_long\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cause=\"shed\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.999\""), std::string::npos);
+    EXPECT_NE(text.find("# exemplar id=77"), std::string::npos);
+
+    // Every non-comment line is "name{labels} value" — two fields once
+    // the label block (which may contain spaces) is collapsed.
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t lastSpace = line.rfind(' ');
+        ASSERT_NE(lastSpace, std::string::npos) << line;
+        EXPECT_GT(lastSpace, 0u) << line;
+        const std::string value = line.substr(lastSpace + 1);
+        EXPECT_FALSE(value.empty()) << line;
+        EXPECT_EQ(value.find_first_not_of("0123456789.eE+-"),
+                  std::string::npos)
+            << line;
+    }
+}
+
+TEST(RenderStatsz, NullStageSnapshotStillRenders)
+{
+    StatszInfo info;
+    info.policyName = "fixed(4)";
+    const std::string text = renderStatsz(info, nullptr);
+    EXPECT_NE(text.find("tpc_up{policy=\"fixed(4)\"} 1"),
+              std::string::npos);
+    EXPECT_EQ(text.find("tpc_completions_total"), std::string::npos);
+}
+
+TEST(RenderStatsz, EscapesLabelValues)
+{
+    StatszInfo info;
+    info.policyName = "we\"ird\\pol\nicy";
+    const std::string text = renderStatsz(info, nullptr);
+    EXPECT_NE(text.find("policy=\"we\\\"ird\\\\pol\\nicy\""),
+              std::string::npos);
+}
+
+// --- harness integration ------------------------------------------------------
+
+TEST(HarnessStageStats, SimulatedRunAttributesEveryTailMiss)
+{
+    // Overload a small simulated ISN with noisy predictions so all four
+    // machinery paths (queue delay, mispredicts, corrections) get
+    // exercised, then check the bookkeeping invariants end to end.
+    const harness::Trace trace = harness::syntheticBimodalTrace(
+        2000, 5.0, 120.0, 0.15, 17, /*predictionNoiseSigma=*/0.8);
+    core::TpcPolicy policy(harness::webSearchExecutionModel(),
+                           core::TargetTable::webSearchDefault());
+    harness::ExperimentConfig config;
+    config.qps = 900.0;
+    config.server.numWorkers = 12;
+    config.collectStageStats = true;
+    config.keepOutcomes = true;
+    const harness::ExperimentResult result = harness::runTrace(
+        trace, policy, harness::webSearchExecutionModel(), config);
+
+    ASSERT_NE(result.stageStats, nullptr);
+    const StageSnapshot& snap = *result.stageStats;
+    std::uint64_t completions = 0;
+    std::uint64_t tail = 0;
+    std::uint64_t causeSum = 0;
+    for (const StageClassSnapshot& cls : snap.classes) {
+        completions += cls.completions;
+        tail += cls.tail;
+        for (std::size_t c = 1; c < kTailCauseCount; ++c)
+            if (static_cast<TailCause>(c) != TailCause::kShed)
+                causeSum += cls.causes[c];
+        EXPECT_EQ(cls.causes[static_cast<std::size_t>(TailCause::kShed)],
+                  0u);
+    }
+    EXPECT_EQ(completions, trace.size());
+    EXPECT_EQ(causeSum, tail);
+
+    // Cross-check `tail` against the raw outcomes.
+    std::uint64_t expectedTail = 0;
+    for (const auto& outcome : result.outcomes)
+        if (outcome.targetMs > 0.0 &&
+            outcome.responseMs() > outcome.targetMs)
+            ++expectedTail;
+    EXPECT_EQ(tail, expectedTail);
+    EXPECT_GT(tail, 0u) << "overload run should miss some targets";
+
+    // Exemplars are over-target requests sorted by overshoot.
+    ASSERT_FALSE(snap.exemplars.empty());
+    double prev = 1e300;
+    for (const StageRecord& ex : snap.exemplars) {
+        EXPECT_GT(ex.responseMs, ex.targetMs);
+        const double overshoot = ex.responseMs - ex.targetMs;
+        EXPECT_LE(overshoot, prev);
+        prev = overshoot;
+    }
+}
+
+} // namespace
+} // namespace tpc::obs

@@ -147,6 +147,28 @@ TEST(LatencyRecorder, SummaryBundlesPercentiles)
     EXPECT_FALSE(s.toString().empty());
 }
 
+TEST(LatencyRecorder, CsvRowCarriesTailPercentiles)
+{
+    // The CSV schema must expose p99.9 (the paper's headline tail metric)
+    // alongside p99, and the header must line up cell-for-cell.
+    LatencyRecorder rec;
+    for (int i = 1; i <= 1000; ++i)
+        rec.add(static_cast<double>(i));
+    const auto header = LatencySummary::csvHeader("response_ms_");
+    const auto row = rec.summary().toCsvRow();
+    ASSERT_EQ(header.size(), row.size());
+    const auto find = [&](const std::string& name) {
+        for (std::size_t i = 0; i < header.size(); ++i)
+            if (header[i] == name)
+                return i;
+        ADD_FAILURE() << "missing CSV column " << name;
+        return std::size_t{0};
+    };
+    EXPECT_EQ(row[find("response_ms_p99")], "990");
+    EXPECT_EQ(row[find("response_ms_p999")], "999");
+    EXPECT_EQ(row[find("response_ms_count")], "1000");
+}
+
 TEST(LatencyRecorder, CdfIsMonotoneAndEndsAtOne)
 {
     util::Rng rng(4);
@@ -214,6 +236,55 @@ TEST(LogHistogram, MergeMatchesCombined)
     a.merge(b);
     EXPECT_EQ(a.count(), whole.count());
     EXPECT_DOUBLE_EQ(a.percentile(0.99), whole.percentile(0.99));
+}
+
+TEST(LogHistogram, ShardedMergeEqualsSingleRecording)
+{
+    // Property: values round-robined across N shard histograms and merged
+    // give bucket-identical results to recording into one histogram —
+    // the invariant the per-worker stage-stats shards rely on.
+    util::Rng rng(11);
+    constexpr std::size_t kShards = 8;
+    std::vector<LogHistogram> shards(kShards);
+    LogHistogram whole;
+    for (int i = 0; i < 40000; ++i) {
+        const double v = rng.lognormal(1.5, 1.2);
+        whole.add(v);
+        shards[static_cast<std::size_t>(i) % kShards].add(v);
+    }
+    LogHistogram merged = shards[0];
+    for (std::size_t s = 1; s < kShards; ++s)
+        merged.merge(shards[s]);
+    ASSERT_EQ(merged.count(), whole.count());
+    ASSERT_EQ(merged.bucketCount(), whole.bucketCount());
+    for (std::size_t b = 0; b < whole.bucketCount(); ++b)
+        ASSERT_EQ(merged.bucketValue(b), whole.bucketValue(b)) << "b=" << b;
+    // Sum order differs across shards: exact to rounding, not bitwise.
+    EXPECT_NEAR(merged.mean(), whole.mean(), whole.mean() * 1e-12);
+    for (double q : {0.5, 0.9, 0.99, 0.999})
+        EXPECT_DOUBLE_EQ(merged.percentile(q), whole.percentile(q));
+}
+
+TEST(LogHistogram, BatchPercentilesMatchSingleQueries)
+{
+    util::Rng rng(12);
+    LogHistogram hist;
+    for (int i = 0; i < 30000; ++i)
+        hist.add(rng.exponential(25.0));
+    const std::vector<double> qs = {0.0, 0.5, 0.9, 0.99, 0.999, 1.0};
+    const std::vector<double> batch = hist.percentiles(qs);
+    ASSERT_EQ(batch.size(), qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], hist.percentile(qs[i])) << "q=" << qs[i];
+}
+
+TEST(LogHistogram, BatchPercentilesOnEmpty)
+{
+    LogHistogram hist;
+    const std::vector<double> batch = hist.percentiles({0.5, 0.99});
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0], 0.0);
+    EXPECT_EQ(batch[1], 0.0);
 }
 
 TEST(LogHistogram, FractionAtOrBelow)

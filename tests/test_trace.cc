@@ -129,6 +129,34 @@ TEST(TraceRecorder, DisabledDropsEvents)
     EXPECT_EQ(recorder.eventCount(), 1u);
 }
 
+TEST(TraceRecorder, BoundedShardCountsDrops)
+{
+    // With a per-shard capacity, overflow events are counted instead of
+    // silently discarded — the signal /statsz surfaces so an undersized
+    // recorder can't masquerade as a complete trace.
+    TraceRecorder recorder(2, /*shardCapacity=*/3);
+    for (int i = 0; i < 10; ++i) {
+        TraceEvent ev;
+        ev.requestId = static_cast<std::uint64_t>(i);
+        recorder.recordShard(0, ev);
+    }
+    EXPECT_EQ(recorder.eventCount(), 3u);
+    EXPECT_EQ(recorder.droppedEvents(), 7u);
+    // The other shard still has room: no cross-shard interference.
+    recorder.recordShard(1, TraceEvent{});
+    EXPECT_EQ(recorder.eventCount(), 4u);
+    EXPECT_EQ(recorder.droppedEvents(), 7u);
+}
+
+TEST(TraceRecorder, UnboundedByDefaultNeverDrops)
+{
+    TraceRecorder recorder(1);
+    for (int i = 0; i < 5000; ++i)
+        recorder.record(TraceEvent{});
+    EXPECT_EQ(recorder.eventCount(), 5000u);
+    EXPECT_EQ(recorder.droppedEvents(), 0u);
+}
+
 TEST(TraceEvent, ProfileClassTruncatesSafely)
 {
     TraceEvent ev;
