@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Partition-aggregate tail sweep: aggregator p99 vs shard count, with
+ * hedged backups on/off and one shard intermittently stalled.
+ *
+ * For every (shards, hedge, stall) combination the bench spins up an
+ * in-process shard tier (RpcServer + ThreadedServer leaves on ephemeral
+ * ports), an AggregatorServer fanning out over it (ring replicas when
+ * hedging), and the open-loop load generator. The stalled variant puts a
+ * 200 ms sleep on every 16th request of shard 0 — rare enough to sit far
+ * above p99 yet below the hedge-trigger quantile, the regime where
+ * hedging pays (see EXPERIMENTS.md "Partition-aggregate tails").
+ *
+ * Writes results/fanout_tail.csv.
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fanout/aggregator.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "obs/fanout_stats.h"
+#include "policy/baselines.h"
+#include "server/threaded_server.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace tpc;
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+/** In-process shard leaf; every stallEveryN-th sequence number sleeps
+ *  stallMs before the real work (an intermittently stalled replica). */
+class ShardProcess
+{
+  public:
+    ShardProcess(double taskMs, std::uint64_t stallEveryN, double stallMs)
+        : threaded_(shardConfig(), policy_),
+          rpc_(rpcConfig(), threaded_,
+               [taskMs, stallEveryN, stallMs](
+                   const net::Frame& request,
+                   std::vector<std::uint8_t>& responsePayload) {
+                   std::uint64_t seq = 0;
+                   net::readU64(request.payload, 0, &seq);
+                   const bool stall =
+                       stallEveryN > 0 && seq % stallEveryN == 0;
+                   server::ThreadedJob job;
+                   job.predictedMs = taskMs;
+                   job.numTasks = 1;
+                   job.task = [taskMs, stall, stallMs](int) {
+                       if (stall)
+                           std::this_thread::sleep_for(
+                               std::chrono::duration<double, std::milli>(
+                                   stallMs));
+                       busyWaitMs(taskMs);
+                   };
+                   job.postamble = [seq, &responsePayload] {
+                       net::appendU64(responsePayload, seq);
+                   };
+                   return job;
+               })
+    {
+        loop_ = std::thread([this] { rpc_.run(); });
+    }
+
+    ~ShardProcess()
+    {
+        rpc_.requestStop();
+        loop_.join();
+    }
+
+    std::uint16_t port() const { return rpc_.port(); }
+
+  private:
+    static server::ThreadedServerConfig shardConfig()
+    {
+        server::ThreadedServerConfig config;
+        config.numWorkers = 8;
+        config.hwContexts = 8;
+        return config;
+    }
+
+    static net::RpcServerConfig rpcConfig()
+    {
+        net::RpcServerConfig config;
+        config.port = 0;
+        config.admission = net::AdmissionLimits{4096, 4096};
+        return config;
+    }
+
+    policy::SequentialPolicy policy_;
+    server::ThreadedServer threaded_;
+    net::RpcServer rpc_;
+    std::thread loop_;
+};
+
+struct RunResult
+{
+    net::LoadGenResult load;
+    obs::FanoutSnapshot snap;
+};
+
+RunResult
+runTopology(int numShards, bool hedge, double stallMs, double qps,
+            std::uint64_t requests)
+{
+    std::vector<std::unique_ptr<ShardProcess>> shards;
+    for (int i = 0; i < numShards; ++i)
+        shards.push_back(std::make_unique<ShardProcess>(
+            /*taskMs=*/0.2,
+            /*stallEveryN=*/(stallMs > 0.0 && i == 0) ? 16 : 0, stallMs));
+
+    fanout::AggregatorConfig config;
+    config.shards.resize(numShards);
+    for (int i = 0; i < numShards; ++i) {
+        config.shards[i].primary.port = shards[i]->port();
+        if (hedge)
+            // Ring replica; degenerates to a self-hedge when N == 1 (the
+            // backup shares the stall, so the CSV shows hedging buys
+            // nothing without a distinct replica — kept for honesty).
+            config.shards[i].replica.port =
+                shards[(i + 1) % numShards]->port();
+    }
+    config.hedge.enabled = hedge;
+    config.hedge.quantile = 0.9;
+    config.hedge.minSamples = 16;
+    config.hedge.fallbackDelayMs = 15.0;
+    config.targetTable = {{1e9, 50.0}};
+    config.deadlineFactor = 8.0;
+
+    fanout::AggregatorServer aggregator(config);
+    std::thread loop([&aggregator] { aggregator.run(); });
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = aggregator.port();
+    loadConfig.qps = qps;
+    loadConfig.numRequests = requests;
+    loadConfig.connections = 4;
+    loadConfig.seed = 7;
+
+    RunResult result;
+    result.load = net::runLoadGen(loadConfig);
+    aggregator.requestStop();
+    loop.join();
+    result.snap = aggregator.collector().snapshot();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double kQps = 150.0;
+    constexpr std::uint64_t kRequests = 300;
+
+    util::CsvWriter csv("results/fanout_tail.csv");
+    csv.writeRow(std::vector<std::string>{
+        "shards", "hedge", "stall_ms", "qps", "sent", "ok", "shed", "p50",
+        "p90", "p99", "p999", "hedge_issued", "hedge_won", "hedge_wasted",
+        "shard_shed", "completions", "tail", "cause_shard_slow",
+        "cause_shard_shed", "cause_hedge_won", "cause_shard_tail"});
+
+    for (const int numShards : {1, 2, 4, 8}) {
+        for (const double stallMs : {0.0, 200.0}) {
+            for (const bool hedge : {false, true}) {
+                const RunResult r = runTopology(numShards, hedge, stallMs,
+                                                kQps, kRequests);
+                const stats::LatencySummary s = r.load.summary();
+
+                std::uint64_t hedgeIssued = 0, hedgeWon = 0,
+                              hedgeWasted = 0, shardShed = 0;
+                for (const obs::FanoutShardSnapshot& shard :
+                     r.snap.shards) {
+                    hedgeIssued += shard.hedgeIssued;
+                    hedgeWon += shard.hedgeWon;
+                    hedgeWasted += shard.hedgeWasted;
+                    shardShed += shard.shed;
+                }
+                std::uint64_t completions = 0, tail = 0;
+                std::uint64_t causes[obs::kStragglerCauseCount] = {};
+                for (const obs::FanoutClassSnapshot& cls :
+                     r.snap.classes) {
+                    completions += cls.completions;
+                    tail += cls.tail;
+                    for (std::size_t c = 0; c < obs::kStragglerCauseCount;
+                         ++c)
+                        causes[c] += cls.causes[c];
+                }
+
+                csv.writeRow(std::vector<double>{
+                    static_cast<double>(numShards), hedge ? 1.0 : 0.0,
+                    stallMs, kQps, static_cast<double>(r.load.sent),
+                    static_cast<double>(r.load.completed),
+                    static_cast<double>(r.load.shed), s.p50, s.p90, s.p99,
+                    s.p999, static_cast<double>(hedgeIssued),
+                    static_cast<double>(hedgeWon),
+                    static_cast<double>(hedgeWasted),
+                    static_cast<double>(shardShed),
+                    static_cast<double>(completions),
+                    static_cast<double>(tail),
+                    static_cast<double>(causes[1]),
+                    static_cast<double>(causes[2]),
+                    static_cast<double>(causes[3]),
+                    static_cast<double>(causes[4])});
+                csv.flush();
+                std::printf("shards=%d hedge=%d stall=%.0fms: p99=%.2f "
+                            "(hedge won %llu / issued %llu)\n",
+                            numShards, hedge ? 1 : 0, stallMs, s.p99,
+                            static_cast<unsigned long long>(hedgeWon),
+                            static_cast<unsigned long long>(hedgeIssued));
+                std::fflush(stdout);
+            }
+        }
+    }
+    std::printf("wrote %s\n", csv.path().c_str());
+    return 0;
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * A runnable partition-aggregate root: fans every query out to shard
+ * servers (search_server / finance_server started with --listen), merges
+ * their top-k replies, and answers the client — with per-shard deadlines
+ * from the TPC target table and optional hedged backup requests.
+ *
+ *   ./build/examples/aggregator_server --shards 7001,7002,7003,7004
+ *       [--listen 0] [--hedge] [--replicas 7002,7003,7004,7001]
+ *       [--hedge-quantile=0.95] [--hedge-min-samples=32]
+ *       [--hedge-fallback-ms=0] [--targets=web|finance|none]
+ *       [--target-ms=100] [--deadline-factor=4] [--top-k=10]
+ *       [--max-in-flight=256] [--metrics-out=metrics.csv]
+ *
+ * Shards are host:port or bare ports (loopback assumed). With --hedge
+ * and no --replicas, replicas default to a ring: shard i's backup is
+ * shard i+1's primary — every partition's data has a "spare" without
+ * spawning extra processes. With --targets, the deadline table is taken
+ * from the TPC policy's introspection (the same per-class E the leaf
+ * tier serves under); --target-ms is the flat fallback.
+ *
+ * Ctrl-C drains gracefully: in-flight fanouts are answered, then the
+ * hedge/straggler attribution table is printed.
+ */
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "fanout/aggregator.h"
+#include "harness/policies.h"
+#include "obs/metrics.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace {
+
+std::atomic<tpc::fanout::AggregatorServer*> gServer{nullptr};
+
+void
+onSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + pipe write).
+    if (tpc::fanout::AggregatorServer* server = gServer.load())
+        server->requestStop();
+}
+
+/** Parses "host:port" or a bare port (loopback assumed). */
+tpc::fanout::ShardEndpoint
+parseEndpoint(const std::string& text)
+{
+    tpc::fanout::ShardEndpoint endpoint;
+    const std::size_t colon = text.rfind(':');
+    std::string portText = text;
+    if (colon != std::string::npos) {
+        endpoint.host = text.substr(0, colon);
+        portText = text.substr(colon + 1);
+    }
+    const long port = std::strtol(portText.c_str(), nullptr, 10);
+    if (port <= 0 || port > 65535)
+        tpc::util::fatal("aggregator_server: bad shard endpoint '" + text +
+                         "'");
+    endpoint.port = static_cast<std::uint16_t>(port);
+    return endpoint;
+}
+
+std::vector<tpc::fanout::ShardEndpoint>
+parseEndpointList(const std::string& list)
+{
+    std::vector<tpc::fanout::ShardEndpoint> endpoints;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string item = list.substr(start, comma - start);
+        if (!item.empty())
+            endpoints.push_back(parseEndpoint(item));
+        start = comma + 1;
+    }
+    return endpoints;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace tpc;
+    const util::ArgParser args(
+        argc, argv,
+        {"listen", "shards", "replicas", "hedge", "hedge-quantile",
+         "hedge-min-samples", "hedge-fallback-ms", "targets", "target-ms",
+         "deadline-factor", "top-k", "max-in-flight", "linger-ms",
+         "metrics-out"});
+
+    const std::string shardsArg = args.getString("shards", "");
+    if (shardsArg.empty()) {
+        std::fprintf(stderr, "aggregator_server: --shards is required\n");
+        return 2;
+    }
+    const auto primaries = parseEndpointList(shardsArg);
+    const auto replicas = parseEndpointList(args.getString("replicas", ""));
+    const bool hedge = args.has("hedge");
+    if (!replicas.empty() && replicas.size() != primaries.size())
+        util::fatal("aggregator_server: --replicas must list one endpoint "
+                    "per shard");
+
+    fanout::AggregatorConfig config;
+    config.port = static_cast<std::uint16_t>(args.getInt("listen", 0));
+    config.shards.resize(primaries.size());
+    for (std::size_t i = 0; i < primaries.size(); ++i) {
+        config.shards[i].primary = primaries[i];
+        if (!replicas.empty())
+            config.shards[i].replica = replicas[i];
+        else if (hedge && primaries.size() > 1)
+            // Ring default: the next shard's primary doubles as backup.
+            config.shards[i].replica =
+                primaries[(i + 1) % primaries.size()];
+    }
+    config.hedge.enabled = hedge;
+    config.hedge.quantile = args.getDouble("hedge-quantile", 0.95);
+    config.hedge.minSamples =
+        static_cast<std::uint64_t>(args.getInt("hedge-min-samples", 32));
+    config.hedge.fallbackDelayMs = args.getDouble("hedge-fallback-ms", 0.0);
+    config.defaultTargetMs = args.getDouble("target-ms", 100.0);
+    config.deadlineFactor = args.getDouble("deadline-factor", 4.0);
+    config.topK = static_cast<std::size_t>(args.getInt("top-k", 10));
+    config.maxInFlight = static_cast<int>(args.getInt("max-in-flight", 256));
+    config.lingerMs = args.getDouble("linger-ms", 1000.0);
+
+    // The deadline table comes from the serving policy's own
+    // introspection, so the aggregator and the leaf tier share one
+    // definition of "target completion time at this load".
+    const std::string targets = args.getString("targets", "web");
+    if (targets == "web" || targets == "finance") {
+        const core::TpcPolicy policy(
+            targets == "web" ? harness::webSearchExecutionModel()
+                             : harness::financeExecutionModel(),
+            targets == "web" ? core::TargetTable::webSearchDefault()
+                             : core::TargetTable::financeDefault(),
+            core::TpcOptions{});
+        const policy::PolicySnapshot snap = policy.introspect();
+        for (const auto& [load, targetMs] : snap.targetTable)
+            config.targetTable.push_back({load, targetMs});
+        config.policyName = "fanout-aggregator/" + snap.name;
+    } else if (targets != "none") {
+        util::fatal("aggregator_server: --targets must be web, finance or "
+                    "none");
+    }
+
+    const std::string metricsOut = args.getString("metrics-out", "");
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    if (!metricsOut.empty())
+        metrics = std::make_unique<obs::MetricsRegistry>();
+
+    fanout::AggregatorServer server(config);
+    if (metrics != nullptr)
+        server.attachMetrics(metrics.get());
+    gServer.store(&server);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::printf("aggregating %zu shards%s\n", config.shards.size(),
+                hedge ? " with hedged backups" : "");
+    std::printf("listening on 127.0.0.1:%u (Ctrl-C stops)\n", server.port());
+    std::fflush(stdout);
+    const auto runStart = std::chrono::steady_clock::now();
+    server.run();
+    gServer.store(nullptr);
+
+    if (metrics != nullptr) {
+        obs::MetricsCsvExporter exporter(*metrics, metricsOut);
+        exporter.writeWindow(
+            0.0, std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - runStart)
+                     .count());
+        std::printf("wrote metrics snapshot to %s\n", metricsOut.c_str());
+    }
+
+    const fanout::AggregatorStats stats = server.stats();
+    util::TablePrinter table("aggregator_server: partition-aggregate run");
+    table.setHeader({"accepted", "shed", "responses", "busy", "proto_err",
+                     "statsz"});
+    table.addRow({std::to_string(server.admission().accepted()),
+                  std::to_string(server.admission().shed()),
+                  std::to_string(stats.responsesSent),
+                  std::to_string(stats.busySent),
+                  std::to_string(stats.protocolErrors),
+                  std::to_string(stats.statszServed)});
+    table.print();
+
+    const obs::FanoutSnapshot snap = server.collector().snapshot();
+    util::TablePrinter shardTable("per-shard legs");
+    shardTable.setHeader({"shard", "replies", "p50", "p99", "hedge_issued",
+                          "hedge_won", "hedge_wasted", "shed", "miss",
+                          "late"});
+    for (const obs::FanoutShardSnapshot& s : snap.shards) {
+        shardTable.addRow(
+            {s.name, std::to_string(s.replies),
+             util::TablePrinter::fmt(s.latencyMs.percentile(0.5), 2),
+             util::TablePrinter::fmt(s.latencyMs.percentile(0.99), 2),
+             std::to_string(s.hedgeIssued), std::to_string(s.hedgeWon),
+             std::to_string(s.hedgeWasted), std::to_string(s.shed),
+             std::to_string(s.deadlineMisses),
+             std::to_string(s.lateResponses)});
+    }
+    shardTable.print();
+
+    for (const obs::FanoutClassSnapshot& cls : snap.classes) {
+        if (cls.completions == 0)
+            continue;
+        std::printf("class %s: %llu completions, %llu over target",
+                    cls.name.c_str(),
+                    static_cast<unsigned long long>(cls.completions),
+                    static_cast<unsigned long long>(cls.tail));
+        for (std::size_t c = 1; c < obs::kStragglerCauseCount; ++c)
+            if (cls.causes[c] != 0)
+                std::printf(" %s=%llu",
+                            obs::stragglerCauseName(
+                                static_cast<obs::StragglerCause>(c)),
+                            static_cast<unsigned long long>(cls.causes[c]));
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -14,13 +14,32 @@
  *
  * Exits nonzero when no request completed (so CI smoke tests can assert
  * a non-empty latency summary just from the exit code).
+ *
+ * Ctrl-C mid-run stops the arrival process, drains outstanding
+ * responses, and still writes the summary (and --csv-out) for the
+ * requests that were sent — the same graceful-drain discipline the
+ * servers follow.
  */
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 
 #include "net/loadgen.h"
 #include "util/args.h"
 #include "util/table_printer.h"
+
+namespace {
+
+std::atomic<bool> gStop{false};
+
+void
+onSignal(int)
+{
+    gStop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -48,10 +67,18 @@ main(int argc, char** argv)
     config.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const std::string csvOut = args.getString("csv-out", "");
 
+    config.stopFlag = &gStop;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
     std::printf("loadgen: %s:%u, %.0f qps over %d connections (open loop)\n",
                 config.host.c_str(), config.port, config.qps,
                 config.connections);
     const net::LoadGenResult result = net::runLoadGen(config);
+    if (gStop.load(std::memory_order_relaxed))
+        std::printf("loadgen: interrupted; reporting the %llu requests "
+                    "already sent\n",
+                    static_cast<unsigned long long>(result.sent));
 
     const stats::LatencySummary summary = result.summary();
     util::TablePrinter table("loadgen: open-loop client summary");

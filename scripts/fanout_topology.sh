@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Multi-process loopback topology smoke: 4 search_server shards, one
+# aggregator fanning out to them with hedged backups (ring replicas), and
+# the open-loop load generator driving the aggregator. Every process
+# binds port 0 and the chosen ports are parsed from the logs, so the
+# script is safe under parallel CI jobs. Asserts:
+#   - the aggregator answers /statsz mid-run with the fanout lane
+#     (fanout_completions_total, hedge counters, straggler causes),
+#   - loadgen sees completed requests (exit code) and writes its CSV,
+#   - SIGINT drains the aggregator and every shard cleanly.
+#
+# Usage: scripts/fanout_topology.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS=4
+SHARD_PIDS=()
+SHARD_LOGS=()
+CSV="$(mktemp -u).csv"
+
+cleanup() {
+    kill "${AGG_PID:-}" 2>/dev/null || true
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# --- Start the shard tier (small indexes so startup stays quick). -------
+for i in $(seq 1 "${NUM_SHARDS}"); do
+    LOG="$(mktemp)"
+    "${BUILD_DIR}/examples/search_server" --listen 0 --docs 3000 \
+        --queries 200 > "${LOG}" 2>&1 &
+    SHARD_PIDS+=($!)
+    SHARD_LOGS+=("${LOG}")
+done
+
+SHARD_PORTS=()
+for i in $(seq 0 $((NUM_SHARDS - 1))); do
+    LOG="${SHARD_LOGS[$i]}"
+    PID="${SHARD_PIDS[$i]}"
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "${LOG}" && break
+        if ! kill -0 "${PID}" 2>/dev/null; then
+            echo "fanout_topology: shard $i exited before listening" >&2
+            cat "${LOG}" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${LOG}" | head -n 1)"
+    if [ -z "${PORT}" ]; then
+        echo "fanout_topology: shard $i never reported its port" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    SHARD_PORTS+=("${PORT}")
+done
+SHARDS="$(IFS=,; echo "${SHARD_PORTS[*]}")"
+echo "fanout_topology: shards on ports ${SHARDS}"
+
+# --- Start the aggregator (hedging on; ring replicas by default). -------
+AGG_LOG="$(mktemp)"
+"${BUILD_DIR}/examples/aggregator_server" --listen 0 --shards "${SHARDS}" \
+    --hedge --hedge-min-samples 16 --hedge-fallback-ms 25 \
+    > "${AGG_LOG}" 2>&1 &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "${AGG_LOG}" && break
+    if ! kill -0 "${AGG_PID}" 2>/dev/null; then
+        echo "fanout_topology: aggregator exited before listening" >&2
+        cat "${AGG_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+AGG_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${AGG_LOG}" | head -n 1)"
+if [ -z "${AGG_PORT}" ]; then
+    echo "fanout_topology: aggregator never reported its port" >&2
+    cat "${AGG_LOG}" >&2
+    exit 1
+fi
+echo "fanout_topology: aggregator on port ${AGG_PORT}"
+
+# --- Drive load and poll the aggregator's /statsz mid-run. --------------
+"${BUILD_DIR}/examples/loadgen" --port "${AGG_PORT}" --qps 60 \
+    --duration-s 2 --csv-out "${CSV}" &
+LOADGEN_PID=$!
+
+sleep 1
+STATSZ="$(mktemp)"
+"${BUILD_DIR}/examples/statsz" --port "${AGG_PORT}" --timeout-ms 200 \
+    > "${STATSZ}" || {
+    echo "fanout_topology: aggregator /statsz fetch failed" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+for series in tpc_up fanout_completions_total fanout_hedge_issued_total \
+    fanout_straggler_cause_total fanout_shard_latency_ms; do
+    grep -q "^${series}" "${STATSZ}" || {
+        echo "fanout_topology: /statsz missing ${series}:" >&2
+        cat "${STATSZ}" >&2
+        kill "${LOADGEN_PID}" 2>/dev/null || true
+        exit 1
+    }
+done
+
+wait "${LOADGEN_PID}"
+
+# --- Graceful drain: aggregator first, then the shard tier. -------------
+kill -INT "${AGG_PID}"
+wait "${AGG_PID}"
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -INT "${pid}" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "${pid}" || true
+done
+trap - EXIT
+
+# The loadgen CSV must exist with a header plus one summary row.
+[ "$(wc -l < "${CSV}")" -eq 2 ] || {
+    echo "fanout_topology: unexpected loadgen CSV:" >&2
+    cat "${CSV}" >&2 || true
+    exit 1
+}
+echo "fanout_topology: OK"

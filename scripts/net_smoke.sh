@@ -11,11 +11,12 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-PORT=$((20000 + RANDOM % 10000))
 LOG="$(mktemp)"
 CSV="$(mktemp -u).csv"
 
-"${BUILD_DIR}/examples/search_server" --listen "${PORT}" --docs 4000 \
+# --listen 0 binds an ephemeral port; the kernel's choice is parsed from
+# the "listening on" line, so parallel CI jobs can never collide.
+"${BUILD_DIR}/examples/search_server" --listen 0 --docs 4000 \
     --queries 200 > "${LOG}" 2>&1 &
 SERVER_PID=$!
 trap 'kill "${SERVER_PID}" 2>/dev/null || true' EXIT
@@ -35,6 +36,9 @@ grep -q "listening on" "${LOG}" || {
     cat "${LOG}" >&2
     exit 1
 }
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${LOG}" \
+    | head -n 1)"
+echo "net_smoke: server chose port ${PORT}"
 
 # Drive load in the background so /statsz can be polled mid-run.
 "${BUILD_DIR}/examples/loadgen" --port "${PORT}" --qps 50 --duration-s 2 \

@@ -1,0 +1,1012 @@
+#include "fanout/aggregator.h"
+
+#include <algorithm>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/statsz.h"
+#include "util/logging.h"
+
+namespace tpc::fanout {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::string
+endpointKey(const ShardEndpoint& endpoint)
+{
+    return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+std::vector<std::string>
+makeShardNames(std::size_t count)
+{
+    std::vector<std::string> names;
+    names.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        names.push_back("shard" + std::to_string(i));
+    return names;
+}
+
+net::AdmissionLimits
+makeAdmissionLimits(const AggregatorConfig& config)
+{
+    net::AdmissionLimits limits;
+    limits.maxInFlight = config.maxInFlight;
+    limits.maxPending = 0; // The aggregator has no dispatch queue.
+    return limits;
+}
+
+} // namespace
+
+AggregatorServer::AggregatorServer(const AggregatorConfig& config)
+    : config_(config), admission_(makeAdmissionLimits(config)),
+      collector_(config.classNames, makeShardNames(config.shards.size()))
+{
+    TPC_CHECK(!config_.shards.empty());
+    TPC_CHECK(config_.deadlineFactor > 0.0);
+    merger_ = mergeTopK;
+    listenFd_.reset(net::listenTcp(config_.port, &port_,
+                                   config_.bindAddress, config_.backlog));
+    TPC_CHECK(::pipe(wakePipe_) == 0);
+    for (const int fd : wakePipe_) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        TPC_CHECK(flags >= 0 &&
+                  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+    }
+    poller_.add(listenFd_.fd(), net::kPollIn);
+    poller_.add(wakePipe_[0], net::kPollIn);
+}
+
+AggregatorServer::~AggregatorServer()
+{
+    if (wakePipe_[0] >= 0)
+        ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0)
+        ::close(wakePipe_[1]);
+}
+
+double
+AggregatorServer::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+        .count();
+}
+
+void
+AggregatorServer::requestStop()
+{
+    stopRequested_.store(true, std::memory_order_release);
+    wake();
+}
+
+void
+AggregatorServer::wake()
+{
+    const std::uint8_t byte = 1;
+    // Async-signal-safe; EAGAIN just means the loop is already pending.
+    [[maybe_unused]] const ssize_t n = ::write(wakePipe_[1], &byte, 1);
+}
+
+void
+AggregatorServer::drainWakePipe()
+{
+    std::uint8_t buffer[256];
+    while (::read(wakePipe_[0], buffer, sizeof(buffer)) > 0) {
+    }
+}
+
+void
+AggregatorServer::setMerger(ResultMerger merger)
+{
+    TPC_CHECK(merger != nullptr);
+    merger_ = std::move(merger);
+}
+
+void
+AggregatorServer::setStatszProvider(StatszProvider provider)
+{
+    statszProvider_ = std::move(provider);
+}
+
+void
+AggregatorServer::attachMetrics(obs::MetricsRegistry* metrics)
+{
+    metrics_ = metrics;
+    if (metrics == nullptr) {
+        metric_ = MetricHandles{};
+        return;
+    }
+    metric_.accepted = &metrics->counter("fanout_accepted");
+    metric_.shed = &metrics->counter("fanout_client_shed");
+    metric_.hedgeIssued = &metrics->counter("fanout_hedge_issued");
+    metric_.hedgeWon = &metrics->counter("fanout_hedge_won");
+    metric_.hedgeWasted = &metrics->counter("fanout_hedge_wasted");
+    metric_.shardShed = &metrics->counter("fanout_shard_shed");
+    metric_.inFlight = &metrics->gauge("fanout_in_flight");
+}
+
+AggregatorStats
+AggregatorServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+std::string
+AggregatorServer::renderStatszText() const
+{
+    obs::StatszInfo info;
+    info.policyName = config_.policyName;
+    info.targetTable.reserve(config_.targetTable.size());
+    for (const FanoutTargetEntry& row : config_.targetTable)
+        info.targetTable.push_back({row.load, row.targetMs});
+    info.admitted = admission_.accepted();
+    info.shed = admission_.shed();
+    info.inFlight = static_cast<std::uint64_t>(
+        std::max(0, admission_.inFlight()));
+    info.uptimeMs = nowMs();
+    const obs::FanoutSnapshot snap = collector_.snapshot();
+    return obs::renderStatsz(info, nullptr, &snap);
+}
+
+void
+AggregatorServer::countProtocolError()
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ++stats_.protocolErrors;
+}
+
+double
+AggregatorServer::targetFor(int load) const
+{
+    if (config_.targetTable.empty())
+        return config_.defaultTargetMs;
+    for (const FanoutTargetEntry& row : config_.targetTable) {
+        if (static_cast<double>(load) <= row.load)
+            return row.targetMs;
+    }
+    // Past the last bound the table saturates at its overload row.
+    return config_.targetTable.back().targetMs;
+}
+
+double
+AggregatorServer::hedgeDelayFor(std::size_t shardIdx) const
+{
+    const double q = collector_.shardLatencyQuantile(
+        shardIdx, config_.hedge.quantile, config_.hedge.minSamples);
+    const double delay =
+        q >= 0.0 ? q : config_.hedge.fallbackDelayMs;
+    if (delay <= 0.0)
+        return -1.0;
+    return std::max(delay, config_.hedge.minDelayMs);
+}
+
+// ---------------------------------------------------------------------------
+// Client side.
+
+void
+AggregatorServer::acceptReady()
+{
+    for (;;) {
+        const int fd = net::acceptTcp(listenFd_.fd());
+        if (fd < 0)
+            return;
+        auto conn = std::make_unique<Connection>();
+        conn->fd.reset(fd);
+        conn->connId = nextConnId_++;
+        conn->reader = net::FrameReader(config_.maxPayloadBytes);
+        poller_.add(fd, net::kPollIn);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.connectionsAccepted;
+        }
+        clientsById_[conn->connId] = conn.get();
+        clientsByFd_[fd] = std::move(conn);
+    }
+}
+
+void
+AggregatorServer::closeClient(std::uint64_t connId)
+{
+    const auto byId = clientsById_.find(connId);
+    if (byId == clientsById_.end())
+        return;
+    Connection* conn = byId->second;
+    poller_.remove(conn->fd.fd());
+    clientsById_.erase(byId);
+    clientsByFd_.erase(conn->fd.fd()); // Frees conn, closes the fd.
+}
+
+void
+AggregatorServer::onClientReadable(Connection& conn)
+{
+    std::uint8_t buffer[16384];
+    for (;;) {
+        std::size_t n = 0;
+        const net::IoStatus status =
+            net::readSome(conn.fd.fd(), buffer, sizeof(buffer), &n);
+        if (status == net::IoStatus::kOk) {
+            conn.reader.append(buffer, n);
+            continue;
+        }
+        if (status == net::IoStatus::kWouldBlock)
+            break;
+        // Peer closed or hard error. In-flight fanouts keep running;
+        // their responses are discarded when they complete.
+        closeClient(conn.connId);
+        return;
+    }
+
+    net::Frame frame;
+    const std::uint64_t connId = conn.connId;
+    while (conn.reader.next(&frame)) {
+        handleClientFrame(conn, std::move(frame));
+        if (clientsById_.find(connId) == clientsById_.end())
+            return;
+    }
+    if (conn.reader.broken()) {
+        util::warn("fanout: dropping client " + std::to_string(connId) +
+                   ": " + conn.reader.error());
+        countProtocolError();
+        closeClient(connId);
+    }
+}
+
+void
+AggregatorServer::handleClientFrame(Connection& conn, net::Frame frame)
+{
+    if (frame.type == net::FrameType::kStatsRequest) {
+        net::Frame response;
+        response.type = net::FrameType::kStatsResponse;
+        response.requestId = frame.requestId;
+        response.status = net::FrameStatus::kOk;
+        const std::string text =
+            statszProvider_ ? statszProvider_() : renderStatszText();
+        response.payload.assign(text.begin(), text.end());
+        sendToClient(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.statszServed;
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.requestsReceived;
+    }
+    if (frame.type != net::FrameType::kRequest) {
+        countProtocolError();
+        closeClient(conn.connId);
+        return;
+    }
+
+    auto busy = [&] {
+        collector_.recordClientShed(frame.cls);
+        if (metric_.shed != nullptr)
+            metric_.shed->inc();
+        net::Frame response;
+        response.type = net::FrameType::kResponse;
+        response.status = net::FrameStatus::kBusy;
+        response.cls = frame.cls;
+        response.requestId = frame.requestId;
+        sendToClient(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.busySent;
+        }
+    };
+
+    if (draining_ || !admission_.tryAdmit(0)) {
+        busy();
+        return;
+    }
+    if (metric_.accepted != nullptr)
+        metric_.accepted->inc();
+    if (metric_.inFlight != nullptr)
+        metric_.inFlight->set(admission_.inFlight());
+
+    startFanout(conn, std::move(frame));
+}
+
+void
+AggregatorServer::sendToClient(Connection& conn, const net::Frame& frame)
+{
+    net::encodeFrame(frame, conn.writeBuffer);
+    flushClientWrites(conn);
+}
+
+void
+AggregatorServer::flushClientWrites(Connection& conn)
+{
+    while (conn.writeOffset < conn.writeBuffer.size()) {
+        std::size_t n = 0;
+        const net::IoStatus status = net::writeSome(
+            conn.fd.fd(), conn.writeBuffer.data() + conn.writeOffset,
+            conn.writeBuffer.size() - conn.writeOffset, &n);
+        if (status == net::IoStatus::kOk && n > 0) {
+            conn.writeOffset += n;
+            continue;
+        }
+        if (status == net::IoStatus::kWouldBlock || n == 0) {
+            if (!conn.wantWrite) {
+                conn.wantWrite = true;
+                poller_.modify(conn.fd.fd(), net::kPollIn | net::kPollOut);
+            }
+            return;
+        }
+        closeClient(conn.connId);
+        return;
+    }
+    conn.writeBuffer.clear();
+    conn.writeOffset = 0;
+    if (conn.wantWrite) {
+        conn.wantWrite = false;
+        poller_.modify(conn.fd.fd(), net::kPollIn);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard side.
+
+AggregatorServer::Upstream&
+AggregatorServer::upstreamFor(const ShardEndpoint& endpoint)
+{
+    const std::string key = endpointKey(endpoint);
+    const auto it = upstreamsByKey_.find(key);
+    if (it != upstreamsByKey_.end())
+        return *it->second;
+    auto up = std::make_unique<Upstream>();
+    up->key = key;
+    up->endpoint = endpoint;
+    Upstream& ref = *up;
+    upstreamsByKey_[key] = std::move(up);
+    startConnect(ref);
+    return ref;
+}
+
+void
+AggregatorServer::startConnect(Upstream& up)
+{
+    std::string error;
+    const int fd =
+        net::connectTcp(up.endpoint.host, up.endpoint.port, &error);
+    if (fd < 0) {
+        util::warn("fanout: connect to " + up.key + " failed: " + error);
+        up.reconnectAtMs = nowMs() + config_.reconnectDelayMs;
+        return;
+    }
+    up.fd.reset(fd);
+    up.connecting = true;
+    up.reader = net::FrameReader(config_.maxPayloadBytes);
+    poller_.add(fd, net::kPollOut);
+    upstreamsByFd_[fd] = &up;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.upstreamConnects;
+    }
+}
+
+void
+AggregatorServer::onUpstreamWritable(Upstream& up)
+{
+    if (up.connecting) {
+        if (!net::connectSucceeded(up.fd.fd())) {
+            upstreamDown(up);
+            return;
+        }
+        up.connecting = false;
+        up.wantWrite = false;
+        poller_.modify(up.fd.fd(), net::kPollIn);
+    }
+    flushUpstreamWrites(up);
+}
+
+void
+AggregatorServer::flushUpstreamWrites(Upstream& up)
+{
+    if (up.connecting || !up.fd.valid())
+        return;
+    while (up.writeOffset < up.writeBuffer.size()) {
+        std::size_t n = 0;
+        const net::IoStatus status = net::writeSome(
+            up.fd.fd(), up.writeBuffer.data() + up.writeOffset,
+            up.writeBuffer.size() - up.writeOffset, &n);
+        if (status == net::IoStatus::kOk && n > 0) {
+            up.writeOffset += n;
+            continue;
+        }
+        if (status == net::IoStatus::kWouldBlock || n == 0) {
+            if (!up.wantWrite) {
+                up.wantWrite = true;
+                poller_.modify(up.fd.fd(), net::kPollIn | net::kPollOut);
+            }
+            return;
+        }
+        upstreamDown(up);
+        return;
+    }
+    up.writeBuffer.clear();
+    up.writeOffset = 0;
+    if (up.wantWrite) {
+        up.wantWrite = false;
+        poller_.modify(up.fd.fd(), net::kPollIn);
+    }
+}
+
+void
+AggregatorServer::onUpstreamReadable(Upstream& up)
+{
+    std::uint8_t buffer[16384];
+    for (;;) {
+        std::size_t n = 0;
+        const net::IoStatus status =
+            net::readSome(up.fd.fd(), buffer, sizeof(buffer), &n);
+        if (status == net::IoStatus::kOk) {
+            up.reader.append(buffer, n);
+            continue;
+        }
+        if (status == net::IoStatus::kWouldBlock)
+            break;
+        upstreamDown(up);
+        return;
+    }
+
+    net::Frame frame;
+    while (up.reader.next(&frame)) {
+        if (frame.type == net::FrameType::kResponse) {
+            onShardResponse(std::move(frame));
+            continue;
+        }
+        // Shards only ever answer what we sent; anything else (including
+        // stats frames we never requested) is counted and skipped.
+        countProtocolError();
+    }
+    if (up.reader.broken()) {
+        util::warn("fanout: shard stream " + up.key + " broken: " +
+                   up.reader.error());
+        countProtocolError();
+        upstreamDown(up);
+    }
+}
+
+void
+AggregatorServer::upstreamDown(Upstream& up)
+{
+    util::warn("fanout: lost shard connection " + up.key);
+    if (up.fd.valid()) {
+        poller_.remove(up.fd.fd());
+        upstreamsByFd_.erase(up.fd.fd());
+        up.fd.reset();
+    }
+    up.connecting = false;
+    up.writeBuffer.clear();
+    up.writeOffset = 0;
+    up.wantWrite = false;
+    up.reader = net::FrameReader(config_.maxPayloadBytes);
+    up.reconnectAtMs = nowMs() + config_.reconnectDelayMs;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.upstreamDrops;
+    }
+
+    // Every wire leg routed through this endpoint is dead: settle the
+    // flag, and resolve legs that have no other way to produce a reply
+    // (a still-armed hedge keeps its leg open).
+    std::vector<std::pair<std::uint64_t, SubKey>> affected;
+    for (const auto& [subId, key] : subIndex_) {
+        const ShardSpec& spec = config_.shards[key.shardIdx];
+        const ShardEndpoint& endpoint =
+            key.isHedge ? spec.replica : spec.primary;
+        if (endpointKey(endpoint) == up.key)
+            affected.push_back({subId, key});
+    }
+    for (const auto& [subId, key] : affected) {
+        subIndex_.erase(subId);
+        const auto fit = fanouts_.find(key.fanoutId);
+        if (fit == fanouts_.end())
+            continue;
+        Fanout& fanout = fit->second;
+        SubRequest& sub = fanout.subs[key.shardIdx];
+        if (key.isHedge)
+            sub.hedgeOutstanding = false;
+        else
+            sub.primaryOutstanding = false;
+        if (!sub.done && !sub.primaryOutstanding &&
+            !sub.hedgeOutstanding && sub.hedgeAtMs <= 0.0) {
+            sub.done = true; // No reply: attributed as a miss at respond.
+            --fanout.unresolved;
+            if (fanout.unresolved == 0 && !fanout.responded) {
+                respondToClient(fanout);
+                continue;
+            }
+        }
+        maybeReclaim(key.fanoutId);
+    }
+}
+
+void
+AggregatorServer::sendSub(const ShardEndpoint& endpoint,
+                          std::uint64_t subId, std::uint8_t cls,
+                          const std::vector<std::uint8_t>& payload)
+{
+    Upstream& up = upstreamFor(endpoint);
+    net::Frame request;
+    request.type = net::FrameType::kRequest;
+    request.cls = cls;
+    request.requestId = subId;
+    request.payload = payload;
+    net::encodeFrame(request, up.writeBuffer);
+    if (up.fd.valid()) {
+        flushUpstreamWrites(up);
+        return;
+    }
+    // The endpoint is down; re-dial when the back-off allows. Until the
+    // connection exists the frame sits buffered — the fan-out deadline
+    // bounds how long that can matter.
+    if (nowMs() >= up.reconnectAtMs)
+        startConnect(up);
+}
+
+void
+AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
+{
+    const double now = nowMs();
+    // The load metric mirrors the leaf policy's: concurrent requests
+    // observed at arrival (this one excluded).
+    const int load = std::max(0, admission_.inFlight() - 1);
+    const double targetMs = targetFor(load);
+
+    const std::uint64_t fanoutId = nextFanoutId_++;
+    Fanout fanout;
+    fanout.fanoutId = fanoutId;
+    fanout.connId = conn.connId;
+    fanout.clientRequestId = frame.requestId;
+    fanout.cls = frame.cls;
+    fanout.startMs = now;
+    fanout.targetMs = targetMs;
+    fanout.deadlineAtMs = now + targetMs * config_.deadlineFactor;
+    fanout.requestPayload = std::move(frame.payload);
+    fanout.unresolved = config_.shards.size();
+    fanout.subs.resize(config_.shards.size());
+
+    for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+        SubRequest& sub = fanout.subs[i];
+        sub.shardIdx = i;
+        sub.subId = nextSubId_++;
+        sub.sentAtMs = now;
+        sub.primaryOutstanding = true;
+        if (config_.hedge.enabled && config_.shards[i].hasReplica()) {
+            const double delay = hedgeDelayFor(i);
+            if (delay > 0.0)
+                sub.hedgeAtMs = now + delay;
+        }
+        subIndex_[sub.subId] = SubKey{fanoutId, i, false};
+    }
+
+    auto [it, inserted] = fanouts_.emplace(fanoutId, std::move(fanout));
+    TPC_CHECK(inserted);
+    Fanout& stored = it->second;
+    for (SubRequest& sub : stored.subs)
+        sendSub(config_.shards[sub.shardIdx].primary, sub.subId,
+                stored.cls, stored.requestPayload);
+}
+
+void
+AggregatorServer::fireHedge(Fanout& fanout, SubRequest& sub)
+{
+    sub.hedged = true;
+    sub.hedgeAtMs = -1.0;
+    sub.hedgeSubId = nextSubId_++;
+    sub.hedgeSentAtMs = nowMs();
+    sub.hedgeOutstanding = true;
+    subIndex_[sub.hedgeSubId] =
+        SubKey{fanout.fanoutId, sub.shardIdx, true};
+    collector_.onHedgeIssued(sub.shardIdx);
+    if (metric_.hedgeIssued != nullptr)
+        metric_.hedgeIssued->inc();
+    sendSub(config_.shards[sub.shardIdx].replica, sub.hedgeSubId,
+            fanout.cls, fanout.requestPayload);
+}
+
+void
+AggregatorServer::onShardResponse(net::Frame&& frame)
+{
+    const auto indexIt = subIndex_.find(frame.requestId);
+    if (indexIt == subIndex_.end()) {
+        // The fanout was already reclaimed (linger expired); the frame
+        // is a tolerated duplicate with nowhere to go.
+        collector_.onUnmatchedResponse();
+        return;
+    }
+    const SubKey key = indexIt->second;
+    subIndex_.erase(indexIt);
+
+    const auto fit = fanouts_.find(key.fanoutId);
+    TPC_CHECK(fit != fanouts_.end());
+    Fanout& fanout = fit->second;
+    SubRequest& sub = fanout.subs[key.shardIdx];
+
+    const double now = nowMs();
+    const double latency =
+        now - (key.isHedge ? sub.hedgeSentAtMs : sub.sentAtMs);
+    if (key.isHedge)
+        sub.hedgeOutstanding = false;
+    else
+        sub.primaryOutstanding = false;
+
+    if (sub.done) {
+        // The losing side of a hedge race, or a straggler answering a
+        // fanout that already gave up on the leg. Its latency is still a
+        // real observation for the hedge trigger.
+        collector_.onLateResponse(key.shardIdx);
+        if (frame.status == net::FrameStatus::kOk)
+            collector_.recordShardLatency(key.shardIdx, latency);
+        maybeReclaim(key.fanoutId);
+        return;
+    }
+
+    const bool otherLegPending =
+        sub.primaryOutstanding || sub.hedgeOutstanding ||
+        sub.hedgeAtMs > 0.0;
+    const bool canHedgeNow = !sub.hedged && config_.hedge.enabled &&
+                             config_.shards[key.shardIdx].hasReplica();
+
+    switch (frame.status) {
+    case net::FrameStatus::kOk:
+        collector_.recordShardLatency(key.shardIdx, latency);
+        sub.done = true;
+        sub.haveReply = true;
+        sub.payload = std::move(frame.payload);
+        sub.replyMs = now - fanout.startMs;
+        sub.hedgeAtMs = -1.0;
+        if (key.isHedge) {
+            sub.wonByHedge = true;
+            collector_.onHedgeWon(key.shardIdx);
+            if (metric_.hedgeWon != nullptr)
+                metric_.hedgeWon->inc();
+        } else if (sub.hedged) {
+            collector_.onHedgeWasted(key.shardIdx);
+            if (metric_.hedgeWasted != nullptr)
+                metric_.hedgeWasted->inc();
+        }
+        --fanout.unresolved;
+        if (fanout.unresolved == 0)
+            respondToClient(fanout);
+        else
+            maybeReclaim(key.fanoutId);
+        return;
+    case net::FrameStatus::kBusy:
+        collector_.onShardShed(key.shardIdx);
+        if (metric_.shardShed != nullptr)
+            metric_.shardShed->inc();
+        sub.shed = true;
+        break;
+    case net::FrameStatus::kError:
+        break;
+    }
+
+    // A shed or failed leg: a backup request is its second chance — the
+    // replica may accept what the primary refused. With one already in
+    // flight (or armed) just wait for it; with nothing left, settle.
+    if (canHedgeNow) {
+        fireHedge(fanout, sub);
+        return;
+    }
+    if (otherLegPending)
+        return;
+    sub.done = true;
+    sub.hedgeAtMs = -1.0;
+    --fanout.unresolved;
+    if (fanout.unresolved == 0)
+        respondToClient(fanout);
+    else
+        maybeReclaim(key.fanoutId);
+}
+
+void
+AggregatorServer::respondToClient(Fanout& fanout)
+{
+    const double now = nowMs();
+    std::vector<ShardReply> replies;
+    std::size_t shedLegs = 0;
+    bool anyDeadlineMiss = false;
+    bool anyShed = false;
+    bool anyHedgeWin = false;
+    double slowestShardMs = 0.0;
+
+    for (SubRequest& sub : fanout.subs) {
+        if (!sub.done) {
+            // Deadline expiry: give up on the leg. Wire flags stay set so
+            // a late reply during the linger window is tolerated.
+            sub.done = true;
+        }
+        sub.hedgeAtMs = -1.0;
+        if (sub.haveReply) {
+            replies.push_back({sub.shardIdx, std::move(sub.payload)});
+            slowestShardMs = std::max(slowestShardMs, sub.replyMs);
+            if (sub.wonByHedge)
+                anyHedgeWin = true;
+        } else if (sub.shed) {
+            anyShed = true;
+            ++shedLegs;
+        } else {
+            anyDeadlineMiss = true;
+            collector_.onDeadlineMiss(sub.shardIdx);
+        }
+    }
+
+    net::Frame response;
+    response.type = net::FrameType::kResponse;
+    response.cls = fanout.cls;
+    response.requestId = fanout.clientRequestId;
+    if (!replies.empty()) {
+        response.status = net::FrameStatus::kOk;
+        merger_(replies, config_.topK, response.payload);
+    } else if (shedLegs == fanout.subs.size()) {
+        response.status = net::FrameStatus::kBusy;
+    } else {
+        response.status = net::FrameStatus::kError;
+    }
+
+    obs::FanoutRecord record;
+    record.requestId = fanout.clientRequestId;
+    record.cls = fanout.cls;
+    record.responseMs = now - fanout.startMs;
+    record.targetMs = fanout.targetMs;
+    record.slowestShardMs = slowestShardMs;
+    record.anyDeadlineMiss = anyDeadlineMiss;
+    record.anyShed = anyShed;
+    record.anyHedgeWin = anyHedgeWin;
+    collector_.record(record);
+
+    admission_.onComplete();
+    if (metric_.inFlight != nullptr)
+        metric_.inFlight->set(admission_.inFlight());
+
+    const auto connIt = clientsById_.find(fanout.connId);
+    if (connIt != clientsById_.end()) {
+        sendToClient(*connIt->second, response);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (response.status == net::FrameStatus::kBusy)
+            ++stats_.busySent;
+        else
+            ++stats_.responsesSent;
+    }
+
+    fanout.responded = true;
+    fanout.lingerUntilMs = now + (draining_ ? 0.0 : config_.lingerMs);
+    maybeReclaim(fanout.fanoutId);
+}
+
+void
+AggregatorServer::maybeReclaim(std::uint64_t fanoutId)
+{
+    const auto it = fanouts_.find(fanoutId);
+    if (it == fanouts_.end() || !it->second.responded)
+        return;
+    for (const SubRequest& sub : it->second.subs) {
+        if (sub.primaryOutstanding || sub.hedgeOutstanding)
+            return; // A straggler may still answer; linger bounds this.
+    }
+    reclaim(fanoutId);
+}
+
+void
+AggregatorServer::reclaim(std::uint64_t fanoutId)
+{
+    const auto it = fanouts_.find(fanoutId);
+    if (it == fanouts_.end())
+        return;
+    for (const SubRequest& sub : it->second.subs) {
+        if (sub.primaryOutstanding)
+            subIndex_.erase(sub.subId);
+        if (sub.hedgeOutstanding)
+            subIndex_.erase(sub.hedgeSubId);
+    }
+    fanouts_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Timers and the loop.
+
+double
+AggregatorServer::nextTimerMs() const
+{
+    double next = -1.0;
+    auto consider = [&next](double t) {
+        if (t > 0.0 && (next < 0.0 || t < next))
+            next = t;
+    };
+    for (const auto& [id, fanout] : fanouts_) {
+        if (fanout.responded) {
+            consider(fanout.lingerUntilMs);
+            continue;
+        }
+        consider(fanout.deadlineAtMs);
+        for (const SubRequest& sub : fanout.subs) {
+            if (!sub.done)
+                consider(sub.hedgeAtMs);
+        }
+    }
+    for (const auto& [key, up] : upstreamsByKey_) {
+        if (!up->fd.valid() && up->writeOffset < up->writeBuffer.size())
+            consider(up->reconnectAtMs);
+    }
+    return next;
+}
+
+void
+AggregatorServer::processTimers()
+{
+    const double now = nowMs();
+
+    // Collect first: firing hedges, responding, and reclaiming all
+    // mutate fanouts_ / subIndex_.
+    std::vector<std::pair<std::uint64_t, std::size_t>> hedges;
+    std::vector<std::uint64_t> expired;
+    std::vector<std::uint64_t> lingered;
+    for (auto& [id, fanout] : fanouts_) {
+        if (fanout.responded) {
+            if (now >= fanout.lingerUntilMs)
+                lingered.push_back(id);
+            continue;
+        }
+        if (now >= fanout.deadlineAtMs) {
+            expired.push_back(id);
+            continue;
+        }
+        for (SubRequest& sub : fanout.subs) {
+            if (!sub.done && sub.hedgeAtMs > 0.0 && now >= sub.hedgeAtMs)
+                hedges.push_back({id, sub.shardIdx});
+        }
+    }
+
+    for (const auto& [id, shardIdx] : hedges) {
+        const auto it = fanouts_.find(id);
+        if (it == fanouts_.end() || it->second.responded)
+            continue;
+        SubRequest& sub = it->second.subs[shardIdx];
+        if (!sub.done && sub.hedgeAtMs > 0.0)
+            fireHedge(it->second, sub);
+    }
+    for (const std::uint64_t id : expired) {
+        const auto it = fanouts_.find(id);
+        if (it != fanouts_.end() && !it->second.responded)
+            respondToClient(it->second);
+    }
+    for (const std::uint64_t id : lingered)
+        reclaim(id);
+
+    // Re-dial endpoints that have queued requests once back-off allows.
+    for (const auto& [key, up] : upstreamsByKey_) {
+        if (!up->fd.valid() && up->writeOffset < up->writeBuffer.size() &&
+            now >= up->reconnectAtMs)
+            startConnect(*up);
+    }
+}
+
+void
+AggregatorServer::dispatchEvents(const std::vector<net::PollEvent>& events)
+{
+    for (const net::PollEvent& ev : events) {
+        if (listenFd_.valid() && ev.fd == listenFd_.fd()) {
+            acceptReady();
+            continue;
+        }
+        if (ev.fd == wakePipe_[0]) {
+            drainWakePipe();
+            continue;
+        }
+        const auto upIt = upstreamsByFd_.find(ev.fd);
+        if (upIt != upstreamsByFd_.end()) {
+            Upstream& up = *upIt->second;
+            if (ev.events & net::kPollErr) {
+                upstreamDown(up);
+                continue;
+            }
+            if (ev.events & net::kPollOut)
+                onUpstreamWritable(up);
+            // The writable handler may have torn the upstream down.
+            if ((ev.events & net::kPollIn) &&
+                upstreamsByFd_.find(ev.fd) != upstreamsByFd_.end())
+                onUpstreamReadable(up);
+            continue;
+        }
+        const auto clientIt = clientsByFd_.find(ev.fd);
+        if (clientIt == clientsByFd_.end())
+            continue; // Closed earlier in this batch.
+        Connection& conn = *clientIt->second;
+        if (ev.events & net::kPollErr) {
+            closeClient(conn.connId);
+            continue;
+        }
+        if (ev.events & net::kPollOut)
+            flushClientWrites(conn);
+        if ((ev.events & net::kPollIn) &&
+            clientsByFd_.find(ev.fd) != clientsByFd_.end())
+            onClientReadable(conn);
+    }
+}
+
+void
+AggregatorServer::run()
+{
+    std::vector<net::PollEvent> events;
+    const int pollCeilingMs =
+        std::max(1, static_cast<int>(config_.pollTimeoutMs));
+    auto timeoutMs = [&] {
+        const double next = nextTimerMs();
+        if (next < 0.0)
+            return pollCeilingMs;
+        const double delta = next - nowMs();
+        if (delta <= 0.0)
+            return 0;
+        return std::min(pollCeilingMs, static_cast<int>(delta) + 1);
+    };
+
+    while (!stopRequested_.load(std::memory_order_acquire)) {
+        poller_.wait(events, timeoutMs());
+        dispatchEvents(events);
+        processTimers();
+    }
+
+    // Graceful stop: refuse new work, answer every in-flight fanout
+    // (deadlines bound the wait), flush client writes, then tear down.
+    draining_ = true;
+    poller_.remove(listenFd_.fd());
+    listenFd_.reset();
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               config_.drainTimeoutMs));
+    for (;;) {
+        processTimers();
+        bool fanoutsPending = false;
+        for (const auto& [id, fanout] : fanouts_) {
+            if (!fanout.responded)
+                fanoutsPending = true;
+        }
+        bool writesPending = false;
+        for (const auto& [fd, conn] : clientsByFd_) {
+            if (conn->writeOffset < conn->writeBuffer.size())
+                writesPending = true;
+        }
+        if (!fanoutsPending && !writesPending)
+            break;
+        if (Clock::now() >= deadline) {
+            util::warn("fanout: drain timeout with " +
+                       std::to_string(fanouts_.size()) +
+                       " fanouts outstanding");
+            break;
+        }
+        poller_.wait(events, timeoutMs());
+        dispatchEvents(events);
+    }
+
+    // Anything the timeout abandoned is answered with what arrived.
+    std::vector<std::uint64_t> leftovers;
+    for (const auto& [id, fanout] : fanouts_)
+        if (!fanout.responded)
+            leftovers.push_back(id);
+    for (const std::uint64_t id : leftovers) {
+        const auto it = fanouts_.find(id);
+        if (it != fanouts_.end() && !it->second.responded)
+            respondToClient(it->second);
+    }
+    while (!fanouts_.empty())
+        reclaim(fanouts_.begin()->first);
+    while (!clientsById_.empty())
+        closeClient(clientsById_.begin()->first);
+    for (const auto& [key, up] : upstreamsByKey_) {
+        if (up->fd.valid()) {
+            poller_.remove(up->fd.fd());
+            upstreamsByFd_.erase(up->fd.fd());
+            up->fd.reset();
+        }
+    }
+}
+
+} // namespace tpc::fanout

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Networked partition-aggregate tier: an aggregator in front of N shard
+ * servers.
+ *
+ * The AggregatorServer accepts queries on the same length-prefixed frame
+ * protocol the leaf servers speak (net/frame.h), fans each request out
+ * over TCP to every shard, merges the shard replies' top-k entries, and
+ * answers the client. Its response time is the maximum over the shard
+ * legs, which is exactly the partition-aggregate amplification the paper
+ * targets: at N shards the aggregator's median rides on the shards' tail.
+ *
+ * Two mechanisms bound that tail:
+ *
+ *  - Per-shard deadlines derived from the TPC target table: the load
+ *    observed at arrival selects a target completion time E, and the
+ *    fan-out gives up at E * deadlineFactor, answering with whatever
+ *    replies arrived (a partial top-k beats an unbounded wait).
+ *  - Hedged backup requests: when a shard has a configured replica and
+ *    its primary has not answered by a quantile of that shard's observed
+ *    reply-latency histogram, one backup request is issued to the
+ *    replica. First response wins the leg; the loser's reply is
+ *    tolerated and counted, never trusted twice.
+ *
+ * Everything runs on one event-loop thread (the RpcServer idiom: epoll,
+ * self-pipe wakeups, non-blocking sockets); the aggregator does no
+ * compute of its own, so no worker pool is involved. Cross-tier tail
+ * attribution is recorded into an obs::FanoutStatsCollector and exposed
+ * through /statsz, answered inline like the leaf servers do.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fanout/merge.h"
+#include "net/admission.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "obs/fanout_stats.h"
+#include "obs/metrics.h"
+
+namespace tpc::fanout {
+
+/** One TCP endpoint of a shard server. */
+struct ShardEndpoint
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+};
+
+/** One partition leg: the primary serving replica plus an optional spare
+ *  the hedge policy may send a backup request to. */
+struct ShardSpec
+{
+    ShardEndpoint primary;
+    /** Backup replica; port 0 means the shard has none (no hedging). */
+    ShardEndpoint replica;
+
+    bool hasReplica() const { return replica.port != 0; }
+};
+
+/** When and whether to issue backup requests. */
+struct HedgeConfig
+{
+    bool enabled = false;
+    /** Quantile of the shard's observed reply latency that arms the
+     *  backup timer (0.95 = hedge the slowest 5%). */
+    double quantile = 0.95;
+    /** Observations a shard histogram needs before the quantile is
+     *  trusted; below it fallbackDelayMs applies. */
+    std::uint64_t minSamples = 32;
+    /** Hedge delay during warm-up (<= 0 disables hedging until the
+     *  histogram has minSamples). */
+    double fallbackDelayMs = 0.0;
+    /** Floor under the computed delay so a noisy fast quantile cannot
+     *  degenerate into hedging every request. */
+    double minDelayMs = 1.0;
+};
+
+/** One (load, target E) row; mirrors core::TargetEntry as plain data so
+ *  the fanout tier does not depend on the policy layer. */
+struct FanoutTargetEntry
+{
+    /** Upper load bound (in-flight fanouts) this row applies to. */
+    double load = 0.0;
+    /** Target completion time E in milliseconds. */
+    double targetMs = 0.0;
+};
+
+/** Static configuration of the aggregator. */
+struct AggregatorConfig
+{
+    /** TCP port to listen on; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+    std::string bindAddress = "127.0.0.1";
+    int backlog = 128;
+    /** The partition legs; every request fans out to all of them. */
+    std::vector<ShardSpec> shards;
+    HedgeConfig hedge;
+    /**
+     * Target table rows in ascending load order; the first row whose
+     * load bound is >= the observed load supplies E (the last row caps
+     * overload). Typically copied from Policy::introspect().targetTable.
+     * Empty falls back to defaultTargetMs for every load.
+     */
+    std::vector<FanoutTargetEntry> targetTable;
+    double defaultTargetMs = 100.0;
+    /** Fan-out deadline = E * deadlineFactor: E is the tail-accounting
+     *  target, the factor is how long past it a partial answer still
+     *  beats giving up. */
+    double deadlineFactor = 4.0;
+    /** Max client requests fanned out concurrently (admission bound). */
+    int maxInFlight = 256;
+    std::size_t maxPayloadBytes = net::kDefaultMaxPayload;
+    double pollTimeoutMs = 5.0;
+    double drainTimeoutMs = 5000.0;
+    /** How long a responded fanout keeps accepting its stragglers'
+     *  replies before the bookkeeping is reclaimed. */
+    double lingerMs = 1000.0;
+    /** Back-off before re-dialing a shard whose connection dropped. */
+    double reconnectDelayMs = 100.0;
+    /** Entries kept by the default top-k merge. */
+    std::size_t topK = 10;
+    /** Request-class labels for attribution (empty = one class "all"). */
+    std::vector<std::string> classNames;
+    /** Identity reported as the `policy` label on /statsz. */
+    std::string policyName = "fanout-aggregator";
+};
+
+/** Event counters of one AggregatorServer (monotonic, read anytime). */
+struct AggregatorStats
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t requestsReceived = 0;
+    std::uint64_t responsesSent = 0;
+    std::uint64_t busySent = 0;
+    std::uint64_t protocolErrors = 0;
+    std::uint64_t statszServed = 0;
+    std::uint64_t upstreamConnects = 0;
+    std::uint64_t upstreamDrops = 0;
+};
+
+/** Produces the /statsz text; runs on the event loop, must not block. */
+using StatszProvider = std::function<std::string()>;
+
+/** The aggregation tier. One event-loop thread, no workers. */
+class AggregatorServer
+{
+  public:
+    /** Binds and listens immediately (fatal on failure). Shards are
+     *  dialed lazily on the first fan-out that needs them. */
+    explicit AggregatorServer(const AggregatorConfig& config);
+
+    ~AggregatorServer();
+
+    AggregatorServer(const AggregatorServer&) = delete;
+    AggregatorServer& operator=(const AggregatorServer&) = delete;
+
+    /** The actually bound port (differs from config when it was 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Runs the event loop until requestStop(). Before returning it stops
+     * accepting, answers every in-flight fanout (waiting out deadlines,
+     * bounded by drainTimeoutMs), and flushes buffered responses.
+     */
+    void run();
+
+    /** Asks run() to return; safe from any thread or a signal handler. */
+    void requestStop();
+
+    /** Overrides the top-k merge (call before run()). */
+    void setMerger(ResultMerger merger);
+
+    /** Overrides the built-in /statsz rendering (call before run()). */
+    void setStatszProvider(StatszProvider provider);
+
+    /** Attaches a metrics registry (borrowed; nullptr detaches). Call
+     *  before run(). Registers fanout_hedge_issued / fanout_hedge_won /
+     *  fanout_hedge_wasted / fanout_shard_shed plus the accept/shed/
+     *  in-flight trio, so CSV snapshots carry the hedge counters. */
+    void attachMetrics(obs::MetricsRegistry* metrics);
+
+    /** Admission counters (accepted / shed / in-flight fanouts). */
+    const net::AdmissionController& admission() const { return admission_; }
+
+    /** Tail-attribution collector (snapshot() from any thread). */
+    const obs::FanoutStatsCollector& collector() const { return collector_; }
+
+    AggregatorStats stats() const;
+
+    /** The built-in /statsz rendering (also what the default provider
+     *  serves): policy identity + target table + the aggregator lane. */
+    std::string renderStatszText() const;
+
+  private:
+    /** One downstream client connection. */
+    struct Connection
+    {
+        net::FdGuard fd;
+        std::uint64_t connId = 0;
+        net::FrameReader reader;
+        std::vector<std::uint8_t> writeBuffer;
+        std::size_t writeOffset = 0;
+        bool wantWrite = false;
+    };
+
+    /** One TCP connection to a shard endpoint (primaries and replicas
+     *  share the pool, keyed host:port). */
+    struct Upstream
+    {
+        std::string key;
+        ShardEndpoint endpoint;
+        net::FdGuard fd;
+        bool connecting = false;
+        net::FrameReader reader;
+        std::vector<std::uint8_t> writeBuffer;
+        std::size_t writeOffset = 0;
+        bool wantWrite = false;
+        /** Earliest time a failed endpoint may be re-dialed. */
+        double reconnectAtMs = 0.0;
+    };
+
+    /** One shard leg of one fan-out. */
+    struct SubRequest
+    {
+        std::size_t shardIdx = 0;
+        /** Wire id of the primary request. */
+        std::uint64_t subId = 0;
+        /** Wire id of the backup request (0 = none issued). */
+        std::uint64_t hedgeSubId = 0;
+        double sentAtMs = 0.0;
+        double hedgeSentAtMs = 0.0;
+        /** Absolute time the backup fires; <= 0 when disarmed. */
+        double hedgeAtMs = -1.0;
+        bool hedged = false;
+        /** Leg settled (usable reply, shed, or abandoned). */
+        bool done = false;
+        bool shed = false;
+        bool wonByHedge = false;
+        /** The primary wire id can still produce a frame. */
+        bool primaryOutstanding = true;
+        /** The backup wire id can still produce a frame. */
+        bool hedgeOutstanding = false;
+        /** A usable (OK) payload arrived. */
+        bool haveReply = false;
+        /** Reply time relative to fan-out start (slowest-shard metric). */
+        double replyMs = -1.0;
+        std::vector<std::uint8_t> payload;
+    };
+
+    /** One client request in flight across the shard tier. */
+    struct Fanout
+    {
+        std::uint64_t fanoutId = 0;
+        std::uint64_t connId = 0;
+        std::uint64_t clientRequestId = 0;
+        std::uint8_t cls = 0;
+        double startMs = 0.0;
+        double targetMs = 0.0;
+        double deadlineAtMs = 0.0;
+        /** The query payload, kept so a hedge can resend it. */
+        std::vector<std::uint8_t> requestPayload;
+        /** After responding, stragglers are tolerated until here. */
+        double lingerUntilMs = 0.0;
+        std::vector<SubRequest> subs;
+        std::size_t unresolved = 0;
+        bool responded = false;
+    };
+
+    /** Where a shard-side wire id points. */
+    struct SubKey
+    {
+        std::uint64_t fanoutId = 0;
+        std::size_t shardIdx = 0;
+        bool isHedge = false;
+    };
+
+    void acceptReady();
+    void onClientReadable(Connection& conn);
+    void handleClientFrame(Connection& conn, net::Frame frame);
+    void sendToClient(Connection& conn, const net::Frame& frame);
+    void flushClientWrites(Connection& conn);
+    void closeClient(std::uint64_t connId);
+
+    Upstream& upstreamFor(const ShardEndpoint& endpoint);
+    void startConnect(Upstream& up);
+    void onUpstreamWritable(Upstream& up);
+    void onUpstreamReadable(Upstream& up);
+    void flushUpstreamWrites(Upstream& up);
+    void upstreamDown(Upstream& up);
+
+    void startFanout(Connection& conn, net::Frame&& frame);
+    /** Encodes one shard-side request onto the endpoint's connection. */
+    void sendSub(const ShardEndpoint& endpoint, std::uint64_t subId,
+                 std::uint8_t cls,
+                 const std::vector<std::uint8_t>& payload);
+    void fireHedge(Fanout& fanout, SubRequest& sub);
+    void onShardResponse(net::Frame&& frame);
+    void respondToClient(Fanout& fanout);
+    /** Reclaims the fanout once responded and all wire legs settled. */
+    void maybeReclaim(std::uint64_t fanoutId);
+    void reclaim(std::uint64_t fanoutId);
+    void processTimers();
+    /** Next hedge/deadline/linger expiry, or -1 when none pending. */
+    double nextTimerMs() const;
+    void dispatchEvents(const std::vector<net::PollEvent>& events);
+
+    double targetFor(int load) const;
+    double hedgeDelayFor(std::size_t shardIdx) const;
+    void wake();
+    void drainWakePipe();
+    double nowMs() const;
+    void countProtocolError();
+
+    AggregatorConfig config_;
+    net::AdmissionController admission_;
+    obs::FanoutStatsCollector collector_;
+    ResultMerger merger_;
+
+    net::FdGuard listenFd_;
+    std::uint16_t port_ = 0;
+    int wakePipe_[2] = {-1, -1};
+    net::Poller poller_;
+
+    std::atomic<bool> stopRequested_{false};
+    /** Set during the drain; new requests are answered BUSY. */
+    bool draining_ = false;
+
+    std::map<int, std::unique_ptr<Connection>> clientsByFd_;
+    std::map<std::uint64_t, Connection*> clientsById_;
+    std::map<std::string, std::unique_ptr<Upstream>> upstreamsByKey_;
+    std::map<int, Upstream*> upstreamsByFd_;
+    std::map<std::uint64_t, Fanout> fanouts_;
+    std::map<std::uint64_t, SubKey> subIndex_;
+    std::uint64_t nextConnId_ = 1;
+    std::uint64_t nextFanoutId_ = 1;
+    std::uint64_t nextSubId_ = 1;
+
+    StatszProvider statszProvider_;
+    obs::MetricsRegistry* metrics_ = nullptr;
+    struct MetricHandles
+    {
+        obs::Counter* accepted = nullptr;
+        obs::Counter* shed = nullptr;
+        obs::Counter* hedgeIssued = nullptr;
+        obs::Counter* hedgeWon = nullptr;
+        obs::Counter* hedgeWasted = nullptr;
+        obs::Counter* shardShed = nullptr;
+        obs::Gauge* inFlight = nullptr;
+    } metric_;
+
+    mutable std::mutex statsMutex_;
+    AggregatorStats stats_;
+
+    const std::chrono::steady_clock::time_point epoch_ =
+        std::chrono::steady_clock::now();
+};
+
+} // namespace tpc::fanout

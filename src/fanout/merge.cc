@@ -1,0 +1,35 @@
+#include "fanout/merge.h"
+
+#include <algorithm>
+
+#include "net/frame.h"
+
+namespace tpc::fanout {
+
+void
+mergeTopK(const std::vector<ShardReply>& replies, std::size_t k,
+          std::vector<std::uint8_t>& out)
+{
+    std::vector<std::uint64_t> entries;
+    for (const ShardReply& reply : replies) {
+        std::size_t offset = 0;
+        std::uint64_t value = 0;
+        while (net::readU64(reply.payload, offset, &value)) {
+            entries.push_back(value);
+            offset += 8;
+        }
+    }
+    const std::size_t keep = std::min(k, entries.size());
+    // Only the top k need ordering; the rest can stay unsorted.
+    std::partial_sort(entries.begin(), entries.begin() + keep,
+                      entries.end(), std::greater<std::uint64_t>());
+
+    out.clear();
+    net::appendU64(out, replies.size());
+    net::appendU64(out, entries.size());
+    net::appendU64(out, keep);
+    for (std::size_t i = 0; i < keep; ++i)
+        net::appendU64(out, entries[i]);
+}
+
+} // namespace tpc::fanout

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Result merging for the partition-aggregate tier.
+ *
+ * Each shard answers a query over its partition with a payload of
+ * little-endian u64 result entries (the leaf servers already encode their
+ * top scores this way). The aggregator's merge keeps the k best entries
+ * across all shard replies — the classic ISN top-k merge — and prefixes
+ * enough bookkeeping (shards responded, candidates seen) that a client
+ * can tell a complete answer from a partial one assembled after a
+ * deadline fired.
+ *
+ * The default merge is a free function so tests can exercise it without
+ * an aggregator; AggregatorServer accepts a ResultMerger override for
+ * workloads whose payloads are not score lists.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tpc::fanout {
+
+/** One usable shard reply handed to the merger. */
+struct ShardReply
+{
+    /** Index of the shard (fan-out leg) that produced the payload. */
+    std::size_t shard = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Merges the replies' u64 entries into the aggregated response payload:
+ *
+ *   offset  field
+ *        0  u64 shards that contributed a reply
+ *        8  u64 candidate entries seen across all replies
+ *       16  u64 k' = min(k, candidates) entries that follow
+ *       24  k' u64 entries, descending
+ *
+ * Trailing bytes of a reply that do not fill a u64 are ignored (a shard
+ * speaking a different payload dialect degrades to zero candidates, not
+ * to a decode error). @p out is overwritten.
+ */
+void mergeTopK(const std::vector<ShardReply>& replies, std::size_t k,
+               std::vector<std::uint8_t>& out);
+
+/** Signature of a pluggable merge (same contract as mergeTopK). */
+using ResultMerger = std::function<void(const std::vector<ShardReply>&,
+                                        std::size_t,
+                                        std::vector<std::uint8_t>&)>;
+
+} // namespace tpc::fanout

@@ -148,6 +148,15 @@ runLoadGen(const LoadGenConfig& config)
     for (;;) {
         double nowMs = msSince(epoch);
 
+        // An interrupt ends the arrival process, not the run: the drain
+        // below still collects outstanding responses so the partial
+        // latency record is complete for every request actually sent.
+        if (!sendingDone && config.stopFlag != nullptr &&
+            config.stopFlag->load(std::memory_order_relaxed)) {
+            sendingDone = true;
+            sendingDoneAtMs = nowMs;
+        }
+
         // Open-loop send: emit every arrival whose time has come, without
         // ever waiting on a response. A backed-up connection buffers the
         // frame; the request is still timestamped at its scheduled

@@ -13,6 +13,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -52,6 +53,10 @@ struct LoadGenConfig
      *  is written; may append or rewrite bytes beyond the first 8. */
     std::function<void(std::uint64_t seq, std::vector<std::uint8_t>&)>
         payloadFn;
+    /** Optional early-stop flag (set from a signal handler): once true,
+     *  sending stops and the run proceeds to the normal drain, so the
+     *  partial results (and their CSV) survive a Ctrl-C. */
+    std::atomic<bool>* stopFlag = nullptr;
 };
 
 /** Outcome of one load-generation run. */

@@ -1,0 +1,161 @@
+#include "obs/fanout_stats.h"
+
+#include "util/logging.h"
+
+namespace tpc::obs {
+
+const char*
+stragglerCauseName(StragglerCause cause)
+{
+    switch (cause) {
+    case StragglerCause::kNone:
+        return "none";
+    case StragglerCause::kShardSlow:
+        return "shard_slow";
+    case StragglerCause::kShardShed:
+        return "shard_shed";
+    case StragglerCause::kHedgeWon:
+        return "hedge_won";
+    case StragglerCause::kShardTail:
+        return "shard_tail";
+    }
+    return "unknown";
+}
+
+StragglerCause
+classifyStraggler(const FanoutRecord& record)
+{
+    if (record.targetMs <= 0.0 || record.responseMs <= record.targetMs)
+        return StragglerCause::kNone;
+    // A leg with no usable reply is the severest failure: the client got
+    // a partial result no hedge or merge could repair.
+    if (record.anyDeadlineMiss)
+        return StragglerCause::kShardSlow;
+    if (record.anyShed)
+        return StragglerCause::kShardShed;
+    if (record.anyHedgeWin)
+        return StragglerCause::kHedgeWon;
+    return StragglerCause::kShardTail;
+}
+
+FanoutStatsCollector::FanoutStatsCollector(
+    std::vector<std::string> classNames, std::vector<std::string> shardNames)
+    : classNames_(std::move(classNames)), shardNames_(std::move(shardNames))
+{
+    if (classNames_.empty())
+        classNames_.push_back("all");
+    TPC_CHECK(!shardNames_.empty());
+    classes_.resize(classNames_.size());
+    for (std::size_t i = 0; i < classNames_.size(); ++i)
+        classes_[i].name = classNames_[i];
+    shards_.resize(shardNames_.size());
+    for (std::size_t i = 0; i < shardNames_.size(); ++i)
+        shards_[i].name = shardNames_[i];
+}
+
+void
+FanoutStatsCollector::record(const FanoutRecord& record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FanoutClassSnapshot& cls = classes_[clampClass(record.cls)];
+    ++cls.completions;
+    ++records_;
+    cls.responseMs.add(record.responseMs);
+    const StragglerCause cause = classifyStraggler(record);
+    if (cause != StragglerCause::kNone) {
+        ++cls.tail;
+        ++cls.causes[static_cast<std::size_t>(cause)];
+    }
+}
+
+void
+FanoutStatsCollector::recordShardLatency(std::size_t shard, double latencyMs)
+{
+    TPC_DCHECK(shard < shards_.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    FanoutShardSnapshot& s = shards_[shard];
+    ++s.replies;
+    s.latencyMs.add(latencyMs);
+}
+
+void
+FanoutStatsCollector::onHedgeIssued(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].hedgeIssued;
+}
+
+void
+FanoutStatsCollector::onHedgeWon(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].hedgeWon;
+}
+
+void
+FanoutStatsCollector::onHedgeWasted(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].hedgeWasted;
+}
+
+void
+FanoutStatsCollector::onShardShed(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].shed;
+}
+
+void
+FanoutStatsCollector::onDeadlineMiss(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].deadlineMisses;
+}
+
+void
+FanoutStatsCollector::onLateResponse(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].lateResponses;
+}
+
+void
+FanoutStatsCollector::onUnmatchedResponse()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++unmatchedResponses_;
+}
+
+void
+FanoutStatsCollector::recordClientShed(std::uint32_t cls)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++classes_[clampClass(cls)].clientShed;
+}
+
+double
+FanoutStatsCollector::shardLatencyQuantile(std::size_t shard, double q,
+                                           std::uint64_t minSamples) const
+{
+    TPC_DCHECK(shard < shards_.size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    const FanoutShardSnapshot& s = shards_[shard];
+    if (s.latencyMs.count() < minSamples)
+        return -1.0;
+    return s.latencyMs.percentile(q);
+}
+
+FanoutSnapshot
+FanoutStatsCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FanoutSnapshot snap;
+    snap.classes = classes_;
+    snap.shards = shards_;
+    snap.records = records_;
+    snap.unmatchedResponses = unmatchedResponses_;
+    return snap;
+}
+
+} // namespace tpc::obs

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cross-tier tail attribution for the partition-aggregate (fanout) tier.
+ *
+ * The aggregator's response time is the maximum over its shard calls, so
+ * explaining an aggregator tail means explaining which shard leg caused
+ * it: a shard that never answered by its deadline, a shard that shed the
+ * sub-request, or a straggler that a hedged backup request rescued too
+ * late. FanoutStatsCollector accumulates per-shard response-time
+ * histograms (the same stats::LogHistogram the hedge trigger quantile is
+ * computed from), hedge counters (issued / won / wasted), and a
+ * per-completion straggler cause from classifyStraggler() — which, like
+ * obs::classifyTail for the single-node tier, partitions every over-target
+ * completion into exactly one cause so the per-cause counts always sum to
+ * the over-target count.
+ *
+ * Recording happens on the aggregator's event-loop thread; snapshot()
+ * may be called from any thread (post-run reporting, tests), so a single
+ * mutex guards the state — there is no multi-writer contention to shard
+ * away, unlike StageStatsCollector.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace tpc::obs {
+
+/** Why an aggregated response finished over the target completion time
+ *  E. Mirrors TailCause for the single-node tier. */
+enum class StragglerCause : std::uint8_t {
+    /** Finished within target (or no target applied) — not a tail case. */
+    kNone = 0,
+    /** At least one shard produced no usable reply by the fanout
+     *  deadline; the client got a partial (or empty) result. */
+    kShardSlow = 1,
+    /** Every shard answered in time, but at least one answered BUSY —
+     *  the shard tier shed part of the query. */
+    kShardShed = 2,
+    /** Every shard reply arrived, at least one via a hedged backup that
+     *  won — the hedge saved the request but not soon enough to meet E. */
+    kHedgeWon = 3,
+    /** All shards answered normally; the slowest shard's ordinary
+     *  service-time tail simply pushed the response past E. */
+    kShardTail = 4,
+};
+
+inline constexpr std::size_t kStragglerCauseCount = 5;
+
+/** Stable lower-case name used in /statsz labels and tables. */
+const char* stragglerCauseName(StragglerCause cause);
+
+/** The per-completion facts the straggler classifier consumes. */
+struct FanoutRecord
+{
+    std::uint64_t requestId = 0;
+    /** Request class index (collector clamps to its class list). */
+    std::uint32_t cls = 0;
+    /** Client-observed aggregation time: receive -> reply (ms). */
+    double responseMs = 0.0;
+    /** Target completion time E applied at fan-out (ms); <= 0 when the
+     *  aggregator has no target table. */
+    double targetMs = 0.0;
+    /** Slowest usable shard reply, measured from fan-out (ms). */
+    double slowestShardMs = 0.0;
+    /** A shard leg produced no usable reply by the deadline. */
+    bool anyDeadlineMiss = false;
+    /** A shard leg resolved as BUSY (shed by the shard tier). */
+    bool anyShed = false;
+    /** A hedged backup request won at least one shard leg. */
+    bool anyHedgeWin = false;
+};
+
+/**
+ * Attributes one aggregated completion to a cause. Pure and
+ * deterministic; for any record with targetMs > 0 and
+ * responseMs > targetMs it returns exactly one completion cause, so
+ * summing per-cause counts reproduces the over-target count. Priority:
+ * missing shard reply, shard shed, late hedge win, ordinary shard tail.
+ */
+StragglerCause classifyStraggler(const FanoutRecord& record);
+
+/** Aggregated view of one shard (one partition leg of the fan-out). */
+struct FanoutShardSnapshot
+{
+    std::string name;
+    /** Usable (OK) replies received, primaries and backups. */
+    std::uint64_t replies = 0;
+    std::uint64_t hedgeIssued = 0;
+    /** Hedges whose backup reply won the shard leg. */
+    std::uint64_t hedgeWon = 0;
+    /** Hedges whose primary replied first (backup work discarded). */
+    std::uint64_t hedgeWasted = 0;
+    /** BUSY replies from this shard. */
+    std::uint64_t shed = 0;
+    /** Legs with no usable reply when the fanout deadline expired. */
+    std::uint64_t deadlineMisses = 0;
+    /** Replies that arrived after the leg was already settled (the
+     *  hedge loser) or after the client was answered. */
+    std::uint64_t lateResponses = 0;
+    /** Reply latency from sub-request send (the hedge trigger's input). */
+    stats::LogHistogram latencyMs;
+};
+
+/** Aggregated view of one request class at the aggregator. */
+struct FanoutClassSnapshot
+{
+    std::string name;
+    std::uint64_t completions = 0;
+    /** Completions with responseMs > targetMs (targeted requests only). */
+    std::uint64_t tail = 0;
+    /** Per-cause counts; the completion causes sum to `tail`. */
+    std::array<std::uint64_t, kStragglerCauseCount> causes{};
+    /** Client requests rejected by aggregator admission (never fanned
+     *  out; not completions, kept out of the cause sum). */
+    std::uint64_t clientShed = 0;
+    stats::LogHistogram responseMs;
+};
+
+/** Immutable merged view of the collector at one point in time. */
+struct FanoutSnapshot
+{
+    std::vector<FanoutClassSnapshot> classes;
+    std::vector<FanoutShardSnapshot> shards;
+    /** Total completions folded in across classes. */
+    std::uint64_t records = 0;
+    /** Replies that matched no outstanding sub-request at all (the
+     *  fanout was already fully settled and reclaimed). */
+    std::uint64_t unmatchedResponses = 0;
+};
+
+/**
+ * Thread-safe accumulator for the aggregator tier. All mutators take one
+ * short lock; the hedge trigger reads a shard latency quantile through
+ * the same lock (a ~700-bucket walk, event-loop cheap).
+ */
+class FanoutStatsCollector
+{
+  public:
+    /**
+     * @param classNames Request-class labels; cls indices at or past the
+     *                   end clamp to the last class. Defaults to one
+     *                   class "all".
+     * @param shardNames One label per shard of the fan-out.
+     */
+    FanoutStatsCollector(std::vector<std::string> classNames,
+                         std::vector<std::string> shardNames);
+
+    FanoutStatsCollector(const FanoutStatsCollector&) = delete;
+    FanoutStatsCollector& operator=(const FanoutStatsCollector&) = delete;
+
+    /** Folds one aggregated completion in (classifies the straggler). */
+    void record(const FanoutRecord& record);
+
+    /** Records a usable shard reply latency (feeds the hedge trigger). */
+    void recordShardLatency(std::size_t shard, double latencyMs);
+
+    void onHedgeIssued(std::size_t shard);
+    void onHedgeWon(std::size_t shard);
+    void onHedgeWasted(std::size_t shard);
+    void onShardShed(std::size_t shard);
+    void onDeadlineMiss(std::size_t shard);
+    void onLateResponse(std::size_t shard);
+    void onUnmatchedResponse();
+
+    /** Counts an aggregator-admission rejection for the class. */
+    void recordClientShed(std::uint32_t cls);
+
+    /**
+     * Approximate q-quantile of the shard's observed reply latency, or
+     * a negative value while the histogram holds fewer than @p minSamples
+     * observations (callers fall back to a configured delay).
+     */
+    double shardLatencyQuantile(std::size_t shard, double q,
+                                std::uint64_t minSamples) const;
+
+    /** Merged copy of the full state (allocates; off the hot path). */
+    FanoutSnapshot snapshot() const;
+
+    std::size_t shardCount() const { return shardNames_.size(); }
+    std::size_t classCount() const { return classNames_.size(); }
+
+  private:
+    std::uint32_t clampClass(std::uint32_t cls) const
+    {
+        const auto last =
+            static_cast<std::uint32_t>(classNames_.size() - 1);
+        return cls < last ? cls : last;
+    }
+
+    std::vector<std::string> classNames_;
+    std::vector<std::string> shardNames_;
+    mutable std::mutex mutex_;
+    std::vector<FanoutClassSnapshot> classes_;
+    std::vector<FanoutShardSnapshot> shards_;
+    std::uint64_t records_ = 0;
+    std::uint64_t unmatchedResponses_ = 0;
+};
+
+} // namespace tpc::obs

@@ -84,8 +84,128 @@ PrometheusWriter::label(const std::string& key, const std::string& value)
     return key + "=\"" + escaped + "\"";
 }
 
+namespace {
+
+/** Emits one quantile series + _count for a latency histogram. */
+void
+emitQuantiles(PrometheusWriter& w, const std::string& name,
+              const std::vector<std::string>& labels,
+              const stats::LogHistogram& histogram)
+{
+    const std::vector<double> qs = histogram.percentiles(statszQuantiles());
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+        std::vector<std::string> quantileLabels = labels;
+        quantileLabels.push_back(
+            PrometheusWriter::label("quantile", quantileLabel(i)));
+        w.sample(name, quantileLabels, qs[i]);
+    }
+    w.sample(name + "_count", labels, histogram.count());
+}
+
+/** The aggregator lane: cross-tier tail attribution of a fan-out tier. */
+void
+renderFanout(PrometheusWriter& w, const FanoutSnapshot& fanout)
+{
+    w.header("fanout_completions_total",
+             "Aggregated (fanned-out) requests answered, per class.",
+             "counter");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        w.sample("fanout_completions_total",
+                 {PrometheusWriter::label("class", c.name)}, c.completions);
+
+    w.header("fanout_tail_total",
+             "Aggregated responses finishing over the target E per class.",
+             "counter");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        w.sample("fanout_tail_total",
+                 {PrometheusWriter::label("class", c.name)}, c.tail);
+
+    w.header("fanout_straggler_cause_total",
+             "Over-target aggregated responses by attributed straggler "
+             "cause; causes partition the over-target count.",
+             "counter");
+    for (const FanoutClassSnapshot& c : fanout.classes) {
+        for (std::size_t i = 1; i < kStragglerCauseCount; ++i)
+            w.sample("fanout_straggler_cause_total",
+                     {PrometheusWriter::label("class", c.name),
+                      PrometheusWriter::label(
+                          "cause", stragglerCauseName(
+                                       static_cast<StragglerCause>(i)))},
+                     c.causes[i]);
+    }
+
+    w.header("fanout_client_shed_total",
+             "Client requests rejected by aggregator admission control.",
+             "counter");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        w.sample("fanout_client_shed_total",
+                 {PrometheusWriter::label("class", c.name)}, c.clientShed);
+
+    w.header("fanout_response_ms",
+             "Aggregated response-time quantiles per class (receive -> "
+             "merged reply).",
+             "summary");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        emitQuantiles(w, "fanout_response_ms",
+                      {PrometheusWriter::label("class", c.name)},
+                      c.responseMs);
+
+    w.header("fanout_shard_latency_ms",
+             "Per-shard reply-latency quantiles (sub-request send -> "
+             "reply; the hedge trigger's input).",
+             "summary");
+    for (const FanoutShardSnapshot& s : fanout.shards)
+        emitQuantiles(w, "fanout_shard_latency_ms",
+                      {PrometheusWriter::label("shard", s.name)},
+                      s.latencyMs);
+
+    const auto emitShardCounter =
+        [&w, &fanout](const char* name, const char* help,
+                      std::uint64_t FanoutShardSnapshot::* member) {
+            w.header(name, help, "counter");
+            for (const FanoutShardSnapshot& s : fanout.shards)
+                w.sample(name, {PrometheusWriter::label("shard", s.name)},
+                         s.*member);
+        };
+    emitShardCounter("fanout_hedge_issued_total",
+                     "Hedged backup sub-requests issued.",
+                     &FanoutShardSnapshot::hedgeIssued);
+    emitShardCounter("fanout_hedge_won_total",
+                     "Hedges whose backup reply won the shard leg.",
+                     &FanoutShardSnapshot::hedgeWon);
+    emitShardCounter("fanout_hedge_wasted_total",
+                     "Hedges whose primary replied first.",
+                     &FanoutShardSnapshot::hedgeWasted);
+    emitShardCounter("fanout_shard_shed_total",
+                     "BUSY replies received from the shard.",
+                     &FanoutShardSnapshot::shed);
+    emitShardCounter("fanout_shard_deadline_miss_total",
+                     "Shard legs with no usable reply at the fanout "
+                     "deadline.",
+                     &FanoutShardSnapshot::deadlineMisses);
+    emitShardCounter("fanout_shard_late_total",
+                     "Replies arriving after the leg was settled or the "
+                     "client answered (hedge losers, post-deadline).",
+                     &FanoutShardSnapshot::lateResponses);
+
+    w.header("fanout_unmatched_responses_total",
+             "Replies matching no live fan-out (already reclaimed).",
+             "counter");
+    w.sample("fanout_unmatched_responses_total", {},
+             fanout.unmatchedResponses);
+}
+
+} // namespace
+
 std::string
 renderStatsz(const StatszInfo& info, const StageSnapshot* stages)
+{
+    return renderStatsz(info, stages, nullptr);
+}
+
+std::string
+renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
+             const FanoutSnapshot* fanout)
 {
     PrometheusWriter w;
 
@@ -143,8 +263,11 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages)
                      entry.targetMs);
     }
 
-    if (stages == nullptr)
+    if (stages == nullptr) {
+        if (fanout != nullptr)
+            renderFanout(w, *fanout);
         return w.take();
+    }
 
     w.header("tpc_completions_total", "Completed requests per class.",
              "counter");
@@ -237,6 +360,8 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages)
             tailCauseName(classifyTail(e)));
         w.raw(line);
     }
+    if (fanout != nullptr)
+        renderFanout(w, *fanout);
     return w.take();
 }
 

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/fanout_stats.h"
 #include "obs/stage_stats.h"
 
 namespace tpc::obs {
@@ -94,5 +95,14 @@ class PrometheusWriter
  */
 std::string renderStatsz(const StatszInfo& info,
                          const StageSnapshot* stages);
+
+/**
+ * Same, with an aggregator lane appended when @p fanout is non-null:
+ * per-shard reply-latency quantiles, hedge counters (issued/won/wasted),
+ * and straggler-cause attribution, so /statsz on an aggregator explains
+ * cross-tier tails the same way it explains single-node ones.
+ */
+std::string renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
+                         const FanoutSnapshot* fanout);
 
 } // namespace tpc::obs

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the partition-aggregate fan-out tier: top-k merge layout,
+ * straggler-cause classification, the fanout stats collector's quantile
+ * gate, and loopback end-to-end topologies (aggregator over four
+ * in-process shard servers) showing that hedged backup requests bound
+ * the tail inflation caused by one intermittently stalled shard.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fanout/aggregator.h"
+#include "fanout/merge.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "net/statsz_client.h"
+#include "obs/fanout_stats.h"
+#include "obs/metrics.h"
+#include "policy/baselines.h"
+#include "server/threaded_server.h"
+
+namespace tpc::fanout {
+namespace {
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+TEST(MergeTopK, MergesDescendingAcrossShards)
+{
+    std::vector<ShardReply> replies(2);
+    net::appendU64(replies[0].payload, 10);
+    net::appendU64(replies[0].payload, 30);
+    net::appendU64(replies[1].payload, 20);
+    net::appendU64(replies[1].payload, 40);
+
+    std::vector<std::uint8_t> out;
+    mergeTopK(replies, 3, out);
+
+    std::uint64_t shards = 0, candidates = 0, k = 0;
+    ASSERT_TRUE(net::readU64(out, 0, &shards));
+    ASSERT_TRUE(net::readU64(out, 8, &candidates));
+    ASSERT_TRUE(net::readU64(out, 16, &k));
+    EXPECT_EQ(shards, 2u);
+    EXPECT_EQ(candidates, 4u);
+    ASSERT_EQ(k, 3u);
+    std::uint64_t a = 0, b = 0, c = 0;
+    ASSERT_TRUE(net::readU64(out, 24, &a));
+    ASSERT_TRUE(net::readU64(out, 32, &b));
+    ASSERT_TRUE(net::readU64(out, 40, &c));
+    EXPECT_EQ(a, 40u);
+    EXPECT_EQ(b, 30u);
+    EXPECT_EQ(c, 20u);
+    EXPECT_EQ(out.size(), 24u + 3 * 8u);
+}
+
+TEST(MergeTopK, ClampsKAndIgnoresTrailingPartialEntry)
+{
+    std::vector<ShardReply> replies(1);
+    net::appendU64(replies[0].payload, 7);
+    // A truncated trailing entry must not become a candidate.
+    replies[0].payload.push_back(0xff);
+
+    std::vector<std::uint8_t> out;
+    mergeTopK(replies, 10, out);
+
+    std::uint64_t shards = 0, candidates = 0, k = 0;
+    ASSERT_TRUE(net::readU64(out, 0, &shards));
+    ASSERT_TRUE(net::readU64(out, 8, &candidates));
+    ASSERT_TRUE(net::readU64(out, 16, &k));
+    EXPECT_EQ(shards, 1u);
+    EXPECT_EQ(candidates, 1u);
+    EXPECT_EQ(k, 1u);
+    std::uint64_t top = 0;
+    ASSERT_TRUE(net::readU64(out, 24, &top));
+    EXPECT_EQ(top, 7u);
+}
+
+TEST(MergeTopK, EmptyReplySetYieldsEmptyHeader)
+{
+    std::vector<std::uint8_t> out;
+    mergeTopK({}, 5, out);
+    std::uint64_t shards = 9, candidates = 9, k = 9;
+    ASSERT_TRUE(net::readU64(out, 0, &shards));
+    ASSERT_TRUE(net::readU64(out, 8, &candidates));
+    ASSERT_TRUE(net::readU64(out, 16, &k));
+    EXPECT_EQ(shards, 0u);
+    EXPECT_EQ(candidates, 0u);
+    EXPECT_EQ(k, 0u);
+}
+
+TEST(ClassifyStraggler, PartitionsEveryOverTargetCompletion)
+{
+    obs::FanoutRecord record;
+    record.responseMs = 10.0;
+    record.targetMs = 50.0;
+    EXPECT_EQ(classifyStraggler(record), obs::StragglerCause::kNone);
+
+    record.responseMs = 80.0;
+    EXPECT_EQ(classifyStraggler(record), obs::StragglerCause::kShardTail);
+
+    record.anyHedgeWin = true;
+    EXPECT_EQ(classifyStraggler(record), obs::StragglerCause::kHedgeWon);
+
+    record.anyShed = true;
+    EXPECT_EQ(classifyStraggler(record), obs::StragglerCause::kShardShed);
+
+    // A leg that never produced a usable reply dominates everything.
+    record.anyDeadlineMiss = true;
+    EXPECT_EQ(classifyStraggler(record), obs::StragglerCause::kShardSlow);
+}
+
+TEST(FanoutStatsCollector, QuantileGatedOnMinSamples)
+{
+    obs::FanoutStatsCollector collector({}, {"s0"});
+    for (int i = 0; i < 10; ++i)
+        collector.recordShardLatency(0, 5.0);
+    EXPECT_LT(collector.shardLatencyQuantile(0, 0.9, 32), 0.0);
+    for (int i = 0; i < 30; ++i)
+        collector.recordShardLatency(0, 5.0);
+    EXPECT_GT(collector.shardLatencyQuantile(0, 0.9, 32), 0.0);
+}
+
+TEST(FanoutStatsCollector, CauseCountersSumToTail)
+{
+    obs::FanoutStatsCollector collector({"web"}, {"s0", "s1"});
+    obs::FanoutRecord record;
+    record.targetMs = 50.0;
+    record.responseMs = 10.0;
+    collector.record(record); // under target
+    record.responseMs = 90.0;
+    collector.record(record); // shard_tail
+    record.anyHedgeWin = true;
+    collector.record(record); // hedge_won
+    record.anyDeadlineMiss = true;
+    collector.record(record); // shard_slow
+
+    const obs::FanoutSnapshot snap = collector.snapshot();
+    ASSERT_EQ(snap.classes.size(), 1u);
+    const obs::FanoutClassSnapshot& cls = snap.classes[0];
+    EXPECT_EQ(cls.completions, 4u);
+    EXPECT_EQ(cls.tail, 3u);
+    std::uint64_t causeSum = 0;
+    for (std::size_t c = 1; c < obs::kStragglerCauseCount; ++c)
+        causeSum += cls.causes[c];
+    EXPECT_EQ(causeSum, cls.tail);
+    EXPECT_EQ(cls.causes[static_cast<int>(obs::StragglerCause::kShardSlow)],
+              1u);
+    EXPECT_EQ(cls.causes[static_cast<int>(obs::StragglerCause::kHedgeWon)],
+              1u);
+}
+
+/** One in-process shard: a plain RpcServer + ThreadedServer leaf whose
+ *  handler burns taskMs, optionally sleeping stallMs on every
+ *  stallEveryN-th sequence number (an intermittently stalled shard). */
+class ShardProcess
+{
+  public:
+    ShardProcess(double taskMs, std::uint64_t stallEveryN, double stallMs)
+        : threaded_(shardConfig(), policy_),
+          rpc_(rpcConfig(), threaded_,
+               [taskMs, stallEveryN, stallMs](
+                   const net::Frame& request,
+                   std::vector<std::uint8_t>& responsePayload) {
+                   std::uint64_t seq = 0;
+                   net::readU64(request.payload, 0, &seq);
+                   const bool stall =
+                       stallEveryN > 0 && seq % stallEveryN == 0;
+                   server::ThreadedJob job;
+                   job.predictedMs = taskMs;
+                   job.numTasks = 1;
+                   job.task = [taskMs, stall, stallMs](int) {
+                       if (stall)
+                           std::this_thread::sleep_for(
+                               std::chrono::duration<double, std::milli>(
+                                   stallMs));
+                       busyWaitMs(taskMs);
+                   };
+                   job.postamble = [seq, &responsePayload] {
+                       net::appendU64(responsePayload, seq);
+                   };
+                   return job;
+               })
+    {
+        loop_ = std::thread([this] { rpc_.run(); });
+    }
+
+    ~ShardProcess() { stop(); }
+
+    void stop()
+    {
+        if (loop_.joinable()) {
+            rpc_.requestStop();
+            loop_.join();
+        }
+    }
+
+    std::uint16_t port() const { return rpc_.port(); }
+
+  private:
+    static server::ThreadedServerConfig shardConfig()
+    {
+        server::ThreadedServerConfig config;
+        config.numWorkers = 8;
+        config.hwContexts = 8;
+        return config;
+    }
+
+    static net::RpcServerConfig rpcConfig()
+    {
+        net::RpcServerConfig config;
+        config.port = 0;
+        config.admission = net::AdmissionLimits{4096, 4096};
+        return config;
+    }
+
+    policy::SequentialPolicy policy_;
+    server::ThreadedServer threaded_;
+    net::RpcServer rpc_;
+    std::thread loop_;
+};
+
+struct ScenarioResult
+{
+    net::LoadGenResult load;
+    obs::FanoutSnapshot snap;
+    AggregatorStats stats;
+    std::string statszText;
+};
+
+/** Runs loadgen against an aggregator over four in-process shards.
+ *  When stallShard0 is set, shard 0 sleeps 200 ms on every 16th request
+ *  (~6 % of its legs — far above p99, well below the hedge-trigger
+ *  quantile). Hedging uses ring replicas, so shard 0's backup lands on
+ *  the healthy shard 1 server. */
+ScenarioResult
+runScenario(bool stallShard0, bool hedge, std::uint64_t requests,
+            obs::MetricsRegistry* metrics = nullptr)
+{
+    constexpr int kShards = 4;
+    std::vector<std::unique_ptr<ShardProcess>> shards;
+    for (int i = 0; i < kShards; ++i)
+        shards.push_back(std::make_unique<ShardProcess>(
+            /*taskMs=*/0.2,
+            /*stallEveryN=*/(stallShard0 && i == 0) ? 16 : 0,
+            /*stallMs=*/200.0));
+
+    AggregatorConfig config;
+    config.port = 0;
+    config.shards.resize(kShards);
+    for (int i = 0; i < kShards; ++i) {
+        config.shards[i].primary.port = shards[i]->port();
+        if (hedge)
+            config.shards[i].replica.port =
+                shards[(i + 1) % kShards]->port();
+    }
+    config.hedge.enabled = hedge;
+    config.hedge.quantile = 0.9;
+    config.hedge.minSamples = 16;
+    config.hedge.fallbackDelayMs = 15.0;
+    config.targetTable = {{1e9, 50.0}};
+    config.deadlineFactor = 8.0; // 400 ms deadline: stalls finish, late.
+    config.classNames = {"web"};
+
+    AggregatorServer aggregator(config);
+    if (metrics != nullptr)
+        aggregator.attachMetrics(metrics);
+    std::thread loop([&aggregator] { aggregator.run(); });
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = aggregator.port();
+    loadConfig.qps = 150.0;
+    loadConfig.numRequests = requests;
+    loadConfig.connections = 4;
+    loadConfig.seed = 23;
+
+    ScenarioResult result;
+    result.load = net::runLoadGen(loadConfig);
+    result.statszText = aggregator.renderStatszText();
+    aggregator.requestStop();
+    loop.join();
+    result.snap = aggregator.collector().snapshot();
+    result.stats = aggregator.stats();
+    return result;
+}
+
+std::uint64_t
+totalHedgeWins(const obs::FanoutSnapshot& snap)
+{
+    std::uint64_t wins = 0;
+    for (const obs::FanoutShardSnapshot& shard : snap.shards)
+        wins += shard.hedgeWon;
+    return wins;
+}
+
+TEST(AggregatorLoopback, CompletesAndAttributesEveryRequest)
+{
+    const ScenarioResult r =
+        runScenario(/*stallShard0=*/false, /*hedge=*/false, 200);
+
+    EXPECT_EQ(r.load.sent, 200u);
+    EXPECT_EQ(r.load.completed, 200u);
+    EXPECT_EQ(r.load.shed, 0u);
+    EXPECT_EQ(r.load.errors, 0u);
+    EXPECT_EQ(r.stats.protocolErrors, 0u);
+
+    // Every completion is recorded with its straggler attribution, and
+    // the per-class cause counters partition exactly the over-target set.
+    ASSERT_FALSE(r.snap.classes.empty());
+    std::uint64_t completions = 0;
+    for (const obs::FanoutClassSnapshot& cls : r.snap.classes) {
+        completions += cls.completions;
+        std::uint64_t causeSum = 0;
+        for (std::size_t c = 1; c < obs::kStragglerCauseCount; ++c)
+            causeSum += cls.causes[c];
+        EXPECT_EQ(causeSum, cls.tail) << "class " << cls.name;
+    }
+    EXPECT_EQ(completions, 200u);
+
+    // All four shard legs answered every fanout.
+    ASSERT_EQ(r.snap.shards.size(), 4u);
+    for (const obs::FanoutShardSnapshot& shard : r.snap.shards)
+        EXPECT_EQ(shard.replies, 200u) << shard.name;
+
+    // The aggregator's own /statsz text carries the fanout lane.
+    EXPECT_NE(r.statszText.find("fanout_completions_total"),
+              std::string::npos);
+    EXPECT_NE(r.statszText.find("fanout_shard_latency_ms"),
+              std::string::npos);
+    EXPECT_NE(r.statszText.find("fanout_hedge_issued_total"),
+              std::string::npos);
+    EXPECT_NE(r.statszText.find("fanout_straggler_cause_total"),
+              std::string::npos);
+}
+
+TEST(AggregatorLoopback, StatszServedInlineOverTheWire)
+{
+    ShardProcess shard(/*taskMs=*/0.2, 0, 0.0);
+    AggregatorConfig config;
+    config.shards.resize(1);
+    config.shards[0].primary.port = shard.port();
+    AggregatorServer aggregator(config);
+    std::thread loop([&aggregator] { aggregator.run(); });
+
+    const net::StatszResult statsz =
+        net::fetchStatsz("127.0.0.1", aggregator.port(), 2000.0);
+    aggregator.requestStop();
+    loop.join();
+
+    ASSERT_TRUE(statsz.ok) << statsz.error;
+    EXPECT_NE(statsz.text.find("fanout_completions_total"),
+              std::string::npos);
+    EXPECT_EQ(aggregator.stats().statszServed, 1u);
+}
+
+// The acceptance experiment: one shard intermittently stalled 200 ms.
+// Without hedging the aggregator inherits the stall at p99; with hedged
+// backups on the ring replica, p99 stays within 2x the unstalled
+// baseline (floored for slow sanitizer machines) and hedge wins appear
+// in the attribution.
+TEST(AggregatorLoopback, HedgingBoundsTailUnderStalledShard)
+{
+    const ScenarioResult baseline =
+        runScenario(/*stallShard0=*/false, /*hedge=*/false, 400);
+    const ScenarioResult noHedge =
+        runScenario(/*stallShard0=*/true, /*hedge=*/false, 400);
+    obs::MetricsRegistry metrics;
+    const ScenarioResult hedged =
+        runScenario(/*stallShard0=*/true, /*hedge=*/true, 400, &metrics);
+
+    ASSERT_GT(baseline.load.completed, 0u);
+    ASSERT_GT(noHedge.load.completed, 0u);
+    ASSERT_GT(hedged.load.completed, 0u);
+
+    const double p99Base = baseline.load.summary().p99;
+    const double p99NoHedge = noHedge.load.summary().p99;
+    const double p99Hedged = hedged.load.summary().p99;
+
+    // ~6% of shard-0 legs sleep 200 ms, so the unhedged aggregator p99
+    // must absorb the stall...
+    EXPECT_GE(p99NoHedge, 150.0)
+        << "stall did not reach the aggregator tail";
+    // ...while hedging detaches the tail from the sick shard.
+    EXPECT_LE(p99Hedged, std::max(2.0 * p99Base, 80.0))
+        << "p99 base=" << p99Base << " noHedge=" << p99NoHedge;
+    EXPECT_LT(p99Hedged, p99NoHedge / 1.5);
+
+    EXPECT_GT(totalHedgeWins(hedged.snap), 0u);
+    EXPECT_EQ(totalHedgeWins(noHedge.snap), 0u);
+
+    // Attribution stays a partition of the over-target set even with
+    // hedges, late losers, and duplicate replies in play.
+    for (const obs::FanoutClassSnapshot& cls : hedged.snap.classes) {
+        std::uint64_t causeSum = 0;
+        for (std::size_t c = 1; c < obs::kStragglerCauseCount; ++c)
+            causeSum += cls.causes[c];
+        EXPECT_EQ(causeSum, cls.tail) << "class " << cls.name;
+    }
+
+    // Hedge counters flow into the metrics registry (and thus the CSV
+    // snapshot columns).
+    std::uint64_t issued = 0, won = 0;
+    for (const obs::FanoutShardSnapshot& shard : hedged.snap.shards) {
+        issued += shard.hedgeIssued;
+        won += shard.hedgeWon;
+    }
+    EXPECT_EQ(metrics.counter("fanout_hedge_issued").value(), issued);
+    EXPECT_EQ(metrics.counter("fanout_hedge_won").value(), won);
+    EXPECT_GE(issued, won);
+}
+
+} // namespace
+} // namespace tpc::fanout

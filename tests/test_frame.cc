@@ -286,6 +286,110 @@ TEST(Frame, FuzzReaderOnChunkedMixOfValidAndCorruptStreams)
     }
 }
 
+TEST(FrameReader, ToleratesDuplicateResponsesForSameRequestId)
+{
+    // A hedged fan-out can legitimately put two responses with the SAME
+    // request id on one connection (primary and backup both answer).
+    // The framing layer must surface both verbatim — deduplication is
+    // the aggregator's job, not the reader's.
+    Frame response;
+    response.type = FrameType::kResponse;
+    response.requestId = 77;
+    std::vector<std::uint8_t> wire;
+    appendU64(response.payload, 11);
+    encodeFrame(response, wire);
+    response.payload.clear();
+    appendU64(response.payload, 22);
+    encodeFrame(response, wire);
+
+    FrameReader reader;
+    reader.append(wire.data(), wire.size());
+    Frame frame;
+    std::vector<std::uint64_t> values;
+    while (reader.next(&frame)) {
+        EXPECT_EQ(frame.requestId, 77u);
+        std::uint64_t value = 0;
+        ASSERT_TRUE(readU64(frame.payload, 0, &value));
+        values.push_back(value);
+    }
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_EQ(values[0], 11u);
+    EXPECT_EQ(values[1], 22u);
+    EXPECT_FALSE(reader.broken());
+}
+
+TEST(FrameReader, InterleavesStatszFramesWithDataFrames)
+{
+    // An admin /statsz probe answered inline shares the connection with
+    // in-flight data responses; the reader must keep the two frame
+    // families ordered and intact.
+    std::vector<std::uint8_t> wire;
+    encodeFrame(makeRequest(1, 8), wire);
+    Frame dump;
+    dump.type = FrameType::kStatsResponse;
+    dump.requestId = 99;
+    const std::string text = "tpc_up{instance=\"t\"} 1\n";
+    dump.payload.assign(text.begin(), text.end());
+    encodeFrame(dump, wire);
+    encodeFrame(makeRequest(2, 4), wire);
+
+    FrameReader reader;
+    // Feed in awkward chunks so a statsz frame straddles append calls.
+    std::size_t offset = 0;
+    std::vector<Frame> frames;
+    Frame frame;
+    while (offset < wire.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(13, wire.size() - offset);
+        reader.append(wire.data() + offset, chunk);
+        offset += chunk;
+        while (reader.next(&frame))
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::kRequest);
+    EXPECT_EQ(frames[0].requestId, 1u);
+    EXPECT_EQ(frames[1].type, FrameType::kStatsResponse);
+    const std::string back(frames[1].payload.begin(),
+                           frames[1].payload.end());
+    EXPECT_EQ(back, text);
+    EXPECT_EQ(frames[2].type, FrameType::kRequest);
+    EXPECT_EQ(frames[2].requestId, 2u);
+    EXPECT_FALSE(reader.broken());
+}
+
+TEST(FrameReader, TruncatedTrailingFrameOnCloseIsNotAnError)
+{
+    // A peer that dies mid-frame leaves a truncated tail in the buffer.
+    // The complete frames before it must all have been yielded, and the
+    // partial one must neither surface as a frame nor latch broken() —
+    // the connection teardown path decides what to do with the stub.
+    std::vector<std::uint8_t> wire;
+    encodeFrame(makeRequest(1, 12), wire);
+    encodeFrame(makeRequest(2, 40), wire);
+    const std::size_t cut = wire.size() - 17; // mid-payload of frame 2
+
+    FrameReader reader;
+    reader.append(wire.data(), cut);
+    Frame frame;
+    std::vector<Frame> frames;
+    while (reader.next(&frame))
+        frames.push_back(frame);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].requestId, 1u);
+    EXPECT_FALSE(reader.broken());
+    EXPECT_GT(reader.buffered(), 0u); // the stub stays buffered
+
+    // Same with the cut inside the trailing header.
+    FrameReader reader2;
+    reader2.append(wire.data(), frameSize(12) + kHeaderSize / 2);
+    int yielded = 0;
+    while (reader2.next(&frame))
+        ++yielded;
+    EXPECT_EQ(yielded, 1);
+    EXPECT_FALSE(reader2.broken());
+}
+
 TEST(Frame, PayloadU64Helpers)
 {
     std::vector<std::uint8_t> payload;
