@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Fault-recovery sweep: aggregator p99 and availability vs. fault rate,
+ * with the recovery machinery (circuit breaker + partial results) on and
+ * off under the *same* seeded fault schedule.
+ *
+ * Topology: four in-process shard leaves behind one AggregatorServer,
+ * driven by the open-loop load generator. Shard 0 carries a FaultInjector
+ * whose schedule crashes and restarts it `cycles` times during the run
+ * (each outage lasts kOutageMs). Fault rate is swept as cycles per run;
+ * the schedule string and seed are identical for the recovery-on and
+ * recovery-off variants, so both see the same fault timeline.
+ *
+ *   recovery on:  allowPartial + breaker (threshold 3, 50 ms reconnect,
+ *                 400 ms max backoff) — outages degrade coverage.
+ *   recovery off: no partial results and an unreachable breaker
+ *                 threshold — outages turn into client-visible errors.
+ *
+ * Two latency views are reported: `p99_ok` over completions only, and
+ * `p99_eff` over an effective distribution where every non-completed
+ * request (error / failed / unanswered) is charged the fan-out deadline —
+ * the retry cost a client actually pays for a failure. Availability is
+ * completed/sent (degraded merges count: the client got results).
+ *
+ * Writes results/fault_recovery.csv. Exits nonzero if recovery-on fails
+ * to strictly dominate recovery-off (availability and p99_eff) at any
+ * nonzero fault rate.
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fanout/aggregator.h"
+#include "faults/fault_injector.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "obs/fanout_stats.h"
+#include "policy/baselines.h"
+#include "server/threaded_server.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace tpc;
+
+constexpr double kTaskMs = 0.2;
+constexpr double kQps = 200.0;
+constexpr std::uint64_t kRequests = 600;
+constexpr double kTargetMs = 50.0;
+constexpr double kDeadlineFactor = 2.0; // fan-out deadline: 100 ms
+constexpr double kOutageMs = 400.0;
+constexpr double kCycleMs = 600.0;
+constexpr double kFirstCrashMs = 300.0;
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+/** crash@t;restart@t+outage, repeated `cycles` times. Empty when 0. */
+std::string
+crashSchedule(int cycles)
+{
+    std::string spec;
+    char buf[64];
+    for (int k = 0; k < cycles; ++k) {
+        const double crashAt = kFirstCrashMs + k * kCycleMs;
+        std::snprintf(buf, sizeof(buf), "crash@%g;restart@%g", crashAt,
+                      crashAt + kOutageMs);
+        if (!spec.empty())
+            spec += ';';
+        spec += buf;
+    }
+    return spec;
+}
+
+/** In-process shard leaf; optionally carries a seeded fault injector. */
+class ShardProcess
+{
+  public:
+    ShardProcess(const std::string& faultSpec, std::uint64_t faultSeed)
+        : threaded_(shardConfig(), policy_),
+          rpc_(rpcConfig(), threaded_,
+               [](const net::Frame& request,
+                  std::vector<std::uint8_t>& responsePayload) {
+                   std::uint64_t seq = 0;
+                   net::readU64(request.payload, 0, &seq);
+                   server::ThreadedJob job;
+                   job.predictedMs = kTaskMs;
+                   job.numTasks = 1;
+                   job.task = [](int) { busyWaitMs(kTaskMs); };
+                   job.postamble = [seq, &responsePayload] {
+                       net::appendU64(responsePayload, seq);
+                   };
+                   return job;
+               })
+    {
+        if (!faultSpec.empty()) {
+            faults::FaultSchedule schedule;
+            std::string error;
+            if (!faults::parseFaultSpec(faultSpec, &schedule, &error)) {
+                std::fprintf(stderr, "bad fault spec: %s\n", error.c_str());
+                std::abort();
+            }
+            injector_ = std::make_unique<faults::FaultInjector>(
+                std::move(schedule), faultSeed);
+            rpc_.attachFaults(injector_.get());
+        }
+        loop_ = std::thread([this] { rpc_.run(); });
+    }
+
+    ~ShardProcess()
+    {
+        rpc_.requestStop();
+        loop_.join();
+    }
+
+    std::uint16_t port() const { return rpc_.port(); }
+    std::uint64_t faultsInjected() const
+    {
+        return rpc_.stats().faultsInjected;
+    }
+
+  private:
+    static server::ThreadedServerConfig shardConfig()
+    {
+        server::ThreadedServerConfig config;
+        config.numWorkers = 4;
+        config.hwContexts = 4;
+        return config;
+    }
+
+    static net::RpcServerConfig rpcConfig()
+    {
+        net::RpcServerConfig config;
+        config.port = 0;
+        config.admission = net::AdmissionLimits{4096, 4096};
+        return config;
+    }
+
+    policy::SequentialPolicy policy_;
+    server::ThreadedServer threaded_;
+    net::RpcServer rpc_;
+    std::unique_ptr<faults::FaultInjector> injector_;
+    std::thread loop_;
+};
+
+struct RunResult
+{
+    net::LoadGenResult load;
+    fanout::AggregatorStats stats;
+    std::uint64_t reconnects = 0;
+    std::uint64_t faultsInjected = 0;
+};
+
+RunResult
+runSweepPoint(int cycles, bool recovery)
+{
+    constexpr int kShards = 4;
+    const std::string spec = crashSchedule(cycles);
+
+    std::vector<std::unique_ptr<ShardProcess>> shards;
+    for (int i = 0; i < kShards; ++i)
+        shards.push_back(std::make_unique<ShardProcess>(
+            i == 0 ? spec : std::string(), /*faultSeed=*/1));
+
+    fanout::AggregatorConfig config;
+    config.shards.resize(kShards);
+    for (int i = 0; i < kShards; ++i)
+        config.shards[i].primary.port = shards[i]->port();
+    config.targetTable = {{1e9, kTargetMs}};
+    config.deadlineFactor = kDeadlineFactor;
+    config.reconnectDelayMs = 50.0;
+    if (recovery) {
+        config.allowPartial = true;
+        config.breakerFailureThreshold = 3;
+        config.breakerMaxBackoffMs = 400.0;
+    } else {
+        // No degradation, and a threshold the run can never reach: every
+        // request keeps hammering the dead shard at full deadline cost.
+        config.allowPartial = false;
+        config.breakerFailureThreshold = 1 << 30;
+    }
+
+    fanout::AggregatorServer aggregator(config);
+    std::thread loop([&aggregator] { aggregator.run(); });
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = aggregator.port();
+    loadConfig.qps = kQps;
+    loadConfig.numRequests = kRequests;
+    loadConfig.connections = 4;
+    loadConfig.seed = 7;
+    loadConfig.reconnectDelayMs = 50.0;
+
+    RunResult result;
+    result.load = net::runLoadGen(loadConfig);
+    aggregator.requestStop();
+    loop.join();
+    result.stats = aggregator.stats();
+    for (const obs::FanoutBreakerSnapshot& breaker :
+         aggregator.collector().snapshot().breakers)
+        result.reconnects += breaker.reconnects;
+    result.faultsInjected = shards[0]->faultsInjected();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::CsvWriter csv("results/fault_recovery.csv");
+    csv.writeRow(std::vector<std::string>{
+        "fault_cycles", "recovery", "sent", "ok", "degraded", "errors",
+        "failed", "unanswered", "availability", "p99_ok", "p99_eff",
+        "breaker_opened", "breaker_closed", "reconnects",
+        "faults_injected"});
+
+    bool dominates = true;
+    for (const int cycles : {0, 1, 2, 4}) {
+        double availability[2] = {0.0, 0.0};
+        double p99Eff[2] = {0.0, 0.0};
+        for (const bool recovery : {false, true}) {
+            const RunResult r = runSweepPoint(cycles, recovery);
+            const double avail =
+                r.load.sent == 0
+                    ? 0.0
+                    : static_cast<double>(r.load.completed) /
+                          static_cast<double>(r.load.sent);
+            // Effective latency: charge every non-completed request the
+            // fan-out deadline (the client's cost of a retry).
+            stats::LatencyRecorder effective = r.load.latency;
+            const std::uint64_t penalized =
+                r.load.sent - r.load.completed - r.load.shed;
+            for (std::uint64_t i = 0; i < penalized; ++i)
+                effective.add(kTargetMs * kDeadlineFactor);
+            const double p99Ok = r.load.latency.percentile(0.99);
+            const double p99Effective = effective.percentile(0.99);
+            availability[recovery ? 1 : 0] = avail;
+            p99Eff[recovery ? 1 : 0] = p99Effective;
+
+            csv.writeRow(std::vector<double>{
+                static_cast<double>(cycles), recovery ? 1.0 : 0.0,
+                static_cast<double>(r.load.sent),
+                static_cast<double>(r.load.completed),
+                static_cast<double>(r.load.degraded),
+                static_cast<double>(r.load.errors),
+                static_cast<double>(r.load.failed),
+                static_cast<double>(r.load.unanswered), avail, p99Ok,
+                p99Effective, static_cast<double>(r.stats.breakerOpened),
+                static_cast<double>(r.stats.breakerClosed),
+                static_cast<double>(r.reconnects),
+                static_cast<double>(r.faultsInjected)});
+            csv.flush();
+            std::printf("cycles=%d recovery=%d: avail=%.4f p99_ok=%.2f "
+                        "p99_eff=%.2f degraded=%llu errors=%llu\n",
+                        cycles, recovery ? 1 : 0, avail, p99Ok,
+                        p99Effective,
+                        static_cast<unsigned long long>(r.load.degraded),
+                        static_cast<unsigned long long>(r.load.errors));
+            std::fflush(stdout);
+        }
+        if (cycles > 0 &&
+            (availability[1] <= availability[0] || p99Eff[1] >= p99Eff[0])) {
+            std::printf("DOMINANCE VIOLATION at cycles=%d: "
+                        "avail on/off %.4f/%.4f, p99_eff on/off "
+                        "%.2f/%.2f\n",
+                        cycles, availability[1], availability[0], p99Eff[1],
+                        p99Eff[0]);
+            dominates = false;
+        }
+    }
+    std::printf("wrote %s (recovery-on dominates: %s)\n", csv.path().c_str(),
+                dominates ? "yes" : "NO");
+    return dominates ? 0 : 1;
+}

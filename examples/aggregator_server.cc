@@ -11,6 +11,16 @@
  *       [--hedge-fallback-ms=0] [--targets=web|finance|none]
  *       [--target-ms=100] [--deadline-factor=4] [--top-k=10]
  *       [--max-in-flight=256] [--metrics-out=metrics.csv]
+ *       [--breaker-threshold=3] [--breaker-max-backoff-ms=2000]
+ *       [--reconnect-delay-ms=100] [--no-partial]
+ *
+ * Failure recovery: each shard endpoint sits behind a circuit breaker
+ * (trip after --breaker-threshold consecutive failures, exponential
+ * reconnect backoff capped at --breaker-max-backoff-ms, half-open
+ * probes). Queries fanned out while some shards are down are answered
+ * from the survivors with coverage marked in the response frame;
+ * --no-partial disables that degradation (missing shards fail the whole
+ * query — the recovery-off baseline).
  *
  * Shards are host:port or bare ports (loopback assumed). With --hedge
  * and no --replicas, replicas default to a ring: shard i's backup is
@@ -96,7 +106,8 @@ main(int argc, char** argv)
         {"listen", "shards", "replicas", "hedge", "hedge-quantile",
          "hedge-min-samples", "hedge-fallback-ms", "targets", "target-ms",
          "deadline-factor", "top-k", "max-in-flight", "linger-ms",
-         "metrics-out"});
+         "metrics-out", "breaker-threshold", "breaker-max-backoff-ms",
+         "reconnect-delay-ms", "no-partial"});
 
     const std::string shardsArg = args.getString("shards", "");
     if (shardsArg.empty()) {
@@ -132,6 +143,12 @@ main(int argc, char** argv)
     config.topK = static_cast<std::size_t>(args.getInt("top-k", 10));
     config.maxInFlight = static_cast<int>(args.getInt("max-in-flight", 256));
     config.lingerMs = args.getDouble("linger-ms", 1000.0);
+    config.breakerFailureThreshold =
+        static_cast<int>(args.getInt("breaker-threshold", 3));
+    config.breakerMaxBackoffMs =
+        args.getDouble("breaker-max-backoff-ms", 2000.0);
+    config.reconnectDelayMs = args.getDouble("reconnect-delay-ms", 100.0);
+    config.allowPartial = !args.has("no-partial");
 
     // The deadline table comes from the serving policy's own
     // introspection, so the aggregator and the leaf tier share one
@@ -184,13 +201,16 @@ main(int argc, char** argv)
 
     const fanout::AggregatorStats stats = server.stats();
     util::TablePrinter table("aggregator_server: partition-aggregate run");
-    table.setHeader({"accepted", "shed", "responses", "busy", "proto_err",
-                     "statsz"});
+    table.setHeader({"accepted", "shed", "responses", "degraded", "busy",
+                     "proto_err", "brk_open", "brk_close", "statsz"});
     table.addRow({std::to_string(server.admission().accepted()),
                   std::to_string(server.admission().shed()),
                   std::to_string(stats.responsesSent),
+                  std::to_string(stats.degradedResponses),
                   std::to_string(stats.busySent),
                   std::to_string(stats.protocolErrors),
+                  std::to_string(stats.breakerOpened),
+                  std::to_string(stats.breakerClosed),
                   std::to_string(stats.statszServed)});
     table.print();
 
@@ -210,6 +230,23 @@ main(int argc, char** argv)
              std::to_string(s.lateResponses)});
     }
     shardTable.print();
+
+    if (!snap.breakers.empty()) {
+        util::TablePrinter breakerTable("per-endpoint circuit breakers");
+        breakerTable.setHeader({"endpoint", "state", "opened", "probes",
+                                "closed", "reconnects", "backoff_ms"});
+        for (const obs::FanoutBreakerSnapshot& b : snap.breakers) {
+            const char* state = b.state == 1   ? "open"
+                                : b.state == 2 ? "half-open"
+                                               : "closed";
+            breakerTable.addRow({b.endpoint, state, std::to_string(b.opened),
+                                 std::to_string(b.probes),
+                                 std::to_string(b.closed),
+                                 std::to_string(b.reconnects),
+                                 util::TablePrinter::fmt(b.backoffMs, 0)});
+        }
+        breakerTable.print();
+    }
 
     for (const obs::FanoutClassSnapshot& cls : snap.classes) {
         if (cls.completions == 0)

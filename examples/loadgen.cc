@@ -82,12 +82,16 @@ main(int argc, char** argv)
 
     const stats::LatencySummary summary = result.summary();
     util::TablePrinter table("loadgen: open-loop client summary");
-    table.setHeader({"sent", "ok", "shed", "err", "unanswered", "qps",
-                     "p50", "p99", "p999", "max"});
+    table.setHeader({"sent", "ok", "degraded", "shed", "err", "cancelled",
+                     "failed", "unanswered", "qps", "p50", "p99", "p999",
+                     "max"});
     table.addRow({std::to_string(result.sent),
                   std::to_string(result.completed),
+                  std::to_string(result.degraded),
                   std::to_string(result.shed),
-                  std::to_string(result.errors + result.connectionsLost),
+                  std::to_string(result.errors),
+                  std::to_string(result.cancelled),
+                  std::to_string(result.failed),
                   std::to_string(result.unanswered),
                   util::TablePrinter::fmt(result.achievedQps, 1),
                   util::TablePrinter::fmt(summary.p50, 2),
@@ -95,6 +99,10 @@ main(int argc, char** argv)
                   util::TablePrinter::fmt(summary.p999, 2),
                   util::TablePrinter::fmt(summary.max, 2)});
     table.print();
+    if (result.connectionsLost > 0)
+        std::printf("connections lost mid-run: %llu (%llu reconnected)\n",
+                    static_cast<unsigned long long>(result.connectionsLost),
+                    static_cast<unsigned long long>(result.reconnects));
     std::printf("latency summary (ms, from scheduled arrival): %s\n",
                 summary.toString().c_str());
 

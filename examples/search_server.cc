@@ -13,8 +13,15 @@
  *   Network serving (frames from examples/loadgen over TCP; the first 8
  *   payload bytes select the query; Ctrl-C drains gracefully):
  *     ./build/examples/search_server --listen <port> [--docs=N]
- *         [--max-pending=N] [--max-in-flight=N] [--trace-out=...]
+ *         [--max-pending=N] [--max-in-flight=N] [--deadline-ms=D]
+ *         [--fault=SPEC] [--fault-seed=S] [--trace-out=...]
  *         [--metrics-out=...]
+ *
+ * --fault takes a deterministic fault schedule ("crash@500;restart@900",
+ * see src/faults/fault_spec.h for the grammar); the same spec and
+ * --fault-seed reproduce the same failure timeline on every run.
+ * --deadline-ms cancels admitted requests still queued past the deadline
+ * with a kCancelled response (counted separately from admission sheds).
  */
 #include <atomic>
 #include <chrono>
@@ -25,6 +32,7 @@
 #include <thread>
 
 #include "core/tpc_policy.h"
+#include "faults/fault_injector.h"
 #include "harness/policies.h"
 #include "net/loadgen.h"
 #include "net/rpc_server.h"
@@ -64,7 +72,8 @@ main(int argc, char** argv)
     const util::ArgParser args(argc, argv,
                                {"queries", "qps", "trace-out", "metrics-out",
                                 "listen", "docs", "max-pending",
-                                "max-in-flight"});
+                                "max-in-flight", "deadline-ms", "fault",
+                                "fault-seed"});
     const auto numQueries =
         static_cast<std::size_t>(args.getInt("queries", 800));
     const double qps = args.getDouble("qps", 120.0);
@@ -127,6 +136,26 @@ main(int argc, char** argv)
             static_cast<int>(args.getInt("max-pending", 256));
         rpcConfig.admission.maxInFlight =
             static_cast<int>(args.getInt("max-in-flight", 512));
+        rpcConfig.requestDeadlineMs = args.getDouble("deadline-ms", 0.0);
+
+        // Deterministic fault schedule: same --fault + --fault-seed =>
+        // same failure timeline, so chaos runs are reproducible.
+        std::unique_ptr<faults::FaultInjector> faultInjector;
+        const std::string faultSpec = args.getString("fault", "");
+        if (!faultSpec.empty()) {
+            faults::FaultSchedule schedule;
+            std::string error;
+            if (!faults::parseFaultSpec(faultSpec, &schedule, &error)) {
+                std::fprintf(stderr, "search_server: bad --fault: %s\n",
+                             error.c_str());
+                return 2;
+            }
+            faultInjector = std::make_unique<faults::FaultInjector>(
+                std::move(schedule),
+                static_cast<std::uint64_t>(args.getInt("fault-seed", 1)));
+            std::printf("fault schedule: %s\n",
+                        faultInjector->describeResolved().c_str());
+        }
 
         // Shards: workers + scheduler + event loop (+ slack for main).
         std::unique_ptr<obs::TraceRecorder> recorder;
@@ -204,6 +233,8 @@ main(int argc, char** argv)
             }
             server.attachStageStats(&stageStats);
             rpc.attachStageStats(&stageStats);
+            if (faultInjector != nullptr)
+                rpc.attachFaults(faultInjector.get());
             rpc.setStatszProvider([&] {
                 obs::StatszInfo info;
                 const policy::PolicySnapshot policySnap =
@@ -222,6 +253,10 @@ main(int argc, char** argv)
                 info.shed = rpc.admission().shed();
                 info.inFlight =
                     static_cast<std::uint64_t>(rpc.admission().inFlight());
+                const net::RpcServerStats liveStats = rpc.stats();
+                info.cancelled = liveStats.requestsCancelled;
+                info.disconnectsRetired = liveStats.disconnectsRetired;
+                info.faultsInjected = liveStats.faultsInjected;
                 if (recorder != nullptr)
                     info.droppedTraceEvents = recorder->droppedEvents();
                 info.uptimeMs =
@@ -261,11 +296,15 @@ main(int argc, char** argv)
                         metricsOut.c_str());
         }
         util::TablePrinter table("search_server: network serving run");
-        table.setHeader({"accepted", "shed", "responses", "proto_err",
-                         "server_mean", "server_p99"});
+        table.setHeader({"accepted", "shed", "responses", "cancelled",
+                         "retired", "faults", "proto_err", "server_mean",
+                         "server_p99"});
         table.addRow({std::to_string(acceptedTotal),
                       std::to_string(shedTotal),
                       std::to_string(netStats.responsesSent),
+                      std::to_string(netStats.requestsCancelled),
+                      std::to_string(netStats.disconnectsRetired),
+                      std::to_string(netStats.faultsInjected),
                       std::to_string(netStats.protocolErrors),
                       util::TablePrinter::fmt(latency.mean(), 2),
                       util::TablePrinter::fmt(latency.percentile(0.99), 2)});

@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Chaos smoke: 1 aggregator over 4 search_server shards, with one shard
+# SIGKILLed mid-run and restarted on the same port while the open-loop
+# load generator keeps driving the aggregator. Every process binds port 0
+# (the restart reuses the killed shard's parsed port), so the script is
+# safe under parallel CI jobs. Asserts:
+#   - the run never hangs (loadgen is bounded by `timeout`),
+#   - the breaker opens while the shard is down and re-closes after the
+#     restart — both observed live via /statsz counters,
+#   - >= 99% of accepted requests get a (possibly degraded) response,
+#     and at least one response was a degraded partial merge,
+#   - SIGINT drains the aggregator and surviving shards cleanly.
+#
+# Usage: scripts/chaos_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS=4
+SHARD_PIDS=()
+SHARD_LOGS=()
+CSV="$(mktemp -u).csv"
+
+cleanup() {
+    kill "${LOADGEN_PID:-}" 2>/dev/null || true
+    kill "${AGG_PID:-}" 2>/dev/null || true
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+start_shard() { # port (0 = ephemeral) -> log path on stdout
+    local port="$1" log
+    log="$(mktemp)"
+    "${BUILD_DIR}/examples/search_server" --listen "${port}" --docs 3000 \
+        --queries 200 > "${log}" 2>&1 &
+    SHARD_PIDS+=($!)
+    SHARD_LOGS+=("${log}")
+}
+
+wait_for_port() { # index -> port on stdout
+    local log="${SHARD_LOGS[$1]}" pid="${SHARD_PIDS[$1]}"
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "${log}" && break
+        if ! kill -0 "${pid}" 2>/dev/null; then
+            echo "chaos_smoke: shard $1 exited before listening" >&2
+            cat "${log}" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${log}" |
+        head -n 1
+}
+
+statsz_counter() { # series-name -> summed value on stdout (0 if absent)
+    "${BUILD_DIR}/examples/statsz" --port "${AGG_PORT}" --timeout-ms 500 \
+        2>/dev/null |
+        awk -v s="$1" '$1 ~ ("^" s) { total += $NF } END { print total + 0 }'
+}
+
+wait_for_counter() { # series-name min-value label
+    for _ in $(seq 1 100); do
+        VALUE="$(statsz_counter "$1")"
+        if [ "$(awk -v v="${VALUE}" -v m="$2" \
+            'BEGIN { print (v >= m) ? 1 : 0 }')" -eq 1 ]; then
+            echo "chaos_smoke: $3 ($1=${VALUE})"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "chaos_smoke: timed out waiting for $3 ($1=${VALUE:-?})" >&2
+    exit 1
+}
+
+# --- Start the shard tier. ----------------------------------------------
+for i in $(seq 1 "${NUM_SHARDS}"); do
+    start_shard 0
+done
+SHARD_PORTS=()
+for i in $(seq 0 $((NUM_SHARDS - 1))); do
+    PORT="$(wait_for_port "$i")"
+    if [ -z "${PORT}" ]; then
+        echo "chaos_smoke: shard $i never reported its port" >&2
+        cat "${SHARD_LOGS[$i]}" >&2
+        exit 1
+    fi
+    SHARD_PORTS+=("${PORT}")
+done
+SHARDS="$(IFS=,; echo "${SHARD_PORTS[*]}")"
+echo "chaos_smoke: shards on ports ${SHARDS}"
+
+# --- Start the aggregator with the recovery machinery on. ---------------
+AGG_LOG="$(mktemp)"
+"${BUILD_DIR}/examples/aggregator_server" --listen 0 --shards "${SHARDS}" \
+    --breaker-threshold 3 --reconnect-delay-ms 50 \
+    --breaker-max-backoff-ms 400 > "${AGG_LOG}" 2>&1 &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "${AGG_LOG}" && break
+    if ! kill -0 "${AGG_PID}" 2>/dev/null; then
+        echo "chaos_smoke: aggregator exited before listening" >&2
+        cat "${AGG_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+AGG_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${AGG_LOG}" | head -n 1)"
+if [ -z "${AGG_PORT}" ]; then
+    echo "chaos_smoke: aggregator never reported its port" >&2
+    cat "${AGG_LOG}" >&2
+    exit 1
+fi
+echo "chaos_smoke: aggregator on port ${AGG_PORT}"
+
+# --- Drive open-loop load; `timeout` guarantees the run cannot hang. ----
+timeout 60 "${BUILD_DIR}/examples/loadgen" --port "${AGG_PORT}" --qps 80 \
+    --duration-s 6 --csv-out "${CSV}" &
+LOADGEN_PID=$!
+
+# --- Kill shard 0 mid-run; the breaker must open under traffic. ---------
+sleep 1.5
+VICTIM_PID="${SHARD_PIDS[0]}"
+VICTIM_PORT="${SHARD_PORTS[0]}"
+kill -KILL "${VICTIM_PID}"
+wait "${VICTIM_PID}" 2>/dev/null || true
+echo "chaos_smoke: killed shard 0 (port ${VICTIM_PORT})"
+wait_for_counter fanout_breaker_opened_total 1 "breaker opened"
+
+# --- Restart it on the same port; the breaker must re-close. ------------
+sleep 1
+start_shard "${VICTIM_PORT}"
+RESTART_IDX=$((${#SHARD_PIDS[@]} - 1))
+RESTART_PORT="$(wait_for_port "${RESTART_IDX}")"
+if [ "${RESTART_PORT}" != "${VICTIM_PORT}" ]; then
+    echo "chaos_smoke: restarted shard bound ${RESTART_PORT}," \
+        "expected ${VICTIM_PORT}" >&2
+    exit 1
+fi
+echo "chaos_smoke: restarted shard 0 on port ${VICTIM_PORT}"
+wait_for_counter fanout_breaker_closed_total 1 "breaker re-closed"
+
+if ! wait "${LOADGEN_PID}"; then
+    echo "chaos_smoke: loadgen failed or timed out" >&2
+    exit 1
+fi
+
+# --- Graceful drain: aggregator first, then the shard tier. -------------
+kill -INT "${AGG_PID}"
+wait "${AGG_PID}"
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -INT "${pid}" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "${pid}" 2>/dev/null || true
+done
+trap - EXIT
+
+# --- Availability floor: completed / (sent - shed) >= 0.99. -------------
+[ "$(wc -l < "${CSV}")" -eq 2 ] || {
+    echo "chaos_smoke: unexpected loadgen CSV:" >&2
+    cat "${CSV}" >&2 || true
+    exit 1
+}
+read -r SENT COMPLETED DEGRADED SHED <<EOF2
+$(awk -F, 'NR == 2 { print $4, $5, $6, $7 }' "${CSV}")
+EOF2
+AVAIL="$(awk -v c="${COMPLETED}" -v s="${SENT}" -v b="${SHED}" \
+    'BEGIN { accepted = s - b; a = 0; if (accepted > 0) a = c / accepted;
+             printf "%.4f", a }')"
+echo "chaos_smoke: sent=${SENT} completed=${COMPLETED}" \
+    "degraded=${DEGRADED} shed=${SHED} availability=${AVAIL}"
+[ "$(awk -v a="${AVAIL}" 'BEGIN { print (a >= 0.99) ? 1 : 0 }')" -eq 1 ] || {
+    echo "chaos_smoke: availability ${AVAIL} below the 0.99 floor" >&2
+    exit 1
+}
+[ "${DEGRADED}" -ge 1 ] || {
+    echo "chaos_smoke: no degraded responses — partial merge unexercised" >&2
+    exit 1
+}
+echo "chaos_smoke: OK"

@@ -1,6 +1,7 @@
 #include "fanout/aggregator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -46,7 +47,15 @@ AggregatorServer::AggregatorServer(const AggregatorConfig& config)
 {
     TPC_CHECK(!config_.shards.empty());
     TPC_CHECK(config_.deadlineFactor > 0.0);
+    TPC_CHECK(config_.breakerFailureThreshold >= 1);
     merger_ = mergeTopK;
+    // Register every endpoint's breaker as closed up front so /statsz
+    // shows the full topology before (and without) traffic.
+    for (const ShardSpec& spec : config_.shards) {
+        collector_.onBreakerState(endpointKey(spec.primary), 0);
+        if (spec.hasReplica())
+            collector_.onBreakerState(endpointKey(spec.replica), 0);
+    }
     listenFd_.reset(net::listenTcp(config_.port, &port_,
                                    config_.bindAddress, config_.backlog));
     TPC_CHECK(::pipe(wakePipe_) == 0);
@@ -124,6 +133,10 @@ AggregatorServer::attachMetrics(obs::MetricsRegistry* metrics)
     metric_.hedgeWon = &metrics->counter("fanout_hedge_won");
     metric_.hedgeWasted = &metrics->counter("fanout_hedge_wasted");
     metric_.shardShed = &metrics->counter("fanout_shard_shed");
+    metric_.degraded = &metrics->counter("fanout_degraded");
+    metric_.breakerOpened = &metrics->counter("fanout_breaker_opened");
+    metric_.breakerClosed = &metrics->counter("fanout_breaker_closed");
+    metric_.reconnects = &metrics->counter("fanout_reconnects");
     metric_.inFlight = &metrics->gauge("fanout_in_flight");
 }
 
@@ -375,8 +388,13 @@ AggregatorServer::startConnect(Upstream& up)
         net::connectTcp(up.endpoint.host, up.endpoint.port, &error);
     if (fd < 0) {
         util::warn("fanout: connect to " + up.key + " failed: " + error);
-        up.reconnectAtMs = nowMs() + config_.reconnectDelayMs;
+        upstreamFailure(up);
         return;
+    }
+    if (up.dials++ > 0) {
+        collector_.onReconnectAttempt(up.key, up.lastBackoffMs);
+        if (metric_.reconnects != nullptr)
+            metric_.reconnects->inc();
     }
     up.fd.reset(fd);
     up.connecting = true;
@@ -387,6 +405,103 @@ AggregatorServer::startConnect(Upstream& up)
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.upstreamConnects;
     }
+}
+
+void
+AggregatorServer::upstreamFailure(Upstream& up)
+{
+    ++up.consecutiveFailures;
+    // A failed half-open probe always reopens (with a longer backoff);
+    // a closed breaker trips once the failure streak hits the threshold.
+    if (up.breaker == BreakerState::kHalfOpen ||
+        (up.breaker == BreakerState::kClosed &&
+         up.consecutiveFailures >= config_.breakerFailureThreshold)) {
+        openBreaker(up);
+        return;
+    }
+    if (up.breaker == BreakerState::kClosed) {
+        up.lastBackoffMs = config_.reconnectDelayMs;
+        up.reconnectAtMs = nowMs() + up.lastBackoffMs;
+    }
+    // Already open: the standing backoff keeps applying.
+}
+
+void
+AggregatorServer::openBreaker(Upstream& up)
+{
+    const double backoff =
+        std::min(config_.breakerMaxBackoffMs,
+                 config_.reconnectDelayMs *
+                     std::pow(config_.breakerBackoffMultiplier,
+                              static_cast<double>(up.backoffLevel)));
+    ++up.backoffLevel;
+    up.breaker = BreakerState::kOpen;
+    up.probeInFlight = false;
+    up.lastBackoffMs = backoff;
+    up.reconnectAtMs = nowMs() + backoff;
+    // Buffered sub-requests can never be flushed before the backoff
+    // elapses; their legs are settled below, so drop the bytes.
+    up.writeBuffer.clear();
+    up.writeOffset = 0;
+    util::warn("fanout: breaker open for " + up.key + " (backoff " +
+               std::to_string(backoff) + " ms)");
+    collector_.onBreakerState(up.key, 1);
+    if (metric_.breakerOpened != nullptr)
+        metric_.breakerOpened->inc();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.breakerOpened;
+    }
+    settleEndpointLegs(up.key);
+}
+
+void
+AggregatorServer::breakerSuccess(Upstream& up)
+{
+    up.consecutiveFailures = 0;
+    if (up.breaker == BreakerState::kClosed)
+        return;
+    up.breaker = BreakerState::kClosed;
+    up.backoffLevel = 0;
+    up.lastBackoffMs = 0.0;
+    up.probeInFlight = false;
+    util::warn("fanout: breaker closed for " + up.key);
+    collector_.onBreakerState(up.key, 0);
+    if (metric_.breakerClosed != nullptr)
+        metric_.breakerClosed->inc();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.breakerClosed;
+    }
+}
+
+bool
+AggregatorServer::endpointUsable(Upstream& up, double now)
+{
+    switch (up.breaker) {
+    case BreakerState::kClosed:
+        return true;
+    case BreakerState::kOpen:
+        if (now < up.reconnectAtMs)
+            return false;
+        up.breaker = BreakerState::kHalfOpen;
+        up.probeInFlight = false;
+        collector_.onBreakerState(up.key, 2);
+        return true;
+    case BreakerState::kHalfOpen:
+        return !up.probeInFlight;
+    }
+    return true;
+}
+
+void
+AggregatorServer::clearProbeIfMatches(const ShardEndpoint& endpoint,
+                                      std::uint64_t subId)
+{
+    const auto it = upstreamsByKey_.find(endpointKey(endpoint));
+    if (it != upstreamsByKey_.end() && it->second->probeInFlight &&
+        it->second->probeSubId == subId)
+        it->second->probeInFlight = false;
 }
 
 void
@@ -457,7 +572,7 @@ AggregatorServer::onUpstreamReadable(Upstream& up)
     net::Frame frame;
     while (up.reader.next(&frame)) {
         if (frame.type == net::FrameType::kResponse) {
-            onShardResponse(std::move(frame));
+            onShardResponse(up, std::move(frame));
             continue;
         }
         // Shards only ever answer what we sent; anything else (including
@@ -486,44 +601,53 @@ AggregatorServer::upstreamDown(Upstream& up)
     up.writeOffset = 0;
     up.wantWrite = false;
     up.reader = net::FrameReader(config_.maxPayloadBytes);
-    up.reconnectAtMs = nowMs() + config_.reconnectDelayMs;
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.upstreamDrops;
     }
+    // Counts the failure, sets the backoff, and may trip the breaker
+    // (which itself settles the endpoint's legs and drops its buffer).
+    upstreamFailure(up);
+    settleEndpointLegs(up.key);
+}
 
+void
+AggregatorServer::settleEndpointLegs(const std::string& key)
+{
     // Every wire leg routed through this endpoint is dead: settle the
     // flag, and resolve legs that have no other way to produce a reply
     // (a still-armed hedge keeps its leg open).
     std::vector<std::pair<std::uint64_t, SubKey>> affected;
-    for (const auto& [subId, key] : subIndex_) {
-        const ShardSpec& spec = config_.shards[key.shardIdx];
+    for (const auto& [subId, subKey] : subIndex_) {
+        const ShardSpec& spec = config_.shards[subKey.shardIdx];
         const ShardEndpoint& endpoint =
-            key.isHedge ? spec.replica : spec.primary;
-        if (endpointKey(endpoint) == up.key)
-            affected.push_back({subId, key});
+            subKey.isHedge ? spec.replica : spec.primary;
+        if (endpointKey(endpoint) == key)
+            affected.push_back({subId, subKey});
     }
-    for (const auto& [subId, key] : affected) {
+    for (const auto& [subId, subKey] : affected) {
         subIndex_.erase(subId);
-        const auto fit = fanouts_.find(key.fanoutId);
+        const auto fit = fanouts_.find(subKey.fanoutId);
         if (fit == fanouts_.end())
             continue;
         Fanout& fanout = fit->second;
-        SubRequest& sub = fanout.subs[key.shardIdx];
-        if (key.isHedge)
+        SubRequest& sub = fanout.subs[subKey.shardIdx];
+        if (subKey.isHedge)
             sub.hedgeOutstanding = false;
         else
             sub.primaryOutstanding = false;
         if (!sub.done && !sub.primaryOutstanding &&
             !sub.hedgeOutstanding && sub.hedgeAtMs <= 0.0) {
-            sub.done = true; // No reply: attributed as a miss at respond.
+            sub.done = true;
+            sub.shardDown = true; // Attributed shard-down at respond.
             --fanout.unresolved;
-            if (fanout.unresolved == 0 && !fanout.responded) {
+            if (fanout.unresolved == 0 && !fanout.responded &&
+                fanout.fanoutId != wiringFanoutId_) {
                 respondToClient(fanout);
                 continue;
             }
         }
-        maybeReclaim(key.fanoutId);
+        maybeReclaim(subKey.fanoutId);
     }
 }
 
@@ -533,6 +657,12 @@ AggregatorServer::sendSub(const ShardEndpoint& endpoint,
                           const std::vector<std::uint8_t>& payload)
 {
     Upstream& up = upstreamFor(endpoint);
+    if (up.breaker == BreakerState::kHalfOpen && !up.probeInFlight) {
+        // This sub-request is the endpoint's single half-open probe.
+        up.probeInFlight = true;
+        up.probeSubId = subId;
+        collector_.onBreakerProbe(up.key);
+    }
     net::Frame request;
     request.type = net::FrameType::kRequest;
     request.cls = cls;
@@ -589,9 +719,39 @@ AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
     auto [it, inserted] = fanouts_.emplace(fanoutId, std::move(fanout));
     TPC_CHECK(inserted);
     Fanout& stored = it->second;
-    for (SubRequest& sub : stored.subs)
-        sendSub(config_.shards[sub.shardIdx].primary, sub.subId,
-                stored.cls, stored.requestPayload);
+    wiringFanoutId_ = fanoutId;
+    for (SubRequest& sub : stored.subs) {
+        // A synchronous connect failure inside an earlier iteration may
+        // have tripped a breaker and settled this leg already.
+        if (sub.done)
+            continue;
+        const ShardSpec& spec = config_.shards[sub.shardIdx];
+        if (sub.primaryOutstanding) {
+            Upstream& primary = upstreamFor(spec.primary);
+            if (endpointUsable(primary, now)) {
+                sendSub(spec.primary, sub.subId, stored.cls,
+                        stored.requestPayload);
+                continue;
+            }
+            sub.primaryOutstanding = false;
+            subIndex_.erase(sub.subId);
+        }
+        // The primary's breaker is open: fail over to the replica when
+        // it has one the breaker allows; otherwise the leg is dead on
+        // arrival and the merge proceeds degraded.
+        if (spec.hasReplica() &&
+            endpointUsable(upstreamFor(spec.replica), now)) {
+            fireHedge(stored, sub);
+            continue;
+        }
+        sub.done = true;
+        sub.shardDown = true;
+        sub.hedgeAtMs = -1.0;
+        --stored.unresolved;
+    }
+    wiringFanoutId_ = 0;
+    if (stored.unresolved == 0 && !stored.responded)
+        respondToClient(stored);
 }
 
 void
@@ -612,8 +772,12 @@ AggregatorServer::fireHedge(Fanout& fanout, SubRequest& sub)
 }
 
 void
-AggregatorServer::onShardResponse(net::Frame&& frame)
+AggregatorServer::onShardResponse(Upstream& up, net::Frame&& frame)
 {
+    // Any reply at all proves the endpoint is alive: reset the failure
+    // streak and close an open/half-open breaker.
+    breakerSuccess(up);
+
     const auto indexIt = subIndex_.find(frame.requestId);
     if (indexIt == subIndex_.end()) {
         // The fanout was already reclaimed (linger expired); the frame
@@ -651,8 +815,6 @@ AggregatorServer::onShardResponse(net::Frame&& frame)
     const bool otherLegPending =
         sub.primaryOutstanding || sub.hedgeOutstanding ||
         sub.hedgeAtMs > 0.0;
-    const bool canHedgeNow = !sub.hedged && config_.hedge.enabled &&
-                             config_.shards[key.shardIdx].hasReplica();
 
     switch (frame.status) {
     case net::FrameStatus::kOk:
@@ -686,11 +848,27 @@ AggregatorServer::onShardResponse(net::Frame&& frame)
         break;
     case net::FrameStatus::kError:
         break;
+    case net::FrameStatus::kCancelled:
+        // The shard admitted the sub-request and then threw it away on
+        // its own deadline — for this tier that is a failed leg, same
+        // as an error: hedge it if possible, else settle without it.
+        break;
     }
 
     // A shed or failed leg: a backup request is its second chance — the
-    // replica may accept what the primary refused. With one already in
-    // flight (or armed) just wait for it; with nothing left, settle.
+    // replica may accept what the primary refused (breaker permitting).
+    // With one already in flight (or armed) just wait for it; with
+    // nothing left, settle.
+    const ShardSpec& spec = config_.shards[key.shardIdx];
+    const bool canHedgeNow =
+        !sub.hedged && config_.hedge.enabled && spec.hasReplica() &&
+        endpointUsable(upstreamFor(spec.replica), now);
+    // Dialing the replica above may have tripped a breaker and settled
+    // this very leg re-entrantly; re-check before mutating it.
+    if (sub.done) {
+        maybeReclaim(key.fanoutId);
+        return;
+    }
     if (canHedgeNow) {
         fireHedge(fanout, sub);
         return;
@@ -707,6 +885,19 @@ AggregatorServer::onShardResponse(net::Frame&& frame)
 }
 
 void
+AggregatorServer::settleLegNoPath(Fanout& fanout, SubRequest& sub)
+{
+    if (sub.done || sub.primaryOutstanding || sub.hedgeOutstanding ||
+        sub.hedgeAtMs > 0.0)
+        return;
+    sub.done = true;
+    sub.shardDown = true;
+    --fanout.unresolved;
+    if (fanout.unresolved == 0 && !fanout.responded)
+        respondToClient(fanout);
+}
+
+void
 AggregatorServer::respondToClient(Fanout& fanout)
 {
     const double now = nowMs();
@@ -715,12 +906,19 @@ AggregatorServer::respondToClient(Fanout& fanout)
     bool anyDeadlineMiss = false;
     bool anyShed = false;
     bool anyHedgeWin = false;
+    bool anyShardDown = false;
     double slowestShardMs = 0.0;
 
     for (SubRequest& sub : fanout.subs) {
         if (!sub.done) {
             // Deadline expiry: give up on the leg. Wire flags stay set so
-            // a late reply during the linger window is tolerated.
+            // a late reply during the linger window is tolerated — but an
+            // abandoned half-open probe is released for the next query.
+            const ShardSpec& spec = config_.shards[sub.shardIdx];
+            if (sub.primaryOutstanding)
+                clearProbeIfMatches(spec.primary, sub.subId);
+            if (sub.hedgeOutstanding)
+                clearProbeIfMatches(spec.replica, sub.hedgeSubId);
             sub.done = true;
         }
         sub.hedgeAtMs = -1.0;
@@ -732,6 +930,8 @@ AggregatorServer::respondToClient(Fanout& fanout)
         } else if (sub.shed) {
             anyShed = true;
             ++shedLegs;
+        } else if (sub.shardDown) {
+            anyShardDown = true;
         } else {
             anyDeadlineMiss = true;
             collector_.onDeadlineMiss(sub.shardIdx);
@@ -742,13 +942,22 @@ AggregatorServer::respondToClient(Fanout& fanout)
     response.type = net::FrameType::kResponse;
     response.cls = fanout.cls;
     response.requestId = fanout.clientRequestId;
-    if (!replies.empty()) {
+    response.shardsAnswered = static_cast<std::uint16_t>(replies.size());
+    response.shardsTotal = static_cast<std::uint16_t>(fanout.subs.size());
+    const bool fullCoverage = replies.size() == fanout.subs.size();
+    if (!replies.empty() && (config_.allowPartial || fullCoverage)) {
         response.status = net::FrameStatus::kOk;
         merger_(replies, config_.topK, response.payload);
     } else if (shedLegs == fanout.subs.size()) {
         response.status = net::FrameStatus::kBusy;
     } else {
         response.status = net::FrameStatus::kError;
+    }
+    if (response.status == net::FrameStatus::kOk && !fullCoverage) {
+        if (metric_.degraded != nullptr)
+            metric_.degraded->inc();
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.degradedResponses;
     }
 
     obs::FanoutRecord record;
@@ -760,6 +969,9 @@ AggregatorServer::respondToClient(Fanout& fanout)
     record.anyDeadlineMiss = anyDeadlineMiss;
     record.anyShed = anyShed;
     record.anyHedgeWin = anyHedgeWin;
+    record.anyShardDown = anyShardDown;
+    record.shardsAnswered = static_cast<std::uint16_t>(replies.size());
+    record.shardsTotal = static_cast<std::uint16_t>(fanout.subs.size());
     collector_.record(record);
 
     admission_.onComplete();
@@ -869,8 +1081,17 @@ AggregatorServer::processTimers()
         if (it == fanouts_.end() || it->second.responded)
             continue;
         SubRequest& sub = it->second.subs[shardIdx];
-        if (!sub.done && sub.hedgeAtMs > 0.0)
-            fireHedge(it->second, sub);
+        if (sub.done || sub.hedgeAtMs <= 0.0)
+            continue;
+        // The replica's breaker may refuse the backup: disarm, and when
+        // the primary is also gone settle the leg as down.
+        const ShardSpec& spec = config_.shards[shardIdx];
+        if (!endpointUsable(upstreamFor(spec.replica), now)) {
+            sub.hedgeAtMs = -1.0;
+            settleLegNoPath(it->second, sub);
+            continue;
+        }
+        fireHedge(it->second, sub);
     }
     for (const std::uint64_t id : expired) {
         const auto it = fanouts_.find(id);

@@ -126,8 +126,24 @@ struct AggregatorConfig
     /** How long a responded fanout keeps accepting its stragglers'
      *  replies before the bookkeeping is reclaimed. */
     double lingerMs = 1000.0;
-    /** Back-off before re-dialing a shard whose connection dropped. */
+    /** Back-off before re-dialing a shard whose connection dropped (and
+     *  the base of the breaker's exponential backoff). */
     double reconnectDelayMs = 100.0;
+    /** Consecutive endpoint failures (connection drops, connect
+     *  failures) that trip the circuit breaker open. */
+    int breakerFailureThreshold = 3;
+    /** Backoff growth per successive breaker trip (open -> probe fails
+     *  -> reopen doubles the wait, up to the cap). */
+    double breakerBackoffMultiplier = 2.0;
+    /** Cap on the breaker's reconnect backoff (ms). */
+    double breakerMaxBackoffMs = 2000.0;
+    /**
+     * Answer a query whose shard legs are down with the merged results
+     * of the surviving shards (the response frame carries coverage).
+     * When false a missing leg fails the whole query with kError — the
+     * recovery-off baseline for the fault benchmarks.
+     */
+    bool allowPartial = true;
     /** Entries kept by the default top-k merge. */
     std::size_t topK = 10;
     /** Request-class labels for attribution (empty = one class "all"). */
@@ -147,6 +163,12 @@ struct AggregatorStats
     std::uint64_t statszServed = 0;
     std::uint64_t upstreamConnects = 0;
     std::uint64_t upstreamDrops = 0;
+    /** OK responses merged from a strict subset of the shards. */
+    std::uint64_t degradedResponses = 0;
+    /** Breaker trips (transitions into open, reopens included). */
+    std::uint64_t breakerOpened = 0;
+    /** Breaker recoveries (transitions back into closed). */
+    std::uint64_t breakerClosed = 0;
 };
 
 /** Produces the /statsz text; runs on the event loop, must not block. */
@@ -214,6 +236,18 @@ class AggregatorServer
         bool wantWrite = false;
     };
 
+    /**
+     * Circuit-breaker state of one upstream endpoint. Closed passes
+     * traffic; open short-circuits it (legs settle instantly as down);
+     * half-open lets exactly one probe sub-request through — its reply
+     * closes the breaker, its failure reopens it with a longer backoff.
+     */
+    enum class BreakerState : std::uint8_t {
+        kClosed = 0,
+        kOpen = 1,
+        kHalfOpen = 2,
+    };
+
     /** One TCP connection to a shard endpoint (primaries and replicas
      *  share the pool, keyed host:port). */
     struct Upstream
@@ -228,6 +262,19 @@ class AggregatorServer
         bool wantWrite = false;
         /** Earliest time a failed endpoint may be re-dialed. */
         double reconnectAtMs = 0.0;
+        BreakerState breaker = BreakerState::kClosed;
+        /** Failures since the last successful reply. */
+        int consecutiveFailures = 0;
+        /** Successive trips; exponent of the backoff growth. */
+        int backoffLevel = 0;
+        /** Backoff applied by the most recent failure (ms). */
+        double lastBackoffMs = 0.0;
+        /** Half-open: the single allowed probe is outstanding. */
+        bool probeInFlight = false;
+        /** Wire id of the outstanding probe sub-request. */
+        std::uint64_t probeSubId = 0;
+        /** Dials attempted (dials past the first count as reconnects). */
+        std::uint64_t dials = 0;
     };
 
     /** One shard leg of one fan-out. */
@@ -251,6 +298,9 @@ class AggregatorServer
         bool primaryOutstanding = true;
         /** The backup wire id can still produce a frame. */
         bool hedgeOutstanding = false;
+        /** The leg was settled because its endpoint(s) were down
+         *  (breaker open or connection dead) — degraded coverage. */
+        bool shardDown = false;
         /** A usable (OK) payload arrived. */
         bool haveReply = false;
         /** Reply time relative to fan-out start (slowest-shard metric). */
@@ -298,6 +348,27 @@ class AggregatorServer
     void onUpstreamReadable(Upstream& up);
     void flushUpstreamWrites(Upstream& up);
     void upstreamDown(Upstream& up);
+    /** Counts a failure; trips the breaker at the threshold (and always
+     *  on a failed half-open probe, with a longer backoff). */
+    void upstreamFailure(Upstream& up);
+    /** Trips the breaker open and settles the endpoint's live legs. */
+    void openBreaker(Upstream& up);
+    /** A reply arrived from the endpoint: reset failures, close the
+     *  breaker if it was open or half-open. */
+    void breakerSuccess(Upstream& up);
+    /**
+     * May a new sub-request be routed to this endpoint now? Closed: yes.
+     * Open: transitions to half-open once the backoff elapsed (the
+     * caller's sub-request becomes the probe), else no. Half-open: only
+     * while no probe is outstanding.
+     */
+    bool endpointUsable(Upstream& up, double now);
+    /** Settles every live leg routed through the endpoint that has no
+     *  other way to produce a reply (marks them shard-down). */
+    void settleEndpointLegs(const std::string& key);
+    /** Drops an abandoned half-open probe so the next leg may re-probe. */
+    void clearProbeIfMatches(const ShardEndpoint& endpoint,
+                             std::uint64_t subId);
 
     void startFanout(Connection& conn, net::Frame&& frame);
     /** Encodes one shard-side request onto the endpoint's connection. */
@@ -305,7 +376,9 @@ class AggregatorServer
                  std::uint8_t cls,
                  const std::vector<std::uint8_t>& payload);
     void fireHedge(Fanout& fanout, SubRequest& sub);
-    void onShardResponse(net::Frame&& frame);
+    /** Settles a leg that lost every path to a reply (down endpoints). */
+    void settleLegNoPath(Fanout& fanout, SubRequest& sub);
+    void onShardResponse(Upstream& up, net::Frame&& frame);
     void respondToClient(Fanout& fanout);
     /** Reclaims the fanout once responded and all wire legs settled. */
     void maybeReclaim(std::uint64_t fanoutId);
@@ -345,6 +418,10 @@ class AggregatorServer
     std::uint64_t nextConnId_ = 1;
     std::uint64_t nextFanoutId_ = 1;
     std::uint64_t nextSubId_ = 1;
+    /** Fanout currently being wired by startFanout: a breaker trip
+     *  re-entering settleEndpointLegs from a synchronous connect failure
+     *  must not respond/reclaim it mid-loop; startFanout finishes it. */
+    std::uint64_t wiringFanoutId_ = 0;
 
     StatszProvider statszProvider_;
     obs::MetricsRegistry* metrics_ = nullptr;
@@ -356,6 +433,10 @@ class AggregatorServer
         obs::Counter* hedgeWon = nullptr;
         obs::Counter* hedgeWasted = nullptr;
         obs::Counter* shardShed = nullptr;
+        obs::Counter* degraded = nullptr;
+        obs::Counter* breakerOpened = nullptr;
+        obs::Counter* breakerClosed = nullptr;
+        obs::Counter* reconnects = nullptr;
         obs::Gauge* inFlight = nullptr;
     } metric_;
 

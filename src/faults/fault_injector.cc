@@ -1,0 +1,208 @@
+#include "faults/fault_injector.h"
+
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+namespace tpc::faults {
+namespace {
+
+bool
+isLoopDriven(FaultKind kind)
+{
+    return kind == FaultKind::kCrash || kind == FaultKind::kRestart ||
+           kind == FaultKind::kStall || kind == FaultKind::kReset;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : jitterRng_(0)
+{
+    // One draw sequence over the sorted events, so the resolved timeline
+    // is a pure function of (spec, seed) independent of runtime order.
+    util::Rng rng(seed);
+    events_.reserve(schedule.events.size());
+    for (const FaultEvent& event : schedule.events) {
+        Resolved resolved;
+        resolved.event = event;
+        if (event.kind == FaultKind::kCorrupt) {
+            resolved.corruptOffsetDraw = rng.next();
+            resolved.corruptXor =
+                static_cast<std::uint8_t>(1 + rng.uniformInt(255));
+        } else if (event.kind == FaultKind::kTruncate) {
+            resolved.truncateFraction = rng.uniform();
+        }
+        events_.push_back(resolved);
+    }
+    jitterRng_ = rng.split();
+}
+
+void
+FaultInjector::arm(double nowMs)
+{
+    if (armed_)
+        return;
+    armed_ = true;
+    armMs_ = nowMs;
+}
+
+FaultInjector::Resolved*
+FaultInjector::findDue(FaultKind kind, double nowMs)
+{
+    if (!armed_)
+        return nullptr;
+    for (Resolved& resolved : events_) {
+        if (resolved.fired || resolved.event.kind != kind)
+            continue;
+        if (armMs_ + resolved.event.atMs <= nowMs)
+            return &resolved;
+        // Events are sorted by atMs: nothing later can be due either.
+        return nullptr;
+    }
+    return nullptr;
+}
+
+bool
+FaultInjector::consumeDue(FaultKind kind, double nowMs)
+{
+    Resolved* due = findDue(kind, nowMs);
+    if (due == nullptr)
+        return false;
+    due->fired = true;
+    recordFired(*due, faultKindName(kind));
+    return true;
+}
+
+double
+FaultInjector::takeStallMs(double nowMs)
+{
+    Resolved* due = findDue(FaultKind::kStall, nowMs);
+    if (due == nullptr)
+        return 0.0;
+    due->fired = true;
+    char detail[64];
+    std::snprintf(detail, sizeof detail, "stall:%g", due->event.durationMs);
+    recordFired(*due, detail);
+    return due->event.durationMs;
+}
+
+FrameMutation
+FaultInjector::mutateFrame(double nowMs, std::vector<std::uint8_t>& buffer,
+                           std::size_t frameStart)
+{
+    const std::size_t frameLen = buffer.size() - frameStart;
+    if (frameLen == 0)
+        return FrameMutation::kNone;
+    char detail[64];
+    if (Resolved* due = findDue(FaultKind::kCorrupt, nowMs)) {
+        due->fired = true;
+        const std::size_t offset =
+            static_cast<std::size_t>(due->corruptOffsetDraw % frameLen);
+        buffer[frameStart + offset] ^= due->corruptXor;
+        std::snprintf(detail, sizeof detail, "corrupt:off=%zu,xor=%02x",
+                      offset, due->corruptXor);
+        recordFired(*due, detail);
+        return FrameMutation::kCorrupted;
+    }
+    if (Resolved* due = findDue(FaultKind::kTruncate, nowMs)) {
+        due->fired = true;
+        // Keep at least one byte so the peer sees a short read, not an
+        // empty write; always cut at least one byte off.
+        std::size_t keep =
+            static_cast<std::size_t>(due->truncateFraction *
+                                     static_cast<double>(frameLen));
+        if (keep == 0)
+            keep = 1;
+        if (keep >= frameLen)
+            keep = frameLen - 1;
+        buffer.resize(frameStart + keep);
+        std::snprintf(detail, sizeof detail, "truncate:keep=%zu/%zu", keep,
+                      frameLen);
+        recordFired(*due, detail);
+        return FrameMutation::kTruncated;
+    }
+    return FrameMutation::kNone;
+}
+
+double
+FaultInjector::sendDelayMs(double nowMs)
+{
+    while (Resolved* due = findDue(FaultKind::kJitter, nowMs)) {
+        due->fired = true;
+        jitterBoundMs_ = due->event.durationMs;
+        char detail[64];
+        std::snprintf(detail, sizeof detail, "jitter:bound=%g",
+                      jitterBoundMs_);
+        recordFired(*due, detail);
+    }
+    if (jitterBoundMs_ <= 0.0)
+        return 0.0;
+    return jitterRng_.uniform(0.0, jitterBoundMs_);
+}
+
+double
+FaultInjector::nextEventMs() const
+{
+    if (!armed_)
+        return std::numeric_limits<double>::infinity();
+    double next = std::numeric_limits<double>::infinity();
+    for (const Resolved& resolved : events_) {
+        if (resolved.fired || !isLoopDriven(resolved.event.kind))
+            continue;
+        const double at = armMs_ + resolved.event.atMs;
+        if (at < next)
+            next = at;
+    }
+    return next;
+}
+
+void
+FaultInjector::recordFired(const Resolved& resolved, std::string detail)
+{
+    FiredEvent fired;
+    fired.kind = resolved.event.kind;
+    fired.scheduledAtMs = resolved.event.atMs;
+    fired.detail = std::move(detail);
+    fired_.push_back(std::move(fired));
+}
+
+std::string
+FaultInjector::describeResolved() const
+{
+    std::string text;
+    char buffer[128];
+    for (const Resolved& resolved : events_) {
+        if (!text.empty())
+            text += ';';
+        switch (resolved.event.kind) {
+        case FaultKind::kCorrupt:
+            std::snprintf(buffer, sizeof buffer,
+                          "corrupt@%g[draw=%llu,xor=%02x]",
+                          resolved.event.atMs,
+                          static_cast<unsigned long long>(
+                              resolved.corruptOffsetDraw),
+                          resolved.corruptXor);
+            break;
+        case FaultKind::kTruncate:
+            std::snprintf(buffer, sizeof buffer, "truncate@%g[frac=%.6f]",
+                          resolved.event.atMs, resolved.truncateFraction);
+            break;
+        case FaultKind::kStall:
+        case FaultKind::kJitter:
+            std::snprintf(buffer, sizeof buffer, "%s@%g:%g",
+                          faultKindName(resolved.event.kind),
+                          resolved.event.atMs, resolved.event.durationMs);
+            break;
+        default:
+            std::snprintf(buffer, sizeof buffer, "%s@%g",
+                          faultKindName(resolved.event.kind),
+                          resolved.event.atMs);
+            break;
+        }
+        text += buffer;
+    }
+    return text;
+}
+
+} // namespace tpc::faults

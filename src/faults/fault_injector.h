@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Seeded, deterministic fault injector for the serving path.
+ *
+ * An injector owns one FaultSchedule plus a seed. Every random detail an
+ * event needs — which byte a corruption flips, where a truncation cuts —
+ * is drawn once at construction, so the resolved fault timeline is a
+ * pure function of (spec, seed): two injectors built from the same pair
+ * render identical describeResolved() text and fire identical events.
+ * Per-frame jitter delays come from a dedicated split generator so they
+ * cannot perturb the event draws.
+ *
+ * Hooks are poll-style: the event loop asks "is a crash due now?" and
+ * the injector consumes the event. Servers hold a nullable pointer to an
+ * injector; when none is attached the fault path is a single untaken
+ * branch per hook (zero-cost-when-off).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/fault_spec.h"
+#include "util/rng.h"
+
+namespace tpc::faults {
+
+/** What mutateFrame() did to an outbound frame. */
+enum class FrameMutation : std::uint8_t {
+    kNone,
+    /** One byte flipped in place; send the frame as-is. */
+    kCorrupted,
+    /** Frame cut short; flush what is left, then drop the connection. */
+    kTruncated,
+};
+
+/** One fault that has fired, with its resolved parameters. */
+struct FiredEvent
+{
+    FaultKind kind = FaultKind::kCrash;
+    /** Scheduled offset from arm time, ms. */
+    double scheduledAtMs = 0.0;
+    /** Resolved parameters, stable across runs with the same seed. */
+    std::string detail;
+};
+
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultSchedule schedule, std::uint64_t seed);
+
+    /**
+     * Anchors the schedule: event offsets count from @p nowMs. Idempotent
+     * — only the first call sets the anchor, so a server restart does not
+     * rewind the timeline.
+     */
+    void arm(double nowMs);
+    bool armed() const { return armed_; }
+
+    /** True when a crash event is due; consumes it. */
+    bool crashPending(double nowMs) { return consumeDue(FaultKind::kCrash, nowMs); }
+    /** True when a restart event is due; consumes it. */
+    bool restartPending(double nowMs) { return consumeDue(FaultKind::kRestart, nowMs); }
+    /** True when a connection-reset event is due; consumes it. */
+    bool resetPending(double nowMs) { return consumeDue(FaultKind::kReset, nowMs); }
+
+    /** Due stall duration in ms (consumed), or 0 when none. */
+    double takeStallMs(double nowMs);
+
+    /**
+     * Applies a due corrupt/truncate event to the frame occupying
+     * [frameStart, buffer.size()). Returns what happened.
+     */
+    FrameMutation mutateFrame(double nowMs, std::vector<std::uint8_t>& buffer,
+                              std::size_t frameStart);
+
+    /** Per-frame send delay in ms (0 until a jitter event activates). */
+    double sendDelayMs(double nowMs);
+
+    /**
+     * Absolute ms of the next unfired loop-driven event (crash, restart,
+     * stall, reset) so the event loop can bound its poll timeout.
+     * Returns a huge value when nothing is pending or the injector is
+     * not armed.
+     */
+    double nextEventMs() const;
+
+    /** Events fired so far, in firing order. */
+    const std::vector<FiredEvent>& firedEvents() const { return fired_; }
+
+    /**
+     * Canonical rendering of the schedule with every pre-drawn random
+     * parameter resolved; equal for equal (spec, seed) pairs.
+     */
+    std::string describeResolved() const;
+
+  private:
+    struct Resolved
+    {
+        FaultEvent event;
+        bool fired = false;
+        /** kCorrupt: raw draw, reduced modulo the frame length. */
+        std::uint64_t corruptOffsetDraw = 0;
+        /** kCorrupt: nonzero XOR mask, so the byte always changes. */
+        std::uint8_t corruptXor = 0;
+        /** kTruncate: fraction of the frame that survives, in [0, 1). */
+        double truncateFraction = 0.0;
+    };
+
+    /** First unfired due event of @p kind, or nullptr. */
+    Resolved* findDue(FaultKind kind, double nowMs);
+    bool consumeDue(FaultKind kind, double nowMs);
+    void recordFired(const Resolved& resolved, std::string detail);
+
+    std::vector<Resolved> events_;
+    util::Rng jitterRng_;
+    std::vector<FiredEvent> fired_;
+    double armMs_ = 0.0;
+    bool armed_ = false;
+    /** Active jitter bound; 0 until a jitter event fires. */
+    double jitterBoundMs_ = 0.0;
+};
+
+} // namespace tpc::faults

@@ -1,0 +1,161 @@
+#include "faults/fault_spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tpc::faults {
+namespace {
+
+struct KindName
+{
+    FaultKind kind;
+    const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::kCrash, "crash"},       {FaultKind::kRestart, "restart"},
+    {FaultKind::kStall, "stall"},       {FaultKind::kCorrupt, "corrupt"},
+    {FaultKind::kTruncate, "truncate"}, {FaultKind::kReset, "reset"},
+    {FaultKind::kJitter, "jitter"},
+};
+
+bool
+needsDuration(FaultKind kind)
+{
+    return kind == FaultKind::kStall || kind == FaultKind::kJitter;
+}
+
+std::string
+trim(const std::string& s)
+{
+    std::size_t begin = s.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    std::size_t end = s.find_last_not_of(" \t");
+    return s.substr(begin, end - begin + 1);
+}
+
+bool
+parseMs(const std::string& text, double* out)
+{
+    if (text.empty())
+        return false;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (!(value >= 0.0)) // rejects negatives and NaN
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+parseEvent(const std::string& token, FaultEvent* out, std::string* error)
+{
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) {
+        *error = "fault event '" + token + "' is missing '@time'";
+        return false;
+    }
+    const std::string name = trim(token.substr(0, at));
+    bool known = false;
+    for (const KindName& entry : kKindNames) {
+        if (name == entry.name) {
+            out->kind = entry.kind;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        *error = "unknown fault kind '" + name + "'";
+        return false;
+    }
+
+    std::string timing = trim(token.substr(at + 1));
+    const std::size_t colon = timing.find(':');
+    std::string durationText;
+    if (colon != std::string::npos) {
+        durationText = trim(timing.substr(colon + 1));
+        timing = trim(timing.substr(0, colon));
+    }
+    if (!parseMs(timing, &out->atMs)) {
+        *error = "fault event '" + token + "' has a bad time";
+        return false;
+    }
+    if (needsDuration(out->kind)) {
+        if (durationText.empty()) {
+            *error = "fault kind '" + name + "' needs ':durationMs'";
+            return false;
+        }
+        if (!parseMs(durationText, &out->durationMs) ||
+            out->durationMs <= 0.0) {
+            *error = "fault event '" + token + "' has a bad duration";
+            return false;
+        }
+    } else if (!durationText.empty()) {
+        *error = "fault kind '" + name + "' takes no duration";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind kind)
+{
+    for (const KindName& entry : kKindNames)
+        if (entry.kind == kind)
+            return entry.name;
+    return "unknown";
+}
+
+bool
+parseFaultSpec(const std::string& spec, FaultSchedule* out,
+               std::string* error)
+{
+    out->events.clear();
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t end = spec.find_first_of(";,", pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string token = trim(spec.substr(pos, end - pos));
+        pos = end + 1;
+        if (token.empty())
+            continue;
+        FaultEvent event;
+        if (!parseEvent(token, &event, error))
+            return false;
+        out->events.push_back(event);
+    }
+    std::stable_sort(out->events.begin(), out->events.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.atMs < b.atMs;
+                     });
+    return true;
+}
+
+std::string
+describeSchedule(const FaultSchedule& schedule)
+{
+    std::string text;
+    char buffer[96];
+    for (const FaultEvent& event : schedule.events) {
+        if (!text.empty())
+            text += ';';
+        if (needsDuration(event.kind))
+            std::snprintf(buffer, sizeof buffer, "%s@%g:%g",
+                          faultKindName(event.kind), event.atMs,
+                          event.durationMs);
+        else
+            std::snprintf(buffer, sizeof buffer, "%s@%g",
+                          faultKindName(event.kind), event.atMs);
+        text += buffer;
+    }
+    return text;
+}
+
+} // namespace tpc::faults

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Parsed fault schedules for deterministic fault injection.
+ *
+ * A fault spec is a compact CLI-friendly string describing *when* faults
+ * happen, e.g. "crash@500;restart@900" or "stall@200:50,jitter@0:5".
+ * Events are offsets in milliseconds from the moment the injector is
+ * armed (server start), so the same spec reproduces the same timeline on
+ * every run. Random details of an event (which byte a corruption flips,
+ * where a truncation cuts) are not part of the spec — they are drawn
+ * from the injector's seed, which makes them equally reproducible.
+ *
+ * Grammar (whitespace around tokens is ignored):
+ *
+ *   spec     := event ((';' | ',') event)*
+ *   event    := kind '@' timeMs [':' durationMs]
+ *   kind     := crash | restart | stall | corrupt | truncate | reset
+ *             | jitter
+ *
+ * Duration is required for stall (how long the loop blocks) and jitter
+ * (upper bound of the per-frame send delay) and rejected elsewhere.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpc::faults {
+
+/** What kind of failure an event injects. */
+enum class FaultKind : std::uint8_t {
+    /** Drop the listener and every live connection (process "dies"). */
+    kCrash,
+    /** Re-open the listener on the same port after a crash. */
+    kRestart,
+    /** Block the event loop for durationMs (GC pause / scheduler hiccup). */
+    kStall,
+    /** Flip one byte of the next outbound frame (wire corruption). */
+    kCorrupt,
+    /** Cut the next outbound frame short, then drop the connection. */
+    kTruncate,
+    /** Abruptly tear down one live connection (peer reset). */
+    kReset,
+    /** From this point on, delay each outbound frame by U[0, durationMs). */
+    kJitter,
+};
+
+/** Stable lowercase name, matching the spec grammar. */
+const char* faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kCrash;
+    /** Offset in ms from injector arm time. */
+    double atMs = 0.0;
+    /** Stall length / jitter bound; 0 for kinds without a duration. */
+    double durationMs = 0.0;
+};
+
+/** A parsed spec: events sorted by atMs (ties keep spec order). */
+struct FaultSchedule
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+};
+
+/**
+ * Parses @p spec into @p out. Returns false and fills @p error on
+ * malformed input (specs come from the CLI, so this never fatals).
+ * An empty spec parses to an empty schedule.
+ */
+bool parseFaultSpec(const std::string& spec, FaultSchedule* out,
+                    std::string* error);
+
+/** Canonical one-line rendering ("crash@500;restart@900"). */
+std::string describeSchedule(const FaultSchedule& schedule);
+
+} // namespace tpc::faults

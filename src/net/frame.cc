@@ -23,6 +23,21 @@ putU64(std::uint8_t* out, std::uint64_t value)
     putU32(out + 4, static_cast<std::uint32_t>(value >> 32));
 }
 
+void
+putU16(std::uint8_t* out, std::uint16_t value)
+{
+    out[0] = static_cast<std::uint8_t>(value);
+    out[1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+std::uint16_t
+getU16(const std::uint8_t* in)
+{
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(in[0]) |
+        static_cast<std::uint16_t>(in[1]) << 8);
+}
+
 std::uint32_t
 getU32(const std::uint8_t* in)
 {
@@ -55,7 +70,14 @@ encodeFrame(const Frame& frame, std::vector<std::uint8_t>& out)
     h[7] = static_cast<std::uint8_t>(frame.status);
     putU64(h + 8, frame.requestId);
     putU32(h + 16, static_cast<std::uint32_t>(frame.payload.size()));
-    putU32(h + 20, 0);
+    // Coverage rides only on kResponse frames; every other type keeps
+    // the four bytes reserved-zero so decoders can reject corruption.
+    if (frame.type == FrameType::kResponse) {
+        putU16(h + 20, frame.shardsAnswered);
+        putU16(h + 22, frame.shardsTotal);
+    } else {
+        putU32(h + 20, 0);
+    }
     if (!frame.payload.empty())
         std::memcpy(h + kHeaderSize, frame.payload.data(),
                     frame.payload.size());
@@ -86,14 +108,16 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         return fail("unknown frame type " +
                     std::to_string(static_cast<int>(type)));
     const std::uint8_t status = data[7];
-    if (status > static_cast<std::uint8_t>(FrameStatus::kError))
+    if (status > static_cast<std::uint8_t>(FrameStatus::kCancelled))
         return fail("unknown frame status " +
                     std::to_string(static_cast<int>(status)));
     const std::uint32_t payloadLength = getU32(data + 16);
     if (payloadLength > maxPayload)
         return fail("payload length " + std::to_string(payloadLength) +
                     " exceeds cap " + std::to_string(maxPayload));
-    if (getU32(data + 20) != 0)
+    const bool isResponse =
+        type == static_cast<std::uint8_t>(FrameType::kResponse);
+    if (!isResponse && getU32(data + 20) != 0)
         return fail("reserved header bytes must be zero");
     if (size < kHeaderSize + payloadLength)
         return result; // kNeedMore: header is sane, payload still arriving.
@@ -104,6 +128,10 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
     result.frame.cls = data[6];
     result.frame.status = static_cast<FrameStatus>(status);
     result.frame.requestId = getU64(data + 8);
+    if (isResponse) {
+        result.frame.shardsAnswered = getU16(data + 20);
+        result.frame.shardsTotal = getU16(data + 22);
+    }
     result.frame.payload.assign(data + kHeaderSize,
                                 data + kHeaderSize + payloadLength);
     return result;

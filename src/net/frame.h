@@ -19,7 +19,16 @@
  *        7     1  status (FrameStatus; responses only, 0 on requests)
  *        8     8  requestId (client-assigned, echoed in the response)
  *       16     4  payloadLength
- *       20     4  reserved (must be 0)
+ *       20     2  shardsAnswered (kResponse only; reserved-zero otherwise)
+ *       22     2  shardsTotal (kResponse only; reserved-zero otherwise)
+ *
+ * The coverage pair reports partial-result degradation on fan-out
+ * responses: shardsAnswered < shardsTotal means the merge ran without
+ * every shard (one was dead, open-circuit, or past its deadline) and the
+ * payload covers only the answering subset. Single-shard servers leave
+ * both fields zero. On every non-kResponse frame the four bytes stay
+ * reserved and must be zero, so corrupting them is still a hard decode
+ * error.
  */
 #pragma once
 
@@ -60,6 +69,10 @@ enum class FrameStatus : std::uint8_t {
     kBusy = 1,
     /** The server failed to execute the request. */
     kError = 2,
+    /** Admitted but cancelled before dispatch: its server-side deadline
+     *  expired while it sat in the queue. Distinct from kBusy so clients
+     *  and benchmarks can separate sheds from deadline cancellations. */
+    kCancelled = 3,
 };
 
 /** One decoded frame. */
@@ -71,7 +84,17 @@ struct Frame
     FrameStatus status = FrameStatus::kOk;
     /** Client-assigned id, echoed verbatim in the response. */
     std::uint64_t requestId = 0;
+    /** Fan-out coverage (kResponse only): shards merged into the payload
+     *  out of the shards the query spans. 0/0 means "not a fan-out". */
+    std::uint16_t shardsAnswered = 0;
+    std::uint16_t shardsTotal = 0;
     std::vector<std::uint8_t> payload;
+
+    /** True when a fan-out response was merged without full coverage. */
+    bool degraded() const
+    {
+        return shardsTotal != 0 && shardsAnswered < shardsTotal;
+    }
 };
 
 /** Appends the wire encoding of @p frame to @p out. */

@@ -30,6 +30,19 @@ struct ClientConn
     std::size_t writeOffset = 0;
     bool wantWrite = false;
     bool alive = false;
+    /** A reconnect dial is waiting for its writable event. */
+    bool connecting = false;
+    /** Earliest time a dead connection may re-dial. */
+    double retryAtMs = 0.0;
+};
+
+/** Bookkeeping of one unanswered request. */
+struct Pending
+{
+    /** Scheduled arrival time (ms), the open-loop latency base. */
+    double arrivalMs = 0.0;
+    /** Connection the request went out on. */
+    std::size_t conn = 0;
 };
 
 double
@@ -75,8 +88,9 @@ connectAll(const LoadGenConfig& config, std::vector<ClientConn>& conns)
     }
 }
 
-void
-flushConn(ClientConn& conn, Poller& poller, LoadGenResult& result)
+/** Flushes buffered frames; returns false when the connection died. */
+bool
+flushConn(ClientConn& conn, Poller& poller)
 {
     while (conn.writeOffset < conn.writeBuffer.size()) {
         std::size_t n = 0;
@@ -92,13 +106,9 @@ flushConn(ClientConn& conn, Poller& poller, LoadGenResult& result)
                 conn.wantWrite = true;
                 poller.modify(conn.fd.fd(), kPollIn | kPollOut);
             }
-            return;
+            return true;
         }
-        conn.alive = false;
-        ++result.connectionsLost;
-        poller.remove(conn.fd.fd());
-        conn.fd.reset();
-        return;
+        return false;
     }
     conn.writeBuffer.clear();
     conn.writeOffset = 0;
@@ -106,6 +116,7 @@ flushConn(ClientConn& conn, Poller& poller, LoadGenResult& result)
         conn.wantWrite = false;
         poller.modify(conn.fd.fd(), kPollIn);
     }
+    return true;
 }
 
 } // namespace
@@ -127,8 +138,8 @@ runLoadGen(const LoadGenConfig& config)
         poller.add(conn.fd.fd(), kPollIn);
 
     util::PoissonProcess arrivals(config.qps, util::Rng(config.seed));
-    /** Scheduled arrival time (ms) of each unanswered request. */
-    std::map<std::uint64_t, double> outstanding;
+    /** Unanswered requests keyed by wire id. */
+    std::map<std::uint64_t, Pending> outstanding;
 
     const auto epoch = Clock::now();
     double nextArrivalMs = arrivals.nextArrivalMs();
@@ -145,8 +156,56 @@ runLoadGen(const LoadGenConfig& config)
         return nowMs >= config.durationMs;
     };
 
+    // A dead connection fails its outstanding requests (they can never
+    // be answered on this stream) and is scheduled for a reconnect; the
+    // arrival process is never throttled by it.
+    auto failConn = [&](std::size_t idx, double nowMs) {
+        ClientConn& conn = conns[idx];
+        if (conn.fd.valid()) {
+            poller.remove(conn.fd.fd());
+            conn.fd.reset();
+        }
+        if (conn.alive)
+            ++result.connectionsLost;
+        conn.alive = false;
+        conn.connecting = false;
+        conn.wantWrite = false;
+        conn.writeBuffer.clear();
+        conn.writeOffset = 0;
+        conn.reader = FrameReader();
+        conn.retryAtMs = nowMs + config.reconnectDelayMs;
+        for (auto it = outstanding.begin(); it != outstanding.end();) {
+            if (it->second.conn == idx) {
+                ++result.failed;
+                it = outstanding.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    auto tryReconnect = [&](std::size_t idx, double nowMs) {
+        ClientConn& conn = conns[idx];
+        if (conn.alive || conn.connecting || nowMs < conn.retryAtMs)
+            return;
+        std::string error;
+        const int fd = connectTcp(config.host, config.port, &error);
+        if (fd < 0) {
+            conn.retryAtMs = nowMs + config.reconnectDelayMs;
+            return;
+        }
+        conn.fd.reset(fd);
+        conn.connecting = true;
+        conn.reader = FrameReader();
+        poller.add(fd, kPollOut);
+    };
+
     for (;;) {
         double nowMs = msSince(epoch);
+
+        if (!sendingDone)
+            for (std::size_t i = 0; i < conns.size(); ++i)
+                tryReconnect(i, nowMs);
 
         // An interrupt ends the arrival process, not the run: the drain
         // below still collects outstanding responses so the partial
@@ -167,13 +226,22 @@ runLoadGen(const LoadGenConfig& config)
                 nextConn = (nextConn + 1) % conns.size();
                 ++attempts;
             }
-            if (attempts == conns.size() && !conns[nextConn].alive) {
-                util::warn("loadgen: all connections lost; stopping early");
-                sendingDone = true;
-                sendingDoneAtMs = nowMs;
-                break;
+            if (!conns[nextConn].alive) {
+                // Every connection is down. The schedule keeps running —
+                // the arrival is recorded as failed instead of silently
+                // reducing the offered load; reconnects restore service.
+                ++result.sent;
+                ++result.failed;
+                ++seq;
+                nextArrivalMs = arrivals.nextArrivalMs();
+                if (doneSending(nowMs)) {
+                    sendingDone = true;
+                    sendingDoneAtMs = nowMs;
+                }
+                continue;
             }
-            ClientConn& conn = conns[nextConn];
+            const std::size_t connIdx = nextConn;
+            ClientConn& conn = conns[connIdx];
             nextConn = (nextConn + 1) % conns.size();
 
             Frame frame;
@@ -186,9 +254,8 @@ runLoadGen(const LoadGenConfig& config)
             if (config.payloadFn)
                 config.payloadFn(seq, frame.payload);
             encodeFrame(frame, conn.writeBuffer);
-            flushConn(conn, poller, result);
 
-            outstanding[seq] = nextArrivalMs;
+            outstanding[seq] = Pending{nextArrivalMs, connIdx};
             ++result.sent;
             ++seq;
             nextArrivalMs = arrivals.nextArrivalMs();
@@ -196,6 +263,8 @@ runLoadGen(const LoadGenConfig& config)
                 sendingDone = true;
                 sendingDoneAtMs = nowMs;
             }
+            if (!flushConn(conn, poller))
+                failConn(connIdx, nowMs);
         }
         if (!sendingDone && doneSending(nowMs)) {
             sendingDone = true;
@@ -222,23 +291,38 @@ runLoadGen(const LoadGenConfig& config)
         poller.wait(events, timeoutMs);
 
         for (const PollEvent& ev : events) {
-            auto connIt = std::find_if(conns.begin(), conns.end(),
-                                       [&ev](const ClientConn& c) {
-                                           return c.alive &&
-                                                  c.fd.fd() == ev.fd;
-                                       });
-            if (connIt == conns.end())
+            std::size_t connIdx = conns.size();
+            for (std::size_t i = 0; i < conns.size(); ++i) {
+                if ((conns[i].alive || conns[i].connecting) &&
+                    conns[i].fd.valid() && conns[i].fd.fd() == ev.fd) {
+                    connIdx = i;
+                    break;
+                }
+            }
+            if (connIdx == conns.size())
                 continue;
-            ClientConn& conn = *connIt;
-            if (ev.events & kPollErr) {
-                conn.alive = false;
-                ++result.connectionsLost;
-                poller.remove(conn.fd.fd());
-                conn.fd.reset();
+            ClientConn& conn = conns[connIdx];
+            nowMs = msSince(epoch);
+            if (conn.connecting) {
+                if ((ev.events & kPollErr) ||
+                    !connectSucceeded(conn.fd.fd())) {
+                    failConn(connIdx, nowMs);
+                    continue;
+                }
+                conn.connecting = false;
+                conn.alive = true;
+                ++result.reconnects;
+                poller.modify(conn.fd.fd(), kPollIn);
                 continue;
             }
-            if (ev.events & kPollOut)
-                flushConn(conn, poller, result);
+            if (ev.events & kPollErr) {
+                failConn(connIdx, nowMs);
+                continue;
+            }
+            if ((ev.events & kPollOut) && !flushConn(conn, poller)) {
+                failConn(connIdx, nowMs);
+                continue;
+            }
             if (!conn.alive || !(ev.events & kPollIn))
                 continue;
 
@@ -252,23 +336,27 @@ runLoadGen(const LoadGenConfig& config)
                 }
                 if (status == IoStatus::kWouldBlock)
                     break;
+                // Mid-stream disconnect: consume any complete frames
+                // already buffered, then fail the rest of the stream.
                 conn.alive = false;
-                ++result.connectionsLost;
-                poller.remove(conn.fd.fd());
-                conn.fd.reset();
                 break;
             }
+            const bool streamDied = !conn.alive;
+            conn.alive = true; // Frames below still need the reader.
 
             Frame response;
-            while (conn.alive && conn.reader.next(&response)) {
+            while (conn.reader.next(&response)) {
                 const auto it = outstanding.find(response.requestId);
                 if (it == outstanding.end())
                     continue; // Duplicate or unknown id; ignore.
-                const double responseMs = msSince(epoch) - it->second;
+                const double responseMs =
+                    msSince(epoch) - it->second.arrivalMs;
                 outstanding.erase(it);
                 switch (response.status) {
                 case FrameStatus::kOk:
                     ++result.completed;
+                    if (response.degraded())
+                        ++result.degraded;
                     result.latency.add(responseMs);
                     break;
                 case FrameStatus::kBusy:
@@ -277,16 +365,19 @@ runLoadGen(const LoadGenConfig& config)
                 case FrameStatus::kError:
                     ++result.errors;
                     break;
+                case FrameStatus::kCancelled:
+                    ++result.cancelled;
+                    break;
                 }
             }
-            if (conn.alive && conn.reader.broken()) {
+            if (conn.reader.broken()) {
                 util::warn("loadgen: protocol error from server: " +
                            conn.reader.error());
-                conn.alive = false;
-                ++result.connectionsLost;
-                poller.remove(conn.fd.fd());
-                conn.fd.reset();
+                failConn(connIdx, nowMs);
+                continue;
             }
+            if (streamDied)
+                failConn(connIdx, nowMs);
         }
     }
 
@@ -305,8 +396,8 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
     util::CsvWriter csv(path);
     std::vector<std::string> header = {
         "target_qps", "achieved_qps", "connections", "sent",
-        "completed",  "shed",         "errors",      "unanswered",
-        "elapsed_ms"};
+        "completed",  "degraded",     "shed",        "errors",
+        "cancelled",  "failed",       "unanswered",  "elapsed_ms"};
     const auto latencyHeader =
         stats::LatencySummary::csvHeader("response_ms_");
     header.insert(header.end(), latencyHeader.begin(), latencyHeader.end());
@@ -318,8 +409,11 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
         std::to_string(config.connections),
         std::to_string(result.sent),
         std::to_string(result.completed),
+        std::to_string(result.degraded),
         std::to_string(result.shed),
         std::to_string(result.errors),
+        std::to_string(result.cancelled),
+        std::to_string(result.failed),
         std::to_string(result.unanswered),
         std::to_string(result.elapsedMs)};
     const auto latencyRow = result.summary().toCsvRow();

@@ -47,6 +47,9 @@ struct LoadGenConfig
     /** How long to retry the initial connects (the server may still be
      *  starting, e.g. in CI). */
     double connectTimeoutMs = 10000.0;
+    /** Back-off between reconnect attempts after a connection dies
+     *  mid-run (the schedule keeps running meanwhile). */
+    double reconnectDelayMs = 100.0;
     /** How long to wait for outstanding responses after the last send. */
     double drainTimeoutMs = 10000.0;
     /** Optional payload customization, called after the sequence number
@@ -69,14 +72,28 @@ struct LoadGenResult
     std::uint64_t sent = 0;
     /** OK responses received. */
     std::uint64_t completed = 0;
+    /** OK responses whose coverage fields show a partial (degraded)
+     *  shard merge — a subset of `completed`. */
+    std::uint64_t degraded = 0;
     /** BUSY responses (shed by admission control). */
     std::uint64_t shed = 0;
     /** Error-status responses. */
     std::uint64_t errors = 0;
+    /** kCancelled responses (server-side deadline cancellations). */
+    std::uint64_t cancelled = 0;
+    /**
+     * Requests that failed because their connection died mid-stream
+     * (outstanding on a dropped connection, or scheduled while every
+     * connection was down). The open-loop schedule keeps running; these
+     * are counted, not silently converted into reduced offered load.
+     */
+    std::uint64_t failed = 0;
     /** Requests never answered (lost connection or drain timeout). */
     std::uint64_t unanswered = 0;
     /** Connections that dropped mid-run. */
     std::uint64_t connectionsLost = 0;
+    /** Successful mid-run reconnects after a drop. */
+    std::uint64_t reconnects = 0;
     /** Wall time from first scheduled arrival to loop exit (ms). */
     double elapsedMs = 0.0;
     /** sent / elapsed — sanity check against the configured QPS. */

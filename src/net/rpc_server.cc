@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fcntl.h>
+#include <thread>
 #include <unistd.h>
 
 #include "util/logging.h"
@@ -69,6 +71,12 @@ RpcServer::attachStageStats(obs::StageStatsCollector* stageStats)
 }
 
 void
+RpcServer::attachFaults(faults::FaultInjector* faults)
+{
+    faults_ = faults;
+}
+
+void
 RpcServer::attachMetrics(obs::MetricsRegistry* metrics)
 {
     metrics_ = metrics;
@@ -80,6 +88,9 @@ RpcServer::attachMetrics(obs::MetricsRegistry* metrics)
     metric_.shed = &metrics->counter("net_shed");
     metric_.connections = &metrics->counter("net_connections");
     metric_.protocolErrors = &metrics->counter("net_protocol_errors");
+    metric_.cancelled = &metrics->counter("net_cancelled");
+    metric_.disconnectsRetired = &metrics->counter("net_disconnects_retired");
+    metric_.faultsInjected = &metrics->counter("net_faults_injected");
     metric_.inFlight = &metrics->gauge("net_in_flight");
 }
 
@@ -160,6 +171,25 @@ RpcServer::closeConnection(std::uint64_t connId)
     poller_.remove(conn->fd.fd());
     connectionsById_.erase(byId);
     connectionsByFd_.erase(conn->fd.fd()); // Frees conn, closes the fd.
+
+    // Retire the dead connection's queued work: a cancelled job releases
+    // its admission slot right away (through the cancellation completion)
+    // instead of occupying a worker to compute a response nobody will
+    // read. Jobs already dispatched finish normally; their responses are
+    // discarded when the completion finds no connection.
+    std::uint64_t retired = 0;
+    for (const auto& [pendingId, pending] : pendings_) {
+        if (pending->connId != connId)
+            continue;
+        if (server_.tryCancel(pending->jobId))
+            ++retired;
+    }
+    if (retired > 0) {
+        if (metric_.disconnectsRetired != nullptr)
+            metric_.disconnectsRetired->inc(retired);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.disconnectsRetired += retired;
+    }
 }
 
 void
@@ -288,9 +318,12 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
             inner();
         onJobComplete(pendingId);
     };
+    job.queueDeadlineMs = config_.requestDeadlineMs;
+    job.onCancel = [this, pendingId] { onJobCancelled(pendingId); };
 
     pendings_[pendingId] = std::move(pending);
-    if (!server_.trySubmit(std::move(job))) {
+    std::uint64_t jobId = 0;
+    if (!server_.trySubmit(std::move(job), &jobId)) {
         // Lost the race against shutdown: undo the admission and answer
         // BUSY so the client can retry elsewhere.
         pendings_.erase(pendingId);
@@ -298,7 +331,9 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         if (metric_.inFlight != nullptr)
             metric_.inFlight->set(admission_.inFlight());
         busy();
+        return;
     }
+    pendings_[pendingId]->jobId = jobId;
 }
 
 void
@@ -306,7 +341,17 @@ RpcServer::onJobComplete(std::uint64_t pendingId)
 {
     {
         std::lock_guard<std::mutex> lock(completionMutex_);
-        completions_.push_back(pendingId);
+        completions_.push_back(Completion{pendingId, /*cancelled=*/false});
+    }
+    wake();
+}
+
+void
+RpcServer::onJobCancelled(std::uint64_t pendingId)
+{
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        completions_.push_back(Completion{pendingId, /*cancelled=*/true});
     }
     wake();
 }
@@ -314,31 +359,39 @@ RpcServer::onJobComplete(std::uint64_t pendingId)
 void
 RpcServer::processCompletions()
 {
-    std::vector<std::uint64_t> done;
+    std::vector<Completion> done;
     {
         std::lock_guard<std::mutex> lock(completionMutex_);
         done.swap(completions_);
     }
-    for (const std::uint64_t pendingId : done) {
-        const auto it = pendings_.find(pendingId);
+    for (const Completion& completion : done) {
+        const auto it = pendings_.find(completion.pendingId);
         TPC_CHECK(it != pendings_.end());
         PendingRequest& pending = *it->second;
         admission_.onComplete();
         if (metric_.inFlight != nullptr)
             metric_.inFlight->set(admission_.inFlight());
+        if (completion.cancelled) {
+            if (metric_.cancelled != nullptr)
+                metric_.cancelled->inc();
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.requestsCancelled;
+        }
 
         const auto connIt = connectionsById_.find(pending.connId);
         if (connIt != connectionsById_.end()) {
             Frame response;
             response.type = FrameType::kResponse;
-            response.status = FrameStatus::kOk;
+            response.status = completion.cancelled ? FrameStatus::kCancelled
+                                                   : FrameStatus::kOk;
             response.cls = pending.cls;
             response.requestId = pending.clientRequestId;
-            response.payload = std::move(pending.responsePayload);
+            if (!completion.cancelled)
+                response.payload = std::move(pending.responsePayload);
             recordNetEvent(obs::TraceEventType::kNetRespond,
                            pending.clientRequestId);
             sendFrame(*connIt->second, response);
-            {
+            if (!completion.cancelled) {
                 std::lock_guard<std::mutex> lock(statsMutex_);
                 ++stats_.responsesSent;
             }
@@ -350,7 +403,33 @@ RpcServer::processCompletions()
 void
 RpcServer::sendFrame(Connection& conn, const Frame& frame)
 {
-    encodeFrame(frame, conn.writeBuffer);
+    if (faults_ == nullptr) {
+        encodeFrame(frame, conn.writeBuffer);
+        flushWrites(conn);
+        return;
+    }
+    // Fault path: encode separately so an injected corruption/truncation
+    // touches exactly this frame, and injected network jitter can hold
+    // it back without reordering the stream.
+    if (conn.closeAfterFlush)
+        return; // Stream already doomed by a truncation.
+    std::vector<std::uint8_t> bytes;
+    encodeFrame(frame, bytes);
+    const double now = nowMs();
+    const faults::FrameMutation mutation = faults_->mutateFrame(now, bytes, 0);
+    const double delayMs = faults_->sendDelayMs(now);
+    if (delayMs > 0.0 || !conn.delayed.empty()) {
+        DelayedFrame delayedFrame;
+        delayedFrame.releaseAtMs = now + delayMs;
+        delayedFrame.bytes = std::move(bytes);
+        delayedFrame.truncated = mutation == faults::FrameMutation::kTruncated;
+        conn.delayed.push_back(std::move(delayedFrame));
+        return;
+    }
+    conn.writeBuffer.insert(conn.writeBuffer.end(), bytes.begin(),
+                            bytes.end());
+    if (mutation == faults::FrameMutation::kTruncated)
+        conn.closeAfterFlush = true;
     flushWrites(conn);
 }
 
@@ -382,6 +461,93 @@ RpcServer::flushWrites(Connection& conn)
         conn.wantWrite = false;
         poller_.modify(conn.fd.fd(), kPollIn);
     }
+    // An injected truncation doomed this stream: the mangled prefix is
+    // out, now cut the connection like a crashing peer would.
+    if (conn.closeAfterFlush)
+        closeConnection(conn.connId);
+}
+
+void
+RpcServer::applyFaults(double now)
+{
+    const double stallMs = faults_->takeStallMs(now);
+    if (stallMs > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(stallMs));
+    if (faults_->resetPending(now) && !connectionsById_.empty())
+        closeConnection(connectionsById_.begin()->first);
+    if (faults_->crashPending(now)) {
+        // Injected crash: the "process" disappears — listener and every
+        // connection drop at once. Work already dispatched still
+        // finishes (the workers are this process), but its responses go
+        // nowhere, which is what a restarted shard looks like to peers.
+        if (listenFd_.valid()) {
+            poller_.remove(listenFd_.fd());
+            listenFd_.reset();
+        }
+        while (!connectionsById_.empty())
+            closeConnection(connectionsById_.begin()->first);
+        faultDown_ = true;
+    }
+    if (faultDown_ && faults_->restartPending(now)) {
+        // SO_REUSEADDR makes rebinding the same port safe here.
+        listenFd_.reset(listenTcp(port_, &port_, config_.bindAddress,
+                                  config_.backlog));
+        poller_.add(listenFd_.fd(), kPollIn);
+        faultDown_ = false;
+    }
+    releaseDelayedFrames(now);
+    {
+        const std::uint64_t fired = faults_->firedEvents().size();
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        if (metric_.faultsInjected != nullptr &&
+            fired > stats_.faultsInjected)
+            metric_.faultsInjected->inc(fired - stats_.faultsInjected);
+        stats_.faultsInjected = fired;
+    }
+}
+
+void
+RpcServer::releaseDelayedFrames(double now)
+{
+    std::vector<std::uint64_t> ready;
+    for (const auto& [fd, conn] : connectionsByFd_)
+        if (!conn->delayed.empty() &&
+            conn->delayed.front().releaseAtMs <= now)
+            ready.push_back(conn->connId);
+    for (const std::uint64_t connId : ready) {
+        const auto it = connectionsById_.find(connId);
+        if (it == connectionsById_.end())
+            continue;
+        Connection& conn = *it->second;
+        while (!conn.delayed.empty() &&
+               conn.delayed.front().releaseAtMs <= now) {
+            DelayedFrame& front = conn.delayed.front();
+            conn.writeBuffer.insert(conn.writeBuffer.end(),
+                                    front.bytes.begin(), front.bytes.end());
+            if (front.truncated)
+                conn.closeAfterFlush = true;
+            conn.delayed.pop_front();
+            if (conn.closeAfterFlush) {
+                conn.delayed.clear();
+                break;
+            }
+        }
+        flushWrites(conn); // May close the connection (truncation).
+    }
+}
+
+double
+RpcServer::faultTimeoutMs(double now, double cap) const
+{
+    double next = faults_->nextEventMs();
+    for (const auto& [fd, conn] : connectionsByFd_)
+        if (!conn->delayed.empty())
+            next = std::min(next, conn->delayed.front().releaseAtMs);
+    const double wait = next - now;
+    if (!(wait < cap)) // Also covers +infinity.
+        return cap;
+    return std::max(1.0, wait);
 }
 
 void
@@ -390,8 +556,18 @@ RpcServer::run()
     std::vector<PollEvent> events;
     const int timeoutMs =
         std::max(1, static_cast<int>(config_.pollTimeoutMs));
+    if (faults_ != nullptr)
+        faults_->arm(nowMs());
     while (!stopRequested_.load(std::memory_order_acquire)) {
-        poller_.wait(events, timeoutMs);
+        int waitMs = timeoutMs;
+        if (faults_ != nullptr) {
+            const double now = nowMs();
+            applyFaults(now);
+            waitMs = std::max(
+                1, static_cast<int>(
+                       std::ceil(faultTimeoutMs(now, config_.pollTimeoutMs))));
+        }
+        poller_.wait(events, waitMs);
         for (const PollEvent& ev : events) {
             if (ev.fd == listenFd_.fd()) {
                 acceptReady();
@@ -422,8 +598,11 @@ RpcServer::run()
     // Graceful stop: refuse new connections and submissions, finish every
     // admitted request, and flush its response (bounded by the drain
     // timeout). Requests arriving during the drain are answered BUSY.
-    poller_.remove(listenFd_.fd());
-    listenFd_.reset();
+    // (The listener may already be gone when an injected crash took it.)
+    if (listenFd_.valid()) {
+        poller_.remove(listenFd_.fd());
+        listenFd_.reset();
+    }
     server_.beginDrain();
     const auto deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -431,9 +610,12 @@ RpcServer::run()
                                config_.drainTimeoutMs));
     for (;;) {
         processCompletions();
+        if (faults_ != nullptr)
+            releaseDelayedFrames(nowMs());
         bool writesPending = false;
         for (const auto& [fd, conn] : connectionsByFd_) {
-            if (conn->writeOffset < conn->writeBuffer.size())
+            if (conn->writeOffset < conn->writeBuffer.size() ||
+                !conn->delayed.empty())
                 writesPending = true;
         }
         if (pendings_.empty() && !writesPending)

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -31,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "net/admission.h"
 #include "net/frame.h"
 #include "net/poller.h"
@@ -59,6 +61,13 @@ struct RpcServerConfig
     double pollTimeoutMs = 10.0;
     /** How long run() keeps flushing responses after stop (ms). */
     double drainTimeoutMs = 5000.0;
+    /**
+     * Server-side request deadline (ms from admission); 0 disables.
+     * An admitted request still queued when its deadline expires is
+     * cancelled before dispatch and answered with kCancelled — counted
+     * distinctly from admission sheds.
+     */
+    double requestDeadlineMs = 0.0;
 };
 
 /**
@@ -80,6 +89,13 @@ struct RpcServerStats
     std::uint64_t protocolErrors = 0;
     /** kStatsRequest frames answered (not counted as requests). */
     std::uint64_t statszServed = 0;
+    /** Admitted requests cancelled before dispatch (deadline expiry). */
+    std::uint64_t requestsCancelled = 0;
+    /** Queued requests retired because their connection died (write
+     *  error / disconnect) — their admission slots were released early. */
+    std::uint64_t disconnectsRetired = 0;
+    /** Faults the injector has fired so far (0 without an injector). */
+    std::uint64_t faultsInjected = 0;
 };
 
 /** Produces the /statsz exposition text; runs on the event-loop thread
@@ -148,12 +164,30 @@ class RpcServer
      *  the same collector for completion decomposition. */
     void attachStageStats(obs::StageStatsCollector* stageStats);
 
+    /**
+     * Attaches a fault injector (borrowed; nullptr detaches). Call
+     * before run(); the injector is armed when the loop starts. With no
+     * injector attached every fault hook is one untaken branch. The
+     * injector is driven only from the event-loop thread.
+     */
+    void attachFaults(faults::FaultInjector* faults);
+
     /** Admission counters (accepted / shed / in-flight). */
     const AdmissionController& admission() const { return admission_; }
 
     RpcServerStats stats() const;
 
   private:
+    /** One response frame held back by an injected network delay. */
+    struct DelayedFrame
+    {
+        double releaseAtMs = 0.0;
+        std::vector<std::uint8_t> bytes;
+        /** The injector truncated this frame: drop the connection once
+         *  the surviving prefix is flushed. */
+        bool truncated = false;
+    };
+
     /** One client connection owned by the event loop. */
     struct Connection
     {
@@ -164,6 +198,10 @@ class RpcServer
         std::vector<std::uint8_t> writeBuffer;
         std::size_t writeOffset = 0;
         bool wantWrite = false;
+        /** Frames awaiting their injected release time (fault mode). */
+        std::deque<DelayedFrame> delayed;
+        /** Injected truncation: close after the write buffer drains. */
+        bool closeAfterFlush = false;
     };
 
     /** Server-side state of one admitted request. */
@@ -173,9 +211,18 @@ class RpcServer
         std::uint64_t connId = 0;
         std::uint64_t clientRequestId = 0;
         std::uint8_t cls = 0;
+        /** ThreadedServer job id, for tryCancel on disconnect. */
+        std::uint64_t jobId = 0;
         /** Filled by the job's closures on worker threads; read by the
          *  event loop only after the completion notification. */
         std::vector<std::uint8_t> responsePayload;
+    };
+
+    /** One finished (or cancelled) job, queued for the event loop. */
+    struct Completion
+    {
+        std::uint64_t pendingId = 0;
+        bool cancelled = false;
     };
 
     void acceptReady();
@@ -187,6 +234,14 @@ class RpcServer
     void processCompletions();
     /** Worker-side completion hook; wakes the event loop. */
     void onJobComplete(std::uint64_t pendingId);
+    /** Scheduler-side cancellation hook; wakes the event loop. */
+    void onJobCancelled(std::uint64_t pendingId);
+    /** Fires due injector events; called once per loop iteration. */
+    void applyFaults(double now);
+    /** Moves due delayed frames into their write buffers. */
+    void releaseDelayedFrames(double now);
+    /** Ms until the injector next needs the loop (bounded by cap). */
+    double faultTimeoutMs(double now, double cap) const;
     void wake();
     void drainWakePipe();
     void recordNetEvent(obs::TraceEventType type, std::uint64_t requestId);
@@ -215,7 +270,12 @@ class RpcServer
 
     /** Completions queued by workers for the event loop. */
     std::mutex completionMutex_;
-    std::vector<std::uint64_t> completions_;
+    std::vector<Completion> completions_;
+
+    /** Fault injection (borrowed; nullptr when off). */
+    faults::FaultInjector* faults_ = nullptr;
+    /** An injected crash dropped the listener; restart re-opens it. */
+    bool faultDown_ = false;
 
     obs::TraceRecorder* trace_ = nullptr;
     int traceServerId_ = 0;
@@ -228,6 +288,9 @@ class RpcServer
         obs::Counter* shed = nullptr;
         obs::Counter* connections = nullptr;
         obs::Counter* protocolErrors = nullptr;
+        obs::Counter* cancelled = nullptr;
+        obs::Counter* disconnectsRetired = nullptr;
+        obs::Counter* faultsInjected = nullptr;
         obs::Gauge* inFlight = nullptr;
     } metric_;
 

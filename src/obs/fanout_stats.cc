@@ -18,6 +18,8 @@ stragglerCauseName(StragglerCause cause)
         return "hedge_won";
     case StragglerCause::kShardTail:
         return "shard_tail";
+    case StragglerCause::kShardDown:
+        return "shard_down";
     }
     return "unknown";
 }
@@ -27,6 +29,10 @@ classifyStraggler(const FanoutRecord& record)
 {
     if (record.targetMs <= 0.0 || record.responseMs <= record.targetMs)
         return StragglerCause::kNone;
+    // A dead shard dominates everything else: the leg never had a path
+    // to a reply, so the merge was degraded by construction.
+    if (record.anyShardDown)
+        return StragglerCause::kShardDown;
     // A leg with no usable reply is the severest failure: the client got
     // a partial result no hedge or merge could repair.
     if (record.anyDeadlineMiss)
@@ -61,6 +67,13 @@ FanoutStatsCollector::record(const FanoutRecord& record)
     ++cls.completions;
     ++records_;
     cls.responseMs.add(record.responseMs);
+    if (record.shardsTotal != 0) {
+        cls.coveragePct.add(100.0 *
+                            static_cast<double>(record.shardsAnswered) /
+                            static_cast<double>(record.shardsTotal));
+        if (record.shardsAnswered < record.shardsTotal)
+            ++cls.degraded;
+    }
     const StragglerCause cause = classifyStraggler(record);
     if (cause != StragglerCause::kNone) {
         ++cls.tail;
@@ -134,6 +147,52 @@ FanoutStatsCollector::recordClientShed(std::uint32_t cls)
     ++classes_[clampClass(cls)].clientShed;
 }
 
+FanoutBreakerSnapshot&
+FanoutStatsCollector::breakerLocked(const std::string& endpoint)
+{
+    for (FanoutBreakerSnapshot& b : breakers_)
+        if (b.endpoint == endpoint)
+            return b;
+    FanoutBreakerSnapshot b;
+    b.endpoint = endpoint;
+    // Keep the vector sorted so snapshots render endpoints stably.
+    auto it = breakers_.begin();
+    while (it != breakers_.end() && it->endpoint < endpoint)
+        ++it;
+    return *breakers_.insert(it, std::move(b));
+}
+
+void
+FanoutStatsCollector::onBreakerState(const std::string& endpoint, int state)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FanoutBreakerSnapshot& b = breakerLocked(endpoint);
+    if (state == 1 && b.state != 1)
+        ++b.opened;
+    if (state == 0 && b.state != 0)
+        ++b.closed;
+    b.state = state;
+    if (state == 0)
+        b.backoffMs = 0.0;
+}
+
+void
+FanoutStatsCollector::onBreakerProbe(const std::string& endpoint)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++breakerLocked(endpoint).probes;
+}
+
+void
+FanoutStatsCollector::onReconnectAttempt(const std::string& endpoint,
+                                         double backoffMs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FanoutBreakerSnapshot& b = breakerLocked(endpoint);
+    ++b.reconnects;
+    b.backoffMs = backoffMs;
+}
+
 double
 FanoutStatsCollector::shardLatencyQuantile(std::size_t shard, double q,
                                            std::uint64_t minSamples) const
@@ -153,6 +212,7 @@ FanoutStatsCollector::snapshot() const
     FanoutSnapshot snap;
     snap.classes = classes_;
     snap.shards = shards_;
+    snap.breakers = breakers_;
     snap.records = records_;
     snap.unmatchedResponses = unmatchedResponses_;
     return snap;

@@ -48,9 +48,13 @@ enum class StragglerCause : std::uint8_t {
     /** All shards answered normally; the slowest shard's ordinary
      *  service-time tail simply pushed the response past E. */
     kShardTail = 4,
+    /** At least one shard leg was down (circuit breaker open or the
+     *  connection dead) when the query fanned out — the client got a
+     *  degraded partial merge from the surviving shards. */
+    kShardDown = 5,
 };
 
-inline constexpr std::size_t kStragglerCauseCount = 5;
+inline constexpr std::size_t kStragglerCauseCount = 6;
 
 /** Stable lower-case name used in /statsz labels and tables. */
 const char* stragglerCauseName(StragglerCause cause);
@@ -74,6 +78,13 @@ struct FanoutRecord
     bool anyShed = false;
     /** A hedged backup request won at least one shard leg. */
     bool anyHedgeWin = false;
+    /** A shard leg was skipped or settled because its endpoint was down
+     *  (breaker open / connection dead) — the result is degraded. */
+    bool anyShardDown = false;
+    /** Shards whose usable reply made it into the merged response. */
+    std::uint16_t shardsAnswered = 0;
+    /** Shards the query logically covers; 0 when coverage is untracked. */
+    std::uint16_t shardsTotal = 0;
 };
 
 /**
@@ -81,7 +92,8 @@ struct FanoutRecord
  * deterministic; for any record with targetMs > 0 and
  * responseMs > targetMs it returns exactly one completion cause, so
  * summing per-cause counts reproduces the over-target count. Priority:
- * missing shard reply, shard shed, late hedge win, ordinary shard tail.
+ * shard down (degraded merge), missing shard reply, shard shed, late
+ * hedge win, ordinary shard tail.
  */
 StragglerCause classifyStraggler(const FanoutRecord& record);
 
@@ -119,7 +131,32 @@ struct FanoutClassSnapshot
     /** Client requests rejected by aggregator admission (never fanned
      *  out; not completions, kept out of the cause sum). */
     std::uint64_t clientShed = 0;
+    /** Completions answered with partial coverage (a subset of the
+     *  tracked completions, so not part of the cause sum either). */
+    std::uint64_t degraded = 0;
     stats::LogHistogram responseMs;
+    /** Coverage percentage (answered/total * 100) of every completion
+     *  with tracked coverage; a healthy tier sits at 100. */
+    stats::LogHistogram coveragePct;
+};
+
+/** Live view of one upstream endpoint's circuit breaker. */
+struct FanoutBreakerSnapshot
+{
+    /** Endpoint key, host:port. */
+    std::string endpoint;
+    /** 0 = closed, 1 = open, 2 = half-open. */
+    int state = 0;
+    /** closed -> open transitions (trips). */
+    std::uint64_t opened = 0;
+    /** half-open probe sub-requests issued. */
+    std::uint64_t probes = 0;
+    /** open/half-open -> closed transitions (recoveries). */
+    std::uint64_t closed = 0;
+    /** Reconnect dials attempted after a drop. */
+    std::uint64_t reconnects = 0;
+    /** Current reconnect backoff delay (ms). */
+    double backoffMs = 0.0;
 };
 
 /** Immutable merged view of the collector at one point in time. */
@@ -127,6 +164,8 @@ struct FanoutSnapshot
 {
     std::vector<FanoutClassSnapshot> classes;
     std::vector<FanoutShardSnapshot> shards;
+    /** Per-endpoint breaker state, sorted by endpoint key. */
+    std::vector<FanoutBreakerSnapshot> breakers;
     /** Total completions folded in across classes. */
     std::uint64_t records = 0;
     /** Replies that matched no outstanding sub-request at all (the
@@ -172,6 +211,20 @@ class FanoutStatsCollector
     void recordClientShed(std::uint32_t cls);
 
     /**
+     * Records a breaker state change for an endpoint (0 closed, 1 open,
+     * 2 half-open). Transitions into open count as trips; transitions
+     * into closed from a non-closed state count as recoveries. Unknown
+     * endpoints are created on first use.
+     */
+    void onBreakerState(const std::string& endpoint, int state);
+
+    /** Counts a half-open probe sub-request for the endpoint. */
+    void onBreakerProbe(const std::string& endpoint);
+
+    /** Counts a reconnect dial and records the backoff now in force. */
+    void onReconnectAttempt(const std::string& endpoint, double backoffMs);
+
+    /**
      * Approximate q-quantile of the shard's observed reply latency, or
      * a negative value while the histogram holds fewer than @p minSamples
      * observations (callers fall back to a configured delay).
@@ -193,11 +246,16 @@ class FanoutStatsCollector
         return cls < last ? cls : last;
     }
 
+    /** Finds (or creates) the breaker slot for an endpoint key. */
+    FanoutBreakerSnapshot& breakerLocked(const std::string& endpoint);
+
     std::vector<std::string> classNames_;
     std::vector<std::string> shardNames_;
     mutable std::mutex mutex_;
     std::vector<FanoutClassSnapshot> classes_;
     std::vector<FanoutShardSnapshot> shards_;
+    /** Sorted by endpoint key (kept small: one entry per upstream). */
+    std::vector<FanoutBreakerSnapshot> breakers_;
     std::uint64_t records_ = 0;
     std::uint64_t unmatchedResponses_ = 0;
 };

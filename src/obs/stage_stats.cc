@@ -25,6 +25,8 @@ tailCauseName(TailCause cause)
         return "no_idle_workers";
     case TailCause::kShed:
         return "shed";
+    case TailCause::kCancelled:
+        return "cancelled";
     }
     return "unknown";
 }
@@ -137,6 +139,18 @@ StageStatsCollector::recordShed(std::uint32_t cls)
     std::lock_guard<std::mutex> lock(s.mutex);
     ++s.classes[clampClass(cls)]
           .causes[static_cast<std::size_t>(TailCause::kShed)];
+}
+
+void
+StageStatsCollector::recordCancelled(std::uint32_t cls)
+{
+    const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+        shards_.size();
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.classes[clampClass(cls)]
+          .causes[static_cast<std::size_t>(TailCause::kCancelled)];
 }
 
 StageSnapshot

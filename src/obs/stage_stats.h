@@ -51,9 +51,12 @@ enum class TailCause : std::uint8_t {
     kNoIdleWorkers = 4,
     /** Rejected by admission control (never executed). */
     kShed = 5,
+    /** Admitted but cancelled before dispatch: its server-side deadline
+     *  expired while it waited in the queue (never executed). */
+    kCancelled = 6,
 };
 
-inline constexpr std::size_t kTailCauseCount = 6;
+inline constexpr std::size_t kTailCauseCount = 7;
 
 /** Stable lower-case name used in /statsz labels and tables. */
 const char* tailCauseName(TailCause cause);
@@ -103,7 +106,8 @@ struct StageClassSnapshot
     /** Completions with responseMs > targetMs (targeted requests only). */
     std::uint64_t tail = 0;
     /** Per-cause counts; the four completion causes sum to `tail`,
-     *  kShed counts admission rejections (never completions). */
+     *  kShed counts admission rejections and kCancelled deadline
+     *  cancellations (neither are completions). */
     std::array<std::uint64_t, kTailCauseCount> causes{};
     double predictedSumMs = 0.0;
     double serviceSumMs = 0.0;
@@ -163,6 +167,9 @@ class StageStatsCollector
 
     /** Counts an admission rejection under cause `shed`. */
     void recordShed(std::uint32_t cls);
+
+    /** Counts a pre-dispatch deadline cancellation under `cancelled`. */
+    void recordCancelled(std::uint32_t cls);
 
     /** Merged view of all shards (allocates; call off the hot path or
      *  through a StatsSampler). */

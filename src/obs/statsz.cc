@@ -134,6 +134,23 @@ renderFanout(PrometheusWriter& w, const FanoutSnapshot& fanout)
                      c.causes[i]);
     }
 
+    w.header("fanout_degraded_total",
+             "Aggregated responses answered with partial coverage "
+             "(surviving-shard merge; a shard leg was down or late).",
+             "counter");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        w.sample("fanout_degraded_total",
+                 {PrometheusWriter::label("class", c.name)}, c.degraded);
+
+    w.header("fanout_coverage_pct",
+             "Coverage (answered/total shards * 100) quantiles of "
+             "aggregated responses; a healthy tier sits at 100.",
+             "summary");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        emitQuantiles(w, "fanout_coverage_pct",
+                      {PrometheusWriter::label("class", c.name)},
+                      c.coveragePct);
+
     w.header("fanout_client_shed_total",
              "Client requests rejected by aggregator admission control.",
              "counter");
@@ -187,6 +204,46 @@ renderFanout(PrometheusWriter& w, const FanoutSnapshot& fanout)
                      "Replies arriving after the leg was settled or the "
                      "client answered (hedge losers, post-deadline).",
                      &FanoutShardSnapshot::lateResponses);
+
+    if (!fanout.breakers.empty()) {
+        w.header("fanout_breaker_state",
+                 "Circuit-breaker state per upstream endpoint "
+                 "(0 closed, 1 open, 2 half-open).",
+                 "gauge");
+        for (const FanoutBreakerSnapshot& b : fanout.breakers)
+            w.sample("fanout_breaker_state",
+                     {PrometheusWriter::label("endpoint", b.endpoint)},
+                     static_cast<double>(b.state));
+        w.header("fanout_breaker_backoff_ms",
+                 "Current reconnect backoff per upstream endpoint.",
+                 "gauge");
+        for (const FanoutBreakerSnapshot& b : fanout.breakers)
+            w.sample("fanout_breaker_backoff_ms",
+                     {PrometheusWriter::label("endpoint", b.endpoint)},
+                     b.backoffMs);
+        const auto emitBreakerCounter =
+            [&w, &fanout](const char* name, const char* help,
+                          std::uint64_t FanoutBreakerSnapshot::* member) {
+                w.header(name, help, "counter");
+                for (const FanoutBreakerSnapshot& b : fanout.breakers)
+                    w.sample(name,
+                             {PrometheusWriter::label("endpoint",
+                                                      b.endpoint)},
+                             b.*member);
+            };
+        emitBreakerCounter("fanout_breaker_opened_total",
+                           "Breaker trips (transitions into open).",
+                           &FanoutBreakerSnapshot::opened);
+        emitBreakerCounter("fanout_breaker_closed_total",
+                           "Breaker recoveries (transitions into closed).",
+                           &FanoutBreakerSnapshot::closed);
+        emitBreakerCounter("fanout_breaker_probes_total",
+                           "Half-open probe sub-requests issued.",
+                           &FanoutBreakerSnapshot::probes);
+        emitBreakerCounter("fanout_reconnects_total",
+                           "Reconnect dials attempted after a drop.",
+                           &FanoutBreakerSnapshot::reconnects);
+    }
 
     w.header("fanout_unmatched_responses_total",
              "Replies matching no live fan-out (already reclaimed).",
@@ -246,6 +303,18 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
     w.header("tpc_in_flight", "Admitted requests not yet answered.",
              "gauge");
     w.sample("tpc_in_flight", {}, info.inFlight);
+    w.header("tpc_cancelled_total",
+             "Admitted requests cancelled before dispatch by the "
+             "server-side deadline (distinct from sheds).",
+             "counter");
+    w.sample("tpc_cancelled_total", {}, info.cancelled);
+    w.header("tpc_disconnects_retired_total",
+             "Queued requests retired because their connection died.",
+             "counter");
+    w.sample("tpc_disconnects_retired_total", {}, info.disconnectsRetired);
+    w.header("tpc_faults_injected_total",
+             "Faults fired by an attached fault injector.", "counter");
+    w.sample("tpc_faults_injected_total", {}, info.faultsInjected);
     w.header("tpc_trace_dropped_events_total",
              "Trace events dropped by capacity-bounded shards.", "counter");
     w.sample("tpc_trace_dropped_events_total", {},

@@ -49,6 +49,13 @@ struct StatszInfo
     std::uint64_t admitted = 0;
     std::uint64_t shed = 0;
     std::uint64_t inFlight = 0;
+    /** Admitted requests cancelled before dispatch (server-side deadline
+     *  expiry) — distinct from admission sheds. */
+    std::uint64_t cancelled = 0;
+    /** Queued requests retired because their connection died. */
+    std::uint64_t disconnectsRetired = 0;
+    /** Faults fired by an attached injector (0 without one). */
+    std::uint64_t faultsInjected = 0;
     /** TraceRecorder::droppedEvents() when tracing, else 0. */
     std::uint64_t droppedTraceEvents = 0;
     double uptimeMs = 0.0;

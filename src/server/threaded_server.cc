@@ -141,6 +141,36 @@ ThreadedServer::trySubmit(ThreadedJob job, std::uint64_t* idOut)
     return true;
 }
 
+bool
+ThreadedServer::tryCancel(std::uint64_t id)
+{
+    std::function<void()> onCancel;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [id](const QueuedJob& queued) {
+                                   return queued.id == id;
+                               });
+        if (it == queue_.end())
+            return false;
+        onCancel = std::move(it->job.onCancel);
+        queue_.erase(it);
+        ++cancelled_;
+        updateGaugesLocked();
+    }
+    if (onCancel)
+        onCancel();
+    drainCv_.notify_all();
+    return true;
+}
+
+std::uint64_t
+ThreadedServer::cancelledCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+}
+
 void
 ThreadedServer::beginDrain()
 {
@@ -318,7 +348,29 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
 void
 ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
 {
-    while (!queue_.empty() && allocatedWorkers_ < config_.numWorkers) {
+    while (!queue_.empty()) {
+        // Server-side deadline enforcement: a job whose queue deadline
+        // already passed is cancelled instead of dispatched — running it
+        // would burn workers on a response the client has given up on.
+        // Checked even when every worker is busy, which is exactly when
+        // deadlines expire. FIFO order means the front is always the
+        // closest to expiry.
+        if (queue_.front().job.queueDeadlineMs > 0.0 &&
+            msBetween(queue_.front().submitTime, Clock::now()) >
+                queue_.front().job.queueDeadlineMs) {
+            QueuedJob expired = std::move(queue_.front());
+            queue_.pop_front();
+            ++cancelled_;
+            if (stageStats_ != nullptr)
+                stageStats_->recordCancelled(expired.job.cls);
+            updateGaugesLocked();
+            if (expired.job.onCancel)
+                expired.job.onCancel();
+            drainCv_.notify_all();
+            continue;
+        }
+        if (allocatedWorkers_ >= config_.numWorkers)
+            break;
         QueuedJob queued = std::move(queue_.front());
         queue_.pop_front();
 

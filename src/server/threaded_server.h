@@ -63,6 +63,15 @@ struct ThreadedJob
     std::function<void(int)> task;
     /** Sequential post-phase (merge/rescore); may be empty. */
     std::function<void()> postamble;
+    /**
+     * Server-side queue deadline (ms from submit); 0 disables. A job
+     * still queued when its deadline expires is cancelled before
+     * dispatch: none of its closures run except onCancel.
+     */
+    double queueDeadlineMs = 0.0;
+    /** Runs (on the scheduler thread) when the job is cancelled —
+     *  deadline expiry or tryCancel(). Must not block. */
+    std::function<void()> onCancel;
 };
 
 /** Completion record of one threaded request. */
@@ -117,6 +126,18 @@ class ThreadedServer
      * path for callers that race against shutdown (the RPC layer).
      */
     bool trySubmit(ThreadedJob job, std::uint64_t* idOut = nullptr);
+
+    /**
+     * Removes a still-queued job: its closures never run, only its
+     * onCancel fires (from the calling thread). Returns false when the
+     * job already dispatched, completed, or never existed — the caller
+     * must then wait for the normal completion path. Used by the RPC
+     * layer to retire requests whose connection died.
+     */
+    bool tryCancel(std::uint64_t id);
+
+    /** Jobs cancelled before dispatch (deadline expiry + tryCancel). */
+    std::uint64_t cancelledCount() const;
 
     /** Stops accepting new work; in-flight requests keep running. After
      *  this, trySubmit() returns false and submit() is fatal. */
@@ -257,6 +278,7 @@ class ThreadedServer
     std::map<std::uint64_t, ActiveRequest> active_;
     std::vector<ThreadedOutcome> outcomes_;
     std::uint64_t nextId_ = 0;
+    std::uint64_t cancelled_ = 0;
     int allocatedWorkers_ = 0;
     /** No longer accepting submissions (graceful drain). */
     bool draining_ = false;

@@ -168,9 +168,10 @@ TEST(FanoutStatsCollector, CauseCountersSumToTail)
 class ShardProcess
 {
   public:
-    ShardProcess(double taskMs, std::uint64_t stallEveryN, double stallMs)
+    ShardProcess(double taskMs, std::uint64_t stallEveryN, double stallMs,
+                 std::uint16_t port = 0)
         : threaded_(shardConfig(), policy_),
-          rpc_(rpcConfig(), threaded_,
+          rpc_(rpcConfig(port), threaded_,
                [taskMs, stallEveryN, stallMs](
                    const net::Frame& request,
                    std::vector<std::uint8_t>& responsePayload) {
@@ -218,10 +219,10 @@ class ShardProcess
         return config;
     }
 
-    static net::RpcServerConfig rpcConfig()
+    static net::RpcServerConfig rpcConfig(std::uint16_t port)
     {
         net::RpcServerConfig config;
-        config.port = 0;
+        config.port = port;
         config.admission = net::AdmissionLimits{4096, 4096};
         return config;
     }
@@ -419,6 +420,168 @@ TEST(AggregatorLoopback, HedgingBoundsTailUnderStalledShard)
     EXPECT_EQ(metrics.counter("fanout_hedge_issued").value(), issued);
     EXPECT_EQ(metrics.counter("fanout_hedge_won").value(), won);
     EXPECT_GE(issued, won);
+}
+
+// Satellite of the fault-recovery work: one shard dies mid-run and
+// comes back on the same port. The aggregator must (a) never block a
+// query past its per-shard deadline waiting on the corpse, (b) answer
+// from the survivors with the coverage fields marking degradation, and
+// (c) re-close the circuit breaker and return to full coverage once the
+// shard is back.
+TEST(AggregatorLoopback, ShardDeathDegradesThenRecovers)
+{
+    constexpr int kShards = 4;
+    std::vector<std::unique_ptr<ShardProcess>> shards;
+    for (int i = 0; i < kShards; ++i)
+        shards.push_back(std::make_unique<ShardProcess>(
+            /*taskMs=*/0.2, /*stallEveryN=*/0, /*stallMs=*/0.0));
+
+    AggregatorConfig config;
+    config.port = 0;
+    config.shards.resize(kShards);
+    for (int i = 0; i < kShards; ++i)
+        config.shards[i].primary.port = shards[i]->port();
+    config.targetTable = {{1e9, 50.0}};
+    config.deadlineFactor = 2.0; // 100 ms per-shard deadline
+    config.classNames = {"web"};
+    // Fast breaker cadence so open -> half-open probe -> re-close all
+    // happen inside the test window even on slow machines.
+    config.reconnectDelayMs = 50.0;
+    config.breakerFailureThreshold = 3;
+    config.breakerMaxBackoffMs = 400.0;
+
+    AggregatorServer aggregator(config);
+    std::thread loop([&aggregator] { aggregator.run(); });
+
+    // Kill shard 0 at ~500 ms, restart it on the same port at ~1200 ms,
+    // while the open-loop client keeps the schedule running to ~3 s.
+    const std::uint16_t shard0Port = shards[0]->port();
+    std::thread chaos([&shards, shard0Port] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        shards[0]->stop();
+        shards[0].reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(700));
+        shards[0] = std::make_unique<ShardProcess>(0.2, 0, 0.0, shard0Port);
+    });
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = aggregator.port();
+    loadConfig.qps = 300.0;
+    loadConfig.numRequests = 900;
+    loadConfig.connections = 4;
+    loadConfig.seed = 53;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+    chaos.join();
+    const std::string statszText = aggregator.renderStatszText();
+    aggregator.requestStop();
+    loop.join();
+    const obs::FanoutSnapshot snap = aggregator.collector().snapshot();
+    const AggregatorStats stats = aggregator.stats();
+
+    // (a) Nothing hangs: every request is answered, and even through the
+    // outage nothing waits grossly past the 100 ms per-shard deadline
+    // (generous ceiling for sanitizer machines).
+    EXPECT_EQ(result.sent, 900u);
+    EXPECT_EQ(result.unanswered, 0u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_LT(result.summary().max, 1500.0);
+
+    // (b) The outage surfaces as degraded completions, not errors: the
+    // survivors' merge goes out with partial coverage on the wire.
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_GT(result.degraded, 0u);
+    EXPECT_LT(result.degraded, result.completed)
+        << "full coverage must resume after the restart";
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_EQ(stats.degradedResponses, result.degraded);
+
+    // (c) The breaker tripped on the dead shard and re-closed after the
+    // restart; reconnect attempts were counted along the way.
+    EXPECT_GE(stats.breakerOpened, 1u);
+    EXPECT_GE(stats.breakerClosed, 1u);
+    std::uint64_t opened = 0, closed = 0, probes = 0;
+    for (const obs::FanoutBreakerSnapshot& b : snap.breakers) {
+        opened += b.opened;
+        closed += b.closed;
+        probes += b.probes;
+    }
+    EXPECT_EQ(opened, stats.breakerOpened);
+    EXPECT_GE(closed, 1u);
+    EXPECT_GE(probes, 1u);
+
+    // Attribution invariants hold with shard_down in play: the cause
+    // counters still partition the over-target completions exactly, and
+    // every completion carries its coverage sample.
+    std::uint64_t completions = 0, degraded = 0;
+    for (const obs::FanoutClassSnapshot& cls : snap.classes) {
+        completions += cls.completions;
+        degraded += cls.degraded;
+        std::uint64_t causeSum = 0;
+        for (std::size_t c = 1; c < obs::kStragglerCauseCount; ++c)
+            causeSum += cls.causes[c];
+        EXPECT_EQ(causeSum, cls.tail) << "class " << cls.name;
+        EXPECT_EQ(cls.coveragePct.count(), cls.completions);
+    }
+    EXPECT_EQ(completions, result.completed);
+    EXPECT_EQ(degraded, result.degraded);
+
+    // The failure lane renders in /statsz.
+    EXPECT_NE(statszText.find("fanout_breaker_state"), std::string::npos);
+    EXPECT_NE(statszText.find("fanout_degraded_total"), std::string::npos);
+    EXPECT_NE(statszText.find("fanout_coverage_pct"), std::string::npos);
+    EXPECT_NE(statszText.find("fanout_reconnects_total"),
+              std::string::npos);
+}
+
+// The recovery-off baseline: with allowPartial disabled a missing shard
+// fails the whole query, which is exactly what bench_faults contrasts
+// against. The aggregator still must not hang.
+TEST(AggregatorLoopback, NoPartialTurnsOutageIntoErrors)
+{
+    constexpr int kShards = 2;
+    std::vector<std::unique_ptr<ShardProcess>> shards;
+    for (int i = 0; i < kShards; ++i)
+        shards.push_back(std::make_unique<ShardProcess>(0.2, 0, 0.0));
+
+    AggregatorConfig config;
+    config.port = 0;
+    config.shards.resize(kShards);
+    for (int i = 0; i < kShards; ++i)
+        config.shards[i].primary.port = shards[i]->port();
+    config.targetTable = {{1e9, 50.0}};
+    config.deadlineFactor = 2.0;
+    config.classNames = {"web"};
+    config.reconnectDelayMs = 50.0;
+    config.breakerMaxBackoffMs = 400.0;
+    config.allowPartial = false;
+
+    AggregatorServer aggregator(config);
+    std::thread loop([&aggregator] { aggregator.run(); });
+
+    std::thread chaos([&shards] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        shards[0]->stop();
+        shards[0].reset();
+    });
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = aggregator.port();
+    loadConfig.qps = 200.0;
+    loadConfig.numRequests = 300;
+    loadConfig.connections = 2;
+    loadConfig.seed = 59;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+    chaos.join();
+    aggregator.requestStop();
+    loop.join();
+
+    EXPECT_EQ(result.sent, 300u);
+    EXPECT_EQ(result.unanswered, 0u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_GT(result.errors, 0u)
+        << "without partial results the outage must surface as errors";
+    EXPECT_EQ(result.degraded, 0u);
+    EXPECT_LT(result.summary().max, 1500.0);
 }
 
 } // namespace

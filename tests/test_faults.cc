@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection subsystem: spec parsing,
+ * the (spec, seed) -> timeline determinism contract, the injector's
+ * poll-style hooks, and end-to-end failure recovery through a live
+ * RpcServer (crash/restart, deadline cancellation, disconnect
+ * retirement).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/tpc_policy.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_spec.h"
+#include "harness/policies.h"
+#include "net/frame.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "server/threaded_server.h"
+
+namespace tpc::faults {
+namespace {
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+// --- fault spec parsing -------------------------------------------------------
+
+TEST(FaultSpec, ParsesEventsAndSortsByTime)
+{
+    FaultSchedule schedule;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("restart@900; crash@500 , stall@200:50",
+                               &schedule, &error))
+        << error;
+    ASSERT_EQ(schedule.events.size(), 3u);
+    EXPECT_EQ(schedule.events[0].kind, FaultKind::kStall);
+    EXPECT_DOUBLE_EQ(schedule.events[0].atMs, 200.0);
+    EXPECT_DOUBLE_EQ(schedule.events[0].durationMs, 50.0);
+    EXPECT_EQ(schedule.events[1].kind, FaultKind::kCrash);
+    EXPECT_DOUBLE_EQ(schedule.events[1].atMs, 500.0);
+    EXPECT_EQ(schedule.events[2].kind, FaultKind::kRestart);
+    EXPECT_DOUBLE_EQ(schedule.events[2].atMs, 900.0);
+}
+
+TEST(FaultSpec, EmptySpecIsEmptySchedule)
+{
+    FaultSchedule schedule;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("", &schedule, &error));
+    EXPECT_TRUE(schedule.empty());
+}
+
+TEST(FaultSpec, RejectsMalformedInput)
+{
+    FaultSchedule schedule;
+    std::string error;
+    // Unknown kind.
+    EXPECT_FALSE(parseFaultSpec("explode@100", &schedule, &error));
+    EXPECT_FALSE(error.empty());
+    // Missing time.
+    EXPECT_FALSE(parseFaultSpec("crash", &schedule, &error));
+    // Duration where none is allowed.
+    EXPECT_FALSE(parseFaultSpec("crash@100:50", &schedule, &error));
+    // Duration required for stall and jitter.
+    EXPECT_FALSE(parseFaultSpec("stall@100", &schedule, &error));
+    EXPECT_FALSE(parseFaultSpec("jitter@100", &schedule, &error));
+    // Negative time.
+    EXPECT_FALSE(parseFaultSpec("crash@-5", &schedule, &error));
+}
+
+TEST(FaultSpec, DescribeRoundTripsCanonically)
+{
+    FaultSchedule schedule;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("crash@500;restart@900;stall@200:50",
+                               &schedule, &error));
+    const std::string text = describeSchedule(schedule);
+    FaultSchedule again;
+    ASSERT_TRUE(parseFaultSpec(text, &again, &error)) << text;
+    EXPECT_EQ(describeSchedule(again), text);
+}
+
+// --- injector determinism -----------------------------------------------------
+
+FaultSchedule
+parsed(const std::string& spec)
+{
+    FaultSchedule schedule;
+    std::string error;
+    EXPECT_TRUE(parseFaultSpec(spec, &schedule, &error)) << error;
+    return schedule;
+}
+
+TEST(FaultInjector, SameSpecAndSeedResolveIdentically)
+{
+    const std::string spec =
+        "corrupt@10;truncate@20;stall@30:5;jitter@40:8;crash@50";
+    FaultInjector a(parsed(spec), 42);
+    FaultInjector b(parsed(spec), 42);
+    // Every random detail is pre-drawn at construction: the resolved
+    // timeline is equal before anything fires.
+    EXPECT_EQ(a.describeResolved(), b.describeResolved());
+
+    // Driving both injectors through the same wall-clock script fires
+    // identical events with identical resolved details.
+    a.arm(0.0);
+    b.arm(0.0);
+    std::vector<std::uint8_t> frameA;
+    std::vector<std::uint8_t> frameB;
+    for (int i = 0; i < 64; ++i) {
+        frameA.push_back(static_cast<std::uint8_t>(i));
+        frameB.push_back(static_cast<std::uint8_t>(i));
+    }
+    EXPECT_EQ(a.mutateFrame(15.0, frameA, 0), FrameMutation::kCorrupted);
+    EXPECT_EQ(b.mutateFrame(15.0, frameB, 0), FrameMutation::kCorrupted);
+    EXPECT_EQ(frameA, frameB); // same byte, same XOR mask
+    EXPECT_EQ(a.mutateFrame(25.0, frameA, 0), FrameMutation::kTruncated);
+    EXPECT_EQ(b.mutateFrame(25.0, frameB, 0), FrameMutation::kTruncated);
+    EXPECT_EQ(frameA.size(), frameB.size());
+    EXPECT_DOUBLE_EQ(a.takeStallMs(31.0), b.takeStallMs(31.0));
+    EXPECT_TRUE(a.crashPending(55.0));
+    EXPECT_TRUE(b.crashPending(55.0));
+
+    ASSERT_EQ(a.firedEvents().size(), b.firedEvents().size());
+    for (std::size_t i = 0; i < a.firedEvents().size(); ++i) {
+        EXPECT_EQ(a.firedEvents()[i].kind, b.firedEvents()[i].kind);
+        EXPECT_DOUBLE_EQ(a.firedEvents()[i].scheduledAtMs,
+                         b.firedEvents()[i].scheduledAtMs);
+        EXPECT_EQ(a.firedEvents()[i].detail, b.firedEvents()[i].detail);
+    }
+}
+
+TEST(FaultInjector, DifferentSeedsResolveDifferently)
+{
+    const std::string spec = "corrupt@10;corrupt@20;truncate@30";
+    FaultInjector a(parsed(spec), 1);
+    FaultInjector b(parsed(spec), 2);
+    EXPECT_NE(a.describeResolved(), b.describeResolved());
+}
+
+// --- injector hooks -----------------------------------------------------------
+
+TEST(FaultInjector, EventsConsumeOnceAndOnlyWhenDue)
+{
+    FaultInjector injector(parsed("crash@100;reset@50"), 7);
+    injector.arm(1000.0); // offsets count from arm time
+    EXPECT_FALSE(injector.crashPending(1099.0));
+    EXPECT_FALSE(injector.resetPending(1049.0));
+    EXPECT_TRUE(injector.resetPending(1050.0));
+    EXPECT_FALSE(injector.resetPending(2000.0)); // consumed
+    EXPECT_TRUE(injector.crashPending(1100.0));
+    EXPECT_FALSE(injector.crashPending(2000.0));
+    EXPECT_EQ(injector.firedEvents().size(), 2u);
+}
+
+TEST(FaultInjector, ArmIsIdempotent)
+{
+    FaultInjector injector(parsed("crash@100"), 7);
+    injector.arm(500.0);
+    injector.arm(9999.0); // a restart must not rewind the timeline
+    EXPECT_TRUE(injector.crashPending(600.0));
+}
+
+TEST(FaultInjector, StallReturnsDurationOnce)
+{
+    FaultInjector injector(parsed("stall@10:25"), 7);
+    injector.arm(0.0);
+    EXPECT_DOUBLE_EQ(injector.takeStallMs(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(injector.takeStallMs(12.0), 25.0);
+    EXPECT_DOUBLE_EQ(injector.takeStallMs(13.0), 0.0);
+}
+
+TEST(FaultInjector, CorruptFlipsExactlyOneByteInTheFrame)
+{
+    FaultInjector injector(parsed("corrupt@10"), 99);
+    injector.arm(0.0);
+    std::vector<std::uint8_t> buffer(80, 0xAA);
+    // The frame occupies [32, 80): earlier bytes must stay untouched.
+    EXPECT_EQ(injector.mutateFrame(10.0, buffer, 32),
+              FrameMutation::kCorrupted);
+    int changed = 0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+        if (buffer[i] != 0xAA) {
+            ++changed;
+            EXPECT_GE(i, 32u);
+        }
+    }
+    EXPECT_EQ(changed, 1);
+    // The event is consumed: the next frame passes through untouched.
+    std::vector<std::uint8_t> clean(16, 1);
+    EXPECT_EQ(injector.mutateFrame(20.0, clean, 0), FrameMutation::kNone);
+}
+
+TEST(FaultInjector, TruncateCutsTheFrameShort)
+{
+    FaultInjector injector(parsed("truncate@10"), 5);
+    injector.arm(0.0);
+    std::vector<std::uint8_t> buffer(100, 3);
+    EXPECT_EQ(injector.mutateFrame(10.0, buffer, 40),
+              FrameMutation::kTruncated);
+    // The prefix before the frame survives whole; the frame lost bytes.
+    EXPECT_GE(buffer.size(), 40u);
+    EXPECT_LT(buffer.size(), 100u);
+}
+
+TEST(FaultInjector, JitterDelaysFramesOnlyAfterActivation)
+{
+    FaultInjector injector(parsed("jitter@50:10"), 11);
+    injector.arm(0.0);
+    EXPECT_DOUBLE_EQ(injector.sendDelayMs(10.0), 0.0);
+    bool sawPositive = false;
+    for (int i = 0; i < 50; ++i) {
+        const double delay = injector.sendDelayMs(60.0);
+        EXPECT_GE(delay, 0.0);
+        EXPECT_LT(delay, 10.0);
+        sawPositive = sawPositive || delay > 0.0;
+    }
+    EXPECT_TRUE(sawPositive);
+}
+
+TEST(FaultInjector, NextEventMsBoundsThePollTimeout)
+{
+    FaultInjector injector(parsed("reset@30;crash@70"), 7);
+    EXPECT_GT(injector.nextEventMs(), 1e17); // unarmed: effectively never
+    injector.arm(100.0);
+    EXPECT_DOUBLE_EQ(injector.nextEventMs(), 130.0);
+    EXPECT_TRUE(injector.resetPending(130.0));
+    EXPECT_DOUBLE_EQ(injector.nextEventMs(), 170.0);
+    EXPECT_TRUE(injector.crashPending(170.0));
+    EXPECT_GT(injector.nextEventMs(), 1e17);
+}
+
+// --- live-server integration --------------------------------------------------
+
+/** TPC-driven ThreadedServer behind an RpcServer on an ephemeral port,
+ *  with an optional fault injector, event loop on its own thread. */
+class FaultyServer
+{
+  public:
+    FaultyServer(const std::string& faultSpec, std::uint64_t faultSeed,
+                 double taskMs, double requestDeadlineMs = 0.0,
+                 int numWorkers = 2)
+        : policy_(harness::webSearchExecutionModel(),
+                  core::TargetTable::webSearchDefault()),
+          threaded_(serverConfig(numWorkers), policy_),
+          rpc_(rpcConfig(requestDeadlineMs), threaded_,
+               [taskMs](const net::Frame& request,
+                        std::vector<std::uint8_t>& responsePayload) {
+                   std::uint64_t seq = 0;
+                   net::readU64(request.payload, 0, &seq);
+                   server::ThreadedJob job;
+                   job.predictedMs = taskMs;
+                   job.numTasks = 1;
+                   job.task = [taskMs](int) { busyWaitMs(taskMs); };
+                   job.postamble = [seq, &responsePayload] {
+                       net::appendU64(responsePayload, seq + 1);
+                   };
+                   return job;
+               })
+    {
+        if (!faultSpec.empty()) {
+            injector_ = std::make_unique<FaultInjector>(parsed(faultSpec),
+                                                        faultSeed);
+            rpc_.attachFaults(injector_.get());
+        }
+        loop_ = std::thread([this] { rpc_.run(); });
+    }
+
+    ~FaultyServer() { stop(); }
+
+    void stop()
+    {
+        if (loop_.joinable()) {
+            rpc_.requestStop();
+            loop_.join();
+        }
+    }
+
+    net::RpcServer& rpc() { return rpc_; }
+    std::uint16_t port() const { return rpc_.port(); }
+    const FaultInjector* injector() const { return injector_.get(); }
+
+  private:
+    static server::ThreadedServerConfig serverConfig(int numWorkers)
+    {
+        server::ThreadedServerConfig config;
+        config.numWorkers = static_cast<unsigned>(numWorkers);
+        config.hwContexts = static_cast<unsigned>(numWorkers);
+        return config;
+    }
+
+    static net::RpcServerConfig rpcConfig(double requestDeadlineMs)
+    {
+        net::RpcServerConfig config;
+        config.port = 0;
+        config.admission = net::AdmissionLimits{10000, 10000};
+        config.requestDeadlineMs = requestDeadlineMs;
+        return config;
+    }
+
+    core::TpcPolicy policy_;
+    server::ThreadedServer threaded_;
+    net::RpcServer rpc_;
+    std::unique_ptr<FaultInjector> injector_;
+    std::thread loop_;
+};
+
+TEST(FaultyRpcServer, CrashAndRestartRecoversMidRun)
+{
+    // The server "dies" 150 ms in (listener and connections drop) and
+    // comes back at 450 ms on the same port. The open-loop client keeps
+    // the schedule running through the outage, counts the black-hole
+    // window as failed requests, reconnects, and completes again.
+    FaultyServer server("crash@150;restart@450", 3, /*taskMs=*/0.2);
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 400.0;
+    loadConfig.numRequests = 400; // ~1 s of sending
+    loadConfig.connections = 2;
+    loadConfig.seed = 23;
+    loadConfig.reconnectDelayMs = 50.0;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+
+    EXPECT_EQ(result.sent, 400u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_GT(result.failed, 0u) << "the outage must surface as failures";
+    EXPECT_GE(result.connectionsLost, 2u);
+    EXPECT_GE(result.reconnects, 1u) << "the restart must be reachable";
+    // Open-loop accounting: every request lands in exactly one bucket.
+    EXPECT_EQ(result.completed + result.shed + result.errors +
+                  result.cancelled + result.failed + result.unanswered,
+              result.sent);
+
+    server.stop();
+    EXPECT_EQ(server.rpc().stats().faultsInjected, 2u);
+    ASSERT_EQ(server.injector()->firedEvents().size(), 2u);
+    EXPECT_EQ(server.injector()->firedEvents()[0].kind, FaultKind::kCrash);
+    EXPECT_EQ(server.injector()->firedEvents()[1].kind,
+              FaultKind::kRestart);
+}
+
+TEST(FaultyRpcServer, ResetTearsDownOneConnectionCleanly)
+{
+    FaultyServer server("reset@100", 3, /*taskMs=*/0.2);
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 300.0;
+    loadConfig.numRequests = 120;
+    loadConfig.connections = 2;
+    loadConfig.seed = 29;
+    loadConfig.reconnectDelayMs = 50.0;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+
+    EXPECT_EQ(result.sent, 120u);
+    EXPECT_GE(result.connectionsLost, 1u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_EQ(result.completed + result.shed + result.errors +
+                  result.cancelled + result.failed + result.unanswered,
+              result.sent);
+    server.stop();
+    EXPECT_EQ(server.rpc().stats().faultsInjected, 1u);
+}
+
+TEST(FaultyRpcServer, StallDelaysButLosesNothing)
+{
+    FaultyServer server("stall@100:150", 3, /*taskMs=*/0.2);
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 200.0;
+    loadConfig.numRequests = 80;
+    loadConfig.connections = 2;
+    loadConfig.seed = 31;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+
+    // A stalled event loop is pure latency, not loss.
+    EXPECT_EQ(result.completed, 80u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.unanswered, 0u);
+    server.stop();
+    EXPECT_EQ(server.rpc().stats().faultsInjected, 1u);
+}
+
+TEST(FaultyRpcServer, CorruptionIsDetectedByTheClientNotTrusted)
+{
+    // One corrupted response frame: the client's FrameReader latches
+    // broken, drops the stream, and the schedule keeps running over the
+    // replacement connection. No crash, no silent bad payload.
+    FaultyServer server("corrupt@100", 17, /*taskMs=*/0.2);
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 300.0;
+    loadConfig.numRequests = 150;
+    loadConfig.connections = 2;
+    loadConfig.seed = 37;
+    loadConfig.reconnectDelayMs = 50.0;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+
+    EXPECT_EQ(result.sent, 150u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_EQ(result.completed + result.shed + result.errors +
+                  result.cancelled + result.failed + result.unanswered,
+              result.sent);
+    server.stop();
+}
+
+TEST(FaultyRpcServer, DeadlineExpiryCancelsQueuedRequestsDistinctly)
+{
+    // One slow worker and a 40 ms queue deadline under a burst several
+    // times the service capacity: requests that sit in the queue past
+    // the deadline are answered kCancelled (not BUSY, not dropped), and
+    // their admission slots come back.
+    FaultyServer server("", 0, /*taskMs=*/10.0,
+                        /*requestDeadlineMs=*/40.0, /*numWorkers=*/1);
+
+    net::LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 1000.0;
+    loadConfig.numRequests = 150;
+    loadConfig.connections = 2;
+    loadConfig.seed = 41;
+    const net::LoadGenResult result = net::runLoadGen(loadConfig);
+
+    EXPECT_EQ(result.sent, 150u);
+    EXPECT_GT(result.cancelled, 0u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_EQ(result.completed + result.shed + result.errors +
+                  result.cancelled + result.failed + result.unanswered,
+              result.sent);
+
+    server.stop();
+    const net::RpcServerStats stats = server.rpc().stats();
+    EXPECT_EQ(stats.requestsCancelled, result.cancelled);
+    // Cancellations released their admission slots.
+    EXPECT_EQ(server.rpc().admission().inFlight(), 0);
+    // Deadline cancellations are distinct from admission sheds.
+    EXPECT_EQ(result.shed, server.rpc().admission().shed());
+}
+
+TEST(FaultyRpcServer, SameSeedReproducesTheFaultTimeline)
+{
+    // Two identical servers with the same (spec, seed) must resolve and
+    // fire the same events — the reproducibility contract chaos tests
+    // lean on.
+    const std::string spec = "reset@80;stall@160:20;crash@240;restart@320";
+    auto drive = [&spec]() {
+        FaultyServer server(spec, 1234, /*taskMs=*/0.2);
+        net::LoadGenConfig loadConfig;
+        loadConfig.port = server.port();
+        loadConfig.qps = 200.0;
+        loadConfig.numRequests = 100;
+        loadConfig.connections = 2;
+        loadConfig.seed = 43;
+        loadConfig.reconnectDelayMs = 50.0;
+        net::runLoadGen(loadConfig);
+        server.stop();
+        std::vector<std::pair<FaultKind, double>> fired;
+        for (const FiredEvent& ev : server.injector()->firedEvents())
+            fired.emplace_back(ev.kind, ev.scheduledAtMs);
+        return std::make_pair(server.injector()->describeResolved(), fired);
+    };
+    const auto first = drive();
+    const auto second = drive();
+    EXPECT_EQ(first.first, second.first);
+    EXPECT_EQ(first.second, second.second);
+}
+
+} // namespace
+} // namespace tpc::faults

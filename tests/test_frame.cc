@@ -390,6 +390,140 @@ TEST(FrameReader, TruncatedTrailingFrameOnCloseIsNotAnError)
     EXPECT_FALSE(reader2.broken());
 }
 
+TEST(Frame, CoverageFieldsRoundTripOnResponses)
+{
+    // A degraded partition-aggregate answer carries its shard coverage in
+    // the response header: answered < total marks a partial merge.
+    Frame response;
+    response.type = FrameType::kResponse;
+    response.requestId = 12;
+    response.shardsAnswered = 3;
+    response.shardsTotal = 4;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(response, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.shardsAnswered, 3u);
+    EXPECT_EQ(decoded.frame.shardsTotal, 4u);
+    EXPECT_TRUE(decoded.frame.degraded());
+
+    // Full coverage is not degraded; neither is a non-fanout response
+    // that leaves both fields zero.
+    response.shardsAnswered = 4;
+    wire.clear();
+    encodeFrame(response, wire);
+    const DecodeResult full = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(full.status, DecodeStatus::kFrame);
+    EXPECT_FALSE(full.frame.degraded());
+    Frame plain;
+    plain.type = FrameType::kResponse;
+    EXPECT_FALSE(plain.degraded());
+
+    // Non-response frames keep those header bytes reserved-zero: the
+    // encoder drops coverage set by mistake and the decoder still rejects
+    // nonzero bytes there (the check exercised above at offset 20).
+    Frame request = makeRequest(1, 4);
+    request.shardsAnswered = 9;
+    request.shardsTotal = 9;
+    wire.clear();
+    encodeFrame(request, wire);
+    const DecodeResult req = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(req.status, DecodeStatus::kFrame);
+    EXPECT_EQ(req.frame.shardsAnswered, 0u);
+    EXPECT_EQ(req.frame.shardsTotal, 0u);
+}
+
+TEST(Frame, CancelledStatusRoundTrips)
+{
+    Frame response;
+    response.type = FrameType::kResponse;
+    response.status = FrameStatus::kCancelled;
+    response.requestId = 88;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(response, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.status, FrameStatus::kCancelled);
+}
+
+TEST(FrameReader, FuzzHostileStreamsCloseCleanly)
+{
+    // Adversarial byte streams modeled on what a faulty/malicious peer
+    // can actually send: valid prefixes spliced with garbage, headers
+    // claiming huge payloads, frames cut mid-header or mid-payload.
+    // The reader must never crash, never over-buffer past its cap, and
+    // always end in one of two clean states: drained or latched broken.
+    util::Rng rng(0x5EED);
+    for (int iteration = 0; iteration < 400; ++iteration) {
+        std::vector<std::uint8_t> stream;
+        const int pieces = 1 + static_cast<int>(rng.uniformInt(6));
+        for (int p = 0; p < pieces; ++p) {
+            switch (rng.uniformInt(4)) {
+            case 0: { // well-formed frame
+                encodeFrame(makeRequest(rng.next(),
+                                        static_cast<std::size_t>(
+                                            rng.uniformInt(40))),
+                            stream);
+                break;
+            }
+            case 1: { // truncated frame (cut anywhere, incl. header)
+                std::vector<std::uint8_t> whole;
+                encodeFrame(makeRequest(rng.next(), 24), whole);
+                const std::size_t keep = rng.uniformInt(whole.size());
+                stream.insert(stream.end(), whole.begin(),
+                              whole.begin() +
+                                  static_cast<std::ptrdiff_t>(keep));
+                break;
+            }
+            case 2: { // header claiming an oversized payload
+                std::vector<std::uint8_t> whole;
+                encodeFrame(makeRequest(rng.next(), 0), whole);
+                const std::uint32_t huge =
+                    (1u << 24) + static_cast<std::uint32_t>(
+                                     rng.uniformInt(1u << 24));
+                whole[16] = static_cast<std::uint8_t>(huge);
+                whole[17] = static_cast<std::uint8_t>(huge >> 8);
+                whole[18] = static_cast<std::uint8_t>(huge >> 16);
+                whole[19] = static_cast<std::uint8_t>(huge >> 24);
+                stream.insert(stream.end(), whole.begin(), whole.end());
+                break;
+            }
+            default: { // raw garbage
+                const std::size_t len = 1 + rng.uniformInt(64);
+                for (std::size_t i = 0; i < len; ++i)
+                    stream.push_back(static_cast<std::uint8_t>(
+                        rng.uniformInt(256)));
+                break;
+            }
+            }
+        }
+        if (stream.empty())
+            continue;
+
+        FrameReader reader;
+        Frame frame;
+        std::size_t offset = 0;
+        while (offset < stream.size()) {
+            const std::size_t chunk = std::min<std::size_t>(
+                1 + rng.uniformInt(37), stream.size() - offset);
+            reader.append(stream.data() + offset, chunk);
+            offset += chunk;
+            while (reader.next(&frame)) {
+                // Yielded frames obey the payload cap; anything bigger
+                // must have latched broken instead.
+                EXPECT_LE(frame.payload.size(), kDefaultMaxPayload);
+            }
+        }
+        // Terminal state is clean either way: a broken stream stops
+        // yielding, an unbroken one holds at most one partial frame.
+        if (!reader.broken())
+            EXPECT_LT(reader.buffered(),
+                      kHeaderSize + kDefaultMaxPayload);
+        else
+            EXPECT_FALSE(reader.next(&frame));
+    }
+}
+
 TEST(Frame, PayloadU64Helpers)
 {
     std::vector<std::uint8_t> payload;

@@ -93,6 +93,7 @@ TEST(ClassifyTail, FuzzCompletionCausesPartitionOverTarget)
                                                : -1.0;
         const TailCause cause = classifyTail(r);
         EXPECT_NE(cause, TailCause::kShed);
+        EXPECT_NE(cause, TailCause::kCancelled);
         if (r.targetMs > 0.0 && r.responseMs > r.targetMs)
             EXPECT_NE(cause, TailCause::kNone);
         else
@@ -111,6 +112,7 @@ TEST(TailCauseNames, AreStable)
     EXPECT_STREQ(tailCauseName(TailCause::kNoIdleWorkers),
                  "no_idle_workers");
     EXPECT_STREQ(tailCauseName(TailCause::kShed), "shed");
+    EXPECT_STREQ(tailCauseName(TailCause::kCancelled), "cancelled");
 }
 
 // --- StageStatsCollector ------------------------------------------------------
@@ -169,6 +171,26 @@ TEST(StageStatsCollector, ShedCountsSeparatelyFromTail)
     EXPECT_EQ(cls.responseMs.count(), 1u);
 }
 
+TEST(StageStatsCollector, CancelledCountsSeparatelyFromTailAndShed)
+{
+    // Deadline cancellations are non-completions like sheds, but land in
+    // their own cause bucket so operators can tell "refused at the door"
+    // from "admitted, then expired in the queue".
+    StageStatsCollector collector;
+    collector.recordCancelled(0);
+    collector.recordShed(0);
+    collector.record(makeRecord(100.0, 90.0, 80.0));
+    const StageSnapshot snap = collector.snapshot();
+    const StageClassSnapshot& cls = snap.classes[0];
+    EXPECT_EQ(cls.causes[static_cast<std::size_t>(TailCause::kCancelled)],
+              1u);
+    EXPECT_EQ(cls.causes[static_cast<std::size_t>(TailCause::kShed)], 1u);
+    EXPECT_EQ(cls.tail, 1u);
+    EXPECT_EQ(cls.completions, 1u);
+    // Cancellations never enter the latency histograms.
+    EXPECT_EQ(cls.responseMs.count(), 1u);
+}
+
 TEST(StageStatsCollector, ConcurrentRecordingMergesLosslessly)
 {
     // N threads hammer the collector; the merged snapshot must account
@@ -202,7 +224,8 @@ TEST(StageStatsCollector, ConcurrentRecordingMergesLosslessly)
         completions += cls.completions;
         std::uint64_t causeSum = 0;
         for (std::size_t c = 1; c < kTailCauseCount; ++c)
-            if (static_cast<TailCause>(c) != TailCause::kShed)
+            if (static_cast<TailCause>(c) != TailCause::kShed &&
+                static_cast<TailCause>(c) != TailCause::kCancelled)
                 causeSum += cls.causes[c];
         EXPECT_EQ(causeSum, cls.tail);
         EXPECT_EQ(cls.responseMs.count(), cls.completions);
@@ -278,9 +301,16 @@ TEST(RenderStatsz, EmitsWellFormedExposition)
     info.queueDepth = 5;
     info.admitted = 2;
     info.shed = 1;
+    info.cancelled = 3;
+    info.disconnectsRetired = 2;
+    info.faultsInjected = 1;
     info.uptimeMs = 1234.5;
 
     const std::string text = renderStatsz(info, &snap);
+    EXPECT_NE(text.find("tpc_cancelled_total 3"), std::string::npos);
+    EXPECT_NE(text.find("tpc_disconnects_retired_total 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_faults_injected_total 1"), std::string::npos);
     EXPECT_NE(text.find("tpc_up{policy=\"tpc\"} 1"), std::string::npos);
     EXPECT_NE(text.find("tpc_workers{state=\"busy\"} 3"),
               std::string::npos);
@@ -364,10 +394,14 @@ TEST(HarnessStageStats, SimulatedRunAttributesEveryTailMiss)
         completions += cls.completions;
         tail += cls.tail;
         for (std::size_t c = 1; c < kTailCauseCount; ++c)
-            if (static_cast<TailCause>(c) != TailCause::kShed)
+            if (static_cast<TailCause>(c) != TailCause::kShed &&
+                static_cast<TailCause>(c) != TailCause::kCancelled)
                 causeSum += cls.causes[c];
         EXPECT_EQ(cls.causes[static_cast<std::size_t>(TailCause::kShed)],
                   0u);
+        EXPECT_EQ(
+            cls.causes[static_cast<std::size_t>(TailCause::kCancelled)],
+            0u);
     }
     EXPECT_EQ(completions, trace.size());
     EXPECT_EQ(causeSum, tail);

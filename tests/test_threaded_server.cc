@@ -160,6 +160,72 @@ TEST(ThreadedServer, OutcomesCarryTiming)
               server.outcomes()[0].queueMs);
 }
 
+TEST(ThreadedServer, QueueDeadlineCancelsStaleJobsBeforeDispatch)
+{
+    // One worker grinding 20 ms jobs with a 10 ms queue deadline: the
+    // head of the queue is always stale by the time the worker frees up,
+    // so later jobs are cancelled — none of their closures run, only
+    // onCancel — while the first job (dispatched immediately) completes.
+    policy::SequentialPolicy policy;
+    ThreadedServerConfig config = testConfig(/*workers=*/1);
+    config.hwContexts = 1;
+    ThreadedServer server(config, policy);
+    std::atomic<int> ran{0};
+    std::atomic<int> cancelled{0};
+    for (int i = 0; i < 8; ++i) {
+        ThreadedJob job;
+        job.numTasks = 1;
+        job.queueDeadlineMs = 10.0;
+        job.task = [&ran](int) {
+            busyWaitMs(20.0);
+            ran.fetch_add(1);
+        };
+        job.onCancel = [&cancelled] { cancelled.fetch_add(1); };
+        server.submit(std::move(job));
+    }
+    server.drain();
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_GT(cancelled.load(), 0);
+    EXPECT_EQ(ran.load() + cancelled.load(), 8);
+    EXPECT_EQ(server.cancelledCount(),
+              static_cast<std::uint64_t>(cancelled.load()));
+    // Cancelled jobs never become outcomes.
+    EXPECT_EQ(server.outcomes().size(),
+              static_cast<std::size_t>(ran.load()));
+}
+
+TEST(ThreadedServer, TryCancelRemovesQueuedJobOnly)
+{
+    policy::SequentialPolicy policy;
+    ThreadedServerConfig config = testConfig(/*workers=*/1);
+    config.hwContexts = 1;
+    ThreadedServer server(config, policy);
+
+    // Occupy the single worker so the next submits stay queued.
+    ThreadedJob blocker;
+    blocker.numTasks = 1;
+    blocker.task = [](int) { busyWaitMs(30.0); };
+    const std::uint64_t blockerId = server.submit(std::move(blocker));
+
+    std::atomic<bool> victimRan{false};
+    std::atomic<bool> victimCancelled{false};
+    ThreadedJob victim;
+    victim.numTasks = 1;
+    victim.task = [&victimRan](int) { victimRan.store(true); };
+    victim.onCancel = [&victimCancelled] { victimCancelled.store(true); };
+    const std::uint64_t victimId = server.submit(std::move(victim));
+
+    EXPECT_TRUE(server.tryCancel(victimId));
+    EXPECT_FALSE(server.tryCancel(victimId)); // already gone
+    server.drain();
+    EXPECT_FALSE(victimRan.load());
+    EXPECT_TRUE(victimCancelled.load());
+    EXPECT_EQ(server.cancelledCount(), 1u);
+    // The dispatched blocker is past cancellation.
+    EXPECT_FALSE(server.tryCancel(blockerId));
+    EXPECT_EQ(server.outcomes().size(), 1u);
+}
+
 TEST(ThreadedServer, DestructorDrainsOutstandingWork)
 {
     std::atomic<int> runs{0};
