@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Measures what always-on distributed tracing costs the serving path:
+ * the same ThreadedServer + TPC policy + request shape is driven
+ * closed-loop once bare, once with span recording under tail-based
+ * retention (the serving default: spans ring-buffered, promoted only
+ * for over-target requests plus a 1-in-N baseline), and once retaining
+ * every trace (the pathological always-export mode tail-based retention
+ * exists to avoid). The relative change of the medians is the tracing
+ * overhead per request; the budget for tail retention is <= 2%, i.e.
+ * tracing must be cheap enough to leave on — mirroring the /statsz
+ * overhead budget (bench_statsz_overhead.cc).
+ *
+ * Writes results/trace_overhead.csv.
+ */
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "obs/span.h"
+#include "obs/span_collector.h"
+#include "server/threaded_server.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace {
+
+constexpr double kTaskMs = 0.2;
+constexpr int kNumTasks = 4;
+constexpr std::uint64_t kRequests = 400;
+constexpr std::uint64_t kWarmup = 50;
+
+enum class TraceMode { kOff, kTailRetention, kRetainAll };
+
+const char*
+traceModeName(TraceMode mode)
+{
+    switch (mode) {
+    case TraceMode::kOff:
+        return "trace_off";
+    case TraceMode::kTailRetention:
+        return "tail_retention";
+    case TraceMode::kRetainAll:
+        return "retain_all";
+    }
+    return "?";
+}
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+tpc::core::TpcPolicy
+makePolicy()
+{
+    tpc::core::TpcOptions options;
+    options.maxDegree = 4;
+    return tpc::core::TpcPolicy(tpc::harness::webSearchExecutionModel(),
+                                tpc::core::TargetTable::webSearchDefault(),
+                                options);
+}
+
+/** Closed-loop run: one request at a time, submit-to-postamble wall
+ *  time. Every request carries a trace context so the recording path
+ *  (root + queue + execute spans, then the retention decision) runs on
+ *  each completion. */
+tpc::stats::LatencyRecorder
+runClosedLoop(TraceMode mode)
+{
+    using Clock = std::chrono::steady_clock;
+    auto policy = makePolicy();
+    tpc::server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 4;
+    serverConfig.hwContexts = 4;
+
+    // Declared before the server: the last request's span recording can
+    // still be in flight on a scheduler thread when this scope unwinds,
+    // so the collector must outlive the server (whose destructor joins
+    // those threads).
+    std::unique_ptr<tpc::obs::SpanCollector> spans;
+    if (mode != TraceMode::kOff) {
+        tpc::obs::SpanCollectorConfig config;
+        config.serverId = 9;
+        config.role = "bench";
+        config.retainAll = mode == TraceMode::kRetainAll;
+        spans = std::make_unique<tpc::obs::SpanCollector>(6, config);
+    }
+
+    tpc::server::ThreadedServer server(serverConfig, policy);
+    if (spans != nullptr)
+        server.attachSpans(spans.get());
+
+    tpc::stats::LatencyRecorder latency;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    for (std::uint64_t i = 0; i < kWarmup + kRequests; ++i) {
+        tpc::server::ThreadedJob job;
+        job.predictedMs = kTaskMs * kNumTasks;
+        job.numTasks = kNumTasks;
+        job.traceId = tpc::obs::deriveTraceId(42, i);
+        job.parentSpanId = tpc::obs::deriveTraceId(43, i);
+        job.task = [](int) { busyWaitMs(kTaskMs); };
+        job.postamble = [&] {
+            std::lock_guard<std::mutex> lock(mutex);
+            done = true;
+            cv.notify_one();
+        };
+        const auto start = Clock::now();
+        done = false;
+        server.submit(std::move(job));
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return done; });
+        if (i >= kWarmup)
+            latency.add(std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count());
+    }
+
+    if (spans != nullptr && spans->finishedTraces() == 0)
+        std::printf("warning: %s recorded no traces\n",
+                    traceModeName(mode));
+    return latency;
+}
+
+} // namespace
+
+int
+main()
+{
+    using tpc::util::TablePrinter;
+
+    std::printf("bench_trace_overhead: %llu requests of %d x %.1f ms "
+                "tasks, closed loop\n",
+                static_cast<unsigned long long>(kRequests), kNumTasks,
+                kTaskMs);
+    // Interleave modes to cancel slow machine drift:
+    // off, tail, all, all, tail, off.
+    tpc::stats::LatencyRecorder off = runClosedLoop(TraceMode::kOff);
+    tpc::stats::LatencyRecorder tail =
+        runClosedLoop(TraceMode::kTailRetention);
+    tpc::stats::LatencyRecorder all = runClosedLoop(TraceMode::kRetainAll);
+    all.merge(runClosedLoop(TraceMode::kRetainAll));
+    tail.merge(runClosedLoop(TraceMode::kTailRetention));
+    off.merge(runClosedLoop(TraceMode::kOff));
+
+    const tpc::stats::LatencySummary offSummary = off.summary();
+    const tpc::stats::LatencySummary tailSummary = tail.summary();
+    const tpc::stats::LatencySummary allSummary = all.summary();
+    const double tailRegressionPct =
+        (tailSummary.p50 - offSummary.p50) / offSummary.p50 * 100.0;
+    const double allRegressionPct =
+        (allSummary.p50 - offSummary.p50) / offSummary.p50 * 100.0;
+
+    TablePrinter table("trace_overhead: tracing off vs on (ms)");
+    table.setHeader({"mode", "n", "mean", "p50", "p99", "max"});
+    auto tableRow = [&table](const char* mode,
+                             const tpc::stats::LatencySummary& s) {
+        table.addRow({mode, std::to_string(s.count),
+                      TablePrinter::fmt(s.mean, 3),
+                      TablePrinter::fmt(s.p50, 3),
+                      TablePrinter::fmt(s.p99, 3),
+                      TablePrinter::fmt(s.max, 3)});
+    };
+    tableRow("trace_off", offSummary);
+    tableRow("tail_retention", tailSummary);
+    tableRow("retain_all", allSummary);
+    table.print();
+    std::printf("median regression: tail retention %+.2f%% (budget: "
+                "<= 2%%), retain everything %+.2f%%\n",
+                tailRegressionPct, allRegressionPct);
+
+    tpc::util::CsvWriter csv(tpc::util::resultsDir() +
+                             "/trace_overhead.csv");
+    csv.writeRow(std::vector<std::string>{"mode", "count", "mean_ms",
+                                          "p50_ms", "p99_ms", "max_ms"});
+    auto row = [&csv](const std::string& mode,
+                      const tpc::stats::LatencySummary& s) {
+        csv.writeRow(std::vector<std::string>{
+            mode, std::to_string(s.count), TablePrinter::fmt(s.mean, 4),
+            TablePrinter::fmt(s.p50, 4), TablePrinter::fmt(s.p99, 4),
+            TablePrinter::fmt(s.max, 4)});
+    };
+    row("trace_off", offSummary);
+    row("tail_retention", tailSummary);
+    row("retain_all", allSummary);
+    csv.writeRow(std::vector<std::string>{
+        "regression_p50_pct", "", TablePrinter::fmt(tailRegressionPct, 3),
+        TablePrinter::fmt(allRegressionPct, 3), "", ""});
+    std::printf("wrote %s/trace_overhead.csv\n",
+                tpc::util::resultsDir().c_str());
+    return 0;
+}

@@ -43,6 +43,7 @@
 #include "fanout/aggregator.h"
 #include "harness/policies.h"
 #include "obs/metrics.h"
+#include "obs/span_collector.h"
 #include "util/args.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
@@ -178,6 +179,16 @@ main(int argc, char** argv)
     fanout::AggregatorServer server(config);
     if (metrics != nullptr)
         server.attachMetrics(metrics.get());
+    // Distributed-trace spans: the fan-out root plus one leg span per
+    // shard (hedges as siblings) land here; /tracez serves the
+    // tail-retained traces, and the trace context is forwarded to the
+    // shards so their spans join the same timeline.
+    obs::SpanCollectorConfig spanConfig;
+    spanConfig.serverId = static_cast<std::int32_t>(server.port());
+    spanConfig.role = "aggregator";
+    obs::SpanCollector spans(1, spanConfig);
+    server.attachSpans(&spans);
+    server.setTracezProvider([&spans] { return spans.renderTracez(); });
     gServer.store(&server);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -213,6 +224,13 @@ main(int argc, char** argv)
                   std::to_string(stats.breakerClosed),
                   std::to_string(stats.statszServed)});
     table.print();
+    std::printf("tracez: %llu traces finished, %llu retained "
+                "(%llu over target, %llu baseline), served %llu\n",
+                static_cast<unsigned long long>(spans.finishedTraces()),
+                static_cast<unsigned long long>(spans.retainedTraces()),
+                static_cast<unsigned long long>(spans.overTargetRetained()),
+                static_cast<unsigned long long>(spans.baselineRetained()),
+                static_cast<unsigned long long>(stats.tracezServed));
 
     const obs::FanoutSnapshot snap = server.collector().snapshot();
     util::TablePrinter shardTable("per-shard legs");

@@ -11,6 +11,15 @@
  *   ./build/examples/loadgen --port <port> [--host=127.0.0.1]
  *       [--qps=100] [--duration-s=2 | --requests=N] [--connections=4]
  *       [--payload-bytes=8] [--seed=1] [--csv-out=results/loadgen.csv]
+ *       [--target-ms=T] [--trace-csv-out=PATH] [--tracez-out=PATH]
+ *
+ * Every request carries a trace context (trace id derived from seed and
+ * sequence number), so server-side /tracez spans join the client's view.
+ * --target-ms sets the client-side latency target: responses over it are
+ * listed per-request in --trace-csv-out (seq, trace_id, response_ms),
+ * and the client's own root spans for those requests are tail-retained
+ * and written as Chrome-trace JSON to --tracez-out — mergeable with the
+ * servers' /tracez output via `statsz --tracez --trace-file=...`.
  *
  * Exits nonzero when no request completed (so CI smoke tests can assert
  * a non-empty latency summary just from the exit code).
@@ -23,9 +32,11 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "net/loadgen.h"
+#include "obs/span_collector.h"
 #include "util/args.h"
 #include "util/table_printer.h"
 
@@ -48,7 +59,8 @@ main(int argc, char** argv)
     const util::ArgParser args(argc, argv,
                                {"host", "port", "qps", "duration-s",
                                 "requests", "connections", "payload-bytes",
-                                "seed", "csv-out"});
+                                "seed", "csv-out", "target-ms",
+                                "trace-csv-out", "tracez-out"});
 
     net::LoadGenConfig config;
     config.host = args.getString("host", "127.0.0.1");
@@ -66,6 +78,18 @@ main(int argc, char** argv)
         static_cast<std::size_t>(args.getInt("payload-bytes", 8));
     config.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
     const std::string csvOut = args.getString("csv-out", "");
+    const std::string traceCsvOut = args.getString("trace-csv-out", "");
+    const std::string tracezOut = args.getString("tracez-out", "");
+    config.targetMs = args.getDouble("target-ms", 0.0);
+
+    // Client-side span collection: the loadgen is "pid 1" in the
+    // assembled timeline, its root spans framing the server tiers'.
+    obs::SpanCollectorConfig spanConfig;
+    spanConfig.serverId = 1;
+    spanConfig.role = "loadgen";
+    obs::SpanCollector spans(1, spanConfig);
+    if (config.targetMs > 0.0 || !tracezOut.empty())
+        config.spans = &spans;
 
     config.stopFlag = &gStop;
     std::signal(SIGINT, onSignal);
@@ -106,9 +130,34 @@ main(int argc, char** argv)
     std::printf("latency summary (ms, from scheduled arrival): %s\n",
                 summary.toString().c_str());
 
+    if (config.targetMs > 0.0)
+        std::printf("over target (%.1f ms): %zu requests; worst trace "
+                    "%016llx at %.2f ms\n",
+                    config.targetMs, result.overTarget.size(),
+                    static_cast<unsigned long long>(
+                        result.worstOverTarget().traceId),
+                    result.worstOverTarget().responseMs);
+
     if (!csvOut.empty()) {
         net::writeLoadGenCsv(result, config, csvOut);
         std::printf("wrote %s\n", csvOut.c_str());
+    }
+    if (!traceCsvOut.empty()) {
+        net::writeLoadGenTraceCsv(result, traceCsvOut);
+        std::printf("wrote %s (%zu over-target rows)\n",
+                    traceCsvOut.c_str(), result.overTarget.size());
+    }
+    if (!tracezOut.empty()) {
+        std::ofstream out(tracezOut);
+        if (!out) {
+            std::fprintf(stderr, "loadgen: cannot write --tracez-out %s\n",
+                         tracezOut.c_str());
+            return 1;
+        }
+        out << spans.renderTracez();
+        std::printf("wrote %s (%llu retained client traces)\n",
+                    tracezOut.c_str(),
+                    static_cast<unsigned long long>(spans.retainedTraces()));
     }
     return result.completed > 0 ? 0 : 1;
 }

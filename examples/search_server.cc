@@ -38,6 +38,7 @@
 #include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/span_collector.h"
 #include "obs/stage_stats.h"
 #include "obs/statsz.h"
 #include "obs/trace_recorder.h"
@@ -233,6 +234,18 @@ main(int argc, char** argv)
             }
             server.attachStageStats(&stageStats);
             rpc.attachStageStats(&stageStats);
+            // Distributed-trace spans: pid = the bound port so a
+            // multi-process run's Chrome-trace rows stay apart;
+            // /tracez serves the tail-retained traces.
+            obs::SpanCollectorConfig spanConfig;
+            spanConfig.serverId = static_cast<std::int32_t>(rpc.port());
+            spanConfig.role = "shard";
+            obs::SpanCollector spans(
+                static_cast<std::size_t>(serverConfig.numWorkers) + 3,
+                spanConfig);
+            server.attachSpans(&spans);
+            rpc.setTracezProvider(
+                [&spans] { return spans.renderTracez(); });
             if (faultInjector != nullptr)
                 rpc.attachFaults(faultInjector.get());
             rpc.setStatszProvider([&] {
@@ -272,6 +285,10 @@ main(int argc, char** argv)
                         rpc.port());
             std::fflush(stdout);
             rpc.run();
+            // The collector is scoped inside this block and dies before
+            // the engine; detach under the server lock so no straggling
+            // completion records into a destroyed collector.
+            server.attachSpans(nullptr);
             gServer.store(nullptr);
             netStats = rpc.stats();
             acceptedTotal = rpc.admission().accepted();

@@ -6,27 +6,159 @@
  *   ./build/examples/statsz --port=9000 [--host=127.0.0.1]
  *       [--timeout-ms=1000]
  *
+ * With --tracez the tool pulls the /tracez endpoint instead and prints
+ * the retained traces as Chrome-trace JSON. Several processes can be
+ * stitched into one timeline: --ports takes a comma-separated endpoint
+ * list (aggregator plus shards), and --trace-file merges a JSON file a
+ * load generator wrote with --tracez-out. The assembled output loads
+ * directly in Perfetto / chrome://tracing; spans from different
+ * processes join by trace id because span times are wall-clock.
+ *
+ *   ./build/examples/statsz --tracez --ports=9000,9101,9102 \
+ *       [--trace-file=results/loadgen_tracez.json] [--out=trace.json]
+ *
  * Exit status: 0 on success, 1 on connect failure, timeout, or an
- * error response — so shell scripts (scripts/net_smoke.sh) can use it
- * both as a liveness probe and as a latency assertion on the endpoint.
+ * error response — so shell scripts (scripts/net_smoke.sh,
+ * scripts/trace_smoke.sh) can use it both as a liveness probe and as a
+ * latency assertion on the endpoints.
  */
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "net/statsz_client.h"
+#include "obs/span_collector.h"
 #include "util/args.h"
 #include "util/logging.h"
+
+namespace {
+
+/** Splits "9000,9101,9102" into port numbers; returns false on junk. */
+bool
+parsePorts(const std::string& list, std::vector<int>* out)
+{
+    std::stringstream stream(list);
+    std::string item;
+    while (std::getline(stream, item, ',')) {
+        if (item.empty())
+            continue;
+        try {
+            const int port = std::stoi(item);
+            if (port <= 0 || port > 65535)
+                return false;
+            out->push_back(port);
+        } catch (...) {
+            return false;
+        }
+    }
+    return !out->empty();
+}
+
+int
+runTracez(const tpc::util::ArgParser& args, const std::string& host,
+          int singlePort, double timeoutMs)
+{
+    using namespace tpc;
+    std::vector<int> ports;
+    const std::string portList = args.getString("ports", "");
+    if (!portList.empty()) {
+        if (!parsePorts(portList, &ports)) {
+            std::fprintf(stderr, "statsz: bad --ports list '%s'\n",
+                         portList.c_str());
+            return 1;
+        }
+    } else if (singlePort > 0) {
+        ports.push_back(singlePort);
+    }
+    const std::string traceFile = args.getString("trace-file", "");
+    if (ports.empty() && traceFile.empty()) {
+        std::fprintf(stderr, "usage: statsz --tracez --ports=P1,P2,... "
+                             "[--host=HOST] [--trace-file=PATH] "
+                             "[--out=PATH] [--timeout-ms=MS]\n");
+        return 1;
+    }
+
+    // Gather spans from every source; each source is one process's
+    // retained traces, and the merge stitches them by trace id.
+    std::vector<obs::Span> spans;
+    for (const int port : ports) {
+        const net::StatszResult result = net::fetchTracez(
+            host, static_cast<std::uint16_t>(port), timeoutMs);
+        if (!result.ok) {
+            std::fprintf(stderr, "statsz: tracez %s:%d: %s "
+                                 "(after %.1f ms)\n",
+                         host.c_str(), port, result.error.c_str(),
+                         result.elapsedMs);
+            return 1;
+        }
+        std::string error;
+        if (!obs::parseTracezSpans(result.text, &spans, &error)) {
+            std::fprintf(stderr, "statsz: tracez %s:%d: unparseable "
+                                 "response: %s\n",
+                         host.c_str(), port, error.c_str());
+            return 1;
+        }
+    }
+    if (!traceFile.empty()) {
+        std::ifstream in(traceFile);
+        if (!in) {
+            std::fprintf(stderr, "statsz: cannot read --trace-file %s\n",
+                         traceFile.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::string error;
+        if (!obs::parseTracezSpans(buffer.str(), &spans, &error)) {
+            std::fprintf(stderr, "statsz: %s: unparseable trace file: "
+                                 "%s\n",
+                         traceFile.c_str(), error.c_str());
+            return 1;
+        }
+    }
+
+    const std::string assembled = obs::assembleChromeTrace(spans);
+    const std::string outPath = args.getString("out", "");
+    if (outPath.empty()) {
+        std::fwrite(assembled.data(), 1, assembled.size(), stdout);
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::fprintf(stderr, "statsz: cannot write --out %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        out << assembled;
+    }
+    std::fprintf(stderr, "# assembled %zu spans from %zu endpoints%s\n",
+                 spans.size(), ports.size(),
+                 traceFile.empty() ? "" : " + 1 file");
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
     using namespace tpc;
-    const util::ArgParser args(argc, argv, {"host", "port", "timeout-ms"});
+    const util::ArgParser args(argc, argv,
+                               {"host", "port", "timeout-ms", "tracez",
+                                "ports", "trace-file", "out"});
     const std::string host = args.getString("host", "127.0.0.1");
     const int port = static_cast<int>(args.getInt("port", 0));
     const double timeoutMs = args.getDouble("timeout-ms", 1000.0);
+
+    if (args.has("tracez"))
+        return runTracez(args, host, port, timeoutMs);
+
     if (port <= 0 || port > 65535) {
         std::fprintf(stderr, "usage: statsz --port=PORT [--host=HOST] "
-                             "[--timeout-ms=MS]\n");
+                             "[--timeout-ms=MS] | statsz --tracez "
+                             "--ports=P1,P2,... [--trace-file=PATH] "
+                             "[--out=PATH]\n");
         return 1;
     }
 

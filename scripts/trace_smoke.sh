@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Distributed-tracing smoke over the full serving topology: 4
+# search_server shards behind a hedged aggregator, the open-loop loadgen
+# on top emitting trace contexts with a deliberately tight client target
+# so requests land over target and their traces are tail-retained.
+# Mid-run the aggregator's and shards' /tracez endpoints are pulled and
+# assembled; after the run the loadgen's own client spans are merged in.
+# Asserts:
+#   - /tracez answers mid-run and the assembled Chrome-trace JSON parses
+#     (the statsz --tracez client exits nonzero on a parse failure),
+#   - the assembled trace holds spans from >= 2 distinct processes
+#     (distinct "pid" values: aggregator + at least one shard),
+#   - >= 1 retained over-target trace ("over_target":true present),
+#   - the loadgen's over-target CSV rows join the assembled JSON by
+#     trace id (the cross-process stitch key).
+# Every process binds port 0, so parallel CI jobs can never collide.
+#
+# Usage: scripts/trace_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS=4
+SHARD_PIDS=()
+SHARD_LOGS=()
+TRACE_CSV="$(mktemp -u).csv"
+CLIENT_TRACE="$(mktemp -u).json"
+MID_TRACE="$(mktemp)"
+FULL_TRACE="$(mktemp)"
+
+cleanup() {
+    kill "${AGG_PID:-}" 2>/dev/null || true
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# --- Start the shard tier (small indexes so startup stays quick). -------
+for i in $(seq 1 "${NUM_SHARDS}"); do
+    LOG="$(mktemp)"
+    "${BUILD_DIR}/examples/search_server" --listen 0 --docs 3000 \
+        --queries 200 > "${LOG}" 2>&1 &
+    SHARD_PIDS+=($!)
+    SHARD_LOGS+=("${LOG}")
+done
+
+SHARD_PORTS=()
+for i in $(seq 0 $((NUM_SHARDS - 1))); do
+    LOG="${SHARD_LOGS[$i]}"
+    PID="${SHARD_PIDS[$i]}"
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "${LOG}" && break
+        if ! kill -0 "${PID}" 2>/dev/null; then
+            echo "trace_smoke: shard $i exited before listening" >&2
+            cat "${LOG}" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${LOG}" | head -n 1)"
+    if [ -z "${PORT}" ]; then
+        echo "trace_smoke: shard $i never reported its port" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    SHARD_PORTS+=("${PORT}")
+done
+SHARDS="$(IFS=,; echo "${SHARD_PORTS[*]}")"
+echo "trace_smoke: shards on ports ${SHARDS}"
+
+# --- Start the aggregator (hedging on so hedge legs appear). ------------
+AGG_LOG="$(mktemp)"
+"${BUILD_DIR}/examples/aggregator_server" --listen 0 --shards "${SHARDS}" \
+    --hedge --hedge-min-samples 16 --hedge-fallback-ms 25 \
+    > "${AGG_LOG}" 2>&1 &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "${AGG_LOG}" && break
+    if ! kill -0 "${AGG_PID}" 2>/dev/null; then
+        echo "trace_smoke: aggregator exited before listening" >&2
+        cat "${AGG_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+AGG_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${AGG_LOG}" | head -n 1)"
+if [ -z "${AGG_PORT}" ]; then
+    echo "trace_smoke: aggregator never reported its port" >&2
+    cat "${AGG_LOG}" >&2
+    exit 1
+fi
+echo "trace_smoke: aggregator on port ${AGG_PORT}"
+
+# --- Traced load: a 1 ms client target makes requests over-target. ------
+"${BUILD_DIR}/examples/loadgen" --port "${AGG_PORT}" --qps 60 \
+    --duration-s 2 --target-ms 1 --trace-csv-out "${TRACE_CSV}" \
+    --tracez-out "${CLIENT_TRACE}" &
+LOADGEN_PID=$!
+
+# --- Pull /tracez mid-run from every server-side process. ---------------
+sleep 1
+"${BUILD_DIR}/examples/statsz" --tracez \
+    --ports "${AGG_PORT},${SHARDS}" --timeout-ms 500 \
+    --out "${MID_TRACE}" || {
+    echo "trace_smoke: mid-run /tracez assembly failed" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+MID_PIDS="$(grep -o '"pid":[0-9]*' "${MID_TRACE}" | sort -u | wc -l)"
+if [ "${MID_PIDS}" -lt 2 ]; then
+    echo "trace_smoke: mid-run trace has spans from ${MID_PIDS} < 2" \
+        "processes" >&2
+    head -c 2000 "${MID_TRACE}" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+fi
+echo "trace_smoke: mid-run assembly spans ${MID_PIDS} processes"
+
+wait "${LOADGEN_PID}"
+
+# --- Final assembly: servers + the loadgen's own client spans. ----------
+"${BUILD_DIR}/examples/statsz" --tracez \
+    --ports "${AGG_PORT},${SHARDS}" --timeout-ms 500 \
+    --trace-file "${CLIENT_TRACE}" --out "${FULL_TRACE}" || {
+    echo "trace_smoke: final /tracez assembly failed" >&2
+    exit 1
+}
+
+grep -q '"over_target":true' "${FULL_TRACE}" || {
+    echo "trace_smoke: no retained over-target trace in assembly" >&2
+    head -c 2000 "${FULL_TRACE}" >&2
+    exit 1
+}
+
+# The loadgen CSV's over-target rows must join the assembled JSON by
+# trace id. The last row is the most recent over-target request, so its
+# client trace is still inside the loadgen's bounded retention buffer.
+[ "$(wc -l < "${TRACE_CSV}")" -ge 2 ] || {
+    echo "trace_smoke: loadgen trace CSV has no over-target rows" >&2
+    cat "${TRACE_CSV}" >&2
+    exit 1
+}
+JOIN_ID="$(tail -n 1 "${TRACE_CSV}" | cut -d, -f2)"
+grep -q "\"trace_id\":\"${JOIN_ID}\"" "${FULL_TRACE}" || {
+    echo "trace_smoke: CSV trace id ${JOIN_ID} not in the assembly" >&2
+    exit 1
+}
+echo "trace_smoke: CSV trace ${JOIN_ID} joins the assembled JSON"
+
+# --- Graceful drain: aggregator first, then the shard tier. -------------
+kill -INT "${AGG_PID}"
+wait "${AGG_PID}"
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -INT "${pid}" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "${pid}" || true
+done
+trap - EXIT
+echo "trace_smoke: OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -117,6 +118,18 @@ void
 AggregatorServer::setStatszProvider(StatszProvider provider)
 {
     statszProvider_ = std::move(provider);
+}
+
+void
+AggregatorServer::setTracezProvider(TracezProvider provider)
+{
+    tracezProvider_ = std::move(provider);
+}
+
+void
+AggregatorServer::attachSpans(obs::SpanCollector* spans)
+{
+    spans_ = spans;
 }
 
 void
@@ -282,6 +295,25 @@ AggregatorServer::handleClientFrame(Connection& conn, net::Frame frame)
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
             ++stats_.statszServed;
+        }
+        return;
+    }
+
+    if (frame.type == net::FrameType::kTraceRequest) {
+        net::Frame response;
+        response.type = net::FrameType::kTraceResponse;
+        response.requestId = frame.requestId;
+        if (tracezProvider_) {
+            response.status = net::FrameStatus::kOk;
+            const std::string text = tracezProvider_();
+            response.payload.assign(text.begin(), text.end());
+        } else {
+            response.status = net::FrameStatus::kError;
+        }
+        sendToClient(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.tracezServed;
         }
         return;
     }
@@ -654,7 +686,10 @@ AggregatorServer::settleEndpointLegs(const std::string& key)
 void
 AggregatorServer::sendSub(const ShardEndpoint& endpoint,
                           std::uint64_t subId, std::uint8_t cls,
-                          const std::vector<std::uint8_t>& payload)
+                          const std::vector<std::uint8_t>& payload,
+                          std::uint64_t traceId,
+                          std::uint64_t parentSpanId,
+                          std::uint8_t traceFlags)
 {
     Upstream& up = upstreamFor(endpoint);
     if (up.breaker == BreakerState::kHalfOpen && !up.probeInFlight) {
@@ -668,6 +703,9 @@ AggregatorServer::sendSub(const ShardEndpoint& endpoint,
     request.cls = cls;
     request.requestId = subId;
     request.payload = payload;
+    request.traceId = traceId;
+    request.parentSpanId = parentSpanId;
+    request.traceFlags = traceFlags;
     net::encodeFrame(request, up.writeBuffer);
     if (up.fd.valid()) {
         flushUpstreamWrites(up);
@@ -701,6 +739,16 @@ AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
     fanout.requestPayload = std::move(frame.payload);
     fanout.unresolved = config_.shards.size();
     fanout.subs.resize(config_.shards.size());
+    // The trace context rides through the tier: this tier's root span
+    // becomes the parent of every leg span, and each leg span id is the
+    // parent the shard's own server span attaches under.
+    const bool traced = spans_ != nullptr && frame.traceId != 0;
+    if (traced) {
+        fanout.traceId = frame.traceId;
+        fanout.parentSpanId = frame.parentSpanId;
+        fanout.traceFlags = frame.traceFlags;
+        fanout.rootSpanId = spans_->newSpanId();
+    }
 
     for (std::size_t i = 0; i < config_.shards.size(); ++i) {
         SubRequest& sub = fanout.subs[i];
@@ -708,6 +756,8 @@ AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
         sub.subId = nextSubId_++;
         sub.sentAtMs = now;
         sub.primaryOutstanding = true;
+        if (traced)
+            sub.legSpanId = spans_->newSpanId();
         if (config_.hedge.enabled && config_.shards[i].hasReplica()) {
             const double delay = hedgeDelayFor(i);
             if (delay > 0.0)
@@ -730,7 +780,8 @@ AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
             Upstream& primary = upstreamFor(spec.primary);
             if (endpointUsable(primary, now)) {
                 sendSub(spec.primary, sub.subId, stored.cls,
-                        stored.requestPayload);
+                        stored.requestPayload, stored.traceId,
+                        sub.legSpanId, stored.traceFlags);
                 continue;
             }
             sub.primaryOutstanding = false;
@@ -762,13 +813,16 @@ AggregatorServer::fireHedge(Fanout& fanout, SubRequest& sub)
     sub.hedgeSubId = nextSubId_++;
     sub.hedgeSentAtMs = nowMs();
     sub.hedgeOutstanding = true;
+    if (fanout.rootSpanId != 0 && spans_ != nullptr)
+        sub.hedgeSpanId = spans_->newSpanId();
     subIndex_[sub.hedgeSubId] =
         SubKey{fanout.fanoutId, sub.shardIdx, true};
     collector_.onHedgeIssued(sub.shardIdx);
     if (metric_.hedgeIssued != nullptr)
         metric_.hedgeIssued->inc();
     sendSub(config_.shards[sub.shardIdx].replica, sub.hedgeSubId,
-            fanout.cls, fanout.requestPayload);
+            fanout.cls, fanout.requestPayload, fanout.traceId,
+            sub.hedgeSpanId, fanout.traceFlags);
 }
 
 void
@@ -973,6 +1027,7 @@ AggregatorServer::respondToClient(Fanout& fanout)
     record.shardsAnswered = static_cast<std::uint16_t>(replies.size());
     record.shardsTotal = static_cast<std::uint16_t>(fanout.subs.size());
     collector_.record(record);
+    recordFanoutSpans(fanout, record.responseMs);
 
     admission_.onComplete();
     if (metric_.inFlight != nullptr)
@@ -991,6 +1046,81 @@ AggregatorServer::respondToClient(Fanout& fanout)
     fanout.responded = true;
     fanout.lingerUntilMs = now + (draining_ ? 0.0 : config_.lingerMs);
     maybeReclaim(fanout.fanoutId);
+}
+
+void
+AggregatorServer::recordFanoutSpans(const Fanout& fanout,
+                                    double responseMs)
+{
+    if (spans_ == nullptr || fanout.traceId == 0 ||
+        fanout.rootSpanId == 0)
+        return;
+    // Wall-clock anchor: one reading, with every phase start derived
+    // from the event loop's monotonic offsets — so the spans line up
+    // with the shards' own wall-clock spans without clock negotiation.
+    const double wallEnd = obs::spanNowMs();
+    const double wallStart = wallEnd - responseMs;
+
+    char name[obs::kSpanNameCapacity];
+    for (const SubRequest& sub : fanout.subs) {
+        const double primaryOffset = sub.sentAtMs - fanout.startMs;
+        const bool primaryWon = sub.haveReply && !sub.wonByHedge;
+        obs::Span leg;
+        leg.traceId = fanout.traceId;
+        leg.spanId = sub.legSpanId;
+        leg.parentSpanId = fanout.rootSpanId;
+        leg.kind = obs::SpanKind::kShardLeg;
+        leg.cls = fanout.cls;
+        leg.startMs = wallStart + primaryOffset;
+        // A leg that lost (or never answered) ran until the fan-out
+        // settled; the winner's duration is its measured reply time.
+        leg.durMs = primaryWon
+                        ? std::max(0.0, sub.replyMs - primaryOffset)
+                        : std::max(0.0, responseMs - primaryOffset);
+        leg.hedge = false;
+        leg.wonRace = primaryWon;
+        std::snprintf(name, sizeof(name), "shard%zu%s", sub.shardIdx,
+                      sub.shardDown ? " down" : (sub.shed ? " shed" : ""));
+        leg.setName(name);
+        spans_->record(leg);
+
+        if (sub.hedged && sub.hedgeSpanId != 0) {
+            const double hedgeOffset =
+                sub.hedgeSentAtMs - fanout.startMs;
+            obs::Span hedge;
+            hedge.traceId = fanout.traceId;
+            hedge.spanId = sub.hedgeSpanId;
+            hedge.parentSpanId = fanout.rootSpanId;
+            hedge.kind = obs::SpanKind::kHedgeLeg;
+            hedge.cls = fanout.cls;
+            hedge.startMs = wallStart + hedgeOffset;
+            hedge.durMs =
+                sub.wonByHedge
+                    ? std::max(0.0, sub.replyMs - hedgeOffset)
+                    : std::max(0.0, responseMs - hedgeOffset);
+            hedge.hedge = true;
+            hedge.wonRace = sub.wonByHedge;
+            std::snprintf(name, sizeof(name), "shard%zu hedge",
+                          sub.shardIdx);
+            hedge.setName(name);
+            spans_->record(hedge);
+        }
+    }
+
+    obs::Span root;
+    root.traceId = fanout.traceId;
+    root.spanId = fanout.rootSpanId;
+    root.parentSpanId = fanout.parentSpanId;
+    root.kind = obs::SpanKind::kFanout;
+    root.cls = fanout.cls;
+    root.startMs = wallStart;
+    root.durMs = responseMs;
+    root.targetMs = fanout.targetMs;
+    root.setName("fanout");
+    spans_->record(root);
+
+    spans_->finishTrace(fanout.traceId, fanout.cls, responseMs,
+                        fanout.targetMs);
 }
 
 void

@@ -47,6 +47,7 @@
 #include "net/socket.h"
 #include "obs/fanout_stats.h"
 #include "obs/metrics.h"
+#include "obs/span_collector.h"
 
 namespace tpc::fanout {
 
@@ -161,6 +162,8 @@ struct AggregatorStats
     std::uint64_t busySent = 0;
     std::uint64_t protocolErrors = 0;
     std::uint64_t statszServed = 0;
+    /** kTraceRequest frames answered (not counted as requests). */
+    std::uint64_t tracezServed = 0;
     std::uint64_t upstreamConnects = 0;
     std::uint64_t upstreamDrops = 0;
     /** OK responses merged from a strict subset of the shards. */
@@ -173,6 +176,11 @@ struct AggregatorStats
 
 /** Produces the /statsz text; runs on the event loop, must not block. */
 using StatszProvider = std::function<std::string()>;
+
+/** Produces the /tracez Chrome-trace JSON; runs on the event loop and
+ *  must not block (SpanCollector::renderTracez walks only the bounded
+ *  retention buffer). */
+using TracezProvider = std::function<std::string()>;
 
 /** The aggregation tier. One event-loop thread, no workers. */
 class AggregatorServer
@@ -205,6 +213,21 @@ class AggregatorServer
 
     /** Overrides the built-in /statsz rendering (call before run()). */
     void setStatszProvider(StatszProvider provider);
+
+    /** Installs the /tracez provider (call before run()). kTraceRequest
+     *  frames bypass admission control like /statsz does; without a
+     *  provider they are answered with an empty kError response. */
+    void setTracezProvider(TracezProvider provider);
+
+    /**
+     * Attaches a span collector (borrowed; nullptr detaches). Call
+     * before run(). Every traced client request then records a kFanout
+     * root span plus one leg span per shard (hedge backups become
+     * kHedgeLeg siblings of the primary kShardLeg, so the race is
+     * visible on one timeline), and the trace context is forwarded to
+     * the shards in the sub-request frames.
+     */
+    void attachSpans(obs::SpanCollector* spans);
 
     /** Attaches a metrics registry (borrowed; nullptr detaches). Call
      *  before run(). Registers fanout_hedge_issued / fanout_hedge_won /
@@ -285,6 +308,10 @@ class AggregatorServer
         std::uint64_t subId = 0;
         /** Wire id of the backup request (0 = none issued). */
         std::uint64_t hedgeSubId = 0;
+        /** Span id of the primary leg (the shard's parent span id). */
+        std::uint64_t legSpanId = 0;
+        /** Span id of the backup leg (0 = no hedge issued). */
+        std::uint64_t hedgeSpanId = 0;
         double sentAtMs = 0.0;
         double hedgeSentAtMs = 0.0;
         /** Absolute time the backup fires; <= 0 when disarmed. */
@@ -315,6 +342,13 @@ class AggregatorServer
         std::uint64_t connId = 0;
         std::uint64_t clientRequestId = 0;
         std::uint8_t cls = 0;
+        /** Trace context from the client frame (0 = untraced). */
+        std::uint64_t traceId = 0;
+        std::uint64_t parentSpanId = 0;
+        std::uint8_t traceFlags = 0;
+        /** Span id of this tier's kFanout root span (the legs' parent);
+         *  0 when the request is untraced or no collector is attached. */
+        std::uint64_t rootSpanId = 0;
         double startMs = 0.0;
         double targetMs = 0.0;
         double deadlineAtMs = 0.0;
@@ -371,11 +405,18 @@ class AggregatorServer
                              std::uint64_t subId);
 
     void startFanout(Connection& conn, net::Frame&& frame);
-    /** Encodes one shard-side request onto the endpoint's connection. */
+    /** Encodes one shard-side request onto the endpoint's connection.
+     *  The trace context rides in the frame header so the shard's spans
+     *  attach under @p parentSpanId (0 = untraced). */
     void sendSub(const ShardEndpoint& endpoint, std::uint64_t subId,
                  std::uint8_t cls,
-                 const std::vector<std::uint8_t>& payload);
+                 const std::vector<std::uint8_t>& payload,
+                 std::uint64_t traceId, std::uint64_t parentSpanId,
+                 std::uint8_t traceFlags);
     void fireHedge(Fanout& fanout, SubRequest& sub);
+    /** Records the fanout root + leg spans and finishes the trace;
+     *  called from respondToClient for traced requests. */
+    void recordFanoutSpans(const Fanout& fanout, double responseMs);
     /** Settles a leg that lost every path to a reply (down endpoints). */
     void settleLegNoPath(Fanout& fanout, SubRequest& sub);
     void onShardResponse(Upstream& up, net::Frame&& frame);
@@ -424,6 +465,8 @@ class AggregatorServer
     std::uint64_t wiringFanoutId_ = 0;
 
     StatszProvider statszProvider_;
+    TracezProvider tracezProvider_;
+    obs::SpanCollector* spans_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles
     {

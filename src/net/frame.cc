@@ -78,6 +78,10 @@ encodeFrame(const Frame& frame, std::vector<std::uint8_t>& out)
     } else {
         putU32(h + 20, 0);
     }
+    putU64(h + 24, frame.traceId);
+    putU64(h + 32, frame.parentSpanId);
+    h[40] = frame.traceFlags;
+    h[41] = h[42] = h[43] = 0;
     if (!frame.payload.empty())
         std::memcpy(h + kHeaderSize, frame.payload.data(),
                     frame.payload.size());
@@ -88,7 +92,9 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
             std::size_t maxPayload)
 {
     DecodeResult result;
-    if (size < kHeaderSize)
+    // The version byte selects the header size, so the fixed part of the
+    // header (through the version) must be readable before branching.
+    if (size < kHeaderSizeV1)
         return result; // kNeedMore
 
     auto fail = [&result](std::string why) {
@@ -99,12 +105,16 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
 
     if (getU32(data) != kMagic)
         return fail("bad magic");
-    if (data[4] != kProtocolVersion)
+    const std::uint8_t version = data[4];
+    if (version < kMinProtocolVersion || version > kProtocolVersion)
         return fail("unsupported protocol version " +
-                    std::to_string(static_cast<int>(data[4])));
+                    std::to_string(static_cast<int>(version)));
+    const std::size_t headerSize = version == 1 ? kHeaderSizeV1 : kHeaderSize;
+    if (size < headerSize)
+        return result; // kNeedMore
     const std::uint8_t type = data[5];
     if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-        type > static_cast<std::uint8_t>(FrameType::kStatsResponse))
+        type > static_cast<std::uint8_t>(FrameType::kTraceResponse))
         return fail("unknown frame type " +
                     std::to_string(static_cast<int>(type)));
     const std::uint8_t status = data[7];
@@ -119,11 +129,13 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         type == static_cast<std::uint8_t>(FrameType::kResponse);
     if (!isResponse && getU32(data + 20) != 0)
         return fail("reserved header bytes must be zero");
-    if (size < kHeaderSize + payloadLength)
+    if (version >= 2 && (data[41] != 0 || data[42] != 0 || data[43] != 0))
+        return fail("reserved trace-context bytes must be zero");
+    if (size < headerSize + payloadLength)
         return result; // kNeedMore: header is sane, payload still arriving.
 
     result.status = DecodeStatus::kFrame;
-    result.consumed = kHeaderSize + payloadLength;
+    result.consumed = headerSize + payloadLength;
     result.frame.type = static_cast<FrameType>(type);
     result.frame.cls = data[6];
     result.frame.status = static_cast<FrameStatus>(status);
@@ -132,8 +144,16 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         result.frame.shardsAnswered = getU16(data + 20);
         result.frame.shardsTotal = getU16(data + 22);
     }
-    result.frame.payload.assign(data + kHeaderSize,
-                                data + kHeaderSize + payloadLength);
+    // Version-1 frames predate the trace context; leave it zeroed so the
+    // serving path treats the request as untraced rather than rejecting
+    // the older client.
+    if (version >= 2) {
+        result.frame.traceId = getU64(data + 24);
+        result.frame.parentSpanId = getU64(data + 32);
+        result.frame.traceFlags = data[40];
+    }
+    result.frame.payload.assign(data + headerSize,
+                                data + headerSize + payloadLength);
     return result;
 }
 

@@ -9,7 +9,7 @@
  * payload lengths beyond the negotiated cap are hard errors that the
  * server answers by closing the connection, never by trusting the length.
  *
- * Wire layout (kHeaderSize = 24 bytes, then `payloadLength` payload bytes):
+ * Wire layout (kHeaderSize = 44 bytes, then `payloadLength` payload bytes):
  *
  *   offset  size  field
  *        0     4  magic 0x54504352 ("TPCR")
@@ -21,6 +21,10 @@
  *       16     4  payloadLength
  *       20     2  shardsAnswered (kResponse only; reserved-zero otherwise)
  *       22     2  shardsTotal (kResponse only; reserved-zero otherwise)
+ *       24     8  traceId (distributed trace; 0 = untraced)
+ *       32     8  parentSpanId (caller's span; 0 = root)
+ *       40     1  traceFlags (bit 0: sampled)
+ *       41     3  reserved, must be zero
  *
  * The coverage pair reports partial-result degradation on fan-out
  * responses: shardsAnswered < shardsTotal means the merge ran without
@@ -29,6 +33,14 @@
  * both fields zero. On every non-kResponse frame the four bytes stay
  * reserved and must be zero, so corrupting them is still a hard decode
  * error.
+ *
+ * The trace context (version 2, offsets 24-43) rides on every frame so a
+ * request keeps one identity across process hops: loadgen mints the
+ * traceId, the aggregator forwards it to shard legs with its own span as
+ * the parent, and hedged backups reuse the traceId so both legs land on
+ * one timeline. Decoders still accept version-1 frames (24-byte header,
+ * no trace context) and zero the trace fields, so old clients keep
+ * working against new servers and vice versa.
  */
 #pragma once
 
@@ -39,14 +51,23 @@
 
 namespace tpc::net {
 
-/** Bytes before the payload. */
-inline constexpr std::size_t kHeaderSize = 24;
+/** Bytes before the payload (version 2, with trace context). */
+inline constexpr std::size_t kHeaderSize = 44;
+
+/** Header size of the pre-trace-context wire version, still accepted. */
+inline constexpr std::size_t kHeaderSizeV1 = 24;
 
 /** "TPCR" little-endian. */
 inline constexpr std::uint32_t kMagic = 0x52435054u;
 
-/** Current wire version. */
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/** Current wire version (2 added the trace context at offsets 24-43). */
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/** Oldest wire version decoders still accept. */
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
+
+/** traceFlags bit: the trace is sampled (record spans for it). */
+inline constexpr std::uint8_t kTraceFlagSampled = 0x01;
 
 /** Default cap on payload bytes; decoders reject longer frames. */
 inline constexpr std::size_t kDefaultMaxPayload = 1u << 20;
@@ -60,6 +81,11 @@ enum class FrameType : std::uint8_t {
     /** Response to kStatsRequest; payload is Prometheus exposition
      *  text (UTF-8, no NUL terminator). */
     kStatsResponse = 4,
+    /** Admin introspection request (/tracez); empty payload. */
+    kTraceRequest = 5,
+    /** Response to kTraceRequest; payload is Chrome-trace JSON of the
+     *  recently retained traces (UTF-8, no NUL terminator). */
+    kTraceResponse = 6,
 };
 
 /** Response disposition. */
@@ -88,6 +114,13 @@ struct Frame
      *  out of the shards the query spans. 0/0 means "not a fan-out". */
     std::uint16_t shardsAnswered = 0;
     std::uint16_t shardsTotal = 0;
+    /** Distributed-trace id; 0 when the request is untraced (or the
+     *  frame arrived as wire version 1, which had no trace context). */
+    std::uint64_t traceId = 0;
+    /** Span id of the sender's enclosing span; 0 for a trace root. */
+    std::uint64_t parentSpanId = 0;
+    /** kTraceFlagSampled et al.; forwarded verbatim across hops. */
+    std::uint8_t traceFlags = 0;
     std::vector<std::uint8_t> payload;
 
     /** True when a fan-out response was merged without full coverage. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <thread>
@@ -43,6 +44,9 @@ struct Pending
     double arrivalMs = 0.0;
     /** Connection the request went out on. */
     std::size_t conn = 0;
+    /** Trace context the request carried (0 when tracing is off). */
+    std::uint64_t traceId = 0;
+    std::uint64_t clientSpanId = 0;
 };
 
 double
@@ -248,6 +252,18 @@ runLoadGen(const LoadGenConfig& config)
             frame.type = FrameType::kRequest;
             frame.cls = config.cls;
             frame.requestId = seq;
+            Pending pending{nextArrivalMs, connIdx, 0, 0};
+            if (config.trace) {
+                // The client span is the trace root; the server's span
+                // parents off it. Both ids derive from (seed, seq), so
+                // reruns produce identical ids.
+                pending.traceId = obs::deriveTraceId(config.seed, seq);
+                pending.clientSpanId =
+                    obs::deriveTraceId(config.seed ^ 0xC11E57ull, seq);
+                frame.traceId = pending.traceId;
+                frame.parentSpanId = pending.clientSpanId;
+                frame.traceFlags = kTraceFlagSampled;
+            }
             appendU64(frame.payload, seq);
             if (frame.payload.size() < config.payloadBytes)
                 frame.payload.resize(config.payloadBytes, 0);
@@ -255,7 +271,7 @@ runLoadGen(const LoadGenConfig& config)
                 config.payloadFn(seq, frame.payload);
             encodeFrame(frame, conn.writeBuffer);
 
-            outstanding[seq] = Pending{nextArrivalMs, connIdx};
+            outstanding[seq] = pending;
             ++result.sent;
             ++seq;
             nextArrivalMs = arrivals.nextArrivalMs();
@@ -351,6 +367,7 @@ runLoadGen(const LoadGenConfig& config)
                     continue; // Duplicate or unknown id; ignore.
                 const double responseMs =
                     msSince(epoch) - it->second.arrivalMs;
+                const Pending answered = it->second;
                 outstanding.erase(it);
                 switch (response.status) {
                 case FrameStatus::kOk:
@@ -358,6 +375,27 @@ runLoadGen(const LoadGenConfig& config)
                     if (response.degraded())
                         ++result.degraded;
                     result.latency.add(responseMs);
+                    if (answered.traceId != 0 && config.targetMs > 0.0 &&
+                        responseMs > config.targetMs)
+                        result.overTarget.push_back(OverTargetRequest{
+                            response.requestId, answered.traceId,
+                            responseMs});
+                    if (config.spans != nullptr && answered.traceId != 0) {
+                        obs::Span client;
+                        client.traceId = answered.traceId;
+                        client.spanId = answered.clientSpanId;
+                        client.parentSpanId = 0;
+                        client.kind = obs::SpanKind::kClient;
+                        client.cls = config.cls;
+                        client.startMs = obs::spanNowMs() - responseMs;
+                        client.durMs = responseMs;
+                        client.targetMs = config.targetMs;
+                        client.setName("client");
+                        config.spans->record(client);
+                        config.spans->finishTrace(answered.traceId,
+                                                  config.cls, responseMs,
+                                                  config.targetMs);
+                    }
                     break;
                 case FrameStatus::kBusy:
                     ++result.shed;
@@ -389,6 +427,19 @@ runLoadGen(const LoadGenConfig& config)
     return result;
 }
 
+namespace {
+
+std::string
+hexTraceId(std::uint64_t traceId)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(traceId));
+    return std::string(buf);
+}
+
+} // namespace
+
 void
 writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
                 const std::string& path)
@@ -401,6 +452,9 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
     const auto latencyHeader =
         stats::LatencySummary::csvHeader("response_ms_");
     header.insert(header.end(), latencyHeader.begin(), latencyHeader.end());
+    // The slowest over-target request's trace id (16-digit hex; all
+    // zeros when none), joinable against /tracez output.
+    header.push_back("trace_id");
     csv.writeRow(header);
 
     std::vector<std::string> row = {
@@ -418,7 +472,18 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
         std::to_string(result.elapsedMs)};
     const auto latencyRow = result.summary().toCsvRow();
     row.insert(row.end(), latencyRow.begin(), latencyRow.end());
+    row.push_back(hexTraceId(result.worstOverTarget().traceId));
     csv.writeRow(row);
+}
+
+void
+writeLoadGenTraceCsv(const LoadGenResult& result, const std::string& path)
+{
+    util::CsvWriter csv(path);
+    csv.writeRow({"seq", "trace_id", "response_ms"});
+    for (const OverTargetRequest& req : result.overTarget)
+        csv.writeRow({std::to_string(req.seq), hexTraceId(req.traceId),
+                      std::to_string(req.responseMs)});
 }
 
 } // namespace tpc::net

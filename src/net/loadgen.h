@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span_collector.h"
 #include "stats/latency_recorder.h"
 
 namespace tpc::net {
@@ -60,6 +61,30 @@ struct LoadGenConfig
      *  sending stops and the run proceeds to the normal drain, so the
      *  partial results (and their CSV) survive a Ctrl-C. */
     std::atomic<bool>* stopFlag = nullptr;
+    /**
+     * Emit a trace context on every request: the traceId is derived
+     * deterministically from (seed, seq) so a run's ids are reproducible
+     * and joinable against server-side /tracez output.
+     */
+    bool trace = true;
+    /**
+     * Client-side latency target (ms); 0 disables. Responses over the
+     * target are reported in LoadGenResult::overTarget (with their
+     * traceId) and drive tail-based retention of client spans.
+     */
+    double targetMs = 0.0;
+    /** Optional client-span collector (borrowed; role "loadgen"). When
+     *  set, every completed response records a kClient root span and
+     *  finishes the trace against targetMs. */
+    obs::SpanCollector* spans = nullptr;
+};
+
+/** One response that exceeded LoadGenConfig::targetMs. */
+struct OverTargetRequest
+{
+    std::uint64_t seq = 0;
+    std::uint64_t traceId = 0;
+    double responseMs = 0.0;
 };
 
 /** Outcome of one load-generation run. */
@@ -98,6 +123,19 @@ struct LoadGenResult
     double elapsedMs = 0.0;
     /** sent / elapsed — sanity check against the configured QPS. */
     double achievedQps = 0.0;
+    /** Completed responses over LoadGenConfig::targetMs, with their
+     *  trace ids (empty when no target was set). */
+    std::vector<OverTargetRequest> overTarget;
+
+    /** The slowest over-target request (all-zero when none). */
+    OverTargetRequest worstOverTarget() const
+    {
+        OverTargetRequest worst;
+        for (const OverTargetRequest& req : overTarget)
+            if (req.responseMs > worst.responseMs)
+                worst = req;
+        return worst;
+    }
 
     /** Percentile bundle over the OK responses. */
     stats::LatencySummary summary() const { return latency.summary(); }
@@ -110,8 +148,15 @@ struct LoadGenResult
 LoadGenResult runLoadGen(const LoadGenConfig& config);
 
 /** Writes a one-row summary CSV (sent/completed/shed/... + the
- *  LatencySummary columns) for plotting without parsing logs. */
+ *  LatencySummary columns + the worst over-target trace_id) for plotting
+ *  without parsing logs. */
 void writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
                      const std::string& path);
+
+/** Writes one row per over-target response (seq, trace_id as 16-digit
+ *  hex, response_ms) so client-side latency rows join against /tracez
+ *  output by trace id. */
+void writeLoadGenTraceCsv(const LoadGenResult& result,
+                          const std::string& path);
 
 } // namespace tpc::net

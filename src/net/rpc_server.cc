@@ -65,6 +65,12 @@ RpcServer::setStatszProvider(StatszProvider provider)
 }
 
 void
+RpcServer::setTracezProvider(TracezProvider provider)
+{
+    tracezProvider_ = std::move(provider);
+}
+
+void
 RpcServer::attachStageStats(obs::StageStatsCollector* stageStats)
 {
     stageStats_ = stageStats;
@@ -257,6 +263,26 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         }
         return;
     }
+    // /tracez rides the same inline admin path: the retained span trees
+    // are bounded, so rendering them never blocks the loop for long.
+    if (frame.type == FrameType::kTraceRequest) {
+        Frame response;
+        response.type = FrameType::kTraceResponse;
+        response.requestId = frame.requestId;
+        if (tracezProvider_) {
+            const std::string json = tracezProvider_();
+            response.status = FrameStatus::kOk;
+            response.payload.assign(json.begin(), json.end());
+        } else {
+            response.status = FrameStatus::kError;
+        }
+        sendFrame(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.tracezServed;
+        }
+        return;
+    }
 
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
@@ -308,6 +334,11 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
     pending->cls = frame.cls;
 
     server::ThreadedJob job = handler_(frame, pending->responsePayload);
+    // The frame header is the authoritative trace context: stamp it on
+    // the job so the execution engine's spans join the sender's trace
+    // (zero for v1 frames and untraced clients — no spans recorded).
+    job.traceId = frame.traceId;
+    job.parentSpanId = frame.parentSpanId;
     // The completion hook rides on the postamble: ThreadedServer runs it
     // on the primary participant after every task finished, so the
     // response payload is fully written before the event loop reads it.

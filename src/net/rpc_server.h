@@ -89,6 +89,8 @@ struct RpcServerStats
     std::uint64_t protocolErrors = 0;
     /** kStatsRequest frames answered (not counted as requests). */
     std::uint64_t statszServed = 0;
+    /** kTraceRequest frames answered (not counted as requests). */
+    std::uint64_t tracezServed = 0;
     /** Admitted requests cancelled before dispatch (deadline expiry). */
     std::uint64_t requestsCancelled = 0;
     /** Queued requests retired because their connection died (write
@@ -101,6 +103,11 @@ struct RpcServerStats
 /** Produces the /statsz exposition text; runs on the event-loop thread
  *  and must not block (render from a cached StatsSampler snapshot). */
 using StatszProvider = std::function<std::string()>;
+
+/** Produces the /tracez Chrome-trace JSON; runs on the event-loop thread
+ *  and must not block (SpanCollector::renderTracez walks only the
+ *  bounded retention buffer). */
+using TracezProvider = std::function<std::string()>;
 
 /** The serving layer. One event-loop thread; never blocks workers. */
 class RpcServer
@@ -157,6 +164,16 @@ class RpcServer
      * are answered with an empty kError response.
      */
     void setStatszProvider(StatszProvider provider);
+
+    /**
+     * Installs the /tracez provider (call before run()). kTraceRequest
+     * frames are answered inline on the event loop with the provider's
+     * Chrome-trace JSON — like /statsz they bypass admission control so
+     * a slow trace can be pulled off a loaded server. Without a
+     * provider, trace requests are answered with an empty kError
+     * response.
+     */
+    void setTracezProvider(TracezProvider provider);
 
     /** Attaches a stage-stats collector (borrowed; nullptr detaches).
      *  Call before run(). The RPC layer only records admission sheds
@@ -281,6 +298,7 @@ class RpcServer
     int traceServerId_ = 0;
     obs::StageStatsCollector* stageStats_ = nullptr;
     StatszProvider statszProvider_;
+    TracezProvider tracezProvider_;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles
     {

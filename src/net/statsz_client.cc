@@ -21,10 +21,13 @@ msSince(Clock::time_point start)
         .count();
 }
 
-} // namespace
-
+/** One request/response pull shared by /statsz and /tracez: same
+ *  connection, framing, and deadline discipline — only the frame types
+ *  differ. */
 StatszResult
-fetchStatsz(const std::string& host, std::uint16_t port, double timeoutMs)
+fetchAdminFrame(const std::string& host, std::uint16_t port,
+                double timeoutMs, FrameType requestType,
+                FrameType responseType, const char* noProviderHint)
 {
     StatszResult result;
     const auto start = Clock::now();
@@ -59,7 +62,7 @@ fetchStatsz(const std::string& host, std::uint16_t port, double timeoutMs)
                     " failed or timed out");
 
     Frame request;
-    request.type = FrameType::kStatsRequest;
+    request.type = requestType;
     request.requestId = 1;
     std::vector<std::uint8_t> writeBuffer;
     encodeFrame(request, writeBuffer);
@@ -85,14 +88,14 @@ fetchStatsz(const std::string& host, std::uint16_t port, double timeoutMs)
     Frame frame;
     for (;;) {
         while (reader.next(&frame)) {
-            if (frame.type != FrameType::kStatsResponse ||
+            if (frame.type != responseType ||
                 frame.requestId != request.requestId)
                 continue;
             if (frame.status != FrameStatus::kOk)
                 return fail("server answered status " +
                             std::to_string(
                                 static_cast<int>(frame.status)) +
-                            " (no statsz provider installed?)");
+                            " (" + noProviderHint + ")");
             result.ok = true;
             result.text.assign(frame.payload.begin(),
                                frame.payload.end());
@@ -119,6 +122,26 @@ fetchStatsz(const std::string& host, std::uint16_t port, double timeoutMs)
             return fail("connection closed before the response");
         }
     }
+}
+
+} // namespace
+
+StatszResult
+fetchStatsz(const std::string& host, std::uint16_t port, double timeoutMs)
+{
+    return fetchAdminFrame(host, port, timeoutMs,
+                           FrameType::kStatsRequest,
+                           FrameType::kStatsResponse,
+                           "no statsz provider installed?");
+}
+
+StatszResult
+fetchTracez(const std::string& host, std::uint16_t port, double timeoutMs)
+{
+    return fetchAdminFrame(host, port, timeoutMs,
+                           FrameType::kTraceRequest,
+                           FrameType::kTraceResponse,
+                           "no tracez provider installed?");
 }
 
 } // namespace tpc::net

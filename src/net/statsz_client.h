@@ -1,12 +1,14 @@
 /**
  * @file
- * Client for the /statsz introspection endpoint.
+ * Clients for the /statsz and /tracez introspection endpoints.
  *
  * fetchStatsz() opens one connection, sends a kStatsRequest frame, and
  * waits — under a hard wall-clock deadline — for the kStatsResponse
  * carrying the Prometheus exposition text. The deadline covers connect,
  * send, and receive together, so a stalled event loop (the failure mode
  * the CI smoke test guards against) surfaces as a timeout, never a hang.
+ * fetchTracez() is the same pull for the kTraceRequest/kTraceResponse
+ * pair, returning the server's retained traces as Chrome-trace JSON.
  */
 #pragma once
 
@@ -35,6 +37,15 @@ struct StatszResult
  * error. Never fatal — callers (CLI, smoke test) decide how to fail.
  */
 StatszResult fetchStatsz(const std::string& host, std::uint16_t port,
+                         double timeoutMs = 1000.0);
+
+/**
+ * Pulls /tracez from host:port: the text is the server's retained
+ * traces as Chrome-trace JSON (span_collector.h). Same deadline
+ * semantics as fetchStatsz(); a server without a tracez provider
+ * answers kError, reported here as ok=false.
+ */
+StatszResult fetchTracez(const std::string& host, std::uint16_t port,
                          double timeoutMs = 1000.0);
 
 } // namespace tpc::net

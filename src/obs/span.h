@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The span model for cross-process distributed tracing.
+ *
+ * A span is one named, timed interval of work attributed to a trace: the
+ * client's end-to-end wait, the aggregator's fan-out window, one shard
+ * leg (primary or hedged backup), or a server-side phase (queue wait,
+ * execution, dynamic correction). Spans are plain fixed-size structs so
+ * recording is a struct copy under a sharded lock — no allocation on the
+ * hot path (the same discipline as TraceEvent).
+ *
+ * Identity: the 64-bit traceId names the request across every process it
+ * touches (it rides in the frame header, src/net/frame.h), spanId names
+ * one interval, and parentSpanId links the tree — a shard's server span
+ * is parented by the aggregator leg span that sent the sub-request, and
+ * a hedged backup leg shares its parent with the primary leg, so the two
+ * legs render as siblings racing on one timeline.
+ *
+ * Times are wall-clock milliseconds since the Unix epoch (spanNowMs());
+ * processes on one machine share that clock, which is what lets the
+ * assembler stitch aggregator and shard spans onto a single timeline
+ * without negotiating a time base.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
+namespace tpc::obs {
+
+/** Capacity of Span::name including the NUL. */
+inline constexpr std::size_t kSpanNameCapacity = 32;
+
+/** Capacity of Span::role including the NUL. */
+inline constexpr std::size_t kSpanRoleCapacity = 16;
+
+/** What kind of interval a span covers. */
+enum class SpanKind : std::uint8_t {
+    /** Client-side end-to-end wait (loadgen). */
+    kClient = 0,
+    /** Server-side request root (submit to completion). */
+    kServer = 1,
+    /** Time queued before dispatch. */
+    kQueue = 2,
+    /** Dispatch to completion (the parallel phase). */
+    kExecute = 3,
+    /** First TPC correction to completion (degree was raised mid-run). */
+    kCorrection = 4,
+    /** Aggregator fan-out root (arrival to client response). */
+    kFanout = 5,
+    /** One primary sub-request leg to a shard. */
+    kShardLeg = 6,
+    /** A hedged backup leg; sibling of the primary kShardLeg. */
+    kHedgeLeg = 7,
+};
+
+/** Stable lower-case name for a span kind ("client", "queue", ...). */
+const char* spanKindName(SpanKind kind);
+
+/** Parses a spanKindName() string; returns false when unknown. */
+bool spanKindFromName(const char* name, SpanKind* out);
+
+/** One completed interval of work attributed to a trace. */
+struct Span
+{
+    /** Trace the span belongs to; never 0 for a recorded span. */
+    std::uint64_t traceId = 0;
+    /** This span's id; unique within the trace. */
+    std::uint64_t spanId = 0;
+    /** Parent span id; 0 for a trace root. */
+    std::uint64_t parentSpanId = 0;
+    SpanKind kind = SpanKind::kServer;
+    /** Application request class. */
+    std::uint32_t cls = 0;
+    /** Recording process's id (stamped by the collector). */
+    std::int32_t serverId = 0;
+    /** Wall start, ms since Unix epoch (see spanNowMs()). */
+    double startMs = 0.0;
+    double durMs = 0.0;
+    /** Latency target applied to this interval; 0 when none. */
+    double targetMs = 0.0;
+    /** The leg was a hedged backup. */
+    bool hedge = false;
+    /** The leg's reply was the one merged (hedge race winner). */
+    bool wonRace = false;
+    /** NUL-terminated display name (truncated to fit). */
+    char name[kSpanNameCapacity] = {};
+    /** Recording process's role, e.g. "loadgen" / "aggregator" / "shard"
+     *  (stamped by the collector). */
+    char role[kSpanRoleCapacity] = {};
+
+    void setName(const char* value)
+    {
+        std::strncpy(name, value, kSpanNameCapacity - 1);
+        name[kSpanNameCapacity - 1] = '\0';
+    }
+
+    void setRole(const char* value)
+    {
+        std::strncpy(role, value, kSpanRoleCapacity - 1);
+        role[kSpanRoleCapacity - 1] = '\0';
+    }
+
+    /** True when the interval exceeded its own target. */
+    bool overTarget() const { return targetMs > 0.0 && durMs > targetMs; }
+};
+
+/** Wall clock in ms since the Unix epoch — the span time base. */
+inline double
+spanNowMs()
+{
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    return std::chrono::duration<double, std::milli>(now).count();
+}
+
+/**
+ * Deterministically derives a nonzero traceId from a seed and sequence
+ * number (splitmix64). Loadgen uses this so a run's trace ids are
+ * reproducible from its --seed, making CSV rows joinable across runs.
+ */
+inline std::uint64_t
+deriveTraceId(std::uint64_t seed, std::uint64_t seq)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (seq + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z == 0 ? 1 : z;
+}
+
+} // namespace tpc::obs

@@ -1,0 +1,487 @@
+#include "obs/span_collector.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace tpc::obs {
+namespace {
+
+/** Appends a JSON-escaped string. Escapes quote and backslash; control
+ *  characters are dropped (span names are ASCII identifiers; this is an
+ *  export, not a transport). Mirrors the Chrome-trace exporter. */
+void
+appendEscaped(std::string& out, const char* text)
+{
+    for (const char* p = text; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out.push_back(c);
+        }
+    }
+}
+
+/** Appends a double with fixed 3 decimals (timestamps in microseconds;
+ *  wall-clock values reach ~1.7e15 us, well inside the buffer). */
+void
+appendF3(std::string& out, double value)
+{
+    char buf[48];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value,
+                                   std::chars_format::fixed, 3);
+    TPC_CHECK(res.ec == std::errc());
+    out.append(buf, res.ptr);
+}
+
+void
+appendUint(std::string& out, std::uint64_t value)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, res.ptr);
+}
+
+void
+appendInt(std::string& out, std::int64_t value)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    out.append(buf, res.ptr);
+}
+
+/** Appends a 16-digit zero-padded lowercase hex id in quotes. */
+void
+appendHexId(std::string& out, std::uint64_t value)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                  static_cast<unsigned long long>(value));
+    out.append(buf);
+}
+
+} // namespace
+
+const char*
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+    case SpanKind::kClient:
+        return "client";
+    case SpanKind::kServer:
+        return "server";
+    case SpanKind::kQueue:
+        return "queue";
+    case SpanKind::kExecute:
+        return "execute";
+    case SpanKind::kCorrection:
+        return "correction";
+    case SpanKind::kFanout:
+        return "fanout";
+    case SpanKind::kShardLeg:
+        return "shard_leg";
+    case SpanKind::kHedgeLeg:
+        return "hedge_leg";
+    }
+    return "unknown";
+}
+
+bool
+spanKindFromName(const char* name, SpanKind* out)
+{
+    static constexpr SpanKind kAll[] = {
+        SpanKind::kClient,  SpanKind::kServer,   SpanKind::kQueue,
+        SpanKind::kExecute, SpanKind::kCorrection, SpanKind::kFanout,
+        SpanKind::kShardLeg, SpanKind::kHedgeLeg,
+    };
+    for (const SpanKind kind : kAll) {
+        if (std::strcmp(name, spanKindName(kind)) == 0) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+SpanCollector::SpanCollector(std::size_t shardCount,
+                             SpanCollectorConfig config)
+    : config_(std::move(config))
+{
+    TPC_CHECK(shardCount >= 1);
+    TPC_CHECK(config_.shardCapacity >= 1);
+    TPC_CHECK(config_.retainedCapacity >= 1);
+    shards_.reserve(shardCount);
+    for (std::size_t i = 0; i < shardCount; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+std::uint64_t
+SpanCollector::newSpanId()
+{
+    // Fold the process id into the high bits so ids minted by different
+    // processes on one trace never collide.
+    const std::uint64_t seq =
+        nextSpanId_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t pid =
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(config_.serverId) + 1u);
+    return (pid << 48) ^ seq;
+}
+
+SpanCollector::Shard&
+SpanCollector::shardForThisThread()
+{
+    const std::size_t hash =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return *shards_[hash % shards_.size()];
+}
+
+void
+SpanCollector::record(Span span)
+{
+    if (!enabled() || span.traceId == 0)
+        return;
+    span.serverId = config_.serverId;
+    span.setRole(config_.role.c_str());
+    Shard& shard = shardForThisThread();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.ring.size() >= config_.shardCapacity) {
+        shard.ring.pop_front();
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.ring.push_back(span);
+}
+
+void
+SpanCollector::finishTrace(std::uint64_t traceId, std::uint32_t cls,
+                           double responseMs, double targetMs)
+{
+    if (!enabled() || traceId == 0)
+        return;
+    const std::uint64_t seq =
+        finished_.fetch_add(1, std::memory_order_relaxed);
+    const bool over = targetMs > 0.0 && responseMs > targetMs;
+    const bool sampled = config_.baselineSampleEvery > 0 &&
+                         seq % config_.baselineSampleEvery == 0;
+    if (!over && !sampled && !config_.retainAll)
+        return; // The common case: spans age out of the rings unretained.
+
+    RetainedTrace trace;
+    trace.traceId = traceId;
+    trace.cls = cls;
+    trace.responseMs = responseMs;
+    trace.targetMs = targetMs;
+    trace.overTarget = over;
+    trace.baseline = !over && sampled;
+    for (auto& shardPtr : shards_) {
+        Shard& shard = *shardPtr;
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto matches = [traceId](const Span& s) {
+            return s.traceId == traceId;
+        };
+        for (const Span& span : shard.ring)
+            if (matches(span))
+                trace.spans.push_back(span);
+        shard.ring.erase(std::remove_if(shard.ring.begin(),
+                                        shard.ring.end(), matches),
+                         shard.ring.end());
+    }
+    std::sort(trace.spans.begin(), trace.spans.end(),
+              [](const Span& a, const Span& b) {
+                  if (a.startMs != b.startMs)
+                      return a.startMs < b.startMs;
+                  return a.spanId < b.spanId;
+              });
+
+    retainedCount_.fetch_add(1, std::memory_order_relaxed);
+    if (over)
+        overTarget_.fetch_add(1, std::memory_order_relaxed);
+    else if (sampled)
+        baseline_.fetch_add(1, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(retainedMutex_);
+    if (retained_.size() >= config_.retainedCapacity)
+        retained_.pop_front();
+    retained_.push_back(std::move(trace));
+}
+
+std::vector<RetainedTrace>
+SpanCollector::retained() const
+{
+    std::lock_guard<std::mutex> lock(retainedMutex_);
+    return std::vector<RetainedTrace>(retained_.begin(), retained_.end());
+}
+
+std::string
+SpanCollector::renderTracez(std::size_t maxTraces) const
+{
+    std::vector<RetainedTrace> traces = retained();
+    if (maxTraces != 0 && traces.size() > maxTraces)
+        traces.erase(traces.begin(),
+                     traces.end() - static_cast<std::ptrdiff_t>(maxTraces));
+    std::vector<Span> spans;
+    for (const RetainedTrace& trace : traces)
+        spans.insert(spans.end(), trace.spans.begin(), trace.spans.end());
+    return assembleChromeTrace(spans);
+}
+
+void
+SpanCollector::clear()
+{
+    for (auto& shardPtr : shards_) {
+        std::lock_guard<std::mutex> lock(shardPtr->mutex);
+        shardPtr->ring.clear();
+    }
+    std::lock_guard<std::mutex> lock(retainedMutex_);
+    retained_.clear();
+}
+
+std::string
+assembleChromeTrace(const std::vector<Span>& spans)
+{
+    // Sort by start so lane packing is a greedy sweep; keep the order
+    // stable across processes by breaking ties on span id.
+    std::vector<const Span*> ordered;
+    ordered.reserve(spans.size());
+    for (const Span& span : spans)
+        ordered.push_back(&span);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Span* a, const Span* b) {
+                  if (a->startMs != b->startMs)
+                      return a->startMs < b->startMs;
+                  return a->spanId < b->spanId;
+              });
+
+    std::string out;
+    out.reserve(256 + spans.size() * 256);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    // One process_name metadata event per distinct recording process.
+    std::vector<std::pair<std::int32_t, std::string>> processes;
+    for (const Span* span : ordered) {
+        bool seen = false;
+        for (const auto& entry : processes)
+            seen = seen || entry.first == span->serverId;
+        if (!seen)
+            processes.emplace_back(span->serverId, span->role);
+    }
+    bool first = true;
+    auto separator = [&out, &first]() {
+        out += first ? "\n" : ",\n";
+        first = false;
+    };
+    for (const auto& [pid, role] : processes) {
+        separator();
+        out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+        appendInt(out, pid);
+        out += ",\"tid\":0,\"args\":{\"name\":\"";
+        appendEscaped(out, role.c_str());
+        out += " ";
+        appendInt(out, pid);
+        out += "\"}}";
+    }
+
+    // Greedy lane packing per process: a span takes the first lane that
+    // freed up before it started, so overlapping intervals (a hedge
+    // race) render on separate rows.
+    struct Lanes
+    {
+        std::int32_t pid;
+        std::vector<double> endMs;
+    };
+    std::vector<Lanes> lanes;
+    for (const Span* span : ordered) {
+        Lanes* mine = nullptr;
+        for (Lanes& candidate : lanes)
+            if (candidate.pid == span->serverId)
+                mine = &candidate;
+        if (mine == nullptr) {
+            lanes.push_back(Lanes{span->serverId, {}});
+            mine = &lanes.back();
+        }
+        std::size_t lane = mine->endMs.size();
+        for (std::size_t i = 0; i < mine->endMs.size(); ++i) {
+            if (mine->endMs[i] <= span->startMs) {
+                lane = i;
+                break;
+            }
+        }
+        if (lane == mine->endMs.size())
+            mine->endMs.push_back(0.0);
+        mine->endMs[lane] = span->startMs + span->durMs;
+
+        separator();
+        out += "{\"name\":\"";
+        appendEscaped(out, span->name);
+        out += "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":";
+        appendF3(out, span->startMs * 1000.0);
+        out += ",\"dur\":";
+        appendF3(out, span->durMs * 1000.0);
+        out += ",\"pid\":";
+        appendInt(out, span->serverId);
+        out += ",\"tid\":";
+        appendUint(out, lane + 1);
+        out += ",\"args\":{\"trace_id\":";
+        appendHexId(out, span->traceId);
+        out += ",\"span_id\":";
+        appendHexId(out, span->spanId);
+        out += ",\"parent_span_id\":";
+        appendHexId(out, span->parentSpanId);
+        out += ",\"kind\":\"";
+        out += spanKindName(span->kind);
+        out += "\",\"cls\":";
+        appendUint(out, span->cls);
+        out += ",\"role\":\"";
+        appendEscaped(out, span->role);
+        out += "\",\"target_ms\":";
+        appendF3(out, span->targetMs);
+        out += ",\"over_target\":";
+        out += span->overTarget() ? "true" : "false";
+        out += ",\"hedge\":";
+        out += span->hedge ? "true" : "false";
+        out += ",\"won_race\":";
+        out += span->wonRace ? "true" : "false";
+        out += "}}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+namespace {
+
+/** Extracts the double after `"key":` in [begin, end); NaN when absent. */
+bool
+findNumber(const std::string& text, std::size_t begin, std::size_t end,
+           const char* key, double* out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const std::size_t at = text.find(needle, begin);
+    if (at == std::string::npos || at >= end)
+        return false;
+    *out = std::strtod(text.c_str() + at + needle.size(), nullptr);
+    return true;
+}
+
+/** Extracts the hex id after `"key":"` in [begin, end). */
+bool
+findHexId(const std::string& text, std::size_t begin, std::size_t end,
+          const char* key, std::uint64_t* out)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const std::size_t at = text.find(needle, begin);
+    if (at == std::string::npos || at >= end)
+        return false;
+    *out = std::strtoull(text.c_str() + at + needle.size(), nullptr, 16);
+    return true;
+}
+
+/** Extracts and unescapes the string after `"key":"` in [begin, end). */
+bool
+findString(const std::string& text, std::size_t begin, std::size_t end,
+           const char* key, std::string* out)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    std::size_t at = text.find(needle, begin);
+    if (at == std::string::npos || at >= end)
+        return false;
+    at += needle.size();
+    out->clear();
+    while (at < text.size()) {
+        const char c = text[at];
+        if (c == '\\' && at + 1 < text.size()) {
+            out->push_back(text[at + 1]);
+            at += 2;
+            continue;
+        }
+        if (c == '"')
+            return true;
+        out->push_back(c);
+        ++at;
+    }
+    return false; // Unterminated string.
+}
+
+bool
+findBool(const std::string& text, std::size_t begin, std::size_t end,
+         const char* key)
+{
+    const std::string needle = std::string("\"") + key + "\":true";
+    const std::size_t at = text.find(needle, begin);
+    return at != std::string::npos && at < end;
+}
+
+} // namespace
+
+bool
+parseTracezSpans(const std::string& json, std::vector<Span>* out,
+                 std::string* error)
+{
+    auto fail = [error](const char* why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    if (json.find("\"traceEvents\"") == std::string::npos)
+        return fail("not a tracez document (no traceEvents)");
+
+    // The renderer emits one event per line; walk lines and pick the
+    // "X" slices (metadata and framing lines are skipped).
+    std::size_t lineStart = 0;
+    while (lineStart < json.size()) {
+        std::size_t lineEnd = json.find('\n', lineStart);
+        if (lineEnd == std::string::npos)
+            lineEnd = json.size();
+        const std::size_t begin = lineStart;
+        lineStart = lineEnd + 1;
+        const std::size_t slice = json.find("\"ph\":\"X\"", begin);
+        if (slice == std::string::npos || slice >= lineEnd)
+            continue;
+
+        Span span;
+        std::string name;
+        std::string role;
+        std::string kind;
+        double ts = 0.0;
+        double dur = 0.0;
+        double pid = 0.0;
+        double cls = 0.0;
+        if (!findString(json, begin, lineEnd, "name", &name))
+            return fail("span event without a name");
+        if (!findNumber(json, begin, lineEnd, "ts", &ts) ||
+            !findNumber(json, begin, lineEnd, "dur", &dur))
+            return fail("span event without ts/dur");
+        if (!findNumber(json, begin, lineEnd, "pid", &pid))
+            return fail("span event without pid");
+        if (!findHexId(json, begin, lineEnd, "trace_id", &span.traceId) ||
+            !findHexId(json, begin, lineEnd, "span_id", &span.spanId) ||
+            !findHexId(json, begin, lineEnd, "parent_span_id",
+                       &span.parentSpanId))
+            return fail("span event without trace identity");
+        if (!findString(json, begin, lineEnd, "kind", &kind) ||
+            !spanKindFromName(kind.c_str(), &span.kind))
+            return fail("span event with unknown kind");
+        findNumber(json, begin, lineEnd, "cls", &cls);
+        findString(json, begin, lineEnd, "role", &role);
+        findNumber(json, begin, lineEnd, "target_ms", &span.targetMs);
+        span.hedge = findBool(json, begin, lineEnd, "hedge");
+        span.wonRace = findBool(json, begin, lineEnd, "won_race");
+        span.setName(name.c_str());
+        span.setRole(role.c_str());
+        span.startMs = ts / 1000.0;
+        span.durMs = dur / 1000.0;
+        span.serverId = static_cast<std::int32_t>(pid);
+        span.cls = static_cast<std::uint32_t>(cls);
+        out->push_back(span);
+    }
+    return true;
+}
+
+} // namespace tpc::obs

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Always-on span recording with tail-based retention, plus the /tracez
+ * Chrome-trace JSON renderer and its cross-process assembler.
+ *
+ * Recording path (hot): record() copies the span into the shard picked
+ * by the calling thread's id — one mutex per shard, bounded ring, no
+ * allocation beyond the ring's steady state. Spans sit in the rings
+ * anonymously until their request finishes.
+ *
+ * Retention path (rare): finishTrace() runs once per completed request
+ * and decides whether the request was *interesting*: over its class
+ * target, or picked by the 1-in-N uniform baseline sample (so on-target
+ * shapes stay observable for comparison). Only then are the trace's
+ * spans swept out of the rings into the bounded retention buffer;
+ * everything else simply ages out of the rings as new spans overwrite
+ * old ones. This is what keeps always-on tracing cheap: the common case
+ * (on target) costs a ring write per span and one counter bump per
+ * request.
+ *
+ * Export: renderTracez() serializes the retained traces as Chrome-trace
+ * JSON ("X" slice events carrying the span identity in args).
+ * parseTracezSpans() reads that JSON back, and assembleChromeTrace()
+ * merges spans fetched from several processes — aggregator plus shards —
+ * into one timeline, stitched by traceId. Span times are wall-clock ms
+ * (span.h), so no cross-process clock negotiation is needed.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace tpc::obs {
+
+/** Static configuration of a SpanCollector. */
+struct SpanCollectorConfig
+{
+    /** Per-shard ring capacity; oldest spans are overwritten when a
+     *  request's spans were not retained before the ring wraps. */
+    std::size_t shardCapacity = 4096;
+    /** Completed traces kept for /tracez; oldest evicted first. */
+    std::size_t retainedCapacity = 64;
+    /** Keep 1 in N on-target traces as a baseline sample; 0 disables
+     *  the baseline (only over-target traces are retained). */
+    std::uint32_t baselineSampleEvery = 16;
+    /** Retain every finished trace (measurement mode for the overhead
+     *  bench; never the serving default). */
+    bool retainAll = false;
+    /** Process id stamped on every span (the Chrome-trace pid). */
+    std::int32_t serverId = 0;
+    /** Process role stamped on every span ("loadgen", "aggregator",
+     *  "shard", ...). */
+    std::string role = "server";
+};
+
+/** One completed request's span tree, promoted out of the rings. */
+struct RetainedTrace
+{
+    std::uint64_t traceId = 0;
+    std::uint32_t cls = 0;
+    /** Root response time and the target it was judged against. */
+    double responseMs = 0.0;
+    double targetMs = 0.0;
+    /** Why it was kept. */
+    bool overTarget = false;
+    bool baseline = false;
+    /** Spans ordered by startMs. */
+    std::vector<Span> spans;
+};
+
+/** Thread-sharded span recorder with tail-based retention. */
+class SpanCollector
+{
+  public:
+    /** @param shardCount Independent rings (>= 1); size to the number of
+     *                    recording threads to avoid contention. */
+    explicit SpanCollector(std::size_t shardCount = 1,
+                           SpanCollectorConfig config = {});
+
+    SpanCollector(const SpanCollector&) = delete;
+    SpanCollector& operator=(const SpanCollector&) = delete;
+
+    /** Toggles recording; record()/finishTrace() while disabled drop. */
+    void setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /** Fresh process-unique span id (also usable as a traceId). */
+    std::uint64_t newSpanId();
+
+    /** Records a completed span into the calling thread's shard ring.
+     *  The collector stamps serverId and role; spans with traceId 0 are
+     *  dropped. */
+    void record(Span span);
+
+    /**
+     * Completes a trace: decides retention from @p responseMs vs
+     * @p targetMs (over target ⇒ keep; otherwise keep only the 1-in-N
+     * baseline sample), and on retention sweeps the trace's spans from
+     * every shard ring into the retention buffer. Call after the root
+     * span was record()ed.
+     */
+    void finishTrace(std::uint64_t traceId, std::uint32_t cls,
+                     double responseMs, double targetMs);
+
+    /** Retained traces, oldest first (snapshot). */
+    std::vector<RetainedTrace> retained() const;
+
+    /** Chrome-trace JSON of the most recent @p maxTraces retained
+     *  traces (all when 0). */
+    std::string renderTracez(std::size_t maxTraces = 0) const;
+
+    /** Completed requests seen by finishTrace(). */
+    std::uint64_t finishedTraces() const
+    {
+        return finished_.load(std::memory_order_relaxed);
+    }
+
+    /** Traces promoted to the retention buffer (incl. later-evicted). */
+    std::uint64_t retainedTraces() const
+    {
+        return retainedCount_.load(std::memory_order_relaxed);
+    }
+
+    /** Retained because they exceeded their target. */
+    std::uint64_t overTargetRetained() const
+    {
+        return overTarget_.load(std::memory_order_relaxed);
+    }
+
+    /** Retained by the uniform baseline sample. */
+    std::uint64_t baselineRetained() const
+    {
+        return baseline_.load(std::memory_order_relaxed);
+    }
+
+    /** Spans overwritten in a ring before their trace finished. */
+    std::uint64_t droppedSpans() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    const SpanCollectorConfig& config() const { return config_; }
+
+    /** Drops all buffered spans and retained traces (counters keep). */
+    void clear();
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Bounded ring: push_back, pop_front on overflow. */
+        std::deque<Span> ring;
+    };
+
+    Shard& shardForThisThread();
+
+    SpanCollectorConfig config_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> enabled_{true};
+    std::atomic<std::uint64_t> nextSpanId_{1};
+    std::atomic<std::uint64_t> finished_{0};
+    std::atomic<std::uint64_t> retainedCount_{0};
+    std::atomic<std::uint64_t> overTarget_{0};
+    std::atomic<std::uint64_t> baseline_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+
+    mutable std::mutex retainedMutex_;
+    std::deque<RetainedTrace> retained_;
+};
+
+/**
+ * Serializes spans as Chrome-trace JSON: one "X" slice per span with
+ * pid = serverId, greedy lane packing per process so overlapping spans
+ * (a hedge race) land on separate rows, and the span identity
+ * (trace_id / span_id / parent_span_id as 16-digit hex) in args. The
+ * output loads in Perfetto / chrome://tracing and round-trips through
+ * parseTracezSpans(). Orphan spans (parent not present — e.g. a shard
+ * subtree that was dropped) are emitted like any other span.
+ */
+std::string assembleChromeTrace(const std::vector<Span>& spans);
+
+/**
+ * Parses spans back out of assembleChromeTrace()/renderTracez() output
+ * (metadata events are skipped). Returns false on malformed input with
+ * a reason in @p error; tolerates unknown args.
+ */
+bool parseTracezSpans(const std::string& json, std::vector<Span>* out,
+                      std::string* error = nullptr);
+
+} // namespace tpc::obs

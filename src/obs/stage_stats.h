@@ -65,6 +65,10 @@ const char* tailCauseName(TailCause cause);
 struct StageRecord
 {
     std::uint64_t requestId = 0;
+    /** Distributed-trace id when the request was traced; 0 otherwise.
+     *  Rendered on /statsz exemplar lines so a worst offender can be
+     *  joined against its full timeline in /tracez. */
+    std::uint64_t traceId = 0;
     /** Request class index (collector clamps to its class list). */
     std::uint32_t cls = 0;
     /** Submit -> completion (ms). */

@@ -417,16 +417,22 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
     // Worst offenders ride along as comments: ignored by scrapers, read
     // by humans pulling the endpoint during an incident.
     for (const StageRecord& e : stages->exemplars) {
-        char line[256];
+        char line[320];
+        // A traced worst offender links to its /tracez timeline: the
+        // 16-digit hex id joins against the trace_id args there.
+        char traceRef[32] = "";
+        if (e.traceId != 0)
+            std::snprintf(traceRef, sizeof(traceRef), " trace=%016llx",
+                          static_cast<unsigned long long>(e.traceId));
         std::snprintf(
             line, sizeof(line),
             "# exemplar id=%llu cls=%u response_ms=%.3f target_ms=%.3f "
             "queue_ms=%.3f predicted_ms=%.3f degree=%d->%d corrected=%d "
-            "cause=%s\n",
+            "cause=%s%s\n",
             static_cast<unsigned long long>(e.requestId), e.cls,
             e.responseMs, e.targetMs, e.queueMs, e.predictedMs,
             e.initialDegree, e.maxDegree, e.corrected ? 1 : 0,
-            tailCauseName(classifyTail(e)));
+            tailCauseName(classifyTail(e)), traceRef);
         w.raw(line);
     }
     if (fanout != nullptr)

@@ -1,6 +1,7 @@
 #include "server/threaded_server.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/logging.h"
 
@@ -40,7 +41,7 @@ ThreadedServer::attachTrace(obs::TraceRecorder* trace, int serverId)
     std::lock_guard<std::mutex> lock(mutex_);
     trace_ = trace;
     traceServerId_ = serverId;
-    policy_.setRationaleEnabled(trace_ != nullptr || stageStats_ != nullptr);
+    policy_.setRationaleEnabled(rationaleWantedLocked());
 }
 
 void
@@ -48,7 +49,15 @@ ThreadedServer::attachStageStats(obs::StageStatsCollector* stageStats)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stageStats_ = stageStats;
-    policy_.setRationaleEnabled(trace_ != nullptr || stageStats_ != nullptr);
+    policy_.setRationaleEnabled(rationaleWantedLocked());
+}
+
+void
+ThreadedServer::attachSpans(obs::SpanCollector* spans)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_ = spans;
+    policy_.setRationaleEnabled(rationaleWantedLocked());
 }
 
 policy::PolicySnapshot
@@ -309,6 +318,7 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
             if (stageStats_ != nullptr) {
                 obs::StageRecord record;
                 record.requestId = outcome.id;
+                record.traceId = req.traceId;
                 record.cls = outcome.cls;
                 record.responseMs = outcome.responseMs;
                 record.queueMs = outcome.queueMs;
@@ -323,6 +333,8 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
                 record.maxDegree = outcome.maxDegree;
                 stageStats_->record(record);
             }
+            if (spans_ != nullptr && req.traceId != 0)
+                recordSpansLocked(req, outcome);
             if (trace_ != nullptr) {
                 obs::TraceEvent ev =
                     makeEventLocked(obs::TraceEventType::kComplete, req.id);
@@ -343,6 +355,78 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
     }
     cv_.notify_all();
     drainCv_.notify_all();
+}
+
+void
+ThreadedServer::recordSpansLocked(const ActiveRequest& req,
+                                  const ThreadedOutcome& outcome)
+{
+    // One wall-clock read per request; phase starts are derived from the
+    // already-measured durations so all spans share a consistent base.
+    const double wallEnd = obs::spanNowMs();
+    const double wallSubmit = wallEnd - outcome.responseMs;
+    const double wallDispatch = wallSubmit + outcome.queueMs;
+
+    obs::Span root;
+    root.traceId = req.traceId;
+    root.spanId = spans_->newSpanId();
+    root.parentSpanId = req.parentSpanId;
+    root.kind = obs::SpanKind::kServer;
+    root.cls = req.cls;
+    root.startMs = wallSubmit;
+    root.durMs = outcome.responseMs;
+    root.targetMs = req.targetMs;
+    root.setName("server");
+
+    if (outcome.queueMs > 0.0) {
+        obs::Span queue;
+        queue.traceId = req.traceId;
+        queue.spanId = spans_->newSpanId();
+        queue.parentSpanId = root.spanId;
+        queue.kind = obs::SpanKind::kQueue;
+        queue.cls = req.cls;
+        queue.startMs = wallSubmit;
+        queue.durMs = outcome.queueMs;
+        queue.setName("queue");
+        spans_->record(queue);
+    }
+
+    obs::Span execute;
+    execute.traceId = req.traceId;
+    execute.spanId = spans_->newSpanId();
+    execute.parentSpanId = root.spanId;
+    execute.kind = obs::SpanKind::kExecute;
+    execute.cls = req.cls;
+    execute.startMs = wallDispatch;
+    execute.durMs = outcome.responseMs - outcome.queueMs;
+    char label[obs::kSpanNameCapacity];
+    std::snprintf(label, sizeof(label), "execute x%d",
+                  outcome.initialDegree);
+    execute.setName(label);
+    spans_->record(execute);
+
+    // The TPC correction phase: from the first degree raise to
+    // completion, as a child of the execute span so the timeline shows
+    // how much of the run benefited from the added threads.
+    if (outcome.corrected && outcome.firstCorrectionDelayMs >= 0.0) {
+        obs::Span correction;
+        correction.traceId = req.traceId;
+        correction.spanId = spans_->newSpanId();
+        correction.parentSpanId = execute.spanId;
+        correction.kind = obs::SpanKind::kCorrection;
+        correction.cls = req.cls;
+        correction.startMs = wallDispatch + outcome.firstCorrectionDelayMs;
+        correction.durMs =
+            std::max(0.0, execute.durMs - outcome.firstCorrectionDelayMs);
+        std::snprintf(label, sizeof(label), "correction x%d->%d",
+                      outcome.initialDegree, outcome.maxDegree);
+        correction.setName(label);
+        spans_->record(correction);
+    }
+
+    spans_->record(root);
+    spans_->finishTrace(req.traceId, req.cls, outcome.responseMs,
+                        req.targetMs);
 }
 
 void
@@ -385,12 +469,11 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         const int idle = config_.numWorkers - allocatedWorkers_;
         const int degree = std::clamp(decision.degree, 1, idle);
 
-        // The rationale is assembled only while tracing or stage stats
-        // are attached (setRationaleEnabled); read it once for both.
+        // The rationale is assembled only while tracing, stage stats, or
+        // span collection is attached (setRationaleEnabled); read it once
+        // for all of them.
         const policy::DecisionRationale* why =
-            (trace_ != nullptr || stageStats_ != nullptr)
-                ? policy_.lastRationale()
-                : nullptr;
+            rationaleWantedLocked() ? policy_.lastRationale() : nullptr;
 
         if (trace_ != nullptr) {
             obs::TraceEvent ev =
@@ -415,6 +498,8 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         req.id = queued.id;
         req.cls = queued.job.cls;
         req.predictedMs = queued.job.predictedMs;
+        req.traceId = queued.job.traceId;
+        req.parentSpanId = queued.job.parentSpanId;
         if (why != nullptr) {
             if (why->hasTarget)
                 req.targetMs = why->targetMs;

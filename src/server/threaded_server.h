@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span_collector.h"
 #include "obs/stage_stats.h"
 #include "obs/trace_recorder.h"
 #include "policy/policy.h"
@@ -72,6 +73,11 @@ struct ThreadedJob
     /** Runs (on the scheduler thread) when the job is cancelled —
      *  deadline expiry or tryCancel(). Must not block. */
     std::function<void()> onCancel;
+    /** Distributed-trace context from the frame header; traceId 0 means
+     *  the request is untraced and no spans are recorded for it. */
+    std::uint64_t traceId = 0;
+    /** The caller's span (the aggregator leg, or the client root). */
+    std::uint64_t parentSpanId = 0;
 };
 
 /** Completion record of one threaded request. */
@@ -188,6 +194,17 @@ class ThreadedServer
      */
     void attachStageStats(obs::StageStatsCollector* stageStats);
 
+    /**
+     * Attaches a distributed-trace span collector (borrowed; nullptr
+     * detaches). Call before the first submit. For every completed
+     * traced request (ThreadedJob::traceId != 0) the server records a
+     * root server span plus queue / execute / correction child spans and
+     * finishes the trace so tail-based retention can judge it against
+     * its class target. While attached, rationale recording is enabled
+     * so spans carry the target E.
+     */
+    void attachSpans(obs::SpanCollector* spans);
+
     /** Policy introspection taken under the scheduler lock (safe while
      *  serving). */
     policy::PolicySnapshot policySnapshot() const;
@@ -216,6 +233,9 @@ class ThreadedServer
          *  when the policy exposed none. */
         double targetMs = 0.0;
         double estimatedMs = 0.0;
+        /** Trace context carried from the submitted job. */
+        std::uint64_t traceId = 0;
+        std::uint64_t parentSpanId = 0;
         Clock::time_point submitTime;
         Clock::time_point dispatchTime;
         std::shared_ptr<runtime::MalleableJob> tasks;
@@ -246,6 +266,16 @@ class ThreadedServer
                                     std::uint64_t id) const;
     /** Refreshes the queue-depth / idle-worker gauges (mutex_ held). */
     void updateGaugesLocked();
+    /** True when any attached sink wants decision rationales. */
+    bool rationaleWantedLocked() const
+    {
+        return trace_ != nullptr || stageStats_ != nullptr ||
+               spans_ != nullptr;
+    }
+    /** Records the request's span tree and finishes its trace
+     *  (mutex_ held; the request just completed). */
+    void recordSpansLocked(const ActiveRequest& req,
+                           const ThreadedOutcome& outcome);
     void addParticipants(ActiveRequest& request, int count, bool primary);
     void onParticipantDone(std::uint64_t id, bool primary);
 
@@ -258,6 +288,7 @@ class ThreadedServer
     obs::TraceRecorder* trace_ = nullptr;
     int traceServerId_ = 0;
     obs::StageStatsCollector* stageStats_ = nullptr;
+    obs::SpanCollector* spans_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles
     {

@@ -524,6 +524,166 @@ TEST(FrameReader, FuzzHostileStreamsCloseCleanly)
     }
 }
 
+TEST(Frame, TraceContextRoundTrips)
+{
+    Frame request = makeRequest(21, 8);
+    request.traceId = 0xABCDEF0123456789ull;
+    request.parentSpanId = 0x1111222233334444ull;
+    request.traceFlags = kTraceFlagSampled;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(request, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.traceId, request.traceId);
+    EXPECT_EQ(decoded.frame.parentSpanId, request.parentSpanId);
+    EXPECT_EQ(decoded.frame.traceFlags, kTraceFlagSampled);
+
+    // An untraced frame keeps all-zero context.
+    const Frame plain = makeRequest(22, 0);
+    wire.clear();
+    encodeFrame(plain, wire);
+    const DecodeResult decoded2 = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded2.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded2.frame.traceId, 0u);
+    EXPECT_EQ(decoded2.frame.parentSpanId, 0u);
+    EXPECT_EQ(decoded2.frame.traceFlags, 0u);
+}
+
+TEST(Frame, RejectsNonzeroTraceReservedBytes)
+{
+    const Frame frame = makeRequest(7, 4);
+    std::vector<std::uint8_t> wire;
+    encodeFrame(frame, wire);
+    for (std::size_t offset = 41; offset <= 43; ++offset) {
+        std::vector<std::uint8_t> bad = wire;
+        bad[offset] = 1;
+        EXPECT_EQ(decodeFrame(bad.data(), bad.size()).status,
+                  DecodeStatus::kError)
+            << "reserved byte at offset " << offset;
+    }
+}
+
+/** Hand-builds a version-1 frame: 24-byte header, no trace context. */
+std::vector<std::uint8_t>
+encodeV1Frame(FrameType type, std::uint8_t cls, std::uint64_t requestId,
+              const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> wire;
+    const std::uint32_t magic = kMagic;
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<std::uint8_t>(magic >> (8 * i)));
+    wire.push_back(1); // version
+    wire.push_back(static_cast<std::uint8_t>(type));
+    wire.push_back(cls);
+    wire.push_back(0); // status
+    for (int i = 0; i < 8; ++i)
+        wire.push_back(static_cast<std::uint8_t>(requestId >> (8 * i)));
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+    wire.push_back(0); // shardsAnswered
+    wire.push_back(0);
+    wire.push_back(0); // shardsTotal
+    wire.push_back(0);
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    return wire;
+}
+
+TEST(Frame, VersionOneFrameStillDecodesWithZeroedTraceContext)
+{
+    // Backward compatibility: a pre-trace-context client sends 24-byte
+    // headers. The decoder must accept them, consume exactly the v1
+    // size, and zero the trace fields — not wait for 20 bytes that will
+    // never arrive and not reject the connection.
+    std::vector<std::uint8_t> payload;
+    appendU64(payload, 42);
+    const std::vector<std::uint8_t> wire =
+        encodeV1Frame(FrameType::kRequest, 2, 77, payload);
+    ASSERT_EQ(wire.size(), kHeaderSizeV1 + 8);
+
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame) << decoded.error;
+    EXPECT_EQ(decoded.consumed, wire.size());
+    EXPECT_EQ(decoded.frame.type, FrameType::kRequest);
+    EXPECT_EQ(decoded.frame.cls, 2u);
+    EXPECT_EQ(decoded.frame.requestId, 77u);
+    EXPECT_EQ(decoded.frame.traceId, 0u);
+    EXPECT_EQ(decoded.frame.parentSpanId, 0u);
+    EXPECT_EQ(decoded.frame.traceFlags, 0u);
+    EXPECT_EQ(decoded.frame.payload, payload);
+
+    // Every strict prefix is kNeedMore — in particular the first 24+
+    // bytes of a v2 frame must not decode as a complete v1 frame (the
+    // version byte, not the length, selects the header size).
+    for (std::size_t cut = 0; cut < wire.size(); ++cut)
+        EXPECT_EQ(decodeFrame(wire.data(), cut).status,
+                  DecodeStatus::kNeedMore)
+            << "prefix of " << cut << " bytes";
+}
+
+TEST(FrameReader, MixedVersionStreamReassembles)
+{
+    // One connection carrying both wire versions (e.g. an old client
+    // behind a proxy that also speaks v2): the reader must consume each
+    // frame at its own version's size.
+    std::vector<std::uint8_t> wire;
+    encodeFrame(makeRequest(1, 8), wire); // v2
+    std::vector<std::uint8_t> payload;
+    appendU64(payload, 9);
+    const std::vector<std::uint8_t> v1 =
+        encodeV1Frame(FrameType::kRequest, 0, 2, payload);
+    wire.insert(wire.end(), v1.begin(), v1.end());
+    Frame traced = makeRequest(3, 0);
+    traced.traceId = 0xFEEDull;
+    encodeFrame(traced, wire); // v2 with context
+
+    FrameReader reader;
+    std::vector<Frame> frames;
+    Frame frame;
+    for (const std::uint8_t byte : wire) { // worst-case dribble
+        reader.append(&byte, 1);
+        while (reader.next(&frame))
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].requestId, 1u);
+    EXPECT_EQ(frames[1].requestId, 2u);
+    EXPECT_EQ(frames[1].traceId, 0u);
+    EXPECT_EQ(frames[2].requestId, 3u);
+    EXPECT_EQ(frames[2].traceId, 0xFEEDull);
+    EXPECT_FALSE(reader.broken());
+}
+
+TEST(Frame, TraceAdminFramesRoundTrip)
+{
+    // /tracez shares the admin framing with /statsz: empty-payload
+    // request, JSON text response.
+    Frame probe;
+    probe.type = FrameType::kTraceRequest;
+    probe.requestId = 6;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(probe, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.type, FrameType::kTraceRequest);
+    EXPECT_TRUE(decoded.frame.payload.empty());
+
+    Frame dump;
+    dump.type = FrameType::kTraceResponse;
+    dump.requestId = 6;
+    const std::string text = "{\"traceEvents\":[\n]}\n";
+    dump.payload.assign(text.begin(), text.end());
+    std::vector<std::uint8_t> wire2;
+    encodeFrame(dump, wire2);
+    const DecodeResult decoded2 = decodeFrame(wire2.data(), wire2.size());
+    ASSERT_EQ(decoded2.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded2.frame.type, FrameType::kTraceResponse);
+    const std::string back(decoded2.frame.payload.begin(),
+                           decoded2.frame.payload.end());
+    EXPECT_EQ(back, text);
+}
+
 TEST(Frame, PayloadU64Helpers)
 {
     std::vector<std::uint8_t> payload;

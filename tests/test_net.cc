@@ -7,6 +7,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -20,6 +23,7 @@
 #include "net/rpc_server.h"
 #include "net/statsz_client.h"
 #include "obs/metrics.h"
+#include "obs/span_collector.h"
 #include "obs/stage_stats.h"
 #include "obs/statsz.h"
 #include "obs/trace_recorder.h"
@@ -545,6 +549,165 @@ TEST(Statsz, FetchFailsFastWhenNothingListens)
     const StatszResult probe = fetchStatsz("127.0.0.1", 1, 200.0);
     EXPECT_FALSE(probe.ok);
     EXPECT_LT(probe.elapsedMs, 1000.0);
+}
+
+TEST(Tracez, LiveFetchReturnsParseableRetainedTraces)
+{
+    // End-to-end /tracez: traced load against the loopback server, then
+    // fetch the endpoint and parse the Chrome-trace JSON back into
+    // spans. The default 1-in-16 baseline sample guarantees retained
+    // traces even when every request lands on target.
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 4;
+    serverConfig.hwContexts = 4;
+
+    // Declared before the server so it outlives the serving threads.
+    obs::SpanCollectorConfig spanConfig;
+    spanConfig.serverId = 4100;
+    spanConfig.role = "shard";
+    obs::SpanCollector spans(4, spanConfig);
+
+    LoopbackServer server(serverConfig, AdmissionLimits{10000, 10000},
+                          /*taskMs=*/0.05, /*numTasks=*/4);
+    server.threaded().attachSpans(&spans);
+    server.rpc().setTracezProvider(
+        [&spans] { return spans.renderTracez(); });
+
+    LoadGenConfig loadConfig;
+    loadConfig.port = server.port();
+    loadConfig.qps = 1000.0;
+    loadConfig.numRequests = 200;
+    loadConfig.connections = 2;
+    loadConfig.seed = 23;
+    const LoadGenResult result = runLoadGen(loadConfig);
+    EXPECT_EQ(result.completed, 200u);
+
+    const StatszResult probe =
+        fetchTracez("127.0.0.1", server.port(), 2000.0);
+    ASSERT_TRUE(probe.ok) << probe.error;
+
+    std::vector<obs::Span> parsed;
+    std::string error;
+    ASSERT_TRUE(obs::parseTracezSpans(probe.text, &parsed, &error))
+        << error;
+    ASSERT_FALSE(parsed.empty());
+    for (const obs::Span& span : parsed) {
+        EXPECT_NE(span.traceId, 0u);
+        EXPECT_EQ(span.serverId, 4100);
+        EXPECT_STREQ(span.role, "shard");
+    }
+    // Every retained trace has a server root span parented by the
+    // client's span (the loadgen stamped parentSpanId on the frame).
+    bool sawRoot = false;
+    for (const obs::Span& span : parsed)
+        sawRoot = sawRoot || span.kind == obs::SpanKind::kServer;
+    EXPECT_TRUE(sawRoot);
+
+    // Counter checks only after the drain: the last request's
+    // finishTrace runs after the postamble that answered the client,
+    // so loadgen returning does not mean the counters are final.
+    server.stop();
+    server.threaded().attachSpans(nullptr);
+    EXPECT_EQ(spans.finishedTraces(), 200u);
+    // Tail retention held: on-target load retains only the baseline
+    // sample, i.e. >= 90% of traces were dropped.
+    EXPECT_LE(spans.retainedTraces() - spans.overTargetRetained(),
+              spans.finishedTraces() / 10);
+    EXPECT_EQ(server.rpc().stats().tracezServed, 1u);
+}
+
+TEST(Tracez, NoProviderAnswersWithError)
+{
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 2;
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+                          /*taskMs=*/0.1, /*numTasks=*/1);
+    const StatszResult probe =
+        fetchTracez("127.0.0.1", server.port(), 2000.0);
+    EXPECT_FALSE(probe.ok);
+    EXPECT_FALSE(probe.error.empty());
+}
+
+/** Hand-encodes a version-1 (24-byte header) request frame. */
+std::vector<std::uint8_t>
+encodeV1Request(std::uint64_t requestId,
+                const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> wire;
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<std::uint8_t>(kMagic >> (8 * i)));
+    wire.push_back(1); // version
+    wire.push_back(static_cast<std::uint8_t>(FrameType::kRequest));
+    wire.push_back(0); // cls
+    wire.push_back(0); // status
+    for (int i = 0; i < 8; ++i)
+        wire.push_back(static_cast<std::uint8_t>(requestId >> (8 * i)));
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(0); // reserved coverage bytes
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    return wire;
+}
+
+TEST(RpcServer, AcceptsAndAnswersVersionOneFrames)
+{
+    // Backward-compatibility regression for the version-2 header bump:
+    // a pre-trace-context client speaking 24-byte headers must still be
+    // admitted and answered — with the request treated as untraced —
+    // not dropped as a protocol error.
+    server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 2;
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+                          /*taskMs=*/0.05, /*numTasks=*/2);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+
+    std::vector<std::uint8_t> payload;
+    appendU64(payload, 7); // makeJob checks payload echoes the id
+    const std::vector<std::uint8_t> wire = encodeV1Request(7, payload);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+
+    FrameReader reader;
+    Frame response;
+    bool got = false;
+    std::uint8_t buffer[512];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!got && std::chrono::steady_clock::now() < deadline) {
+        const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0)
+            break;
+        reader.append(buffer, static_cast<std::size_t>(n));
+        got = reader.next(&response);
+    }
+    ::close(fd);
+
+    ASSERT_TRUE(got) << reader.error();
+    EXPECT_EQ(response.type, FrameType::kResponse);
+    EXPECT_EQ(response.status, FrameStatus::kOk);
+    EXPECT_EQ(response.requestId, 7u);
+    // The server saw no trace context and echoes none.
+    EXPECT_EQ(response.traceId, 0u);
+    EXPECT_EQ(response.parentSpanId, 0u);
+    std::uint64_t value = 0;
+    ASSERT_TRUE(readU64(response.payload, 0, &value));
+    EXPECT_EQ(value, 15u); // seq * 2 + 1
+
+    server.stop();
+    EXPECT_EQ(server.rpc().stats().protocolErrors, 0u);
+    EXPECT_EQ(server.echoMismatches(), 0u);
 }
 
 TEST(ThreadedServerDrain, ShutdownFinishesInFlightAndRejectsNewWork)

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * Tests for the distributed-tracing span layer: tail-based retention
+ * (over-target traces kept, on-target traces dropped except the uniform
+ * baseline sample), the Chrome-trace exporter's edge cases (JSON
+ * escaping, wall-clock timestamps near the to_chars fixed-format range,
+ * empty/single-span traces), the parser that reads /tracez output back,
+ * and cross-process assembly when a shard subtree went missing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/span.h"
+#include "obs/span_collector.h"
+
+namespace tpc::obs {
+namespace {
+
+Span
+makeSpan(std::uint64_t traceId, std::uint64_t spanId,
+         std::uint64_t parentSpanId, const char* name,
+         double startMs = 1000.0, double durMs = 5.0)
+{
+    Span span;
+    span.traceId = traceId;
+    span.spanId = spanId;
+    span.parentSpanId = parentSpanId;
+    span.startMs = startMs;
+    span.durMs = durMs;
+    span.setName(name);
+    return span;
+}
+
+/** Records a one-span trace and finishes it at @p responseMs. */
+void
+finishOne(SpanCollector& collector, std::uint64_t traceId,
+          double responseMs, double targetMs)
+{
+    Span root = makeSpan(traceId, collector.newSpanId(), 0, "server");
+    root.durMs = responseMs;
+    root.targetMs = targetMs;
+    collector.record(root);
+    collector.finishTrace(traceId, 0, responseMs, targetMs);
+}
+
+TEST(SpanCollector, TailRetentionDropsOnTargetTraces)
+{
+    // 200 on-target requests at the default 1-in-16 baseline sample:
+    // only the sampled ones survive — >= 90% of on-target traces must
+    // be dropped for always-on tracing to stay cheap.
+    SpanCollector collector;
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        finishOne(collector, 1000 + static_cast<std::uint64_t>(i),
+                  /*responseMs=*/5.0, /*targetMs=*/10.0);
+    EXPECT_EQ(collector.finishedTraces(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(collector.overTargetRetained(), 0u);
+    EXPECT_LE(collector.retainedTraces(),
+              static_cast<std::uint64_t>(n) / 16 + 1);
+    EXPECT_GE(collector.baselineRetained(), 1u);
+    for (const RetainedTrace& trace : collector.retained()) {
+        EXPECT_TRUE(trace.baseline);
+        EXPECT_FALSE(trace.overTarget);
+    }
+}
+
+TEST(SpanCollector, OverTargetTracesAlwaysRetained)
+{
+    SpanCollectorConfig config;
+    config.retainedCapacity = 256;
+    SpanCollector collector(1, config);
+    for (int i = 0; i < 100; ++i)
+        finishOne(collector, 1 + static_cast<std::uint64_t>(i),
+                  /*responseMs=*/25.0, /*targetMs=*/10.0);
+    EXPECT_EQ(collector.overTargetRetained(), 100u);
+    EXPECT_EQ(collector.retainedTraces(), 100u);
+    for (const RetainedTrace& trace : collector.retained()) {
+        EXPECT_TRUE(trace.overTarget);
+        ASSERT_EQ(trace.spans.size(), 1u);
+        EXPECT_TRUE(trace.spans[0].overTarget());
+    }
+}
+
+TEST(SpanCollector, ZeroBaselineRetainsOnlyOverTarget)
+{
+    SpanCollectorConfig config;
+    config.baselineSampleEvery = 0;
+    SpanCollector collector(1, config);
+    for (int i = 0; i < 64; ++i)
+        finishOne(collector, 1 + static_cast<std::uint64_t>(i), 5.0, 10.0);
+    EXPECT_EQ(collector.retainedTraces(), 0u);
+    finishOne(collector, 999, 50.0, 10.0);
+    EXPECT_EQ(collector.retainedTraces(), 1u);
+}
+
+TEST(SpanCollector, RetainedBufferEvictsOldestFirst)
+{
+    SpanCollectorConfig config;
+    config.retainedCapacity = 4;
+    config.baselineSampleEvery = 0;
+    SpanCollector collector(1, config);
+    for (std::uint64_t t = 1; t <= 10; ++t)
+        finishOne(collector, t, 50.0, 10.0);
+    const std::vector<RetainedTrace> kept = collector.retained();
+    ASSERT_EQ(kept.size(), 4u);
+    EXPECT_EQ(kept.front().traceId, 7u);
+    EXPECT_EQ(kept.back().traceId, 10u);
+    // The promotion counter keeps counting past evictions.
+    EXPECT_EQ(collector.retainedTraces(), 10u);
+}
+
+TEST(SpanCollector, RecordDropsUntracedAndDisabled)
+{
+    SpanCollector collector;
+    collector.record(makeSpan(0, 1, 0, "untraced"));
+    collector.finishTrace(7, 0, 50.0, 10.0); // no spans, still retained
+    ASSERT_EQ(collector.retained().size(), 1u);
+    EXPECT_TRUE(collector.retained()[0].spans.empty());
+
+    collector.setEnabled(false);
+    finishOne(collector, 8, 50.0, 10.0);
+    EXPECT_EQ(collector.retained().size(), 1u);
+    collector.setEnabled(true);
+}
+
+TEST(SpanCollector, NewSpanIdsDifferAcrossProcesses)
+{
+    SpanCollectorConfig a;
+    a.serverId = 9001;
+    SpanCollectorConfig b;
+    b.serverId = 9002;
+    SpanCollector ca(1, a);
+    SpanCollector cb(1, b);
+    // Same sequence numbers, different processes: ids must not collide
+    // (the process id is folded into the high bits).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NE(ca.newSpanId(), cb.newSpanId());
+}
+
+TEST(ChromeTrace, EmptySpanSetIsValidJson)
+{
+    const std::string json = assembleChromeTrace({});
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(ChromeTrace, SingleSpanRoundTrips)
+{
+    Span span = makeSpan(0xABCu, 0xDEFu, 0x123u, "execute x4", 1234.5, 6.75);
+    span.kind = SpanKind::kExecute;
+    span.cls = 3;
+    span.serverId = 4242;
+    span.targetMs = 12.0;
+    span.setRole("shard");
+    const std::string json = assembleChromeTrace({span});
+
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].traceId, span.traceId);
+    EXPECT_EQ(back[0].spanId, span.spanId);
+    EXPECT_EQ(back[0].parentSpanId, span.parentSpanId);
+    EXPECT_EQ(back[0].kind, SpanKind::kExecute);
+    EXPECT_EQ(back[0].cls, 3u);
+    EXPECT_EQ(back[0].serverId, 4242);
+    EXPECT_STREQ(back[0].name, "execute x4");
+    EXPECT_STREQ(back[0].role, "shard");
+    EXPECT_NEAR(back[0].startMs, 1234.5, 1e-3);
+    EXPECT_NEAR(back[0].durMs, 6.75, 1e-3);
+    EXPECT_NEAR(back[0].targetMs, 12.0, 1e-3);
+}
+
+TEST(ChromeTrace, EscapesQuotesAndBackslashesInNames)
+{
+    Span span = makeSpan(1, 2, 0, "q\"uo\\te");
+    const std::string json = assembleChromeTrace({span});
+    // The raw quote must not terminate the JSON string early.
+    EXPECT_NE(json.find("q\\\"uo\\\\te"), std::string::npos);
+
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_STREQ(back[0].name, "q\"uo\\te");
+}
+
+TEST(ChromeTrace, DropsControlCharactersFromNames)
+{
+    Span span = makeSpan(1, 2, 0, "a\tb\nc");
+    const std::string json = assembleChromeTrace({span});
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    ASSERT_EQ(back.size(), 1u);
+    // Control characters are dropped on export (names are ASCII
+    // identifiers), so the parsed name is the printable residue.
+    EXPECT_STREQ(back[0].name, "abc");
+}
+
+TEST(ChromeTrace, WallClockTimestampsSurviveRoundTrip)
+{
+    // Span times are wall-clock ms since the epoch (~1.7e12 in 2026);
+    // the exporter multiplies into microseconds (~1.7e15), close to
+    // where fixed-format printing gets long. Values must round-trip
+    // through to_chars/strtod without losing the sub-millisecond part.
+    const double wallMs = 1.7543e12 + 0.125; // epoch ms + 125 us
+    Span span = makeSpan(5, 6, 0, "server", wallMs, 3.25);
+    const std::string json = assembleChromeTrace({span});
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_NEAR(back[0].startMs, wallMs, 1e-3);
+    EXPECT_NEAR(back[0].durMs, 3.25, 1e-3);
+
+    // And the degenerate zero-duration span stays parseable.
+    Span instant = makeSpan(5, 7, 0, "instant", wallMs, 0.0);
+    const std::string json2 = assembleChromeTrace({instant});
+    std::vector<Span> back2;
+    ASSERT_TRUE(parseTracezSpans(json2, &back2, &error)) << error;
+    ASSERT_EQ(back2.size(), 1u);
+    EXPECT_EQ(back2[0].durMs, 0.0);
+}
+
+TEST(ChromeTrace, HedgeRaceGetsSeparateLanes)
+{
+    // Overlapping sibling legs (a hedge race) must land on different
+    // tid lanes within the process so the race is visible as parallel
+    // rows, not one overwritten bar.
+    Span primary = makeSpan(9, 1, 100, "shard0", 1000.0, 8.0);
+    primary.kind = SpanKind::kShardLeg;
+    primary.serverId = 7;
+    Span hedge = makeSpan(9, 2, 100, "shard0 hedge", 1004.0, 3.0);
+    hedge.kind = SpanKind::kHedgeLeg;
+    hedge.hedge = true;
+    hedge.serverId = 7;
+    const std::string json = assembleChromeTrace({primary, hedge});
+
+    // Two X events, same pid, different tid.
+    std::size_t firstTid = json.find("\"tid\":");
+    ASSERT_NE(firstTid, std::string::npos);
+    std::size_t secondTid = json.find("\"tid\":", firstTid + 1);
+    ASSERT_NE(secondTid, std::string::npos);
+    EXPECT_NE(json.substr(firstTid, 9), json.substr(secondTid, 9));
+
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_TRUE(back[0].hedge || back[1].hedge);
+}
+
+TEST(ChromeTrace, CrossProcessAssemblyStitchesByTraceId)
+{
+    // Spans fetched from three processes (loadgen, aggregator, shard)
+    // merge into one event list; a missing shard subtree (its spans
+    // were overwritten before retention) leaves an orphan leg span that
+    // must still be exported rather than dropped.
+    std::vector<Span> merged;
+    Span client = makeSpan(0x77u, 1, 0, "client", 1000.0, 20.0);
+    client.kind = SpanKind::kClient;
+    client.serverId = 1;
+    client.setRole("loadgen");
+    merged.push_back(client);
+
+    Span fanout = makeSpan(0x77u, 2, 1, "fanout", 1002.0, 16.0);
+    fanout.kind = SpanKind::kFanout;
+    fanout.serverId = 9100;
+    fanout.setRole("aggregator");
+    merged.push_back(fanout);
+    Span leg0 = makeSpan(0x77u, 3, 2, "shard0", 1003.0, 10.0);
+    leg0.kind = SpanKind::kShardLeg;
+    leg0.serverId = 9100;
+    leg0.setRole("aggregator");
+    merged.push_back(leg0);
+    Span leg1 = makeSpan(0x77u, 4, 2, "shard1", 1003.0, 12.0);
+    leg1.kind = SpanKind::kShardLeg;
+    leg1.serverId = 9100;
+    leg1.setRole("aggregator");
+    merged.push_back(leg1);
+
+    // Only shard0's server-side subtree made it; shard1's was dropped.
+    Span shardRoot = makeSpan(0x77u, 5, 3, "server", 1004.0, 8.0);
+    shardRoot.kind = SpanKind::kServer;
+    shardRoot.serverId = 9101;
+    shardRoot.setRole("shard");
+    merged.push_back(shardRoot);
+
+    const std::string json = assembleChromeTrace(merged);
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    ASSERT_EQ(back.size(), 5u);
+    // All three processes present, stitched under one trace id.
+    bool sawLoadgen = false, sawAggregator = false, sawShard = false;
+    for (const Span& span : back) {
+        EXPECT_EQ(span.traceId, 0x77u);
+        sawLoadgen = sawLoadgen || std::strcmp(span.role, "loadgen") == 0;
+        sawAggregator =
+            sawAggregator || std::strcmp(span.role, "aggregator") == 0;
+        sawShard = sawShard || std::strcmp(span.role, "shard") == 0;
+    }
+    EXPECT_TRUE(sawLoadgen);
+    EXPECT_TRUE(sawAggregator);
+    EXPECT_TRUE(sawShard);
+    // The orphaned leg (parent id 2, child subtree missing) survived.
+    int legs = 0;
+    for (const Span& span : back)
+        if (span.kind == SpanKind::kShardLeg)
+            ++legs;
+    EXPECT_EQ(legs, 2);
+}
+
+TEST(ChromeTrace, ParserRejectsMalformedInput)
+{
+    std::vector<Span> out;
+    std::string error;
+    EXPECT_FALSE(parseTracezSpans("not json at all", &out, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseTracezSpans("{\"other\":[]}", &out, &error));
+
+    // An X event missing its timestamp must fail with a reason, not
+    // parse as a zero-time span.
+    const std::string noTs =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"ph\":\"X\",\"name\":\"server\",\"pid\":1,\"tid\":1,"
+        "\"dur\":5.0,\"args\":{\"trace_id\":\"0000000000000001\","
+        "\"span_id\":\"0000000000000002\"}}\n]}\n";
+    EXPECT_FALSE(parseTracezSpans(noTs, &out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(ChromeTrace, ParserSkipsMetadataEvents)
+{
+    Span span = makeSpan(3, 4, 0, "server", 1000.0, 2.0);
+    span.serverId = 55;
+    const std::string json = assembleChromeTrace({span});
+    // The renderer emits one process_name metadata event per pid.
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(json, &back, &error)) << error;
+    EXPECT_EQ(back.size(), 1u); // metadata didn't become a span
+}
+
+TEST(SpanCollector, RenderTracezRoundTripsThroughParser)
+{
+    SpanCollectorConfig config;
+    config.serverId = 1234;
+    config.role = "shard";
+    SpanCollector collector(4, config);
+    // One over-target request with a realistic span tree.
+    const std::uint64_t traceId = deriveTraceId(7, 1);
+    const std::uint64_t root = collector.newSpanId();
+    Span server = makeSpan(traceId, root, 42, "server", 5000.0, 30.0);
+    server.kind = SpanKind::kServer;
+    server.targetMs = 10.0;
+    collector.record(server);
+    Span queue = makeSpan(traceId, collector.newSpanId(), root, "queue",
+                          5000.0, 4.0);
+    queue.kind = SpanKind::kQueue;
+    collector.record(queue);
+    Span execute = makeSpan(traceId, collector.newSpanId(), root,
+                            "execute x2", 5004.0, 26.0);
+    execute.kind = SpanKind::kExecute;
+    collector.record(execute);
+    collector.finishTrace(traceId, 1, 30.0, 10.0);
+
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(collector.renderTracez(), &back, &error))
+        << error;
+    ASSERT_EQ(back.size(), 3u);
+    for (const Span& span : back) {
+        EXPECT_EQ(span.traceId, traceId);
+        EXPECT_EQ(span.serverId, 1234);
+        EXPECT_STREQ(span.role, "shard");
+    }
+    // Sorted by start, the root is first and parents the others.
+    EXPECT_EQ(back[0].spanId, root);
+    EXPECT_EQ(back[1].parentSpanId, root);
+    EXPECT_EQ(back[2].parentSpanId, root);
+}
+
+TEST(SpanCollector, ConcurrentRecordAndFinishIsSafe)
+{
+    // Exercised under TSan in CI: several threads record spans and
+    // finish traces while a reader renders /tracez.
+    SpanCollectorConfig config;
+    config.retainedCapacity = 16;
+    SpanCollector collector(4, config);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&collector, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const std::uint64_t traceId = deriveTraceId(
+                    static_cast<std::uint64_t>(t + 1),
+                    static_cast<std::uint64_t>(i));
+                finishOne(collector, traceId,
+                          i % 3 == 0 ? 20.0 : 5.0, 10.0);
+            }
+        });
+    }
+    std::string sink;
+    for (int i = 0; i < 50; ++i)
+        sink += collector.renderTracez(4).substr(0, 1);
+    for (std::thread& thread : threads)
+        thread.join();
+    EXPECT_EQ(collector.finishedTraces(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_GE(collector.retainedTraces(),
+              collector.overTargetRetained());
+    std::vector<Span> back;
+    std::string error;
+    ASSERT_TRUE(parseTracezSpans(collector.renderTracez(), &back, &error))
+        << error;
+    EXPECT_FALSE(sink.empty());
+}
+
+TEST(Span, NameAndRoleTruncateSafely)
+{
+    Span span;
+    const std::string longName(100, 'n');
+    span.setName(longName.c_str());
+    EXPECT_EQ(std::strlen(span.name), kSpanNameCapacity - 1);
+    span.setRole("aggregator-with-a-very-long-role");
+    EXPECT_EQ(std::strlen(span.role), kSpanRoleCapacity - 1);
+    EXPECT_FALSE(span.overTarget());
+    span.targetMs = 1.0;
+    span.durMs = 2.0;
+    EXPECT_TRUE(span.overTarget());
+}
+
+TEST(Span, DeriveTraceIdIsDeterministicAndNonzero)
+{
+    EXPECT_EQ(deriveTraceId(1, 5), deriveTraceId(1, 5));
+    EXPECT_NE(deriveTraceId(1, 5), deriveTraceId(1, 6));
+    EXPECT_NE(deriveTraceId(1, 5), deriveTraceId(2, 5));
+    for (std::uint64_t seq = 0; seq < 1000; ++seq)
+        EXPECT_NE(deriveTraceId(0, seq), 0u);
+}
+
+} // namespace
+} // namespace tpc::obs
