@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Drift replay for the closed-loop adaptation layer: a service-time
+ * regime shift mid-run (demands grow 1.7x — a reindex, a content-mix
+ * change) under a mild load ramp, replayed three ways on the DES ISN:
+ *
+ *   frozen       TPC with the offline table built for the old regime
+ *                (the paper's setup: build once, freeze).
+ *   frozen+live  Same decisions, but routed through the versioned
+ *                live-table plumbing with adaptation off — isolates the
+ *                overhead of the RCU-style read path.
+ *   adaptive     AdaptiveTableController pumped at every window
+ *                boundary: shadow-scores re-fitted candidates against
+ *                the live windows and hot-swaps the serving table.
+ *
+ * Expected shape: after the shift the frozen table's targets are
+ * unreachably tight, so most requests escalate to the maximum degree,
+ * oversubscribe the contexts and inflate the tail; the adaptive run
+ * re-fits targets to the new regime within a few windows and the tail
+ * re-converges. Per-window series land in results/adapt_drift.csv
+ * (columns incl. table_version/source, promotions, rollbacks).
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adapt/adaptive_controller.h"
+#include "core/table_builder.h"
+#include "core/tpc_policy.h"
+#include "core/versioned_table.h"
+#include "harness/experiment.h"
+#include "harness/policies.h"
+#include "obs/stage_stats.h"
+#include "server/sim_server.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+#include "util/distributions.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace tpc;
+
+// Replay shape: ~80 simulated seconds, regime shift halfway, load
+// ramping 390 -> 480 QPS across the run.
+constexpr double kDurationMs = 80000.0;
+constexpr double kShiftMs = 40000.0;
+constexpr double kWindowMs = 1000.0;
+constexpr double kQpsStart = 390.0;
+constexpr double kQpsEnd = 480.0;
+constexpr double kDriftFactor = 1.7;
+constexpr std::uint64_t kArrivalSeed = 11;
+
+enum class Mode { kFrozen, kFrozenLive, kAdaptive };
+
+const char*
+modeName(Mode mode)
+{
+    switch (mode) {
+    case Mode::kFrozen:
+        return "frozen";
+    case Mode::kFrozenLive:
+        return "frozen+live";
+    case Mode::kAdaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+/** One closed observation window of a replay. */
+struct WindowRow
+{
+    double endMs = 0.0;
+    std::uint64_t completions = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double missPct = 0.0;
+    std::uint64_t tableVersion = 1;
+    std::string source = "offline";
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    /** Shadow scores of the last evaluation (adaptive mode only). */
+    double activeScore = 0.0;
+    double candidateScore = 0.0;
+    int wins = 0;
+};
+
+struct RunResult
+{
+    std::vector<WindowRow> windows;
+    stats::LatencyRecorder latency;
+    double wallMs = 0.0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+};
+
+/** The base (pre-shift) trace; the shift scales demands at replay time. */
+harness::Trace
+baseTrace(std::size_t count)
+{
+    return harness::syntheticBimodalTrace(count, /*shortMs=*/3.5,
+                                          /*longMs=*/110.0,
+                                          /*longFraction=*/0.12,
+                                          /*seed=*/29,
+                                          /*predictionNoiseSigma=*/0.08);
+}
+
+obs::StageRecord
+recordFromOutcome(const server::RequestOutcome& o, double longThresholdMs)
+{
+    obs::StageRecord r;
+    r.requestId = o.id;
+    r.cls = o.trueMs >= longThresholdMs ? 1u : 0u;
+    r.responseMs = o.responseMs();
+    r.queueMs = o.queueMs();
+    r.predictedMs = o.predictedMs;
+    r.estimatedMs = o.estimatedMs;
+    r.targetMs = o.targetMs;
+    r.loadValue = o.loadValue;
+    r.firstCorrectionDelayMs = o.firstCorrectionDelayMs;
+    r.corrected = o.corrected;
+    r.starvedCorrection = o.starvedCorrection;
+    r.initialDegree = o.initialDegree;
+    r.maxDegree = o.maxDegree;
+    return r;
+}
+
+/**
+ * Builds the "offline" table the frozen runs serve under: replay the
+ * pre-shift regime once, bin the observed (true) demands by the load
+ * value the policy saw, and run the same histogram re-fit the adaptive
+ * controller uses. This is Algorithm 1 against the old regime — exactly
+ * the table an operator would have built and frozen before the drift.
+ */
+core::TargetTable
+buildOfflineTable(const harness::Trace& trace,
+                  const std::vector<double>& loads)
+{
+    sim::Simulator sim;
+    core::TpcPolicy policy(harness::webSearchExecutionModel(),
+                           core::TargetTable::webSearchDefault(),
+                           core::TpcOptions{});
+    server::ServerConfig config;
+    server::SimServer server(sim, config, policy,
+                             harness::webSearchExecutionModel());
+    obs::StageStatsCollector stageStats({"short", "long"}, 1);
+    server.attachStageStats(&stageStats);
+    server.setStoreOutcomes(false);
+
+    const core::TargetTable bucketTable =
+        core::TargetTable::initialForBuilder(loads, 1.0);
+    std::vector<stats::LogHistogram> perBucket(loads.size());
+    server.setCompletionCallback(
+        [&](const server::RequestOutcome& o) {
+            perBucket[bucketTable.bucketIndexFor(o.loadValue)].add(
+                o.trueMs);
+        });
+
+    const double fitMs = 20000.0;
+    util::PoissonProcess arrivals(kQpsStart, util::Rng(kArrivalSeed + 1));
+    std::size_t idx = 0;
+    for (double at = arrivals.nextArrivalMs(); at < fitMs;
+         at = arrivals.nextArrivalMs()) {
+        const harness::TraceItem& item = trace[idx++ % trace.size()];
+        sim.schedule(at, [&server, item] {
+            server.submit(item.trueMs, item.predictedMs);
+        });
+    }
+    sim.runUntilEmpty();
+
+    std::vector<core::LoadWindowObservation> observed;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (perBucket[i].count() == 0)
+            continue;
+        core::LoadWindowObservation obs;
+        obs.load = loads[i];
+        obs.demandMs = perBucket[i];
+        observed.push_back(std::move(obs));
+    }
+    core::HistogramRefitOptions fitOpts;
+    fitOpts.windowMs = fitMs;
+    const std::optional<core::TargetTable> table = core::refitTargetTable(
+        observed, loads, harness::webSearchExecutionModel(), fitOpts,
+        core::TableBuilderParams{4.0, 200, 400.0});
+    TPC_CHECK_MSG(table.has_value(),
+                  "offline fit produced no table (empty warmup?)");
+    return *table;
+}
+
+RunResult
+runDrift(Mode mode, const harness::Trace& trace,
+         const core::TargetTable& offline)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    sim::Simulator sim;
+    core::TpcPolicy policy(harness::webSearchExecutionModel(), offline,
+                           core::TpcOptions{});
+    core::VersionedTargetTable live(offline);
+    if (mode != Mode::kFrozen)
+        policy.attachLiveTable(&live);
+
+    std::unique_ptr<adapt::AdaptiveTableController> controller;
+    if (mode == Mode::kAdaptive) {
+        adapt::AdaptOptions options;
+        options.windowMs = kWindowMs;
+        options.startThread = false; // pumped from simulated time below
+        controller = std::make_unique<adapt::AdaptiveTableController>(
+            live, harness::webSearchExecutionModel(), options);
+    }
+
+    server::ServerConfig config;
+    server::SimServer server(sim, config, policy,
+                             harness::webSearchExecutionModel());
+    obs::StageStatsCollector stageStats({"short", "long"}, 1);
+    server.attachStageStats(&stageStats);
+    server.setStoreOutcomes(false);
+
+    RunResult result;
+    stats::LogHistogram windowLatency;
+    std::uint64_t windowCompletions = 0;
+    std::uint64_t windowTargeted = 0;
+    std::uint64_t windowOver = 0;
+    server.setCompletionCallback([&](const server::RequestOutcome& o) {
+        result.latency.add(o.responseMs());
+        windowLatency.add(std::max(o.responseMs(), 0.01));
+        ++windowCompletions;
+        if (o.targetMs > 0.0) {
+            ++windowTargeted;
+            if (o.responseMs() > o.targetMs)
+                ++windowOver;
+        }
+        if (controller != nullptr)
+            controller->observe(
+                recordFromOutcome(o, config.longThresholdMs));
+    });
+
+    // Arrivals: ramped Poisson (the load half of the drift); demands
+    // scale by kDriftFactor from kShiftMs (the service-time half).
+    util::RampedPoissonProcess arrivals(kQpsStart, kQpsEnd, kDurationMs,
+                                        util::Rng(kArrivalSeed));
+    std::size_t idx = 0;
+    for (double at = arrivals.nextArrivalMs(); at < kDurationMs;
+         at = arrivals.nextArrivalMs()) {
+        harness::TraceItem item = trace[idx++ % trace.size()];
+        if (at >= kShiftMs) {
+            item.trueMs *= kDriftFactor;
+            item.predictedMs *= kDriftFactor;
+        }
+        sim.schedule(at, [&server, item] {
+            server.submit(item.trueMs, item.predictedMs);
+        });
+    }
+
+    // Window boundaries: close the bench window, snapshot adaptation
+    // state, pump the controller. One extra window drains stragglers.
+    const int numWindows =
+        static_cast<int>(kDurationMs / kWindowMs) + 1;
+    for (int w = 1; w <= numWindows; ++w) {
+        sim.schedule(w * kWindowMs, [&, w] {
+            WindowRow row;
+            row.endMs = w * kWindowMs;
+            row.completions = windowCompletions;
+            row.p50Ms = windowLatency.percentile(0.50);
+            row.p99Ms = windowLatency.percentile(0.99);
+            row.missPct = windowTargeted > 0
+                              ? 100.0 * static_cast<double>(windowOver) /
+                                    static_cast<double>(windowTargeted)
+                              : 0.0;
+            if (controller != nullptr) {
+                controller->advanceWindow();
+                const adapt::AdaptationStats a = controller->stats();
+                row.tableVersion = a.tableVersion;
+                row.source = core::tableSourceName(a.tableSource);
+                row.promotions = a.promotions;
+                row.rollbacks = a.rollbacks;
+                row.activeScore = a.activeScore;
+                row.candidateScore = a.candidateScore;
+                row.wins = a.consecutiveWins;
+            }
+            result.windows.push_back(std::move(row));
+            windowLatency = stats::LogHistogram();
+            windowCompletions = 0;
+            windowTargeted = 0;
+            windowOver = 0;
+        });
+    }
+    sim.runUntilEmpty();
+
+    if (controller != nullptr) {
+        const adapt::AdaptationStats a = controller->stats();
+        result.promotions = a.promotions;
+        result.rollbacks = a.rollbacks;
+    }
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count();
+    return result;
+}
+
+/** Mean of a window stat over the post-shift steady state (the last
+ *  third of the run, well past the adaptation transient). */
+double
+steadyStateMean(const std::vector<WindowRow>& windows,
+                double (*pick)(const WindowRow&))
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const WindowRow& w : windows) {
+        if (w.endMs <= kDurationMs * 2.0 / 3.0 || w.completions == 0)
+            continue;
+        sum += pick(w);
+        ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const harness::Trace trace = baseTrace(20000);
+    const std::vector<double> loads = {
+        0.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0,
+        std::numeric_limits<double>::infinity()};
+
+    std::printf("fitting the offline table against the pre-shift "
+                "regime...\n");
+    const core::TargetTable offline = buildOfflineTable(trace, loads);
+    std::printf("offline table: %s\n", offline.toString().c_str());
+
+    util::CsvWriter csv(util::resultsDir() + "/adapt_drift.csv");
+    csv.writeRow(std::vector<std::string>{
+        "mode", "window_end_ms", "completions", "p50_ms", "p99_ms",
+        "miss_pct", "table_version", "source", "promotions", "rollbacks",
+        "active_score", "candidate_score", "wins"});
+
+    util::TablePrinter table("drift replay: demands x1.7 at 40 s, "
+                             "390->480 QPS ramp");
+    table.setHeader({"mode", "median (ms)", "post-shift p99 (ms)",
+                     "post-shift miss %", "promotions", "rollbacks",
+                     "wall (ms)"});
+
+    RunResult frozen;
+    RunResult frozenLive;
+    for (Mode mode :
+         {Mode::kFrozen, Mode::kFrozenLive, Mode::kAdaptive}) {
+        std::printf("replaying %s...\n", modeName(mode));
+        std::fflush(stdout);
+        const RunResult run = runDrift(mode, trace, offline);
+        for (const WindowRow& w : run.windows)
+            csv.writeRow(std::vector<std::string>{
+                modeName(mode), util::TablePrinter::fmt(w.endMs, 0),
+                std::to_string(w.completions),
+                util::TablePrinter::fmt(w.p50Ms, 3),
+                util::TablePrinter::fmt(w.p99Ms, 3),
+                util::TablePrinter::fmt(w.missPct, 2),
+                std::to_string(w.tableVersion), w.source,
+                std::to_string(w.promotions),
+                std::to_string(w.rollbacks),
+                util::TablePrinter::fmt(w.activeScore, 3),
+                util::TablePrinter::fmt(w.candidateScore, 3),
+                std::to_string(w.wins)});
+        table.addRow(
+            {modeName(mode),
+             util::TablePrinter::fmt(run.latency.percentile(0.50), 2),
+             util::TablePrinter::fmt(
+                 steadyStateMean(run.windows,
+                                 [](const WindowRow& w) { return w.p99Ms; }),
+                 1),
+             util::TablePrinter::fmt(
+                 steadyStateMean(
+                     run.windows,
+                     [](const WindowRow& w) { return w.missPct; }),
+                 1),
+             std::to_string(run.promotions),
+             std::to_string(run.rollbacks),
+             util::TablePrinter::fmt(run.wallMs, 0)});
+        if (mode == Mode::kFrozen)
+            frozen = run;
+        else if (mode == Mode::kFrozenLive)
+            frozenLive = run;
+    }
+    table.print();
+
+    // Adaptation-off overhead: the live-table read path must not change
+    // serving. Same seed, same table content -> decisions must match,
+    // so the medians should agree to well under 2%.
+    const double frozenMedian = frozen.latency.percentile(0.50);
+    const double liveMedian = frozenLive.latency.percentile(0.50);
+    const double overheadPct =
+        frozenMedian > 0.0
+            ? 100.0 * (liveMedian - frozenMedian) / frozenMedian
+            : 0.0;
+    std::printf("adaptation-off overhead (frozen+live vs frozen): "
+                "median %.3f vs %.3f ms (%+.2f%%)\n",
+                liveMedian, frozenMedian, overheadPct);
+    std::printf("(raw series: %s/adapt_drift.csv)\n",
+                util::resultsDir().c_str());
+    return 0;
+}

@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "core/table_builder.h"
+#include "core/versioned_table.h"
 #include "harness/measure_tail.h"
 #include "harness/policies.h"
 #include "harness/search_trace.h"
@@ -69,9 +70,16 @@ main()
                 std::pow(params.maxTargetMs / params.stepMs,
                          static_cast<double>(loads.size())));
 
+    // table_version/source join these rows against the adaptation lane:
+    // offline builds are always v1/"offline"; the closed-loop controller
+    // (bench_adapt, search_server --adapt) emits higher versions tagged
+    // "adapted" for the same columns.
     util::CsvWriter csv(util::resultsDir() + "/target_table.csv");
-    csv.writeRow(std::vector<std::string>{"load_upper", "target_ms"});
+    csv.writeRow(std::vector<std::string>{"load_upper", "target_ms",
+                                          "table_version", "source"});
     for (const auto& entry : searched.entries())
-        csv.writeRow(std::vector<double>{entry.load, entry.targetMs});
+        csv.writeRow(std::vector<std::string>{
+            std::to_string(entry.load), std::to_string(entry.targetMs), "1",
+            core::tableSourceName(core::TableSource::kOffline)});
     return 0;
 }

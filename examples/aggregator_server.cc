@@ -13,6 +13,14 @@
  *       [--max-in-flight=256] [--metrics-out=metrics.csv]
  *       [--breaker-threshold=3] [--breaker-max-backoff-ms=2000]
  *       [--reconnect-delay-ms=100] [--no-partial]
+ *       [--table-file=PATH] [--table-refresh-ms=1000]
+ *
+ * --table-file points at a target table in the saveToFile format —
+ * typically the path a shard's --adapt-table-out writes promoted tables
+ * to. It is re-read every --table-refresh-ms and, when the content
+ * changes, hot-swapped into the deadline table (per-shard deadlines
+ * follow the leaves' adapted targets without a restart; /statsz reports
+ * the active table version and source).
  *
  * Failure recovery: each shard endpoint sits behind a circuit breaker
  * (trip after --breaker-threshold consecutive failures, exponential
@@ -32,9 +40,13 @@
  * Ctrl-C drains gracefully: in-flight fanouts are answered, then the
  * hedge/straggler attribution table is printed.
  */
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +70,19 @@ onSignal(int)
     // requestStop is async-signal-safe (atomic store + pipe write).
     if (tpc::fanout::AggregatorServer* server = gServer.load())
         server->requestStop();
+}
+
+/** Reads a whole file, or nullopt when it cannot be opened (the adapt
+ *  writer creates it atomically, so a present file is always complete). */
+std::optional<std::string>
+readFileIfPresent(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
 }
 
 /** Parses "host:port" or a bare port (loopback assumed). */
@@ -108,7 +133,8 @@ main(int argc, char** argv)
          "hedge-min-samples", "hedge-fallback-ms", "targets", "target-ms",
          "deadline-factor", "top-k", "max-in-flight", "linger-ms",
          "metrics-out", "breaker-threshold", "breaker-max-backoff-ms",
-         "reconnect-delay-ms", "no-partial"});
+         "reconnect-delay-ms", "no-partial", "table-file",
+         "table-refresh-ms"});
 
     const std::string shardsArg = args.getString("shards", "");
     if (shardsArg.empty()) {
@@ -171,6 +197,26 @@ main(int argc, char** argv)
                     "none");
     }
 
+    // Live deadline table: when a --table-file exists at startup it
+    // overrides the built-in table, and a refresh thread below keeps
+    // re-reading it so shard-side promotions (written atomically via
+    // --adapt-table-out) propagate to the aggregator's deadlines.
+    const std::string tableFile = args.getString("table-file", "");
+    const double tableRefreshMs = args.getDouble("table-refresh-ms", 1000.0);
+    std::string lastTableText;
+    if (!tableFile.empty()) {
+        if (std::optional<std::string> text = readFileIfPresent(tableFile)) {
+            const core::TargetTable initial =
+                core::TargetTable::parseText(*text);
+            config.targetTable.clear();
+            for (const core::TargetEntry& e : initial.entries())
+                config.targetTable.push_back({e.load, e.targetMs});
+            lastTableText = *text;
+            std::printf("deadline table: %s (%zu rows)\n", tableFile.c_str(),
+                        config.targetTable.size());
+        }
+    }
+
     const std::string metricsOut = args.getString("metrics-out", "");
     std::unique_ptr<obs::MetricsRegistry> metrics;
     if (!metricsOut.empty())
@@ -193,6 +239,38 @@ main(int argc, char** argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
+    // Table refresh: poll the file and hot-swap the deadline table when
+    // its content changes. Swapped tables are tagged "adapted" — they
+    // came from the leaves' promotion pipeline, not the offline build.
+    std::atomic<bool> stopRefresh{false};
+    std::thread refresher;
+    if (!tableFile.empty()) {
+        refresher = std::thread([&] {
+            std::uint64_t version = server.tableVersion();
+            while (!stopRefresh.load(std::memory_order_relaxed)) {
+                const auto step = std::chrono::milliseconds(
+                    std::max(1, static_cast<int>(tableRefreshMs)));
+                std::this_thread::sleep_for(step);
+                const std::optional<std::string> text =
+                    readFileIfPresent(tableFile);
+                if (!text || text->empty() || *text == lastTableText)
+                    continue;
+                const core::TargetTable parsed =
+                    core::TargetTable::parseText(*text);
+                std::vector<fanout::FanoutTargetEntry> rows;
+                for (const core::TargetEntry& e : parsed.entries())
+                    rows.push_back({e.load, e.targetMs});
+                server.updateTargetTable(std::move(rows), ++version,
+                                         "adapted");
+                lastTableText = *text;
+                std::printf("deadline table refreshed from %s (v%llu)\n",
+                            tableFile.c_str(),
+                            static_cast<unsigned long long>(version));
+                std::fflush(stdout);
+            }
+        });
+    }
+
     std::printf("aggregating %zu shards%s\n", config.shards.size(),
                 hedge ? " with hedged backups" : "");
     std::printf("listening on 127.0.0.1:%u (Ctrl-C stops)\n", server.port());
@@ -200,6 +278,10 @@ main(int argc, char** argv)
     const auto runStart = std::chrono::steady_clock::now();
     server.run();
     gServer.store(nullptr);
+    if (refresher.joinable()) {
+        stopRefresh.store(true, std::memory_order_relaxed);
+        refresher.join();
+    }
 
     if (metrics != nullptr) {
         obs::MetricsCsvExporter exporter(*metrics, metricsOut);

@@ -9,9 +9,14 @@
  * discipline of the paper's Section 4.1 (see DESIGN.md).
  *
  *   ./build/examples/loadgen --port <port> [--host=127.0.0.1]
- *       [--qps=100] [--duration-s=2 | --requests=N] [--connections=4]
- *       [--payload-bytes=8] [--seed=1] [--csv-out=results/loadgen.csv]
- *       [--target-ms=T] [--trace-csv-out=PATH] [--tracez-out=PATH]
+ *       [--qps=100] [--rate-ramp=start:end] [--duration-s=2 | --requests=N]
+ *       [--connections=4] [--payload-bytes=8] [--seed=1]
+ *       [--csv-out=results/loadgen.csv] [--target-ms=T]
+ *       [--trace-csv-out=PATH] [--tracez-out=PATH]
+ *
+ * --rate-ramp=start:end replaces the constant rate with a linear ramp
+ * from start to end QPS over --duration-s (exact inhomogeneous Poisson
+ * via thinning) — non-stationary offered load for the adaptation demos.
  *
  * Every request carries a trace context (trace id derived from seed and
  * sequence number), so server-side /tracez spans join the client's view.
@@ -32,6 +37,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -57,10 +63,10 @@ main(int argc, char** argv)
 {
     using namespace tpc;
     const util::ArgParser args(argc, argv,
-                               {"host", "port", "qps", "duration-s",
-                                "requests", "connections", "payload-bytes",
-                                "seed", "csv-out", "target-ms",
-                                "trace-csv-out", "tracez-out"});
+                               {"host", "port", "qps", "rate-ramp",
+                                "duration-s", "requests", "connections",
+                                "payload-bytes", "seed", "csv-out",
+                                "target-ms", "trace-csv-out", "tracez-out"});
 
     net::LoadGenConfig config;
     config.host = args.getString("host", "127.0.0.1");
@@ -71,6 +77,25 @@ main(int argc, char** argv)
     }
     config.qps = args.getDouble("qps", 100.0);
     config.durationMs = args.getDouble("duration-s", 2.0) * 1000.0;
+    const std::string rateRamp = args.getString("rate-ramp", "");
+    if (!rateRamp.empty()) {
+        const std::size_t colon = rateRamp.find(':');
+        double start = 0.0;
+        double end = 0.0;
+        if (colon != std::string::npos) {
+            start = std::atof(rateRamp.substr(0, colon).c_str());
+            end = std::atof(rateRamp.substr(colon + 1).c_str());
+        }
+        if (start <= 0.0 || end <= 0.0) {
+            std::fprintf(stderr,
+                         "loadgen: --rate-ramp wants start:end in QPS, "
+                         "both > 0 (got \"%s\")\n",
+                         rateRamp.c_str());
+            return 2;
+        }
+        config.qps = start;
+        config.qpsEnd = end;
+    }
     config.numRequests =
         static_cast<std::uint64_t>(args.getInt("requests", 0));
     config.connections = static_cast<int>(args.getInt("connections", 4));
@@ -95,9 +120,16 @@ main(int argc, char** argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
-    std::printf("loadgen: %s:%u, %.0f qps over %d connections (open loop)\n",
-                config.host.c_str(), config.port, config.qps,
-                config.connections);
+    if (config.qpsEnd > 0.0)
+        std::printf("loadgen: %s:%u, %.0f -> %.0f qps ramp over %d "
+                    "connections (open loop)\n",
+                    config.host.c_str(), config.port, config.qps,
+                    config.qpsEnd, config.connections);
+    else
+        std::printf("loadgen: %s:%u, %.0f qps over %d connections "
+                    "(open loop)\n",
+                    config.host.c_str(), config.port, config.qps,
+                    config.connections);
     const net::LoadGenResult result = net::runLoadGen(config);
     if (gStop.load(std::memory_order_relaxed))
         std::printf("loadgen: interrupted; reporting the %llu requests "

@@ -15,13 +15,23 @@
  *     ./build/examples/search_server --listen <port> [--docs=N]
  *         [--max-pending=N] [--max-in-flight=N] [--deadline-ms=D]
  *         [--fault=SPEC] [--fault-seed=S] [--trace-out=...]
- *         [--metrics-out=...]
+ *         [--metrics-out=...] [--table-file=PATH] [--adapt]
+ *         [--adapt-window-ms=1000] [--adapt-min-samples=64]
+ *         [--adapt-table-out=PATH]
  *
  * --fault takes a deterministic fault schedule ("crash@500;restart@900",
  * see src/faults/fault_spec.h for the grammar); the same spec and
  * --fault-seed reproduce the same failure timeline on every run.
  * --deadline-ms cancels admitted requests still queued past the deadline
  * with a kCancelled response (counted separately from admission sheds).
+ *
+ * --table-file loads the initial target table (saveToFile format)
+ * instead of the built-in web-search default. --adapt closes the loop:
+ * an AdaptiveTableController shadow-scores re-fitted candidate tables
+ * against live completions every --adapt-window-ms and hot-swaps the
+ * serving table when a candidate wins repeatedly (see DESIGN.md);
+ * /statsz grows an adaptation lane and --adapt-table-out persists every
+ * promoted table (atomic rename) for the aggregator to pick up.
  */
 #include <atomic>
 #include <chrono>
@@ -31,7 +41,9 @@
 #include <string>
 #include <thread>
 
+#include "adapt/adaptive_controller.h"
 #include "core/tpc_policy.h"
+#include "core/versioned_table.h"
 #include "faults/fault_injector.h"
 #include "harness/policies.h"
 #include "net/loadgen.h"
@@ -74,7 +86,9 @@ main(int argc, char** argv)
                                {"queries", "qps", "trace-out", "metrics-out",
                                 "listen", "docs", "max-pending",
                                 "max-in-flight", "deadline-ms", "fault",
-                                "fault-seed"});
+                                "fault-seed", "table-file", "adapt",
+                                "adapt-window-ms", "adapt-min-samples",
+                                "adapt-table-out"});
     const auto numQueries =
         static_cast<std::size_t>(args.getInt("queries", 800));
     const double qps = args.getDouble("qps", 120.0);
@@ -122,8 +136,21 @@ main(int argc, char** argv)
 
     core::TpcOptions options;
     options.maxDegree = 6;
-    core::TpcPolicy tpc(harness::webSearchExecutionModel(),
-                        core::TargetTable::webSearchDefault(), options);
+    const std::string tableFile = args.getString("table-file", "");
+    const bool adaptEnabled = args.has("adapt");
+    const core::TargetTable initialTable =
+        tableFile.empty() ? core::TargetTable::webSearchDefault()
+                          : core::TargetTable::loadFromFile(tableFile);
+    if (!tableFile.empty())
+        std::printf("target table: %s (%zu rows)\n", tableFile.c_str(),
+                    initialTable.entries().size());
+    core::TpcPolicy tpc(harness::webSearchExecutionModel(), initialTable,
+                        options);
+    // The live versioned table: serving reads it RCU-style on every
+    // dispatch; the adaptation controller is its only writer.
+    core::VersionedTargetTable liveTable(initialTable);
+    if (adaptEnabled)
+        tpc.attachLiveTable(&liveTable);
 
     server::ThreadedServerConfig serverConfig;
     serverConfig.numWorkers =
@@ -180,6 +207,31 @@ main(int argc, char** argv)
         std::uint64_t acceptedTotal = 0;
         std::uint64_t shedTotal = 0;
         stats::LatencyRecorder latency;
+
+        // Closed-loop adaptation: completions feed the controller, the
+        // controller publishes through liveTable, the policy re-snapshots
+        // per dispatch. Declared before the server so completions landing
+        // during server teardown still find it alive.
+        std::unique_ptr<adapt::AdaptiveTableController> adapter;
+        if (adaptEnabled) {
+            adapt::AdaptOptions adaptOptions;
+            adaptOptions.windowMs =
+                args.getDouble("adapt-window-ms", 1000.0);
+            adaptOptions.minWindowSamples = static_cast<std::uint64_t>(
+                args.getInt("adapt-min-samples", 64));
+            adaptOptions.refit.maxDegree = options.maxDegree;
+            adaptOptions.refit.totalWorkers =
+                static_cast<int>(serverConfig.numWorkers);
+            adaptOptions.promotedTablePath =
+                args.getString("adapt-table-out", "");
+            adapter = std::make_unique<adapt::AdaptiveTableController>(
+                liveTable, harness::webSearchExecutionModel(),
+                adaptOptions);
+            std::printf("adaptation on: window %.0f ms, promote after %d "
+                        "wins\n",
+                        adaptOptions.windowMs,
+                        adaptOptions.promoteAfterWindows);
+        }
         {
             // Destruction order matters: the RpcServer's postambles call
             // back into it, so it must be destroyed before the engine.
@@ -234,6 +286,14 @@ main(int argc, char** argv)
             }
             server.attachStageStats(&stageStats);
             rpc.attachStageStats(&stageStats);
+            if (adapter != nullptr) {
+                server.setCompletionObserver(
+                    [&adapter](const obs::StageRecord& record) {
+                        adapter->observe(record);
+                    });
+                if (metrics != nullptr)
+                    adapter->attachMetrics(metrics.get());
+            }
             // Distributed-trace spans: pid = the bound port so a
             // multi-process run's Chrome-trace rows stay apart;
             // /tracez serves the tail-retained traces.
@@ -255,6 +315,29 @@ main(int argc, char** argv)
                 info.policyName = policySnap.name;
                 for (const auto& [load, targetMs] : policySnap.targetTable)
                     info.targetTable.push_back({load, targetMs});
+                info.tableVersion = policySnap.tableVersion;
+                info.tableSource = policySnap.tableSource;
+                obs::StatszAdaptationInfo adaptInfo;
+                if (adapter != nullptr) {
+                    const adapt::AdaptationStats a = adapter->stats();
+                    adaptInfo.tableVersion = a.tableVersion;
+                    adaptInfo.tableSource =
+                        core::tableSourceName(a.tableSource);
+                    adaptInfo.state = adapt::adaptStateName(a.state);
+                    adaptInfo.hasCandidate = a.hasCandidate;
+                    adaptInfo.activeScore = a.activeScore;
+                    adaptInfo.candidateScore = a.candidateScore;
+                    adaptInfo.consecutiveWins = a.consecutiveWins;
+                    adaptInfo.windowsEvaluated = a.windowsEvaluated;
+                    adaptInfo.refits = a.refits;
+                    adaptInfo.promotions = a.promotions;
+                    adaptInfo.rollbacks = a.rollbacks;
+                    adaptInfo.lastWindowCompletions =
+                        a.lastWindowCompletions;
+                    adaptInfo.lastWindowP99Ms = a.lastWindowP99Ms;
+                    adaptInfo.lastWindowMissPct = a.lastWindowMissPct;
+                    info.adaptation = &adaptInfo;
+                }
                 info.dispatches = policySnap.dispatches;
                 info.corrections = policySnap.corrections;
                 info.correctionThreadsAdded =
@@ -329,6 +412,18 @@ main(int argc, char** argv)
         std::printf("dynamic corrections fired: %llu\n",
                     static_cast<unsigned long long>(
                         tpc.counters().corrections));
+        if (adapter != nullptr) {
+            adapter->stop();
+            const adapt::AdaptationStats a = adapter->stats();
+            std::printf("adaptation: table v%llu (%s), %llu windows, "
+                        "%llu refits, %llu promotions, %llu rollbacks\n",
+                        static_cast<unsigned long long>(a.tableVersion),
+                        core::tableSourceName(a.tableSource),
+                        static_cast<unsigned long long>(a.windowsEvaluated),
+                        static_cast<unsigned long long>(a.refits),
+                        static_cast<unsigned long long>(a.promotions),
+                        static_cast<unsigned long long>(a.rollbacks));
+        }
         const obs::StageSnapshot stages = stageStats.snapshot();
         for (const auto& cls : stages.classes) {
             if (cls.completions == 0)

@@ -1,0 +1,194 @@
+#!/usr/bin/env bash
+# Closed-loop adaptation smoke: the 1x4 partition-aggregate topology
+# under a ramped open-loop load, with every shard running the adaptive
+# table controller. Shard 1 starts from a deliberately lax target table
+# (inf -> 400 ms, so the very first re-fit produces a strictly better
+# candidate) and persists promoted tables to a file the aggregator polls
+# for its per-shard deadlines. Asserts:
+#   - shard 1's /statsz grows the adaptation lane and reports at least
+#     one promotion (tpc_adapt_promotions_total >= 1) with the live
+#     table tagged source="adapted",
+#   - the promoted-table file exists and the aggregator hot-swapped it
+#     into its deadline table ("deadline table refreshed" in the log),
+#   - the client-side accepted p99 stayed under the initial 400 ms
+#     target (loadgen CSV response_ms_p99 column).
+#
+# Usage: scripts/adapt_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS=4
+SHARD_PIDS=()
+SHARD_LOGS=()
+CSV="$(mktemp -u).csv"
+LAX_TABLE="$(mktemp)"
+PROMOTED_TABLE="$(mktemp -u).table"
+
+cleanup() {
+    kill "${AGG_PID:-}" 2>/dev/null || true
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# A lax single-row table: everything is targeted at 400 ms, so TPC runs
+# sequential and the first live re-fit (tight targets, low utilization)
+# wins the shadow score deterministically.
+printf '0 400\ninf 400\n' > "${LAX_TABLE}"
+
+# --- Start the adaptive shard tier. -------------------------------------
+for i in $(seq 1 "${NUM_SHARDS}"); do
+    LOG="$(mktemp)"
+    EXTRA=()
+    if [ "$i" -eq 1 ]; then
+        EXTRA=(--table-file "${LAX_TABLE}" \
+               --adapt-table-out "${PROMOTED_TABLE}")
+    fi
+    "${BUILD_DIR}/examples/search_server" --listen 0 --docs 3000 \
+        --queries 200 --adapt --adapt-window-ms 1000 \
+        --adapt-min-samples 24 "${EXTRA[@]}" > "${LOG}" 2>&1 &
+    SHARD_PIDS+=($!)
+    SHARD_LOGS+=("${LOG}")
+done
+
+SHARD_PORTS=()
+for i in $(seq 0 $((NUM_SHARDS - 1))); do
+    LOG="${SHARD_LOGS[$i]}"
+    PID="${SHARD_PIDS[$i]}"
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "${LOG}" && break
+        if ! kill -0 "${PID}" 2>/dev/null; then
+            echo "adapt_smoke: shard $i exited before listening" >&2
+            cat "${LOG}" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${LOG}" | head -n 1)"
+    if [ -z "${PORT}" ]; then
+        echo "adapt_smoke: shard $i never reported its port" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    SHARD_PORTS+=("${PORT}")
+done
+SHARDS="$(IFS=,; echo "${SHARD_PORTS[*]}")"
+echo "adapt_smoke: shards on ports ${SHARDS}"
+
+# --- Start the aggregator, polling the promoted-table file. -------------
+AGG_LOG="$(mktemp)"
+"${BUILD_DIR}/examples/aggregator_server" --listen 0 --shards "${SHARDS}" \
+    --table-file "${PROMOTED_TABLE}" --table-refresh-ms 200 \
+    > "${AGG_LOG}" 2>&1 &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "${AGG_LOG}" && break
+    if ! kill -0 "${AGG_PID}" 2>/dev/null; then
+        echo "adapt_smoke: aggregator exited before listening" >&2
+        cat "${AGG_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+AGG_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${AGG_LOG}" | head -n 1)"
+if [ -z "${AGG_PORT}" ]; then
+    echo "adapt_smoke: aggregator never reported its port" >&2
+    cat "${AGG_LOG}" >&2
+    exit 1
+fi
+echo "adapt_smoke: aggregator on port ${AGG_PORT}"
+
+# --- Ramped load: the fan-out touches every shard per request, so a
+# 40 -> 80 qps ramp gives each shard well over the 24-completion window
+# gate without saturating the 4-worker pools (service times run tens of
+# milliseconds on CI hardware; pushing harder melts into queueing).
+"${BUILD_DIR}/examples/loadgen" --port "${AGG_PORT}" --rate-ramp 40:80 \
+    --duration-s 12 --csv-out "${CSV}" &
+LOADGEN_PID=$!
+
+# --- Poll shard 1's /statsz until a promotion lands. --------------------
+STATSZ="$(mktemp)"
+PROMOTIONS=0
+for _ in $(seq 1 60); do
+    sleep 0.5
+    "${BUILD_DIR}/examples/statsz" --port "${SHARD_PORTS[0]}" \
+        --timeout-ms 200 > "${STATSZ}" 2>/dev/null || continue
+    PROMOTIONS="$(awk '/^tpc_adapt_promotions_total/ {print $NF}' \
+        "${STATSZ}")"
+    PROMOTIONS="${PROMOTIONS:-0}"
+    [ "${PROMOTIONS%.*}" -ge 1 ] 2>/dev/null && break
+done
+if ! [ "${PROMOTIONS%.*}" -ge 1 ] 2>/dev/null; then
+    echo "adapt_smoke: shard 1 never promoted a candidate table:" >&2
+    cat "${STATSZ}" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+fi
+echo "adapt_smoke: shard 1 promotions=${PROMOTIONS}"
+for series in tpc_adapt_state tpc_adapt_windows_total \
+    tpc_adapt_refits_total tpc_adapt_window_p99_ms; do
+    grep -q "^${series}" "${STATSZ}" || {
+        echo "adapt_smoke: /statsz missing ${series}:" >&2
+        cat "${STATSZ}" >&2
+        kill "${LOADGEN_PID}" 2>/dev/null || true
+        exit 1
+    }
+done
+grep -q '^tpc_target_table_version{source="adapted"}' "${STATSZ}" || {
+    echo "adapt_smoke: live table not tagged adapted:" >&2
+    grep '^tpc_target_table_version' "${STATSZ}" >&2 || true
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+
+wait "${LOADGEN_PID}"
+
+# --- The promoted table reached the aggregator's deadline table. --------
+[ -s "${PROMOTED_TABLE}" ] || {
+    echo "adapt_smoke: promoted-table file was never written" >&2
+    exit 1
+}
+for _ in $(seq 1 20); do
+    grep -q "deadline table refreshed" "${AGG_LOG}" && break
+    sleep 0.2
+done
+grep -q "deadline table refreshed" "${AGG_LOG}" || {
+    echo "adapt_smoke: aggregator never refreshed its deadline table:" >&2
+    tail -n 20 "${AGG_LOG}" >&2
+    exit 1
+}
+
+# --- Graceful drain: aggregator first, then the shard tier. -------------
+kill -INT "${AGG_PID}"
+wait "${AGG_PID}"
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -INT "${pid}" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "${pid}" || true
+done
+trap - EXIT
+
+# --- Client-side accepted p99 stayed under the lax initial target. ------
+[ "$(wc -l < "${CSV}")" -eq 2 ] || {
+    echo "adapt_smoke: unexpected loadgen CSV:" >&2
+    cat "${CSV}" >&2 || true
+    exit 1
+}
+P99="$(awk -F, 'NR==1 {for (i=1; i<=NF; ++i)
+                           if ($i == "response_ms_p99") col = i}
+                NR==2 {print $col}' "${CSV}")"
+if [ -z "${P99}" ]; then
+    echo "adapt_smoke: no response_ms_p99 column in loadgen CSV" >&2
+    cat "${CSV}" >&2
+    exit 1
+fi
+awk -v p99="${P99}" 'BEGIN { exit !(p99 + 0 < 400.0) }' || {
+    echo "adapt_smoke: accepted p99 ${P99} ms breached the 400 ms target" >&2
+    exit 1
+}
+echo "adapt_smoke: accepted p99 ${P99} ms (target 400 ms)"
+echo "adapt_smoke: OK"

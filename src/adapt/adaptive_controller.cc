@@ -1,0 +1,345 @@
+#include "adapt/adaptive_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tpc::adapt {
+
+namespace {
+
+/** Structural equality within float tolerance (no point shadowing or
+ *  promoting a table identical to the active one). */
+bool
+tablesEqual(const core::TargetTable& a, const core::TargetTable& b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const core::TargetEntry& ea = a.entries()[i];
+        const core::TargetEntry& eb = b.entries()[i];
+        const bool sameLoad =
+            (std::isinf(ea.load) && std::isinf(eb.load)) ||
+            ea.load == eb.load;
+        if (!sameLoad || std::fabs(ea.targetMs - eb.targetMs) > 1e-6)
+            return false;
+    }
+    return true;
+}
+
+/** Atomic-enough persist: write a temp file, rename over the target, so
+ *  a concurrent loadFromFile never sees a half-written table. */
+void
+persistTable(const core::TargetTable& table, const std::string& path)
+{
+    const std::string tmp = path + ".tmp";
+    table.saveToFile(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        util::fatal("cannot rename promoted table into place: " + path);
+}
+
+} // namespace
+
+const char*
+adaptStateName(AdaptState state)
+{
+    switch (state) {
+    case AdaptState::kShadowing:
+        return "shadowing";
+    case AdaptState::kHolding:
+        return "holding";
+    case AdaptState::kCooldown:
+        return "cooldown";
+    }
+    return "unknown";
+}
+
+AdaptiveTableController::AdaptiveTableController(
+    core::VersionedTargetTable& live, const policy::SpeedupModel& model,
+    const AdaptOptions& options)
+    : live_(live),
+      model_(model),
+      options_(options),
+      refitOpts_(options.refit),
+      bucketTable_(*live.snapshot().table)
+{
+    TPC_CHECK(options_.windowMs > 0.0);
+    TPC_CHECK(options_.promoteAfterWindows >= 1);
+    refitOpts_.windowMs = options_.windowMs;
+    loads_.reserve(bucketTable_.size());
+    for (const core::TargetEntry& entry : bucketTable_.entries())
+        loads_.push_back(entry.load);
+    window_.demandPerBucket.resize(loads_.size());
+
+    if (options_.startThread) {
+        thread_ = std::thread([this] {
+            std::unique_lock<std::mutex> lock(threadMutex_);
+            const auto interval =
+                std::chrono::duration<double, std::milli>(
+                    options_.windowMs);
+            while (!stopRequested_) {
+                if (cv_.wait_for(lock, interval,
+                                 [this] { return stopRequested_; }))
+                    break;
+                lock.unlock();
+                advanceWindow();
+                lock.lock();
+            }
+        });
+    }
+}
+
+AdaptiveTableController::~AdaptiveTableController()
+{
+    stop();
+}
+
+void
+AdaptiveTableController::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(threadMutex_);
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+double
+AdaptiveTableController::reconstructDemandMs(
+    const obs::StageRecord& record) const
+{
+    // Sequential demand ~= measured service time x the speedup of the
+    // degree the request actually ran at. The class profile is keyed by
+    // sequential time, which is what we are solving for, so iterate the
+    // class lookup twice (converges immediately for step-wise models).
+    const double serviceMs =
+        std::max(record.responseMs - record.queueMs, 0.01);
+    const int degree = std::max(
+        1, record.corrected ? record.maxDegree : record.initialDegree);
+    double s = serviceMs;
+    for (int i = 0; i < 2; ++i)
+        s = serviceMs * model_.profileFor(s).speedup(degree);
+    return s;
+}
+
+void
+AdaptiveTableController::observe(const obs::StageRecord& record)
+{
+    const double demand = reconstructDemandMs(record);
+    const std::size_t bucket = bucketTable_.bucketIndexFor(record.loadValue);
+    std::lock_guard<std::mutex> lock(dataMutex_);
+    window_.demandPerBucket[bucket].add(demand);
+    window_.responseMs.add(std::max(record.responseMs, 0.01));
+    ++window_.completions;
+    if (record.targetMs > 0.0) {
+        ++window_.targeted;
+        if (record.responseMs > record.targetMs)
+            ++window_.overTarget;
+    }
+}
+
+void
+AdaptiveTableController::advanceWindow()
+{
+    // 1. Close the current window.
+    WindowData data;
+    data.demandPerBucket.resize(loads_.size());
+    {
+        std::lock_guard<std::mutex> lock(dataMutex_);
+        std::swap(data, window_);
+        window_.demandPerBucket.clear();
+        window_.demandPerBucket.resize(loads_.size());
+    }
+    const double p99 = data.responseMs.percentile(0.99);
+    const double missPct =
+        data.targeted > 0
+            ? 100.0 * static_cast<double>(data.overTarget) /
+                  static_cast<double>(data.targeted)
+            : 0.0;
+
+    std::vector<core::LoadWindowObservation> observed;
+    for (std::size_t i = 0; i < loads_.size(); ++i) {
+        if (data.demandPerBucket[i].count() == 0)
+            continue;
+        core::LoadWindowObservation obs;
+        obs.load = loads_[i];
+        obs.demandMs = std::move(data.demandPerBucket[i]);
+        observed.push_back(std::move(obs));
+    }
+
+    // 2. One step of the shadow -> promote -> rollback state machine.
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    history_.push_back(observed);
+    while (static_cast<int>(history_.size()) >
+           std::max(1, options_.refitHistoryWindows))
+        history_.pop_front();
+
+    ++stats_.windowsEvaluated;
+    stats_.lastWindowCompletions = data.completions;
+    stats_.lastWindowP99Ms = p99;
+    stats_.lastWindowMissPct = missPct;
+
+    const core::TableSnapshot active = live_.snapshot();
+    const bool enoughSamples = data.completions >= options_.minWindowSamples;
+
+    switch (state_) {
+    case AdaptState::kHolding: {
+        // Guardrail: actual p99 under the promoted table vs. the
+        // pre-promotion baseline.
+        if (enoughSamples &&
+            p99 > rollbackBaselineP99Ms_ * options_.rollbackP99Factor &&
+            lastKnownGood_) {
+            live_.publish(*lastKnownGood_, lastKnownGoodSource_);
+            ++stats_.rollbacks;
+            candidate_.reset();
+            consecutiveWins_ = 0;
+            state_ = AdaptState::kCooldown;
+            cooldownLeft_ = options_.cooldownWindows;
+            break;
+        }
+        if (--guardLeft_ <= 0) {
+            // Promotion survived its probation: the promoted table is
+            // the new last-known-good.
+            lastKnownGood_ = *active.table;
+            lastKnownGoodSource_ = active.source;
+            state_ = AdaptState::kShadowing;
+        }
+        break;
+    }
+    case AdaptState::kCooldown: {
+        if (--cooldownLeft_ <= 0)
+            state_ = AdaptState::kShadowing;
+        break;
+    }
+    case AdaptState::kShadowing: {
+        if (!enoughSamples)
+            break;
+        // Shadow evaluation: score both tables on the live window with
+        // the same analytic MEASURETAIL the re-fit optimizes. Serving
+        // is untouched — only live_.publish below changes anything.
+        stats_.activeScore =
+            core::scoreTableOnWindows(*active.table, observed, model_,
+                                      refitOpts_);
+        if (candidate_) {
+            stats_.candidateScore = core::scoreTableOnWindows(
+                *candidate_, observed, model_, refitOpts_);
+            if (stats_.candidateScore <
+                stats_.activeScore * (1.0 - options_.hysteresis))
+                ++consecutiveWins_;
+            else
+                consecutiveWins_ = 0;
+            if (consecutiveWins_ >= options_.promoteAfterWindows) {
+                // Promote: remember the incumbent for rollback, swap.
+                rollbackBaselineP99Ms_ =
+                    ewmaP99Ms_ > 0.0 ? ewmaP99Ms_ : p99;
+                lastKnownGood_ = *active.table;
+                lastKnownGoodSource_ = active.source;
+                live_.publish(*candidate_, core::TableSource::kAdapted);
+                if (!options_.promotedTablePath.empty())
+                    persistTable(*candidate_, options_.promotedTablePath);
+                ++stats_.promotions;
+                candidate_.reset();
+                consecutiveWins_ = 0;
+                guardLeft_ = options_.guardWindows;
+                state_ = AdaptState::kHolding;
+                break;
+            }
+        }
+        // Re-fit the next candidate from recent windows (merged so one
+        // thin window does not swing the fit).
+        std::vector<core::LoadWindowObservation> merged;
+        merged.reserve(loads_.size());
+        for (std::size_t i = 0; i < loads_.size(); ++i) {
+            core::LoadWindowObservation obs;
+            obs.load = loads_[i];
+            for (const auto& windowObs : history_)
+                for (const auto& bucket : windowObs)
+                    if (bucket.load == obs.load ||
+                        (std::isinf(bucket.load) && std::isinf(obs.load)))
+                        obs.demandMs.merge(bucket.demandMs);
+            if (obs.demandMs.count() > 0)
+                merged.push_back(std::move(obs));
+        }
+        core::HistogramRefitOptions fitOpts = refitOpts_;
+        fitOpts.windowMs =
+            options_.windowMs * static_cast<double>(history_.size());
+        std::optional<core::TargetTable> next = core::refitTargetTable(
+            merged, loads_, model_, fitOpts, options_.builder);
+        if (next && !tablesEqual(*next, *active.table)) {
+            if (!candidate_ || !tablesEqual(*next, *candidate_))
+                ++stats_.refits;
+            candidate_ = std::move(next);
+        } else {
+            // Nothing to fit, or the fit agrees with the incumbent.
+            candidate_.reset();
+            consecutiveWins_ = 0;
+        }
+        break;
+    }
+    }
+
+    if (data.completions > 0)
+        ewmaP99Ms_ =
+            ewmaP99Ms_ > 0.0 ? 0.7 * ewmaP99Ms_ + 0.3 * p99 : p99;
+
+    stats_.state = state_;
+    stats_.hasCandidate = candidate_.has_value();
+    stats_.consecutiveWins = consecutiveWins_;
+    publishMetricsLocked();
+}
+
+void
+AdaptiveTableController::publishMetricsLocked()
+{
+    if (!metrics_)
+        return;
+    const core::TableSnapshot snap = live_.snapshot();
+    metrics_->counter("adapt_windows").inc();
+    metrics_->gauge("adapt_table_version")
+        .set(static_cast<double>(snap.version));
+    metrics_->gauge("adapt_table_adapted")
+        .set(snap.source == core::TableSource::kAdapted ? 1.0 : 0.0);
+    metrics_->gauge("adapt_state").set(static_cast<double>(state_));
+    metrics_->gauge("adapt_shadow_active_score").set(stats_.activeScore);
+    metrics_->gauge("adapt_shadow_candidate_score")
+        .set(stats_.candidateScore);
+    metrics_->gauge("adapt_window_p99_ms").set(stats_.lastWindowP99Ms);
+    metrics_->gauge("adapt_window_miss_pct")
+        .set(stats_.lastWindowMissPct);
+    // Cumulative event counters (the CSV exporter shows their
+    // per-window deltas).
+    auto syncCounter = [this](const char* name, std::uint64_t total) {
+        obs::Counter& c = metrics_->counter(name);
+        if (total > c.value())
+            c.inc(total - c.value());
+    };
+    syncCounter("adapt_refits", stats_.refits);
+    syncCounter("adapt_promotions", stats_.promotions);
+    syncCounter("adapt_rollbacks", stats_.rollbacks);
+}
+
+AdaptationStats
+AdaptiveTableController::stats() const
+{
+    const core::TableSnapshot snap = live_.snapshot();
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    AdaptationStats out = stats_;
+    out.tableVersion = snap.version;
+    out.tableSource = snap.source;
+    return out;
+}
+
+void
+AdaptiveTableController::attachMetrics(obs::MetricsRegistry* metrics)
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    metrics_ = metrics;
+}
+
+} // namespace tpc::adapt

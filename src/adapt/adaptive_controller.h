@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Closed-loop target-table adaptation: shadow-evaluate, promote, guard.
+ *
+ * The paper builds the load -> target table offline (Algorithm 1) and
+ * freezes it; production load drifts by hour and by query mix, so a
+ * frozen table either over-parallelizes (wasting workers, inflating
+ * queueing) or under-parallelizes (missing the tail target). The
+ * AdaptiveTableController closes the loop from live completions back
+ * into the table:
+ *
+ *   observe() -- every completion (StageRecord, incl. the load-metric
+ *   value the policy saw at dispatch) lands in the current observation
+ *   window: a sequential-demand histogram per load bucket plus actual
+ *   p99/miss accounting.
+ *
+ *   advanceWindow() -- at each window boundary (background thread, same
+ *   pattern as obs::StatsSampler, or pumped manually by deterministic
+ *   benches) the controller re-fits a candidate table from recent
+ *   windows (core::refitTargetTable), scores candidate and active table
+ *   on the live window with the same analytic MEASURETAIL (shadow
+ *   evaluation: serving is never affected), and promotes the candidate
+ *   via core::VersionedTargetTable::publish only after it beats the
+ *   active table by a hysteresis margin for K consecutive windows.
+ *
+ *   Guardrail -- for the first windows after a promotion the controller
+ *   compares the *actual* windowed p99 against the pre-promotion
+ *   baseline and demotes back to the last-known-good table when it
+ *   regressed, then cools down before re-fitting again.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/table_builder.h"
+#include "core/versioned_table.h"
+#include "obs/metrics.h"
+#include "obs/stage_stats.h"
+#include "policy/speedup_profile.h"
+#include "stats/histogram.h"
+
+namespace tpc::adapt {
+
+/** Controls for the adaptation loop. */
+struct AdaptOptions
+{
+    /** Observation-window length (ms) for the background thread. */
+    double windowMs = 1000.0;
+    /** Consecutive shadow wins required before promotion (K). */
+    int promoteAfterWindows = 3;
+    /** Candidate must beat the active score by this fraction to "win". */
+    double hysteresis = 0.05;
+    /** Windows with fewer completions than this are not evaluated. */
+    std::uint64_t minWindowSamples = 64;
+    /** Post-promotion p99 above baseline x this factor triggers rollback. */
+    double rollbackP99Factor = 1.15;
+    /** Windows the guardrail watches after each promotion. */
+    int guardWindows = 3;
+    /** Windows to sit out after a rollback before re-fitting. */
+    int cooldownWindows = 5;
+    /** Recent windows merged as the re-fit's sample set. */
+    int refitHistoryWindows = 4;
+    /** Algorithm 1 parameters for the re-fit (coarser than offline). */
+    core::TableBuilderParams builder{4.0, 200, 400.0};
+    /** Analytic MEASURETAIL parameters (capacity model, quantiles). */
+    core::HistogramRefitOptions refit;
+    /** Spawn the background window thread; false = manual pumping. */
+    bool startThread = true;
+    /** When non-empty, every promoted table is written here (atomic
+     *  tmp+rename) in the saveToFile format, for distribution to the
+     *  fan-out aggregator. */
+    std::string promotedTablePath;
+};
+
+/** Where the controller sits in the shadow->promote->rollback machine. */
+enum class AdaptState : int
+{
+    kShadowing = 0, ///< Scoring a candidate against the active table.
+    kHolding = 1,   ///< Recently promoted; guardrail watching p99.
+    kCooldown = 2,  ///< Rolled back; waiting before the next re-fit.
+};
+
+const char* adaptStateName(AdaptState state);
+
+/** Point-in-time adaptation state for /statsz and tests. */
+struct AdaptationStats
+{
+    std::uint64_t tableVersion = 0;
+    core::TableSource tableSource = core::TableSource::kOffline;
+    AdaptState state = AdaptState::kShadowing;
+    bool hasCandidate = false;
+    /** Shadow scores from the last evaluated window (lower is better). */
+    double activeScore = 0.0;
+    double candidateScore = 0.0;
+    int consecutiveWins = 0;
+    std::uint64_t windowsEvaluated = 0;
+    std::uint64_t refits = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    /** Actuals from the last closed window. */
+    std::uint64_t lastWindowCompletions = 0;
+    double lastWindowP99Ms = 0.0;
+    /** Percent of targeted completions over their target E. */
+    double lastWindowMissPct = 0.0;
+};
+
+/**
+ * The closed-loop adapter. Thread-safe: observe() may be called from
+ * any number of completion threads; advanceWindow() runs on the
+ * background thread (or the caller's, in manual mode); stats() from
+ * anywhere. Publishes only through the VersionedTargetTable, which
+ * serving policies consume RCU-style — shadow evaluation never touches
+ * serving state.
+ */
+class AdaptiveTableController
+{
+  public:
+    /**
+     * @param live  The versioned table serving policies are attached to;
+     *              must outlive the controller. Its current snapshot
+     *              defines the load-bucket bounds every re-fit keeps.
+     * @param model Speedup model shared with the serving policy.
+     */
+    AdaptiveTableController(core::VersionedTargetTable& live,
+                            const policy::SpeedupModel& model,
+                            const AdaptOptions& options = {});
+    ~AdaptiveTableController();
+
+    AdaptiveTableController(const AdaptiveTableController&) = delete;
+    AdaptiveTableController& operator=(const AdaptiveTableController&) =
+        delete;
+
+    /** Feeds one completion into the current observation window. */
+    void observe(const obs::StageRecord& record);
+
+    /**
+     * Closes the current window and runs one step of the state machine:
+     * guardrail check, shadow scoring, possible promotion or rollback,
+     * and the next candidate re-fit. Called by the background thread
+     * every windowMs; deterministic benches call it directly.
+     */
+    void advanceWindow();
+
+    /** Snapshot of the adaptation state. */
+    AdaptationStats stats() const;
+
+    /** Registers adaptation counters/gauges on a metrics registry so
+     *  the windowed CSV gains an adaptation lane. */
+    void attachMetrics(obs::MetricsRegistry* metrics);
+
+    /** Stops the background thread (idempotent; destructor calls it). */
+    void stop();
+
+  private:
+    struct WindowData
+    {
+        std::vector<stats::LogHistogram> demandPerBucket;
+        stats::LogHistogram responseMs;
+        std::uint64_t completions = 0;
+        std::uint64_t targeted = 0;
+        std::uint64_t overTarget = 0;
+    };
+
+    double reconstructDemandMs(const obs::StageRecord& record) const;
+    void publishMetricsLocked();
+
+    core::VersionedTargetTable& live_;
+    const policy::SpeedupModel& model_;
+    const AdaptOptions options_;
+    /** options_.refit with windowMs forced to the observation window. */
+    core::HistogramRefitOptions refitOpts_;
+
+    /** Load-bucket bounds (fixed across re-fits) and their lookup table. */
+    std::vector<double> loads_;
+    core::TargetTable bucketTable_;
+
+    /** Current-window accumulators (hot path). */
+    mutable std::mutex dataMutex_;
+    WindowData window_;
+
+    /** State machine + published stats (advanceWindow/stats). */
+    mutable std::mutex stateMutex_;
+    AdaptState state_ = AdaptState::kShadowing;
+    std::optional<core::TargetTable> candidate_;
+    std::optional<core::TargetTable> lastKnownGood_;
+    core::TableSource lastKnownGoodSource_ = core::TableSource::kOffline;
+    int consecutiveWins_ = 0;
+    int guardLeft_ = 0;
+    int cooldownLeft_ = 0;
+    double ewmaP99Ms_ = 0.0;
+    double rollbackBaselineP99Ms_ = 0.0;
+    AdaptationStats stats_;
+    std::deque<std::vector<core::LoadWindowObservation>> history_;
+
+    obs::MetricsRegistry* metrics_ = nullptr;
+
+    /** Background thread (StatsSampler pattern). */
+    std::mutex threadMutex_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    std::thread thread_;
+};
+
+} // namespace tpc::adapt

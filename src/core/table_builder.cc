@@ -1,6 +1,9 @@
 #include "core/table_builder.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -54,6 +57,152 @@ buildTargetTable(const TargetTable& initialTable,
         report->finalScore = curLatency;
     }
     return table;
+}
+
+namespace {
+
+/** Degree TPC would choose for demand @p s under target @p targetMs. */
+int
+degreeUnderTarget(const policy::SpeedupModel& model, double s,
+                  double targetMs, int maxDegree)
+{
+    const policy::SpeedupProfile& profile = model.profileFor(s);
+    int degree = profile.smallestDegreeToMeet(s, targetMs);
+    if (degree == 0)
+        degree = std::min(maxDegree, profile.maxDegree());
+    return std::min(degree, maxDegree);
+}
+
+/** Weighted quantiles over (value, count) pairs; qs ascending. */
+std::vector<double>
+weightedQuantiles(std::vector<std::pair<double, std::uint64_t>>& samples,
+                  const std::vector<double>& qs, std::uint64_t total)
+{
+    std::vector<double> out(qs.size(), 0.0);
+    if (total == 0 || samples.empty())
+        return out;
+    std::sort(samples.begin(), samples.end());
+    std::size_t qi = 0;
+    std::uint64_t cum = 0;
+    for (const auto& [value, count] : samples) {
+        cum += count;
+        while (qi < qs.size() &&
+               static_cast<double>(cum) >=
+                   qs[qi] * static_cast<double>(total)) {
+            out[qi] = value;
+            ++qi;
+        }
+        if (qi == qs.size())
+            break;
+    }
+    for (; qi < qs.size(); ++qi)
+        out[qi] = samples.back().first;
+    return out;
+}
+
+} // namespace
+
+double
+scoreTableOnWindows(const TargetTable& table,
+                    const std::vector<LoadWindowObservation>& windows,
+                    const policy::SpeedupModel& model,
+                    const HistogramRefitOptions& options)
+{
+    // Planned completion times and thread-milliseconds under the
+    // candidate, per demand bucket of every load window.
+    std::vector<std::pair<double, std::uint64_t>> completions;
+    std::uint64_t total = 0;
+    double threadMs = 0.0;
+    for (const LoadWindowObservation& window : windows) {
+        if (window.demandMs.count() == 0)
+            continue;
+        const double target = table.targetFor(window.load);
+        for (std::size_t i = 0; i < window.demandMs.bucketCount(); ++i) {
+            const std::uint64_t n = window.demandMs.bucketValue(i);
+            if (n == 0)
+                continue;
+            const double s = window.demandMs.bucketUpperBound(i);
+            const int degree =
+                degreeUnderTarget(model, s, target, options.maxDegree);
+            const double exec =
+                model.profileFor(s).parallelTimeMs(s, degree);
+            completions.emplace_back(exec, n);
+            threadMs += static_cast<double>(n) * degree * exec;
+            total += n;
+        }
+    }
+    if (total == 0)
+        return 0.0; // Nothing observed: every candidate ties.
+
+    // Queueing-inflation term: the more thread-time the plan demands of
+    // the window's worker capacity, the more each completion is delayed
+    // behind others. This is what makes aggressive (low-target,
+    // high-degree) tables lose under load and win when idle.
+    const double capacity = std::max(options.windowMs, 1e-6) *
+                            std::max(options.totalWorkers, 1);
+    const double rho = threadMs / capacity;
+    double inflation;
+    if (rho < options.maxUtilization) {
+        inflation = 1.0 / (1.0 - rho);
+    } else {
+        // Past the knee the M/M/1-style term explodes; keep the score
+        // finite but *strictly increasing* in overload, so two saturated
+        // plans still rank by the thread-time they demand (a flat clamp
+        // here would make every overloaded table tie, and the shadow
+        // scorer could never prefer the plan that sheds parallelism).
+        const double atKnee = 1.0 / (1.0 - options.maxUtilization);
+        inflation =
+            atKnee * (1.0 + atKnee * (rho - options.maxUtilization));
+    }
+
+    std::vector<double> qs{options.tailQuantile, options.highQuantile};
+    std::sort(qs.begin(), qs.end());
+    const std::vector<double> tails =
+        weightedQuantiles(completions, qs, total);
+    return inflation * (tails[0] + options.highWeight * tails[1]);
+}
+
+MeasureTailFn
+makeHistogramMeasureTail(std::vector<LoadWindowObservation> windows,
+                         const policy::SpeedupModel& model,
+                         const HistogramRefitOptions& options)
+{
+    return [windows = std::move(windows), &model,
+            options](const TargetTable& table) {
+        return scoreTableOnWindows(table, windows, model, options);
+    };
+}
+
+std::optional<TargetTable>
+refitTargetTable(const std::vector<LoadWindowObservation>& windows,
+                 const std::vector<double>& loads,
+                 const policy::SpeedupModel& model,
+                 const HistogramRefitOptions& refitOptions,
+                 const TableBuilderParams& builderParams,
+                 TableBuilderReport* report)
+{
+    TPC_CHECK(!loads.empty());
+    stats::LogHistogram merged;
+    for (const LoadWindowObservation& window : windows)
+        merged.merge(window.demandMs);
+    if (merged.count() == 0)
+        return std::nullopt; // Empty sample window: nothing to fit.
+
+    // Unloaded-minimum initial table (Section 3.3): the tail demand at
+    // full parallelism. The builder only raises targets from here.
+    const double tailDemand = merged.percentile(refitOptions.tailQuantile);
+    const policy::SpeedupProfile& profile = model.profileFor(tailDemand);
+    const int maxDegree =
+        std::min(refitOptions.maxDegree, profile.maxDegree());
+    double unloaded = profile.parallelTimeMs(tailDemand, maxDegree);
+    unloaded = std::clamp(unloaded, refitOptions.minTargetMs,
+                          builderParams.maxTargetMs);
+    const TargetTable initial =
+        TargetTable::initialForBuilder(loads, unloaded);
+
+    return buildTargetTable(
+        initial, makeHistogramMeasureTail(windows, model, refitOptions),
+        builderParams, report);
 }
 
 } // namespace tpc::core

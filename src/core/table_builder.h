@@ -14,9 +14,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/target_table.h"
+#include "policy/speedup_profile.h"
+#include "stats/histogram.h"
 
 namespace tpc::core {
 
@@ -60,5 +63,80 @@ TargetTable buildTargetTable(const TargetTable& initialTable,
                              const MeasureTailFn& measureTail,
                              const TableBuilderParams& params = {},
                              TableBuilderReport* report = nullptr);
+
+/**
+ * Observed demand for one load bucket of one observation window: the
+ * distribution of *sequential* service-time demand (ms) of requests
+ * dispatched while the load metric sat in this bucket. The adapt layer
+ * reconstructs demand from measured service time x the speedup of the
+ * degree the request actually ran at.
+ */
+struct LoadWindowObservation
+{
+    /** Representative load-metric value (the bucket's upper bound). */
+    double load = 0.0;
+    /** Sequential-demand histogram; its count() is the bucket's weight. */
+    stats::LogHistogram demandMs;
+};
+
+/** Controls for the analytic (histogram-driven) MEASURETAIL. */
+struct HistogramRefitOptions
+{
+    /** Degree cap, matching TpcOptions::maxDegree. */
+    int maxDegree = 6;
+    /** Worker threads available to the server (capacity model input). */
+    int totalWorkers = 28;
+    /** Wall time (ms) the observation window spans. */
+    double windowMs = 1000.0;
+    /** Primary tail quantile the score tracks (the paper optimizes p99). */
+    double tailQuantile = 0.99;
+    /** Secondary, deeper quantile blended into the score. */
+    double highQuantile = 0.999;
+    /** Weight of the deeper quantile in the score. */
+    double highWeight = 0.5;
+    /** Utilization clamp for the queueing-inflation term (< 1). */
+    double maxUtilization = 0.98;
+    /** Floor for any target produced by a re-fit. */
+    double minTargetMs = 1.0;
+};
+
+/**
+ * Analytic MEASURETAIL: estimates the tail latency a candidate table
+ * would produce over the observed windows, without running anything.
+ * Per demand-histogram bucket it picks the degree TPC would pick under
+ * the candidate's target, estimates the parallel execution time from the
+ * speedup model, and inflates the resulting tail quantiles by a
+ * utilization term (planned thread-milliseconds vs. worker capacity) so
+ * over-parallelizing under load is penalized exactly as Algorithm 1's
+ * live experiment would observe. Returns 0 when the windows hold no
+ * samples (every candidate ties; the builder keeps the initial table).
+ */
+double scoreTableOnWindows(const TargetTable& table,
+                           const std::vector<LoadWindowObservation>& windows,
+                           const policy::SpeedupModel& model,
+                           const HistogramRefitOptions& options);
+
+/** Wraps scoreTableOnWindows as a MeasureTailFn for buildTargetTable. */
+MeasureTailFn
+makeHistogramMeasureTail(std::vector<LoadWindowObservation> windows,
+                         const policy::SpeedupModel& model,
+                         const HistogramRefitOptions& options);
+
+/**
+ * Re-fits a candidate table from windowed observations: seeds the
+ * builder with the unloaded-minimum initial table over @p loads (the
+ * serving table's bucket bounds) and runs Algorithm 1 against the
+ * analytic MEASURETAIL above. Degenerate inputs degrade gracefully: an
+ * empty observation set returns nullopt (nothing to fit), a single load
+ * bucket produces a single-row table, and demand that no target can
+ * absorb still yields a usable (clamped) table — never a divide by zero.
+ */
+std::optional<TargetTable>
+refitTargetTable(const std::vector<LoadWindowObservation>& windows,
+                 const std::vector<double>& loads,
+                 const policy::SpeedupModel& model,
+                 const HistogramRefitOptions& refitOptions,
+                 const TableBuilderParams& builderParams,
+                 TableBuilderReport* report = nullptr);
 
 } // namespace tpc::core

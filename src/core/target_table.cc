@@ -27,11 +27,27 @@ TargetTable::TargetTable(std::vector<TargetEntry> entries)
 double
 TargetTable::targetFor(double load) const
 {
-    for (const auto& entry : entries_) {
-        if (load <= entry.load)
-            return entry.targetMs;
+    return entries_[bucketIndexFor(load)].targetMs;
+}
+
+std::size_t
+TargetTable::bucketIndexFor(double load) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (load <= entries_[i].load)
+            return i;
     }
-    return entries_.back().targetMs;
+    // Beyond the last built bucket (possible when the table was built
+    // with a finite top bound and production load exceeds it): clamp to
+    // the nearest bucket instead of extrapolating.
+    return entries_.size() - 1;
+}
+
+double
+TargetTable::targetAt(std::size_t index) const
+{
+    TPC_CHECK(index < entries_.size());
+    return entries_[index].targetMs;
 }
 
 TargetTable

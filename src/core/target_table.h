@@ -39,6 +39,19 @@ class TargetTable
     /** Target completion time E for the observed load. */
     double targetFor(double load) const;
 
+    /**
+     * Index of the bucket that serves the observed load, clamped to the
+     * nearest built bucket: loads beyond the last (finite) bound map to
+     * the last entry, loads below the first bound (including negative
+     * readings from a misconfigured metric) map to the first. The adapt
+     * layer keys its per-load observation windows on this index, so it
+     * must never extrapolate past the table edge.
+     */
+    std::size_t bucketIndexFor(double load) const;
+
+    /** Target of entry @p index (bounds-checked). */
+    double targetAt(std::size_t index) const;
+
     std::size_t size() const { return entries_.size(); }
     const std::vector<TargetEntry>& entries() const { return entries_; }
 

@@ -20,10 +20,12 @@ TpcPolicy::onDispatch(const policy::RequestView& request,
                       const policy::SystemState& state)
 {
     ++counters_.dispatches;
+    if (live_)
+        refreshLiveTable();
 
     // 1. Target completion time for the current load.
     const double load = policy::loadMetricValue(options_.loadMetric, state);
-    const double target = targetTable_.targetFor(load);
+    const double target = activeTable().targetFor(load);
 
     // 2. Predictive parallelism: smallest degree meeting the target under
     //    the predicted time's class profile. Extra threads beyond that
@@ -86,7 +88,7 @@ TpcPolicy::onRecheck(const policy::RequestView& request,
     if (desired < options_.maxDegree) {
         recheck = options_.correctionRecheckMs > 0.0
                       ? options_.correctionRecheckMs
-                      : targetTable_.targetFor(policy::loadMetricValue(
+                      : activeTable().targetFor(policy::loadMetricValue(
                             options_.loadMetric, state));
     }
     return {desired, recheck};

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/target_table.h"
+#include "core/versioned_table.h"
 #include "policy/load_metric.h"
 #include "policy/policy.h"
 #include "policy/speedup_profile.h"
@@ -98,9 +100,14 @@ class TpcPolicy final : public policy::ParallelismPolicy
         policy::PolicySnapshot snapshot;
         snapshot.name = name();
         snapshot.hasTargetTable = true;
-        snapshot.targetTable.reserve(targetTable_.size());
-        for (const TargetEntry& entry : targetTable_.entries())
+        const TargetTable& table = activeTable();
+        snapshot.targetTable.reserve(table.size());
+        for (const TargetEntry& entry : table.entries())
             snapshot.targetTable.emplace_back(entry.load, entry.targetMs);
+        if (live_) {
+            snapshot.tableVersion = cachedVersion_;
+            snapshot.tableSource = tableSourceName(cachedSource_);
+        }
         snapshot.dispatches = counters_.dispatches;
         snapshot.corrections = counters_.corrections;
         snapshot.correctionThreadsAdded = counters_.correctionThreadsAdded;
@@ -108,7 +115,7 @@ class TpcPolicy final : public policy::ParallelismPolicy
     }
 
     const TpcCounters& counters() const { return counters_; }
-    const TargetTable& targetTable() const { return targetTable_; }
+    const TargetTable& targetTable() const { return activeTable(); }
     const TpcOptions& options() const { return options_; }
 
     /** Replaces the target table (periodic recomputation, Section 3.3). */
@@ -117,13 +124,53 @@ class TpcPolicy final : public policy::ParallelismPolicy
         targetTable_ = std::move(table);
     }
 
+    /**
+     * Attaches a live, versioned table; subsequent decisions consume its
+     * current snapshot instead of the constructor table. The hot path
+     * pays one acquire load of the version counter per decision and only
+     * re-snapshots (short mutex, shared_ptr copy) when the adapter
+     * published a new version. Pass nullptr to detach. Must be called
+     * from the thread that owns policy interactions (servers make policy
+     * calls under their scheduler lock).
+     */
+    void attachLiveTable(const VersionedTargetTable* live)
+    {
+        live_ = live;
+        cachedTable_ = nullptr;
+        cachedVersion_ = 0;
+        if (live_)
+            refreshLiveTable();
+    }
+
   private:
+    /** Re-snapshots the live table if its version moved. */
+    void refreshLiveTable()
+    {
+        if (live_->version() != cachedVersion_) {
+            TableSnapshot snap = live_->snapshot();
+            cachedTable_ = std::move(snap.table);
+            cachedVersion_ = snap.version;
+            cachedSource_ = snap.source;
+        }
+    }
+
+    const TargetTable& activeTable() const
+    {
+        return cachedTable_ ? *cachedTable_ : targetTable_;
+    }
+
     const policy::SpeedupModel& speedupModel_;
     TargetTable targetTable_;
     TpcOptions options_;
     TpcCounters counters_;
     bool rationaleEnabled_ = false;
     policy::DecisionRationale rationale_;
+
+    /** Live-table consumption state (null when detached). */
+    const VersionedTargetTable* live_ = nullptr;
+    std::shared_ptr<const TargetTable> cachedTable_;
+    std::uint64_t cachedVersion_ = 0;
+    TableSource cachedSource_ = TableSource::kOffline;
 };
 
 } // namespace tpc::core

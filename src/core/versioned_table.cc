@@ -1,0 +1,46 @@
+#include "core/versioned_table.h"
+
+namespace tpc::core {
+
+const char*
+tableSourceName(TableSource source)
+{
+    switch (source) {
+    case TableSource::kOffline:
+        return "offline";
+    case TableSource::kAdapted:
+        return "adapted";
+    }
+    return "unknown";
+}
+
+VersionedTargetTable::VersionedTargetTable(TargetTable initial)
+    : table_(std::make_shared<const TargetTable>(std::move(initial))),
+      version_(1)
+{
+}
+
+TableSnapshot
+VersionedTargetTable::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {table_, version_.load(std::memory_order_relaxed), source_};
+}
+
+std::uint64_t
+VersionedTargetTable::publish(TargetTable table, TableSource source)
+{
+    auto next = std::make_shared<const TargetTable>(std::move(table));
+    std::lock_guard<std::mutex> lock(mutex_);
+    table_ = std::move(next);
+    source_ = source;
+    // Release pairs with the readers' acquire load in version(): a reader
+    // that sees the new version and re-snapshots is guaranteed to observe
+    // this publish (the mutex orders the snapshot copy itself).
+    const std::uint64_t v =
+        version_.load(std::memory_order_relaxed) + 1;
+    version_.store(v, std::memory_order_release);
+    return v;
+}
+
+} // namespace tpc::core

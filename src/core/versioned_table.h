@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Versioned, atomically hot-swappable target table.
+ *
+ * The closed-loop adapter (src/adapt) republishes the table while the
+ * serving hot path reads it on every dispatch, so the swap is RCU-style:
+ * readers hold an immutable `shared_ptr<const TargetTable>` snapshot and
+ * only pay a relaxed-ish atomic version load per dispatch; the pointer
+ * itself is re-fetched (under a short mutex) only when the version moved.
+ *
+ * Memory-ordering contract: publish() stores the new snapshot under the
+ * mutex *before* incrementing `version_` with release; readers load
+ * `version_` with acquire and, on change, take the mutex to copy the
+ * shared_ptr. The acquire/release pair on the version counter therefore
+ * guarantees a reader that observed version v sees the table published
+ * with v (the mutex alone would too — the counter exists so the hot path
+ * can skip the mutex entirely on the overwhelmingly common no-change
+ * case).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/target_table.h"
+
+namespace tpc::core {
+
+/** Provenance of the active table. */
+enum class TableSource : int
+{
+    kOffline = 0, ///< Built offline (Algorithm 1) or loaded from a file.
+    kAdapted = 1, ///< Promoted online by the AdaptiveTableController.
+};
+
+/** Human-readable source label for /statsz and CSVs. */
+const char* tableSourceName(TableSource source);
+
+/** One published table snapshot. */
+struct TableSnapshot
+{
+    std::shared_ptr<const TargetTable> table;
+    std::uint64_t version = 0;
+    TableSource source = TableSource::kOffline;
+};
+
+/**
+ * Holder of the currently-active table. Any number of reader threads
+ * (policies, the fan-out aggregator) and one writer (the adapter) may
+ * use it concurrently.
+ */
+class VersionedTargetTable
+{
+  public:
+    /** Starts at version 1 with the given offline table. */
+    explicit VersionedTargetTable(TargetTable initial);
+
+    /** Current version; monotonically increasing from 1. */
+    std::uint64_t version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /** Copies the current snapshot (table pointer, version, source). */
+    TableSnapshot snapshot() const;
+
+    /**
+     * Publishes a new active table, bumping the version. Returns the new
+     * version. Never blocks readers for longer than a shared_ptr copy.
+     */
+    std::uint64_t publish(TargetTable table, TableSource source);
+
+  private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const TargetTable> table_;
+    TableSource source_ = TableSource::kOffline;
+    std::atomic<std::uint64_t> version_;
+};
+
+} // namespace tpc::core

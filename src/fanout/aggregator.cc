@@ -49,6 +49,7 @@ AggregatorServer::AggregatorServer(const AggregatorConfig& config)
     TPC_CHECK(!config_.shards.empty());
     TPC_CHECK(config_.deadlineFactor > 0.0);
     TPC_CHECK(config_.breakerFailureThreshold >= 1);
+    targetTable_ = config_.targetTable;
     merger_ = mergeTopK;
     // Register every endpoint's breaker as closed up front so /statsz
     // shows the full topology before (and without) traffic.
@@ -160,14 +161,37 @@ AggregatorServer::stats() const
     return stats_;
 }
 
+void
+AggregatorServer::updateTargetTable(std::vector<FanoutTargetEntry> rows,
+                                    std::uint64_t version,
+                                    std::string source)
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    targetTable_ = std::move(rows);
+    tableVersion_ = version;
+    tableSource_ = std::move(source);
+}
+
+std::uint64_t
+AggregatorServer::tableVersion() const
+{
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    return tableVersion_;
+}
+
 std::string
 AggregatorServer::renderStatszText() const
 {
     obs::StatszInfo info;
     info.policyName = config_.policyName;
-    info.targetTable.reserve(config_.targetTable.size());
-    for (const FanoutTargetEntry& row : config_.targetTable)
-        info.targetTable.push_back({row.load, row.targetMs});
+    {
+        std::lock_guard<std::mutex> lock(tableMutex_);
+        info.targetTable.reserve(targetTable_.size());
+        for (const FanoutTargetEntry& row : targetTable_)
+            info.targetTable.push_back({row.load, row.targetMs});
+        info.tableVersion = tableVersion_;
+        info.tableSource = tableSource_;
+    }
     info.admitted = admission_.accepted();
     info.shed = admission_.shed();
     info.inFlight = static_cast<std::uint64_t>(
@@ -187,14 +211,15 @@ AggregatorServer::countProtocolError()
 double
 AggregatorServer::targetFor(int load) const
 {
-    if (config_.targetTable.empty())
+    std::lock_guard<std::mutex> lock(tableMutex_);
+    if (targetTable_.empty())
         return config_.defaultTargetMs;
-    for (const FanoutTargetEntry& row : config_.targetTable) {
+    for (const FanoutTargetEntry& row : targetTable_) {
         if (static_cast<double>(load) <= row.load)
             return row.targetMs;
     }
     // Past the last bound the table saturates at its overload row.
-    return config_.targetTable.back().targetMs;
+    return targetTable_.back().targetMs;
 }
 
 double

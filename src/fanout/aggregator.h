@@ -235,6 +235,19 @@ class AggregatorServer
      *  in-flight trio, so CSV snapshots carry the hedge counters. */
     void attachMetrics(obs::MetricsRegistry* metrics);
 
+    /**
+     * Replaces the per-shard deadline table while serving (closed-loop
+     * adaptation: the aggregator's deadlines follow the shards' active
+     * table version). Thread-safe; the event loop picks the new rows up
+     * on the next fan-out. @p version and @p source ("offline"/
+     * "adapted") are reported on /statsz as tpc_target_table_version.
+     */
+    void updateTargetTable(std::vector<FanoutTargetEntry> rows,
+                           std::uint64_t version, std::string source);
+
+    /** Version installed by the last updateTargetTable (1 at start). */
+    std::uint64_t tableVersion() const;
+
     /** Admission counters (accepted / shed / in-flight fanouts). */
     const net::AdmissionController& admission() const { return admission_; }
 
@@ -485,6 +498,13 @@ class AggregatorServer
 
     mutable std::mutex statsMutex_;
     AggregatorStats stats_;
+
+    /** Live deadline table (seeded from config_.targetTable); guarded so
+     *  a refresher thread can swap it while the loop reads targetFor. */
+    mutable std::mutex tableMutex_;
+    std::vector<FanoutTargetEntry> targetTable_;
+    std::uint64_t tableVersion_ = 1;
+    std::string tableSource_ = "offline";
 
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();

@@ -141,12 +141,27 @@ runLoadGen(const LoadGenConfig& config)
     for (const ClientConn& conn : conns)
         poller.add(conn.fd.fd(), kPollIn);
 
-    util::PoissonProcess arrivals(config.qps, util::Rng(config.seed));
+    // Constant-rate arrivals by default; an exact inhomogeneous Poisson
+    // ramp (qps -> qpsEnd over durationMs) when --rate-ramp asked for a
+    // non-stationary run.
+    const bool ramping = config.qpsEnd > 0.0;
+    if (ramping)
+        TPC_CHECK_MSG(config.durationMs > 0.0,
+                      "rate ramp needs a duration to ramp over");
+    util::PoissonProcess flatArrivals(config.qps, util::Rng(config.seed));
+    util::RampedPoissonProcess rampArrivals(
+        config.qps, ramping ? config.qpsEnd : config.qps,
+        config.durationMs > 0.0 ? config.durationMs : 1.0,
+        util::Rng(config.seed));
+    auto nextArrival = [&]() {
+        return ramping ? rampArrivals.nextArrivalMs()
+                       : flatArrivals.nextArrivalMs();
+    };
     /** Unanswered requests keyed by wire id. */
     std::map<std::uint64_t, Pending> outstanding;
 
     const auto epoch = Clock::now();
-    double nextArrivalMs = arrivals.nextArrivalMs();
+    double nextArrivalMs = nextArrival();
     std::uint64_t seq = 0;
     bool sendingDone = false;
     double sendingDoneAtMs = 0.0;
@@ -237,7 +252,7 @@ runLoadGen(const LoadGenConfig& config)
                 ++result.sent;
                 ++result.failed;
                 ++seq;
-                nextArrivalMs = arrivals.nextArrivalMs();
+                nextArrivalMs = nextArrival();
                 if (doneSending(nowMs)) {
                     sendingDone = true;
                     sendingDoneAtMs = nowMs;
@@ -274,7 +289,7 @@ runLoadGen(const LoadGenConfig& config)
             outstanding[seq] = pending;
             ++result.sent;
             ++seq;
-            nextArrivalMs = arrivals.nextArrivalMs();
+            nextArrivalMs = nextArrival();
             if (doneSending(nowMs)) {
                 sendingDone = true;
                 sendingDoneAtMs = nowMs;

@@ -29,8 +29,16 @@ struct LoadGenConfig
 {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
-    /** Offered load (requests per second). */
+    /** Offered load (requests per second); the start rate when ramping. */
     double qps = 100.0;
+    /**
+     * When > 0, the arrival rate ramps linearly from qps to this value
+     * over durationMs (which must be set), then holds — non-stationary
+     * offered load for the drift benches (--rate-ramp start:end). The
+     * ramp is an exact inhomogeneous Poisson process (thinning), still
+     * fully determined by the seed. 0 keeps the rate constant.
+     */
+    double qpsEnd = 0.0;
     /** Stop after this many requests (0: use durationMs instead). */
     std::uint64_t numRequests = 0;
     /** Stop sending after this much wall time (ms); used when

@@ -83,6 +83,9 @@ struct StageRecord
     /** Target completion time E applied at dispatch (ms); <= 0 when the
      *  policy has no target (baselines). */
     double targetMs = 0.0;
+    /** Load-metric value the policy saw at dispatch (0 when the policy
+     *  exposes no rationale); keys the adapt layer's per-load windows. */
+    double loadValue = 0.0;
     /** Dispatch -> first degree raise (ms); negative when never raised. */
     double firstCorrectionDelayMs = -1.0;
     bool corrected = false;

@@ -332,6 +332,72 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
                      entry.targetMs);
     }
 
+    if (info.tableVersion > 0) {
+        w.header("tpc_target_table_version",
+                 "Version of the live target table serving decisions "
+                 "consume (source label: offline or adapted).",
+                 "gauge");
+        w.sample("tpc_target_table_version",
+                 {PrometheusWriter::label("source", info.tableSource)},
+                 info.tableVersion);
+    }
+
+    if (info.adaptation != nullptr) {
+        const StatszAdaptationInfo& a = *info.adaptation;
+        w.header("tpc_adapt_state",
+                 "Closed-loop adaptation state machine position "
+                 "(state label: shadowing, holding or cooldown).",
+                 "gauge");
+        w.sample("tpc_adapt_state",
+                 {PrometheusWriter::label("state", a.state)}, 1.0);
+        w.header("tpc_adapt_shadow_score",
+                 "Shadow-evaluation score from the last evaluated window "
+                 "(lower is better; table label: active or candidate).",
+                 "gauge");
+        w.sample("tpc_adapt_shadow_score",
+                 {PrometheusWriter::label("table", "active")},
+                 a.activeScore);
+        if (a.hasCandidate)
+            w.sample("tpc_adapt_shadow_score",
+                     {PrometheusWriter::label("table", "candidate")},
+                     a.candidateScore);
+        w.header("tpc_adapt_consecutive_wins",
+                 "Consecutive windows the candidate beat the active "
+                 "table by the hysteresis margin.",
+                 "gauge");
+        w.sample("tpc_adapt_consecutive_wins", {},
+                 static_cast<std::uint64_t>(a.consecutiveWins));
+        w.header("tpc_adapt_windows_total",
+                 "Observation windows closed by the adapter.", "counter");
+        w.sample("tpc_adapt_windows_total", {}, a.windowsEvaluated);
+        w.header("tpc_adapt_refits_total",
+                 "Candidate tables re-fitted from windowed observations.",
+                 "counter");
+        w.sample("tpc_adapt_refits_total", {}, a.refits);
+        w.header("tpc_adapt_promotions_total",
+                 "Candidate tables promoted to serving.", "counter");
+        w.sample("tpc_adapt_promotions_total", {}, a.promotions);
+        w.header("tpc_adapt_rollbacks_total",
+                 "Post-promotion regressions demoted back to the "
+                 "last-known-good table.",
+                 "counter");
+        w.sample("tpc_adapt_rollbacks_total", {}, a.rollbacks);
+        w.header("tpc_adapt_window_completions",
+                 "Completions observed in the last closed window.",
+                 "gauge");
+        w.sample("tpc_adapt_window_completions", {},
+                 a.lastWindowCompletions);
+        w.header("tpc_adapt_window_p99_ms",
+                 "Actual p99 response time of the last closed window.",
+                 "gauge");
+        w.sample("tpc_adapt_window_p99_ms", {}, a.lastWindowP99Ms);
+        w.header("tpc_adapt_window_miss_pct",
+                 "Percent of targeted completions over their target E "
+                 "in the last closed window.",
+                 "gauge");
+        w.sample("tpc_adapt_window_miss_pct", {}, a.lastWindowMissPct);
+    }
+
     if (stages == nullptr) {
         if (fanout != nullptr)
             renderFanout(w, *fanout);

@@ -32,6 +32,31 @@ struct StatszTargetEntry
     double targetMs = 0.0;
 };
 
+/**
+ * Closed-loop adaptation state rendered as a /statsz lane. Layer-neutral
+ * mirror of adapt::AdaptationStats (obs sits below src/adapt), filled by
+ * the example servers when --adapt is on.
+ */
+struct StatszAdaptationInfo
+{
+    std::uint64_t tableVersion = 0;
+    /** "offline" or "adapted". */
+    std::string tableSource;
+    /** "shadowing", "holding" or "cooldown". */
+    std::string state;
+    bool hasCandidate = false;
+    double activeScore = 0.0;
+    double candidateScore = 0.0;
+    int consecutiveWins = 0;
+    std::uint64_t windowsEvaluated = 0;
+    std::uint64_t refits = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t lastWindowCompletions = 0;
+    double lastWindowP99Ms = 0.0;
+    double lastWindowMissPct = 0.0;
+};
+
 /** Caller-supplied server state rendered alongside the stage snapshot. */
 struct StatszInfo
 {
@@ -39,6 +64,12 @@ struct StatszInfo
     std::string policyName;
     /** Target table rows; empty for policies without one. */
     std::vector<StatszTargetEntry> targetTable;
+    /** Version of the table serving decisions consume (0 = static
+     *  table) and its provenance ("offline"/"adapted"). */
+    std::uint64_t tableVersion = 0;
+    std::string tableSource;
+    /** Adaptation lane; rendered when non-null (borrowed). */
+    const StatszAdaptationInfo* adaptation = nullptr;
     std::uint64_t dispatches = 0;
     std::uint64_t corrections = 0;
     std::uint64_t correctionThreadsAdded = 0;

@@ -97,6 +97,13 @@ struct PolicySnapshot
     bool hasTargetTable = false;
     /** (load bucket upper bound, target E ms) rows, ascending by load. */
     std::vector<std::pair<double, double>> targetTable;
+    /**
+     * Version of the live table the policy is consuming (0 when the
+     * policy holds a plain static table) and its provenance
+     * ("offline"/"adapted"); see core::VersionedTargetTable.
+     */
+    std::uint64_t tableVersion = 0;
+    std::string tableSource;
     std::uint64_t dispatches = 0;
     std::uint64_t corrections = 0;
     std::uint64_t correctionThreadsAdded = 0;

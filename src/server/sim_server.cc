@@ -270,8 +270,10 @@ SimServer::dispatch(const Pending& p)
     Running r;
     r.id = p.id;
     if (why != nullptr) {
-        if (why->hasTarget)
+        if (why->hasTarget) {
             r.targetMs = why->targetMs;
+            r.loadValue = why->loadValue;
+        }
         r.estimatedMs = why->estimatedMs;
     }
     r.arrivalMs = p.arrivalMs;
@@ -408,6 +410,7 @@ SimServer::onComplete(std::uint64_t id)
     outcome.starvedCorrection = r.starvedCorrection;
     outcome.targetMs = r.targetMs;
     outcome.estimatedMs = r.estimatedMs;
+    outcome.loadValue = r.loadValue;
     outcome.firstCorrectionDelayMs = r.firstCorrectionDelayMs;
     if (storeOutcomes_)
         outcomes_.push_back(outcome);
@@ -422,6 +425,7 @@ SimServer::onComplete(std::uint64_t id)
         record.predictedMs = outcome.predictedMs;
         record.estimatedMs = outcome.estimatedMs;
         record.targetMs = outcome.targetMs;
+        record.loadValue = outcome.loadValue;
         record.firstCorrectionDelayMs = outcome.firstCorrectionDelayMs;
         record.corrected = outcome.corrected;
         record.starvedCorrection = outcome.starvedCorrection;

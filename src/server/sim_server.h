@@ -71,10 +71,12 @@ struct RequestOutcome
     bool corrected = false;
     /** A recheck wanted more threads but found none idle. */
     bool starvedCorrection = false;
-    /** Target E and policy time estimate captured from the dispatch
-     *  rationale; 0 when unavailable (baselines, rationale off). */
+    /** Target E, policy time estimate and load-metric reading captured
+     *  from the dispatch rationale; 0 when unavailable (baselines,
+     *  rationale off). */
     double targetMs = 0.0;
     double estimatedMs = 0.0;
+    double loadValue = 0.0;
     /** Time from dispatch to the first degree raise (ms); negative when
      *  the degree was never raised. Feeds Figure-7-style correction-timing
      *  analyses (harness::computeCorrectionTiming). */
@@ -223,6 +225,7 @@ class SimServer
         bool starvedCorrection = false;
         double targetMs = 0.0;
         double estimatedMs = 0.0;
+        double loadValue = 0.0;
         double firstCorrectionDelayMs = -1.0;
         sim::EventId completionEvent = sim::kInvalidEventId;
         sim::EventId recheckEvent = sim::kInvalidEventId;

@@ -60,6 +60,15 @@ ThreadedServer::attachSpans(obs::SpanCollector* spans)
     policy_.setRationaleEnabled(rationaleWantedLocked());
 }
 
+void
+ThreadedServer::setCompletionObserver(
+    std::function<void(const obs::StageRecord&)> observer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    completionObserver_ = std::move(observer);
+    policy_.setRationaleEnabled(rationaleWantedLocked());
+}
+
 policy::PolicySnapshot
 ThreadedServer::policySnapshot() const
 {
@@ -310,12 +319,13 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
             outcome.predictedMs = req.predictedMs;
             outcome.targetMs = req.targetMs;
             outcome.estimatedMs = req.estimatedMs;
+            outcome.loadValue = req.loadValue;
             outcome.initialDegree = req.initialDegree;
             outcome.maxDegree = req.maxDegree;
             outcome.corrected = req.corrected;
             outcome.starvedCorrection = req.starvedCorrection;
             outcome.firstCorrectionDelayMs = req.firstCorrectionDelayMs;
-            if (stageStats_ != nullptr) {
+            if (stageStats_ != nullptr || completionObserver_) {
                 obs::StageRecord record;
                 record.requestId = outcome.id;
                 record.traceId = req.traceId;
@@ -325,13 +335,17 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
                 record.predictedMs = outcome.predictedMs;
                 record.estimatedMs = outcome.estimatedMs;
                 record.targetMs = outcome.targetMs;
+                record.loadValue = outcome.loadValue;
                 record.firstCorrectionDelayMs =
                     outcome.firstCorrectionDelayMs;
                 record.corrected = outcome.corrected;
                 record.starvedCorrection = outcome.starvedCorrection;
                 record.initialDegree = outcome.initialDegree;
                 record.maxDegree = outcome.maxDegree;
-                stageStats_->record(record);
+                if (stageStats_ != nullptr)
+                    stageStats_->record(record);
+                if (completionObserver_)
+                    completionObserver_(record);
             }
             if (spans_ != nullptr && req.traceId != 0)
                 recordSpansLocked(req, outcome);
@@ -501,8 +515,10 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         req.traceId = queued.job.traceId;
         req.parentSpanId = queued.job.parentSpanId;
         if (why != nullptr) {
-            if (why->hasTarget)
+            if (why->hasTarget) {
                 req.targetMs = why->targetMs;
+                req.loadValue = why->loadValue;
+            }
             req.estimatedMs = why->estimatedMs;
         }
         req.submitTime = queued.submitTime;

@@ -94,6 +94,8 @@ struct ThreadedOutcome
     /** Policy's estimated parallel time at the chosen degree; 0 when
      *  unavailable. */
     double estimatedMs = 0.0;
+    /** Load-metric value the policy saw at dispatch; 0 when unavailable. */
+    double loadValue = 0.0;
     int initialDegree = 1;
     int maxDegree = 1;
     bool corrected = false;
@@ -205,6 +207,17 @@ class ThreadedServer
      */
     void attachSpans(obs::SpanCollector* spans);
 
+    /**
+     * Registers a per-completion observer (the closed-loop adapter's
+     * feed; nullptr detaches). Call before the first submit. The
+     * observer runs on the finishing worker's thread with the scheduler
+     * lock held: it must be cheap and must not call back into the
+     * server. While attached, rationale recording is enabled so records
+     * carry the load-metric value and target E.
+     */
+    void setCompletionObserver(
+        std::function<void(const obs::StageRecord&)> observer);
+
     /** Policy introspection taken under the scheduler lock (safe while
      *  serving). */
     policy::PolicySnapshot policySnapshot() const;
@@ -229,10 +242,11 @@ class ThreadedServer
         std::uint64_t id = 0;
         std::uint32_t cls = 0;
         double predictedMs = 0.0;
-        /** Target E and time estimate from the dispatch rationale; 0
-         *  when the policy exposed none. */
+        /** Target E, time estimate and load reading from the dispatch
+         *  rationale; 0 when the policy exposed none. */
         double targetMs = 0.0;
         double estimatedMs = 0.0;
+        double loadValue = 0.0;
         /** Trace context carried from the submitted job. */
         std::uint64_t traceId = 0;
         std::uint64_t parentSpanId = 0;
@@ -270,7 +284,7 @@ class ThreadedServer
     bool rationaleWantedLocked() const
     {
         return trace_ != nullptr || stageStats_ != nullptr ||
-               spans_ != nullptr;
+               spans_ != nullptr || completionObserver_ != nullptr;
     }
     /** Records the request's span tree and finishes its trace
      *  (mutex_ held; the request just completed). */
@@ -290,6 +304,7 @@ class ThreadedServer
     obs::StageStatsCollector* stageStats_ = nullptr;
     obs::SpanCollector* spans_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
+    std::function<void(const obs::StageRecord&)> completionObserver_;
     struct MetricHandles
     {
         obs::Counter* arrivals = nullptr;

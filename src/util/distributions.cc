@@ -138,6 +138,43 @@ PoissonProcess::nextArrivalMs()
     return nowMs_;
 }
 
+// --- RampedPoissonProcess ----------------------------------------------------
+
+RampedPoissonProcess::RampedPoissonProcess(double startRatePerSecond,
+                                           double endRatePerSecond,
+                                           double rampSpanMs, Rng rng)
+    : startRate_(startRatePerSecond),
+      endRate_(endRatePerSecond),
+      rampSpanMs_(rampSpanMs),
+      maxRate_(std::max(startRatePerSecond, endRatePerSecond)),
+      nowMs_(0.0),
+      rng_(rng)
+{
+    TPC_CHECK(startRate_ > 0.0);
+    TPC_CHECK(endRate_ > 0.0);
+    TPC_CHECK(rampSpanMs_ > 0.0);
+}
+
+double
+RampedPoissonProcess::rateAtMs(double tMs) const
+{
+    const double f = std::clamp(tMs / rampSpanMs_, 0.0, 1.0);
+    return startRate_ + (endRate_ - startRate_) * f;
+}
+
+double
+RampedPoissonProcess::nextArrivalMs()
+{
+    // Lewis-Shedler thinning: draw candidates at the dominating constant
+    // rate, accept each with probability rate(t) / maxRate.
+    const double meanGapMs = 1000.0 / maxRate_;
+    for (;;) {
+        nowMs_ += rng_.exponential(meanGapMs);
+        if (rng_.uniform() * maxRate_ <= rateAtMs(nowMs_))
+            return nowMs_;
+    }
+}
+
 // --- DiscreteDistribution ----------------------------------------------------
 
 DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the closed-loop adaptation layer: the versioned hot-swap
+ * table, and the AdaptiveTableController's shadow -> promote -> rollback
+ * state machine (pumped manually, so every transition is deterministic).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/adaptive_controller.h"
+#include "core/target_table.h"
+#include "core/versioned_table.h"
+#include "obs/metrics.h"
+#include "obs/stage_stats.h"
+#include "policy/speedup_profile.h"
+
+namespace tpc::adapt {
+namespace {
+
+core::TargetTable
+tightTable()
+{
+    // A single-bucket table whose 5 ms target is unreachable for the
+    // ~100 ms demands the tests feed: the policy would escalate every
+    // request to the maximum degree, so a re-fit that relaxes the target
+    // sheds enough thread-time to win the shadow score under overload.
+    return core::TargetTable({{0.0, 5.0}});
+}
+
+obs::StageRecord
+makeRecord(double responseMs, double targetMs)
+{
+    obs::StageRecord record;
+    record.responseMs = responseMs;
+    record.queueMs = 0.0;
+    record.predictedMs = responseMs;
+    record.targetMs = targetMs;
+    record.loadValue = 0.0;
+    record.initialDegree = 1;
+    record.maxDegree = 1;
+    return record;
+}
+
+/** Feeds one observation window of identical completions and closes it. */
+void
+pumpWindow(AdaptiveTableController& controller, int completions,
+           double responseMs, double targetMs = 5.0)
+{
+    for (int i = 0; i < completions; ++i)
+        controller.observe(makeRecord(responseMs, targetMs));
+    controller.advanceWindow();
+}
+
+AdaptOptions
+manualOptions()
+{
+    AdaptOptions options;
+    options.startThread = false;
+    options.windowMs = 1000.0;
+    options.minWindowSamples = 64;
+    options.promoteAfterWindows = 3;
+    return options;
+}
+
+// --- VersionedTargetTable -------------------------------------------------
+
+TEST(VersionedTargetTable, StartsAtVersionOneOffline)
+{
+    core::VersionedTargetTable live(core::TargetTable::webSearchDefault());
+    EXPECT_EQ(live.version(), 1u);
+    const core::TableSnapshot snap = live.snapshot();
+    EXPECT_EQ(snap.version, 1u);
+    EXPECT_EQ(snap.source, core::TableSource::kOffline);
+    ASSERT_NE(snap.table, nullptr);
+    EXPECT_EQ(snap.table->size(),
+              core::TargetTable::webSearchDefault().size());
+}
+
+TEST(VersionedTargetTable, PublishBumpsVersionAndSwapsContent)
+{
+    core::VersionedTargetTable live(tightTable());
+    const core::TableSnapshot before = live.snapshot();
+    live.publish(core::TargetTable({{0.0, 99.0}}),
+                 core::TableSource::kAdapted);
+    EXPECT_EQ(live.version(), 2u);
+    const core::TableSnapshot after = live.snapshot();
+    EXPECT_EQ(after.version, 2u);
+    EXPECT_EQ(after.source, core::TableSource::kAdapted);
+    EXPECT_DOUBLE_EQ(after.table->targetFor(0.0), 99.0);
+    // Old snapshots stay valid (RCU: readers keep their epoch's table).
+    EXPECT_DOUBLE_EQ(before.table->targetFor(0.0), 5.0);
+}
+
+TEST(VersionedTargetTable, ConcurrentReadersSeeCoherentSnapshots)
+{
+    core::VersionedTargetTable live(core::TargetTable({{0.0, 10.0}}));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    std::atomic<int> violations{0};
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const core::TableSnapshot snap = live.snapshot();
+                // Every published table encodes its version as the
+                // target value, so a torn version/table pair is visible.
+                if (snap.table->targetFor(0.0) !=
+                    10.0 * static_cast<double>(snap.version))
+                    violations.fetch_add(1);
+            }
+        });
+    for (std::uint64_t v = 2; v <= 200; ++v)
+        live.publish(
+            core::TargetTable({{0.0, 10.0 * static_cast<double>(v)}}),
+            core::TableSource::kAdapted);
+    stop.store(true);
+    for (std::thread& reader : readers)
+        reader.join();
+    EXPECT_EQ(violations.load(), 0);
+    EXPECT_EQ(live.version(), 200u);
+}
+
+TEST(VersionedTargetTable, SourceNames)
+{
+    EXPECT_STREQ(core::tableSourceName(core::TableSource::kOffline),
+                 "offline");
+    EXPECT_STREQ(core::tableSourceName(core::TableSource::kAdapted),
+                 "adapted");
+}
+
+// --- AdaptiveTableController ----------------------------------------------
+
+TEST(AdaptiveController, ShadowNeverChangesServingBeforePromotion)
+{
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptiveTableController controller(live, model, manualOptions());
+
+    // Shadow evaluation runs (candidate exists, scores move) but the
+    // serving table must stay untouched until the K-th consecutive win.
+    int windowsBeforePromotion = 0;
+    for (int w = 0; w < 10; ++w) {
+        pumpWindow(controller, 300, 100.0);
+        const AdaptationStats stats = controller.stats();
+        if (stats.promotions > 0)
+            break;
+        ++windowsBeforePromotion;
+        EXPECT_EQ(live.version(), 1u) << "window " << w;
+        EXPECT_EQ(live.snapshot().source, core::TableSource::kOffline);
+    }
+    const AdaptationStats stats = controller.stats();
+    ASSERT_EQ(stats.promotions, 1u)
+        << "expected the overloaded tight table to be replaced";
+    // Promotion needed at least K shadow evaluations first.
+    EXPECT_GE(windowsBeforePromotion, 3);
+    EXPECT_EQ(live.version(), 2u);
+    EXPECT_EQ(live.snapshot().source, core::TableSource::kAdapted);
+    EXPECT_GT(live.snapshot().table->targetFor(0.0), 5.0);
+}
+
+TEST(AdaptiveController, ThinWindowsAreNotEvaluated)
+{
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptiveTableController controller(live, model, manualOptions());
+
+    for (int w = 0; w < 10; ++w)
+        pumpWindow(controller, 8, 100.0); // below minWindowSamples
+    const AdaptationStats stats = controller.stats();
+    EXPECT_EQ(stats.windowsEvaluated, 10u);
+    EXPECT_EQ(stats.promotions, 0u);
+    EXPECT_FALSE(stats.hasCandidate);
+    EXPECT_EQ(live.version(), 1u);
+}
+
+TEST(AdaptiveController, RegressionAfterPromotionRollsBack)
+{
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptiveTableController controller(live, model, manualOptions());
+
+    // Drive to promotion.
+    for (int w = 0; w < 10 && controller.stats().promotions == 0; ++w)
+        pumpWindow(controller, 300, 100.0);
+    ASSERT_EQ(controller.stats().promotions, 1u);
+    ASSERT_EQ(live.version(), 2u);
+
+    // Force a post-promotion regression: actual p99 blows far past the
+    // pre-promotion baseline. The guardrail must demote to the
+    // last-known-good (the original offline table) and cool down.
+    pumpWindow(controller, 300, 1000.0);
+    const AdaptationStats stats = controller.stats();
+    EXPECT_EQ(stats.rollbacks, 1u);
+    EXPECT_EQ(live.version(), 3u);
+    EXPECT_EQ(live.snapshot().source, core::TableSource::kOffline);
+    EXPECT_DOUBLE_EQ(live.snapshot().table->targetFor(0.0), 5.0);
+    EXPECT_STREQ(adaptStateName(stats.state), "cooldown");
+
+    // Cooldown: no re-fit, no promotion while it lasts.
+    const std::uint64_t versionAfterRollback = live.version();
+    for (int w = 0; w < manualOptions().cooldownWindows - 1; ++w) {
+        pumpWindow(controller, 300, 100.0);
+        EXPECT_EQ(live.version(), versionAfterRollback);
+    }
+}
+
+TEST(AdaptiveController, SurvivingGuardWindowsMakesPromotionSticky)
+{
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptiveTableController controller(live, model, manualOptions());
+
+    for (int w = 0; w < 10 && controller.stats().promotions == 0; ++w)
+        pumpWindow(controller, 300, 100.0);
+    ASSERT_EQ(controller.stats().promotions, 1u);
+
+    // Healthy guard windows: the promotion survives probation and the
+    // controller returns to shadowing without touching the table.
+    for (int w = 0; w < manualOptions().guardWindows; ++w)
+        pumpWindow(controller, 300, 100.0);
+    const AdaptationStats stats = controller.stats();
+    EXPECT_EQ(stats.rollbacks, 0u);
+    EXPECT_EQ(live.version(), 2u);
+    EXPECT_STREQ(adaptStateName(stats.state), "shadowing");
+}
+
+TEST(AdaptiveController, PromotedTableIsPersistedAtomically)
+{
+    const std::string path = ::testing::TempDir() + "/tpc_promoted.table";
+    std::remove(path.c_str());
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptOptions options = manualOptions();
+    options.promotedTablePath = path;
+    AdaptiveTableController controller(live, model, options);
+
+    for (int w = 0; w < 10 && controller.stats().promotions == 0; ++w)
+        pumpWindow(controller, 300, 100.0);
+    ASSERT_EQ(controller.stats().promotions, 1u);
+
+    const core::TargetTable persisted = core::TargetTable::loadFromFile(path);
+    EXPECT_EQ(persisted.size(), live.snapshot().table->size());
+    EXPECT_DOUBLE_EQ(persisted.targetFor(0.0),
+                     live.snapshot().table->targetFor(0.0));
+    std::remove(path.c_str());
+}
+
+TEST(AdaptiveController, MetricsLaneIsPublished)
+{
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptiveTableController controller(live, model, manualOptions());
+    obs::MetricsRegistry metrics;
+    controller.attachMetrics(&metrics);
+
+    for (int w = 0; w < 10 && controller.stats().promotions == 0; ++w)
+        pumpWindow(controller, 300, 100.0);
+    ASSERT_EQ(controller.stats().promotions, 1u);
+
+    EXPECT_GE(metrics.counter("adapt_windows").value(), 4u);
+    EXPECT_EQ(metrics.counter("adapt_promotions").value(), 1u);
+    EXPECT_DOUBLE_EQ(metrics.gauge("adapt_table_version").value(), 2.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("adapt_table_adapted").value(), 1.0);
+    EXPECT_GT(metrics.gauge("adapt_window_p99_ms").value(), 0.0);
+}
+
+TEST(AdaptiveController, BackgroundThreadObservesConcurrently)
+{
+    // TSan-facing test: background window thread + concurrent observers
+    // + a stats() poller, all against the live table.
+    core::VersionedTargetTable live(tightTable());
+    const policy::SpeedupModel model =
+        policy::SpeedupModel::webSearchDefault();
+    AdaptOptions options = manualOptions();
+    options.startThread = true;
+    options.windowMs = 2.0;
+    AdaptiveTableController controller(live, model, options);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> observers;
+    for (int t = 0; t < 2; ++t)
+        observers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed))
+                controller.observe(makeRecord(100.0, 5.0));
+        });
+    std::thread poller([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            (void)controller.stats();
+            (void)live.snapshot();
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    stop.store(true);
+    for (std::thread& observer : observers)
+        observer.join();
+    poller.join();
+    controller.stop();
+    EXPECT_GT(controller.stats().windowsEvaluated, 0u);
+}
+
+} // namespace
+} // namespace tpc::adapt

@@ -31,6 +31,35 @@ TEST(TargetTable, InfinityBucketCoversEverything)
     EXPECT_DOUBLE_EQ(table.targetFor(1e9), 200.0);
 }
 
+TEST(TargetTable, BucketIndexClampsOutOfRangeLoads)
+{
+    // Table built without an infinity row: live load values can exceed
+    // every bucket bound (the adapt layer keys windows off this index,
+    // so out-of-range loads must clamp, never fall off the table).
+    const TargetTable table({{0.0, 40.0}, {4.0, 55.0}, {8.0, 80.0}});
+    EXPECT_EQ(table.bucketIndexFor(-5.0), 0u);
+    EXPECT_EQ(table.bucketIndexFor(0.0), 0u);
+    EXPECT_EQ(table.bucketIndexFor(4.0), 1u);
+    EXPECT_EQ(table.bucketIndexFor(8.0), 2u);
+    // Loads beyond the build range clamp to the last built bucket.
+    EXPECT_EQ(table.bucketIndexFor(8.1), 2u);
+    EXPECT_EQ(table.bucketIndexFor(1e12), 2u);
+    EXPECT_EQ(
+        table.bucketIndexFor(std::numeric_limits<double>::infinity()), 2u);
+    EXPECT_DOUBLE_EQ(table.targetAt(table.bucketIndexFor(1e12)), 80.0);
+    // targetFor agrees with the clamped index for every load.
+    for (double load : {-5.0, 0.0, 2.0, 4.0, 7.9, 8.0, 8.1, 1e12})
+        EXPECT_DOUBLE_EQ(table.targetFor(load),
+                         table.targetAt(table.bucketIndexFor(load)));
+}
+
+TEST(TargetTable, TargetAtIndexesEntries)
+{
+    const TargetTable table({{0.0, 40.0}, {4.0, 55.0}});
+    EXPECT_DOUBLE_EQ(table.targetAt(0), 40.0);
+    EXPECT_DOUBLE_EQ(table.targetAt(1), 55.0);
+}
+
 TEST(TargetTable, WithBumpedTargetCopies)
 {
     const TargetTable table({{0.0, 40.0}, {4.0, 55.0}});
