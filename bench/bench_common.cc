@@ -65,10 +65,10 @@ runSweep(const std::string& title, const std::string& csvName,
 
 namespace {
 
-/** Per-cell observability path from an env var template: TPC_TRACE_OUT
- *  and TPC_METRICS_OUT name a base file; the (policy, qps) cell is
- *  appended before the extension so sweep cells do not overwrite each
- *  other ("out.json" -> "out.TPC.300.json"). */
+/** Per-cell observability path from an env var template: TPC_TRACE_OUT,
+ *  TPC_METRICS_OUT, and TPC_PROFILE_OUT name a base file; the
+ *  (policy, qps) cell is appended before the extension so sweep cells
+ *  do not overwrite each other ("out.json" -> "out.TPC.300.json"). */
 std::string
 cellOutputPath(const char* envVar, const std::string& policyName, double qps)
 {
@@ -104,6 +104,8 @@ webSearchCellRunner()
             cellOutputPath("TPC_TRACE_OUT", policyName, qps);
         config.metricsOutPath =
             cellOutputPath("TPC_METRICS_OUT", policyName, qps);
+        config.profileOutPath =
+            cellOutputPath("TPC_PROFILE_OUT", policyName, qps);
         harness::ExperimentResult result = harness::runTrace(
             trace, *policy, harness::webSearchExecutionModel(), config);
         return std::move(result.latency);

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Measures what continuous CPU profiling costs the serving path: the
+ * same ThreadedServer + TPC policy + request shape is driven closed-loop
+ * once with the profiler idle and once with it sampling every worker at
+ * 99 Hz (the always-on production configuration). The relative change of
+ * the medians is the profiling overhead per request; the budget is
+ * <= 2%, i.e. sampling must be cheap enough to leave on.
+ *
+ * Writes results/prof_overhead.csv.
+ */
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "obs/prof/cpu_profiler.h"
+#include "server/threaded_server.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace {
+
+constexpr double kTaskMs = 0.2;
+constexpr int kNumTasks = 4;
+constexpr std::uint64_t kRequests = 400;
+constexpr std::uint64_t kWarmup = 50;
+constexpr double kProfileHz = 99.0;
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+tpc::core::TpcPolicy
+makePolicy()
+{
+    tpc::core::TpcOptions options;
+    options.maxDegree = 4;
+    return tpc::core::TpcPolicy(tpc::harness::webSearchExecutionModel(),
+                                tpc::core::TargetTable::webSearchDefault(),
+                                options);
+}
+
+/** Closed-loop run: one request at a time, submit-to-postamble wall
+ *  time. @p withProfiler samples every worker thread at kProfileHz. */
+tpc::stats::LatencyRecorder
+runClosedLoop(bool withProfiler)
+{
+    using Clock = std::chrono::steady_clock;
+    auto policy = makePolicy();
+    tpc::server::ThreadedServerConfig serverConfig;
+    serverConfig.numWorkers = 4;
+    serverConfig.hwContexts = 4;
+    tpc::server::ThreadedServer server(serverConfig, policy);
+
+    auto& profiler = tpc::obs::prof::CpuProfiler::instance();
+    if (withProfiler) {
+        tpc::obs::prof::CpuProfilerOptions options;
+        options.hz = kProfileHz;
+        profiler.start(options);
+    }
+
+    tpc::stats::LatencyRecorder latency;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    for (std::uint64_t i = 0; i < kWarmup + kRequests; ++i) {
+        tpc::server::ThreadedJob job;
+        job.predictedMs = kTaskMs * kNumTasks;
+        job.numTasks = kNumTasks;
+        job.task = [](int) { busyWaitMs(kTaskMs); };
+        job.postamble = [&] {
+            std::lock_guard<std::mutex> lock(mutex);
+            done = true;
+            cv.notify_one();
+        };
+        const auto start = Clock::now();
+        done = false;
+        server.submit(std::move(job));
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return done; });
+        if (i >= kWarmup)
+            latency.add(std::chrono::duration<double, std::milli>(
+                            Clock::now() - start)
+                            .count());
+    }
+
+    if (withProfiler)
+        profiler.stop();
+    return latency;
+}
+
+} // namespace
+
+int
+main()
+{
+    using tpc::util::TablePrinter;
+
+    std::printf("bench_prof_overhead: %llu requests of %d x %.1f ms "
+                "tasks, closed loop, profiler at %.0f Hz\n",
+                static_cast<unsigned long long>(kRequests), kNumTasks,
+                kTaskMs, kProfileHz);
+    if (!tpc::obs::prof::CpuProfiler::supported())
+        std::printf("note: profiler unsupported on this platform; the "
+                    "'on' mode measures the disabled fast path\n");
+
+    // Interleave modes to cancel slow machine drift: off, on, on, off.
+    tpc::stats::LatencyRecorder off = runClosedLoop(false);
+    tpc::stats::LatencyRecorder on = runClosedLoop(true);
+    on.merge(runClosedLoop(true));
+    off.merge(runClosedLoop(false));
+
+    auto& profiler = tpc::obs::prof::CpuProfiler::instance();
+    const tpc::obs::prof::CpuProfilerStatus status = profiler.status();
+    profiler.reset();
+
+    const tpc::stats::LatencySummary offSummary = off.summary();
+    const tpc::stats::LatencySummary onSummary = on.summary();
+    const double regressionPct =
+        (onSummary.p50 - offSummary.p50) / offSummary.p50 * 100.0;
+
+    TablePrinter table("prof_overhead: profiler off vs on (ms)");
+    table.setHeader({"mode", "n", "mean", "p50", "p99", "max"});
+    table.addRow({"prof_off", std::to_string(offSummary.count),
+                  TablePrinter::fmt(offSummary.mean, 3),
+                  TablePrinter::fmt(offSummary.p50, 3),
+                  TablePrinter::fmt(offSummary.p99, 3),
+                  TablePrinter::fmt(offSummary.max, 3)});
+    table.addRow({"prof_on", std::to_string(onSummary.count),
+                  TablePrinter::fmt(onSummary.mean, 3),
+                  TablePrinter::fmt(onSummary.p50, 3),
+                  TablePrinter::fmt(onSummary.p99, 3),
+                  TablePrinter::fmt(onSummary.max, 3)});
+    table.print();
+    std::printf("captured %llu stack samples (%llu dropped) across the "
+                "profiled runs\n",
+                static_cast<unsigned long long>(status.samples),
+                static_cast<unsigned long long>(status.dropped));
+    std::printf("median regression: %+.2f%% (budget: <= 2%%)\n",
+                regressionPct);
+
+    tpc::util::CsvWriter csv(tpc::util::resultsDir() +
+                             "/prof_overhead.csv");
+    csv.writeRow(std::vector<std::string>{"mode", "count", "mean_ms",
+                                          "p50_ms", "p99_ms", "max_ms"});
+    auto row = [&csv](const std::string& mode,
+                      const tpc::stats::LatencySummary& s) {
+        csv.writeRow(std::vector<std::string>{
+            mode, std::to_string(s.count), TablePrinter::fmt(s.mean, 4),
+            TablePrinter::fmt(s.p50, 4), TablePrinter::fmt(s.p99, 4),
+            TablePrinter::fmt(s.max, 4)});
+    };
+    row("prof_off", offSummary);
+    row("prof_on", onSummary);
+    csv.writeRow(std::vector<std::string>{
+        "regression_p50_pct", "", TablePrinter::fmt(regressionPct, 3), "",
+        "", ""});
+    csv.writeRow(std::vector<std::string>{
+        "samples", std::to_string(status.samples), "", "", "",
+        std::to_string(status.dropped)});
+    std::printf("wrote %s/prof_overhead.csv\n",
+                tpc::util::resultsDir().c_str());
+    return 0;
+}

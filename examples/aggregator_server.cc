@@ -55,6 +55,8 @@
 #include "fanout/aggregator.h"
 #include "harness/policies.h"
 #include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/prof/cpu_profiler.h"
 #include "obs/span_collector.h"
 #include "util/args.h"
 #include "util/logging.h"
@@ -235,6 +237,9 @@ main(int argc, char** argv)
     obs::SpanCollector spans(1, spanConfig);
     server.attachSpans(&spans);
     server.setTracezProvider([&spans] { return spans.renderTracez(); });
+    // /profilez: the aggregator's event loop registers itself with the
+    // process profiler; this frame handler starts/stops/dumps it.
+    server.setProfilezProvider(obs::prof::handleProfilezCommand);
     gServer.store(&server);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
@@ -284,6 +289,7 @@ main(int argc, char** argv)
     }
 
     if (metrics != nullptr) {
+        obs::publishProcStats(*metrics, obs::sampleProcStats());
         obs::MetricsCsvExporter exporter(*metrics, metricsOut);
         exporter.writeWindow(
             0.0, std::chrono::duration<double, std::milli>(

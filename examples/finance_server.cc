@@ -35,6 +35,8 @@
 #include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/prof/cpu_profiler.h"
 #include "obs/stage_stats.h"
 #include "obs/statsz.h"
 #include "obs/trace_recorder.h"
@@ -175,6 +177,7 @@ main(int argc, char** argv)
                 });
             server.attachStageStats(&stageStats);
             rpc.attachStageStats(&stageStats);
+            rpc.setProfilezProvider(obs::prof::handleProfilezCommand);
             rpc.setStatszProvider([&] {
                 obs::StatszInfo info;
                 const policy::PolicySnapshot policySnap =
@@ -197,6 +200,37 @@ main(int argc, char** argv)
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - runStart)
                         .count();
+                // Runtime-health lanes (locals borrowed only for the
+                // renderStatsz call below).
+                const net::LoopHealthSnapshot loop = rpc.loopHealth();
+                obs::StatszLoopHealthInfo loopInfo;
+                loopInfo.wakeups = loop.wakeups;
+                loopInfo.wakeDrains = loop.wakeDrains;
+                loopInfo.loopIterations = loop.loopIterations;
+                loopInfo.iterWorkMs = loop.iterWorkMs;
+                loopInfo.wakeDispatchMs = loop.wakeDispatchMs;
+                info.loopHealth = &loopInfo;
+                const obs::prof::LockWaitStats& lockStats =
+                    server.lockWaitStats();
+                obs::StatszLockWaitInfo lockInfo;
+                lockInfo.acquisitions = lockStats.acquisitions();
+                lockInfo.contended = lockStats.contended();
+                lockInfo.waitMs = lockStats.waitHistogram();
+                info.lockWait = &lockInfo;
+                info.workerBusyMs = server.workerBusyMs();
+                const obs::ProcStats proc = obs::sampleProcStats();
+                info.proc = &proc;
+                const obs::prof::CpuProfilerStatus prof =
+                    obs::prof::CpuProfiler::instance().status();
+                obs::StatszProfilerInfo profInfo;
+                profInfo.supported = prof.supported;
+                profInfo.running = prof.running;
+                profInfo.hz = prof.hz;
+                profInfo.threads = prof.threads;
+                profInfo.samples = prof.samples;
+                profInfo.dropped = prof.dropped;
+                profInfo.durationMs = prof.durationMs;
+                info.profiler = &profInfo;
                 return obs::renderStatsz(info, sampler.latest().get());
             });
             gServer.store(&rpc);
@@ -316,6 +350,7 @@ main(int argc, char** argv)
                     traceOut.c_str());
     }
     if (metrics != nullptr) {
+        obs::publishProcStats(*metrics, obs::sampleProcStats());
         obs::MetricsCsvExporter exporter(*metrics, metricsOut);
         exporter.writeWindow(
             0.0, std::chrono::duration<double, std::milli>(

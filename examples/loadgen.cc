@@ -12,7 +12,12 @@
  *       [--qps=100] [--rate-ramp=start:end] [--duration-s=2 | --requests=N]
  *       [--connections=4] [--payload-bytes=8] [--seed=1]
  *       [--csv-out=results/loadgen.csv] [--target-ms=T]
- *       [--trace-csv-out=PATH] [--tracez-out=PATH]
+ *       [--trace-csv-out=PATH] [--tracez-out=PATH] [--warmup-ms=W]
+ *
+ * --warmup-ms excludes responses to requests scheduled inside the first
+ * W ms from the percentile summary and over-target reporting (they
+ * still count as completions), so steady-state tail numbers aren't
+ * polluted by cold-start effects.
  *
  * --rate-ramp=start:end replaces the constant rate with a linear ramp
  * from start to end QPS over --duration-s (exact inhomogeneous Poisson
@@ -66,7 +71,8 @@ main(int argc, char** argv)
                                {"host", "port", "qps", "rate-ramp",
                                 "duration-s", "requests", "connections",
                                 "payload-bytes", "seed", "csv-out",
-                                "target-ms", "trace-csv-out", "tracez-out"});
+                                "target-ms", "trace-csv-out", "tracez-out",
+                                "warmup-ms"});
 
     net::LoadGenConfig config;
     config.host = args.getString("host", "127.0.0.1");
@@ -106,6 +112,7 @@ main(int argc, char** argv)
     const std::string traceCsvOut = args.getString("trace-csv-out", "");
     const std::string tracezOut = args.getString("tracez-out", "");
     config.targetMs = args.getDouble("target-ms", 0.0);
+    config.warmupMs = args.getDouble("warmup-ms", 0.0);
 
     // Client-side span collection: the loadgen is "pid 1" in the
     // assembled timeline, its root spans framing the server tiers'.
@@ -161,6 +168,11 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(result.reconnects));
     std::printf("latency summary (ms, from scheduled arrival): %s\n",
                 summary.toString().c_str());
+    if (config.warmupMs > 0.0)
+        std::printf("warm-up: %llu responses inside the first %.0f ms "
+                    "excluded from the summary\n",
+                    static_cast<unsigned long long>(result.warmupExcluded),
+                    config.warmupMs);
 
     if (config.targetMs > 0.0)
         std::printf("over target (%.1f ms): %zu requests; worst trace "

@@ -50,6 +50,8 @@
 #include "net/rpc_server.h"
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/prof/cpu_profiler.h"
 #include "obs/span_collector.h"
 #include "obs/stage_stats.h"
 #include "obs/statsz.h"
@@ -306,6 +308,10 @@ main(int argc, char** argv)
             server.attachSpans(&spans);
             rpc.setTracezProvider(
                 [&spans] { return spans.renderTracez(); });
+            // /profilez: start/stop/dump the always-compiled-in sampling
+            // CPU profiler (event loop, scheduler and workers register
+            // themselves on thread start).
+            rpc.setProfilezProvider(obs::prof::handleProfilezCommand);
             if (faultInjector != nullptr)
                 rpc.attachFaults(faultInjector.get());
             rpc.setStatszProvider([&] {
@@ -359,6 +365,41 @@ main(int argc, char** argv)
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - runStart)
                         .count();
+                // Runtime-health lanes: event loop, scheduler lock,
+                // worker occupancy, /proc gauges and profiler status.
+                // The mirror structs are locals; renderStatsz consumes
+                // the borrowed pointers within this statement's scope.
+                const net::LoopHealthSnapshot loop = rpc.loopHealth();
+                obs::StatszLoopHealthInfo loopInfo;
+                loopInfo.wakeups = loop.wakeups;
+                loopInfo.wakeDrains = loop.wakeDrains;
+                loopInfo.loopIterations = loop.loopIterations;
+                loopInfo.iterWorkMs = loop.iterWorkMs;
+                loopInfo.wakeDispatchMs = loop.wakeDispatchMs;
+                info.loopHealth = &loopInfo;
+                const obs::prof::LockWaitStats& lockStats =
+                    server.lockWaitStats();
+                obs::StatszLockWaitInfo lockInfo;
+                lockInfo.acquisitions = lockStats.acquisitions();
+                lockInfo.contended = lockStats.contended();
+                lockInfo.waitMs = lockStats.waitHistogram();
+                info.lockWait = &lockInfo;
+                info.workerBusyMs = server.workerBusyMs();
+                const obs::ProcStats proc = obs::sampleProcStats();
+                info.proc = &proc;
+                const obs::prof::CpuProfilerStatus prof =
+                    obs::prof::CpuProfiler::instance().status();
+                obs::StatszProfilerInfo profInfo;
+                profInfo.supported = prof.supported;
+                profInfo.running = prof.running;
+                profInfo.hz = prof.hz;
+                profInfo.threads = prof.threads;
+                profInfo.samples = prof.samples;
+                profInfo.dropped = prof.dropped;
+                profInfo.durationMs = prof.durationMs;
+                info.profiler = &profInfo;
+                if (metrics != nullptr)
+                    obs::publishProcStats(*metrics, proc);
                 return obs::renderStatsz(info, sampler.latest().get());
             });
             gServer.store(&rpc);
@@ -386,7 +427,9 @@ main(int argc, char** argv)
         }
         if (metrics != nullptr) {
             // Shed/accepted/in-flight land in the CSV via the net_*
-            // counters RpcServer registered.
+            // counters RpcServer registered; process gauges refresh so
+            // the final snapshot carries end-of-run RSS/CPU/fd counts.
+            obs::publishProcStats(*metrics, obs::sampleProcStats());
             obs::MetricsCsvExporter exporter(*metrics, metricsOut);
             exporter.writeWindow(
                 0.0, std::chrono::duration<double, std::milli>(
@@ -501,6 +544,7 @@ main(int argc, char** argv)
                     traceOut.c_str());
     }
     if (metrics != nullptr) {
+        obs::publishProcStats(*metrics, obs::sampleProcStats());
         obs::MetricsCsvExporter exporter(*metrics, metricsOut);
         exporter.writeWindow(
             0.0, std::chrono::duration<double, std::milli>(

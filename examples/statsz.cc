@@ -17,10 +17,20 @@
  *   ./build/examples/statsz --tracez --ports=9000,9101,9102 \
  *       [--trace-file=results/loadgen_tracez.json] [--out=trace.json]
  *
+ * With --profilez=COMMAND the tool drives the server's continuous CPU
+ * profiler instead: "status" (default), "start [hz]", "stop", "folded"
+ * (flamegraph-ready collapsed stacks), "speedscope" (load the JSON at
+ * https://www.speedscope.app), and "reset". The response body prints to
+ * stdout or --out; a body starting "error: " exits 1 so scripts can
+ * assert on command success.
+ *
+ *   ./build/examples/statsz --port=9000 --profilez="start 200"
+ *   ./build/examples/statsz --port=9000 --profilez=folded --out=prof.folded
+ *
  * Exit status: 0 on success, 1 on connect failure, timeout, or an
  * error response — so shell scripts (scripts/net_smoke.sh,
- * scripts/trace_smoke.sh) can use it both as a liveness probe and as a
- * latency assertion on the endpoints.
+ * scripts/trace_smoke.sh, scripts/prof_smoke.sh) can use it both as a
+ * liveness probe and as a latency assertion on the endpoints.
  */
 #include <cstdio>
 #include <fstream>
@@ -138,6 +148,55 @@ runTracez(const tpc::util::ArgParser& args, const std::string& host,
     return 0;
 }
 
+/** Drives the /profilez endpoint: one command, one response body. */
+int
+runProfilez(const tpc::util::ArgParser& args, const std::string& host,
+            int port, double timeoutMs)
+{
+    using namespace tpc;
+    if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "usage: statsz --profilez=COMMAND "
+                             "--port=PORT [--host=HOST] [--out=PATH] "
+                             "[--timeout-ms=MS]\n");
+        return 1;
+    }
+    std::string command = args.getString("profilez", "");
+    if (command.empty())
+        command = "status";
+    const net::StatszResult result = net::fetchProfilez(
+        host, static_cast<std::uint16_t>(port), command, timeoutMs);
+    if (!result.ok) {
+        std::fprintf(stderr, "statsz: profilez %s:%d: %s (after "
+                             "%.1f ms)\n",
+                     host.c_str(), port, result.error.c_str(),
+                     result.elapsedMs);
+        return 1;
+    }
+    const std::string outPath = args.getString("out", "");
+    if (outPath.empty()) {
+        std::fwrite(result.text.data(), 1, result.text.size(), stdout);
+        if (!result.text.empty() && result.text.back() != '\n')
+            std::fputc('\n', stdout);
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::fprintf(stderr, "statsz: cannot write --out %s\n",
+                         outPath.c_str());
+            return 1;
+        }
+        out << result.text;
+    }
+    // Command failures travel in-band (transport kOk, body "error:
+    // ..."), so scripts get a real exit status to assert on.
+    if (result.text.rfind("error: ", 0) == 0) {
+        std::fprintf(stderr, "statsz: profilez command failed\n");
+        return 1;
+    }
+    std::fprintf(stderr, "# profilez '%s': %zu bytes in %.2f ms\n",
+                 command.c_str(), result.text.size(), result.elapsedMs);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -146,13 +205,16 @@ main(int argc, char** argv)
     using namespace tpc;
     const util::ArgParser args(argc, argv,
                                {"host", "port", "timeout-ms", "tracez",
-                                "ports", "trace-file", "out"});
+                                "ports", "trace-file", "out",
+                                "profilez"});
     const std::string host = args.getString("host", "127.0.0.1");
     const int port = static_cast<int>(args.getInt("port", 0));
     const double timeoutMs = args.getDouble("timeout-ms", 1000.0);
 
     if (args.has("tracez"))
         return runTracez(args, host, port, timeoutMs);
+    if (args.has("profilez"))
+        return runProfilez(args, host, port, timeoutMs);
 
     if (port <= 0 || port > 65535) {
         std::fprintf(stderr, "usage: statsz --port=PORT [--host=HOST] "

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Per-PR perf trajectory: runs the two end-to-end serving benchmarks
+# (bench_net_overhead for the raw RPC path, bench_fanout for the hedged
+# fan-out topology), distills their CSVs into headline RPS/p50/p99
+# numbers, and writes results/BENCH_<PR>.json. The JSON is committed so
+# every future PR has a comparable baseline: diff BENCH_8.json against
+# BENCH_9.json and the serving-path regression (or win) is one number.
+#
+# Headline picks:
+#   - net: the loopback_rpc row (full socket round trip) and the
+#     in-process/loopback p50 delta — the cost of the network layer.
+#   - fanout: the 4-shard hedged no-stall row — the configuration the
+#     topology smoke tests and the paper's cluster sections care about.
+#     Goodput = offered qps scaled by the completion fraction.
+#
+# Usage: scripts/bench_trajectory.sh [build-dir] [out.json]
+# Must run from the repo root (the benches write into ./results).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-results/BENCH_8.json}"
+NET_CSV="results/net_overhead.csv"
+FANOUT_CSV="results/fanout_tail.csv"
+
+mkdir -p results
+
+echo "bench_trajectory: running bench_net_overhead"
+"${BUILD_DIR}/bench/bench_net_overhead" > /dev/null
+
+echo "bench_trajectory: running bench_fanout"
+"${BUILD_DIR}/bench/bench_fanout" > /dev/null
+
+for f in "${NET_CSV}" "${FANOUT_CSV}"; do
+    if [ ! -s "${f}" ]; then
+        echo "bench_trajectory: ${f} missing or empty" >&2
+        exit 1
+    fi
+done
+
+# net_overhead.csv: mode,count,mean_ms,p50_ms,p99_ms,max_ms
+NET_IN_P50="$(awk -F, '$1 == "in_process" { print $4 }' "${NET_CSV}")"
+NET_RPC_P50="$(awk -F, '$1 == "loopback_rpc" { print $4 }' "${NET_CSV}")"
+NET_RPC_P99="$(awk -F, '$1 == "loopback_rpc" { print $5 }' "${NET_CSV}")"
+NET_OVERHEAD="$(awk -F, '$1 == "overhead_p50" { print $3 }' "${NET_CSV}")"
+
+# fanout_tail.csv: shards,hedge,stall_ms,qps,sent,ok,shed,p50,p90,p99,...
+read -r FAN_QPS FAN_GOODPUT FAN_P50 FAN_P99 <<< "$(awk -F, \
+    '$1 == 4 && $2 == 1 && $3 == 0 {
+        print $4, ($5 > 0 ? $4 * $6 / $5 : 0), $8, $10 }' "${FANOUT_CSV}")"
+
+for v in "${NET_IN_P50}" "${NET_RPC_P50}" "${NET_RPC_P99}" \
+         "${NET_OVERHEAD}" "${FAN_QPS}" "${FAN_GOODPUT}" "${FAN_P50}" \
+         "${FAN_P99}"; do
+    if [ -z "${v}" ]; then
+        echo "bench_trajectory: failed to extract a headline number" >&2
+        exit 1
+    fi
+done
+
+cat > "${OUT}" <<EOF
+{
+  "pr": 8,
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "sources": ["${NET_CSV}", "${FANOUT_CSV}"],
+  "net": {
+    "in_process_p50_ms": ${NET_IN_P50},
+    "loopback_rpc_p50_ms": ${NET_RPC_P50},
+    "loopback_rpc_p99_ms": ${NET_RPC_P99},
+    "rpc_overhead_p50_ms": ${NET_OVERHEAD}
+  },
+  "fanout_4shard_hedged": {
+    "offered_qps": ${FAN_QPS},
+    "goodput_rps": ${FAN_GOODPUT},
+    "p50_ms": ${FAN_P50},
+    "p99_ms": ${FAN_P99}
+  }
+}
+EOF
+echo "bench_trajectory: wrote ${OUT}"
+cat "${OUT}"

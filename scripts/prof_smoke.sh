@@ -1,0 +1,203 @@
+#!/usr/bin/env bash
+# Continuous-profiling smoke over a live hedged topology: 4 search_server
+# shards, one aggregator fanning out to them, the open-loop load
+# generator driving the aggregator — and mid-run the statsz CLI drives
+# /profilez on both tiers: start the sampler, let it capture under load,
+# pull folded stacks, and stop. Every process binds port 0 and the ports
+# are parsed from the logs, so the script is safe under parallel CI jobs.
+# Asserts:
+#   - "start"/"status"/"stop" round-trip on a shard AND the aggregator
+#     (two distinct processes serving the kProfileRequest frame),
+#   - the folded dump is well-formed ("thread;frames count" lines or
+#     empty — a throttled CI box may legally capture zero samples),
+#   - an unknown command yields exit 1 (in-band "error: " body),
+#   - /statsz carries the profiler lane (tpc_profiler_running),
+#   - SIGINT still drains everything cleanly with the profiler stopped.
+#
+# Usage: scripts/prof_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS=4
+SHARD_PIDS=()
+SHARD_LOGS=()
+
+cleanup() {
+    kill "${AGG_PID:-}" 2>/dev/null || true
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# --- Start the shard tier (small indexes so startup stays quick). -------
+for i in $(seq 1 "${NUM_SHARDS}"); do
+    LOG="$(mktemp)"
+    "${BUILD_DIR}/examples/search_server" --listen 0 --docs 3000 \
+        --queries 200 > "${LOG}" 2>&1 &
+    SHARD_PIDS+=($!)
+    SHARD_LOGS+=("${LOG}")
+done
+
+SHARD_PORTS=()
+for i in $(seq 0 $((NUM_SHARDS - 1))); do
+    LOG="${SHARD_LOGS[$i]}"
+    PID="${SHARD_PIDS[$i]}"
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "${LOG}" && break
+        if ! kill -0 "${PID}" 2>/dev/null; then
+            echo "prof_smoke: shard $i exited before listening" >&2
+            cat "${LOG}" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${LOG}" | head -n 1)"
+    if [ -z "${PORT}" ]; then
+        echo "prof_smoke: shard $i never reported its port" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    SHARD_PORTS+=("${PORT}")
+done
+SHARDS="$(IFS=,; echo "${SHARD_PORTS[*]}")"
+echo "prof_smoke: shards on ports ${SHARDS}"
+
+# --- Start the aggregator with hedged backups. --------------------------
+AGG_LOG="$(mktemp)"
+"${BUILD_DIR}/examples/aggregator_server" --listen 0 --shards "${SHARDS}" \
+    --hedge --hedge-min-samples 16 --hedge-fallback-ms 25 \
+    > "${AGG_LOG}" 2>&1 &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "${AGG_LOG}" && break
+    if ! kill -0 "${AGG_PID}" 2>/dev/null; then
+        echo "prof_smoke: aggregator exited before listening" >&2
+        cat "${AGG_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+AGG_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${AGG_LOG}" | head -n 1)"
+if [ -z "${AGG_PORT}" ]; then
+    echo "prof_smoke: aggregator never reported its port" >&2
+    cat "${AGG_LOG}" >&2
+    exit 1
+fi
+echo "prof_smoke: aggregator on port ${AGG_PORT}"
+
+STATSZ_BIN="${BUILD_DIR}/examples/statsz"
+
+# --- Start the profilers on both tiers before the load arrives. ---------
+for port in "${SHARD_PORTS[0]}" "${AGG_PORT}"; do
+    OUT="$("${STATSZ_BIN}" --port "${port}" --profilez="start 500" \
+        --timeout-ms 2000 2>/dev/null)" || {
+        echo "prof_smoke: profilez start failed on port ${port}" >&2
+        exit 1
+    }
+    case "${OUT}" in
+        started*|"already running"*) ;;
+        *)
+            echo "prof_smoke: unexpected start reply on ${port}: ${OUT}" >&2
+            exit 1
+            ;;
+    esac
+done
+
+# --- Drive load so the profiled threads actually burn CPU. --------------
+"${BUILD_DIR}/examples/loadgen" --port "${AGG_PORT}" --qps 80 \
+    --duration-s 2 --warmup-ms 200 &
+LOADGEN_PID=$!
+sleep 1
+
+# --- Mid-run: status shows a live session on both processes. ------------
+for port in "${SHARD_PORTS[0]}" "${AGG_PORT}"; do
+    STATUS="$("${STATSZ_BIN}" --port "${port}" --profilez=status \
+        --timeout-ms 2000 2>/dev/null)" || {
+        echo "prof_smoke: profilez status failed on port ${port}" >&2
+        kill "${LOADGEN_PID}" 2>/dev/null || true
+        exit 1
+    }
+    echo "prof_smoke: port ${port}: ${STATUS}"
+    case "${STATUS}" in
+        *running=1*) ;;
+        *)
+            echo "prof_smoke: profiler not running on ${port}" >&2
+            kill "${LOADGEN_PID}" 2>/dev/null || true
+            exit 1
+            ;;
+    esac
+done
+
+# The shard's /statsz now carries the profiler lane.
+"${STATSZ_BIN}" --port "${SHARD_PORTS[0]}" --timeout-ms 2000 2>/dev/null \
+    | grep -q "^tpc_profiler_running" || {
+    echo "prof_smoke: /statsz missing tpc_profiler_running lane" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+
+# --- Pull folded stacks from both tiers; validate the line shape. -------
+FOLDED="$(mktemp)"
+for port in "${SHARD_PORTS[0]}" "${AGG_PORT}"; do
+    "${STATSZ_BIN}" --port "${port}" --profilez=folded \
+        --timeout-ms 5000 --out "${FOLDED}" 2>/dev/null || {
+        echo "prof_smoke: profilez folded failed on port ${port}" >&2
+        kill "${LOADGEN_PID}" 2>/dev/null || true
+        exit 1
+    }
+    # Every non-empty line must be "frames... count"; an empty dump is
+    # legal on a CPU-starved CI box, a malformed one never is.
+    if [ -s "${FOLDED}" ]; then
+        BAD="$(grep -cEv '^[^ ]([^;]*;)*[^;]* [0-9]+$' "${FOLDED}" || true)"
+        if [ "${BAD}" -ne 0 ]; then
+            echo "prof_smoke: malformed folded line(s) from ${port}:" >&2
+            head "${FOLDED}" >&2
+            kill "${LOADGEN_PID}" 2>/dev/null || true
+            exit 1
+        fi
+        echo "prof_smoke: port ${port}: $(wc -l < "${FOLDED}") folded stacks"
+    else
+        echo "prof_smoke: port ${port}: empty profile (throttled box?)"
+    fi
+done
+
+# --- An unknown command must exit nonzero via the in-band error body. ---
+if "${STATSZ_BIN}" --port "${AGG_PORT}" --profilez=bogus \
+    --timeout-ms 2000 >/dev/null 2>&1; then
+    echo "prof_smoke: bogus profilez command did not fail" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+fi
+
+wait "${LOADGEN_PID}"
+
+# --- Stop the profilers; both must report a closed session. -------------
+for port in "${SHARD_PORTS[0]}" "${AGG_PORT}"; do
+    OUT="$("${STATSZ_BIN}" --port "${port}" --profilez=stop \
+        --timeout-ms 2000 2>/dev/null)" || {
+        echo "prof_smoke: profilez stop failed on port ${port}" >&2
+        exit 1
+    }
+    case "${OUT}" in
+        stopped*) ;;
+        *)
+            echo "prof_smoke: unexpected stop reply on ${port}: ${OUT}" >&2
+            exit 1
+            ;;
+    esac
+done
+
+# --- Graceful drain: aggregator first, then the shard tier. -------------
+kill -INT "${AGG_PID}"
+wait "${AGG_PID}"
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -INT "${pid}" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "${pid}" || true
+done
+trap - EXIT
+echo "prof_smoke: OK"

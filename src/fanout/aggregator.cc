@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/prof/cpu_profiler.h"
 #include "obs/statsz.h"
 #include "util/logging.h"
 
@@ -128,6 +129,12 @@ AggregatorServer::setTracezProvider(TracezProvider provider)
 }
 
 void
+AggregatorServer::setProfilezProvider(ProfilezProvider provider)
+{
+    profilezProvider_ = std::move(provider);
+}
+
+void
 AggregatorServer::attachSpans(obs::SpanCollector* spans)
 {
     spans_ = spans;
@@ -197,6 +204,22 @@ AggregatorServer::renderStatszText() const
     info.inFlight = static_cast<std::uint64_t>(
         std::max(0, admission_.inFlight()));
     info.uptimeMs = nowMs();
+    // Runtime-health lanes: process gauges plus CPU-profiler status
+    // (the aggregator has no worker pool or dispatch queue; loop-health
+    // lanes stay absent). Locals are borrowed only for the render call.
+    const obs::ProcStats proc = obs::sampleProcStats();
+    info.proc = &proc;
+    const obs::prof::CpuProfilerStatus prof =
+        obs::prof::CpuProfiler::instance().status();
+    obs::StatszProfilerInfo profInfo;
+    profInfo.supported = prof.supported;
+    profInfo.running = prof.running;
+    profInfo.hz = prof.hz;
+    profInfo.threads = prof.threads;
+    profInfo.samples = prof.samples;
+    profInfo.dropped = prof.dropped;
+    profInfo.durationMs = prof.durationMs;
+    info.profiler = &profInfo;
     const obs::FanoutSnapshot snap = collector_.snapshot();
     return obs::renderStatsz(info, nullptr, &snap);
 }
@@ -339,6 +362,28 @@ AggregatorServer::handleClientFrame(Connection& conn, net::Frame frame)
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
             ++stats_.tracezServed;
+        }
+        return;
+    }
+
+    // /profilez: payload is the command, errors come back in-band as an
+    // "error: ..." body with kOk transport status.
+    if (frame.type == net::FrameType::kProfileRequest) {
+        net::Frame response;
+        response.type = net::FrameType::kProfileResponse;
+        response.requestId = frame.requestId;
+        if (profilezProvider_) {
+            response.status = net::FrameStatus::kOk;
+            const std::string text = profilezProvider_(
+                std::string(frame.payload.begin(), frame.payload.end()));
+            response.payload.assign(text.begin(), text.end());
+        } else {
+            response.status = net::FrameStatus::kError;
+        }
+        sendToClient(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.profilezServed;
         }
         return;
     }
@@ -1310,6 +1355,8 @@ AggregatorServer::dispatchEvents(const std::vector<net::PollEvent>& events)
 void
 AggregatorServer::run()
 {
+    // Sampled as "agg-loop" whenever the process profiler is running.
+    obs::prof::ThreadProfileScope profileScope("agg-loop");
     std::vector<net::PollEvent> events;
     const int pollCeilingMs =
         std::max(1, static_cast<int>(config_.pollTimeoutMs));

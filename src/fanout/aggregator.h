@@ -164,6 +164,8 @@ struct AggregatorStats
     std::uint64_t statszServed = 0;
     /** kTraceRequest frames answered (not counted as requests). */
     std::uint64_t tracezServed = 0;
+    /** kProfileRequest frames answered (not counted as requests). */
+    std::uint64_t profilezServed = 0;
     std::uint64_t upstreamConnects = 0;
     std::uint64_t upstreamDrops = 0;
     /** OK responses merged from a strict subset of the shards. */
@@ -181,6 +183,10 @@ using StatszProvider = std::function<std::string()>;
  *  must not block (SpanCollector::renderTracez walks only the bounded
  *  retention buffer). */
 using TracezProvider = std::function<std::string()>;
+
+/** Handles one /profilez command and returns the response body; runs
+ *  on the event loop (typically obs::prof::handleProfilezCommand). */
+using ProfilezProvider = std::function<std::string(const std::string&)>;
 
 /** The aggregation tier. One event-loop thread, no workers. */
 class AggregatorServer
@@ -218,6 +224,12 @@ class AggregatorServer
      *  frames bypass admission control like /statsz does; without a
      *  provider they are answered with an empty kError response. */
     void setTracezProvider(TracezProvider provider);
+
+    /** Installs the /profilez provider (call before run()). The frame
+     *  payload is the command; like the other admin frames it bypasses
+     *  admission control, and without a provider kProfileRequest is
+     *  answered with an empty kError response. */
+    void setProfilezProvider(ProfilezProvider provider);
 
     /**
      * Attaches a span collector (borrowed; nullptr detaches). Call
@@ -479,6 +491,7 @@ class AggregatorServer
 
     StatszProvider statszProvider_;
     TracezProvider tracezProvider_;
+    ProfilezProvider profilezProvider_;
     obs::SpanCollector* spans_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles

@@ -7,6 +7,7 @@
 
 #include "obs/chrome_trace.h"
 #include "obs/metrics.h"
+#include "obs/prof/cpu_profiler.h"
 #include "obs/trace_recorder.h"
 #include "sim/simulator.h"
 #include "util/csv.h"
@@ -76,7 +77,40 @@ runTrace(const Trace& trace, policy::ParallelismPolicy& policy,
     if (metricsCsv != nullptr)
         sim.scheduleAfter(config.metricsWindowMs, rollWindow);
 
+    // Optional CPU profile of the replay itself: the whole simulation
+    // runs on this thread, so one registered thread captures it all.
+    // The process profiler is shared state — reset first so the folded
+    // output covers exactly this run.
+    std::unique_ptr<obs::prof::ThreadProfileScope> profileScope;
+    const bool profiling = !config.profileOutPath.empty() &&
+                           obs::prof::CpuProfiler::supported();
+    if (!config.profileOutPath.empty() && !profiling)
+        util::warn("cpu profiler unsupported on this platform; skipping "
+                   "profile " + config.profileOutPath);
+    if (profiling) {
+        profileScope = std::make_unique<obs::prof::ThreadProfileScope>(
+            "sim-driver");
+        obs::prof::CpuProfiler::instance().reset();
+        obs::prof::CpuProfilerOptions profOptions;
+        profOptions.hz = config.profileHz;
+        obs::prof::CpuProfiler::instance().start(profOptions);
+    }
+
     sim.runUntilEmpty();
+
+    if (profiling) {
+        auto& profiler = obs::prof::CpuProfiler::instance();
+        profiler.stop();
+        const obs::prof::ProfileSnapshot profile = profiler.snapshot();
+        std::ofstream out(config.profileOutPath);
+        if (!out)
+            util::fatal("cannot write profile: " + config.profileOutPath);
+        out << obs::prof::renderFolded(profile);
+        std::printf("wrote %llu profile samples to %s\n",
+                    static_cast<unsigned long long>(profile.samples),
+                    config.profileOutPath.c_str());
+        profileScope.reset();
+    }
 
     TPC_CHECK_MSG(server.counters().completions == trace.size(),
                   "simulation drained without completing the trace");

@@ -49,6 +49,13 @@ struct ExperimentConfig
     /** Collect per-stage latency decomposition + tail attribution; the
      *  merged snapshot lands in ExperimentResult::stageStats. */
     bool collectStageStats = false;
+    /** When non-empty, run the sampling CPU profiler over the replay
+     *  (the simulation runs on the calling thread) and write the folded
+     *  stacks here — `flamegraph.pl` / speedscope "import folded" ready.
+     *  No-op on platforms without per-thread CPU-time timers. */
+    std::string profileOutPath;
+    /** Sampling rate of that profile (Hz). */
+    double profileHz = 99.0;
 };
 
 /** Result of one experiment run. */

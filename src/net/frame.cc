@@ -114,7 +114,7 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         return result; // kNeedMore
     const std::uint8_t type = data[5];
     if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-        type > static_cast<std::uint8_t>(FrameType::kTraceResponse))
+        type > static_cast<std::uint8_t>(FrameType::kProfileResponse))
         return fail("unknown frame type " +
                     std::to_string(static_cast<int>(type)));
     const std::uint8_t status = data[7];

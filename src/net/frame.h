@@ -86,6 +86,15 @@ enum class FrameType : std::uint8_t {
     /** Response to kTraceRequest; payload is Chrome-trace JSON of the
      *  recently retained traces (UTF-8, no NUL terminator). */
     kTraceResponse = 6,
+    /** Admin profiling request (/profilez); payload is a UTF-8 command
+     *  ("status", "start [hz]", "stop", "folded", "speedscope",
+     *  "reset"; empty means "status"). */
+    kProfileRequest = 7,
+    /** Response to kProfileRequest; payload is UTF-8 text — folded
+     *  stacks, speedscope JSON or a status line. Command errors are
+     *  reported in-band as a body starting with "error: " (transport
+     *  status stays kOk). */
+    kProfileResponse = 8,
 };
 
 /** Response disposition. */

@@ -385,16 +385,27 @@ runLoadGen(const LoadGenConfig& config)
                 const Pending answered = it->second;
                 outstanding.erase(it);
                 switch (response.status) {
-                case FrameStatus::kOk:
+                case FrameStatus::kOk: {
                     ++result.completed;
                     if (response.degraded())
                         ++result.degraded;
-                    result.latency.add(responseMs);
-                    if (answered.traceId != 0 && config.targetMs > 0.0 &&
-                        responseMs > config.targetMs)
-                        result.overTarget.push_back(OverTargetRequest{
-                            response.requestId, answered.traceId,
-                            responseMs});
+                    // Warm-up gate: keyed off the *scheduled* arrival
+                    // (open-loop convention), so a late response to an
+                    // early request is still warm-up, not steady state.
+                    const bool warmup =
+                        config.warmupMs > 0.0 &&
+                        answered.arrivalMs < config.warmupMs;
+                    if (warmup) {
+                        ++result.warmupExcluded;
+                    } else {
+                        result.latency.add(responseMs);
+                        if (answered.traceId != 0 &&
+                            config.targetMs > 0.0 &&
+                            responseMs > config.targetMs)
+                            result.overTarget.push_back(OverTargetRequest{
+                                response.requestId, answered.traceId,
+                                responseMs});
+                    }
                     if (config.spans != nullptr && answered.traceId != 0) {
                         obs::Span client;
                         client.traceId = answered.traceId;
@@ -412,6 +423,7 @@ runLoadGen(const LoadGenConfig& config)
                                                   config.targetMs);
                     }
                     break;
+                }
                 case FrameStatus::kBusy:
                     ++result.shed;
                     break;
@@ -463,7 +475,8 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
     std::vector<std::string> header = {
         "target_qps", "achieved_qps", "connections", "sent",
         "completed",  "degraded",     "shed",        "errors",
-        "cancelled",  "failed",       "unanswered",  "elapsed_ms"};
+        "cancelled",  "failed",       "unanswered",  "elapsed_ms",
+        "warmup_ms",  "warmup_excluded"};
     const auto latencyHeader =
         stats::LatencySummary::csvHeader("response_ms_");
     header.insert(header.end(), latencyHeader.begin(), latencyHeader.end());
@@ -484,7 +497,9 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
         std::to_string(result.cancelled),
         std::to_string(result.failed),
         std::to_string(result.unanswered),
-        std::to_string(result.elapsedMs)};
+        std::to_string(result.elapsedMs),
+        std::to_string(config.warmupMs),
+        std::to_string(result.warmupExcluded)};
     const auto latencyRow = result.summary().toCsvRow();
     row.insert(row.end(), latencyRow.begin(), latencyRow.end());
     row.push_back(hexTraceId(result.worstOverTarget().traceId));

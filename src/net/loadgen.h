@@ -85,6 +85,14 @@ struct LoadGenConfig
      *  set, every completed response records a kClient root span and
      *  finishes the trace against targetMs. */
     obs::SpanCollector* spans = nullptr;
+    /**
+     * Warm-up window (ms of scheduled-arrival time); responses to
+     * requests that arrived inside it still count as completions but are
+     * excluded from the latency percentiles and over-target reporting,
+     * so cold caches, first-touch page faults and JIT'd connection state
+     * don't pollute steady-state tail numbers. 0 keeps every response.
+     */
+    double warmupMs = 0.0;
 };
 
 /** One response that exceeded LoadGenConfig::targetMs. */
@@ -123,6 +131,9 @@ struct LoadGenResult
     std::uint64_t failed = 0;
     /** Requests never answered (lost connection or drain timeout). */
     std::uint64_t unanswered = 0;
+    /** OK responses excluded from `latency` because their request
+     *  arrived inside LoadGenConfig::warmupMs. */
+    std::uint64_t warmupExcluded = 0;
     /** Connections that dropped mid-run. */
     std::uint64_t connectionsLost = 0;
     /** Successful mid-run reconnects after a drop. */

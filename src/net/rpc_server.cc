@@ -9,6 +9,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "obs/prof/cpu_profiler.h"
 #include "util/logging.h"
 
 namespace tpc::net {
@@ -71,6 +72,12 @@ RpcServer::setTracezProvider(TracezProvider provider)
 }
 
 void
+RpcServer::setProfilezProvider(ProfilezProvider provider)
+{
+    profilezProvider_ = std::move(provider);
+}
+
+void
 RpcServer::attachStageStats(obs::StageStatsCollector* stageStats)
 {
     stageStats_ = stageStats;
@@ -98,6 +105,14 @@ RpcServer::attachMetrics(obs::MetricsRegistry* metrics)
     metric_.disconnectsRetired = &metrics->counter("net_disconnects_retired");
     metric_.faultsInjected = &metrics->counter("net_faults_injected");
     metric_.inFlight = &metrics->gauge("net_in_flight");
+    metric_.wakeups = &metrics->counter("net_loop_wakeups");
+    metric_.wakeDrains = &metrics->counter("net_loop_wake_drains");
+    // Sub-microsecond floor: loop iterations and wake dispatches live
+    // far below the 10 µs default latency bucketing.
+    metric_.loopIterMs =
+        &metrics->histogram("net_loop_iter_ms", 0.0001, 100000.0, 1.05);
+    metric_.wakeDispatchMs =
+        &metrics->histogram("net_wake_dispatch_ms", 0.0001, 100000.0, 1.05);
 }
 
 RpcServerStats
@@ -105,6 +120,19 @@ RpcServer::stats() const
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     return stats_;
+}
+
+LoopHealthSnapshot
+RpcServer::loopHealth() const
+{
+    LoopHealthSnapshot snap;
+    snap.wakeups = wakeups_.load(std::memory_order_relaxed);
+    snap.wakeDrains = wakeDrains_.load(std::memory_order_relaxed);
+    snap.loopIterations = loopIterations_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    snap.iterWorkMs = loopIterWorkMs_;
+    snap.wakeDispatchMs = wakeDispatchMs_;
+    return snap;
 }
 
 void
@@ -130,6 +158,12 @@ RpcServer::requestStop()
 void
 RpcServer::wake()
 {
+    // Counter first, then the pipe write: everything here must stay
+    // async-signal-safe (requestStop may run in a signal handler), and
+    // relaxed fetch_add is.
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.wakeups != nullptr)
+        metric_.wakeups->inc();
     const std::uint8_t byte = 1;
     // Async-signal-safe; EAGAIN just means the loop is already pending.
     [[maybe_unused]] const ssize_t n = ::write(wakePipe_[1], &byte, 1);
@@ -138,6 +172,9 @@ RpcServer::wake()
 void
 RpcServer::drainWakePipe()
 {
+    wakeDrains_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.wakeDrains != nullptr)
+        metric_.wakeDrains->inc();
     std::uint8_t buffer[256];
     while (::read(wakePipe_[0], buffer, sizeof(buffer)) > 0) {
     }
@@ -283,6 +320,28 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         }
         return;
     }
+    // /profilez: same inline admin path. The payload is the command;
+    // command errors come back in-band ("error: ..." body, kOk status)
+    // so the CLI can distinguish "bad command" from "no provider".
+    if (frame.type == FrameType::kProfileRequest) {
+        Frame response;
+        response.type = FrameType::kProfileResponse;
+        response.requestId = frame.requestId;
+        if (profilezProvider_) {
+            const std::string text = profilezProvider_(
+                std::string(frame.payload.begin(), frame.payload.end()));
+            response.status = FrameStatus::kOk;
+            response.payload.assign(text.begin(), text.end());
+        } else {
+            response.status = FrameStatus::kError;
+        }
+        sendFrame(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.profilezServed;
+        }
+        return;
+    }
 
     {
         std::lock_guard<std::mutex> lock(statsMutex_);
@@ -372,7 +431,8 @@ RpcServer::onJobComplete(std::uint64_t pendingId)
 {
     {
         std::lock_guard<std::mutex> lock(completionMutex_);
-        completions_.push_back(Completion{pendingId, /*cancelled=*/false});
+        completions_.push_back(
+            Completion{pendingId, /*cancelled=*/false, nowMs()});
     }
     wake();
 }
@@ -382,7 +442,8 @@ RpcServer::onJobCancelled(std::uint64_t pendingId)
 {
     {
         std::lock_guard<std::mutex> lock(completionMutex_);
-        completions_.push_back(Completion{pendingId, /*cancelled=*/true});
+        completions_.push_back(
+            Completion{pendingId, /*cancelled=*/true, nowMs()});
     }
     wake();
 }
@@ -394,6 +455,19 @@ RpcServer::processCompletions()
     {
         std::lock_guard<std::mutex> lock(completionMutex_);
         done.swap(completions_);
+    }
+    if (!done.empty()) {
+        // One timestamp for the batch: the whole point is measuring how
+        // long completions sat queued, not timing each map lookup.
+        const double now = nowMs();
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        for (const Completion& completion : done) {
+            const double waitedMs =
+                std::max(0.0, now - completion.postedAtMs);
+            wakeDispatchMs_.add(waitedMs);
+            if (metric_.wakeDispatchMs != nullptr)
+                metric_.wakeDispatchMs->add(waitedMs);
+        }
     }
     for (const Completion& completion : done) {
         const auto it = pendings_.find(completion.pendingId);
@@ -584,6 +658,10 @@ RpcServer::faultTimeoutMs(double now, double cap) const
 void
 RpcServer::run()
 {
+    // Sampled as "rpc-loop" whenever the process profiler is running.
+    // CPU-time sampling means an idle loop (blocked in poll) costs
+    // nothing: its thread CPU clock does not advance.
+    obs::prof::ThreadProfileScope profileScope("rpc-loop");
     std::vector<PollEvent> events;
     const int timeoutMs =
         std::max(1, static_cast<int>(config_.pollTimeoutMs));
@@ -599,6 +677,7 @@ RpcServer::run()
                        std::ceil(faultTimeoutMs(now, config_.pollTimeoutMs))));
         }
         poller_.wait(events, waitMs);
+        const auto workStart = Clock::now();
         for (const PollEvent& ev : events) {
             if (ev.fd == listenFd_.fd()) {
                 acceptReady();
@@ -624,6 +703,18 @@ RpcServer::run()
                 onReadable(conn);
         }
         processCompletions();
+        // Work time only (poll return → dispatch done): the blocking
+        // poll itself is idle time, not loop latency.
+        loopIterations_.fetch_add(1, std::memory_order_relaxed);
+        const double workMs = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - workStart)
+                                  .count();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            loopIterWorkMs_.add(workMs);
+        }
+        if (metric_.loopIterMs != nullptr)
+            metric_.loopIterMs->add(workMs);
     }
 
     // Graceful stop: refuse new connections and submissions, finish every

@@ -91,6 +91,8 @@ struct RpcServerStats
     std::uint64_t statszServed = 0;
     /** kTraceRequest frames answered (not counted as requests). */
     std::uint64_t tracezServed = 0;
+    /** kProfileRequest frames answered (not counted as requests). */
+    std::uint64_t profilezServed = 0;
     /** Admitted requests cancelled before dispatch (deadline expiry). */
     std::uint64_t requestsCancelled = 0;
     /** Queued requests retired because their connection died (write
@@ -108,6 +110,33 @@ using StatszProvider = std::function<std::string()>;
  *  and must not block (SpanCollector::renderTracez walks only the
  *  bounded retention buffer). */
 using TracezProvider = std::function<std::string()>;
+
+/** Handles one /profilez command ("status", "start [hz]", "stop",
+ *  "folded", "speedscope", "reset") and returns the response body.
+ *  Runs on the event-loop thread; typically forwards to
+ *  obs::prof::handleProfilezCommand. */
+using ProfilezProvider = std::function<std::string(const std::string&)>;
+
+/**
+ * Event-loop health counters: how often the self-pipe was rung vs. how
+ * often the loop actually woke to drain it (the gap is wake
+ * coalescing), how long loop iterations spend working between polls,
+ * and how long completions sat queued between a worker posting them and
+ * the loop dispatching the response.
+ */
+struct LoopHealthSnapshot
+{
+    /** wake() calls (self-pipe writes) since start. */
+    std::uint64_t wakeups = 0;
+    /** Times the loop drained the wake pipe; wakeups - wakeDrains
+     *  wake-ups were coalesced into an already-pending drain. */
+    std::uint64_t wakeDrains = 0;
+    std::uint64_t loopIterations = 0;
+    /** Per-iteration work time (poll return → end of dispatch), ms. */
+    stats::LogHistogram iterWorkMs{0.0001, 100000.0, 1.05};
+    /** Completion post → response dispatch latency, ms. */
+    stats::LogHistogram wakeDispatchMs{0.0001, 100000.0, 1.05};
+};
 
 /** The serving layer. One event-loop thread; never blocks workers. */
 class RpcServer
@@ -175,6 +204,15 @@ class RpcServer
      */
     void setTracezProvider(TracezProvider provider);
 
+    /**
+     * Installs the /profilez provider (call before run()). Like the
+     * other admin frames, kProfileRequest is answered inline and
+     * bypasses admission control, so a profile can be started and
+     * dumped from a saturated server. Without a provider, profile
+     * requests are answered with an empty kError response.
+     */
+    void setProfilezProvider(ProfilezProvider provider);
+
     /** Attaches a stage-stats collector (borrowed; nullptr detaches).
      *  Call before run(). The RPC layer only records admission sheds
      *  (cause "shed"); pair with ThreadedServer::attachStageStats on
@@ -193,6 +231,9 @@ class RpcServer
     const AdmissionController& admission() const { return admission_; }
 
     RpcServerStats stats() const;
+
+    /** Event-loop health counters and histograms (thread-safe). */
+    LoopHealthSnapshot loopHealth() const;
 
   private:
     /** One response frame held back by an injected network delay. */
@@ -240,6 +281,9 @@ class RpcServer
     {
         std::uint64_t pendingId = 0;
         bool cancelled = false;
+        /** When the worker posted this completion (nowMs clock), for
+         *  the wake→dispatch latency histogram. */
+        double postedAtMs = 0.0;
     };
 
     void acceptReady();
@@ -299,6 +343,7 @@ class RpcServer
     obs::StageStatsCollector* stageStats_ = nullptr;
     StatszProvider statszProvider_;
     TracezProvider tracezProvider_;
+    ProfilezProvider profilezProvider_;
     obs::MetricsRegistry* metrics_ = nullptr;
     struct MetricHandles
     {
@@ -310,10 +355,22 @@ class RpcServer
         obs::Counter* disconnectsRetired = nullptr;
         obs::Counter* faultsInjected = nullptr;
         obs::Gauge* inFlight = nullptr;
+        obs::Counter* wakeups = nullptr;
+        obs::Counter* wakeDrains = nullptr;
+        obs::Histogram* loopIterMs = nullptr;
+        obs::Histogram* wakeDispatchMs = nullptr;
     } metric_;
 
     mutable std::mutex statsMutex_;
     RpcServerStats stats_;
+
+    /** Loop-health lane. Counters are atomics (wake() must stay
+     *  async-signal-safe); histograms live under statsMutex_. */
+    std::atomic<std::uint64_t> wakeups_{0};
+    std::atomic<std::uint64_t> wakeDrains_{0};
+    std::atomic<std::uint64_t> loopIterations_{0};
+    stats::LogHistogram loopIterWorkMs_{0.0001, 100000.0, 1.05};
+    stats::LogHistogram wakeDispatchMs_{0.0001, 100000.0, 1.05};
 
     const std::chrono::steady_clock::time_point epoch_ =
         std::chrono::steady_clock::now();

@@ -27,7 +27,8 @@ msSince(Clock::time_point start)
 StatszResult
 fetchAdminFrame(const std::string& host, std::uint16_t port,
                 double timeoutMs, FrameType requestType,
-                FrameType responseType, const char* noProviderHint)
+                FrameType responseType, const char* noProviderHint,
+                const std::string& payload = std::string())
 {
     StatszResult result;
     const auto start = Clock::now();
@@ -64,6 +65,7 @@ fetchAdminFrame(const std::string& host, std::uint16_t port,
     Frame request;
     request.type = requestType;
     request.requestId = 1;
+    request.payload.assign(payload.begin(), payload.end());
     std::vector<std::uint8_t> writeBuffer;
     encodeFrame(request, writeBuffer);
     std::size_t writeOffset = 0;
@@ -142,6 +144,16 @@ fetchTracez(const std::string& host, std::uint16_t port, double timeoutMs)
                            FrameType::kTraceRequest,
                            FrameType::kTraceResponse,
                            "no tracez provider installed?");
+}
+
+StatszResult
+fetchProfilez(const std::string& host, std::uint16_t port,
+              const std::string& command, double timeoutMs)
+{
+    return fetchAdminFrame(host, port, timeoutMs,
+                           FrameType::kProfileRequest,
+                           FrameType::kProfileResponse,
+                           "no profilez provider installed?", command);
 }
 
 } // namespace tpc::net

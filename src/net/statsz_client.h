@@ -48,4 +48,15 @@ StatszResult fetchStatsz(const std::string& host, std::uint16_t port,
 StatszResult fetchTracez(const std::string& host, std::uint16_t port,
                          double timeoutMs = 1000.0);
 
+/**
+ * Sends a /profilez command ("status", "start [hz]", "stop", "folded",
+ * "speedscope", "reset") as a kProfileRequest payload and returns the
+ * kProfileResponse body. Command failures travel in-band: the transport
+ * answers kOk with a body starting "error: ", so ok=true here means the
+ * pull worked, not that the command did — callers check the body.
+ */
+StatszResult fetchProfilez(const std::string& host, std::uint16_t port,
+                           const std::string& command,
+                           double timeoutMs = 5000.0);
+
 } // namespace tpc::net

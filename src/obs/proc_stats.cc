@@ -1,0 +1,94 @@
+#include "obs/proc_stats.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace tpc::obs {
+
+ProcStats sampleProcStats()
+{
+    ProcStats out;
+#if defined(__linux__)
+    // /proc/self/stat: fields after the parenthesized comm (which may
+    // contain spaces) are whitespace-delimited; utime/stime are fields
+    // 14/15, num_threads 20, vsize 23, rss 24 (1-based).
+    std::ifstream stat("/proc/self/stat");
+    if (!stat)
+        return out;
+    std::string line;
+    std::getline(stat, line);
+    const std::size_t close = line.rfind(')');
+    if (close == std::string::npos)
+        return out;
+    std::istringstream rest(line.substr(close + 1));
+    std::string field;
+    long clockTicks = ::sysconf(_SC_CLK_TCK);
+    if (clockTicks <= 0)
+        clockTicks = 100;
+    const long pageSize = ::sysconf(_SC_PAGESIZE);
+    // After ")": state is field 3; utime is field 14 → index 11 here.
+    for (int i = 3; rest >> field; ++i) {
+        switch (i) {
+        case 14: out.utimeSec = std::stod(field) / clockTicks; break;
+        case 15: out.stimeSec = std::stod(field) / clockTicks; break;
+        case 20: out.threads = std::stoi(field); break;
+        case 23: out.vsizeBytes = std::stod(field); break;
+        case 24:
+            out.rssBytes = std::stod(field) * static_cast<double>(pageSize);
+            break;
+        default: break;
+        }
+        if (i >= 24)
+            break;
+    }
+
+    std::ifstream status("/proc/self/status");
+    while (status && std::getline(status, line)) {
+        if (line.rfind("voluntary_ctxt_switches:", 0) == 0)
+            out.voluntaryCtxSwitches =
+                std::stoull(line.substr(line.find(':') + 1));
+        else if (line.rfind("nonvoluntary_ctxt_switches:", 0) == 0)
+            out.involuntaryCtxSwitches =
+                std::stoull(line.substr(line.find(':') + 1));
+    }
+
+    if (DIR* dir = ::opendir("/proc/self/fd")) {
+        int fds = 0;
+        while (struct dirent* entry = ::readdir(dir)) {
+            if (entry->d_name[0] != '.')
+                ++fds;
+        }
+        ::closedir(dir);
+        out.openFds = fds - 1; // exclude the opendir fd itself
+    }
+
+    out.ok = true;
+#endif
+    return out;
+}
+
+void publishProcStats(MetricsRegistry& metrics, const ProcStats& sample)
+{
+    if (!sample.ok)
+        return;
+    metrics.gauge("proc_rss_bytes").set(sample.rssBytes);
+    metrics.gauge("proc_vsize_bytes").set(sample.vsizeBytes);
+    metrics.gauge("proc_utime_sec").set(sample.utimeSec);
+    metrics.gauge("proc_stime_sec").set(sample.stimeSec);
+    metrics.gauge("proc_ctx_voluntary")
+        .set(static_cast<double>(sample.voluntaryCtxSwitches));
+    metrics.gauge("proc_ctx_involuntary")
+        .set(static_cast<double>(sample.involuntaryCtxSwitches));
+    metrics.gauge("proc_open_fds").set(sample.openFds);
+    metrics.gauge("proc_threads").set(sample.threads);
+}
+
+} // namespace tpc::obs

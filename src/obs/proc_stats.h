@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Process-level resource gauges sampled from /proc/self.
+ *
+ * The serving benches make overhead claims ("profiler costs ≤2%");
+ * these gauges let the server's own telemetry corroborate them: RSS,
+ * user/system CPU time, voluntary/involuntary context switches and the
+ * open-fd count all surface in /statsz and the metrics CSV, so a bench
+ * or smoke run can diff them across configurations without strace/ps.
+ *
+ * On non-Linux platforms sampleProcStats() returns ok == false and all
+ * lanes render nothing.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace tpc::obs {
+
+/** One sample of /proc/self counters. Times in seconds, sizes in bytes. */
+struct ProcStats
+{
+    bool ok = false;
+    double rssBytes = 0.0;
+    double vsizeBytes = 0.0;
+    double utimeSec = 0.0;
+    double stimeSec = 0.0;
+    std::uint64_t voluntaryCtxSwitches = 0;
+    std::uint64_t involuntaryCtxSwitches = 0;
+    int openFds = 0;
+    int threads = 0;
+};
+
+/** Reads /proc/self/{stat,status,fd}. Cheap enough to call per window. */
+ProcStats sampleProcStats();
+
+class MetricsRegistry;
+
+/**
+ * Publishes a sample into gauges: proc_rss_bytes, proc_vsize_bytes,
+ * proc_utime_sec, proc_stime_sec, proc_ctx_voluntary,
+ * proc_ctx_involuntary, proc_open_fds, proc_threads.
+ */
+void publishProcStats(MetricsRegistry& metrics, const ProcStats& sample);
+
+} // namespace tpc::obs

@@ -1,0 +1,509 @@
+#if defined(__linux__) && !defined(_GNU_SOURCE)
+#define _GNU_SOURCE
+#endif
+
+#include "obs/prof/cpu_profiler.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/prof/sample_ring.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#ifndef SIGEV_THREAD_ID
+#define SIGEV_THREAD_ID 4
+#endif
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+#endif // __linux__
+
+namespace tpc::obs::prof {
+
+namespace {
+
+struct ThreadState
+{
+    std::string name;
+#if defined(__linux__)
+    pthread_t pthread{};
+    pid_t tid = 0;
+    timer_t timer{};
+    bool timerCreated = false;
+#endif
+    std::uintptr_t stackLo = 0;
+    std::uintptr_t stackHi = 0;
+    SampleRing ring;
+
+    ThreadState(std::string threadName, std::size_t ringCapacity)
+        : name(std::move(threadName)), ring(ringCapacity)
+    {
+    }
+};
+
+// Owned by the registering thread; read by the SIGPROF handler, which
+// runs on that same thread, so plain (non-atomic) access is safe.
+thread_local ThreadState* tlsState = nullptr;
+
+// Cheap armed/disarmed flag the handler checks before unwinding. A
+// stale read only means one extra or one missing sample at a session
+// boundary — harmless.
+std::atomic<bool> gRunning{false};
+
+#if defined(__linux__)
+
+/**
+ * Async-signal-safe frame-pointer unwind from the interrupted context.
+ * Returns the number of pcs written (leaf first). The walk stops at the
+ * first frame pointer that leaves the thread's stack bounds, loses
+ * alignment, or fails to strictly increase — all three guard against
+ * chasing garbage when a frame was built without a frame pointer.
+ */
+std::uint16_t unwindFromContext(void* ucVoid, std::uintptr_t stackLo,
+                                std::uintptr_t stackHi, std::uintptr_t* out,
+                                int maxFrames)
+{
+    const ucontext_t* uc = static_cast<const ucontext_t*>(ucVoid);
+    std::uintptr_t pc = 0;
+    std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+    pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+#elif defined(__aarch64__)
+    pc = static_cast<std::uintptr_t>(uc->uc_mcontext.pc);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.regs[29]);
+#else
+    (void)uc;
+#endif
+    if (pc == 0)
+        return 0;
+    int n = 0;
+    out[n++] = pc;
+    if (stackLo == 0 || stackHi == 0)
+        return static_cast<std::uint16_t>(n);
+    std::uintptr_t frame = fp;
+    while (n < maxFrames) {
+        if (frame < stackLo || frame + 2 * sizeof(std::uintptr_t) > stackHi ||
+            (frame & (sizeof(std::uintptr_t) - 1)) != 0)
+            break;
+        const std::uintptr_t* slots =
+            reinterpret_cast<const std::uintptr_t*>(frame);
+        const std::uintptr_t nextFrame = slots[0];
+        const std::uintptr_t returnAddr = slots[1];
+        if (returnAddr < 4096)
+            break;
+        out[n++] = returnAddr;
+        if (nextFrame <= frame)
+            break;
+        frame = nextFrame;
+    }
+    return static_cast<std::uint16_t>(n);
+}
+
+void sigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* ucontext)
+{
+    const int savedErrno = errno;
+    ThreadState* state = tlsState;
+    if (state != nullptr && gRunning.load(std::memory_order_relaxed)) {
+        RawSample sample;
+        sample.depth = unwindFromContext(ucontext, state->stackLo,
+                                         state->stackHi, sample.pcs,
+                                         kMaxSampleFrames);
+        if (sample.depth > 0)
+            state->ring.push(sample);
+    }
+    errno = savedErrno;
+}
+
+void captureStackBounds(ThreadState* state)
+{
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) != 0)
+        return;
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0 && addr != nullptr) {
+        state->stackLo = reinterpret_cast<std::uintptr_t>(addr);
+        state->stackHi = state->stackLo + size;
+    }
+    pthread_attr_destroy(&attr);
+}
+
+#endif // __linux__
+
+std::string formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
+}
+
+} // namespace
+
+struct CpuProfiler::Impl
+{
+    mutable std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadState>> threads;
+    /** thread name → (leaf-first stack → sample count). */
+    std::map<std::string, std::map<std::vector<std::uintptr_t>, std::uint64_t>>
+        aggregate;
+    std::uint64_t aggregateSamples = 0;
+    std::uint64_t retiredDropped = 0;
+    CpuProfilerOptions options;
+    bool running = false;
+    double activeMs = 0.0;
+    std::chrono::steady_clock::time_point sessionStart{};
+    std::thread drainer;
+    std::condition_variable drainCv;
+    bool stopDrainer = false;
+
+    void drainAllLocked()
+    {
+        for (const auto& state : threads) {
+            RawSample sample;
+            while (state->ring.pop(&sample)) {
+                std::vector<std::uintptr_t> key(sample.pcs,
+                                                sample.pcs + sample.depth);
+                ++aggregate[state->name][key];
+                ++aggregateSamples;
+            }
+        }
+    }
+
+    double sessionElapsedMsLocked() const
+    {
+        if (!running)
+            return 0.0;
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - sessionStart)
+            .count();
+    }
+
+    std::uint64_t droppedLocked() const
+    {
+        std::uint64_t total = retiredDropped;
+        for (const auto& state : threads)
+            total += state->ring.dropped();
+        return total;
+    }
+
+#if defined(__linux__)
+    bool armThreadLocked(ThreadState* state)
+    {
+        if (!state->timerCreated) {
+            clockid_t clock;
+            if (pthread_getcpuclockid(state->pthread, &clock) != 0)
+                return false;
+            struct sigevent sev;
+            std::memset(&sev, 0, sizeof(sev));
+            sev.sigev_notify = SIGEV_THREAD_ID;
+            sev.sigev_signo = SIGPROF;
+            sev.sigev_notify_thread_id = state->tid;
+            if (timer_create(clock, &sev, &state->timer) != 0)
+                return false;
+            state->timerCreated = true;
+        }
+        const double periodSec = 1.0 / options.hz;
+        struct itimerspec spec;
+        spec.it_interval.tv_sec = static_cast<time_t>(periodSec);
+        spec.it_interval.tv_nsec =
+            static_cast<long>((periodSec - spec.it_interval.tv_sec) * 1e9);
+        if (spec.it_interval.tv_sec == 0 && spec.it_interval.tv_nsec < 100000)
+            spec.it_interval.tv_nsec = 100000; // floor: 10 kHz
+        spec.it_value = spec.it_interval;
+        return timer_settime(state->timer, 0, &spec, nullptr) == 0;
+    }
+
+    void disarmThreadLocked(ThreadState* state)
+    {
+        if (state->timerCreated) {
+            timer_delete(state->timer);
+            state->timerCreated = false;
+        }
+    }
+#endif
+};
+
+CpuProfiler::CpuProfiler() : impl_(new Impl) {}
+
+CpuProfiler& CpuProfiler::instance()
+{
+    // Leaked intentionally: worker threads may unregister during static
+    // destruction and must find the registry alive.
+    static CpuProfiler* inst = new CpuProfiler();
+    return *inst;
+}
+
+bool CpuProfiler::supported()
+{
+#if defined(__linux__) && (defined(__x86_64__) || defined(__aarch64__))
+    return true;
+#else
+    return false;
+#endif
+}
+
+void CpuProfiler::registerCurrentThread(const std::string& name)
+{
+#if defined(__linux__)
+    if (tlsState != nullptr)
+        return; // already registered
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto state =
+        std::make_shared<ThreadState>(name, impl_->options.ringCapacity);
+    state->pthread = pthread_self();
+    state->tid = static_cast<pid_t>(::syscall(SYS_gettid));
+    captureStackBounds(state.get());
+    impl_->threads.push_back(state);
+    tlsState = state.get();
+    if (impl_->running)
+        impl_->armThreadLocked(state.get());
+#else
+    (void)name;
+#endif
+}
+
+void CpuProfiler::unregisterCurrentThread()
+{
+#if defined(__linux__)
+    ThreadState* state = tlsState;
+    if (state == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->disarmThreadLocked(state);
+    tlsState = nullptr;
+    // Everything after this fence runs with no further handler activity
+    // on this thread (the handler runs on this thread and sees the
+    // null), so draining and freeing the ring is race-free.
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+    RawSample sample;
+    while (state->ring.pop(&sample)) {
+        std::vector<std::uintptr_t> key(sample.pcs, sample.pcs + sample.depth);
+        ++impl_->aggregate[state->name][key];
+        ++impl_->aggregateSamples;
+    }
+    impl_->retiredDropped += state->ring.dropped();
+    auto& threads = impl_->threads;
+    threads.erase(std::remove_if(threads.begin(), threads.end(),
+                                 [state](const auto& entry) {
+                                     return entry.get() == state;
+                                 }),
+                  threads.end());
+#endif
+}
+
+bool CpuProfiler::start(const CpuProfilerOptions& options)
+{
+    if (!supported())
+        return false;
+#if defined(__linux__)
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    if (impl_->running)
+        return true;
+    impl_->options = options;
+    impl_->options.hz = std::clamp(options.hz, 1.0, 10000.0);
+    impl_->options.drainIntervalMs = std::max(options.drainIntervalMs, 5.0);
+
+    static std::once_flag handlerOnce;
+    std::call_once(handlerOnce, [] {
+        struct sigaction action;
+        std::memset(&action, 0, sizeof(action));
+        action.sa_sigaction = sigprofHandler;
+        action.sa_flags = SA_SIGINFO | SA_RESTART;
+        sigemptyset(&action.sa_mask);
+        ::sigaction(SIGPROF, &action, nullptr);
+    });
+
+    gRunning.store(true, std::memory_order_release);
+    for (const auto& state : impl_->threads)
+        impl_->armThreadLocked(state.get());
+    impl_->running = true;
+    impl_->sessionStart = std::chrono::steady_clock::now();
+    impl_->stopDrainer = false;
+    const double intervalMs = impl_->options.drainIntervalMs;
+    impl_->drainer = std::thread([this, intervalMs] {
+        std::unique_lock<std::mutex> drainLock(impl_->mutex);
+        while (!impl_->stopDrainer) {
+            impl_->drainCv.wait_for(
+                drainLock,
+                std::chrono::duration<double, std::milli>(intervalMs),
+                [this] { return impl_->stopDrainer; });
+            impl_->drainAllLocked();
+        }
+    });
+    return true;
+#else
+    return false;
+#endif
+}
+
+void CpuProfiler::stop()
+{
+#if defined(__linux__)
+    std::thread drainer;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        if (!impl_->running)
+            return;
+        gRunning.store(false, std::memory_order_release);
+        for (const auto& state : impl_->threads)
+            impl_->disarmThreadLocked(state.get());
+        impl_->activeMs += impl_->sessionElapsedMsLocked();
+        impl_->running = false;
+        impl_->stopDrainer = true;
+        impl_->drainAllLocked();
+        drainer = std::move(impl_->drainer);
+    }
+    impl_->drainCv.notify_all();
+    if (drainer.joinable())
+        drainer.join();
+#endif
+}
+
+bool CpuProfiler::running() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->running;
+}
+
+CpuProfilerStatus CpuProfiler::status() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    CpuProfilerStatus st;
+    st.supported = supported();
+    st.running = impl_->running;
+    st.hz = impl_->running ? impl_->options.hz : 0.0;
+    st.threads = static_cast<int>(impl_->threads.size());
+    st.samples = impl_->aggregateSamples;
+    st.dropped = impl_->droppedLocked();
+    st.durationMs = impl_->activeMs + impl_->sessionElapsedMsLocked();
+    return st;
+}
+
+ProfileSnapshot CpuProfiler::snapshot()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->drainAllLocked();
+    ProfileSnapshot snap;
+    snap.supported = supported();
+    snap.running = impl_->running;
+    snap.hz = impl_->options.hz;
+    snap.durationMs = impl_->activeMs + impl_->sessionElapsedMsLocked();
+    snap.samples = impl_->aggregateSamples;
+    snap.dropped = impl_->droppedLocked();
+    for (const auto& [thread, stacks] : impl_->aggregate) {
+        for (const auto& [pcs, count] : stacks) {
+            ProfileStack stack;
+            stack.thread = thread;
+            stack.pcs = pcs;
+            stack.count = count;
+            snap.stacks.push_back(std::move(stack));
+        }
+    }
+    return snap;
+}
+
+void CpuProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // Discard buffered raw samples too, so post-reset dumps only cover
+    // post-reset activity.
+    for (const auto& state : impl_->threads) {
+        RawSample sample;
+        while (state->ring.pop(&sample)) {
+        }
+    }
+    impl_->aggregate.clear();
+    impl_->aggregateSamples = 0;
+    impl_->retiredDropped = 0;
+    impl_->activeMs = 0.0;
+    if (impl_->running)
+        impl_->sessionStart = std::chrono::steady_clock::now();
+}
+
+std::string CpuProfiler::handleCommand(const std::string& command)
+{
+    std::istringstream in(command);
+    std::string verb;
+    in >> verb;
+    if (verb.empty())
+        verb = "status";
+
+    if (verb == "status") {
+        const CpuProfilerStatus st = status();
+        std::ostringstream out;
+        out << "profiler: supported=" << (st.supported ? 1 : 0)
+            << " running=" << (st.running ? 1 : 0) << " hz="
+            << formatDouble(st.hz) << " threads=" << st.threads
+            << " samples=" << st.samples << " dropped=" << st.dropped
+            << " duration_ms=" << formatDouble(st.durationMs);
+        return out.str();
+    }
+    if (verb == "start") {
+        CpuProfilerOptions options;
+        std::string hzToken;
+        if (in >> hzToken) {
+            char* end = nullptr;
+            const double hz = std::strtod(hzToken.c_str(), &end);
+            if (end == hzToken.c_str() || *end != '\0' || hz <= 0.0 ||
+                hz > 10000.0)
+                return "error: invalid sampling rate \"" + hzToken +
+                       "\" (want 1..10000 Hz)";
+            options.hz = hz;
+        }
+        if (running()) {
+            const CpuProfilerStatus st = status();
+            return "already running at " + formatDouble(st.hz) + " Hz";
+        }
+        if (!start(options))
+            return "error: cpu profiler unsupported on this platform";
+        const CpuProfilerStatus st = status();
+        return "started at " + formatDouble(st.hz) + " Hz across " +
+               std::to_string(st.threads) + " threads";
+    }
+    if (verb == "stop") {
+        if (!running())
+            return "not running";
+        stop();
+        const CpuProfilerStatus st = status();
+        std::ostringstream out;
+        out << "stopped after " << formatDouble(st.durationMs) << " ms; "
+            << st.samples << " samples (" << st.dropped << " dropped)";
+        return out.str();
+    }
+    if (verb == "folded" || verb == "dump")
+        return renderFolded(snapshot());
+    if (verb == "speedscope")
+        return renderSpeedscope(snapshot());
+    if (verb == "reset") {
+        reset();
+        return "reset";
+    }
+    return "error: unknown profilez command \"" + verb +
+           "\" (want: status | start [hz] | stop | folded | speedscope | "
+           "reset)";
+}
+
+std::string handleProfilezCommand(const std::string& command)
+{
+    return CpuProfiler::instance().handleCommand(command);
+}
+
+} // namespace tpc::obs::prof

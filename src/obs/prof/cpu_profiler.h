@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Always-available sampling CPU profiler.
+ *
+ * Design (Linux): each thread that wants to be profiled registers via a
+ * ThreadProfileScope. Registration creates a per-thread POSIX timer on
+ * the thread's CPU-time clock (timer_create(CLOCK_THREAD_CPUTIME_ID))
+ * delivering SIGPROF to exactly that thread, plus a lock-free SPSC
+ * SampleRing the signal handler pushes raw frame-pointer stacks into.
+ * The handler is async-signal-safe: unwind registers from the ucontext,
+ * walk frame pointers within the thread's stack bounds, push into the
+ * ring — no locks, no allocation, no symbolization.
+ *
+ * start(hz) arms every registered thread's timer; a background drainer
+ * folds ring contents into per-thread (stack → count) maps every few
+ * tens of milliseconds. stop() disarms timers but keeps the aggregate,
+ * so dump-after-stop works. Symbolization (dladdr + demangle) happens
+ * only at export time.
+ *
+ * Threads sample on *CPU time*, so an idle event loop costs nothing:
+ * a blocked thread's CPU clock does not advance and its timer never
+ * fires. That is what makes the profiler safe to leave compiled into
+ * every server.
+ *
+ * On non-Linux platforms the profiler compiles but start() fails with
+ * supported() == false; registration is a cheap no-op.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/prof/profile.h"
+
+namespace tpc::obs::prof {
+
+struct CpuProfilerOptions
+{
+    /** Sampling frequency per thread, in Hz. 99 avoids lockstep with
+     *  10ms-aligned periodic work (the classic perf default). */
+    double hz = 99.0;
+    /** Per-thread ring capacity in samples (rounded up to 2^k). */
+    std::size_t ringCapacity = 4096;
+    /** Drainer cadence. */
+    double drainIntervalMs = 50.0;
+};
+
+/** Profiler status summary (cheap, for /statsz-style reporting). */
+struct CpuProfilerStatus
+{
+    bool supported = false;
+    bool running = false;
+    double hz = 0.0;
+    int threads = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t dropped = 0;
+    double durationMs = 0.0;
+};
+
+/**
+ * Process-wide singleton. All methods are thread-safe; none may be
+ * called from a signal handler.
+ */
+class CpuProfiler
+{
+  public:
+    static CpuProfiler& instance();
+
+    /** True when the platform supports per-thread CPU-time timers. */
+    static bool supported();
+
+    /**
+     * Registers the calling thread for sampling under `name`. If the
+     * profiler is already running the thread starts sampling
+     * immediately. Prefer ThreadProfileScope over calling this
+     * directly.
+     */
+    void registerCurrentThread(const std::string& name);
+
+    /**
+     * Unregisters the calling thread: disarms and deletes its timer,
+     * drains its remaining samples into the aggregate (attributed to
+     * its name), and frees the ring. Must be called on the same thread
+     * that registered.
+     */
+    void unregisterCurrentThread();
+
+    /**
+     * Starts sampling on every registered thread. Returns false when
+     * the platform is unsupported; returns true (and leaves the rate
+     * unchanged) when already running. Clears nothing: successive
+     * start/stop cycles accumulate until reset().
+     */
+    bool start(const CpuProfilerOptions& options = {});
+
+    /** Disarms all timers and folds in any buffered samples. */
+    void stop();
+
+    bool running() const;
+
+    CpuProfilerStatus status() const;
+
+    /** Aggregated profile since the last reset() (drains rings first). */
+    ProfileSnapshot snapshot();
+
+    /** Discards all accumulated stacks and counters. */
+    void reset();
+
+    /**
+     * Text command interface backing the /profilez admin frame and the
+     * statsz CLI. Commands: "status" (default for empty input),
+     * "start" / "start <hz>", "stop", "folded" (alias "dump"),
+     * "speedscope", "reset". Invalid input yields a body starting with
+     * "error: " — transport stays kOk, callers branch on the prefix.
+     */
+    std::string handleCommand(const std::string& command);
+
+  private:
+    CpuProfiler();
+    ~CpuProfiler() = delete;
+
+    struct Impl;
+    Impl* impl_;
+};
+
+/**
+ * RAII registration of the current thread with the process profiler.
+ * Place at the top of a thread's main function.
+ */
+class ThreadProfileScope
+{
+  public:
+    explicit ThreadProfileScope(const std::string& name)
+    {
+        CpuProfiler::instance().registerCurrentThread(name);
+    }
+    ~ThreadProfileScope() { CpuProfiler::instance().unregisterCurrentThread(); }
+
+    ThreadProfileScope(const ThreadProfileScope&) = delete;
+    ThreadProfileScope& operator=(const ThreadProfileScope&) = delete;
+};
+
+/** Convenience forwarder: CpuProfiler::instance().handleCommand(). */
+std::string handleProfilezCommand(const std::string& command);
+
+} // namespace tpc::obs::prof

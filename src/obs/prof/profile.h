@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Profile snapshot model and exporters.
+ *
+ * A ProfileSnapshot is the profiler's sole output type: aggregated
+ * (thread, call-stack) → sample-count pairs plus session metadata.
+ * Exporters turn it into the two interchange formats the tooling
+ * ecosystem expects:
+ *
+ *  - folded stacks ("thread;root;...;leaf count" lines) feeding
+ *    flamegraph.pl / inferno / speedscope's folded importer, and
+ *  - speedscope's native JSON schema with per-thread sampled profiles.
+ *
+ * Symbolization is injected as a SymbolResolver so tests can pin
+ * deterministic names and production uses dladdr + demangle with a
+ * hex-address fallback for frames no symbol table covers.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tpc::obs::prof {
+
+/** One aggregated call stack: program counters stored leaf-first. */
+struct ProfileStack
+{
+    std::string thread;
+    std::vector<std::uintptr_t> pcs;
+    std::uint64_t count = 0;
+};
+
+/** Immutable view of everything the profiler collected in a session. */
+struct ProfileSnapshot
+{
+    bool supported = false;
+    bool running = false;
+    double hz = 0.0;
+    /** Wall-clock milliseconds the profiler has been armed. */
+    double durationMs = 0.0;
+    /** Samples represented in `stacks` (sum of counts). */
+    std::uint64_t samples = 0;
+    /** Samples lost to full rings (never blocks the sampled thread). */
+    std::uint64_t dropped = 0;
+    std::vector<ProfileStack> stacks;
+};
+
+/**
+ * Maps a program counter to a display name. Must be callable from a
+ * regular thread (not a signal handler) — symbolization always happens
+ * at export time, off the hot path.
+ */
+using SymbolResolver = std::function<std::string(std::uintptr_t)>;
+
+/**
+ * dladdr-based resolver with __cxa_demangle and, failing both, a
+ * "0x<hex>" fallback so unsymbolizable frames stay distinguishable.
+ * Caches lookups internally (the same pc repeats across thousands of
+ * samples).
+ */
+SymbolResolver defaultSymbolResolver();
+
+/**
+ * Brendan-Gregg folded format, one line per unique stack:
+ * "thread;rootFrame;...;leafFrame count\n". Stacks are printed
+ * root-first (pcs are stored leaf-first). Deterministic ordering:
+ * lines are sorted lexicographically.
+ */
+std::string renderFolded(const ProfileSnapshot& snapshot,
+                         const SymbolResolver& resolve = defaultSymbolResolver());
+
+/**
+ * speedscope JSON (https://www.speedscope.app/file-format-schema.json):
+ * one "sampled" profile per thread, frames deduplicated into the
+ * shared frame table, weights in sample counts.
+ */
+std::string renderSpeedscope(const ProfileSnapshot& snapshot,
+                             const SymbolResolver& resolve = defaultSymbolResolver());
+
+/** Escapes a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string& text);
+
+} // namespace tpc::obs::prof

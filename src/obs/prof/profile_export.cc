@@ -1,0 +1,218 @@
+#include "obs/prof/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <cxxabi.h>
+#include <dlfcn.h>
+#define TPC_PROF_HAVE_DLADDR 1
+#endif
+
+namespace tpc::obs::prof {
+
+namespace {
+
+std::string hexAddress(std::uintptr_t pc)
+{
+    char buf[2 + sizeof(std::uintptr_t) * 2 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+#if TPC_PROF_HAVE_DLADDR
+std::string resolveUncached(std::uintptr_t pc)
+{
+    Dl_info info{};
+    if (dladdr(reinterpret_cast<void*>(pc), &info) == 0)
+        return hexAddress(pc);
+    if (info.dli_sname != nullptr) {
+        int status = 0;
+        char* demangled =
+            abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+        if (status == 0 && demangled != nullptr) {
+            std::string name(demangled);
+            std::free(demangled);
+            return name;
+        }
+        return info.dli_sname;
+    }
+    if (info.dli_fname != nullptr) {
+        // Inside a known object but no covering symbol: name the object
+        // plus the offset so frames from the same image still fold.
+        std::string file(info.dli_fname);
+        const std::size_t slash = file.find_last_of('/');
+        if (slash != std::string::npos)
+            file = file.substr(slash + 1);
+        const auto base = reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+        return file + "+" + hexAddress(pc >= base ? pc - base : pc);
+    }
+    return hexAddress(pc);
+}
+#endif
+
+} // namespace
+
+SymbolResolver defaultSymbolResolver()
+{
+#if TPC_PROF_HAVE_DLADDR
+    struct Cache
+    {
+        std::mutex mutex;
+        std::unordered_map<std::uintptr_t, std::string> names;
+    };
+    auto cache = std::make_shared<Cache>();
+    return [cache](std::uintptr_t pc) {
+        std::lock_guard<std::mutex> lock(cache->mutex);
+        auto it = cache->names.find(pc);
+        if (it != cache->names.end())
+            return it->second;
+        std::string name = resolveUncached(pc);
+        cache->names.emplace(pc, name);
+        return name;
+    };
+#else
+    return [](std::uintptr_t pc) { return hexAddress(pc); };
+#endif
+}
+
+std::string jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (unsigned char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string renderFolded(const ProfileSnapshot& snapshot,
+                         const SymbolResolver& resolve)
+{
+    // Fold by symbolized stack, not raw pcs: distinct return addresses
+    // within one function collapse into one flamegraph frame.
+    std::map<std::string, std::uint64_t> folded;
+    for (const ProfileStack& stack : snapshot.stacks) {
+        std::string line = stack.thread;
+        for (auto it = stack.pcs.rbegin(); it != stack.pcs.rend(); ++it) {
+            line += ';';
+            line += resolve(*it);
+        }
+        folded[line] += stack.count;
+    }
+    std::string out;
+    for (const auto& [line, count] : folded) {
+        out += line;
+        out += ' ';
+        out += std::to_string(count);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string renderSpeedscope(const ProfileSnapshot& snapshot,
+                             const SymbolResolver& resolve)
+{
+    // Shared frame table with dedup by display name.
+    std::vector<std::string> frames;
+    std::unordered_map<std::string, std::size_t> frameIndex;
+    auto internFrame = [&](std::uintptr_t pc) {
+        std::string name = resolve(pc);
+        auto it = frameIndex.find(name);
+        if (it != frameIndex.end())
+            return it->second;
+        const std::size_t index = frames.size();
+        frames.push_back(name);
+        frameIndex.emplace(std::move(name), index);
+        return index;
+    };
+
+    struct ThreadProfile
+    {
+        std::vector<std::vector<std::size_t>> samples;
+        std::vector<std::uint64_t> weights;
+        std::uint64_t total = 0;
+    };
+    // std::map for deterministic thread ordering in the output.
+    std::map<std::string, ThreadProfile> byThread;
+    for (const ProfileStack& stack : snapshot.stacks) {
+        ThreadProfile& tp = byThread[stack.thread];
+        std::vector<std::size_t> sample;
+        sample.reserve(stack.pcs.size());
+        // speedscope wants root-first; pcs are leaf-first.
+        for (auto it = stack.pcs.rbegin(); it != stack.pcs.rend(); ++it)
+            sample.push_back(internFrame(*it));
+        tp.samples.push_back(std::move(sample));
+        tp.weights.push_back(stack.count);
+        tp.total += stack.count;
+    }
+
+    std::ostringstream out;
+    out << "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\","
+        << "\"exporter\":\"tpc-prof\",\"name\":\"tpc cpu profile\","
+        << "\"activeProfileIndex\":0,\"shared\":{\"frames\":[";
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        if (i != 0)
+            out << ',';
+        out << "{\"name\":\"" << jsonEscape(frames[i]) << "\"}";
+    }
+    out << "]},\"profiles\":[";
+    bool firstProfile = true;
+    for (const auto& [thread, tp] : byThread) {
+        if (!firstProfile)
+            out << ',';
+        firstProfile = false;
+        out << "{\"type\":\"sampled\",\"name\":\"" << jsonEscape(thread)
+            << "\",\"unit\":\"none\",\"startValue\":0,\"endValue\":" << tp.total
+            << ",\"samples\":[";
+        for (std::size_t i = 0; i < tp.samples.size(); ++i) {
+            if (i != 0)
+                out << ',';
+            out << '[';
+            for (std::size_t j = 0; j < tp.samples[i].size(); ++j) {
+                if (j != 0)
+                    out << ',';
+                out << tp.samples[i][j];
+            }
+            out << ']';
+        }
+        out << "],\"weights\":[";
+        for (std::size_t i = 0; i < tp.weights.size(); ++i) {
+            if (i != 0)
+                out << ',';
+            out << tp.weights[i];
+        }
+        out << "]}";
+    }
+    // An empty profile set still needs one (empty) profile so the file
+    // loads in speedscope instead of failing schema validation.
+    if (firstProfile) {
+        out << "{\"type\":\"sampled\",\"name\":\"(no samples)\",\"unit\":\"none\","
+            << "\"startValue\":0,\"endValue\":0,\"samples\":[],\"weights\":[]}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace tpc::obs::prof

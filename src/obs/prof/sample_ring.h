@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lock-free single-producer/single-consumer ring of raw stack samples.
+ *
+ * The producer is a SIGPROF handler interrupting the ring's owning
+ * thread; the consumer is the profiler's background drainer. push() is
+ * async-signal-safe: no locks, no allocation, just a bounded-capacity
+ * check and two relaxed/release atomics. When the drainer falls behind,
+ * samples are dropped (and counted) rather than ever blocking the
+ * interrupted thread — a profiler that perturbs the profiled tail is
+ * worse than one that loses samples.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tpc::obs::prof {
+
+/** Deepest stack a sample can carry; deeper frames are truncated. */
+inline constexpr int kMaxSampleFrames = 48;
+
+/** One raw sample: program counters leaf-first, no symbolization. */
+struct RawSample
+{
+    std::uint16_t depth = 0;
+    std::uintptr_t pcs[kMaxSampleFrames];
+};
+
+/**
+ * Bounded SPSC ring. The capacity is rounded up to a power of two so
+ * the index math stays two masked adds. All slots are allocated up
+ * front — the signal handler never touches the allocator.
+ */
+class SampleRing
+{
+  public:
+    explicit SampleRing(std::size_t capacity = 4096)
+    {
+        std::size_t rounded = 1;
+        while (rounded < capacity)
+            rounded <<= 1;
+        slots_.resize(rounded);
+        mask_ = rounded - 1;
+    }
+
+    SampleRing(const SampleRing&) = delete;
+    SampleRing& operator=(const SampleRing&) = delete;
+
+    /**
+     * Producer side (async-signal-safe). Returns false — and counts the
+     * drop — when the ring is full.
+     */
+    bool push(const RawSample& sample)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head - tail_.load(std::memory_order_acquire) >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[head & mask_] = sample;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. Returns false when the ring is empty. */
+    bool pop(RawSample* out)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail == head_.load(std::memory_order_acquire))
+            return false;
+        *out = slots_[tail & mask_];
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Samples lost to a full ring since construction (monotonic). */
+    std::uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Samples currently buffered (racy snapshot, consumer-side view). */
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(
+            head_.load(std::memory_order_acquire) -
+            tail_.load(std::memory_order_relaxed));
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    std::vector<RawSample> slots_;
+    std::size_t mask_ = 0;
+    std::atomic<std::uint64_t> head_{0};
+    std::atomic<std::uint64_t> tail_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+} // namespace tpc::obs::prof

@@ -102,6 +102,127 @@ emitQuantiles(PrometheusWriter& w, const std::string& name,
     w.sample(name + "_count", labels, histogram.count());
 }
 
+/** The runtime-health lanes: event-loop, scheduler lock, worker
+ *  occupancy, process gauges and CPU-profiler status. */
+void
+renderRuntimeHealth(PrometheusWriter& w, const StatszInfo& info)
+{
+    if (info.loopHealth != nullptr) {
+        const StatszLoopHealthInfo& lh = *info.loopHealth;
+        w.header("tpc_loop_wakeups_total",
+                 "Event-loop self-pipe wake requests posted by worker "
+                 "completions.",
+                 "counter");
+        w.sample("tpc_loop_wakeups_total", {}, lh.wakeups);
+        w.header("tpc_loop_wake_drains_total",
+                 "Self-pipe drains (wakeups minus drains = coalesced "
+                 "wakes absorbed by one poll return).",
+                 "counter");
+        w.sample("tpc_loop_wake_drains_total", {}, lh.wakeDrains);
+        w.header("tpc_loop_iterations_total",
+                 "Event-loop iterations (poll returns processed).",
+                 "counter");
+        w.sample("tpc_loop_iterations_total", {}, lh.loopIterations);
+        w.header("tpc_loop_iter_ms",
+                 "Event-loop iteration work time (poll return -> dispatch "
+                 "done) quantiles; a stall here delays every connection.",
+                 "summary");
+        emitQuantiles(w, "tpc_loop_iter_ms", {}, lh.iterWorkMs);
+        w.header("tpc_wake_dispatch_ms",
+                 "Completion post -> response dispatch latency quantiles "
+                 "(how long finished work waits for the loop).",
+                 "summary");
+        emitQuantiles(w, "tpc_wake_dispatch_ms", {}, lh.wakeDispatchMs);
+    }
+
+    if (info.lockWait != nullptr) {
+        const StatszLockWaitInfo& lw = *info.lockWait;
+        w.header("tpc_sched_lock_acquisitions_total",
+                 "Dispatch-queue lock acquisitions.", "counter");
+        w.sample("tpc_sched_lock_acquisitions_total", {}, lw.acquisitions);
+        w.header("tpc_sched_lock_contended_total",
+                 "Dispatch-queue lock acquisitions that had to wait.",
+                 "counter");
+        w.sample("tpc_sched_lock_contended_total", {}, lw.contended);
+        w.header("tpc_sched_lock_wait_ms",
+                 "Contended dispatch-queue lock wait quantiles.",
+                 "summary");
+        emitQuantiles(w, "tpc_sched_lock_wait_ms", {}, lw.waitMs);
+    }
+
+    if (!info.workerBusyMs.empty()) {
+        w.header("tpc_worker_busy_ms",
+                 "Cumulative busy time per worker thread (occupancy "
+                 "timeline; skew reveals load imbalance).",
+                 "counter");
+        for (std::size_t i = 0; i < info.workerBusyMs.size(); ++i)
+            w.sample("tpc_worker_busy_ms",
+                     {PrometheusWriter::label("worker",
+                                              std::to_string(i))},
+                     info.workerBusyMs[i]);
+    }
+
+    if (info.proc != nullptr && info.proc->ok) {
+        const ProcStats& p = *info.proc;
+        w.header("tpc_proc_rss_bytes", "Resident set size.", "gauge");
+        w.sample("tpc_proc_rss_bytes", {}, p.rssBytes);
+        w.header("tpc_proc_vsize_bytes", "Virtual memory size.", "gauge");
+        w.sample("tpc_proc_vsize_bytes", {}, p.vsizeBytes);
+        w.header("tpc_proc_cpu_sec",
+                 "Cumulative CPU seconds (mode label: user or system).",
+                 "counter");
+        w.sample("tpc_proc_cpu_sec",
+                 {PrometheusWriter::label("mode", "user")}, p.utimeSec);
+        w.sample("tpc_proc_cpu_sec",
+                 {PrometheusWriter::label("mode", "system")}, p.stimeSec);
+        w.header("tpc_proc_ctx_switches_total",
+                 "Context switches (kind label: voluntary or "
+                 "involuntary; involuntary growth means CPU pressure).",
+                 "counter");
+        w.sample("tpc_proc_ctx_switches_total",
+                 {PrometheusWriter::label("kind", "voluntary")},
+                 p.voluntaryCtxSwitches);
+        w.sample("tpc_proc_ctx_switches_total",
+                 {PrometheusWriter::label("kind", "involuntary")},
+                 p.involuntaryCtxSwitches);
+        w.header("tpc_proc_open_fds", "Open file descriptors.", "gauge");
+        w.sample("tpc_proc_open_fds",
+                 {}, static_cast<std::uint64_t>(p.openFds));
+        w.header("tpc_proc_threads", "OS threads in the process.",
+                 "gauge");
+        w.sample("tpc_proc_threads", {},
+                 static_cast<std::uint64_t>(p.threads));
+    }
+
+    if (info.profiler != nullptr) {
+        const StatszProfilerInfo& pr = *info.profiler;
+        w.header("tpc_profiler_running",
+                 "1 while the sampling CPU profiler is capturing "
+                 "(supported label reflects platform support).",
+                 "gauge");
+        w.sample("tpc_profiler_running",
+                 {PrometheusWriter::label("supported",
+                                          pr.supported ? "1" : "0")},
+                 std::uint64_t{pr.running ? 1u : 0u});
+        w.header("tpc_profiler_hz", "Configured sampling rate.", "gauge");
+        w.sample("tpc_profiler_hz", {}, pr.hz);
+        w.header("tpc_profiler_threads",
+                 "Threads registered with the profiler.", "gauge");
+        w.sample("tpc_profiler_threads", {},
+                 static_cast<std::uint64_t>(pr.threads));
+        w.header("tpc_profiler_samples_total",
+                 "Stack samples captured since the last reset.",
+                 "counter");
+        w.sample("tpc_profiler_samples_total", {}, pr.samples);
+        w.header("tpc_profiler_dropped_total",
+                 "Samples dropped on full per-thread rings.", "counter");
+        w.sample("tpc_profiler_dropped_total", {}, pr.dropped);
+        w.header("tpc_profiler_duration_ms",
+                 "Cumulative profiling session duration.", "counter");
+        w.sample("tpc_profiler_duration_ms", {}, pr.durationMs);
+    }
+}
+
 /** The aggregator lane: cross-tier tail attribution of a fan-out tier. */
 void
 renderFanout(PrometheusWriter& w, const FanoutSnapshot& fanout)
@@ -319,6 +440,8 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
              "Trace events dropped by capacity-bounded shards.", "counter");
     w.sample("tpc_trace_dropped_events_total", {},
              info.droppedTraceEvents);
+
+    renderRuntimeHealth(w, info);
 
     if (!info.targetTable.empty()) {
         w.header("tpc_target_table_ms",

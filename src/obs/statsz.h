@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "obs/fanout_stats.h"
+#include "obs/proc_stats.h"
 #include "obs/stage_stats.h"
+#include "stats/histogram.h"
 
 namespace tpc::obs {
 
@@ -57,6 +59,44 @@ struct StatszAdaptationInfo
     double lastWindowMissPct = 0.0;
 };
 
+/**
+ * Event-loop health rendered as a /statsz lane. Layer-neutral mirror of
+ * net::LoopHealthSnapshot (obs sits below src/net), filled by servers
+ * that run an event loop.
+ */
+struct StatszLoopHealthInfo
+{
+    std::uint64_t wakeups = 0;
+    std::uint64_t wakeDrains = 0;
+    std::uint64_t loopIterations = 0;
+    /** Per-iteration work time (poll return → dispatch done), ms. */
+    stats::LogHistogram iterWorkMs{0.0001, 100000.0, 1.05};
+    /** Completion post → response dispatch latency, ms. */
+    stats::LogHistogram wakeDispatchMs{0.0001, 100000.0, 1.05};
+};
+
+/** Dispatch-queue lock contention rendered as a /statsz lane (mirror of
+ *  prof::LockWaitStats as plain values). */
+struct StatszLockWaitInfo
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended = 0;
+    /** Contended-wait quantiles, ms. */
+    stats::LogHistogram waitMs{0.0001, 10000.0, 1.05};
+};
+
+/** CPU-profiler status rendered as a /statsz lane. */
+struct StatszProfilerInfo
+{
+    bool supported = false;
+    bool running = false;
+    double hz = 0.0;
+    int threads = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t dropped = 0;
+    double durationMs = 0.0;
+};
+
 /** Caller-supplied server state rendered alongside the stage snapshot. */
 struct StatszInfo
 {
@@ -90,6 +130,17 @@ struct StatszInfo
     /** TraceRecorder::droppedEvents() when tracing, else 0. */
     std::uint64_t droppedTraceEvents = 0;
     double uptimeMs = 0.0;
+    /** Event-loop health lane; rendered when non-null (borrowed). */
+    const StatszLoopHealthInfo* loopHealth = nullptr;
+    /** Scheduler-lock contention lane; rendered when non-null. */
+    const StatszLockWaitInfo* lockWait = nullptr;
+    /** Process resource gauges; rendered when non-null (borrowed). */
+    const ProcStats* proc = nullptr;
+    /** CPU-profiler status lane; rendered when non-null (borrowed). */
+    const StatszProfilerInfo* profiler = nullptr;
+    /** Per-worker cumulative busy ms (occupancy timeline); empty when
+     *  the server exposes none. */
+    std::vector<double> workerBusyMs;
 };
 
 /**

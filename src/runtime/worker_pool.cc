@@ -1,5 +1,9 @@
 #include "runtime/worker_pool.h"
 
+#include <chrono>
+#include <string>
+
+#include "obs/prof/cpu_profiler.h"
 #include "util/logging.h"
 
 namespace tpc::runtime {
@@ -8,8 +12,11 @@ WorkerPool::WorkerPool(int numThreads) : size_(numThreads)
 {
     TPC_CHECK(numThreads >= 1);
     threads_.reserve(static_cast<std::size_t>(numThreads));
+    busyNs_.reserve(static_cast<std::size_t>(numThreads));
     for (int i = 0; i < numThreads; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        busyNs_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    for (int i = 0; i < numThreads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
 }
 
 WorkerPool::~WorkerPool()
@@ -42,9 +49,27 @@ WorkerPool::pendingTasks() const
     return static_cast<int>(queue_.size());
 }
 
-void
-WorkerPool::workerLoop()
+std::vector<double>
+WorkerPool::workerBusyMs() const
 {
+    std::vector<double> out;
+    out.reserve(busyNs_.size());
+    for (const auto& ns : busyNs_)
+        out.push_back(static_cast<double>(
+                          ns->load(std::memory_order_relaxed)) /
+                      1e6);
+    return out;
+}
+
+void
+WorkerPool::workerLoop(int workerIndex)
+{
+    // Sampled as "worker-N" whenever the process profiler is running;
+    // an idle worker (blocked on cv_) accrues no CPU time and no
+    // samples.
+    obs::prof::ThreadProfileScope profileScope(
+        "worker-" + std::to_string(workerIndex));
+    std::atomic<std::uint64_t>& busyNs = *busyNs_[workerIndex];
     while (true) {
         std::function<void()> fn;
         {
@@ -58,7 +83,14 @@ WorkerPool::workerLoop()
             queue_.pop_front();
         }
         busyWorkers_.fetch_add(1, std::memory_order_relaxed);
+        const auto start = std::chrono::steady_clock::now();
         fn();
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        busyNs.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()),
+            std::memory_order_relaxed);
         busyWorkers_.fetch_sub(1, std::memory_order_relaxed);
     }
 }

@@ -11,8 +11,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -53,8 +55,16 @@ class WorkerPool
     /** Closures queued but not yet started. */
     int pendingTasks() const;
 
+    /**
+     * Per-worker occupancy timeline: cumulative milliseconds each worker
+     * has spent running closures since construction. Index == worker
+     * number; compare across workers to spot load imbalance and against
+     * wall time for utilization.
+     */
+    std::vector<double> workerBusyMs() const;
+
   private:
-    void workerLoop();
+    void workerLoop(int workerIndex);
 
     const int size_;
     std::vector<std::thread> threads_;
@@ -62,6 +72,9 @@ class WorkerPool
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     std::atomic<int> busyWorkers_{0};
+    /** Cumulative busy time per worker, in nanoseconds. unique_ptr so
+     *  the vector stays movable-free and addresses stable. */
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> busyNs_;
     bool stopping_ = false;
 };
 

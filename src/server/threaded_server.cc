@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/prof/cpu_profiler.h"
 #include "util/logging.h"
 
 namespace tpc::server {
@@ -92,6 +93,7 @@ ThreadedServer::attachMetrics(obs::MetricsRegistry* metrics)
     metrics_ = metrics;
     if (metrics == nullptr) {
         metric_ = MetricHandles{};
+        lockWait_.attachMetrics(nullptr);
         return;
     }
     metric_.arrivals = &metrics->counter("arrivals");
@@ -103,6 +105,10 @@ ThreadedServer::attachMetrics(obs::MetricsRegistry* metrics)
     metric_.idleWorkers = &metrics->gauge("idle_workers");
     metric_.responseMs = &metrics->histogram("response_ms");
     metric_.queueMs = &metrics->histogram("queue_ms");
+    // Sub-microsecond floor: contended scheduler-lock waits live far
+    // below the latency histograms' default 10 µs bucketing.
+    lockWait_.attachMetrics(
+        &metrics->histogram("sched_lock_wait_ms", 0.0001, 10000.0, 1.05));
 }
 
 obs::TraceEvent
@@ -141,7 +147,7 @@ ThreadedServer::trySubmit(ThreadedJob job, std::uint64_t* idOut)
     TPC_CHECK(job.numTasks >= 1);
     TPC_CHECK(job.task != nullptr);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        auto lock = obs::prof::timedLock(mutex_, lockWait_);
         if (draining_ || stopping_)
             return false;
         const std::uint64_t id = nextId_++;
@@ -164,7 +170,7 @@ ThreadedServer::tryCancel(std::uint64_t id)
 {
     std::function<void()> onCancel;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        auto lock = obs::prof::timedLock(mutex_, lockWait_);
         auto it = std::find_if(queue_.begin(), queue_.end(),
                                [id](const QueuedJob& queued) {
                                    return queued.id == id;
@@ -220,14 +226,14 @@ ThreadedServer::shutdown()
 int
 ThreadedServer::queueDepth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    auto lock = obs::prof::timedLock(mutex_, lockWait_);
     return static_cast<int>(queue_.size());
 }
 
 int
 ThreadedServer::inFlightCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    auto lock = obs::prof::timedLock(mutex_, lockWait_);
     return static_cast<int>(queue_.size() + active_.size());
 }
 
@@ -287,7 +293,7 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
 {
     std::function<void()> postamble;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        auto lock = obs::prof::timedLock(mutex_, lockWait_);
         auto it = active_.find(id);
         TPC_CHECK(it != active_.end());
         ActiveRequest& req = it->second;
@@ -303,7 +309,7 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
         postamble();
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        auto lock = obs::prof::timedLock(mutex_, lockWait_);
         auto it = active_.find(id);
         TPC_CHECK(it != active_.end());
         ActiveRequest& req = it->second;
@@ -633,6 +639,9 @@ ThreadedServer::runRechecksLocked(std::unique_lock<std::mutex>& lock)
 void
 ThreadedServer::schedulerLoop()
 {
+    // Sampled as "scheduler" whenever the process profiler is running;
+    // blocked cv_ waits accrue no CPU time and no samples.
+    obs::prof::ThreadProfileScope profileScope("scheduler");
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
         dispatchLocked(lock);

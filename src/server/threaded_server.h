@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/prof/timed_mutex.h"
 #include "obs/span_collector.h"
 #include "obs/stage_stats.h"
 #include "obs/trace_recorder.h"
@@ -225,6 +226,23 @@ class ThreadedServer
     /** Workers currently assigned to requests (snapshot). */
     int busyWorkers() const;
 
+    /**
+     * Wait accounting for the scheduler mutex as seen from the serving
+     * hot paths (submission, cancellation, completion, depth probes).
+     * The dispatch-queue lock is the contention point ROADMAP item 3
+     * targets; this quantifies it in production.
+     */
+    const obs::prof::LockWaitStats& lockWaitStats() const
+    {
+        return lockWait_;
+    }
+
+    /** Per-worker cumulative busy milliseconds (occupancy timeline). */
+    std::vector<double> workerBusyMs() const
+    {
+        return pool_->workerBusyMs();
+    }
+
     const ThreadedServerConfig& config() const { return config_; }
 
   private:
@@ -318,6 +336,8 @@ class ThreadedServer
     } metric_;
 
     mutable std::mutex mutex_;
+    /** Wait stats for mutex_ acquisitions on the serving hot paths. */
+    mutable obs::prof::LockWaitStats lockWait_;
     std::condition_variable cv_;
     std::condition_variable drainCv_;
     std::deque<QueuedJob> queue_;

@@ -684,6 +684,39 @@ TEST(Frame, TraceAdminFramesRoundTrip)
     EXPECT_EQ(back, text);
 }
 
+TEST(Frame, ProfileAdminFramesRoundTrip)
+{
+    // /profilez differs from the other admin frames in that the request
+    // carries a payload: the profiler command as UTF-8 text.
+    Frame probe;
+    probe.type = FrameType::kProfileRequest;
+    probe.requestId = 11;
+    const std::string command = "start 200";
+    probe.payload.assign(command.begin(), command.end());
+    std::vector<std::uint8_t> wire;
+    encodeFrame(probe, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.type, FrameType::kProfileRequest);
+    const std::string back(decoded.frame.payload.begin(),
+                           decoded.frame.payload.end());
+    EXPECT_EQ(back, command);
+
+    Frame dump;
+    dump.type = FrameType::kProfileResponse;
+    dump.requestId = 11;
+    const std::string text = "main;loop;work 42\n";
+    dump.payload.assign(text.begin(), text.end());
+    std::vector<std::uint8_t> wire2;
+    encodeFrame(dump, wire2);
+    const DecodeResult decoded2 = decodeFrame(wire2.data(), wire2.size());
+    ASSERT_EQ(decoded2.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded2.frame.type, FrameType::kProfileResponse);
+    const std::string back2(decoded2.frame.payload.begin(),
+                            decoded2.frame.payload.end());
+    EXPECT_EQ(back2, text);
+}
+
 TEST(Frame, PayloadU64Helpers)
 {
     std::vector<std::uint8_t> payload;

@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Tests for the continuous-profiling subsystem: the SPSC sample ring
+ * (including overflow drop-and-count), the folded-stack and speedscope
+ * exporters (empty profiles, unsymbolizable frames, JSON escaping), the
+ * /profilez command interface, the live CPU profiler (tolerant of
+ * platforms without per-thread CPU-time timers), lock-wait accounting,
+ * and the /proc/self resource gauges.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/prof/cpu_profiler.h"
+#include "obs/prof/profile.h"
+#include "obs/prof/sample_ring.h"
+#include "obs/prof/timed_mutex.h"
+
+namespace tpc::obs::prof {
+namespace {
+
+RawSample
+makeSample(std::uintptr_t leaf, std::uint16_t depth = 1)
+{
+    RawSample sample;
+    sample.depth = depth;
+    for (std::uint16_t i = 0; i < depth; ++i)
+        sample.pcs[i] = leaf + i;
+    return sample;
+}
+
+TEST(ProfSampleRing, RoundsCapacityUpToPowerOfTwo)
+{
+    EXPECT_EQ(SampleRing(1).capacity(), 1u);
+    EXPECT_EQ(SampleRing(2).capacity(), 2u);
+    EXPECT_EQ(SampleRing(3).capacity(), 4u);
+    EXPECT_EQ(SampleRing(4096).capacity(), 4096u);
+    EXPECT_EQ(SampleRing(5000).capacity(), 8192u);
+}
+
+TEST(ProfSampleRing, PushPopPreservesOrderAndContent)
+{
+    SampleRing ring(8);
+    for (std::uintptr_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(ring.push(makeSample(0x1000 + i, 3)));
+    EXPECT_EQ(ring.size(), 5u);
+
+    RawSample out;
+    for (std::uintptr_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(ring.pop(&out));
+        EXPECT_EQ(out.depth, 3);
+        EXPECT_EQ(out.pcs[0], 0x1000 + i);
+        EXPECT_EQ(out.pcs[2], 0x1000 + i + 2);
+    }
+    EXPECT_FALSE(ring.pop(&out));
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(ProfSampleRing, OverflowDropsAndCountsWithoutBlocking)
+{
+    SampleRing ring(4);
+    for (std::uintptr_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.push(makeSample(i)));
+    // Full: pushes fail fast and count, never block or overwrite.
+    EXPECT_FALSE(ring.push(makeSample(100)));
+    EXPECT_FALSE(ring.push(makeSample(101)));
+    EXPECT_EQ(ring.dropped(), 2u);
+    EXPECT_EQ(ring.size(), 4u);
+
+    // Draining makes room again; the buffered samples are the original
+    // four, not the dropped ones.
+    RawSample out;
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out.pcs[0], 0u);
+    EXPECT_TRUE(ring.push(makeSample(102)));
+    std::uintptr_t last = 0;
+    while (ring.pop(&out))
+        last = out.pcs[0];
+    EXPECT_EQ(last, 102u);
+    EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(ProfSampleRing, SpscStressLosesNothingButCountedDrops)
+{
+    SampleRing ring(64);
+    constexpr std::uint64_t kPushes = 20000;
+    std::atomic<bool> start{false};
+    std::uint64_t popped = 0;
+    std::thread consumer([&] {
+        while (!start.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        RawSample out;
+        // Drain until the producer's full count is accounted for.
+        while (popped + ring.dropped() < kPushes) {
+            if (ring.pop(&out))
+                ++popped;
+            else
+                std::this_thread::yield();
+        }
+    });
+    start.store(true, std::memory_order_release);
+    for (std::uint64_t i = 0; i < kPushes; ++i)
+        ring.push(makeSample(static_cast<std::uintptr_t>(i)));
+    consumer.join();
+    EXPECT_EQ(popped + ring.dropped(), kPushes);
+}
+
+/** Deterministic resolver for exporter tests. */
+SymbolResolver
+testResolver()
+{
+    return [](std::uintptr_t pc) -> std::string {
+        switch (pc) {
+        case 1: return "main";
+        case 2: return "loop";
+        case 3: return "work";
+        default: return "f" + std::to_string(pc);
+        }
+    };
+}
+
+ProfileSnapshot
+twoStackSnapshot()
+{
+    ProfileSnapshot snap;
+    snap.supported = true;
+    snap.samples = 7;
+    // pcs are leaf-first: work <- loop <- main.
+    ProfileStack hot;
+    hot.thread = "worker-0";
+    hot.pcs = {3, 2, 1};
+    hot.count = 5;
+    ProfileStack cold;
+    cold.thread = "worker-0";
+    cold.pcs = {2, 1};
+    cold.count = 2;
+    snap.stacks = {hot, cold};
+    return snap;
+}
+
+TEST(ProfFolded, RendersRootFirstSortedLines)
+{
+    const std::string folded = renderFolded(twoStackSnapshot(),
+                                            testResolver());
+    // Lines are sorted lexicographically; the shorter stack prefix
+    // sorts first.
+    EXPECT_EQ(folded,
+              "worker-0;main;loop 2\n"
+              "worker-0;main;loop;work 5\n");
+}
+
+TEST(ProfFolded, EmptyProfileRendersEmpty)
+{
+    ProfileSnapshot snap;
+    snap.supported = true;
+    EXPECT_EQ(renderFolded(snap, testResolver()), "");
+    EXPECT_EQ(renderFolded(snap), "");
+}
+
+TEST(ProfFolded, FoldsStacksThatSymbolizeIdentically)
+{
+    // Two distinct return addresses inside the same function must fold
+    // into one line with summed counts.
+    ProfileSnapshot snap;
+    snap.supported = true;
+    snap.samples = 3;
+    ProfileStack a;
+    a.thread = "t";
+    a.pcs = {100, 1};
+    a.count = 1;
+    ProfileStack b;
+    b.thread = "t";
+    b.pcs = {200, 1};
+    b.count = 2;
+    snap.stacks = {a, b};
+    const SymbolResolver sameName = [](std::uintptr_t pc) -> std::string {
+        return pc == 1 ? "main" : "hot";
+    };
+    EXPECT_EQ(renderFolded(snap, sameName), "t;main;hot 3\n");
+}
+
+TEST(ProfFolded, UnsymbolizableFramesFallBackToAddresses)
+{
+    ProfileSnapshot snap;
+    snap.supported = true;
+    snap.samples = 1;
+    ProfileStack stack;
+    stack.thread = "t";
+    // An address no loaded object covers: dladdr fails, the default
+    // resolver falls back to hex so the frame stays distinguishable.
+    stack.pcs = {0x1234};
+    stack.count = 1;
+    snap.stacks = {stack};
+    const std::string folded = renderFolded(snap);
+    EXPECT_NE(folded.find("0x1234"), std::string::npos);
+}
+
+TEST(ProfSpeedscope, EmitsValidSchemaWithDedupedFrames)
+{
+    const std::string json = renderSpeedscope(twoStackSnapshot(),
+                                              testResolver());
+    EXPECT_NE(json.find("\"$schema\""), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"sampled\""), std::string::npos);
+    EXPECT_NE(json.find("worker-0"), std::string::npos);
+    // Frames are deduplicated into the shared table: "main" appears in
+    // both stacks but only once as a frame entry.
+    std::size_t mainCount = 0;
+    for (std::size_t pos = json.find("{\"name\":\"main\"}");
+         pos != std::string::npos;
+         pos = json.find("{\"name\":\"main\"}", pos + 1))
+        ++mainCount;
+    EXPECT_EQ(mainCount, 1u);
+}
+
+TEST(ProfSpeedscope, EmptyProfileStaysSchemaValid)
+{
+    ProfileSnapshot snap;
+    snap.supported = true;
+    const std::string json = renderSpeedscope(snap, testResolver());
+    // A placeholder profile keeps the file loadable in speedscope.
+    EXPECT_NE(json.find("\"profiles\":["), std::string::npos);
+    EXPECT_NE(json.find("(no samples)"), std::string::npos);
+}
+
+TEST(ProfSpeedscope, EscapesFrameNames)
+{
+    ProfileSnapshot snap;
+    snap.supported = true;
+    snap.samples = 1;
+    ProfileStack stack;
+    stack.thread = "t\"1\\x";
+    stack.pcs = {9};
+    stack.count = 1;
+    snap.stacks = {stack};
+    const SymbolResolver quoted = [](std::uintptr_t) -> std::string {
+        return "op<\"a\\b\">\n";
+    };
+    const std::string json = renderSpeedscope(snap, quoted);
+    EXPECT_NE(json.find("op<\\\"a\\\\b\\\">\\n"), std::string::npos);
+    EXPECT_NE(json.find("t\\\"1\\\\x"), std::string::npos);
+}
+
+TEST(ProfJsonEscape, HandlesQuotesBackslashesAndControlBytes)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ProfProfilezCommand, StatusAndErrorsStayInBand)
+{
+    auto& profiler = CpuProfiler::instance();
+    profiler.reset();
+
+    // Empty input defaults to status.
+    const std::string status = profiler.handleCommand("");
+    EXPECT_NE(status.find("profiler:"), std::string::npos);
+    EXPECT_NE(status.find("running=0"), std::string::npos);
+    EXPECT_EQ(profiler.handleCommand("status"), status);
+
+    // Failures are in-band "error: ..." bodies, never exceptions.
+    EXPECT_EQ(profiler.handleCommand("bogus").rfind("error: ", 0), 0u);
+    EXPECT_EQ(profiler.handleCommand("start nope").rfind("error: ", 0),
+              0u);
+    EXPECT_EQ(profiler.handleCommand("start -5").rfind("error: ", 0), 0u);
+
+    // stop without start reports, does not error the transport.
+    EXPECT_EQ(profiler.handleCommand("stop"), "not running");
+    EXPECT_EQ(profiler.handleCommand("reset"), "reset");
+
+    // The free-function forwarder used as a ProfilezProvider.
+    EXPECT_EQ(handleProfilezCommand("status"), status);
+}
+
+TEST(ProfProfilezCommand, StartDumpStopCycle)
+{
+    if (!CpuProfiler::supported())
+        GTEST_SKIP() << "per-thread CPU-time timers unsupported here";
+    auto& profiler = CpuProfiler::instance();
+    profiler.reset();
+
+    ThreadProfileScope scope("test-main");
+    const std::string started = profiler.handleCommand("start 500");
+    EXPECT_NE(started.find("started"), std::string::npos);
+    EXPECT_TRUE(profiler.running());
+    EXPECT_NE(profiler.handleCommand("start").find("already running"),
+              std::string::npos);
+
+    // Burn CPU so the thread's CPU clock advances and timers can fire.
+    volatile std::uint64_t sink = 0;
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(100);
+    while (std::chrono::steady_clock::now() < until)
+        sink += sink * 31 + 7;
+
+    // folded/speedscope dumps work while running; zero samples is legal
+    // (CI machines can be too throttled to fire timers) but the command
+    // must not error.
+    EXPECT_EQ(profiler.handleCommand("folded").rfind("error:", 0),
+              std::string::npos);
+    const std::string json = profiler.handleCommand("speedscope");
+    EXPECT_NE(json.find("\"$schema\""), std::string::npos);
+
+    const std::string stopped = profiler.handleCommand("stop");
+    EXPECT_NE(stopped.find("stopped"), std::string::npos);
+    EXPECT_FALSE(profiler.running());
+    profiler.reset();
+}
+
+TEST(ProfCpuProfiler, CapturesStacksFromBusyThreads)
+{
+    if (!CpuProfiler::supported())
+        GTEST_SKIP() << "per-thread CPU-time timers unsupported here";
+    auto& profiler = CpuProfiler::instance();
+    profiler.reset();
+
+    std::atomic<bool> stop{false};
+    std::thread burner([&stop] {
+        ThreadProfileScope scope("burner");
+        volatile std::uint64_t sink = 1;
+        while (!stop.load(std::memory_order_relaxed))
+            sink = sink * 6364136223846793005ull + 1442695040888963407ull;
+    });
+
+    CpuProfilerOptions options;
+    options.hz = 1000.0;
+    ASSERT_TRUE(profiler.start(options));
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    profiler.stop();
+    stop.store(true, std::memory_order_relaxed);
+    burner.join();
+
+    const ProfileSnapshot snap =
+        CpuProfiler::instance().snapshot();
+    EXPECT_TRUE(snap.supported);
+    EXPECT_FALSE(snap.running);
+    // A busy thread at 1 kHz over 300 ms should yield samples on any
+    // real machine; tolerate zero only by not crashing the exporters.
+    if (snap.samples > 0) {
+        bool sawBurner = false;
+        for (const ProfileStack& stack : snap.stacks)
+            if (stack.thread == "burner") {
+                sawBurner = true;
+                EXPECT_FALSE(stack.pcs.empty());
+            }
+        EXPECT_TRUE(sawBurner);
+        EXPECT_FALSE(renderFolded(snap).empty());
+    }
+    profiler.reset();
+    EXPECT_EQ(CpuProfiler::instance().snapshot().samples, 0u);
+}
+
+TEST(ProfLockWait, CountsContendedAndUncontendedAcquisitions)
+{
+    std::mutex mutex;
+    LockWaitStats stats;
+    {
+        auto lock = timedLock(mutex, stats);
+        EXPECT_TRUE(lock.owns_lock());
+    }
+    EXPECT_EQ(stats.acquisitions(), 1u);
+    EXPECT_EQ(stats.contended(), 0u);
+
+    // Force contention: a holder thread keeps the mutex until the main
+    // thread is known to be waiting on it.
+    std::atomic<bool> held{false};
+    std::thread holder([&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        held.store(true, std::memory_order_release);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    while (!held.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    {
+        auto lock = timedLock(mutex, stats);
+        EXPECT_TRUE(lock.owns_lock());
+    }
+    holder.join();
+    EXPECT_EQ(stats.acquisitions(), 2u);
+    EXPECT_EQ(stats.contended(), 1u);
+    EXPECT_EQ(stats.waitHistogram().count(), 1u);
+}
+
+TEST(ProfLockWait, FeedsAttachedMetricsHistogram)
+{
+    MetricsRegistry metrics;
+    Histogram& waits =
+        metrics.histogram("sched_lock_wait_ms", 0.0001, 10000.0, 1.05);
+    std::mutex mutex;
+    LockWaitStats stats;
+    stats.attachMetrics(&waits);
+    stats.recordContended(0.25);
+    EXPECT_EQ(waits.count(), 1u);
+    stats.attachMetrics(nullptr);
+    stats.recordContended(0.25);
+    EXPECT_EQ(waits.count(), 1u);
+}
+
+TEST(ProfProcStats, SamplesLiveProcessState)
+{
+    const ProcStats stats = sampleProcStats();
+#if defined(__linux__)
+    ASSERT_TRUE(stats.ok);
+    EXPECT_GT(stats.rssBytes, 0.0);
+    EXPECT_GT(stats.vsizeBytes, stats.rssBytes * 0.1);
+    EXPECT_GE(stats.utimeSec + stats.stimeSec, 0.0);
+    EXPECT_GE(stats.openFds, 3); // stdin/stdout/stderr at minimum
+    EXPECT_GE(stats.threads, 1);
+#else
+    (void)stats;
+#endif
+}
+
+TEST(ProfProcStats, PublishesGaugesIntoRegistry)
+{
+    ProcStats stats;
+    stats.ok = true;
+    stats.rssBytes = 1024.0 * 1024.0;
+    stats.openFds = 12;
+    stats.threads = 3;
+    MetricsRegistry metrics;
+    publishProcStats(metrics, stats);
+    EXPECT_DOUBLE_EQ(metrics.gauge("proc_rss_bytes").value(),
+                     1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("proc_open_fds").value(), 12.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("proc_threads").value(), 3.0);
+}
+
+} // namespace
+} // namespace tpc::obs::prof
