@@ -13,6 +13,7 @@
 #include "ml/gbrt.h"
 #include "obs/trace_recorder.h"
 #include "policy/baselines.h"
+#include "predict/flat_forest.h"
 #include "search/executor.h"
 #include "search/features.h"
 #include "search/query_generator.h"
@@ -139,6 +140,61 @@ BM_PredictorInference(benchmark::State& state)
     }
 }
 BENCHMARK(BM_PredictorInference);
+
+namespace {
+
+/** Same model shape as BM_PredictorInference, shared by the flat cells. */
+ml::Gbrt
+benchPredictorModel()
+{
+    util::Rng rng(1);
+    ml::Dataset train({"a", "b", "c", "d", "e"});
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<double> row(5);
+        for (auto& v : row)
+            v = rng.uniform(0.0, 100.0);
+        train.addRow(row, row[0] * 2.0 + row[3]);
+    }
+    ml::Gbrt model;
+    ml::GbrtParams params;
+    model.train(train, params);
+    return model;
+}
+
+} // namespace
+
+void
+BM_FlatForestInference(benchmark::State& state)
+{
+    // The same ensemble as BM_PredictorInference, compiled into the
+    // flat packed-node/branchless layout the dispatch hot path uses.
+    const predict::FlatForest flat =
+        predict::FlatForest::compile(benchPredictorModel());
+    const std::vector<double> features{10.0, 20.0, 30.0, 40.0, 50.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(flat.predict(features));
+    }
+}
+BENCHMARK(BM_FlatForestInference);
+
+void
+BM_FlatForestBatchInference(benchmark::State& state)
+{
+    const predict::FlatForest flat =
+        predict::FlatForest::compile(benchPredictorModel());
+    constexpr std::size_t kRows = 64;
+    util::Rng rng(3);
+    std::vector<double> rows(kRows * 5);
+    for (auto& v : rows)
+        v = rng.uniform(0.0, 100.0);
+    std::vector<double> out(kRows);
+    for (auto _ : state) {
+        flat.predictBatch(rows.data(), kRows, 5, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_FlatForestBatchInference);
 
 void
 BM_PostingIntersection(benchmark::State& state)

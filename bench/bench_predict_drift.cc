@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Drift replay for the online-retraining predictor: a query-mix shift
+ * mid-run, replayed two ways on the DES ISN:
+ *
+ *   frozen   The offline GBRT serves every dispatch, as the paper does
+ *            (train once, freeze). After the shift a feature the
+ *            training mix never exercised starts driving demand; trees
+ *            cannot extrapolate past their split thresholds, so the
+ *            model keeps predicting the old regime, long requests are
+ *            dispatched as shorts (mispredict_long) and the tail grows.
+ *
+ *   retrain  The same serving path with an OnlineRetrainer pumped at
+ *            every window boundary: completions feed the replay buffer,
+ *            the windowed error quantile flags the drift, candidates
+ *            retrain on the shifted mix, shadow-score on held-back
+ *            completions and hot-swap in via the VersionedPredictor.
+ *            Recall at the long threshold recovers and p99 re-converges.
+ *
+ * Both modes predict through the PredictorHandle/FlatForest read path,
+ * so the only difference is the retraining loop. Per-window series land
+ * in results/predict_drift.csv (model version/source, retrains,
+ * promotions, recall, mispredict-long %).
+ */
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/policies.h"
+#include "core/tpc_policy.h"
+#include "ml/dataset.h"
+#include "ml/gbrt.h"
+#include "obs/stage_stats.h"
+#include "predict/online_retrainer.h"
+#include "predict/versioned_model.h"
+#include "server/sim_server.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "util/csv.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace tpc;
+
+constexpr double kDurationMs = 60000.0;
+constexpr double kShiftMs = 30000.0;
+constexpr double kWindowMs = 1000.0;
+constexpr double kQps = 300.0;
+constexpr double kLongThresholdMs = 80.0;
+constexpr std::size_t kFeatures = 5;
+constexpr std::uint64_t kArrivalSeed = 13;
+
+enum class Mode { kFrozen, kRetrain };
+
+const char*
+modeName(Mode mode)
+{
+    return mode == Mode::kFrozen ? "frozen" : "retrain";
+}
+
+/** One synthetic query: the feature vector dispatch predicts from and
+ *  the latent sequential demand the ISN simulates. */
+struct DriftQuery
+{
+    std::vector<double> features;
+    double trueMs = 0.0;
+};
+
+/**
+ * The query mix. Pre-shift, f3 is a dormant dimension (uniform 0..2,
+ * negligible demand contribution); post-shift it jumps to 70..110 on a
+ * quarter of the queries and contributes ~1 ms per unit, pushing those
+ * queries past the 80 ms long threshold — demand the offline model
+ * structurally cannot see, because no training-time split ever
+ * separated large f3 values, so it keeps predicting them short.
+ */
+DriftQuery
+makeQuery(util::Rng& rng, bool shifted)
+{
+    DriftQuery q;
+    q.features.resize(kFeatures);
+    q.features[0] = rng.uniform(1.0, 8.0);               // base demand
+    q.features[1] = rng.bernoulli(0.12) ? 1.0 : 0.0;     // long flag
+    q.features[2] = rng.uniform(0.0, 10.0);              // noise
+    q.features[3] = shifted && rng.bernoulli(0.25)
+                        ? rng.uniform(70.0, 110.0)
+                        : rng.uniform(0.0, 2.0);
+    q.features[4] = rng.uniform(0.0, 5.0);               // noise
+    q.trueMs = 3.0 + 1.4 * q.features[0] + 95.0 * q.features[1] +
+               1.0 * q.features[3] + rng.uniform(-0.5, 0.5);
+    return q;
+}
+
+std::vector<std::string>
+featureNames()
+{
+    std::vector<std::string> names;
+    for (std::size_t f = 0; f < kFeatures; ++f)
+        names.push_back("f" + std::to_string(f));
+    return names;
+}
+
+/** Offline training: the pre-shift mix only, as the paper prescribes. */
+ml::Gbrt
+trainOffline()
+{
+    util::Rng rng(7);
+    ml::Dataset data(featureNames());
+    for (int i = 0; i < 4000; ++i) {
+        const DriftQuery q = makeQuery(rng, /*shifted=*/false);
+        data.addRow(q.features, q.trueMs);
+    }
+    ml::GbrtParams params;
+    params.loss = ml::GbrtLoss::AbsoluteError;
+    params.numTrees = 80;
+    params.learningRate = 0.15;
+    ml::Gbrt model;
+    model.train(data, params);
+    return model;
+}
+
+struct WindowRow
+{
+    double endMs = 0.0;
+    std::uint64_t completions = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    /** True-long completions predicted short, % of all completions. */
+    double mispredictLongPct = 0.0;
+    /** Fraction of true-long completions predicted long. */
+    double recall = 1.0;
+    std::uint64_t modelVersion = 1;
+    std::string source = "offline";
+    std::uint64_t driftWindows = 0;
+    std::uint64_t retrains = 0;
+    std::uint64_t promotions = 0;
+    double errQ = 0.0;
+};
+
+struct RunResult
+{
+    std::vector<WindowRow> windows;
+    stats::LatencyRecorder latency;
+    double wallMs = 0.0;
+    std::uint64_t retrains = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t finalVersion = 1;
+};
+
+RunResult
+runDrift(Mode mode, const ml::Gbrt& offline)
+{
+    const auto wallStart = std::chrono::steady_clock::now();
+    sim::Simulator sim;
+    core::TpcPolicy policy(harness::webSearchExecutionModel(),
+                           core::TargetTable::webSearchDefault(),
+                           core::TpcOptions{});
+    server::ServerConfig config;
+    server::SimServer server(sim, config, policy,
+                             harness::webSearchExecutionModel());
+    server.setStoreOutcomes(false);
+
+    predict::VersionedPredictor live(offline);
+    predict::PredictorHandle handle(&live);
+    std::unique_ptr<predict::OnlineRetrainer> retrainer;
+    if (mode == Mode::kRetrain) {
+        predict::RetrainOptions options;
+        options.startThread = false; // pumped from simulated time below
+        options.minWindowSamples = 64;
+        options.minTrainSamples = 384;
+        options.bufferCapacity = 4096;
+        options.longThresholdMs = kLongThresholdMs;
+        options.train.loss = ml::GbrtLoss::AbsoluteError;
+        options.train.numTrees = 60;
+        options.train.learningRate = 0.15;
+        retrainer = std::make_unique<predict::OnlineRetrainer>(
+            live, featureNames(), options);
+    }
+
+    // In-flight features, keyed by the server-assigned request id, so
+    // the completion callback can feed the retrainer.
+    std::unordered_map<std::uint64_t, std::vector<double>> inFlight;
+
+    RunResult result;
+    stats::LogHistogram windowLatency;
+    std::uint64_t windowCompletions = 0;
+    std::uint64_t windowTrueLong = 0;
+    std::uint64_t windowCaughtLong = 0;
+    std::uint64_t windowMispredictLong = 0;
+    server.setCompletionCallback([&](const server::RequestOutcome& o) {
+        result.latency.add(o.responseMs());
+        windowLatency.add(std::max(o.responseMs(), 0.01));
+        ++windowCompletions;
+        if (o.trueMs >= kLongThresholdMs) {
+            ++windowTrueLong;
+            if (o.predictedMs >= kLongThresholdMs)
+                ++windowCaughtLong;
+            else
+                ++windowMispredictLong;
+        }
+        const auto it = inFlight.find(o.id);
+        if (it != inFlight.end()) {
+            if (retrainer != nullptr)
+                retrainer->observe(it->second, o.trueMs, o.predictedMs);
+            inFlight.erase(it);
+        }
+    });
+
+    util::PoissonProcess arrivals(kQps, util::Rng(kArrivalSeed));
+    util::Rng queryRng(kArrivalSeed + 1);
+    for (double at = arrivals.nextArrivalMs(); at < kDurationMs;
+         at = arrivals.nextArrivalMs()) {
+        const DriftQuery q = makeQuery(queryRng, at >= kShiftMs);
+        sim.schedule(at, [&server, &handle, &inFlight, q] {
+            const double predictedMs = handle.predict(q.features.data());
+            const std::uint64_t id = server.submit(q.trueMs, predictedMs);
+            inFlight.emplace(id, q.features);
+        });
+    }
+
+    const int numWindows = static_cast<int>(kDurationMs / kWindowMs) + 1;
+    for (int w = 1; w <= numWindows; ++w) {
+        sim.schedule(w * kWindowMs, [&, w] {
+            WindowRow row;
+            row.endMs = w * kWindowMs;
+            row.completions = windowCompletions;
+            row.p50Ms = windowLatency.percentile(0.50);
+            row.p99Ms = windowLatency.percentile(0.99);
+            row.mispredictLongPct =
+                windowCompletions > 0
+                    ? 100.0 * static_cast<double>(windowMispredictLong) /
+                          static_cast<double>(windowCompletions)
+                    : 0.0;
+            row.recall = windowTrueLong > 0
+                             ? static_cast<double>(windowCaughtLong) /
+                                   static_cast<double>(windowTrueLong)
+                             : 1.0;
+            if (retrainer != nullptr) {
+                retrainer->advanceWindow();
+                const predict::RetrainerStats s = retrainer->stats();
+                row.modelVersion = s.modelVersion;
+                row.source = predict::modelSourceName(s.modelSource);
+                row.driftWindows = s.driftWindows;
+                row.retrains = s.retrains;
+                row.promotions = s.promotions;
+                row.errQ = s.lastWindowErrQuantile;
+            }
+            result.windows.push_back(std::move(row));
+            windowLatency = stats::LogHistogram();
+            windowCompletions = 0;
+            windowTrueLong = 0;
+            windowCaughtLong = 0;
+            windowMispredictLong = 0;
+        });
+    }
+    sim.runUntilEmpty();
+
+    if (retrainer != nullptr) {
+        const predict::RetrainerStats s = retrainer->stats();
+        result.retrains = s.retrains;
+        result.promotions = s.promotions;
+        result.finalVersion = s.modelVersion;
+    }
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count();
+    return result;
+}
+
+/** Mean of a window stat over the post-shift steady state (the last
+ *  third of the run, well past the retraining transient). */
+double
+steadyStateMean(const std::vector<WindowRow>& windows,
+                double (*pick)(const WindowRow&))
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const WindowRow& w : windows) {
+        if (w.endMs <= kDurationMs * 2.0 / 3.0 || w.completions == 0)
+            continue;
+        sum += pick(w);
+        ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== predictor drift replay: query mix shifts at %.0f s "
+                "===\n",
+                kShiftMs / 1000.0);
+    std::printf("training the offline predictor on the pre-shift mix...\n");
+    const ml::Gbrt offline = trainOffline();
+    std::printf("offline predictor: %zu trees\n", offline.treeCount());
+
+    util::CsvWriter csv(util::resultsDir() + "/predict_drift.csv");
+    csv.writeRow(std::vector<std::string>{
+        "mode", "window_end_ms", "completions", "p50_ms", "p99_ms",
+        "mispredict_long_pct", "recall", "model_version", "source",
+        "drift_windows", "retrains", "promotions", "err_q_ms"});
+
+    util::TablePrinter table("query-mix drift at 30 s, 300 QPS");
+    table.setHeader({"mode", "median (ms)", "post-shift p99 (ms)",
+                     "post-shift mispredict-long %", "post-shift recall",
+                     "retrains", "promotions", "wall (ms)"});
+
+    for (const Mode mode : {Mode::kFrozen, Mode::kRetrain}) {
+        std::printf("replaying %s...\n", modeName(mode));
+        std::fflush(stdout);
+        const RunResult run = runDrift(mode, offline);
+        for (const WindowRow& w : run.windows)
+            csv.writeRow(std::vector<std::string>{
+                modeName(mode), util::TablePrinter::fmt(w.endMs, 0),
+                std::to_string(w.completions),
+                util::TablePrinter::fmt(w.p50Ms, 3),
+                util::TablePrinter::fmt(w.p99Ms, 3),
+                util::TablePrinter::fmt(w.mispredictLongPct, 2),
+                util::TablePrinter::fmt(w.recall, 3),
+                std::to_string(w.modelVersion), w.source,
+                std::to_string(w.driftWindows),
+                std::to_string(w.retrains), std::to_string(w.promotions),
+                util::TablePrinter::fmt(w.errQ, 3)});
+        table.addRow(
+            {modeName(mode),
+             util::TablePrinter::fmt(run.latency.percentile(0.50), 2),
+             util::TablePrinter::fmt(
+                 steadyStateMean(
+                     run.windows,
+                     [](const WindowRow& w) { return w.p99Ms; }),
+                 1),
+             util::TablePrinter::fmt(
+                 steadyStateMean(
+                     run.windows,
+                     [](const WindowRow& w) {
+                         return w.mispredictLongPct;
+                     }),
+                 2),
+             util::TablePrinter::fmt(
+                 steadyStateMean(
+                     run.windows,
+                     [](const WindowRow& w) { return w.recall; }),
+                 3),
+             std::to_string(run.retrains),
+             std::to_string(run.promotions),
+             util::TablePrinter::fmt(run.wallMs, 0)});
+    }
+    table.print();
+    std::printf("(raw series: %s/predict_drift.csv)\n",
+                util::resultsDir().c_str());
+    return 0;
+}

@@ -6,11 +6,44 @@
  * 0.56% mispredicted-long queries, and a resulting prediction-only
  * ceiling at the 99.44th percentile.
  */
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "harness/search_trace.h"
+#include "predict/flat_forest.h"
+#include "search/features.h"
 #include "util/csv.h"
 #include "util/table_printer.h"
+
+namespace {
+
+/** Best-of-3 ns per prediction over all rows of @p features. */
+template <typename Fn>
+double
+nsPerPrediction(const std::vector<std::vector<double>>& features, Fn&& fn)
+{
+    double best = 0.0;
+    for (int pass = 0; pass < 3; ++pass) {
+        double sink = 0.0;
+        const auto start = std::chrono::steady_clock::now();
+        for (const std::vector<double>& row : features)
+            sink += fn(row.data());
+        const double ns = std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - start)
+                              .count() /
+                          static_cast<double>(features.size());
+        if (pass == 0 || ns < best)
+            best = ns;
+        // Keep the accumulated sum observable so the calls can't be
+        // optimized away.
+        if (sink == 0.12345)
+            std::printf("%f\n", sink);
+    }
+    return best;
+}
+
+} // namespace
 
 int
 main()
@@ -43,6 +76,84 @@ main()
                 workload.predictor().treeCount(),
                 workload.params().trainingQueries,
                 workload.trace().size());
+
+    // Flat inference engine: compile the same ensemble, check it is
+    // bit-identical on every trace query, and time both engines (plus
+    // the batched entry point) on the trace's feature vectors.
+    const predict::FlatForest flat =
+        predict::FlatForest::compile(workload.predictor());
+    const search::FeatureExtractor extractor(workload.index());
+    std::vector<std::vector<double>> features;
+    features.reserve(workload.traceQueries().size());
+    for (const search::Query& query : workload.traceQueries())
+        features.push_back(extractor.extract(query));
+
+    std::size_t mismatches = 0;
+    for (const std::vector<double>& row : features)
+        if (flat.predict(row) != workload.predictor().predict(row))
+            ++mismatches;
+
+    const double pointerNs =
+        nsPerPrediction(features, [&](const double* row) {
+            return workload.predictor().predict(row);
+        });
+    const double flatNs = nsPerPrediction(
+        features, [&](const double* row) { return flat.predict(row); });
+
+    const std::size_t stride = search::FeatureExtractor::featureCount();
+    std::vector<double> dense(features.size() * stride);
+    for (std::size_t r = 0; r < features.size(); ++r)
+        for (std::size_t f = 0; f < stride; ++f)
+            dense[r * stride + f] = features[r][f];
+    std::vector<double> batchOut(features.size());
+    double batchNs = 0.0;
+    for (int pass = 0; pass < 3; ++pass) {
+        const auto start = std::chrono::steady_clock::now();
+        flat.predictBatch(dense.data(), features.size(), stride,
+                          batchOut.data());
+        const double ns = std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - start)
+                              .count() /
+                          static_cast<double>(features.size());
+        if (pass == 0 || ns < batchNs)
+            batchNs = ns;
+    }
+    const double speedup = flatNs > 0.0 ? pointerNs / flatNs : 0.0;
+
+    util::TablePrinter flatTable("Flat inference engine vs pointer walk");
+    flatTable.setHeader({"engine", "ns / prediction", "speedup"});
+    flatTable.addRow({"pointer (Gbrt)",
+                      util::TablePrinter::fmt(pointerNs, 1), "1.00"});
+    flatTable.addRow({"flat (FlatForest)",
+                      util::TablePrinter::fmt(flatNs, 1),
+                      util::TablePrinter::fmt(speedup, 2)});
+    flatTable.addRow(
+        {"flat batched", util::TablePrinter::fmt(batchNs, 1),
+         util::TablePrinter::fmt(
+             batchNs > 0.0 ? pointerNs / batchNs : 0.0, 2)});
+    flatTable.print();
+    std::printf("flat engine bit-identical on %zu trace queries: %s "
+                "(%zu mismatches)\n",
+                features.size(), mismatches == 0 ? "yes" : "NO",
+                mismatches);
+
+    util::CsvWriter latencyCsv(util::resultsDir() +
+                               "/predict_latency.csv");
+    latencyCsv.writeRow(std::vector<std::string>{
+        "engine", "ns_per_prediction", "speedup_vs_pointer",
+        "bit_identical"});
+    latencyCsv.writeRow(std::vector<std::string>{
+        "pointer", util::TablePrinter::fmt(pointerNs, 2), "1.00",
+        "true"});
+    latencyCsv.writeRow(std::vector<std::string>{
+        "flat", util::TablePrinter::fmt(flatNs, 2),
+        util::TablePrinter::fmt(speedup, 3),
+        mismatches == 0 ? "true" : "false"});
+    latencyCsv.writeRow(std::vector<std::string>{
+        "flat_batch", util::TablePrinter::fmt(batchNs, 2),
+        util::TablePrinter::fmt(
+            batchNs > 0.0 ? pointerNs / batchNs : 0.0, 3),
+        mismatches == 0 ? "true" : "false"});
 
     util::CsvWriter csv(util::resultsDir() + "/predictor_accuracy.csv");
     csv.writeRow(std::vector<std::string>{"metric", "value"});

@@ -17,7 +17,9 @@
  *         [--fault=SPEC] [--fault-seed=S] [--trace-out=...]
  *         [--metrics-out=...] [--table-file=PATH] [--adapt]
  *         [--adapt-window-ms=1000] [--adapt-min-samples=64]
- *         [--adapt-table-out=PATH]
+ *         [--adapt-table-out=PATH] [--model-file=PATH] [--retrain]
+ *         [--retrain-window-ms=500] [--retrain-min-samples=64]
+ *         [--model-out=PATH] [--drift-after-ms=T] [--drift-factor=F]
  *
  * --fault takes a deterministic fault schedule ("crash@500;restart@900",
  * see src/faults/fault_spec.h for the grammar); the same spec and
@@ -32,6 +34,19 @@
  * serving table when a candidate wins repeatedly (see DESIGN.md);
  * /statsz grows an adaptation lane and --adapt-table-out persists every
  * promoted table (atomic rename) for the aggregator to pick up.
+ *
+ * --model-file loads the execution-time predictor from a saved Gbrt
+ * model (predict::saveModelToFile format) instead of training one;
+ * either way the model is compiled to a FlatForest and served through a
+ * VersionedPredictor, so dispatch predicts from per-query features with
+ * the freshest model. --retrain closes the predictor loop: an
+ * OnlineRetrainer buffers completions, detects prediction-error drift
+ * every --retrain-window-ms, retrains off the hot path, shadow-scores on
+ * held-back completions and hot-swaps the serving model (see DESIGN.md);
+ * /statsz grows a predictor lane and --model-out persists every promoted
+ * model (atomic rename). --drift-after-ms=T with --drift-factor=F makes
+ * each query's parallel phase execute F times once T ms have elapsed —
+ * a feature-invisible demand shift that exercises the drift detector.
  */
 #include <atomic>
 #include <chrono>
@@ -56,7 +71,11 @@
 #include "obs/stage_stats.h"
 #include "obs/statsz.h"
 #include "obs/trace_recorder.h"
+#include "predict/model_store.h"
+#include "predict/online_retrainer.h"
+#include "predict/versioned_model.h"
 #include "search/executor.h"
+#include "search/features.h"
 #include "search/workload.h"
 #include "server/threaded_server.h"
 #include "stats/latency_recorder.h"
@@ -90,7 +109,10 @@ main(int argc, char** argv)
                                 "max-in-flight", "deadline-ms", "fault",
                                 "fault-seed", "table-file", "adapt",
                                 "adapt-window-ms", "adapt-min-samples",
-                                "adapt-table-out"});
+                                "adapt-table-out", "model-file", "retrain",
+                                "retrain-window-ms", "retrain-min-samples",
+                                "model-out", "drift-after-ms",
+                                "drift-factor"});
     const auto numQueries =
         static_cast<std::size_t>(args.getInt("queries", 800));
     const double qps = args.getDouble("qps", 120.0);
@@ -153,6 +175,26 @@ main(int argc, char** argv)
     core::VersionedTargetTable liveTable(initialTable);
     if (adaptEnabled)
         tpc.attachLiveTable(&liveTable);
+
+    // Live predictor: the serving model (offline-trained above, or loaded
+    // from --model-file) compiled to a FlatForest behind a versioned
+    // handle, so dispatch predicts from per-query features and hot-swaps
+    // take effect without a restart. The online retrainer is its only
+    // writer.
+    const std::string modelFile = args.getString("model-file", "");
+    const bool retrainEnabled = args.has("retrain");
+    const bool livePredictEnabled = retrainEnabled || !modelFile.empty();
+    std::unique_ptr<predict::VersionedPredictor> livePredictor;
+    if (livePredictEnabled) {
+        ml::Gbrt servingModel =
+            modelFile.empty() ? workload.predictor()
+                              : predict::loadModelFromFile(modelFile);
+        if (!modelFile.empty())
+            std::printf("predictor model: %s (%zu trees)\n",
+                        modelFile.c_str(), servingModel.treeCount());
+        livePredictor = std::make_unique<predict::VersionedPredictor>(
+            std::move(servingModel));
+    }
 
     server::ThreadedServerConfig serverConfig;
     serverConfig.numWorkers =
@@ -234,6 +276,55 @@ main(int argc, char** argv)
                         adaptOptions.windowMs,
                         adaptOptions.promoteAfterWindows);
         }
+
+        // Online predictor retraining: the prediction observer feeds it
+        // (features, latent actual, latent prediction) per completion;
+        // it publishes through livePredictor, which dispatch re-snapshots
+        // per version bump. Declared before the server for the same
+        // teardown-ordering reason as the adapter.
+        std::unique_ptr<predict::OnlineRetrainer> retrainer;
+        if (retrainEnabled) {
+            predict::RetrainOptions retrainOptions;
+            retrainOptions.windowMs =
+                args.getDouble("retrain-window-ms", 500.0);
+            retrainOptions.minWindowSamples = static_cast<std::uint64_t>(
+                args.getInt("retrain-min-samples", 64));
+            retrainOptions.minTrainSamples = 384;
+            // Latent units: the workload's long threshold is 80 latent ms.
+            retrainOptions.longThresholdMs = 80.0;
+            retrainOptions.train = search::defaultPredictorParams();
+            retrainOptions.train.numTrees = 80;
+            retrainOptions.promotedModelPath =
+                args.getString("model-out", "");
+            retrainer = std::make_unique<predict::OnlineRetrainer>(
+                *livePredictor, search::FeatureExtractor::featureNames(),
+                retrainOptions);
+            std::printf("retraining on: window %.0f ms, promote after %d "
+                        "wins\n",
+                        retrainOptions.windowMs,
+                        retrainOptions.promoteAfterWindows);
+        }
+
+        // Per-query features for dispatch-time prediction (computed once;
+        // the job builder hands them to the server by value).
+        const search::FeatureExtractor extractor(workload.index());
+        std::vector<std::vector<double>> traceFeatures;
+        if (livePredictEnabled) {
+            traceFeatures.reserve(workload.traceQueries().size());
+            for (const search::Query& q : workload.traceQueries())
+                traceFeatures.push_back(extractor.extract(q));
+        }
+
+        // Demand drift injection: after --drift-after-ms, every query's
+        // parallel phase runs --drift-factor times. Features are
+        // untouched, so the offline model keeps under-predicting shifted
+        // queries — the scenario the retrainer exists to fix.
+        const double driftAfterMs = args.getDouble("drift-after-ms", 0.0);
+        const int driftFactor =
+            std::max(1, static_cast<int>(args.getInt("drift-factor", 3)));
+        if (driftAfterMs > 0.0)
+            std::printf("drift injection: x%d demand after %.0f ms\n",
+                        driftFactor, driftAfterMs);
         {
             // Destruction order matters: the RpcServer's postambles call
             // back into it, so it must be destroyed before the engine.
@@ -256,6 +347,18 @@ main(int argc, char** argv)
                     job.cls = job.predictedMs >= serverConfig.longThresholdMs
                                   ? 1u
                                   : 0u;
+                    // With a live predictor the server re-predicts (and
+                    // re-classes) at dispatch; the precomputed estimate
+                    // above is just the fallback.
+                    if (livePredictor != nullptr)
+                        job.features = traceFeatures[idx];
+                    const int repeats =
+                        (driftAfterMs > 0.0 &&
+                         std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - runStart)
+                                 .count() > driftAfterMs)
+                            ? driftFactor
+                            : 1;
                     auto results = std::make_shared<
                         std::vector<search::ChunkResult>>();
                     results->reserve(chunks.size());
@@ -265,10 +368,12 @@ main(int argc, char** argv)
                         executor.parsePhase(q);
                     };
                     job.numTasks = static_cast<int>(chunks.size());
-                    job.task = [&executor, &q, &chunks, results](int c) {
-                        executor.executeRange(
-                            q, chunks[static_cast<std::size_t>(c)],
-                            (*results)[static_cast<std::size_t>(c)]);
+                    job.task = [&executor, &q, &chunks, results,
+                                repeats](int c) {
+                        for (int r = 0; r < repeats; ++r)
+                            executor.executeRange(
+                                q, chunks[static_cast<std::size_t>(c)],
+                                (*results)[static_cast<std::size_t>(c)]);
                     };
                     job.postamble = [&executor, &q, results,
                                      &responsePayload] {
@@ -295,6 +400,39 @@ main(int argc, char** argv)
                     });
                 if (metrics != nullptr)
                     adapter->attachMetrics(metrics.get());
+            }
+            if (livePredictor != nullptr)
+                server.attachPredictor(livePredictor.get(), scale);
+            if (retrainer != nullptr) {
+                const policy::SpeedupModel& speedups =
+                    harness::webSearchExecutionModel();
+                server.setPredictionObserver(
+                    [&retrainer, &speedups,
+                     scale](const std::vector<double>& features,
+                            const obs::StageRecord& record) {
+                        // Reconstruct the latent sequential demand this
+                        // completion implies (service time x speedup at
+                        // the degree it ran at, iterated since the
+                        // profile is keyed by sequential time), then
+                        // feed the retrainer in the model's latent-ms
+                        // units so retrained and offline models share a
+                        // scale.
+                        const double serviceMs = std::max(
+                            record.responseMs - record.queueMs, 0.01);
+                        const int degree =
+                            std::max(1, record.corrected
+                                            ? record.maxDegree
+                                            : record.initialDegree);
+                        double latent = serviceMs / scale;
+                        for (int i = 0; i < 2; ++i)
+                            latent = (serviceMs / scale) *
+                                     speedups.profileFor(latent).speedup(
+                                         degree);
+                        retrainer->observe(features, latent,
+                                           record.predictedMs / scale);
+                    });
+                if (metrics != nullptr)
+                    retrainer->attachMetrics(metrics.get());
             }
             // Distributed-trace spans: pid = the bound port so a
             // multi-process run's Chrome-trace rows stay apart;
@@ -343,6 +481,38 @@ main(int argc, char** argv)
                     adaptInfo.lastWindowP99Ms = a.lastWindowP99Ms;
                     adaptInfo.lastWindowMissPct = a.lastWindowMissPct;
                     info.adaptation = &adaptInfo;
+                }
+                info.modelVersion = policySnap.modelVersion;
+                info.modelSource = policySnap.modelSource;
+                obs::StatszPredictorInfo predictInfo;
+                if (retrainer != nullptr) {
+                    const predict::RetrainerStats p = retrainer->stats();
+                    predictInfo.modelVersion = p.modelVersion;
+                    predictInfo.modelSource =
+                        predict::modelSourceName(p.modelSource);
+                    predictInfo.state =
+                        predict::retrainStateName(p.state);
+                    predictInfo.hasCandidate = p.hasCandidate;
+                    predictInfo.windowsEvaluated = p.windowsEvaluated;
+                    predictInfo.driftWindows = p.driftWindows;
+                    predictInfo.retrains = p.retrains;
+                    predictInfo.promotions = p.promotions;
+                    predictInfo.rollbacks = p.rollbacks;
+                    predictInfo.bufferedSamples = p.bufferedSamples;
+                    predictInfo.lastWindowErrP50 = p.lastWindowErrP50;
+                    predictInfo.lastWindowErrQuantile =
+                        p.lastWindowErrQuantile;
+                    predictInfo.baselineErrQuantile =
+                        p.baselineErrQuantile;
+                    predictInfo.activeShadowMae = p.activeShadowMae;
+                    predictInfo.candidateShadowMae = p.candidateShadowMae;
+                    predictInfo.activeShadowRecall = p.activeShadowRecall;
+                    predictInfo.candidateShadowRecall =
+                        p.candidateShadowRecall;
+                    predictInfo.consecutiveWins = p.consecutiveWins;
+                    predictInfo.lastWindowCompletions =
+                        p.lastWindowCompletions;
+                    info.predictor = &predictInfo;
                 }
                 info.dispatches = policySnap.dispatches;
                 info.corrections = policySnap.corrections;
@@ -466,6 +636,20 @@ main(int argc, char** argv)
                         static_cast<unsigned long long>(a.refits),
                         static_cast<unsigned long long>(a.promotions),
                         static_cast<unsigned long long>(a.rollbacks));
+        }
+        if (retrainer != nullptr) {
+            retrainer->stop();
+            const predict::RetrainerStats p = retrainer->stats();
+            std::printf("retraining: model v%llu (%s), %llu windows, "
+                        "%llu drifted, %llu retrains, %llu promotions, "
+                        "%llu rollbacks\n",
+                        static_cast<unsigned long long>(p.modelVersion),
+                        predict::modelSourceName(p.modelSource),
+                        static_cast<unsigned long long>(p.windowsEvaluated),
+                        static_cast<unsigned long long>(p.driftWindows),
+                        static_cast<unsigned long long>(p.retrains),
+                        static_cast<unsigned long long>(p.promotions),
+                        static_cast<unsigned long long>(p.rollbacks));
         }
         const obs::StageSnapshot stages = stageStats.snapshot();
         for (const auto& cls : stages.classes) {

@@ -18,7 +18,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-results/BENCH_8.json}"
+OUT="${2:-results/BENCH_9.json}"
 NET_CSV="results/net_overhead.csv"
 FANOUT_CSV="results/fanout_tail.csv"
 
@@ -59,7 +59,7 @@ done
 
 cat > "${OUT}" <<EOF
 {
-  "pr": 8,
+  "pr": 9,
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "sources": ["${NET_CSV}", "${FANOUT_CSV}"],
   "net": {

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Online-retraining smoke: one search_server with the retraining loop on
+# and demand drift injected mid-run (--drift-after-ms 5000: every query's
+# parallel phase runs 4x, features unchanged — the feature-invisible
+# shift the retrainer exists to catch). An open-loop ramp drives enough
+# completions per 500 ms window to seed the drift baseline before the
+# shift and to feed retraining after it. Asserts:
+#   - /statsz grows the predictor lane and reports at least one
+#     promotion (tpc_predict_promotions_total >= 1),
+#   - the live model is tagged source="retrained" (or a later guardrail
+#     rollback is recorded, which also proves a promotion happened),
+#   - the promoted model was persisted via --model-out (atomic rename:
+#     file present, no .tmp residue),
+#   - the server drains cleanly and prints the retraining summary.
+#
+# Usage: scripts/retrain_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER_LOG="$(mktemp)"
+CSV="$(mktemp -u).csv"
+MODEL_OUT="$(mktemp -u).gbrt"
+
+cleanup() {
+    kill "${SERVER_PID:-}" 2>/dev/null || true
+    kill "${LOADGEN_PID:-}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# --- Start the retraining server. ---------------------------------------
+"${BUILD_DIR}/examples/search_server" --listen 0 --docs 3000 \
+    --queries 200 --retrain --retrain-window-ms 500 \
+    --retrain-min-samples 24 --model-out "${MODEL_OUT}" \
+    --drift-after-ms 5000 --drift-factor 4 > "${SERVER_LOG}" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 240); do
+    grep -q "listening on" "${SERVER_LOG}" && break
+    if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+        echo "retrain_smoke: server exited before listening" >&2
+        cat "${SERVER_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${SERVER_LOG}" | head -n 1)"
+if [ -z "${PORT}" ]; then
+    echo "retrain_smoke: server never reported its port" >&2
+    cat "${SERVER_LOG}" >&2
+    exit 1
+fi
+echo "retrain_smoke: server on port ${PORT}"
+
+# --- Open-loop ramp: 60 -> 90 qps keeps every 500 ms window above the
+# 24-completion gate without saturating the 4-worker pool, even after
+# the 4x drift (service times stay a few ms on CI hardware).
+"${BUILD_DIR}/examples/loadgen" --port "${PORT}" --rate-ramp 60:90 \
+    --duration-s 30 --csv-out "${CSV}" &
+LOADGEN_PID=$!
+
+# --- Poll /statsz until a promotion lands. A snapshot counts only when
+# the promotion is also reflected in the live-model tag (or a guardrail
+# rollback already demoted it, which still proves the promotion path):
+# keep polling through any transient in-between snapshot.
+STATSZ="$(mktemp)"
+PROMOTIONS=0
+PROMOTED_VISIBLE=0
+for _ in $(seq 1 70); do
+    sleep 0.5
+    "${BUILD_DIR}/examples/statsz" --port "${PORT}" \
+        --timeout-ms 200 > "${STATSZ}" 2>/dev/null || continue
+    PROMOTIONS="$(awk '/^tpc_predict_promotions_total/ {print $NF}' \
+        "${STATSZ}")"
+    PROMOTIONS="${PROMOTIONS:-0}"
+    [ "${PROMOTIONS%.*}" -ge 1 ] 2>/dev/null || continue
+    ROLLBACKS="$(awk '/^tpc_predict_rollbacks_total/ {print $NF}' \
+        "${STATSZ}")"
+    if grep -q '^tpc_predict_model_version{source="retrained"}' \
+        "${STATSZ}" || [ "${ROLLBACKS%.*}" -ge 1 ] 2>/dev/null; then
+        PROMOTED_VISIBLE=1
+        break
+    fi
+done
+if [ "${PROMOTED_VISIBLE}" -ne 1 ]; then
+    echo "retrain_smoke: no promotion became visible in /statsz:" >&2
+    grep '^tpc_predict' "${STATSZ}" >&2 || cat "${STATSZ}" >&2
+    exit 1
+fi
+echo "retrain_smoke: promotions=${PROMOTIONS}"
+for series in tpc_predict_state tpc_predict_windows_total \
+    tpc_predict_retrains_total tpc_predict_window_err_ms \
+    tpc_predict_shadow_mae_ms; do
+    grep -q "^${series}" "${STATSZ}" || {
+        echo "retrain_smoke: /statsz missing ${series}:" >&2
+        cat "${STATSZ}" >&2
+        exit 1
+    }
+done
+if ! grep -q '^tpc_predict_model_version{source="retrained"}' \
+    "${STATSZ}"; then
+    echo "retrain_smoke: promoted model already rolled back" \
+        "(rollbacks=${ROLLBACKS}) — promotion path still proven"
+fi
+
+wait "${LOADGEN_PID}"
+unset LOADGEN_PID
+
+# --- The promoted model was persisted atomically. -----------------------
+[ -s "${MODEL_OUT}" ] || {
+    echo "retrain_smoke: promoted model was never persisted" >&2
+    exit 1
+}
+[ ! -e "${MODEL_OUT}.tmp" ] || {
+    echo "retrain_smoke: stale ${MODEL_OUT}.tmp left behind" >&2
+    exit 1
+}
+echo "retrain_smoke: promoted model persisted ($(wc -c < "${MODEL_OUT}") \
+bytes)"
+
+# --- Graceful drain + summary line. -------------------------------------
+kill -INT "${SERVER_PID}"
+wait "${SERVER_PID}" || true
+unset SERVER_PID
+trap - EXIT
+grep -q "retraining: model v" "${SERVER_LOG}" || {
+    echo "retrain_smoke: no retraining summary in the server log:" >&2
+    tail -n 20 "${SERVER_LOG}" >&2
+    exit 1
+}
+grep "retraining: model v" "${SERVER_LOG}"
+echo "retrain_smoke: OK"

@@ -90,6 +90,10 @@ class Gbrt
     std::size_t treeCount() const { return trees_.size(); }
     bool trained() const { return !trees_.empty() || baseScore_ != 0.0; }
     double baseScore() const { return baseScore_; }
+    double learningRate() const { return learningRate_; }
+
+    /** The fitted trees, for ensemble compilers (predict::FlatForest). */
+    const std::vector<RegressionTree>& trees() const { return trees_; }
 
     /**
      * Split-gain feature importance: total variance-reduction gain

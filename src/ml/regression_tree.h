@@ -105,6 +105,24 @@ class RegressionTree
     /** Predicts the response for one raw feature vector. */
     double predict(const double* features) const;
 
+    /** Read-only view of one node, for ensemble compilers. */
+    struct NodeView
+    {
+        /** Split feature; < 0 for leaves. */
+        int feature;
+        double threshold;
+        double value;
+        int left;
+        int right;
+    };
+
+    /** The node at index @p i; index 0 is the root. */
+    NodeView node(std::size_t i) const
+    {
+        const Node& n = nodes_[i];
+        return {n.feature, n.threshold, n.value, n.left, n.right};
+    }
+
     /** Number of nodes (internal + leaves); 0 before fit. */
     std::size_t nodeCount() const { return nodes_.size(); }
 

@@ -521,6 +521,101 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
         w.sample("tpc_adapt_window_miss_pct", {}, a.lastWindowMissPct);
     }
 
+    if (info.modelVersion > 0) {
+        w.header("tpc_predict_model_version",
+                 "Version of the live predictor model the dispatch path "
+                 "consumes (source label: offline or retrained).",
+                 "gauge");
+        w.sample("tpc_predict_model_version",
+                 {PrometheusWriter::label("source", info.modelSource)},
+                 info.modelVersion);
+    }
+
+    if (info.predictor != nullptr) {
+        const StatszPredictorInfo& p = *info.predictor;
+        w.header("tpc_predict_state",
+                 "Online-retraining state machine position "
+                 "(state label: monitoring, holding or cooldown).",
+                 "gauge");
+        w.sample("tpc_predict_state",
+                 {PrometheusWriter::label("state", p.state)}, 1.0);
+        w.header("tpc_predict_window_err_ms",
+                 "Absolute prediction-error quantiles of the last closed "
+                 "window (quantile label: p50 or the drift quantile).",
+                 "gauge");
+        w.sample("tpc_predict_window_err_ms",
+                 {PrometheusWriter::label("quantile", "p50")},
+                 p.lastWindowErrP50);
+        w.sample("tpc_predict_window_err_ms",
+                 {PrometheusWriter::label("quantile", "drift")},
+                 p.lastWindowErrQuantile);
+        w.header("tpc_predict_baseline_err_ms",
+                 "Slow EWMA baseline the drift test compares the window "
+                 "error quantile against.",
+                 "gauge");
+        w.sample("tpc_predict_baseline_err_ms", {},
+                 p.baselineErrQuantile);
+        w.header("tpc_predict_shadow_mae_ms",
+                 "Holdback mean absolute error from the last shadow "
+                 "evaluation (model label: active or candidate).",
+                 "gauge");
+        w.sample("tpc_predict_shadow_mae_ms",
+                 {PrometheusWriter::label("model", "active")},
+                 p.activeShadowMae);
+        if (p.hasCandidate)
+            w.sample("tpc_predict_shadow_mae_ms",
+                     {PrometheusWriter::label("model", "candidate")},
+                     p.candidateShadowMae);
+        w.header("tpc_predict_shadow_recall",
+                 "Holdback recall at the long-request threshold from the "
+                 "last shadow evaluation (model label: active or "
+                 "candidate).",
+                 "gauge");
+        w.sample("tpc_predict_shadow_recall",
+                 {PrometheusWriter::label("model", "active")},
+                 p.activeShadowRecall);
+        if (p.hasCandidate)
+            w.sample("tpc_predict_shadow_recall",
+                     {PrometheusWriter::label("model", "candidate")},
+                     p.candidateShadowRecall);
+        w.header("tpc_predict_consecutive_wins",
+                 "Consecutive windows the candidate beat the active "
+                 "model by the hysteresis margin.",
+                 "gauge");
+        w.sample("tpc_predict_consecutive_wins", {},
+                 static_cast<std::uint64_t>(p.consecutiveWins));
+        w.header("tpc_predict_buffered_samples",
+                 "Completions currently in the retraining replay buffer.",
+                 "gauge");
+        w.sample("tpc_predict_buffered_samples", {}, p.bufferedSamples);
+        w.header("tpc_predict_windows_total",
+                 "Observation windows closed by the retrainer.",
+                 "counter");
+        w.sample("tpc_predict_windows_total", {}, p.windowsEvaluated);
+        w.header("tpc_predict_drift_windows_total",
+                 "Windows whose error quantile exceeded the drift "
+                 "threshold.",
+                 "counter");
+        w.sample("tpc_predict_drift_windows_total", {}, p.driftWindows);
+        w.header("tpc_predict_retrains_total",
+                 "Candidate models retrained from buffered completions.",
+                 "counter");
+        w.sample("tpc_predict_retrains_total", {}, p.retrains);
+        w.header("tpc_predict_promotions_total",
+                 "Candidate models promoted to serving.", "counter");
+        w.sample("tpc_predict_promotions_total", {}, p.promotions);
+        w.header("tpc_predict_rollbacks_total",
+                 "Post-promotion regressions demoted back to the "
+                 "last-known-good model.",
+                 "counter");
+        w.sample("tpc_predict_rollbacks_total", {}, p.rollbacks);
+        w.header("tpc_predict_window_completions",
+                 "Completions observed in the last closed window.",
+                 "gauge");
+        w.sample("tpc_predict_window_completions", {},
+                 p.lastWindowCompletions);
+    }
+
     if (stages == nullptr) {
         if (fanout != nullptr)
             renderFanout(w, *fanout);

@@ -60,6 +60,36 @@ struct StatszAdaptationInfo
 };
 
 /**
+ * Online-retraining predictor state rendered as a /statsz lane.
+ * Layer-neutral mirror of predict::RetrainerStats (obs sits below
+ * src/predict), filled by the example servers when --retrain is on.
+ */
+struct StatszPredictorInfo
+{
+    std::uint64_t modelVersion = 0;
+    /** "offline" or "retrained". */
+    std::string modelSource;
+    /** "monitoring", "holding" or "cooldown". */
+    std::string state;
+    bool hasCandidate = false;
+    std::uint64_t windowsEvaluated = 0;
+    std::uint64_t driftWindows = 0;
+    std::uint64_t retrains = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t bufferedSamples = 0;
+    double lastWindowErrP50 = 0.0;
+    double lastWindowErrQuantile = 0.0;
+    double baselineErrQuantile = 0.0;
+    double activeShadowMae = 0.0;
+    double candidateShadowMae = 0.0;
+    double activeShadowRecall = 0.0;
+    double candidateShadowRecall = 0.0;
+    int consecutiveWins = 0;
+    std::uint64_t lastWindowCompletions = 0;
+};
+
+/**
  * Event-loop health rendered as a /statsz lane. Layer-neutral mirror of
  * net::LoopHealthSnapshot (obs sits below src/net), filled by servers
  * that run an event loop.
@@ -110,6 +140,13 @@ struct StatszInfo
     std::string tableSource;
     /** Adaptation lane; rendered when non-null (borrowed). */
     const StatszAdaptationInfo* adaptation = nullptr;
+    /** Version of the live predictor model the dispatch path consumes
+     *  (0 = predictions precomputed with the job) and its provenance
+     *  ("offline"/"retrained"). */
+    std::uint64_t modelVersion = 0;
+    std::string modelSource;
+    /** Predictor retraining lane; rendered when non-null (borrowed). */
+    const StatszPredictorInfo* predictor = nullptr;
     std::uint64_t dispatches = 0;
     std::uint64_t corrections = 0;
     std::uint64_t correctionThreadsAdded = 0;

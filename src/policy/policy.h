@@ -104,6 +104,15 @@ struct PolicySnapshot
      */
     std::uint64_t tableVersion = 0;
     std::string tableSource;
+    /**
+     * Version of the live predictor model the dispatch path is consuming
+     * (0 when predictions arrive precomputed with the job) and its
+     * provenance ("offline"/"retrained"); see predict::VersionedPredictor.
+     * Filled by the serving layer (ThreadedServer::policySnapshot), which
+     * owns the model handle.
+     */
+    std::uint64_t modelVersion = 0;
+    std::string modelSource;
     std::uint64_t dispatches = 0;
     std::uint64_t corrections = 0;
     std::uint64_t correctionThreadsAdded = 0;

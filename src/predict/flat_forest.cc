@@ -1,0 +1,138 @@
+#include "predict/flat_forest.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tpc::predict {
+
+FlatForest
+FlatForest::compile(const ml::Gbrt& model)
+{
+    FlatForest flat;
+    flat.baseScore_ = model.baseScore();
+    flat.learningRate_ = model.learningRate();
+
+    std::size_t totalNodes = 0;
+    for (const ml::RegressionTree& tree : model.trees())
+        totalNodes += tree.nodeCount();
+    flat.nodes_.reserve(totalNodes);
+    flat.root_.reserve(model.trees().size());
+    flat.depth_.reserve(model.trees().size());
+
+    for (const ml::RegressionTree& tree : model.trees()) {
+        TPC_CHECK(tree.nodeCount() > 0);
+        const auto base = static_cast<std::int32_t>(flat.nodes_.size());
+        flat.root_.push_back(base);
+        flat.depth_.push_back(
+            std::max(0, tree.depth() - 1)); // steps, not node count
+
+        // Level-order re-layout: siblings are adjacent and the top of
+        // the tree (the levels every prediction touches) shares cache
+        // lines. slotOf[original node id] -> flat slot (tree-relative).
+        std::vector<std::int32_t> slotOf(tree.nodeCount(), -1);
+        std::deque<int> queue;
+        queue.push_back(0);
+        slotOf[0] = 0;
+        std::int32_t nextSlot = 1;
+        std::vector<int> order;
+        order.reserve(tree.nodeCount());
+        while (!queue.empty()) {
+            const int id = queue.front();
+            queue.pop_front();
+            order.push_back(id);
+            const ml::RegressionTree::NodeView n =
+                tree.node(static_cast<std::size_t>(id));
+            if (n.feature >= 0) {
+                slotOf[static_cast<std::size_t>(n.left)] = nextSlot++;
+                slotOf[static_cast<std::size_t>(n.right)] = nextSlot++;
+                queue.push_back(n.left);
+                queue.push_back(n.right);
+            }
+        }
+        TPC_CHECK(order.size() == tree.nodeCount());
+
+        flat.nodes_.resize(flat.nodes_.size() + tree.nodeCount());
+        for (const int id : order) {
+            const ml::RegressionTree::NodeView n =
+                tree.node(static_cast<std::size_t>(id));
+            Node& slot = flat.nodes_[static_cast<std::size_t>(
+                base + slotOf[static_cast<std::size_t>(id)])];
+            slot.value = n.value;
+            if (n.feature >= 0) {
+                slot.feature = n.feature;
+                slot.threshold = n.threshold;
+                slot.left = base + slotOf[static_cast<std::size_t>(n.left)];
+                slot.right =
+                    base + slotOf[static_cast<std::size_t>(n.right)];
+            } else {
+                // Leaf: self-loop under an always-true comparison so
+                // surplus traversal iterations stay put.
+                slot.feature = 0;
+                slot.threshold =
+                    std::numeric_limits<double>::infinity();
+                slot.left = base + slotOf[static_cast<std::size_t>(id)];
+                slot.right = slot.left;
+            }
+        }
+    }
+    return flat;
+}
+
+void
+FlatForest::predictBatch(const double* rows, std::size_t count,
+                         std::size_t stride, double* out) const
+{
+    for (std::size_t r = 0; r < count; ++r)
+        out[r] = baseScore_;
+    const std::size_t trees = root_.size();
+    for (std::size_t t = 0; t < trees; ++t) {
+        const std::int32_t rootNode = root_[t];
+        const std::int32_t steps = depth_[t];
+        // Four rows interleaved per tree (same reasoning as predict():
+        // four independent load chains instead of one); accumulation
+        // into out[r] stays tree-ordered, so per-row results remain
+        // bit-identical to the scalar walk.
+        std::size_t r = 0;
+        for (; r + 4 <= count; r += 4) {
+            const double* r0 = rows + r * stride;
+            const double* r1 = r0 + stride;
+            const double* r2 = r1 + stride;
+            const double* r3 = r2 + stride;
+            std::int32_t n0 = rootNode;
+            std::int32_t n1 = rootNode;
+            std::int32_t n2 = rootNode;
+            std::int32_t n3 = rootNode;
+            for (std::int32_t d = steps; d > 0; --d) {
+                n0 = step(r0, n0);
+                n1 = step(r1, n1);
+                n2 = step(r2, n2);
+                n3 = step(r3, n3);
+            }
+            out[r] += learningRate_ * leafValue(n0);
+            out[r + 1] += learningRate_ * leafValue(n1);
+            out[r + 2] += learningRate_ * leafValue(n2);
+            out[r + 3] += learningRate_ * leafValue(n3);
+        }
+        for (; r < count; ++r) {
+            const double* row = rows + r * stride;
+            std::int32_t node = rootNode;
+            for (std::int32_t d = steps; d > 0; --d)
+                node = step(row, node);
+            out[r] += learningRate_ * leafValue(node);
+        }
+    }
+}
+
+std::int32_t
+FlatForest::maxDepth() const
+{
+    std::int32_t depth = 0;
+    for (const std::int32_t d : depth_)
+        depth = std::max(depth, d);
+    return depth;
+}
+
+} // namespace tpc::predict

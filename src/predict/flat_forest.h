@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FlatForest: a trained tpc::ml::Gbrt compiled into a cache-friendly
+ * structure-of-arrays layout for sub-microsecond dispatch-time inference.
+ *
+ * The pointer-based ensemble walks one heap-allocated node vector per
+ * tree with a data-dependent branch per level; at dispatch that cost is
+ * pure hot-path overhead (the TPC policy consults the predictor on every
+ * request). Compiling flattens every tree into one shared array of
+ * packed 32-byte node records (feature index / threshold / children /
+ * leaf value) laid out in level order, and traversal becomes a
+ * fixed-trip loop whose
+ * body is a single conditional-move — no branches for the predictor to
+ * mispredict, at most one cache-line fill per level (all fields a step
+ * reads live in one aligned 32-byte node record; sibling nodes — the
+ * two candidate targets of every branch — are adjacent).
+ *
+ * Predictions are bit-identical to Gbrt::predict: thresholds, leaf
+ * values, the base score and the learning-rate accumulation order are
+ * preserved exactly (verified by the PredictFlatForest property tests).
+ * Leaves self-loop (left == right == self, threshold = +inf), so the
+ * per-tree loop can run a fixed depth-1 iterations regardless of where
+ * the walk lands — the traversal is branchless end to end.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/gbrt.h"
+
+namespace tpc::predict {
+
+/** A compiled, immutable, shareable inference structure. */
+class FlatForest
+{
+  public:
+    /** An empty forest predicting 0.0 (compile() replaces it). */
+    FlatForest() = default;
+
+    /**
+     * Compiles a fitted ensemble. The model may be degenerate: zero
+     * trees (base score only) or trees that are a single leaf.
+     */
+    static FlatForest compile(const ml::Gbrt& model);
+
+    /** Predicts the target for one raw feature vector. Bit-identical to
+     *  Gbrt::predict on the compiled model. */
+    double predict(const double* features) const
+    {
+        double score = baseScore_;
+        const std::size_t trees = root_.size();
+        std::size_t t = 0;
+        // Eight trees interleaved: a single tree's walk is one
+        // dependent-load chain (each step's address comes from the
+        // previous load), so its latency is memory-bound; eight
+        // independent chains keep the load ports busy. Because leaves
+        // self-loop, every tree can safely run the group's max depth —
+        // extra steps are no-ops spinning on the leaf's cache line —
+        // and the final accumulation stays in tree order, so the result
+        // is bit-identical to the scalar walk.
+        for (; t + 8 <= trees; t += 8) {
+            std::int32_t n0 = root_[t];
+            std::int32_t n1 = root_[t + 1];
+            std::int32_t n2 = root_[t + 2];
+            std::int32_t n3 = root_[t + 3];
+            std::int32_t n4 = root_[t + 4];
+            std::int32_t n5 = root_[t + 5];
+            std::int32_t n6 = root_[t + 6];
+            std::int32_t n7 = root_[t + 7];
+            std::int32_t depth = depth_[t];
+            for (std::size_t i = 1; i < 8; ++i)
+                depth = depth_[t + i] > depth ? depth_[t + i] : depth;
+            for (; depth > 0; --depth) {
+                n0 = step(features, n0);
+                n1 = step(features, n1);
+                n2 = step(features, n2);
+                n3 = step(features, n3);
+                n4 = step(features, n4);
+                n5 = step(features, n5);
+                n6 = step(features, n6);
+                n7 = step(features, n7);
+            }
+            score += learningRate_ * leafValue(n0);
+            score += learningRate_ * leafValue(n1);
+            score += learningRate_ * leafValue(n2);
+            score += learningRate_ * leafValue(n3);
+            score += learningRate_ * leafValue(n4);
+            score += learningRate_ * leafValue(n5);
+            score += learningRate_ * leafValue(n6);
+            score += learningRate_ * leafValue(n7);
+        }
+        for (; t < trees; ++t) {
+            std::int32_t node = root_[t];
+            for (std::int32_t d = depth_[t]; d > 0; --d)
+                node = step(features, node);
+            score += learningRate_ * leafValue(node);
+        }
+        return score;
+    }
+
+    double predict(const std::vector<double>& features) const
+    {
+        return predict(features.data());
+    }
+
+    /**
+     * Predicts @p count rows at once, tree-outer so each tree's node
+     * arrays stay hot in cache across the whole batch. Rows are
+     * consecutive blocks of @p stride doubles starting at @p rows.
+     * Per-row results are bit-identical to predict() (the per-row
+     * accumulation order over trees is unchanged).
+     */
+    void predictBatch(const double* rows, std::size_t count,
+                      std::size_t stride, double* out) const;
+
+    std::size_t treeCount() const { return root_.size(); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    double baseScore() const { return baseScore_; }
+
+    /** Max tree depth in traversal steps (0 for leaf-only trees). */
+    std::int32_t maxDepth() const;
+
+  private:
+    /**
+     * One packed node: every field a traversal step reads sits in one
+     * aligned 32-byte record, so a step costs at most one cache-line
+     * fill (the split-field SoA variant touched up to four lines per
+     * step and measured ~30% slower). Leaves carry threshold = +inf
+     * and left == right == self so the traversal loop needs no leaf
+     * test.
+     */
+    struct alignas(32) Node {
+        double threshold;
+        double value;
+        std::int32_t feature;
+        std::int32_t left;
+        std::int32_t right;
+    };
+    static_assert(sizeof(Node) == 32, "two nodes per cache line");
+
+    /** One traversal step: cmov, not a branch — both children are
+     *  always valid (leaves self-loop), so extra iterations are no-ops. */
+    std::int32_t step(const double* features, std::int32_t node) const
+    {
+        const Node& n = nodes_[static_cast<std::size_t>(node)];
+        return features[n.feature] <= n.threshold ? n.left : n.right;
+    }
+
+    double leafValue(std::int32_t node) const
+    {
+        return nodes_[static_cast<std::size_t>(node)].value;
+    }
+
+    /** Node storage, all trees concatenated in per-tree level order. */
+    std::vector<Node> nodes_;
+    /** Root node index per tree. */
+    std::vector<std::int32_t> root_;
+    /** Traversal iterations per tree (tree depth minus one). */
+    std::vector<std::int32_t> depth_;
+    double baseScore_ = 0.0;
+    double learningRate_ = 0.1;
+};
+
+} // namespace tpc::predict

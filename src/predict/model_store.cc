@@ -1,0 +1,45 @@
+#include "predict/model_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "util/logging.h"
+
+namespace tpc::predict {
+
+void
+saveModelToFile(const ml::Gbrt& model, const std::string& path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            util::fatal("cannot open model file for writing: " + tmp);
+        out << model.saveText();
+        out.flush();
+        if (!out)
+            util::fatal("failed writing model file: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        util::fatal("cannot rename model into place: " + path);
+}
+
+ml::Gbrt
+loadModelFromFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        util::fatal("cannot open model file: " + path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return ml::Gbrt::loadText(text);
+}
+
+FlatForest
+compileModelFromFile(const std::string& path)
+{
+    return FlatForest::compile(loadModelFromFile(path));
+}
+
+} // namespace tpc::predict

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Model persistence: save/load a trained Gbrt via its text format with
+ * the same atomic tmp+rename discipline src/adapt uses for promoted
+ * target tables, so a concurrent loader never observes a half-written
+ * model file.
+ */
+#pragma once
+
+#include <string>
+
+#include "ml/gbrt.h"
+#include "predict/flat_forest.h"
+
+namespace tpc::predict {
+
+/**
+ * Writes the model's text serialization to @p path atomically: the
+ * bytes land in "path.tmp" first and are renamed over the target.
+ * Fatal on I/O error.
+ */
+void saveModelToFile(const ml::Gbrt& model, const std::string& path);
+
+/** Reads a model written by saveModelToFile. Fatal on I/O error or
+ *  malformed content. */
+ml::Gbrt loadModelFromFile(const std::string& path);
+
+/** Loads a saved model and compiles it for serving in one step. */
+FlatForest compileModelFromFile(const std::string& path);
+
+} // namespace tpc::predict

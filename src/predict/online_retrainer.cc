@@ -1,0 +1,319 @@
+#include "predict/online_retrainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "predict/model_store.h"
+#include "util/logging.h"
+
+namespace tpc::predict {
+
+const char*
+retrainStateName(RetrainState state)
+{
+    switch (state) {
+    case RetrainState::kMonitoring:
+        return "monitoring";
+    case RetrainState::kHolding:
+        return "holding";
+    case RetrainState::kCooldown:
+        return "cooldown";
+    }
+    return "unknown";
+}
+
+OnlineRetrainer::OnlineRetrainer(VersionedPredictor& live,
+                                 std::vector<std::string> featureNames,
+                                 const RetrainOptions& options)
+    : live_(live), featureNames_(std::move(featureNames)), options_(options)
+{
+    TPC_CHECK(options_.windowMs > 0.0);
+    TPC_CHECK(options_.promoteAfterWindows >= 1);
+    TPC_CHECK(options_.holdbackFraction > 0.0 &&
+              options_.holdbackFraction < 1.0);
+    TPC_CHECK(!featureNames_.empty());
+
+    if (options_.startThread) {
+        thread_ = std::thread([this] {
+            std::unique_lock<std::mutex> lock(threadMutex_);
+            const auto interval =
+                std::chrono::duration<double, std::milli>(
+                    options_.windowMs);
+            while (!stopRequested_) {
+                if (cv_.wait_for(lock, interval,
+                                 [this] { return stopRequested_; }))
+                    break;
+                lock.unlock();
+                advanceWindow();
+                lock.lock();
+            }
+        });
+    }
+}
+
+OnlineRetrainer::~OnlineRetrainer()
+{
+    stop();
+}
+
+void
+OnlineRetrainer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(threadMutex_);
+        stopRequested_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+OnlineRetrainer::observe(const std::vector<double>& features,
+                         double actualMs, double predictedMs)
+{
+    TPC_CHECK(features.size() == featureNames_.size());
+    const double absErr = std::fabs(predictedMs - actualMs);
+    std::lock_guard<std::mutex> lock(dataMutex_);
+    buffer_.push_back({features, actualMs});
+    while (buffer_.size() > options_.bufferCapacity)
+        buffer_.pop_front();
+    windowAbsErr_.add(std::max(absErr, 1e-3));
+    ++windowCompletions_;
+}
+
+OnlineRetrainer::ShadowScore
+OnlineRetrainer::scoreOnHoldback(const FlatForest& flat,
+                                 const std::deque<Sample>& holdback) const
+{
+    ShadowScore score;
+    if (holdback.empty())
+        return score;
+    double absSum = 0.0;
+    std::uint64_t actualLong = 0;
+    std::uint64_t predictedLong = 0;
+    for (const Sample& s : holdback) {
+        const double pred = flat.predict(s.features.data());
+        absSum += std::fabs(pred - s.actualMs);
+        if (s.actualMs > options_.longThresholdMs) {
+            ++actualLong;
+            if (pred > options_.longThresholdMs)
+                ++predictedLong;
+        }
+    }
+    score.mae = absSum / static_cast<double>(holdback.size());
+    score.recall = actualLong > 0 ? static_cast<double>(predictedLong) /
+                                        static_cast<double>(actualLong)
+                                  : 1.0;
+    return score;
+}
+
+void
+OnlineRetrainer::advanceWindow()
+{
+    // 1. Close the current window and copy out what this step needs:
+    // the error histogram, and the buffer split into train + holdback
+    // (the most recent slice is never trained on, so shadow scores stay
+    // honest).
+    stats::LogHistogram absErr;
+    std::uint64_t completions = 0;
+    std::deque<Sample> train;
+    std::deque<Sample> holdback;
+    {
+        std::lock_guard<std::mutex> lock(dataMutex_);
+        std::swap(absErr, windowAbsErr_);
+        completions = windowCompletions_;
+        windowCompletions_ = 0;
+        const auto holdCount = static_cast<std::size_t>(
+            static_cast<double>(buffer_.size()) *
+            options_.holdbackFraction);
+        const std::size_t trainCount = buffer_.size() - holdCount;
+        for (std::size_t i = 0; i < buffer_.size(); ++i)
+            (i < trainCount ? train : holdback).push_back(buffer_[i]);
+    }
+    const double errP50 = absErr.percentile(0.5);
+    const double errQ = absErr.percentile(options_.errorQuantile);
+
+    // 2. One step of the drift -> retrain -> promote state machine.
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++stats_.windowsEvaluated;
+    stats_.lastWindowCompletions = completions;
+    stats_.lastWindowErrP50 = errP50;
+    stats_.lastWindowErrQuantile = errQ;
+    stats_.bufferedSamples = train.size() + holdback.size();
+
+    const ModelSnapshot active = live_.snapshot();
+    const bool enoughSamples = completions >= options_.minWindowSamples;
+    bool drifted = false;
+
+    switch (state_) {
+    case RetrainState::kHolding: {
+        // Guardrail: actual windowed error under the promoted model vs.
+        // the (drifted) pre-promotion level — a promotion that did not
+        // improve matters gets demoted.
+        if (enoughSamples &&
+            errQ > rollbackBaselineErr_ * options_.rollbackErrFactor &&
+            lastKnownGood_) {
+            live_.publish(*lastKnownGood_, lastKnownGoodSource_);
+            ++stats_.rollbacks;
+            candidate_.reset();
+            candidateFlat_.reset();
+            consecutiveWins_ = 0;
+            state_ = RetrainState::kCooldown;
+            cooldownLeft_ = options_.cooldownWindows;
+            break;
+        }
+        if (--guardLeft_ <= 0) {
+            // Promotion survived its probation: the promoted model is
+            // the new last-known-good.
+            lastKnownGood_ = active.model->source;
+            lastKnownGoodSource_ = active.source;
+            state_ = RetrainState::kMonitoring;
+        }
+        break;
+    }
+    case RetrainState::kCooldown: {
+        if (--cooldownLeft_ <= 0)
+            state_ = RetrainState::kMonitoring;
+        break;
+    }
+    case RetrainState::kMonitoring: {
+        if (!enoughSamples)
+            break;
+        drifted =
+            ewmaErr_ > 0.0 && errQ > ewmaErr_ * options_.driftFactor;
+        if (drifted)
+            ++stats_.driftWindows;
+        if ((drifted || candidate_) &&
+            train.size() >= options_.minTrainSamples) {
+            // Retrain off the hot path on everything but the holdback.
+            // Once a drift has opened a retraining episode, every
+            // window refreshes the candidate — the buffer keeps turning
+            // over toward the shifted mix, so each refit predicts it
+            // better than the last until one clears the shadow bar.
+            ml::Dataset data(featureNames_);
+            for (const Sample& s : train)
+                data.addRow(s.features, s.actualMs);
+            ml::Gbrt next;
+            next.train(data, options_.train);
+            candidateFlat_ = FlatForest::compile(next);
+            candidate_ = std::move(next);
+            ++stats_.retrains;
+        }
+        if (candidate_) {
+            // Shadow evaluation on the holdback: serving is untouched —
+            // only live_.publish below changes anything.
+            const ShadowScore activeScore =
+                scoreOnHoldback(active.model->flat, holdback);
+            const ShadowScore candScore =
+                scoreOnHoldback(*candidateFlat_, holdback);
+            stats_.activeShadowMae = activeScore.mae;
+            stats_.candidateShadowMae = candScore.mae;
+            stats_.activeShadowRecall = activeScore.recall;
+            stats_.candidateShadowRecall = candScore.recall;
+            const bool wins =
+                !holdback.empty() &&
+                candScore.mae <
+                    activeScore.mae * (1.0 - options_.hysteresis) &&
+                candScore.recall >=
+                    activeScore.recall - options_.recallSlack;
+            consecutiveWins_ = wins ? consecutiveWins_ + 1 : 0;
+            if (consecutiveWins_ >= options_.promoteAfterWindows) {
+                // Promote: remember the incumbent for rollback, swap.
+                rollbackBaselineErr_ = errQ;
+                lastKnownGood_ = active.model->source;
+                lastKnownGoodSource_ = active.source;
+                if (!options_.promotedModelPath.empty())
+                    saveModelToFile(*candidate_,
+                                    options_.promotedModelPath);
+                live_.publish(std::move(*candidate_),
+                              ModelSource::kRetrained);
+                ++stats_.promotions;
+                candidate_.reset();
+                candidateFlat_.reset();
+                consecutiveWins_ = 0;
+                guardLeft_ = options_.guardWindows;
+                state_ = RetrainState::kHolding;
+                // Re-seed the drift baseline at the new model's error
+                // level (next windows set it).
+                ewmaErr_ = 0.0;
+            }
+        }
+        break;
+    }
+    }
+
+    // Baseline tracks slow error movement only: frozen while drifted —
+    // so it cannot chase the excursion it is meant to flag — and while
+    // a candidate is open (post-shift windows that fall just short of
+    // the drift factor would otherwise ratchet the baseline up to the
+    // drifted level mid-episode).
+    if (completions > 0 && !drifted && !candidate_ &&
+        state_ == RetrainState::kMonitoring)
+        ewmaErr_ = ewmaErr_ > 0.0 ? 0.9 * ewmaErr_ + 0.1 * errQ : errQ;
+    stats_.baselineErrQuantile = ewmaErr_;
+
+    stats_.state = state_;
+    stats_.hasCandidate = candidate_.has_value();
+    stats_.consecutiveWins = consecutiveWins_;
+    publishMetricsLocked();
+}
+
+void
+OnlineRetrainer::publishMetricsLocked()
+{
+    if (!metrics_)
+        return;
+    const ModelSnapshot snap = live_.snapshot();
+    metrics_->counter("predict_windows").inc();
+    metrics_->gauge("predict_model_version")
+        .set(static_cast<double>(snap.version));
+    metrics_->gauge("predict_model_retrained")
+        .set(snap.source == ModelSource::kRetrained ? 1.0 : 0.0);
+    metrics_->gauge("predict_state").set(static_cast<double>(state_));
+    metrics_->gauge("predict_window_err_p50")
+        .set(stats_.lastWindowErrP50);
+    metrics_->gauge("predict_window_err_quantile")
+        .set(stats_.lastWindowErrQuantile);
+    metrics_->gauge("predict_baseline_err_quantile").set(ewmaErr_);
+    metrics_->gauge("predict_shadow_active_mae")
+        .set(stats_.activeShadowMae);
+    metrics_->gauge("predict_shadow_candidate_mae")
+        .set(stats_.candidateShadowMae);
+    auto syncCounter = [this](const char* name, std::uint64_t total) {
+        obs::Counter& c = metrics_->counter(name);
+        if (total > c.value())
+            c.inc(total - c.value());
+    };
+    syncCounter("predict_drift_windows", stats_.driftWindows);
+    syncCounter("predict_retrains", stats_.retrains);
+    syncCounter("predict_promotions", stats_.promotions);
+    syncCounter("predict_rollbacks", stats_.rollbacks);
+}
+
+RetrainerStats
+OnlineRetrainer::stats() const
+{
+    // Lock order matters for coherence, not just safety: promotions
+    // swap the live model and bump the counters under stateMutex_, so
+    // snapshotting the model under the same lock guarantees a reader
+    // never sees the new counters paired with the old model (or vice
+    // versa).
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    const ModelSnapshot snap = live_.snapshot();
+    RetrainerStats out = stats_;
+    out.modelVersion = snap.version;
+    out.modelSource = snap.source;
+    return out;
+}
+
+void
+OnlineRetrainer::attachMetrics(obs::MetricsRegistry* metrics)
+{
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    metrics_ = metrics;
+}
+
+} // namespace tpc::predict

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Online predictor retraining: drift-detect, retrain, shadow, promote.
+ *
+ * The paper trains its execution-time predictor offline and freezes it;
+ * corpus and query-mix shift then erode recall at the long-request
+ * threshold — exactly where TPC needs it, since an under-predicted long
+ * request is dispatched at low parallelism and becomes a mispredict_long
+ * tail completion. The OnlineRetrainer closes that loop from live
+ * completions back into the model:
+ *
+ *   observe() -- every completion (feature vector + actual service time
+ *   + the prediction the dispatch used) lands in a bounded replay buffer
+ *   and in the current observation window's |predicted - actual| error
+ *   histogram.
+ *
+ *   advanceWindow() -- at each window boundary (background thread, same
+ *   pattern as adapt::AdaptiveTableController, or pumped manually by
+ *   deterministic benches) the retrainer compares the window's error
+ *   quantile against a slow EWMA baseline; sustained excursions flag
+ *   drift and trigger a candidate Gbrt fit on the buffered completions
+ *   (minus a held-back recent slice). The candidate is shadow-scored
+ *   against the active model on the holdback — mean absolute error plus
+ *   recall at the long-request threshold; serving is never touched —
+ *   and promoted via VersionedPredictor::publish only after it wins by
+ *   a hysteresis margin for K consecutive windows.
+ *
+ *   Guardrail -- for the first windows after a promotion the retrainer
+ *   compares the actual windowed error quantile against the
+ *   pre-promotion level and rolls back to the last-known-good model
+ *   when it regressed, then cools down before retraining again.
+ *
+ * Units: the retrainer is unit-agnostic — features, actuals and
+ * predictions just have to share a scale with the model being served
+ * (search_server feeds it latent-ms units; see examples/search_server).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ml/gbrt.h"
+#include "obs/metrics.h"
+#include "predict/versioned_model.h"
+#include "stats/histogram.h"
+
+namespace tpc::predict {
+
+/** Controls for the retraining loop. */
+struct RetrainOptions
+{
+    /** Observation-window length (ms) for the background thread. */
+    double windowMs = 1000.0;
+    /** Windows with fewer completions than this are not evaluated. */
+    std::uint64_t minWindowSamples = 64;
+    /** Replay-buffer capacity (completions kept for retraining). */
+    std::size_t bufferCapacity = 8192;
+    /** Buffered completions required before a retrain is attempted. */
+    std::size_t minTrainSamples = 512;
+    /** Most-recent fraction of the buffer held back for shadow scoring
+     *  (never trained on). */
+    double holdbackFraction = 0.2;
+    /** Error quantile watched for drift (and by the guardrail). */
+    double errorQuantile = 0.9;
+    /** Window error quantile above baseline x this factor flags drift. */
+    double driftFactor = 1.5;
+    /** Candidate shadow MAE must beat the active model's by this
+     *  fraction to "win" a window. */
+    double hysteresis = 0.05;
+    /** Candidate long-recall may trail the active model's by at most
+     *  this much and still win. */
+    double recallSlack = 0.05;
+    /** Consecutive shadow wins required before promotion (K). */
+    int promoteAfterWindows = 2;
+    /** Post-promotion error quantile above the pre-promotion level x
+     *  this factor triggers rollback. */
+    double rollbackErrFactor = 1.1;
+    /** Windows the guardrail watches after each promotion. */
+    int guardWindows = 3;
+    /** Windows to sit out after a rollback before retraining again. */
+    int cooldownWindows = 5;
+    /** Requests with actual time above this are "long" for the shadow
+     *  recall check (same units as observe() actuals). */
+    double longThresholdMs = 80.0;
+    /** Fit parameters for candidates (coarser than offline training —
+     *  the fit runs on the background thread every drifted window). */
+    ml::GbrtParams train;
+    /** Spawn the background window thread; false = manual pumping. */
+    bool startThread = true;
+    /** When non-empty, every promoted model is written here (atomic
+     *  tmp+rename, Gbrt text format) for warm restarts. */
+    std::string promotedModelPath;
+};
+
+/** Where the retrainer sits in the drift->retrain->promote machine. */
+enum class RetrainState : int
+{
+    kMonitoring = 0, ///< Watching error quantiles / shadow-scoring.
+    kHolding = 1,    ///< Recently promoted; guardrail watching errors.
+    kCooldown = 2,   ///< Rolled back; waiting before the next retrain.
+};
+
+const char* retrainStateName(RetrainState state);
+
+/** Point-in-time retrainer state for /statsz and tests. */
+struct RetrainerStats
+{
+    std::uint64_t modelVersion = 0;
+    ModelSource modelSource = ModelSource::kOffline;
+    RetrainState state = RetrainState::kMonitoring;
+    bool hasCandidate = false;
+    std::uint64_t windowsEvaluated = 0;
+    std::uint64_t driftWindows = 0;
+    std::uint64_t retrains = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t rollbacks = 0;
+    std::size_t bufferedSamples = 0;
+    /** Error quantiles from the last closed window. */
+    double lastWindowErrP50 = 0.0;
+    double lastWindowErrQuantile = 0.0;
+    /** Slow EWMA baseline the drift test compares against. */
+    double baselineErrQuantile = 0.0;
+    /** Shadow scores from the last evaluated window (holdback MAE and
+     *  long-recall for active and candidate). */
+    double activeShadowMae = 0.0;
+    double candidateShadowMae = 0.0;
+    double activeShadowRecall = 0.0;
+    double candidateShadowRecall = 0.0;
+    int consecutiveWins = 0;
+    std::uint64_t lastWindowCompletions = 0;
+};
+
+/**
+ * The online retrainer. Thread-safe: observe() may be called from any
+ * number of completion threads; advanceWindow() runs on the background
+ * thread (or the caller's, in manual mode); stats() from anywhere.
+ * Publishes only through the VersionedPredictor, which dispatch paths
+ * consume RCU-style — shadow evaluation never touches serving state.
+ */
+class OnlineRetrainer
+{
+  public:
+    /**
+     * @param live         The versioned predictor serving dispatch;
+     *                     must outlive the retrainer.
+     * @param featureNames Training-dataset column names; fixes the
+     *                     feature count observe() expects.
+     */
+    OnlineRetrainer(VersionedPredictor& live,
+                    std::vector<std::string> featureNames,
+                    const RetrainOptions& options = {});
+    ~OnlineRetrainer();
+
+    OnlineRetrainer(const OnlineRetrainer&) = delete;
+    OnlineRetrainer& operator=(const OnlineRetrainer&) = delete;
+
+    /** Feeds one completion: the feature vector the prediction used,
+     *  the measured actual, and the prediction served at dispatch. */
+    void observe(const std::vector<double>& features, double actualMs,
+                 double predictedMs);
+
+    /**
+     * Closes the current window and runs one step of the state machine:
+     * guardrail check, drift detection, candidate retrain, shadow
+     * scoring, possible promotion or rollback. Called by the background
+     * thread every windowMs; deterministic benches call it directly.
+     */
+    void advanceWindow();
+
+    /** Snapshot of the retrainer state. */
+    RetrainerStats stats() const;
+
+    /** Registers retraining counters/gauges on a metrics registry so
+     *  the windowed CSV gains a predictor lane. */
+    void attachMetrics(obs::MetricsRegistry* metrics);
+
+    /** Stops the background thread (idempotent; destructor calls it). */
+    void stop();
+
+  private:
+    struct Sample
+    {
+        std::vector<double> features;
+        double actualMs = 0.0;
+    };
+
+    struct ShadowScore
+    {
+        double mae = 0.0;
+        double recall = 1.0; // trivially perfect with no long requests
+    };
+
+    ShadowScore scoreOnHoldback(const FlatForest& flat,
+                                const std::deque<Sample>& holdback) const;
+    void publishMetricsLocked();
+
+    VersionedPredictor& live_;
+    const std::vector<std::string> featureNames_;
+    const RetrainOptions options_;
+
+    /** Replay buffer + current-window accumulators (hot path). */
+    mutable std::mutex dataMutex_;
+    std::deque<Sample> buffer_;
+    stats::LogHistogram windowAbsErr_;
+    std::uint64_t windowCompletions_ = 0;
+
+    /** State machine + published stats (advanceWindow/stats). */
+    mutable std::mutex stateMutex_;
+    RetrainState state_ = RetrainState::kMonitoring;
+    std::optional<ml::Gbrt> candidate_;
+    std::optional<FlatForest> candidateFlat_;
+    std::optional<ml::Gbrt> lastKnownGood_;
+    ModelSource lastKnownGoodSource_ = ModelSource::kOffline;
+    int consecutiveWins_ = 0;
+    int guardLeft_ = 0;
+    int cooldownLeft_ = 0;
+    double ewmaErr_ = 0.0;
+    double rollbackBaselineErr_ = 0.0;
+    RetrainerStats stats_;
+
+    obs::MetricsRegistry* metrics_ = nullptr;
+
+    /** Background thread (StatsSampler pattern). */
+    std::mutex threadMutex_;
+    std::condition_variable cv_;
+    bool stopRequested_ = false;
+    std::thread thread_;
+};
+
+} // namespace tpc::predict

@@ -1,0 +1,48 @@
+#include "predict/versioned_model.h"
+
+namespace tpc::predict {
+
+const char*
+modelSourceName(ModelSource source)
+{
+    switch (source) {
+    case ModelSource::kOffline:
+        return "offline";
+    case ModelSource::kRetrained:
+        return "retrained";
+    }
+    return "unknown";
+}
+
+VersionedPredictor::VersionedPredictor(ml::Gbrt initial)
+    : model_(std::make_shared<const PredictorModel>(
+          PredictorModel::fromGbrt(std::move(initial)))),
+      version_(1)
+{
+}
+
+ModelSnapshot
+VersionedPredictor::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {model_, version_.load(std::memory_order_relaxed), source_};
+}
+
+std::uint64_t
+VersionedPredictor::publish(ml::Gbrt model, ModelSource source)
+{
+    auto next = std::make_shared<const PredictorModel>(
+        PredictorModel::fromGbrt(std::move(model)));
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(next);
+    source_ = source;
+    // Release pairs with the readers' acquire load in version(): a reader
+    // that sees the new version and re-snapshots is guaranteed to observe
+    // this publish (the mutex orders the snapshot copy itself).
+    const std::uint64_t v =
+        version_.load(std::memory_order_relaxed) + 1;
+    version_.store(v, std::memory_order_release);
+    return v;
+}
+
+} // namespace tpc::predict

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Versioned, atomically hot-swappable predictor model.
+ *
+ * Mirrors core::VersionedTargetTable exactly: the online retrainer
+ * republishes the model while the dispatch hot path predicts with it on
+ * every request, so the swap is RCU-style — readers hold an immutable
+ * `shared_ptr<const PredictorModel>` snapshot and pay one acquire load
+ * of the version counter per dispatch; the pointer is re-fetched (under
+ * a short mutex) only when the version moved.
+ *
+ * Memory-ordering contract: publish() stores the new snapshot under the
+ * mutex *before* incrementing `version_` with release; readers load
+ * `version_` with acquire and, on change, take the mutex to copy the
+ * shared_ptr. A reader that observed version v therefore sees the model
+ * published with v. See DESIGN.md "Predictor subsystem".
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "ml/gbrt.h"
+#include "predict/flat_forest.h"
+
+namespace tpc::predict {
+
+/** Provenance of the active model. */
+enum class ModelSource : int
+{
+    kOffline = 0,   ///< Trained offline or loaded from a model file.
+    kRetrained = 1, ///< Promoted online by the OnlineRetrainer.
+};
+
+/** Human-readable source label for /statsz and CSVs. */
+const char* modelSourceName(ModelSource source);
+
+/**
+ * A serving model: the source ensemble (kept for retraining warm-starts,
+ * persistence, and introspection) plus its compiled FlatForest, which is
+ * what the hot path actually calls.
+ */
+struct PredictorModel
+{
+    ml::Gbrt source;
+    FlatForest flat;
+
+    static PredictorModel fromGbrt(ml::Gbrt model)
+    {
+        PredictorModel out;
+        out.flat = FlatForest::compile(model);
+        out.source = std::move(model);
+        return out;
+    }
+};
+
+/** One published model snapshot. */
+struct ModelSnapshot
+{
+    std::shared_ptr<const PredictorModel> model;
+    std::uint64_t version = 0;
+    ModelSource source = ModelSource::kOffline;
+};
+
+/**
+ * Holder of the currently-active model. Any number of reader threads
+ * (dispatch paths) and one writer (the retrainer) may use it
+ * concurrently.
+ */
+class VersionedPredictor
+{
+  public:
+    /** Starts at version 1 with the given offline model. */
+    explicit VersionedPredictor(ml::Gbrt initial);
+
+    /** Current version; monotonically increasing from 1. */
+    std::uint64_t version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /** Copies the current snapshot (model pointer, version, source). */
+    ModelSnapshot snapshot() const;
+
+    /**
+     * Publishes a new active model, bumping the version. Returns the
+     * new version. Never blocks readers for longer than a shared_ptr
+     * copy; the FlatForest compile happens before the lock is taken.
+     */
+    std::uint64_t publish(ml::Gbrt model, ModelSource source);
+
+  private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const PredictorModel> model_;
+    ModelSource source_ = ModelSource::kOffline;
+    std::atomic<std::uint64_t> version_;
+};
+
+/**
+ * Per-reader caching handle: keeps the last snapshot and re-fetches it
+ * only when the acquire-loaded version differs, so the steady-state
+ * per-prediction cost is one atomic load. Not thread-safe itself — each
+ * reader thread (or externally-synchronized reader, like ThreadedServer
+ * under its scheduler lock) owns its own handle.
+ */
+class PredictorHandle
+{
+  public:
+    PredictorHandle() = default;
+
+    explicit PredictorHandle(const VersionedPredictor* shared)
+        : shared_(shared)
+    {
+    }
+
+    bool attached() const { return shared_ != nullptr; }
+
+    /** Refreshes the cached snapshot if the version moved, then returns
+     *  it. Returns an empty snapshot when unattached. */
+    const ModelSnapshot& refresh()
+    {
+        if (shared_ != nullptr) {
+            const std::uint64_t v = shared_->version();
+            if (v != cached_.version)
+                cached_ = shared_->snapshot();
+        }
+        return cached_;
+    }
+
+    /** Predicts with the freshest model. Returns @p fallback when
+     *  unattached. */
+    double predict(const double* features, double fallback = 0.0)
+    {
+        const ModelSnapshot& snap = refresh();
+        return snap.model ? snap.model->flat.predict(features) : fallback;
+    }
+
+  private:
+    const VersionedPredictor* shared_ = nullptr;
+    ModelSnapshot cached_;
+};
+
+} // namespace tpc::predict

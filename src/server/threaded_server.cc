@@ -70,13 +70,39 @@ ThreadedServer::setCompletionObserver(
     policy_.setRationaleEnabled(rationaleWantedLocked());
 }
 
+void
+ThreadedServer::attachPredictor(const predict::VersionedPredictor* predictor,
+                                double scale)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    livePredictor_ = predictor;
+    predictor_ = predict::PredictorHandle(predictor);
+    predictorScale_ = scale;
+}
+
+void
+ThreadedServer::setPredictionObserver(
+    std::function<void(const std::vector<double>&, const obs::StageRecord&)>
+        observer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    predictionObserver_ = std::move(observer);
+    policy_.setRationaleEnabled(rationaleWantedLocked());
+}
+
 policy::PolicySnapshot
 ThreadedServer::policySnapshot() const
 {
     // The scheduler owns all policy interactions under mutex_, so holding
     // it makes reading the policy's tables and counters safe mid-serve.
     std::lock_guard<std::mutex> lock(mutex_);
-    return policy_.introspect();
+    policy::PolicySnapshot snapshot = policy_.introspect();
+    if (livePredictor_ != nullptr) {
+        const predict::ModelSnapshot model = livePredictor_->snapshot();
+        snapshot.modelVersion = model.version;
+        snapshot.modelSource = predict::modelSourceName(model.source);
+    }
+    return snapshot;
 }
 
 int
@@ -331,7 +357,10 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
             outcome.corrected = req.corrected;
             outcome.starvedCorrection = req.starvedCorrection;
             outcome.firstCorrectionDelayMs = req.firstCorrectionDelayMs;
-            if (stageStats_ != nullptr || completionObserver_) {
+            const bool wantPrediction =
+                predictionObserver_ && !req.features.empty();
+            if (stageStats_ != nullptr || completionObserver_ ||
+                wantPrediction) {
                 obs::StageRecord record;
                 record.requestId = outcome.id;
                 record.traceId = req.traceId;
@@ -352,6 +381,8 @@ ThreadedServer::onParticipantDone(std::uint64_t id, bool primary)
                     stageStats_->record(record);
                 if (completionObserver_)
                     completionObserver_(record);
+                if (wantPrediction)
+                    predictionObserver_(req.features, record);
             }
             if (spans_ != nullptr && req.traceId != 0)
                 recordSpansLocked(req, outcome);
@@ -478,6 +509,17 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         QueuedJob queued = std::move(queue_.front());
         queue_.pop_front();
 
+        // Dispatch-time prediction with the freshest published model:
+        // the handle re-snapshots only when the version counter moved,
+        // so a hot-swap takes effect here without pausing dispatch.
+        if (predictor_.attached() && !queued.job.features.empty()) {
+            queued.job.predictedMs =
+                predictor_.predict(queued.job.features.data()) *
+                predictorScale_;
+            queued.job.cls =
+                queued.job.predictedMs >= config_.longThresholdMs ? 1 : 0;
+        }
+
         policy::RequestView view;
         view.id = queued.id;
         view.predictedMs = queued.job.predictedMs;
@@ -518,6 +560,7 @@ ThreadedServer::dispatchLocked(std::unique_lock<std::mutex>& lock)
         req.id = queued.id;
         req.cls = queued.job.cls;
         req.predictedMs = queued.job.predictedMs;
+        req.features = std::move(queued.job.features);
         req.traceId = queued.job.traceId;
         req.parentSpanId = queued.job.parentSpanId;
         if (why != nullptr) {

@@ -32,6 +32,7 @@
 #include "obs/stage_stats.h"
 #include "obs/trace_recorder.h"
 #include "policy/policy.h"
+#include "predict/versioned_model.h"
 #include "runtime/malleable_job.h"
 #include "runtime/worker_pool.h"
 
@@ -55,6 +56,14 @@ struct ThreadedJob
 {
     /** Predictor's estimate of the sequential execution time (ms). */
     double predictedMs = 0.0;
+    /**
+     * Raw feature vector for dispatch-time prediction. When non-empty
+     * and a live predictor is attached (attachPredictor), the server
+     * predicts at dispatch with the freshest model — overriding
+     * predictedMs and re-deriving cls against longThresholdMs — so
+     * hot-swapped models take effect without touching the submit path.
+     */
+    std::vector<double> features;
     /** Request class for per-class stage stats (application-defined). */
     std::uint32_t cls = 0;
     /** Sequential pre-phase (parsing); may be empty. */
@@ -219,8 +228,35 @@ class ThreadedServer
     void setCompletionObserver(
         std::function<void(const obs::StageRecord&)> observer);
 
+    /**
+     * Attaches a live, hot-swappable execution-time predictor (borrowed;
+     * nullptr detaches). Call before the first submit. Jobs that carry a
+     * feature vector are predicted at dispatch with the freshest
+     * published model (RCU read: one acquire load per dispatch, model
+     * re-fetched only when the version moved). @p scale converts model
+     * output units to wall milliseconds on this host (the calibration
+     * scale; 1.0 when the model already predicts wall ms).
+     */
+    void attachPredictor(const predict::VersionedPredictor* predictor,
+                         double scale = 1.0);
+
+    /**
+     * Registers a per-completion prediction observer (the online
+     * retrainer's feed; nullptr detaches). Call before the first submit.
+     * Runs on the finishing worker's thread with the scheduler lock held
+     * — same contract as setCompletionObserver — for every completed job
+     * that carried features, passing the feature vector and the
+     * completion record (whose predictedMs is the dispatch-time
+     * prediction in wall ms).
+     */
+    void setPredictionObserver(
+        std::function<void(const std::vector<double>&,
+                           const obs::StageRecord&)>
+            observer);
+
     /** Policy introspection taken under the scheduler lock (safe while
-     *  serving). */
+     *  serving); modelVersion/modelSource reflect the attached live
+     *  predictor. */
     policy::PolicySnapshot policySnapshot() const;
 
     /** Workers currently assigned to requests (snapshot). */
@@ -260,6 +296,9 @@ class ThreadedServer
         std::uint64_t id = 0;
         std::uint32_t cls = 0;
         double predictedMs = 0.0;
+        /** Features the dispatch prediction used (empty otherwise);
+         *  handed to the prediction observer at completion. */
+        std::vector<double> features;
         /** Target E, time estimate and load reading from the dispatch
          *  rationale; 0 when the policy exposed none. */
         double targetMs = 0.0;
@@ -302,7 +341,8 @@ class ThreadedServer
     bool rationaleWantedLocked() const
     {
         return trace_ != nullptr || stageStats_ != nullptr ||
-               spans_ != nullptr || completionObserver_ != nullptr;
+               spans_ != nullptr || completionObserver_ != nullptr ||
+               predictionObserver_ != nullptr;
     }
     /** Records the request's span tree and finishes its trace
      *  (mutex_ held; the request just completed). */
@@ -323,6 +363,16 @@ class ThreadedServer
     obs::SpanCollector* spans_ = nullptr;
     obs::MetricsRegistry* metrics_ = nullptr;
     std::function<void(const obs::StageRecord&)> completionObserver_;
+    /** The attached versioned predictor (borrowed), kept for snapshot
+     *  queries; predictor_ is the dispatch-path caching handle. */
+    const predict::VersionedPredictor* livePredictor_ = nullptr;
+    /** Live-model handle for dispatch-time prediction (scheduler-owned,
+     *  guarded by mutex_ like all dispatch state). */
+    predict::PredictorHandle predictor_;
+    /** Model-output units -> wall ms at dispatch. */
+    double predictorScale_ = 1.0;
+    std::function<void(const std::vector<double>&, const obs::StageRecord&)>
+        predictionObserver_;
     struct MetricHandles
     {
         obs::Counter* arrivals = nullptr;

@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Tests for the predictor subsystem: FlatForest compilation
+ * (bit-identical to the pointer ensemble across losses and degenerate
+ * shapes), model persistence, the versioned hot-swap handle, and the
+ * OnlineRetrainer's drift -> retrain -> shadow -> promote state machine
+ * (pumped manually, so every transition is deterministic).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/gbrt.h"
+#include "obs/metrics.h"
+#include "predict/flat_forest.h"
+#include "predict/model_store.h"
+#include "predict/online_retrainer.h"
+#include "predict/versioned_model.h"
+#include "util/rng.h"
+
+namespace tpc::predict {
+namespace {
+
+constexpr std::size_t kFeatures = 5;
+
+std::vector<std::string>
+featureNames()
+{
+    std::vector<std::string> names;
+    for (std::size_t f = 0; f < kFeatures; ++f)
+        names.push_back("f" + std::to_string(f));
+    return names;
+}
+
+std::vector<double>
+randomRow(util::Rng& rng)
+{
+    std::vector<double> row(kFeatures);
+    for (double& v : row)
+        v = rng.uniform(-5.0, 15.0);
+    return row;
+}
+
+/** A nonlinear target so the fitted trees actually split. */
+double
+targetOf(const std::vector<double>& row, util::Rng& rng)
+{
+    return 3.0 * row[0] + row[1] * row[2] - 2.0 * (row[3] > 4.0) +
+           rng.uniform(-0.5, 0.5);
+}
+
+ml::Dataset
+makeDataset(std::size_t rows, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    ml::Dataset data(featureNames());
+    for (std::size_t i = 0; i < rows; ++i) {
+        const std::vector<double> row = randomRow(rng);
+        data.addRow(row, targetOf(row, rng));
+    }
+    return data;
+}
+
+ml::Gbrt
+trainModel(ml::GbrtLoss loss, int numTrees = 40)
+{
+    ml::GbrtParams params;
+    params.loss = loss;
+    params.numTrees = numTrees;
+    if (loss == ml::GbrtLoss::Quantile)
+        params.quantile = 0.9;
+    ml::Gbrt model;
+    model.train(makeDataset(600, 11), params);
+    return model;
+}
+
+// --- FlatForest -----------------------------------------------------------
+
+TEST(PredictFlatForest, BitIdenticalToGbrtAcrossLosses)
+{
+    // Bit-identical, not approximately equal: the compiled engine must
+    // preserve thresholds, leaf values, base score and accumulation
+    // order exactly, so EXPECT_EQ on doubles is the right assertion.
+    for (const ml::GbrtLoss loss :
+         {ml::GbrtLoss::SquaredError, ml::GbrtLoss::AbsoluteError,
+          ml::GbrtLoss::Quantile}) {
+        const ml::Gbrt model = trainModel(loss);
+        ASSERT_GT(model.treeCount(), 0u);
+        const FlatForest flat = FlatForest::compile(model);
+        EXPECT_EQ(flat.treeCount(), model.treeCount());
+        util::Rng rng(29);
+        for (int i = 0; i < 500; ++i) {
+            const std::vector<double> row = randomRow(rng);
+            EXPECT_EQ(flat.predict(row), model.predict(row));
+        }
+    }
+}
+
+TEST(PredictFlatForest, EmptyEnsemblePredictsBaseScore)
+{
+    const ml::Gbrt model; // untrained: no trees, base score 0
+    const FlatForest flat = FlatForest::compile(model);
+    EXPECT_EQ(flat.treeCount(), 0u);
+    EXPECT_EQ(flat.maxDepth(), 0);
+    util::Rng rng(3);
+    const std::vector<double> row = randomRow(rng);
+    EXPECT_EQ(flat.predict(row), model.predict(row));
+}
+
+TEST(PredictFlatForest, SingleLeafTreesAreHandled)
+{
+    // minSamplesLeaf larger than the dataset forbids every split, so
+    // each boosted tree is a lone leaf (depth 1 => zero traversal
+    // steps).
+    ml::GbrtParams params;
+    params.numTrees = 5;
+    params.tree.minSamplesLeaf = 10000;
+    ml::Gbrt model;
+    model.train(makeDataset(200, 17), params);
+    const FlatForest flat = FlatForest::compile(model);
+    EXPECT_EQ(flat.treeCount(), 5u);
+    EXPECT_EQ(flat.maxDepth(), 0);
+    util::Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const std::vector<double> row = randomRow(rng);
+        EXPECT_EQ(flat.predict(row), model.predict(row));
+    }
+}
+
+TEST(PredictFlatForest, BatchMatchesScalarExactly)
+{
+    const ml::Gbrt model = trainModel(ml::GbrtLoss::SquaredError);
+    const FlatForest flat = FlatForest::compile(model);
+    util::Rng rng(41);
+    constexpr std::size_t kRows = 257; // deliberately not a round number
+    std::vector<double> rows(kRows * kFeatures);
+    for (double& v : rows)
+        v = rng.uniform(-5.0, 15.0);
+    std::vector<double> batch(kRows);
+    flat.predictBatch(rows.data(), kRows, kFeatures, batch.data());
+    for (std::size_t r = 0; r < kRows; ++r)
+        EXPECT_EQ(batch[r], flat.predict(rows.data() + r * kFeatures));
+}
+
+TEST(PredictFlatForest, CompileMetadataMatchesSource)
+{
+    const ml::Gbrt model = trainModel(ml::GbrtLoss::SquaredError);
+    const FlatForest flat = FlatForest::compile(model);
+    std::size_t nodes = 0;
+    int depth = 0;
+    for (const ml::RegressionTree& tree : model.trees()) {
+        nodes += tree.nodeCount();
+        depth = std::max(depth, tree.depth() - 1);
+    }
+    EXPECT_EQ(flat.nodeCount(), nodes);
+    EXPECT_EQ(flat.maxDepth(), depth);
+    EXPECT_EQ(flat.baseScore(), model.baseScore());
+}
+
+// --- Model store ----------------------------------------------------------
+
+TEST(PredictModelStore, RoundTripPreservesPredictionsExactly)
+{
+    const std::string path = ::testing::TempDir() + "/tpc_model.gbrt";
+    std::remove(path.c_str());
+    const ml::Gbrt model = trainModel(ml::GbrtLoss::AbsoluteError);
+    saveModelToFile(model, path);
+
+    const ml::Gbrt loaded = loadModelFromFile(path);
+    EXPECT_EQ(loaded.treeCount(), model.treeCount());
+    const FlatForest flat = compileModelFromFile(path);
+    util::Rng rng(59);
+    for (int i = 0; i < 200; ++i) {
+        const std::vector<double> row = randomRow(rng);
+        EXPECT_EQ(loaded.predict(row), model.predict(row));
+        EXPECT_EQ(flat.predict(row), model.predict(row));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(PredictModelStore, SaveLeavesNoTmpFileBehind)
+{
+    const std::string path = ::testing::TempDir() + "/tpc_model2.gbrt";
+    std::remove(path.c_str());
+    saveModelToFile(trainModel(ml::GbrtLoss::SquaredError, 5), path);
+    std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp != nullptr)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+// --- VersionedPredictor ---------------------------------------------------
+
+TEST(PredictVersionedModel, StartsAtVersionOneOffline)
+{
+    VersionedPredictor live(trainModel(ml::GbrtLoss::SquaredError, 5));
+    EXPECT_EQ(live.version(), 1u);
+    const ModelSnapshot snap = live.snapshot();
+    EXPECT_EQ(snap.version, 1u);
+    EXPECT_EQ(snap.source, ModelSource::kOffline);
+    ASSERT_NE(snap.model, nullptr);
+    EXPECT_GT(snap.model->flat.treeCount(), 0u);
+}
+
+TEST(PredictVersionedModel, PublishBumpsVersionAndSwapsModel)
+{
+    VersionedPredictor live(ml::Gbrt{});
+    util::Rng rng(7);
+    const std::vector<double> row = randomRow(rng);
+    EXPECT_EQ(live.snapshot().model->flat.predict(row), 0.0);
+
+    const ml::Gbrt next = trainModel(ml::GbrtLoss::SquaredError, 10);
+    const std::uint64_t v = live.publish(next, ModelSource::kRetrained);
+    EXPECT_EQ(v, 2u);
+    const ModelSnapshot snap = live.snapshot();
+    EXPECT_EQ(snap.version, 2u);
+    EXPECT_EQ(snap.source, ModelSource::kRetrained);
+    EXPECT_EQ(snap.model->flat.predict(row), next.predict(row));
+}
+
+TEST(PredictVersionedModel, HandleRefetchesOnlyOnVersionBump)
+{
+    VersionedPredictor live(trainModel(ml::GbrtLoss::SquaredError, 5));
+    PredictorHandle handle(&live);
+    const ModelSnapshot& first = handle.refresh();
+    const std::shared_ptr<const PredictorModel> cached = first.model;
+    EXPECT_EQ(handle.refresh().model.get(), cached.get());
+
+    live.publish(trainModel(ml::GbrtLoss::AbsoluteError, 5),
+                 ModelSource::kRetrained);
+    EXPECT_NE(handle.refresh().model.get(), cached.get());
+    EXPECT_EQ(handle.refresh().version, 2u);
+}
+
+TEST(PredictVersionedModel, UnattachedHandlePredictsFallback)
+{
+    PredictorHandle handle;
+    EXPECT_FALSE(handle.attached());
+    const std::vector<double> row(kFeatures, 1.0);
+    EXPECT_EQ(handle.predict(row.data(), 42.0), 42.0);
+}
+
+TEST(PredictVersionedModel, ConcurrentReadersSeeCoherentSnapshots)
+{
+    // TSan exercises the acquire/release contract: readers predict
+    // through caching handles while the writer republishes.
+    VersionedPredictor live(trainModel(ml::GbrtLoss::SquaredError, 5));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    std::atomic<std::uint64_t> predictions{0};
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&live, &stop, &predictions, t] {
+            util::Rng rng(100 + static_cast<std::uint64_t>(t));
+            PredictorHandle handle(&live);
+            while (!stop.load(std::memory_order_relaxed)) {
+                const std::vector<double> row = randomRow(rng);
+                const ModelSnapshot& snap = handle.refresh();
+                ASSERT_NE(snap.model, nullptr);
+                ASSERT_GE(snap.version, 1u);
+                (void)snap.model->flat.predict(row);
+                predictions.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (int i = 0; i < 20; ++i)
+        live.publish(trainModel(ml::GbrtLoss::SquaredError, 3),
+                     i % 2 == 0 ? ModelSource::kRetrained
+                                : ModelSource::kOffline);
+    stop.store(true);
+    for (std::thread& reader : readers)
+        reader.join();
+    EXPECT_EQ(live.version(), 21u);
+    EXPECT_GT(predictions.load(), 0u);
+}
+
+TEST(PredictVersionedModel, SourceNames)
+{
+    EXPECT_STREQ(modelSourceName(ModelSource::kOffline), "offline");
+    EXPECT_STREQ(modelSourceName(ModelSource::kRetrained), "retrained");
+}
+
+// --- OnlineRetrainer ------------------------------------------------------
+
+RetrainOptions
+manualOptions()
+{
+    RetrainOptions options;
+    options.startThread = false;
+    options.windowMs = 1000.0;
+    options.minWindowSamples = 64;
+    options.minTrainSamples = 128;
+    options.bufferCapacity = 1024;
+    options.holdbackFraction = 0.25;
+    options.promoteAfterWindows = 2;
+    options.longThresholdMs = 80.0;
+    options.train.numTrees = 30;
+    return options;
+}
+
+/** Initial model fitted to actual = 10 * f0. */
+ml::Gbrt
+scaledModel(double factor)
+{
+    util::Rng rng(23);
+    ml::Dataset data(featureNames());
+    for (int i = 0; i < 600; ++i) {
+        std::vector<double> row = randomRow(rng);
+        row[0] = rng.uniform(1.0, 10.0);
+        data.addRow(row, factor * row[0]);
+    }
+    ml::GbrtParams params;
+    params.numTrees = 30;
+    ml::Gbrt model;
+    model.train(data, params);
+    return model;
+}
+
+/** Feeds one window of completions whose actual is factor * f0 and whose
+ *  prediction comes from the live model, then closes the window. */
+void
+pumpWindow(OnlineRetrainer& retrainer, VersionedPredictor& live,
+           double factor, int completions, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    const ModelSnapshot snap = live.snapshot();
+    for (int i = 0; i < completions; ++i) {
+        std::vector<double> row = randomRow(rng);
+        row[0] = rng.uniform(1.0, 10.0);
+        const double predicted = snap.model->flat.predict(row);
+        retrainer.observe(row, factor * row[0], predicted);
+    }
+    retrainer.advanceWindow();
+}
+
+TEST(PredictRetrainer, StateNames)
+{
+    EXPECT_STREQ(retrainStateName(RetrainState::kMonitoring),
+                 "monitoring");
+    EXPECT_STREQ(retrainStateName(RetrainState::kHolding), "holding");
+    EXPECT_STREQ(retrainStateName(RetrainState::kCooldown), "cooldown");
+}
+
+TEST(PredictRetrainer, StableErrorsNeverRetrain)
+{
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), manualOptions());
+    for (std::uint64_t w = 0; w < 6; ++w)
+        pumpWindow(retrainer, live, 10.0, 200, 500 + w);
+    const RetrainerStats stats = retrainer.stats();
+    EXPECT_EQ(stats.driftWindows, 0u);
+    EXPECT_EQ(stats.retrains, 0u);
+    EXPECT_EQ(stats.promotions, 0u);
+    EXPECT_EQ(stats.modelVersion, 1u);
+    EXPECT_GT(stats.baselineErrQuantile, 0.0);
+}
+
+TEST(PredictRetrainer, ThinWindowsAreNotEvaluated)
+{
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), manualOptions());
+    pumpWindow(retrainer, live, 10.0, 200, 1); // seed the baseline
+    // A drifted but thin window must not count as drift.
+    pumpWindow(retrainer, live, 30.0, 10, 2);
+    const RetrainerStats stats = retrainer.stats();
+    EXPECT_EQ(stats.windowsEvaluated, 2u);
+    EXPECT_EQ(stats.lastWindowCompletions, 10u);
+    EXPECT_EQ(stats.driftWindows, 0u);
+    EXPECT_EQ(stats.retrains, 0u);
+}
+
+TEST(PredictRetrainer, DriftRetrainsShadowsAndPromotes)
+{
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), manualOptions());
+
+    // Steady phase: predictions match actuals, baseline settles.
+    for (std::uint64_t w = 0; w < 3; ++w)
+        pumpWindow(retrainer, live, 10.0, 200, 900 + w);
+    ASSERT_EQ(retrainer.stats().promotions, 0u);
+
+    // Demand shifts 3x while features stay put: the frozen model keeps
+    // predicting 10*f0, errors blow past the drift threshold, and the
+    // retrainer fits + shadows + promotes a candidate.
+    std::uint64_t w = 0;
+    while (retrainer.stats().promotions == 0 && w < 12) {
+        pumpWindow(retrainer, live, 30.0, 200, 1000 + w);
+        ++w;
+    }
+    const RetrainerStats stats = retrainer.stats();
+    ASSERT_EQ(stats.promotions, 1u);
+    EXPECT_GT(stats.driftWindows, 0u);
+    EXPECT_GT(stats.retrains, 0u);
+    EXPECT_EQ(stats.modelSource, ModelSource::kRetrained);
+    EXPECT_GE(stats.modelVersion, 2u);
+    EXPECT_EQ(stats.state, RetrainState::kHolding);
+
+    // The promoted model must track the shifted demand far better than
+    // the frozen offline model (its training buffer may still hold a
+    // pre-shift remainder, so it need not be exact yet).
+    const ModelSnapshot snap = live.snapshot();
+    const ml::Gbrt frozen = scaledModel(10.0);
+    util::Rng rng(77);
+    double promotedErr = 0.0;
+    double frozenErr = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<double> row = randomRow(rng);
+        row[0] = rng.uniform(1.0, 10.0);
+        const double actual = 30.0 * row[0];
+        promotedErr += std::fabs(snap.model->flat.predict(row) - actual);
+        frozenErr += std::fabs(frozen.predict(row) - actual);
+    }
+    EXPECT_LT(promotedErr, 0.7 * frozenErr);
+}
+
+TEST(PredictRetrainer, ShadowNeverChangesServingBeforePromotion)
+{
+    RetrainOptions options = manualOptions();
+    options.promoteAfterWindows = 1000; // candidate can never win enough
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), options);
+    for (std::uint64_t w = 0; w < 3; ++w)
+        pumpWindow(retrainer, live, 10.0, 200, 30 + w);
+    for (std::uint64_t w = 0; w < 6; ++w)
+        pumpWindow(retrainer, live, 30.0, 200, 60 + w);
+    const RetrainerStats stats = retrainer.stats();
+    EXPECT_GT(stats.retrains, 0u);
+    EXPECT_TRUE(stats.hasCandidate);
+    EXPECT_GT(stats.candidateShadowMae, 0.0);
+    EXPECT_EQ(stats.promotions, 0u);
+    EXPECT_EQ(live.version(), 1u);
+}
+
+TEST(PredictRetrainer, RegressionAfterPromotionRollsBack)
+{
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), manualOptions());
+    for (std::uint64_t w = 0; w < 3; ++w)
+        pumpWindow(retrainer, live, 10.0, 200, 300 + w);
+    std::uint64_t w = 0;
+    while (retrainer.stats().promotions == 0 && w < 12) {
+        pumpWindow(retrainer, live, 30.0, 200, 400 + w);
+        ++w;
+    }
+    ASSERT_EQ(retrainer.stats().promotions, 1u);
+    ASSERT_EQ(retrainer.stats().state, RetrainState::kHolding);
+
+    // During probation the demand shifts again, far past the promoted
+    // model: the guardrail must demote back to the last-known-good.
+    std::uint64_t version = live.version();
+    for (std::uint64_t g = 0; g < 4 && retrainer.stats().rollbacks == 0;
+         ++g)
+        pumpWindow(retrainer, live, 90.0, 200, 800 + g);
+    const RetrainerStats stats = retrainer.stats();
+    EXPECT_EQ(stats.rollbacks, 1u);
+    EXPECT_EQ(stats.state, RetrainState::kCooldown);
+    EXPECT_EQ(stats.modelSource, ModelSource::kOffline);
+    EXPECT_GT(live.version(), version);
+}
+
+TEST(PredictRetrainer, PromotedModelIsPersistedAtomically)
+{
+    const std::string path = ::testing::TempDir() + "/tpc_promoted.gbrt";
+    std::remove(path.c_str());
+    RetrainOptions options = manualOptions();
+    options.promotedModelPath = path;
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), options);
+    for (std::uint64_t w = 0; w < 3; ++w)
+        pumpWindow(retrainer, live, 10.0, 200, 600 + w);
+    for (std::uint64_t w = 0;
+         w < 12 && retrainer.stats().promotions == 0; ++w)
+        pumpWindow(retrainer, live, 30.0, 200, 700 + w);
+    ASSERT_EQ(retrainer.stats().promotions, 1u);
+
+    // The persisted model is the live one, and no .tmp remains.
+    const ml::Gbrt persisted = loadModelFromFile(path);
+    const ModelSnapshot snap = live.snapshot();
+    util::Rng rng(83);
+    for (int i = 0; i < 50; ++i) {
+        const std::vector<double> row = randomRow(rng);
+        EXPECT_EQ(persisted.predict(row),
+                  snap.model->flat.predict(row));
+    }
+    std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "r");
+    EXPECT_EQ(tmp, nullptr);
+    if (tmp != nullptr)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+TEST(PredictRetrainer, MetricsLaneIsPublished)
+{
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), manualOptions());
+    obs::MetricsRegistry metrics;
+    retrainer.attachMetrics(&metrics);
+    pumpWindow(retrainer, live, 10.0, 200, 9);
+    EXPECT_EQ(metrics.counter("predict_windows").value(), 1u);
+    EXPECT_EQ(metrics.gauge("predict_model_version").value(), 1.0);
+    EXPECT_GT(metrics.gauge("predict_window_err_quantile").value(), 0.0);
+}
+
+TEST(PredictRetrainer, BackgroundThreadObservesConcurrently)
+{
+    // TSan coverage for the production wiring: observers feed from
+    // multiple threads while the background thread closes windows and
+    // (possibly) publishes.
+    RetrainOptions options = manualOptions();
+    options.startThread = true;
+    options.windowMs = 5.0;
+    options.minWindowSamples = 32;
+    VersionedPredictor live(scaledModel(10.0));
+    OnlineRetrainer retrainer(live, featureNames(), options);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> feeders;
+    for (int t = 0; t < 2; ++t) {
+        feeders.emplace_back([&retrainer, &live, &stop, t] {
+            util::Rng rng(40 + static_cast<std::uint64_t>(t));
+            PredictorHandle handle(&live);
+            while (!stop.load(std::memory_order_relaxed)) {
+                std::vector<double> row = randomRow(rng);
+                row[0] = rng.uniform(1.0, 10.0);
+                const double predicted = handle.predict(row.data());
+                retrainer.observe(row, 30.0 * row[0], predicted);
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    stop.store(true);
+    for (std::thread& feeder : feeders)
+        feeder.join();
+    retrainer.stop();
+    const RetrainerStats stats = retrainer.stats();
+    EXPECT_GT(stats.windowsEvaluated, 0u);
+}
+
+} // namespace
+} // namespace tpc::predict

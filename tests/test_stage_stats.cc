@@ -357,6 +357,77 @@ TEST(RenderStatsz, NullStageSnapshotStillRenders)
     EXPECT_EQ(text.find("tpc_completions_total"), std::string::npos);
 }
 
+TEST(RenderStatsz, PredictorLaneRendersWhenAttached)
+{
+    StatszInfo info;
+    info.policyName = "tpc";
+    info.modelVersion = 3;
+    info.modelSource = "retrained";
+    StatszPredictorInfo predictor;
+    predictor.modelVersion = 3;
+    predictor.modelSource = "retrained";
+    predictor.state = "holding";
+    predictor.hasCandidate = true;
+    predictor.windowsEvaluated = 12;
+    predictor.driftWindows = 4;
+    predictor.retrains = 2;
+    predictor.promotions = 1;
+    predictor.rollbacks = 0;
+    predictor.bufferedSamples = 900;
+    predictor.lastWindowErrP50 = 2.5;
+    predictor.lastWindowErrQuantile = 9.75;
+    predictor.baselineErrQuantile = 4.0;
+    predictor.activeShadowMae = 6.5;
+    predictor.candidateShadowMae = 3.25;
+    predictor.activeShadowRecall = 0.75;
+    predictor.candidateShadowRecall = 0.9;
+    predictor.consecutiveWins = 1;
+    predictor.lastWindowCompletions = 180;
+    info.predictor = &predictor;
+
+    const std::string text = renderStatsz(info, nullptr);
+    EXPECT_NE(text.find("tpc_predict_model_version{source=\"retrained\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_state{state=\"holding\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_window_err_ms{quantile=\"p50\"} 2.5"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("tpc_predict_window_err_ms{quantile=\"drift\"} 9.75"),
+        std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_baseline_err_ms 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_shadow_mae_ms{model=\"active\"} 6.5"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("tpc_predict_shadow_mae_ms{model=\"candidate\"} 3.25"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("tpc_predict_shadow_recall{model=\"candidate\"} 0.9"),
+        std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_windows_total 12"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_drift_windows_total 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_retrains_total 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_promotions_total 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_buffered_samples 900"),
+              std::string::npos);
+    EXPECT_NE(text.find("tpc_predict_window_completions 180"),
+              std::string::npos);
+}
+
+TEST(RenderStatsz, PredictorLaneAbsentWithoutRetraining)
+{
+    StatszInfo info;
+    info.policyName = "tpc";
+    const std::string text = renderStatsz(info, nullptr);
+    EXPECT_EQ(text.find("tpc_predict_model_version"), std::string::npos);
+    EXPECT_EQ(text.find("tpc_predict_state"), std::string::npos);
+}
+
 TEST(RenderStatsz, EscapesLabelValues)
 {
     StatszInfo info;
