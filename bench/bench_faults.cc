@@ -143,7 +143,7 @@ class ShardProcess
     {
         net::RpcServerConfig config;
         config.port = 0;
-        config.admission = net::AdmissionLimits{4096, 4096};
+        config.admission = net::AdmissionLimits{4096, 4096, {}};
         return config;
     }
 

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Two-tenant flash-crowd sweep: goodput and victim-tenant tail with and
+ * without the overload-robustness tier.
+ *
+ * Topology: one TPC-driven RpcServer (4 workers, 2.5 ms tasks, capacity
+ * ~1600 QPS) driven by two concurrent open-loop clients — a well-behaved
+ * "victim" tenant at a constant 300 QPS and an "aggressor" tenant whose
+ * offered load ramps through and far past saturation. Each (mode, level)
+ * point gets a fresh server so no queue or adaptation state leaks
+ * between points. Two client/server configurations:
+ *
+ *   storm:    the undisciplined fleet — unlimited admission, no deadline
+ *             budgets, naive retries (BUSY *and* timeout, short fixed
+ *             delay, no retry budget) with a 20 ms client timeout. Past
+ *             saturation the queue outgrows the timeout, workers burn
+ *             full task cost on requests whose clients already gave up,
+ *             and retries multiply offered load exactly when the server
+ *             can least absorb it: goodput collapses.
+ *
+ *   budgeted: the overload tier — weighted-fair admission (equal victim/
+ *             aggressor shares), 100 ms end-to-end deadline budgets
+ *             stamped on every frame, disciplined retries (capped
+ *             exponential backoff + jitter, server retryAfterMs hints,
+ *             token-bucket retry budget). Excess aggressor load is shed
+ *             at admission for microseconds, not queued for
+ *             milliseconds, so goodput holds at capacity and the
+ *             victim's guaranteed slots keep its p99 under target.
+ *
+ * Goodput is OK responses per second observed by the clients (late
+ * responses past the client timeout/budget are discarded and do not
+ * count). Writes results/overload_goodput.csv with one row per
+ * (mode, level, tenant) plus a total row. Exits nonzero unless the
+ * acceptance envelope holds: the storm loses >= 30% of its peak goodput
+ * past saturation, the budgeted config stays within 10% of its peak,
+ * and the budgeted victim p99 stays under its target at the heaviest
+ * flood level.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "server/threaded_server.h"
+#include "util/csv.h"
+
+namespace {
+
+using namespace tpc;
+
+constexpr double kTaskMs = 2.5;
+constexpr int kWorkers = 4; // capacity ~ kWorkers / kTaskMs = 1600 QPS
+constexpr double kVictimQps = 300.0;
+constexpr double kDurationMs = 1500.0;
+constexpr double kWarmupMs = 200.0;
+constexpr double kBudgetMs = 100.0;
+constexpr double kStormTimeoutMs = 20.0;
+constexpr double kVictimTargetMs = 40.0;
+constexpr int kMaxInFlight = 32;
+const std::vector<double> kAggressorQps = {200, 600, 1200, 2000, 3000};
+
+constexpr std::uint16_t kVictimTenant = 1;
+constexpr std::uint16_t kAggressorTenant = 2;
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+/** Fresh in-process server per sweep point. */
+class Server
+{
+  public:
+    explicit Server(const overload::AdmissionLimits& limits)
+        : policy_(harness::webSearchExecutionModel(),
+                  core::TargetTable::webSearchDefault(), tpcOptions()),
+          threaded_(serverConfig(), policy_),
+          rpc_(rpcConfig(limits), threaded_,
+               [](const net::Frame& request,
+                  std::vector<std::uint8_t>& responsePayload) {
+                   std::uint64_t seq = 0;
+                   net::readU64(request.payload, 0, &seq);
+                   server::ThreadedJob job;
+                   job.predictedMs = kTaskMs;
+                   job.numTasks = 1;
+                   job.task = [](int) { busyWaitMs(kTaskMs); };
+                   job.postamble = [seq, &responsePayload] {
+                       net::appendU64(responsePayload, seq);
+                   };
+                   return job;
+               })
+    {
+        loop_ = std::thread([this] { rpc_.run(); });
+    }
+
+    ~Server()
+    {
+        rpc_.requestStop();
+        loop_.join();
+    }
+
+    std::uint16_t port() const { return rpc_.port(); }
+    net::RpcServer& rpc() { return rpc_; }
+
+  private:
+    static core::TpcOptions tpcOptions()
+    {
+        core::TpcOptions options;
+        options.maxDegree = 2;
+        return options;
+    }
+
+    static server::ThreadedServerConfig serverConfig()
+    {
+        server::ThreadedServerConfig config;
+        config.numWorkers = kWorkers;
+        config.hwContexts = kWorkers;
+        return config;
+    }
+
+    static net::RpcServerConfig rpcConfig(
+        const overload::AdmissionLimits& limits)
+    {
+        net::RpcServerConfig config;
+        config.port = 0;
+        config.admission = limits;
+        return config;
+    }
+
+    core::TpcPolicy policy_;
+    server::ThreadedServer threaded_;
+    net::RpcServer rpc_;
+    std::thread loop_;
+};
+
+struct SweepPoint
+{
+    double aggressorQps = 0.0;
+    net::LoadGenResult victim;
+    net::LoadGenResult aggressor;
+
+    static double goodputQps(const net::LoadGenResult& r)
+    {
+        return r.elapsedMs > 0.0 ? r.completed / r.elapsedMs * 1000.0 : 0.0;
+    }
+    double totalGoodputQps() const
+    {
+        return goodputQps(victim) + goodputQps(aggressor);
+    }
+};
+
+net::LoadGenConfig
+clientConfig(std::uint16_t port, std::uint16_t tenant,
+             const std::string& name, double qps, bool budgeted,
+             std::uint64_t seed)
+{
+    net::LoadGenConfig config;
+    config.port = port;
+    config.qps = qps;
+    config.durationMs = kDurationMs;
+    config.connections = tenant == kVictimTenant ? 4 : 8;
+    config.seed = seed;
+    config.warmupMs = kWarmupMs;
+    config.tenants = {overload::TenantQuota{tenant, name, 1.0}};
+    if (budgeted) {
+        // The overload tier: end-to-end budget, disciplined retries.
+        config.budgetMs = kBudgetMs;
+        config.retryEnabled = true;
+        config.maxAttempts = 3;
+    } else {
+        // The storm fleet: short timeout, naive retries, no budget.
+        config.timeoutMs = kStormTimeoutMs;
+        config.naiveRetries = true;
+        config.retryEnabled = true;
+        config.maxAttempts = 4;
+    }
+    return config;
+}
+
+SweepPoint
+runSweepPoint(bool budgeted, double aggressorQps)
+{
+    overload::AdmissionLimits limits;
+    if (budgeted) {
+        limits.maxInFlight = kMaxInFlight;
+        limits.maxPending = 0;
+        limits.tenants = {
+            overload::TenantQuota{kVictimTenant, "victim", 1.0},
+            overload::TenantQuota{kAggressorTenant, "aggressor", 1.0}};
+    } else {
+        limits.maxInFlight = 0; // unlimited: the queue absorbs the storm
+        limits.maxPending = 0;
+    }
+    Server server(limits);
+
+    SweepPoint point;
+    point.aggressorQps = aggressorQps;
+    std::thread victimThread([&] {
+        point.victim = net::runLoadGen(
+            clientConfig(server.port(), kVictimTenant, "victim",
+                         kVictimQps, budgeted, /*seed=*/41));
+    });
+    point.aggressor = net::runLoadGen(
+        clientConfig(server.port(), kAggressorTenant, "aggressor",
+                     aggressorQps, budgeted, /*seed=*/42));
+    victimThread.join();
+    return point;
+}
+
+void
+writeRow(util::CsvWriter& csv, const std::string& mode, double aggressorQps,
+         const std::string& tenant, double offeredQps,
+         const net::LoadGenResult& r)
+{
+    const stats::LatencySummary summary = r.summary();
+    csv.writeRow(std::vector<std::string>{
+        mode, std::to_string(aggressorQps), tenant,
+        std::to_string(offeredQps), std::to_string(r.sent),
+        std::to_string(r.completed),
+        std::to_string(SweepPoint::goodputQps(r)), std::to_string(r.shed),
+        std::to_string(r.timeouts), std::to_string(r.deadlineExceeded),
+        std::to_string(r.retries), std::to_string(r.retriesSuppressed),
+        std::to_string(summary.p50), std::to_string(summary.p99)});
+}
+
+} // namespace
+
+int
+main()
+{
+    util::CsvWriter csv("results/overload_goodput.csv");
+    csv.writeRow(std::vector<std::string>{
+        "mode", "aggressor_qps", "tenant", "offered_qps", "sent",
+        "completed", "goodput_qps", "shed", "timeouts",
+        "deadline_exceeded", "retries", "retries_suppressed", "p50_ms",
+        "p99_ms"});
+
+    double stormPeak = 0.0;
+    double stormFinal = 0.0;
+    double budgetedPeak = 0.0;
+    double budgetedFinal = 0.0;
+    double victimFloodP99 = 0.0;
+    double victimFloodGoodput = 0.0;
+
+    for (const bool budgeted : {false, true}) {
+        const std::string mode = budgeted ? "budgeted" : "storm";
+        for (const double aggressorQps : kAggressorQps) {
+            const SweepPoint point = runSweepPoint(budgeted, aggressorQps);
+            const double total = point.totalGoodputQps();
+            writeRow(csv, mode, aggressorQps, "victim", kVictimQps,
+                     point.victim);
+            writeRow(csv, mode, aggressorQps, "aggressor", aggressorQps,
+                     point.aggressor);
+            std::printf("%-8s aggressor %5.0f qps: goodput %7.1f qps "
+                        "(victim %6.1f, p99 %6.2f ms; aggressor %6.1f)\n",
+                        mode.c_str(), aggressorQps, total,
+                        SweepPoint::goodputQps(point.victim),
+                        point.victim.summary().p99,
+                        SweepPoint::goodputQps(point.aggressor));
+
+            if (budgeted) {
+                budgetedPeak = std::max(budgetedPeak, total);
+                budgetedFinal = total;
+                if (aggressorQps == kAggressorQps.back()) {
+                    victimFloodP99 = point.victim.summary().p99;
+                    victimFloodGoodput =
+                        SweepPoint::goodputQps(point.victim);
+                }
+            } else {
+                stormPeak = std::max(stormPeak, total);
+                stormFinal = total;
+            }
+        }
+    }
+
+    std::printf("storm:    peak %.1f qps -> final %.1f qps (%.0f%% lost)\n",
+                stormPeak, stormFinal,
+                stormPeak > 0.0
+                    ? (1.0 - stormFinal / stormPeak) * 100.0
+                    : 0.0);
+    std::printf("budgeted: peak %.1f qps -> final %.1f qps; victim p99 "
+                "%.2f ms (target %.0f ms), victim goodput %.1f qps\n",
+                budgetedPeak, budgetedFinal, victimFloodP99,
+                kVictimTargetMs, victimFloodGoodput);
+    std::printf("wrote results/overload_goodput.csv\n");
+
+    bool ok = true;
+    if (stormFinal > 0.7 * stormPeak) {
+        std::fprintf(stderr,
+                     "FAIL: storm goodput did not collapse (final %.1f > "
+                     "70%% of peak %.1f)\n",
+                     stormFinal, stormPeak);
+        ok = false;
+    }
+    if (budgetedFinal < 0.9 * budgetedPeak) {
+        std::fprintf(stderr,
+                     "FAIL: budgeted goodput sagged past saturation "
+                     "(final %.1f < 90%% of peak %.1f)\n",
+                     budgetedFinal, budgetedPeak);
+        ok = false;
+    }
+    if (victimFloodP99 > kVictimTargetMs) {
+        std::fprintf(stderr,
+                     "FAIL: victim p99 %.2f ms over its %.0f ms target "
+                     "under flood\n",
+                     victimFloodP99, kVictimTargetMs);
+        ok = false;
+    }
+    if (victimFloodGoodput < 0.8 * kVictimQps) {
+        std::fprintf(stderr,
+                     "FAIL: victim goodput %.1f qps collapsed under "
+                     "flood (offered %.0f)\n",
+                     victimFloodGoodput, kVictimQps);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -136,7 +136,8 @@ main(int argc, char** argv)
          "deadline-factor", "top-k", "max-in-flight", "linger-ms",
          "metrics-out", "breaker-threshold", "breaker-max-backoff-ms",
          "reconnect-delay-ms", "no-partial", "table-file",
-         "table-refresh-ms"});
+         "table-refresh-ms", "tenants", "leg-retries", "leg-max-attempts",
+         "busy-retry-hint-ms"});
 
     const std::string shardsArg = args.getString("shards", "");
     if (shardsArg.empty()) {
@@ -178,6 +179,17 @@ main(int argc, char** argv)
         args.getDouble("breaker-max-backoff-ms", 2000.0);
     config.reconnectDelayMs = args.getDouble("reconnect-delay-ms", 100.0);
     config.allowPartial = !args.has("no-partial");
+    const std::string tenantSpec = args.getString("tenants", "");
+    if (!tenantSpec.empty() &&
+        !overload::parseTenantQuotas(tenantSpec, &config.tenants)) {
+        std::fprintf(stderr, "aggregator_server: bad --tenants: %s\n",
+                     tenantSpec.c_str());
+        return 2;
+    }
+    config.legRetries = args.has("leg-retries");
+    config.legMaxAttempts =
+        static_cast<int>(args.getInt("leg-max-attempts", 2));
+    config.busyRetryHintMs = args.getDouble("busy-retry-hint-ms", 2.0);
 
     // The deadline table comes from the serving policy's own
     // introspection, so the aggregator and the leaf tier share one

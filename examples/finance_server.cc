@@ -68,7 +68,7 @@ main(int argc, char** argv)
     const util::ArgParser args(argc, argv,
                                {"requests", "rps", "trace-out",
                                 "metrics-out", "listen", "max-pending",
-                                "max-in-flight"});
+                                "max-in-flight", "tenants"});
     const auto numRequests =
         static_cast<std::size_t>(args.getInt("requests", 400));
     const double rps = args.getDouble("rps", 25.0);
@@ -112,6 +112,16 @@ main(int argc, char** argv)
             static_cast<int>(args.getInt("max-pending", 256));
         rpcConfig.admission.maxInFlight =
             static_cast<int>(args.getInt("max-in-flight", 512));
+        // --tenants id:name:weight,... partitions maxInFlight into
+        // weighted-fair shares (per-tenant /statsz lanes come along).
+        const std::string tenantSpec = args.getString("tenants", "");
+        if (!tenantSpec.empty() &&
+            !overload::parseTenantQuotas(tenantSpec,
+                                         &rpcConfig.admission.tenants)) {
+            std::fprintf(stderr, "finance_server: bad --tenants: %s\n",
+                         tenantSpec.c_str());
+            return 2;
+        }
 
         // Stage decomposition + tail attribution behind /statsz: one
         // shard per recording thread, classes matching the 90/10 mix.
@@ -196,6 +206,20 @@ main(int argc, char** argv)
                 info.shed = rpc.admission().shed();
                 info.inFlight =
                     static_cast<std::uint64_t>(rpc.admission().inFlight());
+                info.deadlineExceeded = rpc.stats().deadlineExceeded;
+                for (const net::TenantAdmissionSnapshot& t :
+                     rpc.admission().tenantSnapshots()) {
+                    obs::StatszTenantInfo lane;
+                    lane.tenant = t.tenant;
+                    lane.name = t.name;
+                    lane.weight = t.weight;
+                    lane.guarantee = t.guarantee;
+                    lane.admitted = t.accepted;
+                    lane.shed = t.shed;
+                    lane.goodput = t.goodput;
+                    lane.inFlight = t.inFlight;
+                    info.tenants.push_back(std::move(lane));
+                }
                 info.uptimeMs =
                     std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - runStart)

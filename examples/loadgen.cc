@@ -13,6 +13,20 @@
  *       [--connections=4] [--payload-bytes=8] [--seed=1]
  *       [--csv-out=results/loadgen.csv] [--target-ms=T]
  *       [--trace-csv-out=PATH] [--tracez-out=PATH] [--warmup-ms=W]
+ *       [--budget-ms=B] [--timeout-ms=T] [--retry] [--naive-retries]
+ *       [--max-attempts=3] [--tenants=id:name:weight,...]
+ *
+ * Overload-robustness knobs: --budget-ms stamps an end-to-end deadline
+ * budget on every request (header v3; each hop subtracts its elapsed
+ * time, and an expired request is rejected at the earliest hop).
+ * --timeout-ms bounds the client-side wait per attempt. --retry enables
+ * disciplined retries of BUSY responses — capped exponential backoff with
+ * jitter, honoring the server's pushed retryAfterMs hint, funded by a
+ * token-bucket retry budget (retries <= ~10% of successes) and the
+ * remaining deadline budget. --naive-retries is the storm baseline:
+ * retry BUSY *and* timeouts at a short fixed delay with no budget at
+ * all. --tenants splits traffic into a weighted mix, stamps tenant ids
+ * on frames, and appends one CSV row per tenant.
  *
  * --warmup-ms excludes responses to requests scheduled inside the first
  * W ms from the percentile summary and over-target reporting (they
@@ -72,7 +86,9 @@ main(int argc, char** argv)
                                 "duration-s", "requests", "connections",
                                 "payload-bytes", "seed", "csv-out",
                                 "target-ms", "trace-csv-out", "tracez-out",
-                                "warmup-ms"});
+                                "warmup-ms", "budget-ms", "timeout-ms",
+                                "retry", "naive-retries", "max-attempts",
+                                "tenants"});
 
     net::LoadGenConfig config;
     config.host = args.getString("host", "127.0.0.1");
@@ -113,6 +129,18 @@ main(int argc, char** argv)
     const std::string tracezOut = args.getString("tracez-out", "");
     config.targetMs = args.getDouble("target-ms", 0.0);
     config.warmupMs = args.getDouble("warmup-ms", 0.0);
+    config.budgetMs = args.getDouble("budget-ms", 0.0);
+    config.timeoutMs = args.getDouble("timeout-ms", 0.0);
+    config.naiveRetries = args.has("naive-retries");
+    config.retryEnabled = args.has("retry") || config.naiveRetries;
+    config.maxAttempts = static_cast<int>(args.getInt("max-attempts", 3));
+    const std::string tenantSpec = args.getString("tenants", "");
+    if (!tenantSpec.empty() &&
+        !overload::parseTenantQuotas(tenantSpec, &config.tenants)) {
+        std::fprintf(stderr, "loadgen: bad --tenants: %s\n",
+                     tenantSpec.c_str());
+        return 2;
+    }
 
     // Client-side span collection: the loadgen is "pid 1" in the
     // assembled timeline, its root spans framing the server tiers'.
@@ -146,14 +174,17 @@ main(int argc, char** argv)
     const stats::LatencySummary summary = result.summary();
     util::TablePrinter table("loadgen: open-loop client summary");
     table.setHeader({"sent", "ok", "degraded", "shed", "err", "cancelled",
-                     "failed", "unanswered", "qps", "p50", "p99", "p999",
-                     "max"});
+                     "ddl_exceeded", "timeouts", "retries", "failed",
+                     "unanswered", "qps", "p50", "p99", "p999", "max"});
     table.addRow({std::to_string(result.sent),
                   std::to_string(result.completed),
                   std::to_string(result.degraded),
                   std::to_string(result.shed),
                   std::to_string(result.errors),
                   std::to_string(result.cancelled),
+                  std::to_string(result.deadlineExceeded),
+                  std::to_string(result.timeouts),
+                  std::to_string(result.retries),
                   std::to_string(result.failed),
                   std::to_string(result.unanswered),
                   util::TablePrinter::fmt(result.achievedQps, 1),
@@ -162,6 +193,23 @@ main(int argc, char** argv)
                   util::TablePrinter::fmt(summary.p999, 2),
                   util::TablePrinter::fmt(summary.max, 2)});
     table.print();
+    if (result.retries > 0 || result.retriesSuppressed > 0)
+        std::printf("retries: %llu issued, %llu suppressed by the retry "
+                    "budget\n",
+                    static_cast<unsigned long long>(result.retries),
+                    static_cast<unsigned long long>(
+                        result.retriesSuppressed));
+    for (const net::TenantLoadGenResult& t : result.perTenant) {
+        const stats::LatencySummary ts = t.summary();
+        std::printf("tenant %s (id %u, weight %.2f): sent %llu ok %llu "
+                    "shed %llu timeouts %llu retries %llu p99 %.2f ms\n",
+                    t.name.c_str(), t.tenant, t.weight,
+                    static_cast<unsigned long long>(t.sent),
+                    static_cast<unsigned long long>(t.completed),
+                    static_cast<unsigned long long>(t.shed),
+                    static_cast<unsigned long long>(t.timeouts),
+                    static_cast<unsigned long long>(t.retries), ts.p99);
+    }
     if (result.connectionsLost > 0)
         std::printf("connections lost mid-run: %llu (%llu reconnected)\n",
                     static_cast<unsigned long long>(result.connectionsLost),

@@ -112,7 +112,7 @@ main(int argc, char** argv)
                                 "adapt-table-out", "model-file", "retrain",
                                 "retrain-window-ms", "retrain-min-samples",
                                 "model-out", "drift-after-ms",
-                                "drift-factor"});
+                                "drift-factor", "tenants"});
     const auto numQueries =
         static_cast<std::size_t>(args.getInt("queries", 800));
     const double qps = args.getDouble("qps", 120.0);
@@ -209,6 +209,16 @@ main(int argc, char** argv)
         rpcConfig.admission.maxInFlight =
             static_cast<int>(args.getInt("max-in-flight", 512));
         rpcConfig.requestDeadlineMs = args.getDouble("deadline-ms", 0.0);
+        // --tenants id:name:weight,... partitions maxInFlight into
+        // weighted-fair shares (per-tenant /statsz lanes come along).
+        const std::string tenantSpec = args.getString("tenants", "");
+        if (!tenantSpec.empty() &&
+            !overload::parseTenantQuotas(tenantSpec,
+                                         &rpcConfig.admission.tenants)) {
+            std::fprintf(stderr, "search_server: bad --tenants: %s\n",
+                         tenantSpec.c_str());
+            return 2;
+        }
 
         // Deterministic fault schedule: same --fault + --fault-seed =>
         // same failure timeline, so chaos runs are reproducible.
@@ -527,8 +537,22 @@ main(int argc, char** argv)
                     static_cast<std::uint64_t>(rpc.admission().inFlight());
                 const net::RpcServerStats liveStats = rpc.stats();
                 info.cancelled = liveStats.requestsCancelled;
+                info.deadlineExceeded = liveStats.deadlineExceeded;
                 info.disconnectsRetired = liveStats.disconnectsRetired;
                 info.faultsInjected = liveStats.faultsInjected;
+                for (const net::TenantAdmissionSnapshot& t :
+                     rpc.admission().tenantSnapshots()) {
+                    obs::StatszTenantInfo lane;
+                    lane.tenant = t.tenant;
+                    lane.name = t.name;
+                    lane.weight = t.weight;
+                    lane.guarantee = t.guarantee;
+                    lane.admitted = t.accepted;
+                    lane.shed = t.shed;
+                    lane.goodput = t.goodput;
+                    lane.inFlight = t.inFlight;
+                    info.tenants.push_back(std::move(lane));
+                }
                 if (recorder != nullptr)
                     info.droppedTraceEvents = recorder->droppedEvents();
                 info.uptimeMs =

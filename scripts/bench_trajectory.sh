@@ -18,9 +18,10 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-results/BENCH_9.json}"
+OUT="${2:-results/BENCH_10.json}"
 NET_CSV="results/net_overhead.csv"
 FANOUT_CSV="results/fanout_tail.csv"
+OVERLOAD_CSV="results/overload_goodput.csv"
 
 mkdir -p results
 
@@ -30,7 +31,10 @@ echo "bench_trajectory: running bench_net_overhead"
 echo "bench_trajectory: running bench_fanout"
 "${BUILD_DIR}/bench/bench_fanout" > /dev/null
 
-for f in "${NET_CSV}" "${FANOUT_CSV}"; do
+echo "bench_trajectory: running bench_overload"
+"${BUILD_DIR}/bench/bench_overload" > /dev/null
+
+for f in "${NET_CSV}" "${FANOUT_CSV}" "${OVERLOAD_CSV}"; do
     if [ ! -s "${f}" ]; then
         echo "bench_trajectory: ${f} missing or empty" >&2
         exit 1
@@ -48,9 +52,25 @@ read -r FAN_QPS FAN_GOODPUT FAN_P50 FAN_P99 <<< "$(awk -F, \
     '$1 == 4 && $2 == 1 && $3 == 0 {
         print $4, ($5 > 0 ? $4 * $6 / $5 : 0), $8, $10 }' "${FANOUT_CSV}")"
 
+# overload_goodput.csv: mode,aggressor_qps,tenant,offered,...,goodput(7),
+# ...,p99(14). Headline: total goodput at the heaviest flood level for
+# both modes, plus the budgeted victim's p99 there.
+OVL_LEVEL="$(awk -F, 'NR > 1 && $2 > max { max = $2 } END { print max }' \
+    "${OVERLOAD_CSV}")"
+STORM_GOODPUT="$(awk -F, -v l="${OVL_LEVEL}" \
+    '$1 == "storm" && $2 == l { s += $7 } END { printf "%.1f", s }' \
+    "${OVERLOAD_CSV}")"
+BUDGETED_GOODPUT="$(awk -F, -v l="${OVL_LEVEL}" \
+    '$1 == "budgeted" && $2 == l { s += $7 } END { printf "%.1f", s }' \
+    "${OVERLOAD_CSV}")"
+VICTIM_P99="$(awk -F, -v l="${OVL_LEVEL}" \
+    '$1 == "budgeted" && $2 == l && $3 == "victim" { print $14 }' \
+    "${OVERLOAD_CSV}")"
+
 for v in "${NET_IN_P50}" "${NET_RPC_P50}" "${NET_RPC_P99}" \
          "${NET_OVERHEAD}" "${FAN_QPS}" "${FAN_GOODPUT}" "${FAN_P50}" \
-         "${FAN_P99}"; do
+         "${FAN_P99}" "${STORM_GOODPUT}" "${BUDGETED_GOODPUT}" \
+         "${VICTIM_P99}"; do
     if [ -z "${v}" ]; then
         echo "bench_trajectory: failed to extract a headline number" >&2
         exit 1
@@ -59,9 +79,9 @@ done
 
 cat > "${OUT}" <<EOF
 {
-  "pr": 9,
+  "pr": 10,
   "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
-  "sources": ["${NET_CSV}", "${FANOUT_CSV}"],
+  "sources": ["${NET_CSV}", "${FANOUT_CSV}", "${OVERLOAD_CSV}"],
   "net": {
     "in_process_p50_ms": ${NET_IN_P50},
     "loopback_rpc_p50_ms": ${NET_RPC_P50},
@@ -73,6 +93,12 @@ cat > "${OUT}" <<EOF
     "goodput_rps": ${FAN_GOODPUT},
     "p50_ms": ${FAN_P50},
     "p99_ms": ${FAN_P99}
+  },
+  "overload_flood": {
+    "aggressor_qps": ${OVL_LEVEL},
+    "storm_goodput_rps": ${STORM_GOODPUT},
+    "budgeted_goodput_rps": ${BUDGETED_GOODPUT},
+    "budgeted_victim_p99_ms": ${VICTIM_P99}
   }
 }
 EOF

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# Overload-robustness smoke: a 1x4 loopback topology (4 search_server
+# shards behind one aggregator) with two tenants and a flash-crowd ramp.
+# Every process binds port 0 and the chosen ports are parsed from the
+# logs, so the script is safe under parallel CI jobs. Exercises the
+# whole overload tier end to end: v3 frames carry deadline budgets and
+# tenant ids, the aggregator runs weighted-fair admission and budgeted
+# leg retries (shard 0 is given a tight admission limit so some legs
+# really answer BUSY), and the loadgen drives a ramping two-tenant mix
+# with disciplined retries. Asserts:
+#   - /statsz mid-run serves the per-tenant admission lanes (tpc_admit /
+#     tpc_shed / tpc_goodput) plus the deadline and leg-retry counters,
+#   - the leg retry rate stays under the token-bucket cap
+#     (issued <= 10% of leg successes + the initial bank),
+#   - the victim tenant's client p99 stays under its target while the
+#     aggressor tenant carries 3x its traffic through the ramp,
+#   - loadgen writes one CSV row per tenant and exits 0,
+#   - SIGINT drains the aggregator and every shard cleanly.
+#
+# Usage: scripts/overload_smoke.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SHARDS=4
+TENANTS="1:victim:1,2:aggressor:3"
+VICTIM_P99_TARGET_MS=300
+SHARD_PIDS=()
+SHARD_LOGS=()
+CSV="$(mktemp -u).csv"
+
+cleanup() {
+    kill "${AGG_PID:-}" 2>/dev/null || true
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        kill "${pid}" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# --- Start the shard tier. Shard 1 gets a tight admission limit so the
+# --- aggregator's budgeted leg retries see real BUSY responses. --------
+for i in $(seq 1 "${NUM_SHARDS}"); do
+    LOG="$(mktemp)"
+    EXTRA=()
+    [ "$i" -eq 1 ] && EXTRA=(--max-in-flight 8)
+    "${BUILD_DIR}/examples/search_server" --listen 0 --docs 3000 \
+        --queries 200 "${EXTRA[@]}" > "${LOG}" 2>&1 &
+    SHARD_PIDS+=($!)
+    SHARD_LOGS+=("${LOG}")
+done
+
+SHARD_PORTS=()
+for i in $(seq 0 $((NUM_SHARDS - 1))); do
+    LOG="${SHARD_LOGS[$i]}"
+    PID="${SHARD_PIDS[$i]}"
+    for _ in $(seq 1 240); do
+        grep -q "listening on" "${LOG}" && break
+        if ! kill -0 "${PID}" 2>/dev/null; then
+            echo "overload_smoke: shard $i exited before listening" >&2
+            cat "${LOG}" >&2
+            exit 1
+        fi
+        sleep 0.5
+    done
+    PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${LOG}" | head -n 1)"
+    if [ -z "${PORT}" ]; then
+        echo "overload_smoke: shard $i never reported its port" >&2
+        cat "${LOG}" >&2
+        exit 1
+    fi
+    SHARD_PORTS+=("${PORT}")
+done
+SHARDS="$(IFS=,; echo "${SHARD_PORTS[*]}")"
+echo "overload_smoke: shards on ports ${SHARDS}"
+
+# --- Start the aggregator: weighted-fair tenants + budgeted leg retries.
+AGG_LOG="$(mktemp)"
+"${BUILD_DIR}/examples/aggregator_server" --listen 0 --shards "${SHARDS}" \
+    --tenants "${TENANTS}" --leg-retries --max-in-flight 64 \
+    > "${AGG_LOG}" 2>&1 &
+AGG_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "${AGG_LOG}" && break
+    if ! kill -0 "${AGG_PID}" 2>/dev/null; then
+        echo "overload_smoke: aggregator exited before listening" >&2
+        cat "${AGG_LOG}" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+AGG_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${AGG_LOG}" | head -n 1)"
+if [ -z "${AGG_PORT}" ]; then
+    echo "overload_smoke: aggregator never reported its port" >&2
+    cat "${AGG_LOG}" >&2
+    exit 1
+fi
+echo "overload_smoke: aggregator on port ${AGG_PORT}"
+
+# --- Flash-crowd ramp: two-tenant mix, end-to-end budgets, retries. ----
+"${BUILD_DIR}/examples/loadgen" --port "${AGG_PORT}" --rate-ramp=20:80 \
+    --duration-s 3 --tenants "${TENANTS}" --budget-ms 400 --retry \
+    --warmup-ms 300 --csv-out "${CSV}" &
+LOADGEN_PID=$!
+
+sleep 1.5
+STATSZ="$(mktemp)"
+"${BUILD_DIR}/examples/statsz" --port "${AGG_PORT}" --timeout-ms 200 \
+    > "${STATSZ}" || {
+    echo "overload_smoke: aggregator /statsz fetch failed" >&2
+    kill "${LOADGEN_PID}" 2>/dev/null || true
+    exit 1
+}
+for series in tpc_up tpc_admit tpc_shed tpc_goodput tpc_tenant_guarantee \
+    tpc_deadline_exceeded_total fanout_shard_retry_issued_total \
+    fanout_shard_retry_suppressed_total fanout_completions_total; do
+    grep -q "^${series}" "${STATSZ}" || {
+        echo "overload_smoke: /statsz missing ${series}:" >&2
+        cat "${STATSZ}" >&2
+        kill "${LOADGEN_PID}" 2>/dev/null || true
+        exit 1
+    }
+done
+for tenant in victim aggressor; do
+    grep -q "^tpc_admit{tenant=\"${tenant}\"}" "${STATSZ}" || {
+        echo "overload_smoke: /statsz missing tpc_admit lane for" \
+            "${tenant}:" >&2
+        cat "${STATSZ}" >&2
+        kill "${LOADGEN_PID}" 2>/dev/null || true
+        exit 1
+    }
+done
+
+wait "${LOADGEN_PID}"
+
+# --- Retry-rate cap: issued <= 10% of leg successes + the 10-token
+# --- initial bank (every completion merges NUM_SHARDS successful legs).
+FINAL="$(mktemp)"
+"${BUILD_DIR}/examples/statsz" --port "${AGG_PORT}" --timeout-ms 200 \
+    > "${FINAL}"
+awk -v shards="${NUM_SHARDS}" '
+    /^fanout_shard_retry_issued_total{/ { issued += $NF }
+    /^fanout_completions_total{/ { completions += $NF }
+    END {
+        cap = 0.1 * completions * shards + 16
+        printf "overload_smoke: leg retries issued=%d cap=%.0f\n", \
+            issued, cap
+        exit issued > cap ? 1 : 0
+    }' "${FINAL}" || {
+    echo "overload_smoke: leg retry rate exceeded the budget cap" >&2
+    exit 1
+}
+
+# --- Graceful drain: aggregator first, then the shard tier. -------------
+kill -INT "${AGG_PID}"
+wait "${AGG_PID}"
+for pid in "${SHARD_PIDS[@]}"; do
+    kill -INT "${pid}" 2>/dev/null || true
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "${pid}" || true
+done
+trap - EXIT
+
+# --- Loadgen CSV: header + totals row + one row per tenant, and the
+# --- victim tenant's p99 under its target despite the aggressor flood.
+[ "$(wc -l < "${CSV}")" -eq 4 ] || {
+    echo "overload_smoke: expected 4 CSV rows (header+all+2 tenants):" >&2
+    cat "${CSV}" >&2 || true
+    exit 1
+}
+VICTIM_P99="$(awk -F, '$28 == "victim" { print $24 }' "${CSV}")"
+if [ -z "${VICTIM_P99}" ]; then
+    echo "overload_smoke: no victim tenant row in the loadgen CSV:" >&2
+    cat "${CSV}" >&2
+    exit 1
+fi
+echo "overload_smoke: victim p99 ${VICTIM_P99} ms" \
+    "(target ${VICTIM_P99_TARGET_MS} ms)"
+awk -v p99="${VICTIM_P99}" -v target="${VICTIM_P99_TARGET_MS}" \
+    'BEGIN { exit p99 > target ? 1 : 0 }' || {
+    echo "overload_smoke: victim p99 ${VICTIM_P99} ms over the" \
+        "${VICTIM_P99_TARGET_MS} ms target" >&2
+    cat "${CSV}" >&2
+    exit 1
+}
+echo "overload_smoke: OK"

@@ -8,6 +8,7 @@
 
 #include "obs/prof/cpu_profiler.h"
 #include "obs/statsz.h"
+#include "overload/budget.h"
 #include "util/logging.h"
 
 namespace tpc::fanout {
@@ -38,6 +39,7 @@ makeAdmissionLimits(const AggregatorConfig& config)
     net::AdmissionLimits limits;
     limits.maxInFlight = config.maxInFlight;
     limits.maxPending = 0; // The aggregator has no dispatch queue.
+    limits.tenants = config.tenants;
     return limits;
 }
 
@@ -45,7 +47,8 @@ makeAdmissionLimits(const AggregatorConfig& config)
 
 AggregatorServer::AggregatorServer(const AggregatorConfig& config)
     : config_(config), admission_(makeAdmissionLimits(config)),
-      collector_(config.classNames, makeShardNames(config.shards.size()))
+      collector_(config.classNames, makeShardNames(config.shards.size())),
+      legRetryBudget_(config.legRetryBudget)
 {
     TPC_CHECK(!config_.shards.empty());
     TPC_CHECK(config_.deadlineFactor > 0.0);
@@ -203,6 +206,23 @@ AggregatorServer::renderStatszText() const
     info.shed = admission_.shed();
     info.inFlight = static_cast<std::uint64_t>(
         std::max(0, admission_.inFlight()));
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        info.deadlineExceeded = stats_.deadlineExceeded;
+    }
+    for (const net::TenantAdmissionSnapshot& t :
+         admission_.tenantSnapshots()) {
+        obs::StatszTenantInfo lane;
+        lane.tenant = t.tenant;
+        lane.name = t.name;
+        lane.weight = t.weight;
+        lane.guarantee = t.guarantee;
+        lane.admitted = t.accepted;
+        lane.shed = t.shed;
+        lane.goodput = t.goodput;
+        lane.inFlight = t.inFlight;
+        info.tenants.push_back(std::move(lane));
+    }
     info.uptimeMs = nowMs();
     // Runtime-health lanes: process gauges plus CPU-profiler status
     // (the aggregator has no worker pool or dispatch queue; loop-health
@@ -398,6 +418,25 @@ AggregatorServer::handleClientFrame(Connection& conn, net::Frame frame)
         return;
     }
 
+    // Earliest-hop budget rejection: a request whose end-to-end budget
+    // is already spent never occupies a fan-out slot or a shard worker.
+    // The distinct status lets clients separate "system refused" (BUSY,
+    // worth a disciplined retry) from "deadline gone" (never retryable).
+    if (overload::budgetExpired(frame.budgetUs)) {
+        collector_.recordDeadlineExceeded(frame.cls);
+        net::Frame response;
+        response.type = net::FrameType::kResponse;
+        response.status = net::FrameStatus::kDeadlineExceeded;
+        response.cls = frame.cls;
+        response.requestId = frame.requestId;
+        sendToClient(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.deadlineExceeded;
+        }
+        return;
+    }
+
     auto busy = [&] {
         collector_.recordClientShed(frame.cls);
         if (metric_.shed != nullptr)
@@ -407,6 +446,15 @@ AggregatorServer::handleClientFrame(Connection& conn, net::Frame frame)
         response.status = net::FrameStatus::kBusy;
         response.cls = frame.cls;
         response.requestId = frame.requestId;
+        // Server-push retry throttle: the deeper the in-flight backlog,
+        // the longer disciplined clients are asked to back off.
+        if (config_.busyRetryHintMs > 0.0) {
+            const double backlog =
+                static_cast<double>(std::max(0, admission_.inFlight()));
+            response.retryAfterMs = static_cast<std::uint16_t>(
+                std::min({config_.busyRetryHintMs * (1.0 + backlog),
+                          config_.maxBusyRetryHintMs, 65535.0}));
+        }
         sendToClient(conn, response);
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
@@ -414,7 +462,7 @@ AggregatorServer::handleClientFrame(Connection& conn, net::Frame frame)
         }
     };
 
-    if (draining_ || !admission_.tryAdmit(0)) {
+    if (draining_ || !admission_.tryAdmit(frame.tenant, 0)) {
         busy();
         return;
     }
@@ -739,7 +787,8 @@ AggregatorServer::settleEndpointLegs(const std::string& key)
         else
             sub.primaryOutstanding = false;
         if (!sub.done && !sub.primaryOutstanding &&
-            !sub.hedgeOutstanding && sub.hedgeAtMs <= 0.0) {
+            !sub.hedgeOutstanding && sub.hedgeAtMs <= 0.0 &&
+            sub.retryAtMs <= 0.0) {
             sub.done = true;
             sub.shardDown = true; // Attributed shard-down at respond.
             --fanout.unresolved;
@@ -759,7 +808,8 @@ AggregatorServer::sendSub(const ShardEndpoint& endpoint,
                           const std::vector<std::uint8_t>& payload,
                           std::uint64_t traceId,
                           std::uint64_t parentSpanId,
-                          std::uint8_t traceFlags)
+                          std::uint8_t traceFlags,
+                          std::uint64_t budgetUs, std::uint16_t tenant)
 {
     Upstream& up = upstreamFor(endpoint);
     if (up.breaker == BreakerState::kHalfOpen && !up.probeInFlight) {
@@ -776,6 +826,8 @@ AggregatorServer::sendSub(const ShardEndpoint& endpoint,
     request.traceId = traceId;
     request.parentSpanId = parentSpanId;
     request.traceFlags = traceFlags;
+    request.budgetUs = budgetUs;
+    request.tenant = tenant;
     net::encodeFrame(request, up.writeBuffer);
     if (up.fd.valid()) {
         flushUpstreamWrites(up);
@@ -806,6 +858,15 @@ AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
     fanout.startMs = now;
     fanout.targetMs = targetMs;
     fanout.deadlineAtMs = now + targetMs * config_.deadlineFactor;
+    // An attached end-to-end budget tightens the fan-out deadline: a
+    // reply the client's budget can no longer use is not worth waiting
+    // for, however generous the target table feels.
+    fanout.budgetUs = frame.budgetUs;
+    fanout.tenant = frame.tenant;
+    if (fanout.budgetUs != overload::kNoBudgetUs)
+        fanout.deadlineAtMs =
+            std::min(fanout.deadlineAtMs,
+                     now + overload::usToMs(fanout.budgetUs));
     fanout.requestPayload = std::move(frame.payload);
     fanout.unresolved = config_.shards.size();
     fanout.subs.resize(config_.shards.size());
@@ -851,7 +912,8 @@ AggregatorServer::startFanout(Connection& conn, net::Frame&& frame)
             if (endpointUsable(primary, now)) {
                 sendSub(spec.primary, sub.subId, stored.cls,
                         stored.requestPayload, stored.traceId,
-                        sub.legSpanId, stored.traceFlags);
+                        sub.legSpanId, stored.traceFlags,
+                        legBudgetFor(stored, now), stored.tenant);
                 continue;
             }
             sub.primaryOutstanding = false;
@@ -892,7 +954,68 @@ AggregatorServer::fireHedge(Fanout& fanout, SubRequest& sub)
         metric_.hedgeIssued->inc();
     sendSub(config_.shards[sub.shardIdx].replica, sub.hedgeSubId,
             fanout.cls, fanout.requestPayload, fanout.traceId,
-            sub.hedgeSpanId, fanout.traceFlags);
+            sub.hedgeSpanId, fanout.traceFlags,
+            legBudgetFor(fanout, sub.hedgeSentAtMs), fanout.tenant);
+}
+
+std::uint64_t
+AggregatorServer::legBudgetFor(const Fanout& fanout, double now) const
+{
+    if (fanout.budgetUs == overload::kNoBudgetUs)
+        return overload::kNoBudgetUs;
+    // PCS-style split: forward what remains after reserving this tier's
+    // own measured merge/respond overhead, so the leg's allowance tracks
+    // the stage's live cost instead of a static per-hop constant. A
+    // budget that shrank to nothing still forwards the floor — the
+    // fan-out deadline (already budget-tightened) bounds the wait.
+    const std::uint64_t remaining =
+        std::max(overload::remainingBudgetUs(fanout.budgetUs,
+                                             now - fanout.startMs),
+                 overload::kMinForwardBudgetUs);
+    double reserveMs = collector_.mergeOverheadQuantile(
+        config_.mergeReserveQuantile, config_.mergeReserveMinSamples);
+    if (reserveMs < 0.0)
+        reserveMs = config_.mergeReserveFallbackMs;
+    return overload::splitLegBudgetUs(remaining, reserveMs);
+}
+
+bool
+AggregatorServer::scheduleLegRetry(Fanout& fanout, SubRequest& sub,
+                                   double now, double serverHintMs)
+{
+    if (!config_.legRetries || sub.done || sub.primaryOutstanding ||
+        sub.retryAtMs > 0.0 ||
+        sub.retryCount >= config_.legMaxAttempts - 1)
+        return false;
+    const overload::Backoff backoff(config_.legBackoff);
+    const double delay =
+        backoff.delayMs(sub.retryCount + 1, legRetryRng_, serverHintMs);
+    if (now + delay >= fanout.deadlineAtMs)
+        return false; // The re-send could never answer in time.
+    if (!legRetryBudget_.tryRetry()) {
+        collector_.onShardRetrySuppressed(sub.shardIdx);
+        return false;
+    }
+    sub.retried = true;
+    sub.retryAtMs = now + delay;
+    return true;
+}
+
+void
+AggregatorServer::fireLegRetry(Fanout& fanout, SubRequest& sub)
+{
+    const double now = nowMs();
+    sub.retryAtMs = -1.0;
+    ++sub.retryCount;
+    sub.shed = false; // The new attempt supersedes the shed verdict.
+    sub.subId = nextSubId_++;
+    sub.sentAtMs = now;
+    sub.primaryOutstanding = true;
+    subIndex_[sub.subId] = SubKey{fanout.fanoutId, sub.shardIdx, false};
+    collector_.onShardRetryIssued(sub.shardIdx);
+    sendSub(config_.shards[sub.shardIdx].primary, sub.subId, fanout.cls,
+            fanout.requestPayload, fanout.traceId, sub.legSpanId,
+            fanout.traceFlags, legBudgetFor(fanout, now), fanout.tenant);
 }
 
 void
@@ -938,11 +1061,14 @@ AggregatorServer::onShardResponse(Upstream& up, net::Frame&& frame)
 
     const bool otherLegPending =
         sub.primaryOutstanding || sub.hedgeOutstanding ||
-        sub.hedgeAtMs > 0.0;
+        sub.hedgeAtMs > 0.0 || sub.retryAtMs > 0.0;
 
     switch (frame.status) {
     case net::FrameStatus::kOk:
         collector_.recordShardLatency(key.shardIdx, latency);
+        legRetryBudget_.onSuccess();
+        if (sub.retried)
+            collector_.onShardRetrySuccess(key.shardIdx);
         sub.done = true;
         sub.haveReply = true;
         sub.payload = std::move(frame.payload);
@@ -969,6 +1095,12 @@ AggregatorServer::onShardResponse(Upstream& up, net::Frame&& frame)
         if (metric_.shardShed != nullptr)
             metric_.shardShed->inc();
         sub.shed = true;
+        // A shed leg is retryable — the shard refused work, it didn't
+        // fail. Honor its pushed-back throttle hint; the token bucket
+        // and the fan-out deadline gate the re-send.
+        if (scheduleLegRetry(fanout, sub, now,
+                             static_cast<double>(frame.retryAfterMs)))
+            return;
         break;
     case net::FrameStatus::kError:
         break;
@@ -977,6 +1109,20 @@ AggregatorServer::onShardResponse(Upstream& up, net::Frame&& frame)
         // its own deadline — for this tier that is a failed leg, same
         // as an error: hedge it if possible, else settle without it.
         break;
+    case net::FrameStatus::kDeadlineExceeded:
+        // The shard judged the leg's forwarded budget already spent. A
+        // backup or retry would carry the same dead budget, so settle
+        // the leg now instead of burning a hedge on it.
+        if (otherLegPending)
+            return;
+        sub.done = true;
+        sub.hedgeAtMs = -1.0;
+        --fanout.unresolved;
+        if (fanout.unresolved == 0)
+            respondToClient(fanout);
+        else
+            maybeReclaim(key.fanoutId);
+        return;
     }
 
     // A shed or failed leg: a backup request is its second chance — the
@@ -1012,7 +1158,7 @@ void
 AggregatorServer::settleLegNoPath(Fanout& fanout, SubRequest& sub)
 {
     if (sub.done || sub.primaryOutstanding || sub.hedgeOutstanding ||
-        sub.hedgeAtMs > 0.0)
+        sub.hedgeAtMs > 0.0 || sub.retryAtMs > 0.0)
         return;
     sub.done = true;
     sub.shardDown = true;
@@ -1046,6 +1192,7 @@ AggregatorServer::respondToClient(Fanout& fanout)
             sub.done = true;
         }
         sub.hedgeAtMs = -1.0;
+        sub.retryAtMs = -1.0;
         if (sub.haveReply) {
             replies.push_back({sub.shardIdx, std::move(sub.payload)});
             slowestShardMs = std::max(slowestShardMs, sub.replyMs);
@@ -1069,9 +1216,20 @@ AggregatorServer::respondToClient(Fanout& fanout)
     response.shardsAnswered = static_cast<std::uint16_t>(replies.size());
     response.shardsTotal = static_cast<std::uint16_t>(fanout.subs.size());
     const bool fullCoverage = replies.size() == fanout.subs.size();
+    // With the end-to-end budget spent and no usable merge, the honest
+    // answer is "deadline gone" — the client must not retry it the way a
+    // BUSY invites. A usable (even partial) merge still goes out as OK:
+    // the bytes exist, the client's budget decides whether to use them.
+    const bool budgetSpent =
+        fanout.budgetUs != overload::kNoBudgetUs &&
+        overload::remainingBudgetUs(fanout.budgetUs,
+                                    now - fanout.startMs) ==
+            overload::kNoBudgetUs;
     if (!replies.empty() && (config_.allowPartial || fullCoverage)) {
         response.status = net::FrameStatus::kOk;
         merger_(replies, config_.topK, response.payload);
+    } else if (budgetSpent) {
+        response.status = net::FrameStatus::kDeadlineExceeded;
     } else if (shedLegs == fanout.subs.size()) {
         response.status = net::FrameStatus::kBusy;
     } else {
@@ -1096,10 +1254,25 @@ AggregatorServer::respondToClient(Fanout& fanout)
     record.anyShardDown = anyShardDown;
     record.shardsAnswered = static_cast<std::uint16_t>(replies.size());
     record.shardsTotal = static_cast<std::uint16_t>(fanout.subs.size());
-    collector_.record(record);
+    if (response.status == net::FrameStatus::kDeadlineExceeded) {
+        // Retired unanswerable: like a client shed this is no
+        // completion, so it stays out of the straggler cause sum.
+        collector_.recordDeadlineExceeded(fanout.cls);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.deadlineExceeded;
+    } else {
+        collector_.record(record);
+    }
+    // The merge reserve quantile must not be inflated by deadline waits
+    // on missing legs, so only full-coverage responses feed it.
+    if (fullCoverage)
+        collector_.recordMergeOverhead(
+            std::max(0.0, record.responseMs - slowestShardMs));
     recordFanoutSpans(fanout, record.responseMs);
 
-    admission_.onComplete();
+    admission_.onComplete(fanout.tenant);
+    if (response.status == net::FrameStatus::kOk)
+        admission_.onGoodput(fanout.tenant);
     if (metric_.inFlight != nullptr)
         metric_.inFlight->set(admission_.inFlight());
 
@@ -1239,8 +1412,10 @@ AggregatorServer::nextTimerMs() const
         }
         consider(fanout.deadlineAtMs);
         for (const SubRequest& sub : fanout.subs) {
-            if (!sub.done)
+            if (!sub.done) {
                 consider(sub.hedgeAtMs);
+                consider(sub.retryAtMs);
+            }
         }
     }
     for (const auto& [key, up] : upstreamsByKey_) {
@@ -1258,6 +1433,7 @@ AggregatorServer::processTimers()
     // Collect first: firing hedges, responding, and reclaiming all
     // mutate fanouts_ / subIndex_.
     std::vector<std::pair<std::uint64_t, std::size_t>> hedges;
+    std::vector<std::pair<std::uint64_t, std::size_t>> retries;
     std::vector<std::uint64_t> expired;
     std::vector<std::uint64_t> lingered;
     for (auto& [id, fanout] : fanouts_) {
@@ -1271,8 +1447,12 @@ AggregatorServer::processTimers()
             continue;
         }
         for (SubRequest& sub : fanout.subs) {
-            if (!sub.done && sub.hedgeAtMs > 0.0 && now >= sub.hedgeAtMs)
+            if (sub.done)
+                continue;
+            if (sub.hedgeAtMs > 0.0 && now >= sub.hedgeAtMs)
                 hedges.push_back({id, sub.shardIdx});
+            if (sub.retryAtMs > 0.0 && now >= sub.retryAtMs)
+                retries.push_back({id, sub.shardIdx});
         }
     }
 
@@ -1292,6 +1472,23 @@ AggregatorServer::processTimers()
             continue;
         }
         fireHedge(it->second, sub);
+    }
+    for (const auto& [id, shardIdx] : retries) {
+        const auto it = fanouts_.find(id);
+        if (it == fanouts_.end() || it->second.responded)
+            continue;
+        SubRequest& sub = it->second.subs[shardIdx];
+        if (sub.done || sub.retryAtMs <= 0.0 || now < sub.retryAtMs)
+            continue;
+        // The primary's breaker may have opened during the backoff:
+        // disarm, and settle the leg when nothing else can answer it.
+        const ShardSpec& spec = config_.shards[shardIdx];
+        if (!endpointUsable(upstreamFor(spec.primary), now)) {
+            sub.retryAtMs = -1.0;
+            settleLegNoPath(it->second, sub);
+            continue;
+        }
+        fireLegRetry(it->second, sub);
     }
     for (const std::uint64_t id : expired) {
         const auto it = fanouts_.find(id);

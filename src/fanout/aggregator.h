@@ -48,6 +48,8 @@
 #include "obs/fanout_stats.h"
 #include "obs/metrics.h"
 #include "obs/span_collector.h"
+#include "overload/retry.h"
+#include "util/rng.h"
 
 namespace tpc::fanout {
 
@@ -151,6 +153,40 @@ struct AggregatorConfig
     std::vector<std::string> classNames;
     /** Identity reported as the `policy` label on /statsz. */
     std::string policyName = "fanout-aggregator";
+    /**
+     * Tenant shares for weighted-fair admission: each tenant is
+     * guaranteed floor(maxInFlight * weight/sum) in-flight fanouts under
+     * contention, surplus capacity stays work-conserving. Empty keeps
+     * admission tenant-blind (one shared limit).
+     */
+    std::vector<overload::TenantQuota> tenants;
+    /** retryAfterMs hint stamped on BUSY responses (per in-flight unit
+     *  of backlog, like the leaf servers); <= 0 sends no hint. */
+    double busyRetryHintMs = 2.0;
+    /** Cap on the computed BUSY retry hint (ms). */
+    double maxBusyRetryHintMs = 500.0;
+    /**
+     * Re-send shed shard legs after capped exponential backoff, funded
+     * by a token-bucket retry budget (successful legs earn tokens). Off
+     * by default: the retry discipline is an overload-tier behavior the
+     * bench/smoke configs opt into; hedging stays the latency tool.
+     */
+    bool legRetries = false;
+    /** Total attempts per shard leg including the first send. */
+    int legMaxAttempts = 2;
+    /** Backoff shape of leg retries (floored at the shard's pushed
+     *  retryAfterMs hint). */
+    overload::BackoffConfig legBackoff;
+    /** Token-bucket funding for leg retries. */
+    overload::RetryBudgetConfig legRetryBudget;
+    /**
+     * Per-stage reserve the budget split subtracts before forwarding to
+     * a leg: the quantile of the live merge-overhead histogram, falling
+     * back to mergeReserveFallbackMs until minSamples observations.
+     */
+    double mergeReserveQuantile = 0.9;
+    std::uint64_t mergeReserveMinSamples = 32;
+    double mergeReserveFallbackMs = 1.0;
 };
 
 /** Event counters of one AggregatorServer (monotonic, read anytime). */
@@ -166,6 +202,9 @@ struct AggregatorStats
     std::uint64_t tracezServed = 0;
     /** kProfileRequest frames answered (not counted as requests). */
     std::uint64_t profilezServed = 0;
+    /** Client requests answered kDeadlineExceeded (budget expired on
+     *  arrival, or ran out with no usable replies). */
+    std::uint64_t deadlineExceeded = 0;
     std::uint64_t upstreamConnects = 0;
     std::uint64_t upstreamDrops = 0;
     /** OK responses merged from a strict subset of the shards. */
@@ -341,6 +380,12 @@ class AggregatorServer
         double hedgeSentAtMs = 0.0;
         /** Absolute time the backup fires; <= 0 when disarmed. */
         double hedgeAtMs = -1.0;
+        /** Absolute time a scheduled leg retry fires; <= 0 when none. */
+        double retryAtMs = -1.0;
+        /** Re-sends already issued on this leg (bounded by config). */
+        int retryCount = 0;
+        /** A retry is scheduled or was issued (success attribution). */
+        bool retried = false;
         bool hedged = false;
         /** Leg settled (usable reply, shed, or abandoned). */
         bool done = false;
@@ -377,6 +422,11 @@ class AggregatorServer
         double startMs = 0.0;
         double targetMs = 0.0;
         double deadlineAtMs = 0.0;
+        /** Remaining end-to-end budget received on the client frame
+         *  (µs, 0 = none); legs forward a PCS-style split of it. */
+        std::uint64_t budgetUs = 0;
+        /** Tenant id from the client frame (weighted admission key). */
+        std::uint16_t tenant = 0;
         /** The query payload, kept so a hedge can resend it. */
         std::vector<std::uint8_t> requestPayload;
         /** After responding, stragglers are tolerated until here. */
@@ -432,13 +482,30 @@ class AggregatorServer
     void startFanout(Connection& conn, net::Frame&& frame);
     /** Encodes one shard-side request onto the endpoint's connection.
      *  The trace context rides in the frame header so the shard's spans
-     *  attach under @p parentSpanId (0 = untraced). */
+     *  attach under @p parentSpanId (0 = untraced); @p budgetUs and
+     *  @p tenant propagate the overload context downstream. */
     void sendSub(const ShardEndpoint& endpoint, std::uint64_t subId,
                  std::uint8_t cls,
                  const std::vector<std::uint8_t>& payload,
                  std::uint64_t traceId, std::uint64_t parentSpanId,
-                 std::uint8_t traceFlags);
+                 std::uint8_t traceFlags, std::uint64_t budgetUs,
+                 std::uint16_t tenant);
     void fireHedge(Fanout& fanout, SubRequest& sub);
+    /** The budget to stamp on a leg (re)send now: the fanout's remaining
+     *  budget minus the measured merge-overhead reserve (PCS split);
+     *  kNoBudgetUs when the client attached none. */
+    std::uint64_t legBudgetFor(const Fanout& fanout, double now) const;
+    /**
+     * Arms a backoff-delayed re-send of a shed leg when the retry
+     * discipline allows it: attempts remain, the token bucket funds it,
+     * and the delay (floored at the shard's pushed hint) still fits
+     * before the fan-out deadline. Returns false when the leg must
+     * settle instead.
+     */
+    bool scheduleLegRetry(Fanout& fanout, SubRequest& sub, double now,
+                          double serverHintMs);
+    /** Issues a scheduled leg retry (new primary-direction wire id). */
+    void fireLegRetry(Fanout& fanout, SubRequest& sub);
     /** Records the fanout root + leg spans and finishes the trace;
      *  called from respondToClient for traced requests. */
     void recordFanoutSpans(const Fanout& fanout, double responseMs);
@@ -465,6 +532,11 @@ class AggregatorServer
     net::AdmissionController admission_;
     obs::FanoutStatsCollector collector_;
     ResultMerger merger_;
+    /** Token bucket funding leg retries (earns on usable replies). */
+    overload::RetryBudget legRetryBudget_;
+    /** Jitter source for leg-retry backoff (fixed seed: deterministic
+     *  event-loop behavior run-to-run). */
+    util::Rng legRetryRng_{0x51E97A11ull};
 
     net::FdGuard listenFd_;
     std::uint16_t port_ = 0;

@@ -10,85 +10,23 @@
  * request that would exceed either limit is rejected immediately with a
  * BUSY response, which keeps the tail of *accepted* requests flat under
  * overload (the property the ISSUE's overload test asserts).
+ *
+ * The implementation lives in src/overload: AdmissionController is the
+ * tenant-aware weighted-fair controller. With no tenants configured in
+ * AdmissionLimits it behaves exactly like the original single-bucket
+ * controller; configure `tenants` to give each class a guaranteed share
+ * of the in-flight capacity (surplus stays work-conserving).
  */
 #pragma once
 
-#include <atomic>
-#include <cstdint>
+#include "overload/admission.h"
 
 namespace tpc::net {
 
-/** Limits enforced by the AdmissionController. */
-struct AdmissionLimits
-{
-    /** Max requests submitted but not yet completed (<= 0: unlimited). */
-    int maxInFlight = 128;
-    /** Max requests waiting in the dispatch queue (<= 0: unlimited). */
-    int maxPending = 64;
-};
+using overload::AdmissionLimits;
+using overload::TenantAdmissionSnapshot;
+using overload::TenantQuota;
 
-/**
- * Thread-safe accept/shed decision with counters. tryAdmit() is called
- * with the server's current dispatch-queue depth; onComplete() must be
- * called exactly once per admitted request.
- */
-class AdmissionController
-{
-  public:
-    explicit AdmissionController(AdmissionLimits limits = {})
-        : limits_(limits)
-    {
-    }
-
-    /**
-     * Admits the request unless a limit is exceeded. On admission the
-     * in-flight count is already incremented when this returns.
-     */
-    bool tryAdmit(int queueDepth)
-    {
-        if (limits_.maxPending > 0 && queueDepth >= limits_.maxPending) {
-            shed_.fetch_add(1, std::memory_order_relaxed);
-            return false;
-        }
-        int current = inFlight_.load(std::memory_order_relaxed);
-        for (;;) {
-            if (limits_.maxInFlight > 0 && current >= limits_.maxInFlight) {
-                shed_.fetch_add(1, std::memory_order_relaxed);
-                return false;
-            }
-            if (inFlight_.compare_exchange_weak(current, current + 1,
-                                                std::memory_order_relaxed))
-                break;
-        }
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        return true;
-    }
-
-    /** Releases one admitted request's in-flight slot. */
-    void onComplete() { inFlight_.fetch_sub(1, std::memory_order_relaxed); }
-
-    int inFlight() const
-    {
-        return inFlight_.load(std::memory_order_relaxed);
-    }
-
-    std::uint64_t accepted() const
-    {
-        return accepted_.load(std::memory_order_relaxed);
-    }
-
-    std::uint64_t shed() const
-    {
-        return shed_.load(std::memory_order_relaxed);
-    }
-
-    const AdmissionLimits& limits() const { return limits_; }
-
-  private:
-    AdmissionLimits limits_;
-    std::atomic<int> inFlight_{0};
-    std::atomic<std::uint64_t> accepted_{0};
-    std::atomic<std::uint64_t> shed_{0};
-};
+using AdmissionController = overload::WeightedAdmissionController;
 
 } // namespace tpc::net

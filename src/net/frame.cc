@@ -82,6 +82,15 @@ encodeFrame(const Frame& frame, std::vector<std::uint8_t>& out)
     putU64(h + 32, frame.parentSpanId);
     h[40] = frame.traceFlags;
     h[41] = h[42] = h[43] = 0;
+    putU64(h + 44, frame.budgetUs);
+    putU16(h + 52, frame.tenant);
+    // The retry hint is only meaningful on BUSY responses; keep the two
+    // bytes reserved-zero elsewhere so decoders can reject corruption.
+    if (frame.type == FrameType::kResponse &&
+        frame.status == FrameStatus::kBusy)
+        putU16(h + 54, frame.retryAfterMs);
+    else
+        putU16(h + 54, 0);
     if (!frame.payload.empty())
         std::memcpy(h + kHeaderSize, frame.payload.data(),
                     frame.payload.size());
@@ -109,7 +118,9 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
     if (version < kMinProtocolVersion || version > kProtocolVersion)
         return fail("unsupported protocol version " +
                     std::to_string(static_cast<int>(version)));
-    const std::size_t headerSize = version == 1 ? kHeaderSizeV1 : kHeaderSize;
+    const std::size_t headerSize = version == 1   ? kHeaderSizeV1
+                                   : version == 2 ? kHeaderSizeV2
+                                                  : kHeaderSize;
     if (size < headerSize)
         return result; // kNeedMore
     const std::uint8_t type = data[5];
@@ -118,7 +129,7 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         return fail("unknown frame type " +
                     std::to_string(static_cast<int>(type)));
     const std::uint8_t status = data[7];
-    if (status > static_cast<std::uint8_t>(FrameStatus::kCancelled))
+    if (status > static_cast<std::uint8_t>(FrameStatus::kDeadlineExceeded))
         return fail("unknown frame status " +
                     std::to_string(static_cast<int>(status)));
     const std::uint32_t payloadLength = getU32(data + 16);
@@ -131,6 +142,10 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         return fail("reserved header bytes must be zero");
     if (version >= 2 && (data[41] != 0 || data[42] != 0 || data[43] != 0))
         return fail("reserved trace-context bytes must be zero");
+    const bool isBusyResponse =
+        isResponse && status == static_cast<std::uint8_t>(FrameStatus::kBusy);
+    if (version >= 3 && !isBusyResponse && getU16(data + 54) != 0)
+        return fail("reserved retry-hint bytes must be zero");
     if (size < headerSize + payloadLength)
         return result; // kNeedMore: header is sane, payload still arriving.
 
@@ -151,6 +166,15 @@ decodeFrame(const std::uint8_t* data, std::size_t size,
         result.frame.traceId = getU64(data + 24);
         result.frame.parentSpanId = getU64(data + 32);
         result.frame.traceFlags = data[40];
+    }
+    // Version-1/2 frames predate the overload context; zeroed fields mean
+    // "no budget, default tenant, no retry hint" so older clients keep
+    // working without deadline enforcement kicking in.
+    if (version >= 3) {
+        result.frame.budgetUs = getU64(data + 44);
+        result.frame.tenant = getU16(data + 52);
+        if (isBusyResponse)
+            result.frame.retryAfterMs = getU16(data + 54);
     }
     result.frame.payload.assign(data + headerSize,
                                 data + headerSize + payloadLength);

@@ -9,7 +9,7 @@
  * payload lengths beyond the negotiated cap are hard errors that the
  * server answers by closing the connection, never by trusting the length.
  *
- * Wire layout (kHeaderSize = 44 bytes, then `payloadLength` payload bytes):
+ * Wire layout (kHeaderSize = 56 bytes, then `payloadLength` payload bytes):
  *
  *   offset  size  field
  *        0     4  magic 0x54504352 ("TPCR")
@@ -25,6 +25,9 @@
  *       32     8  parentSpanId (caller's span; 0 = root)
  *       40     1  traceFlags (bit 0: sampled)
  *       41     3  reserved, must be zero
+ *       44     8  budgetUs (remaining end-to-end budget, µs; 0 = none)
+ *       52     2  tenant (admission tenant/class id; 0 = default)
+ *       54     2  retryAfterMs (server retry-throttle hint; kBusy only)
  *
  * The coverage pair reports partial-result degradation on fan-out
  * responses: shardsAnswered < shardsTotal means the merge ran without
@@ -41,6 +44,18 @@
  * one timeline. Decoders still accept version-1 frames (24-byte header,
  * no trace context) and zero the trace fields, so old clients keep
  * working against new servers and vice versa.
+ *
+ * The overload context (version 3, offsets 44-55) carries the remaining
+ * end-to-end deadline budget and the admission tenant. The budget is a
+ * *relative* remaining allowance in microseconds (not an absolute wall
+ * deadline) so it survives unsynchronized clocks: each hop subtracts its
+ * own elapsed time before forwarding, and a hop that sees the budget hit
+ * zero rejects with kDeadlineExceeded instead of occupying a worker.
+ * `retryAfterMs` is a server-push retry-throttle hint, meaningful only on
+ * kBusy responses (reserved-zero on every other frame): an overloaded
+ * server tells clients how long to back off before re-offering work.
+ * Version-1 and version-2 frames decode with all three fields zeroed
+ * (no budget, default tenant, no hint).
  */
 #pragma once
 
@@ -51,17 +66,22 @@
 
 namespace tpc::net {
 
-/** Bytes before the payload (version 2, with trace context). */
-inline constexpr std::size_t kHeaderSize = 44;
+/** Bytes before the payload (version 3, with overload context). */
+inline constexpr std::size_t kHeaderSize = 56;
 
 /** Header size of the pre-trace-context wire version, still accepted. */
 inline constexpr std::size_t kHeaderSizeV1 = 24;
 
+/** Header size of the pre-overload-context wire version, still
+ *  accepted (trace context but no budget/tenant fields). */
+inline constexpr std::size_t kHeaderSizeV2 = 44;
+
 /** "TPCR" little-endian. */
 inline constexpr std::uint32_t kMagic = 0x52435054u;
 
-/** Current wire version (2 added the trace context at offsets 24-43). */
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/** Current wire version (2 added the trace context at offsets 24-43;
+ *  3 added the deadline-budget/tenant context at offsets 44-55). */
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /** Oldest wire version decoders still accept. */
 inline constexpr std::uint8_t kMinProtocolVersion = 1;
@@ -108,6 +128,11 @@ enum class FrameStatus : std::uint8_t {
      *  expired while it sat in the queue. Distinct from kBusy so clients
      *  and benchmarks can separate sheds from deadline cancellations. */
     kCancelled = 3,
+    /** The request's end-to-end budget expired — rejected on arrival or
+     *  while queued, without ever occupying a worker. Distinct from
+     *  kCancelled (a per-hop server deadline, no client budget) so
+     *  clients can tell "my budget ran out" from "the server gave up". */
+    kDeadlineExceeded = 4,
 };
 
 /** One decoded frame. */
@@ -130,6 +155,18 @@ struct Frame
     std::uint64_t parentSpanId = 0;
     /** kTraceFlagSampled et al.; forwarded verbatim across hops. */
     std::uint8_t traceFlags = 0;
+    /** Remaining end-to-end budget in microseconds at send time; 0 means
+     *  "no budget" (the request never expires client-side). Each hop
+     *  subtracts its own elapsed time before forwarding. Zeroed on
+     *  version-1/2 frames. */
+    std::uint64_t budgetUs = 0;
+    /** Admission tenant/class id (weighted-fair admission); 0 is the
+     *  default tenant. Zeroed on version-1/2 frames. */
+    std::uint16_t tenant = 0;
+    /** Retry-throttle hint (kBusy responses only): the server asks the
+     *  client to wait at least this many ms before retrying. 0 = no
+     *  hint. Reserved-zero on every other frame. */
+    std::uint16_t retryAfterMs = 0;
     std::vector<std::uint8_t> payload;
 
     /** True when a fan-out response was merged without full coverage. */

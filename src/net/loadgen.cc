@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <memory>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "net/frame.h"
 #include "net/poller.h"
 #include "net/socket.h"
+#include "overload/budget.h"
 #include "util/csv.h"
 #include "util/distributions.h"
 #include "util/logging.h"
@@ -40,14 +42,45 @@ struct ClientConn
 /** Bookkeeping of one unanswered request. */
 struct Pending
 {
-    /** Scheduled arrival time (ms), the open-loop latency base. */
+    /** Scheduled arrival time (ms), the open-loop latency base — the
+     *  original arrival even on a retry, so retried latency includes
+     *  every failed attempt and backoff wait. */
     double arrivalMs = 0.0;
     /** Connection the request went out on. */
     std::size_t conn = 0;
     /** Trace context the request carried (0 when tracing is off). */
     std::uint64_t traceId = 0;
     std::uint64_t clientSpanId = 0;
+    /** Application sequence number (payload bytes 0-8). */
+    std::uint64_t seq = 0;
+    /** Index into the per-tenant slices (npos when untenanted). */
+    std::size_t tenantIdx = static_cast<std::size_t>(-1);
+    /** 1-based attempt number (1 = first send). */
+    int attempt = 1;
 };
+
+/** A scheduled retry, waiting for its backoff delay. */
+struct RetryItem
+{
+    std::uint64_t seq = 0;
+    std::size_t tenantIdx = static_cast<std::size_t>(-1);
+    double arrivalMs = 0.0;
+    std::uint64_t traceId = 0;
+    std::uint64_t clientSpanId = 0;
+    /** Attempt number of the re-send. */
+    int attempt = 2;
+};
+
+constexpr std::size_t kNoTenant = static_cast<std::size_t>(-1);
+
+/**
+ * Retries live in a disjoint wire-id range: first attempts keep
+ * wireId == seq (applications key work off the payload sequence and may
+ * assert the two match), while re-sends draw fresh ids from here so a
+ * late response to an abandoned attempt can never be mistaken for the
+ * answer to its retry.
+ */
+constexpr std::uint64_t kRetryWireIdBase = 1ull << 62;
 
 double
 msSince(Clock::time_point epoch)
@@ -131,8 +164,52 @@ runLoadGen(const LoadGenConfig& config)
     TPC_CHECK(config.qps > 0.0);
     TPC_CHECK(config.connections >= 1);
     TPC_CHECK(config.payloadBytes >= 8);
+    TPC_CHECK(config.maxAttempts >= 1);
 
     LoadGenResult result;
+
+    // Per-tenant result slices plus cumulative weights for the
+    // deterministic mix draw (one Rng stream per concern, so enabling
+    // tenants never perturbs the arrival process).
+    std::vector<double> tenantCum;
+    double tenantTotalWeight = 0.0;
+    for (const overload::TenantQuota& quota : config.tenants) {
+        TenantLoadGenResult tenantSlice;
+        tenantSlice.tenant = quota.tenant;
+        tenantSlice.name = quota.name;
+        tenantSlice.weight = quota.weight;
+        result.perTenant.push_back(std::move(tenantSlice));
+        tenantTotalWeight += std::max(0.0, quota.weight);
+        tenantCum.push_back(tenantTotalWeight);
+    }
+    util::Rng tenantRng(config.seed ^ 0x7E4A47ull);
+    auto pickTenant = [&]() -> std::size_t {
+        if (tenantCum.empty() || tenantTotalWeight <= 0.0)
+            return kNoTenant;
+        const double u = tenantRng.uniform() * tenantTotalWeight;
+        for (std::size_t i = 0; i < tenantCum.size(); ++i)
+            if (u < tenantCum[i])
+                return i;
+        return tenantCum.size() - 1;
+    };
+    auto slice = [&](std::size_t idx) -> TenantLoadGenResult* {
+        return idx < result.perTenant.size() ? &result.perTenant[idx]
+                                             : nullptr;
+    };
+    auto tenantIdFor = [&](std::size_t idx) -> std::uint16_t {
+        return idx < config.tenants.size() ? config.tenants[idx].tenant : 0;
+    };
+
+    overload::RetryBudget retryBudget(config.retryBudget);
+    const overload::Backoff backoffPolicy(config.backoff);
+    util::Rng retryRng(config.seed ^ 0xB0FFull);
+    /** Scheduled re-sends, keyed by their due time (ms since epoch). */
+    std::multimap<double, RetryItem> retryQueue;
+    /** Client-side timeout deadlines, keyed by expiry (ms since epoch);
+     *  entries whose wire id is already answered are skipped lazily. */
+    std::multimap<double, std::uint64_t> timeoutQueue;
+    std::uint64_t nextRetryWireId = kRetryWireIdBase;
+
     std::vector<ClientConn> conns(
         static_cast<std::size_t>(config.connections));
     connectAll(config, conns);
@@ -196,6 +273,8 @@ runLoadGen(const LoadGenConfig& config)
         for (auto it = outstanding.begin(); it != outstanding.end();) {
             if (it->second.conn == idx) {
                 ++result.failed;
+                if (TenantLoadGenResult* t = slice(it->second.tenantIdx))
+                    ++t->failed;
                 it = outstanding.erase(it);
             } else {
                 ++it;
@@ -219,6 +298,168 @@ runLoadGen(const LoadGenConfig& config)
         poller.add(fd, kPollOut);
     };
 
+    auto pickConn = [&]() -> std::size_t {
+        std::size_t attempts = 0;
+        while (!conns[nextConn].alive && attempts < conns.size()) {
+            nextConn = (nextConn + 1) % conns.size();
+            ++attempts;
+        }
+        if (!conns[nextConn].alive)
+            return conns.size();
+        const std::size_t idx = nextConn;
+        nextConn = (nextConn + 1) % conns.size();
+        return idx;
+    };
+
+    // Arms the client-side give-up clock for one attempt: the per-attempt
+    // timeout and/or the end-to-end budget (which is anchored at the
+    // *scheduled* arrival, so retries inherit the original allowance).
+    auto scheduleTimeout = [&](std::uint64_t wireId, const Pending& p,
+                               double nowMs) {
+        double dueMs = std::numeric_limits<double>::infinity();
+        if (config.timeoutMs > 0.0)
+            dueMs = nowMs + config.timeoutMs;
+        if (config.budgetMs > 0.0)
+            dueMs = std::min(dueMs, p.arrivalMs + config.budgetMs);
+        if (std::isfinite(dueMs))
+            timeoutQueue.emplace(dueMs, wireId);
+    };
+
+    // Encodes and sends one attempt (first send or re-send). Returns
+    // false when every connection is down; the caller accounts for it.
+    auto sendAttempt = [&](std::uint64_t wireId, const Pending& p,
+                           double nowMs) -> bool {
+        const std::size_t connIdx = pickConn();
+        if (connIdx == conns.size())
+            return false;
+        ClientConn& conn = conns[connIdx];
+        Frame frame;
+        frame.type = FrameType::kRequest;
+        frame.cls = config.cls;
+        frame.requestId = wireId;
+        frame.tenant = tenantIdFor(p.tenantIdx);
+        if (config.budgetMs > 0.0) {
+            // Stamp the *remaining* allowance; an already-exhausted
+            // budget still goes out as the minimum stampable value so
+            // the server's earliest-hop rejection (not a silent client
+            // drop) is what retires it.
+            const double remainingMs =
+                p.arrivalMs + config.budgetMs - nowMs;
+            frame.budgetUs = std::max<std::uint64_t>(
+                overload::msToUs(remainingMs), 1);
+        }
+        if (p.traceId != 0) {
+            frame.traceId = p.traceId;
+            frame.parentSpanId = p.clientSpanId;
+            frame.traceFlags = kTraceFlagSampled;
+        }
+        appendU64(frame.payload, p.seq);
+        if (frame.payload.size() < config.payloadBytes)
+            frame.payload.resize(config.payloadBytes, 0);
+        if (config.payloadFn)
+            config.payloadFn(p.seq, frame.payload);
+        encodeFrame(frame, conn.writeBuffer);
+        Pending stored = p;
+        stored.conn = connIdx;
+        outstanding[wireId] = stored;
+        scheduleTimeout(wireId, stored, nowMs);
+        if (!flushConn(conn, poller))
+            failConn(connIdx, nowMs);
+        return true;
+    };
+
+    // Decides whether a failed attempt gets another go; true means a
+    // retry was scheduled and final-outcome accounting is deferred to
+    // it. Disciplined mode retries only sheds (BUSY), pays a retry-
+    // budget token, backs off no less than the server's pushed hint and
+    // gives up when the backoff would outlive the deadline budget; naive
+    // mode retries sheds *and* timeouts after a short fixed delay with
+    // no gates — the storm baseline.
+    auto scheduleRetry = [&](const Pending& p, double nowMs,
+                             double serverHintMs, bool fromTimeout) -> bool {
+        if (!config.retryEnabled || p.attempt >= config.maxAttempts)
+            return false;
+        double delayMs = 0.0;
+        if (config.naiveRetries) {
+            delayMs = config.backoff.baseDelayMs;
+        } else {
+            if (fromTimeout)
+                return false;
+            if (config.budgetMs > 0.0 &&
+                nowMs + config.backoff.baseDelayMs >=
+                    p.arrivalMs + config.budgetMs)
+                return false;
+            if (!retryBudget.tryRetry())
+                return false;
+            delayMs =
+                backoffPolicy.delayMs(p.attempt, retryRng, serverHintMs);
+            if (config.budgetMs > 0.0 &&
+                nowMs + delayMs >= p.arrivalMs + config.budgetMs)
+                delayMs = std::max(
+                    0.0, p.arrivalMs + config.budgetMs - nowMs - 1.0);
+        }
+        RetryItem item;
+        item.seq = p.seq;
+        item.tenantIdx = p.tenantIdx;
+        item.arrivalMs = p.arrivalMs;
+        item.traceId = p.traceId;
+        item.clientSpanId = p.clientSpanId;
+        item.attempt = p.attempt + 1;
+        retryQueue.emplace(nowMs + delayMs, item);
+        return true;
+    };
+
+    auto processTimeouts = [&](double nowMs) {
+        while (!timeoutQueue.empty() &&
+               timeoutQueue.begin()->first <= nowMs) {
+            const std::uint64_t wireId = timeoutQueue.begin()->second;
+            timeoutQueue.erase(timeoutQueue.begin());
+            const auto it = outstanding.find(wireId);
+            if (it == outstanding.end())
+                continue; // Answered in time.
+            const Pending timedOut = it->second;
+            // Abandon the attempt: a late response now finds no entry
+            // and is discarded, never double-counted.
+            outstanding.erase(it);
+            if (scheduleRetry(timedOut, nowMs, 0.0, /*fromTimeout=*/true))
+                continue;
+            ++result.timeouts;
+            if (TenantLoadGenResult* t = slice(timedOut.tenantIdx))
+                ++t->timeouts;
+        }
+    };
+
+    auto processRetries = [&](double nowMs) {
+        while (!retryQueue.empty() && retryQueue.begin()->first <= nowMs) {
+            const RetryItem item = retryQueue.begin()->second;
+            retryQueue.erase(retryQueue.begin());
+            if (config.budgetMs > 0.0 &&
+                nowMs >= item.arrivalMs + config.budgetMs) {
+                // The budget ran out while backing off.
+                ++result.timeouts;
+                if (TenantLoadGenResult* t = slice(item.tenantIdx))
+                    ++t->timeouts;
+                continue;
+            }
+            Pending pending;
+            pending.arrivalMs = item.arrivalMs;
+            pending.seq = item.seq;
+            pending.tenantIdx = item.tenantIdx;
+            pending.traceId = item.traceId;
+            pending.clientSpanId = item.clientSpanId;
+            pending.attempt = item.attempt;
+            const std::uint64_t wireId = nextRetryWireId++;
+            ++result.retries;
+            if (TenantLoadGenResult* t = slice(item.tenantIdx))
+                ++t->retries;
+            if (!sendAttempt(wireId, pending, nowMs)) {
+                ++result.failed;
+                if (TenantLoadGenResult* t = slice(item.tenantIdx))
+                    ++t->failed;
+            }
+        }
+    };
+
     for (;;) {
         double nowMs = msSince(epoch);
 
@@ -235,39 +476,22 @@ runLoadGen(const LoadGenConfig& config)
             sendingDoneAtMs = nowMs;
         }
 
+        // Client-side give-up clocks and due backoffs run before sends
+        // so a freed retry token or expired attempt is visible to this
+        // tick's decisions.
+        processTimeouts(nowMs);
+        processRetries(nowMs);
+
         // Open-loop send: emit every arrival whose time has come, without
         // ever waiting on a response. A backed-up connection buffers the
         // frame; the request is still timestamped at its scheduled
         // arrival, so server-side delay is measured, not masked.
         while (!sendingDone && nextArrivalMs <= nowMs) {
-            std::size_t attempts = 0;
-            while (!conns[nextConn].alive && attempts < conns.size()) {
-                nextConn = (nextConn + 1) % conns.size();
-                ++attempts;
-            }
-            if (!conns[nextConn].alive) {
-                // Every connection is down. The schedule keeps running —
-                // the arrival is recorded as failed instead of silently
-                // reducing the offered load; reconnects restore service.
-                ++result.sent;
-                ++result.failed;
-                ++seq;
-                nextArrivalMs = nextArrival();
-                if (doneSending(nowMs)) {
-                    sendingDone = true;
-                    sendingDoneAtMs = nowMs;
-                }
-                continue;
-            }
-            const std::size_t connIdx = nextConn;
-            ClientConn& conn = conns[connIdx];
-            nextConn = (nextConn + 1) % conns.size();
-
-            Frame frame;
-            frame.type = FrameType::kRequest;
-            frame.cls = config.cls;
-            frame.requestId = seq;
-            Pending pending{nextArrivalMs, connIdx, 0, 0};
+            Pending pending;
+            pending.arrivalMs = nextArrivalMs;
+            pending.seq = seq;
+            pending.tenantIdx = pickTenant();
+            pending.attempt = 1;
             if (config.trace) {
                 // The client span is the trace root; the server's span
                 // parents off it. Both ids derive from (seed, seq), so
@@ -275,27 +499,24 @@ runLoadGen(const LoadGenConfig& config)
                 pending.traceId = obs::deriveTraceId(config.seed, seq);
                 pending.clientSpanId =
                     obs::deriveTraceId(config.seed ^ 0xC11E57ull, seq);
-                frame.traceId = pending.traceId;
-                frame.parentSpanId = pending.clientSpanId;
-                frame.traceFlags = kTraceFlagSampled;
             }
-            appendU64(frame.payload, seq);
-            if (frame.payload.size() < config.payloadBytes)
-                frame.payload.resize(config.payloadBytes, 0);
-            if (config.payloadFn)
-                config.payloadFn(seq, frame.payload);
-            encodeFrame(frame, conn.writeBuffer);
-
-            outstanding[seq] = pending;
             ++result.sent;
+            if (TenantLoadGenResult* t = slice(pending.tenantIdx))
+                ++t->sent;
+            if (!sendAttempt(seq, pending, nowMs)) {
+                // Every connection is down. The schedule keeps running —
+                // the arrival is recorded as failed instead of silently
+                // reducing the offered load; reconnects restore service.
+                ++result.failed;
+                if (TenantLoadGenResult* t = slice(pending.tenantIdx))
+                    ++t->failed;
+            }
             ++seq;
             nextArrivalMs = nextArrival();
             if (doneSending(nowMs)) {
                 sendingDone = true;
                 sendingDoneAtMs = nowMs;
             }
-            if (!flushConn(conn, poller))
-                failConn(connIdx, nowMs);
         }
         if (!sendingDone && doneSending(nowMs)) {
             sendingDone = true;
@@ -306,19 +527,23 @@ runLoadGen(const LoadGenConfig& config)
             const bool anyAlive =
                 std::any_of(conns.begin(), conns.end(),
                             [](const ClientConn& c) { return c.alive; });
-            if (outstanding.empty() || !anyAlive ||
+            if ((outstanding.empty() && retryQueue.empty()) || !anyAlive ||
                 nowMs - sendingDoneAtMs >= config.drainTimeoutMs)
                 break;
         }
 
-        // Sleep until the next arrival is due (capped so response reads
-        // and the drain check stay responsive).
-        int timeoutMs = 10;
-        if (!sendingDone) {
-            const double untilNext = nextArrivalMs - nowMs;
-            timeoutMs = std::clamp(
-                static_cast<int>(std::ceil(untilNext)), 0, 10);
-        }
+        // Sleep until the next arrival, timeout or backoff is due
+        // (capped so response reads and the drain check stay responsive).
+        double untilMs = 10.0;
+        if (!sendingDone)
+            untilMs = std::min(untilMs, nextArrivalMs - nowMs);
+        if (!timeoutQueue.empty())
+            untilMs =
+                std::min(untilMs, timeoutQueue.begin()->first - nowMs);
+        if (!retryQueue.empty())
+            untilMs = std::min(untilMs, retryQueue.begin()->first - nowMs);
+        const int timeoutMs =
+            std::clamp(static_cast<int>(std::ceil(untilMs)), 0, 10);
         poller.wait(events, timeoutMs);
 
         for (const PollEvent& ev : events) {
@@ -384,11 +609,18 @@ runLoadGen(const LoadGenConfig& config)
                     msSince(epoch) - it->second.arrivalMs;
                 const Pending answered = it->second;
                 outstanding.erase(it);
+                TenantLoadGenResult* tenant = slice(answered.tenantIdx);
                 switch (response.status) {
                 case FrameStatus::kOk: {
                     ++result.completed;
-                    if (response.degraded())
+                    if (tenant != nullptr)
+                        ++tenant->completed;
+                    retryBudget.onSuccess();
+                    if (response.degraded()) {
                         ++result.degraded;
+                        if (tenant != nullptr)
+                            ++tenant->degraded;
+                    }
                     // Warm-up gate: keyed off the *scheduled* arrival
                     // (open-loop convention), so a late response to an
                     // early request is still warm-up, not steady state.
@@ -399,11 +631,13 @@ runLoadGen(const LoadGenConfig& config)
                         ++result.warmupExcluded;
                     } else {
                         result.latency.add(responseMs);
+                        if (tenant != nullptr)
+                            tenant->latency.add(responseMs);
                         if (answered.traceId != 0 &&
                             config.targetMs > 0.0 &&
                             responseMs > config.targetMs)
                             result.overTarget.push_back(OverTargetRequest{
-                                response.requestId, answered.traceId,
+                                answered.seq, answered.traceId,
                                 responseMs});
                     }
                     if (config.spans != nullptr && answered.traceId != 0) {
@@ -424,14 +658,35 @@ runLoadGen(const LoadGenConfig& config)
                     }
                     break;
                 }
-                case FrameStatus::kBusy:
+                case FrameStatus::kBusy: {
+                    // The shed may earn another attempt; when it does,
+                    // final-outcome accounting moves to the retry.
+                    const double hintMs =
+                        static_cast<double>(response.retryAfterMs);
+                    if (scheduleRetry(answered, msSince(epoch), hintMs,
+                                      /*fromTimeout=*/false))
+                        break;
                     ++result.shed;
+                    if (tenant != nullptr)
+                        ++tenant->shed;
                     break;
+                }
                 case FrameStatus::kError:
                     ++result.errors;
+                    if (tenant != nullptr)
+                        ++tenant->errors;
                     break;
                 case FrameStatus::kCancelled:
                     ++result.cancelled;
+                    if (tenant != nullptr)
+                        ++tenant->cancelled;
+                    break;
+                case FrameStatus::kDeadlineExceeded:
+                    // Some hop found the end-to-end budget exhausted;
+                    // by definition no retry could fit in it.
+                    ++result.deadlineExceeded;
+                    if (tenant != nullptr)
+                        ++tenant->deadlineExceeded;
                     break;
                 }
             }
@@ -446,7 +701,16 @@ runLoadGen(const LoadGenConfig& config)
         }
     }
 
-    result.unanswered = outstanding.size();
+    // Attempts still on the wire and backoffs that never fired are both
+    // "never answered" — they are counted, not silently dropped.
+    result.unanswered = outstanding.size() + retryQueue.size();
+    for (const auto& [wireId, p] : outstanding)
+        if (TenantLoadGenResult* t = slice(p.tenantIdx))
+            ++t->unanswered;
+    for (const auto& [dueMs, item] : retryQueue)
+        if (TenantLoadGenResult* t = slice(item.tenantIdx))
+            ++t->unanswered;
+    result.retriesSuppressed = retryBudget.suppressed();
     result.elapsedMs = msSince(epoch);
     result.achievedQps = result.elapsedMs > 0.0
                              ? result.sent / result.elapsedMs * 1000.0
@@ -467,23 +731,40 @@ hexTraceId(std::uint64_t traceId)
 
 } // namespace
 
-void
-writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
-                const std::string& path)
+std::vector<std::string>
+loadGenCsvHeader()
 {
-    util::CsvWriter csv(path);
     std::vector<std::string> header = {
-        "target_qps", "achieved_qps", "connections", "sent",
-        "completed",  "degraded",     "shed",        "errors",
-        "cancelled",  "failed",       "unanswered",  "elapsed_ms",
-        "warmup_ms",  "warmup_excluded"};
+        "target_qps",         "achieved_qps",
+        "connections",        "sent",
+        "completed",          "degraded",
+        "shed",               "errors",
+        "cancelled",          "deadline_exceeded",
+        "timeouts",           "retries",
+        "retries_suppressed", "failed",
+        "unanswered",         "elapsed_ms",
+        "warmup_ms",          "warmup_excluded"};
     const auto latencyHeader =
         stats::LatencySummary::csvHeader("response_ms_");
     header.insert(header.end(), latencyHeader.begin(), latencyHeader.end());
     // The slowest over-target request's trace id (16-digit hex; all
     // zeros when none), joinable against /tracez output.
     header.push_back("trace_id");
-    csv.writeRow(header);
+    header.push_back("tenant");
+    header.push_back("tenant_weight");
+    return header;
+}
+
+void
+writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
+                const std::string& path)
+{
+    util::CsvWriter csv(path);
+    csv.writeRow(loadGenCsvHeader());
+
+    double totalWeight = 0.0;
+    for (const overload::TenantQuota& quota : config.tenants)
+        totalWeight += std::max(0.0, quota.weight);
 
     std::vector<std::string> row = {
         std::to_string(config.qps),
@@ -495,6 +776,10 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
         std::to_string(result.shed),
         std::to_string(result.errors),
         std::to_string(result.cancelled),
+        std::to_string(result.deadlineExceeded),
+        std::to_string(result.timeouts),
+        std::to_string(result.retries),
+        std::to_string(result.retriesSuppressed),
         std::to_string(result.failed),
         std::to_string(result.unanswered),
         std::to_string(result.elapsedMs),
@@ -503,7 +788,45 @@ writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
     const auto latencyRow = result.summary().toCsvRow();
     row.insert(row.end(), latencyRow.begin(), latencyRow.end());
     row.push_back(hexTraceId(result.worstOverTarget().traceId));
+    row.push_back("all");
+    row.push_back(std::to_string(totalWeight > 0.0 ? totalWeight : 1.0));
     csv.writeRow(row);
+
+    // One row per configured tenant (none when the run was untenanted,
+    // so single-tenant consumers still see exactly header + totals).
+    for (const TenantLoadGenResult& t : result.perTenant) {
+        const double share =
+            totalWeight > 0.0 ? std::max(0.0, t.weight) / totalWeight : 0.0;
+        std::vector<std::string> tenantRow = {
+            std::to_string(config.qps * share),
+            std::to_string(result.elapsedMs > 0.0
+                               ? t.sent / result.elapsedMs * 1000.0
+                               : 0.0),
+            std::to_string(config.connections),
+            std::to_string(t.sent),
+            std::to_string(t.completed),
+            std::to_string(t.degraded),
+            std::to_string(t.shed),
+            std::to_string(t.errors),
+            std::to_string(t.cancelled),
+            std::to_string(t.deadlineExceeded),
+            std::to_string(t.timeouts),
+            std::to_string(t.retries),
+            "0", // The retry-token bucket is shared, not per-tenant.
+            std::to_string(t.failed),
+            std::to_string(t.unanswered),
+            std::to_string(result.elapsedMs),
+            std::to_string(config.warmupMs),
+            "0"};
+        const auto tenantLatency = t.summary().toCsvRow();
+        tenantRow.insert(tenantRow.end(), tenantLatency.begin(),
+                         tenantLatency.end());
+        tenantRow.push_back(hexTraceId(0));
+        tenantRow.push_back(t.name.empty() ? std::to_string(t.tenant)
+                                           : t.name);
+        tenantRow.push_back(std::to_string(t.weight));
+        csv.writeRow(tenantRow);
+    }
 }
 
 void

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "obs/span_collector.h"
+#include "overload/admission.h"
+#include "overload/retry.h"
 #include "stats/latency_recorder.h"
 
 namespace tpc::net {
@@ -93,6 +95,39 @@ struct LoadGenConfig
      * don't pollute steady-state tail numbers. 0 keeps every response.
      */
     double warmupMs = 0.0;
+    /**
+     * End-to-end deadline budget per request (ms); 0 disables. Every
+     * (re)send stamps the *remaining* budget on the frame (header v3),
+     * and a request still unanswered when its budget runs out counts as
+     * a timeout (the eventual late response is discarded).
+     */
+    double budgetMs = 0.0;
+    /** Client-side response timeout (ms); 0 falls back to budgetMs
+     *  (and with both 0, requests never time out client-side). */
+    double timeoutMs = 0.0;
+    /** Retry shed/timed-out requests (see retry fields below). */
+    bool retryEnabled = false;
+    /** Total attempts per request including the first send. */
+    int maxAttempts = 3;
+    /** Capped-exponential-backoff shape for disciplined retries. */
+    overload::BackoffConfig backoff;
+    /** Token-bucket retry budget (retries <= ~earnPerSuccess x
+     *  successes); ignored in naive mode. */
+    overload::RetryBudgetConfig retryBudget;
+    /**
+     * Storm mode: retry on BUSY *and* timeout with a short fixed delay,
+     * ignoring the retry budget, the server's retryAfterMs hints and the
+     * remaining deadline budget — the undisciplined fleet behavior the
+     * overload bench uses as its collapse baseline.
+     */
+    bool naiveRetries = false;
+    /**
+     * Traffic mix by tenant: each request is assigned a tenant id drawn
+     * with probability weight/sum(weights) (deterministic from the
+     * seed), stamped on the frame, and accounted separately in
+     * LoadGenResult::perTenant. Empty = everything on tenant 0.
+     */
+    std::vector<overload::TenantQuota> tenants;
 };
 
 /** One response that exceeded LoadGenConfig::targetMs. */
@@ -101,6 +136,28 @@ struct OverTargetRequest
     std::uint64_t seq = 0;
     std::uint64_t traceId = 0;
     double responseMs = 0.0;
+};
+
+/** Per-tenant slice of a run (one CSV row each). */
+struct TenantLoadGenResult
+{
+    std::uint16_t tenant = 0;
+    std::string name;
+    double weight = 0.0;
+    stats::LatencyRecorder latency;
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t unanswered = 0;
+
+    stats::LatencySummary summary() const { return latency.summary(); }
 };
 
 /** Outcome of one load-generation run. */
@@ -122,6 +179,16 @@ struct LoadGenResult
     std::uint64_t errors = 0;
     /** kCancelled responses (server-side deadline cancellations). */
     std::uint64_t cancelled = 0;
+    /** kDeadlineExceeded responses (the end-to-end budget ran out at
+     *  some hop before a worker ever picked the request up). */
+    std::uint64_t deadlineExceeded = 0;
+    /** Requests that hit the client-side timeout/budget with no
+     *  response (their late responses, if any, are discarded). */
+    std::uint64_t timeouts = 0;
+    /** Re-sends issued by the retry machinery (not counted in sent). */
+    std::uint64_t retries = 0;
+    /** Retries the token-bucket budget refused to fund. */
+    std::uint64_t retriesSuppressed = 0;
     /**
      * Requests that failed because their connection died mid-stream
      * (outstanding on a dropped connection, or scheduled while every
@@ -145,6 +212,9 @@ struct LoadGenResult
     /** Completed responses over LoadGenConfig::targetMs, with their
      *  trace ids (empty when no target was set). */
     std::vector<OverTargetRequest> overTarget;
+    /** Per-tenant breakdown, in LoadGenConfig::tenants order (empty
+     *  when no tenants were configured). */
+    std::vector<TenantLoadGenResult> perTenant;
 
     /** The slowest over-target request (all-zero when none). */
     OverTargetRequest worstOverTarget() const
@@ -166,9 +236,13 @@ struct LoadGenResult
  */
 LoadGenResult runLoadGen(const LoadGenConfig& config);
 
-/** Writes a one-row summary CSV (sent/completed/shed/... + the
- *  LatencySummary columns + the worst over-target trace_id) for plotting
- *  without parsing logs. */
+/** The exact writeLoadGenCsv column schema, in order (tested). */
+std::vector<std::string> loadGenCsvHeader();
+
+/** Writes the summary CSV: an "all" totals row (tenant column "all"),
+ *  then one row per configured tenant. Columns are loadGenCsvHeader()
+ *  (sent/completed/shed/retries/timeouts/... + the LatencySummary
+ *  columns + the worst over-target trace_id + tenant identity). */
 void writeLoadGenCsv(const LoadGenResult& result, const LoadGenConfig& config,
                      const std::string& path);
 

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "obs/prof/cpu_profiler.h"
+#include "overload/budget.h"
 #include "util/logging.h"
 
 namespace tpc::net {
@@ -359,6 +360,27 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         return;
     }
 
+    // End-to-end budget enforcement at the earliest possible point: a
+    // request whose remaining budget is already unservable is rejected
+    // before admission, so it never takes a slot or occupies a worker.
+    // The client learns "your budget ran out" (kDeadlineExceeded), not
+    // "the server is busy" — retrying would only waste more budget.
+    if (overload::budgetExpired(frame.budgetUs)) {
+        if (stageStats_ != nullptr)
+            stageStats_->recordCancelled(frame.cls);
+        Frame response;
+        response.type = FrameType::kResponse;
+        response.status = FrameStatus::kDeadlineExceeded;
+        response.cls = frame.cls;
+        response.requestId = frame.requestId;
+        sendFrame(conn, response);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.deadlineExceeded;
+        }
+        return;
+    }
+
     auto busy = [&] {
         recordNetEvent(obs::TraceEventType::kNetShed, frame.requestId);
         if (stageStats_ != nullptr)
@@ -368,6 +390,16 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         response.status = FrameStatus::kBusy;
         response.cls = frame.cls;
         response.requestId = frame.requestId;
+        // Retry-throttle push: the deeper the dispatch queue, the longer
+        // the server asks shed clients to back off before re-offering.
+        if (config_.busyRetryHintMs > 0.0) {
+            const double hint =
+                config_.busyRetryHintMs *
+                (1.0 + static_cast<double>(
+                           std::max(0, server_.queueDepth())));
+            response.retryAfterMs = static_cast<std::uint16_t>(std::min(
+                {hint, config_.maxBusyRetryHintMs, 65535.0}));
+        }
         sendFrame(conn, response);
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
@@ -375,7 +407,7 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         }
     };
 
-    if (!admission_.tryAdmit(server_.queueDepth())) {
+    if (!admission_.tryAdmit(frame.tenant, server_.queueDepth())) {
         if (metric_.shed != nullptr)
             metric_.shed->inc();
         busy();
@@ -391,6 +423,8 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
     pending->connId = conn.connId;
     pending->clientRequestId = frame.requestId;
     pending->cls = frame.cls;
+    pending->tenant = frame.tenant;
+    pending->budgeted = frame.budgetUs != overload::kNoBudgetUs;
 
     server::ThreadedJob job = handler_(frame, pending->responsePayload);
     // The frame header is the authoritative trace context: stamp it on
@@ -408,7 +442,16 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
             inner();
         onJobComplete(pendingId);
     };
+    // The effective queue deadline is the tighter of the per-hop server
+    // deadline and the request's remaining end-to-end budget: a budgeted
+    // request still queued when its budget runs out is cancelled before
+    // dispatch (kDeadlineExceeded), never occupying a worker.
     job.queueDeadlineMs = config_.requestDeadlineMs;
+    if (pending->budgeted) {
+        const double budgetMs = overload::usToMs(frame.budgetUs);
+        if (job.queueDeadlineMs <= 0.0 || budgetMs < job.queueDeadlineMs)
+            job.queueDeadlineMs = budgetMs;
+    }
     job.onCancel = [this, pendingId] { onJobCancelled(pendingId); };
 
     pendings_[pendingId] = std::move(pending);
@@ -417,7 +460,7 @@ RpcServer::handleFrame(Connection& conn, Frame frame)
         // Lost the race against shutdown: undo the admission and answer
         // BUSY so the client can retry elsewhere.
         pendings_.erase(pendingId);
-        admission_.onComplete();
+        admission_.onComplete(frame.tenant);
         if (metric_.inFlight != nullptr)
             metric_.inFlight->set(admission_.inFlight());
         busy();
@@ -473,22 +516,35 @@ RpcServer::processCompletions()
         const auto it = pendings_.find(completion.pendingId);
         TPC_CHECK(it != pendings_.end());
         PendingRequest& pending = *it->second;
-        admission_.onComplete();
+        // Slot release is unconditional — completed, cancelled, or
+        // deadline-expired, the tenant's admission slot never leaks.
+        admission_.onComplete(pending.tenant);
         if (metric_.inFlight != nullptr)
             metric_.inFlight->set(admission_.inFlight());
+        // A budgeted request cancelled in the queue ran out of its
+        // end-to-end budget: report kDeadlineExceeded, distinct from the
+        // per-hop kCancelled a server-local deadline produces.
+        const bool deadlineExceeded =
+            completion.cancelled && pending.budgeted;
         if (completion.cancelled) {
             if (metric_.cancelled != nullptr)
                 metric_.cancelled->inc();
             std::lock_guard<std::mutex> lock(statsMutex_);
-            ++stats_.requestsCancelled;
+            if (deadlineExceeded)
+                ++stats_.deadlineExceeded;
+            else
+                ++stats_.requestsCancelled;
         }
 
         const auto connIt = connectionsById_.find(pending.connId);
         if (connIt != connectionsById_.end()) {
             Frame response;
             response.type = FrameType::kResponse;
-            response.status = completion.cancelled ? FrameStatus::kCancelled
-                                                   : FrameStatus::kOk;
+            response.status = deadlineExceeded
+                                  ? FrameStatus::kDeadlineExceeded
+                              : completion.cancelled
+                                  ? FrameStatus::kCancelled
+                                  : FrameStatus::kOk;
             response.cls = pending.cls;
             response.requestId = pending.clientRequestId;
             if (!completion.cancelled)
@@ -497,6 +553,7 @@ RpcServer::processCompletions()
                            pending.clientRequestId);
             sendFrame(*connIt->second, response);
             if (!completion.cancelled) {
+                admission_.onGoodput(pending.tenant);
                 std::lock_guard<std::mutex> lock(statsMutex_);
                 ++stats_.responsesSent;
             }

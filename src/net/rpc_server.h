@@ -68,6 +68,14 @@ struct RpcServerConfig
      * distinctly from admission sheds.
      */
     double requestDeadlineMs = 0.0;
+    /**
+     * Base retry-throttle hint pushed on BUSY responses (ms); scaled up
+     * with the dispatch-queue depth so a deeply backed-up server asks
+     * for longer backoff. 0 disables the hint.
+     */
+    double busyRetryHintMs = 2.0;
+    /** Cap on the pushed retry hint (ms). */
+    double maxBusyRetryHintMs = 500.0;
 };
 
 /**
@@ -95,6 +103,10 @@ struct RpcServerStats
     std::uint64_t profilezServed = 0;
     /** Admitted requests cancelled before dispatch (deadline expiry). */
     std::uint64_t requestsCancelled = 0;
+    /** Requests whose end-to-end budget expired — rejected on arrival
+     *  or cancelled while queued, never occupying a worker. Distinct
+     *  from requestsCancelled (per-hop server deadline, no budget). */
+    std::uint64_t deadlineExceeded = 0;
     /** Queued requests retired because their connection died (write
      *  error / disconnect) — their admission slots were released early. */
     std::uint64_t disconnectsRetired = 0;
@@ -269,6 +281,11 @@ class RpcServer
         std::uint64_t connId = 0;
         std::uint64_t clientRequestId = 0;
         std::uint8_t cls = 0;
+        /** Admission tenant (frame header); slot released under it. */
+        std::uint16_t tenant = 0;
+        /** The request carried an end-to-end budget: a queue-expiry
+         *  cancellation answers kDeadlineExceeded, not kCancelled. */
+        bool budgeted = false;
         /** ThreadedServer job id, for tryCancel on disconnect. */
         std::uint64_t jobId = 0;
         /** Filled by the job's closures on worker threads; read by the

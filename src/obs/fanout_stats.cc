@@ -141,10 +141,55 @@ FanoutStatsCollector::onUnmatchedResponse()
 }
 
 void
+FanoutStatsCollector::onShardRetryIssued(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].retriesIssued;
+}
+
+void
+FanoutStatsCollector::onShardRetrySuppressed(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].retriesSuppressed;
+}
+
+void
+FanoutStatsCollector::onShardRetrySuccess(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++shards_[shard].retrySuccesses;
+}
+
+void
 FanoutStatsCollector::recordClientShed(std::uint32_t cls)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++classes_[clampClass(cls)].clientShed;
+}
+
+void
+FanoutStatsCollector::recordDeadlineExceeded(std::uint32_t cls)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++classes_[clampClass(cls)].deadlineExceeded;
+}
+
+void
+FanoutStatsCollector::recordMergeOverhead(double ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    mergeOverheadMs_.add(ms);
+}
+
+double
+FanoutStatsCollector::mergeOverheadQuantile(double q,
+                                            std::uint64_t minSamples) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (mergeOverheadMs_.count() < minSamples)
+        return -1.0;
+    return mergeOverheadMs_.percentile(q);
 }
 
 FanoutBreakerSnapshot&
@@ -215,6 +260,7 @@ FanoutStatsCollector::snapshot() const
     snap.breakers = breakers_;
     snap.records = records_;
     snap.unmatchedResponses = unmatchedResponses_;
+    snap.mergeOverheadMs = mergeOverheadMs_;
     return snap;
 }
 

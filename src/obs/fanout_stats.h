@@ -115,6 +115,12 @@ struct FanoutShardSnapshot
     /** Replies that arrived after the leg was already settled (the
      *  hedge loser) or after the client was answered. */
     std::uint64_t lateResponses = 0;
+    /** Shed legs re-sent after backoff (budget-funded re-attempts). */
+    std::uint64_t retriesIssued = 0;
+    /** Leg retries the token-bucket retry budget refused to fund. */
+    std::uint64_t retriesSuppressed = 0;
+    /** Retried legs that went on to produce a usable reply. */
+    std::uint64_t retrySuccesses = 0;
     /** Reply latency from sub-request send (the hedge trigger's input). */
     stats::LogHistogram latencyMs;
 };
@@ -131,6 +137,10 @@ struct FanoutClassSnapshot
     /** Client requests rejected by aggregator admission (never fanned
      *  out; not completions, kept out of the cause sum). */
     std::uint64_t clientShed = 0;
+    /** Client requests rejected (or retired unanswerable) because the
+     *  end-to-end deadline budget was exhausted; like clientShed these
+     *  never complete, so they stay out of the cause sum. */
+    std::uint64_t deadlineExceeded = 0;
     /** Completions answered with partial coverage (a subset of the
      *  tracked completions, so not part of the cause sum either). */
     std::uint64_t degraded = 0;
@@ -171,6 +181,9 @@ struct FanoutSnapshot
     /** Replies that matched no outstanding sub-request at all (the
      *  fanout was already fully settled and reclaimed). */
     std::uint64_t unmatchedResponses = 0;
+    /** Aggregator-side overhead beyond the slowest usable shard reply
+     *  (merge + respond, ms) — the PCS budget-split reserve's input. */
+    stats::LogHistogram mergeOverheadMs;
 };
 
 /**
@@ -206,9 +219,27 @@ class FanoutStatsCollector
     void onDeadlineMiss(std::size_t shard);
     void onLateResponse(std::size_t shard);
     void onUnmatchedResponse();
+    void onShardRetryIssued(std::size_t shard);
+    void onShardRetrySuppressed(std::size_t shard);
+    void onShardRetrySuccess(std::size_t shard);
 
     /** Counts an aggregator-admission rejection for the class. */
     void recordClientShed(std::uint32_t cls);
+
+    /** Counts a budget-expired client rejection for the class. */
+    void recordDeadlineExceeded(std::uint32_t cls);
+
+    /** Records the aggregation overhead past the slowest usable shard
+     *  reply (merge + respond, ms) of one completed fan-out. */
+    void recordMergeOverhead(double ms);
+
+    /**
+     * Approximate q-quantile of the observed merge/respond overhead, or
+     * a negative value below @p minSamples observations (callers fall
+     * back to a configured reserve). This is the per-stage reserve the
+     * PCS-style budget split subtracts before forwarding to a leg.
+     */
+    double mergeOverheadQuantile(double q, std::uint64_t minSamples) const;
 
     /**
      * Records a breaker state change for an endpoint (0 closed, 1 open,
@@ -258,6 +289,7 @@ class FanoutStatsCollector
     std::vector<FanoutBreakerSnapshot> breakers_;
     std::uint64_t records_ = 0;
     std::uint64_t unmatchedResponses_ = 0;
+    stats::LogHistogram mergeOverheadMs_;
 };
 
 } // namespace tpc::obs

@@ -1,5 +1,6 @@
 #include "obs/statsz.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace tpc::obs {
@@ -325,6 +326,33 @@ renderFanout(PrometheusWriter& w, const FanoutSnapshot& fanout)
                      "Replies arriving after the leg was settled or the "
                      "client answered (hedge losers, post-deadline).",
                      &FanoutShardSnapshot::lateResponses);
+    emitShardCounter("fanout_shard_retry_issued_total",
+                     "Shed shard legs re-sent after backoff "
+                     "(budget-funded re-attempts).",
+                     &FanoutShardSnapshot::retriesIssued);
+    emitShardCounter("fanout_shard_retry_suppressed_total",
+                     "Leg retries the token-bucket retry budget refused "
+                     "to fund.",
+                     &FanoutShardSnapshot::retriesSuppressed);
+    emitShardCounter("fanout_shard_retry_success_total",
+                     "Retried legs that produced a usable reply.",
+                     &FanoutShardSnapshot::retrySuccesses);
+
+    w.header("fanout_deadline_exceeded_total",
+             "Client requests rejected because their end-to-end budget "
+             "was exhausted (never fanned out or unanswerable).",
+             "counter");
+    for (const FanoutClassSnapshot& c : fanout.classes)
+        w.sample("fanout_deadline_exceeded_total",
+                 {PrometheusWriter::label("class", c.name)},
+                 c.deadlineExceeded);
+
+    w.header("fanout_merge_overhead_ms",
+             "Aggregation overhead past the slowest usable shard reply "
+             "(merge + respond; the PCS budget-split reserve).",
+             "summary");
+    emitQuantiles(w, "fanout_merge_overhead_ms", {},
+                  fanout.mergeOverheadMs);
 
     if (!fanout.breakers.empty()) {
         w.header("fanout_breaker_state",
@@ -429,6 +457,48 @@ renderStatsz(const StatszInfo& info, const StageSnapshot* stages,
              "server-side deadline (distinct from sheds).",
              "counter");
     w.sample("tpc_cancelled_total", {}, info.cancelled);
+    w.header("tpc_deadline_exceeded_total",
+             "Requests rejected or retired because their end-to-end "
+             "deadline budget was exhausted (earliest-hop rejection).",
+             "counter");
+    w.sample("tpc_deadline_exceeded_total", {}, info.deadlineExceeded);
+
+    if (!info.tenants.empty()) {
+        w.header("tpc_admit", "Requests admitted, by tenant.", "counter");
+        for (const StatszTenantInfo& t : info.tenants)
+            w.sample("tpc_admit", {PrometheusWriter::label("tenant", t.name)},
+                     t.admitted);
+        w.header("tpc_shed", "Requests shed by weighted admission, by "
+                             "tenant.",
+                 "counter");
+        for (const StatszTenantInfo& t : info.tenants)
+            w.sample("tpc_shed", {PrometheusWriter::label("tenant", t.name)},
+                     t.shed);
+        w.header("tpc_goodput", "OK responses delivered, by tenant.",
+                 "counter");
+        for (const StatszTenantInfo& t : info.tenants)
+            w.sample("tpc_goodput",
+                     {PrometheusWriter::label("tenant", t.name)}, t.goodput);
+        w.header("tpc_tenant_in_flight",
+                 "Admitted in-flight requests, by tenant.", "gauge");
+        for (const StatszTenantInfo& t : info.tenants)
+            w.sample("tpc_tenant_in_flight",
+                     {PrometheusWriter::label("tenant", t.name)},
+                     static_cast<double>(std::max(0, t.inFlight)));
+        w.header("tpc_tenant_weight",
+                 "Configured weighted-fair share weight, by tenant.",
+                 "gauge");
+        for (const StatszTenantInfo& t : info.tenants)
+            w.sample("tpc_tenant_weight",
+                     {PrometheusWriter::label("tenant", t.name)}, t.weight);
+        w.header("tpc_tenant_guarantee",
+                 "Guaranteed in-flight slots under contention, by tenant.",
+                 "gauge");
+        for (const StatszTenantInfo& t : info.tenants)
+            w.sample("tpc_tenant_guarantee",
+                     {PrometheusWriter::label("tenant", t.name)},
+                     static_cast<double>(t.guarantee));
+    }
     w.header("tpc_disconnects_retired_total",
              "Queued requests retired because their connection died.",
              "counter");

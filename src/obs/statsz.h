@@ -127,6 +127,25 @@ struct StatszProfilerInfo
     double durationMs = 0.0;
 };
 
+/**
+ * One tenant's weighted-admission lane. Layer-neutral mirror of
+ * overload::TenantAdmissionSnapshot (obs sits below src/overload);
+ * filled by servers running per-tenant weighted-fair admission.
+ */
+struct StatszTenantInfo
+{
+    std::uint16_t tenant = 0;
+    std::string name;
+    double weight = 0.0;
+    /** In-flight slots this tenant is guaranteed under contention. */
+    int guarantee = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    /** OK responses delivered for this tenant (its goodput count). */
+    std::uint64_t goodput = 0;
+    int inFlight = 0;
+};
+
 /** Caller-supplied server state rendered alongside the stage snapshot. */
 struct StatszInfo
 {
@@ -160,6 +179,12 @@ struct StatszInfo
     /** Admitted requests cancelled before dispatch (server-side deadline
      *  expiry) — distinct from admission sheds. */
     std::uint64_t cancelled = 0;
+    /** Requests rejected (or retired) because their end-to-end deadline
+     *  budget was exhausted — the earliest-hop rejection counter. */
+    std::uint64_t deadlineExceeded = 0;
+    /** Per-tenant weighted-admission lanes; empty when admission is not
+     *  tenant-aware (no per-tenant series rendered). */
+    std::vector<StatszTenantInfo> tenants;
     /** Queued requests retired because their connection died. */
     std::uint64_t disconnectsRetired = 0;
     /** Faults fired by an attached injector (0 without one). */

@@ -1,0 +1,205 @@
+#include "overload/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace tpc::overload {
+
+bool
+parseTenantQuotas(const std::string& spec, std::vector<TenantQuota>* out)
+{
+    std::vector<TenantQuota> parsed;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            return false;
+        const std::size_t firstColon = entry.find(':');
+        if (firstColon == std::string::npos || firstColon == 0)
+            return false;
+        char* end = nullptr;
+        const long id = std::strtol(entry.c_str(), &end, 10);
+        if (end != entry.c_str() + firstColon || id < 0 || id > 0xFFFF)
+            return false;
+        TenantQuota quota;
+        quota.tenant = static_cast<std::uint16_t>(id);
+        const std::size_t secondColon = entry.find(':', firstColon + 1);
+        if (secondColon == std::string::npos) {
+            quota.name = entry.substr(firstColon + 1);
+        } else {
+            quota.name = entry.substr(firstColon + 1,
+                                      secondColon - firstColon - 1);
+            const std::string weightText = entry.substr(secondColon + 1);
+            quota.weight = std::strtod(weightText.c_str(), &end);
+            if (weightText.empty() ||
+                end != weightText.c_str() + weightText.size() ||
+                quota.weight <= 0.0)
+                return false;
+        }
+        if (quota.name.empty())
+            return false;
+        parsed.push_back(std::move(quota));
+    }
+    if (parsed.empty())
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+WeightedAdmissionController::WeightedAdmissionController(
+    AdmissionLimits limits)
+    : limits_(std::move(limits)), weighted_(!limits_.tenants.empty())
+{
+    if (!weighted_) {
+        // Single implicit tenant owning the whole capacity: exactly the
+        // pre-tenant behavior for every existing caller.
+        Slot slot;
+        slot.quota = TenantQuota{0, "all", 1.0};
+        slot.guarantee = std::max(0, limits_.maxInFlight);
+        slots_.push_back(std::move(slot));
+        return;
+    }
+    double totalWeight = 0.0;
+    for (const TenantQuota& quota : limits_.tenants)
+        totalWeight += std::max(0.0, quota.weight);
+    for (const TenantQuota& quota : limits_.tenants) {
+        Slot slot;
+        slot.quota = quota;
+        if (limits_.maxInFlight > 0 && totalWeight > 0.0) {
+            const double share = std::max(0.0, quota.weight) / totalWeight;
+            slot.guarantee = std::max(
+                1, static_cast<int>(
+                       std::floor(limits_.maxInFlight * share)));
+        }
+        slots_.push_back(std::move(slot));
+    }
+    // Implicit catch-all for tenant ids nobody configured: no reserved
+    // share, surplus only.
+    Slot other;
+    other.quota = TenantQuota{0xFFFF, "other", 0.0};
+    slots_.push_back(std::move(other));
+}
+
+std::size_t
+WeightedAdmissionController::slotFor(std::uint16_t tenant) const
+{
+    if (!weighted_)
+        return 0;
+    for (std::size_t i = 0; i < limits_.tenants.size(); ++i)
+        if (slots_[i].quota.tenant == tenant)
+            return i;
+    return slots_.size() - 1; // the catch-all
+}
+
+bool
+WeightedAdmissionController::tryAdmit(std::uint16_t tenant, int queueDepth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[slotFor(tenant)];
+    const bool queueFull =
+        limits_.maxPending > 0 && queueDepth >= limits_.maxPending;
+    bool admit = false;
+    if (!queueFull) {
+        if (limits_.maxInFlight <= 0) {
+            admit = true;
+        } else if (slot.inFlight < slot.guarantee &&
+                   totalInFlight_ < limits_.maxInFlight) {
+            // Within the tenant's reserved share. The surplus branch
+            // below never eats unused guarantees, so this slot is free
+            // whenever the total cap itself has room.
+            admit = true;
+        } else {
+            // Surplus: admit only while the other tenants' *unused*
+            // guarantees stay reserved for them.
+            int othersReserve = 0;
+            for (const Slot& s : slots_)
+                if (&s != &slot)
+                    othersReserve +=
+                        std::max(0, s.guarantee - s.inFlight);
+            admit = totalInFlight_ + othersReserve < limits_.maxInFlight;
+        }
+    }
+    if (!admit) {
+        ++slot.shed;
+        ++totalShed_;
+        return false;
+    }
+    ++slot.inFlight;
+    ++totalInFlight_;
+    ++slot.accepted;
+    ++totalAccepted_;
+    return true;
+}
+
+void
+WeightedAdmissionController::onComplete(std::uint16_t tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_[slotFor(tenant)];
+    if (slot.inFlight > 0)
+        --slot.inFlight;
+    if (totalInFlight_ > 0)
+        --totalInFlight_;
+}
+
+void
+WeightedAdmissionController::onGoodput(std::uint16_t tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++slots_[slotFor(tenant)].goodput;
+}
+
+std::uint64_t
+WeightedAdmissionController::accepted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalAccepted_;
+}
+
+std::uint64_t
+WeightedAdmissionController::shed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalShed_;
+}
+
+int
+WeightedAdmissionController::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return totalInFlight_;
+}
+
+std::vector<TenantAdmissionSnapshot>
+WeightedAdmissionController::tenantSnapshots() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TenantAdmissionSnapshot> out;
+    if (!weighted_)
+        return out;
+    out.reserve(slots_.size());
+    for (const Slot& slot : slots_) {
+        // The catch-all renders only once it saw traffic.
+        if (slot.quota.name == "other" && slot.accepted == 0 &&
+            slot.shed == 0)
+            continue;
+        TenantAdmissionSnapshot snap;
+        snap.tenant = slot.quota.tenant;
+        snap.name = slot.quota.name;
+        snap.weight = slot.quota.weight;
+        snap.guarantee = slot.guarantee;
+        snap.accepted = slot.accepted;
+        snap.shed = slot.shed;
+        snap.inFlight = slot.inFlight;
+        snap.goodput = slot.goodput;
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+} // namespace tpc::overload

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tenant-aware weighted-fair admission control.
+ *
+ * The single-knob AdmissionController (bounded in-flight + bounded
+ * pending queue) treats every request identically, so one tenant's
+ * flash crowd eats every other tenant's admit slots — the shed decision
+ * is made by arrival order, exactly the SLO-isolation gap the multi-
+ * tenant roadmap item calls out. WeightedAdmissionController keeps the
+ * same two global limits but partitions the in-flight capacity by
+ * weight:
+ *
+ *   guarantee_t = floor(maxInFlight * weight_t / sum(weights))   (>= 1)
+ *
+ * Admission rule (work-conserving reservation):
+ *   - a tenant below its guarantee is admitted (its slots are reserved
+ *     for it: surplus takers may never eat another tenant's unused
+ *     guarantee, see below);
+ *   - a tenant at/above its guarantee may still be admitted from the
+ *     surplus, but only while total in-flight stays below
+ *     maxInFlight minus the other tenants' *unused* guarantees.
+ *
+ * So capacity never idles while anyone has demand (work-conserving),
+ * yet a flooding tenant saturates only its own share plus the surplus —
+ * the well-behaved tenant's guarantee stays instantly available and its
+ * accepted tail stays flat.
+ *
+ * With no tenants configured the controller collapses to the original
+ * single-bucket behavior (every request lands on one implicit tenant
+ * with the whole capacity as its guarantee), which keeps the net-layer
+ * API and all existing callers unchanged. Unknown tenant ids fall into
+ * an implicit "other" bucket with no guarantee (surplus only).
+ *
+ * Thread-safe: one mutex over the accounting (admission runs once per
+ * request on an event loop; accessors may race from stats threads).
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tpc::overload {
+
+/** One tenant's share of the admission capacity. */
+struct TenantQuota
+{
+    /** Wire tenant id (frame header offset 52). */
+    std::uint16_t tenant = 0;
+    /** Label for /statsz lanes and CSV columns. */
+    std::string name;
+    /** Relative share of maxInFlight; must be > 0. */
+    double weight = 1.0;
+};
+
+/** Admission limits; non-positive values mean "unlimited". */
+struct AdmissionLimits
+{
+    /** Cap on admitted-but-unanswered requests. */
+    int maxInFlight = 128;
+    /** Cap on the dispatch queue depth observed at admission time. */
+    int maxPending = 64;
+    /** Weighted-fair tenant shares; empty = single-tenant behavior. */
+    std::vector<TenantQuota> tenants;
+};
+
+/** Per-tenant admission counters (one /statsz lane each). */
+struct TenantAdmissionSnapshot
+{
+    std::uint16_t tenant = 0;
+    std::string name;
+    double weight = 0.0;
+    /** Reserved in-flight slots (0 = surplus-only bucket). */
+    int guarantee = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t shed = 0;
+    int inFlight = 0;
+    /** OK responses delivered (caller-reported via onGoodput). */
+    std::uint64_t goodput = 0;
+};
+
+/**
+ * Parses a CLI tenant-mix spec "id:name:weight[,id:name:weight...]"
+ * (weight optional, default 1.0) into quotas — the shared format of the
+ * servers' --tenants flag and the load generator's traffic mix. Returns
+ * false (leaving @p out untouched) on any malformed entry.
+ */
+bool parseTenantQuotas(const std::string& spec,
+                       std::vector<TenantQuota>* out);
+
+class WeightedAdmissionController
+{
+  public:
+    explicit WeightedAdmissionController(AdmissionLimits limits = {});
+
+    /** Single-tenant compatibility entry point (implicit tenant 0). */
+    bool tryAdmit(int queueDepth) { return tryAdmit(0, queueDepth); }
+
+    /**
+     * Decides whether to accept a request from @p tenant given the
+     * current dispatch queue depth. False means shed (answer BUSY).
+     */
+    bool tryAdmit(std::uint16_t tenant, int queueDepth);
+
+    /** Releases the slot taken by tryAdmit (any completion, including
+     *  cancellations and deadline expiries — slots must never leak). */
+    void onComplete(std::uint16_t tenant = 0);
+
+    /** Counts one OK response for the tenant's goodput lane. */
+    void onGoodput(std::uint16_t tenant = 0);
+
+    std::uint64_t accepted() const;
+    std::uint64_t shed() const;
+    int inFlight() const;
+    const AdmissionLimits& limits() const { return limits_; }
+
+    /** Per-tenant lanes; empty when no tenants were configured. */
+    std::vector<TenantAdmissionSnapshot> tenantSnapshots() const;
+
+  private:
+    struct Slot
+    {
+        TenantQuota quota;
+        int guarantee = 0;
+        int inFlight = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t goodput = 0;
+    };
+
+    /** Maps a wire tenant id to its slot (kOtherSlot for unknowns). */
+    std::size_t slotFor(std::uint16_t tenant) const;
+
+    AdmissionLimits limits_;
+    /** True when tenants were configured (per-tenant lanes render). */
+    bool weighted_ = false;
+    mutable std::mutex mutex_;
+    std::vector<Slot> slots_;
+    int totalInFlight_ = 0;
+    std::uint64_t totalAccepted_ = 0;
+    std::uint64_t totalShed_ = 0;
+};
+
+} // namespace tpc::overload

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * End-to-end deadline-budget arithmetic shared by every hop.
+ *
+ * The frame header carries the *remaining* budget in microseconds (a
+ * relative allowance, not an absolute wall deadline, so unsynchronized
+ * clocks cannot corrupt it). The propagation contract:
+ *
+ *   client:      budgetUs = full end-to-end allowance at first send
+ *   every hop:   forwardUs = remainingBudgetUs(received, elapsed here)
+ *   expiry:      a hop whose remaining budget reaches zero rejects with
+ *                kDeadlineExceeded — the request never occupies a worker
+ *
+ * The aggregator splits the remaining budget across fan-out legs
+ * PCS-style: a leg's share is what remains after reserving the
+ * aggregator's own measured merge/response overhead (a per-stage
+ * quantile from live stats), not a static per-hop constant. When the
+ * measured reserve would consume the whole budget the leg share clamps
+ * to a small floor — a nearly-expired request is better served by a
+ * fast try than by a guaranteed rejection.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tpc::overload {
+
+/** budgetUs == 0 on the wire means "no budget attached". */
+inline constexpr std::uint64_t kNoBudgetUs = 0;
+
+/** Smallest budget a hop forwards instead of rejecting, µs. */
+inline constexpr std::uint64_t kMinForwardBudgetUs = 100;
+
+inline std::uint64_t
+msToUs(double ms)
+{
+    return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
+}
+
+inline double
+usToMs(std::uint64_t us)
+{
+    return static_cast<double>(us) / 1000.0;
+}
+
+/**
+ * Budget left after @p elapsedMs was spent at this hop; 0 when the
+ * budget is exhausted (callers must then reject, not forward).
+ * @p budgetUs == kNoBudgetUs stays "no budget".
+ */
+inline std::uint64_t
+remainingBudgetUs(std::uint64_t budgetUs, double elapsedMs)
+{
+    if (budgetUs == kNoBudgetUs)
+        return kNoBudgetUs;
+    const std::uint64_t elapsedUs = msToUs(std::max(0.0, elapsedMs));
+    return budgetUs > elapsedUs ? budgetUs - elapsedUs : 0;
+}
+
+/** True when a received budget is already unservable on arrival. */
+inline bool
+budgetExpired(std::uint64_t budgetUs)
+{
+    return budgetUs != kNoBudgetUs && budgetUs < kMinForwardBudgetUs;
+}
+
+/**
+ * PCS-style fan-out split: the budget forwarded on a shard leg is the
+ * aggregator's remaining budget minus its own measured downstream
+ * overhead (merge + respond, a live per-stage quantile in ms). Returns
+ * kNoBudgetUs when no budget is attached; otherwise at least
+ * kMinForwardBudgetUs so a nearly-expired request still gets one fast
+ * attempt rather than a guaranteed local rejection.
+ */
+inline std::uint64_t
+splitLegBudgetUs(std::uint64_t remainingUs, double mergeReserveMs)
+{
+    if (remainingUs == kNoBudgetUs)
+        return kNoBudgetUs;
+    const std::uint64_t reserveUs = msToUs(std::max(0.0, mergeReserveMs));
+    const std::uint64_t leg =
+        remainingUs > reserveUs ? remainingUs - reserveUs : 0;
+    return std::max(leg, kMinForwardBudgetUs);
+}
+
+} // namespace tpc::overload

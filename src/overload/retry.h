@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Client-side retry discipline: token-bucket retry budgets and capped
+ * exponential backoff with deterministic jitter.
+ *
+ * A retrying fleet is a load amplifier: when a server saturates, naive
+ * clients multiply offered load by their retry factor exactly when the
+ * system can least absorb it, producing the classic metastable retry
+ * storm (goodput collapses and stays collapsed even after the original
+ * overload passes). Two mechanisms break the loop:
+ *
+ *  - RetryBudget: a token bucket where *successes* earn fractional
+ *    tokens and each retry spends a whole one. With earn ratio r the
+ *    steady-state retry rate is capped at ~r x the success rate (the
+ *    default 0.1 is the "retries <= ~10% of successes" rule), so when
+ *    successes stop, retries stop — the amplifier unplugs itself.
+ *
+ *  - Backoff: capped exponential delay with multiplicative jitter so a
+ *    synchronized fleet de-correlates, plus a floor from the server's
+ *    retryAfterMs push hint (an overloaded server knows better than any
+ *    client-side guess how long it needs).
+ *
+ * Both are plain single-threaded state machines: callers (the loadgen
+ * arrival loop, the aggregator event loop) own one instance per
+ * connection pool and drive it from one thread.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace tpc::overload {
+
+/** Token-bucket retry budget: successes earn, retries spend. */
+struct RetryBudgetConfig
+{
+    /** Tokens earned per success (steady-state retry/success cap). */
+    double earnPerSuccess = 0.1;
+    /** Bucket capacity: the largest retry burst a quiet period can bank.
+     *  Also the initial balance so cold-start failures may retry. */
+    double maxTokens = 10.0;
+};
+
+class RetryBudget
+{
+  public:
+    RetryBudget() : RetryBudget(RetryBudgetConfig{}) {}
+    explicit RetryBudget(const RetryBudgetConfig& config)
+        : config_(config), tokens_(config.maxTokens)
+    {
+    }
+
+    /** Credits one success. */
+    void onSuccess()
+    {
+        tokens_ = std::min(config_.maxTokens,
+                           tokens_ + config_.earnPerSuccess);
+        ++successes_;
+    }
+
+    /** Spends one token; false (and no spend) when the budget is dry —
+     *  the caller must drop the retry, not queue it. */
+    bool tryRetry()
+    {
+        if (tokens_ < 1.0) {
+            ++suppressed_;
+            return false;
+        }
+        tokens_ -= 1.0;
+        ++issued_;
+        return true;
+    }
+
+    double tokens() const { return tokens_; }
+    std::uint64_t successes() const { return successes_; }
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t suppressed() const { return suppressed_; }
+
+  private:
+    RetryBudgetConfig config_;
+    double tokens_;
+    std::uint64_t successes_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
+
+/** Capped exponential backoff with multiplicative jitter. */
+struct BackoffConfig
+{
+    double baseDelayMs = 2.0;
+    double maxDelayMs = 256.0;
+    double multiplier = 2.0;
+    /** Jitter spread: the delay is scaled by a uniform draw from
+     *  [1 - jitter, 1 + jitter]. 0 disables jitter (deterministic). */
+    double jitter = 0.5;
+};
+
+class Backoff
+{
+  public:
+    Backoff() : Backoff(BackoffConfig{}) {}
+    explicit Backoff(const BackoffConfig& config) : config_(config) {}
+
+    /**
+     * Delay before retry attempt @p attempt (1 = first retry), jittered
+     * via @p rng and floored at @p serverHintMs (the retryAfterMs the
+     * server pushed on its BUSY response; 0 = no hint). The hint floors
+     * the *unjittered* delay so a server-requested throttle cannot be
+     * jittered below what the server asked for.
+     */
+    double delayMs(int attempt, util::Rng& rng,
+                   double serverHintMs = 0.0) const
+    {
+        double delay = config_.baseDelayMs;
+        for (int i = 1; i < attempt; ++i) {
+            delay *= config_.multiplier;
+            if (delay >= config_.maxDelayMs)
+                break;
+        }
+        delay = std::min(delay, config_.maxDelayMs);
+        if (config_.jitter > 0.0)
+            delay *= rng.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+        return std::max(delay, serverHintMs);
+    }
+
+    const BackoffConfig& config() const { return config_; }
+
+  private:
+    BackoffConfig config_;
+};
+
+} // namespace tpc::overload

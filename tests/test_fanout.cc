@@ -223,7 +223,7 @@ class ShardProcess
     {
         net::RpcServerConfig config;
         config.port = port;
-        config.admission = net::AdmissionLimits{4096, 4096};
+        config.admission = net::AdmissionLimits{4096, 4096, {}};
         return config;
     }
 

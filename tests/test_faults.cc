@@ -305,7 +305,7 @@ class FaultyServer
     {
         net::RpcServerConfig config;
         config.port = 0;
-        config.admission = net::AdmissionLimits{10000, 10000};
+        config.admission = net::AdmissionLimits{10000, 10000, {}};
         config.requestDeadlineMs = requestDeadlineMs;
         return config;
     }

@@ -717,6 +717,197 @@ TEST(Frame, ProfileAdminFramesRoundTrip)
     EXPECT_EQ(back2, text);
 }
 
+TEST(Frame, HeaderCarriesOverloadContextAtFixedOffsets)
+{
+    // The v3 header is 56 bytes: budget at 44, tenant at 52, retry hint
+    // at 54. Downstream tooling (and the other tiers' decoders) depend
+    // on these exact offsets, so pin them.
+    EXPECT_EQ(kHeaderSize, 56u);
+    EXPECT_EQ(frameSize(0), 56u);
+    Frame request = makeRequest(5, 0);
+    request.budgetUs = 0x0102030405060708ull;
+    request.tenant = 0xBEEF;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(request, wire);
+    EXPECT_EQ(wire[4], kProtocolVersion);
+    EXPECT_EQ(wire[44], 0x08);
+    EXPECT_EQ(wire[51], 0x01);
+    EXPECT_EQ(wire[52], 0xEF);
+    EXPECT_EQ(wire[53], 0xBE);
+}
+
+TEST(Frame, OverloadContextRoundTrips)
+{
+    Frame request = makeRequest(31, 8);
+    request.budgetUs = 250000; // 250 ms remaining
+    request.tenant = 7;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(request, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.budgetUs, 250000u);
+    EXPECT_EQ(decoded.frame.tenant, 7u);
+    EXPECT_EQ(decoded.frame.retryAfterMs, 0u);
+
+    // The retry-throttle hint rides only on BUSY responses.
+    Frame busy;
+    busy.type = FrameType::kResponse;
+    busy.status = FrameStatus::kBusy;
+    busy.requestId = 31;
+    busy.retryAfterMs = 40;
+    std::vector<std::uint8_t> wire2;
+    encodeFrame(busy, wire2);
+    const DecodeResult decoded2 = decodeFrame(wire2.data(), wire2.size());
+    ASSERT_EQ(decoded2.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded2.frame.status, FrameStatus::kBusy);
+    EXPECT_EQ(decoded2.frame.retryAfterMs, 40u);
+
+    // A budget-less frame stays all-zero in the overload context.
+    const Frame plain = makeRequest(32, 0);
+    wire.clear();
+    encodeFrame(plain, wire);
+    const DecodeResult decoded3 = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded3.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded3.frame.budgetUs, 0u);
+    EXPECT_EQ(decoded3.frame.tenant, 0u);
+    EXPECT_EQ(decoded3.frame.retryAfterMs, 0u);
+}
+
+TEST(Frame, DeadlineExceededStatusRoundTrips)
+{
+    Frame response;
+    response.type = FrameType::kResponse;
+    response.status = FrameStatus::kDeadlineExceeded;
+    response.requestId = 91;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(response, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.status, FrameStatus::kDeadlineExceeded);
+}
+
+TEST(Frame, RetryHintIsReservedOutsideBusyResponses)
+{
+    // The encoder refuses to leak a stray hint onto non-BUSY frames...
+    Frame request = makeRequest(8, 4);
+    request.retryAfterMs = 99;
+    std::vector<std::uint8_t> wire;
+    encodeFrame(request, wire);
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.retryAfterMs, 0u);
+
+    // ...and the decoder treats nonzero hint bytes there as corruption.
+    for (std::size_t offset = 54; offset <= 55; ++offset) {
+        std::vector<std::uint8_t> bad = wire;
+        bad[offset] = 1;
+        EXPECT_EQ(decodeFrame(bad.data(), bad.size()).status,
+                  DecodeStatus::kError)
+            << "retry-hint byte at offset " << offset;
+    }
+}
+
+/** Hand-builds a version-2 frame: 44-byte header with trace context but
+ *  no overload (budget/tenant/hint) fields. */
+std::vector<std::uint8_t>
+encodeV2Frame(FrameType type, std::uint8_t cls, std::uint64_t requestId,
+              std::uint64_t traceId,
+              const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> wire;
+    const std::uint32_t magic = kMagic;
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<std::uint8_t>(magic >> (8 * i)));
+    wire.push_back(2); // version
+    wire.push_back(static_cast<std::uint8_t>(type));
+    wire.push_back(cls);
+    wire.push_back(0); // status
+    for (int i = 0; i < 8; ++i)
+        wire.push_back(static_cast<std::uint8_t>(requestId >> (8 * i)));
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+        wire.push_back(0); // shardsAnswered / shardsTotal
+    for (int i = 0; i < 8; ++i)
+        wire.push_back(static_cast<std::uint8_t>(traceId >> (8 * i)));
+    for (int i = 0; i < 8; ++i)
+        wire.push_back(0); // parentSpanId
+    wire.push_back(0);     // traceFlags
+    for (int i = 0; i < 3; ++i)
+        wire.push_back(0); // reserved
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    return wire;
+}
+
+TEST(Frame, VersionTwoFrameDecodesWithZeroedOverloadContext)
+{
+    // A pre-overload-tier peer sends 44-byte v2 headers. The v3 decoder
+    // must accept them, consume exactly the v2 size, keep the trace
+    // context, and zero budget/tenant/hint — "no budget, default
+    // tenant": the request never expires and lands on the default lane.
+    std::vector<std::uint8_t> payload;
+    appendU64(payload, 17);
+    const std::vector<std::uint8_t> wire = encodeV2Frame(
+        FrameType::kRequest, 1, 55, 0xABCDull, payload);
+    ASSERT_EQ(wire.size(), kHeaderSizeV2 + 8);
+
+    const DecodeResult decoded = decodeFrame(wire.data(), wire.size());
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame) << decoded.error;
+    EXPECT_EQ(decoded.consumed, wire.size());
+    EXPECT_EQ(decoded.frame.requestId, 55u);
+    EXPECT_EQ(decoded.frame.traceId, 0xABCDull);
+    EXPECT_EQ(decoded.frame.budgetUs, 0u);
+    EXPECT_EQ(decoded.frame.tenant, 0u);
+    EXPECT_EQ(decoded.frame.retryAfterMs, 0u);
+    EXPECT_EQ(decoded.frame.payload, payload);
+
+    // Every strict prefix is kNeedMore: the first 44+ bytes of a v3
+    // frame must never decode as a complete v2 frame.
+    for (std::size_t cut = 0; cut < wire.size(); ++cut)
+        EXPECT_EQ(decodeFrame(wire.data(), cut).status,
+                  DecodeStatus::kNeedMore)
+            << "prefix of " << cut << " bytes";
+}
+
+TEST(FrameReader, AllThreeVersionsInterleaveOnOneStream)
+{
+    // v1 + v2 + v3 frames on one connection: each consumes at its own
+    // version's header size, and the missing context fields zero-fill.
+    std::vector<std::uint8_t> wire;
+    Frame v3 = makeRequest(1, 8);
+    v3.budgetUs = 9000;
+    v3.tenant = 2;
+    encodeFrame(v3, wire);
+    std::vector<std::uint8_t> payload;
+    appendU64(payload, 3);
+    const std::vector<std::uint8_t> v1 =
+        encodeV1Frame(FrameType::kRequest, 0, 2, payload);
+    wire.insert(wire.end(), v1.begin(), v1.end());
+    const std::vector<std::uint8_t> v2 =
+        encodeV2Frame(FrameType::kRequest, 0, 3, 0xF00Dull, payload);
+    wire.insert(wire.end(), v2.begin(), v2.end());
+
+    FrameReader reader;
+    std::vector<Frame> frames;
+    Frame frame;
+    for (const std::uint8_t byte : wire) { // worst-case dribble
+        reader.append(&byte, 1);
+        while (reader.next(&frame))
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].budgetUs, 9000u);
+    EXPECT_EQ(frames[0].tenant, 2u);
+    EXPECT_EQ(frames[1].requestId, 2u);
+    EXPECT_EQ(frames[1].budgetUs, 0u);
+    EXPECT_EQ(frames[2].traceId, 0xF00Dull);
+    EXPECT_EQ(frames[2].budgetUs, 0u);
+    EXPECT_EQ(frames[2].tenant, 0u);
+    EXPECT_FALSE(reader.broken());
+}
+
 TEST(Frame, PayloadU64Helpers)
 {
     std::vector<std::uint8_t> payload;

@@ -46,7 +46,7 @@ busyWaitMs(double ms)
 
 TEST(AdmissionController, EnforcesInFlightLimit)
 {
-    AdmissionController admission(AdmissionLimits{2, 0});
+    AdmissionController admission(AdmissionLimits{2, 0, {}});
     EXPECT_TRUE(admission.tryAdmit(0));
     EXPECT_TRUE(admission.tryAdmit(0));
     EXPECT_FALSE(admission.tryAdmit(0));
@@ -61,7 +61,7 @@ TEST(AdmissionController, EnforcesInFlightLimit)
 
 TEST(AdmissionController, EnforcesPendingQueueLimit)
 {
-    AdmissionController admission(AdmissionLimits{0, 4});
+    AdmissionController admission(AdmissionLimits{0, 4, {}});
     EXPECT_TRUE(admission.tryAdmit(3));
     EXPECT_FALSE(admission.tryAdmit(4));
     EXPECT_FALSE(admission.tryAdmit(100));
@@ -70,7 +70,7 @@ TEST(AdmissionController, EnforcesPendingQueueLimit)
 
 TEST(AdmissionController, NonPositiveLimitsMeanUnlimited)
 {
-    AdmissionController admission(AdmissionLimits{0, 0});
+    AdmissionController admission(AdmissionLimits{0, 0, {}});
     for (int i = 0; i < 1000; ++i)
         EXPECT_TRUE(admission.tryAdmit(i));
     EXPECT_EQ(admission.accepted(), 1000u);
@@ -162,7 +162,7 @@ TEST(RpcServer, LoopbackEndToEndCompletesEveryRequest)
     obs::TraceRecorder trace(8);
     obs::MetricsRegistry metrics;
     // Generous limits: nothing should be shed at this load.
-    LoopbackServer server(serverConfig, AdmissionLimits{10000, 10000},
+    LoopbackServer server(serverConfig, AdmissionLimits{10000, 10000, {}},
                           /*taskMs=*/0.05, /*numTasks=*/4);
     server.rpc().attachTrace(&trace);
     server.rpc().attachMetrics(&metrics);
@@ -236,7 +236,7 @@ TEST(RpcServer, OverloadShedsAndKeepsAcceptedTailBounded)
     serverConfig.numWorkers = 2;
     serverConfig.hwContexts = 2;
 
-    LoopbackServer server(serverConfig, AdmissionLimits{16, 8},
+    LoopbackServer server(serverConfig, AdmissionLimits{16, 8, {}},
                           /*taskMs=*/5.0, /*numTasks=*/1);
 
     LoadGenConfig loadConfig;
@@ -268,7 +268,7 @@ TEST(RpcServer, RequestsDuringDrainAreAnsweredBusy)
 {
     server::ThreadedServerConfig serverConfig;
     serverConfig.numWorkers = 2;
-    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64, {}},
                           /*taskMs=*/0.1, /*numTasks=*/1);
 
     // First a burst that completes normally.
@@ -304,7 +304,7 @@ TEST(RpcServer, DisconnectRetiresQueuedRequestsAndReleasesSlots)
     serverConfig.numWorkers = 1;
     serverConfig.hwContexts = 1;
     obs::MetricsRegistry metrics;
-    LoopbackServer server(serverConfig, AdmissionLimits{32, 32},
+    LoopbackServer server(serverConfig, AdmissionLimits{32, 32, {}},
                           /*taskMs=*/5.0, /*numTasks=*/1);
     server.rpc().attachMetrics(&metrics);
 
@@ -403,6 +403,20 @@ installStatsz(LoopbackServer& server, obs::StageStatsCollector& stageStats,
         info.shed = server.rpc().admission().shed();
         info.inFlight = static_cast<std::uint64_t>(
             server.rpc().admission().inFlight());
+        info.deadlineExceeded = server.rpc().stats().deadlineExceeded;
+        for (const TenantAdmissionSnapshot& t :
+             server.rpc().admission().tenantSnapshots()) {
+            obs::StatszTenantInfo lane;
+            lane.tenant = t.tenant;
+            lane.name = t.name;
+            lane.weight = t.weight;
+            lane.guarantee = t.guarantee;
+            lane.admitted = t.accepted;
+            lane.shed = t.shed;
+            lane.goodput = t.goodput;
+            lane.inFlight = t.inFlight;
+            info.tenants.push_back(std::move(lane));
+        }
         return obs::renderStatsz(info, sampler.latest().get());
     });
 }
@@ -419,7 +433,7 @@ TEST(Statsz, LiveFetchDuringSaturationAttributesEveryMiss)
     serverConfig.hwContexts = 2;
 
     obs::TraceRecorder trace(8);
-    LoopbackServer server(serverConfig, AdmissionLimits{100000, 100000},
+    LoopbackServer server(serverConfig, AdmissionLimits{100000, 100000, {}},
                           /*taskMs=*/5.0, /*numTasks=*/1);
     obs::StageStatsCollector stageStats({}, 8);
     obs::StatsSampler sampler(stageStats, /*intervalMs=*/20.0);
@@ -497,7 +511,7 @@ TEST(Statsz, ShedRequestsLandUnderShedCause)
     serverConfig.numWorkers = 2;
     serverConfig.hwContexts = 2;
 
-    LoopbackServer server(serverConfig, AdmissionLimits{16, 8},
+    LoopbackServer server(serverConfig, AdmissionLimits{16, 8, {}},
                           /*taskMs=*/5.0, /*numTasks=*/1);
     obs::StageStatsCollector stageStats({}, 8);
     obs::StatsSampler sampler(stageStats, /*intervalMs=*/20.0);
@@ -535,7 +549,7 @@ TEST(Statsz, NoProviderAnswersWithError)
 {
     server::ThreadedServerConfig serverConfig;
     serverConfig.numWorkers = 2;
-    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64, {}},
                           /*taskMs=*/0.1, /*numTasks=*/1);
     const StatszResult probe =
         fetchStatsz("127.0.0.1", server.port(), 2000.0);
@@ -567,7 +581,7 @@ TEST(Tracez, LiveFetchReturnsParseableRetainedTraces)
     spanConfig.role = "shard";
     obs::SpanCollector spans(4, spanConfig);
 
-    LoopbackServer server(serverConfig, AdmissionLimits{10000, 10000},
+    LoopbackServer server(serverConfig, AdmissionLimits{10000, 10000, {}},
                           /*taskMs=*/0.05, /*numTasks=*/4);
     server.threaded().attachSpans(&spans);
     server.rpc().setTracezProvider(
@@ -620,7 +634,7 @@ TEST(Tracez, NoProviderAnswersWithError)
 {
     server::ThreadedServerConfig serverConfig;
     serverConfig.numWorkers = 2;
-    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64, {}},
                           /*taskMs=*/0.1, /*numTasks=*/1);
     const StatszResult probe =
         fetchTracez("127.0.0.1", server.port(), 2000.0);
@@ -660,7 +674,7 @@ TEST(RpcServer, AcceptsAndAnswersVersionOneFrames)
     // not dropped as a protocol error.
     server::ThreadedServerConfig serverConfig;
     serverConfig.numWorkers = 2;
-    LoopbackServer server(serverConfig, AdmissionLimits{64, 64},
+    LoopbackServer server(serverConfig, AdmissionLimits{64, 64, {}},
                           /*taskMs=*/0.05, /*numTasks=*/2);
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);

@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Tests for the overload-robustness tier: deadline-budget arithmetic,
+ * token-bucket retry budgets with capped backoff, the tenant-quota CLI
+ * spec, weighted-fair admission control, the loadgen CSV column schema,
+ * and a loopback regression that cancelled / deadline-expired requests
+ * always release their admission slot.
+ *
+ * Every suite is prefixed "Overload" so the CI sanitizer lane can select
+ * the whole tier with one ctest regex.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/tpc_policy.h"
+#include "harness/policies.h"
+#include "net/loadgen.h"
+#include "net/rpc_server.h"
+#include "overload/admission.h"
+#include "overload/budget.h"
+#include "overload/retry.h"
+#include "server/threaded_server.h"
+#include "util/rng.h"
+
+namespace tpc {
+namespace {
+
+using overload::AdmissionLimits;
+using overload::Backoff;
+using overload::BackoffConfig;
+using overload::RetryBudget;
+using overload::RetryBudgetConfig;
+using overload::TenantAdmissionSnapshot;
+using overload::TenantQuota;
+using overload::WeightedAdmissionController;
+
+// --------------------------------------------------------------------
+// Deadline-budget arithmetic
+// --------------------------------------------------------------------
+
+TEST(OverloadBudget, RemainingBudgetSubtractsElapsedAndClampsToZero)
+{
+    EXPECT_EQ(overload::remainingBudgetUs(10000, 4.0), 6000u);
+    EXPECT_EQ(overload::remainingBudgetUs(10000, 10.0), 0u);
+    EXPECT_EQ(overload::remainingBudgetUs(10000, 25.0), 0u);
+    // Clock skew can hand a hop a negative elapsed time; the budget must
+    // never grow from it.
+    EXPECT_EQ(overload::remainingBudgetUs(10000, -5.0), 10000u);
+}
+
+TEST(OverloadBudget, NoBudgetIsStickyAndNeverExpires)
+{
+    // budgetUs == 0 means "no budget attached": it survives every hop
+    // unchanged and never reads as expired.
+    EXPECT_EQ(overload::remainingBudgetUs(overload::kNoBudgetUs, 1e9),
+              overload::kNoBudgetUs);
+    EXPECT_FALSE(overload::budgetExpired(overload::kNoBudgetUs));
+    EXPECT_EQ(overload::splitLegBudgetUs(overload::kNoBudgetUs, 50.0),
+              overload::kNoBudgetUs);
+}
+
+TEST(OverloadBudget, ExpiryThresholdIsTheMinimumForwardableBudget)
+{
+    EXPECT_TRUE(overload::budgetExpired(overload::kMinForwardBudgetUs - 1));
+    EXPECT_FALSE(overload::budgetExpired(overload::kMinForwardBudgetUs));
+    EXPECT_FALSE(overload::budgetExpired(1000000));
+}
+
+TEST(OverloadBudget, LegSplitReservesMergeOverheadWithAFloor)
+{
+    // The fan-out leg gets what remains after the aggregator's own
+    // measured merge reserve...
+    EXPECT_EQ(overload::splitLegBudgetUs(10000, 2.0), 8000u);
+    // ...but a reserve that would eat the whole budget clamps to the
+    // minimum forwardable floor: one fast try beats a guaranteed local
+    // rejection.
+    EXPECT_EQ(overload::splitLegBudgetUs(10000, 50.0),
+              overload::kMinForwardBudgetUs);
+    EXPECT_EQ(overload::splitLegBudgetUs(50, 0.0),
+              overload::kMinForwardBudgetUs);
+}
+
+TEST(OverloadBudget, UnitConversionsRoundTrip)
+{
+    EXPECT_EQ(overload::msToUs(1.5), 1500u);
+    EXPECT_EQ(overload::msToUs(0.0), 0u);
+    EXPECT_EQ(overload::msToUs(-3.0), 0u);
+    EXPECT_DOUBLE_EQ(overload::usToMs(2500), 2.5);
+}
+
+// --------------------------------------------------------------------
+// Retry budget + backoff
+// --------------------------------------------------------------------
+
+TEST(OverloadRetryBudget, ColdStartBankFundsExactlyMaxTokensRetries)
+{
+    RetryBudget budget; // default bank: 10 tokens
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(budget.tryRetry()) << "retry " << i;
+    EXPECT_FALSE(budget.tryRetry());
+    EXPECT_EQ(budget.issued(), 10u);
+    EXPECT_EQ(budget.suppressed(), 1u);
+}
+
+TEST(OverloadRetryBudget, SuccessesEarnFractionalTokens)
+{
+    // 0.25 is exact in binary, so the earn arithmetic has no rounding
+    // slop: the retry/success ratio caps at exactly 1:4.
+    RetryBudgetConfig config;
+    config.earnPerSuccess = 0.25;
+    config.maxTokens = 1.0;
+    RetryBudget budget(config);
+    EXPECT_TRUE(budget.tryRetry()); // spend the initial bank
+    EXPECT_FALSE(budget.tryRetry());
+
+    // Three successes earn 0.75 tokens — still dry. The fourth funds
+    // one retry.
+    for (int i = 0; i < 3; ++i)
+        budget.onSuccess();
+    EXPECT_FALSE(budget.tryRetry());
+    budget.onSuccess();
+    EXPECT_TRUE(budget.tryRetry());
+    EXPECT_EQ(budget.successes(), 4u);
+}
+
+TEST(OverloadRetryBudget, BankNeverExceedsMaxTokens)
+{
+    RetryBudgetConfig config;
+    config.earnPerSuccess = 1.0;
+    config.maxTokens = 2.0;
+    RetryBudget budget(config);
+    for (int i = 0; i < 100; ++i)
+        budget.onSuccess();
+    EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);
+    EXPECT_TRUE(budget.tryRetry());
+    EXPECT_TRUE(budget.tryRetry());
+    EXPECT_FALSE(budget.tryRetry());
+}
+
+TEST(OverloadBackoff, GrowsExponentiallyAndCaps)
+{
+    BackoffConfig config;
+    config.baseDelayMs = 2.0;
+    config.multiplier = 2.0;
+    config.maxDelayMs = 256.0;
+    config.jitter = 0.0; // deterministic
+    const Backoff backoff(config);
+    util::Rng rng(1);
+    EXPECT_DOUBLE_EQ(backoff.delayMs(1, rng), 2.0);
+    EXPECT_DOUBLE_EQ(backoff.delayMs(2, rng), 4.0);
+    EXPECT_DOUBLE_EQ(backoff.delayMs(3, rng), 8.0);
+    EXPECT_DOUBLE_EQ(backoff.delayMs(8, rng), 256.0);
+    EXPECT_DOUBLE_EQ(backoff.delayMs(30, rng), 256.0); // capped
+}
+
+TEST(OverloadBackoff, JitterStaysInsideTheConfiguredSpread)
+{
+    BackoffConfig config;
+    config.baseDelayMs = 10.0;
+    config.jitter = 0.5;
+    const Backoff backoff(config);
+    util::Rng rng(42);
+    double lo = 1e9;
+    double hi = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double delay = backoff.delayMs(1, rng);
+        lo = std::min(lo, delay);
+        hi = std::max(hi, delay);
+    }
+    EXPECT_GE(lo, 5.0);
+    EXPECT_LE(hi, 15.0);
+    EXPECT_LT(lo, hi); // jitter actually varies
+}
+
+TEST(OverloadBackoff, ServerHintFloorsTheJitteredDelay)
+{
+    BackoffConfig config;
+    config.baseDelayMs = 2.0;
+    config.jitter = 0.5;
+    const Backoff backoff(config);
+    util::Rng rng(7);
+    // A pushed retryAfterMs of 100 ms: no jitter draw may undercut it.
+    for (int i = 0; i < 200; ++i)
+        EXPECT_GE(backoff.delayMs(1, rng, 100.0), 100.0);
+    // Without a hint the base delay jitters freely below it.
+    EXPECT_LT(backoff.delayMs(1, rng), 100.0);
+}
+
+// --------------------------------------------------------------------
+// Tenant-quota CLI spec
+// --------------------------------------------------------------------
+
+TEST(OverloadTenantSpec, ParsesIdsNamesAndOptionalWeights)
+{
+    std::vector<TenantQuota> quotas;
+    ASSERT_TRUE(overload::parseTenantQuotas("1:gold:2.5,2:bronze", &quotas));
+    ASSERT_EQ(quotas.size(), 2u);
+    EXPECT_EQ(quotas[0].tenant, 1u);
+    EXPECT_EQ(quotas[0].name, "gold");
+    EXPECT_DOUBLE_EQ(quotas[0].weight, 2.5);
+    EXPECT_EQ(quotas[1].tenant, 2u);
+    EXPECT_EQ(quotas[1].name, "bronze");
+    EXPECT_DOUBLE_EQ(quotas[1].weight, 1.0); // default
+}
+
+TEST(OverloadTenantSpec, RejectsMalformedSpecsAndLeavesOutputUntouched)
+{
+    const std::vector<std::string> bad = {
+        "",            // empty spec
+        "gold",        // no id
+        ":gold",       // empty id
+        "1:",          // empty name
+        "1:gold:0",    // zero weight
+        "1:gold:-2",   // negative weight
+        "1:gold:abc",  // non-numeric weight
+        "1:gold:1.5x", // trailing junk in weight
+        "70000:big",   // id out of uint16 range
+        "1:gold,,2:b", // empty entry
+    };
+    for (const std::string& spec : bad) {
+        std::vector<TenantQuota> quotas{TenantQuota{9, "sentinel", 3.0}};
+        EXPECT_FALSE(overload::parseTenantQuotas(spec, &quotas))
+            << "spec: \"" << spec << "\"";
+        ASSERT_EQ(quotas.size(), 1u) << "spec: \"" << spec << "\"";
+        EXPECT_EQ(quotas[0].name, "sentinel");
+    }
+}
+
+// --------------------------------------------------------------------
+// Weighted-fair admission
+// --------------------------------------------------------------------
+
+AdmissionLimits
+twoTenantLimits(int maxInFlight)
+{
+    AdmissionLimits limits;
+    limits.maxInFlight = maxInFlight;
+    limits.maxPending = 0;
+    limits.tenants = {TenantQuota{1, "victim", 1.0},
+                      TenantQuota{2, "aggressor", 1.0}};
+    return limits;
+}
+
+TEST(OverloadAdmission, CollapsesToSingleBucketWithoutTenants)
+{
+    WeightedAdmissionController admission(AdmissionLimits{2, 0, {}});
+    // Unknown tenant ids all land on the one implicit bucket.
+    EXPECT_TRUE(admission.tryAdmit(7, 0));
+    EXPECT_TRUE(admission.tryAdmit(42, 0));
+    EXPECT_FALSE(admission.tryAdmit(7, 0));
+    EXPECT_EQ(admission.inFlight(), 2);
+    EXPECT_EQ(admission.shed(), 1u);
+    // No per-tenant lanes render in single-tenant mode.
+    EXPECT_TRUE(admission.tenantSnapshots().empty());
+}
+
+TEST(OverloadAdmission, FloodingTenantCannotEatAnotherTenantsGuarantee)
+{
+    // maxInFlight 8, equal weights: each tenant is guaranteed 4 slots
+    // and there is no surplus. The aggressor floods first — and stops at
+    // its own share; the victim's 4 slots are still instantly available.
+    WeightedAdmissionController admission(twoTenantLimits(8));
+    int aggressorAdmitted = 0;
+    for (int i = 0; i < 100; ++i)
+        if (admission.tryAdmit(2, 0))
+            ++aggressorAdmitted;
+    EXPECT_EQ(aggressorAdmitted, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(admission.tryAdmit(1, 0)) << "victim admit " << i;
+    EXPECT_FALSE(admission.tryAdmit(1, 0)); // victim's share is now full
+    EXPECT_EQ(admission.inFlight(), 8);
+}
+
+TEST(OverloadAdmission, SurplusIsUsableButReservedGuaranteesAreNot)
+{
+    // maxInFlight 9, equal weights: guarantees floor to 4 + 4, leaving
+    // one surplus slot anyone may take — but never a 10th.
+    WeightedAdmissionController admission(twoTenantLimits(9));
+    int aggressorAdmitted = 0;
+    for (int i = 0; i < 100; ++i)
+        if (admission.tryAdmit(2, 0))
+            ++aggressorAdmitted;
+    EXPECT_EQ(aggressorAdmitted, 5); // guarantee 4 + surplus 1
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(admission.tryAdmit(1, 0));
+    EXPECT_FALSE(admission.tryAdmit(1, 0));
+    EXPECT_EQ(admission.inFlight(), 9);
+
+    // Releases reopen exactly the released share.
+    admission.onComplete(2);
+    EXPECT_TRUE(admission.tryAdmit(2, 0));
+    EXPECT_FALSE(admission.tryAdmit(2, 0));
+}
+
+TEST(OverloadAdmission, UnknownTenantsRideTheSurplusOnly)
+{
+    WeightedAdmissionController admission(twoTenantLimits(9));
+    // Tenant 99 was never configured: no guarantee, surplus (1) only.
+    EXPECT_TRUE(admission.tryAdmit(99, 0));
+    EXPECT_FALSE(admission.tryAdmit(99, 0));
+    // Both configured tenants still get their full guarantees.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(admission.tryAdmit(1, 0));
+        EXPECT_TRUE(admission.tryAdmit(2, 0));
+    }
+    EXPECT_FALSE(admission.tryAdmit(2, 0));
+
+    const std::vector<TenantAdmissionSnapshot> lanes =
+        admission.tenantSnapshots();
+    ASSERT_EQ(lanes.size(), 3u); // victim, aggressor, "other" (saw traffic)
+    EXPECT_EQ(lanes[2].name, "other");
+    EXPECT_EQ(lanes[2].guarantee, 0);
+    EXPECT_EQ(lanes[2].accepted, 1u);
+}
+
+TEST(OverloadAdmission, SnapshotsCarryPerTenantCounters)
+{
+    WeightedAdmissionController admission(twoTenantLimits(8));
+    ASSERT_TRUE(admission.tryAdmit(1, 0));
+    ASSERT_TRUE(admission.tryAdmit(1, 0));
+    admission.onGoodput(1);
+    admission.onComplete(1);
+    for (int i = 0; i < 6; ++i)
+        admission.tryAdmit(2, 0); // 4 admitted, 2 shed
+
+    const std::vector<TenantAdmissionSnapshot> lanes =
+        admission.tenantSnapshots();
+    ASSERT_EQ(lanes.size(), 2u); // "other" hidden without traffic
+    EXPECT_EQ(lanes[0].name, "victim");
+    EXPECT_EQ(lanes[0].guarantee, 4);
+    EXPECT_EQ(lanes[0].accepted, 2u);
+    EXPECT_EQ(lanes[0].inFlight, 1);
+    EXPECT_EQ(lanes[0].goodput, 1u);
+    EXPECT_EQ(lanes[1].name, "aggressor");
+    EXPECT_EQ(lanes[1].accepted, 4u);
+    EXPECT_EQ(lanes[1].shed, 2u);
+}
+
+TEST(OverloadAdmission, PendingQueueLimitAppliesAcrossAllTenants)
+{
+    AdmissionLimits limits = twoTenantLimits(0);
+    limits.maxPending = 4;
+    WeightedAdmissionController admission(limits);
+    EXPECT_TRUE(admission.tryAdmit(1, 3));
+    EXPECT_FALSE(admission.tryAdmit(1, 4));
+    EXPECT_FALSE(admission.tryAdmit(2, 100));
+    EXPECT_EQ(admission.shed(), 2u);
+}
+
+// --------------------------------------------------------------------
+// Loadgen CSV column schema (consumed by scripts/ and the benches)
+// --------------------------------------------------------------------
+
+TEST(OverloadCsv, LoadGenHeaderSchemaIsStable)
+{
+    const std::vector<std::string> expected = {
+        "target_qps",        "achieved_qps",      "connections",
+        "sent",              "completed",         "degraded",
+        "shed",              "errors",            "cancelled",
+        "deadline_exceeded", "timeouts",          "retries",
+        "retries_suppressed", "failed",           "unanswered",
+        "elapsed_ms",        "warmup_ms",         "warmup_excluded",
+        "response_ms_count", "response_ms_mean",  "response_ms_p50",
+        "response_ms_p90",   "response_ms_p95",   "response_ms_p99",
+        "response_ms_p999",  "response_ms_max",   "trace_id",
+        "tenant",            "tenant_weight"};
+    EXPECT_EQ(net::loadGenCsvHeader(), expected);
+}
+
+TEST(OverloadCsv, WritesOneTotalsRowPlusOneRowPerTenant)
+{
+    net::LoadGenResult result;
+    result.sent = 10;
+    result.completed = 8;
+    result.perTenant.resize(2);
+    result.perTenant[0].tenant = 1;
+    result.perTenant[0].name = "victim";
+    result.perTenant[0].weight = 1.0;
+    result.perTenant[1].tenant = 2;
+    result.perTenant[1].name = "aggressor";
+    result.perTenant[1].weight = 3.0;
+    net::LoadGenConfig config;
+    config.tenants = {TenantQuota{1, "victim", 1.0},
+                      TenantQuota{2, "aggressor", 3.0}};
+
+    const std::string path = "test_overload_loadgen.csv";
+    net::writeLoadGenCsv(result, config, path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    in.close();
+    std::remove(path.c_str());
+
+    ASSERT_EQ(lines.size(), 4u); // header + "all" + 2 tenants
+    const std::size_t columns = net::loadGenCsvHeader().size();
+    for (const std::string& row : lines) {
+        std::size_t cells = 1;
+        for (const char c : row)
+            if (c == ',')
+                ++cells;
+        EXPECT_EQ(cells, columns) << row;
+    }
+    EXPECT_NE(lines[1].find(",all,"), std::string::npos);
+    EXPECT_NE(lines[2].find(",victim,"), std::string::npos);
+    EXPECT_NE(lines[3].find(",aggressor,"), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// Loopback regression: cancelled / deadline-expired requests release
+// their admission slot
+// --------------------------------------------------------------------
+
+void
+busyWaitMs(double ms)
+{
+    const auto until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
+
+/** Minimal loopback fixture (see test_net.cc): TPC-driven
+ *  ThreadedServer behind an RpcServer on an ephemeral port. */
+class LoopbackServer
+{
+  public:
+    LoopbackServer(int numWorkers, const AdmissionLimits& limits,
+                   double taskMs, double requestDeadlineMs = 0.0)
+        : policy_(harness::webSearchExecutionModel(),
+                  core::TargetTable::webSearchDefault(), tpcOptions()),
+          threaded_(serverConfig(numWorkers), policy_),
+          rpc_(rpcConfig(limits, requestDeadlineMs), threaded_,
+               [taskMs](const net::Frame& request,
+                        std::vector<std::uint8_t>& responsePayload) {
+                   std::uint64_t seq = 0;
+                   net::readU64(request.payload, 0, &seq);
+                   server::ThreadedJob job;
+                   job.predictedMs = taskMs;
+                   job.numTasks = 1;
+                   job.task = [taskMs](int) { busyWaitMs(taskMs); };
+                   job.postamble = [seq, &responsePayload] {
+                       net::appendU64(responsePayload, seq);
+                   };
+                   return job;
+               })
+    {
+        loop_ = std::thread([this] { rpc_.run(); });
+    }
+
+    ~LoopbackServer()
+    {
+        if (loop_.joinable()) {
+            rpc_.requestStop();
+            loop_.join();
+        }
+    }
+
+    net::RpcServer& rpc() { return rpc_; }
+    std::uint16_t port() const { return rpc_.port(); }
+
+    /** Polls until every admitted request released its slot. */
+    bool drainInFlight(double timeoutMs = 5000.0)
+    {
+        const auto until =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(static_cast<int>(timeoutMs));
+        while (rpc_.admission().inFlight() != 0) {
+            if (std::chrono::steady_clock::now() >= until)
+                return false;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        return true;
+    }
+
+  private:
+    static core::TpcOptions tpcOptions()
+    {
+        core::TpcOptions options;
+        options.maxDegree = 2;
+        return options;
+    }
+
+    static server::ThreadedServerConfig serverConfig(int numWorkers)
+    {
+        server::ThreadedServerConfig config;
+        config.numWorkers = numWorkers;
+        config.hwContexts = numWorkers;
+        return config;
+    }
+
+    static net::RpcServerConfig rpcConfig(const AdmissionLimits& limits,
+                                          double requestDeadlineMs)
+    {
+        net::RpcServerConfig config;
+        config.port = 0;
+        config.admission = limits;
+        config.requestDeadlineMs = requestDeadlineMs;
+        return config;
+    }
+
+    core::TpcPolicy policy_;
+    server::ThreadedServer threaded_;
+    net::RpcServer rpc_;
+    std::thread loop_;
+};
+
+TEST(OverloadE2E, ExpiredAndCancelledRequestsAlwaysReleaseTheirSlot)
+{
+    // One worker, 30 ms tasks, 4 admit slots: a burst of 8 back-to-back
+    // budgeted requests admits 4 (1 running + 3 queued), sheds the rest,
+    // and the deepest queued requests outlive their 60 ms budget — they
+    // are cancelled before dispatch and answered kDeadlineExceeded.
+    LoopbackServer server(1, AdmissionLimits{4, 0, {}}, 30.0);
+
+    net::LoadGenConfig config;
+    config.port = server.port();
+    config.qps = 1000.0;
+    config.numRequests = 8;
+    config.connections = 1;
+    config.budgetMs = 60.0;
+    config.seed = 11;
+    const net::LoadGenResult result = net::runLoadGen(config);
+
+    EXPECT_EQ(result.sent, 8u);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_GT(result.shed, 0u);
+
+    // The server must have expired at least one *admitted* request (the
+    // 60 ms budget cannot expire in flight on a loopback hop, so every
+    // deadlineExceeded here came from the queue-cancellation path), and
+    // every one of those expiries must have released its slot.
+    ASSERT_TRUE(server.drainInFlight());
+    EXPECT_GT(server.rpc().stats().deadlineExceeded, 0u);
+    EXPECT_EQ(server.rpc().admission().inFlight(), 0);
+
+    // The regression proper: with only 4 slots, a single leaked slot
+    // from the cancellation storm would shed this follow-up wave. It
+    // must complete untouched.
+    net::LoadGenConfig wave2;
+    wave2.port = server.port();
+    wave2.qps = 20.0;
+    wave2.numRequests = 6;
+    wave2.connections = 1;
+    wave2.seed = 12;
+    const net::LoadGenResult after = net::runLoadGen(wave2);
+    EXPECT_EQ(after.completed, 6u);
+    EXPECT_EQ(after.shed, 0u);
+}
+
+TEST(OverloadE2E, CancelledRequestsPairEveryAdmitWithARelease)
+{
+    // Server-local 50 ms queue deadline, no client budget: the client
+    // has no timeout, so it stays connected until every admitted
+    // request is answered (kOk or kCancelled) and the admit/release
+    // counters can be paired exactly.
+    LoopbackServer server(1, AdmissionLimits{4, 0, {}}, 30.0,
+                          /*requestDeadlineMs=*/50.0);
+
+    net::LoadGenConfig config;
+    config.port = server.port();
+    config.qps = 1000.0;
+    config.numRequests = 8;
+    config.connections = 1;
+    config.seed = 13;
+    const net::LoadGenResult result = net::runLoadGen(config);
+
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_GT(result.cancelled, 0u); // deep queue entries hit the deadline
+    EXPECT_EQ(result.unanswered, 0u);
+
+    ASSERT_TRUE(server.drainInFlight());
+    // Paired-counter invariant: every admit is matched by a release —
+    // completed or cancelled, slots never leak. The response counter is
+    // bumped just after the frame goes out, so give the event loop a
+    // beat to settle before reading.
+    const auto paired = [&] {
+        const net::RpcServerStats stats = server.rpc().stats();
+        return server.rpc().admission().accepted() ==
+               stats.responsesSent + stats.requestsCancelled;
+    };
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!paired() && std::chrono::steady_clock::now() < until)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const net::RpcServerStats stats = server.rpc().stats();
+    EXPECT_GT(stats.requestsCancelled, 0u);
+    EXPECT_EQ(server.rpc().admission().accepted(),
+              stats.responsesSent + stats.requestsCancelled);
+    EXPECT_EQ(server.rpc().admission().inFlight(), 0);
+}
+
+TEST(OverloadE2E, TenantLanesAccountPerTenantTraffic)
+{
+    AdmissionLimits limits;
+    limits.maxInFlight = 8;
+    limits.maxPending = 0;
+    limits.tenants = {TenantQuota{1, "gold", 2.0},
+                      TenantQuota{2, "bronze", 1.0}};
+    LoopbackServer server(2, limits, 0.5);
+
+    net::LoadGenConfig config;
+    config.port = server.port();
+    config.qps = 300.0;
+    config.numRequests = 60;
+    config.connections = 2;
+    config.seed = 21;
+    config.tenants = limits.tenants;
+    const net::LoadGenResult result = net::runLoadGen(config);
+    ASSERT_TRUE(server.drainInFlight());
+
+    // Client-side slices cover every request...
+    ASSERT_EQ(result.perTenant.size(), 2u);
+    EXPECT_EQ(result.perTenant[0].sent + result.perTenant[1].sent, 60u);
+    EXPECT_GT(result.perTenant[0].sent, 0u);
+    EXPECT_GT(result.perTenant[1].sent, 0u);
+
+    // ...and the server's admission lanes saw the same tenants, with
+    // goodput pairing one-to-one with OK responses.
+    const std::vector<TenantAdmissionSnapshot> lanes =
+        server.rpc().admission().tenantSnapshots();
+    ASSERT_GE(lanes.size(), 2u);
+    std::uint64_t accepted = 0;
+    std::uint64_t goodput = 0;
+    for (const TenantAdmissionSnapshot& lane : lanes) {
+        EXPECT_EQ(lane.inFlight, 0);
+        accepted += lane.accepted;
+        goodput += lane.goodput;
+    }
+    EXPECT_EQ(lanes[0].name, "gold");
+    EXPECT_GT(lanes[0].accepted, 0u);
+    EXPECT_EQ(lanes[1].name, "bronze");
+    EXPECT_GT(lanes[1].accepted, 0u);
+    EXPECT_EQ(accepted, server.rpc().admission().accepted());
+    EXPECT_EQ(goodput, server.rpc().stats().responsesSent);
+}
+
+} // namespace
+} // namespace tpc
